@@ -1,0 +1,65 @@
+//! Criterion benches for the concentration-bound substrate: the
+//! closed-form bounds are nanosecond-scale; the exact binomial inversion
+//! (§4.3) is the one that pays for its tightness.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use easeml_bounds::{
+    bennett_epsilon, bennett_h_inv, bennett_sample_size, exact_binomial_sample_size,
+    hoeffding_sample_size, Tail,
+};
+use std::hint::black_box;
+
+fn bench_closed_form(c: &mut Criterion) {
+    let mut group = c.benchmark_group("closed_form_bounds");
+    group.bench_function("hoeffding_sample_size", |b| {
+        b.iter(|| {
+            hoeffding_sample_size(
+                black_box(1.0),
+                black_box(0.01),
+                black_box(1e-4),
+                Tail::TwoSided,
+            )
+            .unwrap()
+        });
+    });
+    group.bench_function("bennett_sample_size", |b| {
+        b.iter(|| {
+            bennett_sample_size(
+                black_box(0.1),
+                1.0,
+                black_box(0.01),
+                black_box(1e-4),
+                Tail::TwoSided,
+            )
+            .unwrap()
+        });
+    });
+    group.bench_function("bennett_epsilon_newton_inverse", |b| {
+        b.iter(|| {
+            bennett_epsilon(black_box(0.1), 1.0, black_box(29_048), 1e-4, Tail::TwoSided)
+                .unwrap()
+        });
+    });
+    group.bench_function("bennett_h_inv", |b| {
+        b.iter(|| bennett_h_inv(black_box(0.0048412)).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_binomial");
+    group.sample_size(10);
+    for (eps, delta) in [(0.1, 0.01), (0.05, 0.001)] {
+        group.bench_function(format!("tight_sample_size_eps{eps}_delta{delta}"), |b| {
+            b.iter_batched(
+                || (),
+                |()| exact_binomial_sample_size(black_box(eps), black_box(delta), Tail::TwoSided),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_closed_form, bench_exact);
+criterion_main!(benches);

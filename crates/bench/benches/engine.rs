@@ -1,0 +1,87 @@
+//! Criterion benches for the CI engine: per-commit evaluation cost at
+//! realistic testset sizes, with and without the disagreement-only
+//! labelling fast path.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use easeml_bounds::Adaptivity;
+use easeml_ci_core::{CiEngine, CiScript, Mode, ModelCommit, Testset, VecOracle};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn script(condition: &str, steps: u32) -> CiScript {
+    CiScript::builder()
+        .condition_str(condition)
+        .unwrap()
+        .reliability(0.99)
+        .mode(Mode::FpFree)
+        .adaptivity(Adaptivity::Full)
+        .steps(steps)
+        .build()
+        .unwrap()
+}
+
+/// Build an engine plus a commit that changes ~10% of predictions.
+fn fixture(condition: &str) -> (CiEngine, ModelCommit) {
+    let s = script(condition, 1_000_000);
+    let required =
+        easeml_ci_core::SampleSizeEstimator::new().estimate(&s).unwrap().total_samples()
+            as usize;
+    let mut rng = StdRng::seed_from_u64(1);
+    let labels: Vec<u32> = (0..required).map(|_| rng.random_range(0..4)).collect();
+    let old: Vec<u32> = labels
+        .iter()
+        .map(|&l| if rng.random::<f64>() < 0.8 { l } else { (l + 1) % 4 })
+        .collect();
+    let new: Vec<u32> = old
+        .iter()
+        .zip(&labels)
+        .map(|(&o, &l)| if rng.random::<f64>() < 0.1 { l } else { o })
+        .collect();
+    let engine = CiEngine::new(s, Testset::unlabeled(required), old)
+        .unwrap()
+        .with_oracle(Box::new(VecOracle::new(labels)));
+    (engine, ModelCommit::new("bench", new))
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_submit");
+    group.sample_size(20);
+    for condition in ["n - o > 0.02 +/- 0.05", "d < 0.2 +/- 0.05"] {
+        let (engine, commit) = fixture(condition);
+        group.throughput(Throughput::Elements(engine.testset_len() as u64));
+        group.bench_function(format!("submit[{condition}]"), |b| {
+            b.iter_batched(
+                // Budget is huge, but labels cache across iterations, so
+                // clone a fresh engine per batch for a fair cold cost.
+                || (engine.clone_for_bench(), commit.clone()),
+                |(mut engine, commit)| {
+                    black_box(engine.submit(&commit).unwrap());
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+/// Helper trait object cloning is not provided by the engine (oracle is
+/// a boxed trait); rebuild instead.
+trait CloneForBench {
+    fn clone_for_bench(&self) -> CiEngine;
+}
+
+impl CloneForBench for CiEngine {
+    fn clone_for_bench(&self) -> CiEngine {
+        let s = self.script().clone();
+        let n = self.testset_len();
+        let old = self.old_predictions().to_vec();
+        let labels: Vec<u32> = old.clone(); // labels only matter for cost shape
+        CiEngine::new(s, Testset::unlabeled(n), old)
+            .unwrap()
+            .with_oracle(Box::new(VecOracle::new(labels)))
+    }
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benches for the sample-size estimator: the per-script cost
+//! of the baseline recursion, the allocation optimizer, and the pattern
+//! matcher, plus the ablation comparisons called out in DESIGN.md §6.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use easeml_bounds::Adaptivity;
+use easeml_ci_core::estimator::{Allocation, LeafBound};
+use easeml_ci_core::{CiScript, EstimatorConfig, SampleSizeEstimator};
+use std::hint::black_box;
+
+fn script(condition: &str) -> CiScript {
+    CiScript::builder()
+        .condition_str(condition)
+        .unwrap()
+        .reliability(0.9999)
+        .adaptivity(Adaptivity::Full)
+        .steps(32)
+        .build()
+        .unwrap()
+}
+
+fn bench_estimator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimator");
+    let single = script("n > 0.8 +/- 0.05");
+    let compound = script("n - 1.1 * o > 0.01 +/- 0.01 /\\ d < 0.1 +/- 0.01");
+    let pattern1 = script("d < 0.1 +/- 0.01 /\\ n - o > 0.02 +/- 0.01");
+    let estimator = SampleSizeEstimator::new();
+    group.bench_function("single_variable_baseline", |b| {
+        b.iter(|| estimator.estimate(black_box(&single)).unwrap());
+    });
+    group.bench_function("compound_condition_auto", |b| {
+        b.iter(|| estimator.estimate(black_box(&compound)).unwrap());
+    });
+    group.bench_function("pattern1_plan", |b| {
+        b.iter(|| estimator.estimate(black_box(&pattern1)).unwrap());
+    });
+    group.finish();
+
+    // Ablations: allocation strategy and leaf bound (DESIGN.md §6).
+    let mut group = c.benchmark_group("estimator_ablations");
+    group.sample_size(10);
+    for (name, allocation) in
+        [("equal_split", Allocation::EqualSplit), ("proportional", Allocation::Proportional)]
+    {
+        let est = SampleSizeEstimator::with_config(EstimatorConfig {
+            allocation,
+            ..EstimatorConfig::default()
+        });
+        group.bench_function(format!("allocation_{name}"), |b| {
+            b.iter(|| est.estimate_baseline(black_box(&compound)).unwrap());
+        });
+    }
+    let exact = SampleSizeEstimator::with_config(EstimatorConfig {
+        leaf_bound: LeafBound::ExactBinomial,
+        ..EstimatorConfig::default()
+    });
+    group.bench_function("leaf_bound_exact_binomial", |b| {
+        b.iter(|| exact.estimate_baseline(black_box(&single)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimator);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion benches for the condition parser and script reader.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use easeml_ci_core::dsl::parse_formula;
+use easeml_ci_core::CiScript;
+use std::hint::black_box;
+
+const FORMULAS: [&str; 3] = [
+    "n > 0.8 +/- 0.05",
+    "n - 1.1 * o > 0.01 +/- 0.01 /\\ d < 0.1 +/- 0.01",
+    "n - o > 0.02 +/- 0.01 /\\ d < 0.1 +/- 0.01 /\\ n > 0.9 +/- 0.02 /\\ o < 0.99 +/- 0.005",
+];
+
+const SCRIPT: &str = "\
+language: python
+ml:
+  - script     : ./test_model.py
+  - condition  : n - o > 0.02 +/- 0.01 /\\ d < 0.1 +/- 0.01
+  - reliability: 0.9999
+  - mode       : fp-free
+  - adaptivity : full
+  - steps      : 32
+";
+
+fn bench_parser(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parser");
+    for (i, src) in FORMULAS.iter().enumerate() {
+        group.throughput(Throughput::Bytes(src.len() as u64));
+        group.bench_function(format!("formula_{}_clauses", i + 1), |b| {
+            b.iter(|| parse_formula(black_box(src)).unwrap());
+        });
+    }
+    group.throughput(Throughput::Bytes(SCRIPT.len() as u64));
+    group.bench_function("full_ci_script", |b| {
+        b.iter(|| CiScript::parse(black_box(SCRIPT)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parser);
+criterion_main!(benches);

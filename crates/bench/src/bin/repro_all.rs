@@ -1,0 +1,73 @@
+//! Run every reproduction harness in sequence (Figures 2–6, the §3/§4
+//! worked numbers, and the soundness validation) by invoking the sibling
+//! `repro_*` binaries, collecting their exit status into one summary.
+//!
+//! ```text
+//! cargo run --release -p easeml-bench --bin repro_all
+//! ```
+
+use std::process::Command;
+
+const HARNESSES: [&str; 8] = [
+    "repro_fig2",
+    "repro_fig3",
+    "repro_fig4",
+    "repro_fig5",
+    "repro_fig6",
+    "repro_sec3",
+    "repro_sec41",
+    "repro_ablations",
+];
+
+/// The soundness harness is listed separately: it is the slow one.
+const SLOW_HARNESSES: [&str; 1] = ["repro_guarantees"];
+
+fn run(name: &str) -> bool {
+    // Re-use the already-built sibling binary when possible.
+    let exe = std::env::current_exe().expect("current exe");
+    let sibling = exe.with_file_name(name);
+    let status = if sibling.exists() {
+        Command::new(sibling).status()
+    } else {
+        Command::new("cargo")
+            .args(["run", "--release", "-p", "easeml-bench", "--bin", name])
+            .status()
+    };
+    match status {
+        Ok(s) if s.success() => true,
+        Ok(s) => {
+            eprintln!("{name} exited with {s}");
+            false
+        }
+        Err(e) => {
+            eprintln!("{name} failed to launch: {e}");
+            false
+        }
+    }
+}
+
+fn main() {
+    let skip_slow = std::env::args().any(|a| a == "--skip-slow");
+    let mut failures = Vec::new();
+    for name in HARNESSES {
+        println!("\n================ {name} ================\n");
+        if !run(name) {
+            failures.push(name);
+        }
+    }
+    if !skip_slow {
+        for name in SLOW_HARNESSES {
+            println!("\n================ {name} ================\n");
+            if !run(name) {
+                failures.push(name);
+            }
+        }
+    }
+    println!("\n================ summary ================");
+    if failures.is_empty() {
+        println!("all reproduction harnesses PASSED; CSVs under results/");
+    } else {
+        println!("FAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

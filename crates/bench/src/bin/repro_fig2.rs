@@ -1,0 +1,101 @@
+//! Reproduce **Figure 2**: the sample-size table of the baseline
+//! implementation for conditions F1/F4 (single variable) and F2/F3
+//! (accuracy difference), non-adaptive vs fully adaptive, H = 32 steps.
+//!
+//! ```text
+//! cargo run --release -p easeml-bench --bin repro_fig2
+//! ```
+
+use easeml_bench::{write_csv, ComparisonReport, Table};
+use easeml_bounds::Adaptivity;
+use easeml_bounds::Tail;
+use easeml_ci_core::estimator::{clause_sample_size, Allocation, LeafBound};
+use easeml_ci_core::dsl::parse_clause;
+use easeml_ci_core::Practicality;
+
+const RELIABILITIES: [f64; 4] = [0.99, 0.999, 0.9999, 0.99999];
+const EPSILONS: [f64; 4] = [0.1, 0.05, 0.025, 0.01];
+const STEPS: u32 = 32;
+
+/// Paper-reported cells for spot-verification: (1−δ, ε) →
+/// (F1 none, F1 full, F2 none, F2 full).
+const PAPER_CELLS: [(f64, f64, [u64; 4]); 4] = [
+    (0.99, 0.1, [404, 1_340, 1_753, 5_496]),
+    (0.999, 0.05, [2_075, 5_818, 8_854, 23_826]),
+    (0.9999, 0.025, [10_141, 25_113, 42_782, 102_670]),
+    (0.99999, 0.01, [74_894, 168_469, 313_437, 687_736]),
+];
+
+fn cell(condition: &str, delta: f64, adaptivity: Adaptivity) -> u64 {
+    let clause = parse_clause(condition).expect("valid condition");
+    let ln_delta = adaptivity.ln_effective_delta(delta, STEPS).expect("valid delta");
+    clause_sample_size(&clause, ln_delta, Allocation::EqualSplit, LeafBound::Hoeffding, Tail::OneSided)
+        .expect("estimable clause")
+        .samples
+}
+
+fn main() {
+    println!("== Figure 2: samples required by the baseline implementation (H = 32) ==\n");
+    let mut table = Table::new([
+        "1-delta", "eps", "F1/F4 none", "F1/F4 full", "F2/F3 none", "F2/F3 full", "practicality",
+    ]);
+    for reliability in RELIABILITIES {
+        // Reliabilities are given to ≤ 6 decimals; reconstruct δ exactly.
+        let delta = ((1.0 - reliability) * 1e9).round() / 1e9;
+        for eps in EPSILONS {
+            let f1 = format!("n > 0.9 +/- {eps}");
+            let f2 = format!("n - o > 0.02 +/- {eps}");
+            let f1_none = cell(&f1, delta, Adaptivity::None);
+            let f1_full = cell(&f1, delta, Adaptivity::Full);
+            let f2_none = cell(&f2, delta, Adaptivity::None);
+            let f2_full = cell(&f2, delta, Adaptivity::Full);
+            table.push_row([
+                format!("{reliability}"),
+                format!("{eps}"),
+                f1_none.to_string(),
+                f1_full.to_string(),
+                f2_none.to_string(),
+                f2_full.to_string(),
+                Practicality::of(f2_full).to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    write_csv("fig2_sample_sizes", &table);
+
+    // Spot-check the paper-printed cells.
+    let mut report = ComparisonReport::new();
+    for (reliability, eps, cells) in PAPER_CELLS {
+        let delta = ((1.0 - reliability) * 1e9).round() / 1e9;
+        let f1 = format!("n > 0.9 +/- {eps}");
+        let f2 = format!("n - o > 0.02 +/- {eps}");
+        report.check(
+            format!("F1 none {reliability}/{eps}"),
+            cells[0] as f64,
+            cell(&f1, delta, Adaptivity::None) as f64,
+            0.001,
+        );
+        report.check(
+            format!("F1 full {reliability}/{eps}"),
+            cells[1] as f64,
+            cell(&f1, delta, Adaptivity::Full) as f64,
+            0.001,
+        );
+        report.check(
+            format!("F2 none {reliability}/{eps}"),
+            cells[2] as f64,
+            cell(&f2, delta, Adaptivity::None) as f64,
+            0.001,
+        );
+        report.check(
+            format!("F2 full {reliability}/{eps}"),
+            cells[3] as f64,
+            cell(&f2, delta, Adaptivity::Full) as f64,
+            0.001,
+        );
+    }
+    let (text, ok) = report.render_and_verdict();
+    println!("== paper spot-checks ==\n{text}");
+    println!("verdict: {}", if ok { "ALL MATCH" } else { "MISMATCHES FOUND" });
+    assert!(ok, "Figure 2 reproduction drifted from the paper");
+}

@@ -1,0 +1,82 @@
+//! Reproduce **Figure 6**: evolution of development and test accuracy
+//! over the eight SemEval iterations.
+//!
+//! Two reconstructions are printed:
+//! * the scripted trajectory (drives Figure 5's decisions), and
+//! * eight *real* `easeml-ml` models of growing capacity trained on the
+//!   synthetic emotion corpus, with a deliberately overfit final
+//!   iteration — the qualitative cross-check that live training produces
+//!   the same "dev keeps climbing, test dips at the end" shape.
+//!
+//! ```text
+//! cargo run --release -p easeml-bench --bin repro_fig6
+//! ```
+
+use easeml_bench::{write_csv, Table};
+use easeml_sim::workload::semeval::{scripted_history, trained_history};
+
+fn main() {
+    println!("== Figure 6: development vs test accuracy over 8 iterations ==\n");
+
+    let scripted = scripted_history(42).expect("scripted workload");
+    let mut table = Table::new(["iteration", "source", "dev accuracy", "test accuracy"]);
+    println!("scripted trajectory:");
+    for (k, sub) in scripted.submissions.iter().enumerate() {
+        let test_acc = scripted.realized_accuracy(k);
+        println!(
+            "  iter {}: dev = {:.3}, test = {:.3}",
+            sub.iteration, sub.dev_accuracy, test_acc
+        );
+        table.push_row([
+            sub.iteration.to_string(),
+            "scripted".into(),
+            format!("{:.4}", sub.dev_accuracy),
+            format!("{test_acc:.4}"),
+        ]);
+    }
+
+    println!("\ntrained models (easeml-ml on the synthetic emotion corpus):");
+    let trained = trained_history(7).expect("trained workload");
+    for (k, sub) in trained.submissions.iter().enumerate() {
+        let test_acc = trained.realized_accuracy(k);
+        println!(
+            "  iter {}: dev = {:.3}, test = {:.3}",
+            sub.iteration, sub.dev_accuracy, test_acc
+        );
+        table.push_row([
+            sub.iteration.to_string(),
+            "trained".into(),
+            format!("{:.4}", sub.dev_accuracy),
+            format!("{test_acc:.4}"),
+        ]);
+    }
+    write_csv("fig6_accuracy_evolution", &table);
+
+    // Shape checks: dev climbs monotonically; test peaks *before* the
+    // final iteration (the overfit commit), so the ideal active model is
+    // the second-to-last one.
+    let dev: Vec<f64> = scripted.submissions.iter().map(|s| s.dev_accuracy).collect();
+    assert!(dev.windows(2).all(|w| w[1] > w[0]), "scripted dev accuracy must climb");
+    let test: Vec<f64> =
+        (0..scripted.submissions.len()).map(|k| scripted.realized_accuracy(k)).collect();
+    let best = test.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+    assert_eq!(best, 6, "scripted test accuracy must peak at iteration 7");
+    assert!(test[7] < test[6], "final scripted commit must regress on test");
+
+    let t_test: Vec<f64> =
+        (0..trained.submissions.len()).map(|k| trained.realized_accuracy(k)).collect();
+    let t_best = t_test.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+    assert!(t_best < 7, "trained test accuracy must peak before the overfit finale");
+    assert!(
+        t_test[7] < t_test[t_best],
+        "the overfit trained model must regress on test ({:?})",
+        t_test
+    );
+    // The overfit finale *looks* best to its developer.
+    let t_dev: Vec<f64> = trained.submissions.iter().map(|s| s.dev_accuracy).collect();
+    assert!(
+        t_dev[7] >= t_dev[..7].iter().copied().fold(f64::MIN, f64::max),
+        "the final trained model must look best on the developer's view ({t_dev:?})"
+    );
+    println!("\nverdict: SHAPES MATCH (dev climbs, test peaks at iteration 7, finale overfits)");
+}

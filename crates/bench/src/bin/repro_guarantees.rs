@@ -1,0 +1,150 @@
+//! Soundness validation: the §5 claim that ease.ml/ci "returns the
+//! right answer with probability 1 − δ", checked empirically by driving
+//! the real engine with simulated developers whose proposals have known
+//! population statistics.
+//!
+//! For each scenario we run many independent CI processes and count the
+//! fraction with at least one *guarantee violation* (a pass contradicting
+//! the fp-free promise, or a fail contradicting the fn-free promise).
+//! That fraction must stay at or below δ — including against an
+//! adversarial developer under full adaptivity.
+//!
+//! ```text
+//! cargo run --release -p easeml-bench --bin repro_guarantees
+//! ```
+
+use easeml_bench::{write_csv, Table};
+use easeml_bounds::Adaptivity;
+use easeml_ci_core::{CiScript, EstimatorConfig, Mode};
+use easeml_sim::developer::{
+    Developer, HillClimbDeveloper, OverfitterDeveloper, RandomWalkDeveloper,
+};
+use easeml_sim::montecarlo::{violation_report, ProcessConfig};
+
+const TRIALS: u32 = 200;
+
+struct Scenario {
+    name: &'static str,
+    condition: &'static str,
+    mode: Mode,
+    adaptivity: Adaptivity,
+    delta: f64,
+    steps: u32,
+    developer: fn(u64) -> Box<dyn Developer + Send>,
+}
+
+fn overfitter(seed: u64) -> Box<dyn Developer + Send> {
+    Box::new(OverfitterDeveloper::new(0.75, 0.003, 0.05, seed))
+}
+
+fn walker(seed: u64) -> Box<dyn Developer + Send> {
+    Box::new(RandomWalkDeveloper::new(0.75, 0.015, 0.06, seed))
+}
+
+fn climber(seed: u64) -> Box<dyn Developer + Send> {
+    Box::new(HillClimbDeveloper::new(0.72, 0.01, 0.015, 0.06, seed))
+}
+
+const SCENARIOS: [Scenario; 4] = [
+    Scenario {
+        name: "F2 fp-free, adversarial, fully adaptive",
+        condition: "n - o > 0.02 +/- 0.02",
+        mode: Mode::FpFree,
+        adaptivity: Adaptivity::Full,
+        delta: 0.05,
+        steps: 8,
+        developer: overfitter,
+    },
+    Scenario {
+        name: "F2 fp-free, hill-climber, fully adaptive",
+        condition: "n - o > 0.02 +/- 0.02",
+        mode: Mode::FpFree,
+        adaptivity: Adaptivity::Full,
+        delta: 0.05,
+        steps: 8,
+        developer: climber,
+    },
+    Scenario {
+        name: "F1 fn-free, random walk, non-adaptive",
+        condition: "n > 0.7 +/- 0.03",
+        mode: Mode::FnFree,
+        adaptivity: Adaptivity::None,
+        delta: 0.05,
+        steps: 8,
+        developer: walker,
+    },
+    Scenario {
+        name: "F4 fn-free, random walk, non-adaptive",
+        condition: "d < 0.12 +/- 0.03",
+        mode: Mode::FnFree,
+        adaptivity: Adaptivity::None,
+        delta: 0.05,
+        steps: 8,
+        developer: walker,
+    },
+];
+
+fn main() {
+    println!("== Statistical soundness of the released decisions ==");
+    println!("({TRIALS} independent processes per scenario)\n");
+    let mut table = Table::new([
+        "scenario",
+        "delta",
+        "fp-rate",
+        "fn-rate",
+        "mean passes",
+        "mean labels",
+        "sound",
+    ]);
+    let mut all_sound = true;
+    for scenario in &SCENARIOS {
+        let script = CiScript::builder()
+            .condition_str(scenario.condition)
+            .expect("condition")
+            .reliability(1.0 - scenario.delta)
+            .mode(scenario.mode)
+            .adaptivity(scenario.adaptivity)
+            .steps(scenario.steps)
+            .build()
+            .expect("script");
+        let config = ProcessConfig {
+            script,
+            estimator: EstimatorConfig::default(),
+            commits: scenario.steps,
+            initial_accuracy: 0.75,
+            num_classes: 4,
+            churn: 0.5,
+        };
+        let report = violation_report(&config, scenario.developer, TRIALS, 20_260_610)
+            .expect("simulation");
+        // The binding guarantee depends on the mode.
+        let rate = match scenario.mode {
+            Mode::FpFree => report.false_positive_rate(),
+            Mode::FnFree => report.false_negative_rate(),
+        };
+        // Monte-Carlo slack: δ + 3σ binomial noise on TRIALS trials.
+        let slack = 3.0 * (scenario.delta * (1.0 - scenario.delta) / f64::from(TRIALS)).sqrt();
+        let sound = rate <= scenario.delta + slack;
+        all_sound &= sound;
+        println!(
+            "{}: fp {:.3}, fn {:.3} (δ = {}, slack {slack:.3}) -> {}",
+            scenario.name,
+            report.false_positive_rate(),
+            report.false_negative_rate(),
+            scenario.delta,
+            if sound { "SOUND" } else { "VIOLATED" }
+        );
+        table.push_row([
+            scenario.name.to_string(),
+            scenario.delta.to_string(),
+            format!("{:.4}", report.false_positive_rate()),
+            format!("{:.4}", report.false_negative_rate()),
+            format!("{:.2}", report.mean_passes),
+            format!("{:.0}", report.mean_labels),
+            if sound { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    write_csv("guarantees_soundness", &table);
+    println!("\nverdict: {}", if all_sound { "ALL SOUND" } else { "GUARANTEE VIOLATED" });
+    assert!(all_sound, "a released decision violated its (epsilon, delta) guarantee");
+}

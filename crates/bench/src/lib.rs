@@ -1,0 +1,223 @@
+//! Shared infrastructure for the reproduction harnesses: text tables,
+//! CSV output, and paper-vs-measured comparison reporting.
+//!
+//! Each `repro_*` binary regenerates one table or figure of the paper;
+//! `repro_all` runs everything and writes machine-readable CSVs under
+//! `results/`.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (cells are stringified by the caller).
+    pub fn push_row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) {
+        self.rows.push(row.into_iter().map(Into::into).collect());
+    }
+
+    /// Render with per-column widths.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let mut line = String::new();
+        for (i, head) in self.header.iter().enumerate() {
+            let _ = write!(line, "{:>width$}  ", head, width = widths[i]);
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * cols.saturating_sub(1)));
+        out.push('\n');
+        for row in &self.rows {
+            let mut line = String::new();
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                let _ = write!(line, "{:>width$}  ", cell, width = widths[i]);
+            }
+            out.push_str(line.trim_end());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Directory for machine-readable outputs (created on demand).
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created.
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var_os("EASEML_RESULTS_DIR")
+        .map_or_else(|| PathBuf::from("results"), PathBuf::from);
+    std::fs::create_dir_all(&dir).expect("create results directory");
+    dir
+}
+
+/// Write a table's CSV rendering to `results/<name>.csv`.
+///
+/// # Panics
+///
+/// Panics on I/O failure (these are one-shot experiment binaries).
+pub fn write_csv(name: &str, table: &Table) {
+    let path = results_dir().join(format!("{name}.csv"));
+    std::fs::write(&path, table.to_csv()).expect("write csv");
+    println!("[csv] wrote {}", path.display());
+}
+
+/// Write arbitrary text to `results/<name>`.
+///
+/// # Panics
+///
+/// Panics on I/O failure.
+pub fn write_text(name: &str, text: &str) {
+    let path: &Path = &results_dir().join(name);
+    std::fs::write(path, text).expect("write text");
+    println!("[txt] wrote {}", path.display());
+}
+
+/// One paper-vs-measured comparison line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// What is being compared.
+    pub what: String,
+    /// Value reported in the paper.
+    pub paper: f64,
+    /// Value this reproduction measured.
+    pub measured: f64,
+}
+
+impl Comparison {
+    /// Relative deviation `|measured − paper| / max(|paper|, 1e-12)`.
+    #[must_use]
+    pub fn relative_error(&self) -> f64 {
+        (self.measured - self.paper).abs() / self.paper.abs().max(1e-12)
+    }
+}
+
+/// Collects comparisons and renders a verdict block.
+#[derive(Debug, Clone, Default)]
+pub struct ComparisonReport {
+    entries: Vec<(Comparison, f64)>,
+}
+
+impl ComparisonReport {
+    /// New empty report.
+    #[must_use]
+    pub fn new() -> Self {
+        ComparisonReport::default()
+    }
+
+    /// Record a comparison with an acceptable relative tolerance.
+    pub fn check(&mut self, what: impl Into<String>, paper: f64, measured: f64, rel_tol: f64) {
+        self.entries
+            .push((Comparison { what: what.into(), paper, measured }, rel_tol));
+    }
+
+    /// Number of entries exceeding their tolerance.
+    #[must_use]
+    pub fn failures(&self) -> usize {
+        self.entries.iter().filter(|(c, tol)| c.relative_error() > *tol).count()
+    }
+
+    /// Render the block and return whether everything matched.
+    pub fn render_and_verdict(&self) -> (String, bool) {
+        let mut table =
+            Table::new(["comparison", "paper", "measured", "rel.err", "ok"]);
+        for (c, tol) in &self.entries {
+            table.push_row([
+                c.what.clone(),
+                format_sig(c.paper),
+                format_sig(c.measured),
+                format!("{:.3}%", 100.0 * c.relative_error()),
+                if c.relative_error() <= *tol { "yes".into() } else { format!("NO (>{tol})") },
+            ]);
+        }
+        (table.render(), self.failures() == 0)
+    }
+}
+
+/// Compact significant-figure formatting for mixed-magnitude values.
+#[must_use]
+pub fn format_sig(v: f64) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["a", "long-header"]);
+        t.push_row(["1", "2"]);
+        t.push_row(["100", "20000"]);
+        let text = t.render();
+        assert!(text.contains("long-header"));
+        assert!(text.lines().count() >= 4);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().next().unwrap(), "a,long-header");
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn comparisons_track_tolerance() {
+        let mut r = ComparisonReport::new();
+        r.check("exact", 100.0, 100.0, 0.01);
+        r.check("close", 100.0, 104.0, 0.05);
+        r.check("off", 100.0, 150.0, 0.05);
+        assert_eq!(r.failures(), 1);
+        let (text, ok) = r.render_and_verdict();
+        assert!(!ok);
+        assert!(text.contains("NO"));
+    }
+
+    #[test]
+    fn sig_formatting() {
+        assert_eq!(format_sig(0.0), "0");
+        assert_eq!(format_sig(156956.0), "156956");
+        assert_eq!(format_sig(3.14159), "3.14");
+        assert_eq!(format_sig(0.012345), "0.0123");
+    }
+}

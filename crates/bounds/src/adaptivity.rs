@@ -1,0 +1,230 @@
+//! Adaptivity accounting (§3.2–§3.4).
+//!
+//! Releasing a pass/fail bit to the developer leaks information about the
+//! testset, so the per-test failure probability must be divided among every
+//! *reachable interaction history*:
+//!
+//! * **non-adaptive** (`none`): `H` independent models → union bound over
+//!   `H` states → test each at `δ/H`;
+//! * **fully adaptive** (`full`): a deterministic developer branches on each
+//!   released bit → `2^H` reachable histories → test at `δ/2^H` (the
+//!   Ladder-style argument of §3.3);
+//! * **hybrid** (`firstChange`): the testset is replaced as soon as a test
+//!   passes, so the only reachable feedback stream is `Fail…Fail` → `H`
+//!   states → `δ/H`, at the price of early testset retirement (§3.4).
+
+use crate::error::{check_probability, BoundsError, Result};
+use std::fmt;
+use std::str::FromStr;
+
+/// How much of the pass/fail signal the developer can observe, which
+/// determines the union-bound multiplicity over interaction histories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Adaptivity {
+    /// `adaptivity: none` — results go to a third party; the developer
+    /// learns nothing, models are independent.
+    #[default]
+    None,
+    /// `adaptivity: full` — every pass/fail bit is released immediately.
+    Full,
+    /// `adaptivity: firstChange` — fully visible, but the testset retires
+    /// the first time the signal changes (a commit passes).
+    FirstChange,
+}
+
+impl Adaptivity {
+    /// Natural log of the union-bound multiplicity for an `H`-step process:
+    /// `ln H` for [`Adaptivity::None`] and [`Adaptivity::FirstChange`],
+    /// `ln 2^H = H ln 2` for [`Adaptivity::Full`].
+    ///
+    /// Working in log space keeps `δ/2^H` representable for any `H`.
+    #[must_use]
+    pub fn ln_multiplicity(self, steps: u32) -> f64 {
+        let h = steps.max(1);
+        match self {
+            Adaptivity::None | Adaptivity::FirstChange => (h as f64).ln(),
+            Adaptivity::Full => h as f64 * std::f64::consts::LN_2,
+        }
+    }
+
+    /// `ln(δ_effective) = ln δ − ln multiplicity`: the per-test failure
+    /// budget after the union bound over interaction histories.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `delta` is outside `(0, 1)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use easeml_bounds::Adaptivity;
+    ///
+    /// # fn main() -> Result<(), easeml_bounds::BoundsError> {
+    /// let ln_d = Adaptivity::Full.ln_effective_delta(0.0001, 32)?;
+    /// // δ/2^32 ≈ 2.3e-14
+    /// assert!((ln_d.exp() - 0.0001 / 4_294_967_296.0).abs() < 1e-20);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn ln_effective_delta(self, delta: f64, steps: u32) -> Result<f64> {
+        check_probability("delta", delta)?;
+        Ok(delta.ln() - self.ln_multiplicity(steps))
+    }
+
+    /// Linear-space effective delta; underflows to an error for extreme
+    /// `H` under full adaptivity — prefer [`Self::ln_effective_delta`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid `delta` or if the result underflows.
+    pub fn effective_delta(self, delta: f64, steps: u32) -> Result<f64> {
+        let ln = self.ln_effective_delta(delta, steps)?;
+        let v = ln.exp();
+        if v > 0.0 {
+            Ok(v)
+        } else {
+            Err(BoundsError::InvalidProbability { name: "effective_delta", value: v })
+        }
+    }
+
+    /// Whether the pass/fail signal is visible to the developer.
+    #[must_use]
+    pub fn releases_signal(self) -> bool {
+        !matches!(self, Adaptivity::None)
+    }
+
+    /// Whether a *pass* retires the current testset (hybrid scenario).
+    #[must_use]
+    pub fn retires_on_pass(self) -> bool {
+        matches!(self, Adaptivity::FirstChange)
+    }
+}
+
+impl fmt::Display for Adaptivity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Adaptivity::None => write!(f, "none"),
+            Adaptivity::Full => write!(f, "full"),
+            Adaptivity::FirstChange => write!(f, "firstChange"),
+        }
+    }
+}
+
+/// Error produced when parsing an [`Adaptivity`] from a script keyword.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAdaptivityError {
+    input: String,
+}
+
+impl fmt::Display for ParseAdaptivityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown adaptivity `{}` (expected `none`, `full`, or `firstChange`)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseAdaptivityError {}
+
+impl FromStr for Adaptivity {
+    type Err = ParseAdaptivityError;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s.trim() {
+            "none" => Ok(Adaptivity::None),
+            "full" => Ok(Adaptivity::Full),
+            "firstChange" | "firstchange" | "first-change" => Ok(Adaptivity::FirstChange),
+            other => Err(ParseAdaptivityError { input: other.to_owned() }),
+        }
+    }
+}
+
+/// Total labels for the *trivial* fully-adaptive strategy that uses a fresh
+/// testset of `n_per_step` samples for every one of `H` commits (§3.3's
+/// `H · n(F, ε, δ/H)` baseline).
+#[must_use]
+pub fn trivial_strategy_total(n_per_step: u64, steps: u32) -> u64 {
+    n_per_step.saturating_mul(u64::from(steps.max(1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplicities() {
+        assert!((Adaptivity::None.ln_multiplicity(32) - 32f64.ln()).abs() < 1e-12);
+        assert!(
+            (Adaptivity::Full.ln_multiplicity(32) - 32.0 * std::f64::consts::LN_2).abs() < 1e-12
+        );
+        assert!(
+            (Adaptivity::FirstChange.ln_multiplicity(32) - 32f64.ln()).abs() < 1e-12
+        );
+        // steps = 0 is clamped to 1 rather than producing ln(0).
+        assert_eq!(Adaptivity::None.ln_multiplicity(0), 0.0);
+    }
+
+    /// §3.4: the hybrid scenario has the same sample size as non-adaptive.
+    #[test]
+    fn hybrid_matches_non_adaptive() {
+        for h in [1u32, 7, 32, 100] {
+            assert_eq!(
+                Adaptivity::FirstChange.ln_effective_delta(0.001, h).unwrap(),
+                Adaptivity::None.ln_effective_delta(0.001, h).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn full_is_strictly_more_expensive_beyond_trivial_h() {
+        for h in [2u32, 7, 32] {
+            let full = Adaptivity::Full.ln_effective_delta(0.001, h).unwrap();
+            let none = Adaptivity::None.ln_effective_delta(0.001, h).unwrap();
+            assert!(full < none, "h={h}");
+        }
+        // H = 1: 2^1 = 2 > 1, so full is still (slightly) more expensive.
+        let full = Adaptivity::Full.ln_effective_delta(0.001, 1).unwrap();
+        let none = Adaptivity::None.ln_effective_delta(0.001, 1).unwrap();
+        assert!(full < none);
+    }
+
+    #[test]
+    fn effective_delta_linear_space() {
+        let d = Adaptivity::None.effective_delta(0.01, 32).unwrap();
+        assert!((d - 0.0003125).abs() < 1e-12);
+        // Extreme H underflows in linear space and reports an error.
+        assert!(Adaptivity::Full.effective_delta(0.01, 10_000).is_err());
+        // ... but stays usable in log space.
+        assert!(Adaptivity::Full.ln_effective_delta(0.01, 10_000).unwrap().is_finite());
+    }
+
+    #[test]
+    fn parsing_round_trip() {
+        for a in [Adaptivity::None, Adaptivity::Full, Adaptivity::FirstChange] {
+            let s = a.to_string();
+            assert_eq!(s.parse::<Adaptivity>().unwrap(), a);
+        }
+        assert!("bogus".parse::<Adaptivity>().is_err());
+        let err = "bogus".parse::<Adaptivity>().unwrap_err();
+        assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn signal_and_retirement_flags() {
+        assert!(!Adaptivity::None.releases_signal());
+        assert!(Adaptivity::Full.releases_signal());
+        assert!(Adaptivity::FirstChange.releases_signal());
+        assert!(!Adaptivity::None.retires_on_pass());
+        assert!(!Adaptivity::Full.retires_on_pass());
+        assert!(Adaptivity::FirstChange.retires_on_pass());
+    }
+
+    #[test]
+    fn trivial_strategy() {
+        assert_eq!(trivial_strategy_total(6_279, 32), 200_928);
+        assert_eq!(trivial_strategy_total(10, 0), 10);
+        assert_eq!(trivial_strategy_total(u64::MAX, 2), u64::MAX);
+    }
+}

@@ -1,0 +1,353 @@
+//! Bennett's inequality: the variance-aware bound behind the §4
+//! optimizations.
+//!
+//! For independent variables with `|Xᵢ| ≤ b` and `Σᵢ E[Xᵢ²] = v`,
+//!
+//! ```text
+//! Pr[ |Σᵢ Xᵢ − E| / n > ε ] ≤ 2 exp( −(v/b²) · h(nbε/v) )
+//! ```
+//!
+//! with `h(u) = (1+u)ln(1+u) − u`. When each sample has second moment at
+//! most `p` (so `v = np`), this becomes `2 exp(−n·(p/b²)·h(bε/p))`, and the
+//! sample size needed for an `(ε, δ)` estimate is
+//! `n = b² ln(2/δ) / (p · h(bε/p))` — the key quantity in §4.1.1.
+
+use crate::error::{check_positive, check_probability, BoundsError, Result};
+use crate::numeric::{ceil_to_sample_size, newton_bracketed};
+use crate::tail::Tail;
+
+/// The Bennett rate function `h(u) = (1+u)ln(1+u) − u` for `u ≥ 0`.
+///
+/// Computed via `ln_1p` for accuracy near zero, where `h(u) ≈ u²/2`.
+///
+/// # Examples
+///
+/// ```
+/// let h = easeml_bounds::bennett_h(0.1);
+/// assert!((h - 0.0048412).abs() < 1e-6);
+/// ```
+#[must_use]
+pub fn bennett_h(u: f64) -> f64 {
+    debug_assert!(u >= 0.0, "bennett_h domain is u >= 0");
+    if u < 1e-8 {
+        // Series: u²/2 − u³/6 + …
+        0.5 * u * u - u * u * u / 6.0
+    } else {
+        (1.0 + u) * u.ln_1p() - u
+    }
+}
+
+/// Derivative `h'(u) = ln(1+u)`, used by the Newton inversion.
+#[must_use]
+pub fn bennett_h_prime(u: f64) -> f64 {
+    u.ln_1p()
+}
+
+/// Inverse of [`bennett_h`] on `u ≥ 0`: the unique `u` with `h(u) = y`.
+///
+/// # Errors
+///
+/// Returns an error if `y` is negative or not finite.
+pub fn bennett_h_inv(y: f64) -> Result<f64> {
+    if !y.is_finite() || y < 0.0 {
+        return Err(BoundsError::NotPositive { name: "y", value: y });
+    }
+    if y == 0.0 {
+        return Ok(0.0);
+    }
+    // Bracket: for small y, u ≈ sqrt(2y); for large y, h(u) ~ u ln u so
+    // u ≲ y only once y is large. Grow the upper end until it covers y.
+    let mut hi = (2.0 * y).sqrt().max(1.0);
+    while bennett_h(hi) < y {
+        hi *= 2.0;
+        if hi > 1e300 {
+            return Err(BoundsError::NoConvergence { routine: "bennett_h_inv" });
+        }
+    }
+    let x0 = (2.0 * y).sqrt().min(hi);
+    newton_bracketed(|u| bennett_h(u) - y, bennett_h_prime, 0.0, hi, x0, 1e-14, 200)
+}
+
+/// Sample size for an `(ε, δ)` estimate of a mean when every sample has
+/// second moment at most `var_bound` and absolute value at most `b`.
+///
+/// `n = b² (ln factor − ln δ) / (var_bound · h(b·ε/var_bound))`.
+///
+/// # Errors
+///
+/// Returns an error for non-positive `var_bound`, `b` or `eps`, or for
+/// `delta` outside `(0, 1)`.
+///
+/// # Examples
+///
+/// §4.1.1: testing `n − o` to ε = 0.01 under `d < 0.1` (so `p = 0.1`),
+/// reliability 0.9999 split as δ/4 per step, 32 non-adaptive steps
+/// (the paper's "29K samples"):
+///
+/// ```
+/// use easeml_bounds::{bennett_sample_size, Tail};
+///
+/// # fn main() -> Result<(), easeml_bounds::BoundsError> {
+/// let delta = 0.0001f64;
+/// let n = bennett_sample_size(0.1, 1.0, 0.01, delta / 4.0 / 32.0, Tail::OneSided)?;
+/// assert_eq!(n, 29_048);
+/// # Ok(())
+/// # }
+/// ```
+pub fn bennett_sample_size(
+    var_bound: f64,
+    b: f64,
+    eps: f64,
+    delta: f64,
+    tail: Tail,
+) -> Result<u64> {
+    check_probability("delta", delta)?;
+    bennett_sample_size_from_ln_delta(var_bound, b, eps, delta.ln(), tail)
+}
+
+/// Log-space variant of [`bennett_sample_size`] taking `ln δ` directly.
+///
+/// # Errors
+///
+/// Same conditions as [`bennett_sample_size`]; `ln_delta` must be negative.
+pub fn bennett_sample_size_from_ln_delta(
+    var_bound: f64,
+    b: f64,
+    eps: f64,
+    ln_delta: f64,
+    tail: Tail,
+) -> Result<u64> {
+    check_positive("var_bound", var_bound)?;
+    check_positive("b", b)?;
+    check_positive("eps", eps)?;
+    if !(ln_delta < 0.0) {
+        return Err(BoundsError::InvalidProbability { name: "delta", value: ln_delta.exp() });
+    }
+    let u = b * eps / var_bound;
+    let raw = b * b * (tail.ln_factor() - ln_delta) / (var_bound * bennett_h(u));
+    ceil_to_sample_size(raw)
+}
+
+/// Error tolerance achieved by `n` samples under a per-sample second-moment
+/// bound: the inverse of [`bennett_sample_size`] in `ε`.
+///
+/// Solves `n = b²(ln factor − ln δ)/(p·h(bε/p))` for `ε` via the numeric
+/// inverse of `h`.
+///
+/// # Errors
+///
+/// Returns an error for a zero sample size or invalid parameters.
+///
+/// # Examples
+///
+/// ```
+/// use easeml_bounds::{bennett_epsilon, bennett_sample_size, Tail};
+///
+/// # fn main() -> Result<(), easeml_bounds::BoundsError> {
+/// let n = bennett_sample_size(0.1, 1.0, 0.01, 1e-4, Tail::TwoSided)?;
+/// let eps = bennett_epsilon(0.1, 1.0, n, 1e-4, Tail::TwoSided)?;
+/// assert!(eps <= 0.01 && eps > 0.0099);
+/// # Ok(())
+/// # }
+/// ```
+pub fn bennett_epsilon(var_bound: f64, b: f64, n: u64, delta: f64, tail: Tail) -> Result<f64> {
+    check_probability("delta", delta)?;
+    bennett_epsilon_from_ln_delta(var_bound, b, n, delta.ln(), tail)
+}
+
+/// Log-space variant of [`bennett_epsilon`] taking `ln δ` directly.
+///
+/// # Errors
+///
+/// Same conditions as [`bennett_epsilon`].
+pub fn bennett_epsilon_from_ln_delta(
+    var_bound: f64,
+    b: f64,
+    n: u64,
+    ln_delta: f64,
+    tail: Tail,
+) -> Result<f64> {
+    check_positive("var_bound", var_bound)?;
+    check_positive("b", b)?;
+    if n == 0 {
+        return Err(BoundsError::ZeroSampleSize);
+    }
+    if !(ln_delta < 0.0) {
+        return Err(BoundsError::InvalidProbability { name: "delta", value: ln_delta.exp() });
+    }
+    let y = b * b * (tail.ln_factor() - ln_delta) / (var_bound * n as f64);
+    let u = bennett_h_inv(y)?;
+    Ok(var_bound * u / b)
+}
+
+/// Failure probability for `n` samples at tolerance `eps` under a
+/// per-sample second-moment bound.
+///
+/// # Errors
+///
+/// Returns an error for a zero sample size or invalid parameters.
+pub fn bennett_delta(var_bound: f64, b: f64, n: u64, eps: f64, tail: Tail) -> Result<f64> {
+    check_positive("var_bound", var_bound)?;
+    check_positive("b", b)?;
+    check_positive("eps", eps)?;
+    if n == 0 {
+        return Err(BoundsError::ZeroSampleSize);
+    }
+    let u = b * eps / var_bound;
+    let exponent = -(n as f64) * var_bound / (b * b) * bennett_h(u);
+    Ok((tail.factor() * exponent.exp()).min(1.0))
+}
+
+/// Per-commit *label* complexity of active labelling (§4.1.2).
+///
+/// Only the `≈ p` fraction of points whose predictions differ between the
+/// two models needs labels, so the expected number of fresh labels per
+/// commit is `p` times the Bennett testset size:
+/// `labels = b² (ln factor − ln δ) / h(bε/p)`.
+///
+/// # Errors
+///
+/// Same conditions as [`bennett_sample_size`].
+///
+/// # Examples
+///
+/// The paper's §4.1.2 example: p = 0.1, 1−δ = 0.9999, ε = 0.01 gives
+/// 2 188 labels per commit.
+///
+/// ```
+/// use easeml_bounds::{active_labels_per_commit, Tail};
+///
+/// # fn main() -> Result<(), easeml_bounds::BoundsError> {
+/// let labels = active_labels_per_commit(0.1, 1.0, 0.01, 0.0001 / 4.0, Tail::OneSided)?;
+/// assert_eq!(labels, 2_189); // paper rounds to 2,188
+/// # Ok(())
+/// # }
+/// ```
+pub fn active_labels_per_commit(
+    var_bound: f64,
+    b: f64,
+    eps: f64,
+    delta: f64,
+    tail: Tail,
+) -> Result<u64> {
+    let n = bennett_sample_size(var_bound, b, eps, delta, tail)?;
+    Ok(((n as f64) * var_bound).ceil() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h_known_values() {
+        assert!((bennett_h(0.1) - 0.004_841_2).abs() < 1e-6);
+        assert!((bennett_h(0.2) - 0.018_785_9).abs() < 1e-6);
+        assert!((bennett_h(0.22) - 0.022_598_2).abs() < 1e-6);
+        assert_eq!(bennett_h(0.0), 0.0);
+    }
+
+    #[test]
+    fn h_small_u_series() {
+        for &u in &[1e-12, 1e-9, 1e-7] {
+            let got = bennett_h(u);
+            let want = 0.5 * u * u;
+            assert!((got - want).abs() <= want * 1e-3, "u={u} got={got}");
+        }
+    }
+
+    #[test]
+    fn h_inv_roundtrip() {
+        for &u in &[1e-6, 0.01, 0.1, 0.5, 1.0, 5.0, 100.0] {
+            let y = bennett_h(u);
+            let back = bennett_h_inv(y).unwrap();
+            assert!((back - u).abs() < 1e-8 * u.max(1.0), "u={u} back={back}");
+        }
+        assert_eq!(bennett_h_inv(0.0).unwrap(), 0.0);
+        assert!(bennett_h_inv(-1.0).is_err());
+    }
+
+    /// §4.1.1 fully-adaptive example: 67K samples for 32 steps.
+    #[test]
+    fn section411_fully_adaptive() {
+        let ln_delta = (0.0001f64 / 4.0).ln() - 32.0 * std::f64::consts::LN_2;
+        let n =
+            bennett_sample_size_from_ln_delta(0.1, 1.0, 0.01, ln_delta, Tail::OneSided).unwrap();
+        assert_eq!(n, 67_706); // ≈ the paper's "67K samples"
+    }
+
+    /// Figure 5: 4 713 samples for `n − o > 0.02 ± 0.02` at δ = 0.002 over
+    /// H = 7 steps with p = 0.1 (two-sided Bennett).
+    #[test]
+    fn figure5_nonadaptive_sample_size() {
+        let n = bennett_sample_size(0.1, 1.0, 0.02, 0.002 / 7.0, Tail::TwoSided).unwrap();
+        assert_eq!(n, 4_713);
+    }
+
+    /// Figure 5 adaptive column: ε = 0.022, δ/2^7, 5 204 samples.
+    #[test]
+    fn figure5_adaptive_sample_size() {
+        let n =
+            bennett_sample_size(0.1, 1.0, 0.022, 0.002 / 128.0, Tail::TwoSided).unwrap();
+        assert_eq!(n, 5_204);
+    }
+
+    /// Figure 5 discussion: at ε = 0.02 the adaptive query needs > 6K.
+    #[test]
+    fn figure5_adaptive_at_002_needs_more_than_6k() {
+        let n = bennett_sample_size(0.1, 1.0, 0.02, 0.002 / 128.0, Tail::TwoSided).unwrap();
+        assert!(n > 6_000, "n = {n}");
+        assert_eq!(n, 6_260);
+    }
+
+    #[test]
+    fn epsilon_inverts_sample_size() {
+        for &(p, eps, delta) in &[(0.1, 0.01, 1e-4), (0.25, 0.05, 1e-3), (0.02, 0.005, 0.01)] {
+            let n = bennett_sample_size(p, 1.0, eps, delta, Tail::TwoSided).unwrap();
+            let achieved = bennett_epsilon(p, 1.0, n, delta, Tail::TwoSided).unwrap();
+            assert!(achieved <= eps + 1e-12, "p={p} achieved={achieved}");
+            let short = bennett_epsilon(p, 1.0, n - 1, delta, Tail::TwoSided).unwrap();
+            assert!(short > eps - 1e-5, "p={p} short={short}");
+        }
+    }
+
+    #[test]
+    fn delta_inverts_sample_size() {
+        let n = bennett_sample_size(0.1, 1.0, 0.01, 1e-4, Tail::TwoSided).unwrap();
+        let delta = bennett_delta(0.1, 1.0, n, 0.01, Tail::TwoSided).unwrap();
+        assert!(delta <= 1e-4 + 1e-16);
+        let delta_short = bennett_delta(0.1, 1.0, n / 2, 0.01, Tail::TwoSided).unwrap();
+        assert!(delta_short > 1e-4);
+    }
+
+    /// Bennett beats Hoeffding when the variance bound is small, and the
+    /// advantage disappears as p approaches the worst case.
+    #[test]
+    fn beats_hoeffding_for_small_variance() {
+        use crate::hoeffding::hoeffding_sample_size;
+        let hoeffding = hoeffding_sample_size(1.0, 0.01, 1e-4, Tail::TwoSided).unwrap();
+        let bennett_small = bennett_sample_size(0.05, 1.0, 0.01, 1e-4, Tail::TwoSided).unwrap();
+        // At p = 0.05, ε = 0.01 the gain is 2ε²/(p·h(ε/p)) ≈ 4.7×.
+        assert!((bennett_small as f64) < (hoeffding as f64) / 4.0);
+        // At p = 1 (no variance information) Bennett is weaker than
+        // Hoeffding for small ε — the optimization must be conditional.
+        let bennett_large = bennett_sample_size(1.0, 1.0, 0.01, 1e-4, Tail::TwoSided).unwrap();
+        assert!(bennett_large > hoeffding / 2);
+    }
+
+    #[test]
+    fn active_labels_matches_paper() {
+        // One-sided, δ/4 split as in §4.1.1/§4.1.2.
+        let labels =
+            active_labels_per_commit(0.1, 1.0, 0.01, 0.0001 / 4.0, Tail::OneSided).unwrap();
+        assert!((labels as i64 - 2_188).abs() <= 1, "labels = {labels}");
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(bennett_sample_size(0.0, 1.0, 0.01, 0.01, Tail::TwoSided).is_err());
+        assert!(bennett_sample_size(0.1, 0.0, 0.01, 0.01, Tail::TwoSided).is_err());
+        assert!(bennett_sample_size(0.1, 1.0, 0.0, 0.01, Tail::TwoSided).is_err());
+        assert!(bennett_sample_size(0.1, 1.0, 0.01, 0.0, Tail::TwoSided).is_err());
+        assert!(bennett_epsilon(0.1, 1.0, 0, 0.01, Tail::TwoSided).is_err());
+    }
+}

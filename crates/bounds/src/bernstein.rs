@@ -1,0 +1,141 @@
+//! Bernstein's inequality, provided as an ablation baseline for Bennett.
+//!
+//! For independent zero-mean variables with `|Xᵢ| ≤ b` and per-sample
+//! second moment at most `p`,
+//!
+//! ```text
+//! Pr[ |Σᵢ Xᵢ| / n > ε ] ≤ 2 exp( − n ε² / (2p + 2bε/3) )
+//! ```
+//!
+//! Bernstein is a weakened, closed-form-invertible version of Bennett: it
+//! never needs the numeric inverse of `h`, at the price of a slightly larger
+//! constant. The bench suite compares the two (DESIGN.md ablation 3).
+
+use crate::error::{check_positive, check_probability, BoundsError, Result};
+use crate::numeric::ceil_to_sample_size;
+use crate::tail::Tail;
+
+/// Sample size for an `(ε, δ)` estimate under a second-moment bound, using
+/// Bernstein's inequality: `n = (2p + 2bε/3)(ln factor − ln δ) / ε²`.
+///
+/// # Errors
+///
+/// Returns an error for non-positive `var_bound`, `b`, `eps`, or a `delta`
+/// outside `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use easeml_bounds::{bennett_sample_size, bernstein_sample_size, Tail};
+///
+/// # fn main() -> Result<(), easeml_bounds::BoundsError> {
+/// let bern = bernstein_sample_size(0.1, 1.0, 0.01, 1e-4, Tail::TwoSided)?;
+/// let benn = bennett_sample_size(0.1, 1.0, 0.01, 1e-4, Tail::TwoSided)?;
+/// assert!(bern >= benn); // Bennett dominates Bernstein
+/// # Ok(())
+/// # }
+/// ```
+pub fn bernstein_sample_size(
+    var_bound: f64,
+    b: f64,
+    eps: f64,
+    delta: f64,
+    tail: Tail,
+) -> Result<u64> {
+    check_probability("delta", delta)?;
+    bernstein_sample_size_from_ln_delta(var_bound, b, eps, delta.ln(), tail)
+}
+
+/// Log-space variant of [`bernstein_sample_size`] taking `ln δ` directly.
+///
+/// # Errors
+///
+/// Same conditions as [`bernstein_sample_size`].
+pub fn bernstein_sample_size_from_ln_delta(
+    var_bound: f64,
+    b: f64,
+    eps: f64,
+    ln_delta: f64,
+    tail: Tail,
+) -> Result<u64> {
+    check_positive("var_bound", var_bound)?;
+    check_positive("b", b)?;
+    check_positive("eps", eps)?;
+    if !(ln_delta < 0.0) {
+        return Err(BoundsError::InvalidProbability { name: "delta", value: ln_delta.exp() });
+    }
+    let raw = (2.0 * var_bound + 2.0 * b * eps / 3.0) * (tail.ln_factor() - ln_delta)
+        / (eps * eps);
+    ceil_to_sample_size(raw)
+}
+
+/// Error tolerance achieved by `n` samples under Bernstein's inequality.
+///
+/// Closed-form inverse via the quadratic formula:
+/// `ε = (b·L/3 + sqrt(b²L²/9 + 2pLn)) / n` with `L = ln factor − ln δ`.
+///
+/// # Errors
+///
+/// Returns an error for a zero sample size or invalid parameters.
+pub fn bernstein_epsilon(var_bound: f64, b: f64, n: u64, delta: f64, tail: Tail) -> Result<f64> {
+    check_positive("var_bound", var_bound)?;
+    check_positive("b", b)?;
+    check_probability("delta", delta)?;
+    if n == 0 {
+        return Err(BoundsError::ZeroSampleSize);
+    }
+    let l = tail.ln_factor() - delta.ln();
+    let nf = n as f64;
+    let bl3 = b * l / 3.0;
+    Ok((bl3 + (bl3 * bl3 + 2.0 * var_bound * l * nf).sqrt()) / nf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bennett::bennett_sample_size;
+
+    #[test]
+    fn bennett_dominates_bernstein() {
+        for &(p, eps, delta) in &[
+            (0.1, 0.01, 1e-4),
+            (0.02, 0.01, 1e-3),
+            (0.5, 0.05, 0.01),
+            (0.9, 0.1, 0.001),
+        ] {
+            let bern = bernstein_sample_size(p, 1.0, eps, delta, Tail::TwoSided).unwrap();
+            let benn = bennett_sample_size(p, 1.0, eps, delta, Tail::TwoSided).unwrap();
+            assert!(benn <= bern, "p={p} eps={eps}: bennett={benn} bernstein={bern}");
+            // ... but they agree within a small constant factor.
+            assert!(bern as f64 / benn as f64 <= 2.0, "p={p} eps={eps}");
+        }
+    }
+
+    #[test]
+    fn epsilon_inverts_sample_size() {
+        for &(p, eps, delta) in &[(0.1, 0.01, 1e-4), (0.3, 0.05, 1e-2)] {
+            let n = bernstein_sample_size(p, 1.0, eps, delta, Tail::TwoSided).unwrap();
+            let achieved = bernstein_epsilon(p, 1.0, n, delta, Tail::TwoSided).unwrap();
+            assert!(achieved <= eps + 1e-9, "achieved={achieved}");
+            let short = bernstein_epsilon(p, 1.0, n / 2, delta, Tail::TwoSided).unwrap();
+            assert!(short > eps);
+        }
+    }
+
+    #[test]
+    fn small_variance_recovers_fast_rate() {
+        // When p = O(ε) the label complexity is O(1/ε) instead of O(1/ε²):
+        // quadrupling 1/ε with p = ε should scale n by ~4, not ~16.
+        let n1 = bernstein_sample_size(0.04, 1.0, 0.04, 1e-4, Tail::TwoSided).unwrap();
+        let n2 = bernstein_sample_size(0.01, 1.0, 0.01, 1e-4, Tail::TwoSided).unwrap();
+        let ratio = n2 as f64 / n1 as f64;
+        assert!(ratio < 5.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(bernstein_sample_size(0.0, 1.0, 0.01, 0.01, Tail::TwoSided).is_err());
+        assert!(bernstein_sample_size(0.1, 1.0, 0.01, 1.5, Tail::TwoSided).is_err());
+        assert!(bernstein_epsilon(0.1, 1.0, 0, 0.01, Tail::TwoSided).is_err());
+    }
+}

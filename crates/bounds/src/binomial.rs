@@ -1,0 +1,269 @@
+//! Exact binomial distribution computations in log space.
+//!
+//! These underpin the "tight numerical bounds" of §4.3: instead of a
+//! closed-form concentration inequality, compute the exact probability that
+//! a `Binomial(n, p)/n` estimate deviates from `p` by more than `ε`, and
+//! search for the smallest `n` that controls the worst case over `p`.
+//!
+//! All tail sums run outward from the deviation boundary and stop once the
+//! next term can no longer affect the double-precision total, so a tail
+//! evaluation costs `O(√n)` rather than `O(n)` in the common case.
+
+use crate::numeric::{ln_choose, log_add_exp};
+
+/// Natural log of the binomial probability mass `Pr[X = k]` for
+/// `X ~ Binomial(n, p)`.
+///
+/// Handles the degenerate cases `p = 0` and `p = 1` exactly.
+///
+/// # Examples
+///
+/// ```
+/// let ln_p = easeml_bounds::binomial::ln_pmf(10, 0.5, 5);
+/// assert!((ln_p.exp() - 0.24609375).abs() < 1e-12);
+/// ```
+pub fn ln_pmf(n: u64, p: f64, k: u64) -> f64 {
+    debug_assert!(k <= n);
+    debug_assert!((0.0..=1.0).contains(&p));
+    if p == 0.0 {
+        return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+    }
+    if p == 1.0 {
+        return if k == n { 0.0 } else { f64::NEG_INFINITY };
+    }
+    // (-p).ln_1p() computes ln(1-p) without the cancellation that
+    // (1.0 - p).ln() suffers for tiny p.
+    ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (-p).ln_1p()
+}
+
+/// Log of the upper tail `Pr[X >= k]` for `X ~ Binomial(n, p)`.
+///
+/// Sums outward from `k` until additional terms are negligible.
+pub fn ln_upper_tail(n: u64, p: f64, k: u64) -> f64 {
+    if k == 0 {
+        return 0.0; // Pr[X >= 0] = 1
+    }
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    if p == 0.0 {
+        return f64::NEG_INFINITY; // k >= 1 but X = 0 a.s.
+    }
+    if p == 1.0 {
+        return 0.0; // X = n >= k a.s.
+    }
+    // pmf ratio: pmf(k+1)/pmf(k) = (n-k)/(k+1) * p/(1-p)
+    let ratio_log = |k: u64| ((n - k) as f64 / (k + 1) as f64).ln() + p.ln() - (-p).ln_1p();
+    let mut term = ln_pmf(n, p, k);
+    let mut total = term;
+    let mut i = k;
+    while i < n {
+        term += ratio_log(i);
+        let new_total = log_add_exp(total, term);
+        // Terms decay geometrically past the mode; stop when converged.
+        if new_total == total && term < total - 40.0 {
+            break;
+        }
+        total = new_total;
+        i += 1;
+    }
+    total.min(0.0)
+}
+
+/// Log of the lower tail `Pr[X <= k]` for `X ~ Binomial(n, p)`.
+pub fn ln_lower_tail(n: u64, p: f64, k: u64) -> f64 {
+    if k >= n {
+        return 0.0;
+    }
+    // Pr[X <= k] = Pr[n - X >= n - k] with n - X ~ Binomial(n, 1-p).
+    ln_upper_tail(n, 1.0 - p, n - k)
+}
+
+/// Exact two-sided deviation probability
+/// `Pr[ |X/n − p| > ε ]` for `X ~ Binomial(n, p)`.
+///
+/// # Examples
+///
+/// ```
+/// // With n = 100, p = 0.5, ε = 0.1: Pr[|X/100 - 0.5| > 0.1] ≈ 0.035
+/// let pr = easeml_bounds::binomial::deviation_probability(100, 0.5, 0.1);
+/// assert!(pr > 0.02 && pr < 0.06);
+/// ```
+pub fn deviation_probability(n: u64, p: f64, eps: f64) -> f64 {
+    debug_assert!(n > 0);
+    debug_assert!((0.0..=1.0).contains(&p));
+    debug_assert!(eps > 0.0);
+    let nf = n as f64;
+    // Upper: X/n > p + eps  <=>  X >= floor(n(p+eps)) + 1
+    let hi_cut = (nf * (p + eps)).floor() as i128 + 1;
+    let upper = if hi_cut > n as i128 {
+        f64::NEG_INFINITY
+    } else {
+        ln_upper_tail(n, p, hi_cut as u64)
+    };
+    // Lower: X/n < p - eps  <=>  X <= ceil(n(p-eps)) - 1
+    let lo_cut = (nf * (p - eps)).ceil() as i128 - 1;
+    let lower = if lo_cut < 0 {
+        f64::NEG_INFINITY
+    } else {
+        ln_lower_tail(n, p, lo_cut as u64)
+    };
+    log_add_exp(upper, lower).exp().min(1.0)
+}
+
+/// One-sided deviation probability `Pr[X/n − p > ε]`.
+pub fn deviation_probability_one_sided(n: u64, p: f64, eps: f64) -> f64 {
+    let nf = n as f64;
+    let hi_cut = (nf * (p + eps)).floor() as i128 + 1;
+    if hi_cut > n as i128 {
+        0.0
+    } else {
+        ln_upper_tail(n, p, hi_cut as u64).exp()
+    }
+}
+
+/// Worst-case (over the unknown true mean `p`) two-sided deviation
+/// probability for a given `n` and `ε`.
+///
+/// The deviation probability is maximized near `p = 1/2`; this scans a
+/// coarse grid and refines around the best cell, which is robust to the
+/// sawtooth behaviour introduced by the integer cut-offs.
+pub fn worst_case_deviation(n: u64, eps: f64, grid: usize) -> f64 {
+    let grid = grid.max(8);
+    let mut best = 0.0f64;
+    let mut best_p = 0.5;
+    for i in 0..=grid {
+        let p = i as f64 / grid as f64;
+        let d = deviation_probability(n, p, eps);
+        if d > best {
+            best = d;
+            best_p = p;
+        }
+    }
+    // Refine around the best grid cell with a finer local scan.
+    let lo = (best_p - 1.0 / grid as f64).max(0.0);
+    let hi = (best_p + 1.0 / grid as f64).min(1.0);
+    let fine = 64;
+    for i in 0..=fine {
+        let p = lo + (hi - lo) * i as f64 / fine as f64;
+        let d = deviation_probability(n, p, eps);
+        if d > best {
+            best = d;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_pmf_brute(n: u64, p: f64, k: u64) -> f64 {
+        // Direct product formulation for tiny n.
+        let mut c = 1.0f64;
+        for i in 0..k {
+            c *= (n - i) as f64 / (i + 1) as f64;
+        }
+        c * p.powi(k as i32) * (1.0 - p).powi((n - k) as i32)
+    }
+
+    #[test]
+    fn pmf_matches_brute_force() {
+        for &(n, p) in &[(1u64, 0.3), (5, 0.5), (12, 0.9), (20, 0.01)] {
+            for k in 0..=n {
+                let got = ln_pmf(n, p, k).exp();
+                let want = exact_pmf_brute(n, p, k);
+                assert!(
+                    (got - want).abs() < 1e-12 + want * 1e-10,
+                    "n={n} p={p} k={k}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pmf_degenerate_p() {
+        assert_eq!(ln_pmf(10, 0.0, 0), 0.0);
+        assert_eq!(ln_pmf(10, 0.0, 3), f64::NEG_INFINITY);
+        assert_eq!(ln_pmf(10, 1.0, 10), 0.0);
+        assert_eq!(ln_pmf(10, 1.0, 9), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &(n, p) in &[(50u64, 0.5), (100, 0.02), (100, 0.98)] {
+            let mut total = f64::NEG_INFINITY;
+            for k in 0..=n {
+                total = log_add_exp(total, ln_pmf(n, p, k));
+            }
+            assert!(total.abs() < 1e-10, "n={n} p={p}: sum = {}", total.exp());
+        }
+    }
+
+    #[test]
+    fn tails_complement() {
+        for &(n, p, k) in &[(100u64, 0.3, 25u64), (100, 0.5, 50), (1000, 0.98, 985)] {
+            let up = ln_upper_tail(n, p, k).exp();
+            let low = ln_lower_tail(n, p, k - 1).exp();
+            assert!((up + low - 1.0).abs() < 1e-9, "n={n} p={p} k={k}: {up} + {low}");
+        }
+    }
+
+    #[test]
+    fn tail_edge_cases() {
+        assert_eq!(ln_upper_tail(10, 0.5, 0), 0.0);
+        assert_eq!(ln_upper_tail(10, 0.5, 11), f64::NEG_INFINITY);
+        assert_eq!(ln_lower_tail(10, 0.5, 10), 0.0);
+        assert_eq!(ln_upper_tail(10, 0.0, 1), f64::NEG_INFINITY);
+        assert_eq!(ln_upper_tail(10, 1.0, 10), 0.0);
+    }
+
+    #[test]
+    fn deviation_probability_sane() {
+        // n=100, p=0.5: Pr[|X/n - 0.5| > 0.1] = 2 * Pr[X >= 61]
+        let d = deviation_probability(100, 0.5, 0.1);
+        let direct = 2.0 * ln_upper_tail(100, 0.5, 61).exp();
+        assert!((d - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deviation_shrinks_with_n() {
+        let d_small = deviation_probability(100, 0.5, 0.05);
+        let d_large = deviation_probability(10_000, 0.5, 0.05);
+        assert!(d_large < d_small / 10.0);
+    }
+
+    #[test]
+    fn deviation_hoeffding_dominates_exact() {
+        // The exact deviation probability is always at most the Hoeffding
+        // two-sided bound.
+        for &n in &[50u64, 500, 5_000] {
+            for &p in &[0.1, 0.5, 0.9] {
+                for &eps in &[0.01, 0.05] {
+                    let exact = deviation_probability(n, p, eps);
+                    let hoeffding = 2.0 * (-2.0 * n as f64 * eps * eps).exp();
+                    assert!(
+                        exact <= hoeffding.min(1.0) + 1e-12,
+                        "n={n} p={p} eps={eps}: {exact} > {hoeffding}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn worst_case_is_near_half() {
+        let worst = worst_case_deviation(500, 0.05, 50);
+        let at_half = deviation_probability(500, 0.5, 0.05);
+        assert!(worst >= at_half);
+        assert!(worst <= at_half * 1.5, "worst={worst} at_half={at_half}");
+    }
+
+    #[test]
+    fn large_n_tail_is_fast_and_finite() {
+        // 150K samples: the outward summation must terminate quickly and
+        // produce a finite, tiny probability.
+        let d = deviation_probability(150_000, 0.5, 0.01);
+        assert!(d > 0.0 && d < 1e-8, "d = {d}");
+    }
+}

@@ -1,0 +1,202 @@
+//! Tight numerical sample-size bounds (§4.3).
+//!
+//! Following Langford's "practical prediction theory" programme, when the
+//! tested statistic is a mean of i.i.d. Bernoulli variables one can discard
+//! closed-form inequalities entirely and invert the exact binomial tail:
+//! the smallest `n` such that `max_p Pr[|Binom(n,p)/n − p| > ε] ≤ δ`.
+//!
+//! The paper leaves efficient approximations as future work; here the
+//! worst case over `p` is evaluated on a refined grid (the maximizer sits
+//! near `p = 1/2`) and the search over `n` exploits the (near-)monotone
+//! decay of the worst-case deviation probability.
+
+use crate::binomial::{deviation_probability, worst_case_deviation};
+use crate::error::{check_positive, check_probability, BoundsError, Result};
+use crate::hoeffding::hoeffding_sample_size;
+use crate::numeric::bisect;
+use crate::tail::Tail;
+
+/// Default grid resolution for the worst-case scan over `p`.
+const DEFAULT_GRID: usize = 64;
+
+/// Smallest sample size `n` such that the *exact* binomial deviation
+/// probability is at most `delta` for every possible true mean `p`.
+///
+/// Always at most the Hoeffding sample size (which is used as the initial
+/// upper bracket of the search); typically 10–30 % smaller.
+///
+/// The worst-case probability is not perfectly monotone in `n` (integer
+/// cut-offs create a sawtooth), so after the binary search the result is
+/// patched by a short linear scan to the first `n` whose *next few*
+/// neighbours also satisfy the constraint.
+///
+/// # Errors
+///
+/// Returns an error for invalid `eps`/`delta` or if the search fails to
+/// bracket (cannot happen while Hoeffding itself is finite).
+///
+/// # Examples
+///
+/// ```
+/// use easeml_bounds::{exact_binomial_sample_size, hoeffding_sample_size, Tail};
+///
+/// # fn main() -> Result<(), easeml_bounds::BoundsError> {
+/// let exact = exact_binomial_sample_size(0.05, 0.001, Tail::TwoSided)?;
+/// let hoeff = hoeffding_sample_size(1.0, 0.05, 0.001, Tail::TwoSided)?;
+/// assert!(exact < hoeff);
+/// # Ok(())
+/// # }
+/// ```
+pub fn exact_binomial_sample_size(eps: f64, delta: f64, tail: Tail) -> Result<u64> {
+    check_positive("eps", eps)?;
+    check_probability("delta", delta)?;
+    if eps >= 1.0 {
+        return Err(BoundsError::ToleranceExceedsRange { epsilon: eps, range: 1.0 });
+    }
+    let worst = |n: u64| -> f64 {
+        match tail {
+            Tail::TwoSided => worst_case_deviation(n, eps, DEFAULT_GRID),
+            Tail::OneSided => {
+                // One-sided worst case, also near p = 1/2.
+                let mut best = 0.0f64;
+                for i in 0..=DEFAULT_GRID {
+                    let p = i as f64 / DEFAULT_GRID as f64;
+                    let d =
+                        crate::binomial::deviation_probability_one_sided(n, p, eps);
+                    if d > best {
+                        best = d;
+                    }
+                }
+                best
+            }
+        }
+    };
+    // Upper bracket: Hoeffding is a valid (conservative) answer.
+    let hi = hoeffding_sample_size(1.0, eps, delta, tail)?;
+    if worst(hi) > delta {
+        // Sawtooth pushed the boundary past Hoeffding (extremely rare);
+        // fall back to the conservative answer.
+        return Ok(hi);
+    }
+    let mut lo = 1u64;
+    let mut hi = hi;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if worst(mid) <= delta {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    // Patch the sawtooth: step forward until a run of consecutive sizes all
+    // satisfy the constraint (so slightly larger testsets remain valid).
+    let mut n = lo;
+    'outer: loop {
+        for offset in 0..8u64 {
+            if worst(n + offset) > delta {
+                n += offset + 1;
+                continue 'outer;
+            }
+        }
+        return Ok(n);
+    }
+}
+
+/// Exact Clopper–Pearson style confidence half-width: smallest `ε` such
+/// that `n` samples give `Pr[|p̂ − p| > ε] ≤ δ` for every `p`.
+///
+/// This is the exact counterpart of [`crate::hoeffding_epsilon`].
+///
+/// # Errors
+///
+/// Returns an error for a zero sample size or invalid `delta`.
+pub fn exact_binomial_epsilon(n: u64, delta: f64, tail: Tail) -> Result<f64> {
+    check_probability("delta", delta)?;
+    if n == 0 {
+        return Err(BoundsError::ZeroSampleSize);
+    }
+    let worst = |eps: f64| -> f64 {
+        match tail {
+            Tail::TwoSided => worst_case_deviation(n, eps, DEFAULT_GRID),
+            Tail::OneSided => {
+                let mut best = 0.0f64;
+                for i in 0..=DEFAULT_GRID {
+                    let p = i as f64 / DEFAULT_GRID as f64;
+                    best = best
+                        .max(crate::binomial::deviation_probability_one_sided(n, p, eps));
+                }
+                best
+            }
+        }
+    };
+    // worst(eps) decreases in eps; find the crossing with delta.
+    let eps = bisect(|e| worst(e) - delta, 1e-9, 1.0 - 1e-9, 1e-9, 200)?;
+    // Round outward slightly so the returned tolerance is guaranteed valid.
+    Ok((eps + 2e-9).min(1.0))
+}
+
+/// Exact deviation probability for a *known* true mean — used by the
+/// Monte-Carlo validation harness to compare empirical quantiles with the
+/// analytic prediction.
+pub fn exact_deviation_at(n: u64, p: f64, eps: f64) -> f64 {
+    deviation_probability(n, p, eps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_beats_hoeffding() {
+        for &(eps, delta) in &[(0.1, 0.01), (0.05, 0.001), (0.05, 0.0001)] {
+            let exact = exact_binomial_sample_size(eps, delta, Tail::TwoSided).unwrap();
+            let hoeff = hoeffding_sample_size(1.0, eps, delta, Tail::TwoSided).unwrap();
+            assert!(exact <= hoeff, "eps={eps} delta={delta}: {exact} vs {hoeff}");
+            // Tight bounds save a visible margin.
+            assert!(
+                (exact as f64) < (hoeff as f64) * 0.95,
+                "eps={eps} delta={delta}: {exact} vs {hoeff}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_answer_is_actually_valid() {
+        let eps = 0.1;
+        let delta = 0.01;
+        let n = exact_binomial_sample_size(eps, delta, Tail::TwoSided).unwrap();
+        assert!(worst_case_deviation(n, eps, 128) <= delta * 1.0001);
+    }
+
+    #[test]
+    fn exact_answer_is_minimal_up_to_sawtooth() {
+        let eps = 0.1;
+        let delta = 0.01;
+        let n = exact_binomial_sample_size(eps, delta, Tail::TwoSided).unwrap();
+        // A clearly smaller testset must violate the constraint.
+        assert!(worst_case_deviation(n / 2, eps, 128) > delta);
+    }
+
+    #[test]
+    fn one_sided_needs_fewer_samples() {
+        let one = exact_binomial_sample_size(0.1, 0.01, Tail::OneSided).unwrap();
+        let two = exact_binomial_sample_size(0.1, 0.01, Tail::TwoSided).unwrap();
+        assert!(one <= two);
+    }
+
+    #[test]
+    fn epsilon_inverts_sample_size() {
+        let n = exact_binomial_sample_size(0.08, 0.01, Tail::TwoSided).unwrap();
+        let eps = exact_binomial_epsilon(n, 0.01, Tail::TwoSided).unwrap();
+        assert!(eps <= 0.08 + 5e-3, "eps = {eps}");
+        assert!(eps >= 0.04, "eps = {eps}");
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(exact_binomial_sample_size(0.0, 0.01, Tail::TwoSided).is_err());
+        assert!(exact_binomial_sample_size(1.0, 0.01, Tail::TwoSided).is_err());
+        assert!(exact_binomial_sample_size(0.1, 0.0, Tail::TwoSided).is_err());
+        assert!(exact_binomial_epsilon(0, 0.01, Tail::TwoSided).is_err());
+    }
+}

@@ -1,0 +1,268 @@
+//! Hoeffding's inequality: the baseline bound of ease.ml/ci (§3.1).
+//!
+//! For i.i.d. random variables `X₁…X_n` confined to an interval of length
+//! `r`, the empirical mean deviates from the true mean by more than `ε` with
+//! probability at most `factor · exp(-2nε²/r²)`, where `factor` is 1 for the
+//! one-sided bound and 2 for the two-sided bound.
+//!
+//! Solving for `n` gives the paper's sample-size estimator
+//! `n(v, r_v, ε, δ) = -r_v² ln δ / (2ε²)` (one-sided form).
+
+use crate::error::{check_positive, check_probability, BoundsError, Result};
+use crate::numeric::ceil_to_sample_size;
+use crate::tail::Tail;
+
+/// Number of samples needed to estimate a mean to tolerance `eps` with
+/// failure probability at most `delta`, for a variable with dynamic range
+/// `range`.
+///
+/// This is the paper's estimator for a single variable:
+/// `n = r² (ln factor − ln δ) / (2 ε²)`, rounded up.
+///
+/// # Errors
+///
+/// Returns an error if `range` or `eps` is not positive/finite, if `delta`
+/// is not in `(0, 1)`, or if `eps >= range` (the estimate would be vacuous).
+///
+/// # Examples
+///
+/// Reproduce the top-left cell of Figure 2 (404 samples for
+/// `n > c ± 0.1` at reliability 0.99 over H = 32 non-adaptive steps):
+///
+/// ```
+/// use easeml_bounds::{hoeffding_sample_size, Tail};
+///
+/// # fn main() -> Result<(), easeml_bounds::BoundsError> {
+/// let delta_per_step = 0.01 / 32.0;
+/// let n = hoeffding_sample_size(1.0, 0.1, delta_per_step, Tail::OneSided)?;
+/// assert_eq!(n, 404);
+/// # Ok(())
+/// # }
+/// ```
+pub fn hoeffding_sample_size(range: f64, eps: f64, delta: f64, tail: Tail) -> Result<u64> {
+    check_probability("delta", delta)?;
+    hoeffding_sample_size_from_ln_delta(range, eps, delta.ln(), tail)
+}
+
+/// Log-space variant of [`hoeffding_sample_size`] taking `ln δ` directly.
+///
+/// The fully-adaptive scenario divides `δ` by `2^H`; for large `H` that
+/// quantity underflows `f64`, so the estimator pipeline works with `ln δ`
+/// throughout.
+///
+/// # Errors
+///
+/// Same conditions as [`hoeffding_sample_size`]; `ln_delta` must be negative.
+pub fn hoeffding_sample_size_from_ln_delta(
+    range: f64,
+    eps: f64,
+    ln_delta: f64,
+    tail: Tail,
+) -> Result<u64> {
+    check_positive("range", range)?;
+    check_positive("eps", eps)?;
+    if !(ln_delta < 0.0) {
+        return Err(BoundsError::InvalidProbability { name: "delta", value: ln_delta.exp() });
+    }
+    if eps >= range {
+        return Err(BoundsError::ToleranceExceedsRange { epsilon: eps, range });
+    }
+    let raw = range * range * (tail.ln_factor() - ln_delta) / (2.0 * eps * eps);
+    ceil_to_sample_size(raw)
+}
+
+/// Error tolerance achieved by `n` samples at failure probability `delta`.
+///
+/// Inverse of [`hoeffding_sample_size`] in `ε`:
+/// `ε = r sqrt((ln factor − ln δ) / (2n))`.
+///
+/// # Errors
+///
+/// Returns an error for a zero sample size, non-positive range, or a
+/// `delta` outside `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use easeml_bounds::{hoeffding_epsilon, Tail};
+///
+/// # fn main() -> Result<(), easeml_bounds::BoundsError> {
+/// let eps = hoeffding_epsilon(1.0, 46_052, 0.0001, Tail::OneSided)?;
+/// assert!((eps - 0.01).abs() < 1e-4); // the paper's "46K labels" example
+/// # Ok(())
+/// # }
+/// ```
+pub fn hoeffding_epsilon(range: f64, n: u64, delta: f64, tail: Tail) -> Result<f64> {
+    check_probability("delta", delta)?;
+    hoeffding_epsilon_from_ln_delta(range, n, delta.ln(), tail)
+}
+
+/// Log-space variant of [`hoeffding_epsilon`] taking `ln δ` directly.
+///
+/// # Errors
+///
+/// Same conditions as [`hoeffding_epsilon`].
+pub fn hoeffding_epsilon_from_ln_delta(
+    range: f64,
+    n: u64,
+    ln_delta: f64,
+    tail: Tail,
+) -> Result<f64> {
+    check_positive("range", range)?;
+    if n == 0 {
+        return Err(BoundsError::ZeroSampleSize);
+    }
+    if !(ln_delta < 0.0) {
+        return Err(BoundsError::InvalidProbability { name: "delta", value: ln_delta.exp() });
+    }
+    Ok(range * ((tail.ln_factor() - ln_delta) / (2.0 * n as f64)).sqrt())
+}
+
+/// Failure probability for `n` samples at tolerance `eps`.
+///
+/// `δ = factor · exp(-2nε²/r²)`, clamped to `1`.
+///
+/// # Errors
+///
+/// Returns an error for a zero sample size or non-positive `range`/`eps`.
+pub fn hoeffding_delta(range: f64, n: u64, eps: f64, tail: Tail) -> Result<f64> {
+    check_positive("range", range)?;
+    check_positive("eps", eps)?;
+    if n == 0 {
+        return Err(BoundsError::ZeroSampleSize);
+    }
+    let exponent = -2.0 * n as f64 * eps * eps / (range * range);
+    Ok((tail.factor() * exponent.exp()).min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every "one-sided, H steps" cell of the paper's Figure 2 for the
+    /// F1/F4 column (single variable, range 1).
+    #[test]
+    fn figure2_f1_nonadaptive_column() {
+        let h = 32.0;
+        let cases = [
+            (0.01, 0.1, 404),
+            (0.01, 0.05, 1_615),
+            (0.01, 0.025, 6_457),
+            (0.01, 0.01, 40_355),
+            (0.001, 0.1, 519),
+            (0.001, 0.05, 2_075),
+            (0.001, 0.025, 8_299),
+            (0.001, 0.01, 51_868),
+            (0.0001, 0.1, 634),
+            (0.0001, 0.05, 2_536),
+            (0.0001, 0.025, 10_141),
+            (0.0001, 0.01, 63_381),
+            (0.00001, 0.1, 749),
+            (0.00001, 0.05, 2_996),
+            (0.00001, 0.025, 11_983),
+            (0.00001, 0.01, 74_894),
+        ];
+        for (delta, eps, want) in cases {
+            let n = hoeffding_sample_size(1.0, eps, delta / h, Tail::OneSided).unwrap();
+            assert_eq!(n, want, "delta={delta} eps={eps}");
+        }
+    }
+
+    /// Fully-adaptive column: δ/2^32.
+    #[test]
+    fn figure2_f1_fully_adaptive_column() {
+        let pow = 2f64.powi(32);
+        let cases = [
+            (0.01, 0.1, 1_340),
+            (0.01, 0.05, 5_358),
+            (0.01, 0.025, 21_429),
+            (0.01, 0.01, 133_930),
+            (0.0001, 0.05, 6_279), // §3.3 worked example
+            (0.0001, 0.01, 156_956),
+        ];
+        for (delta, eps, want) in cases {
+            let n = hoeffding_sample_size(1.0, eps, delta / pow, Tail::OneSided).unwrap();
+            assert_eq!(n, want, "delta={delta} eps={eps}");
+        }
+    }
+
+    /// §5.2: H = 7 non-adaptive steps for `n - o` (range 2), ε = 0.02,
+    /// δ = 0.002, with the paper's δ/2 clause split: 44 268 samples.
+    #[test]
+    fn section52_semeval_hoeffding() {
+        let delta = 0.002;
+        let n = hoeffding_sample_size(2.0, 0.02, delta / 2.0 / 7.0, Tail::OneSided).unwrap();
+        assert_eq!(n, 44_269); // paper prints 44,268 via strict `>`; we ceil
+    }
+
+    #[test]
+    fn log_space_variant_matches_linear_variant() {
+        for &delta in &[0.1, 0.01, 1e-4] {
+            for &eps in &[0.1, 0.05, 0.01] {
+                let a = hoeffding_sample_size(1.0, eps, delta, Tail::TwoSided).unwrap();
+                let b =
+                    hoeffding_sample_size_from_ln_delta(1.0, eps, delta.ln(), Tail::TwoSided)
+                        .unwrap();
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn log_space_survives_extreme_adaptivity() {
+        // δ / 2^4096 underflows f64 but works in log space.
+        let ln_delta = 0.0001f64.ln() - 4096.0 * std::f64::consts::LN_2;
+        let n = hoeffding_sample_size_from_ln_delta(1.0, 0.05, ln_delta, Tail::OneSided).unwrap();
+        assert!(n > 500_000 && n < 700_000, "n = {n}");
+    }
+
+    #[test]
+    fn epsilon_inverts_sample_size() {
+        let n = hoeffding_sample_size(1.0, 0.03, 0.001, Tail::TwoSided).unwrap();
+        let eps = hoeffding_epsilon(1.0, n, 0.001, Tail::TwoSided).unwrap();
+        assert!(eps <= 0.03 + 1e-12);
+        // One fewer sample must not reach the tolerance.
+        let eps_short = hoeffding_epsilon(1.0, n - 1, 0.001, Tail::TwoSided).unwrap();
+        assert!(eps_short > 0.03 - 1e-4);
+    }
+
+    #[test]
+    fn delta_inverts_sample_size() {
+        let n = hoeffding_sample_size(1.0, 0.05, 0.01, Tail::TwoSided).unwrap();
+        let delta = hoeffding_delta(1.0, n, 0.05, Tail::TwoSided).unwrap();
+        assert!(delta <= 0.01 + 1e-12);
+    }
+
+    #[test]
+    fn two_sided_needs_more_samples() {
+        let one = hoeffding_sample_size(1.0, 0.05, 0.01, Tail::OneSided).unwrap();
+        let two = hoeffding_sample_size(1.0, 0.05, 0.01, Tail::TwoSided).unwrap();
+        assert!(two > one);
+    }
+
+    #[test]
+    fn range_scales_quadratically() {
+        let r1 = hoeffding_sample_size(1.0, 0.05, 0.01, Tail::OneSided).unwrap();
+        let r2 = hoeffding_sample_size(2.0, 0.05, 0.01, Tail::OneSided).unwrap();
+        let ratio = r2 as f64 / r1 as f64;
+        assert!((ratio - 4.0).abs() < 0.01, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn rejects_vacuous_tolerance() {
+        assert!(matches!(
+            hoeffding_sample_size(1.0, 1.0, 0.01, Tail::OneSided),
+            Err(BoundsError::ToleranceExceedsRange { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(hoeffding_sample_size(0.0, 0.1, 0.01, Tail::OneSided).is_err());
+        assert!(hoeffding_sample_size(1.0, 0.0, 0.01, Tail::OneSided).is_err());
+        assert!(hoeffding_sample_size(1.0, 0.1, 0.0, Tail::OneSided).is_err());
+        assert!(hoeffding_sample_size(1.0, 0.1, 1.0, Tail::OneSided).is_err());
+        assert!(hoeffding_epsilon(1.0, 0, 0.01, Tail::OneSided).is_err());
+        assert!(hoeffding_delta(1.0, 0, 0.1, Tail::OneSided).is_err());
+    }
+}

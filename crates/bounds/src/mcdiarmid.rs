@@ -1,0 +1,127 @@
+//! McDiarmid's bounded-differences inequality.
+//!
+//! The paper's §2.2 lists "beyond accuracy" metrics (F1, AUC) as an
+//! extension enabled by replacing Bennett's inequality with McDiarmid's
+//! plus the metric's sensitivity. This module provides that machinery; the
+//! F1 sensitivity analysis lives in `easeml-ci-core::extensions`.
+//!
+//! For a function `f(X₁…X_n)` such that changing any single argument moves
+//! `f` by at most `cᵢ`,
+//!
+//! ```text
+//! Pr[ |f − E f| > ε ] ≤ 2 exp( −2ε² / Σᵢ cᵢ² )
+//! ```
+//!
+//! For statistics whose per-sample sensitivity scales as `β/n` (accuracy has
+//! `β = 1`, F1-score has `β ≤ 2/π_+` where `π_+` is the positive-class
+//! rate), `Σᵢ cᵢ² = β²/n` and the sample size for an `(ε, δ)` estimate is
+//! `n = β² (ln factor − ln δ) / (2ε²)` — Hoeffding with an inflated range.
+
+use crate::error::{check_positive, check_probability, BoundsError, Result};
+use crate::numeric::ceil_to_sample_size;
+use crate::tail::Tail;
+
+/// Sample size for an `(ε, δ)` estimate of a statistic whose per-sample
+/// sensitivity is `beta / n`.
+///
+/// `beta = 1` recovers the Hoeffding estimate for a mean of `[0, 1]`
+/// variables.
+///
+/// # Errors
+///
+/// Returns an error for non-positive `beta`/`eps` or invalid `delta`.
+///
+/// # Examples
+///
+/// ```
+/// use easeml_bounds::{mcdiarmid_sample_size, hoeffding_sample_size, Tail};
+///
+/// # fn main() -> Result<(), easeml_bounds::BoundsError> {
+/// let acc = mcdiarmid_sample_size(1.0, 0.05, 0.001, Tail::TwoSided)?;
+/// let hoeff = hoeffding_sample_size(1.0, 0.05, 0.001, Tail::TwoSided)?;
+/// assert_eq!(acc, hoeff);
+/// // An F1-score with positive rate 0.5 needs β = 4 ⇒ 16× the samples.
+/// let f1 = mcdiarmid_sample_size(4.0, 0.05, 0.001, Tail::TwoSided)?;
+/// assert!(f1 >= 15 * hoeff && f1 <= 17 * hoeff);
+/// # Ok(())
+/// # }
+/// ```
+pub fn mcdiarmid_sample_size(beta: f64, eps: f64, delta: f64, tail: Tail) -> Result<u64> {
+    check_probability("delta", delta)?;
+    mcdiarmid_sample_size_from_ln_delta(beta, eps, delta.ln(), tail)
+}
+
+/// Log-space variant of [`mcdiarmid_sample_size`] taking `ln δ` directly.
+///
+/// # Errors
+///
+/// Same conditions as [`mcdiarmid_sample_size`].
+pub fn mcdiarmid_sample_size_from_ln_delta(
+    beta: f64,
+    eps: f64,
+    ln_delta: f64,
+    tail: Tail,
+) -> Result<u64> {
+    check_positive("beta", beta)?;
+    check_positive("eps", eps)?;
+    if !(ln_delta < 0.0) {
+        return Err(BoundsError::InvalidProbability { name: "delta", value: ln_delta.exp() });
+    }
+    let raw = beta * beta * (tail.ln_factor() - ln_delta) / (2.0 * eps * eps);
+    ceil_to_sample_size(raw)
+}
+
+/// Error tolerance achieved by `n` samples for a statistic with sensitivity
+/// scale `beta`.
+///
+/// # Errors
+///
+/// Returns an error for a zero sample size or invalid parameters.
+pub fn mcdiarmid_epsilon(beta: f64, n: u64, delta: f64, tail: Tail) -> Result<f64> {
+    check_positive("beta", beta)?;
+    check_probability("delta", delta)?;
+    if n == 0 {
+        return Err(BoundsError::ZeroSampleSize);
+    }
+    Ok(beta * ((tail.ln_factor() - delta.ln()) / (2.0 * n as f64)).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hoeffding::hoeffding_sample_size;
+
+    #[test]
+    fn beta_one_recovers_hoeffding() {
+        for &(eps, delta) in &[(0.1, 0.01), (0.01, 1e-4)] {
+            assert_eq!(
+                mcdiarmid_sample_size(1.0, eps, delta, Tail::TwoSided).unwrap(),
+                hoeffding_sample_size(1.0, eps, delta, Tail::TwoSided).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn quadratic_in_beta() {
+        let n1 = mcdiarmid_sample_size(1.0, 0.05, 0.001, Tail::TwoSided).unwrap();
+        let n3 = mcdiarmid_sample_size(3.0, 0.05, 0.001, Tail::TwoSided).unwrap();
+        let ratio = n3 as f64 / n1 as f64;
+        assert!((ratio - 9.0).abs() < 0.01, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn epsilon_inverts() {
+        let n = mcdiarmid_sample_size(2.0, 0.04, 0.001, Tail::TwoSided).unwrap();
+        let eps = mcdiarmid_epsilon(2.0, n, 0.001, Tail::TwoSided).unwrap();
+        assert!(eps <= 0.04 + 1e-12);
+        assert!(mcdiarmid_epsilon(2.0, n - 1, 0.001, Tail::TwoSided).unwrap() > 0.04 - 1e-5);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(mcdiarmid_sample_size(0.0, 0.1, 0.01, Tail::TwoSided).is_err());
+        assert!(mcdiarmid_sample_size(1.0, 0.0, 0.01, Tail::TwoSided).is_err());
+        assert!(mcdiarmid_sample_size(1.0, 0.1, 0.0, Tail::TwoSided).is_err());
+        assert!(mcdiarmid_epsilon(1.0, 0, 0.01, Tail::TwoSided).is_err());
+    }
+}

@@ -1,0 +1,311 @@
+//! Numeric building blocks shared by the bound implementations.
+//!
+//! Everything here is deliberately dependency-free: log-gamma, log-space
+//! accumulation, bisection and Newton root finding. The routines favour
+//! robustness over raw speed since they sit under sample-size estimators
+//! whose outputs are cached by callers.
+
+use crate::error::{BoundsError, Result};
+
+/// Natural log of the gamma function, via the Lanczos approximation (g = 7,
+/// 9 coefficients). Accurate to ~15 significant digits for `x > 0`.
+///
+/// # Examples
+///
+/// ```
+/// let ln6 = easeml_bounds::numeric::ln_gamma(4.0); // Γ(4) = 3! = 6
+/// assert!((ln6 - 6f64.ln()).abs() < 1e-12);
+/// ```
+pub fn ln_gamma(x: f64) -> f64 {
+    // Lanczos coefficients for g = 7.
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula: Γ(x)Γ(1-x) = π / sin(πx)
+        let pi = std::f64::consts::PI;
+        pi.ln() - (pi * x).sin().ln() - ln_gamma(1.0 - x)
+    } else {
+        let x = x - 1.0;
+        let mut acc = COEF[0];
+        for (i, &c) in COEF.iter().enumerate().skip(1) {
+            acc += c / (x + i as f64);
+        }
+        let t = x + 7.5;
+        0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+    }
+}
+
+/// Natural log of `n choose k`, valid for `k <= n`.
+///
+/// # Panics
+///
+/// Panics in debug builds if `k > n`.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    debug_assert!(k <= n, "ln_choose requires k <= n");
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// Numerically stable `ln(exp(a) + exp(b))`.
+pub fn log_add_exp(a: f64, b: f64) -> f64 {
+    if a == f64::NEG_INFINITY {
+        return b;
+    }
+    if b == f64::NEG_INFINITY {
+        return a;
+    }
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    hi + (lo - hi).exp().ln_1p()
+}
+
+/// Stable `ln(1 - exp(x))` for `x < 0`; returns `-inf` at `x = 0`.
+pub fn log1m_exp(x: f64) -> f64 {
+    debug_assert!(x <= 0.0, "log1m_exp requires x <= 0");
+    if x == 0.0 {
+        f64::NEG_INFINITY
+    } else if x > -std::f64::consts::LN_2 {
+        (-x.exp_m1()).ln()
+    } else {
+        (-(x.exp())).ln_1p()
+    }
+}
+
+/// Find a root of `f` on `[lo, hi]` by bisection.
+///
+/// `f(lo)` and `f(hi)` must have opposite signs (or one must be zero).
+/// Returns the midpoint after the interval shrinks below `tol` or after
+/// `max_iter` halvings, whichever comes first.
+///
+/// # Errors
+///
+/// Returns [`BoundsError::NoConvergence`] if the bracket is invalid.
+pub fn bisect<F: Fn(f64) -> f64>(
+    f: F,
+    mut lo: f64,
+    mut hi: f64,
+    tol: f64,
+    max_iter: u32,
+) -> Result<f64> {
+    let mut flo = f(lo);
+    let fhi = f(hi);
+    if flo == 0.0 {
+        return Ok(lo);
+    }
+    if fhi == 0.0 {
+        return Ok(hi);
+    }
+    if flo.signum() == fhi.signum() || !flo.is_finite() || !fhi.is_finite() {
+        return Err(BoundsError::NoConvergence { routine: "bisect" });
+    }
+    for _ in 0..max_iter {
+        let mid = 0.5 * (lo + hi);
+        if (hi - lo).abs() < tol {
+            return Ok(mid);
+        }
+        let fmid = f(mid);
+        if fmid == 0.0 {
+            return Ok(mid);
+        }
+        if fmid.signum() == flo.signum() {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+/// Newton's method with a bisection fallback bracket.
+///
+/// Keeps iterates inside `[lo, hi]`; falls back to bisection steps whenever
+/// Newton would leave the bracket or the derivative vanishes.
+///
+/// # Errors
+///
+/// Returns [`BoundsError::NoConvergence`] if the initial bracket is invalid.
+pub fn newton_bracketed<F, D>(
+    f: F,
+    df: D,
+    lo: f64,
+    hi: f64,
+    x0: f64,
+    tol: f64,
+    max_iter: u32,
+) -> Result<f64>
+where
+    F: Fn(f64) -> f64,
+    D: Fn(f64) -> f64,
+{
+    let (mut lo, mut hi) = (lo, hi);
+    let flo = f(lo);
+    let fhi = f(hi);
+    if flo == 0.0 {
+        return Ok(lo);
+    }
+    if fhi == 0.0 {
+        return Ok(hi);
+    }
+    if flo.signum() == fhi.signum() {
+        return Err(BoundsError::NoConvergence { routine: "newton_bracketed" });
+    }
+    let increasing = fhi > 0.0;
+    let mut x = x0.clamp(lo, hi);
+    for _ in 0..max_iter {
+        let fx = f(x);
+        if fx.abs() < tol {
+            return Ok(x);
+        }
+        // Maintain the bracket.
+        if (fx > 0.0) == increasing {
+            hi = x;
+        } else {
+            lo = x;
+        }
+        let d = df(x);
+        let mut next = if d != 0.0 { x - fx / d } else { f64::NAN };
+        if !next.is_finite() || next <= lo || next >= hi {
+            next = 0.5 * (lo + hi);
+        }
+        if (next - x).abs() < tol * x.abs().max(1.0) {
+            return Ok(next);
+        }
+        x = next;
+    }
+    Ok(x)
+}
+
+/// Round a fractional sample size up to the next integer, guarding overflow.
+///
+/// # Errors
+///
+/// Returns [`BoundsError::SampleSizeOverflow`] when the value exceeds `u64`
+/// range (practically: an astronomically impractical requirement).
+pub fn ceil_to_sample_size(raw: f64) -> Result<u64> {
+    if !raw.is_finite() || !(0.0..9.0e18).contains(&raw) {
+        return Err(BoundsError::SampleSizeOverflow { raw });
+    }
+    Ok(raw.ceil().max(1.0) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        let mut fact = 1.0f64;
+        for k in 1..15u32 {
+            // Γ(k+1) = k!
+            if k > 1 {
+                fact *= k as f64;
+            }
+            let got = ln_gamma(k as f64 + 1.0);
+            assert!(
+                (got - fact.ln()).abs() < 1e-10,
+                "ln_gamma({k}+1) = {got}, want {}",
+                fact.ln()
+            );
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = sqrt(π)
+        let want = std::f64::consts::PI.sqrt().ln();
+        assert!((ln_gamma(0.5) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_choose_small_values() {
+        assert!((ln_choose(5, 2) - 10f64.ln()).abs() < 1e-10);
+        assert!((ln_choose(10, 5) - 252f64.ln()).abs() < 1e-10);
+        assert_eq!(ln_choose(7, 0), 0.0);
+        assert_eq!(ln_choose(7, 7), 0.0);
+    }
+
+    #[test]
+    fn ln_choose_large_values_stay_finite() {
+        let v = ln_choose(1_000_000, 500_000);
+        assert!(v.is_finite());
+        // log2(C(n, n/2)) ≈ n - 0.5 log2(n π / 2)
+        let bits = v / std::f64::consts::LN_2;
+        assert!((bits - 999_989.7).abs() < 1.0, "got {bits} bits");
+    }
+
+    #[test]
+    fn log_add_exp_basics() {
+        let v = log_add_exp(0.0, 0.0); // ln(2)
+        assert!((v - std::f64::consts::LN_2).abs() < 1e-12);
+        assert_eq!(log_add_exp(f64::NEG_INFINITY, -1.0), -1.0);
+        // Extreme imbalance: should return the larger argument.
+        assert_eq!(log_add_exp(-1e300, 0.0), 0.0);
+    }
+
+    #[test]
+    fn log1m_exp_ranges() {
+        // ln(1 - e^-1)
+        let v = log1m_exp(-1.0);
+        assert!((v.exp() - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        // Near zero: 1 - e^-x ≈ x
+        let v = log1m_exp(-1e-10);
+        assert!((v - (1e-10f64).ln()).abs() < 1e-4);
+        assert_eq!(log1m_exp(0.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let root = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12, 200).unwrap();
+        assert!((root - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_rejects_bad_bracket() {
+        assert!(bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 100).is_err());
+    }
+
+    #[test]
+    fn newton_finds_cube_root() {
+        let root =
+            newton_bracketed(|x| x * x * x - 27.0, |x| 3.0 * x * x, 0.0, 10.0, 5.0, 1e-12, 100)
+                .unwrap();
+        assert!((root - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn newton_survives_zero_derivative() {
+        // f(x) = x^3 has zero derivative at the initial guess 0, which must
+        // trigger the bisection fallback rather than dividing by zero.
+        let root = newton_bracketed(
+            |x| x * x * x - 8.0,
+            |x| 3.0 * x * x,
+            -1.0,
+            5.0,
+            0.0,
+            1e-12,
+            200,
+        )
+        .unwrap();
+        assert!((root - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn ceil_to_sample_size_rounds_up() {
+        assert_eq!(ceil_to_sample_size(403.5).unwrap(), 404);
+        assert_eq!(ceil_to_sample_size(404.0).unwrap(), 404);
+        assert_eq!(ceil_to_sample_size(0.2).unwrap(), 1);
+        assert!(ceil_to_sample_size(f64::INFINITY).is_err());
+        assert!(ceil_to_sample_size(1e19).is_err());
+    }
+}

@@ -1,0 +1,167 @@
+//! Union-bound budget splitting for compound conditions (§3.1).
+//!
+//! Estimating a clause like `n − o > c ± ε` requires estimating both `n`
+//! and `o`; a conjunction `C₁ ∧ … ∧ C_k` requires every clause to hold.
+//! Both splits consume the failure budget `δ` via the union bound. This
+//! module provides the splitting strategies the estimator composes.
+
+use crate::error::{check_probability, BoundsError, Result};
+
+/// Split a failure budget `δ` evenly over `parts` events (`δ/k` each),
+/// returned in log space.
+///
+/// # Errors
+///
+/// Returns an error if `delta` is invalid or `parts` is zero.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), easeml_bounds::BoundsError> {
+/// let parts = easeml_bounds::split_delta_evenly(0.01, 4)?;
+/// assert_eq!(parts.len(), 4);
+/// assert!((parts[0].exp() - 0.0025).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn split_delta_evenly(delta: f64, parts: usize) -> Result<Vec<f64>> {
+    check_probability("delta", delta)?;
+    if parts == 0 {
+        return Err(BoundsError::ZeroSampleSize);
+    }
+    let ln_each = delta.ln() - (parts as f64).ln();
+    Ok(vec![ln_each; parts])
+}
+
+/// Split `ln δ` evenly over `parts` events in log space (never underflows).
+#[must_use]
+pub fn split_ln_delta_evenly(ln_delta: f64, parts: usize) -> Vec<f64> {
+    let parts = parts.max(1);
+    vec![ln_delta - (parts as f64).ln(); parts]
+}
+
+/// Split a failure budget according to non-negative weights `w` (a weight of
+/// 2 receives twice the budget of a weight of 1), in log space.
+///
+/// Weighted splits let the estimator spend more budget on the clause that
+/// dominates the sample size, shrinking the max.
+///
+/// # Errors
+///
+/// Returns an error if `delta` is invalid, `weights` is empty, any weight is
+/// negative/non-finite, or all weights are zero.
+pub fn split_delta_weighted(delta: f64, weights: &[f64]) -> Result<Vec<f64>> {
+    check_probability("delta", delta)?;
+    split_ln_delta_weighted(delta.ln(), weights)
+}
+
+/// Log-space variant of [`split_delta_weighted`].
+///
+/// # Errors
+///
+/// Same conditions as [`split_delta_weighted`] (minus the `delta` check).
+pub fn split_ln_delta_weighted(ln_delta: f64, weights: &[f64]) -> Result<Vec<f64>> {
+    if weights.is_empty() {
+        return Err(BoundsError::ZeroSampleSize);
+    }
+    let mut total = 0.0;
+    for &w in weights {
+        if !w.is_finite() || w < 0.0 {
+            return Err(BoundsError::NotPositive { name: "weight", value: w });
+        }
+        total += w;
+    }
+    if total <= 0.0 {
+        return Err(BoundsError::NotPositive { name: "weight_sum", value: total });
+    }
+    Ok(weights
+        .iter()
+        .map(|&w| {
+            if w == 0.0 {
+                // Zero weight: that event receives (essentially) no budget;
+                // callers treat -inf as "must hold surely" and will reject.
+                f64::NEG_INFINITY
+            } else {
+                ln_delta + (w / total).ln()
+            }
+        })
+        .collect())
+}
+
+/// Split an error tolerance `ε` into `parts` positive tolerances summing to
+/// `ε` according to `fractions` (which must sum to 1).
+///
+/// # Errors
+///
+/// Returns an error if any fraction is outside `(0, 1)` or the fractions do
+/// not sum to 1 within floating-point tolerance.
+pub fn split_epsilon(eps: f64, fractions: &[f64]) -> Result<Vec<f64>> {
+    if !eps.is_finite() || eps <= 0.0 {
+        return Err(BoundsError::NotPositive { name: "eps", value: eps });
+    }
+    let sum: f64 = fractions.iter().sum();
+    if fractions.is_empty() || (sum - 1.0).abs() > 1e-9 {
+        return Err(BoundsError::NotPositive { name: "fraction_sum", value: sum });
+    }
+    for &f in fractions {
+        if !(f > 0.0 && f < 1.0 + 1e-12) {
+            return Err(BoundsError::InvalidProbability { name: "fraction", value: f });
+        }
+    }
+    Ok(fractions.iter().map(|&f| f * eps).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split_sums_to_delta() {
+        let parts = split_delta_evenly(0.01, 5).unwrap();
+        let total: f64 = parts.iter().map(|l| l.exp()).sum();
+        assert!((total - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_split_sums_to_delta() {
+        let parts = split_delta_weighted(0.02, &[1.0, 2.0, 1.0]).unwrap();
+        let total: f64 = parts.iter().map(|l| l.exp()).sum();
+        assert!((total - 0.02).abs() < 1e-12);
+        assert!((parts[1].exp() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_split_zero_weight() {
+        let parts = split_delta_weighted(0.02, &[1.0, 0.0]).unwrap();
+        assert_eq!(parts[1], f64::NEG_INFINITY);
+        assert!((parts[0].exp() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_split_rejects_bad_weights() {
+        assert!(split_delta_weighted(0.02, &[]).is_err());
+        assert!(split_delta_weighted(0.02, &[-1.0, 2.0]).is_err());
+        assert!(split_delta_weighted(0.02, &[0.0, 0.0]).is_err());
+        assert!(split_delta_weighted(0.02, &[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn log_space_split_never_underflows() {
+        let ln_delta = -30_000.0; // δ = e^-30000 underflows linear space
+        let parts = split_ln_delta_evenly(ln_delta, 4);
+        assert!(parts.iter().all(|p| p.is_finite()));
+        assert!((parts[0] - (ln_delta - 4f64.ln())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn epsilon_split() {
+        let eps = split_epsilon(0.01, &[0.5, 0.5]).unwrap();
+        assert_eq!(eps, vec![0.005, 0.005]);
+        let eps = split_epsilon(0.01, &[0.25, 0.75]).unwrap();
+        assert!((eps[0] - 0.0025).abs() < 1e-15);
+        assert!((eps[1] - 0.0075).abs() < 1e-15);
+        assert!(split_epsilon(0.01, &[0.5, 0.4]).is_err());
+        assert!(split_epsilon(0.0, &[1.0]).is_err());
+        assert!(split_epsilon(0.01, &[]).is_err());
+    }
+}

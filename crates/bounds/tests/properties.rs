@@ -1,0 +1,148 @@
+//! Property-based tests for the bound implementations.
+
+use easeml_bounds::{
+    bennett_epsilon, bennett_h, bennett_h_inv, bennett_sample_size, bernstein_sample_size,
+    binomial, exact_binomial_sample_size, hoeffding_delta, hoeffding_epsilon,
+    hoeffding_sample_size, mcdiarmid_sample_size, split_delta_weighted, Adaptivity, Tail,
+};
+use proptest::prelude::*;
+
+fn eps_strategy() -> impl Strategy<Value = f64> {
+    (0.005f64..0.3).prop_map(|x| x)
+}
+
+fn delta_strategy() -> impl Strategy<Value = f64> {
+    (1e-6f64..0.2).prop_map(|x| x)
+}
+
+proptest! {
+    /// Sample size decreases (weakly) as the tolerance grows.
+    #[test]
+    fn hoeffding_monotone_in_eps(delta in delta_strategy(), e1 in eps_strategy(), e2 in eps_strategy()) {
+        let (lo, hi) = if e1 <= e2 { (e1, e2) } else { (e2, e1) };
+        let n_lo = hoeffding_sample_size(1.0, lo, delta, Tail::TwoSided).unwrap();
+        let n_hi = hoeffding_sample_size(1.0, hi, delta, Tail::TwoSided).unwrap();
+        prop_assert!(n_hi <= n_lo);
+    }
+
+    /// Sample size decreases (weakly) as the failure budget grows.
+    #[test]
+    fn hoeffding_monotone_in_delta(eps in eps_strategy(), d1 in delta_strategy(), d2 in delta_strategy()) {
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let n_lo = hoeffding_sample_size(1.0, eps, lo, Tail::TwoSided).unwrap();
+        let n_hi = hoeffding_sample_size(1.0, eps, hi, Tail::TwoSided).unwrap();
+        prop_assert!(n_hi <= n_lo);
+    }
+
+    /// The (ε, δ, n) triple is mutually consistent across the three solvers.
+    #[test]
+    fn hoeffding_roundtrip(eps in eps_strategy(), delta in delta_strategy()) {
+        let n = hoeffding_sample_size(1.0, eps, delta, Tail::TwoSided).unwrap();
+        let eps_back = hoeffding_epsilon(1.0, n, delta, Tail::TwoSided).unwrap();
+        prop_assert!(eps_back <= eps + 1e-12);
+        let delta_back = hoeffding_delta(1.0, n, eps, Tail::TwoSided).unwrap();
+        prop_assert!(delta_back <= delta + 1e-12);
+    }
+
+    /// h is increasing and convex-ish: h(u)/u increasing.
+    #[test]
+    fn bennett_h_increasing(u1 in 1e-6f64..50.0, u2 in 1e-6f64..50.0) {
+        let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
+        prop_assert!(bennett_h(lo) <= bennett_h(hi) + 1e-15);
+    }
+
+    /// h_inv is a true inverse over a wide range.
+    #[test]
+    fn bennett_h_inv_roundtrip(u in 1e-6f64..100.0) {
+        let y = bennett_h(u);
+        let back = bennett_h_inv(y).unwrap();
+        prop_assert!((back - u).abs() < 1e-6 * u.max(1.0), "u={u} back={back}");
+    }
+
+    /// Bennett with the worst-case second moment never beats Hoeffding by
+    /// more than the slack of the inequality itself, and a small second
+    /// moment always helps.
+    #[test]
+    fn bennett_monotone_in_variance(eps in 0.005f64..0.1, delta in delta_strategy(),
+                                    p1 in 0.01f64..1.0, p2 in 0.01f64..1.0) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let n_lo = bennett_sample_size(lo, 1.0, eps, delta, Tail::TwoSided).unwrap();
+        let n_hi = bennett_sample_size(hi, 1.0, eps, delta, Tail::TwoSided).unwrap();
+        prop_assert!(n_lo <= n_hi, "p={lo}->{n_lo}, p={hi}->{n_hi}");
+    }
+
+    /// Bennett dominates Bernstein everywhere.
+    #[test]
+    fn bennett_dominates_bernstein(eps in 0.005f64..0.2, delta in delta_strategy(), p in 0.01f64..1.0) {
+        let benn = bennett_sample_size(p, 1.0, eps, delta, Tail::TwoSided).unwrap();
+        let bern = bernstein_sample_size(p, 1.0, eps, delta, Tail::TwoSided).unwrap();
+        prop_assert!(benn <= bern);
+    }
+
+    /// Bennett's epsilon solver inverts its sample-size solver.
+    #[test]
+    fn bennett_roundtrip(eps in 0.005f64..0.1, delta in delta_strategy(), p in 0.02f64..1.0) {
+        let n = bennett_sample_size(p, 1.0, eps, delta, Tail::TwoSided).unwrap();
+        let back = bennett_epsilon(p, 1.0, n, delta, Tail::TwoSided).unwrap();
+        prop_assert!(back <= eps + 1e-9, "eps={eps} back={back}");
+    }
+
+    /// McDiarmid with β=1 equals Hoeffding for every (ε, δ).
+    #[test]
+    fn mcdiarmid_beta1_is_hoeffding(eps in eps_strategy(), delta in delta_strategy()) {
+        prop_assert_eq!(
+            mcdiarmid_sample_size(1.0, eps, delta, Tail::TwoSided).unwrap(),
+            hoeffding_sample_size(1.0, eps, delta, Tail::TwoSided).unwrap()
+        );
+    }
+
+    /// Full adaptivity always requires at least the non-adaptive budget.
+    #[test]
+    fn adaptivity_ordering(delta in delta_strategy(), steps in 1u32..200) {
+        let full = Adaptivity::Full.ln_effective_delta(delta, steps).unwrap();
+        let none = Adaptivity::None.ln_effective_delta(delta, steps).unwrap();
+        let hybrid = Adaptivity::FirstChange.ln_effective_delta(delta, steps).unwrap();
+        prop_assert!(full <= none);
+        prop_assert_eq!(none, hybrid);
+    }
+
+    /// Weighted delta splits always conserve the total budget.
+    #[test]
+    fn weighted_split_conserves(delta in delta_strategy(),
+                                w in prop::collection::vec(0.01f64..10.0, 1..6)) {
+        let parts = split_delta_weighted(delta, &w).unwrap();
+        let total: f64 = parts.iter().map(|l| l.exp()).sum();
+        prop_assert!((total - delta).abs() < 1e-9);
+    }
+
+    /// Binomial pmf is a valid log-probability and tails are proper.
+    #[test]
+    fn binomial_tail_bounds(n in 1u64..2_000, p in 0.0f64..=1.0, k in 0u64..2_000) {
+        prop_assume!(k <= n);
+        let pmf = binomial::ln_pmf(n, p, k);
+        prop_assert!(pmf <= 1e-12, "pmf = {pmf}");
+        let up = binomial::ln_upper_tail(n, p, k);
+        prop_assert!(up <= 1e-9);
+        prop_assert!(up >= pmf - 1e-9, "tail must contain the point mass");
+    }
+
+    /// The exact deviation probability is below the Hoeffding bound.
+    #[test]
+    fn exact_below_hoeffding(n in 10u64..5_000, p in 0.01f64..0.99, eps in 0.01f64..0.3) {
+        let exact = binomial::deviation_probability(n, p, eps);
+        let hoeff = (2.0 * (-2.0 * n as f64 * eps * eps).exp()).min(1.0);
+        prop_assert!(exact <= hoeff + 1e-9, "exact={exact} hoeff={hoeff}");
+    }
+}
+
+/// Deterministic spot check (outside proptest): tight bounds are between
+/// half and all of the Hoeffding requirement across a realistic grid.
+#[test]
+fn exact_band_relative_to_hoeffding() {
+    for (eps, delta) in [(0.1, 0.01), (0.05, 0.01), (0.05, 0.001)] {
+        let exact = exact_binomial_sample_size(eps, delta, Tail::TwoSided).unwrap();
+        let hoeff = hoeffding_sample_size(1.0, eps, delta, Tail::TwoSided).unwrap();
+        assert!(exact <= hoeff);
+        assert!(exact * 2 >= hoeff, "exact={exact} hoeff={hoeff}");
+    }
+}

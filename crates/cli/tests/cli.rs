@@ -1,0 +1,108 @@
+//! Integration tests that drive the compiled `easeml-ci` binary.
+
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_easeml-ci"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn write_script(name: &str, condition: &str, adaptivity: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("easeml-ci-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(
+        &path,
+        format!(
+            "ml:\n\
+             \x20 - condition  : {condition}\n\
+             \x20 - reliability: 0.999\n\
+             \x20 - mode       : fp-free\n\
+             \x20 - adaptivity : {adaptivity}\n\
+             \x20 - steps      : 8\n"
+        ),
+    )
+    .unwrap();
+    path
+}
+
+#[test]
+fn help_prints_usage() {
+    for args in [&["help"][..], &[][..]] {
+        let out = run(args);
+        assert!(out.status.success());
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("USAGE"));
+        assert!(text.contains("estimate"));
+    }
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = run(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn validate_accepts_good_script() {
+    let path = write_script("good.yml", "n > 0.8 +/- 0.05", "full");
+    let out = run(&["validate", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("script OK"));
+}
+
+#[test]
+fn validate_rejects_bad_script() {
+    let dir = std::env::temp_dir().join("easeml-ci-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.yml");
+    std::fs::write(&path, "ml:\n  - condition : n / o > 1 +/- 0.1\n").unwrap();
+    let out = run(&["validate", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+}
+
+#[test]
+fn estimate_reports_sections_and_savings() {
+    let path = write_script(
+        "pattern1.yml",
+        "d < 0.1 +/- 0.01 /\\ n - o > 0.02 +/- 0.01",
+        "none",
+    );
+    let out = run(&["estimate", path.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("labelled"));
+    assert!(text.contains("optimized"));
+    assert!(text.contains("saving"));
+}
+
+#[test]
+fn table_matches_known_cell() {
+    let out = run(&["table"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    // The famous top-left and bottom-right cells of Figure 2.
+    assert!(text.contains("404"));
+    assert!(text.contains("687736"));
+}
+
+#[test]
+fn simulate_runs_a_process() {
+    let path = write_script("sim.yml", "n - o > 0.02 +/- 0.08", "full");
+    let out = run(&["simulate", path.to_str().unwrap(), "--commits", "3", "--seed", "5"]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("commits evaluated"));
+    assert!(text.contains("labels requested"));
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let out = run(&["estimate", "/nonexistent/definitely-missing.yml"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}

@@ -1,0 +1,358 @@
+//! Semantic analysis of parsed conditions: linear forms, ranges, and the
+//! structural queries the estimator's pattern matcher builds on.
+
+use super::ast::{Clause, CmpOp, Expr, Formula, Var};
+use crate::error::CiError;
+
+/// The canonical linear form `αₙ·n + αₒ·o + α_d·d` of an expression.
+///
+/// Every grammatical expression lowers to this form; it drives range
+/// computation (for Hoeffding), per-variable tolerance allocation, and
+/// pattern detection.
+///
+/// # Examples
+///
+/// ```
+/// use easeml_ci_core::dsl::{parse_expr, LinearForm};
+///
+/// # fn main() -> Result<(), easeml_ci_core::CiError> {
+/// let form = LinearForm::from_expr(&parse_expr("n - 1.1 * o")?);
+/// assert_eq!(form.coefficient(easeml_ci_core::dsl::Var::N), 1.0);
+/// assert_eq!(form.coefficient(easeml_ci_core::dsl::Var::O), -1.1);
+/// assert!((form.range() - 2.1).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearForm {
+    coef: [f64; 3], // indexed by Var order: n, o, d
+}
+
+impl LinearForm {
+    /// Lower an expression into its linear form.
+    #[must_use]
+    pub fn from_expr(expr: &Expr) -> Self {
+        let mut form = LinearForm { coef: [0.0; 3] };
+        form.accumulate(expr, 1.0);
+        form
+    }
+
+    fn accumulate(&mut self, expr: &Expr, scale: f64) {
+        match expr {
+            Expr::Var(v) => self.coef[Self::index(*v)] += scale,
+            Expr::Scale(c, e) => self.accumulate(e, scale * c),
+            Expr::Add(a, b) => {
+                self.accumulate(a, scale);
+                self.accumulate(b, scale);
+            }
+            Expr::Sub(a, b) => {
+                self.accumulate(a, scale);
+                self.accumulate(b, -scale);
+            }
+        }
+    }
+
+    fn index(v: Var) -> usize {
+        match v {
+            Var::N => 0,
+            Var::O => 1,
+            Var::D => 2,
+        }
+    }
+
+    /// Coefficient of the given variable.
+    #[must_use]
+    pub fn coefficient(&self, v: Var) -> f64 {
+        self.coef[Self::index(v)]
+    }
+
+    /// Variables with non-zero coefficient, in canonical order.
+    #[must_use]
+    pub fn active_variables(&self) -> Vec<Var> {
+        Var::ALL.iter().copied().filter(|&v| self.coefficient(v) != 0.0).collect()
+    }
+
+    /// Dynamic range of the linear combination: each variable spans
+    /// `[0, 1]`, so the total range is `Σ |αᵢ|`.
+    #[must_use]
+    pub fn range(&self) -> f64 {
+        self.coef.iter().map(|c| c.abs()).sum()
+    }
+
+    /// Whether the form is a single bare variable (coefficient exactly 1).
+    #[must_use]
+    pub fn as_single_variable(&self) -> Option<Var> {
+        let active = self.active_variables();
+        if active.len() == 1 && self.coefficient(active[0]) == 1.0 {
+            Some(active[0])
+        } else {
+            None
+        }
+    }
+
+    /// Whether the form is exactly `n - o` (the accuracy-improvement
+    /// pattern of §4.1/§4.2).
+    #[must_use]
+    pub fn is_accuracy_difference(&self) -> bool {
+        self.coefficient(Var::N) == 1.0
+            && self.coefficient(Var::O) == -1.0
+            && self.coefficient(Var::D) == 0.0
+    }
+
+    /// Evaluate the form at concrete variable values.
+    #[must_use]
+    pub fn evaluate(&self, n: f64, o: f64, d: f64) -> f64 {
+        self.coef[0] * n + self.coef[1] * o + self.coef[2] * d
+    }
+}
+
+/// Validate a formula beyond grammar: at least one clause; tolerances and
+/// thresholds consistent with `[0, 1]`-valued variables; every clause
+/// references at least one variable.
+///
+/// # Errors
+///
+/// Returns [`CiError::Semantic`] describing the first violation found.
+pub fn validate_formula(formula: &Formula) -> Result<(), CiError> {
+    if formula.is_empty() {
+        return Err(CiError::Semantic("formula has no clauses".into()));
+    }
+    for (i, clause) in formula.clauses().iter().enumerate() {
+        let form = LinearForm::from_expr(&clause.expr);
+        let range = form.range();
+        if range == 0.0 {
+            return Err(CiError::Semantic(format!(
+                "clause {} (`{}`) has an identically-zero expression",
+                i + 1,
+                clause
+            )));
+        }
+        if !clause.tolerance.is_finite() || clause.tolerance <= 0.0 {
+            return Err(CiError::Semantic(format!(
+                "clause {} (`{}`) has non-positive tolerance",
+                i + 1,
+                clause
+            )));
+        }
+        if clause.tolerance >= range {
+            return Err(CiError::Semantic(format!(
+                "clause {} (`{}`): tolerance {} is at least the expression range {}; \
+                 the estimate would be vacuous",
+                i + 1,
+                clause,
+                clause.tolerance,
+                range
+            )));
+        }
+        if !clause.threshold.is_finite() {
+            return Err(CiError::Semantic(format!(
+                "clause {} (`{}`) has a non-finite threshold",
+                i + 1,
+                clause
+            )));
+        }
+        // A threshold outside the attainable range means the clause is a
+        // constant; flag the configuration mistake.
+        let (lo, hi) = attainable_bounds(&form);
+        if clause.threshold < lo - clause.tolerance || clause.threshold > hi + clause.tolerance {
+            return Err(CiError::Semantic(format!(
+                "clause {} (`{}`): threshold {} lies outside the attainable range [{lo}, {hi}]",
+                i + 1,
+                clause,
+                clause.threshold
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Attainable `[min, max]` of a linear form when every variable ranges
+/// over `[0, 1]`.
+fn attainable_bounds(form: &LinearForm) -> (f64, f64) {
+    let mut lo = 0.0;
+    let mut hi = 0.0;
+    for v in Var::ALL {
+        let c = form.coefficient(v);
+        if c >= 0.0 {
+            hi += c;
+        } else {
+            lo += c;
+        }
+    }
+    (lo, hi)
+}
+
+/// Structural classification of a clause used by the optimizer's pattern
+/// matcher (§4.1, §4.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClauseShape {
+    /// `d < A ± B` — a bound on the prediction difference.
+    DifferenceBound {
+        /// The threshold `A`.
+        limit: f64,
+        /// The tolerance `B`.
+        tolerance: f64,
+    },
+    /// `n - o > C ± D` — an accuracy-improvement requirement.
+    AccuracyImprovement {
+        /// The threshold `C`.
+        margin: f64,
+        /// The tolerance `D`.
+        tolerance: f64,
+    },
+    /// `n > A ± B` — a lower bound on absolute quality.
+    QualityFloor {
+        /// The threshold `A`.
+        floor: f64,
+        /// The tolerance `B`.
+        tolerance: f64,
+    },
+    /// Anything else (handled by the baseline estimator).
+    General,
+}
+
+/// Classify a clause into one of the recognised shapes.
+#[must_use]
+pub fn classify_clause(clause: &Clause) -> ClauseShape {
+    let form = LinearForm::from_expr(&clause.expr);
+    match (form.as_single_variable(), clause.cmp) {
+        (Some(Var::D), CmpOp::Lt) => ClauseShape::DifferenceBound {
+            limit: clause.threshold,
+            tolerance: clause.tolerance,
+        },
+        (Some(Var::N), CmpOp::Gt) => ClauseShape::QualityFloor {
+            floor: clause.threshold,
+            tolerance: clause.tolerance,
+        },
+        _ if form.is_accuracy_difference() && clause.cmp == CmpOp::Gt => {
+            ClauseShape::AccuracyImprovement {
+                margin: clause.threshold,
+                tolerance: clause.tolerance,
+            }
+        }
+        _ => ClauseShape::General,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::parser::{parse_clause, parse_expr, parse_formula};
+
+    #[test]
+    fn linear_form_of_paper_expressions() {
+        let f = LinearForm::from_expr(&parse_expr("n - o").unwrap());
+        assert_eq!(f.coefficient(Var::N), 1.0);
+        assert_eq!(f.coefficient(Var::O), -1.0);
+        assert_eq!(f.coefficient(Var::D), 0.0);
+        assert_eq!(f.range(), 2.0);
+        assert!(f.is_accuracy_difference());
+
+        let f = LinearForm::from_expr(&parse_expr("n - 1.1 * o").unwrap());
+        assert!((f.range() - 2.1).abs() < 1e-12);
+        assert!(!f.is_accuracy_difference());
+    }
+
+    #[test]
+    fn nested_scaling_distributes() {
+        let f = LinearForm::from_expr(&parse_expr("2 * (n - 0.5 * (o + d))").unwrap());
+        assert_eq!(f.coefficient(Var::N), 2.0);
+        assert_eq!(f.coefficient(Var::O), -1.0);
+        assert_eq!(f.coefficient(Var::D), -1.0);
+    }
+
+    #[test]
+    fn cancelling_coefficients() {
+        let f = LinearForm::from_expr(&parse_expr("n - n + o").unwrap());
+        assert_eq!(f.coefficient(Var::N), 0.0);
+        assert_eq!(f.active_variables(), vec![Var::O]);
+        assert_eq!(f.as_single_variable(), Some(Var::O));
+    }
+
+    #[test]
+    fn single_variable_detection() {
+        let f = LinearForm::from_expr(&parse_expr("n").unwrap());
+        assert_eq!(f.as_single_variable(), Some(Var::N));
+        let f = LinearForm::from_expr(&parse_expr("2 * n").unwrap());
+        assert_eq!(f.as_single_variable(), None);
+    }
+
+    #[test]
+    fn evaluate_matches_coefficients() {
+        let f = LinearForm::from_expr(&parse_expr("n - 1.1 * o + 0.5 * d").unwrap());
+        let v = f.evaluate(0.9, 0.8, 0.1);
+        assert!((v - (0.9 - 1.1 * 0.8 + 0.05)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_accepts_paper_conditions() {
+        for src in [
+            "n > 0.8 +/- 0.05",
+            "n - o > 0.02 +/- 0.01",
+            "d < 0.1 +/- 0.01",
+            "n - o > 0.02 +/- 0.01 /\\ d < 0.1 +/- 0.01",
+        ] {
+            validate_formula(&parse_formula(src).unwrap()).unwrap();
+        }
+    }
+
+    #[test]
+    fn validation_rejects_zero_expression() {
+        let f = parse_formula("n - n > 0 +/- 0.1").unwrap();
+        assert!(validate_formula(&f).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_vacuous_tolerance() {
+        // Tolerance 1.0 on a range-1 variable says nothing.
+        let f = parse_formula("n > 0.5 +/- 1.0").unwrap();
+        let err = validate_formula(&f).unwrap_err();
+        assert!(err.to_string().contains("vacuous"));
+    }
+
+    #[test]
+    fn validation_rejects_unattainable_threshold() {
+        let f = parse_formula("n > 5 +/- 0.1").unwrap();
+        let err = validate_formula(&f).unwrap_err();
+        assert!(err.to_string().contains("attainable"));
+        // n - o ranges over [-1, 1]; threshold -2 is unattainable.
+        let f = parse_formula("n - o > -2 +/- 0.1").unwrap();
+        assert!(validate_formula(&f).is_err());
+    }
+
+    #[test]
+    fn clause_classification() {
+        assert!(matches!(
+            classify_clause(&parse_clause("d < 0.1 +/- 0.01").unwrap()),
+            ClauseShape::DifferenceBound { limit, tolerance }
+                if limit == 0.1 && tolerance == 0.01
+        ));
+        assert!(matches!(
+            classify_clause(&parse_clause("n - o > 0.02 +/- 0.01").unwrap()),
+            ClauseShape::AccuracyImprovement { margin, tolerance }
+                if margin == 0.02 && tolerance == 0.01
+        ));
+        assert!(matches!(
+            classify_clause(&parse_clause("n > 0.9 +/- 0.01").unwrap()),
+            ClauseShape::QualityFloor { floor, tolerance }
+                if floor == 0.9 && tolerance == 0.01
+        ));
+        // `d > …` is not a difference bound; `o - n` is not an improvement.
+        assert!(matches!(
+            classify_clause(&parse_clause("d > 0.1 +/- 0.01").unwrap()),
+            ClauseShape::General
+        ));
+        assert!(matches!(
+            classify_clause(&parse_clause("o - n > 0.1 +/- 0.01").unwrap()),
+            ClauseShape::General
+        ));
+    }
+
+    #[test]
+    fn attainable_bounds_examples() {
+        let f = LinearForm::from_expr(&parse_expr("n - o").unwrap());
+        assert_eq!(attainable_bounds(&f), (-1.0, 1.0));
+        let f = LinearForm::from_expr(&parse_expr("n + o + d").unwrap());
+        assert_eq!(attainable_bounds(&f), (0.0, 3.0));
+    }
+}

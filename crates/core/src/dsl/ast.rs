@@ -1,0 +1,376 @@
+//! Abstract syntax tree for the condition language (Appendix A.1).
+//!
+//! ```text
+//! c    :- floating point constant
+//! v    :- n | o | d
+//! op1  :- + | -
+//! op2  :- *
+//! EXP  :- v | v op1 EXP | EXP op2 c
+//! cmp  :- > | <
+//! C    :- EXP cmp c +/- c
+//! F    :- C | C /\ F
+//! ```
+
+use std::fmt;
+
+/// One of the three random variables a condition may reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Var {
+    /// `n` — accuracy of the newly committed model.
+    N,
+    /// `o` — accuracy of the old (currently accepted) model.
+    O,
+    /// `d` — fraction of test points whose prediction changed.
+    D,
+}
+
+impl Var {
+    /// All variables, in canonical order.
+    pub const ALL: [Var; 3] = [Var::N, Var::O, Var::D];
+
+    /// Dynamic range of the variable: all three live in `[0, 1]`.
+    #[must_use]
+    pub fn range(self) -> f64 {
+        1.0
+    }
+
+    /// Whether measuring this variable requires ground-truth labels.
+    ///
+    /// Accuracies (`n`, `o`) need labels; the prediction difference `d`
+    /// can be measured on unlabeled data (Technical Observation 2, §4).
+    #[must_use]
+    pub fn needs_labels(self) -> bool {
+        !matches!(self, Var::D)
+    }
+
+    /// The source-syntax letter.
+    #[must_use]
+    pub fn letter(self) -> char {
+        match self {
+            Var::N => 'n',
+            Var::O => 'o',
+            Var::D => 'd',
+        }
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+/// An arithmetic expression over the variables.
+///
+/// The surface grammar is linear by construction: expressions combine
+/// variables with `+`/`-` and scale by constants with `*`. The parser
+/// additionally guarantees (and [`crate::dsl::LinearForm`] re-checks) that
+/// no variable-by-variable products or stray constant terms appear.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A bare variable.
+    Var(Var),
+    /// A constant multiple `c * e`.
+    Scale(f64, Box<Expr>),
+    /// Sum `e1 + e2`.
+    Add(Box<Expr>, Box<Expr>),
+    /// Difference `e1 - e2`.
+    Sub(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Shorthand constructor for a variable leaf.
+    #[must_use]
+    pub fn var(v: Var) -> Expr {
+        Expr::Var(v)
+    }
+
+    /// Shorthand constructor for `c * e`.
+    #[must_use]
+    pub fn scale(c: f64, e: Expr) -> Expr {
+        Expr::Scale(c, Box::new(e))
+    }
+
+    /// Shorthand constructor for `a + b`.
+    ///
+    /// A static builder (`Expr::add(a, b)`), deliberately not the
+    /// `std::ops::Add` trait: expressions are AST nodes, not numbers.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Add(Box::new(a), Box::new(b))
+    }
+
+    /// Shorthand constructor for `a - b`.
+    ///
+    /// A static builder, deliberately not the `std::ops::Sub` trait.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Sub(Box::new(a), Box::new(b))
+    }
+
+    /// Number of leaf (variable) occurrences.
+    #[must_use]
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            Expr::Var(_) => 1,
+            Expr::Scale(_, e) => e.leaf_count(),
+            Expr::Add(a, b) | Expr::Sub(a, b) => a.leaf_count() + b.leaf_count(),
+        }
+    }
+
+    /// Variables referenced by the expression, deduplicated, in canonical
+    /// order.
+    #[must_use]
+    pub fn variables(&self) -> Vec<Var> {
+        let mut present = [false; 3];
+        self.mark_vars(&mut present);
+        Var::ALL.iter().copied().zip(present).filter(|&(_, p)| p).map(|(v, _)| v).collect()
+    }
+
+    fn mark_vars(&self, present: &mut [bool; 3]) {
+        match self {
+            Expr::Var(Var::N) => present[0] = true,
+            Expr::Var(Var::O) => present[1] = true,
+            Expr::Var(Var::D) => present[2] = true,
+            Expr::Scale(_, e) => e.mark_vars(present),
+            Expr::Add(a, b) | Expr::Sub(a, b) => {
+                a.mark_vars(present);
+                b.mark_vars(present);
+            }
+        }
+    }
+
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, parent_prec: u8) -> fmt::Result {
+        // precedence: Add/Sub = 1, Scale = 2, Var = 3
+        let prec = match self {
+            Expr::Var(_) => 3,
+            Expr::Scale(..) => 2,
+            Expr::Add(..) | Expr::Sub(..) => 1,
+        };
+        let need_parens = prec < parent_prec;
+        if need_parens {
+            write!(f, "(")?;
+        }
+        match self {
+            Expr::Var(v) => write!(f, "{v}")?,
+            Expr::Scale(c, e) => {
+                write!(f, "{c} * ")?;
+                e.fmt_prec(f, 3)?;
+            }
+            Expr::Add(a, b) => {
+                a.fmt_prec(f, 1)?;
+                write!(f, " + ")?;
+                b.fmt_prec(f, 2)?;
+            }
+            Expr::Sub(a, b) => {
+                a.fmt_prec(f, 1)?;
+                write!(f, " - ")?;
+                b.fmt_prec(f, 2)?;
+            }
+        }
+        if need_parens {
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, 0)
+    }
+}
+
+impl From<Var> for Expr {
+    fn from(v: Var) -> Self {
+        Expr::Var(v)
+    }
+}
+
+/// Comparison operator of a clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `>` — the expression must exceed the threshold.
+    Gt,
+    /// `<` — the expression must stay below the threshold.
+    Lt,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CmpOp::Gt => write!(f, ">"),
+            CmpOp::Lt => write!(f, "<"),
+        }
+    }
+}
+
+/// A single clause `EXP cmp c +/- c`, e.g. `n - o > 0.02 +/- 0.01`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clause {
+    /// Left-hand-side expression.
+    pub expr: Expr,
+    /// Comparison operator.
+    pub cmp: CmpOp,
+    /// Right-hand-side threshold constant.
+    pub threshold: f64,
+    /// Error tolerance `ε` following `+/-`.
+    pub tolerance: f64,
+}
+
+impl Clause {
+    /// Create a clause; see the type-level docs for the semantics.
+    #[must_use]
+    pub fn new(expr: Expr, cmp: CmpOp, threshold: f64, tolerance: f64) -> Self {
+        Clause { expr, cmp, threshold, tolerance }
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} +/- {}", self.expr, self.cmp, self.threshold, self.tolerance)
+    }
+}
+
+/// A formula: a conjunction of clauses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Formula {
+    clauses: Vec<Clause>,
+}
+
+impl Formula {
+    /// Build a formula from its clauses.
+    ///
+    /// An empty clause list is permitted here but rejected by semantic
+    /// validation ([`crate::dsl::parse_formula`] never produces one).
+    #[must_use]
+    pub fn new(clauses: Vec<Clause>) -> Self {
+        Formula { clauses }
+    }
+
+    /// The clauses of the conjunction, in source order.
+    #[must_use]
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Number of clauses.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Whether the formula has no clauses.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// All variables referenced anywhere in the formula, deduplicated, in
+    /// canonical order.
+    #[must_use]
+    pub fn variables(&self) -> Vec<Var> {
+        let mut present = [false; 3];
+        for clause in &self.clauses {
+            for v in clause.expr.variables() {
+                present[match v {
+                    Var::N => 0,
+                    Var::O => 1,
+                    Var::D => 2,
+                }] = true;
+            }
+        }
+        Var::ALL.iter().copied().zip(present).filter(|&(_, p)| p).map(|(v, _)| v).collect()
+    }
+
+    /// Whether any referenced variable requires ground-truth labels.
+    #[must_use]
+    pub fn needs_labels(&self) -> bool {
+        self.variables().iter().any(|v| v.needs_labels())
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, clause) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " /\\ ")?;
+            }
+            write!(f, "{clause}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Clause> for Formula {
+    fn from_iter<T: IntoIterator<Item = Clause>>(iter: T) -> Self {
+        Formula::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diff() -> Expr {
+        Expr::sub(Expr::var(Var::N), Expr::var(Var::O))
+    }
+
+    #[test]
+    fn display_round_trip_shapes() {
+        assert_eq!(diff().to_string(), "n - o");
+        let e = Expr::sub(Expr::var(Var::N), Expr::scale(1.1, Expr::var(Var::O)));
+        assert_eq!(e.to_string(), "n - 1.1 * o");
+        let e = Expr::scale(2.0, diff());
+        assert_eq!(e.to_string(), "2 * (n - o)");
+        // Right-associated subtraction needs parens to keep its meaning.
+        let e = Expr::sub(Expr::var(Var::N), Expr::add(Expr::var(Var::O), Expr::var(Var::D)));
+        assert_eq!(e.to_string(), "n - (o + d)");
+        // Left-associated subtraction does not.
+        let e = Expr::sub(Expr::sub(Expr::var(Var::N), Expr::var(Var::O)), Expr::var(Var::D));
+        assert_eq!(e.to_string(), "n - o - d");
+    }
+
+    #[test]
+    fn clause_display_matches_paper_syntax() {
+        let c = Clause::new(diff(), CmpOp::Gt, 0.02, 0.01);
+        assert_eq!(c.to_string(), "n - o > 0.02 +/- 0.01");
+    }
+
+    #[test]
+    fn formula_display() {
+        let f = Formula::new(vec![
+            Clause::new(diff(), CmpOp::Gt, 0.02, 0.01),
+            Clause::new(Expr::var(Var::D), CmpOp::Lt, 0.1, 0.01),
+        ]);
+        assert_eq!(f.to_string(), "n - o > 0.02 +/- 0.01 /\\ d < 0.1 +/- 0.01");
+    }
+
+    #[test]
+    fn variables_are_deduplicated_and_ordered() {
+        let e = Expr::add(diff(), Expr::sub(Expr::var(Var::N), Expr::var(Var::D)));
+        assert_eq!(e.variables(), vec![Var::N, Var::O, Var::D]);
+        assert_eq!(e.leaf_count(), 4);
+    }
+
+    #[test]
+    fn label_requirements() {
+        assert!(Var::N.needs_labels());
+        assert!(Var::O.needs_labels());
+        assert!(!Var::D.needs_labels());
+        let f = Formula::new(vec![Clause::new(Expr::var(Var::D), CmpOp::Lt, 0.1, 0.01)]);
+        assert!(!f.needs_labels());
+        let f = Formula::new(vec![Clause::new(diff(), CmpOp::Gt, 0.0, 0.01)]);
+        assert!(f.needs_labels());
+    }
+
+    #[test]
+    fn collect_into_formula() {
+        let f: Formula =
+            vec![Clause::new(Expr::var(Var::N), CmpOp::Gt, 0.8, 0.05)].into_iter().collect();
+        assert_eq!(f.len(), 1);
+        assert!(!f.is_empty());
+    }
+}

@@ -1,0 +1,407 @@
+//! Recursive-descent parser for the condition language.
+//!
+//! Accepts a superset of the paper's grammar (parenthesised
+//! sub-expressions, constants on either side of `*`) and then enforces the
+//! grammar's intent through semantic validation: expressions must be
+//! *linear* in the variables with no constant offset.
+
+use super::ast::{Clause, CmpOp, Expr, Formula};
+use super::token::{tokenize, Spanned, Token};
+use crate::error::ParseError;
+
+/// Parse a full formula, e.g.
+/// `n - o > 0.02 +/- 0.01 /\ d < 0.1 +/- 0.01`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for lexical errors, grammar violations,
+/// non-linear expressions (`n * o`), bare constant terms (`n + 0.5`),
+/// or out-of-range thresholds/tolerances.
+///
+/// # Examples
+///
+/// ```
+/// use easeml_ci_core::dsl::parse_formula;
+///
+/// # fn main() -> Result<(), easeml_ci_core::CiError> {
+/// let f = parse_formula("n - o > 0.02 +/- 0.01 /\\ d < 0.1 +/- 0.01")?;
+/// assert_eq!(f.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_formula(src: &str) -> Result<Formula, ParseError> {
+    let tokens = tokenize(src)?;
+    let mut parser = Parser { tokens: &tokens, pos: 0, src_len: src.len() };
+    let formula = parser.formula()?;
+    parser.expect_end()?;
+    Ok(formula)
+}
+
+/// Parse a single clause, e.g. `n > 0.8 +/- 0.05`.
+///
+/// # Errors
+///
+/// Same conditions as [`parse_formula`].
+pub fn parse_clause(src: &str) -> Result<Clause, ParseError> {
+    let tokens = tokenize(src)?;
+    let mut parser = Parser { tokens: &tokens, pos: 0, src_len: src.len() };
+    let clause = parser.clause()?;
+    parser.expect_end()?;
+    Ok(clause)
+}
+
+/// Parse an expression, e.g. `n - 1.1 * o`.
+///
+/// # Errors
+///
+/// Same conditions as [`parse_formula`].
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let tokens = tokenize(src)?;
+    let mut parser = Parser { tokens: &tokens, pos: 0, src_len: src.len() };
+    let node = parser.expr()?;
+    parser.expect_end()?;
+    let expr = node.into_linear_expr()?;
+    Ok(expr)
+}
+
+/// Intermediate parse node: either a constant or a (linear) expression
+/// with an optional accumulated constant offset. Linearity is enforced
+/// when the node is lowered into an [`Expr`].
+#[derive(Debug, Clone)]
+enum Node {
+    Const(f64, usize),
+    Linear(Expr, usize),
+}
+
+impl Node {
+    fn into_linear_expr(self) -> Result<Expr, ParseError> {
+        match self {
+            Node::Linear(e, _) => Ok(e),
+            Node::Const(c, at) => Err(ParseError::new(
+                at,
+                format!(
+                    "constant term `{c}` is not allowed inside an expression; \
+                     move constants to the right-hand side of the comparison"
+                ),
+            )),
+        }
+    }
+}
+
+struct Parser<'a> {
+    tokens: &'a [Spanned],
+    pos: usize,
+    src_len: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&'a Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn here(&self) -> usize {
+        self.tokens.get(self.pos).map_or(self.src_len, |s| s.offset)
+    }
+
+    fn bump(&mut self) -> Option<&'a Token> {
+        let t = self.tokens.get(self.pos).map(|s| &s.token);
+        self.pos += 1;
+        t
+    }
+
+    fn expect_end(&self) -> Result<(), ParseError> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                self.here(),
+                format!("unexpected trailing input `{}`", self.tokens[self.pos].token),
+            ))
+        }
+    }
+
+    fn formula(&mut self) -> Result<Formula, ParseError> {
+        let mut clauses = vec![self.clause()?];
+        while matches!(self.peek(), Some(Token::And)) {
+            self.bump();
+            clauses.push(self.clause()?);
+        }
+        Ok(Formula::new(clauses))
+    }
+
+    fn clause(&mut self) -> Result<Clause, ParseError> {
+        let lhs_at = self.here();
+        let lhs = self.expr()?;
+        let expr = match lhs {
+            Node::Linear(e, _) => e,
+            Node::Const(c, _) => {
+                return Err(ParseError::new(
+                    lhs_at,
+                    format!("left-hand side must reference a variable, got constant `{c}`"),
+                ))
+            }
+        };
+        let cmp = match self.bump() {
+            Some(Token::Gt) => CmpOp::Gt,
+            Some(Token::Lt) => CmpOp::Lt,
+            other => {
+                return Err(ParseError::new(
+                    self.here().saturating_sub(1),
+                    format!(
+                        "expected comparison `>` or `<`, got {}",
+                        other.map_or("end of input".to_owned(), |t| format!("`{t}`"))
+                    ),
+                ))
+            }
+        };
+        let threshold = self.signed_number("threshold")?;
+        match self.bump() {
+            Some(Token::PlusMinus) => {}
+            other => {
+                return Err(ParseError::new(
+                    self.here().saturating_sub(1),
+                    format!(
+                        "expected `+/-` tolerance, got {}",
+                        other.map_or("end of input".to_owned(), |t| format!("`{t}`"))
+                    ),
+                ))
+            }
+        }
+        let tol_at = self.here();
+        let tolerance = self.signed_number("tolerance")?;
+        // NaN-rejecting guard: `!(x > 0.0)` is also true for NaN.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(tolerance > 0.0) || !tolerance.is_finite() {
+            return Err(ParseError::new(
+                tol_at,
+                format!("tolerance must be a positive number, got `{tolerance}`"),
+            ));
+        }
+        Ok(Clause::new(expr, cmp, threshold, tolerance))
+    }
+
+    fn signed_number(&mut self, what: &str) -> Result<f64, ParseError> {
+        let negative = if matches!(self.peek(), Some(Token::Minus)) {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        match self.bump() {
+            Some(Token::Number(x)) => Ok(if negative { -x } else { *x }),
+            other => Err(ParseError::new(
+                self.here().saturating_sub(1),
+                format!(
+                    "expected {what} constant, got {}",
+                    other.map_or("end of input".to_owned(), |t| format!("`{t}`"))
+                ),
+            )),
+        }
+    }
+
+    /// expr := term (('+' | '-') term)*
+    fn expr(&mut self) -> Result<Node, ParseError> {
+        let mut acc = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => '+',
+                Some(Token::Minus) => '-',
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.term()?;
+            acc = combine_additive(acc, rhs, op)?;
+        }
+        Ok(acc)
+    }
+
+    /// term := factor ('*' factor)*
+    fn term(&mut self) -> Result<Node, ParseError> {
+        let mut acc = self.factor()?;
+        while matches!(self.peek(), Some(Token::Star)) {
+            self.bump();
+            let rhs = self.factor()?;
+            acc = combine_multiplicative(acc, rhs)?;
+        }
+        Ok(acc)
+    }
+
+    /// factor := var | number | '-' factor | '(' expr ')'
+    fn factor(&mut self) -> Result<Node, ParseError> {
+        let at = self.here();
+        match self.bump() {
+            Some(Token::Var(c)) => {
+                let v = match c {
+                    'n' => super::ast::Var::N,
+                    'o' => super::ast::Var::O,
+                    _ => super::ast::Var::D,
+                };
+                Ok(Node::Linear(Expr::Var(v), at))
+            }
+            Some(Token::Number(x)) => Ok(Node::Const(*x, at)),
+            Some(Token::Minus) => {
+                let inner = self.factor()?;
+                match inner {
+                    Node::Const(c, _) => Ok(Node::Const(-c, at)),
+                    Node::Linear(e, _) => Ok(Node::Linear(Expr::scale(-1.0, e), at)),
+                }
+            }
+            Some(Token::LParen) => {
+                let inner = self.expr()?;
+                match self.bump() {
+                    Some(Token::RParen) => Ok(inner),
+                    _ => Err(ParseError::new(self.here(), "expected `)`")),
+                }
+            }
+            other => Err(ParseError::new(
+                at,
+                format!(
+                    "expected a variable, number, or `(`, got {}",
+                    other.map_or("end of input".to_owned(), |t| format!("`{t}`"))
+                ),
+            )),
+        }
+    }
+}
+
+fn combine_additive(lhs: Node, rhs: Node, op: char) -> Result<Node, ParseError> {
+    // Constants may not appear as additive terms (grammar: EXP has no
+    // constant leaves). Reject early with a targeted message.
+    let reject = |c: f64, at: usize| {
+        Err(ParseError::new(
+            at,
+            format!(
+                "constant term `{c}` cannot be added to an expression; \
+                 fold it into the right-hand side of the comparison"
+            ),
+        ))
+    };
+    match (lhs, rhs) {
+        (Node::Const(c, at), _) => reject(c, at),
+        (_, Node::Const(c, at)) => reject(c, at),
+        (Node::Linear(a, at), Node::Linear(b, _)) => {
+            let expr = if op == '+' { Expr::add(a, b) } else { Expr::sub(a, b) };
+            Ok(Node::Linear(expr, at))
+        }
+    }
+}
+
+fn combine_multiplicative(lhs: Node, rhs: Node) -> Result<Node, ParseError> {
+    match (lhs, rhs) {
+        (Node::Const(a, at), Node::Const(b, _)) => Ok(Node::Const(a * b, at)),
+        (Node::Const(c, at), Node::Linear(e, _)) | (Node::Linear(e, _), Node::Const(c, at)) => {
+            Ok(Node::Linear(Expr::scale(c, e), at))
+        }
+        (Node::Linear(_, _), Node::Linear(_, at)) => Err(ParseError::new(
+            at,
+            "product of two variable expressions is not linear; the condition \
+             grammar only allows multiplication by a constant",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::ast::Var;
+
+    #[test]
+    fn parses_paper_formula() {
+        let f = parse_formula("n - 1.1 * o > 0.01 +/- 0.01 /\\ d < 0.1 +/- 0.01").unwrap();
+        assert_eq!(f.len(), 2);
+        let c0 = &f.clauses()[0];
+        assert_eq!(c0.cmp, CmpOp::Gt);
+        assert_eq!(c0.threshold, 0.01);
+        assert_eq!(c0.tolerance, 0.01);
+        assert_eq!(c0.expr.to_string(), "n - 1.1 * o");
+        let c1 = &f.clauses()[1];
+        assert_eq!(c1.cmp, CmpOp::Lt);
+        assert_eq!(c1.expr, Expr::Var(Var::D));
+    }
+
+    #[test]
+    fn parses_single_variable_conditions() {
+        let c = parse_clause("n > 0.8 +/- 0.05").unwrap();
+        assert_eq!(c.expr, Expr::Var(Var::N));
+        assert_eq!(c.threshold, 0.8);
+        assert_eq!(c.tolerance, 0.05);
+    }
+
+    #[test]
+    fn constant_on_either_side_of_star() {
+        let a = parse_expr("1.1 * o").unwrap();
+        let b = parse_expr("o * 1.1").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, Expr::scale(1.1, Expr::var(Var::O)));
+    }
+
+    #[test]
+    fn nested_parens_and_scaling() {
+        let e = parse_expr("2 * (n - o)").unwrap();
+        assert_eq!(e.to_string(), "2 * (n - o)");
+        let e = parse_expr("0.5 * (n - o) + d").unwrap();
+        assert_eq!(e.to_string(), "0.5 * (n - o) + d");
+    }
+
+    #[test]
+    fn unary_minus() {
+        let e = parse_expr("-o + n").unwrap();
+        assert_eq!(e, Expr::add(Expr::scale(-1.0, Expr::var(Var::O)), Expr::var(Var::N)));
+        let c = parse_clause("n > -0.1 +/- 0.05").unwrap();
+        assert_eq!(c.threshold, -0.1);
+    }
+
+    #[test]
+    fn rejects_nonlinear_products() {
+        let err = parse_expr("n * o").unwrap_err();
+        assert!(err.to_string().contains("not linear"));
+    }
+
+    #[test]
+    fn rejects_constant_terms() {
+        assert!(parse_expr("n + 0.5").is_err());
+        assert!(parse_expr("0.5 - n").is_err());
+        assert!(parse_clause("0.5 > 0.1 +/- 0.01").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_tolerance() {
+        let err = parse_clause("n > 0.8").unwrap_err();
+        assert!(err.to_string().contains("+/-"), "{err}");
+    }
+
+    #[test]
+    fn rejects_nonpositive_tolerance() {
+        assert!(parse_clause("n > 0.8 +/- 0").is_err());
+        assert!(parse_clause("n > 0.8 +/- -0.01").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_clause("n > 0.8 +/- 0.05 0.1").is_err());
+        assert!(parse_formula("n > 0.8 +/- 0.05 /\\").is_err());
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(parse_formula("").is_err());
+        assert!(parse_expr("   ").is_err());
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let sources = [
+            "n > 0.8 +/- 0.05",
+            "n - o > 0.02 +/- 0.01",
+            "d < 0.1 +/- 0.01",
+            "n - 1.1 * o > 0.01 +/- 0.01 /\\ d < 0.1 +/- 0.01",
+            "n - o > 0.02 +/- 0.01 /\\ d < 0.1 +/- 0.01 /\\ n > 0.9 +/- 0.02",
+        ];
+        for src in sources {
+            let f = parse_formula(src).unwrap();
+            let printed = f.to_string();
+            let reparsed = parse_formula(&printed).unwrap();
+            assert_eq!(f, reparsed, "round trip failed for `{src}` -> `{printed}`");
+        }
+    }
+}

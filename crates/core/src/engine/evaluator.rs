@@ -1,0 +1,308 @@
+//! Measurement layer of the engine: turns predictions + (lazily acquired)
+//! labels into clause-level estimates.
+//!
+//! The key optimization (Technical Observation 2, §4) is that the
+//! prediction difference `d` needs no labels at all, and a pure
+//! difference `n − o` only needs labels where the two models *disagree*:
+//! on agreeing points `nᵢ − oᵢ = 0` regardless of the label. The
+//! evaluator exploits both, requesting labels from the oracle only when a
+//! clause genuinely needs them and reporting how many fresh labels each
+//! evaluation consumed.
+
+use super::testset::{LabelOracle, Testset};
+use crate::dsl::{Clause, LinearForm, Var};
+use crate::error::{EngineError, Result};
+use std::ops::Range;
+
+/// Per-commit measurement summary, as recorded in receipts and history.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CommitEstimates {
+    /// Estimated fraction of changed predictions (`d̂`), when measured.
+    pub d: Option<f64>,
+    /// Estimated new-model accuracy (`n̂`), when individually measured.
+    pub n: Option<f64>,
+    /// Estimated old-model accuracy (`ô`), when individually measured.
+    pub o: Option<f64>,
+    /// Directly measured accuracy difference (`n̂ − ô` via the
+    /// disagreement trick), when used.
+    pub diff: Option<f64>,
+    /// Fresh labels requested from the oracle during this evaluation.
+    pub labels_requested: u64,
+}
+
+/// Evaluation context for one commit: the testset (mutable: labels fill
+/// in lazily), an optional oracle, and the two prediction vectors.
+pub struct Measurement<'a> {
+    testset: &'a mut Testset,
+    oracle: Option<&'a mut (dyn LabelOracle + 'static)>,
+    old: &'a [u32],
+    new: &'a [u32],
+    labels_requested: u64,
+}
+
+impl std::fmt::Debug for Measurement<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Measurement")
+            .field("testset_len", &self.testset.len())
+            .field("has_oracle", &self.oracle.is_some())
+            .field("labels_requested", &self.labels_requested)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> Measurement<'a> {
+    /// Create a measurement context.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::PredictionLengthMismatch`] if either
+    /// prediction vector does not cover the testset.
+    pub fn new(
+        testset: &'a mut Testset,
+        oracle: Option<&'a mut (dyn LabelOracle + 'static)>,
+        old: &'a [u32],
+        new: &'a [u32],
+    ) -> Result<Self> {
+        let want = testset.len();
+        if old.len() != want {
+            return Err(EngineError::PredictionLengthMismatch { got: old.len(), want }.into());
+        }
+        if new.len() != want {
+            return Err(EngineError::PredictionLengthMismatch { got: new.len(), want }.into());
+        }
+        Ok(Measurement { testset, oracle, old, new, labels_requested: 0 })
+    }
+
+    /// Fresh labels pulled from the oracle so far.
+    #[must_use]
+    pub fn labels_requested(&self) -> u64 {
+        self.labels_requested
+    }
+
+    /// Label-free estimate of `d` over an index range.
+    #[must_use]
+    pub fn difference(&self, range: Range<usize>) -> f64 {
+        let len = range.len().max(1);
+        let changed =
+            range.clone().filter(|&i| self.new[i] != self.old[i]).count();
+        changed as f64 / len as f64
+    }
+
+    /// Accuracy of the *new* model over a range (labels every item).
+    ///
+    /// # Errors
+    ///
+    /// Propagates label-acquisition failures.
+    pub fn new_accuracy(&mut self, range: Range<usize>) -> Result<f64> {
+        self.accuracy_of(range, /* new */ true)
+    }
+
+    /// Accuracy of the *old* model over a range (labels every item).
+    ///
+    /// # Errors
+    ///
+    /// Propagates label-acquisition failures.
+    pub fn old_accuracy(&mut self, range: Range<usize>) -> Result<f64> {
+        self.accuracy_of(range, /* new */ false)
+    }
+
+    fn accuracy_of(&mut self, range: Range<usize>, new: bool) -> Result<f64> {
+        let len = range.len().max(1);
+        let mut correct = 0usize;
+        for i in range {
+            let (label, fresh) = self.testset.require_label(i, self.oracle.as_deref_mut())?;
+            if fresh {
+                self.labels_requested += 1;
+            }
+            let pred = if new { self.new[i] } else { self.old[i] };
+            if pred == label {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / len as f64)
+    }
+
+    /// Directly measure `n − o` over a range via the disagreement trick:
+    /// only items where predictions differ are labelled (§4.1.2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates label-acquisition failures.
+    pub fn accuracy_difference(&mut self, range: Range<usize>) -> Result<f64> {
+        let len = range.len().max(1);
+        let mut delta = 0i64;
+        for i in range {
+            if self.new[i] == self.old[i] {
+                continue; // contributes 0 regardless of the label
+            }
+            let (label, fresh) = self.testset.require_label(i, self.oracle.as_deref_mut())?;
+            if fresh {
+                self.labels_requested += 1;
+            }
+            delta += i64::from(self.new[i] == label) - i64::from(self.old[i] == label);
+        }
+        Ok(delta as f64 / len as f64)
+    }
+
+    /// Measure the left-hand side of a clause over a range, choosing the
+    /// cheapest sufficient strategy:
+    ///
+    /// * `d`-only expressions: label-free;
+    /// * expressions where the `n` and `o` coefficients cancel
+    ///   (`α_n = −α_o`): disagreement labelling only;
+    /// * anything else: full labelling of the range.
+    ///
+    /// # Errors
+    ///
+    /// Propagates label-acquisition failures.
+    pub fn clause_lhs(&mut self, clause: &Clause, range: Range<usize>) -> Result<f64> {
+        let form = LinearForm::from_expr(&clause.expr);
+        let a_n = form.coefficient(Var::N);
+        let a_o = form.coefficient(Var::O);
+        let a_d = form.coefficient(Var::D);
+        let d_part = if a_d != 0.0 { a_d * self.difference(range.clone()) } else { 0.0 };
+        if a_n == 0.0 && a_o == 0.0 {
+            return Ok(d_part);
+        }
+        if a_n == -a_o {
+            let diff = self.accuracy_difference(range)?;
+            return Ok(a_n * diff + d_part);
+        }
+        let n_part = if a_n != 0.0 { a_n * self.new_accuracy(range.clone())? } else { 0.0 };
+        let o_part = if a_o != 0.0 { a_o * self.old_accuracy(range)? } else { 0.0 };
+        Ok(n_part + o_part + d_part)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::parse_clause;
+    use crate::engine::testset::VecOracle;
+
+    /// 10 items; labels all 0. Old model predicts 0 except items 8, 9
+    /// (accuracy 0.8). New model predicts 0 except item 9 (accuracy 0.9).
+    /// They disagree exactly on item 8 (d = 0.1).
+    fn fixture() -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+        let labels = vec![0u32; 10];
+        let mut old = vec![0u32; 10];
+        old[8] = 1;
+        old[9] = 1;
+        let mut new = vec![0u32; 10];
+        new[9] = 1;
+        (labels, old, new)
+    }
+
+    #[test]
+    fn difference_needs_no_labels() {
+        let (_, old, new) = fixture();
+        let mut testset = Testset::unlabeled(10);
+        let m = Measurement::new(&mut testset, None, &old, &new).unwrap();
+        assert!((m.difference(0..10) - 0.1).abs() < 1e-12);
+        assert_eq!(m.labels_requested(), 0);
+    }
+
+    #[test]
+    fn accuracy_labels_everything_in_range() {
+        let (labels, old, new) = fixture();
+        let mut testset = Testset::unlabeled(10);
+        let mut oracle = VecOracle::new(labels);
+        let mut m = Measurement::new(&mut testset, Some(&mut oracle), &old, &new).unwrap();
+        assert!((m.new_accuracy(0..10).unwrap() - 0.9).abs() < 1e-12);
+        assert_eq!(m.labels_requested(), 10);
+        // Old accuracy reuses the cached labels.
+        assert!((m.old_accuracy(0..10).unwrap() - 0.8).abs() < 1e-12);
+        assert_eq!(m.labels_requested(), 10);
+    }
+
+    #[test]
+    fn difference_trick_labels_only_disagreements() {
+        let (labels, old, new) = fixture();
+        let mut testset = Testset::unlabeled(10);
+        let mut oracle = VecOracle::new(labels);
+        let mut m = Measurement::new(&mut testset, Some(&mut oracle), &old, &new).unwrap();
+        let diff = m.accuracy_difference(0..10).unwrap();
+        assert!((diff - 0.1).abs() < 1e-12, "diff = {diff}");
+        assert_eq!(m.labels_requested(), 1, "only item 8 disagrees");
+    }
+
+    #[test]
+    fn clause_lhs_picks_cheapest_strategy() {
+        let (labels, old, new) = fixture();
+        // d-only: free.
+        {
+            let mut testset = Testset::unlabeled(10);
+            let mut m = Measurement::new(&mut testset, None, &old, &new).unwrap();
+            let clause = parse_clause("d < 0.2 +/- 0.05").unwrap();
+            assert!((m.clause_lhs(&clause, 0..10).unwrap() - 0.1).abs() < 1e-12);
+            assert_eq!(m.labels_requested(), 0);
+        }
+        // n - o: disagreement labels only.
+        {
+            let mut testset = Testset::unlabeled(10);
+            let mut oracle = VecOracle::new(labels.clone());
+            let mut m =
+                Measurement::new(&mut testset, Some(&mut oracle), &old, &new).unwrap();
+            let clause = parse_clause("n - o > 0.0 +/- 0.05").unwrap();
+            assert!((m.clause_lhs(&clause, 0..10).unwrap() - 0.1).abs() < 1e-12);
+            assert_eq!(m.labels_requested(), 1);
+        }
+        // scaled difference 2*(n-o) still uses the trick.
+        {
+            let mut testset = Testset::unlabeled(10);
+            let mut oracle = VecOracle::new(labels.clone());
+            let mut m =
+                Measurement::new(&mut testset, Some(&mut oracle), &old, &new).unwrap();
+            let clause = parse_clause("2 * (n - o) > 0.0 +/- 0.05").unwrap();
+            assert!((m.clause_lhs(&clause, 0..10).unwrap() - 0.2).abs() < 1e-12);
+            assert_eq!(m.labels_requested(), 1);
+        }
+        // bare n: full labelling.
+        {
+            let mut testset = Testset::unlabeled(10);
+            let mut oracle = VecOracle::new(labels);
+            let mut m =
+                Measurement::new(&mut testset, Some(&mut oracle), &old, &new).unwrap();
+            let clause = parse_clause("n > 0.5 +/- 0.1").unwrap();
+            assert!((m.clause_lhs(&clause, 0..10).unwrap() - 0.9).abs() < 1e-12);
+            assert_eq!(m.labels_requested(), 10);
+        }
+    }
+
+    #[test]
+    fn mixed_expression_with_d() {
+        let (labels, old, new) = fixture();
+        let mut testset = Testset::unlabeled(10);
+        let mut oracle = VecOracle::new(labels);
+        let mut m = Measurement::new(&mut testset, Some(&mut oracle), &old, &new).unwrap();
+        let clause = parse_clause("n - o + d > 0.0 +/- 0.05").unwrap();
+        // 0.1 + 0.1 = 0.2; still only one label (difference trick + free d).
+        assert!((m.clause_lhs(&clause, 0..10).unwrap() - 0.2).abs() < 1e-12);
+        assert_eq!(m.labels_requested(), 1);
+    }
+
+    #[test]
+    fn rejects_mismatched_predictions() {
+        let (_, old, _) = fixture();
+        let mut testset = Testset::unlabeled(10);
+        let short = vec![0u32; 5];
+        assert!(Measurement::new(&mut testset, None, &old, &short).is_err());
+        let mut testset2 = Testset::unlabeled(10);
+        assert!(Measurement::new(&mut testset2, None, &short, &old).is_err());
+    }
+
+    #[test]
+    fn subrange_measurement() {
+        let (labels, old, new) = fixture();
+        let mut testset = Testset::unlabeled(10);
+        let mut oracle = VecOracle::new(labels);
+        let mut m = Measurement::new(&mut testset, Some(&mut oracle), &old, &new).unwrap();
+        // Range 0..8 excludes both wrong predictions: perfect agreement.
+        assert_eq!(m.difference(0..8), 0.0);
+        assert_eq!(m.accuracy_difference(0..8).unwrap(), 0.0);
+        assert_eq!(m.labels_requested(), 0);
+        // Range 8..10: old wrong on both, new wrong on one.
+        assert!((m.new_accuracy(8..10).unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(m.old_accuracy(8..10).unwrap(), 0.0);
+    }
+}

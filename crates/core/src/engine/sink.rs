@@ -1,0 +1,225 @@
+//! Notification sinks: how test outcomes leave the engine.
+//!
+//! With `adaptivity: none` the pass/fail result must reach the
+//! *integration team* without the developer seeing it (the statistical
+//! guarantee depends on that separation). The engine therefore reports
+//! through a [`NotificationSink`]; production deployments would wire this
+//! to email, simulations use [`MailboxSink`] or [`CollectingSink`].
+
+use crate::logic::Tribool;
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Why the engine asked for a fresh testset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlarmReason {
+    /// The pre-declared step budget `H` is used up.
+    BudgetExhausted,
+    /// Hybrid (`firstChange`) adaptivity: a commit passed, so the
+    /// current testset must retire early (§3.4).
+    PassedInHybrid,
+}
+
+impl fmt::Display for AlarmReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlarmReason::BudgetExhausted => write!(f, "step budget exhausted"),
+            AlarmReason::PassedInHybrid => {
+                write!(f, "a commit passed under firstChange adaptivity")
+            }
+        }
+    }
+}
+
+/// An event emitted by the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CiEvent {
+    /// A commit was evaluated.
+    CommitTested {
+        /// The commit identifier.
+        commit_id: String,
+        /// Three-valued outcome before mode collapse.
+        outcome: Tribool,
+        /// Final pass/fail decision.
+        passed: bool,
+        /// 1-based step index within the current testset era.
+        step: u32,
+    },
+    /// The current testset lost its statistical power.
+    NewTestsetAlarm {
+        /// Why the alarm fired.
+        reason: AlarmReason,
+        /// Steps consumed when it fired.
+        steps_used: u32,
+    },
+    /// A fresh testset was installed.
+    TestsetInstalled {
+        /// Pool size of the new testset.
+        size: usize,
+    },
+    /// The retired testset was released to the development team as a
+    /// validation set.
+    TestsetReleased {
+        /// Pool size of the released testset.
+        size: usize,
+    },
+}
+
+/// Receiver of engine events.
+pub trait NotificationSink {
+    /// Handle one event. Implementations must not panic.
+    fn notify(&mut self, event: &CiEvent);
+}
+
+/// A sink that drops every event.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl NotificationSink for NullSink {
+    fn notify(&mut self, _event: &CiEvent) {}
+}
+
+/// A sink that records raw events (for tests and simulations).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CollectingSink {
+    events: Vec<CiEvent>,
+}
+
+impl CollectingSink {
+    /// New empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        CollectingSink::default()
+    }
+
+    /// Events received so far, in order.
+    #[must_use]
+    pub fn events(&self) -> &[CiEvent] {
+        &self.events
+    }
+}
+
+impl NotificationSink for CollectingSink {
+    fn notify(&mut self, event: &CiEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+/// A simulated third-party mailbox: events are rendered as messages to an
+/// address the developer cannot read (the `adaptivity: none -> addr`
+/// channel of Figure 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MailboxSink {
+    address: String,
+    messages: Vec<String>,
+}
+
+impl MailboxSink {
+    /// A mailbox for the given address.
+    #[must_use]
+    pub fn new(address: impl Into<String>) -> Self {
+        MailboxSink { address: address.into(), messages: Vec::new() }
+    }
+
+    /// The mailbox address.
+    #[must_use]
+    pub fn address(&self) -> &str {
+        &self.address
+    }
+
+    /// Messages delivered so far.
+    #[must_use]
+    pub fn messages(&self) -> &[String] {
+        &self.messages
+    }
+}
+
+impl NotificationSink for MailboxSink {
+    fn notify(&mut self, event: &CiEvent) {
+        let body = match event {
+            CiEvent::CommitTested { commit_id, outcome, passed, step } => format!(
+                "to: {} | commit {commit_id} (step {step}): outcome {outcome}, {}",
+                self.address,
+                if *passed { "PASS" } else { "FAIL" }
+            ),
+            CiEvent::NewTestsetAlarm { reason, steps_used } => format!(
+                "to: {} | ALARM after {steps_used} steps: {reason}; please provide a fresh testset",
+                self.address
+            ),
+            CiEvent::TestsetInstalled { size } => {
+                format!("to: {} | new testset installed ({size} examples)", self.address)
+            }
+            CiEvent::TestsetReleased { size } => format!(
+                "to: {} | old testset released to developers ({size} examples)",
+                self.address
+            ),
+        };
+        self.messages.push(body);
+    }
+}
+
+/// Shared-ownership adapter so tests can keep a handle on a sink that the
+/// engine owns: `Rc<RefCell<S>>` forwards to `S`.
+impl<S: NotificationSink> NotificationSink for Rc<RefCell<S>> {
+    fn notify(&mut self, event: &CiEvent) {
+        self.borrow_mut().notify(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_event() -> CiEvent {
+        CiEvent::CommitTested {
+            commit_id: "abc".into(),
+            outcome: Tribool::True,
+            passed: true,
+            step: 1,
+        }
+    }
+
+    #[test]
+    fn collecting_sink_records_in_order() {
+        let mut sink = CollectingSink::new();
+        sink.notify(&sample_event());
+        sink.notify(&CiEvent::TestsetInstalled { size: 10 });
+        assert_eq!(sink.events().len(), 2);
+        assert!(matches!(sink.events()[1], CiEvent::TestsetInstalled { size: 10 }));
+    }
+
+    #[test]
+    fn mailbox_renders_messages() {
+        let mut mailbox = MailboxSink::new("xx@abc.com");
+        mailbox.notify(&sample_event());
+        mailbox.notify(&CiEvent::NewTestsetAlarm {
+            reason: AlarmReason::BudgetExhausted,
+            steps_used: 32,
+        });
+        assert_eq!(mailbox.messages().len(), 2);
+        assert!(mailbox.messages()[0].contains("xx@abc.com"));
+        assert!(mailbox.messages()[0].contains("PASS"));
+        assert!(mailbox.messages()[1].contains("ALARM"));
+        assert_eq!(mailbox.address(), "xx@abc.com");
+    }
+
+    #[test]
+    fn shared_sink_forwards() {
+        let shared = Rc::new(RefCell::new(CollectingSink::new()));
+        let mut handle = Rc::clone(&shared);
+        handle.notify(&sample_event());
+        assert_eq!(shared.borrow().events().len(), 1);
+    }
+
+    #[test]
+    fn null_sink_ignores() {
+        NullSink.notify(&sample_event()); // must not panic
+    }
+
+    #[test]
+    fn alarm_reason_display() {
+        assert!(AlarmReason::BudgetExhausted.to_string().contains("budget"));
+        assert!(AlarmReason::PassedInHybrid.to_string().contains("firstChange"));
+    }
+}

@@ -1,0 +1,214 @@
+//! Testset management: partially labelled example pools and the
+//! labelling oracle abstraction.
+//!
+//! ease.ml/ci asks the user for a *pool of unlabeled data points* up
+//! front and requests labels lazily (§4.1.2), so the testset tracks, per
+//! item, whether its ground-truth label is known yet. Class labels are
+//! `u32` indices; predictions are compared by equality only.
+
+use crate::error::{EngineError, Result};
+
+/// A pool of test examples with (possibly partial) ground-truth labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Testset {
+    labels: Vec<Option<u32>>,
+    known: usize,
+}
+
+impl Testset {
+    /// A testset whose every item is already labelled.
+    #[must_use]
+    pub fn fully_labeled(labels: Vec<u32>) -> Self {
+        let known = labels.len();
+        Testset { labels: labels.into_iter().map(Some).collect(), known }
+    }
+
+    /// A pool of `size` items with no labels yet (labels arrive through a
+    /// [`LabelOracle`]).
+    #[must_use]
+    pub fn unlabeled(size: usize) -> Self {
+        Testset { labels: vec![None; size], known: 0 }
+    }
+
+    /// A pool with the given partial labelling.
+    #[must_use]
+    pub fn with_partial_labels(labels: Vec<Option<u32>>) -> Self {
+        let known = labels.iter().filter(|l| l.is_some()).count();
+        Testset { labels, known }
+    }
+
+    /// Number of items in the pool.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the pool is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of items whose label is known.
+    #[must_use]
+    pub fn labeled_count(&self) -> usize {
+        self.known
+    }
+
+    /// The label of item `index`, if known.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    #[must_use]
+    pub fn label(&self, index: usize) -> Option<u32> {
+        self.labels[index]
+    }
+
+    /// Record a label for item `index`. Returns whether the label was new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn set_label(&mut self, index: usize, label: u32) -> bool {
+        let slot = &mut self.labels[index];
+        let fresh = slot.is_none();
+        if fresh {
+            self.known += 1;
+        }
+        *slot = Some(label);
+        fresh
+    }
+
+    /// Ensure item `index` is labelled, pulling from `oracle` when
+    /// missing. Returns the label and whether a fresh oracle call was
+    /// made.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::LabelUnavailable`] when the label is
+    /// missing and no oracle (or an exhausted oracle) is available.
+    pub fn require_label(
+        &mut self,
+        index: usize,
+        oracle: Option<&mut (dyn LabelOracle + 'static)>,
+    ) -> Result<(u32, bool)> {
+        if let Some(label) = self.labels[index] {
+            return Ok((label, false));
+        }
+        match oracle {
+            Some(oracle) => match oracle.label(index) {
+                Some(label) => {
+                    self.set_label(index, label);
+                    Ok((label, true))
+                }
+                None => Err(EngineError::LabelUnavailable { index }.into()),
+            },
+            None => Err(EngineError::LabelUnavailable { index }.into()),
+        }
+    }
+}
+
+/// A source of ground-truth labels, queried lazily by the engine.
+///
+/// Implementations typically wrap a human labelling team (in production)
+/// or a held-out ground-truth vector with a cost ledger (in simulation —
+/// see `easeml-sim`).
+pub trait LabelOracle {
+    /// Produce the label for testset item `index`, or `None` if the
+    /// oracle cannot label it (treated as an engine error).
+    fn label(&mut self, index: usize) -> Option<u32>;
+
+    /// Total labels served so far (for cost accounting). Default: not
+    /// tracked.
+    fn labels_served(&self) -> u64 {
+        0
+    }
+}
+
+/// Trivial oracle backed by a complete ground-truth vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VecOracle {
+    truth: Vec<u32>,
+    served: u64,
+}
+
+impl VecOracle {
+    /// Create an oracle from the full ground truth.
+    #[must_use]
+    pub fn new(truth: Vec<u32>) -> Self {
+        VecOracle { truth, served: 0 }
+    }
+}
+
+impl LabelOracle for VecOracle {
+    fn label(&mut self, index: usize) -> Option<u32> {
+        let label = self.truth.get(index).copied();
+        if label.is_some() {
+            self.served += 1;
+        }
+        label
+    }
+
+    fn labels_served(&self) -> u64 {
+        self.served
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_labeled_pool() {
+        let t = Testset::fully_labeled(vec![0, 1, 2, 1]);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.labeled_count(), 4);
+        assert_eq!(t.label(2), Some(2));
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn unlabeled_pool_fills_lazily() {
+        let mut t = Testset::unlabeled(3);
+        assert_eq!(t.labeled_count(), 0);
+        assert!(t.set_label(1, 7));
+        assert!(!t.set_label(1, 7)); // relabel is not fresh
+        assert_eq!(t.labeled_count(), 1);
+        assert_eq!(t.label(1), Some(7));
+        assert_eq!(t.label(0), None);
+    }
+
+    #[test]
+    fn require_label_uses_oracle_once() {
+        let mut t = Testset::unlabeled(3);
+        let mut oracle = VecOracle::new(vec![5, 6, 7]);
+        let (label, fresh) = t.require_label(2, Some(&mut oracle)).unwrap();
+        assert_eq!((label, fresh), (7, true));
+        assert_eq!(oracle.labels_served(), 1);
+        // Second query hits the cache.
+        let (label, fresh) = t.require_label(2, Some(&mut oracle)).unwrap();
+        assert_eq!((label, fresh), (7, false));
+        assert_eq!(oracle.labels_served(), 1);
+    }
+
+    #[test]
+    fn require_label_without_oracle_fails() {
+        let mut t = Testset::unlabeled(2);
+        let err = t.require_label(0, None).unwrap_err();
+        assert!(err.to_string().contains("no label available"));
+    }
+
+    #[test]
+    fn oracle_out_of_range() {
+        let mut t = Testset::unlabeled(5);
+        let mut oracle = VecOracle::new(vec![1, 2]);
+        assert!(t.require_label(4, Some(&mut oracle)).is_err());
+    }
+
+    #[test]
+    fn partial_labels_counted() {
+        let t = Testset::with_partial_labels(vec![Some(1), None, Some(0)]);
+        assert_eq!(t.labeled_count(), 2);
+    }
+}

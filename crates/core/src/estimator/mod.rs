@@ -1,0 +1,284 @@
+//! The sample-size estimator utility (§2.3, §3, §4).
+//!
+//! Given a [`CiScript`], [`SampleSizeEstimator`] answers "how many test
+//! examples must the user provide?" It first tries the §4 pattern
+//! optimizations (unless configured baseline-only) and falls back to the
+//! §3 Hoeffding recursion.
+//!
+//! ```
+//! use easeml_ci_core::{CiScript, SampleSizeEstimator};
+//!
+//! # fn main() -> Result<(), easeml_ci_core::CiError> {
+//! let script = CiScript::builder()
+//!     .condition_str("n > 0.8 +/- 0.05")?
+//!     .reliability(0.9999)
+//!     .adaptivity(easeml_bounds::Adaptivity::Full)
+//!     .steps(32)
+//!     .build()?;
+//! let estimate = SampleSizeEstimator::new().estimate(&script)?;
+//! assert_eq!(estimate.labeled_samples, 6_279); // §3.3 worked example
+//! # Ok(())
+//! # }
+//! ```
+
+mod baseline;
+mod pattern;
+
+pub use baseline::{
+    clause_sample_size, formula_sample_size, Allocation, ClauseEstimate, LeafBound, LeafEstimate,
+};
+pub use pattern::{
+    coarse_to_fine_plan, hierarchical_plan, implicit_variance_plan,
+    implicit_variance_test_phase, match_patterns, ActiveLabelingSchedule, CoarseToFinePlan,
+    HierarchicalPlan, ImplicitVariancePlan, OptimizedPlan, Pattern1Options, Pattern2Options,
+    PhaseEstimate,
+};
+
+use crate::error::Result;
+use crate::script::CiScript;
+use easeml_bounds::Tail;
+
+/// Strategy the estimator is allowed to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EstimatorStrategy {
+    /// Pattern optimizations when they apply, baseline otherwise.
+    #[default]
+    Auto,
+    /// Baseline Hoeffding recursion only (§3) — the ablation reference.
+    BaselineOnly,
+}
+
+/// Configuration of the sample-size estimator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimatorConfig {
+    /// Which strategies may be used.
+    pub strategy: EstimatorStrategy,
+    /// ε-budget allocation for compound expressions.
+    pub allocation: Allocation,
+    /// Bound backing baseline leaves.
+    pub leaf_bound: LeafBound,
+    /// Tail sidedness (the paper's tables use one-sided).
+    pub tail: Tail,
+    /// Pattern 1 knobs.
+    pub pattern1: Pattern1Options,
+    /// Pattern 2 knobs.
+    pub pattern2: Pattern2Options,
+}
+
+impl Default for EstimatorConfig {
+    fn default() -> Self {
+        EstimatorConfig {
+            strategy: EstimatorStrategy::Auto,
+            allocation: Allocation::EqualSplit,
+            leaf_bound: LeafBound::Hoeffding,
+            tail: Tail::OneSided,
+            pattern1: Pattern1Options::default(),
+            pattern2: Pattern2Options::default(),
+        }
+    }
+}
+
+/// The estimator's answer for a script.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleSizeEstimate {
+    /// Labelled examples the user must provide.
+    pub labeled_samples: u64,
+    /// Additional unlabeled examples (filter/probe phases).
+    pub unlabeled_samples: u64,
+    /// `ln δ` allocated to each individual test after adaptivity
+    /// accounting.
+    pub ln_delta_per_test: f64,
+    /// Which path produced the estimate.
+    pub provenance: EstimateProvenance,
+    /// Per-clause breakdown when the baseline estimator ran.
+    pub per_clause: Vec<ClauseEstimate>,
+}
+
+impl SampleSizeEstimate {
+    /// Total examples (labelled + unlabeled) the user must provide.
+    #[must_use]
+    pub fn total_samples(&self) -> u64 {
+        self.labeled_samples.saturating_add(self.unlabeled_samples)
+    }
+}
+
+/// Which estimation path produced the final numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EstimateProvenance {
+    /// Baseline recursion (§3).
+    Baseline,
+    /// One of the §4 pattern plans (attached).
+    Optimized(OptimizedPlan),
+}
+
+/// The sample-size estimator utility.
+///
+/// Stateless apart from its configuration; cheap to construct per query.
+#[derive(Debug, Clone, Default)]
+pub struct SampleSizeEstimator {
+    config: EstimatorConfig,
+}
+
+impl SampleSizeEstimator {
+    /// Estimator with the default configuration (auto strategy, paper
+    /// tail conventions).
+    #[must_use]
+    pub fn new() -> Self {
+        SampleSizeEstimator { config: EstimatorConfig::default() }
+    }
+
+    /// Estimator with an explicit configuration.
+    #[must_use]
+    pub fn with_config(config: EstimatorConfig) -> Self {
+        SampleSizeEstimator { config }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &EstimatorConfig {
+        &self.config
+    }
+
+    /// Estimate the testset size a script requires.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the condition is semantically invalid or a
+    /// bound computation rejects its parameters.
+    pub fn estimate(&self, script: &CiScript) -> Result<SampleSizeEstimate> {
+        let delta = script.delta();
+        let adaptivity = script.adaptivity();
+        let steps = script.steps();
+        let ln_delta = adaptivity.ln_effective_delta(delta, steps)?;
+
+        if self.config.strategy == EstimatorStrategy::Auto {
+            if let Some(plan) = match_patterns(
+                script.condition(),
+                delta,
+                steps,
+                adaptivity,
+                self.config.pattern1,
+                self.config.pattern2,
+            )? {
+                return Ok(SampleSizeEstimate {
+                    labeled_samples: plan.labeled_samples(),
+                    unlabeled_samples: plan.unlabeled_samples(),
+                    ln_delta_per_test: ln_delta,
+                    provenance: EstimateProvenance::Optimized(plan),
+                    per_clause: Vec::new(),
+                });
+            }
+        }
+
+        let (samples, per_clause) = formula_sample_size(
+            script.condition(),
+            ln_delta,
+            self.config.allocation,
+            self.config.leaf_bound,
+            self.config.tail,
+        )?;
+        let needs_labels = script.condition().needs_labels();
+        Ok(SampleSizeEstimate {
+            labeled_samples: if needs_labels { samples } else { 0 },
+            unlabeled_samples: if needs_labels { 0 } else { samples },
+            ln_delta_per_test: ln_delta,
+            provenance: EstimateProvenance::Baseline,
+            per_clause,
+        })
+    }
+
+    /// Baseline-only estimate, regardless of the configured strategy
+    /// (used by benches to compute the optimization's saving factor).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::estimate`].
+    pub fn estimate_baseline(&self, script: &CiScript) -> Result<SampleSizeEstimate> {
+        let mut cfg = self.config;
+        cfg.strategy = EstimatorStrategy::BaselineOnly;
+        SampleSizeEstimator::with_config(cfg).estimate(script)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic::Mode;
+    use easeml_bounds::Adaptivity;
+
+    fn script(condition: &str, reliability: f64, adaptivity: Adaptivity, steps: u32) -> CiScript {
+        CiScript::builder()
+            .condition_str(condition)
+            .unwrap()
+            .reliability(reliability)
+            .mode(Mode::FpFree)
+            .adaptivity(adaptivity)
+            .steps(steps)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn single_variable_baseline_matches_paper() {
+        let s = script("n > 0.8 +/- 0.05", 0.9999, Adaptivity::Full, 32);
+        let est = SampleSizeEstimator::new().estimate(&s).unwrap();
+        assert_eq!(est.labeled_samples, 6_279);
+        assert!(matches!(est.provenance, EstimateProvenance::Baseline));
+    }
+
+    #[test]
+    fn pattern1_is_selected_automatically() {
+        let s = script(
+            "d < 0.1 +/- 0.01 /\\ n - o > 0.02 +/- 0.01",
+            0.9999,
+            Adaptivity::None,
+            32,
+        );
+        let est = SampleSizeEstimator::new().estimate(&s).unwrap();
+        assert!(matches!(
+            est.provenance,
+            EstimateProvenance::Optimized(OptimizedPlan::Hierarchical(_))
+        ));
+        assert_eq!(est.labeled_samples, 29_048);
+        assert!(est.unlabeled_samples > 0);
+
+        let baseline = SampleSizeEstimator::new().estimate_baseline(&s).unwrap();
+        assert!(matches!(baseline.provenance, EstimateProvenance::Baseline));
+        assert!(baseline.labeled_samples > 8 * est.labeled_samples);
+    }
+
+    #[test]
+    fn unlabeled_only_condition_requires_no_labels() {
+        let s = script("d < 0.1 +/- 0.01", 0.9999, Adaptivity::None, 32);
+        let est = SampleSizeEstimator::new().estimate(&s).unwrap();
+        assert_eq!(est.labeled_samples, 0);
+        assert!(est.unlabeled_samples > 0);
+        // Matches the Figure 2 F4 column.
+        assert_eq!(est.unlabeled_samples, 63_381);
+    }
+
+    #[test]
+    fn total_samples_adds_both_pools() {
+        let s = script(
+            "d < 0.1 +/- 0.01 /\\ n - o > 0.02 +/- 0.01",
+            0.9999,
+            Adaptivity::None,
+            32,
+        );
+        let est = SampleSizeEstimator::new().estimate(&s).unwrap();
+        assert_eq!(est.total_samples(), est.labeled_samples + est.unlabeled_samples);
+    }
+
+    #[test]
+    fn per_clause_breakdown_present_for_baseline() {
+        let s = script(
+            "n - o > 0.02 +/- 0.01 /\\ d < 0.1 +/- 0.01",
+            0.999,
+            Adaptivity::None,
+            32,
+        );
+        let est = SampleSizeEstimator::new().estimate_baseline(&s).unwrap();
+        assert_eq!(est.per_clause.len(), 2);
+        assert!(est.per_clause[0].clause.contains("n - o"));
+    }
+}

@@ -1,0 +1,198 @@
+//! Condition evaluation over confidence intervals (§3.5, Appendix A.2).
+//!
+//! Given point estimates of the three variables, each clause's left-hand
+//! side becomes a confidence interval `x̂ ± ε` (with `ε` the clause's
+//! tolerance). The clause evaluates to:
+//!
+//! * `True` when the whole interval clears the threshold,
+//! * `False` when the whole interval misses it,
+//! * `Unknown` when the interval straddles it.
+//!
+//! A formula is the Kleene conjunction of its clauses, and the script's
+//! [`Mode`] collapses the three-valued result into the final pass/fail bit.
+
+use crate::dsl::{Clause, CmpOp, Expr, Formula};
+use crate::interval::Interval;
+use crate::logic::{Mode, Tribool};
+
+/// Point estimates of the three condition variables for one commit.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct VariableEstimates {
+    /// Estimated accuracy of the new model (`n̂`).
+    pub n: f64,
+    /// Estimated accuracy of the old model (`ô`).
+    pub o: f64,
+    /// Estimated fraction of changed predictions (`d̂`).
+    pub d: f64,
+}
+
+impl VariableEstimates {
+    /// Create a new set of estimates.
+    #[must_use]
+    pub fn new(n: f64, o: f64, d: f64) -> Self {
+        VariableEstimates { n, o, d }
+    }
+
+    /// Evaluate an expression at these point estimates.
+    #[must_use]
+    pub fn evaluate_expr(&self, expr: &Expr) -> f64 {
+        match expr {
+            Expr::Var(crate::dsl::Var::N) => self.n,
+            Expr::Var(crate::dsl::Var::O) => self.o,
+            Expr::Var(crate::dsl::Var::D) => self.d,
+            Expr::Scale(c, e) => c * self.evaluate_expr(e),
+            Expr::Add(a, b) => self.evaluate_expr(a) + self.evaluate_expr(b),
+            Expr::Sub(a, b) => self.evaluate_expr(a) - self.evaluate_expr(b),
+        }
+    }
+}
+
+/// The confidence interval of a clause's left-hand side: the point
+/// estimate widened by the clause tolerance.
+#[must_use]
+pub fn clause_interval(clause: &Clause, est: &VariableEstimates) -> Interval {
+    Interval::around(est.evaluate_expr(&clause.expr), clause.tolerance)
+}
+
+/// Evaluate one clause to a three-valued outcome.
+///
+/// # Examples
+///
+/// Appendix A.2's example `x < 0.1 +/- 0.01`:
+///
+/// ```
+/// use easeml_ci_core::{evaluate_clause, Tribool, VariableEstimates};
+/// use easeml_ci_core::dsl::parse_clause;
+///
+/// # fn main() -> Result<(), easeml_ci_core::CiError> {
+/// let clause = parse_clause("d < 0.1 +/- 0.01")?;
+/// let at = |d| VariableEstimates::new(0.0, 0.0, d);
+/// assert_eq!(evaluate_clause(&clause, &at(0.085)), Tribool::True);   // d̂ < 0.09
+/// assert_eq!(evaluate_clause(&clause, &at(0.115)), Tribool::False);  // d̂ > 0.11
+/// assert_eq!(evaluate_clause(&clause, &at(0.100)), Tribool::Unknown);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn evaluate_clause(clause: &Clause, est: &VariableEstimates) -> Tribool {
+    evaluate_clause_at(clause, est.evaluate_expr(&clause.expr))
+}
+
+/// Evaluate a clause given a pre-computed left-hand-side point estimate.
+///
+/// This is the primitive the engine uses when the LHS is measured by a
+/// specialised estimator (e.g. the §4.1.2 difference trick measures
+/// `n − o` directly without separate `n̂` and `ô`).
+#[must_use]
+pub fn evaluate_clause_at(clause: &Clause, lhs_estimate: f64) -> Tribool {
+    let interval = Interval::around(lhs_estimate, clause.tolerance);
+    match clause.cmp {
+        CmpOp::Gt => {
+            if interval.strictly_above(clause.threshold) {
+                Tribool::True
+            } else if interval.strictly_below(clause.threshold) {
+                Tribool::False
+            } else {
+                Tribool::Unknown
+            }
+        }
+        CmpOp::Lt => {
+            if interval.strictly_below(clause.threshold) {
+                Tribool::True
+            } else if interval.strictly_above(clause.threshold) {
+                Tribool::False
+            } else {
+                Tribool::Unknown
+            }
+        }
+    }
+}
+
+/// Evaluate a formula: the Kleene conjunction of its clause outcomes.
+#[must_use]
+pub fn evaluate_formula(formula: &Formula, est: &VariableEstimates) -> Tribool {
+    Tribool::all(formula.clauses().iter().map(|c| evaluate_clause(c, est)))
+}
+
+/// Full decision: evaluate the formula and collapse `Unknown` by mode.
+///
+/// Returns the pass/fail bit together with the intermediate three-valued
+/// outcome (exposed because the engine logs it and the hybrid adaptivity
+/// policy needs it).
+#[must_use]
+pub fn decide(formula: &Formula, est: &VariableEstimates, mode: Mode) -> (bool, Tribool) {
+    let outcome = evaluate_formula(formula, est);
+    (mode.decide(outcome), outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::{parse_clause, parse_formula};
+
+    fn est(n: f64, o: f64, d: f64) -> VariableEstimates {
+        VariableEstimates::new(n, o, d)
+    }
+
+    #[test]
+    fn improvement_clause_three_outcomes() {
+        let c = parse_clause("n - o > 0.02 +/- 0.01").unwrap();
+        // n - o = 0.05 > 0.03: certainly true.
+        assert_eq!(evaluate_clause(&c, &est(0.90, 0.85, 0.0)), Tribool::True);
+        // n - o = 0.005 < 0.01: certainly false.
+        assert_eq!(evaluate_clause(&c, &est(0.855, 0.85, 0.0)), Tribool::False);
+        // n - o = 0.025: straddles.
+        assert_eq!(evaluate_clause(&c, &est(0.875, 0.85, 0.0)), Tribool::Unknown);
+    }
+
+    #[test]
+    fn boundary_is_unknown() {
+        // Exactly threshold + tolerance is NOT strictly above.
+        let c = parse_clause("n > 0.8 +/- 0.05").unwrap();
+        assert_eq!(evaluate_clause(&c, &est(0.85, 0.0, 0.0)), Tribool::Unknown);
+        assert_eq!(evaluate_clause(&c, &est(0.850001, 0.0, 0.0)), Tribool::True);
+        assert_eq!(evaluate_clause(&c, &est(0.75, 0.0, 0.0)), Tribool::Unknown);
+        assert_eq!(evaluate_clause(&c, &est(0.749999, 0.0, 0.0)), Tribool::False);
+    }
+
+    #[test]
+    fn formula_conjunction() {
+        let f = parse_formula("n - o > 0.02 +/- 0.01 /\\ d < 0.1 +/- 0.01").unwrap();
+        // Both certainly true.
+        assert_eq!(evaluate_formula(&f, &est(0.9, 0.85, 0.05)), Tribool::True);
+        // Improvement true, difference false -> False dominates.
+        assert_eq!(evaluate_formula(&f, &est(0.9, 0.85, 0.3)), Tribool::False);
+        // Improvement unknown, difference true -> Unknown.
+        assert_eq!(evaluate_formula(&f, &est(0.875, 0.85, 0.05)), Tribool::Unknown);
+        // Improvement unknown, difference false -> False (Kleene).
+        assert_eq!(evaluate_formula(&f, &est(0.875, 0.85, 0.3)), Tribool::False);
+    }
+
+    #[test]
+    fn decide_applies_mode() {
+        let f = parse_formula("n - o > 0.02 +/- 0.01").unwrap();
+        let straddling = est(0.875, 0.85, 0.0);
+        let (pass_fp, out_fp) = decide(&f, &straddling, Mode::FpFree);
+        assert_eq!(out_fp, Tribool::Unknown);
+        assert!(!pass_fp, "fp-free must reject Unknown");
+        let (pass_fn, _) = decide(&f, &straddling, Mode::FnFree);
+        assert!(pass_fn, "fn-free must accept Unknown");
+    }
+
+    #[test]
+    fn scaled_expression_evaluation() {
+        let c = parse_clause("n - 1.1 * o > 0.01 +/- 0.01").unwrap();
+        // n - 1.1o = 0.9 - 0.88 = 0.02 -> straddles [0.00, 0.02].
+        assert_eq!(evaluate_clause(&c, &est(0.9, 0.8, 0.0)), Tribool::Unknown);
+        // n - 1.1o = 0.95 - 0.77 = 0.18 -> certainly true.
+        assert_eq!(evaluate_clause(&c, &est(0.95, 0.7, 0.0)), Tribool::True);
+    }
+
+    #[test]
+    fn interval_width_is_twice_tolerance() {
+        let c = parse_clause("n > 0.8 +/- 0.05").unwrap();
+        let i = clause_interval(&c, &est(0.9, 0.0, 0.0));
+        assert!((i.width() - 0.1).abs() < 1e-12);
+        assert!((i.midpoint() - 0.9).abs() < 1e-12);
+    }
+}

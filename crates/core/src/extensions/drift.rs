@@ -1,0 +1,283 @@
+//! Concept-drift monitoring (§2.2): the dual of continuous integration.
+//!
+//! The paper observes that monitoring concept shift inverts the CI
+//! setting: "instead of fixing the test set and testing multiple models,
+//! monitoring concept shift is to fix a single model and test its
+//! generalization over multiple test sets over time". The same
+//! statistical machinery applies — each incoming testset yields an
+//! `(ε, δ)`-estimate of the fixed model's accuracy, and a union bound
+//! over the monitoring horizon keeps the whole watch reliable.
+
+use crate::error::{CiError, EngineError, Result};
+use crate::interval::Interval;
+use crate::logic::Tribool;
+use easeml_bounds::{hoeffding_epsilon_from_ln_delta, Tail};
+
+/// Verdict for one monitoring window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DriftVerdict {
+    /// The window's confidence interval stays within tolerance of the
+    /// reference accuracy.
+    Stable,
+    /// The interval straddles the alarm boundary: keep watching.
+    Suspect,
+    /// The whole interval is below the alarm boundary: drift confirmed
+    /// (w.p. `1 − δ`).
+    Drifted,
+}
+
+/// Report for one monitoring window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftReport {
+    /// 1-based window index.
+    pub window: u32,
+    /// Accuracy estimate on this window.
+    pub accuracy: f64,
+    /// Confidence half-width achieved by this window's size.
+    pub epsilon: f64,
+    /// The verdict.
+    pub verdict: DriftVerdict,
+}
+
+/// Monitors a *fixed* model's accuracy across a stream of testset
+/// windows with an overall `(drop, δ)` guarantee over `horizon` windows.
+///
+/// An alarm (`Drifted`) means: with probability at least `1 − δ` over
+/// the whole monitoring horizon, the model's true accuracy on the
+/// current distribution is more than `drop` below the reference
+/// accuracy.
+///
+/// # Examples
+///
+/// ```
+/// use easeml_ci_core::extensions::{DriftMonitor, DriftVerdict};
+///
+/// # fn main() -> Result<(), easeml_ci_core::CiError> {
+/// let mut monitor = DriftMonitor::new(0.92, 0.05, 0.001, 12)?;
+/// // A healthy window: accuracy near reference.
+/// let report = monitor.observe_counts(9_150, 10_000)?;
+/// assert_eq!(report.verdict, DriftVerdict::Stable);
+/// // A collapsed window: accuracy far below reference.
+/// let report = monitor.observe_counts(8_000, 10_000)?;
+/// assert_eq!(report.verdict, DriftVerdict::Drifted);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftMonitor {
+    reference_accuracy: f64,
+    drop_tolerance: f64,
+    ln_delta_per_window: f64,
+    horizon: u32,
+    windows_seen: u32,
+    reports: Vec<DriftReport>,
+}
+
+impl DriftMonitor {
+    /// Create a monitor.
+    ///
+    /// * `reference_accuracy` — accuracy certified when the model was
+    ///   deployed;
+    /// * `drop_tolerance` — the accuracy drop that counts as drift;
+    /// * `delta` — failure budget over the whole horizon;
+    /// * `horizon` — number of windows the budget must cover.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for parameters outside their domains.
+    pub fn new(
+        reference_accuracy: f64,
+        drop_tolerance: f64,
+        delta: f64,
+        horizon: u32,
+    ) -> Result<Self> {
+        if !(0.0..=1.0).contains(&reference_accuracy) {
+            return Err(CiError::Semantic(format!(
+                "reference accuracy must be in [0, 1], got {reference_accuracy}"
+            )));
+        }
+        if !(drop_tolerance > 0.0 && drop_tolerance < 1.0) {
+            return Err(CiError::Semantic(format!(
+                "drop tolerance must be in (0, 1), got {drop_tolerance}"
+            )));
+        }
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(CiError::Semantic(format!("delta must be in (0, 1), got {delta}")));
+        }
+        if horizon == 0 {
+            return Err(CiError::Semantic("horizon must be at least 1".into()));
+        }
+        // Union bound over the monitoring horizon (windows are fresh
+        // samples; the fixed model cannot adapt, so δ/H suffices).
+        let ln_delta_per_window = delta.ln() - f64::from(horizon).ln();
+        Ok(DriftMonitor {
+            reference_accuracy,
+            drop_tolerance,
+            ln_delta_per_window,
+            horizon,
+            windows_seen: 0,
+            reports: Vec::new(),
+        })
+    }
+
+    /// Observe one window given correct/total counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the horizon is exhausted, the window is
+    /// empty, or `correct > total`.
+    pub fn observe_counts(&mut self, correct: u64, total: u64) -> Result<DriftReport> {
+        if self.windows_seen >= self.horizon {
+            return Err(EngineError::BudgetExhausted { steps: self.horizon }.into());
+        }
+        if total == 0 || correct > total {
+            return Err(CiError::Semantic(format!(
+                "invalid window counts: {correct}/{total}"
+            )));
+        }
+        let accuracy = correct as f64 / total as f64;
+        let epsilon = hoeffding_epsilon_from_ln_delta(
+            1.0,
+            total,
+            self.ln_delta_per_window,
+            Tail::TwoSided,
+        )?;
+        let interval = Interval::around(accuracy, epsilon);
+        let boundary = self.reference_accuracy - self.drop_tolerance;
+        let verdict = if interval.strictly_below(boundary) {
+            DriftVerdict::Drifted
+        } else if interval.strictly_above(boundary) {
+            DriftVerdict::Stable
+        } else {
+            DriftVerdict::Suspect
+        };
+        self.windows_seen += 1;
+        let report = DriftReport { window: self.windows_seen, accuracy, epsilon, verdict };
+        self.reports.push(report.clone());
+        Ok(report)
+    }
+
+    /// Observe one window given predictions and labels.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::observe_counts`], plus a length
+    /// mismatch error.
+    pub fn observe(&mut self, predictions: &[u32], labels: &[u32]) -> Result<DriftReport> {
+        if predictions.len() != labels.len() {
+            return Err(EngineError::PredictionLengthMismatch {
+                got: predictions.len(),
+                want: labels.len(),
+            }
+            .into());
+        }
+        let correct =
+            predictions.iter().zip(labels).filter(|(p, l)| p == l).count() as u64;
+        self.observe_counts(correct, labels.len() as u64)
+    }
+
+    /// Three-valued "has the model drifted" summary over all windows:
+    /// `True` if any window confirmed drift, `False` if every window was
+    /// stable, `Unknown` otherwise.
+    #[must_use]
+    pub fn drifted(&self) -> Tribool {
+        if self.reports.iter().any(|r| r.verdict == DriftVerdict::Drifted) {
+            Tribool::True
+        } else if self.reports.iter().all(|r| r.verdict == DriftVerdict::Stable) {
+            Tribool::False
+        } else {
+            Tribool::Unknown
+        }
+    }
+
+    /// Reports for the windows observed so far.
+    #[must_use]
+    pub fn reports(&self) -> &[DriftReport] {
+        &self.reports
+    }
+
+    /// Windows remaining in the horizon.
+    #[must_use]
+    pub fn windows_remaining(&self) -> u32 {
+        self.horizon - self.windows_seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor() -> DriftMonitor {
+        DriftMonitor::new(0.9, 0.05, 0.001, 10).unwrap()
+    }
+
+    #[test]
+    fn stable_window() {
+        let mut m = monitor();
+        let r = m.observe_counts(8_950, 10_000).unwrap();
+        assert_eq!(r.verdict, DriftVerdict::Stable);
+        assert_eq!(m.drifted(), Tribool::False);
+        assert_eq!(m.windows_remaining(), 9);
+    }
+
+    #[test]
+    fn drifted_window() {
+        let mut m = monitor();
+        let r = m.observe_counts(8_000, 10_000).unwrap();
+        assert_eq!(r.verdict, DriftVerdict::Drifted);
+        assert_eq!(m.drifted(), Tribool::True);
+    }
+
+    #[test]
+    fn suspect_window_near_boundary() {
+        let mut m = monitor();
+        // Boundary at 0.85; with 1 000 samples ε ≈ 0.066: straddles.
+        let r = m.observe_counts(850, 1_000).unwrap();
+        assert_eq!(r.verdict, DriftVerdict::Suspect);
+        assert_eq!(m.drifted(), Tribool::Unknown);
+    }
+
+    #[test]
+    fn bigger_windows_sharpen_the_verdict() {
+        let mut m = monitor();
+        let small = m.observe_counts(870, 1_000).unwrap();
+        let large = m.observe_counts(87_000, 100_000).unwrap();
+        assert!(large.epsilon < small.epsilon);
+        assert_eq!(small.verdict, DriftVerdict::Suspect);
+        assert_eq!(large.verdict, DriftVerdict::Stable);
+    }
+
+    #[test]
+    fn horizon_is_enforced() {
+        let mut m = DriftMonitor::new(0.9, 0.05, 0.001, 2).unwrap();
+        m.observe_counts(900, 1_000).unwrap();
+        m.observe_counts(900, 1_000).unwrap();
+        assert!(m.observe_counts(900, 1_000).is_err());
+        assert_eq!(m.windows_remaining(), 0);
+        assert_eq!(m.reports().len(), 2);
+    }
+
+    #[test]
+    fn observe_from_predictions() {
+        let mut m = monitor();
+        let preds = vec![1u32; 1_000];
+        let mut labels = vec![1u32; 1_000];
+        for l in labels.iter_mut().take(50) {
+            *l = 0;
+        }
+        let r = m.observe(&preds, &labels).unwrap();
+        assert!((r.accuracy - 0.95).abs() < 1e-12);
+        assert!(m.observe(&preds[..10], &labels).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(DriftMonitor::new(1.5, 0.05, 0.001, 10).is_err());
+        assert!(DriftMonitor::new(0.9, 0.0, 0.001, 10).is_err());
+        assert!(DriftMonitor::new(0.9, 0.05, 0.0, 10).is_err());
+        assert!(DriftMonitor::new(0.9, 0.05, 0.001, 0).is_err());
+        let mut m = monitor();
+        assert!(m.observe_counts(11, 10).is_err());
+        assert!(m.observe_counts(0, 0).is_err());
+    }
+}

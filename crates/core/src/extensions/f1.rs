@@ -1,0 +1,169 @@
+//! F1-score testing via McDiarmid's inequality (§2.2, extension 1).
+//!
+//! The paper notes that metrics beyond accuracy (F1, AUC) can be
+//! supported by "replacing the Bennett's inequality with the McDiarmid's
+//! inequality, together with the sensitivity of F1-score". This module
+//! provides exactly that: a bounded-differences sensitivity analysis for
+//! the (binary) F1-score and the induced sample-size estimator.
+//!
+//! # Sensitivity analysis
+//!
+//! With `TP`, `FP`, `FN` counted over `m` test points,
+//! `F1 = 2TP / (2TP + FP + FN)`. Changing a single test point changes
+//! each count by at most one, and a one-step change of the counts moves
+//! F1 by at most `2 / (2TP + FP + FN + 1)`. Writing `π₊` for a lower
+//! bound on the positive-class rate (so `TP + FN ≥ π₊·m`), the
+//! denominator is at least `2π₊·m·F1-ish` terms — conservatively,
+//! per-sample sensitivity `c ≤ 2 / (π₊ · m)`, i.e. a sensitivity scale
+//! `β = 2/π₊` in the `β/m` convention of
+//! [`easeml_bounds::mcdiarmid_sample_size`].
+
+use crate::error::{CiError, Result};
+use easeml_bounds::{mcdiarmid_sample_size_from_ln_delta, Tail};
+
+/// Sensitivity model of the binary F1-score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct F1Sensitivity {
+    /// Lower bound on the positive-class rate `π₊ ∈ (0, 1]`.
+    pub positive_rate: f64,
+}
+
+impl F1Sensitivity {
+    /// Create a sensitivity model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `positive_rate ∈ (0, 1]`.
+    pub fn new(positive_rate: f64) -> Result<Self> {
+        if !(positive_rate > 0.0 && positive_rate <= 1.0) {
+            return Err(CiError::Semantic(format!(
+                "positive rate must be in (0, 1], got {positive_rate}"
+            )));
+        }
+        Ok(F1Sensitivity { positive_rate })
+    }
+
+    /// Sensitivity scale `β` such that changing one of `m` samples moves
+    /// F1 by at most `β/m`.
+    #[must_use]
+    pub fn beta(&self) -> f64 {
+        2.0 / self.positive_rate
+    }
+}
+
+/// Samples needed to estimate an F1-score to `(ε, δ)` under the
+/// sensitivity model, via McDiarmid.
+///
+/// # Errors
+///
+/// Returns an error for invalid `eps`/`ln_delta`.
+///
+/// # Examples
+///
+/// ```
+/// use easeml_ci_core::extensions::{f1_sample_size, F1Sensitivity};
+/// use easeml_bounds::Tail;
+///
+/// # fn main() -> Result<(), easeml_ci_core::CiError> {
+/// let sens = F1Sensitivity::new(0.5)?; // balanced classes: β = 4
+/// let n = f1_sample_size(&sens, 0.05, (0.001f64).ln(), Tail::TwoSided)?;
+/// // 16× the ≈1.5K-sample accuracy requirement at the same (ε, δ).
+/// assert!(n > 20_000 && n < 30_000);
+/// # Ok(())
+/// # }
+/// ```
+pub fn f1_sample_size(
+    sensitivity: &F1Sensitivity,
+    eps: f64,
+    ln_delta: f64,
+    tail: Tail,
+) -> Result<u64> {
+    Ok(mcdiarmid_sample_size_from_ln_delta(sensitivity.beta(), eps, ln_delta, tail)?)
+}
+
+/// Compute the binary F1-score of predictions against labels, treating
+/// class `positive` as the positive class.
+///
+/// Returns 0 when there are no true positives (the conventional value
+/// when precision + recall = 0).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn f1_score(predictions: &[u32], labels: &[u32], positive: u32) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "prediction/label length mismatch");
+    let mut tp = 0u64;
+    let mut fp = 0u64;
+    let mut fn_ = 0u64;
+    for (&p, &l) in predictions.iter().zip(labels) {
+        match (p == positive, l == positive) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fn_ += 1,
+            (false, false) => {}
+        }
+    }
+    if tp == 0 {
+        return 0.0;
+    }
+    2.0 * tp as f64 / (2.0 * tp as f64 + fp as f64 + fn_ as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f1_score_known_cases() {
+        // Perfect predictions.
+        assert_eq!(f1_score(&[1, 0, 1], &[1, 0, 1], 1), 1.0);
+        // No true positives.
+        assert_eq!(f1_score(&[0, 0], &[1, 1], 1), 0.0);
+        // tp=1, fp=1, fn=1 -> F1 = 2/(2+1+1) = 0.5.
+        let f1 = f1_score(&[1, 1, 0], &[1, 0, 1], 1);
+        assert!((f1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_sensitivity_respects_bound() {
+        // Flip each point of a fixed dataset and check |ΔF1| ≤ β/m with
+        // β from the true positive rate.
+        let labels: Vec<u32> = (0..40).map(|i| u32::from(i % 2 == 0)).collect();
+        let preds: Vec<u32> = (0..40).map(|i| u32::from(i % 3 != 0)).collect();
+        let m = labels.len() as f64;
+        let pos_rate = labels.iter().filter(|&&l| l == 1).count() as f64 / m;
+        let sens = F1Sensitivity::new(pos_rate).unwrap();
+        let base = f1_score(&preds, &labels, 1);
+        for i in 0..labels.len() {
+            // Perturb the prediction at i.
+            let mut p2 = preds.clone();
+            p2[i] = 1 - p2[i];
+            let delta = (f1_score(&p2, &labels, 1) - base).abs();
+            assert!(
+                delta <= sens.beta() / m + 1e-12,
+                "flip {i}: delta={delta} bound={}",
+                sens.beta() / m
+            );
+        }
+    }
+
+    #[test]
+    fn sample_size_scales_with_imbalance() {
+        let balanced = F1Sensitivity::new(0.5).unwrap();
+        let skewed = F1Sensitivity::new(0.05).unwrap();
+        let ln_delta = (0.001f64).ln();
+        let n_bal = f1_sample_size(&balanced, 0.05, ln_delta, Tail::TwoSided).unwrap();
+        let n_skew = f1_sample_size(&skewed, 0.05, ln_delta, Tail::TwoSided).unwrap();
+        // 10× rarer positives -> 100× more samples.
+        let ratio = n_skew as f64 / n_bal as f64;
+        assert!((ratio - 100.0).abs() < 1.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn rejects_bad_positive_rate() {
+        assert!(F1Sensitivity::new(0.0).is_err());
+        assert!(F1Sensitivity::new(1.5).is_err());
+        assert!(F1Sensitivity::new(1.0).is_ok());
+    }
+}

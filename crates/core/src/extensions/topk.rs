@@ -1,0 +1,222 @@
+//! Order-statistics conditions (§2.2, extension 3): "make sure the new
+//! model is among the top-k models in the development history".
+//!
+//! Each historical model carries an accuracy *confidence interval*
+//! (measured when it was committed, all at a common per-test budget).
+//! Whether the new model ranks in the top-k is then itself three-valued:
+//!
+//! * `True` — at most `k − 1` historical intervals lie *entirely above*
+//!   the new model's interval (no ranking of the unknowns can push it
+//!   out of the top k);
+//! * `False` — at least `k` intervals lie entirely above it;
+//! * `Unknown` — overlapping intervals make the rank undecidable at this
+//!   tolerance.
+
+use crate::error::{CiError, Result};
+use crate::interval::Interval;
+use crate::logic::Tribool;
+
+/// One historical model's measured accuracy interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedModel {
+    /// Identifier of the commit.
+    pub id: String,
+    /// Accuracy confidence interval (`estimate ± ε`).
+    pub accuracy: Interval,
+}
+
+/// Evaluates "the candidate is among the top-k of the history", with the
+/// usual fp-free/fn-free collapse left to the caller's [`crate::Mode`].
+///
+/// # Examples
+///
+/// ```
+/// use easeml_ci_core::extensions::TopKGate;
+/// use easeml_ci_core::{Interval, Tribool};
+///
+/// # fn main() -> Result<(), easeml_ci_core::CiError> {
+/// let mut gate = TopKGate::new(2)?;
+/// gate.record("m1", Interval::around(0.90, 0.01));
+/// gate.record("m2", Interval::around(0.85, 0.01));
+/// gate.record("m3", Interval::around(0.80, 0.01));
+/// // 0.87 ± 0.01: certainly below m1, certainly above m3, and certainly
+/// // above m2's [0.84, 0.86] — rank 2 of 4: in the top 2.
+/// assert_eq!(gate.evaluate(Interval::around(0.87, 0.01)), Tribool::True);
+/// // 0.82 ± 0.01: m1 and m2 are both certainly above — out of the top 2.
+/// assert_eq!(gate.evaluate(Interval::around(0.82, 0.01)), Tribool::False);
+/// // 0.85 ± 0.01 overlaps m2: undecidable.
+/// assert_eq!(gate.evaluate(Interval::around(0.85, 0.01)), Tribool::Unknown);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKGate {
+    k: usize,
+    history: Vec<RankedModel>,
+}
+
+impl TopKGate {
+    /// Gate for "among the top `k`" (k ≥ 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for `k = 0`.
+    pub fn new(k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(CiError::Semantic("top-k requires k >= 1".into()));
+        }
+        Ok(TopKGate { k, history: Vec::new() })
+    }
+
+    /// The configured `k`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Record a historical model's measured interval.
+    pub fn record(&mut self, id: impl Into<String>, accuracy: Interval) {
+        self.history.push(RankedModel { id: id.into(), accuracy });
+    }
+
+    /// Models recorded so far.
+    #[must_use]
+    pub fn history(&self) -> &[RankedModel] {
+        &self.history
+    }
+
+    /// Three-valued "is the candidate among the top-k".
+    #[must_use]
+    pub fn evaluate(&self, candidate: Interval) -> Tribool {
+        let certainly_above = self
+            .history
+            .iter()
+            .filter(|m| m.accuracy.lo() > candidate.hi())
+            .count();
+        let possibly_above = self
+            .history
+            .iter()
+            .filter(|m| m.accuracy.hi() > candidate.lo())
+            .count();
+        if certainly_above >= self.k {
+            Tribool::False
+        } else if possibly_above < self.k {
+            Tribool::True
+        } else {
+            Tribool::Unknown
+        }
+    }
+
+    /// Certain lower/upper bounds on the candidate's rank (1-based):
+    /// `(best possible, worst possible)`.
+    #[must_use]
+    pub fn rank_bounds(&self, candidate: Interval) -> (usize, usize) {
+        let certainly_above = self
+            .history
+            .iter()
+            .filter(|m| m.accuracy.lo() > candidate.hi())
+            .count();
+        let possibly_above = self
+            .history
+            .iter()
+            .filter(|m| m.accuracy.hi() > candidate.lo())
+            .count();
+        (certainly_above + 1, possibly_above + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gate() -> TopKGate {
+        let mut g = TopKGate::new(3).unwrap();
+        g.record("a", Interval::around(0.95, 0.01));
+        g.record("b", Interval::around(0.90, 0.01));
+        g.record("c", Interval::around(0.85, 0.01));
+        g.record("d", Interval::around(0.80, 0.01));
+        g.record("e", Interval::around(0.75, 0.01));
+        g
+    }
+
+    #[test]
+    fn clear_top_and_bottom() {
+        let g = gate();
+        // Better than everything: certainly top-3.
+        assert_eq!(g.evaluate(Interval::around(0.99, 0.005)), Tribool::True);
+        // Worse than everything: four models certainly above > k−1.
+        assert_eq!(g.evaluate(Interval::around(0.60, 0.01)), Tribool::False);
+    }
+
+    #[test]
+    fn mid_ranks() {
+        let g = gate();
+        // Between b and c (0.875 ± 0.005): a, b certainly above; c, d, e
+        // certainly below — rank exactly 3: in the top 3.
+        assert_eq!(g.evaluate(Interval::around(0.875, 0.005)), Tribool::True);
+        // Between c and d: three certainly above -> out.
+        assert_eq!(g.evaluate(Interval::around(0.825, 0.005)), Tribool::False);
+    }
+
+    #[test]
+    fn overlap_is_unknown() {
+        let g = gate();
+        // Overlapping c (the k-th boundary): undecidable.
+        assert_eq!(g.evaluate(Interval::around(0.85, 0.02)), Tribool::Unknown);
+    }
+
+    #[test]
+    fn rank_bounds_are_consistent() {
+        let g = gate();
+        let candidate = Interval::around(0.875, 0.005);
+        let (best, worst) = g.rank_bounds(candidate);
+        assert_eq!((best, worst), (3, 3));
+        let fuzzy = Interval::around(0.85, 0.02);
+        let (best, worst) = g.rank_bounds(fuzzy);
+        assert!(best <= 3 && worst >= 4, "({best}, {worst})");
+    }
+
+    #[test]
+    fn empty_history_accepts_everything() {
+        let g = TopKGate::new(1).unwrap();
+        assert_eq!(g.evaluate(Interval::around(0.1, 0.05)), Tribool::True);
+    }
+
+    #[test]
+    fn k_zero_rejected() {
+        assert!(TopKGate::new(0).is_err());
+        assert_eq!(gate().k(), 3);
+        assert_eq!(gate().history().len(), 5);
+    }
+
+    /// Soundness: whenever the gate says True/False with intervals that
+    /// contain the true values, the true rank agrees.
+    #[test]
+    fn verdicts_sound_under_containment() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..500 {
+            let k = rng.random_range(1..4usize);
+            let mut g = TopKGate::new(k).unwrap();
+            let mut truths = Vec::new();
+            for i in 0..6 {
+                let truth: f64 = rng.random();
+                let eps: f64 = rng.random_range(0.005..0.05);
+                let est = (truth + rng.random_range(-1.0..1.0) * eps).clamp(0.0, 1.0);
+                g.record(format!("m{i}"), Interval::around(est, eps));
+                truths.push(truth);
+            }
+            let cand_truth: f64 = rng.random();
+            let eps: f64 = rng.random_range(0.005..0.05);
+            let cand_est = (cand_truth + rng.random_range(-1.0..1.0) * eps).clamp(0.0, 1.0);
+            let verdict = g.evaluate(Interval::around(cand_est, eps));
+            let true_rank = 1 + truths.iter().filter(|&&t| t > cand_truth).count();
+            match verdict {
+                Tribool::True => assert!(true_rank <= k, "rank {true_rank} > k {k}"),
+                Tribool::False => assert!(true_rank > k, "rank {true_rank} <= k {k}"),
+                Tribool::Unknown => {}
+            }
+        }
+    }
+}

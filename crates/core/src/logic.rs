@@ -1,0 +1,260 @@
+//! Three-valued logic and the fp-free / fn-free decision modes (§3.5, A.2).
+//!
+//! Evaluating a clause against a confidence interval produces one of
+//! `True`, `False`, or `Unknown` (the interval straddles the threshold).
+//! The script's `mode` decides how `Unknown` maps onto the final binary
+//! pass/fail signal:
+//!
+//! * `fp-free`: `Unknown → False` — whenever the system says *pass*, the
+//!   true condition really holds (no false positives, w.p. `1 − δ`);
+//! * `fn-free`: `Unknown → True` — whenever the system says *fail*, the
+//!   true condition really fails (no false negatives).
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, Not};
+use std::str::FromStr;
+
+/// Kleene three-valued truth value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tribool {
+    /// The condition certainly holds (up to the `δ` failure budget).
+    True,
+    /// The condition certainly fails.
+    False,
+    /// The confidence interval straddles the threshold: undecidable at
+    /// this tolerance.
+    Unknown,
+}
+
+impl Tribool {
+    /// Build from a definite boolean.
+    #[must_use]
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Tribool::True
+        } else {
+            Tribool::False
+        }
+    }
+
+    /// Whether the value is decided (not `Unknown`).
+    #[must_use]
+    pub fn is_known(self) -> bool {
+        !matches!(self, Tribool::Unknown)
+    }
+
+    /// Kleene conjunction over an iterator; `True` for an empty input.
+    pub fn all<I: IntoIterator<Item = Tribool>>(iter: I) -> Tribool {
+        iter.into_iter().fold(Tribool::True, |acc, v| acc & v)
+    }
+
+    /// Kleene disjunction over an iterator; `False` for an empty input.
+    pub fn any<I: IntoIterator<Item = Tribool>>(iter: I) -> Tribool {
+        iter.into_iter().fold(Tribool::False, |acc, v| acc | v)
+    }
+}
+
+impl From<bool> for Tribool {
+    fn from(b: bool) -> Self {
+        Tribool::from_bool(b)
+    }
+}
+
+impl BitAnd for Tribool {
+    type Output = Tribool;
+
+    fn bitand(self, rhs: Tribool) -> Tribool {
+        use Tribool::*;
+        match (self, rhs) {
+            (False, _) | (_, False) => False,
+            (True, True) => True,
+            _ => Unknown,
+        }
+    }
+}
+
+impl BitOr for Tribool {
+    type Output = Tribool;
+
+    fn bitor(self, rhs: Tribool) -> Tribool {
+        use Tribool::*;
+        match (self, rhs) {
+            (True, _) | (_, True) => True,
+            (False, False) => False,
+            _ => Unknown,
+        }
+    }
+}
+
+impl Not for Tribool {
+    type Output = Tribool;
+
+    fn not(self) -> Tribool {
+        use Tribool::*;
+        match self {
+            True => False,
+            False => True,
+            Unknown => Unknown,
+        }
+    }
+}
+
+impl fmt::Display for Tribool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tribool::True => write!(f, "True"),
+            Tribool::False => write!(f, "False"),
+            Tribool::Unknown => write!(f, "Unknown"),
+        }
+    }
+}
+
+/// How `Unknown` collapses into the binary pass/fail signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Mode {
+    /// False-positive free: a reported *pass* is always a true pass.
+    #[default]
+    FpFree,
+    /// False-negative free: a reported *fail* is always a true fail.
+    FnFree,
+}
+
+impl Mode {
+    /// Collapse a three-valued outcome into pass (`true`) / fail
+    /// (`false`) according to the mode.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use easeml_ci_core::{Mode, Tribool};
+    ///
+    /// assert!(!Mode::FpFree.decide(Tribool::Unknown)); // conservative reject
+    /// assert!(Mode::FnFree.decide(Tribool::Unknown));  // conservative accept
+    /// assert!(Mode::FpFree.decide(Tribool::True));
+    /// assert!(!Mode::FnFree.decide(Tribool::False));
+    /// ```
+    #[must_use]
+    pub fn decide(self, value: Tribool) -> bool {
+        match (self, value) {
+            (_, Tribool::True) => true,
+            (_, Tribool::False) => false,
+            (Mode::FpFree, Tribool::Unknown) => false,
+            (Mode::FnFree, Tribool::Unknown) => true,
+        }
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mode::FpFree => write!(f, "fp-free"),
+            Mode::FnFree => write!(f, "fn-free"),
+        }
+    }
+}
+
+/// Error produced when parsing a [`Mode`] from a script keyword.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseModeError {
+    input: String,
+}
+
+impl fmt::Display for ParseModeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown mode `{}` (expected `fp-free` or `fn-free`)", self.input)
+    }
+}
+
+impl std::error::Error for ParseModeError {}
+
+impl FromStr for Mode {
+    type Err = ParseModeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim() {
+            "fp-free" | "fpfree" | "fp_free" => Ok(Mode::FpFree),
+            "fn-free" | "fnfree" | "fn_free" => Ok(Mode::FnFree),
+            other => Err(ParseModeError { input: other.to_owned() }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Tribool::*;
+
+    #[test]
+    fn kleene_and_truth_table() {
+        assert_eq!(True & True, True);
+        assert_eq!(True & False, False);
+        assert_eq!(False & False, False);
+        assert_eq!(True & Unknown, Unknown);
+        assert_eq!(Unknown & Unknown, Unknown);
+        assert_eq!(False & Unknown, False); // short-circuit dominance
+    }
+
+    #[test]
+    fn kleene_or_truth_table() {
+        assert_eq!(True | Unknown, True);
+        assert_eq!(False | Unknown, Unknown);
+        assert_eq!(False | False, False);
+        assert_eq!(Unknown | Unknown, Unknown);
+    }
+
+    #[test]
+    fn negation() {
+        assert_eq!(!True, False);
+        assert_eq!(!False, True);
+        assert_eq!(!Unknown, Unknown);
+    }
+
+    #[test]
+    fn de_morgan_holds() {
+        for a in [True, False, Unknown] {
+            for b in [True, False, Unknown] {
+                assert_eq!(!(a & b), !a | !b);
+                assert_eq!(!(a | b), !a & !b);
+            }
+        }
+    }
+
+    #[test]
+    fn fold_helpers() {
+        assert_eq!(Tribool::all([True, True, True]), True);
+        assert_eq!(Tribool::all([True, Unknown]), Unknown);
+        assert_eq!(Tribool::all([Unknown, False]), False);
+        assert_eq!(Tribool::all(std::iter::empty()), True);
+        assert_eq!(Tribool::any([False, Unknown]), Unknown);
+        assert_eq!(Tribool::any([False, True]), True);
+        assert_eq!(Tribool::any(std::iter::empty()), False);
+    }
+
+    #[test]
+    fn mode_decisions() {
+        assert!(Mode::FpFree.decide(True));
+        assert!(!Mode::FpFree.decide(False));
+        assert!(!Mode::FpFree.decide(Unknown));
+        assert!(Mode::FnFree.decide(True));
+        assert!(!Mode::FnFree.decide(False));
+        assert!(Mode::FnFree.decide(Unknown));
+    }
+
+    #[test]
+    fn mode_parsing() {
+        assert_eq!("fp-free".parse::<Mode>().unwrap(), Mode::FpFree);
+        assert_eq!("fn-free".parse::<Mode>().unwrap(), Mode::FnFree);
+        assert!("fp".parse::<Mode>().is_err());
+        assert_eq!(Mode::default(), Mode::FpFree);
+        for m in [Mode::FpFree, Mode::FnFree] {
+            assert_eq!(m.to_string().parse::<Mode>().unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn from_bool() {
+        assert_eq!(Tribool::from_bool(true), True);
+        assert_eq!(Tribool::from(false), False);
+        assert!(True.is_known() && False.is_known() && !Unknown.is_known());
+    }
+}

@@ -1,0 +1,184 @@
+//! Practicality analysis (§2.3): translating sample counts into human
+//! labelling effort.
+//!
+//! The paper calibrates "practical" as 30 000–60 000 labels per 32 model
+//! evaluations: what 2–4 engineers can label in one 8-hour day at 2
+//! seconds per label, supporting roughly one commit per day for a month.
+
+use std::fmt;
+use std::time::Duration;
+
+/// A labelling-cost model: people, pace, and working hours.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Number of people labelling.
+    pub labelers: u32,
+    /// Seconds each label takes one person.
+    pub seconds_per_label: f64,
+    /// Working hours per day per person.
+    pub hours_per_day: f64,
+}
+
+impl CostModel {
+    /// The paper's reference team: 2 engineers, 2 s/label, 8 h days.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        CostModel { labelers: 2, seconds_per_label: 2.0, hours_per_day: 8.0 }
+    }
+
+    /// The §4.1.2 interactive-labelling setting: 5 s/label with a
+    /// well-designed interface, one labeller.
+    #[must_use]
+    pub fn interactive() -> Self {
+        CostModel { labelers: 1, seconds_per_label: 5.0, hours_per_day: 8.0 }
+    }
+
+    /// Labels the team can produce in one day.
+    #[must_use]
+    pub fn labels_per_day(&self) -> u64 {
+        let per_person = self.hours_per_day * 3600.0 / self.seconds_per_label;
+        (per_person * f64::from(self.labelers)).floor() as u64
+    }
+
+    /// Wall-clock labelling time for `labels` labels with the whole team
+    /// working in parallel.
+    #[must_use]
+    pub fn time_for(&self, labels: u64) -> Duration {
+        let secs = labels as f64 * self.seconds_per_label / f64::from(self.labelers.max(1));
+        Duration::from_secs_f64(secs)
+    }
+
+    /// Person-days needed for `labels` labels.
+    #[must_use]
+    pub fn person_days(&self, labels: u64) -> f64 {
+        labels as f64 * self.seconds_per_label / 3600.0 / self.hours_per_day
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::paper_default()
+    }
+}
+
+/// The paper's practicality verdict for a per-testset label count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Practicality {
+    /// ≤ 60 000 labels per testset (Figure 2's black region): one day of
+    /// labelling per month for a small team.
+    Practical,
+    /// ≤ 10× the practical budget — feasible for teams that can invest
+    /// about a week of labelling, or by relaxing ε by 1–2 points
+    /// ("cheap mode").
+    Borderline,
+    /// Beyond 10× the practical budget (Figure 2's red region).
+    Impractical,
+}
+
+impl Practicality {
+    /// The paper's per-testset practicality cut-off (60 K labels).
+    pub const PRACTICAL_LIMIT: u64 = 60_000;
+
+    /// Classify a per-testset label count.
+    #[must_use]
+    pub fn of(labels: u64) -> Self {
+        if labels <= Self::PRACTICAL_LIMIT {
+            Practicality::Practical
+        } else if labels <= 10 * Self::PRACTICAL_LIMIT {
+            Practicality::Borderline
+        } else {
+            Practicality::Impractical
+        }
+    }
+}
+
+impl fmt::Display for Practicality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Practicality::Practical => write!(f, "practical"),
+            Practicality::Borderline => write!(f, "borderline"),
+            Practicality::Impractical => write!(f, "impractical"),
+        }
+    }
+}
+
+/// A human-readable effort report for a label requirement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EffortReport {
+    /// Labels required.
+    pub labels: u64,
+    /// Practicality class.
+    pub verdict: Practicality,
+    /// Person-days under the cost model.
+    pub person_days: f64,
+    /// Wall-clock days with the team in parallel (8-hour days).
+    pub team_days: f64,
+}
+
+/// Summarise the labelling effort for a label count under a cost model.
+#[must_use]
+pub fn effort(labels: u64, cost: &CostModel) -> EffortReport {
+    let person_days = cost.person_days(labels);
+    EffortReport {
+        labels,
+        verdict: Practicality::of(labels),
+        person_days,
+        team_days: person_days / f64::from(cost.labelers.max(1)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_team_produces_about_30k_per_day() {
+        // 2 people × 8 h × 3600 s / 2 s per label = 28 800 labels/day —
+        // the basis of the "30,000 to 60,000 is what 2 to 4 engineers can
+        // label in a day" calibration.
+        let team = CostModel::paper_default();
+        assert_eq!(team.labels_per_day(), 28_800);
+        let four = CostModel { labelers: 4, ..team };
+        assert_eq!(four.labels_per_day(), 57_600);
+    }
+
+    #[test]
+    fn active_labeling_daily_budget_is_3_hours() {
+        // §4.1.2: 2 188 labels at 5 s/label ≈ 3 hours.
+        let solo = CostModel::interactive();
+        let t = solo.time_for(2_188);
+        let hours = t.as_secs_f64() / 3600.0;
+        assert!((hours - 3.04).abs() < 0.02, "hours = {hours}");
+    }
+
+    #[test]
+    fn practicality_thresholds() {
+        assert_eq!(Practicality::of(0), Practicality::Practical);
+        assert_eq!(Practicality::of(60_000), Practicality::Practical);
+        assert_eq!(Practicality::of(60_001), Practicality::Borderline);
+        assert_eq!(Practicality::of(600_000), Practicality::Borderline);
+        assert_eq!(Practicality::of(600_001), Practicality::Impractical);
+    }
+
+    #[test]
+    fn figure2_practicality_verdicts() {
+        // Figure 2's red cells are exactly the ones our classifier flags.
+        assert_eq!(Practicality::of(40_355), Practicality::Practical); // F1 0.99/0.01 none
+        assert_eq!(Practicality::of(133_930), Practicality::Borderline); // F1 0.99/0.01 full
+        assert_eq!(Practicality::of(641_684), Practicality::Impractical); // F2 0.9999/0.01 full
+    }
+
+    #[test]
+    fn effort_report() {
+        let r = effort(57_600, &CostModel::paper_default());
+        assert_eq!(r.verdict, Practicality::Practical);
+        assert!((r.person_days - 4.0).abs() < 1e-9);
+        assert!((r.team_days - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Practicality::Practical.to_string(), "practical");
+        assert_eq!(Practicality::Impractical.to_string(), "impractical");
+    }
+}

@@ -1,0 +1,8 @@
+//! The CI script format: a `.travis.yml`-style file with an `ml:` section
+//! (Figure 1).
+
+mod config;
+mod yaml;
+
+pub use config::{CiScript, CiScriptBuilder};
+pub use yaml::{YamlDoc, YamlEntry, YamlItem};

@@ -1,0 +1,238 @@
+//! A minimal YAML-subset reader for `.travis.yml`-style CI scripts.
+//!
+//! ease.ml/ci extends the Travis CI file format with an `ml:` section
+//! whose entries are a dash-list of `key : value` pairs (see Figure 1).
+//! This module parses exactly that subset — top-level scalar keys,
+//! top-level sections containing dash-list entries, comments and blank
+//! lines — with line-accurate error reporting. It is intentionally *not*
+//! a general YAML parser; the CI script surface is small and a
+//! hand-rolled reader keeps the crate dependency-free.
+
+use crate::error::ScriptError;
+
+/// A parsed top-level entry of the script document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum YamlEntry {
+    /// `key: value` at the top level.
+    Scalar {
+        /// The key, trimmed.
+        key: String,
+        /// The raw value, trimmed (may be empty).
+        value: String,
+        /// 1-based source line.
+        line: usize,
+    },
+    /// `key:` followed by `- subkey : value` items.
+    Section {
+        /// The section key, trimmed (e.g. `ml`).
+        key: String,
+        /// The dash-list items, in order.
+        items: Vec<YamlItem>,
+        /// 1-based source line of the section header.
+        line: usize,
+    },
+}
+
+/// One `- key : value` item inside a section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct YamlItem {
+    /// The item key, trimmed.
+    pub key: String,
+    /// The item value, trimmed (may contain arbitrary punctuation,
+    /// including `:` — only the *first* colon separates key from value).
+    pub value: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// A parsed document: an ordered list of top-level entries.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct YamlDoc {
+    entries: Vec<YamlEntry>,
+}
+
+impl YamlDoc {
+    /// Parse a document from text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScriptError`] with a line number for dash items outside
+    /// any section, items without a `:` separator, or tab indentation.
+    pub fn parse(text: &str) -> Result<Self, ScriptError> {
+        let mut entries: Vec<YamlEntry> = Vec::new();
+        for (idx, raw_line) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let without_comment = strip_comment(raw_line);
+            let trimmed = without_comment.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            if without_comment.contains('\t') {
+                return Err(ScriptError::at_line(
+                    line_no,
+                    "tab characters are not allowed; indent with spaces",
+                ));
+            }
+            if let Some(item_text) = trimmed.strip_prefix('-') {
+                // Dash item: belongs to the most recent section.
+                let item_text = item_text.trim();
+                let Some((key, value)) = item_text.split_once(':') else {
+                    return Err(ScriptError::at_line(
+                        line_no,
+                        format!("list item `{item_text}` is missing a `:` separator"),
+                    ));
+                };
+                let item = YamlItem {
+                    key: key.trim().to_owned(),
+                    value: value.trim().to_owned(),
+                    line: line_no,
+                };
+                match entries.last_mut() {
+                    Some(YamlEntry::Section { items, .. }) => items.push(item),
+                    _ => {
+                        return Err(ScriptError::at_line(
+                            line_no,
+                            "list item appears outside of any section",
+                        ))
+                    }
+                }
+            } else {
+                let Some((key, value)) = trimmed.split_once(':') else {
+                    return Err(ScriptError::at_line(
+                        line_no,
+                        format!("line `{trimmed}` is missing a `:` separator"),
+                    ));
+                };
+                let key = key.trim().to_owned();
+                let value = value.trim().to_owned();
+                if value.is_empty() {
+                    entries.push(YamlEntry::Section { key, items: Vec::new(), line: line_no });
+                } else {
+                    entries.push(YamlEntry::Scalar { key, value, line: line_no });
+                }
+            }
+        }
+        Ok(YamlDoc { entries })
+    }
+
+    /// All top-level entries, in source order.
+    #[must_use]
+    pub fn entries(&self) -> &[YamlEntry] {
+        &self.entries
+    }
+
+    /// Find the first section with the given key.
+    #[must_use]
+    pub fn section(&self, key: &str) -> Option<&[YamlItem]> {
+        self.entries.iter().find_map(|e| match e {
+            YamlEntry::Section { key: k, items, .. } if k == key => Some(items.as_slice()),
+            _ => None,
+        })
+    }
+
+    /// Find the first top-level scalar with the given key.
+    #[must_use]
+    pub fn scalar(&self, key: &str) -> Option<&str> {
+        self.entries.iter().find_map(|e| match e {
+            YamlEntry::Scalar { key: k, value, .. } if k == key => Some(value.as_str()),
+            _ => None,
+        })
+    }
+}
+
+/// Strip a trailing `#` comment, respecting nothing fancier (the script
+/// subset has no quoted strings containing `#`).
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIGURE1_SCRIPT: &str = "\
+language: python   # travis keys pass through untouched
+ml:
+  - script     : ./test_model.py
+  - condition  : n - o > 0.02 +/- 0.01
+  - reliability: 0.9999
+  - mode       : fp-free
+  - adaptivity : full
+  - steps      : 32
+";
+
+    #[test]
+    fn parses_figure1_script() {
+        let doc = YamlDoc::parse(FIGURE1_SCRIPT).unwrap();
+        assert_eq!(doc.scalar("language"), Some("python"));
+        let ml = doc.section("ml").unwrap();
+        assert_eq!(ml.len(), 6);
+        assert_eq!(ml[0].key, "script");
+        assert_eq!(ml[0].value, "./test_model.py");
+        assert_eq!(ml[1].key, "condition");
+        assert_eq!(ml[1].value, "n - o > 0.02 +/- 0.01");
+        assert_eq!(ml[5].key, "steps");
+        assert_eq!(ml[5].value, "32");
+    }
+
+    #[test]
+    fn first_colon_splits_key_from_value() {
+        let doc = YamlDoc::parse("ml:\n  - adaptivity : none -> xx@abc.com\n").unwrap();
+        let ml = doc.section("ml").unwrap();
+        assert_eq!(ml[0].key, "adaptivity");
+        assert_eq!(ml[0].value, "none -> xx@abc.com");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let doc = YamlDoc::parse("# header\n\nml:\n  # inner comment\n  - steps : 5\n").unwrap();
+        assert_eq!(doc.section("ml").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn line_numbers_are_recorded() {
+        let doc = YamlDoc::parse("a: 1\nml:\n  - steps : 5\n").unwrap();
+        match &doc.entries()[0] {
+            YamlEntry::Scalar { line, .. } => assert_eq!(*line, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(doc.section("ml").unwrap()[0].line, 3);
+    }
+
+    #[test]
+    fn rejects_orphan_list_items() {
+        let err = YamlDoc::parse("- steps : 5\n").unwrap_err();
+        assert_eq!(err.line, Some(1));
+        assert!(err.to_string().contains("outside"));
+    }
+
+    #[test]
+    fn rejects_item_without_colon() {
+        let err = YamlDoc::parse("ml:\n  - just some words\n").unwrap_err();
+        assert_eq!(err.line, Some(2));
+    }
+
+    #[test]
+    fn rejects_tabs() {
+        let err = YamlDoc::parse("ml:\n\t- steps : 5\n").unwrap_err();
+        assert!(err.to_string().contains("tab"));
+    }
+
+    #[test]
+    fn empty_document_is_ok() {
+        let doc = YamlDoc::parse("").unwrap();
+        assert!(doc.entries().is_empty());
+        assert_eq!(doc.section("ml"), None);
+        assert_eq!(doc.scalar("language"), None);
+    }
+
+    #[test]
+    fn multiple_sections() {
+        let doc = YamlDoc::parse("a:\n  - x : 1\nb:\n  - y : 2\n").unwrap();
+        assert_eq!(doc.section("a").unwrap()[0].key, "x");
+        assert_eq!(doc.section("b").unwrap()[0].key, "y");
+    }
+}

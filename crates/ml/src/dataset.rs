@@ -1,0 +1,230 @@
+//! Labelled datasets: storage, splits, shuffling, and mini-batching.
+
+use crate::error::{MlError, Result};
+use crate::matrix::Matrix;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A labelled classification dataset: an `n × d` feature matrix plus a
+/// label per row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    features: Matrix,
+    labels: Vec<u32>,
+    num_classes: u32,
+}
+
+impl Dataset {
+    /// Build a dataset, validating label range and shape agreement.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the feature row count and label count differ,
+    /// any label is `>= num_classes`, or the dataset is empty.
+    pub fn new(features: Matrix, labels: Vec<u32>, num_classes: u32) -> Result<Self> {
+        if features.rows() != labels.len() {
+            return Err(MlError::ShapeMismatch {
+                context: "Dataset::new",
+                expected: features.rows(),
+                got: labels.len(),
+            });
+        }
+        if labels.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= num_classes) {
+            return Err(MlError::LabelOutOfRange { label: bad, num_classes });
+        }
+        Ok(Dataset { features, labels, num_classes })
+    }
+
+    /// Number of examples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty (never true after construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature dimensionality.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn num_classes(&self) -> u32 {
+        self.num_classes
+    }
+
+    /// The feature matrix.
+    #[must_use]
+    pub fn features(&self) -> &Matrix {
+        &self.features
+    }
+
+    /// The label vector.
+    #[must_use]
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Feature row of example `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn example(&self, i: usize) -> (&[f32], u32) {
+        (self.features.row(i), self.labels[i])
+    }
+
+    /// Class frequencies (counts per class).
+    #[must_use]
+    pub fn class_counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.num_classes as usize];
+        for &l in &self.labels {
+            counts[l as usize] += 1;
+        }
+        counts
+    }
+
+    /// A new dataset containing the given example indices, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::EmptyDataset`] for an empty selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> Result<Dataset> {
+        if indices.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        let mut data = Vec::with_capacity(indices.len() * self.dim());
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            data.extend_from_slice(self.features.row(i));
+            labels.push(self.labels[i]);
+        }
+        let features = Matrix::from_vec(indices.len(), self.dim(), data)?;
+        Dataset::new(features, labels, self.num_classes)
+    }
+
+    /// Split into `(train, test)` with `train_fraction` of the examples
+    /// (shuffled by `rng`) in the first part.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either side would be empty.
+    pub fn split<R: Rng>(&self, train_fraction: f64, rng: &mut R) -> Result<(Dataset, Dataset)> {
+        let n = self.len();
+        let n_train = ((n as f64) * train_fraction).round() as usize;
+        if n_train == 0 || n_train >= n {
+            return Err(MlError::InvalidHyperparameter {
+                name: "train_fraction",
+                constraint: "must leave at least one example on each side",
+            });
+        }
+        let mut indices: Vec<usize> = (0..n).collect();
+        indices.shuffle(rng);
+        let train = self.subset(&indices[..n_train])?;
+        let test = self.subset(&indices[n_train..])?;
+        Ok((train, test))
+    }
+
+    /// Iterate over mini-batches of example indices, shuffled by `rng`.
+    pub fn batches<R: Rng>(&self, batch_size: usize, rng: &mut R) -> Vec<Vec<usize>> {
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        indices.shuffle(rng);
+        indices.chunks(batch_size.max(1)).map(<[usize]>::to_vec).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> Dataset {
+        let features = Matrix::from_rows(&[
+            &[0.0, 0.0],
+            &[0.0, 1.0],
+            &[1.0, 0.0],
+            &[1.0, 1.0],
+            &[0.5, 0.5],
+            &[0.2, 0.8],
+        ])
+        .unwrap();
+        Dataset::new(features, vec![0, 1, 1, 0, 1, 0], 2).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        let m = Matrix::zeros(3, 2);
+        assert!(Dataset::new(m.clone(), vec![0, 1], 2).is_err()); // count mismatch
+        assert!(Dataset::new(m.clone(), vec![0, 1, 5], 2).is_err()); // label range
+        assert!(Dataset::new(m, vec![0, 1, 1], 2).is_ok());
+        assert!(Dataset::new(Matrix::zeros(0, 2), vec![], 2).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let d = toy();
+        assert_eq!(d.len(), 6);
+        assert!(!d.is_empty());
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.num_classes(), 2);
+        let (x, y) = d.example(2);
+        assert_eq!(x, &[1.0, 0.0]);
+        assert_eq!(y, 1);
+        assert_eq!(d.class_counts(), vec![3, 3]);
+    }
+
+    #[test]
+    fn subset_preserves_order() {
+        let d = toy();
+        let s = d.subset(&[4, 0]).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.example(0).0, &[0.5, 0.5]);
+        assert_eq!(s.example(1).1, 0);
+        assert!(d.subset(&[]).is_err());
+    }
+
+    #[test]
+    fn split_partitions_everything() {
+        let d = toy();
+        let mut rng = StdRng::seed_from_u64(7);
+        let (train, test) = d.split(0.5, &mut rng).unwrap();
+        assert_eq!(train.len() + test.len(), d.len());
+        assert_eq!(train.len(), 3);
+        assert!(d.split(0.0, &mut rng).is_err());
+        assert!(d.split(1.0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn split_is_seed_deterministic() {
+        let d = toy();
+        let (a, _) = d.split(0.5, &mut StdRng::seed_from_u64(3)).unwrap();
+        let (b, _) = d.split(0.5, &mut StdRng::seed_from_u64(3)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batches_cover_all_examples() {
+        let d = toy();
+        let mut rng = StdRng::seed_from_u64(1);
+        let batches = d.batches(4, &mut rng);
+        assert_eq!(batches.len(), 2);
+        let mut all: Vec<usize> = batches.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type for the ML substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by dataset construction or model training/inference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MlError {
+    /// Matrix/vector dimensions do not line up.
+    ShapeMismatch {
+        /// What was being attempted.
+        context: &'static str,
+        /// Expected dimension.
+        expected: usize,
+        /// Offending dimension.
+        got: usize,
+    },
+    /// The dataset is empty or otherwise unusable for the operation.
+    EmptyDataset,
+    /// A label is outside `0..num_classes`.
+    LabelOutOfRange {
+        /// The offending label.
+        label: u32,
+        /// The declared number of classes.
+        num_classes: u32,
+    },
+    /// The model was asked to predict before being fitted.
+    NotFitted,
+    /// An invalid hyper-parameter was supplied.
+    InvalidHyperparameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable constraint.
+        constraint: &'static str,
+    },
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::ShapeMismatch { context, expected, got } => {
+                write!(f, "shape mismatch in {context}: expected {expected}, got {got}")
+            }
+            MlError::EmptyDataset => write!(f, "dataset has no examples"),
+            MlError::LabelOutOfRange { label, num_classes } => {
+                write!(f, "label {label} out of range for {num_classes} classes")
+            }
+            MlError::NotFitted => write!(f, "model has not been fitted"),
+            MlError::InvalidHyperparameter { name, constraint } => {
+                write!(f, "hyper-parameter `{name}` must satisfy: {constraint}")
+            }
+        }
+    }
+}
+
+impl Error for MlError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, MlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = MlError::ShapeMismatch { context: "matmul", expected: 3, got: 4 };
+        assert!(e.to_string().contains("matmul"));
+        assert!(MlError::EmptyDataset.to_string().contains("no examples"));
+        assert!(MlError::NotFitted.to_string().contains("fitted"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MlError>();
+    }
+}

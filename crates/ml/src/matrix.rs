@@ -1,0 +1,354 @@
+//! A minimal dense row-major `f32` matrix — just enough linear algebra
+//! for the classifiers in this crate, with no external dependencies.
+
+use crate::error::{MlError, Result};
+use std::fmt;
+
+/// Dense row-major matrix of `f32`.
+///
+/// # Examples
+///
+/// ```
+/// use easeml_ml::Matrix;
+///
+/// # fn main() -> Result<(), easeml_ml::MlError> {
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+/// let b = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]])?;
+/// let c = a.matmul(&b)?;
+/// assert_eq!(c.row(1), &[3.0, 4.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// An all-zeros matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Build from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::ShapeMismatch`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(MlError::ShapeMismatch {
+                context: "Matrix::from_vec",
+                expected: rows * cols,
+                got: data.len(),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Build from row slices (all rows must have equal length).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::ShapeMismatch`] on ragged input and
+    /// [`MlError::EmptyDataset`] for zero rows.
+    pub fn from_rows(rows: &[&[f32]]) -> Result<Self> {
+        let Some(first) = rows.first() else {
+            return Err(MlError::EmptyDataset);
+        };
+        let cols = first.len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            if row.len() != cols {
+                return Err(MlError::ShapeMismatch {
+                    context: "Matrix::from_rows",
+                    expected: cols,
+                    got: row.len(),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Matrix { rows: rows.len(), cols, data })
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// The flat row-major buffer.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Matrix product `self × other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::ShapeMismatch`] unless
+    /// `self.cols == other.rows`.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(MlError::ShapeMismatch {
+                context: "matmul",
+                expected: self.cols,
+                got: other.rows,
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        // ikj loop order: stream through `other` rows for cache locality.
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                let o_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transposed copy.
+    #[must_use]
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// In-place `self += alpha * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::ShapeMismatch`] on shape disagreement.
+    pub fn axpy(&mut self, alpha: f32, other: &Matrix) -> Result<()> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(MlError::ShapeMismatch {
+                context: "axpy",
+                expected: self.rows * self.cols,
+                got: other.rows * other.cols,
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// In-place scalar multiply.
+    pub fn scale(&mut self, alpha: f32) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Frobenius norm.
+    #[must_use]
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{}", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            let row = self.row(r);
+            let rendered: Vec<String> =
+                row.iter().take(8).map(|v| format!("{v:.3}")).collect();
+            let ellipsis = if self.cols > 8 { ", …" } else { "" };
+            writeln!(f, "  [{}{}]", rendered.join(", "), ellipsis)?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        Ok(())
+    }
+}
+
+/// Row-wise softmax in place: each row becomes a probability vector.
+pub fn softmax_rows(m: &mut Matrix) {
+    for r in 0..m.rows() {
+        let row = m.row_mut(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut total = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            total += *v;
+        }
+        if total > 0.0 {
+            for v in row.iter_mut() {
+                *v /= total;
+            }
+        }
+    }
+}
+
+/// Dot product of two equally long slices.
+///
+/// # Panics
+///
+/// Panics in debug builds on length mismatch.
+#[must_use]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `argmax` of a slice (first maximum wins); 0 for an empty slice.
+#[must_use]
+pub fn argmax(values: &[f32]) -> usize {
+    let mut best = 0;
+    let mut best_v = f32::NEG_INFINITY;
+    for (i, &v) in values.iter().enumerate() {
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut m = Matrix::zeros(2, 3);
+        assert_eq!((m.rows(), m.cols()), (2, 3));
+        m.set(1, 2, 5.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.row(1), &[0.0, 0.0, 5.0]);
+        m.row_mut(0)[0] = 1.0;
+        assert_eq!(m.as_slice(), &[1.0, 0.0, 0.0, 0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn from_vec_validates_shape() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn from_rows_validates() {
+        assert!(Matrix::from_rows(&[]).is_err());
+        assert!(Matrix::from_rows(&[&[1.0, 2.0][..], &[3.0][..]]).is_err());
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+        assert!(a.matmul(&Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let t = a.transpose();
+        assert_eq!((t.rows(), t.cols()), (3, 2));
+        assert_eq!(t.get(2, 1), 6.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Matrix::zeros(2, 2);
+        let b = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        a.axpy(2.0, &b).unwrap();
+        assert_eq!(a.as_slice(), &[2.0, 4.0, 6.0, 8.0]);
+        a.scale(0.5);
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert!(a.axpy(1.0, &Matrix::zeros(1, 1)).is_err());
+    }
+
+    #[test]
+    fn softmax_rows_normalizes() {
+        let mut m = Matrix::from_rows(&[&[0.0, 0.0], &[1000.0, 0.0]]).unwrap();
+        softmax_rows(&mut m);
+        assert!((m.get(0, 0) - 0.5).abs() < 1e-6);
+        // Large logits must not overflow.
+        assert!((m.get(1, 0) - 1.0).abs() < 1e-6);
+        let sum: f32 = m.row(1).iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(argmax(&[0.1, 0.9, 0.5]), 1);
+        assert_eq!(argmax(&[]), 0);
+        assert_eq!(argmax(&[1.0, 1.0]), 0); // first max wins
+        let m = Matrix::from_rows(&[&[3.0, 4.0]]).unwrap();
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_is_bounded() {
+        let m = Matrix::zeros(20, 20);
+        let text = m.to_string();
+        assert!(text.contains("Matrix 20x20"));
+        assert!(text.contains('…'));
+    }
+}

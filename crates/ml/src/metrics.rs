@@ -1,0 +1,169 @@
+//! Evaluation metrics: accuracy, prediction difference, confusion
+//! matrices, and per-class / macro F1.
+
+/// Fraction of predictions equal to the labels.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// let acc = easeml_ml::metrics::accuracy(&[1, 0, 1], &[1, 1, 1]);
+/// assert!((acc - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn accuracy(predictions: &[u32], labels: &[u32]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let correct = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    correct as f64 / predictions.len() as f64
+}
+
+/// Fraction of positions where two prediction vectors differ — the `d`
+/// variable of the ease.ml/ci condition language.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn prediction_difference(a: &[u32], b: &[u32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let changed = a.iter().zip(b).filter(|(x, y)| x != y).count();
+    changed as f64 / a.len() as f64
+}
+
+/// `num_classes × num_classes` confusion matrix: `matrix[truth][pred]`.
+///
+/// # Panics
+///
+/// Panics on length mismatch or out-of-range labels.
+#[must_use]
+pub fn confusion_matrix(predictions: &[u32], labels: &[u32], num_classes: u32) -> Vec<Vec<u64>> {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    let k = num_classes as usize;
+    let mut m = vec![vec![0u64; k]; k];
+    for (&p, &l) in predictions.iter().zip(labels) {
+        m[l as usize][p as usize] += 1;
+    }
+    m
+}
+
+/// Per-class precision, recall, and F1.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClassScores {
+    /// Precision `tp / (tp + fp)`; 0 when undefined.
+    pub precision: f64,
+    /// Recall `tp / (tp + fn)`; 0 when undefined.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall; 0 when undefined.
+    pub f1: f64,
+}
+
+/// Per-class scores from a confusion matrix.
+#[must_use]
+#[allow(clippy::needless_range_loop)] // symmetric row/column walks read best indexed
+pub fn class_scores(confusion: &[Vec<u64>]) -> Vec<ClassScores> {
+    let k = confusion.len();
+    let mut out = Vec::with_capacity(k);
+    for c in 0..k {
+        let tp = confusion[c][c] as f64;
+        let fn_: f64 = (0..k).filter(|&j| j != c).map(|j| confusion[c][j] as f64).sum();
+        let fp: f64 = (0..k).filter(|&i| i != c).map(|i| confusion[i][c] as f64).sum();
+        let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+        let recall = if tp + fn_ > 0.0 { tp / (tp + fn_) } else { 0.0 };
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        out.push(ClassScores { precision, recall, f1 });
+    }
+    out
+}
+
+/// Unweighted mean of the per-class F1 scores.
+///
+/// # Panics
+///
+/// Panics on length mismatch or out-of-range labels.
+#[must_use]
+pub fn macro_f1(predictions: &[u32], labels: &[u32], num_classes: u32) -> f64 {
+    let confusion = confusion_matrix(predictions, labels, num_classes);
+    let scores = class_scores(&confusion);
+    if scores.is_empty() {
+        return 0.0;
+    }
+    scores.iter().map(|s| s.f1).sum::<f64>() / scores.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(accuracy(&[0, 0, 0, 0], &[1, 1, 0, 0]), 0.5);
+    }
+
+    #[test]
+    fn difference_basics() {
+        assert_eq!(prediction_difference(&[], &[]), 0.0);
+        assert_eq!(prediction_difference(&[1, 2], &[1, 2]), 0.0);
+        assert_eq!(prediction_difference(&[1, 2], &[2, 2]), 0.5);
+        // d is symmetric.
+        assert_eq!(
+            prediction_difference(&[0, 1, 0], &[1, 1, 1]),
+            prediction_difference(&[1, 1, 1], &[0, 1, 0])
+        );
+    }
+
+    #[test]
+    fn confusion_and_scores() {
+        // truth:  0 0 1 1 1 2
+        // pred:   0 1 1 1 0 2
+        let labels = [0, 0, 1, 1, 1, 2];
+        let preds = [0, 1, 1, 1, 0, 2];
+        let m = confusion_matrix(&preds, &labels, 3);
+        assert_eq!(m[0], vec![1, 1, 0]);
+        assert_eq!(m[1], vec![1, 2, 0]);
+        assert_eq!(m[2], vec![0, 0, 1]);
+        let scores = class_scores(&m);
+        // Class 0: tp=1 fp=1 fn=1 -> p = r = f1 = 0.5.
+        assert!((scores[0].f1 - 0.5).abs() < 1e-12);
+        // Class 2: perfect.
+        assert_eq!(scores[2].f1, 1.0);
+    }
+
+    #[test]
+    fn macro_f1_aggregates() {
+        let labels = [0, 0, 1, 1];
+        let perfect = [0, 0, 1, 1];
+        assert_eq!(macro_f1(&perfect, &labels, 2), 1.0);
+        let inverted = [1, 1, 0, 0];
+        assert_eq!(macro_f1(&inverted, &labels, 2), 0.0);
+    }
+
+    #[test]
+    fn degenerate_class_scores_are_zero_not_nan() {
+        // No instances of class 1 at all.
+        let m = confusion_matrix(&[0, 0], &[0, 0], 2);
+        let scores = class_scores(&m);
+        assert_eq!(scores[1], ClassScores::default());
+        assert!(!scores[1].f1.is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_panics_on_mismatch() {
+        let _ = accuracy(&[1], &[1, 2]);
+    }
+}

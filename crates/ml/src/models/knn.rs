@@ -1,0 +1,157 @@
+//! k-nearest-neighbours classifier (brute force, Euclidean).
+//!
+//! Deliberately simple: the CI experiments need a *memorising* model
+//! family whose behaviour contrasts with the parametric ones (perfect on
+//! seen data, capacity controlled by `k`), not a fast ANN index.
+
+use super::Classifier;
+use crate::dataset::Dataset;
+use crate::error::{MlError, Result};
+
+/// Configuration for [`Knn`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KnnConfig {
+    /// Number of neighbours to vote (≥ 1).
+    pub k: usize,
+}
+
+impl Default for KnnConfig {
+    fn default() -> Self {
+        KnnConfig { k: 5 }
+    }
+}
+
+/// Brute-force k-NN with majority voting (ties broken by the nearest
+/// neighbour among the tied classes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Knn {
+    config: KnnConfig,
+    train: Option<Dataset>,
+}
+
+impl Knn {
+    /// New unfitted model.
+    #[must_use]
+    pub fn new(config: KnnConfig) -> Self {
+        Knn { config, train: None }
+    }
+}
+
+impl Default for Knn {
+    fn default() -> Self {
+        Knn::new(KnnConfig::default())
+    }
+}
+
+impl Classifier for Knn {
+    fn fit(&mut self, data: &Dataset) -> Result<()> {
+        if self.config.k == 0 {
+            return Err(MlError::InvalidHyperparameter { name: "k", constraint: "must be >= 1" });
+        }
+        self.train = Some(data.clone());
+        Ok(())
+    }
+
+    fn predict_one(&self, features: &[f32]) -> Result<u32> {
+        let train = self.train.as_ref().ok_or(MlError::NotFitted)?;
+        if features.len() != train.dim() {
+            return Err(MlError::ShapeMismatch {
+                context: "Knn::predict_one",
+                expected: train.dim(),
+                got: features.len(),
+            });
+        }
+        let k = self.config.k.min(train.len());
+        // Collect (distance², label) and keep the k smallest by a simple
+        // bounded insertion — k is small, n is modest.
+        let mut best: Vec<(f32, u32)> = Vec::with_capacity(k + 1);
+        for i in 0..train.len() {
+            let (x, y) = train.example(i);
+            let d2: f32 = x
+                .iter()
+                .zip(features)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            let pos = best.partition_point(|&(d, _)| d <= d2);
+            if pos < k {
+                best.insert(pos, (d2, y));
+                best.truncate(k);
+            }
+        }
+        // Majority vote; tie -> nearest among the tied classes.
+        let mut counts = std::collections::HashMap::new();
+        for &(_, y) in &best {
+            *counts.entry(y).or_insert(0usize) += 1;
+        }
+        let max_count = counts.values().copied().max().unwrap_or(0);
+        let winner = best
+            .iter()
+            .find(|&&(_, y)| counts[&y] == max_count)
+            .map(|&(_, y)| y)
+            .ok_or(MlError::EmptyDataset)?;
+        Ok(winner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    fn toy() -> Dataset {
+        let features = Matrix::from_rows(&[
+            &[0.0, 0.0],
+            &[0.1, 0.0],
+            &[0.0, 0.1],
+            &[1.0, 1.0],
+            &[0.9, 1.0],
+            &[1.0, 0.9],
+        ])
+        .unwrap();
+        Dataset::new(features, vec![0, 0, 0, 1, 1, 1], 2).unwrap()
+    }
+
+    #[test]
+    fn classifies_clusters() {
+        let mut knn = Knn::new(KnnConfig { k: 3 });
+        knn.fit(&toy()).unwrap();
+        assert_eq!(knn.predict_one(&[0.05, 0.05]).unwrap(), 0);
+        assert_eq!(knn.predict_one(&[0.95, 0.95]).unwrap(), 1);
+    }
+
+    #[test]
+    fn k1_memorises_training_points() {
+        let data = toy();
+        let mut knn = Knn::new(KnnConfig { k: 1 });
+        knn.fit(&data).unwrap();
+        let preds = knn.predict_dataset(&data).unwrap();
+        assert_eq!(preds, data.labels());
+    }
+
+    #[test]
+    fn k_larger_than_dataset_is_clamped() {
+        let mut knn = Knn::new(KnnConfig { k: 100 });
+        knn.fit(&toy()).unwrap();
+        // Votes over all 6 points: 3 vs 3 tie, nearest wins.
+        assert_eq!(knn.predict_one(&[0.0, 0.0]).unwrap(), 0);
+    }
+
+    #[test]
+    fn blob_accuracy_is_strong() {
+        use crate::models::test_support::accuracy_of;
+        let mut knn = Knn::default();
+        let acc = accuracy_of(&mut knn);
+        assert!(acc > 0.9, "accuracy = {acc}");
+    }
+
+    #[test]
+    fn error_paths() {
+        let knn = Knn::default();
+        assert!(matches!(knn.predict_one(&[0.0, 0.0]), Err(MlError::NotFitted)));
+        let mut knn = Knn::new(KnnConfig { k: 0 });
+        assert!(knn.fit(&toy()).is_err());
+        let mut knn = Knn::default();
+        knn.fit(&toy()).unwrap();
+        assert!(knn.predict_one(&[0.0]).is_err());
+    }
+}

@@ -1,0 +1,261 @@
+//! Multi-class (softmax) logistic regression trained by mini-batch SGD
+//! with momentum and L2 regularisation.
+
+use super::Classifier;
+use crate::dataset::Dataset;
+use crate::error::{MlError, Result};
+use crate::matrix::{argmax, dot};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for [`LogisticRegression`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogisticRegressionConfig {
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Momentum coefficient in `[0, 1)`.
+    pub momentum: f32,
+    /// L2 penalty.
+    pub l2: f32,
+    /// Passes over the training data.
+    pub epochs: u32,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for LogisticRegressionConfig {
+    fn default() -> Self {
+        LogisticRegressionConfig {
+            learning_rate: 0.1,
+            momentum: 0.9,
+            l2: 1e-4,
+            epochs: 30,
+            batch_size: 32,
+            seed: 0,
+        }
+    }
+}
+
+/// Softmax regression classifier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogisticRegression {
+    config: LogisticRegressionConfig,
+    // [class][feature + 1]; last slot is the bias.
+    weights: Vec<Vec<f32>>,
+}
+
+impl LogisticRegression {
+    /// New unfitted model.
+    #[must_use]
+    pub fn new(config: LogisticRegressionConfig) -> Self {
+        LogisticRegression { config, weights: Vec::new() }
+    }
+
+    /// Class-probability vector for one input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::NotFitted`] before fit, or a shape error.
+    pub fn predict_proba(&self, features: &[f32]) -> Result<Vec<f32>> {
+        if self.weights.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        let d = self.weights[0].len() - 1;
+        if features.len() != d {
+            return Err(MlError::ShapeMismatch {
+                context: "LogisticRegression::predict_proba",
+                expected: d,
+                got: features.len(),
+            });
+        }
+        let mut logits: Vec<f32> = self
+            .weights
+            .iter()
+            .map(|w| dot(&w[..d], features) + w[d])
+            .collect();
+        let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut total = 0.0f32;
+        for l in &mut logits {
+            *l = (*l - max).exp();
+            total += *l;
+        }
+        for l in &mut logits {
+            *l /= total;
+        }
+        Ok(logits)
+    }
+
+    fn validate(&self) -> Result<()> {
+        let c = &self.config;
+        // NaN-rejecting guard: `!(x > 0.0)` is also true for NaN.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(c.learning_rate > 0.0) {
+            return Err(MlError::InvalidHyperparameter {
+                name: "learning_rate",
+                constraint: "must be positive",
+            });
+        }
+        if !(0.0..1.0).contains(&c.momentum) {
+            return Err(MlError::InvalidHyperparameter {
+                name: "momentum",
+                constraint: "must be in [0, 1)",
+            });
+        }
+        if c.l2 < 0.0 {
+            return Err(MlError::InvalidHyperparameter {
+                name: "l2",
+                constraint: "must be non-negative",
+            });
+        }
+        if c.epochs == 0 {
+            return Err(MlError::InvalidHyperparameter {
+                name: "epochs",
+                constraint: "must be at least 1",
+            });
+        }
+        if c.batch_size == 0 {
+            return Err(MlError::InvalidHyperparameter {
+                name: "batch_size",
+                constraint: "must be at least 1",
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for LogisticRegression {
+    fn default() -> Self {
+        LogisticRegression::new(LogisticRegressionConfig::default())
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn fit(&mut self, data: &Dataset) -> Result<()> {
+        self.validate()?;
+        let k = data.num_classes() as usize;
+        let d = data.dim();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut w = vec![vec![0.0f32; d + 1]; k];
+        let mut velocity = vec![vec![0.0f32; d + 1]; k];
+        let lr = self.config.learning_rate;
+        let mu = self.config.momentum;
+        let l2 = self.config.l2;
+        for _ in 0..self.config.epochs {
+            for batch in data.batches(self.config.batch_size, &mut rng) {
+                let mut grad = vec![vec![0.0f32; d + 1]; k];
+                for &i in &batch {
+                    let (x, y) = data.example(i);
+                    // Softmax forward.
+                    let mut logits: Vec<f32> =
+                        w.iter().map(|wc| dot(&wc[..d], x) + wc[d]).collect();
+                    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                    let mut total = 0.0f32;
+                    for l in &mut logits {
+                        *l = (*l - max).exp();
+                        total += *l;
+                    }
+                    for (c, gc) in grad.iter_mut().enumerate() {
+                        let p = logits[c] / total;
+                        let err = p - f32::from(u8::from(c as u32 == y));
+                        for (g, &xv) in gc[..d].iter_mut().zip(x) {
+                            *g += err * xv;
+                        }
+                        gc[d] += err;
+                    }
+                }
+                let scale = 1.0 / batch.len() as f32;
+                for ((wc, vc), gc) in w.iter_mut().zip(&mut velocity).zip(&grad) {
+                    for j in 0..=d {
+                        // L2 on weights (not bias).
+                        let reg = if j < d { l2 * wc[j] } else { 0.0 };
+                        vc[j] = mu * vc[j] - lr * (gc[j] * scale + reg);
+                        wc[j] += vc[j];
+                    }
+                }
+            }
+        }
+        self.weights = w;
+        Ok(())
+    }
+
+    fn predict_one(&self, features: &[f32]) -> Result<u32> {
+        let proba = self.predict_proba(features)?;
+        Ok(argmax(&proba) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::test_support::accuracy_of;
+
+    #[test]
+    fn learns_separable_blobs_well() {
+        let mut model = LogisticRegression::default();
+        let acc = accuracy_of(&mut model);
+        assert!(acc > 0.93, "accuracy = {acc}");
+    }
+
+    #[test]
+    fn probabilities_are_normalized() {
+        let (train, test) = crate::models::test_support::train_test();
+        let mut model = LogisticRegression::default();
+        model.fit(&train).unwrap();
+        let p = model.predict_proba(test.example(0).0).unwrap();
+        assert_eq!(p.len(), 4);
+        let total: f32 = p.iter().sum();
+        assert!((total - 1.0).abs() < 1e-5);
+        assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (train, test) = crate::models::test_support::train_test();
+        let mut a = LogisticRegression::default();
+        let mut b = LogisticRegression::default();
+        a.fit(&train).unwrap();
+        b.fit(&train).unwrap();
+        assert_eq!(a.predict_dataset(&test).unwrap(), b.predict_dataset(&test).unwrap());
+    }
+
+    #[test]
+    fn more_epochs_do_not_hurt_much() {
+        let (train, test) = crate::models::test_support::train_test();
+        let mut short = LogisticRegression::new(LogisticRegressionConfig {
+            epochs: 2,
+            ..Default::default()
+        });
+        let mut long = LogisticRegression::new(LogisticRegressionConfig {
+            epochs: 40,
+            ..Default::default()
+        });
+        short.fit(&train).unwrap();
+        long.fit(&train).unwrap();
+        let acc_short = crate::metrics::accuracy(
+            &short.predict_dataset(&test).unwrap(),
+            test.labels(),
+        );
+        let acc_long =
+            crate::metrics::accuracy(&long.predict_dataset(&test).unwrap(), test.labels());
+        assert!(acc_long >= acc_short - 0.05, "short={acc_short} long={acc_long}");
+    }
+
+    #[test]
+    fn unfitted_and_invalid_config() {
+        let model = LogisticRegression::default();
+        assert!(matches!(model.predict_one(&[0.0]), Err(MlError::NotFitted)));
+        let data = Dataset::new(crate::matrix::Matrix::zeros(2, 2), vec![0, 1], 2).unwrap();
+        for bad in [
+            LogisticRegressionConfig { learning_rate: 0.0, ..Default::default() },
+            LogisticRegressionConfig { momentum: 1.0, ..Default::default() },
+            LogisticRegressionConfig { l2: -1.0, ..Default::default() },
+            LogisticRegressionConfig { epochs: 0, ..Default::default() },
+            LogisticRegressionConfig { batch_size: 0, ..Default::default() },
+        ] {
+            let mut model = LogisticRegression::new(bad);
+            assert!(model.fit(&data).is_err(), "config {bad:?} should be rejected");
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! The majority-class baseline.
+
+use super::Classifier;
+use crate::dataset::Dataset;
+use crate::error::{MlError, Result};
+
+/// Predicts the most frequent training class for every input — the
+/// weakest sensible baseline, useful as commit #1 of a simulated model
+/// development history.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MajorityClassifier {
+    majority: Option<u32>,
+}
+
+impl MajorityClassifier {
+    /// New unfitted classifier.
+    #[must_use]
+    pub fn new() -> Self {
+        MajorityClassifier { majority: None }
+    }
+
+    /// The learned majority class, if fitted.
+    #[must_use]
+    pub fn majority_class(&self) -> Option<u32> {
+        self.majority
+    }
+}
+
+impl Classifier for MajorityClassifier {
+    fn fit(&mut self, data: &Dataset) -> Result<()> {
+        let counts = data.class_counts();
+        let best = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)
+            .map(|(k, _)| k as u32)
+            .ok_or(MlError::EmptyDataset)?;
+        self.majority = Some(best);
+        Ok(())
+    }
+
+    fn predict_one(&self, _features: &[f32]) -> Result<u32> {
+        self.majority.ok_or(MlError::NotFitted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    #[test]
+    fn predicts_most_frequent_class() {
+        let features = Matrix::zeros(5, 2);
+        let data = Dataset::new(features, vec![2, 0, 2, 1, 2], 3).unwrap();
+        let mut model = MajorityClassifier::new();
+        model.fit(&data).unwrap();
+        assert_eq!(model.majority_class(), Some(2));
+        assert_eq!(model.predict_one(&[9.0, 9.0]).unwrap(), 2);
+        let preds = model.predict_dataset(&data).unwrap();
+        assert_eq!(preds, vec![2; 5]);
+    }
+
+    #[test]
+    fn unfitted_prediction_fails() {
+        let model = MajorityClassifier::new();
+        assert!(matches!(model.predict_one(&[1.0]), Err(MlError::NotFitted)));
+    }
+
+    #[test]
+    fn accuracy_matches_class_prior() {
+        use crate::models::test_support::accuracy_of;
+        let mut model = MajorityClassifier::new();
+        let acc = accuracy_of(&mut model);
+        // Four roughly balanced classes: prior ≈ 0.25.
+        assert!(acc > 0.15 && acc < 0.40, "accuracy = {acc}");
+    }
+}

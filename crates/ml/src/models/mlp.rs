@@ -1,0 +1,323 @@
+//! One-hidden-layer multi-layer perceptron (ReLU + softmax) trained by
+//! mini-batch SGD with momentum.
+
+use super::Classifier;
+use crate::dataset::Dataset;
+use crate::error::{MlError, Result};
+use crate::matrix::argmax;
+use crate::synth::sample_standard_normal;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for [`Mlp`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MlpConfig {
+    /// Hidden-layer width.
+    pub hidden: usize,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Momentum coefficient in `[0, 1)`.
+    pub momentum: f32,
+    /// Passes over the training data.
+    pub epochs: u32,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Weight-init / shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        MlpConfig {
+            hidden: 32,
+            learning_rate: 0.05,
+            momentum: 0.9,
+            epochs: 40,
+            batch_size: 32,
+            seed: 0,
+        }
+    }
+}
+
+/// One-hidden-layer MLP classifier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    config: MlpConfig,
+    // Layer 1: [hidden][dim + 1]; layer 2: [classes][hidden + 1].
+    w1: Vec<Vec<f32>>,
+    w2: Vec<Vec<f32>>,
+}
+
+impl Mlp {
+    /// New unfitted model.
+    #[must_use]
+    pub fn new(config: MlpConfig) -> Self {
+        Mlp { config, w1: Vec::new(), w2: Vec::new() }
+    }
+
+    fn forward_hidden(&self, x: &[f32]) -> Vec<f32> {
+        let d = x.len();
+        self.w1
+            .iter()
+            .map(|w| {
+                let mut a = w[d];
+                for (wv, xv) in w[..d].iter().zip(x) {
+                    a += wv * xv;
+                }
+                a.max(0.0) // ReLU
+            })
+            .collect()
+    }
+
+    fn forward_logits(&self, h: &[f32]) -> Vec<f32> {
+        let m = h.len();
+        self.w2
+            .iter()
+            .map(|w| {
+                let mut a = w[m];
+                for (wv, hv) in w[..m].iter().zip(h) {
+                    a += wv * hv;
+                }
+                a
+            })
+            .collect()
+    }
+
+    fn validate(&self) -> Result<()> {
+        let c = &self.config;
+        if c.hidden == 0 {
+            return Err(MlError::InvalidHyperparameter {
+                name: "hidden",
+                constraint: "must be at least 1",
+            });
+        }
+        // NaN-rejecting guard: `!(x > 0.0)` is also true for NaN.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(c.learning_rate > 0.0) {
+            return Err(MlError::InvalidHyperparameter {
+                name: "learning_rate",
+                constraint: "must be positive",
+            });
+        }
+        if !(0.0..1.0).contains(&c.momentum) {
+            return Err(MlError::InvalidHyperparameter {
+                name: "momentum",
+                constraint: "must be in [0, 1)",
+            });
+        }
+        if c.epochs == 0 || c.batch_size == 0 {
+            return Err(MlError::InvalidHyperparameter {
+                name: "epochs/batch_size",
+                constraint: "must be at least 1",
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for Mlp {
+    fn default() -> Self {
+        Mlp::new(MlpConfig::default())
+    }
+}
+
+impl Classifier for Mlp {
+    fn fit(&mut self, data: &Dataset) -> Result<()> {
+        self.validate()?;
+        let k = data.num_classes() as usize;
+        let d = data.dim();
+        let m = self.config.hidden;
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        // He initialisation for the ReLU layer, Xavier-ish for the head.
+        let scale1 = (2.0 / d as f64).sqrt();
+        let scale2 = (1.0 / m as f64).sqrt();
+        let mut w1: Vec<Vec<f32>> = (0..m)
+            .map(|_| {
+                (0..=d)
+                    .map(|j| {
+                        if j == d {
+                            0.0
+                        } else {
+                            (sample_standard_normal(&mut rng) * scale1) as f32
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut w2: Vec<Vec<f32>> = (0..k)
+            .map(|_| {
+                (0..=m)
+                    .map(|j| {
+                        if j == m {
+                            0.0
+                        } else {
+                            (sample_standard_normal(&mut rng) * scale2) as f32
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut v1 = vec![vec![0.0f32; d + 1]; m];
+        let mut v2 = vec![vec![0.0f32; m + 1]; k];
+        let lr = self.config.learning_rate;
+        let mu = self.config.momentum;
+
+        for _ in 0..self.config.epochs {
+            for batch in data.batches(self.config.batch_size, &mut rng) {
+                let mut g1 = vec![vec![0.0f32; d + 1]; m];
+                let mut g2 = vec![vec![0.0f32; m + 1]; k];
+                for &i in &batch {
+                    let (x, y) = data.example(i);
+                    // Forward.
+                    let mut pre: Vec<f32> = Vec::with_capacity(m);
+                    let mut h: Vec<f32> = Vec::with_capacity(m);
+                    for w in &w1 {
+                        let mut a = w[d];
+                        for (wv, xv) in w[..d].iter().zip(x) {
+                            a += wv * xv;
+                        }
+                        pre.push(a);
+                        h.push(a.max(0.0));
+                    }
+                    let mut logits: Vec<f32> = Vec::with_capacity(k);
+                    for w in &w2 {
+                        let mut a = w[m];
+                        for (wv, hv) in w[..m].iter().zip(&h) {
+                            a += wv * hv;
+                        }
+                        logits.push(a);
+                    }
+                    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                    let mut total = 0.0f32;
+                    for l in &mut logits {
+                        *l = (*l - max).exp();
+                        total += *l;
+                    }
+                    // Backward: output error.
+                    let mut dh = vec![0.0f32; m];
+                    for c in 0..k {
+                        let p = logits[c] / total;
+                        let err = p - f32::from(u8::from(c as u32 == y));
+                        for j in 0..m {
+                            g2[c][j] += err * h[j];
+                            dh[j] += err * w2[c][j];
+                        }
+                        g2[c][m] += err;
+                    }
+                    // Hidden error through ReLU.
+                    for j in 0..m {
+                        if pre[j] <= 0.0 {
+                            continue;
+                        }
+                        let e = dh[j];
+                        for (g, &xv) in g1[j][..d].iter_mut().zip(x) {
+                            *g += e * xv;
+                        }
+                        g1[j][d] += e;
+                    }
+                }
+                let scale = 1.0 / batch.len() as f32;
+                for ((wr, vr), gr) in w1.iter_mut().zip(&mut v1).zip(&g1) {
+                    for j in 0..=d {
+                        vr[j] = mu * vr[j] - lr * gr[j] * scale;
+                        wr[j] += vr[j];
+                    }
+                }
+                for ((wr, vr), gr) in w2.iter_mut().zip(&mut v2).zip(&g2) {
+                    for j in 0..=m {
+                        vr[j] = mu * vr[j] - lr * gr[j] * scale;
+                        wr[j] += vr[j];
+                    }
+                }
+            }
+        }
+        self.w1 = w1;
+        self.w2 = w2;
+        Ok(())
+    }
+
+    fn predict_one(&self, features: &[f32]) -> Result<u32> {
+        if self.w1.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        let d = self.w1[0].len() - 1;
+        if features.len() != d {
+            return Err(MlError::ShapeMismatch {
+                context: "Mlp::predict_one",
+                expected: d,
+                got: features.len(),
+            });
+        }
+        let h = self.forward_hidden(features);
+        let logits = self.forward_logits(&h);
+        Ok(argmax(&logits) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::test_support::accuracy_of;
+
+    #[test]
+    fn learns_blobs_well() {
+        let mut model = Mlp::new(MlpConfig { epochs: 25, ..Default::default() });
+        let acc = accuracy_of(&mut model);
+        assert!(acc > 0.93, "accuracy = {acc}");
+    }
+
+    #[test]
+    fn solves_xor_unlike_linear_models() {
+        use crate::matrix::Matrix;
+        // XOR with replication: linearly inseparable.
+        let mut rows: Vec<[f32; 2]> = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..50 {
+            for (a, b) in [(0.0f32, 0.0f32), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+                rows.push([a, b]);
+                labels.push(u32::from((a != b) as u8 == 1));
+            }
+        }
+        let slices: Vec<&[f32]> = rows.iter().map(|r| &r[..]).collect();
+        let data =
+            Dataset::new(Matrix::from_rows(&slices).unwrap(), labels.clone(), 2).unwrap();
+        let mut mlp = Mlp::new(MlpConfig { hidden: 16, epochs: 200, ..Default::default() });
+        mlp.fit(&data).unwrap();
+        let preds = mlp.predict_dataset(&data).unwrap();
+        let acc = crate::metrics::accuracy(&preds, &labels);
+        assert!(acc > 0.95, "MLP should solve XOR, got {acc}");
+        // Logistic regression cannot.
+        let mut lin = crate::models::LogisticRegression::default();
+        lin.fit(&data).unwrap();
+        let lin_acc =
+            crate::metrics::accuracy(&lin.predict_dataset(&data).unwrap(), &labels);
+        assert!(lin_acc < 0.8, "linear model unexpectedly solved XOR: {lin_acc}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (train, test) = crate::models::test_support::train_test();
+        let mut a = Mlp::new(MlpConfig { epochs: 5, ..Default::default() });
+        let mut b = Mlp::new(MlpConfig { epochs: 5, ..Default::default() });
+        a.fit(&train).unwrap();
+        b.fit(&train).unwrap();
+        assert_eq!(a.predict_dataset(&test).unwrap(), b.predict_dataset(&test).unwrap());
+    }
+
+    #[test]
+    fn unfitted_and_invalid_config() {
+        let model = Mlp::default();
+        assert!(matches!(model.predict_one(&[0.0]), Err(MlError::NotFitted)));
+        let data = Dataset::new(crate::matrix::Matrix::zeros(2, 2), vec![0, 1], 2).unwrap();
+        for bad in [
+            MlpConfig { hidden: 0, ..Default::default() },
+            MlpConfig { learning_rate: 0.0, ..Default::default() },
+            MlpConfig { momentum: 1.0, ..Default::default() },
+            MlpConfig { epochs: 0, ..Default::default() },
+            MlpConfig { batch_size: 0, ..Default::default() },
+        ] {
+            let mut model = Mlp::new(bad);
+            assert!(model.fit(&data).is_err());
+        }
+    }
+}

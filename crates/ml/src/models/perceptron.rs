@@ -1,0 +1,179 @@
+//! Averaged multi-class perceptron.
+
+use super::Classifier;
+use crate::dataset::Dataset;
+use crate::error::{MlError, Result};
+use crate::matrix::{argmax, dot};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Configuration for [`AveragedPerceptron`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PerceptronConfig {
+    /// Passes over the training data.
+    pub epochs: u32,
+    /// Shuffle seed (training is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for PerceptronConfig {
+    fn default() -> Self {
+        PerceptronConfig { epochs: 10, seed: 0 }
+    }
+}
+
+/// Multi-class perceptron with weight averaging (Freund & Schapire
+/// style), which stabilises the otherwise order-sensitive updates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AveragedPerceptron {
+    config: PerceptronConfig,
+    // [class][feature + 1] (last slot is the bias)
+    weights: Vec<Vec<f32>>,
+}
+
+impl AveragedPerceptron {
+    /// New unfitted model.
+    #[must_use]
+    pub fn new(config: PerceptronConfig) -> Self {
+        AveragedPerceptron { config, weights: Vec::new() }
+    }
+
+    fn score(&self, class: usize, features: &[f32]) -> f32 {
+        let w = &self.weights[class];
+        dot(&w[..features.len()], features) + w[features.len()]
+    }
+}
+
+impl Default for AveragedPerceptron {
+    fn default() -> Self {
+        AveragedPerceptron::new(PerceptronConfig::default())
+    }
+}
+
+impl Classifier for AveragedPerceptron {
+    fn fit(&mut self, data: &Dataset) -> Result<()> {
+        if self.config.epochs == 0 {
+            return Err(MlError::InvalidHyperparameter {
+                name: "epochs",
+                constraint: "must be at least 1",
+            });
+        }
+        let k = data.num_classes() as usize;
+        let d = data.dim();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut w = vec![vec![0.0f32; d + 1]; k];
+        let mut acc = vec![vec![0.0f64; d + 1]; k];
+        let mut updates = 0u64;
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        for _ in 0..self.config.epochs {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                let (x, y) = data.example(i);
+                // Current prediction with the live weights.
+                let mut scores = vec![0.0f32; k];
+                for (c, s) in scores.iter_mut().enumerate() {
+                    *s = dot(&w[c][..d], x) + w[c][d];
+                }
+                let pred = argmax(&scores) as u32;
+                if pred != y {
+                    for (j, &v) in x.iter().enumerate() {
+                        w[y as usize][j] += v;
+                        w[pred as usize][j] -= v;
+                    }
+                    w[y as usize][d] += 1.0;
+                    w[pred as usize][d] -= 1.0;
+                }
+                // Accumulate for averaging (every step, updated or not).
+                for (a_row, w_row) in acc.iter_mut().zip(&w) {
+                    for (a, &wv) in a_row.iter_mut().zip(w_row) {
+                        *a += f64::from(wv);
+                    }
+                }
+                updates += 1;
+            }
+        }
+        let scale = 1.0 / updates.max(1) as f64;
+        self.weights = acc
+            .into_iter()
+            .map(|row| row.into_iter().map(|v| (v * scale) as f32).collect())
+            .collect();
+        Ok(())
+    }
+
+    fn predict_one(&self, features: &[f32]) -> Result<u32> {
+        if self.weights.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        let d = self.weights[0].len() - 1;
+        if features.len() != d {
+            return Err(MlError::ShapeMismatch {
+                context: "AveragedPerceptron::predict_one",
+                expected: d,
+                got: features.len(),
+            });
+        }
+        let scores: Vec<f32> =
+            (0..self.weights.len()).map(|c| self.score(c, features)).collect();
+        Ok(argmax(&scores) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::test_support::accuracy_of;
+
+    #[test]
+    fn learns_separable_blobs() {
+        let mut model = AveragedPerceptron::default();
+        let acc = accuracy_of(&mut model);
+        assert!(acc > 0.9, "accuracy = {acc}");
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let (train, test) = crate::models::test_support::train_test();
+        let mut a = AveragedPerceptron::new(PerceptronConfig { epochs: 3, seed: 9 });
+        let mut b = AveragedPerceptron::new(PerceptronConfig { epochs: 3, seed: 9 });
+        a.fit(&train).unwrap();
+        b.fit(&train).unwrap();
+        assert_eq!(
+            a.predict_dataset(&test).unwrap(),
+            b.predict_dataset(&test).unwrap()
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ_somewhere() {
+        let (train, test) = crate::models::test_support::train_test();
+        let mut a = AveragedPerceptron::new(PerceptronConfig { epochs: 1, seed: 1 });
+        let mut b = AveragedPerceptron::new(PerceptronConfig { epochs: 1, seed: 2 });
+        a.fit(&train).unwrap();
+        b.fit(&train).unwrap();
+        let pa = a.predict_dataset(&test).unwrap();
+        let pb = b.predict_dataset(&test).unwrap();
+        let diff = crate::metrics::prediction_difference(&pa, &pb);
+        assert!(diff > 0.0, "seeds produced identical models");
+        // ... but they are still similar models of the same data.
+        assert!(diff < 0.3, "diff = {diff}");
+    }
+
+    #[test]
+    fn unfitted_and_bad_shape() {
+        let model = AveragedPerceptron::default();
+        assert!(matches!(model.predict_one(&[0.0]), Err(MlError::NotFitted)));
+        let mut model = AveragedPerceptron::default();
+        let data =
+            Dataset::new(crate::matrix::Matrix::zeros(4, 3), vec![0, 1, 0, 1], 2).unwrap();
+        model.fit(&data).unwrap();
+        assert!(model.predict_one(&[0.0]).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_epochs() {
+        let mut model = AveragedPerceptron::new(PerceptronConfig { epochs: 0, seed: 0 });
+        let data = Dataset::new(crate::matrix::Matrix::zeros(2, 2), vec![0, 1], 2).unwrap();
+        assert!(model.fit(&data).is_err());
+    }
+}

@@ -1,0 +1,223 @@
+//! Feature preprocessing: standardisation and min-max scaling.
+//!
+//! Fitted on training data, applied to any dataset — the usual
+//! train/serve split that a CI'd model pipeline has to keep consistent
+//! between commits.
+
+use crate::dataset::Dataset;
+use crate::error::{MlError, Result};
+use crate::matrix::Matrix;
+
+/// Per-feature affine transform `x ↦ (x − shift) / scale`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureScaler {
+    shift: Vec<f32>,
+    scale: Vec<f32>,
+}
+
+impl FeatureScaler {
+    /// Fit a standardiser (zero mean, unit variance per feature).
+    ///
+    /// Constant features get scale 1 (they stay constant rather than
+    /// dividing by zero).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::EmptyDataset`] for an empty input.
+    pub fn standardize(data: &Dataset) -> Result<Self> {
+        if data.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        let d = data.dim();
+        let n = data.len() as f64;
+        let mut mean = vec![0.0f64; d];
+        for i in 0..data.len() {
+            for (m, &v) in mean.iter_mut().zip(data.example(i).0) {
+                *m += f64::from(v);
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0f64; d];
+        for i in 0..data.len() {
+            for ((s, &v), m) in var.iter_mut().zip(data.example(i).0).zip(&mean) {
+                let c = f64::from(v) - m;
+                *s += c * c;
+            }
+        }
+        let scale = var
+            .into_iter()
+            .map(|s| {
+                let sd = (s / n).sqrt();
+                if sd > 1e-12 {
+                    sd as f32
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Ok(FeatureScaler { shift: mean.into_iter().map(|m| m as f32).collect(), scale })
+    }
+
+    /// Fit a min-max scaler mapping each feature into `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::EmptyDataset`] for an empty input.
+    pub fn min_max(data: &Dataset) -> Result<Self> {
+        if data.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        let d = data.dim();
+        let mut lo = vec![f32::INFINITY; d];
+        let mut hi = vec![f32::NEG_INFINITY; d];
+        for i in 0..data.len() {
+            for ((l, h), &v) in lo.iter_mut().zip(&mut hi).zip(data.example(i).0) {
+                *l = l.min(v);
+                *h = h.max(v);
+            }
+        }
+        let scale = lo
+            .iter()
+            .zip(&hi)
+            .map(|(&l, &h)| if h - l > 1e-12 { h - l } else { 1.0 })
+            .collect();
+        Ok(FeatureScaler { shift: lo, scale })
+    }
+
+    /// Transform a dataset (labels pass through).
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if the dimensionality differs from fit time.
+    pub fn transform(&self, data: &Dataset) -> Result<Dataset> {
+        if data.dim() != self.shift.len() {
+            return Err(MlError::ShapeMismatch {
+                context: "FeatureScaler::transform",
+                expected: self.shift.len(),
+                got: data.dim(),
+            });
+        }
+        let d = data.dim();
+        let mut out = Vec::with_capacity(data.len() * d);
+        for i in 0..data.len() {
+            for ((&v, &s), &c) in data.example(i).0.iter().zip(&self.shift).zip(&self.scale) {
+                out.push((v - s) / c);
+            }
+        }
+        let features = Matrix::from_vec(data.len(), d, out)?;
+        Dataset::new(features, data.labels().to_vec(), data.num_classes())
+    }
+
+    /// Transform a single feature vector in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if the length differs from fit time.
+    pub fn transform_row(&self, features: &mut [f32]) -> Result<()> {
+        if features.len() != self.shift.len() {
+            return Err(MlError::ShapeMismatch {
+                context: "FeatureScaler::transform_row",
+                expected: self.shift.len(),
+                got: features.len(),
+            });
+        }
+        for ((v, &s), &c) in features.iter_mut().zip(&self.shift).zip(&self.scale) {
+            *v = (*v - s) / c;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let features = Matrix::from_rows(&[
+            &[0.0, 10.0, 5.0],
+            &[2.0, 20.0, 5.0],
+            &[4.0, 30.0, 5.0],
+            &[6.0, 40.0, 5.0],
+        ])
+        .unwrap();
+        Dataset::new(features, vec![0, 1, 0, 1], 2).unwrap()
+    }
+
+    #[test]
+    fn standardize_centres_and_scales() {
+        let data = toy();
+        let scaler = FeatureScaler::standardize(&data).unwrap();
+        let out = scaler.transform(&data).unwrap();
+        for c in 0..2 {
+            let col: Vec<f32> = (0..out.len()).map(|i| out.example(i).0[c]).collect();
+            let mean: f32 = col.iter().sum::<f32>() / col.len() as f32;
+            let var: f32 =
+                col.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / col.len() as f32;
+            assert!(mean.abs() < 1e-5, "col {c} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-4, "col {c} var {var}");
+        }
+        // Constant column stays constant (no division by ~zero).
+        assert!((out.example(0).0[2] - out.example(3).0[2]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn min_max_maps_to_unit_interval() {
+        let data = toy();
+        let scaler = FeatureScaler::min_max(&data).unwrap();
+        let out = scaler.transform(&data).unwrap();
+        for i in 0..out.len() {
+            for &v in out.example(i).0 {
+                assert!((-1e-6..=1.0 + 1e-6).contains(&v), "value {v}");
+            }
+        }
+        assert_eq!(out.example(0).0[0], 0.0);
+        assert_eq!(out.example(3).0[0], 1.0);
+    }
+
+    #[test]
+    fn transform_row_matches_dataset_transform() {
+        let data = toy();
+        let scaler = FeatureScaler::standardize(&data).unwrap();
+        let out = scaler.transform(&data).unwrap();
+        let mut row = data.example(2).0.to_vec();
+        scaler.transform_row(&mut row).unwrap();
+        assert_eq!(row.as_slice(), out.example(2).0);
+    }
+
+    #[test]
+    fn shape_errors() {
+        let data = toy();
+        let scaler = FeatureScaler::standardize(&data).unwrap();
+        let other = Dataset::new(Matrix::zeros(2, 5), vec![0, 1], 2).unwrap();
+        assert!(scaler.transform(&other).is_err());
+        let mut short = vec![0.0f32; 2];
+        assert!(scaler.transform_row(&mut short).is_err());
+    }
+
+    #[test]
+    fn scaling_helps_knn() {
+        use crate::models::{Classifier, Knn};
+        // One feature dominated by magnitude: unscaled kNN keys on it,
+        // scaled kNN recovers the informative one.
+        let features = Matrix::from_rows(&[
+            &[1000.0, 0.0],
+            &[1010.0, 0.0],
+            &[990.0, 1.0],
+            &[1005.0, 1.0],
+            &[995.0, 0.0],
+            &[1015.0, 1.0],
+        ])
+        .unwrap();
+        let labels = vec![0, 0, 1, 1, 0, 1];
+        let data = Dataset::new(features, labels.clone(), 2).unwrap();
+        let scaler = FeatureScaler::standardize(&data).unwrap();
+        let scaled = scaler.transform(&data).unwrap();
+        let mut knn = Knn::default();
+        knn.fit(&scaled).unwrap();
+        let preds = knn.predict_dataset(&scaled).unwrap();
+        let acc = crate::metrics::accuracy(&preds, &labels);
+        assert!(acc > 0.8, "scaled knn accuracy = {acc}");
+    }
+}

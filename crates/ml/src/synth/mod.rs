@@ -1,0 +1,198 @@
+//! Synthetic data generators.
+//!
+//! These stand in for the datasets the paper evaluates on (infinite
+//! MNIST, the SemEval-2019 Task 3 corpus): the bounds only ever see
+//! per-example correctness bits, so distributionally controlled synthetic
+//! data exercises the same code paths (see DESIGN.md §3).
+
+pub mod text;
+
+use crate::dataset::Dataset;
+use crate::error::{MlError, Result};
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// Configuration for the Gaussian-blobs generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlobsConfig {
+    /// Number of classes (one blob each).
+    pub num_classes: u32,
+    /// Feature dimensionality (≥ 2).
+    pub dim: usize,
+    /// Per-coordinate standard deviation of each blob.
+    pub noise: f64,
+    /// Fraction of labels flipped to a random class after generation.
+    pub label_noise: f64,
+}
+
+impl Default for BlobsConfig {
+    fn default() -> Self {
+        BlobsConfig { num_classes: 4, dim: 8, noise: 0.6, label_noise: 0.0 }
+    }
+}
+
+/// Sample a standard normal via Box–Muller (avoids an extra dependency).
+pub(crate) fn sample_standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.random();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.random();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+/// Generate `n` examples from Gaussian blobs whose means sit on the
+/// vertices of a scaled simplex (class `k` has mean `2·e_{k mod dim}`
+/// shifted by `k / dim`).
+///
+/// # Errors
+///
+/// Returns an error for a zero-class or zero-dimensional request.
+///
+/// # Examples
+///
+/// ```
+/// use easeml_ml::synth::{blobs, BlobsConfig};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), easeml_ml::MlError> {
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let data = blobs(1_000, &BlobsConfig::default(), &mut rng)?;
+/// assert_eq!(data.len(), 1_000);
+/// assert_eq!(data.num_classes(), 4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn blobs<R: Rng>(n: usize, config: &BlobsConfig, rng: &mut R) -> Result<Dataset> {
+    if config.num_classes == 0 {
+        return Err(MlError::InvalidHyperparameter {
+            name: "num_classes",
+            constraint: "must be at least 1",
+        });
+    }
+    if config.dim == 0 {
+        return Err(MlError::InvalidHyperparameter { name: "dim", constraint: "must be at least 1" });
+    }
+    if n == 0 {
+        return Err(MlError::EmptyDataset);
+    }
+    let mut data = Vec::with_capacity(n * config.dim);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let class = rng.random_range(0..config.num_classes);
+        let axis = (class as usize) % config.dim;
+        let shift = (class as usize / config.dim) as f64;
+        for d in 0..config.dim {
+            let mean = if d == axis { 2.0 + shift } else { shift * 0.5 };
+            let v = mean + config.noise * sample_standard_normal(rng);
+            data.push(v as f32);
+        }
+        let label = if config.label_noise > 0.0 && rng.random::<f64>() < config.label_noise {
+            rng.random_range(0..config.num_classes)
+        } else {
+            class
+        };
+        labels.push(label);
+    }
+    let features = Matrix::from_vec(n, config.dim, data)?;
+    Dataset::new(features, labels, config.num_classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn blobs_shape_and_determinism() {
+        let cfg = BlobsConfig::default();
+        let a = blobs(500, &cfg, &mut StdRng::seed_from_u64(42)).unwrap();
+        let b = blobs(500, &cfg, &mut StdRng::seed_from_u64(42)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.dim(), cfg.dim);
+    }
+
+    #[test]
+    fn blobs_cover_all_classes() {
+        let cfg = BlobsConfig { num_classes: 6, ..BlobsConfig::default() };
+        let data = blobs(3_000, &cfg, &mut StdRng::seed_from_u64(1)).unwrap();
+        let counts = data.class_counts();
+        assert_eq!(counts.len(), 6);
+        assert!(counts.iter().all(|&c| c > 300), "counts = {counts:?}");
+    }
+
+    #[test]
+    fn blobs_are_separable_when_noise_is_low() {
+        // Nearest-mean classification on clean blobs should be near-perfect.
+        let cfg = BlobsConfig { num_classes: 3, dim: 3, noise: 0.1, label_noise: 0.0 };
+        let data = blobs(600, &cfg, &mut StdRng::seed_from_u64(2)).unwrap();
+        // Compute class means.
+        let mut means = vec![vec![0.0f32; 3]; 3];
+        let counts = data.class_counts();
+        for i in 0..data.len() {
+            let (x, y) = data.example(i);
+            for (m, &v) in means[y as usize].iter_mut().zip(x) {
+                *m += v;
+            }
+        }
+        for (mean, &count) in means.iter_mut().zip(&counts) {
+            for v in mean.iter_mut() {
+                *v /= count as f32;
+            }
+        }
+        let mut correct = 0;
+        for i in 0..data.len() {
+            let (x, y) = data.example(i);
+            let mut best = 0;
+            let mut best_d = f32::INFINITY;
+            for (k, mean) in means.iter().enumerate() {
+                let d: f32 = x.iter().zip(mean).map(|(a, b)| (a - b) * (a - b)).sum();
+                if d < best_d {
+                    best_d = d;
+                    best = k;
+                }
+            }
+            if best == y as usize {
+                correct += 1;
+            }
+        }
+        let acc = f64::from(correct) / data.len() as f64;
+        assert!(acc > 0.99, "accuracy = {acc}");
+    }
+
+    #[test]
+    fn label_noise_reduces_purity() {
+        let clean = BlobsConfig { label_noise: 0.0, ..BlobsConfig::default() };
+        let noisy = BlobsConfig { label_noise: 0.5, ..BlobsConfig::default() };
+        let a = blobs(2_000, &clean, &mut StdRng::seed_from_u64(3)).unwrap();
+        let b = blobs(2_000, &noisy, &mut StdRng::seed_from_u64(3)).unwrap();
+        // With 50% flips to a uniform class, labels agree less often.
+        let agree = a.labels().iter().zip(b.labels()).filter(|(x, y)| x == y).count();
+        let rate = agree as f64 / 2_000.0;
+        assert!(rate < 0.75, "agreement = {rate}");
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(blobs(0, &BlobsConfig::default(), &mut rng).is_err());
+        let bad = BlobsConfig { num_classes: 0, ..BlobsConfig::default() };
+        assert!(blobs(10, &bad, &mut rng).is_err());
+        let bad = BlobsConfig { dim: 0, ..BlobsConfig::default() };
+        assert!(blobs(10, &bad, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,324 @@
+//! Synthetic emotion-classification corpus.
+//!
+//! Stands in for SemEval-2019 Task 3 ("EmoContext"): classify a user
+//! utterance as Happy, Sad, Angry, or Others. Utterances are token
+//! sequences drawn from a Zipf-distributed shared vocabulary mixed with
+//! class-specific emotion keywords; features are hashed bags of words.
+//! The class priors mirror the competition's skew towards `Others`.
+
+use crate::dataset::Dataset;
+use crate::error::{MlError, Result};
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// The four EmoContext classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Emotion {
+    /// Happy utterances.
+    Happy,
+    /// Sad utterances.
+    Sad,
+    /// Angry utterances.
+    Angry,
+    /// Everything else (the majority class).
+    Others,
+}
+
+impl Emotion {
+    /// All classes in label order.
+    pub const ALL: [Emotion; 4] = [Emotion::Happy, Emotion::Sad, Emotion::Angry, Emotion::Others];
+
+    /// Class label index.
+    #[must_use]
+    pub fn label(self) -> u32 {
+        match self {
+            Emotion::Happy => 0,
+            Emotion::Sad => 1,
+            Emotion::Angry => 2,
+            Emotion::Others => 3,
+        }
+    }
+
+    /// Class prior probabilities (Others-heavy, like the competition).
+    #[must_use]
+    pub fn prior(self) -> f64 {
+        match self {
+            Emotion::Happy | Emotion::Sad | Emotion::Angry => 0.14,
+            Emotion::Others => 0.58,
+        }
+    }
+}
+
+/// Configuration for the synthetic corpus.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmotionCorpusConfig {
+    /// Shared vocabulary size (background tokens).
+    pub vocab_size: u32,
+    /// Emotion-keyword tokens per class (appended after the shared
+    /// vocabulary in token id space).
+    pub keywords_per_class: u32,
+    /// Probability that a token of an emotional utterance is drawn from
+    /// its class's keyword list rather than the background (higher =
+    /// easier task).
+    pub keyword_rate: f64,
+    /// Utterance length range (inclusive).
+    pub min_len: usize,
+    /// Maximum utterance length (inclusive).
+    pub max_len: usize,
+}
+
+impl Default for EmotionCorpusConfig {
+    fn default() -> Self {
+        EmotionCorpusConfig {
+            vocab_size: 2_000,
+            keywords_per_class: 40,
+            keyword_rate: 0.35,
+            min_len: 4,
+            max_len: 18,
+        }
+    }
+}
+
+/// A generated corpus: token sequences with emotion labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmotionCorpus {
+    /// Token-id sequences.
+    pub utterances: Vec<Vec<u32>>,
+    /// Emotion label per utterance.
+    pub labels: Vec<u32>,
+    /// The config that generated it (needed to vectorize consistently).
+    config_vocab: u32,
+    config_keywords: u32,
+}
+
+impl EmotionCorpus {
+    /// Generate `n` utterances.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for degenerate configurations.
+    pub fn generate<R: Rng>(n: usize, config: &EmotionCorpusConfig, rng: &mut R) -> Result<Self> {
+        if n == 0 {
+            return Err(MlError::EmptyDataset);
+        }
+        if config.vocab_size == 0 || config.keywords_per_class == 0 {
+            return Err(MlError::InvalidHyperparameter {
+                name: "vocab_size/keywords_per_class",
+                constraint: "must be positive",
+            });
+        }
+        if config.min_len == 0 || config.min_len > config.max_len {
+            return Err(MlError::InvalidHyperparameter {
+                name: "min_len/max_len",
+                constraint: "must satisfy 0 < min_len <= max_len",
+            });
+        }
+        if !(0.0..=1.0).contains(&config.keyword_rate) {
+            return Err(MlError::InvalidHyperparameter {
+                name: "keyword_rate",
+                constraint: "must be in [0, 1]",
+            });
+        }
+        let mut utterances = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let emotion = sample_emotion(rng);
+            let len = rng.random_range(config.min_len..=config.max_len);
+            let mut tokens = Vec::with_capacity(len);
+            for _ in 0..len {
+                let is_keyword = emotion != Emotion::Others
+                    && rng.random::<f64>() < config.keyword_rate;
+                if is_keyword {
+                    let base = config.vocab_size + emotion.label() * config.keywords_per_class;
+                    tokens.push(base + rng.random_range(0..config.keywords_per_class));
+                } else {
+                    tokens.push(sample_zipf(config.vocab_size, rng));
+                }
+            }
+            utterances.push(tokens);
+            labels.push(emotion.label());
+        }
+        Ok(EmotionCorpus {
+            utterances,
+            labels,
+            config_vocab: config.vocab_size,
+            config_keywords: config.keywords_per_class,
+        })
+    }
+
+    /// Number of utterances.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the corpus is empty (never true after generation).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Total token-id space (background + all keyword blocks).
+    #[must_use]
+    pub fn token_space(&self) -> u32 {
+        self.config_vocab + 4 * self.config_keywords
+    }
+
+    /// Vectorize into a hashed bag-of-words [`Dataset`] with `dim`
+    /// feature buckets (token counts, folded by multiplicative hashing).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for `dim == 0`.
+    pub fn vectorize(&self, dim: usize) -> Result<Dataset> {
+        if dim == 0 {
+            return Err(MlError::InvalidHyperparameter {
+                name: "dim",
+                constraint: "must be at least 1",
+            });
+        }
+        let mut data = vec![0.0f32; self.len() * dim];
+        for (row, tokens) in self.utterances.iter().enumerate() {
+            for &t in tokens {
+                let bucket = hash_token(t) as usize % dim;
+                data[row * dim + bucket] += 1.0;
+            }
+        }
+        let features = Matrix::from_vec(self.len(), dim, data)?;
+        Dataset::new(features, self.labels.clone(), 4)
+    }
+}
+
+fn sample_emotion<R: Rng>(rng: &mut R) -> Emotion {
+    let x: f64 = rng.random();
+    let mut acc = 0.0;
+    for e in Emotion::ALL {
+        acc += e.prior();
+        if x < acc {
+            return e;
+        }
+    }
+    Emotion::Others
+}
+
+/// Approximate Zipf(1.1) sampling over `vocab` background tokens via
+/// inverse-CDF on the continuous relaxation.
+fn sample_zipf<R: Rng>(vocab: u32, rng: &mut R) -> u32 {
+    const S: f64 = 1.1;
+    let n = f64::from(vocab);
+    let u: f64 = rng.random();
+    // Inverse of the (continuous) truncated Pareto CDF.
+    let exp = 1.0 - S;
+    let x = ((n.powf(exp) - 1.0) * u + 1.0).powf(1.0 / exp);
+    (x.floor() as u32).min(vocab - 1)
+}
+
+/// Multiplicative hash (Knuth) for token folding.
+fn hash_token(t: u32) -> u32 {
+    t.wrapping_mul(2_654_435_761)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn corpus(n: usize, seed: u64) -> EmotionCorpus {
+        EmotionCorpus::generate(n, &EmotionCorpusConfig::default(), &mut StdRng::seed_from_u64(seed))
+            .unwrap()
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(corpus(200, 5), corpus(200, 5));
+        assert_ne!(corpus(200, 5), corpus(200, 6));
+    }
+
+    #[test]
+    fn class_priors_are_respected() {
+        let c = corpus(20_000, 1);
+        let mut counts = [0usize; 4];
+        for &l in &c.labels {
+            counts[l as usize] += 1;
+        }
+        let others_rate = counts[3] as f64 / c.len() as f64;
+        assert!((others_rate - 0.58).abs() < 0.02, "others = {others_rate}");
+        for k in 0..3 {
+            let rate = counts[k] as f64 / c.len() as f64;
+            assert!((rate - 0.14).abs() < 0.02, "class {k} = {rate}");
+        }
+    }
+
+    #[test]
+    fn utterance_lengths_in_range() {
+        let cfg = EmotionCorpusConfig::default();
+        let c = corpus(500, 2);
+        for u in &c.utterances {
+            assert!(u.len() >= cfg.min_len && u.len() <= cfg.max_len);
+        }
+    }
+
+    #[test]
+    fn keywords_only_appear_for_their_class() {
+        let cfg = EmotionCorpusConfig::default();
+        let c = corpus(5_000, 3);
+        for (tokens, &label) in c.utterances.iter().zip(&c.labels) {
+            for &t in tokens {
+                if t >= cfg.vocab_size {
+                    let class = (t - cfg.vocab_size) / cfg.keywords_per_class;
+                    assert_eq!(class, label, "keyword {t} in class-{label} utterance");
+                    assert_ne!(label, 3, "Others must not use keywords");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_is_head_heavy() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut head = 0usize;
+        let n = 10_000;
+        for _ in 0..n {
+            if sample_zipf(2_000, &mut rng) < 20 {
+                head += 1;
+            }
+        }
+        // The 1% head of a Zipf(1.1) vocabulary carries far more than 1%
+        // of the mass.
+        let rate = head as f64 / n as f64;
+        assert!(rate > 0.2, "head rate = {rate}");
+    }
+
+    #[test]
+    fn vectorization_shape_and_counts() {
+        let c = corpus(100, 7);
+        let data = c.vectorize(256).unwrap();
+        assert_eq!(data.len(), 100);
+        assert_eq!(data.dim(), 256);
+        // Bag-of-words counts must sum to the utterance length.
+        for i in 0..c.len() {
+            let total: f32 = data.example(i).0.iter().sum();
+            assert_eq!(total as usize, c.utterances[i].len());
+        }
+        assert!(c.vectorize(0).is_err());
+    }
+
+    #[test]
+    fn token_space_accounts_for_keywords() {
+        let c = corpus(10, 8);
+        assert_eq!(c.token_space(), 2_000 + 4 * 40);
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(EmotionCorpus::generate(0, &EmotionCorpusConfig::default(), &mut rng).is_err());
+        let bad = EmotionCorpusConfig { min_len: 5, max_len: 3, ..Default::default() };
+        assert!(EmotionCorpus::generate(10, &bad, &mut rng).is_err());
+        let bad = EmotionCorpusConfig { keyword_rate: 1.5, ..Default::default() };
+        assert!(EmotionCorpus::generate(10, &bad, &mut rng).is_err());
+        let bad = EmotionCorpusConfig { vocab_size: 0, ..Default::default() };
+        assert!(EmotionCorpus::generate(10, &bad, &mut rng).is_err());
+    }
+}

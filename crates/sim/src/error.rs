@@ -1,0 +1,81 @@
+//! Error type for the simulation crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when a simulation is configured with infeasible or
+/// invalid parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The requested (accuracy, accuracy, difference) triple violates the
+    /// Fréchet feasibility constraints.
+    InfeasibleJoint {
+        /// Human-readable explanation of the violated constraint.
+        reason: String,
+    },
+    /// A parameter was outside its domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable constraint.
+        constraint: String,
+    },
+    /// An underlying CI-core operation failed.
+    Ci(easeml_ci_core::CiError),
+    /// An underlying ML operation failed.
+    Ml(easeml_ml::MlError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InfeasibleJoint { reason } => {
+                write!(f, "infeasible model pair: {reason}")
+            }
+            SimError::InvalidParameter { name, constraint } => {
+                write!(f, "parameter `{name}` must satisfy: {constraint}")
+            }
+            SimError::Ci(e) => write!(f, "ci error: {e}"),
+            SimError::Ml(e) => write!(f, "ml error: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Ci(e) => Some(e),
+            SimError::Ml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<easeml_ci_core::CiError> for SimError {
+    fn from(e: easeml_ci_core::CiError) -> Self {
+        SimError::Ci(e)
+    }
+}
+
+impl From<easeml_ml::MlError> for SimError {
+    fn from(e: easeml_ml::MlError) -> Self {
+        SimError::Ml(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SimError::InfeasibleJoint { reason: "d < |gap|".into() };
+        assert!(e.to_string().contains("infeasible"));
+        assert!(e.source().is_none());
+        let e = SimError::from(easeml_ml::MlError::EmptyDataset);
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,585 @@
+//! Correlated model-pair generation.
+//!
+//! The experiments need pairs (old model, new model) whose accuracies
+//! and prediction difference hit prescribed targets — e.g. Figure 5's
+//! consecutive submissions with ≤ 10 % disagreement. Per test item the
+//! pair falls into one of five joint categories:
+//!
+//! | category | old | new | same prediction? |
+//! |---|---|---|---|
+//! | `a` | correct | correct | yes (both equal the label) |
+//! | `b` | correct | wrong | no |
+//! | `c` | wrong | correct | no |
+//! | `e` | wrong | wrong | yes (same wrong class) |
+//! | `f` | wrong | wrong | no (different wrong classes) |
+//!
+//! The marginals pin `a + b = acc_old`, `a + c = acc_new`,
+//! `b + c + f = d`; the remaining freedom (how much disagreement is
+//! wrong-to-wrong churn) is exposed as [`PairSpec::churn`].
+
+use crate::error::{Result, SimError};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Target statistics for a model pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairSpec {
+    /// True accuracy of the old model.
+    pub acc_old: f64,
+    /// True accuracy of the new model.
+    pub acc_new: f64,
+    /// True prediction-difference rate `d`.
+    pub diff: f64,
+    /// Fraction of the *slack* disagreement (`d − |acc gap|`) assigned
+    /// to correct↔wrong flips rather than wrong↔wrong churn, in `[0, 1]`.
+    pub churn: f64,
+    /// Number of classes (≥ 3 whenever wrong↔wrong churn is possible).
+    pub num_classes: u32,
+}
+
+impl Default for PairSpec {
+    fn default() -> Self {
+        PairSpec { acc_old: 0.9, acc_new: 0.92, diff: 0.1, churn: 0.5, num_classes: 4 }
+    }
+}
+
+/// The five joint-category probabilities implied by a [`PairSpec`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JointDistribution {
+    /// Both correct.
+    pub a: f64,
+    /// Old correct, new wrong.
+    pub b: f64,
+    /// Old wrong, new correct.
+    pub c: f64,
+    /// Both wrong, same prediction.
+    pub e: f64,
+    /// Both wrong, different predictions.
+    pub f: f64,
+}
+
+impl JointDistribution {
+    /// Solve the joint distribution for a spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InfeasibleJoint`] when no joint distribution
+    /// has the requested marginals (e.g. `d` smaller than the accuracy
+    /// gap, or disagreement mass exceeding the wrong mass).
+    pub fn solve(spec: &PairSpec) -> Result<Self> {
+        for (name, v) in [
+            ("acc_old", spec.acc_old),
+            ("acc_new", spec.acc_new),
+            ("diff", spec.diff),
+            ("churn", spec.churn),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(SimError::InvalidParameter {
+                    name,
+                    constraint: format!("must be in [0, 1], got {v}"),
+                });
+            }
+        }
+        let gap = spec.acc_old - spec.acc_new;
+        if spec.diff < gap.abs() - 1e-12 {
+            return Err(SimError::InfeasibleJoint {
+                reason: format!(
+                    "difference {} cannot be smaller than the accuracy gap {}",
+                    spec.diff,
+                    gap.abs()
+                ),
+            });
+        }
+        let slack = (spec.diff - gap.abs()).max(0.0);
+        // Split the slack: `churn`-fraction into symmetric correct↔wrong
+        // flips, the rest into wrong↔wrong disagreement.
+        let s = spec.churn * slack / 2.0;
+        let f = (1.0 - spec.churn) * slack;
+        let b = gap.max(0.0) + s;
+        let c = (-gap).max(0.0) + s;
+        let a = spec.acc_old - b;
+        let e = 1.0 - a - b - c - f;
+        if a < -1e-12 {
+            return Err(SimError::InfeasibleJoint {
+                reason: format!("old-correct mass {b} exceeds accuracy {}", spec.acc_old),
+            });
+        }
+        if e < -1e-12 {
+            return Err(SimError::InfeasibleJoint {
+                reason: format!(
+                    "disagreement {} exceeds the available wrong mass (e = {e})",
+                    spec.diff
+                ),
+            });
+        }
+        if f > 1e-12 && spec.num_classes < 3 {
+            return Err(SimError::InfeasibleJoint {
+                reason: "wrong-to-wrong disagreement needs at least 3 classes".into(),
+            });
+        }
+        if (e > 1e-12 || f > 1e-12) && spec.num_classes < 2 {
+            return Err(SimError::InfeasibleJoint {
+                reason: "wrong predictions need at least 2 classes".into(),
+            });
+        }
+        Ok(JointDistribution { a: a.max(0.0), b, c, e: e.max(0.0), f })
+    }
+
+    /// The five probabilities in `[a, b, c, e, f]` order.
+    #[must_use]
+    pub fn as_array(&self) -> [f64; 5] {
+        [self.a, self.b, self.c, self.e, self.f]
+    }
+}
+
+/// A generated pair: ground-truth labels plus both prediction vectors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeneratedPair {
+    /// Ground-truth labels.
+    pub labels: Vec<u32>,
+    /// Old model's predictions.
+    pub old: Vec<u32>,
+    /// New model's predictions.
+    pub new: Vec<u32>,
+}
+
+/// Generate an `n`-item pair by i.i.d. sampling from the joint
+/// distribution (realised statistics carry binomial noise — exactly what
+/// Monte-Carlo validation needs).
+///
+/// # Errors
+///
+/// Propagates infeasibility from [`JointDistribution::solve`].
+pub fn sample_pair<R: Rng>(n: usize, spec: &PairSpec, rng: &mut R) -> Result<GeneratedPair> {
+    let joint = JointDistribution::solve(spec)?;
+    let probs = joint.as_array();
+    let mut labels = Vec::with_capacity(n);
+    let mut old = Vec::with_capacity(n);
+    let mut new = Vec::with_capacity(n);
+    for _ in 0..n {
+        let label = rng.random_range(0..spec.num_classes);
+        let (o, w) = emit_category(sample_category(&probs, rng), label, spec.num_classes, rng);
+        labels.push(label);
+        old.push(o);
+        new.push(w);
+    }
+    Ok(GeneratedPair { labels, old, new })
+}
+
+/// Generate an `n`-item pair whose *realised* counts match the joint
+/// distribution as closely as integer rounding allows (largest-remainder
+/// apportionment), in randomised item order.
+///
+/// Use this when a scripted scenario (e.g. the Figure 5 commit history)
+/// must reproduce its target statistics exactly rather than in
+/// expectation.
+///
+/// # Errors
+///
+/// Propagates infeasibility from [`JointDistribution::solve`].
+pub fn exact_pair<R: Rng>(n: usize, spec: &PairSpec, rng: &mut R) -> Result<GeneratedPair> {
+    let joint = JointDistribution::solve(spec)?;
+    let counts = apportion(n, &joint.as_array());
+    let mut categories = Vec::with_capacity(n);
+    for (cat, &count) in counts.iter().enumerate() {
+        categories.extend(std::iter::repeat_n(cat, count));
+    }
+    categories.shuffle(rng);
+    let mut labels = Vec::with_capacity(n);
+    let mut old = Vec::with_capacity(n);
+    let mut new = Vec::with_capacity(n);
+    for cat in categories {
+        let label = rng.random_range(0..spec.num_classes);
+        let (o, w) = emit_category(cat, label, spec.num_classes, rng);
+        labels.push(label);
+        old.push(o);
+        new.push(w);
+    }
+    Ok(GeneratedPair { labels, old, new })
+}
+
+/// Evolve an existing prediction vector into a successor with target
+/// accuracy `acc_new` and difference `diff` *relative to the realised
+/// old predictions* (used to chain a whole commit history over one
+/// testset).
+///
+/// Counts are apportioned exactly within the old-correct / old-wrong
+/// strata, so the realised statistics match the targets to `±1/n`.
+///
+/// # Errors
+///
+/// Returns [`SimError::InfeasibleJoint`] when the targets cannot be met
+/// given the realised old accuracy.
+pub fn evolve_predictions<R: Rng>(
+    labels: &[u32],
+    old: &[u32],
+    acc_new: f64,
+    diff: f64,
+    churn: f64,
+    num_classes: u32,
+    rng: &mut R,
+) -> Result<Vec<u32>> {
+    let n = labels.len();
+    if old.len() != n {
+        return Err(SimError::InvalidParameter {
+            name: "old",
+            constraint: format!("must have the same length as labels ({n})"),
+        });
+    }
+    let acc_old =
+        old.iter().zip(labels).filter(|(p, l)| p == l).count() as f64 / n.max(1) as f64;
+    let spec = PairSpec { acc_old, acc_new, diff, churn, num_classes };
+    let joint = JointDistribution::solve(&spec)?;
+
+    // Partition item indices by old-correctness.
+    let correct_idx: Vec<usize> = (0..n).filter(|&i| old[i] == labels[i]).collect();
+    let wrong_idx: Vec<usize> = (0..n).filter(|&i| old[i] != labels[i]).collect();
+
+    // Within old-correct: b-mass flips to wrong; within old-wrong:
+    // c-mass becomes correct, f-mass becomes a *different* wrong class.
+    let flips_to_wrong = apportion(correct_idx.len(), &normalised(joint.b, spec.acc_old));
+    let wrong_mass = 1.0 - spec.acc_old;
+    let c_frac = normalised(joint.c, wrong_mass);
+    let f_frac = normalised(joint.f, wrong_mass);
+    let wrong_counts =
+        apportion(wrong_idx.len(), &[c_frac[0], f_frac[0], 1.0 - c_frac[0] - f_frac[0]]);
+
+    let mut new = old.to_vec();
+    let mut correct_shuffled = correct_idx;
+    correct_shuffled.shuffle(rng);
+    for &i in correct_shuffled.iter().take(flips_to_wrong[0]) {
+        new[i] = wrong_class(labels[i], None, num_classes, rng);
+    }
+    let mut wrong_shuffled = wrong_idx;
+    wrong_shuffled.shuffle(rng);
+    let (fixes, rest) = wrong_shuffled.split_at(wrong_counts[0].min(wrong_shuffled.len()));
+    for &i in fixes {
+        new[i] = labels[i];
+    }
+    for &i in rest.iter().take(wrong_counts[1]) {
+        new[i] = wrong_class(labels[i], Some(old[i]), num_classes, rng);
+    }
+    Ok(new)
+}
+
+/// Per-item conditional flip probabilities describing how a new model is
+/// derived from an old one — the *population-level* counterpart of
+/// [`evolve_predictions`].
+///
+/// Applying these conditionals i.i.d. per item gives a new model whose
+/// population accuracy and difference equal the targets exactly, while
+/// any finite testset realisation carries genuine sampling noise. This
+/// is what the Monte-Carlo soundness harness needs: the engine estimates
+/// from the noisy testset, the harness knows the noise-free truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConditionalEvolution {
+    /// `P(new wrong | old correct)`.
+    pub p_break: f64,
+    /// `P(new correct | old wrong)`.
+    pub p_fix: f64,
+    /// `P(new wrong differently | old wrong)`.
+    pub p_churn: f64,
+    /// Population accuracy of the old model these conditionals assume.
+    pub acc_old: f64,
+    /// Number of classes.
+    pub num_classes: u32,
+}
+
+impl ConditionalEvolution {
+    /// Derive the conditionals hitting `(acc_new, diff)` from a
+    /// population-`acc_old` model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates infeasibility from [`JointDistribution::solve`].
+    pub fn solve(
+        acc_old: f64,
+        acc_new: f64,
+        diff: f64,
+        churn: f64,
+        num_classes: u32,
+    ) -> Result<Self> {
+        let spec = PairSpec { acc_old, acc_new, diff, churn, num_classes };
+        let joint = JointDistribution::solve(&spec)?;
+        let wrong = 1.0 - acc_old;
+        Ok(ConditionalEvolution {
+            p_break: if acc_old > 0.0 { (joint.b / acc_old).clamp(0.0, 1.0) } else { 0.0 },
+            p_fix: if wrong > 0.0 { (joint.c / wrong).clamp(0.0, 1.0) } else { 0.0 },
+            p_churn: if wrong > 0.0 { (joint.f / wrong).clamp(0.0, 1.0) } else { 0.0 },
+            acc_old,
+            num_classes,
+        })
+    }
+
+    /// Population accuracy of the evolved model.
+    #[must_use]
+    pub fn new_accuracy(&self) -> f64 {
+        self.acc_old * (1.0 - self.p_break) + (1.0 - self.acc_old) * self.p_fix
+    }
+
+    /// Population prediction difference of the evolved model.
+    #[must_use]
+    pub fn difference(&self) -> f64 {
+        self.acc_old * self.p_break + (1.0 - self.acc_old) * (self.p_fix + self.p_churn)
+    }
+
+    /// Apply the conditionals i.i.d. to a realised prediction vector.
+    #[must_use]
+    pub fn apply<R: Rng>(&self, labels: &[u32], old: &[u32], rng: &mut R) -> Vec<u32> {
+        labels
+            .iter()
+            .zip(old)
+            .map(|(&label, &o)| {
+                if o == label {
+                    if rng.random::<f64>() < self.p_break {
+                        wrong_class(label, None, self.num_classes, rng)
+                    } else {
+                        label
+                    }
+                } else {
+                    let x: f64 = rng.random();
+                    if x < self.p_fix {
+                        label
+                    } else if x < self.p_fix + self.p_churn {
+                        wrong_class(label, Some(o), self.num_classes, rng)
+                    } else {
+                        o
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+fn normalised(mass: f64, total: f64) -> [f64; 2] {
+    if total <= 0.0 {
+        [0.0, 1.0]
+    } else {
+        let p = (mass / total).clamp(0.0, 1.0);
+        [p, 1.0 - p]
+    }
+}
+
+fn sample_category<R: Rng>(probs: &[f64; 5], rng: &mut R) -> usize {
+    let x: f64 = rng.random();
+    let mut acc = 0.0;
+    for (i, &p) in probs.iter().enumerate() {
+        acc += p;
+        if x < acc {
+            return i;
+        }
+    }
+    4
+}
+
+/// Map a category index to an (old, new) prediction pair for `label`.
+fn emit_category<R: Rng>(
+    category: usize,
+    label: u32,
+    num_classes: u32,
+    rng: &mut R,
+) -> (u32, u32) {
+    match category {
+        0 => (label, label),
+        1 => (label, wrong_class(label, None, num_classes, rng)),
+        2 => (wrong_class(label, None, num_classes, rng), label),
+        3 => {
+            let w = wrong_class(label, None, num_classes, rng);
+            (w, w)
+        }
+        _ => {
+            let w1 = wrong_class(label, None, num_classes, rng);
+            let w2 = wrong_class(label, Some(w1), num_classes, rng);
+            (w1, w2)
+        }
+    }
+}
+
+/// A class different from `label` (and from `avoid`, when given).
+fn wrong_class<R: Rng>(label: u32, avoid: Option<u32>, num_classes: u32, rng: &mut R) -> u32 {
+    debug_assert!(num_classes >= 2);
+    loop {
+        let c = rng.random_range(0..num_classes);
+        if c != label && Some(c) != avoid {
+            return c;
+        }
+    }
+}
+
+/// Largest-remainder apportionment of `n` items to `probs` (which may be
+/// any non-negative weights summing to ≈ 1).
+fn apportion(n: usize, probs: &[f64]) -> Vec<usize> {
+    let mut counts: Vec<usize> = probs.iter().map(|&p| (p * n as f64).floor() as usize).collect();
+    let assigned: usize = counts.iter().sum();
+    let mut remainders: Vec<(usize, f64)> = probs
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (i, p * n as f64 - (p * n as f64).floor()))
+        .collect();
+    remainders.sort_by(|a, b| b.1.total_cmp(&a.1));
+    for k in 0..n.saturating_sub(assigned) {
+        counts[remainders[k % remainders.len()].0] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easeml_ml::metrics::{accuracy, prediction_difference};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn joint_solution_satisfies_marginals() {
+        let spec = PairSpec { acc_old: 0.85, acc_new: 0.88, diff: 0.1, churn: 0.5, num_classes: 4 };
+        let j = JointDistribution::solve(&spec).unwrap();
+        assert!((j.a + j.b - spec.acc_old).abs() < 1e-12);
+        assert!((j.a + j.c - spec.acc_new).abs() < 1e-12);
+        assert!((j.b + j.c + j.f - spec.diff).abs() < 1e-12);
+        let total: f64 = j.as_array().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(j.as_array().iter().all(|&p| p >= -1e-12));
+    }
+
+    #[test]
+    fn infeasible_specs_are_rejected() {
+        // d smaller than the accuracy gap.
+        let spec = PairSpec { acc_old: 0.5, acc_new: 0.9, diff: 0.1, ..Default::default() };
+        assert!(matches!(
+            JointDistribution::solve(&spec),
+            Err(SimError::InfeasibleJoint { .. })
+        ));
+        // Disagreement exceeding available wrong mass: acc 0.99 both,
+        // but d = 0.5 would need half the items wrong somewhere.
+        let spec = PairSpec { acc_old: 0.99, acc_new: 0.99, diff: 0.5, ..Default::default() };
+        assert!(JointDistribution::solve(&spec).is_err());
+        // Wrong-to-wrong churn with binary classes.
+        let spec = PairSpec {
+            acc_old: 0.6,
+            acc_new: 0.6,
+            diff: 0.2,
+            churn: 0.0,
+            num_classes: 2,
+        };
+        assert!(JointDistribution::solve(&spec).is_err());
+        // ... but full correct<->wrong churn is fine with 2 classes.
+        let spec = PairSpec { churn: 1.0, ..spec };
+        assert!(JointDistribution::solve(&spec).is_ok());
+        // Out-of-range parameter.
+        let spec = PairSpec { acc_old: 1.5, ..Default::default() };
+        assert!(matches!(
+            JointDistribution::solve(&spec),
+            Err(SimError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn sampled_pair_hits_targets_in_expectation() {
+        let spec = PairSpec { acc_old: 0.8, acc_new: 0.83, diff: 0.12, churn: 0.5, num_classes: 5 };
+        let mut rng = StdRng::seed_from_u64(11);
+        let pair = sample_pair(100_000, &spec, &mut rng).unwrap();
+        assert!((accuracy(&pair.old, &pair.labels) - 0.8).abs() < 0.01);
+        assert!((accuracy(&pair.new, &pair.labels) - 0.83).abs() < 0.01);
+        assert!((prediction_difference(&pair.old, &pair.new) - 0.12).abs() < 0.01);
+    }
+
+    #[test]
+    fn exact_pair_hits_targets_exactly() {
+        let spec = PairSpec { acc_old: 0.8, acc_new: 0.84, diff: 0.1, churn: 0.5, num_classes: 4 };
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 5_000;
+        let pair = exact_pair(n, &spec, &mut rng).unwrap();
+        let tol = 3.0 / n as f64;
+        assert!((accuracy(&pair.old, &pair.labels) - 0.8).abs() <= tol);
+        assert!((accuracy(&pair.new, &pair.labels) - 0.84).abs() <= tol);
+        assert!((prediction_difference(&pair.old, &pair.new) - 0.1).abs() <= tol);
+    }
+
+    #[test]
+    fn evolve_chains_statistics() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 8_000;
+        let base = exact_pair(
+            n,
+            &PairSpec { acc_old: 0.6, acc_new: 0.6, diff: 0.0, churn: 0.5, num_classes: 4 },
+            &mut rng,
+        )
+        .unwrap();
+        let next = evolve_predictions(&base.labels, &base.old, 0.66, 0.1, 0.5, 4, &mut rng)
+            .unwrap();
+        let tol = 5.0 / n as f64;
+        assert!((accuracy(&next, &base.labels) - 0.66).abs() <= tol);
+        assert!((prediction_difference(&base.old, &next) - 0.1).abs() <= tol);
+    }
+
+    #[test]
+    fn evolve_rejects_infeasible_targets() {
+        let labels = vec![0u32; 100];
+        let old = vec![0u32; 100]; // acc_old = 1.0
+        let mut rng = StdRng::seed_from_u64(1);
+        // Can't drop accuracy by 0.5 while changing only 10% of preds.
+        assert!(evolve_predictions(&labels, &old, 0.5, 0.1, 0.5, 4, &mut rng).is_err());
+        // Length mismatch.
+        assert!(evolve_predictions(&labels, &old[..50], 0.9, 0.2, 0.5, 4, &mut rng).is_err());
+    }
+
+    #[test]
+    fn conditional_evolution_population_targets() {
+        let ev = ConditionalEvolution::solve(0.8, 0.84, 0.1, 0.5, 4).unwrap();
+        assert!((ev.new_accuracy() - 0.84).abs() < 1e-12);
+        assert!((ev.difference() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_evolution_realises_targets_with_noise() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let n = 60_000;
+        let base = exact_pair(
+            n,
+            &PairSpec { acc_old: 0.8, acc_new: 0.8, diff: 0.0, churn: 0.5, num_classes: 4 },
+            &mut rng,
+        )
+        .unwrap();
+        let ev = ConditionalEvolution::solve(0.8, 0.84, 0.1, 0.5, 4).unwrap();
+        let new = ev.apply(&base.labels, &base.old, &mut rng);
+        let acc = accuracy(&new, &base.labels);
+        let d = prediction_difference(&base.old, &new);
+        assert!((acc - 0.84).abs() < 0.01, "acc = {acc}");
+        assert!((d - 0.1).abs() < 0.01, "d = {d}");
+        // Two applications with different rng states differ: genuine noise.
+        let new2 = ev.apply(&base.labels, &base.old, &mut rng);
+        assert_ne!(new, new2);
+    }
+
+    #[test]
+    fn apportion_sums_to_n() {
+        for n in [0usize, 1, 7, 100, 5_509] {
+            let counts = apportion(n, &[0.25, 0.25, 0.3, 0.1, 0.1]);
+            assert_eq!(counts.iter().sum::<usize>(), n);
+        }
+        // Exact thirds leave remainders that must still be distributed.
+        let counts = apportion(10, &[1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0]);
+        assert_eq!(counts.iter().sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn categories_emit_consistent_predictions() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let label = rng.random_range(0..4);
+            let (o, n) = emit_category(0, label, 4, &mut rng);
+            assert_eq!((o, n), (label, label));
+            let (o, n) = emit_category(1, label, 4, &mut rng);
+            assert_eq!(o, label);
+            assert_ne!(n, label);
+            let (o, n) = emit_category(3, label, 4, &mut rng);
+            assert_eq!(o, n);
+            assert_ne!(o, label);
+            let (o, n) = emit_category(4, label, 4, &mut rng);
+            assert_ne!(o, label);
+            assert_ne!(n, label);
+            assert_ne!(o, n);
+        }
+    }
+}

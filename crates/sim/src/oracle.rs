@@ -1,0 +1,116 @@
+//! Labelling oracles with cost accounting.
+//!
+//! Wraps ground truth behind the engine's [`LabelOracle`] interface and
+//! meters every label against a [`CostModel`], so experiments can report
+//! labelling effort in person-hours as §2.3 and §4.1.2 do.
+
+use easeml_ci_core::{CostModel, LabelOracle};
+use std::time::Duration;
+
+/// A ground-truth oracle that counts and prices every label it serves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountingOracle {
+    truth: Vec<u32>,
+    cost: CostModel,
+    served: u64,
+    budget: Option<u64>,
+}
+
+impl CountingOracle {
+    /// Oracle over the given ground truth with the paper's default cost
+    /// model.
+    #[must_use]
+    pub fn new(truth: Vec<u32>) -> Self {
+        CountingOracle { truth, cost: CostModel::paper_default(), served: 0, budget: None }
+    }
+
+    /// Use a specific cost model.
+    #[must_use]
+    pub fn with_cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Refuse to serve more than `budget` labels (simulates a labelling
+    /// team walking away — the engine then reports
+    /// [`easeml_ci_core::EngineError::LabelUnavailable`]).
+    #[must_use]
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Labels served so far.
+    #[must_use]
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Wall-clock labelling time spent so far under the cost model.
+    #[must_use]
+    pub fn time_spent(&self) -> Duration {
+        self.cost.time_for(self.served)
+    }
+
+    /// Person-days spent so far under the cost model.
+    #[must_use]
+    pub fn person_days_spent(&self) -> f64 {
+        self.cost.person_days(self.served)
+    }
+}
+
+impl LabelOracle for CountingOracle {
+    fn label(&mut self, index: usize) -> Option<u32> {
+        if let Some(budget) = self.budget {
+            if self.served >= budget {
+                return None;
+            }
+        }
+        let label = self.truth.get(index).copied();
+        if label.is_some() {
+            self.served += 1;
+        }
+        label
+    }
+
+    fn labels_served(&self) -> u64 {
+        self.served
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_and_counts() {
+        let mut oracle = CountingOracle::new(vec![3, 1, 4]);
+        assert_eq!(oracle.label(0), Some(3));
+        assert_eq!(oracle.label(2), Some(4));
+        assert_eq!(oracle.label(9), None); // out of range: not counted
+        assert_eq!(oracle.served(), 2);
+        assert_eq!(oracle.labels_served(), 2);
+    }
+
+    #[test]
+    fn budget_exhaustion() {
+        let mut oracle = CountingOracle::new(vec![0; 10]).with_budget(2);
+        assert!(oracle.label(0).is_some());
+        assert!(oracle.label(1).is_some());
+        assert!(oracle.label(2).is_none());
+        assert_eq!(oracle.served(), 2);
+    }
+
+    #[test]
+    fn cost_accounting_matches_model() {
+        let cost = CostModel { labelers: 1, seconds_per_label: 5.0, hours_per_day: 8.0 };
+        let mut oracle = CountingOracle::new(vec![0; 3_000]).with_cost_model(cost);
+        for i in 0..2_188 {
+            oracle.label(i);
+        }
+        // §4.1.2: 2,188 labels at 5 s/label ≈ 3 hours.
+        let hours = oracle.time_spent().as_secs_f64() / 3600.0;
+        assert!((hours - 3.04).abs() < 0.02, "hours = {hours}");
+        assert!(oracle.person_days_spent() < 0.4);
+    }
+}

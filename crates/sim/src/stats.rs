@@ -1,0 +1,98 @@
+//! Small statistics helpers for the Monte-Carlo harnesses.
+
+/// Arithmetic mean; 0 for an empty slice.
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation; 0 for fewer than two values.
+#[must_use]
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+/// Linear-interpolation quantile (`q ∈ [0, 1]`) of unsorted data.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or `q` is outside `[0, 1]`.
+#[must_use]
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "quantile of empty data");
+    assert!((0.0..=1.0).contains(&q), "q must be in [0, 1]");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = pos - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Fixed-width histogram over `[lo, hi)` with `bins` buckets; values
+/// outside the range clamp into the edge buckets.
+#[must_use]
+pub fn histogram(values: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<u64> {
+    let bins = bins.max(1);
+    let mut counts = vec![0u64; bins];
+    let width = (hi - lo) / bins as f64;
+    for &v in values {
+        let idx = if width > 0.0 {
+            (((v - lo) / width).floor() as i64).clamp(0, bins as i64 - 1) as usize
+        } else {
+            0
+        };
+        counts[idx] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+        let sd = std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((sd - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let data = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(quantile(&data, 0.0), 1.0);
+        assert_eq!(quantile(&data, 1.0), 4.0);
+        assert_eq!(quantile(&data, 0.5), 2.5);
+        assert!((quantile(&data, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_empty_panics() {
+        let _ = quantile(&[], 0.5);
+    }
+
+    #[test]
+    fn histogram_clamps_edges() {
+        let h = histogram(&[-1.0, 0.05, 0.15, 0.95, 2.0], 0.0, 1.0, 10);
+        assert_eq!(h[0], 2); // -1.0 clamps in
+        assert_eq!(h[1], 1);
+        assert_eq!(h[9], 2); // 0.95 and 2.0
+        assert_eq!(h.iter().sum::<u64>(), 5);
+    }
+}

@@ -1,0 +1,149 @@
+//! The ImageNet-winners overlap workload (§4.2's motivating
+//! observation).
+//!
+//! The paper notes that AlexNet, ResNet, GoogLeNet, AlexNet-BN and VGG —
+//! five models spanning years of progress — disagree on at most ~25 %
+//! of top-1 predictions. This module synthesises a five-model family
+//! with those published top-1 accuracies and bounded pairwise
+//! disagreement, used to justify Pattern 2's implicit variance bound.
+
+use crate::error::Result;
+use crate::joint::{evolve_predictions, exact_pair, PairSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The five model names, in development order.
+pub const MODELS: [&str; 5] = ["alexnet", "alexnet-bn", "googlenet", "vgg", "resnet"];
+
+/// Approximate published top-1 accuracies, in [`MODELS`] order.
+pub const TOP1_ACCURACY: [f64; 5] = [0.57, 0.60, 0.68, 0.69, 0.70];
+
+/// Pairwise disagreement budget from the paper (top-1).
+pub const MAX_PAIRWISE_DIFF: f64 = 0.25;
+
+/// Consecutive-model prediction differences used by the generator
+/// (accumulates to roughly the 25 % any-pair bound).
+pub const CONSECUTIVE_DIFF: [f64; 4] = [0.08, 0.12, 0.05, 0.04];
+
+/// A synthesised model family over a shared testset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImagenetFamily {
+    /// Ground-truth labels.
+    pub labels: Vec<u32>,
+    /// Per-model predictions, in [`MODELS`] order.
+    pub predictions: Vec<Vec<u32>>,
+}
+
+impl ImagenetFamily {
+    /// `k × k` matrix of realised pairwise disagreement rates.
+    #[must_use]
+    #[allow(clippy::needless_range_loop)] // symmetric i/j walk reads best indexed
+    pub fn disagreement_matrix(&self) -> Vec<Vec<f64>> {
+        let k = self.predictions.len();
+        let mut m = vec![vec![0.0; k]; k];
+        for i in 0..k {
+            for j in 0..k {
+                m[i][j] = easeml_ml::metrics::prediction_difference(
+                    &self.predictions[i],
+                    &self.predictions[j],
+                );
+            }
+        }
+        m
+    }
+
+    /// Realised accuracy of model `i`.
+    #[must_use]
+    pub fn accuracy(&self, i: usize) -> f64 {
+        easeml_ml::metrics::accuracy(&self.predictions[i], &self.labels)
+    }
+
+    /// The largest pairwise disagreement in the family.
+    #[must_use]
+    pub fn max_disagreement(&self) -> f64 {
+        let m = self.disagreement_matrix();
+        m.iter().flatten().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Generate the family over `n` test items with `classes` classes
+/// (ImageNet itself has 1 000).
+///
+/// # Errors
+///
+/// Propagates joint-distribution infeasibility (cannot happen for the
+/// built-in trajectory).
+pub fn generate(n: usize, classes: u32, seed: u64) -> Result<ImagenetFamily> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base = exact_pair(
+        n,
+        &PairSpec {
+            acc_old: TOP1_ACCURACY[0],
+            acc_new: TOP1_ACCURACY[0],
+            diff: 0.0,
+            churn: 0.5,
+            num_classes: classes,
+        },
+        &mut rng,
+    )?;
+    let mut predictions = vec![base.old.clone()];
+    let mut previous = base.old;
+    for (k, &diff) in CONSECUTIVE_DIFF.iter().enumerate() {
+        let next = evolve_predictions(
+            &base.labels,
+            &previous,
+            TOP1_ACCURACY[k + 1],
+            diff,
+            0.3,
+            classes,
+            &mut rng,
+        )?;
+        predictions.push(next.clone());
+        previous = next;
+    }
+    Ok(ImagenetFamily { labels: base.labels, predictions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_hits_published_accuracies() {
+        let fam = generate(50_000, 1_000, 3).unwrap();
+        assert_eq!(fam.predictions.len(), 5);
+        for (i, &target) in TOP1_ACCURACY.iter().enumerate() {
+            let acc = fam.accuracy(i);
+            assert!((acc - target).abs() < 0.005, "{}: {acc} vs {target}", MODELS[i]);
+        }
+    }
+
+    #[test]
+    fn pairwise_disagreement_is_bounded() {
+        let fam = generate(50_000, 1_000, 3).unwrap();
+        let max = fam.max_disagreement();
+        assert!(
+            max <= MAX_PAIRWISE_DIFF + 0.01,
+            "max pairwise disagreement {max} exceeds the paper's 25%"
+        );
+        // ... and it is not trivially zero.
+        assert!(max > 0.05);
+    }
+
+    #[test]
+    fn disagreement_matrix_is_symmetric_with_zero_diagonal() {
+        let fam = generate(10_000, 100, 5).unwrap();
+        let m = fam.disagreement_matrix();
+        for i in 0..5 {
+            assert_eq!(m[i][i], 0.0);
+            for j in 0..5 {
+                assert!((m[i][j] - m[j][i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(generate(5_000, 50, 1).unwrap(), generate(5_000, 50, 1).unwrap());
+    }
+}

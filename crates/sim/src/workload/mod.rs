@@ -1,0 +1,5 @@
+//! End-to-end experiment workloads reproducing the paper's §5 scenarios.
+
+pub mod imagenet;
+pub mod semeval;
+pub mod stream;

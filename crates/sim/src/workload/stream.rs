@@ -1,0 +1,167 @@
+//! An "infinite dataset" stand-in for infinite MNIST (§5.1).
+//!
+//! The paper's Figure 4 uses the infinite MNIST generator to resample
+//! arbitrarily many disjoint testsets for one fixed model. This module
+//! provides the same affordance over the synthetic blobs task: an
+//! [`InfiniteBlobs`] source is addressed by *example index*, so any two
+//! index ranges are independent draws from the same distribution, and a
+//! fixed trained model can be evaluated on endless fresh testsets.
+
+use crate::error::Result;
+use easeml_ml::models::Classifier;
+use easeml_ml::synth::{blobs, BlobsConfig};
+use easeml_ml::Dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// An infinite, index-addressable example source over the blobs task.
+///
+/// Windows are generated deterministically from `(seed, start_index)`,
+/// so the stream behaves like one fixed infinite dataset: re-reading a
+/// window yields identical data, disjoint windows are independent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InfiniteBlobs {
+    config: BlobsConfig,
+    seed: u64,
+}
+
+impl InfiniteBlobs {
+    /// A stream over the given blobs distribution.
+    #[must_use]
+    pub fn new(config: BlobsConfig, seed: u64) -> Self {
+        InfiniteBlobs { config, seed }
+    }
+
+    /// The generating distribution.
+    #[must_use]
+    pub fn config(&self) -> &BlobsConfig {
+        &self.config
+    }
+
+    /// Materialise the window `[start, start + len)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator errors (degenerate configs, zero length).
+    pub fn window(&self, start: u64, len: usize) -> Result<Dataset> {
+        // One RNG stream per window start: windows at different starts
+        // use decorrelated seeds; identical (start, len) reproduce.
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ start.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        Ok(blobs(len, &self.config, &mut rng)?)
+    }
+
+    /// Evaluate a fixed model on the window, returning
+    /// `(correct, total)` — the shape the drift monitor and the Figure 4
+    /// resampling experiment consume.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generation and prediction errors.
+    pub fn evaluate_window<C: Classifier + ?Sized>(
+        &self,
+        model: &C,
+        start: u64,
+        len: usize,
+    ) -> Result<(u64, u64)> {
+        let data = self.window(start, len)?;
+        let preds = model.predict_dataset(&data)?;
+        let correct =
+            preds.iter().zip(data.labels()).filter(|(p, l)| p == l).count() as u64;
+        Ok((correct, len as u64))
+    }
+
+    /// Estimate the model's true accuracy by evaluating a large held-out
+    /// index range (the "population" proxy).
+    ///
+    /// # Errors
+    ///
+    /// Propagates generation and prediction errors.
+    pub fn reference_accuracy<C: Classifier + ?Sized>(
+        &self,
+        model: &C,
+        samples: usize,
+    ) -> Result<f64> {
+        let (correct, total) = self.evaluate_window(model, u64::MAX / 2, samples)?;
+        Ok(correct as f64 / total as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easeml_ml::models::{LogisticRegression, MajorityClassifier};
+
+    fn stream() -> InfiniteBlobs {
+        InfiniteBlobs::new(
+            BlobsConfig { num_classes: 4, dim: 6, noise: 0.5, label_noise: 0.0 },
+            42,
+        )
+    }
+
+    #[test]
+    fn windows_are_reproducible_and_disjointly_random() {
+        let s = stream();
+        let a = s.window(0, 500).unwrap();
+        let b = s.window(0, 500).unwrap();
+        assert_eq!(a, b, "same window must reproduce");
+        let c = s.window(1, 500).unwrap();
+        assert_ne!(a, c, "different windows must differ");
+    }
+
+    #[test]
+    fn fixed_model_accuracy_is_stable_across_windows() {
+        let s = stream();
+        let train = s.window(0, 2_000).unwrap();
+        let mut model = LogisticRegression::default();
+        model.fit(&train).unwrap();
+        let reference = s.reference_accuracy(&model, 20_000).unwrap();
+        assert!(reference > 0.85, "reference accuracy = {reference}");
+        // Fresh windows fluctuate around the reference by ~binomial noise.
+        for w in 1..6u64 {
+            let (correct, total) = s.evaluate_window(&model, w * 1_000_000, 2_000).unwrap();
+            let acc = correct as f64 / total as f64;
+            assert!(
+                (acc - reference).abs() < 0.04,
+                "window {w}: {acc} vs reference {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn majority_model_matches_class_prior() {
+        let s = stream();
+        let train = s.window(0, 2_000).unwrap();
+        let mut model = MajorityClassifier::new();
+        model.fit(&train).unwrap();
+        let reference = s.reference_accuracy(&model, 10_000).unwrap();
+        assert!((reference - 0.25).abs() < 0.05, "got {reference}");
+    }
+
+    #[test]
+    fn window_supports_figure4_style_resampling() {
+        use crate::stats::quantile;
+        // Resample many testsets of size n for one fixed model and check
+        // the quantile gap shrinks like 1/sqrt(n).
+        let s = stream();
+        let train = s.window(0, 1_500).unwrap();
+        let mut model = LogisticRegression::default();
+        model.fit(&train).unwrap();
+        let gap = |n: usize| {
+            let accs: Vec<f64> = (0..60u64)
+                .map(|t| {
+                    let (c, total) =
+                        s.evaluate_window(&model, 10_000_000 + t * 100_000, n).unwrap();
+                    c as f64 / total as f64
+                })
+                .collect();
+            quantile(&accs, 0.95) - quantile(&accs, 0.05)
+        };
+        let wide = gap(200);
+        let narrow = gap(3_200);
+        assert!(
+            narrow < wide / 2.0,
+            "16x samples must shrink the gap well beyond 2x: {wide} vs {narrow}"
+        );
+    }
+}

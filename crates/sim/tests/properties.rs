@@ -1,0 +1,106 @@
+//! Property-based tests for the simulation substrate: joint-distribution
+//! feasibility and realised statistics.
+
+use easeml_ml::metrics::{accuracy, prediction_difference};
+use easeml_sim::joint::{
+    exact_pair, sample_pair, ConditionalEvolution, JointDistribution, PairSpec,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: specs guaranteed feasible by construction — pick the
+/// accuracies and a difference between the gap and the wrong-mass cap.
+fn feasible_spec() -> impl Strategy<Value = PairSpec> {
+    (0.05f64..0.95, 0.05f64..0.95, 0.0f64..1.0, 0.0f64..=1.0).prop_map(
+        |(acc_old, acc_new, diff_t, churn_t)| {
+            let churn = churn_t * 0.5;
+            let gap = (acc_old - acc_new).abs();
+            let min_acc = acc_old.min(acc_new);
+            // Exact feasibility: with slack s = d − gap,
+            //   a = min(acc) − churn·s/2 ≥ 0  and  e = 1 − a − d ≥ 0,
+            // giving d ≤ (1 − min − churn·gap/2)/(1 − churn/2) and
+            // s ≤ 2·min/churn (when churn > 0).
+            let d_e = (1.0 - min_acc - churn * gap / 2.0) / (1.0 - churn / 2.0);
+            let d_a = if churn > 0.0 { gap + 2.0 * min_acc / churn } else { f64::INFINITY };
+            let d_max = d_e.min(d_a).min(1.0);
+            let diff = gap + (d_max - gap).max(0.0) * diff_t * 0.95;
+            PairSpec { acc_old, acc_new, diff, churn, num_classes: 5 }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every feasible spec solves, with valid probabilities and exact
+    /// marginals.
+    #[test]
+    fn joint_solution_is_a_distribution(spec in feasible_spec()) {
+        let j = JointDistribution::solve(&spec).unwrap();
+        let probs = j.as_array();
+        for p in probs {
+            prop_assert!(p >= -1e-9, "negative probability {p:?} for {spec:?}");
+        }
+        prop_assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!((j.a + j.b - spec.acc_old).abs() < 1e-9);
+        prop_assert!((j.a + j.c - spec.acc_new).abs() < 1e-9);
+        prop_assert!((j.b + j.c + j.f - spec.diff).abs() < 1e-9);
+    }
+
+    /// Exact pairs realise the spec to within apportionment error.
+    #[test]
+    fn exact_pairs_hit_marginals(spec in feasible_spec(), seed in 0u64..1000) {
+        let n = 4_000usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pair = exact_pair(n, &spec, &mut rng).unwrap();
+        let tol = 6.0 / n as f64;
+        prop_assert!((accuracy(&pair.old, &pair.labels) - spec.acc_old).abs() <= tol);
+        prop_assert!((accuracy(&pair.new, &pair.labels) - spec.acc_new).abs() <= tol);
+        prop_assert!(
+            (prediction_difference(&pair.old, &pair.new) - spec.diff).abs() <= tol
+        );
+    }
+
+    /// Sampled pairs concentrate around the spec (looser tolerance).
+    #[test]
+    fn sampled_pairs_concentrate(spec in feasible_spec(), seed in 0u64..1000) {
+        let n = 20_000usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pair = sample_pair(n, &spec, &mut rng).unwrap();
+        let tol = 0.02;
+        prop_assert!((accuracy(&pair.old, &pair.labels) - spec.acc_old).abs() <= tol);
+        prop_assert!((accuracy(&pair.new, &pair.labels) - spec.acc_new).abs() <= tol);
+    }
+
+    /// Conditional evolutions reproduce their population targets in
+    /// closed form for every feasible spec.
+    #[test]
+    fn conditional_evolution_targets(spec in feasible_spec()) {
+        let ev = ConditionalEvolution::solve(
+            spec.acc_old,
+            spec.acc_new,
+            spec.diff,
+            spec.churn,
+            spec.num_classes,
+        )
+        .unwrap();
+        prop_assert!((ev.new_accuracy() - spec.acc_new).abs() < 1e-9);
+        prop_assert!((ev.difference() - spec.diff).abs() < 1e-9);
+    }
+
+    /// Infeasible requests (d below the accuracy gap) are always caught.
+    #[test]
+    fn gap_violations_always_rejected(acc_old in 0.1f64..0.9, delta_gap in 0.05f64..0.5) {
+        let acc_new = (acc_old + delta_gap).min(0.99);
+        prop_assume!(acc_new - acc_old >= 0.05);
+        let spec = PairSpec {
+            acc_old,
+            acc_new,
+            diff: (acc_new - acc_old) / 2.0,
+            churn: 0.5,
+            num_classes: 4,
+        };
+        prop_assert!(JointDistribution::solve(&spec).is_err());
+    }
+}

@@ -1,0 +1,56 @@
+//! The §2.2 extension: concept-drift monitoring as the dual of CI —
+//! fix one deployed model, test its generalization over a stream of
+//! fresh testset windows with a horizon-level (drop, δ) guarantee.
+//!
+//! ```text
+//! cargo run --release --example drift_monitor
+//! ```
+
+use easeml_ci::core::extensions::{DriftMonitor, DriftVerdict};
+use easeml_ci::sim::workload::semeval::drifting_window;
+use easeml_ci::Tribool;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A model certified at 92% accuracy; alarm if it drops 5 points.
+    let mut monitor = DriftMonitor::new(0.92, 0.05, 0.001, 12)?;
+    let mut rng = StdRng::seed_from_u64(3);
+
+    println!("window  accuracy  eps      verdict");
+    // Six healthy weeks, then the input distribution starts shifting by
+    // two accuracy points per week.
+    for week in 0..12u32 {
+        let drift_rate = if week < 6 { 0.0 } else { 0.02 };
+        let effective_week = if week < 6 { 0 } else { week - 5 };
+        let (correct, total) =
+            drifting_window(0.92, drift_rate, effective_week, 20_000, &mut rng);
+        let report = monitor.observe_counts(correct, total)?;
+        println!(
+            "{:>6}  {:.4}    {:.4}   {:?}",
+            report.window, report.accuracy, report.epsilon, report.verdict
+        );
+        if report.verdict == DriftVerdict::Drifted {
+            println!("\ndrift confirmed at window {} — request retraining", report.window);
+            break;
+        }
+    }
+
+    assert_eq!(monitor.drifted(), Tribool::True, "the shift must be detected");
+    let first_alarm = monitor
+        .reports()
+        .iter()
+        .find(|r| r.verdict == DriftVerdict::Drifted)
+        .expect("an alarm fired");
+    assert!(
+        first_alarm.window > 6,
+        "no false alarm during the stationary weeks (fired at {})",
+        first_alarm.window
+    );
+    println!(
+        "windows observed: {}, windows remaining in horizon: {}",
+        monitor.reports().len(),
+        monitor.windows_remaining()
+    );
+    Ok(())
+}

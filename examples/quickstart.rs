@@ -1,0 +1,80 @@
+//! Quickstart: write a CI script, size the testset, and run commits
+//! through the engine.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use easeml_ci::core::{effort, CostModel, EstimateProvenance};
+use easeml_ci::{CiEngine, CiScript, ModelCommit, SampleSizeEstimator, Testset, VecOracle};
+use easeml_ci::sim::joint::{exact_pair, evolve_predictions, PairSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The user writes a .travis.yml-style script with an `ml:` section.
+    let script = CiScript::parse(
+        "ml:\n\
+         \x20 - script     : ./test_model.py\n\
+         \x20 - condition  : n - o > 0.02 +/- 0.02\n\
+         \x20 - reliability: 0.999\n\
+         \x20 - mode       : fp-free\n\
+         \x20 - adaptivity : full\n\
+         \x20 - steps      : 16\n",
+    )?;
+    println!("script:\n{script}");
+
+    // 2. The sample-size estimator answers: how many test examples?
+    let estimator = SampleSizeEstimator::new();
+    let estimate = estimator.estimate(&script)?;
+    println!(
+        "the testset needs {} labelled + {} unlabeled examples ({})",
+        estimate.labeled_samples,
+        estimate.unlabeled_samples,
+        match estimate.provenance {
+            EstimateProvenance::Baseline => "baseline Hoeffding",
+            EstimateProvenance::Optimized(_) => "optimized via a section-4 pattern",
+        }
+    );
+    let cost = effort(estimate.labeled_samples, &CostModel::paper_default());
+    println!(
+        "labelling effort: {:.1} person-days -> {}\n",
+        cost.person_days, cost.verdict
+    );
+
+    // 3. Simulate the testset + a currently deployed model (accuracy 75%).
+    let mut rng = StdRng::seed_from_u64(7);
+    let pool = estimate.total_samples() as usize;
+    let base = exact_pair(
+        pool,
+        &PairSpec { acc_old: 0.75, acc_new: 0.75, diff: 0.0, churn: 0.5, num_classes: 4 },
+        &mut rng,
+    )?;
+
+    // 4. Wire up the engine with an on-demand labelling oracle.
+    let mut engine = CiEngine::new(script, Testset::unlabeled(pool), base.old.clone())?
+        .with_oracle(Box::new(VecOracle::new(base.labels.clone())));
+
+    // 5. Commit a genuinely better model (+5 accuracy points, 8% of
+    //    predictions changed) and a stagnant one.
+    let better = evolve_predictions(&base.labels, &base.old, 0.80, 0.08, 0.5, 4, &mut rng)?;
+    let receipt = engine.submit(&ModelCommit::new("better-model", better))?;
+    println!(
+        "commit better-model: outcome {}, signal {:?}, labels used {}",
+        receipt.outcome, receipt.signal, receipt.estimates.labels_requested
+    );
+    assert!(receipt.passed);
+
+    let stagnant =
+        evolve_predictions(&base.labels, engine.old_predictions(), 0.801, 0.02, 0.5, 4, &mut rng)?;
+    let receipt = engine.submit(&ModelCommit::new("stagnant-model", stagnant))?;
+    println!(
+        "commit stagnant-model: outcome {}, signal {:?}, labels used {}",
+        receipt.outcome, receipt.signal, receipt.estimates.labels_requested
+    );
+    assert!(!receipt.passed, "a 0.1-point improvement must not clear a 2-point bar");
+
+    println!("\nhistory:\n{}", engine.history());
+    println!("steps remaining in this testset era: {}", engine.steps_remaining());
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! # easeml-ci — continuous integration for machine-learning models
+//!
+//! A from-scratch Rust reproduction of *"Continuous Integration of
+//! Machine Learning Models with ease.ml/ci: Towards a Rigorous Yet
+//! Practical Treatment"* (Renggli et al., MLSYS 2019,
+//! [arXiv:1903.00278](https://arxiv.org/abs/1903.00278)).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`core`] (`easeml-ci-core`) — the condition DSL, CI scripts, the
+//!   sample-size estimator (§3 baseline + §4 optimizations), and the CI
+//!   engine with adaptivity state machines and the new-testset alarm;
+//! * [`bounds`] (`easeml-bounds`) — Hoeffding / Bennett / Bernstein /
+//!   exact-binomial / McDiarmid bounds and adaptivity accounting;
+//! * [`ml`] (`easeml-ml`) — a self-contained ML substrate (datasets,
+//!   synthetic corpora, classifiers) used by the experiments;
+//! * [`sim`] (`easeml-sim`) — developer policies, correlated model-pair
+//!   generators, and Monte-Carlo soundness harnesses.
+//!
+//! The most common entry points are also re-exported at the root:
+//!
+//! ```
+//! use easeml_ci::{CiScript, SampleSizeEstimator};
+//!
+//! # fn main() -> Result<(), easeml_ci::CiError> {
+//! let script = CiScript::parse(
+//!     "ml:\n\
+//!      \x20 - condition  : n > 0.8 +/- 0.05\n\
+//!      \x20 - reliability: 0.9999\n\
+//!      \x20 - mode       : fp-free\n\
+//!      \x20 - adaptivity : full\n\
+//!      \x20 - steps      : 32\n",
+//! )?;
+//! let estimate = SampleSizeEstimator::new().estimate(&script)?;
+//! assert_eq!(estimate.labeled_samples, 6_279); // the paper's §3.3 example
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the experiment index.
+
+#![warn(missing_docs)]
+
+pub use easeml_bounds as bounds;
+pub use easeml_ci_core as core;
+pub use easeml_ml as ml;
+pub use easeml_sim as sim;
+
+pub use easeml_bounds::{Adaptivity, Tail};
+pub use easeml_ci_core::{
+    CiEngine, CiError, CiScript, CommitReceipt, Mode, ModelCommit, SampleSizeEstimator, Testset,
+    Tribool, VecOracle,
+};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_are_consistent() {
+        // The facade paths and the direct crate paths must be the same types.
+        fn take(_: crate::CiScript) {}
+        let script = crate::core::CiScript::builder()
+            .condition_str("n > 0.5 +/- 0.1")
+            .unwrap()
+            .build()
+            .unwrap();
+        take(script);
+    }
+}

@@ -1,0 +1,129 @@
+//! Every headline number the paper prints, verified through the public
+//! facade — the compact machine-checkable version of EXPERIMENTS.md.
+
+use easeml_ci::core::estimator::{
+    hierarchical_plan, implicit_variance_plan, Pattern1Options, Pattern2Options,
+};
+use easeml_ci::{Adaptivity, CiScript, SampleSizeEstimator, Tail};
+
+fn script(condition: &str, reliability: f64, adaptivity: Adaptivity, steps: u32) -> CiScript {
+    CiScript::builder()
+        .condition_str(condition)
+        .unwrap()
+        .reliability(reliability)
+        .adaptivity(adaptivity)
+        .steps(steps)
+        .build()
+        .unwrap()
+}
+
+/// Figure 2, all four corner cells of each block.
+#[test]
+fn figure2_corners() {
+    let est = SampleSizeEstimator::new();
+    let cases = [
+        ("n > 0.9 +/- 0.1", 0.99, Adaptivity::None, 404),
+        ("n > 0.9 +/- 0.01", 0.99, Adaptivity::None, 40_355),
+        ("n > 0.9 +/- 0.1", 0.99999, Adaptivity::None, 749),
+        ("n > 0.9 +/- 0.01", 0.99999, Adaptivity::Full, 168_469),
+        ("n - o > 0.02 +/- 0.1", 0.99, Adaptivity::None, 1_753),
+        ("n - o > 0.02 +/- 0.01", 0.99999, Adaptivity::Full, 687_736),
+    ];
+    for (condition, reliability, adaptivity, want) in cases {
+        let s = script(condition, reliability, adaptivity, 32);
+        let got = est.estimate_baseline(&s).unwrap().labeled_samples;
+        assert_eq!(got, want, "{condition} at {reliability} {adaptivity:?}");
+    }
+}
+
+/// §3.3's fully-adaptive worked example and its ε = 0.01 blow-up.
+#[test]
+fn section33_worked_example() {
+    let est = SampleSizeEstimator::new();
+    let loose = script("n > 0.8 +/- 0.05", 0.9999, Adaptivity::Full, 32);
+    assert_eq!(est.estimate(&loose).unwrap().labeled_samples, 6_279);
+    let tight = script("n > 0.8 +/- 0.01", 0.9999, Adaptivity::Full, 32);
+    // Paper prose says 156,955; ceil rounding gives 156,956 (the paper's
+    // own Figure 2 prints 156,956 for the same quantity).
+    assert_eq!(est.estimate_baseline(&tight).unwrap().labeled_samples, 156_956);
+}
+
+/// §4.1.1's 29K/67K and §4.1.2's 2,188 labels per commit.
+#[test]
+fn section41_numbers() {
+    let p1 = Pattern1Options::default();
+    let non_adaptive =
+        hierarchical_plan(0.1, 0.01, 0.01, 0.0001, 32, Adaptivity::None, p1).unwrap();
+    assert_eq!(non_adaptive.test.samples, 29_048);
+    let fully =
+        hierarchical_plan(0.1, 0.01, 0.01, 0.0001, 32, Adaptivity::Full, p1).unwrap();
+    assert_eq!(fully.test.samples, 67_706);
+    assert!((fully.active.labels_per_commit as i64 - 2_188).abs() <= 1);
+}
+
+/// Figure 5's 4,713 / 5,204 sample sizes and the 6,260 > 5,509 refusal.
+#[test]
+fn figure5_sample_sizes() {
+    let known = Pattern2Options { known_variance_bound: Some(0.1), ..Default::default() };
+    let q1 = implicit_variance_plan(0.02, 0.002, 7, Adaptivity::None, known).unwrap();
+    assert_eq!(q1.test_upper_bound.samples, 4_713);
+    let q3 = implicit_variance_plan(0.022, 0.002, 7, Adaptivity::Full, known).unwrap();
+    assert_eq!(q3.test_upper_bound.samples, 5_204);
+    let refused = implicit_variance_plan(0.02, 0.002, 7, Adaptivity::Full, known).unwrap();
+    assert_eq!(refused.test_upper_bound.samples, 6_260);
+    assert!(refused.test_upper_bound.samples > 5_509);
+}
+
+/// §5.2's Hoeffding baselines: 44,268 non-adaptive, ≈58K fully adaptive.
+#[test]
+fn section52_hoeffding_baselines() {
+    let non_adaptive = easeml_ci::bounds::hoeffding_sample_size_from_ln_delta(
+        2.0,
+        0.02,
+        Adaptivity::None.ln_effective_delta(0.001, 7).unwrap(),
+        Tail::OneSided,
+    )
+    .unwrap();
+    assert_eq!(non_adaptive, 44_269); // paper prints 44,268 via strict >
+    let fully = easeml_ci::bounds::hoeffding_sample_size_from_ln_delta(
+        2.0,
+        0.02,
+        Adaptivity::Full.ln_effective_delta(0.001, 7).unwrap(),
+        Tail::OneSided,
+    )
+    .unwrap();
+    assert!((58_000..59_000).contains(&fully), "got {fully}");
+}
+
+/// The intro's label-complexity narrative: 46K single / 63K non-adaptive
+/// / 156K fully adaptive, and the two-orders-of-magnitude saving claim.
+#[test]
+fn introduction_numbers() {
+    use easeml_ci::bounds::{hoeffding_sample_size, Tail};
+    assert_eq!(hoeffding_sample_size(1.0, 0.01, 0.0001, Tail::OneSided).unwrap(), 46_052);
+    let est = SampleSizeEstimator::new();
+    // F5-style compound condition: optimized labels per commit vs the
+    // baseline testset — the "up to two orders of magnitude" claim
+    // combines the ~9x Bennett saving with the ~10x active-labelling
+    // amortisation.
+    let s = script(
+        "d < 0.1 +/- 0.01 /\\ n - o > 0.02 +/- 0.01",
+        0.9999,
+        Adaptivity::None,
+        32,
+    );
+    let optimized = est.estimate(&s).unwrap();
+    let baseline = est.estimate_baseline(&s).unwrap();
+    let plan = match optimized.provenance {
+        easeml_ci::core::EstimateProvenance::Optimized(
+            easeml_ci::core::estimator::OptimizedPlan::Hierarchical(p),
+        ) => p,
+        other => panic!("expected a hierarchical plan, got {other:?}"),
+    };
+    let amortized_saving =
+        baseline.labeled_samples as f64 / plan.active.labels_per_commit as f64;
+    assert!(
+        amortized_saving > 100.0,
+        "two-orders-of-magnitude claim: got {amortized_saving:.0}x"
+    );
+}

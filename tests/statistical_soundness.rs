@@ -1,0 +1,104 @@
+//! Statistical soundness of the whole pipeline, Monte-Carlo style — a
+//! fast, seeded version of the `repro_guarantees` harness.
+
+use easeml_ci::core::{EstimatorConfig, Mode};
+use easeml_ci::sim::developer::{OverfitterDeveloper, RandomWalkDeveloper};
+use easeml_ci::sim::montecarlo::{empirical_epsilon, violation_report, ProcessConfig};
+use easeml_ci::{Adaptivity, CiScript};
+
+fn config(
+    condition: &str,
+    mode: Mode,
+    adaptivity: Adaptivity,
+    delta: f64,
+    steps: u32,
+) -> ProcessConfig {
+    ProcessConfig {
+        script: CiScript::builder()
+            .condition_str(condition)
+            .unwrap()
+            .reliability(1.0 - delta)
+            .mode(mode)
+            .adaptivity(adaptivity)
+            .steps(steps)
+            .build()
+            .unwrap(),
+        estimator: EstimatorConfig::default(),
+        commits: steps,
+        initial_accuracy: 0.75,
+        num_classes: 4,
+        churn: 0.5,
+    }
+}
+
+/// fp-free guarantee vs an adversarial developer under full adaptivity:
+/// the hardest case the δ/2^H budget is built for.
+#[test]
+fn fp_free_resists_the_overfitter() {
+    let cfg = config("n - o > 0.02 +/- 0.03", Mode::FpFree, Adaptivity::Full, 0.1, 5);
+    let report = violation_report(
+        &cfg,
+        |seed| Box::new(OverfitterDeveloper::new(0.75, 0.003, 0.05, seed)),
+        60,
+        7,
+    )
+    .unwrap();
+    // δ = 0.1 plus binomial slack over 60 trials.
+    assert!(
+        report.false_positive_rate() <= 0.1 + 0.12,
+        "fp rate = {}",
+        report.false_positive_rate()
+    );
+    // The overfitter never truly improves by 2 points, so essentially
+    // nothing should pass at all.
+    assert!(report.mean_passes < 1.0, "mean passes = {}", report.mean_passes);
+}
+
+/// fn-free guarantee under a non-adaptive random walk.
+#[test]
+fn fn_free_rarely_rejects_truly_good_commits() {
+    let cfg = config("n > 0.7 +/- 0.04", Mode::FnFree, Adaptivity::None, 0.1, 6);
+    let report = violation_report(
+        &cfg,
+        |seed| Box::new(RandomWalkDeveloper::new(0.76, 0.015, 0.05, seed)),
+        60,
+        11,
+    )
+    .unwrap();
+    assert!(
+        report.false_negative_rate() <= 0.1 + 0.12,
+        "fn rate = {}",
+        report.false_negative_rate()
+    );
+}
+
+/// The d-only condition consumes no labels across the whole process.
+#[test]
+fn difference_conditions_are_label_free() {
+    let cfg = config("d < 0.2 +/- 0.05", Mode::FpFree, Adaptivity::None, 0.05, 4);
+    let report = violation_report(
+        &cfg,
+        |seed| Box::new(RandomWalkDeveloper::new(0.75, 0.01, 0.05, seed)),
+        10,
+        13,
+    )
+    .unwrap();
+    assert_eq!(report.mean_labels, 0.0);
+}
+
+/// Figure-4 methodology at test scale: the empirical quantile gap sits
+/// below the analytic Hoeffding tolerance at multiple sizes.
+#[test]
+fn empirical_error_is_dominated() {
+    for n in [300u64, 1_200] {
+        let emp = empirical_epsilon(n, 0.9, 0.05, 300, 99);
+        let analytic = easeml_ci::bounds::hoeffding_epsilon(
+            1.0,
+            n,
+            0.05,
+            easeml_ci::Tail::TwoSided,
+        )
+        .unwrap();
+        assert!(emp <= analytic, "n={n}: empirical {emp} > analytic {analytic}");
+    }
+}
