@@ -5,8 +5,9 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use easeml_bounds::{
     bennett_epsilon, bennett_h_inv, bennett_sample_size, exact_binomial_sample_size,
-    hoeffding_sample_size, Tail,
+    hoeffding_sample_size, reference, Tail,
 };
+use easeml_ci_core::{CachePolicy, CiScript, EstimatorConfig, SampleSizeEstimator};
 use std::hint::black_box;
 
 fn bench_closed_form(c: &mut Criterion) {
@@ -36,8 +37,7 @@ fn bench_closed_form(c: &mut Criterion) {
     });
     group.bench_function("bennett_epsilon_newton_inverse", |b| {
         b.iter(|| {
-            bennett_epsilon(black_box(0.1), 1.0, black_box(29_048), 1e-4, Tail::TwoSided)
-                .unwrap()
+            bennett_epsilon(black_box(0.1), 1.0, black_box(29_048), 1e-4, Tail::TwoSided).unwrap()
         });
     });
     group.bench_function("bennett_h_inv", |b| {
@@ -57,9 +57,61 @@ fn bench_exact(c: &mut Criterion) {
                 BatchSize::SmallInput,
             );
         });
+        // The seed implementation (log-space tails, full-grid scans,
+        // unbracketed binary search), preserved for trajectory tracking.
+        group.bench_function(format!("seed_sample_size_eps{eps}_delta{delta}"), |b| {
+            b.iter_batched(
+                || (),
+                |()| {
+                    reference::exact_binomial_sample_size(
+                        black_box(eps),
+                        black_box(delta),
+                        Tail::TwoSided,
+                    )
+                },
+                BatchSize::SmallInput,
+            );
+        });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_closed_form, bench_exact);
+/// Cached vs uncached estimator paths over the exact-binomial leaf bound,
+/// and warm (table/cache hot) vs cold-ish behaviour.
+fn bench_exact_cached(c: &mut Criterion) {
+    let script = CiScript::builder()
+        .condition_str("n > 0.8 +/- 0.05")
+        .unwrap()
+        .reliability(0.999)
+        .steps(8)
+        .build()
+        .unwrap();
+    let cached = SampleSizeEstimator::with_config(EstimatorConfig {
+        leaf_bound: easeml_ci_core::estimator::LeafBound::ExactBinomial,
+        tail: Tail::TwoSided,
+        cache: CachePolicy::Shared,
+        ..EstimatorConfig::default()
+    });
+    let uncached = SampleSizeEstimator::with_config(EstimatorConfig {
+        cache: CachePolicy::Bypass,
+        ..*cached.config()
+    });
+    // Populate the shared cache and the log-factorial table once, so the
+    // "warm" numbers below measure steady-state serving.
+    let warm = cached.estimate(&script).unwrap();
+    let recomputed = uncached.estimate(&script).unwrap();
+    assert_eq!(warm.labeled_samples, recomputed.labeled_samples);
+
+    let mut group = c.benchmark_group("exact_binomial_cache");
+    group.bench_function("estimate_warm_cached", |b| {
+        b.iter(|| cached.estimate(black_box(&script)).unwrap());
+    });
+    group.sample_size(10);
+    group.bench_function("estimate_uncached_warm_tables", |b| {
+        b.iter(|| uncached.estimate(black_box(&script)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_closed_form, bench_exact, bench_exact_cached);
 criterion_main!(benches);

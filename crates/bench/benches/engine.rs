@@ -24,14 +24,21 @@ fn script(condition: &str, steps: u32) -> CiScript {
 /// Build an engine plus a commit that changes ~10% of predictions.
 fn fixture(condition: &str) -> (CiEngine, ModelCommit) {
     let s = script(condition, 1_000_000);
-    let required =
-        easeml_ci_core::SampleSizeEstimator::new().estimate(&s).unwrap().total_samples()
-            as usize;
+    let required = easeml_ci_core::SampleSizeEstimator::new()
+        .estimate(&s)
+        .unwrap()
+        .total_samples() as usize;
     let mut rng = StdRng::seed_from_u64(1);
     let labels: Vec<u32> = (0..required).map(|_| rng.random_range(0..4)).collect();
     let old: Vec<u32> = labels
         .iter()
-        .map(|&l| if rng.random::<f64>() < 0.8 { l } else { (l + 1) % 4 })
+        .map(|&l| {
+            if rng.random::<f64>() < 0.8 {
+                l
+            } else {
+                (l + 1) % 4
+            }
+        })
         .collect();
     let new: Vec<u32> = old
         .iter()

@@ -39,9 +39,10 @@ fn bench_estimator(c: &mut Criterion) {
     // Ablations: allocation strategy and leaf bound (DESIGN.md §6).
     let mut group = c.benchmark_group("estimator_ablations");
     group.sample_size(10);
-    for (name, allocation) in
-        [("equal_split", Allocation::EqualSplit), ("proportional", Allocation::Proportional)]
-    {
+    for (name, allocation) in [
+        ("equal_split", Allocation::EqualSplit),
+        ("proportional", Allocation::Proportional),
+    ] {
         let est = SampleSizeEstimator::with_config(EstimatorConfig {
             allocation,
             ..EstimatorConfig::default()

@@ -50,7 +50,12 @@ fn bench_training(c: &mut Criterion) {
     });
     group.bench_function("mlp_h32", |b| {
         b.iter_batched(
-            || Mlp::new(MlpConfig { epochs: 10, ..Default::default() }),
+            || {
+                Mlp::new(MlpConfig {
+                    epochs: 10,
+                    ..Default::default()
+                })
+            },
             |mut m| {
                 m.fit(black_box(&train)).unwrap();
             },
@@ -64,7 +69,10 @@ fn bench_inference(c: &mut Criterion) {
     let train = data();
     let mut lr = LogisticRegression::default();
     lr.fit(&train).unwrap();
-    let mut mlp = Mlp::new(MlpConfig { epochs: 10, ..Default::default() });
+    let mut mlp = Mlp::new(MlpConfig {
+        epochs: 10,
+        ..Default::default()
+    });
     mlp.fit(&train).unwrap();
     let mut group = c.benchmark_group("model_predict_2000x8");
     group.throughput(Throughput::Elements(train.len() as u64));

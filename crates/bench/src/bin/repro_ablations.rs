@@ -9,21 +9,27 @@
 
 use easeml_bench::{write_csv, Table};
 use easeml_bounds::{
-    bennett_sample_size, bernstein_sample_size, exact_binomial_sample_size,
-    hoeffding_sample_size, Adaptivity, Tail,
+    bennett_sample_size, bernstein_sample_size, exact_binomial_sample_size, hoeffding_sample_size,
+    Adaptivity, Tail,
 };
 use easeml_ci_core::dsl::parse_clause;
 use easeml_ci_core::estimator::{clause_sample_size, Allocation, LeafBound};
+use easeml_ci_core::{CiScript, EstimatorConfig, Mode};
 use easeml_sim::developer::HillClimbDeveloper;
 use easeml_sim::montecarlo::{run_process, ProcessConfig};
-use easeml_ci_core::{CiScript, EstimatorConfig, Mode};
 
 /// Ablation 1+2: allocation strategy × tail sidedness over increasingly
 /// asymmetric difference conditions.
 fn allocation_and_tails() {
     println!("-- ablation: epsilon allocation x tail sidedness --\n");
-    let mut table =
-        Table::new(["condition", "equal 1s", "prop 1s", "equal 2s", "prop 2s", "prop saving"]);
+    let mut table = Table::new([
+        "condition",
+        "equal 1s",
+        "prop 1s",
+        "equal 2s",
+        "prop 2s",
+        "prop saving",
+    ]);
     let ln_delta = (0.0001f64).ln();
     for coef in [1.0, 1.5, 2.0, 4.0] {
         let src = format!("n - {coef} * o > 0.01 +/- 0.02");
@@ -55,8 +61,14 @@ fn allocation_and_tails() {
 /// Ablation 3: which bound for a variance-bounded mean estimate.
 fn bound_family() {
     println!("-- ablation: Hoeffding vs Bernstein vs Bennett vs exact binomial --\n");
-    let mut table =
-        Table::new(["p", "eps", "hoeffding", "bernstein", "bennett", "exact (p-free)"]);
+    let mut table = Table::new([
+        "p",
+        "eps",
+        "hoeffding",
+        "bernstein",
+        "bennett",
+        "exact (p-free)",
+    ]);
     let delta = 0.001;
     for (p, eps) in [(0.5, 0.05), (0.1, 0.05), (0.1, 0.01), (0.02, 0.01)] {
         let hoeffding = hoeffding_sample_size(1.0, eps, delta, Tail::TwoSided).unwrap();
@@ -101,8 +113,9 @@ fn hybrid_vs_full() {
             .steps(8)
             .build()
             .unwrap();
-        let estimate =
-            easeml_ci_core::SampleSizeEstimator::new().estimate(&script).unwrap();
+        let estimate = easeml_ci_core::SampleSizeEstimator::new()
+            .estimate(&script)
+            .unwrap();
         let config = ProcessConfig {
             script,
             estimator: EstimatorConfig::default(),

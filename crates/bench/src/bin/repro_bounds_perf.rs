@@ -1,0 +1,171 @@
+//! Perf trajectory of the §4.3 exact-binomial hot path.
+//!
+//! Times the optimized inversion against the preserved seed
+//! implementation (`easeml_bounds::reference`) and the cached estimator
+//! path against the uncached one, then writes machine-readable results to
+//! `results/BENCH_bounds.json` so future PRs can track the trajectory.
+//!
+//! Usage: `cargo run --release --bin repro_bounds_perf [--quick]`
+
+use easeml_bench::{format_sig, results_dir, Table};
+use easeml_bounds::{exact_binomial_sample_size, hoeffding_sample_size, reference, Tail};
+use easeml_ci_core::{BoundsCache, CiScript, EstimatorConfig, SampleSizeEstimator};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One measured case.
+struct Case {
+    name: &'static str,
+    eps: f64,
+    delta: f64,
+    tail: Tail,
+}
+
+const CASES: &[Case] = &[
+    Case {
+        name: "eps0.10_delta0.01",
+        eps: 0.10,
+        delta: 0.01,
+        tail: Tail::TwoSided,
+    },
+    Case {
+        name: "eps0.05_delta0.001",
+        eps: 0.05,
+        delta: 0.001,
+        tail: Tail::TwoSided,
+    },
+    Case {
+        name: "eps0.05_delta0.0001",
+        eps: 0.05,
+        delta: 1e-4,
+        tail: Tail::TwoSided,
+    },
+    Case {
+        name: "eps0.10_delta0.01_one_sided",
+        eps: 0.10,
+        delta: 0.01,
+        tail: Tail::OneSided,
+    },
+];
+
+/// Median-of-runs wall time for `f`, in nanoseconds.
+fn time_ns<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        samples.push(t.elapsed().as_nanos() as f64);
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let runs = if quick { 3 } else { 9 };
+    let mut table = Table::new([
+        "case",
+        "n_exact",
+        "n_hoeffding",
+        "seed_ms",
+        "optimized_us",
+        "speedup",
+    ]);
+    let mut json_cases = String::new();
+
+    for case in CASES {
+        // Time the very first optimized invocation of this case: for the
+        // first case the process-wide ln-factorial table is empty (a true
+        // cold start); later cases pay only the incremental table growth
+        // their larger bracket triggers. Steady-state cost is measured
+        // separately below.
+        let cold_t = Instant::now();
+        let n_opt = std::hint::black_box(
+            exact_binomial_sample_size(case.eps, case.delta, case.tail).unwrap(),
+        );
+        let cold_ns = cold_t.elapsed().as_nanos() as f64;
+        let n_ref = reference::exact_binomial_sample_size(case.eps, case.delta, case.tail).unwrap();
+        let n_hoeff = hoeffding_sample_size(1.0, case.eps, case.delta, case.tail).unwrap();
+        assert!(
+            n_opt.abs_diff(n_ref) as f64 <= (n_ref as f64 * 0.005).max(3.0),
+            "{}: optimized {} vs seed {} drifted apart",
+            case.name,
+            n_opt,
+            n_ref
+        );
+        let opt_ns = time_ns(runs, || {
+            exact_binomial_sample_size(case.eps, case.delta, case.tail).unwrap()
+        });
+        let ref_runs = if quick { 1 } else { 3 };
+        let seed_ns = time_ns(ref_runs, || {
+            reference::exact_binomial_sample_size(case.eps, case.delta, case.tail).unwrap()
+        });
+        let speedup = seed_ns / opt_ns;
+        table.push_row([
+            case.name.to_string(),
+            n_opt.to_string(),
+            n_hoeff.to_string(),
+            format_sig(seed_ns / 1e6),
+            format_sig(opt_ns / 1e3),
+            format!("{speedup:.0}x"),
+        ]);
+        let _ = write!(
+            json_cases,
+            "{}    {{\"case\": \"{}\", \"eps\": {}, \"delta\": {}, \"tail\": \"{}\", \
+             \"n_exact\": {}, \"n_seed_impl\": {}, \"n_hoeffding\": {}, \
+             \"seed_ns\": {:.0}, \"optimized_ns\": {:.0}, \"optimized_cold_ns\": {:.0}, \
+             \"speedup\": {:.1}}}",
+            if json_cases.is_empty() { "" } else { ",\n" },
+            case.name,
+            case.eps,
+            case.delta,
+            case.tail,
+            n_opt,
+            n_ref,
+            n_hoeff,
+            seed_ns,
+            opt_ns,
+            cold_ns,
+            speedup,
+        );
+    }
+
+    // Cross-layer cache: repeated estimates of the same script must
+    // collapse to lookups.
+    let script = CiScript::builder()
+        .condition_str("n > 0.8 +/- 0.05")
+        .unwrap()
+        .reliability(0.999)
+        .steps(8)
+        .build()
+        .unwrap();
+    let estimator = SampleSizeEstimator::with_config(EstimatorConfig {
+        leaf_bound: easeml_ci_core::estimator::LeafBound::ExactBinomial,
+        tail: Tail::TwoSided,
+        ..EstimatorConfig::default()
+    });
+    let cold = estimator.estimate(&script).unwrap(); // populate
+    let warm_ns = time_ns(runs.max(5), || estimator.estimate(&script).unwrap());
+    let stats = BoundsCache::global().stats();
+    assert!(stats.hits > 0, "warm estimates must hit the bounds cache");
+    println!("exact-binomial inversion: seed vs optimized\n");
+    println!("{}", table.render());
+    println!(
+        "cached estimator replay: {:.1} us/estimate (n = {}, cache: {} hits / {} misses / {} entries)",
+        warm_ns / 1e3,
+        cold.labeled_samples,
+        stats.hits,
+        stats.misses,
+        stats.entries,
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"bounds\",\n  \"unit\": \"ns\",\n  \"cases\": [\n{json_cases}\n  ],\n  \
+         \"cached_estimator\": {{\"warm_estimate_ns\": {:.0}, \"cache_hits\": {}, \
+         \"cache_misses\": {}, \"cache_entries\": {}}}\n}}\n",
+        warm_ns, stats.hits, stats.misses, stats.entries,
+    );
+    let path = results_dir().join("BENCH_bounds.json");
+    std::fs::write(&path, json).expect("write BENCH_bounds.json");
+    println!("[json] wrote {}", path.display());
+}

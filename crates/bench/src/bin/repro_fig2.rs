@@ -9,8 +9,8 @@
 use easeml_bench::{write_csv, ComparisonReport, Table};
 use easeml_bounds::Adaptivity;
 use easeml_bounds::Tail;
-use easeml_ci_core::estimator::{clause_sample_size, Allocation, LeafBound};
 use easeml_ci_core::dsl::parse_clause;
+use easeml_ci_core::estimator::{clause_sample_size, Allocation, LeafBound};
 use easeml_ci_core::Practicality;
 
 const RELIABILITIES: [f64; 4] = [0.99, 0.999, 0.9999, 0.99999];
@@ -28,16 +28,30 @@ const PAPER_CELLS: [(f64, f64, [u64; 4]); 4] = [
 
 fn cell(condition: &str, delta: f64, adaptivity: Adaptivity) -> u64 {
     let clause = parse_clause(condition).expect("valid condition");
-    let ln_delta = adaptivity.ln_effective_delta(delta, STEPS).expect("valid delta");
-    clause_sample_size(&clause, ln_delta, Allocation::EqualSplit, LeafBound::Hoeffding, Tail::OneSided)
-        .expect("estimable clause")
-        .samples
+    let ln_delta = adaptivity
+        .ln_effective_delta(delta, STEPS)
+        .expect("valid delta");
+    clause_sample_size(
+        &clause,
+        ln_delta,
+        Allocation::EqualSplit,
+        LeafBound::Hoeffding,
+        Tail::OneSided,
+    )
+    .expect("estimable clause")
+    .samples
 }
 
 fn main() {
     println!("== Figure 2: samples required by the baseline implementation (H = 32) ==\n");
     let mut table = Table::new([
-        "1-delta", "eps", "F1/F4 none", "F1/F4 full", "F2/F3 none", "F2/F3 full", "practicality",
+        "1-delta",
+        "eps",
+        "F1/F4 none",
+        "F1/F4 full",
+        "F2/F3 none",
+        "F2/F3 full",
+        "practicality",
     ]);
     for reliability in RELIABILITIES {
         // Reliabilities are given to ≤ 6 decimals; reconstruct δ exactly.
@@ -96,6 +110,9 @@ fn main() {
     }
     let (text, ok) = report.render_and_verdict();
     println!("== paper spot-checks ==\n{text}");
-    println!("verdict: {}", if ok { "ALL MATCH" } else { "MISMATCHES FOUND" });
+    println!(
+        "verdict: {}",
+        if ok { "ALL MATCH" } else { "MISMATCHES FOUND" }
+    );
     assert!(ok, "Figure 2 reproduction drifted from the paper");
 }

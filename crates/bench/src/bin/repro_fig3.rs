@@ -11,9 +11,7 @@
 //! ```
 
 use easeml_bench::{write_csv, ComparisonReport, Table};
-use easeml_bounds::{
-    active_labels_per_commit, bennett_sample_size, hoeffding_sample_size, Tail,
-};
+use easeml_bounds::{active_labels_per_commit, bennett_sample_size, hoeffding_sample_size, Tail};
 
 const EPSILONS: [f64; 3] = [0.01, 0.025, 0.05];
 const DELTAS: [f64; 3] = [0.01, 0.001, 0.0001];
@@ -41,8 +39,8 @@ fn main() {
             for p in P_GRID {
                 let bennett =
                     bennett_sample_size(p, 1.0, eps, delta, Tail::OneSided).expect("bennett");
-                let active = active_labels_per_commit(p, 1.0, eps, delta, Tail::OneSided)
-                    .expect("active");
+                let active =
+                    active_labels_per_commit(p, 1.0, eps, delta, Tail::OneSided).expect("active");
                 table.push_row([
                     format!("{eps}"),
                     format!("{delta}"),
@@ -67,7 +65,12 @@ fn main() {
     let baseline = hoeffding_sample_size(2.0, eps, delta, Tail::OneSided).unwrap();
     let bennett = bennett_sample_size(0.1, 1.0, eps, delta, Tail::OneSided).unwrap();
     let active = active_labels_per_commit(0.1, 1.0, eps, delta, Tail::OneSided).unwrap();
-    report.check("bennett gain at p=0.1 (≈10x)", 10.0, baseline as f64 / bennett as f64, 0.25);
+    report.check(
+        "bennett gain at p=0.1 (≈10x)",
+        10.0,
+        baseline as f64 / bennett as f64,
+        0.25,
+    );
     report.check(
         "active labelling extra gain (≈10x)",
         10.0,
@@ -76,6 +79,9 @@ fn main() {
     );
     let (text, ok) = report.render_and_verdict();
     println!("== paper spot-checks ==\n{text}");
-    println!("verdict: {}", if ok { "ALL MATCH" } else { "MISMATCHES FOUND" });
+    println!(
+        "verdict: {}",
+        if ok { "ALL MATCH" } else { "MISMATCHES FOUND" }
+    );
     assert!(ok, "Figure 3 reproduction drifted from the paper");
 }

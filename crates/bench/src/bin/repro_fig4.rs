@@ -37,8 +37,13 @@ fn main() {
     // = error rate ≤ p. Use the coarse a-priori bound 2(1 − acc) = 0.04.
     let p = 2.0 * (1.0 - TRUE_ACCURACY);
 
-    let mut table =
-        Table::new(["n", "hoeffding eps", "bennett eps", "empirical eps", "valid"]);
+    let mut table = Table::new([
+        "n",
+        "hoeffding eps",
+        "bennett eps",
+        "empirical eps",
+        "valid",
+    ]);
     let mut all_valid = true;
     for n in SIZES {
         let hoeff = hoeffding_epsilon(1.0, n, DELTA, Tail::TwoSided).expect("hoeffding");
@@ -61,10 +66,19 @@ fn main() {
     // accuracy on clean blobs and repeat the resampling experiment on
     // its true correctness rate.
     let mut rng = StdRng::seed_from_u64(7);
-    let cfg = BlobsConfig { num_classes: 4, dim: 8, noise: 0.62, label_noise: 0.0 };
+    let cfg = BlobsConfig {
+        num_classes: 4,
+        dim: 8,
+        noise: 0.62,
+        label_noise: 0.0,
+    };
     let train = blobs(6_000, &cfg, &mut rng).expect("train data");
     let holdout = blobs(60_000, &cfg, &mut rng).expect("holdout");
-    let mut model = Mlp::new(MlpConfig { hidden: 48, epochs: 30, ..Default::default() });
+    let mut model = Mlp::new(MlpConfig {
+        hidden: 48,
+        epochs: 30,
+        ..Default::default()
+    });
     model.fit(&train).expect("fit");
     let preds = model.predict_dataset(&holdout).expect("predict");
     let model_acc = easeml_ml::metrics::accuracy(&preds, holdout.labels());
@@ -72,9 +86,14 @@ fn main() {
     let n = 2_000u64;
     let emp = empirical_epsilon(n, model_acc, DELTA, TRIALS, 43);
     let hoeff = hoeffding_epsilon(1.0, n, DELTA, Tail::TwoSided).unwrap();
-    let benn =
-        bennett_epsilon(2.0 * (1.0 - model_acc).max(1e-6), 1.0, n, DELTA, Tail::TwoSided)
-            .unwrap();
+    let benn = bennett_epsilon(
+        2.0 * (1.0 - model_acc).max(1e-6),
+        1.0,
+        n,
+        DELTA,
+        Tail::TwoSided,
+    )
+    .unwrap();
     println!(
         "MLP cross-check @n={n}: empirical {emp:.5} <= bennett {benn:.5} <= hoeffding {hoeff:.5}"
     );
@@ -82,15 +101,27 @@ fn main() {
 
     println!(
         "\nverdict: {}",
-        if all_valid && cross_valid { "ALL VALID (bounds dominate empirical error)" } else { "VIOLATION FOUND" }
+        if all_valid && cross_valid {
+            "ALL VALID (bounds dominate empirical error)"
+        } else {
+            "VIOLATION FOUND"
+        }
     );
-    assert!(all_valid && cross_valid, "an estimator failed to dominate the empirical error");
+    assert!(
+        all_valid && cross_valid,
+        "an estimator failed to dominate the empirical error"
+    );
 
     // Shape check: Bennett should need visibly fewer samples at this
     // accuracy — i.e. its curve sits well below Hoeffding's.
     let hoeff = hoeffding_epsilon(1.0, 4_000, DELTA, Tail::TwoSided).unwrap();
     let benn = bennett_epsilon(p, 1.0, 4_000, DELTA, Tail::TwoSided).unwrap();
-    println!("at n = 4000: hoeffding eps = {hoeff:.5}, bennett eps = {benn:.5} ({:.1}x tighter)",
-        hoeff / benn);
-    assert!(hoeff / benn > 2.0, "Bennett should be much tighter for a 98% model");
+    println!(
+        "at n = 4000: hoeffding eps = {hoeff:.5}, bennett eps = {benn:.5} ({:.1}x tighter)",
+        hoeff / benn
+    );
+    assert!(
+        hoeff / benn > 2.0,
+        "Bennett should be much tighter for a 98% model"
+    );
 }

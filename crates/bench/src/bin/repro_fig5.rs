@@ -19,12 +19,8 @@
 
 use easeml_bench::{write_csv, ComparisonReport, Table};
 use easeml_bounds::{Adaptivity, Tail};
-use easeml_ci_core::estimator::{
-    EstimatorConfig, Pattern2Options,
-};
-use easeml_ci_core::{
-    CiEngine, CiScript, Mode, ModelCommit, SampleSizeEstimator, Testset,
-};
+use easeml_ci_core::estimator::{EstimatorConfig, Pattern2Options};
+use easeml_ci_core::{CiEngine, CiScript, Mode, ModelCommit, SampleSizeEstimator, Testset};
 use easeml_sim::workload::semeval::{scripted_history, SemEvalWorkload, TEST_SIZE};
 
 struct Query {
@@ -69,7 +65,11 @@ fn estimator() -> SampleSizeEstimator {
     })
 }
 
-fn run_query(query: &Query, workload: &SemEvalWorkload, report: &mut ComparisonReport) -> Vec<String> {
+fn run_query(
+    query: &Query,
+    workload: &SemEvalWorkload,
+    report: &mut ComparisonReport,
+) -> Vec<String> {
     let script = CiScript::builder()
         .condition_str(query.condition)
         .expect("condition")
@@ -111,7 +111,10 @@ fn run_query(query: &Query, workload: &SemEvalWorkload, report: &mut ComparisonR
     let mut active = 1usize;
     for sub in &workload.submissions[1..] {
         let receipt = engine
-            .submit(&ModelCommit::new(format!("iter-{}", sub.iteration), sub.predictions.clone()))
+            .submit(&ModelCommit::new(
+                format!("iter-{}", sub.iteration),
+                sub.predictions.clone(),
+            ))
             .expect("submit");
         // The active model advances on a true pass (what the integration
         // team deploys), matching the paper's "chosen to be active".
@@ -144,11 +147,7 @@ fn main() {
         let strip = run_query(query, &workload, &mut report);
         for (k, line) in strip.iter().enumerate() {
             println!("  {line}");
-            table.push_row([
-                query.name.to_string(),
-                (k + 2).to_string(),
-                line.clone(),
-            ]);
+            table.push_row([query.name.to_string(), (k + 2).to_string(), line.clone()]);
         }
     }
     write_csv("fig5_decisions", &table);
@@ -166,22 +165,31 @@ fn main() {
         .unwrap();
     let needed = estimator().estimate(&too_tight).unwrap().labeled_samples;
     println!("\nfully adaptive at eps = 0.02 would need {needed} > {TEST_SIZE} samples");
-    report.check("adaptive eps=0.02 exceeds testset (6,260)", 6_260.0, needed as f64, 0.001);
+    report.check(
+        "adaptive eps=0.02 exceeds testset (6,260)",
+        6_260.0,
+        needed as f64,
+        0.001,
+    );
     assert!(needed as usize > TEST_SIZE);
 
     // Hoeffding baseline from §5.2: 44,268 samples — impractical here.
-    let baseline = easeml_bounds::hoeffding_sample_size(
-        2.0,
-        0.02,
-        (0.002 / 2.0) / 7.0,
-        Tail::OneSided,
-    )
-    .unwrap();
+    let baseline =
+        easeml_bounds::hoeffding_sample_size(2.0, 0.02, (0.002 / 2.0) / 7.0, Tail::OneSided)
+            .unwrap();
     println!("Hoeffding baseline would need {baseline} samples (paper: 44,268)");
-    report.check("Hoeffding baseline (44,268)", 44_268.0, baseline as f64, 0.001);
+    report.check(
+        "Hoeffding baseline (44,268)",
+        44_268.0,
+        baseline as f64,
+        0.001,
+    );
 
     let (text, ok) = report.render_and_verdict();
     println!("\n== paper spot-checks ==\n{text}");
-    println!("verdict: {}", if ok { "ALL MATCH" } else { "MISMATCHES FOUND" });
+    println!(
+        "verdict: {}",
+        if ok { "ALL MATCH" } else { "MISMATCHES FOUND" }
+    );
     assert!(ok, "Figure 5 reproduction drifted from the paper");
 }

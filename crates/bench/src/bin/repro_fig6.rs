@@ -55,18 +55,43 @@ fn main() {
     // Shape checks: dev climbs monotonically; test peaks *before* the
     // final iteration (the overfit commit), so the ideal active model is
     // the second-to-last one.
-    let dev: Vec<f64> = scripted.submissions.iter().map(|s| s.dev_accuracy).collect();
-    assert!(dev.windows(2).all(|w| w[1] > w[0]), "scripted dev accuracy must climb");
-    let test: Vec<f64> =
-        (0..scripted.submissions.len()).map(|k| scripted.realized_accuracy(k)).collect();
-    let best = test.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+    let dev: Vec<f64> = scripted
+        .submissions
+        .iter()
+        .map(|s| s.dev_accuracy)
+        .collect();
+    assert!(
+        dev.windows(2).all(|w| w[1] > w[0]),
+        "scripted dev accuracy must climb"
+    );
+    let test: Vec<f64> = (0..scripted.submissions.len())
+        .map(|k| scripted.realized_accuracy(k))
+        .collect();
+    let best = test
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .unwrap()
+        .0;
     assert_eq!(best, 6, "scripted test accuracy must peak at iteration 7");
-    assert!(test[7] < test[6], "final scripted commit must regress on test");
+    assert!(
+        test[7] < test[6],
+        "final scripted commit must regress on test"
+    );
 
-    let t_test: Vec<f64> =
-        (0..trained.submissions.len()).map(|k| trained.realized_accuracy(k)).collect();
-    let t_best = t_test.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
-    assert!(t_best < 7, "trained test accuracy must peak before the overfit finale");
+    let t_test: Vec<f64> = (0..trained.submissions.len())
+        .map(|k| trained.realized_accuracy(k))
+        .collect();
+    let t_best = t_test
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .unwrap()
+        .0;
+    assert!(
+        t_best < 7,
+        "trained test accuracy must peak before the overfit finale"
+    );
     assert!(
         t_test[7] < t_test[t_best],
         "the overfit trained model must regress on test ({:?})",

@@ -115,8 +115,8 @@ fn main() {
             num_classes: 4,
             churn: 0.5,
         };
-        let report = violation_report(&config, scenario.developer, TRIALS, 20_260_610)
-            .expect("simulation");
+        let report =
+            violation_report(&config, scenario.developer, TRIALS, 20_260_610).expect("simulation");
         // The binding guarantee depends on the mode.
         let rate = match scenario.mode {
             Mode::FpFree => report.false_positive_rate(),
@@ -145,6 +145,16 @@ fn main() {
         ]);
     }
     write_csv("guarantees_soundness", &table);
-    println!("\nverdict: {}", if all_sound { "ALL SOUND" } else { "GUARANTEE VIOLATED" });
-    assert!(all_sound, "a released decision violated its (epsilon, delta) guarantee");
+    println!(
+        "\nverdict: {}",
+        if all_sound {
+            "ALL SOUND"
+        } else {
+            "GUARANTEE VIOLATED"
+        }
+    );
+    assert!(
+        all_sound,
+        "a released decision violated its (epsilon, delta) guarantee"
+    );
 }

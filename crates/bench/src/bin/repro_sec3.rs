@@ -8,24 +8,31 @@
 
 use easeml_bench::{write_csv, ComparisonReport, Table};
 use easeml_bounds::{
-    hoeffding_sample_size, hoeffding_sample_size_from_ln_delta, trivial_strategy_total,
-    Adaptivity, Tail,
+    hoeffding_sample_size, hoeffding_sample_size_from_ln_delta, trivial_strategy_total, Adaptivity,
+    Tail,
 };
-use easeml_ci_core::estimator::{formula_sample_size, Allocation, LeafBound};
 use easeml_ci_core::dsl::parse_formula;
+use easeml_ci_core::estimator::{formula_sample_size, Allocation, LeafBound};
 
 fn main() {
     println!("== Worked numbers from the paper's prose ==\n");
     let mut report = ComparisonReport::new();
     let mut table = Table::new(["quantity", "paper", "measured"]);
-    let record = |report: &mut ComparisonReport, what: &str, paper: f64, measured: f64, tol: f64| {
-        report.check(what, paper, measured, tol);
-    };
+    let record =
+        |report: &mut ComparisonReport, what: &str, paper: f64, measured: f64, tol: f64| {
+            report.check(what, paper, measured, tol);
+        };
 
     // Introduction: a single (ε = 0.01, δ = 1 − 0.9999) estimate needs
     // "more than 46K labels".
     let single = hoeffding_sample_size(1.0, 0.01, 0.0001, Tail::OneSided).unwrap();
-    record(&mut report, "intro: single model (46K)", 46_052.0, single as f64, 0.001);
+    record(
+        &mut report,
+        "intro: single model (46K)",
+        46_052.0,
+        single as f64,
+        0.001,
+    );
     table.push_row(["intro single model", "46K", &single.to_string()]);
 
     // Introduction: 63K for 32 non-adaptive models, 156K fully adaptive.
@@ -36,7 +43,13 @@ fn main() {
         Tail::OneSided,
     )
     .unwrap();
-    record(&mut report, "intro: 32 non-adaptive (63K)", 63_381.0, non_adaptive as f64, 0.001);
+    record(
+        &mut report,
+        "intro: 32 non-adaptive (63K)",
+        63_381.0,
+        non_adaptive as f64,
+        0.001,
+    );
     table.push_row(["intro 32 non-adaptive", "63K", &non_adaptive.to_string()]);
     let fully_adaptive = hoeffding_sample_size_from_ln_delta(
         1.0,
@@ -45,8 +58,18 @@ fn main() {
         Tail::OneSided,
     )
     .unwrap();
-    record(&mut report, "intro: 32 fully adaptive (156K)", 156_956.0, fully_adaptive as f64, 0.001);
-    table.push_row(["intro 32 fully adaptive", "156K", &fully_adaptive.to_string()]);
+    record(
+        &mut report,
+        "intro: 32 fully adaptive (156K)",
+        156_956.0,
+        fully_adaptive as f64,
+        0.001,
+    );
+    table.push_row([
+        "intro 32 fully adaptive",
+        "156K",
+        &fully_adaptive.to_string(),
+    ]);
 
     // §3.3: F :- n > 0.8 ± 0.05, H = 32, δ = 0.0001 → 6,279; the trivial
     // fresh-testset strategy costs H × n(F, ε, δ/H) instead.
@@ -57,7 +80,13 @@ fn main() {
         Tail::OneSided,
     )
     .unwrap();
-    record(&mut report, "sec3.3: n > 0.8 ± 0.05 fully adaptive (6,279)", 6_279.0, adaptive as f64, 0.001);
+    record(
+        &mut report,
+        "sec3.3: n > 0.8 ± 0.05 fully adaptive (6,279)",
+        6_279.0,
+        adaptive as f64,
+        0.001,
+    );
     table.push_row(["sec3.3 fully adaptive", "6279", &adaptive.to_string()]);
     let per_step = hoeffding_sample_size_from_ln_delta(
         1.0,
@@ -106,13 +135,21 @@ fn main() {
     .unwrap();
     // Closed form of the optimum: (1 + 1.1)² ln(4/δ) / (2 ε²).
     let analytic = ((2.1f64 * 2.1) * (4.0 / delta).ln() / (2.0 * 0.0001)).ceil();
-    record(&mut report, "sec3.1: optimized allocation = analytic min-max", analytic, optimized as f64, 0.001);
-    println!(
-        "sec3.1: equal split {equal} vs optimized {optimized} (analytic optimum {analytic})"
+    record(
+        &mut report,
+        "sec3.1: optimized allocation = analytic min-max",
+        analytic,
+        optimized as f64,
+        0.001,
     );
+    println!("sec3.1: equal split {equal} vs optimized {optimized} (analytic optimum {analytic})");
     assert!(optimized < equal);
     table.push_row(["sec3.1 equal split", "-", &equal.to_string()]);
-    table.push_row(["sec3.1 optimized", &format!("{analytic}"), &optimized.to_string()]);
+    table.push_row([
+        "sec3.1 optimized",
+        &format!("{analytic}"),
+        &optimized.to_string(),
+    ]);
 
     // §5.2: Hoeffding over H = 7 steps at ε = 0.02, δ = 0.002 → 44,268;
     // fully adaptive grows to ≈ 58K.
@@ -123,7 +160,13 @@ fn main() {
         Tail::OneSided,
     )
     .unwrap();
-    record(&mut report, "sec5.2: Hoeffding H=7 (44,268)", 44_268.0, semeval_hoeffding as f64, 0.001);
+    record(
+        &mut report,
+        "sec5.2: Hoeffding H=7 (44,268)",
+        44_268.0,
+        semeval_hoeffding as f64,
+        0.001,
+    );
     let semeval_adaptive = hoeffding_sample_size_from_ln_delta(
         2.0,
         0.02,
@@ -131,13 +174,22 @@ fn main() {
         Tail::OneSided,
     )
     .unwrap();
-    record(&mut report, "sec5.2: fully adaptive (≈58K)", 58_000.0, semeval_adaptive as f64, 0.02);
+    record(
+        &mut report,
+        "sec5.2: fully adaptive (≈58K)",
+        58_000.0,
+        semeval_adaptive as f64,
+        0.02,
+    );
     table.push_row(["sec5.2 hoeffding", "44268", &semeval_hoeffding.to_string()]);
     table.push_row(["sec5.2 adaptive", "~58K", &semeval_adaptive.to_string()]);
 
     write_csv("sec3_worked_numbers", &table);
     let (text, ok) = report.render_and_verdict();
     println!("\n== paper spot-checks ==\n{text}");
-    println!("verdict: {}", if ok { "ALL MATCH" } else { "MISMATCHES FOUND" });
+    println!(
+        "verdict: {}",
+        if ok { "ALL MATCH" } else { "MISMATCHES FOUND" }
+    );
     assert!(ok, "§3 worked numbers drifted from the paper");
 }

@@ -11,8 +11,8 @@ use easeml_bounds::{Adaptivity, Tail};
 use easeml_ci_core::estimator::{
     hierarchical_plan, implicit_variance_plan, Pattern1Options, Pattern2Options,
 };
-use easeml_ci_core::{CostModel, SampleSizeEstimator};
 use easeml_ci_core::CiScript;
+use easeml_ci_core::{CostModel, SampleSizeEstimator};
 
 fn main() {
     println!("== §4.1/§4.2 optimization numbers ==\n");
@@ -30,8 +30,17 @@ fn main() {
         Pattern1Options::default(),
     )
     .unwrap();
-    report.check("sec4.1.1 non-adaptive Bennett (29K)", 29_048.0, non_adaptive.test.samples as f64, 0.001);
-    table.push_row(["hierarchical non-adaptive", "29K", &non_adaptive.test.samples.to_string()]);
+    report.check(
+        "sec4.1.1 non-adaptive Bennett (29K)",
+        29_048.0,
+        non_adaptive.test.samples as f64,
+        0.001,
+    );
+    table.push_row([
+        "hierarchical non-adaptive",
+        "29K",
+        &non_adaptive.test.samples.to_string(),
+    ]);
 
     let fully_adaptive = hierarchical_plan(
         0.1,
@@ -43,8 +52,17 @@ fn main() {
         Pattern1Options::default(),
     )
     .unwrap();
-    report.check("sec4.1.1 fully adaptive Bennett (67K)", 67_706.0, fully_adaptive.test.samples as f64, 0.001);
-    table.push_row(["hierarchical fully adaptive", "67K", &fully_adaptive.test.samples.to_string()]);
+    report.check(
+        "sec4.1.1 fully adaptive Bennett (67K)",
+        67_706.0,
+        fully_adaptive.test.samples as f64,
+        0.001,
+    );
+    table.push_row([
+        "hierarchical fully adaptive",
+        "67K",
+        &fully_adaptive.test.samples.to_string(),
+    ]);
 
     // The headline: ≈ 10× fewer than the Figure 2 baseline (267,385 for
     // the non-adaptive F2 cell at the same ε, δ).
@@ -58,10 +76,14 @@ fn main() {
     // §4.1.2: active labelling — 2,188 labels per commit, ≈ 3 h/day at
     // 5 s/label for one labeller.
     let labels = fully_adaptive.active.labels_per_commit;
-    report.check("sec4.1.2 labels per commit (2,188)", 2_188.0, labels as f64, 0.001);
+    report.check(
+        "sec4.1.2 labels per commit (2,188)",
+        2_188.0,
+        labels as f64,
+        0.001,
+    );
     table.push_row(["active labels per commit", "2188", &labels.to_string()]);
-    let hours =
-        CostModel::interactive().time_for(labels).as_secs_f64() / 3600.0;
+    let hours = CostModel::interactive().time_for(labels).as_secs_f64() / 3600.0;
     report.check("sec4.1.2 daily labelling hours (~3)", 3.0, hours, 0.05);
     table.push_row(["daily labelling hours", "~3", &format!("{hours:.2}")]);
 
@@ -97,18 +119,36 @@ fn main() {
         .build()
         .unwrap();
     let estimate = SampleSizeEstimator::new().estimate(&script).unwrap();
-    report.check("estimator facade picks Pattern 1 (29K labelled)", 29_048.0, estimate.labeled_samples as f64, 0.001);
-    let baseline = SampleSizeEstimator::new().estimate_baseline(&script).unwrap();
+    report.check(
+        "estimator facade picks Pattern 1 (29K labelled)",
+        29_048.0,
+        estimate.labeled_samples as f64,
+        0.001,
+    );
+    let baseline = SampleSizeEstimator::new()
+        .estimate_baseline(&script)
+        .unwrap();
     println!(
         "facade: optimized {} labelled + {} unlabeled vs baseline {} labelled",
         estimate.labeled_samples, estimate.unlabeled_samples, baseline.labeled_samples
     );
-    table.push_row(["facade optimized labelled", "29K", &estimate.labeled_samples.to_string()]);
-    table.push_row(["facade baseline labelled", "-", &baseline.labeled_samples.to_string()]);
+    table.push_row([
+        "facade optimized labelled",
+        "29K",
+        &estimate.labeled_samples.to_string(),
+    ]);
+    table.push_row([
+        "facade baseline labelled",
+        "-",
+        &baseline.labeled_samples.to_string(),
+    ]);
 
     write_csv("sec41_optimizations", &table);
     let (text, ok) = report.render_and_verdict();
     println!("\n== paper spot-checks ==\n{text}");
-    println!("verdict: {}", if ok { "ALL MATCH" } else { "MISMATCHES FOUND" });
+    println!(
+        "verdict: {}",
+        if ok { "ALL MATCH" } else { "MISMATCHES FOUND" }
+    );
     assert!(ok, "§4 optimization numbers drifted from the paper");
 }

@@ -21,7 +21,10 @@ impl Table {
     /// New table with the given column headers.
     #[must_use]
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
-        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (cells are stringified by the caller).
@@ -142,27 +145,39 @@ impl ComparisonReport {
 
     /// Record a comparison with an acceptable relative tolerance.
     pub fn check(&mut self, what: impl Into<String>, paper: f64, measured: f64, rel_tol: f64) {
-        self.entries
-            .push((Comparison { what: what.into(), paper, measured }, rel_tol));
+        self.entries.push((
+            Comparison {
+                what: what.into(),
+                paper,
+                measured,
+            },
+            rel_tol,
+        ));
     }
 
     /// Number of entries exceeding their tolerance.
     #[must_use]
     pub fn failures(&self) -> usize {
-        self.entries.iter().filter(|(c, tol)| c.relative_error() > *tol).count()
+        self.entries
+            .iter()
+            .filter(|(c, tol)| c.relative_error() > *tol)
+            .count()
     }
 
     /// Render the block and return whether everything matched.
     pub fn render_and_verdict(&self) -> (String, bool) {
-        let mut table =
-            Table::new(["comparison", "paper", "measured", "rel.err", "ok"]);
+        let mut table = Table::new(["comparison", "paper", "measured", "rel.err", "ok"]);
         for (c, tol) in &self.entries {
             table.push_row([
                 c.what.clone(),
                 format_sig(c.paper),
                 format_sig(c.measured),
                 format!("{:.3}%", 100.0 * c.relative_error()),
-                if c.relative_error() <= *tol { "yes".into() } else { format!("NO (>{tol})") },
+                if c.relative_error() <= *tol {
+                    "yes".into()
+                } else {
+                    format!("NO (>{tol})")
+                },
             ]);
         }
         (table.render(), self.failures() == 0)
@@ -217,7 +232,7 @@ mod tests {
     fn sig_formatting() {
         assert_eq!(format_sig(0.0), "0");
         assert_eq!(format_sig(156956.0), "156956");
-        assert_eq!(format_sig(3.14159), "3.14");
+        assert_eq!(format_sig(7.89123), "7.89");
         assert_eq!(format_sig(0.012345), "0.0123");
     }
 }

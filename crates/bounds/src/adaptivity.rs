@@ -83,7 +83,10 @@ impl Adaptivity {
         if v > 0.0 {
             Ok(v)
         } else {
-            Err(BoundsError::InvalidProbability { name: "effective_delta", value: v })
+            Err(BoundsError::InvalidProbability {
+                name: "effective_delta",
+                value: v,
+            })
         }
     }
 
@@ -136,7 +139,9 @@ impl FromStr for Adaptivity {
             "none" => Ok(Adaptivity::None),
             "full" => Ok(Adaptivity::Full),
             "firstChange" | "firstchange" | "first-change" => Ok(Adaptivity::FirstChange),
-            other => Err(ParseAdaptivityError { input: other.to_owned() }),
+            other => Err(ParseAdaptivityError {
+                input: other.to_owned(),
+            }),
         }
     }
 }
@@ -159,9 +164,7 @@ mod tests {
         assert!(
             (Adaptivity::Full.ln_multiplicity(32) - 32.0 * std::f64::consts::LN_2).abs() < 1e-12
         );
-        assert!(
-            (Adaptivity::FirstChange.ln_multiplicity(32) - 32f64.ln()).abs() < 1e-12
-        );
+        assert!((Adaptivity::FirstChange.ln_multiplicity(32) - 32f64.ln()).abs() < 1e-12);
         // steps = 0 is clamped to 1 rather than producing ln(0).
         assert_eq!(Adaptivity::None.ln_multiplicity(0), 0.0);
     }
@@ -171,7 +174,9 @@ mod tests {
     fn hybrid_matches_non_adaptive() {
         for h in [1u32, 7, 32, 100] {
             assert_eq!(
-                Adaptivity::FirstChange.ln_effective_delta(0.001, h).unwrap(),
+                Adaptivity::FirstChange
+                    .ln_effective_delta(0.001, h)
+                    .unwrap(),
                 Adaptivity::None.ln_effective_delta(0.001, h).unwrap()
             );
         }
@@ -197,7 +202,10 @@ mod tests {
         // Extreme H underflows in linear space and reports an error.
         assert!(Adaptivity::Full.effective_delta(0.01, 10_000).is_err());
         // ... but stays usable in log space.
-        assert!(Adaptivity::Full.ln_effective_delta(0.01, 10_000).unwrap().is_finite());
+        assert!(Adaptivity::Full
+            .ln_effective_delta(0.01, 10_000)
+            .unwrap()
+            .is_finite());
     }
 
     #[test]

@@ -50,7 +50,10 @@ pub fn bennett_h_prime(u: f64) -> f64 {
 /// Returns an error if `y` is negative or not finite.
 pub fn bennett_h_inv(y: f64) -> Result<f64> {
     if !y.is_finite() || y < 0.0 {
-        return Err(BoundsError::NotPositive { name: "y", value: y });
+        return Err(BoundsError::NotPositive {
+            name: "y",
+            value: y,
+        });
     }
     if y == 0.0 {
         return Ok(0.0);
@@ -61,11 +64,21 @@ pub fn bennett_h_inv(y: f64) -> Result<f64> {
     while bennett_h(hi) < y {
         hi *= 2.0;
         if hi > 1e300 {
-            return Err(BoundsError::NoConvergence { routine: "bennett_h_inv" });
+            return Err(BoundsError::NoConvergence {
+                routine: "bennett_h_inv",
+            });
         }
     }
     let x0 = (2.0 * y).sqrt().min(hi);
-    newton_bracketed(|u| bennett_h(u) - y, bennett_h_prime, 0.0, hi, x0, 1e-14, 200)
+    newton_bracketed(
+        |u| bennett_h(u) - y,
+        bennett_h_prime,
+        0.0,
+        hi,
+        x0,
+        1e-14,
+        200,
+    )
 }
 
 /// Sample size for an `(ε, δ)` estimate of a mean when every sample has
@@ -121,7 +134,10 @@ pub fn bennett_sample_size_from_ln_delta(
     check_positive("b", b)?;
     check_positive("eps", eps)?;
     if !(ln_delta < 0.0) {
-        return Err(BoundsError::InvalidProbability { name: "delta", value: ln_delta.exp() });
+        return Err(BoundsError::InvalidProbability {
+            name: "delta",
+            value: ln_delta.exp(),
+        });
     }
     let u = b * eps / var_bound;
     let raw = b * b * (tail.ln_factor() - ln_delta) / (var_bound * bennett_h(u));
@@ -173,7 +189,10 @@ pub fn bennett_epsilon_from_ln_delta(
         return Err(BoundsError::ZeroSampleSize);
     }
     if !(ln_delta < 0.0) {
-        return Err(BoundsError::InvalidProbability { name: "delta", value: ln_delta.exp() });
+        return Err(BoundsError::InvalidProbability {
+            name: "delta",
+            value: ln_delta.exp(),
+        });
     }
     let y = b * b * (tail.ln_factor() - ln_delta) / (var_bound * n as f64);
     let u = bennett_h_inv(y)?;
@@ -286,8 +305,7 @@ mod tests {
     /// Figure 5 adaptive column: ε = 0.022, δ/2^7, 5 204 samples.
     #[test]
     fn figure5_adaptive_sample_size() {
-        let n =
-            bennett_sample_size(0.1, 1.0, 0.022, 0.002 / 128.0, Tail::TwoSided).unwrap();
+        let n = bennett_sample_size(0.1, 1.0, 0.022, 0.002 / 128.0, Tail::TwoSided).unwrap();
         assert_eq!(n, 5_204);
     }
 

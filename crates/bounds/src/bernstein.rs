@@ -62,10 +62,12 @@ pub fn bernstein_sample_size_from_ln_delta(
     check_positive("b", b)?;
     check_positive("eps", eps)?;
     if !(ln_delta < 0.0) {
-        return Err(BoundsError::InvalidProbability { name: "delta", value: ln_delta.exp() });
+        return Err(BoundsError::InvalidProbability {
+            name: "delta",
+            value: ln_delta.exp(),
+        });
     }
-    let raw = (2.0 * var_bound + 2.0 * b * eps / 3.0) * (tail.ln_factor() - ln_delta)
-        / (eps * eps);
+    let raw = (2.0 * var_bound + 2.0 * b * eps / 3.0) * (tail.ln_factor() - ln_delta) / (eps * eps);
     ceil_to_sample_size(raw)
 }
 
@@ -105,7 +107,10 @@ mod tests {
         ] {
             let bern = bernstein_sample_size(p, 1.0, eps, delta, Tail::TwoSided).unwrap();
             let benn = bennett_sample_size(p, 1.0, eps, delta, Tail::TwoSided).unwrap();
-            assert!(benn <= bern, "p={p} eps={eps}: bennett={benn} bernstein={bern}");
+            assert!(
+                benn <= bern,
+                "p={p} eps={eps}: bennett={benn} bernstein={bern}"
+            );
             // ... but they agree within a small constant factor.
             assert!(bern as f64 / benn as f64 <= 2.0, "p={p} eps={eps}");
         }

@@ -5,11 +5,28 @@
 //! a `Binomial(n, p)/n` estimate deviates from `p` by more than `ε`, and
 //! search for the smallest `n` that controls the worst case over `p`.
 //!
-//! All tail sums run outward from the deviation boundary and stop once the
-//! next term can no longer affect the double-precision total, so a tail
-//! evaluation costs `O(√n)` rather than `O(n)` in the common case.
+//! # Hot-path design
+//!
+//! A tail evaluation computes the *boundary* pmf once (three log-factorial
+//! table loads via [`crate::numeric::ln_choose`]) and extends it with the
+//! pmf ratio recurrence `pmf(k+1)/pmf(k) = (n−k)/(k+1) · p/(1−p)` in
+//! **linear** space relative to the boundary term — one multiply-add per
+//! term instead of the `ln`/`exp` pair a log-space accumulation needs.
+//! Sums always run down the monotone side of the mode (terms strictly
+//! decreasing, so nothing overflows) and stop once a term can no longer
+//! move the double-precision total; a tail costs `O(√n)` multiply-adds.
+//! Tails that straddle the mode are evaluated through the complement,
+//! which is well-conditioned exactly when the direct sum is not.
+//!
+//! The worst case over the unknown true mean `p` is found by
+//! [`worst_case_deviation_tail`] (full grid scan + refinement, the
+//! reference used by tests and final acceptance) and
+//! [`worst_case_deviation_hinted`] (a unimodality-aware hill-climb that
+//! warm-starts from the previous maximizer `p*` and supports early exit,
+//! used by the sample-size search in [`crate::exact_binomial_sample_size`]).
 
-use crate::numeric::{ln_choose, log_add_exp};
+use crate::numeric::{ln_choose, log1m_exp, log_add_exp};
+use crate::tail::Tail;
 
 /// Natural log of the binomial probability mass `Pr[X = k]` for
 /// `X ~ Binomial(n, p)`.
@@ -36,9 +53,63 @@ pub fn ln_pmf(n: u64, p: f64, k: u64) -> f64 {
     ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (-p).ln_1p()
 }
 
+/// The mode `floor((n+1)p)` of `Binomial(n, p)`, clamped to `[0, n]`.
+///
+/// Used to pick the monotone side for tail summation: pmf terms are
+/// non-increasing walking away from the mode in either direction.
+fn mode(n: u64, p: f64) -> u64 {
+    (((n + 1) as f64 * p) as u64).min(n)
+}
+
+/// Upper tail `Pr[X >= k]` summed directly downward from the boundary.
+///
+/// Requires `1 <= k <= n`, `0 < p < 1`, and `k` at or above the mode so
+/// the term sequence is non-increasing (no overflow in the linear-space
+/// relative sum).
+fn ln_upper_tail_direct(n: u64, p: f64, k: u64) -> f64 {
+    let ln_base = ln_pmf(n, p, k);
+    let odds = p / (1.0 - p);
+    let mut term = 1.0f64; // relative to the boundary pmf
+    let mut sum = 1.0f64;
+    let mut i = k;
+    while i < n {
+        term *= (n - i) as f64 / (i + 1) as f64 * odds;
+        sum += term;
+        // Past the mode the ratio is < 1 and decreasing: geometric decay.
+        if term <= sum * 1e-17 {
+            break;
+        }
+        i += 1;
+    }
+    (ln_base + sum.ln()).min(0.0)
+}
+
+/// Lower tail `Pr[X <= k]` summed directly downward from the boundary.
+///
+/// Requires `k < n`, `0 < p < 1`, and `k` at or below the mode.
+fn ln_lower_tail_direct(n: u64, p: f64, k: u64) -> f64 {
+    let ln_base = ln_pmf(n, p, k);
+    let inv_odds = (1.0 - p) / p;
+    let mut term = 1.0f64;
+    let mut sum = 1.0f64;
+    let mut i = k;
+    while i > 0 {
+        term *= i as f64 / (n - i + 1) as f64 * inv_odds;
+        sum += term;
+        if term <= sum * 1e-17 {
+            break;
+        }
+        i -= 1;
+    }
+    (ln_base + sum.ln()).min(0.0)
+}
+
 /// Log of the upper tail `Pr[X >= k]` for `X ~ Binomial(n, p)`.
 ///
-/// Sums outward from `k` until additional terms are negligible.
+/// Boundaries at or above the mode sum directly; boundaries below the
+/// mode (where the direct sum would grow through the mode) evaluate the
+/// complement `1 − Pr[X <= k−1]`, which is well-conditioned there because
+/// the result is large.
 pub fn ln_upper_tail(n: u64, p: f64, k: u64) -> f64 {
     if k == 0 {
         return 0.0; // Pr[X >= 0] = 1
@@ -52,22 +123,13 @@ pub fn ln_upper_tail(n: u64, p: f64, k: u64) -> f64 {
     if p == 1.0 {
         return 0.0; // X = n >= k a.s.
     }
-    // pmf ratio: pmf(k+1)/pmf(k) = (n-k)/(k+1) * p/(1-p)
-    let ratio_log = |k: u64| ((n - k) as f64 / (k + 1) as f64).ln() + p.ln() - (-p).ln_1p();
-    let mut term = ln_pmf(n, p, k);
-    let mut total = term;
-    let mut i = k;
-    while i < n {
-        term += ratio_log(i);
-        let new_total = log_add_exp(total, term);
-        // Terms decay geometrically past the mode; stop when converged.
-        if new_total == total && term < total - 40.0 {
-            break;
-        }
-        total = new_total;
-        i += 1;
+    if k > mode(n, p) {
+        ln_upper_tail_direct(n, p, k)
+    } else {
+        // k >= 1 here, and k <= mode implies mode >= 1, so k-1 is a valid
+        // lower-tail boundary strictly below the mode.
+        log1m_exp(ln_lower_tail_direct(n, p, k - 1).min(0.0))
     }
-    total.min(0.0)
 }
 
 /// Log of the lower tail `Pr[X <= k]` for `X ~ Binomial(n, p)`.
@@ -75,8 +137,56 @@ pub fn ln_lower_tail(n: u64, p: f64, k: u64) -> f64 {
     if k >= n {
         return 0.0;
     }
-    // Pr[X <= k] = Pr[n - X >= n - k] with n - X ~ Binomial(n, 1-p).
-    ln_upper_tail(n, 1.0 - p, n - k)
+    if p == 0.0 {
+        return 0.0; // X = 0 a.s.
+    }
+    if p == 1.0 {
+        return f64::NEG_INFINITY; // X = n > k a.s.
+    }
+    if k < mode(n, p) {
+        ln_lower_tail_direct(n, p, k)
+    } else {
+        // k >= mode and k < n, so k+1 is a valid upper boundary above the
+        // mode.
+        log1m_exp(ln_upper_tail_direct(n, p, k + 1).min(0.0))
+    }
+}
+
+/// Relative slack under which `n·(p±ε)` is snapped to the nearest integer
+/// before the tail cut-off is taken.
+///
+/// The products routinely land within a few ulp of an exact integer when
+/// `p` and `ε` are "nice" fractions of `n`; without the snap, `floor`/
+/// `ceil` then pick the cut-off on the wrong side of the strict
+/// inequality and the deviation probability jumps by one whole pmf term.
+///
+/// The window must stay at rounding-error scale: computing `n·(p±ε)`
+/// accrues at most a few ulp of relative error (~1e-15), so 1e-12 covers
+/// every genuinely-integer product with three orders of magnitude to
+/// spare, while a product that is *mathematically* non-integer by more
+/// than that is left alone — snapping it would wrongly exclude a boundary
+/// outcome that really does deviate and understate the tail.
+const CUTOFF_SNAP: f64 = 1e-12;
+
+/// Smallest integer `k` with `k > x`, treating values within
+/// [`CUTOFF_SNAP`] (relative) of an integer as exactly that integer.
+fn strict_upper_cutoff(x: f64) -> i128 {
+    let r = x.round();
+    if (x - r).abs() <= CUTOFF_SNAP * r.abs().max(1.0) {
+        r as i128 + 1
+    } else {
+        x.floor() as i128 + 1
+    }
+}
+
+/// Largest integer `k` with `k < x`, with the same integer snapping.
+fn strict_lower_cutoff(x: f64) -> i128 {
+    let r = x.round();
+    if (x - r).abs() <= CUTOFF_SNAP * r.abs().max(1.0) {
+        r as i128 - 1
+    } else {
+        x.ceil() as i128 - 1
+    }
 }
 
 /// Exact two-sided deviation probability
@@ -94,15 +204,15 @@ pub fn deviation_probability(n: u64, p: f64, eps: f64) -> f64 {
     debug_assert!((0.0..=1.0).contains(&p));
     debug_assert!(eps > 0.0);
     let nf = n as f64;
-    // Upper: X/n > p + eps  <=>  X >= floor(n(p+eps)) + 1
-    let hi_cut = (nf * (p + eps)).floor() as i128 + 1;
+    // Upper: X/n > p + eps  <=>  X >= strict_upper_cutoff(n(p+eps))
+    let hi_cut = strict_upper_cutoff(nf * (p + eps));
     let upper = if hi_cut > n as i128 {
         f64::NEG_INFINITY
     } else {
         ln_upper_tail(n, p, hi_cut as u64)
     };
-    // Lower: X/n < p - eps  <=>  X <= ceil(n(p-eps)) - 1
-    let lo_cut = (nf * (p - eps)).ceil() as i128 - 1;
+    // Lower: X/n < p - eps  <=>  X <= strict_lower_cutoff(n(p-eps))
+    let lo_cut = strict_lower_cutoff(nf * (p - eps));
     let lower = if lo_cut < 0 {
         f64::NEG_INFINITY
     } else {
@@ -114,7 +224,7 @@ pub fn deviation_probability(n: u64, p: f64, eps: f64) -> f64 {
 /// One-sided deviation probability `Pr[X/n − p > ε]`.
 pub fn deviation_probability_one_sided(n: u64, p: f64, eps: f64) -> f64 {
     let nf = n as f64;
-    let hi_cut = (nf * (p + eps)).floor() as i128 + 1;
+    let hi_cut = strict_upper_cutoff(nf * (p + eps));
     if hi_cut > n as i128 {
         0.0
     } else {
@@ -122,19 +232,31 @@ pub fn deviation_probability_one_sided(n: u64, p: f64, eps: f64) -> f64 {
     }
 }
 
-/// Worst-case (over the unknown true mean `p`) two-sided deviation
-/// probability for a given `n` and `ε`.
+/// Deviation probability for either tail convention.
+fn deviation_at(n: u64, p: f64, eps: f64, tail: Tail) -> f64 {
+    match tail {
+        Tail::TwoSided => deviation_probability(n, p, eps),
+        Tail::OneSided => deviation_probability_one_sided(n, p, eps),
+    }
+}
+
+/// Worst-case (over the unknown true mean `p`) deviation probability for
+/// a given `n` and `ε`, for either tail convention.
 ///
 /// The deviation probability is maximized near `p = 1/2`; this scans a
 /// coarse grid and refines around the best cell, which is robust to the
-/// sawtooth behaviour introduced by the integer cut-offs.
-pub fn worst_case_deviation(n: u64, eps: f64, grid: usize) -> f64 {
+/// sawtooth behaviour introduced by the integer cut-offs. This is the
+/// *reference* search shared by [`crate::exact_binomial_sample_size`]'s
+/// final acceptance, [`crate::exact_binomial_epsilon`], and the test
+/// suite; the `n`-search's bracketing probes use the cheaper
+/// [`worst_case_deviation_hinted`].
+pub fn worst_case_deviation_tail(n: u64, eps: f64, grid: usize, tail: Tail) -> f64 {
     let grid = grid.max(8);
     let mut best = 0.0f64;
     let mut best_p = 0.5;
     for i in 0..=grid {
         let p = i as f64 / grid as f64;
-        let d = deviation_probability(n, p, eps);
+        let d = deviation_at(n, p, eps, tail);
         if d > best {
             best = d;
             best_p = p;
@@ -146,12 +268,116 @@ pub fn worst_case_deviation(n: u64, eps: f64, grid: usize) -> f64 {
     let fine = 64;
     for i in 0..=fine {
         let p = lo + (hi - lo) * i as f64 / fine as f64;
-        let d = deviation_probability(n, p, eps);
+        let d = deviation_at(n, p, eps, tail);
         if d > best {
             best = d;
         }
     }
     best
+}
+
+/// Two-sided worst-case deviation probability (the historical public
+/// entry point; see [`worst_case_deviation_tail`]).
+pub fn worst_case_deviation(n: u64, eps: f64, grid: usize) -> f64 {
+    worst_case_deviation_tail(n, eps, grid, Tail::TwoSided)
+}
+
+/// Coarse step of the hinted worst-case search: 1/64, the same
+/// resolution as the reference grid scan's default.
+const HINT_COARSE: usize = 64;
+
+/// Unimodality-aware worst-case search with a warm-started maximizer.
+///
+/// Exploits that the *envelope* of the worst-case deviation (ignoring the
+/// integer-cut-off sawtooth) is unimodal in `p`: starting from `hint`
+/// (the maximizer found for a nearby `n`), hill-climb on the coarse
+/// 1/64 grid, then refine around the summit at the reference scan's fine
+/// resolution. Successive `n` probes move the maximizer only slightly, so
+/// the climb typically inspects 3–5 coarse points instead of 65.
+///
+/// Returns `(worst, p_star)`. When `stop_above` is set and any probe
+/// exceeds it, the search returns that probe immediately — the result is
+/// then only a *lower bound* on the worst case, which is exactly what a
+/// `worst(n) > delta` bracketing decision needs.
+pub fn worst_case_deviation_hinted(
+    n: u64,
+    eps: f64,
+    tail: Tail,
+    hint: f64,
+    stop_above: Option<f64>,
+) -> (f64, f64) {
+    let h = 1.0 / HINT_COARSE as f64;
+    let snap = |p: f64| {
+        ((p.clamp(0.0, 1.0) * HINT_COARSE as f64).round() as i64).clamp(0, HINT_COARSE as i64)
+    };
+    let at = |i: i64| deviation_at(n, i as f64 * h, eps, tail);
+
+    let mut center = snap(hint);
+    let mut cur = at(center);
+    let mut best = cur;
+    if let Some(limit) = stop_above {
+        if best > limit {
+            return (best, center as f64 * h);
+        }
+    }
+    // Hill-climb on the coarse grid. The envelope is unimodal; the
+    // sawtooth can only stall the climb within one coarse cell, which the
+    // fine refinement below covers anyway. The cell the climb just left is
+    // one of the next step's neighbours, so its value is carried over and
+    // each step costs a single new deviation evaluation.
+    let mut from: Option<(i64, f64)> = None;
+    loop {
+        let eval = |i: i64| match from {
+            Some((j, v)) if j == i => v,
+            _ => at(i),
+        };
+        let left = if center > 0 {
+            eval(center - 1)
+        } else {
+            f64::NEG_INFINITY
+        };
+        let right = if center < HINT_COARSE as i64 {
+            eval(center + 1)
+        } else {
+            f64::NEG_INFINITY
+        };
+        if left <= best && right <= best {
+            break;
+        }
+        from = Some((center, cur));
+        if right > left {
+            center += 1;
+            cur = right;
+        } else {
+            center -= 1;
+            cur = left;
+        }
+        best = best.max(cur);
+        if let Some(limit) = stop_above {
+            if best > limit {
+                return (best, center as f64 * h);
+            }
+        }
+    }
+    // Refine around the summit cell at the reference fine resolution.
+    let mut best_p = center as f64 * h;
+    let lo = (best_p - h).max(0.0);
+    let hi = (best_p + h).min(1.0);
+    let fine = 64;
+    for i in 0..=fine {
+        let p = lo + (hi - lo) * i as f64 / fine as f64;
+        let d = deviation_at(n, p, eps, tail);
+        if d > best {
+            best = d;
+            best_p = p;
+            if let Some(limit) = stop_above {
+                if best > limit {
+                    return (best, best_p);
+                }
+            }
+        }
+    }
+    (best, best_p)
 }
 
 #[cfg(test)]
@@ -165,6 +391,10 @@ mod tests {
             c *= (n - i) as f64 / (i + 1) as f64;
         }
         c * p.powi(k as i32) * (1.0 - p).powi((n - k) as i32)
+    }
+
+    fn tail_brute(n: u64, p: f64, k: u64) -> f64 {
+        (k..=n).map(|i| exact_pmf_brute(n, p, i)).sum()
     }
 
     #[test]
@@ -201,11 +431,38 @@ mod tests {
     }
 
     #[test]
+    fn tails_match_brute_force_on_both_sides_of_mode() {
+        // Boundaries below, at, and above the mode all go through the
+        // correct direct/complement branch.
+        for &(n, p) in &[(60u64, 0.3), (60, 0.5), (60, 0.9), (35, 0.04)] {
+            for k in 0..=n {
+                let got = ln_upper_tail(n, p, k).exp();
+                let want = tail_brute(n, p, k);
+                assert!(
+                    (got - want).abs() < 1e-11,
+                    "upper n={n} p={p} k={k}: {got} vs {want}"
+                );
+                if k < n {
+                    let got_lo = ln_lower_tail(n, p, k).exp();
+                    let want_lo = 1.0 - tail_brute(n, p, k + 1);
+                    assert!(
+                        (got_lo - want_lo).abs() < 1e-11,
+                        "lower n={n} p={p} k={k}: {got_lo} vs {want_lo}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn tails_complement() {
         for &(n, p, k) in &[(100u64, 0.3, 25u64), (100, 0.5, 50), (1000, 0.98, 985)] {
             let up = ln_upper_tail(n, p, k).exp();
             let low = ln_lower_tail(n, p, k - 1).exp();
-            assert!((up + low - 1.0).abs() < 1e-9, "n={n} p={p} k={k}: {up} + {low}");
+            assert!(
+                (up + low - 1.0).abs() < 1e-9,
+                "n={n} p={p} k={k}: {up} + {low}"
+            );
         }
     }
 
@@ -216,6 +473,8 @@ mod tests {
         assert_eq!(ln_lower_tail(10, 0.5, 10), 0.0);
         assert_eq!(ln_upper_tail(10, 0.0, 1), f64::NEG_INFINITY);
         assert_eq!(ln_upper_tail(10, 1.0, 10), 0.0);
+        assert_eq!(ln_lower_tail(10, 0.0, 3), 0.0);
+        assert_eq!(ln_lower_tail(10, 1.0, 3), f64::NEG_INFINITY);
     }
 
     #[test]
@@ -251,12 +510,124 @@ mod tests {
         }
     }
 
+    /// When `n(p+ε)` is mathematically an integer but floating-point
+    /// arithmetic lands a few ulp below it, the naive `floor(x) + 1`
+    /// cut-off includes the boundary outcome `X = n(p+ε)` — which does
+    /// *not* satisfy the strict deviation `X/n > p+ε` — inflating the
+    /// probability by a whole pmf term.
+    #[test]
+    fn cutoffs_snap_to_integers_at_the_boundary() {
+        // 18 * (1/6 + 4/6) = 15 exactly, but the double-precision product
+        // evaluates to 14.999999999999998: naive floor+1 admits X = 15,
+        // whose deviation X/n = 5/6 equals p+ε and must be excluded.
+        let n = 18u64;
+        let p = 1.0 / 6.0;
+        let eps = 4.0 / 6.0;
+        assert!(
+            (n as f64 * (p + eps)) < 15.0,
+            "test premise: the product must land below the true integer"
+        );
+        let d = deviation_probability_one_sided(n, p, eps);
+        // Strict inequality: only X >= 16 counts.
+        let want = ln_upper_tail(n, p, 16).exp();
+        assert!(
+            (d - want).abs() < 1e-15,
+            "cut-off failed to snap: got {d}, want {want} (X >= 16)"
+        );
+        // The wrong cut-off (X >= 15) is larger by pmf(15); make sure the
+        // distinction is actually material at this scale.
+        let wrong = ln_upper_tail(n, p, 15).exp();
+        assert!(
+            wrong > want * 1.5,
+            "premise: boundary term must be material"
+        );
+    }
+
+    /// Same hardening on the lower tail: 18 * (3/6 − 1/6) = 6 exactly,
+    /// but evaluates to 6.000000000000001, so the naive `ceil − 1` admits
+    /// the non-deviating outcome X = 6.
+    #[test]
+    fn lower_cutoff_snaps_at_the_boundary() {
+        let n = 18u64;
+        let p = 0.5;
+        let eps = 1.0 / 6.0;
+        let x = n as f64 * (p - eps);
+        assert!(
+            x > 6.0 && x - 6.0 < 1e-9,
+            "premise: near-integer product, got {x}"
+        );
+        // Strict inequality X/n < p−ε admits only X <= 5.
+        let d = deviation_probability(n, p, eps);
+        let hi_cut = strict_upper_cutoff(n as f64 * (p + eps));
+        let want = ln_upper_tail(n, p, hi_cut as u64).exp() + ln_lower_tail(n, p, 5).exp();
+        assert!((d - want).abs() < 1e-15, "got {d}, want {want}");
+        let wrong = ln_upper_tail(n, p, hi_cut as u64).exp() + ln_lower_tail(n, p, 6).exp();
+        assert!(
+            wrong > d,
+            "premise: the extra boundary term must be material"
+        );
+    }
+
+    /// An exactly representable integer product must behave identically
+    /// to the snapped near-integer case.
+    #[test]
+    fn cutoffs_handle_exactly_representable_integers() {
+        // n(p+eps) = 100 * 0.75 = 75 exactly in binary arithmetic.
+        let d = deviation_probability_one_sided(100, 0.5, 0.25);
+        let want = ln_upper_tail(100, 0.5, 76).exp();
+        assert!((d - want).abs() < 1e-15);
+    }
+
     #[test]
     fn worst_case_is_near_half() {
         let worst = worst_case_deviation(500, 0.05, 50);
         let at_half = deviation_probability(500, 0.5, 0.05);
         assert!(worst >= at_half);
         assert!(worst <= at_half * 1.5, "worst={worst} at_half={at_half}");
+    }
+
+    #[test]
+    fn hinted_search_matches_reference_scan() {
+        for &n in &[200u64, 500, 1_371, 4_096] {
+            for &eps in &[0.03, 0.05, 0.1] {
+                for tail in [Tail::TwoSided, Tail::OneSided] {
+                    let reference = worst_case_deviation_tail(n, eps, 64, tail);
+                    let (hinted, p_star) = worst_case_deviation_hinted(n, eps, tail, 0.5, None);
+                    // Both searches sample the same continuous sup with
+                    // different candidate sets, so each can edge out the
+                    // other by a sawtooth tooth — but never by much.
+                    assert!(
+                        hinted >= reference * 0.98 && hinted <= reference * 1.10,
+                        "n={n} eps={eps} {tail}: hinted {hinted} vs reference {reference}"
+                    );
+                    assert!((0.0..=1.0).contains(&p_star));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hinted_search_recovers_from_bad_hints() {
+        let (from_left, _) = worst_case_deviation_hinted(700, 0.05, Tail::TwoSided, 0.05, None);
+        let (from_right, _) = worst_case_deviation_hinted(700, 0.05, Tail::TwoSided, 0.95, None);
+        let reference = worst_case_deviation_tail(700, 0.05, 64, Tail::TwoSided);
+        assert!(from_left >= reference * 0.98, "{from_left} vs {reference}");
+        assert!(
+            from_right >= reference * 0.98,
+            "{from_right} vs {reference}"
+        );
+    }
+
+    #[test]
+    fn hinted_search_early_exit_is_a_lower_bound() {
+        let (full, _) = worst_case_deviation_hinted(300, 0.05, Tail::TwoSided, 0.5, None);
+        let (bounded, _) =
+            worst_case_deviation_hinted(300, 0.05, Tail::TwoSided, 0.5, Some(full / 10.0));
+        assert!(
+            bounded > full / 10.0,
+            "early exit must certify the threshold crossing"
+        );
+        assert!(bounded <= full * (1.0 + 1e-12));
     }
 
     #[test]

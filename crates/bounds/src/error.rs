@@ -52,10 +52,16 @@ impl fmt::Display for BoundsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BoundsError::InvalidProbability { name, value } => {
-                write!(f, "parameter `{name}` must lie strictly in (0, 1), got {value}")
+                write!(
+                    f,
+                    "parameter `{name}` must lie strictly in (0, 1), got {value}"
+                )
             }
             BoundsError::NotPositive { name, value } => {
-                write!(f, "parameter `{name}` must be positive and finite, got {value}")
+                write!(
+                    f,
+                    "parameter `{name}` must be positive and finite, got {value}"
+                )
             }
             BoundsError::ToleranceExceedsRange { epsilon, range } => {
                 write!(
@@ -65,7 +71,10 @@ impl fmt::Display for BoundsError {
             }
             BoundsError::ZeroSampleSize => write!(f, "sample size must be at least 1"),
             BoundsError::SampleSizeOverflow { raw } => {
-                write!(f, "computed sample size {raw} overflows the supported maximum")
+                write!(
+                    f,
+                    "computed sample size {raw} overflows the supported maximum"
+                )
             }
             BoundsError::NoConvergence { routine } => {
                 write!(f, "numeric routine `{routine}` failed to converge")
@@ -101,7 +110,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let err = BoundsError::InvalidProbability { name: "delta", value: 1.5 };
+        let err = BoundsError::InvalidProbability {
+            name: "delta",
+            value: 1.5,
+        };
         let msg = err.to_string();
         assert!(msg.contains("delta"));
         assert!(msg.contains("1.5"));

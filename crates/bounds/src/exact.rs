@@ -5,30 +5,104 @@
 //! closed-form inequalities entirely and invert the exact binomial tail:
 //! the smallest `n` such that `max_p Pr[|Binom(n,p)/n − p| > ε] ≤ δ`.
 //!
-//! The paper leaves efficient approximations as future work; here the
-//! worst case over `p` is evaluated on a refined grid (the maximizer sits
-//! near `p = 1/2`) and the search over `n` exploits the (near-)monotone
-//! decay of the worst-case deviation probability.
+//! The paper leaves efficient approximations as future work; this module
+//! implements the inversion as a three-stage search over `n`:
+//!
+//! 1. **Galloping bracket.** Empirically the exact answer is never below
+//!    ~0.7× the Hoeffding sample size, so the search starts from a cheap
+//!    lower bound at 0.55× Hoeffding and gallops upward with doubling
+//!    steps until the constraint flips, yielding a bracket a fraction the
+//!    width of the seed's `[1, Hoeffding]`.
+//! 2. **Binary search with warm-started probes.** Each probe evaluates
+//!    the worst case over `p` with
+//!    [`crate::binomial::worst_case_deviation_hinted`]: a hill-climb that
+//!    starts from the maximizer `p*` of the previous probe (the maximizer
+//!    drifts only slightly between nearby `n`) and exits early as soon as
+//!    the probe provably exceeds `δ`. Probes are memoized, so the
+//!    galloping phase, the binary search, and the patch phase never
+//!    re-evaluate an `n`.
+//! 3. **Sawtooth patch with reference acceptance.** The worst case is not
+//!    perfectly monotone in `n` (integer cut-offs create a sawtooth), so
+//!    the final answer must have a run of consecutive valid sizes. This
+//!    acceptance uses the full-grid reference scan
+//!    ([`crate::binomial::worst_case_deviation_tail`]) — the same
+//!    criterion the seed used — so the fast bracketing can never loosen
+//!    the returned guarantee.
 
-use crate::binomial::{deviation_probability, worst_case_deviation};
+use crate::binomial::{
+    deviation_probability, worst_case_deviation_hinted, worst_case_deviation_tail,
+};
 use crate::error::{check_positive, check_probability, BoundsError, Result};
 use crate::hoeffding::hoeffding_sample_size;
 use crate::numeric::bisect;
 use crate::tail::Tail;
+use std::cell::Cell;
+use std::collections::HashMap;
 
 /// Default grid resolution for the worst-case scan over `p`.
 const DEFAULT_GRID: usize = 64;
 
+/// Outcome of one memoized fast probe of `worst(n)` against `delta`.
+#[derive(Debug, Clone, Copy)]
+enum Probe {
+    /// The probe exceeded `delta` (possibly via early exit, in which case
+    /// the carried value is only a lower bound on the true worst case).
+    Above,
+    /// The full hinted search stayed at or below `delta`.
+    AtOrBelow,
+}
+
+/// Memoized, warm-started `worst(n) > delta` decisions for one inversion.
+struct WorstProbes {
+    eps: f64,
+    delta: f64,
+    tail: Tail,
+    /// Warm-start maximizer threaded across successive probes.
+    hint: f64,
+    memo: HashMap<u64, Probe>,
+}
+
+impl WorstProbes {
+    fn new(eps: f64, delta: f64, tail: Tail) -> Self {
+        WorstProbes {
+            eps,
+            delta,
+            tail,
+            hint: 0.5,
+            memo: HashMap::new(),
+        }
+    }
+
+    /// Does the worst-case deviation at `n` exceed the budget?
+    fn exceeds(&mut self, n: u64) -> bool {
+        if let Some(probe) = self.memo.get(&n) {
+            return matches!(probe, Probe::Above);
+        }
+        let (worst, p_star) =
+            worst_case_deviation_hinted(n, self.eps, self.tail, self.hint, Some(self.delta));
+        self.hint = p_star;
+        let probe = if worst > self.delta {
+            Probe::Above
+        } else {
+            Probe::AtOrBelow
+        };
+        self.memo.insert(n, probe);
+        matches!(probe, Probe::Above)
+    }
+}
+
 /// Smallest sample size `n` such that the *exact* binomial deviation
 /// probability is at most `delta` for every possible true mean `p`.
 ///
-/// Always at most the Hoeffding sample size (which is used as the initial
-/// upper bracket of the search); typically 10–30 % smaller.
+/// Always at most the Hoeffding sample size (which caps the bracket of
+/// the search); typically 10–30 % smaller.
 ///
 /// The worst-case probability is not perfectly monotone in `n` (integer
-/// cut-offs create a sawtooth), so after the binary search the result is
-/// patched by a short linear scan to the first `n` whose *next few*
-/// neighbours also satisfy the constraint.
+/// cut-offs create a sawtooth), so after the bracketed binary search the
+/// result is patched by a short linear scan to the first `n` whose *next
+/// few* neighbours also satisfy the constraint — the patch re-checks with
+/// the full-grid reference scan, so the warm-started fast probes only
+/// ever decide *where to look*, never what to accept.
 ///
 /// # Errors
 ///
@@ -51,49 +125,72 @@ pub fn exact_binomial_sample_size(eps: f64, delta: f64, tail: Tail) -> Result<u6
     check_positive("eps", eps)?;
     check_probability("delta", delta)?;
     if eps >= 1.0 {
-        return Err(BoundsError::ToleranceExceedsRange { epsilon: eps, range: 1.0 });
+        return Err(BoundsError::ToleranceExceedsRange {
+            epsilon: eps,
+            range: 1.0,
+        });
     }
-    let worst = |n: u64| -> f64 {
-        match tail {
-            Tail::TwoSided => worst_case_deviation(n, eps, DEFAULT_GRID),
-            Tail::OneSided => {
-                // One-sided worst case, also near p = 1/2.
-                let mut best = 0.0f64;
-                for i in 0..=DEFAULT_GRID {
-                    let p = i as f64 / DEFAULT_GRID as f64;
-                    let d =
-                        crate::binomial::deviation_probability_one_sided(n, p, eps);
-                    if d > best {
-                        best = d;
-                    }
-                }
-                best
-            }
-        }
-    };
     // Upper bracket: Hoeffding is a valid (conservative) answer.
-    let hi = hoeffding_sample_size(1.0, eps, delta, tail)?;
-    if worst(hi) > delta {
+    let hoeffding = hoeffding_sample_size(1.0, eps, delta, tail)?;
+    if worst_case_deviation_tail(hoeffding, eps, DEFAULT_GRID, tail) > delta {
         // Sawtooth pushed the boundary past Hoeffding (extremely rare);
         // fall back to the conservative answer.
-        return Ok(hi);
+        return Ok(hoeffding);
     }
+    let mut probes = WorstProbes::new(eps, delta, tail);
+
+    // Galloping bracket: start from a cheap lower bound (the exact answer
+    // sits above ~0.7x Hoeffding empirically; 0.55x leaves margin) and
+    // double the step until the constraint flips.
     let mut lo = 1u64;
-    let mut hi = hi;
+    let mut hi = hoeffding;
+    let start = ((hoeffding as f64 * 0.55) as u64).clamp(1, hoeffding);
+    if probes.exceeds(start) {
+        lo = start + 1;
+        let mut step = (hoeffding / 64).max(16);
+        let mut at = start;
+        loop {
+            let next = at.saturating_add(step).min(hoeffding);
+            if next >= hoeffding {
+                break;
+            }
+            if probes.exceeds(next) {
+                lo = next + 1;
+                at = next;
+                step = step.saturating_mul(2);
+            } else {
+                hi = next;
+                break;
+            }
+        }
+    } else {
+        hi = start;
+    }
+
+    // Binary search on the bracket with memoized, warm-started probes.
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
-        if worst(mid) <= delta {
-            hi = mid;
-        } else {
+        if probes.exceeds(mid) {
             lo = mid + 1;
+        } else {
+            hi = mid;
         }
     }
-    // Patch the sawtooth: step forward until a run of consecutive sizes all
-    // satisfy the constraint (so slightly larger testsets remain valid).
+
+    // Patch the sawtooth: step forward until a run of consecutive sizes
+    // all satisfy the constraint (so slightly larger testsets remain
+    // valid). Acceptance uses the full-grid reference scan, memoized
+    // because consecutive windows overlap.
+    let mut accepted: HashMap<u64, bool> = HashMap::new();
+    let mut reference_ok = |n: u64, eps: f64, delta: f64, tail: Tail| -> bool {
+        *accepted
+            .entry(n)
+            .or_insert_with(|| worst_case_deviation_tail(n, eps, DEFAULT_GRID, tail) <= delta)
+    };
     let mut n = lo;
     'outer: loop {
         for offset in 0..8u64 {
-            if worst(n + offset) > delta {
+            if !reference_ok(n + offset, eps, delta, tail) {
                 n += offset + 1;
                 continue 'outer;
             }
@@ -115,24 +212,33 @@ pub fn exact_binomial_epsilon(n: u64, delta: f64, tail: Tail) -> Result<f64> {
     if n == 0 {
         return Err(BoundsError::ZeroSampleSize);
     }
-    let worst = |eps: f64| -> f64 {
-        match tail {
-            Tail::TwoSided => worst_case_deviation(n, eps, DEFAULT_GRID),
-            Tail::OneSided => {
-                let mut best = 0.0f64;
-                for i in 0..=DEFAULT_GRID {
-                    let p = i as f64 / DEFAULT_GRID as f64;
-                    best = best
-                        .max(crate::binomial::deviation_probability_one_sided(n, p, eps));
-                }
-                best
-            }
-        }
-    };
-    // worst(eps) decreases in eps; find the crossing with delta.
-    let eps = bisect(|e| worst(e) - delta, 1e-9, 1.0 - 1e-9, 1e-9, 200)?;
-    // Round outward slightly so the returned tolerance is guaranteed valid.
-    Ok((eps + 2e-9).min(1.0))
+    // worst(eps) decreases in eps; find the crossing with delta. The
+    // maximizer p* moves continuously with eps, so each bisection
+    // iteration warm-starts from the previous one's maximizer.
+    let hint = Cell::new(0.5);
+    let eps = bisect(
+        |e| {
+            let (worst, p_star) = worst_case_deviation_hinted(n, e, tail, hint.get(), None);
+            hint.set(p_star);
+            worst - delta
+        },
+        1e-9,
+        1.0 - 1e-9,
+        1e-9,
+        200,
+    )?;
+    // Round outward so the returned tolerance is guaranteed valid, and
+    // certify with the full-grid reference scan (the warm-started probe
+    // inside the bisection is a lower bound, so the crossing it finds can
+    // sit marginally below the true one; the doubling nudge terminates in
+    // at most ~60 scans and almost always passes on the first).
+    let mut out = (eps + 2e-9).min(1.0);
+    let mut bump = 2e-9;
+    while out < 1.0 && worst_case_deviation_tail(n, out, DEFAULT_GRID, tail) > delta {
+        out = (out + bump).min(1.0);
+        bump *= 2.0;
+    }
+    Ok(out)
 }
 
 /// Exact deviation probability for a *known* true mean — used by the
@@ -145,13 +251,17 @@ pub fn exact_deviation_at(n: u64, p: f64, eps: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::binomial::worst_case_deviation;
 
     #[test]
     fn exact_beats_hoeffding() {
         for &(eps, delta) in &[(0.1, 0.01), (0.05, 0.001), (0.05, 0.0001)] {
             let exact = exact_binomial_sample_size(eps, delta, Tail::TwoSided).unwrap();
             let hoeff = hoeffding_sample_size(1.0, eps, delta, Tail::TwoSided).unwrap();
-            assert!(exact <= hoeff, "eps={eps} delta={delta}: {exact} vs {hoeff}");
+            assert!(
+                exact <= hoeff,
+                "eps={eps} delta={delta}: {exact} vs {hoeff}"
+            );
             // Tight bounds save a visible margin.
             assert!(
                 (exact as f64) < (hoeff as f64) * 0.95,
@@ -178,10 +288,36 @@ mod tests {
     }
 
     #[test]
+    fn answers_are_tight_not_just_valid() {
+        // The galloping bracket and warm-started probes must not drift
+        // the result upward: a modestly smaller n must already violate
+        // the constraint (checked at high grid resolution).
+        for &(eps, delta) in &[(0.1, 0.01), (0.05, 0.01), (0.08, 0.001)] {
+            let n = exact_binomial_sample_size(eps, delta, Tail::TwoSided).unwrap();
+            let shrunk = (n as f64 * 0.97) as u64;
+            assert!(
+                worst_case_deviation(shrunk, eps, 128) > delta,
+                "eps={eps} delta={delta}: n={n} is not tight (n*0.97 still valid)"
+            );
+        }
+    }
+
+    #[test]
     fn one_sided_needs_fewer_samples() {
         let one = exact_binomial_sample_size(0.1, 0.01, Tail::OneSided).unwrap();
         let two = exact_binomial_sample_size(0.1, 0.01, Tail::TwoSided).unwrap();
         assert!(one <= two);
+    }
+
+    #[test]
+    fn one_sided_answer_is_valid_and_tight() {
+        let eps = 0.07;
+        let delta = 0.005;
+        let n = exact_binomial_sample_size(eps, delta, Tail::OneSided).unwrap();
+        // Validity is promised at the acceptance scan's own resolution
+        // (the worst case is a grid-refined supremum, as in the seed).
+        assert!(worst_case_deviation_tail(n, eps, 64, Tail::OneSided) <= delta * 1.0001);
+        assert!(worst_case_deviation_tail(n / 2, eps, 128, Tail::OneSided) > delta);
     }
 
     #[test]

@@ -62,10 +62,16 @@ pub fn hoeffding_sample_size_from_ln_delta(
     check_positive("range", range)?;
     check_positive("eps", eps)?;
     if !(ln_delta < 0.0) {
-        return Err(BoundsError::InvalidProbability { name: "delta", value: ln_delta.exp() });
+        return Err(BoundsError::InvalidProbability {
+            name: "delta",
+            value: ln_delta.exp(),
+        });
     }
     if eps >= range {
-        return Err(BoundsError::ToleranceExceedsRange { epsilon: eps, range });
+        return Err(BoundsError::ToleranceExceedsRange {
+            epsilon: eps,
+            range,
+        });
     }
     let raw = range * range * (tail.ln_factor() - ln_delta) / (2.0 * eps * eps);
     ceil_to_sample_size(raw)
@@ -113,7 +119,10 @@ pub fn hoeffding_epsilon_from_ln_delta(
         return Err(BoundsError::ZeroSampleSize);
     }
     if !(ln_delta < 0.0) {
-        return Err(BoundsError::InvalidProbability { name: "delta", value: ln_delta.exp() });
+        return Err(BoundsError::InvalidProbability {
+            name: "delta",
+            value: ln_delta.exp(),
+        });
     }
     Ok(range * ((tail.ln_factor() - ln_delta) / (2.0 * n as f64)).sqrt())
 }
@@ -200,9 +209,8 @@ mod tests {
         for &delta in &[0.1, 0.01, 1e-4] {
             for &eps in &[0.1, 0.05, 0.01] {
                 let a = hoeffding_sample_size(1.0, eps, delta, Tail::TwoSided).unwrap();
-                let b =
-                    hoeffding_sample_size_from_ln_delta(1.0, eps, delta.ln(), Tail::TwoSided)
-                        .unwrap();
+                let b = hoeffding_sample_size_from_ln_delta(1.0, eps, delta.ln(), Tail::TwoSided)
+                    .unwrap();
                 assert_eq!(a, b);
             }
         }

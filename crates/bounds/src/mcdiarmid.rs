@@ -65,7 +65,10 @@ pub fn mcdiarmid_sample_size_from_ln_delta(
     check_positive("beta", beta)?;
     check_positive("eps", eps)?;
     if !(ln_delta < 0.0) {
-        return Err(BoundsError::InvalidProbability { name: "delta", value: ln_delta.exp() });
+        return Err(BoundsError::InvalidProbability {
+            name: "delta",
+            value: ln_delta.exp(),
+        });
     }
     let raw = beta * beta * (tail.ln_factor() - ln_delta) / (2.0 * eps * eps);
     ceil_to_sample_size(raw)

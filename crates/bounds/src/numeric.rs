@@ -6,6 +6,7 @@
 //! whose outputs are cached by callers.
 
 use crate::error::{BoundsError, Result};
+use std::sync::RwLock;
 
 /// Natural log of the gamma function, via the Lanczos approximation (g = 7,
 /// 9 coefficients). Accurate to ~15 significant digits for `x > 0`.
@@ -44,7 +45,72 @@ pub fn ln_gamma(x: f64) -> f64 {
     }
 }
 
+/// Largest index (exclusive) served by the shared log-factorial table.
+///
+/// `2^20` entries is 8 MiB — enough for every sample size the exact
+/// binomial inversion brackets in practice (the Hoeffding upper bracket);
+/// larger arguments fall back to the Lanczos evaluation.
+pub const LN_FACTORIAL_TABLE_CAP: usize = 1 << 20;
+
+/// Lazily grown table of `ln(k!)`, shared process-wide.
+///
+/// Reads take a shared lock; growth (amortized, by powers of two) takes
+/// the exclusive lock once per doubling. Entries are filled with
+/// [`ln_gamma`]`(k + 1)` so the table is consistent with the fallback
+/// path by construction.
+static LN_FACTORIAL: RwLock<Vec<f64>> = RwLock::new(Vec::new());
+
+/// Grow the shared table to cover index `idx` (< [`LN_FACTORIAL_TABLE_CAP`]).
+fn grow_ln_factorial(idx: usize) {
+    let mut table = LN_FACTORIAL.write().expect("ln-factorial table poisoned");
+    if idx < table.len() {
+        return; // another thread grew it while we waited
+    }
+    let new_len = (idx + 1)
+        .next_power_of_two()
+        .clamp(1024, LN_FACTORIAL_TABLE_CAP);
+    let old_len = table.len();
+    table.reserve(new_len - old_len);
+    for k in old_len..new_len {
+        table.push(if k < 2 { 0.0 } else { ln_gamma(k as f64 + 1.0) });
+    }
+}
+
+/// Natural log of `n!`, backed by the shared lazily-grown table.
+///
+/// A lookup costs one shared-lock acquisition and one load; arguments at
+/// or above [`LN_FACTORIAL_TABLE_CAP`] are computed with [`ln_gamma`]
+/// directly.
+///
+/// # Examples
+///
+/// ```
+/// let ln120 = easeml_bounds::numeric::ln_factorial(5); // 5! = 120
+/// assert!((ln120 - 120f64.ln()).abs() < 1e-12);
+/// ```
+pub fn ln_factorial(n: u64) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    let idx = n as usize;
+    if idx >= LN_FACTORIAL_TABLE_CAP {
+        return ln_gamma(n as f64 + 1.0);
+    }
+    {
+        let table = LN_FACTORIAL.read().expect("ln-factorial table poisoned");
+        if idx < table.len() {
+            return table[idx];
+        }
+    }
+    grow_ln_factorial(idx);
+    LN_FACTORIAL.read().expect("ln-factorial table poisoned")[idx]
+}
+
 /// Natural log of `n choose k`, valid for `k <= n`.
+///
+/// For `n` inside the shared table this is three table loads under one
+/// shared lock (the hot path of every binomial pmf evaluation); larger
+/// `n` falls back to three Lanczos evaluations.
 ///
 /// # Panics
 ///
@@ -53,6 +119,18 @@ pub fn ln_choose(n: u64, k: u64) -> f64 {
     debug_assert!(k <= n, "ln_choose requires k <= n");
     if k == 0 || k == n {
         return 0.0;
+    }
+    let idx = n as usize;
+    if idx < LN_FACTORIAL_TABLE_CAP {
+        {
+            let table = LN_FACTORIAL.read().expect("ln-factorial table poisoned");
+            if idx < table.len() {
+                return table[idx] - table[k as usize] - table[(n - k) as usize];
+            }
+        }
+        grow_ln_factorial(idx);
+        let table = LN_FACTORIAL.read().expect("ln-factorial table poisoned");
+        return table[idx] - table[k as usize] - table[(n - k) as usize];
     }
     ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
 }
@@ -158,7 +236,9 @@ where
         return Ok(hi);
     }
     if flo.signum() == fhi.signum() {
-        return Err(BoundsError::NoConvergence { routine: "newton_bracketed" });
+        return Err(BoundsError::NoConvergence {
+            routine: "newton_bracketed",
+        });
     }
     let increasing = fhi > 0.0;
     let mut x = x0.clamp(lo, hi);
@@ -228,6 +308,62 @@ mod tests {
     }
 
     #[test]
+    fn ln_factorial_matches_exact_factorials() {
+        let mut fact = 1.0f64;
+        for k in 0..=20u64 {
+            if k > 1 {
+                fact *= k as f64;
+            }
+            let got = ln_factorial(k);
+            assert!(
+                (got - fact.ln()).abs() < 1e-10,
+                "ln_factorial({k}) = {got}, want {}",
+                fact.ln()
+            );
+        }
+    }
+
+    #[test]
+    fn ln_factorial_agrees_with_ln_gamma_across_table_growth() {
+        // Spot-check across several table doublings and across the cap.
+        for &n in &[
+            2u64,
+            100,
+            1_023,
+            1_024,
+            50_000,
+            (1 << 20) - 1,
+            1 << 20,
+            1 << 21,
+        ] {
+            let got = ln_factorial(n);
+            let want = ln_gamma(n as f64 + 1.0);
+            assert!(
+                (got - want).abs() <= 1e-10 * want.abs().max(1.0),
+                "n={n}: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn ln_factorial_table_is_thread_safe() {
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        let n = (t * 977 + i * 13) % 30_000;
+                        let v = ln_factorial(n);
+                        assert!(v.is_finite() && v >= 0.0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
     fn ln_choose_small_values() {
         assert!((ln_choose(5, 2) - 10f64.ln()).abs() < 1e-10);
         assert!((ln_choose(10, 5) - 252f64.ln()).abs() < 1e-10);
@@ -277,9 +413,16 @@ mod tests {
 
     #[test]
     fn newton_finds_cube_root() {
-        let root =
-            newton_bracketed(|x| x * x * x - 27.0, |x| 3.0 * x * x, 0.0, 10.0, 5.0, 1e-12, 100)
-                .unwrap();
+        let root = newton_bracketed(
+            |x| x * x * x - 27.0,
+            |x| 3.0 * x * x,
+            0.0,
+            10.0,
+            5.0,
+            1e-12,
+            100,
+        )
+        .unwrap();
         assert!((root - 3.0).abs() < 1e-9);
     }
 

@@ -1,0 +1,220 @@
+//! The original (pre-optimization) §4.3 implementation, kept verbatim.
+//!
+//! This module preserves the seed's exact-binomial hot path — three
+//! Lanczos `ln_gamma` evaluations per pmf term, log-space tail
+//! accumulation, full-grid worst-case scans, and a `[1, Hoeffding]`
+//! binary search — so that:
+//!
+//! * `benches/bounds.rs` and the `repro_bounds_perf` binary can measure
+//!   the optimized path against the genuine baseline in one build, and
+//! * property tests can cross-validate the optimized inversion against
+//!   an independent implementation.
+//!
+//! It intentionally also retains the seed's *unhardened* integer
+//! cut-offs (`floor`/`ceil` without the near-integer snap), so results
+//! can differ from the optimized path by one boundary pmf term at
+//! measure-zero parameter points; comparisons therefore use tolerances.
+//! Do not call this from production paths.
+
+use crate::error::{check_positive, check_probability, BoundsError, Result};
+use crate::hoeffding::hoeffding_sample_size;
+use crate::numeric::{ln_gamma, log_add_exp};
+use crate::tail::Tail;
+
+/// Seed `ln_choose`: three Lanczos evaluations, no table.
+fn ln_choose_lanczos(n: u64, k: u64) -> f64 {
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+fn ln_pmf(n: u64, p: f64, k: u64) -> f64 {
+    if p == 0.0 {
+        return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+    }
+    if p == 1.0 {
+        return if k == n { 0.0 } else { f64::NEG_INFINITY };
+    }
+    ln_choose_lanczos(n, k) + k as f64 * p.ln() + (n - k) as f64 * (-p).ln_1p()
+}
+
+/// Seed upper tail: log-space accumulation with a per-term `ln`.
+fn ln_upper_tail(n: u64, p: f64, k: u64) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    if p == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if p == 1.0 {
+        return 0.0;
+    }
+    let ratio_log = |k: u64| ((n - k) as f64 / (k + 1) as f64).ln() + p.ln() - (-p).ln_1p();
+    let mut term = ln_pmf(n, p, k);
+    let mut total = term;
+    let mut i = k;
+    while i < n {
+        term += ratio_log(i);
+        let new_total = log_add_exp(total, term);
+        if new_total == total && term < total - 40.0 {
+            break;
+        }
+        total = new_total;
+        i += 1;
+    }
+    total.min(0.0)
+}
+
+fn ln_lower_tail(n: u64, p: f64, k: u64) -> f64 {
+    if k >= n {
+        return 0.0;
+    }
+    ln_upper_tail(n, 1.0 - p, n - k)
+}
+
+/// Seed two-sided deviation probability (naive integer cut-offs).
+pub fn deviation_probability(n: u64, p: f64, eps: f64) -> f64 {
+    let nf = n as f64;
+    let hi_cut = (nf * (p + eps)).floor() as i128 + 1;
+    let upper = if hi_cut > n as i128 {
+        f64::NEG_INFINITY
+    } else {
+        ln_upper_tail(n, p, hi_cut as u64)
+    };
+    let lo_cut = (nf * (p - eps)).ceil() as i128 - 1;
+    let lower = if lo_cut < 0 {
+        f64::NEG_INFINITY
+    } else {
+        ln_lower_tail(n, p, lo_cut as u64)
+    };
+    log_add_exp(upper, lower).exp().min(1.0)
+}
+
+fn deviation_probability_one_sided(n: u64, p: f64, eps: f64) -> f64 {
+    let nf = n as f64;
+    let hi_cut = (nf * (p + eps)).floor() as i128 + 1;
+    if hi_cut > n as i128 {
+        0.0
+    } else {
+        ln_upper_tail(n, p, hi_cut as u64).exp()
+    }
+}
+
+/// Seed worst-case scan: full coarse grid plus fine refinement.
+pub fn worst_case_deviation(n: u64, eps: f64, grid: usize) -> f64 {
+    let grid = grid.max(8);
+    let mut best = 0.0f64;
+    let mut best_p = 0.5;
+    for i in 0..=grid {
+        let p = i as f64 / grid as f64;
+        let d = deviation_probability(n, p, eps);
+        if d > best {
+            best = d;
+            best_p = p;
+        }
+    }
+    let lo = (best_p - 1.0 / grid as f64).max(0.0);
+    let hi = (best_p + 1.0 / grid as f64).min(1.0);
+    let fine = 64;
+    for i in 0..=fine {
+        let p = lo + (hi - lo) * i as f64 / fine as f64;
+        let d = deviation_probability(n, p, eps);
+        if d > best {
+            best = d;
+        }
+    }
+    best
+}
+
+const DEFAULT_GRID: usize = 64;
+
+/// Seed minimal-`n` inversion: full-grid probes, `[1, Hoeffding]` binary
+/// search, linear sawtooth patch.
+///
+/// # Errors
+///
+/// Same conditions as [`crate::exact_binomial_sample_size`].
+pub fn exact_binomial_sample_size(eps: f64, delta: f64, tail: Tail) -> Result<u64> {
+    check_positive("eps", eps)?;
+    check_probability("delta", delta)?;
+    if eps >= 1.0 {
+        return Err(BoundsError::ToleranceExceedsRange {
+            epsilon: eps,
+            range: 1.0,
+        });
+    }
+    let worst = |n: u64| -> f64 {
+        match tail {
+            Tail::TwoSided => worst_case_deviation(n, eps, DEFAULT_GRID),
+            Tail::OneSided => {
+                let mut best = 0.0f64;
+                for i in 0..=DEFAULT_GRID {
+                    let p = i as f64 / DEFAULT_GRID as f64;
+                    let d = deviation_probability_one_sided(n, p, eps);
+                    if d > best {
+                        best = d;
+                    }
+                }
+                best
+            }
+        }
+    };
+    let hi = hoeffding_sample_size(1.0, eps, delta, tail)?;
+    if worst(hi) > delta {
+        return Ok(hi);
+    }
+    let mut lo = 1u64;
+    let mut hi = hi;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if worst(mid) <= delta {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let mut n = lo;
+    'outer: loop {
+        for offset in 0..8u64 {
+            if worst(n + offset) > delta {
+                n += offset + 1;
+                continue 'outer;
+            }
+        }
+        return Ok(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_tail_matches_optimized_tail() {
+        for &(n, p, k) in &[(100u64, 0.5, 61u64), (500, 0.3, 180), (2_000, 0.5, 1_080)] {
+            let reference = ln_upper_tail(n, p, k);
+            let optimized = crate::binomial::ln_upper_tail(n, p, k);
+            assert!(
+                (reference - optimized).abs() < 1e-9 * reference.abs().max(1.0),
+                "n={n} p={p} k={k}: {reference} vs {optimized}"
+            );
+        }
+    }
+
+    #[test]
+    fn reference_inversion_agrees_with_optimized_inversion() {
+        for &(eps, delta) in &[(0.1, 0.01), (0.05, 0.01)] {
+            let reference = exact_binomial_sample_size(eps, delta, Tail::TwoSided).unwrap();
+            let optimized = crate::exact_binomial_sample_size(eps, delta, Tail::TwoSided).unwrap();
+            let diff = reference.abs_diff(optimized);
+            assert!(
+                diff as f64 <= (reference as f64 * 0.005).max(3.0),
+                "eps={eps} delta={delta}: reference {reference} vs optimized {optimized}"
+            );
+        }
+    }
+}

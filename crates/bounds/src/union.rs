@@ -67,12 +67,18 @@ pub fn split_ln_delta_weighted(ln_delta: f64, weights: &[f64]) -> Result<Vec<f64
     let mut total = 0.0;
     for &w in weights {
         if !w.is_finite() || w < 0.0 {
-            return Err(BoundsError::NotPositive { name: "weight", value: w });
+            return Err(BoundsError::NotPositive {
+                name: "weight",
+                value: w,
+            });
         }
         total += w;
     }
     if total <= 0.0 {
-        return Err(BoundsError::NotPositive { name: "weight_sum", value: total });
+        return Err(BoundsError::NotPositive {
+            name: "weight_sum",
+            value: total,
+        });
     }
     Ok(weights
         .iter()
@@ -97,15 +103,24 @@ pub fn split_ln_delta_weighted(ln_delta: f64, weights: &[f64]) -> Result<Vec<f64
 /// not sum to 1 within floating-point tolerance.
 pub fn split_epsilon(eps: f64, fractions: &[f64]) -> Result<Vec<f64>> {
     if !eps.is_finite() || eps <= 0.0 {
-        return Err(BoundsError::NotPositive { name: "eps", value: eps });
+        return Err(BoundsError::NotPositive {
+            name: "eps",
+            value: eps,
+        });
     }
     let sum: f64 = fractions.iter().sum();
     if fractions.is_empty() || (sum - 1.0).abs() > 1e-9 {
-        return Err(BoundsError::NotPositive { name: "fraction_sum", value: sum });
+        return Err(BoundsError::NotPositive {
+            name: "fraction_sum",
+            value: sum,
+        });
     }
     for &f in fractions {
         if !(f > 0.0 && f < 1.0 + 1e-12) {
-            return Err(BoundsError::InvalidProbability { name: "fraction", value: f });
+            return Err(BoundsError::InvalidProbability {
+                name: "fraction",
+                value: f,
+            });
         }
     }
     Ok(fractions.iter().map(|&f| f * eps).collect())

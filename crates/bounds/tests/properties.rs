@@ -3,7 +3,7 @@
 use easeml_bounds::{
     bennett_epsilon, bennett_h, bennett_h_inv, bennett_sample_size, bernstein_sample_size,
     binomial, exact_binomial_sample_size, hoeffding_delta, hoeffding_epsilon,
-    hoeffding_sample_size, mcdiarmid_sample_size, split_delta_weighted, Adaptivity, Tail,
+    hoeffding_sample_size, mcdiarmid_sample_size, numeric, split_delta_weighted, Adaptivity, Tail,
 };
 use proptest::prelude::*;
 
@@ -132,6 +132,44 @@ proptest! {
         let exact = binomial::deviation_probability(n, p, eps);
         let hoeff = (2.0 * (-2.0 * n as f64 * eps * eps).exp()).min(1.0);
         prop_assert!(exact <= hoeff + 1e-9, "exact={exact} hoeff={hoeff}");
+    }
+
+    /// The exact inversion never asks for more samples than Hoeffding,
+    /// across randomized tolerances, budgets, and tail conventions.
+    #[test]
+    fn exact_inversion_at_most_hoeffding(eps in 0.03f64..0.25, delta in 1e-4f64..0.1,
+                                         tail in prop_oneof![Just(Tail::OneSided), Just(Tail::TwoSided)]) {
+        let exact = exact_binomial_sample_size(eps, delta, tail).unwrap();
+        let hoeff = hoeffding_sample_size(1.0, eps, delta, tail).unwrap();
+        prop_assert!(exact <= hoeff, "eps={eps} delta={delta} {tail}: {exact} > {hoeff}");
+        // And the answer actually satisfies the constraint at the
+        // acceptance scan's resolution.
+        let worst = binomial::worst_case_deviation_tail(exact, eps, 64, tail);
+        prop_assert!(worst <= delta * 1.0001, "eps={eps} delta={delta} {tail}: worst={worst}");
+    }
+
+    /// The shared log-factorial table agrees with the Lanczos ln_gamma
+    /// evaluation everywhere, including across its growth boundaries and
+    /// beyond its cap.
+    #[test]
+    fn ln_factorial_matches_ln_gamma(n in 0u64..2_000_000) {
+        let table = numeric::ln_factorial(n);
+        let gamma = numeric::ln_gamma(n as f64 + 1.0);
+        prop_assert!(
+            (table - gamma).abs() <= 1e-10 * gamma.abs().max(1.0),
+            "n={n}: table={table} gamma={gamma}"
+        );
+    }
+
+    /// ln_choose (table fast path) is symmetric and bounded by n·ln 2.
+    #[test]
+    fn ln_choose_symmetry(n in 1u64..100_000, t in 0.0f64..=1.0) {
+        let k = ((n as f64) * t) as u64;
+        let a = numeric::ln_choose(n, k);
+        let b = numeric::ln_choose(n, n - k);
+        prop_assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "n={n} k={k}: {a} vs {b}");
+        prop_assert!(a <= n as f64 * std::f64::consts::LN_2 + 1e-9);
+        prop_assert!(a >= -1e-12);
     }
 }
 

@@ -8,8 +8,8 @@
 //! ```
 
 use easeml_bounds::{Adaptivity, Tail};
-use easeml_ci_core::estimator::{clause_sample_size, Allocation, LeafBound};
 use easeml_ci_core::dsl::parse_clause;
+use easeml_ci_core::estimator::{clause_sample_size, Allocation, LeafBound};
 use easeml_ci_core::{
     effort, CiScript, CostModel, EstimateProvenance, Practicality, SampleSizeEstimator,
 };
@@ -78,8 +78,16 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
     let estimator = SampleSizeEstimator::new();
     let estimate = estimator.estimate(&script).map_err(|e| e.to_string())?;
     println!("condition   : {}", script.condition());
-    println!("reliability : {} (delta = {})", script.reliability(), script.delta());
-    println!("adaptivity  : {} over {} steps", script.adaptivity(), script.steps());
+    println!(
+        "reliability : {} (delta = {})",
+        script.reliability(),
+        script.delta()
+    );
+    println!(
+        "adaptivity  : {} over {} steps",
+        script.adaptivity(),
+        script.steps()
+    );
     match &estimate.provenance {
         EstimateProvenance::Baseline => println!("strategy    : baseline (Hoeffding)"),
         EstimateProvenance::Optimized(_) => println!("strategy    : optimized (section-4 pattern)"),
@@ -91,7 +99,9 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
         "effort      : {:.1} person-days at 2 s/label -> {}",
         report.person_days, report.verdict
     );
-    let baseline = estimator.estimate_baseline(&script).map_err(|e| e.to_string())?;
+    let baseline = estimator
+        .estimate_baseline(&script)
+        .map_err(|e| e.to_string())?;
     if baseline.labeled_samples > estimate.labeled_samples {
         println!(
             "saving      : {:.1}x fewer labels than the baseline ({})",
@@ -113,8 +123,9 @@ fn cmd_table() -> Result<(), String> {
         for eps in [0.1, 0.05, 0.025, 0.01] {
             let cell = |cond: &str, adaptivity: Adaptivity| -> Result<u64, String> {
                 let clause = parse_clause(cond).map_err(|e| e.to_string())?;
-                let ln_delta =
-                    adaptivity.ln_effective_delta(delta, 32).map_err(|e| e.to_string())?;
+                let ln_delta = adaptivity
+                    .ln_effective_delta(delta, 32)
+                    .map_err(|e| e.to_string())?;
                 Ok(clause_sample_size(
                     &clause,
                     ln_delta,
@@ -150,13 +161,19 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     while i < args.len() {
         match args[i].as_str() {
             "--commits" => {
-                commits = next_value(args, &mut i)?.parse().map_err(|_| "bad --commits")?;
+                commits = next_value(args, &mut i)?
+                    .parse()
+                    .map_err(|_| "bad --commits")?;
             }
             "--seed" => {
-                seed = next_value(args, &mut i)?.parse().map_err(|_| "bad --seed")?;
+                seed = next_value(args, &mut i)?
+                    .parse()
+                    .map_err(|_| "bad --seed")?;
             }
             "--accuracy" => {
-                accuracy = next_value(args, &mut i)?.parse().map_err(|_| "bad --accuracy")?;
+                accuracy = next_value(args, &mut i)?
+                    .parse()
+                    .map_err(|_| "bad --accuracy")?;
             }
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -180,11 +197,16 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         "ground-truth errors: {} false positives, {} false negatives",
         outcome.false_positives, outcome.false_negatives
     );
-    println!("practicality       : {}", Practicality::of(outcome.labels_requested));
+    println!(
+        "practicality       : {}",
+        Practicality::of(outcome.labels_requested)
+    );
     Ok(())
 }
 
 fn next_value<'a>(args: &'a [String], i: &mut usize) -> Result<&'a str, String> {
     *i += 1;
-    args.get(*i).map(String::as_str).ok_or_else(|| format!("missing value for {}", args[*i - 1]))
+    args.get(*i)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing value for {}", args[*i - 1]))
 }

@@ -73,7 +73,11 @@ fn estimate_reports_sections_and_savings() {
         "none",
     );
     let out = run(&["estimate", path.to_str().unwrap()]);
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("labelled"));
     assert!(text.contains("optimized"));
@@ -93,8 +97,19 @@ fn table_matches_known_cell() {
 #[test]
 fn simulate_runs_a_process() {
     let path = write_script("sim.yml", "n - o > 0.02 +/- 0.08", "full");
-    let out = run(&["simulate", path.to_str().unwrap(), "--commits", "3", "--seed", "5"]);
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let out = run(&[
+        "simulate",
+        path.to_str().unwrap(),
+        "--commits",
+        "3",
+        "--seed",
+        "5",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("commits evaluated"));
     assert!(text.contains("labels requested"));

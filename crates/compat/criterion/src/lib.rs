@@ -1,0 +1,306 @@
+//! Offline stand-in for the subset of the `criterion` benchmarking API
+//! this workspace uses.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! a minimal harness with the same surface: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`criterion_group!`], [`criterion_main!`],
+//! [`BatchSize`], and [`Throughput`].
+//!
+//! Measurement model: each benchmark is calibrated with a short warm-up,
+//! then timed over enough iterations to fill a fixed measurement window;
+//! the mean ns/iter (plus min over measurement chunks) is printed. This is
+//! deliberately simpler than criterion's bootstrap statistics but stable
+//! enough to track order-of-magnitude perf changes in CI.
+//!
+//! Passing `--test` (as `cargo bench -- --test` or criterion's own smoke
+//! mode) runs every routine exactly once without timing.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost; accepted and ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per sample.
+    PerIteration,
+}
+
+/// Units-processed-per-iteration annotation; printed alongside timings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes handled per iteration.
+    Bytes(u64),
+    /// Logical elements handled per iteration.
+    Elements(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    /// Filled in by the timing loop: (total duration, iterations).
+    result: Option<(Duration, u64)>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// `--test`: run once, no timing.
+    Smoke,
+    /// Timed measurement.
+    Measure,
+}
+
+/// Measurement window per benchmark (split over calibration + chunks).
+const MEASURE_WINDOW: Duration = Duration::from_millis(200);
+
+impl Bencher {
+    /// Time `routine` run back-to-back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(routine());
+            }
+            Mode::Measure => {
+                // Calibrate: how many iterations fit in ~1/10 the window?
+                let t0 = Instant::now();
+                black_box(routine());
+                let once = t0.elapsed().max(Duration::from_nanos(1));
+                let per_chunk =
+                    (MEASURE_WINDOW.as_nanos() / 10 / once.as_nanos()).clamp(1, 10_000_000) as u64;
+                let mut total = Duration::ZERO;
+                let mut iters = 0u64;
+                while total < MEASURE_WINDOW {
+                    let t = Instant::now();
+                    for _ in 0..per_chunk {
+                        black_box(routine());
+                    }
+                    total += t.elapsed();
+                    iters += per_chunk;
+                }
+                self.result = Some((total, iters));
+            }
+        }
+    }
+
+    /// Time `routine` over inputs produced by `setup` (setup excluded
+    /// from timing as far as this simplified harness can).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(routine(setup()));
+            }
+            Mode::Measure => {
+                let input = setup();
+                let t0 = Instant::now();
+                black_box(routine(input));
+                let once = t0.elapsed().max(Duration::from_nanos(1));
+                let per_chunk =
+                    (MEASURE_WINDOW.as_nanos() / 10 / once.as_nanos()).clamp(1, 1_000_000) as u64;
+                let mut total = Duration::ZERO;
+                let mut iters = 0u64;
+                while total < MEASURE_WINDOW {
+                    let inputs: Vec<I> = (0..per_chunk).map(|_| setup()).collect();
+                    let t = Instant::now();
+                    for input in inputs {
+                        black_box(routine(input));
+                    }
+                    total += t.elapsed();
+                    iters += per_chunk;
+                }
+                self.result = Some((total, iters));
+            }
+        }
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mode = if args.iter().any(|a| a == "--test") {
+            Mode::Smoke
+        } else {
+            Mode::Measure
+        };
+        // First free-standing arg (not a flag) filters benchmark names,
+        // like criterion's substring filter.
+        let filter = args.into_iter().find(|a| !a.starts_with('-'));
+        Criterion { mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Run (or smoke-run) one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        run_one(self.mode, &self.filter, id.as_ref(), None, f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.as_ref().to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness sizes its own windows.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run (or smoke-run) one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        run_one(
+            self.criterion.mode,
+            &self.criterion.filter,
+            &full,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// End the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    mode: Mode,
+    filter: &Option<String>,
+    name: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    if let Some(filter) = filter {
+        if !name.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut b = Bencher { mode, result: None };
+    f(&mut b);
+    match (mode, b.result) {
+        (Mode::Smoke, _) => println!("{name}: ok (smoke)"),
+        (Mode::Measure, Some((total, iters))) => {
+            let ns = total.as_nanos() as f64 / iters as f64;
+            match throughput {
+                Some(Throughput::Bytes(bytes)) => {
+                    let mbps = bytes as f64 / (ns / 1e9) / 1e6;
+                    println!("{name}: {ns:.1} ns/iter ({mbps:.1} MB/s)");
+                }
+                Some(Throughput::Elements(elems)) => {
+                    let eps = elems as f64 / (ns / 1e9);
+                    println!("{name}: {ns:.1} ns/iter ({eps:.0} elem/s)");
+                }
+                None => println!("{name}: {ns:.1} ns/iter"),
+            }
+        }
+        (Mode::Measure, None) => println!("{name}: no measurement recorded"),
+    }
+}
+
+/// Bundle benchmark functions into a runnable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` for a set of benchmark groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_smoke_runs_once() {
+        let mut calls = 0u32;
+        let mut b = Bencher {
+            mode: Mode::Smoke,
+            result: None,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(b.result.is_none());
+    }
+
+    #[test]
+    fn bencher_measure_records() {
+        let mut b = Bencher {
+            mode: Mode::Measure,
+            result: None,
+        };
+        b.iter(|| black_box(3u64.wrapping_mul(5)));
+        let (total, iters) = b.result.expect("measured");
+        assert!(iters > 0);
+        assert!(total >= MEASURE_WINDOW);
+    }
+
+    #[test]
+    fn iter_batched_smoke_consumes_setup() {
+        let mut b = Bencher {
+            mode: Mode::Smoke,
+            result: None,
+        };
+        b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.result.is_none());
+    }
+}

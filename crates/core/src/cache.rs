@@ -1,0 +1,290 @@
+//! Cross-layer cache for expensive bound inversions.
+//!
+//! The §4.3 exact-binomial inversion is orders of magnitude more costly
+//! than the closed-form bounds, and real CI traffic re-asks the same
+//! question constantly: every commit against a given script re-derives
+//! the same `(ε, δ, tail)` inversion, multi-clause scripts repeat leaves,
+//! and a busy server hosts many repositories with near-identical
+//! reliability settings. [`BoundsCache`] memoizes those inversions behind
+//! an `RwLock`ed map with a process-wide instance ([`BoundsCache::global`])
+//! threaded through the sample-size estimator
+//! ([`crate::SampleSizeEstimator`]), the clause/formula recursion
+//! ([`crate::estimator::formula_sample_size`]), and — via the estimator —
+//! the engine ([`crate::CiEngine`]).
+//!
+//! # Key quantization
+//!
+//! Keys quantize the floating-point inputs by zeroing the bottom 8
+//! mantissa bits (a relative grain of 2⁻⁴⁴ ≈ 6·10⁻¹⁴). Inputs that
+//! differ by less than the grain share an entry; such perturbations are
+//! far below the precision at which the inverted bounds themselves are
+//! meaningful, and the quantization makes hit rates robust to benign
+//! last-ulp differences in how callers derive `ln δ` (e.g.
+//! `ln(δ/k)` vs `ln δ − ln k`).
+
+use easeml_bounds::{BoundsError, Tail};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{OnceLock, RwLock};
+
+/// Which inversion an entry caches (part of the key, so differently
+/// shaped bounds never collide).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BoundKind {
+    /// [`easeml_bounds::exact_binomial_sample_size`].
+    ExactBinomialSampleSize,
+}
+
+/// Whether an estimator consults the shared [`BoundsCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CachePolicy {
+    /// Use [`BoundsCache::global`] (the default).
+    #[default]
+    Shared,
+    /// Recompute everything; used by tests and ablation benches.
+    Bypass,
+}
+
+/// Zero the bottom 8 mantissa bits: the cache's quantization grain.
+fn quantize(x: f64) -> u64 {
+    x.to_bits() & !0xFF
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    kind: BoundKind,
+    tail: Tail,
+    eps: u64,
+    ln_delta: u64,
+}
+
+/// Point-in-time cache counters (see [`BoundsCache::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the map.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+}
+
+/// Thread-safe memo of bound inversions keyed by quantized
+/// `(kind, tail, ε, ln δ)`.
+///
+/// Reads take the shared lock; a miss computes *outside* any lock (so a
+/// slow inversion never blocks readers) and then races benignly to
+/// insert — both contenders compute identical values.
+#[derive(Debug, Default)]
+pub struct BoundsCache {
+    map: RwLock<HashMap<Key, u64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl BoundsCache {
+    /// Upper bound on stored entries.
+    ///
+    /// The key space is user-controlled on a serving path (every distinct
+    /// script tolerance/reliability is a fresh `(ε, ln δ)` pair), so the
+    /// process-wide instance must not grow without bound. Reaching the cap
+    /// drops the whole map — always correct for a cache, and a full sweep
+    /// of 2¹⁶ distinct inversions re-warms in well under a minute.
+    pub const MAX_ENTRIES: usize = 1 << 16;
+
+    /// A fresh, empty cache (useful for isolation in tests; production
+    /// code shares [`BoundsCache::global`]).
+    #[must_use]
+    pub fn new() -> Self {
+        BoundsCache::default()
+    }
+
+    /// The process-wide shared instance.
+    pub fn global() -> &'static BoundsCache {
+        static GLOBAL: OnceLock<BoundsCache> = OnceLock::new();
+        GLOBAL.get_or_init(BoundsCache::new)
+    }
+
+    /// Look up the `(kind, tail, eps, ln_delta)` inversion, computing and
+    /// storing it on a miss.
+    ///
+    /// Only successful computations are cached; errors always propagate
+    /// and are re-derived on the next call.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `compute` returns.
+    pub fn sample_size_with(
+        &self,
+        kind: BoundKind,
+        tail: Tail,
+        eps: f64,
+        ln_delta: f64,
+        compute: impl FnOnce() -> Result<u64, BoundsError>,
+    ) -> Result<u64, BoundsError> {
+        let key = Key {
+            kind,
+            tail,
+            eps: quantize(eps),
+            ln_delta: quantize(ln_delta),
+        };
+        if let Some(&n) = self.map.read().expect("bounds cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(n);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let n = compute()?;
+        let mut map = self.map.write().expect("bounds cache poisoned");
+        if map.len() >= Self::MAX_ENTRIES {
+            map.clear();
+        }
+        map.insert(key, n);
+        Ok(n)
+    }
+
+    /// Current hit/miss/size counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.read().expect("bounds cache poisoned").len(),
+        }
+    }
+
+    /// Drop all entries (counters are kept; mainly for tests).
+    pub fn clear(&self) {
+        self.map.write().expect("bounds cache poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let cache = BoundsCache::new();
+        let mut computed = 0u32;
+        for _ in 0..3 {
+            let n = cache
+                .sample_size_with(
+                    BoundKind::ExactBinomialSampleSize,
+                    Tail::TwoSided,
+                    0.05,
+                    (0.001f64).ln(),
+                    || {
+                        computed += 1;
+                        Ok(2_500)
+                    },
+                )
+                .unwrap();
+            assert_eq!(n, 2_500);
+        }
+        assert_eq!(computed, 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (2, 1, 1));
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = BoundsCache::new();
+        let err = cache.sample_size_with(
+            BoundKind::ExactBinomialSampleSize,
+            Tail::TwoSided,
+            0.05,
+            -3.0,
+            || Err(BoundsError::ZeroSampleSize),
+        );
+        assert!(err.is_err());
+        assert_eq!(cache.stats().entries, 0);
+        // The next call recomputes and may succeed.
+        let ok = cache.sample_size_with(
+            BoundKind::ExactBinomialSampleSize,
+            Tail::TwoSided,
+            0.05,
+            -3.0,
+            || Ok(7),
+        );
+        assert_eq!(ok.unwrap(), 7);
+    }
+
+    #[test]
+    fn quantization_merges_last_ulp_noise_but_separates_real_inputs() {
+        let cache = BoundsCache::new();
+        let base = 0.05f64;
+        let wiggled = f64::from_bits(base.to_bits() + 3); // ~1e-18 apart
+        let k = BoundKind::ExactBinomialSampleSize;
+        cache
+            .sample_size_with(k, Tail::TwoSided, base, -5.0, || Ok(1))
+            .unwrap();
+        let hit = cache
+            .sample_size_with(k, Tail::TwoSided, wiggled, -5.0, || Ok(2))
+            .unwrap();
+        assert_eq!(hit, 1, "sub-grain wiggle must share the entry");
+        let other = cache
+            .sample_size_with(k, Tail::TwoSided, 0.06, -5.0, || Ok(3))
+            .unwrap();
+        assert_eq!(other, 3, "distinct eps must get its own entry");
+        // Distinct tails are distinct keys.
+        let one_sided = cache
+            .sample_size_with(k, Tail::OneSided, base, -5.0, || Ok(4))
+            .unwrap();
+        assert_eq!(one_sided, 4);
+    }
+
+    #[test]
+    fn entry_count_is_bounded() {
+        let cache = BoundsCache::new();
+        let base = 0.05f64.to_bits();
+        // One more distinct quantized key than the cap: the overflow insert
+        // must drop the map instead of growing past MAX_ENTRIES.
+        for i in 0..=BoundsCache::MAX_ENTRIES as u64 {
+            let eps = f64::from_bits(base + (i << 8));
+            cache
+                .sample_size_with(
+                    BoundKind::ExactBinomialSampleSize,
+                    Tail::TwoSided,
+                    eps,
+                    -5.0,
+                    || Ok(i),
+                )
+                .unwrap();
+        }
+        let entries = cache.stats().entries;
+        assert!(
+            (1..=BoundsCache::MAX_ENTRIES).contains(&entries),
+            "entries = {entries}"
+        );
+    }
+
+    #[test]
+    fn cache_is_send_sync_and_concurrent() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BoundsCache>();
+        let cache = std::sync::Arc::new(BoundsCache::new());
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let cache = std::sync::Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..200 {
+                        let eps = 0.01 + ((t * 7 + i) % 5) as f64 * 0.01;
+                        let n = cache
+                            .sample_size_with(
+                                BoundKind::ExactBinomialSampleSize,
+                                Tail::TwoSided,
+                                eps,
+                                -6.0,
+                                || Ok((eps * 1e6) as u64),
+                            )
+                            .unwrap();
+                        assert_eq!(n, (eps * 1e6) as u64);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cache.stats().entries, 5);
+    }
+}

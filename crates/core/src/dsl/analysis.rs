@@ -69,7 +69,11 @@ impl LinearForm {
     /// Variables with non-zero coefficient, in canonical order.
     #[must_use]
     pub fn active_variables(&self) -> Vec<Var> {
-        Var::ALL.iter().copied().filter(|&v| self.coefficient(v) != 0.0).collect()
+        Var::ALL
+            .iter()
+            .copied()
+            .filter(|&v| self.coefficient(v) != 0.0)
+            .collect()
     }
 
     /// Dynamic range of the linear combination: each variable spans

@@ -126,7 +126,13 @@ impl Expr {
     pub fn variables(&self) -> Vec<Var> {
         let mut present = [false; 3];
         self.mark_vars(&mut present);
-        Var::ALL.iter().copied().zip(present).filter(|&(_, p)| p).map(|(v, _)| v).collect()
+        Var::ALL
+            .iter()
+            .copied()
+            .zip(present)
+            .filter(|&(_, p)| p)
+            .map(|(v, _)| v)
+            .collect()
     }
 
     fn mark_vars(&self, present: &mut [bool; 3]) {
@@ -224,13 +230,22 @@ impl Clause {
     /// Create a clause; see the type-level docs for the semantics.
     #[must_use]
     pub fn new(expr: Expr, cmp: CmpOp, threshold: f64, tolerance: f64) -> Self {
-        Clause { expr, cmp, threshold, tolerance }
+        Clause {
+            expr,
+            cmp,
+            threshold,
+            tolerance,
+        }
     }
 }
 
 impl fmt::Display for Clause {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {} {} +/- {}", self.expr, self.cmp, self.threshold, self.tolerance)
+        write!(
+            f,
+            "{} {} {} +/- {}",
+            self.expr, self.cmp, self.threshold, self.tolerance
+        )
     }
 }
 
@@ -282,7 +297,13 @@ impl Formula {
                 }] = true;
             }
         }
-        Var::ALL.iter().copied().zip(present).filter(|&(_, p)| p).map(|(v, _)| v).collect()
+        Var::ALL
+            .iter()
+            .copied()
+            .zip(present)
+            .filter(|&(_, p)| p)
+            .map(|(v, _)| v)
+            .collect()
     }
 
     /// Whether any referenced variable requires ground-truth labels.
@@ -326,10 +347,16 @@ mod tests {
         let e = Expr::scale(2.0, diff());
         assert_eq!(e.to_string(), "2 * (n - o)");
         // Right-associated subtraction needs parens to keep its meaning.
-        let e = Expr::sub(Expr::var(Var::N), Expr::add(Expr::var(Var::O), Expr::var(Var::D)));
+        let e = Expr::sub(
+            Expr::var(Var::N),
+            Expr::add(Expr::var(Var::O), Expr::var(Var::D)),
+        );
         assert_eq!(e.to_string(), "n - (o + d)");
         // Left-associated subtraction does not.
-        let e = Expr::sub(Expr::sub(Expr::var(Var::N), Expr::var(Var::O)), Expr::var(Var::D));
+        let e = Expr::sub(
+            Expr::sub(Expr::var(Var::N), Expr::var(Var::O)),
+            Expr::var(Var::D),
+        );
         assert_eq!(e.to_string(), "n - o - d");
     }
 
@@ -368,8 +395,9 @@ mod tests {
 
     #[test]
     fn collect_into_formula() {
-        let f: Formula =
-            vec![Clause::new(Expr::var(Var::N), CmpOp::Gt, 0.8, 0.05)].into_iter().collect();
+        let f: Formula = vec![Clause::new(Expr::var(Var::N), CmpOp::Gt, 0.8, 0.05)]
+            .into_iter()
+            .collect();
         assert_eq!(f.len(), 1);
         assert!(!f.is_empty());
     }

@@ -31,7 +31,11 @@ use crate::error::ParseError;
 /// ```
 pub fn parse_formula(src: &str) -> Result<Formula, ParseError> {
     let tokens = tokenize(src)?;
-    let mut parser = Parser { tokens: &tokens, pos: 0, src_len: src.len() };
+    let mut parser = Parser {
+        tokens: &tokens,
+        pos: 0,
+        src_len: src.len(),
+    };
     let formula = parser.formula()?;
     parser.expect_end()?;
     Ok(formula)
@@ -44,7 +48,11 @@ pub fn parse_formula(src: &str) -> Result<Formula, ParseError> {
 /// Same conditions as [`parse_formula`].
 pub fn parse_clause(src: &str) -> Result<Clause, ParseError> {
     let tokens = tokenize(src)?;
-    let mut parser = Parser { tokens: &tokens, pos: 0, src_len: src.len() };
+    let mut parser = Parser {
+        tokens: &tokens,
+        pos: 0,
+        src_len: src.len(),
+    };
     let clause = parser.clause()?;
     parser.expect_end()?;
     Ok(clause)
@@ -57,7 +65,11 @@ pub fn parse_clause(src: &str) -> Result<Clause, ParseError> {
 /// Same conditions as [`parse_formula`].
 pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
     let tokens = tokenize(src)?;
-    let mut parser = Parser { tokens: &tokens, pos: 0, src_len: src.len() };
+    let mut parser = Parser {
+        tokens: &tokens,
+        pos: 0,
+        src_len: src.len(),
+    };
     let node = parser.expr()?;
     parser.expect_end()?;
     let expr = node.into_linear_expr()?;
@@ -115,7 +127,10 @@ impl<'a> Parser<'a> {
         } else {
             Err(ParseError::new(
                 self.here(),
-                format!("unexpected trailing input `{}`", self.tokens[self.pos].token),
+                format!(
+                    "unexpected trailing input `{}`",
+                    self.tokens[self.pos].token
+                ),
             ))
         }
     }
@@ -280,7 +295,11 @@ fn combine_additive(lhs: Node, rhs: Node, op: char) -> Result<Node, ParseError> 
         (Node::Const(c, at), _) => reject(c, at),
         (_, Node::Const(c, at)) => reject(c, at),
         (Node::Linear(a, at), Node::Linear(b, _)) => {
-            let expr = if op == '+' { Expr::add(a, b) } else { Expr::sub(a, b) };
+            let expr = if op == '+' {
+                Expr::add(a, b)
+            } else {
+                Expr::sub(a, b)
+            };
             Ok(Node::Linear(expr, at))
         }
     }
@@ -346,7 +365,10 @@ mod tests {
     #[test]
     fn unary_minus() {
         let e = parse_expr("-o + n").unwrap();
-        assert_eq!(e, Expr::add(Expr::scale(-1.0, Expr::var(Var::O)), Expr::var(Var::N)));
+        assert_eq!(
+            e,
+            Expr::add(Expr::scale(-1.0, Expr::var(Var::O)), Expr::var(Var::N))
+        );
         let c = parse_clause("n > -0.1 +/- 0.05").unwrap();
         assert_eq!(c.threshold, -0.1);
     }

@@ -81,45 +81,75 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, ParseError> {
                         format!("unknown identifier starting with `{c}` (variables are n, o, d)"),
                     ));
                 }
-                out.push(Spanned { token: Token::Var(c), offset: i });
+                out.push(Spanned {
+                    token: Token::Var(c),
+                    offset: i,
+                });
                 i += 1;
             }
             '+' => {
                 if bytes[i..].starts_with(b"+/-") {
-                    out.push(Spanned { token: Token::PlusMinus, offset: i });
+                    out.push(Spanned {
+                        token: Token::PlusMinus,
+                        offset: i,
+                    });
                     i += 3;
                 } else {
-                    out.push(Spanned { token: Token::Plus, offset: i });
+                    out.push(Spanned {
+                        token: Token::Plus,
+                        offset: i,
+                    });
                     i += 1;
                 }
             }
             '-' => {
-                out.push(Spanned { token: Token::Minus, offset: i });
+                out.push(Spanned {
+                    token: Token::Minus,
+                    offset: i,
+                });
                 i += 1;
             }
             '*' => {
-                out.push(Spanned { token: Token::Star, offset: i });
+                out.push(Spanned {
+                    token: Token::Star,
+                    offset: i,
+                });
                 i += 1;
             }
             '>' => {
-                out.push(Spanned { token: Token::Gt, offset: i });
+                out.push(Spanned {
+                    token: Token::Gt,
+                    offset: i,
+                });
                 i += 1;
             }
             '<' => {
-                out.push(Spanned { token: Token::Lt, offset: i });
+                out.push(Spanned {
+                    token: Token::Lt,
+                    offset: i,
+                });
                 i += 1;
             }
             '(' => {
-                out.push(Spanned { token: Token::LParen, offset: i });
+                out.push(Spanned {
+                    token: Token::LParen,
+                    offset: i,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Spanned { token: Token::RParen, offset: i });
+                out.push(Spanned {
+                    token: Token::RParen,
+                    offset: i,
+                });
                 i += 1;
             }
             '/' => {
                 if bytes[i..].starts_with(b"/\\") {
-                    out.push(Spanned { token: Token::And, offset: i });
+                    out.push(Spanned {
+                        token: Token::And,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
                     return Err(ParseError::new(
@@ -160,13 +190,19 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, ParseError> {
                     ));
                 }
                 let text = &src[start..i];
-                let value: f64 = text.parse().map_err(|_| {
-                    ParseError::new(start, format!("malformed number `{text}`"))
-                })?;
-                out.push(Spanned { token: Token::Number(value), offset: start });
+                let value: f64 = text
+                    .parse()
+                    .map_err(|_| ParseError::new(start, format!("malformed number `{text}`")))?;
+                out.push(Spanned {
+                    token: Token::Number(value),
+                    offset: start,
+                });
             }
             other => {
-                return Err(ParseError::new(i, format!("unexpected character `{other}`")));
+                return Err(ParseError::new(
+                    i,
+                    format!("unexpected character `{other}`"),
+                ));
             }
         }
     }
@@ -178,7 +214,11 @@ mod tests {
     use super::*;
 
     fn toks(src: &str) -> Vec<Token> {
-        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
     }
 
     #[test]
@@ -209,11 +249,11 @@ mod tests {
 
     #[test]
     fn plus_vs_plus_minus() {
-        assert_eq!(toks("n + o"), vec![Token::Var('n'), Token::Plus, Token::Var('o')]);
         assert_eq!(
-            toks("+/- 0.5"),
-            vec![Token::PlusMinus, Token::Number(0.5)]
+            toks("n + o"),
+            vec![Token::Var('n'), Token::Plus, Token::Var('o')]
         );
+        assert_eq!(toks("+/- 0.5"), vec![Token::PlusMinus, Token::Number(0.5)]);
     }
 
     #[test]

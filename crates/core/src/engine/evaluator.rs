@@ -65,12 +65,26 @@ impl<'a> Measurement<'a> {
     ) -> Result<Self> {
         let want = testset.len();
         if old.len() != want {
-            return Err(EngineError::PredictionLengthMismatch { got: old.len(), want }.into());
+            return Err(EngineError::PredictionLengthMismatch {
+                got: old.len(),
+                want,
+            }
+            .into());
         }
         if new.len() != want {
-            return Err(EngineError::PredictionLengthMismatch { got: new.len(), want }.into());
+            return Err(EngineError::PredictionLengthMismatch {
+                got: new.len(),
+                want,
+            }
+            .into());
         }
-        Ok(Measurement { testset, oracle, old, new, labels_requested: 0 })
+        Ok(Measurement {
+            testset,
+            oracle,
+            old,
+            new,
+            labels_requested: 0,
+        })
     }
 
     /// Fresh labels pulled from the oracle so far.
@@ -83,8 +97,10 @@ impl<'a> Measurement<'a> {
     #[must_use]
     pub fn difference(&self, range: Range<usize>) -> f64 {
         let len = range.len().max(1);
-        let changed =
-            range.clone().filter(|&i| self.new[i] != self.old[i]).count();
+        let changed = range
+            .clone()
+            .filter(|&i| self.new[i] != self.old[i])
+            .count();
         changed as f64 / len as f64
     }
 
@@ -160,7 +176,11 @@ impl<'a> Measurement<'a> {
         let a_n = form.coefficient(Var::N);
         let a_o = form.coefficient(Var::O);
         let a_d = form.coefficient(Var::D);
-        let d_part = if a_d != 0.0 { a_d * self.difference(range.clone()) } else { 0.0 };
+        let d_part = if a_d != 0.0 {
+            a_d * self.difference(range.clone())
+        } else {
+            0.0
+        };
         if a_n == 0.0 && a_o == 0.0 {
             return Ok(d_part);
         }
@@ -168,8 +188,16 @@ impl<'a> Measurement<'a> {
             let diff = self.accuracy_difference(range)?;
             return Ok(a_n * diff + d_part);
         }
-        let n_part = if a_n != 0.0 { a_n * self.new_accuracy(range.clone())? } else { 0.0 };
-        let o_part = if a_o != 0.0 { a_o * self.old_accuracy(range)? } else { 0.0 };
+        let n_part = if a_n != 0.0 {
+            a_n * self.new_accuracy(range.clone())?
+        } else {
+            0.0
+        };
+        let o_part = if a_o != 0.0 {
+            a_o * self.old_accuracy(range)?
+        } else {
+            0.0
+        };
         Ok(n_part + o_part + d_part)
     }
 }
@@ -241,8 +269,7 @@ mod tests {
         {
             let mut testset = Testset::unlabeled(10);
             let mut oracle = VecOracle::new(labels.clone());
-            let mut m =
-                Measurement::new(&mut testset, Some(&mut oracle), &old, &new).unwrap();
+            let mut m = Measurement::new(&mut testset, Some(&mut oracle), &old, &new).unwrap();
             let clause = parse_clause("n - o > 0.0 +/- 0.05").unwrap();
             assert!((m.clause_lhs(&clause, 0..10).unwrap() - 0.1).abs() < 1e-12);
             assert_eq!(m.labels_requested(), 1);
@@ -251,8 +278,7 @@ mod tests {
         {
             let mut testset = Testset::unlabeled(10);
             let mut oracle = VecOracle::new(labels.clone());
-            let mut m =
-                Measurement::new(&mut testset, Some(&mut oracle), &old, &new).unwrap();
+            let mut m = Measurement::new(&mut testset, Some(&mut oracle), &old, &new).unwrap();
             let clause = parse_clause("2 * (n - o) > 0.0 +/- 0.05").unwrap();
             assert!((m.clause_lhs(&clause, 0..10).unwrap() - 0.2).abs() < 1e-12);
             assert_eq!(m.labels_requested(), 1);
@@ -261,8 +287,7 @@ mod tests {
         {
             let mut testset = Testset::unlabeled(10);
             let mut oracle = VecOracle::new(labels);
-            let mut m =
-                Measurement::new(&mut testset, Some(&mut oracle), &old, &new).unwrap();
+            let mut m = Measurement::new(&mut testset, Some(&mut oracle), &old, &new).unwrap();
             let clause = parse_clause("n > 0.5 +/- 0.1").unwrap();
             assert!((m.clause_lhs(&clause, 0..10).unwrap() - 0.9).abs() < 1e-12);
             assert_eq!(m.labels_requested(), 10);

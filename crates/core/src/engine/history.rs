@@ -83,7 +83,10 @@ impl CommitHistory {
     /// Total fresh labels requested across all evaluations.
     #[must_use]
     pub fn total_labels_requested(&self) -> u64 {
-        self.entries.iter().map(|e| e.estimates.labels_requested).sum()
+        self.entries
+            .iter()
+            .map(|e| e.estimates.labels_requested)
+            .sum()
     }
 }
 
@@ -135,7 +138,11 @@ mod tests {
                 diff: Some(0.01),
                 labels_requested: labels,
             },
-            outcome: if passed { Tribool::True } else { Tribool::Unknown },
+            outcome: if passed {
+                Tribool::True
+            } else {
+                Tribool::Unknown
+            },
             passed,
             accepted: passed,
         }

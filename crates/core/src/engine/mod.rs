@@ -48,7 +48,10 @@ impl ModelCommit {
     /// Create a commit.
     #[must_use]
     pub fn new(id: impl Into<String>, predictions: Vec<u32>) -> Self {
-        ModelCommit { id: id.into(), predictions }
+        ModelCommit {
+            id: id.into(),
+            predictions,
+        }
     }
 }
 
@@ -91,9 +94,16 @@ enum Layout {
     },
     /// Pattern 2: unlabeled probe range for `d`, labelled range whose
     /// *used prefix* is sized by the observed difference.
-    ProbeTest { probe: Range<usize>, test_full: Range<usize>, plan: ImplicitVariancePlan },
+    ProbeTest {
+        probe: Range<usize>,
+        test_full: Range<usize>,
+        plan: ImplicitVariancePlan,
+    },
     /// Pattern 3: coarse labelled range, fine labelled range.
-    CoarseFine { coarse: Range<usize>, fine: Range<usize> },
+    CoarseFine {
+        coarse: Range<usize>,
+        fine: Range<usize>,
+    },
 }
 
 /// The CI engine. See the module docs for the lifecycle.
@@ -139,7 +149,12 @@ impl CiEngine {
     /// [`EngineError::PredictionLengthMismatch`] if the old model's
     /// predictions do not cover the pool.
     pub fn new(script: CiScript, testset: Testset, old_predictions: Vec<u32>) -> Result<Self> {
-        Self::with_estimator(script, testset, old_predictions, &SampleSizeEstimator::new())
+        Self::with_estimator(
+            script,
+            testset,
+            old_predictions,
+            &SampleSizeEstimator::new(),
+        )
     }
 
     /// Like [`CiEngine::new`] with an explicit estimator configuration.
@@ -156,7 +171,11 @@ impl CiEngine {
         let estimate = estimator.estimate(&script)?;
         let want = estimate.total_samples();
         if (testset.len() as u64) < want {
-            return Err(EngineError::TestsetTooSmall { got: testset.len(), want }.into());
+            return Err(EngineError::TestsetTooSmall {
+                got: testset.len(),
+                want,
+            }
+            .into());
         }
         let layout = Self::build_layout(&script, &estimate, testset.len())?;
         if old_predictions.len() != testset.len() {
@@ -206,14 +225,20 @@ impl CiEngine {
     ) -> Result<Layout> {
         let to_usize = |v: u64| -> Result<usize> {
             usize::try_from(v).map_err(|_| {
-                CiError::Semantic(format!("required sample count {v} exceeds addressable size"))
+                CiError::Semantic(format!(
+                    "required sample count {v} exceeds addressable size"
+                ))
             })
         };
         match &estimate.provenance {
             EstimateProvenance::Baseline => Ok(Layout::Single { test: 0..pool_len }),
             EstimateProvenance::Optimized(OptimizedPlan::Hierarchical(plan)) => {
-                let shapes: Vec<ClauseShape> =
-                    script.condition().clauses().iter().map(classify_clause).collect();
+                let shapes: Vec<ClauseShape> = script
+                    .condition()
+                    .clauses()
+                    .iter()
+                    .map(classify_clause)
+                    .collect();
                 let diff_clause = shapes
                     .iter()
                     .position(|s| matches!(s, ClauseShape::DifferenceBound { .. }))
@@ -234,11 +259,18 @@ impl CiEngine {
             }
             EstimateProvenance::Optimized(OptimizedPlan::ImplicitVariance(plan)) => {
                 let p = to_usize(plan.probe.samples)?;
-                Ok(Layout::ProbeTest { probe: 0..p, test_full: p..pool_len, plan: plan.clone() })
+                Ok(Layout::ProbeTest {
+                    probe: 0..p,
+                    test_full: p..pool_len,
+                    plan: plan.clone(),
+                })
             }
             EstimateProvenance::Optimized(OptimizedPlan::CoarseToFine(plan)) => {
                 let c = to_usize(plan.coarse.samples)?;
-                Ok(Layout::CoarseFine { coarse: 0..c, fine: c..pool_len })
+                Ok(Layout::CoarseFine {
+                    coarse: 0..c,
+                    fine: c..pool_len,
+                })
             }
         }
     }
@@ -258,7 +290,10 @@ impl CiEngine {
             return Err(EngineError::TestsetRetired.into());
         }
         if self.steps_used >= self.script.steps() {
-            return Err(EngineError::BudgetExhausted { steps: self.script.steps() }.into());
+            return Err(EngineError::BudgetExhausted {
+                steps: self.script.steps(),
+            }
+            .into());
         }
         let (outcome, estimates) = self.measure(commit)?;
         let passed = self.script.mode().decide(outcome);
@@ -296,8 +331,10 @@ impl CiEngine {
             step,
         });
         if let Some(reason) = alarm {
-            self.sink
-                .notify(&CiEvent::NewTestsetAlarm { reason, steps_used: self.steps_used });
+            self.sink.notify(&CiEvent::NewTestsetAlarm {
+                reason,
+                steps_used: self.steps_used,
+            });
         }
         self.history.push(HistoryEntry {
             commit_id: commit.id.clone(),
@@ -339,10 +376,16 @@ impl CiEngine {
                     record_estimate(&mut est, clause, lhs);
                     verdicts.push(evaluate_clause_at(clause, lhs));
                 }
-                est.d.get_or_insert_with(|| measurement.difference(test.clone()));
+                est.d
+                    .get_or_insert_with(|| measurement.difference(test.clone()));
                 Tribool::all(verdicts)
             }
-            Layout::FilterTest { filter, test, diff_clause, improv_clause } => {
+            Layout::FilterTest {
+                filter,
+                test,
+                diff_clause,
+                improv_clause,
+            } => {
                 // Filter step: unlabeled d̂; a certain `False` here skips
                 // the labelling phase entirely.
                 let d_hat = measurement.difference(filter.clone());
@@ -351,13 +394,16 @@ impl CiEngine {
                 if d_verdict == Tribool::False {
                     Tribool::False
                 } else {
-                    let lhs =
-                        measurement.clause_lhs(&clauses[*improv_clause], test.clone())?;
+                    let lhs = measurement.clause_lhs(&clauses[*improv_clause], test.clone())?;
                     record_estimate(&mut est, &clauses[*improv_clause], lhs);
                     d_verdict & evaluate_clause_at(&clauses[*improv_clause], lhs)
                 }
             }
-            Layout::ProbeTest { probe, test_full, plan } => {
+            Layout::ProbeTest {
+                probe,
+                test_full,
+                plan,
+            } => {
                 // With a known a-priori variance bound there is no probe
                 // phase and the whole pool serves the test; otherwise the
                 // labelled prefix is sized by the observed difference.
@@ -417,7 +463,11 @@ impl CiEngine {
     ) -> Result<Testset> {
         let want = self.estimate.total_samples();
         if (testset.len() as u64) < want {
-            return Err(EngineError::TestsetTooSmall { got: testset.len(), want }.into());
+            return Err(EngineError::TestsetTooSmall {
+                got: testset.len(),
+                want,
+            }
+            .into());
         }
         if old_predictions.len() != testset.len() {
             return Err(EngineError::PredictionLengthMismatch {
@@ -429,8 +479,12 @@ impl CiEngine {
         // Phase ranges depend on the pool size; rebuild for the new era.
         self.layout = Self::build_layout(&self.script, &self.estimate, testset.len())?;
         let released = std::mem::replace(&mut self.testset, testset);
-        self.sink.notify(&CiEvent::TestsetReleased { size: released.len() });
-        self.sink.notify(&CiEvent::TestsetInstalled { size: self.testset.len() });
+        self.sink.notify(&CiEvent::TestsetReleased {
+            size: released.len(),
+        });
+        self.sink.notify(&CiEvent::TestsetInstalled {
+            size: self.testset.len(),
+        });
         self.old_predictions = old_predictions;
         self.steps_used = 0;
         self.retired = false;

@@ -119,7 +119,10 @@ impl MailboxSink {
     /// A mailbox for the given address.
     #[must_use]
     pub fn new(address: impl Into<String>) -> Self {
-        MailboxSink { address: address.into(), messages: Vec::new() }
+        MailboxSink {
+            address: address.into(),
+            messages: Vec::new(),
+        }
     }
 
     /// The mailbox address.
@@ -138,7 +141,12 @@ impl MailboxSink {
 impl NotificationSink for MailboxSink {
     fn notify(&mut self, event: &CiEvent) {
         let body = match event {
-            CiEvent::CommitTested { commit_id, outcome, passed, step } => format!(
+            CiEvent::CommitTested {
+                commit_id,
+                outcome,
+                passed,
+                step,
+            } => format!(
                 "to: {} | commit {commit_id} (step {step}): outcome {outcome}, {}",
                 self.address,
                 if *passed { "PASS" } else { "FAIL" }
@@ -148,7 +156,10 @@ impl NotificationSink for MailboxSink {
                 self.address
             ),
             CiEvent::TestsetInstalled { size } => {
-                format!("to: {} | new testset installed ({size} examples)", self.address)
+                format!(
+                    "to: {} | new testset installed ({size} examples)",
+                    self.address
+                )
             }
             CiEvent::TestsetReleased { size } => format!(
                 "to: {} | old testset released to developers ({size} examples)",
@@ -186,7 +197,10 @@ mod tests {
         sink.notify(&sample_event());
         sink.notify(&CiEvent::TestsetInstalled { size: 10 });
         assert_eq!(sink.events().len(), 2);
-        assert!(matches!(sink.events()[1], CiEvent::TestsetInstalled { size: 10 }));
+        assert!(matches!(
+            sink.events()[1],
+            CiEvent::TestsetInstalled { size: 10 }
+        ));
     }
 
     #[test]
@@ -220,6 +234,8 @@ mod tests {
     #[test]
     fn alarm_reason_display() {
         assert!(AlarmReason::BudgetExhausted.to_string().contains("budget"));
-        assert!(AlarmReason::PassedInHybrid.to_string().contains("firstChange"));
+        assert!(AlarmReason::PassedInHybrid
+            .to_string()
+            .contains("firstChange"));
     }
 }

@@ -20,14 +20,20 @@ impl Testset {
     #[must_use]
     pub fn fully_labeled(labels: Vec<u32>) -> Self {
         let known = labels.len();
-        Testset { labels: labels.into_iter().map(Some).collect(), known }
+        Testset {
+            labels: labels.into_iter().map(Some).collect(),
+            known,
+        }
     }
 
     /// A pool of `size` items with no labels yet (labels arrive through a
     /// [`LabelOracle`]).
     #[must_use]
     pub fn unlabeled(size: usize) -> Self {
-        Testset { labels: vec![None; size], known: 0 }
+        Testset {
+            labels: vec![None; size],
+            known: 0,
+        }
     }
 
     /// A pool with the given partial labelling.

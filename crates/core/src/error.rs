@@ -85,7 +85,10 @@ pub struct ParseError {
 impl ParseError {
     /// Create a parse error at `offset` with the given message.
     pub fn new(offset: usize, message: impl Into<String>) -> Self {
-        ParseError { offset, message: message.into() }
+        ParseError {
+            offset,
+            message: message.into(),
+        }
     }
 }
 
@@ -109,12 +112,18 @@ pub struct ScriptError {
 impl ScriptError {
     /// Create a script error with no line attribution.
     pub fn new(message: impl Into<String>) -> Self {
-        ScriptError { line: None, message: message.into() }
+        ScriptError {
+            line: None,
+            message: message.into(),
+        }
     }
 
     /// Create a script error attributed to a 1-based line number.
     pub fn at_line(line: usize, message: impl Into<String>) -> Self {
-        ScriptError { line: Some(line), message: message.into() }
+        ScriptError {
+            line: Some(line),
+            message: message.into(),
+        }
     }
 }
 
@@ -167,19 +176,31 @@ impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::BudgetExhausted { steps } => {
-                write!(f, "testset budget of {steps} evaluations is exhausted; provide a fresh testset")
+                write!(
+                    f,
+                    "testset budget of {steps} evaluations is exhausted; provide a fresh testset"
+                )
             }
             EngineError::PredictionLengthMismatch { got, want } => {
-                write!(f, "commit supplied {got} predictions but the testset has {want} examples")
+                write!(
+                    f,
+                    "commit supplied {got} predictions but the testset has {want} examples"
+                )
             }
             EngineError::TestsetTooSmall { got, want } => {
-                write!(f, "testset has {got} examples but the condition requires {want}")
+                write!(
+                    f,
+                    "testset has {got} examples but the condition requires {want}"
+                )
             }
             EngineError::LabelUnavailable { index } => {
                 write!(f, "no label available for testset item {index}")
             }
             EngineError::TestsetRetired => {
-                write!(f, "the current testset is retired; install a fresh testset to continue")
+                write!(
+                    f,
+                    "the current testset is retired; install a fresh testset to continue"
+                )
             }
         }
     }

@@ -14,11 +14,10 @@
 //! `εᵢ ∝ |αᵢ|`, which solves the paper's §3.1 min-max optimization
 //! exactly when every leaf uses the same bound.
 
+use crate::cache::{BoundKind, BoundsCache, CachePolicy};
 use crate::dsl::{Clause, Expr, Formula, LinearForm, Var};
 use crate::error::{CiError, Result};
-use easeml_bounds::{
-    exact_binomial_sample_size, hoeffding_sample_size_from_ln_delta, Tail,
-};
+use easeml_bounds::{exact_binomial_sample_size, hoeffding_sample_size_from_ln_delta, Tail};
 
 /// How the per-clause `ε` budget is divided among the variables of a
 /// compound expression.
@@ -86,6 +85,31 @@ pub fn clause_sample_size(
     leaf_bound: LeafBound,
     tail: Tail,
 ) -> Result<ClauseEstimate> {
+    clause_sample_size_with_cache(
+        clause,
+        ln_delta,
+        allocation,
+        leaf_bound,
+        tail,
+        CachePolicy::Shared,
+    )
+}
+
+/// [`clause_sample_size`] with explicit control over the shared
+/// [`BoundsCache`] (benches and property tests use
+/// [`CachePolicy::Bypass`] to measure/validate the uncached path).
+///
+/// # Errors
+///
+/// Same conditions as [`clause_sample_size`].
+pub fn clause_sample_size_with_cache(
+    clause: &Clause,
+    ln_delta: f64,
+    allocation: Allocation,
+    leaf_bound: LeafBound,
+    tail: Tail,
+    cache: CachePolicy,
+) -> Result<ClauseEstimate> {
     let leaves = match allocation {
         Allocation::EqualSplit => equal_split_leaves(&clause.expr, clause.tolerance, ln_delta)?,
         Allocation::Proportional => proportional_leaves(clause, ln_delta)?,
@@ -93,11 +117,29 @@ pub fn clause_sample_size(
     let mut out = Vec::with_capacity(leaves.len());
     let mut max_samples = 0u64;
     for (var, coefficient, epsilon, leaf_ln_delta) in leaves {
-        let samples = leaf_samples(var, coefficient, epsilon, leaf_ln_delta, leaf_bound, tail)?;
+        let samples = leaf_samples(
+            var,
+            coefficient,
+            epsilon,
+            leaf_ln_delta,
+            leaf_bound,
+            tail,
+            cache,
+        )?;
         max_samples = max_samples.max(samples);
-        out.push(LeafEstimate { var, coefficient, epsilon, ln_delta: leaf_ln_delta, samples });
+        out.push(LeafEstimate {
+            var,
+            coefficient,
+            epsilon,
+            ln_delta: leaf_ln_delta,
+            samples,
+        });
     }
-    Ok(ClauseEstimate { clause: clause.to_string(), leaves: out, samples: max_samples })
+    Ok(ClauseEstimate {
+        clause: clause.to_string(),
+        leaves: out,
+        samples: max_samples,
+    })
 }
 
 /// Estimate the samples needed for a whole formula at a per-test budget of
@@ -113,6 +155,30 @@ pub fn formula_sample_size(
     leaf_bound: LeafBound,
     tail: Tail,
 ) -> Result<(u64, Vec<ClauseEstimate>)> {
+    formula_sample_size_with_cache(
+        formula,
+        ln_delta,
+        allocation,
+        leaf_bound,
+        tail,
+        CachePolicy::Shared,
+    )
+}
+
+/// [`formula_sample_size`] with explicit control over the shared
+/// [`BoundsCache`].
+///
+/// # Errors
+///
+/// Propagates the per-clause error conditions.
+pub fn formula_sample_size_with_cache(
+    formula: &Formula,
+    ln_delta: f64,
+    allocation: Allocation,
+    leaf_bound: LeafBound,
+    tail: Tail,
+    cache: CachePolicy,
+) -> Result<(u64, Vec<ClauseEstimate>)> {
     if formula.is_empty() {
         return Err(CiError::Semantic("formula has no clauses".into()));
     }
@@ -121,7 +187,14 @@ pub fn formula_sample_size(
     let mut estimates = Vec::with_capacity(formula.len());
     let mut max_samples = 0u64;
     for clause in formula.clauses() {
-        let est = clause_sample_size(clause, per_clause_ln_delta, allocation, leaf_bound, tail)?;
+        let est = clause_sample_size_with_cache(
+            clause,
+            per_clause_ln_delta,
+            allocation,
+            leaf_bound,
+            tail,
+            cache,
+        )?;
         max_samples = max_samples.max(est.samples);
         estimates.push(est);
     }
@@ -137,18 +210,35 @@ fn leaf_samples(
     ln_delta: f64,
     leaf_bound: LeafBound,
     tail: Tail,
+    cache: CachePolicy,
 ) -> Result<u64> {
     let effective_eps = epsilon / coefficient.abs();
     match leaf_bound {
         LeafBound::Hoeffding => {
-            Ok(hoeffding_sample_size_from_ln_delta(var.range(), effective_eps, ln_delta, tail)?)
+            // Closed-form and nanosecond-scale: cheaper than a cache probe.
+            Ok(hoeffding_sample_size_from_ln_delta(
+                var.range(),
+                effective_eps,
+                ln_delta,
+                tail,
+            )?)
         }
         LeafBound::ExactBinomial => {
             // Exact inversion needs a linear-space δ; fall back to
             // Hoeffding when the adaptive budget underflows.
             let delta = ln_delta.exp();
             if delta > 0.0 && effective_eps < 1.0 {
-                Ok(exact_binomial_sample_size(effective_eps, delta, tail)?)
+                let invert = || exact_binomial_sample_size(effective_eps, delta, tail);
+                Ok(match cache {
+                    CachePolicy::Shared => BoundsCache::global().sample_size_with(
+                        BoundKind::ExactBinomialSampleSize,
+                        tail,
+                        effective_eps,
+                        ln_delta,
+                        invert,
+                    )?,
+                    CachePolicy::Bypass => invert()?,
+                })
             } else {
                 Ok(hoeffding_sample_size_from_ln_delta(
                     var.range(),
@@ -166,13 +256,7 @@ type Leaf = (Var, f64, f64, f64); // var, |coef|, epsilon, ln_delta
 /// Literal tree recursion: each `+`/`-` halves ε and δ; each scale node
 /// multiplies the coefficient.
 fn equal_split_leaves(expr: &Expr, eps: f64, ln_delta: f64) -> Result<Vec<Leaf>> {
-    fn walk(
-        expr: &Expr,
-        coef: f64,
-        eps: f64,
-        ln_delta: f64,
-        out: &mut Vec<Leaf>,
-    ) -> Result<()> {
+    fn walk(expr: &Expr, coef: f64, eps: f64, ln_delta: f64, out: &mut Vec<Leaf>) -> Result<()> {
         match expr {
             Expr::Var(v) => {
                 if coef == 0.0 {
@@ -321,7 +405,12 @@ mod tests {
             Tail::OneSided,
         )
         .unwrap();
-        assert!(prop.samples < equal.samples, "{} !< {}", prop.samples, equal.samples);
+        assert!(
+            prop.samples < equal.samples,
+            "{} !< {}",
+            prop.samples,
+            equal.samples
+        );
         // Optimal max = (Σ|α|)² L / 2ε²  with Σ|α| = 2.1.
         let l = -(ln_delta - 2f64.ln()); // δ/2 per leaf
         let want = (2.1f64 * 2.1 * l / (2.0 * 0.01 * 0.01)).ceil() as u64;
@@ -361,8 +450,7 @@ mod tests {
     /// Formula conjunction takes the max over clauses at δ/k.
     #[test]
     fn formula_is_max_over_clauses() {
-        let formula =
-            parse_formula("n - o > 0.02 +/- 0.01 /\\ d < 0.1 +/- 0.01").unwrap();
+        let formula = parse_formula("n - o > 0.02 +/- 0.01 /\\ d < 0.1 +/- 0.01").unwrap();
         let ln_delta = (0.0001f64).ln();
         let (total, per_clause) = formula_sample_size(
             &formula,
@@ -382,8 +470,7 @@ mod tests {
     /// `n - 1.1*o > 0.01 ± 0.01 ∧ d < 0.1 ± 0.01`.
     #[test]
     fn section31_example_structure() {
-        let formula =
-            parse_formula("n - 1.1 * o > 0.01 +/- 0.01 /\\ d < 0.1 +/- 0.01").unwrap();
+        let formula = parse_formula("n - 1.1 * o > 0.01 +/- 0.01 /\\ d < 0.1 +/- 0.01").unwrap();
         let delta: f64 = 0.001;
         let (total, per_clause) = formula_sample_size(
             &formula,

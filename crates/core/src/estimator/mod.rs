@@ -25,15 +25,16 @@ mod baseline;
 mod pattern;
 
 pub use baseline::{
-    clause_sample_size, formula_sample_size, Allocation, ClauseEstimate, LeafBound, LeafEstimate,
+    clause_sample_size, clause_sample_size_with_cache, formula_sample_size,
+    formula_sample_size_with_cache, Allocation, ClauseEstimate, LeafBound, LeafEstimate,
 };
 pub use pattern::{
-    coarse_to_fine_plan, hierarchical_plan, implicit_variance_plan,
-    implicit_variance_test_phase, match_patterns, ActiveLabelingSchedule, CoarseToFinePlan,
-    HierarchicalPlan, ImplicitVariancePlan, OptimizedPlan, Pattern1Options, Pattern2Options,
-    PhaseEstimate,
+    coarse_to_fine_plan, hierarchical_plan, implicit_variance_plan, implicit_variance_test_phase,
+    match_patterns, ActiveLabelingSchedule, CoarseToFinePlan, HierarchicalPlan,
+    ImplicitVariancePlan, OptimizedPlan, Pattern1Options, Pattern2Options, PhaseEstimate,
 };
 
+use crate::cache::CachePolicy;
 use crate::error::Result;
 use crate::script::CiScript;
 use easeml_bounds::Tail;
@@ -63,6 +64,10 @@ pub struct EstimatorConfig {
     pub pattern1: Pattern1Options,
     /// Pattern 2 knobs.
     pub pattern2: Pattern2Options,
+    /// Whether expensive leaf inversions consult the shared
+    /// [`crate::BoundsCache`] (on by default; [`CachePolicy::Bypass`]
+    /// recomputes everything).
+    pub cache: CachePolicy,
 }
 
 impl Default for EstimatorConfig {
@@ -74,6 +79,7 @@ impl Default for EstimatorConfig {
             tail: Tail::OneSided,
             pattern1: Pattern1Options::default(),
             pattern2: Pattern2Options::default(),
+            cache: CachePolicy::Shared,
         }
     }
 }
@@ -124,7 +130,9 @@ impl SampleSizeEstimator {
     /// tail conventions).
     #[must_use]
     pub fn new() -> Self {
-        SampleSizeEstimator { config: EstimatorConfig::default() }
+        SampleSizeEstimator {
+            config: EstimatorConfig::default(),
+        }
     }
 
     /// Estimator with an explicit configuration.
@@ -170,12 +178,13 @@ impl SampleSizeEstimator {
             }
         }
 
-        let (samples, per_clause) = formula_sample_size(
+        let (samples, per_clause) = baseline::formula_sample_size_with_cache(
             script.condition(),
             ln_delta,
             self.config.allocation,
             self.config.leaf_bound,
             self.config.tail,
+            self.config.cache,
         )?;
         let needs_labels = script.condition().needs_labels();
         Ok(SampleSizeEstimate {
@@ -266,7 +275,10 @@ mod tests {
             32,
         );
         let est = SampleSizeEstimator::new().estimate(&s).unwrap();
-        assert_eq!(est.total_samples(), est.labeled_samples + est.unlabeled_samples);
+        assert_eq!(
+            est.total_samples(),
+            est.labeled_samples + est.unlabeled_samples
+        );
     }
 
     #[test]

@@ -145,7 +145,10 @@ pub struct Pattern1Options {
 
 impl Default for Pattern1Options {
     fn default() -> Self {
-        Pattern1Options { conservative_variance: false, tail: Tail::OneSided }
+        Pattern1Options {
+            conservative_variance: false,
+            tail: Tail::OneSided,
+        }
     }
 }
 
@@ -203,9 +206,7 @@ pub fn match_patterns(
             _ => None,
         });
         let improv = shapes.iter().find_map(|s| match s {
-            ClauseShape::AccuracyImprovement { margin, tolerance } => {
-                Some((*margin, *tolerance))
-            }
+            ClauseShape::AccuracyImprovement { margin, tolerance } => Some((*margin, *tolerance)),
             _ => None,
         });
         if let (Some((limit, d_tol)), Some((_, n_tol))) = (diff, improv) {
@@ -215,9 +216,11 @@ pub fn match_patterns(
     }
     if formula.len() == 1 {
         match shapes[0] {
-            ClauseShape::AccuracyImprovement { margin: _, tolerance } => {
-                let plan =
-                    implicit_variance_plan(tolerance, delta, steps, adaptivity, p2)?;
+            ClauseShape::AccuracyImprovement {
+                margin: _,
+                tolerance,
+            } => {
+                let plan = implicit_variance_plan(tolerance, delta, steps, adaptivity, p2)?;
                 return Ok(Some(OptimizedPlan::ImplicitVariance(plan)));
             }
             ClauseShape::QualityFloor { floor, tolerance } if floor >= 0.85 => {
@@ -255,19 +258,17 @@ pub fn hierarchical_plan(
         )));
     }
     if !(delta > 0.0 && delta < 1.0) {
-        return Err(CiError::Semantic(format!("delta must be in (0, 1), got {delta}")));
+        return Err(CiError::Semantic(format!(
+            "delta must be in (0, 1), got {delta}"
+        )));
     }
     let ln_mult = adaptivity.ln_multiplicity(steps);
 
     // Filter phase: unlabeled estimate of d to the clause tolerance, at
     // (δ/2) / multiplicity.
     let filter_ln_delta = delta.ln() - std::f64::consts::LN_2 - ln_mult;
-    let filter_samples = hoeffding_sample_size_from_ln_delta(
-        1.0,
-        diff_tolerance,
-        filter_ln_delta,
-        options.tail,
-    )?;
+    let filter_samples =
+        hoeffding_sample_size_from_ln_delta(1.0, diff_tolerance, filter_ln_delta, options.tail)?;
 
     // Variance bound for the Bennett step.
     let variance_bound = if options.conservative_variance {
@@ -345,7 +346,9 @@ pub fn implicit_variance_plan(
         )));
     }
     if !(delta > 0.0 && delta < 1.0) {
-        return Err(CiError::Semantic(format!("delta must be in (0, 1), got {delta}")));
+        return Err(CiError::Semantic(format!(
+            "delta must be in (0, 1), got {delta}"
+        )));
     }
     let ln_mult = adaptivity.ln_multiplicity(steps);
 
@@ -384,13 +387,8 @@ pub fn implicit_variance_plan(
 
     let test_ln_delta = delta.ln() - std::f64::consts::LN_2 - ln_mult;
     let p_cap = effective_variance_bound(options.expected_difference, probe_eps);
-    let test_samples = bennett_sample_size_from_ln_delta(
-        p_cap,
-        1.0,
-        tolerance,
-        test_ln_delta,
-        options.tail,
-    )?;
+    let test_samples =
+        bennett_sample_size_from_ln_delta(p_cap, 1.0, tolerance, test_ln_delta, options.tail)?;
 
     Ok(ImplicitVariancePlan {
         probe: PhaseEstimate {
@@ -451,7 +449,9 @@ pub fn coarse_to_fine_plan(
     tail: Tail,
 ) -> Result<CoarseToFinePlan> {
     if !(delta > 0.0 && delta < 1.0) {
-        return Err(CiError::Semantic(format!("delta must be in (0, 1), got {delta}")));
+        return Err(CiError::Semantic(format!(
+            "delta must be in (0, 1), got {delta}"
+        )));
     }
     let ln_mult = adaptivity.ln_multiplicity(steps);
     let coarse_ln_delta = delta.ln() - std::f64::consts::LN_2 - ln_mult;
@@ -468,8 +468,7 @@ pub fn coarse_to_fine_plan(
         if coarse_eps >= 1.0 {
             break;
         }
-        let coarse =
-            hoeffding_sample_size_from_ln_delta(1.0, coarse_eps, coarse_ln_delta, tail)?;
+        let coarse = hoeffding_sample_size_from_ln_delta(1.0, coarse_eps, coarse_ln_delta, tail)?;
         // Conditioned on n ≥ floor − ε_c, the error indicator has mean
         // (and second moment) at most 1 − floor + ε_c.
         let p = (1.0 - floor + coarse_eps).min(1.0);
@@ -480,7 +479,9 @@ pub fn coarse_to_fine_plan(
         }
     }
     let Some((coarse_samples, fine_samples, coarse_eps)) = best else {
-        return Err(CiError::Semantic("coarse-to-fine grid produced no candidate".into()));
+        return Err(CiError::Semantic(
+            "coarse-to-fine grid produced no candidate".into(),
+        ));
     };
     Ok(CoarseToFinePlan {
         coarse: PhaseEstimate {
@@ -566,8 +567,7 @@ mod tests {
     #[test]
     fn pattern1_saves_an_order_of_magnitude() {
         use crate::estimator::baseline::{formula_sample_size, Allocation, LeafBound};
-        let formula =
-            parse_formula("d < 0.1 +/- 0.01 /\\ n - o > 0.02 +/- 0.01").unwrap();
+        let formula = parse_formula("d < 0.1 +/- 0.01 /\\ n - o > 0.02 +/- 0.01").unwrap();
         let ln_delta = Adaptivity::None.ln_effective_delta(0.0001, 32).unwrap();
         let (baseline, _) = formula_sample_size(
             &formula,
@@ -613,7 +613,10 @@ mod tests {
             0.0001,
             32,
             Adaptivity::None,
-            Pattern1Options { conservative_variance: true, tail: Tail::OneSided },
+            Pattern1Options {
+                conservative_variance: true,
+                tail: Tail::OneSided,
+            },
         )
         .unwrap();
         assert!(conservative.test.samples > exact.test.samples);
@@ -633,7 +636,10 @@ mod tests {
             0.002,
             7,
             Adaptivity::None,
-            Pattern2Options { expected_difference: 0.06, ..Default::default() },
+            Pattern2Options {
+                expected_difference: 0.06,
+                ..Default::default()
+            },
         )
         .unwrap();
         // probe eps = 0.04, p_cap = 0.06 + 0.04 = 0.1
@@ -650,13 +656,9 @@ mod tests {
         // The plan's own budget (δ/2 per phase) is slightly larger.
         assert!(plan.test_upper_bound.samples >= n);
         // Probe is 16× smaller than testing n−o directly to D = 0.02.
-        let direct = hoeffding_sample_size_from_ln_delta(
-            2.0,
-            0.02,
-            plan.probe.ln_delta,
-            Tail::TwoSided,
-        )
-        .unwrap();
+        let direct =
+            hoeffding_sample_size_from_ln_delta(2.0, 0.02, plan.probe.ln_delta, Tail::TwoSided)
+                .unwrap();
         let ratio = direct as f64 / plan.probe.samples as f64;
         assert!((ratio - 16.0).abs() < 0.1, "ratio = {ratio}");
     }
@@ -671,7 +673,10 @@ mod tests {
             0.002,
             7,
             Adaptivity::None,
-            Pattern2Options { known_variance_bound: Some(0.1), ..Default::default() },
+            Pattern2Options {
+                known_variance_bound: Some(0.1),
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(non_adaptive.probe.samples, 0);
@@ -682,7 +687,10 @@ mod tests {
             0.002,
             7,
             Adaptivity::Full,
-            Pattern2Options { known_variance_bound: Some(0.1), ..Default::default() },
+            Pattern2Options {
+                known_variance_bound: Some(0.1),
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(adaptive.test_upper_bound.samples, 5_204);
@@ -696,7 +704,10 @@ mod tests {
             0.002,
             7,
             Adaptivity::Full,
-            Pattern2Options { known_variance_bound: Some(0.1), ..Default::default() },
+            Pattern2Options {
+                known_variance_bound: Some(0.1),
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(too_tight.test_upper_bound.samples, 6_260);
@@ -711,7 +722,10 @@ mod tests {
                 0.002,
                 7,
                 Adaptivity::None,
-                Pattern2Options { known_variance_bound: Some(bad), ..Default::default() },
+                Pattern2Options {
+                    known_variance_bound: Some(bad),
+                    ..Default::default()
+                },
             )
             .is_err());
         }
@@ -739,8 +753,7 @@ mod tests {
     #[test]
     fn pattern3_beats_baseline_for_high_floor() {
         let plan =
-            coarse_to_fine_plan(0.95, 0.01, 0.001, 32, Adaptivity::None, Tail::OneSided)
-                .unwrap();
+            coarse_to_fine_plan(0.95, 0.01, 0.001, 32, Adaptivity::None, Tail::OneSided).unwrap();
         let baseline = hoeffding_sample_size_from_ln_delta(
             1.0,
             0.01,
@@ -755,8 +768,7 @@ mod tests {
             "total={total} baseline={baseline}"
         );
         let tighter =
-            coarse_to_fine_plan(0.99, 0.005, 0.001, 32, Adaptivity::None, Tail::OneSided)
-                .unwrap();
+            coarse_to_fine_plan(0.99, 0.005, 0.001, 32, Adaptivity::None, Tail::OneSided).unwrap();
         let baseline_tight = hoeffding_sample_size_from_ln_delta(
             1.0,
             0.005,
@@ -816,7 +828,10 @@ mod tests {
             0.001,
             32,
             Adaptivity::None,
-            Pattern2Options { expected_difference: 0.0, ..Default::default() }
+            Pattern2Options {
+                expected_difference: 0.0,
+                ..Default::default()
+            }
         )
         .is_err());
     }

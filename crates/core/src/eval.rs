@@ -142,7 +142,10 @@ mod tests {
         // n - o = 0.005 < 0.01: certainly false.
         assert_eq!(evaluate_clause(&c, &est(0.855, 0.85, 0.0)), Tribool::False);
         // n - o = 0.025: straddles.
-        assert_eq!(evaluate_clause(&c, &est(0.875, 0.85, 0.0)), Tribool::Unknown);
+        assert_eq!(
+            evaluate_clause(&c, &est(0.875, 0.85, 0.0)),
+            Tribool::Unknown
+        );
     }
 
     #[test]
@@ -152,7 +155,10 @@ mod tests {
         assert_eq!(evaluate_clause(&c, &est(0.85, 0.0, 0.0)), Tribool::Unknown);
         assert_eq!(evaluate_clause(&c, &est(0.850001, 0.0, 0.0)), Tribool::True);
         assert_eq!(evaluate_clause(&c, &est(0.75, 0.0, 0.0)), Tribool::Unknown);
-        assert_eq!(evaluate_clause(&c, &est(0.749999, 0.0, 0.0)), Tribool::False);
+        assert_eq!(
+            evaluate_clause(&c, &est(0.749999, 0.0, 0.0)),
+            Tribool::False
+        );
     }
 
     #[test]
@@ -163,7 +169,10 @@ mod tests {
         // Improvement true, difference false -> False dominates.
         assert_eq!(evaluate_formula(&f, &est(0.9, 0.85, 0.3)), Tribool::False);
         // Improvement unknown, difference true -> Unknown.
-        assert_eq!(evaluate_formula(&f, &est(0.875, 0.85, 0.05)), Tribool::Unknown);
+        assert_eq!(
+            evaluate_formula(&f, &est(0.875, 0.85, 0.05)),
+            Tribool::Unknown
+        );
         // Improvement unknown, difference false -> False (Kleene).
         assert_eq!(evaluate_formula(&f, &est(0.875, 0.85, 0.3)), Tribool::False);
     }

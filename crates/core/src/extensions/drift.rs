@@ -102,7 +102,9 @@ impl DriftMonitor {
             )));
         }
         if !(delta > 0.0 && delta < 1.0) {
-            return Err(CiError::Semantic(format!("delta must be in (0, 1), got {delta}")));
+            return Err(CiError::Semantic(format!(
+                "delta must be in (0, 1), got {delta}"
+            )));
         }
         if horizon == 0 {
             return Err(CiError::Semantic("horizon must be at least 1".into()));
@@ -128,7 +130,10 @@ impl DriftMonitor {
     /// empty, or `correct > total`.
     pub fn observe_counts(&mut self, correct: u64, total: u64) -> Result<DriftReport> {
         if self.windows_seen >= self.horizon {
-            return Err(EngineError::BudgetExhausted { steps: self.horizon }.into());
+            return Err(EngineError::BudgetExhausted {
+                steps: self.horizon,
+            }
+            .into());
         }
         if total == 0 || correct > total {
             return Err(CiError::Semantic(format!(
@@ -136,12 +141,8 @@ impl DriftMonitor {
             )));
         }
         let accuracy = correct as f64 / total as f64;
-        let epsilon = hoeffding_epsilon_from_ln_delta(
-            1.0,
-            total,
-            self.ln_delta_per_window,
-            Tail::TwoSided,
-        )?;
+        let epsilon =
+            hoeffding_epsilon_from_ln_delta(1.0, total, self.ln_delta_per_window, Tail::TwoSided)?;
         let interval = Interval::around(accuracy, epsilon);
         let boundary = self.reference_accuracy - self.drop_tolerance;
         let verdict = if interval.strictly_below(boundary) {
@@ -152,7 +153,12 @@ impl DriftMonitor {
             DriftVerdict::Suspect
         };
         self.windows_seen += 1;
-        let report = DriftReport { window: self.windows_seen, accuracy, epsilon, verdict };
+        let report = DriftReport {
+            window: self.windows_seen,
+            accuracy,
+            epsilon,
+            verdict,
+        };
         self.reports.push(report.clone());
         Ok(report)
     }
@@ -171,8 +177,11 @@ impl DriftMonitor {
             }
             .into());
         }
-        let correct =
-            predictions.iter().zip(labels).filter(|(p, l)| p == l).count() as u64;
+        let correct = predictions
+            .iter()
+            .zip(labels)
+            .filter(|(p, l)| p == l)
+            .count() as u64;
         self.observe_counts(correct, labels.len() as u64)
     }
 
@@ -181,9 +190,17 @@ impl DriftMonitor {
     /// stable, `Unknown` otherwise.
     #[must_use]
     pub fn drifted(&self) -> Tribool {
-        if self.reports.iter().any(|r| r.verdict == DriftVerdict::Drifted) {
+        if self
+            .reports
+            .iter()
+            .any(|r| r.verdict == DriftVerdict::Drifted)
+        {
             Tribool::True
-        } else if self.reports.iter().all(|r| r.verdict == DriftVerdict::Stable) {
+        } else if self
+            .reports
+            .iter()
+            .all(|r| r.verdict == DriftVerdict::Stable)
+        {
             Tribool::False
         } else {
             Tribool::Unknown

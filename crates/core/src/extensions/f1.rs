@@ -78,7 +78,12 @@ pub fn f1_sample_size(
     ln_delta: f64,
     tail: Tail,
 ) -> Result<u64> {
-    Ok(mcdiarmid_sample_size_from_ln_delta(sensitivity.beta(), eps, ln_delta, tail)?)
+    Ok(mcdiarmid_sample_size_from_ln_delta(
+        sensitivity.beta(),
+        eps,
+        ln_delta,
+        tail,
+    )?)
 }
 
 /// Compute the binary F1-score of predictions against labels, treating
@@ -92,7 +97,11 @@ pub fn f1_sample_size(
 /// Panics if the slices have different lengths.
 #[must_use]
 pub fn f1_score(predictions: &[u32], labels: &[u32], positive: u32) -> f64 {
-    assert_eq!(predictions.len(), labels.len(), "prediction/label length mismatch");
+    assert_eq!(
+        predictions.len(),
+        labels.len(),
+        "prediction/label length mismatch"
+    );
     let mut tp = 0u64;
     let mut fp = 0u64;
     let mut fn_ = 0u64;

@@ -65,7 +65,10 @@ impl TopKGate {
         if k == 0 {
             return Err(CiError::Semantic("top-k requires k >= 1".into()));
         }
-        Ok(TopKGate { k, history: Vec::new() })
+        Ok(TopKGate {
+            k,
+            history: Vec::new(),
+        })
     }
 
     /// The configured `k`.
@@ -76,7 +79,10 @@ impl TopKGate {
 
     /// Record a historical model's measured interval.
     pub fn record(&mut self, id: impl Into<String>, accuracy: Interval) {
-        self.history.push(RankedModel { id: id.into(), accuracy });
+        self.history.push(RankedModel {
+            id: id.into(),
+            accuracy,
+        });
     }
 
     /// Models recorded so far.

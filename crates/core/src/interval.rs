@@ -41,7 +41,10 @@ impl Interval {
     /// finite.
     #[must_use]
     pub fn new(lo: f64, hi: f64) -> Self {
-        debug_assert!(lo.is_finite() && hi.is_finite(), "interval endpoints must be finite");
+        debug_assert!(
+            lo.is_finite() && hi.is_finite(),
+            "interval endpoints must be finite"
+        );
         debug_assert!(lo <= hi, "interval endpoints out of order: [{lo}, {hi}]");
         if lo <= hi {
             Interval { lo, hi }
@@ -120,14 +123,20 @@ impl Interval {
     /// Smallest interval containing both inputs.
     #[must_use]
     pub fn hull(self, other: Interval) -> Interval {
-        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
     }
 
     /// Clamp the interval into `[min, max]` (used to keep accuracy
     /// estimates inside `[0, 1]`).
     #[must_use]
     pub fn clamp_to(self, min: f64, max: f64) -> Interval {
-        Interval { lo: self.lo.clamp(min, max), hi: self.hi.clamp(min, max) }
+        Interval {
+            lo: self.lo.clamp(min, max),
+            hi: self.hi.clamp(min, max),
+        }
     }
 
     /// Whether the whole interval is strictly greater than `x`.
@@ -147,7 +156,10 @@ impl Add for Interval {
     type Output = Interval;
 
     fn add(self, rhs: Interval) -> Interval {
-        Interval { lo: self.lo + rhs.lo, hi: self.hi + rhs.hi }
+        Interval {
+            lo: self.lo + rhs.lo,
+            hi: self.hi + rhs.hi,
+        }
     }
 }
 
@@ -155,7 +167,10 @@ impl Sub for Interval {
     type Output = Interval;
 
     fn sub(self, rhs: Interval) -> Interval {
-        Interval { lo: self.lo - rhs.hi, hi: self.hi - rhs.lo }
+        Interval {
+            lo: self.lo - rhs.hi,
+            hi: self.hi - rhs.lo,
+        }
     }
 }
 
@@ -163,7 +178,10 @@ impl Neg for Interval {
     type Output = Interval;
 
     fn neg(self) -> Interval {
-        Interval { lo: -self.hi, hi: -self.lo }
+        Interval {
+            lo: -self.hi,
+            hi: -self.lo,
+        }
     }
 }
 
@@ -172,9 +190,15 @@ impl Mul<f64> for Interval {
 
     fn mul(self, c: f64) -> Interval {
         if c >= 0.0 {
-            Interval { lo: self.lo * c, hi: self.hi * c }
+            Interval {
+                lo: self.lo * c,
+                hi: self.hi * c,
+            }
         } else {
-            Interval { lo: self.hi * c, hi: self.lo * c }
+            Interval {
+                lo: self.hi * c,
+                hi: self.lo * c,
+            }
         }
     }
 }

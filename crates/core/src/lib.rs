@@ -58,6 +58,7 @@
 
 #![warn(missing_docs)]
 
+mod cache;
 pub mod dsl;
 pub mod engine;
 mod error;
@@ -69,15 +70,15 @@ mod logic;
 mod practicality;
 pub mod script;
 
+pub use cache::{BoundKind, BoundsCache, CachePolicy, CacheStats};
 pub use engine::{
-    AlarmReason, CiEngine, CiEvent, CollectingSink, CommitEstimates, CommitHistory,
-    CommitReceipt, HistoryEntry, LabelOracle, MailboxSink, ModelCommit, NotificationSink,
-    NullSink, Testset, VecOracle,
+    AlarmReason, CiEngine, CiEvent, CollectingSink, CommitEstimates, CommitHistory, CommitReceipt,
+    HistoryEntry, LabelOracle, MailboxSink, ModelCommit, NotificationSink, NullSink, Testset,
+    VecOracle,
 };
 pub use error::{CiError, EngineError, ParseError, Result, ScriptError};
 pub use estimator::{
-    EstimateProvenance, EstimatorConfig, EstimatorStrategy, SampleSizeEstimate,
-    SampleSizeEstimator,
+    EstimateProvenance, EstimatorConfig, EstimatorStrategy, SampleSizeEstimate, SampleSizeEstimator,
 };
 pub use eval::{
     clause_interval, decide, evaluate_clause, evaluate_clause_at, evaluate_formula,

@@ -161,7 +161,11 @@ pub struct ParseModeError {
 
 impl fmt::Display for ParseModeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unknown mode `{}` (expected `fp-free` or `fn-free`)", self.input)
+        write!(
+            f,
+            "unknown mode `{}` (expected `fp-free` or `fn-free`)",
+            self.input
+        )
     }
 }
 
@@ -174,7 +178,9 @@ impl FromStr for Mode {
         match s.trim() {
             "fp-free" | "fpfree" | "fp_free" => Ok(Mode::FpFree),
             "fn-free" | "fnfree" | "fn_free" => Ok(Mode::FnFree),
-            other => Err(ParseModeError { input: other.to_owned() }),
+            other => Err(ParseModeError {
+                input: other.to_owned(),
+            }),
         }
     }
 }

@@ -23,14 +23,22 @@ impl CostModel {
     /// The paper's reference team: 2 engineers, 2 s/label, 8 h days.
     #[must_use]
     pub fn paper_default() -> Self {
-        CostModel { labelers: 2, seconds_per_label: 2.0, hours_per_day: 8.0 }
+        CostModel {
+            labelers: 2,
+            seconds_per_label: 2.0,
+            hours_per_day: 8.0,
+        }
     }
 
     /// The §4.1.2 interactive-labelling setting: 5 s/label with a
     /// well-designed interface, one labeller.
     #[must_use]
     pub fn interactive() -> Self {
-        CostModel { labelers: 1, seconds_per_label: 5.0, hours_per_day: 8.0 }
+        CostModel {
+            labelers: 1,
+            seconds_per_label: 5.0,
+            hours_per_day: 8.0,
+        }
     }
 
     /// Labels the team can produce in one day.
@@ -138,7 +146,10 @@ mod tests {
         // label in a day" calibration.
         let team = CostModel::paper_default();
         assert_eq!(team.labels_per_day(), 28_800);
-        let four = CostModel { labelers: 4, ..team };
+        let four = CostModel {
+            labelers: 4,
+            ..team
+        };
         assert_eq!(four.labels_per_day(), 57_600);
     }
 

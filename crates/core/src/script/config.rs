@@ -91,11 +91,12 @@ impl CiScript {
                     builder = builder.reliability(r);
                 }
                 "mode" => {
-                    let mode: Mode = item.value.parse().map_err(
-                        |e: crate::logic::ParseModeError| {
-                            ScriptError::at_line(item.line, e.to_string())
-                        },
-                    )?;
+                    let mode: Mode =
+                        item.value
+                            .parse()
+                            .map_err(|e: crate::logic::ParseModeError| {
+                                ScriptError::at_line(item.line, e.to_string())
+                            })?;
                     builder = builder.mode(mode);
                 }
                 "adaptivity" => {
@@ -105,11 +106,11 @@ impl CiScript {
                         Some((k, addr)) => (k.trim(), Some(addr.trim().to_owned())),
                         None => (item.value.as_str(), None),
                     };
-                    let adaptivity: Adaptivity = kind.parse().map_err(
-                        |e: easeml_bounds::ParseAdaptivityError| {
-                            ScriptError::at_line(item.line, e.to_string())
-                        },
-                    )?;
+                    let adaptivity: Adaptivity =
+                        kind.parse()
+                            .map_err(|e: easeml_bounds::ParseAdaptivityError| {
+                                ScriptError::at_line(item.line, e.to_string())
+                            })?;
                     builder = builder.adaptivity(adaptivity);
                     if let Some(addr) = notify {
                         builder = builder.notify(addr);
@@ -465,10 +466,8 @@ ml:
 
     #[test]
     fn reliability_must_be_numeric() {
-        let err = CiScript::parse(
-            "ml:\n  - condition : n > 0.5 +/- 0.1\n  - reliability : very\n",
-        )
-        .unwrap_err();
+        let err = CiScript::parse("ml:\n  - condition : n > 0.5 +/- 0.1\n  - reliability : very\n")
+            .unwrap_err();
         assert!(err.to_string().contains("not a number"));
     }
 }

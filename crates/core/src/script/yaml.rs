@@ -106,9 +106,17 @@ impl YamlDoc {
                 let key = key.trim().to_owned();
                 let value = value.trim().to_owned();
                 if value.is_empty() {
-                    entries.push(YamlEntry::Section { key, items: Vec::new(), line: line_no });
+                    entries.push(YamlEntry::Section {
+                        key,
+                        items: Vec::new(),
+                        line: line_no,
+                    });
                 } else {
-                    entries.push(YamlEntry::Scalar { key, value, line: line_no });
+                    entries.push(YamlEntry::Scalar {
+                        key,
+                        value,
+                        line: line_no,
+                    });
                 }
             }
         }

@@ -1,11 +1,11 @@
 //! Behavioural tests for the CI engine: adaptivity state machines, the
 //! new-testset alarm, testset eras, and label accounting.
 
+use easeml_bounds::Adaptivity;
 use easeml_ci_core::{
     AlarmReason, CiEngine, CiEvent, CiScript, CollectingSink, EngineError, Mode, ModelCommit,
     SampleSizeEstimator, Testset, Tribool, VecOracle,
 };
-use easeml_bounds::Adaptivity;
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -24,7 +24,10 @@ fn loose_script(adaptivity: Adaptivity, steps: u32, mode: Mode) -> CiScript {
 }
 
 fn pool(script: &CiScript) -> usize {
-    SampleSizeEstimator::new().estimate(script).unwrap().total_samples() as usize
+    SampleSizeEstimator::new()
+        .estimate(script)
+        .unwrap()
+        .total_samples() as usize
 }
 
 /// All-ones labels; a commit predicting 1 everywhere is perfect, a commit
@@ -62,12 +65,8 @@ fn none_adaptivity_withholds_signal_but_notifies_sink() {
     let script = loose_script(Adaptivity::None, 8, Mode::FpFree);
     let n = pool(&script);
     let sink = Rc::new(RefCell::new(CollectingSink::new()));
-    let engine = CiEngine::new(
-        script,
-        Testset::fully_labeled(vec![1u32; n]),
-        vec![0u32; n],
-    )
-    .unwrap();
+    let engine =
+        CiEngine::new(script, Testset::fully_labeled(vec![1u32; n]), vec![0u32; n]).unwrap();
     let mut engine = engine.with_sink(Box::new(Rc::clone(&sink)));
 
     let bad = ModelCommit::new("bad", vec![0u32; n]);
@@ -128,13 +127,9 @@ fn install_testset_starts_new_era_and_releases_old() {
     let script = loose_script(Adaptivity::Full, 1, Mode::FpFree);
     let n = pool(&script);
     let sink = Rc::new(RefCell::new(CollectingSink::new()));
-    let mut engine = CiEngine::new(
-        script,
-        Testset::fully_labeled(vec![1u32; n]),
-        vec![0u32; n],
-    )
-    .unwrap()
-    .with_sink(Box::new(Rc::clone(&sink)));
+    let mut engine = CiEngine::new(script, Testset::fully_labeled(vec![1u32; n]), vec![0u32; n])
+        .unwrap()
+        .with_sink(Box::new(Rc::clone(&sink)));
 
     let bad = ModelCommit::new("bad", vec![0u32; n]);
     let receipt = engine.submit(&bad).unwrap();
@@ -149,12 +144,18 @@ fn install_testset_starts_new_era_and_releases_old() {
     assert_eq!(engine.steps_used(), 0);
     assert!(!engine.is_retired());
     // New era accepts commits again; history spans eras.
-    engine.submit(&ModelCommit::new("retry", vec![1u32; n])).unwrap();
+    engine
+        .submit(&ModelCommit::new("retry", vec![1u32; n]))
+        .unwrap();
     assert_eq!(engine.history().len(), 2);
     assert_eq!(engine.history().entries()[1].era, 1);
     let events = sink.borrow().events().to_vec();
-    assert!(events.iter().any(|e| matches!(e, CiEvent::TestsetReleased { .. })));
-    assert!(events.iter().any(|e| matches!(e, CiEvent::TestsetInstalled { .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, CiEvent::TestsetReleased { .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, CiEvent::TestsetInstalled { .. })));
 }
 
 #[test]
@@ -214,7 +215,10 @@ fn active_labeling_requests_only_disagreements() {
         "requested {} of {n}",
         receipt.estimates.labels_requested
     );
-    assert_eq!(engine.labeled_count() as u64, receipt.estimates.labels_requested);
+    assert_eq!(
+        engine.labeled_count() as u64,
+        receipt.estimates.labels_requested
+    );
     // diff ≈ 0.05 → interval [0, 0.1] straddles 0.02 → Unknown → fail.
     assert_eq!(receipt.outcome, Tribool::Unknown);
 
@@ -235,7 +239,9 @@ fn active_labeling_requests_only_disagreements() {
     )
     .unwrap()
     .with_oracle(Box::new(VecOracle::new(truth)));
-    let err = engine2.submit(&ModelCommit::new("rewrite", vec![1u32; n])).unwrap_err();
+    let err = engine2
+        .submit(&ModelCommit::new("rewrite", vec![1u32; n]))
+        .unwrap_err();
     assert!(matches!(
         err,
         easeml_ci_core::CiError::Engine(EngineError::TestsetTooSmall { .. })
@@ -269,17 +275,26 @@ fn rejects_undersized_testset_and_bad_predictions() {
     let script = loose_script(Adaptivity::Full, 4, Mode::FpFree);
     let n = pool(&script);
     // Too small a pool.
-    let err =
-        CiEngine::new(script.clone(), Testset::fully_labeled(vec![1; n - 1]), vec![0; n - 1])
-            .unwrap_err();
+    let err = CiEngine::new(
+        script.clone(),
+        Testset::fully_labeled(vec![1; n - 1]),
+        vec![0; n - 1],
+    )
+    .unwrap_err();
     assert!(err.to_string().contains("testset has"));
     // Old predictions of the wrong length.
-    let err = CiEngine::new(script.clone(), Testset::fully_labeled(vec![1; n]), vec![0; n + 1])
-        .unwrap_err();
+    let err = CiEngine::new(
+        script.clone(),
+        Testset::fully_labeled(vec![1; n]),
+        vec![0; n + 1],
+    )
+    .unwrap_err();
     assert!(err.to_string().contains("predictions"));
     // Commit predictions of the wrong length.
     let (mut engine, _) = engine_with_pool(script);
-    let err = engine.submit(&ModelCommit::new("short", vec![1u32; 3])).unwrap_err();
+    let err = engine
+        .submit(&ModelCommit::new("short", vec![1u32; 3]))
+        .unwrap_err();
     assert!(matches!(
         err,
         easeml_ci_core::CiError::Engine(EngineError::PredictionLengthMismatch { .. })
@@ -290,9 +305,10 @@ fn rejects_undersized_testset_and_bad_predictions() {
 fn missing_labels_without_oracle_fail_cleanly() {
     let script = loose_script(Adaptivity::Full, 4, Mode::FpFree);
     let n = pool(&script);
-    let mut engine =
-        CiEngine::new(script, Testset::unlabeled(n), vec![0u32; n]).unwrap();
-    let err = engine.submit(&ModelCommit::new("c", vec![1u32; n])).unwrap_err();
+    let mut engine = CiEngine::new(script, Testset::unlabeled(n), vec![0u32; n]).unwrap();
+    let err = engine
+        .submit(&ModelCommit::new("c", vec![1u32; n]))
+        .unwrap_err();
     assert!(matches!(
         err,
         easeml_ci_core::CiError::Engine(EngineError::LabelUnavailable { .. })
@@ -320,7 +336,10 @@ fn oracle_exhaustion_does_not_burn_budget() {
     let script = loose_script(Adaptivity::Full, 4, Mode::FpFree);
     let n = pool(&script);
     // Only half the needed labels are available.
-    let oracle = FlakyOracle { truth: vec![1u32; n], remaining: (n / 2) as u64 };
+    let oracle = FlakyOracle {
+        truth: vec![1u32; n],
+        remaining: (n / 2) as u64,
+    };
     let mut engine = CiEngine::new(script.clone(), Testset::unlabeled(n), vec![0u32; n])
         .unwrap()
         .with_oracle(Box::new(oracle));
@@ -355,8 +374,14 @@ fn history_records_every_submission() {
     let script = loose_script(Adaptivity::Full, 5, Mode::FpFree);
     let (mut engine, n) = engine_with_pool(script);
     for i in 0..3 {
-        let preds = if i % 2 == 0 { vec![1u32; n] } else { vec![0u32; n] };
-        engine.submit(&ModelCommit::new(format!("c{i}"), preds)).unwrap();
+        let preds = if i % 2 == 0 {
+            vec![1u32; n]
+        } else {
+            vec![0u32; n]
+        };
+        engine
+            .submit(&ModelCommit::new(format!("c{i}"), preds))
+            .unwrap();
     }
     let history = engine.history();
     assert_eq!(history.len(), 3);
@@ -395,7 +420,10 @@ fn pattern1_filter_short_circuits_without_labels() {
         .with_oracle(Box::new(VecOracle::new(vec![1u32; n])));
     let receipt = engine.submit(&ModelCommit::new("rewrite", new)).unwrap();
     assert_eq!(receipt.outcome, Tribool::False);
-    assert_eq!(receipt.estimates.labels_requested, 0, "filter must not label");
+    assert_eq!(
+        receipt.estimates.labels_requested, 0,
+        "filter must not label"
+    );
     assert!(!receipt.passed);
 }
 
@@ -425,14 +453,12 @@ fn pattern3_coarse_fine_layout() {
     for p in preds.iter_mut().take(3 * n / 100) {
         *p = 0;
     }
-    let mut engine = CiEngine::new(
-        script,
-        Testset::unlabeled(n),
-        vec![0u32; n],
-    )
-    .unwrap()
-    .with_oracle(Box::new(VecOracle::new(vec![1u32; n])));
-    let receipt = engine.submit(&ModelCommit::new("high-floor", preds)).unwrap();
+    let mut engine = CiEngine::new(script, Testset::unlabeled(n), vec![0u32; n])
+        .unwrap()
+        .with_oracle(Box::new(VecOracle::new(vec![1u32; n])));
+    let receipt = engine
+        .submit(&ModelCommit::new("high-floor", preds))
+        .unwrap();
     assert_eq!(receipt.outcome, Tribool::True, "97% clears n > 0.9 ± 0.04");
     assert!(receipt.passed);
     // Both phases label fully: the whole pool ends up labelled.

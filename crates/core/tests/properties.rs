@@ -5,7 +5,8 @@ use easeml_bounds::{Adaptivity, Tail};
 use easeml_ci_core::dsl::{parse_formula, Clause, CmpOp, Expr, Formula, LinearForm, Var};
 use easeml_ci_core::estimator::{clause_sample_size, Allocation, LeafBound};
 use easeml_ci_core::{
-    evaluate_clause, evaluate_formula, Interval, Mode, Tribool, VariableEstimates,
+    evaluate_clause, evaluate_formula, CachePolicy, CiScript, EstimatorConfig, Interval, Mode,
+    SampleSizeEstimator, Tribool, VariableEstimates,
 };
 use proptest::prelude::*;
 
@@ -41,8 +42,7 @@ fn clause_strategy() -> impl Strategy<Value = Clause> {
 }
 
 fn estimates_strategy() -> impl Strategy<Value = VariableEstimates> {
-    (0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..=1.0)
-        .prop_map(|(n, o, d)| VariableEstimates::new(n, o, d))
+    (0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..=1.0).prop_map(|(n, o, d)| VariableEstimates::new(n, o, d))
 }
 
 proptest! {
@@ -157,6 +157,49 @@ proptest! {
         let n_tighter = clause_sample_size(&mk(tol / 2.0), ln_none, Allocation::EqualSplit,
                                            LeafBound::Hoeffding, Tail::OneSided).unwrap().samples;
         prop_assert!(n_tighter >= n_none);
+    }
+
+    /// The shared bounds cache is invisible to results: estimators with
+    /// [`CachePolicy::Shared`] and [`CachePolicy::Bypass`] return
+    /// identical `SampleSizeEstimate`s — including the per-clause
+    /// breakdown — across randomized tolerances, budgets, steps, and
+    /// leaf bounds. Run twice so the second pass replays warm entries.
+    #[test]
+    fn cached_and_uncached_estimates_identical(
+        tol in 0.02f64..0.2,
+        reliability in prop_oneof![Just(0.99f64), Just(0.999), Just(0.9999)],
+        steps in 1u32..32,
+        leaf in prop_oneof![Just(LeafBound::Hoeffding), Just(LeafBound::ExactBinomial)],
+        compound in prop_oneof![Just(false), Just(true)],
+    ) {
+        let tol = (tol * 100.0).round() / 100.0;
+        let condition = if compound {
+            format!("n - o > 0.02 +/- {tol} /\\ d < 0.2 +/- {tol}")
+        } else {
+            format!("n > 0.7 +/- {tol}")
+        };
+        let script = CiScript::builder()
+            .condition_str(&condition)
+            .unwrap()
+            .reliability(reliability)
+            .steps(steps)
+            .build()
+            .unwrap();
+        let cached = SampleSizeEstimator::with_config(EstimatorConfig {
+            leaf_bound: leaf,
+            cache: CachePolicy::Shared,
+            ..EstimatorConfig::default()
+        });
+        let uncached = SampleSizeEstimator::with_config(EstimatorConfig {
+            leaf_bound: leaf,
+            cache: CachePolicy::Bypass,
+            ..EstimatorConfig::default()
+        });
+        for round in 0..2 {
+            let a = cached.estimate(&script).unwrap();
+            let b = uncached.estimate(&script).unwrap();
+            prop_assert_eq!(&a, &b, "round {}: {} (leaf {:?})", round, condition, leaf);
+        }
     }
 
     /// Proportional allocation never does worse than the equal split for

@@ -33,9 +33,16 @@ impl Dataset {
             return Err(MlError::EmptyDataset);
         }
         if let Some(&bad) = labels.iter().find(|&&l| l >= num_classes) {
-            return Err(MlError::LabelOutOfRange { label: bad, num_classes });
+            return Err(MlError::LabelOutOfRange {
+                label: bad,
+                num_classes,
+            });
         }
-        Ok(Dataset { features, labels, num_classes })
+        Ok(Dataset {
+            features,
+            labels,
+            num_classes,
+        })
     }
 
     /// Number of examples.
@@ -143,7 +150,10 @@ impl Dataset {
     pub fn batches<R: Rng>(&self, batch_size: usize, rng: &mut R) -> Vec<Vec<usize>> {
         let mut indices: Vec<usize> = (0..self.len()).collect();
         indices.shuffle(rng);
-        indices.chunks(batch_size.max(1)).map(<[usize]>::to_vec).collect()
+        indices
+            .chunks(batch_size.max(1))
+            .map(<[usize]>::to_vec)
+            .collect()
     }
 }
 

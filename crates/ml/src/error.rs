@@ -38,8 +38,15 @@ pub enum MlError {
 impl fmt::Display for MlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MlError::ShapeMismatch { context, expected, got } => {
-                write!(f, "shape mismatch in {context}: expected {expected}, got {got}")
+            MlError::ShapeMismatch {
+                context,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "shape mismatch in {context}: expected {expected}, got {got}"
+                )
             }
             MlError::EmptyDataset => write!(f, "dataset has no examples"),
             MlError::LabelOutOfRange { label, num_classes } => {
@@ -64,7 +71,11 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = MlError::ShapeMismatch { context: "matmul", expected: 3, got: 4 };
+        let e = MlError::ShapeMismatch {
+            context: "matmul",
+            expected: 3,
+            got: 4,
+        };
         assert!(e.to_string().contains("matmul"));
         assert!(MlError::EmptyDataset.to_string().contains("no examples"));
         assert!(MlError::NotFitted.to_string().contains("fitted"));

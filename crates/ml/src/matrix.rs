@@ -30,7 +30,11 @@ impl Matrix {
     /// An all-zeros matrix.
     #[must_use]
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Build from a flat row-major buffer.
@@ -71,7 +75,11 @@ impl Matrix {
             }
             data.extend_from_slice(row);
         }
-        Ok(Matrix { rows: rows.len(), cols, data })
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
     }
 
     /// Number of rows.
@@ -212,8 +220,7 @@ impl fmt::Display for Matrix {
         writeln!(f, "Matrix {}x{}", self.rows, self.cols)?;
         for r in 0..self.rows.min(8) {
             let row = self.row(r);
-            let rendered: Vec<String> =
-                row.iter().take(8).map(|v| format!("{v:.3}")).collect();
+            let rendered: Vec<String> = row.iter().take(8).map(|v| format!("{v:.3}")).collect();
             let ellipsis = if self.cols > 8 { ", …" } else { "" };
             writeln!(f, "  [{}{}]", rendered.join(", "), ellipsis)?;
         }

@@ -19,7 +19,11 @@ pub fn accuracy(predictions: &[u32], labels: &[u32]) -> f64 {
     if predictions.is_empty() {
         return 0.0;
     }
-    let correct = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    let correct = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
     correct as f64 / predictions.len() as f64
 }
 
@@ -74,8 +78,14 @@ pub fn class_scores(confusion: &[Vec<u64>]) -> Vec<ClassScores> {
     let mut out = Vec::with_capacity(k);
     for c in 0..k {
         let tp = confusion[c][c] as f64;
-        let fn_: f64 = (0..k).filter(|&j| j != c).map(|j| confusion[c][j] as f64).sum();
-        let fp: f64 = (0..k).filter(|&i| i != c).map(|i| confusion[i][c] as f64).sum();
+        let fn_: f64 = (0..k)
+            .filter(|&j| j != c)
+            .map(|j| confusion[c][j] as f64)
+            .sum();
+        let fp: f64 = (0..k)
+            .filter(|&i| i != c)
+            .map(|i| confusion[i][c] as f64)
+            .sum();
         let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
         let recall = if tp + fn_ > 0.0 { tp / (tp + fn_) } else { 0.0 };
         let f1 = if precision + recall > 0.0 {
@@ -83,7 +93,11 @@ pub fn class_scores(confusion: &[Vec<u64>]) -> Vec<ClassScores> {
         } else {
             0.0
         };
-        out.push(ClassScores { precision, recall, f1 });
+        out.push(ClassScores {
+            precision,
+            recall,
+            f1,
+        });
     }
     out
 }

@@ -33,7 +33,10 @@ impl Knn {
     /// New unfitted model.
     #[must_use]
     pub fn new(config: KnnConfig) -> Self {
-        Knn { config, train: None }
+        Knn {
+            config,
+            train: None,
+        }
     }
 }
 
@@ -46,7 +49,10 @@ impl Default for Knn {
 impl Classifier for Knn {
     fn fit(&mut self, data: &Dataset) -> Result<()> {
         if self.config.k == 0 {
-            return Err(MlError::InvalidHyperparameter { name: "k", constraint: "must be >= 1" });
+            return Err(MlError::InvalidHyperparameter {
+                name: "k",
+                constraint: "must be >= 1",
+            });
         }
         self.train = Some(data.clone());
         Ok(())
@@ -67,11 +73,7 @@ impl Classifier for Knn {
         let mut best: Vec<(f32, u32)> = Vec::with_capacity(k + 1);
         for i in 0..train.len() {
             let (x, y) = train.example(i);
-            let d2: f32 = x
-                .iter()
-                .zip(features)
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum();
+            let d2: f32 = x.iter().zip(features).map(|(a, b)| (a - b) * (a - b)).sum();
             let pos = best.partition_point(|&(d, _)| d <= d2);
             if pos < k {
                 best.insert(pos, (d2, y));
@@ -147,7 +149,10 @@ mod tests {
     #[test]
     fn error_paths() {
         let knn = Knn::default();
-        assert!(matches!(knn.predict_one(&[0.0, 0.0]), Err(MlError::NotFitted)));
+        assert!(matches!(
+            knn.predict_one(&[0.0, 0.0]),
+            Err(MlError::NotFitted)
+        ));
         let mut knn = Knn::new(KnnConfig { k: 0 });
         assert!(knn.fit(&toy()).is_err());
         let mut knn = Knn::default();

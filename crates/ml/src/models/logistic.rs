@@ -50,7 +50,10 @@ impl LogisticRegression {
     /// New unfitted model.
     #[must_use]
     pub fn new(config: LogisticRegressionConfig) -> Self {
-        LogisticRegression { config, weights: Vec::new() }
+        LogisticRegression {
+            config,
+            weights: Vec::new(),
+        }
     }
 
     /// Class-probability vector for one input.
@@ -217,7 +220,10 @@ mod tests {
         let mut b = LogisticRegression::default();
         a.fit(&train).unwrap();
         b.fit(&train).unwrap();
-        assert_eq!(a.predict_dataset(&test).unwrap(), b.predict_dataset(&test).unwrap());
+        assert_eq!(
+            a.predict_dataset(&test).unwrap(),
+            b.predict_dataset(&test).unwrap()
+        );
     }
 
     #[test]
@@ -233,13 +239,14 @@ mod tests {
         });
         short.fit(&train).unwrap();
         long.fit(&train).unwrap();
-        let acc_short = crate::metrics::accuracy(
-            &short.predict_dataset(&test).unwrap(),
-            test.labels(),
-        );
+        let acc_short =
+            crate::metrics::accuracy(&short.predict_dataset(&test).unwrap(), test.labels());
         let acc_long =
             crate::metrics::accuracy(&long.predict_dataset(&test).unwrap(), test.labels());
-        assert!(acc_long >= acc_short - 0.05, "short={acc_short} long={acc_long}");
+        assert!(
+            acc_long >= acc_short - 0.05,
+            "short={acc_short} long={acc_long}"
+        );
     }
 
     #[test]
@@ -248,14 +255,32 @@ mod tests {
         assert!(matches!(model.predict_one(&[0.0]), Err(MlError::NotFitted)));
         let data = Dataset::new(crate::matrix::Matrix::zeros(2, 2), vec![0, 1], 2).unwrap();
         for bad in [
-            LogisticRegressionConfig { learning_rate: 0.0, ..Default::default() },
-            LogisticRegressionConfig { momentum: 1.0, ..Default::default() },
-            LogisticRegressionConfig { l2: -1.0, ..Default::default() },
-            LogisticRegressionConfig { epochs: 0, ..Default::default() },
-            LogisticRegressionConfig { batch_size: 0, ..Default::default() },
+            LogisticRegressionConfig {
+                learning_rate: 0.0,
+                ..Default::default()
+            },
+            LogisticRegressionConfig {
+                momentum: 1.0,
+                ..Default::default()
+            },
+            LogisticRegressionConfig {
+                l2: -1.0,
+                ..Default::default()
+            },
+            LogisticRegressionConfig {
+                epochs: 0,
+                ..Default::default()
+            },
+            LogisticRegressionConfig {
+                batch_size: 0,
+                ..Default::default()
+            },
         ] {
             let mut model = LogisticRegression::new(bad);
-            assert!(model.fit(&data).is_err(), "config {bad:?} should be rejected");
+            assert!(
+                model.fit(&data).is_err(),
+                "config {bad:?} should be rejected"
+            );
         }
     }
 }

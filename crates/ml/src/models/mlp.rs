@@ -52,7 +52,11 @@ impl Mlp {
     /// New unfitted model.
     #[must_use]
     pub fn new(config: MlpConfig) -> Self {
-        Mlp { config, w1: Vec::new(), w2: Vec::new() }
+        Mlp {
+            config,
+            w1: Vec::new(),
+            w2: Vec::new(),
+        }
     }
 
     fn forward_hidden(&self, x: &[f32]) -> Vec<f32> {
@@ -261,7 +265,10 @@ mod tests {
 
     #[test]
     fn learns_blobs_well() {
-        let mut model = Mlp::new(MlpConfig { epochs: 25, ..Default::default() });
+        let mut model = Mlp::new(MlpConfig {
+            epochs: 25,
+            ..Default::default()
+        });
         let acc = accuracy_of(&mut model);
         assert!(acc > 0.93, "accuracy = {acc}");
     }
@@ -279,9 +286,12 @@ mod tests {
             }
         }
         let slices: Vec<&[f32]> = rows.iter().map(|r| &r[..]).collect();
-        let data =
-            Dataset::new(Matrix::from_rows(&slices).unwrap(), labels.clone(), 2).unwrap();
-        let mut mlp = Mlp::new(MlpConfig { hidden: 16, epochs: 200, ..Default::default() });
+        let data = Dataset::new(Matrix::from_rows(&slices).unwrap(), labels.clone(), 2).unwrap();
+        let mut mlp = Mlp::new(MlpConfig {
+            hidden: 16,
+            epochs: 200,
+            ..Default::default()
+        });
         mlp.fit(&data).unwrap();
         let preds = mlp.predict_dataset(&data).unwrap();
         let acc = crate::metrics::accuracy(&preds, &labels);
@@ -289,19 +299,30 @@ mod tests {
         // Logistic regression cannot.
         let mut lin = crate::models::LogisticRegression::default();
         lin.fit(&data).unwrap();
-        let lin_acc =
-            crate::metrics::accuracy(&lin.predict_dataset(&data).unwrap(), &labels);
-        assert!(lin_acc < 0.8, "linear model unexpectedly solved XOR: {lin_acc}");
+        let lin_acc = crate::metrics::accuracy(&lin.predict_dataset(&data).unwrap(), &labels);
+        assert!(
+            lin_acc < 0.8,
+            "linear model unexpectedly solved XOR: {lin_acc}"
+        );
     }
 
     #[test]
     fn deterministic_given_seed() {
         let (train, test) = crate::models::test_support::train_test();
-        let mut a = Mlp::new(MlpConfig { epochs: 5, ..Default::default() });
-        let mut b = Mlp::new(MlpConfig { epochs: 5, ..Default::default() });
+        let mut a = Mlp::new(MlpConfig {
+            epochs: 5,
+            ..Default::default()
+        });
+        let mut b = Mlp::new(MlpConfig {
+            epochs: 5,
+            ..Default::default()
+        });
         a.fit(&train).unwrap();
         b.fit(&train).unwrap();
-        assert_eq!(a.predict_dataset(&test).unwrap(), b.predict_dataset(&test).unwrap());
+        assert_eq!(
+            a.predict_dataset(&test).unwrap(),
+            b.predict_dataset(&test).unwrap()
+        );
     }
 
     #[test]
@@ -310,11 +331,26 @@ mod tests {
         assert!(matches!(model.predict_one(&[0.0]), Err(MlError::NotFitted)));
         let data = Dataset::new(crate::matrix::Matrix::zeros(2, 2), vec![0, 1], 2).unwrap();
         for bad in [
-            MlpConfig { hidden: 0, ..Default::default() },
-            MlpConfig { learning_rate: 0.0, ..Default::default() },
-            MlpConfig { momentum: 1.0, ..Default::default() },
-            MlpConfig { epochs: 0, ..Default::default() },
-            MlpConfig { batch_size: 0, ..Default::default() },
+            MlpConfig {
+                hidden: 0,
+                ..Default::default()
+            },
+            MlpConfig {
+                learning_rate: 0.0,
+                ..Default::default()
+            },
+            MlpConfig {
+                momentum: 1.0,
+                ..Default::default()
+            },
+            MlpConfig {
+                epochs: 0,
+                ..Default::default()
+            },
+            MlpConfig {
+                batch_size: 0,
+                ..Default::default()
+            },
         ] {
             let mut model = Mlp::new(bad);
             assert!(model.fit(&data).is_err());

@@ -51,7 +51,9 @@ pub trait Classifier {
     ///
     /// Same conditions as [`Classifier::predict_one`].
     fn predict(&self, features: &Matrix) -> Result<Vec<u32>> {
-        (0..features.rows()).map(|r| self.predict_one(features.row(r))).collect()
+        (0..features.rows())
+            .map(|r| self.predict_one(features.row(r)))
+            .collect()
     }
 
     /// Predict every example of a dataset.
@@ -73,7 +75,12 @@ pub(crate) mod test_support {
 
     /// A moderately separable 4-class problem shared by the model tests.
     pub fn train_test() -> (Dataset, Dataset) {
-        let cfg = BlobsConfig { num_classes: 4, dim: 6, noise: 0.5, label_noise: 0.0 };
+        let cfg = BlobsConfig {
+            num_classes: 4,
+            dim: 6,
+            noise: 0.5,
+            label_noise: 0.0,
+        };
         let mut rng = StdRng::seed_from_u64(1234);
         let data = blobs(2_400, &cfg, &mut rng).unwrap();
         data.split(0.75, &mut rng).unwrap()

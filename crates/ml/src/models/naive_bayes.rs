@@ -34,7 +34,11 @@ impl NaiveBayes {
     /// New unfitted model with the given configuration.
     #[must_use]
     pub fn new(config: NaiveBayesConfig) -> Self {
-        NaiveBayes { config, log_prior: Vec::new(), log_likelihood: Vec::new() }
+        NaiveBayes {
+            config,
+            log_prior: Vec::new(),
+            log_likelihood: Vec::new(),
+        }
     }
 
     fn fitted(&self) -> bool {
@@ -78,7 +82,9 @@ impl Classifier for NaiveBayes {
             .into_iter()
             .map(|row| {
                 let class_total: f64 = row.iter().sum::<f64>() + alpha * d as f64;
-                row.into_iter().map(|t| ((t + alpha) / class_total).ln()).collect()
+                row.into_iter()
+                    .map(|t| ((t + alpha) / class_total).ln())
+                    .collect()
             })
             .collect();
         Ok(())
@@ -167,11 +173,7 @@ mod tests {
     #[test]
     fn smoothing_handles_unseen_features() {
         // A feature never seen in training must not produce -inf scores.
-        let features = crate::matrix::Matrix::from_rows(&[
-            &[3.0, 0.0],
-            &[0.0, 2.0],
-        ])
-        .unwrap();
+        let features = crate::matrix::Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 2.0]]).unwrap();
         let data = Dataset::new(features, vec![0, 1], 2).unwrap();
         let mut model = NaiveBayes::default();
         model.fit(&data).unwrap();

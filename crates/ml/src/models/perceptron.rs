@@ -19,7 +19,10 @@ pub struct PerceptronConfig {
 
 impl Default for PerceptronConfig {
     fn default() -> Self {
-        PerceptronConfig { epochs: 10, seed: 0 }
+        PerceptronConfig {
+            epochs: 10,
+            seed: 0,
+        }
     }
 }
 
@@ -36,7 +39,10 @@ impl AveragedPerceptron {
     /// New unfitted model.
     #[must_use]
     pub fn new(config: PerceptronConfig) -> Self {
-        AveragedPerceptron { config, weights: Vec::new() }
+        AveragedPerceptron {
+            config,
+            weights: Vec::new(),
+        }
     }
 
     fn score(&self, class: usize, features: &[f32]) -> f32 {
@@ -113,8 +119,9 @@ impl Classifier for AveragedPerceptron {
                 got: features.len(),
             });
         }
-        let scores: Vec<f32> =
-            (0..self.weights.len()).map(|c| self.score(c, features)).collect();
+        let scores: Vec<f32> = (0..self.weights.len())
+            .map(|c| self.score(c, features))
+            .collect();
         Ok(argmax(&scores) as u32)
     }
 }
@@ -164,8 +171,7 @@ mod tests {
         let model = AveragedPerceptron::default();
         assert!(matches!(model.predict_one(&[0.0]), Err(MlError::NotFitted)));
         let mut model = AveragedPerceptron::default();
-        let data =
-            Dataset::new(crate::matrix::Matrix::zeros(4, 3), vec![0, 1, 0, 1], 2).unwrap();
+        let data = Dataset::new(crate::matrix::Matrix::zeros(4, 3), vec![0, 1, 0, 1], 2).unwrap();
         model.fit(&data).unwrap();
         assert!(model.predict_one(&[0.0]).is_err());
     }

@@ -57,7 +57,10 @@ impl FeatureScaler {
                 }
             })
             .collect();
-        Ok(FeatureScaler { shift: mean.into_iter().map(|m| m as f32).collect(), scale })
+        Ok(FeatureScaler {
+            shift: mean.into_iter().map(|m| m as f32).collect(),
+            scale,
+        })
     }
 
     /// Fit a min-max scaler mapping each feature into `[0, 1]`.

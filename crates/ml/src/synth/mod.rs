@@ -27,7 +27,12 @@ pub struct BlobsConfig {
 
 impl Default for BlobsConfig {
     fn default() -> Self {
-        BlobsConfig { num_classes: 4, dim: 8, noise: 0.6, label_noise: 0.0 }
+        BlobsConfig {
+            num_classes: 4,
+            dim: 8,
+            noise: 0.6,
+            label_noise: 0.0,
+        }
     }
 }
 
@@ -73,7 +78,10 @@ pub fn blobs<R: Rng>(n: usize, config: &BlobsConfig, rng: &mut R) -> Result<Data
         });
     }
     if config.dim == 0 {
-        return Err(MlError::InvalidHyperparameter { name: "dim", constraint: "must be at least 1" });
+        return Err(MlError::InvalidHyperparameter {
+            name: "dim",
+            constraint: "must be at least 1",
+        });
     }
     if n == 0 {
         return Err(MlError::EmptyDataset);
@@ -117,7 +125,10 @@ mod tests {
 
     #[test]
     fn blobs_cover_all_classes() {
-        let cfg = BlobsConfig { num_classes: 6, ..BlobsConfig::default() };
+        let cfg = BlobsConfig {
+            num_classes: 6,
+            ..BlobsConfig::default()
+        };
         let data = blobs(3_000, &cfg, &mut StdRng::seed_from_u64(1)).unwrap();
         let counts = data.class_counts();
         assert_eq!(counts.len(), 6);
@@ -127,7 +138,12 @@ mod tests {
     #[test]
     fn blobs_are_separable_when_noise_is_low() {
         // Nearest-mean classification on clean blobs should be near-perfect.
-        let cfg = BlobsConfig { num_classes: 3, dim: 3, noise: 0.1, label_noise: 0.0 };
+        let cfg = BlobsConfig {
+            num_classes: 3,
+            dim: 3,
+            noise: 0.1,
+            label_noise: 0.0,
+        };
         let data = blobs(600, &cfg, &mut StdRng::seed_from_u64(2)).unwrap();
         // Compute class means.
         let mut means = vec![vec![0.0f32; 3]; 3];
@@ -165,12 +181,23 @@ mod tests {
 
     #[test]
     fn label_noise_reduces_purity() {
-        let clean = BlobsConfig { label_noise: 0.0, ..BlobsConfig::default() };
-        let noisy = BlobsConfig { label_noise: 0.5, ..BlobsConfig::default() };
+        let clean = BlobsConfig {
+            label_noise: 0.0,
+            ..BlobsConfig::default()
+        };
+        let noisy = BlobsConfig {
+            label_noise: 0.5,
+            ..BlobsConfig::default()
+        };
         let a = blobs(2_000, &clean, &mut StdRng::seed_from_u64(3)).unwrap();
         let b = blobs(2_000, &noisy, &mut StdRng::seed_from_u64(3)).unwrap();
         // With 50% flips to a uniform class, labels agree less often.
-        let agree = a.labels().iter().zip(b.labels()).filter(|(x, y)| x == y).count();
+        let agree = a
+            .labels()
+            .iter()
+            .zip(b.labels())
+            .filter(|(x, y)| x == y)
+            .count();
         let rate = agree as f64 / 2_000.0;
         assert!(rate < 0.75, "agreement = {rate}");
     }
@@ -190,9 +217,15 @@ mod tests {
     fn rejects_bad_configs() {
         let mut rng = StdRng::seed_from_u64(0);
         assert!(blobs(0, &BlobsConfig::default(), &mut rng).is_err());
-        let bad = BlobsConfig { num_classes: 0, ..BlobsConfig::default() };
+        let bad = BlobsConfig {
+            num_classes: 0,
+            ..BlobsConfig::default()
+        };
         assert!(blobs(10, &bad, &mut rng).is_err());
-        let bad = BlobsConfig { dim: 0, ..BlobsConfig::default() };
+        let bad = BlobsConfig {
+            dim: 0,
+            ..BlobsConfig::default()
+        };
         assert!(blobs(10, &bad, &mut rng).is_err());
     }
 }

@@ -26,7 +26,12 @@ pub enum Emotion {
 
 impl Emotion {
     /// All classes in label order.
-    pub const ALL: [Emotion; 4] = [Emotion::Happy, Emotion::Sad, Emotion::Angry, Emotion::Others];
+    pub const ALL: [Emotion; 4] = [
+        Emotion::Happy,
+        Emotion::Sad,
+        Emotion::Angry,
+        Emotion::Others,
+    ];
 
     /// Class label index.
     #[must_use]
@@ -126,8 +131,8 @@ impl EmotionCorpus {
             let len = rng.random_range(config.min_len..=config.max_len);
             let mut tokens = Vec::with_capacity(len);
             for _ in 0..len {
-                let is_keyword = emotion != Emotion::Others
-                    && rng.random::<f64>() < config.keyword_rate;
+                let is_keyword =
+                    emotion != Emotion::Others && rng.random::<f64>() < config.keyword_rate;
                 if is_keyword {
                     let base = config.vocab_size + emotion.label() * config.keywords_per_class;
                     tokens.push(base + rng.random_range(0..config.keywords_per_class));
@@ -225,8 +230,12 @@ mod tests {
     use rand::SeedableRng;
 
     fn corpus(n: usize, seed: u64) -> EmotionCorpus {
-        EmotionCorpus::generate(n, &EmotionCorpusConfig::default(), &mut StdRng::seed_from_u64(seed))
-            .unwrap()
+        EmotionCorpus::generate(
+            n,
+            &EmotionCorpusConfig::default(),
+            &mut StdRng::seed_from_u64(seed),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -244,8 +253,8 @@ mod tests {
         }
         let others_rate = counts[3] as f64 / c.len() as f64;
         assert!((others_rate - 0.58).abs() < 0.02, "others = {others_rate}");
-        for k in 0..3 {
-            let rate = counts[k] as f64 / c.len() as f64;
+        for (k, &count) in counts.iter().take(3).enumerate() {
+            let rate = count as f64 / c.len() as f64;
             assert!((rate - 0.14).abs() < 0.02, "class {k} = {rate}");
         }
     }
@@ -314,11 +323,21 @@ mod tests {
     fn rejects_bad_configs() {
         let mut rng = StdRng::seed_from_u64(0);
         assert!(EmotionCorpus::generate(0, &EmotionCorpusConfig::default(), &mut rng).is_err());
-        let bad = EmotionCorpusConfig { min_len: 5, max_len: 3, ..Default::default() };
+        let bad = EmotionCorpusConfig {
+            min_len: 5,
+            max_len: 3,
+            ..Default::default()
+        };
         assert!(EmotionCorpus::generate(10, &bad, &mut rng).is_err());
-        let bad = EmotionCorpusConfig { keyword_rate: 1.5, ..Default::default() };
+        let bad = EmotionCorpusConfig {
+            keyword_rate: 1.5,
+            ..Default::default()
+        };
         assert!(EmotionCorpus::generate(10, &bad, &mut rng).is_err());
-        let bad = EmotionCorpusConfig { vocab_size: 0, ..Default::default() };
+        let bad = EmotionCorpusConfig {
+            vocab_size: 0,
+            ..Default::default()
+        };
         assert!(EmotionCorpus::generate(10, &bad, &mut rng).is_err());
     }
 }

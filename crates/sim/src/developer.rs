@@ -81,7 +81,10 @@ impl Developer for RandomWalkDeveloper {
         let step = self.gaussian() * self.step_std;
         self.current = (self.current + step).clamp(self.floor, self.ceil);
         // The walk must stay reachable within the configured diff.
-        ProposedModel { true_accuracy: self.current, diff_from_accepted: self.diff }
+        ProposedModel {
+            true_accuracy: self.current,
+            diff_from_accepted: self.diff,
+        }
     }
 }
 
@@ -100,7 +103,13 @@ impl HillClimbDeveloper {
     /// Start from an accepted model of accuracy `start`; on each failure
     /// try a fresh variation, on success push slightly further.
     #[must_use]
-    pub fn new(start: f64, exploration_std: f64, improvement_rate: f64, diff: f64, seed: u64) -> Self {
+    pub fn new(
+        start: f64,
+        exploration_std: f64,
+        improvement_rate: f64,
+        diff: f64,
+        seed: u64,
+    ) -> Self {
         HillClimbDeveloper {
             rng: StdRng::seed_from_u64(seed),
             accepted_accuracy: start,
@@ -133,7 +142,10 @@ impl Developer for HillClimbDeveloper {
             self.improvement_rate + self.gaussian() * self.exploration_std
         };
         let accuracy = (self.accepted_accuracy + drift).clamp(0.02, 0.98);
-        ProposedModel { true_accuracy: accuracy, diff_from_accepted: self.diff }
+        ProposedModel {
+            true_accuracy: accuracy,
+            diff_from_accepted: self.diff,
+        }
     }
 
     fn accepted(&mut self, model: &ProposedModel) {
@@ -157,7 +169,12 @@ impl OverfitterDeveloper {
     /// `±wiggle` of `true_accuracy` (no real progress).
     #[must_use]
     pub fn new(true_accuracy: f64, wiggle: f64, diff: f64, seed: u64) -> Self {
-        OverfitterDeveloper { rng: StdRng::seed_from_u64(seed), true_accuracy, wiggle, diff }
+        OverfitterDeveloper {
+            rng: StdRng::seed_from_u64(seed),
+            true_accuracy,
+            wiggle,
+            diff,
+        }
     }
 }
 
@@ -188,9 +205,15 @@ impl ScriptedDeveloper {
     /// Panics if `models` is empty.
     #[must_use]
     pub fn new(models: Vec<ProposedModel>) -> Self {
-        assert!(!models.is_empty(), "scripted developer needs at least one model");
+        assert!(
+            !models.is_empty(),
+            "scripted developer needs at least one model"
+        );
         let last = *models.last().expect("non-empty");
-        ScriptedDeveloper { queue: models.into(), last }
+        ScriptedDeveloper {
+            queue: models.into(),
+            last,
+        }
     }
 
     /// Remaining scripted proposals.
@@ -234,7 +257,10 @@ mod tests {
                 accepted = p.true_accuracy;
             }
         }
-        assert!(accepted > 0.65, "climber should make progress, got {accepted}");
+        assert!(
+            accepted > 0.65,
+            "climber should make progress, got {accepted}"
+        );
     }
 
     #[test]
@@ -249,8 +275,14 @@ mod tests {
     #[test]
     fn scripted_replays_then_repeats() {
         let models = vec![
-            ProposedModel { true_accuracy: 0.6, diff_from_accepted: 0.1 },
-            ProposedModel { true_accuracy: 0.7, diff_from_accepted: 0.1 },
+            ProposedModel {
+                true_accuracy: 0.6,
+                diff_from_accepted: 0.1,
+            },
+            ProposedModel {
+                true_accuracy: 0.7,
+                diff_from_accepted: 0.1,
+            },
         ];
         let mut dev = ScriptedDeveloper::new(models.clone());
         assert_eq!(dev.remaining(), 2);

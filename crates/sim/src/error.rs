@@ -72,7 +72,9 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = SimError::InfeasibleJoint { reason: "d < |gap|".into() };
+        let e = SimError::InfeasibleJoint {
+            reason: "d < |gap|".into(),
+        };
         assert!(e.to_string().contains("infeasible"));
         assert!(e.source().is_none());
         let e = SimError::from(easeml_ml::MlError::EmptyDataset);

@@ -39,7 +39,13 @@ pub struct PairSpec {
 
 impl Default for PairSpec {
     fn default() -> Self {
-        PairSpec { acc_old: 0.9, acc_new: 0.92, diff: 0.1, churn: 0.5, num_classes: 4 }
+        PairSpec {
+            acc_old: 0.9,
+            acc_new: 0.92,
+            diff: 0.1,
+            churn: 0.5,
+            num_classes: 4,
+        }
     }
 }
 
@@ -122,7 +128,13 @@ impl JointDistribution {
                 reason: "wrong predictions need at least 2 classes".into(),
             });
         }
-        Ok(JointDistribution { a: a.max(0.0), b, c, e: e.max(0.0), f })
+        Ok(JointDistribution {
+            a: a.max(0.0),
+            b,
+            c,
+            e: e.max(0.0),
+            f,
+        })
     }
 
     /// The five probabilities in `[a, b, c, e, f]` order.
@@ -226,9 +238,14 @@ pub fn evolve_predictions<R: Rng>(
             constraint: format!("must have the same length as labels ({n})"),
         });
     }
-    let acc_old =
-        old.iter().zip(labels).filter(|(p, l)| p == l).count() as f64 / n.max(1) as f64;
-    let spec = PairSpec { acc_old, acc_new, diff, churn, num_classes };
+    let acc_old = old.iter().zip(labels).filter(|(p, l)| p == l).count() as f64 / n.max(1) as f64;
+    let spec = PairSpec {
+        acc_old,
+        acc_new,
+        diff,
+        churn,
+        num_classes,
+    };
     let joint = JointDistribution::solve(&spec)?;
 
     // Partition item indices by old-correctness.
@@ -241,8 +258,10 @@ pub fn evolve_predictions<R: Rng>(
     let wrong_mass = 1.0 - spec.acc_old;
     let c_frac = normalised(joint.c, wrong_mass);
     let f_frac = normalised(joint.f, wrong_mass);
-    let wrong_counts =
-        apportion(wrong_idx.len(), &[c_frac[0], f_frac[0], 1.0 - c_frac[0] - f_frac[0]]);
+    let wrong_counts = apportion(
+        wrong_idx.len(),
+        &[c_frac[0], f_frac[0], 1.0 - c_frac[0] - f_frac[0]],
+    );
 
     let mut new = old.to_vec();
     let mut correct_shuffled = correct_idx;
@@ -299,13 +318,31 @@ impl ConditionalEvolution {
         churn: f64,
         num_classes: u32,
     ) -> Result<Self> {
-        let spec = PairSpec { acc_old, acc_new, diff, churn, num_classes };
+        let spec = PairSpec {
+            acc_old,
+            acc_new,
+            diff,
+            churn,
+            num_classes,
+        };
         let joint = JointDistribution::solve(&spec)?;
         let wrong = 1.0 - acc_old;
         Ok(ConditionalEvolution {
-            p_break: if acc_old > 0.0 { (joint.b / acc_old).clamp(0.0, 1.0) } else { 0.0 },
-            p_fix: if wrong > 0.0 { (joint.c / wrong).clamp(0.0, 1.0) } else { 0.0 },
-            p_churn: if wrong > 0.0 { (joint.f / wrong).clamp(0.0, 1.0) } else { 0.0 },
+            p_break: if acc_old > 0.0 {
+                (joint.b / acc_old).clamp(0.0, 1.0)
+            } else {
+                0.0
+            },
+            p_fix: if wrong > 0.0 {
+                (joint.c / wrong).clamp(0.0, 1.0)
+            } else {
+                0.0
+            },
+            p_churn: if wrong > 0.0 {
+                (joint.f / wrong).clamp(0.0, 1.0)
+            } else {
+                0.0
+            },
             acc_old,
             num_classes,
         })
@@ -373,12 +410,7 @@ fn sample_category<R: Rng>(probs: &[f64; 5], rng: &mut R) -> usize {
 }
 
 /// Map a category index to an (old, new) prediction pair for `label`.
-fn emit_category<R: Rng>(
-    category: usize,
-    label: u32,
-    num_classes: u32,
-    rng: &mut R,
-) -> (u32, u32) {
+fn emit_category<R: Rng>(category: usize, label: u32, num_classes: u32, rng: &mut R) -> (u32, u32) {
     match category {
         0 => (label, label),
         1 => (label, wrong_class(label, None, num_classes, rng)),
@@ -409,7 +441,10 @@ fn wrong_class<R: Rng>(label: u32, avoid: Option<u32>, num_classes: u32, rng: &m
 /// Largest-remainder apportionment of `n` items to `probs` (which may be
 /// any non-negative weights summing to ≈ 1).
 fn apportion(n: usize, probs: &[f64]) -> Vec<usize> {
-    let mut counts: Vec<usize> = probs.iter().map(|&p| (p * n as f64).floor() as usize).collect();
+    let mut counts: Vec<usize> = probs
+        .iter()
+        .map(|&p| (p * n as f64).floor() as usize)
+        .collect();
     let assigned: usize = counts.iter().sum();
     let mut remainders: Vec<(usize, f64)> = probs
         .iter()
@@ -432,7 +467,13 @@ mod tests {
 
     #[test]
     fn joint_solution_satisfies_marginals() {
-        let spec = PairSpec { acc_old: 0.85, acc_new: 0.88, diff: 0.1, churn: 0.5, num_classes: 4 };
+        let spec = PairSpec {
+            acc_old: 0.85,
+            acc_new: 0.88,
+            diff: 0.1,
+            churn: 0.5,
+            num_classes: 4,
+        };
         let j = JointDistribution::solve(&spec).unwrap();
         assert!((j.a + j.b - spec.acc_old).abs() < 1e-12);
         assert!((j.a + j.c - spec.acc_new).abs() < 1e-12);
@@ -445,14 +486,24 @@ mod tests {
     #[test]
     fn infeasible_specs_are_rejected() {
         // d smaller than the accuracy gap.
-        let spec = PairSpec { acc_old: 0.5, acc_new: 0.9, diff: 0.1, ..Default::default() };
+        let spec = PairSpec {
+            acc_old: 0.5,
+            acc_new: 0.9,
+            diff: 0.1,
+            ..Default::default()
+        };
         assert!(matches!(
             JointDistribution::solve(&spec),
             Err(SimError::InfeasibleJoint { .. })
         ));
         // Disagreement exceeding available wrong mass: acc 0.99 both,
         // but d = 0.5 would need half the items wrong somewhere.
-        let spec = PairSpec { acc_old: 0.99, acc_new: 0.99, diff: 0.5, ..Default::default() };
+        let spec = PairSpec {
+            acc_old: 0.99,
+            acc_new: 0.99,
+            diff: 0.5,
+            ..Default::default()
+        };
         assert!(JointDistribution::solve(&spec).is_err());
         // Wrong-to-wrong churn with binary classes.
         let spec = PairSpec {
@@ -467,7 +518,10 @@ mod tests {
         let spec = PairSpec { churn: 1.0, ..spec };
         assert!(JointDistribution::solve(&spec).is_ok());
         // Out-of-range parameter.
-        let spec = PairSpec { acc_old: 1.5, ..Default::default() };
+        let spec = PairSpec {
+            acc_old: 1.5,
+            ..Default::default()
+        };
         assert!(matches!(
             JointDistribution::solve(&spec),
             Err(SimError::InvalidParameter { .. })
@@ -476,7 +530,13 @@ mod tests {
 
     #[test]
     fn sampled_pair_hits_targets_in_expectation() {
-        let spec = PairSpec { acc_old: 0.8, acc_new: 0.83, diff: 0.12, churn: 0.5, num_classes: 5 };
+        let spec = PairSpec {
+            acc_old: 0.8,
+            acc_new: 0.83,
+            diff: 0.12,
+            churn: 0.5,
+            num_classes: 5,
+        };
         let mut rng = StdRng::seed_from_u64(11);
         let pair = sample_pair(100_000, &spec, &mut rng).unwrap();
         assert!((accuracy(&pair.old, &pair.labels) - 0.8).abs() < 0.01);
@@ -486,7 +546,13 @@ mod tests {
 
     #[test]
     fn exact_pair_hits_targets_exactly() {
-        let spec = PairSpec { acc_old: 0.8, acc_new: 0.84, diff: 0.1, churn: 0.5, num_classes: 4 };
+        let spec = PairSpec {
+            acc_old: 0.8,
+            acc_new: 0.84,
+            diff: 0.1,
+            churn: 0.5,
+            num_classes: 4,
+        };
         let mut rng = StdRng::seed_from_u64(3);
         let n = 5_000;
         let pair = exact_pair(n, &spec, &mut rng).unwrap();
@@ -502,12 +568,18 @@ mod tests {
         let n = 8_000;
         let base = exact_pair(
             n,
-            &PairSpec { acc_old: 0.6, acc_new: 0.6, diff: 0.0, churn: 0.5, num_classes: 4 },
+            &PairSpec {
+                acc_old: 0.6,
+                acc_new: 0.6,
+                diff: 0.0,
+                churn: 0.5,
+                num_classes: 4,
+            },
             &mut rng,
         )
         .unwrap();
-        let next = evolve_predictions(&base.labels, &base.old, 0.66, 0.1, 0.5, 4, &mut rng)
-            .unwrap();
+        let next =
+            evolve_predictions(&base.labels, &base.old, 0.66, 0.1, 0.5, 4, &mut rng).unwrap();
         let tol = 5.0 / n as f64;
         assert!((accuracy(&next, &base.labels) - 0.66).abs() <= tol);
         assert!((prediction_difference(&base.old, &next) - 0.1).abs() <= tol);
@@ -537,7 +609,13 @@ mod tests {
         let n = 60_000;
         let base = exact_pair(
             n,
-            &PairSpec { acc_old: 0.8, acc_new: 0.8, diff: 0.0, churn: 0.5, num_classes: 4 },
+            &PairSpec {
+                acc_old: 0.8,
+                acc_new: 0.8,
+                diff: 0.0,
+                churn: 0.5,
+                num_classes: 4,
+            },
             &mut rng,
         )
         .unwrap();

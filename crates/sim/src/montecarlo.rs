@@ -29,13 +29,7 @@ use rand::{Rng, SeedableRng};
 ///
 /// Panics if `trials` is zero or parameters leave their domains.
 #[must_use]
-pub fn empirical_epsilon(
-    n: u64,
-    true_accuracy: f64,
-    delta: f64,
-    trials: u32,
-    seed: u64,
-) -> f64 {
+pub fn empirical_epsilon(n: u64, true_accuracy: f64, delta: f64, trials: u32, seed: u64) -> f64 {
     assert!(trials > 0, "need at least one trial");
     assert!((0.0..=1.0).contains(&true_accuracy));
     assert!(delta > 0.0 && delta < 0.5);
@@ -241,9 +235,7 @@ pub fn run_multi_era(
     let pool = usize::try_from(estimate.total_samples() + estimate.total_samples() / 4 + 16)
         .unwrap_or(usize::MAX);
 
-    let make_testset = |accepted_truth: f64,
-                        rng: &mut StdRng|
-     -> Result<(Vec<u32>, Vec<u32>)> {
+    let make_testset = |accepted_truth: f64, rng: &mut StdRng| -> Result<(Vec<u32>, Vec<u32>)> {
         let pair = exact_pair(
             pool,
             &PairSpec {
@@ -413,12 +405,11 @@ pub fn violation_report<F>(
 where
     F: Fn(u64) -> Box<dyn Developer + Send> + Sync,
 {
-    let outcomes: Vec<Result<ProcessOutcome>> =
-        parallel_map(trials, seed, move |rng| {
-            let trial_seed = rng.random::<u64>();
-            let mut developer = make_developer(trial_seed);
-            run_process(config, developer.as_mut(), trial_seed)
-        });
+    let outcomes: Vec<Result<ProcessOutcome>> = parallel_map(trials, seed, move |rng| {
+        let trial_seed = rng.random::<u64>();
+        let mut developer = make_developer(trial_seed);
+        run_process(config, developer.as_mut(), trial_seed)
+    });
     let mut report = ViolationReport {
         trials,
         trials_with_false_positive: 0,
@@ -450,7 +441,9 @@ where
     T: Send,
     F: Fn(&mut StdRng) -> T + Sync,
 {
-    let threads = std::thread::available_parallelism().map_or(4, std::num::NonZero::get).min(16);
+    let threads = std::thread::available_parallelism()
+        .map_or(4, std::num::NonZero::get)
+        .min(16);
     let mut results: Vec<Option<T>> = (0..count).map(|_| None).collect();
     let chunk = count.div_ceil(threads as u32).max(1);
     std::thread::scope(|scope| {
@@ -468,7 +461,10 @@ where
             });
         }
     });
-    results.into_iter().map(|slot| slot.expect("all slots filled")).collect()
+    results
+        .into_iter()
+        .map(|slot| slot.expect("all slots filled"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -478,7 +474,12 @@ mod tests {
     use easeml_bounds::Adaptivity;
     use easeml_ci_core::Mode;
 
-    fn quick_script(condition: &str, reliability: f64, adaptivity: Adaptivity, steps: u32) -> CiScript {
+    fn quick_script(
+        condition: &str,
+        reliability: f64,
+        adaptivity: Adaptivity,
+        steps: u32,
+    ) -> CiScript {
         CiScript::builder()
             .condition_str(condition)
             .unwrap()
@@ -506,9 +507,11 @@ mod tests {
         let delta = 0.05;
         let emp = empirical_epsilon(n, 0.85, delta, 600, 7);
         let hoeff =
-            easeml_bounds::hoeffding_epsilon(1.0, n, delta, easeml_bounds::Tail::TwoSided)
-                .unwrap();
-        assert!(emp < hoeff, "empirical {emp} must be below analytic {hoeff}");
+            easeml_bounds::hoeffding_epsilon(1.0, n, delta, easeml_bounds::Tail::TwoSided).unwrap();
+        assert!(
+            emp < hoeff,
+            "empirical {emp} must be below analytic {hoeff}"
+        );
     }
 
     #[test]
@@ -570,8 +573,15 @@ mod tests {
         let mut dev = RandomWalkDeveloper::new(0.7, 0.01, 0.05, 21);
         let outcome = run_multi_era(&config, &mut dev, 10, 555).unwrap();
         assert_eq!(outcome.commits, 10);
-        assert!(outcome.eras >= 4, "10 commits / 3-step eras: got {} eras", outcome.eras);
-        let per_era = SampleSizeEstimator::new().estimate(&config.script).unwrap().total_samples();
+        assert!(
+            outcome.eras >= 4,
+            "10 commits / 3-step eras: got {} eras",
+            outcome.eras
+        );
+        let per_era = SampleSizeEstimator::new()
+            .estimate(&config.script)
+            .unwrap()
+            .total_samples();
         assert!(outcome.examples_provided >= u64::from(outcome.eras) * per_era);
         // Fresh eras keep working: commits spread across eras.
         assert!(outcome.labels_requested > 0);

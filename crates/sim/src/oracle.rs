@@ -21,7 +21,12 @@ impl CountingOracle {
     /// model.
     #[must_use]
     pub fn new(truth: Vec<u32>) -> Self {
-        CountingOracle { truth, cost: CostModel::paper_default(), served: 0, budget: None }
+        CountingOracle {
+            truth,
+            cost: CostModel::paper_default(),
+            served: 0,
+            budget: None,
+        }
     }
 
     /// Use a specific cost model.
@@ -103,7 +108,11 @@ mod tests {
 
     #[test]
     fn cost_accounting_matches_model() {
-        let cost = CostModel { labelers: 1, seconds_per_label: 5.0, hours_per_day: 8.0 };
+        let cost = CostModel {
+            labelers: 1,
+            seconds_per_label: 5.0,
+            hours_per_day: 8.0,
+        };
         let mut oracle = CountingOracle::new(vec![0; 3_000]).with_cost_model(cost);
         for i in 0..2_188 {
             oracle.label(i);

@@ -101,7 +101,10 @@ pub fn generate(n: usize, classes: u32, seed: u64) -> Result<ImagenetFamily> {
         predictions.push(next.clone());
         previous = next;
     }
-    Ok(ImagenetFamily { labels: base.labels, predictions })
+    Ok(ImagenetFamily {
+        labels: base.labels,
+        predictions,
+    })
 }
 
 #[cfg(test)]
@@ -114,7 +117,11 @@ mod tests {
         assert_eq!(fam.predictions.len(), 5);
         for (i, &target) in TOP1_ACCURACY.iter().enumerate() {
             let acc = fam.accuracy(i);
-            assert!((acc - target).abs() < 0.005, "{}: {acc} vs {target}", MODELS[i]);
+            assert!(
+                (acc - target).abs() < 0.005,
+                "{}: {acc} vs {target}",
+                MODELS[i]
+            );
         }
     }
 
@@ -134,16 +141,19 @@ mod tests {
     fn disagreement_matrix_is_symmetric_with_zero_diagonal() {
         let fam = generate(10_000, 100, 5).unwrap();
         let m = fam.disagreement_matrix();
-        for i in 0..5 {
-            assert_eq!(m[i][i], 0.0);
-            for j in 0..5 {
-                assert!((m[i][j] - m[j][i]).abs() < 1e-12);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 0.0);
+            for (j, cell) in row.iter().enumerate() {
+                assert!((cell - m[j][i]).abs() < 1e-12);
             }
         }
     }
 
     #[test]
     fn generation_is_deterministic() {
-        assert_eq!(generate(5_000, 50, 1).unwrap(), generate(5_000, 50, 1).unwrap());
+        assert_eq!(
+            generate(5_000, 50, 1).unwrap(),
+            generate(5_000, 50, 1).unwrap()
+        );
     }
 }

@@ -20,8 +20,8 @@
 use crate::error::Result;
 use crate::joint::{evolve_predictions, exact_pair, PairSpec};
 use easeml_ml::models::{
-    Classifier, LogisticRegression, LogisticRegressionConfig, MajorityClassifier, Mlp,
-    MlpConfig, NaiveBayes, NaiveBayesConfig,
+    Classifier, LogisticRegression, LogisticRegressionConfig, MajorityClassifier, Mlp, MlpConfig,
+    NaiveBayes, NaiveBayesConfig,
 };
 use easeml_ml::synth::text::{EmotionCorpus, EmotionCorpusConfig};
 use rand::rngs::StdRng;
@@ -150,7 +150,10 @@ pub fn scripted_history_with(
         });
         previous = next;
     }
-    Ok(SemEvalWorkload { labels: base.labels, submissions })
+    Ok(SemEvalWorkload {
+        labels: base.labels,
+        submissions,
+    })
 }
 
 /// Train eight real models of increasing capacity on the synthetic
@@ -224,7 +227,10 @@ pub fn trained_history(seed: u64) -> Result<SemEvalWorkload> {
             dev_accuracy: dev_acc,
         });
     }
-    Ok(SemEvalWorkload { labels, submissions })
+    Ok(SemEvalWorkload {
+        labels,
+        submissions,
+    })
 }
 
 /// Convenience: evaluate the scripted history's pass/fail strip for a
@@ -302,13 +308,9 @@ mod tests {
             );
             assert_eq!(sub.iteration, k + 1);
         }
-        for k in 0..ITERATIONS - 1 {
+        for (k, want) in CONSECUTIVE_DIFF.iter().enumerate().take(ITERATIONS - 1) {
             let d = w.realized_difference(k, k + 1);
-            assert!(
-                (d - CONSECUTIVE_DIFF[k]).abs() <= tol,
-                "diff {k}: {d} vs {}",
-                CONSECUTIVE_DIFF[k]
-            );
+            assert!((d - want).abs() <= tol, "diff {k}: {d} vs {want}");
             assert!(d <= 0.10 + tol, "consecutive diff exceeds 10%");
         }
     }
@@ -352,13 +354,12 @@ mod tests {
             .unwrap()
             .0;
         assert_eq!(best, 6, "test accuracy must peak at iteration 7");
-        assert!(TEST_ACCURACY[7] < TEST_ACCURACY[6]);
+        const { assert!(TEST_ACCURACY[7] < TEST_ACCURACY[6]) };
     }
 
     #[test]
     fn custom_trajectory() {
-        let w =
-            scripted_history_with(1_000, &[0.5, 0.6, 0.55], &[0.12, 0.08], 9).unwrap();
+        let w = scripted_history_with(1_000, &[0.5, 0.6, 0.55], &[0.12, 0.08], 9).unwrap();
         assert_eq!(w.submissions.len(), 3);
         assert!((w.realized_accuracy(1) - 0.6).abs() < 0.01);
     }

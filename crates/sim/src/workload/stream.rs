@@ -46,8 +46,7 @@ impl InfiniteBlobs {
     pub fn window(&self, start: u64, len: usize) -> Result<Dataset> {
         // One RNG stream per window start: windows at different starts
         // use decorrelated seeds; identical (start, len) reproduce.
-        let mut rng =
-            StdRng::seed_from_u64(self.seed ^ start.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = StdRng::seed_from_u64(self.seed ^ start.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         Ok(blobs(len, &self.config, &mut rng)?)
     }
 
@@ -66,8 +65,11 @@ impl InfiniteBlobs {
     ) -> Result<(u64, u64)> {
         let data = self.window(start, len)?;
         let preds = model.predict_dataset(&data)?;
-        let correct =
-            preds.iter().zip(data.labels()).filter(|(p, l)| p == l).count() as u64;
+        let correct = preds
+            .iter()
+            .zip(data.labels())
+            .filter(|(p, l)| p == l)
+            .count() as u64;
         Ok((correct, len as u64))
     }
 
@@ -94,7 +96,12 @@ mod tests {
 
     fn stream() -> InfiniteBlobs {
         InfiniteBlobs::new(
-            BlobsConfig { num_classes: 4, dim: 6, noise: 0.5, label_noise: 0.0 },
+            BlobsConfig {
+                num_classes: 4,
+                dim: 6,
+                noise: 0.5,
+                label_noise: 0.0,
+            },
             42,
         )
     }
@@ -150,8 +157,9 @@ mod tests {
         let gap = |n: usize| {
             let accs: Vec<f64> = (0..60u64)
                 .map(|t| {
-                    let (c, total) =
-                        s.evaluate_window(&model, 10_000_000 + t * 100_000, n).unwrap();
+                    let (c, total) = s
+                        .evaluate_window(&model, 10_000_000 + t * 100_000, n)
+                        .unwrap();
                     c as f64 / total as f64
                 })
                 .collect();

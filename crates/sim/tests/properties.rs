@@ -22,10 +22,20 @@ fn feasible_spec() -> impl Strategy<Value = PairSpec> {
             // giving d ≤ (1 − min − churn·gap/2)/(1 − churn/2) and
             // s ≤ 2·min/churn (when churn > 0).
             let d_e = (1.0 - min_acc - churn * gap / 2.0) / (1.0 - churn / 2.0);
-            let d_a = if churn > 0.0 { gap + 2.0 * min_acc / churn } else { f64::INFINITY };
+            let d_a = if churn > 0.0 {
+                gap + 2.0 * min_acc / churn
+            } else {
+                f64::INFINITY
+            };
             let d_max = d_e.min(d_a).min(1.0);
             let diff = gap + (d_max - gap).max(0.0) * diff_t * 0.95;
-            PairSpec { acc_old, acc_new, diff, churn, num_classes: 5 }
+            PairSpec {
+                acc_old,
+                acc_new,
+                diff,
+                churn,
+                num_classes: 5,
+            }
         },
     )
 }

@@ -52,11 +52,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pool = estimate.total_samples() as usize;
     let base = exact_pair(
         pool,
-        &PairSpec { acc_old: 0.88, acc_new: 0.88, diff: 0.0, churn: 0.5, num_classes: 4 },
+        &PairSpec {
+            acc_old: 0.88,
+            acc_new: 0.88,
+            diff: 0.0,
+            churn: 0.5,
+            num_classes: 4,
+        },
         &mut rng,
     )?;
-    let oracle = CountingOracle::new(base.labels.clone())
-        .with_cost_model(CostModel::interactive());
+    let oracle = CountingOracle::new(base.labels.clone()).with_cost_model(CostModel::interactive());
     let mut engine = CiEngine::with_estimator(
         script,
         Testset::unlabeled(pool),
@@ -97,7 +102,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let total_labels = engine.history().total_labels_requested();
-    let hours = CostModel::interactive().time_for(total_labels).as_secs_f64() / 3600.0;
+    let hours = CostModel::interactive()
+        .time_for(total_labels)
+        .as_secs_f64()
+        / 3600.0;
     println!(
         "\n5 commits consumed {total_labels} labels total (~{hours:.1} labelling hours), \
          vs {} for up-front labelling of the baseline pool",

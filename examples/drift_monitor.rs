@@ -23,20 +23,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for week in 0..12u32 {
         let drift_rate = if week < 6 { 0.0 } else { 0.02 };
         let effective_week = if week < 6 { 0 } else { week - 5 };
-        let (correct, total) =
-            drifting_window(0.92, drift_rate, effective_week, 20_000, &mut rng);
+        let (correct, total) = drifting_window(0.92, drift_rate, effective_week, 20_000, &mut rng);
         let report = monitor.observe_counts(correct, total)?;
         println!(
             "{:>6}  {:.4}    {:.4}   {:?}",
             report.window, report.accuracy, report.epsilon, report.verdict
         );
         if report.verdict == DriftVerdict::Drifted {
-            println!("\ndrift confirmed at window {} — request retraining", report.window);
+            println!(
+                "\ndrift confirmed at window {} — request retraining",
+                report.window
+            );
             break;
         }
     }
 
-    assert_eq!(monitor.drifted(), Tribool::True, "the shift must be detected");
+    assert_eq!(
+        monitor.drifted(),
+        Tribool::True,
+        "the shift must be detected"
+    );
     let first_alarm = monitor
         .reports()
         .iter()

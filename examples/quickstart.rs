@@ -6,8 +6,8 @@
 //! ```
 
 use easeml_ci::core::{effort, CostModel, EstimateProvenance};
+use easeml_ci::sim::joint::{evolve_predictions, exact_pair, PairSpec};
 use easeml_ci::{CiEngine, CiScript, ModelCommit, SampleSizeEstimator, Testset, VecOracle};
-use easeml_ci::sim::joint::{exact_pair, evolve_predictions, PairSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -47,7 +47,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pool = estimate.total_samples() as usize;
     let base = exact_pair(
         pool,
-        &PairSpec { acc_old: 0.75, acc_new: 0.75, diff: 0.0, churn: 0.5, num_classes: 4 },
+        &PairSpec {
+            acc_old: 0.75,
+            acc_new: 0.75,
+            diff: 0.0,
+            churn: 0.5,
+            num_classes: 4,
+        },
         &mut rng,
     )?;
 
@@ -65,16 +71,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert!(receipt.passed);
 
-    let stagnant =
-        evolve_predictions(&base.labels, engine.old_predictions(), 0.801, 0.02, 0.5, 4, &mut rng)?;
+    let stagnant = evolve_predictions(
+        &base.labels,
+        engine.old_predictions(),
+        0.801,
+        0.02,
+        0.5,
+        4,
+        &mut rng,
+    )?;
     let receipt = engine.submit(&ModelCommit::new("stagnant-model", stagnant))?;
     println!(
         "commit stagnant-model: outcome {}, signal {:?}, labels used {}",
         receipt.outcome, receipt.signal, receipt.estimates.labels_requested
     );
-    assert!(!receipt.passed, "a 0.1-point improvement must not clear a 2-point bar");
+    assert!(
+        !receipt.passed,
+        "a 0.1-point improvement must not clear a 2-point bar"
+    );
 
     println!("\nhistory:\n{}", engine.history());
-    println!("steps remaining in this testset era: {}", engine.steps_remaining());
+    println!(
+        "steps remaining in this testset era: {}",
+        engine.steps_remaining()
+    );
     Ok(())
 }

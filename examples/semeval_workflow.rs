@@ -8,15 +8,18 @@
 
 use easeml_ci::core::estimator::Pattern2Options;
 use easeml_ci::core::EstimatorConfig;
-use easeml_ci::{Adaptivity, CiEngine, CiScript, Mode, ModelCommit, SampleSizeEstimator, Testset};
 use easeml_ci::sim::workload::semeval::{scripted_history, TEST_SIZE};
+use easeml_ci::{Adaptivity, CiEngine, CiScript, Mode, ModelCommit, SampleSizeEstimator, Testset};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The competition testset supports the queries because consecutive
     // submissions differ on < 10% of predictions (Pattern 2 with a known
     // variance bound).
     let estimator = SampleSizeEstimator::with_config(EstimatorConfig {
-        pattern2: Pattern2Options { known_variance_bound: Some(0.1), ..Default::default() },
+        pattern2: Pattern2Options {
+            known_variance_bound: Some(0.1),
+            ..Default::default()
+        },
         ..Default::default()
     });
 
@@ -48,7 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     println!("\niter  dev-acc  test-acc  outcome  decision");
-    println!("   1    {:.3}     {:.3}        —  (baseline)", first.dev_accuracy, workload.realized_accuracy(0));
+    println!(
+        "   1    {:.3}     {:.3}        —  (baseline)",
+        first.dev_accuracy,
+        workload.realized_accuracy(0)
+    );
     for (k, sub) in workload.submissions.iter().enumerate().skip(1) {
         let receipt = engine.submit(&ModelCommit::new(
             format!("iteration-{}", sub.iteration),
@@ -60,7 +67,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             sub.dev_accuracy,
             workload.realized_accuracy(k),
             receipt.outcome.to_string(),
-            if receipt.passed { "PASS (deployed)" } else { "FAIL" },
+            if receipt.passed {
+                "PASS (deployed)"
+            } else {
+                "FAIL"
+            },
         );
     }
 

@@ -28,7 +28,10 @@ fn script_to_decisions() {
     let estimator = SampleSizeEstimator::new();
     let estimate = estimator.estimate(&script).unwrap();
     // The improvement condition matches Pattern 2.
-    assert!(matches!(estimate.provenance, EstimateProvenance::Optimized(_)));
+    assert!(matches!(
+        estimate.provenance,
+        EstimateProvenance::Optimized(_)
+    ));
 
     let mut rng = StdRng::seed_from_u64(5);
     // Provision 30% headroom over the estimate: the Pattern-2 probe
@@ -37,7 +40,13 @@ fn script_to_decisions() {
     let pool = (estimate.total_samples() as usize) * 13 / 10;
     let base = exact_pair(
         pool,
-        &PairSpec { acc_old: 0.7, acc_new: 0.7, diff: 0.0, churn: 0.5, num_classes: 4 },
+        &PairSpec {
+            acc_old: 0.7,
+            acc_new: 0.7,
+            diff: 0.0,
+            churn: 0.5,
+            num_classes: 4,
+        },
         &mut rng,
     )
     .unwrap();
@@ -47,8 +56,11 @@ fn script_to_decisions() {
         .with_oracle(Box::new(oracle));
 
     // Clear improvement (+9 points): must pass.
-    let better = evolve_predictions(&base.labels, &base.old, 0.79, 0.095, 0.5, 4, &mut rng).unwrap();
-    let receipt = engine.submit(&ModelCommit::new("good", better.clone())).unwrap();
+    let better =
+        evolve_predictions(&base.labels, &base.old, 0.79, 0.095, 0.5, 4, &mut rng).unwrap();
+    let receipt = engine
+        .submit(&ModelCommit::new("good", better.clone()))
+        .unwrap();
     assert_eq!(receipt.outcome, Tribool::True);
     assert_eq!(receipt.signal, Some(true));
     assert!(receipt.estimates.labels_requested > 0);
@@ -77,7 +89,9 @@ fn estimator_facade_matches_direct_bounds() {
     let direct = easeml_ci::bounds::hoeffding_sample_size_from_ln_delta(
         1.0,
         0.05,
-        Adaptivity::Full.ln_effective_delta(script.delta(), 32).unwrap(),
+        Adaptivity::Full
+            .ln_effective_delta(script.delta(), 32)
+            .unwrap(),
         easeml_ci::Tail::OneSided,
     )
     .unwrap();
@@ -98,10 +112,16 @@ fn testset_era_rollover_end_to_end() {
     let estimate = SampleSizeEstimator::new().estimate(&script).unwrap();
     let pool = estimate.total_samples() as usize;
     let labels = vec![1u32; pool];
-    let mut engine =
-        CiEngine::new(script, Testset::fully_labeled(labels.clone()), vec![0u32; pool]).unwrap();
+    let mut engine = CiEngine::new(
+        script,
+        Testset::fully_labeled(labels.clone()),
+        vec![0u32; pool],
+    )
+    .unwrap();
     // A passing commit retires the testset under firstChange.
-    let receipt = engine.submit(&ModelCommit::new("winner", vec![1u32; pool])).unwrap();
+    let receipt = engine
+        .submit(&ModelCommit::new("winner", vec![1u32; pool]))
+        .unwrap();
     assert!(receipt.passed);
     assert!(engine.is_retired());
     // Fresh testset: the developer got the old one back.
@@ -110,7 +130,9 @@ fn testset_era_rollover_end_to_end() {
         .unwrap();
     assert_eq!(released.len(), pool);
     assert_eq!(engine.era(), 1);
-    assert!(engine.submit(&ModelCommit::new("next", vec![1u32; pool])).is_ok());
+    assert!(engine
+        .submit(&ModelCommit::new("next", vec![1u32; pool]))
+        .is_ok());
 }
 
 #[test]
@@ -127,8 +149,10 @@ fn mailbox_collects_withheld_results() {
         .steps(3)
         .build()
         .unwrap();
-    let pool =
-        SampleSizeEstimator::new().estimate(&script).unwrap().total_samples() as usize;
+    let pool = SampleSizeEstimator::new()
+        .estimate(&script)
+        .unwrap()
+        .total_samples() as usize;
     let mailbox = Rc::new(RefCell::new(MailboxSink::new("integration@example.com")));
     struct Shared(Rc<RefCell<MailboxSink>>);
     impl NotificationSink for Shared {
@@ -136,14 +160,21 @@ fn mailbox_collects_withheld_results() {
             self.0.borrow_mut().notify(event);
         }
     }
-    let mut engine =
-        CiEngine::new(script, Testset::unlabeled(pool), vec![0u32; pool])
-            .unwrap()
-            .with_sink(Box::new(Shared(Rc::clone(&mailbox))));
-    let receipt = engine.submit(&ModelCommit::new("quiet", vec![0u32; pool])).unwrap();
-    assert_eq!(receipt.signal, None, "adaptivity none must withhold the signal");
+    let mut engine = CiEngine::new(script, Testset::unlabeled(pool), vec![0u32; pool])
+        .unwrap()
+        .with_sink(Box::new(Shared(Rc::clone(&mailbox))));
+    let receipt = engine
+        .submit(&ModelCommit::new("quiet", vec![0u32; pool]))
+        .unwrap();
+    assert_eq!(
+        receipt.signal, None,
+        "adaptivity none must withhold the signal"
+    );
     let messages = mailbox.borrow().messages().to_vec();
     assert_eq!(messages.len(), 1);
     assert!(messages[0].contains("integration@example.com"));
-    assert!(messages[0].contains("PASS"), "d = 0 certainly satisfies d < 0.3: {messages:?}");
+    assert!(
+        messages[0].contains("PASS"),
+        "d = 0 certainly satisfies d < 0.3: {messages:?}"
+    );
 }

@@ -45,7 +45,10 @@ fn section33_worked_example() {
     let tight = script("n > 0.8 +/- 0.01", 0.9999, Adaptivity::Full, 32);
     // Paper prose says 156,955; ceil rounding gives 156,956 (the paper's
     // own Figure 2 prints 156,956 for the same quantity).
-    assert_eq!(est.estimate_baseline(&tight).unwrap().labeled_samples, 156_956);
+    assert_eq!(
+        est.estimate_baseline(&tight).unwrap().labeled_samples,
+        156_956
+    );
 }
 
 /// §4.1.1's 29K/67K and §4.1.2's 2,188 labels per commit.
@@ -55,8 +58,7 @@ fn section41_numbers() {
     let non_adaptive =
         hierarchical_plan(0.1, 0.01, 0.01, 0.0001, 32, Adaptivity::None, p1).unwrap();
     assert_eq!(non_adaptive.test.samples, 29_048);
-    let fully =
-        hierarchical_plan(0.1, 0.01, 0.01, 0.0001, 32, Adaptivity::Full, p1).unwrap();
+    let fully = hierarchical_plan(0.1, 0.01, 0.01, 0.0001, 32, Adaptivity::Full, p1).unwrap();
     assert_eq!(fully.test.samples, 67_706);
     assert!((fully.active.labels_per_commit as i64 - 2_188).abs() <= 1);
 }
@@ -64,7 +66,10 @@ fn section41_numbers() {
 /// Figure 5's 4,713 / 5,204 sample sizes and the 6,260 > 5,509 refusal.
 #[test]
 fn figure5_sample_sizes() {
-    let known = Pattern2Options { known_variance_bound: Some(0.1), ..Default::default() };
+    let known = Pattern2Options {
+        known_variance_bound: Some(0.1),
+        ..Default::default()
+    };
     let q1 = implicit_variance_plan(0.02, 0.002, 7, Adaptivity::None, known).unwrap();
     assert_eq!(q1.test_upper_bound.samples, 4_713);
     let q3 = implicit_variance_plan(0.022, 0.002, 7, Adaptivity::Full, known).unwrap();
@@ -100,7 +105,10 @@ fn section52_hoeffding_baselines() {
 #[test]
 fn introduction_numbers() {
     use easeml_ci::bounds::{hoeffding_sample_size, Tail};
-    assert_eq!(hoeffding_sample_size(1.0, 0.01, 0.0001, Tail::OneSided).unwrap(), 46_052);
+    assert_eq!(
+        hoeffding_sample_size(1.0, 0.01, 0.0001, Tail::OneSided).unwrap(),
+        46_052
+    );
     let est = SampleSizeEstimator::new();
     // F5-style compound condition: optimized labels per commit vs the
     // baseline testset — the "up to two orders of magnitude" claim
@@ -120,8 +128,7 @@ fn introduction_numbers() {
         ) => p,
         other => panic!("expected a hierarchical plan, got {other:?}"),
     };
-    let amortized_saving =
-        baseline.labeled_samples as f64 / plan.active.labels_per_commit as f64;
+    let amortized_saving = baseline.labeled_samples as f64 / plan.active.labels_per_commit as f64;
     assert!(
         amortized_saving > 100.0,
         "two-orders-of-magnitude claim: got {amortized_saving:.0}x"

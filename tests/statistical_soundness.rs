@@ -35,7 +35,13 @@ fn config(
 /// the hardest case the δ/2^H budget is built for.
 #[test]
 fn fp_free_resists_the_overfitter() {
-    let cfg = config("n - o > 0.02 +/- 0.03", Mode::FpFree, Adaptivity::Full, 0.1, 5);
+    let cfg = config(
+        "n - o > 0.02 +/- 0.03",
+        Mode::FpFree,
+        Adaptivity::Full,
+        0.1,
+        5,
+    );
     let report = violation_report(
         &cfg,
         |seed| Box::new(OverfitterDeveloper::new(0.75, 0.003, 0.05, seed)),
@@ -51,7 +57,11 @@ fn fp_free_resists_the_overfitter() {
     );
     // The overfitter never truly improves by 2 points, so essentially
     // nothing should pass at all.
-    assert!(report.mean_passes < 1.0, "mean passes = {}", report.mean_passes);
+    assert!(
+        report.mean_passes < 1.0,
+        "mean passes = {}",
+        report.mean_passes
+    );
 }
 
 /// fn-free guarantee under a non-adaptive random walk.
@@ -92,13 +102,11 @@ fn difference_conditions_are_label_free() {
 fn empirical_error_is_dominated() {
     for n in [300u64, 1_200] {
         let emp = empirical_epsilon(n, 0.9, 0.05, 300, 99);
-        let analytic = easeml_ci::bounds::hoeffding_epsilon(
-            1.0,
-            n,
-            0.05,
-            easeml_ci::Tail::TwoSided,
-        )
-        .unwrap();
-        assert!(emp <= analytic, "n={n}: empirical {emp} > analytic {analytic}");
+        let analytic =
+            easeml_ci::bounds::hoeffding_epsilon(1.0, n, 0.05, easeml_ci::Tail::TwoSided).unwrap();
+        assert!(
+            emp <= analytic,
+            "n={n}: empirical {emp} > analytic {analytic}"
+        );
     }
 }
