@@ -7,7 +7,7 @@
 //! cargo run --release -p easeml-bench --bin repro_ablations
 //! ```
 
-use easeml_bench::{write_csv, Table};
+use easeml_bench::{init_threads_from_args, write_csv, Table};
 use easeml_bounds::{
     bennett_sample_size, bernstein_sample_size, exact_binomial_sample_size, hoeffding_sample_size,
     Adaptivity, Tail,
@@ -183,6 +183,7 @@ fn active_vs_upfront() {
 }
 
 fn main() {
+    let _threads = init_threads_from_args();
     println!("== DESIGN.md section-6 ablations ==\n");
     allocation_and_tails();
     bound_family();

@@ -22,16 +22,25 @@ const HARNESSES: [&str; 8] = [
 /// The soundness harness is listed separately: it is the slow one.
 const SLOW_HARNESSES: [&str; 1] = ["repro_guarantees"];
 
-fn run(name: &str) -> bool {
+fn run(name: &str, passthrough: &[String]) -> bool {
     // Re-use the already-built sibling binary when possible.
     let exe = std::env::current_exe().expect("current exe");
     let sibling = exe.with_file_name(name);
     let status = if sibling.exists() {
-        Command::new(sibling).status()
+        Command::new(sibling).args(passthrough).status()
     } else {
-        Command::new("cargo")
-            .args(["run", "--release", "-p", "easeml-bench", "--bin", name])
-            .status()
+        let mut cmd = Command::new("cargo");
+        cmd.args([
+            "run",
+            "--release",
+            "-p",
+            "easeml-bench",
+            "--bin",
+            name,
+            "--",
+        ]);
+        cmd.args(passthrough);
+        cmd.status()
     };
     match status {
         Ok(s) if s.success() => true,
@@ -48,17 +57,27 @@ fn run(name: &str) -> bool {
 
 fn main() {
     let skip_slow = std::env::args().any(|a| a == "--skip-slow");
+    // Forward the thread-pool sizing to every child harness.
+    let passthrough: Vec<String> =
+        match easeml_par::extract_threads_flag(std::env::args().skip(1).collect()) {
+            Ok((_, Some(threads))) => vec!["--threads".into(), threads.to_string()],
+            Ok((_, None)) => Vec::new(),
+            Err(message) => {
+                eprintln!("error: {message}");
+                std::process::exit(2);
+            }
+        };
     let mut failures = Vec::new();
     for name in HARNESSES {
         println!("\n================ {name} ================\n");
-        if !run(name) {
+        if !run(name, &passthrough) {
             failures.push(name);
         }
     }
     if !skip_slow {
         for name in SLOW_HARNESSES {
             println!("\n================ {name} ================\n");
-            if !run(name) {
+            if !run(name, &passthrough) {
                 failures.push(name);
             }
         }

@@ -1,17 +1,31 @@
 //! Perf trajectory of the §4.3 exact-binomial hot path.
 //!
 //! Times the optimized inversion against the preserved seed
-//! implementation (`easeml_bounds::reference`) and the cached estimator
-//! path against the uncached one, then writes machine-readable results to
-//! `results/BENCH_bounds.json` so future PRs can track the trajectory.
+//! implementation (`easeml_bounds::reference`), the cached estimator
+//! path against the uncached one, and the parallel execution layer
+//! (batched table inversion and pooled Monte-Carlo trials) against the
+//! sequential per-cell/one-thread paths, then writes machine-readable
+//! results to `results/BENCH_bounds.json` so future PRs can track the
+//! trajectory.
 //!
-//! Usage: `cargo run --release --bin repro_bounds_perf [--quick]`
+//! Usage: `cargo run --release --bin repro_bounds_perf [--quick] [--threads N]`
 
-use easeml_bench::{format_sig, results_dir, Table};
-use easeml_bounds::{exact_binomial_sample_size, hoeffding_sample_size, reference, Tail};
-use easeml_ci_core::{BoundsCache, CiScript, EstimatorConfig, SampleSizeEstimator};
+use easeml_bench::{format_sig, init_threads_from_args, results_dir, Table};
+use easeml_bounds::{
+    exact_binomial_sample_size, exact_binomial_sample_size_batch_with_pool, hoeffding_sample_size,
+    reference, Tail,
+};
+use easeml_ci_core::{BoundsCache, CiScript, EstimatorConfig, Mode, SampleSizeEstimator};
+use easeml_par::Pool;
+use easeml_sim::developer::{Developer, OverfitterDeveloper};
+use easeml_sim::montecarlo::{violation_report_with_pool, ProcessConfig};
 use std::fmt::Write as _;
 use std::time::Instant;
+
+/// The Figure-2-style 5×5 table the parallel section inverts: paper-like
+/// tolerances crossed with paper-like reliabilities.
+const TABLE_EPSILONS: [f64; 5] = [0.1, 0.05, 0.04, 0.025, 0.02];
+const TABLE_DELTAS: [f64; 5] = [0.05, 0.01, 1e-3, 1e-4, 1e-5];
 
 /// One measured case.
 struct Case {
@@ -60,7 +74,183 @@ fn time_ns<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// Wall time of one `f()` invocation, in nanoseconds.
+fn time_once<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t = Instant::now();
+    let out = std::hint::black_box(f());
+    (out, t.elapsed().as_nanos() as f64)
+}
+
+/// Measure the parallel execution layer: (a) the 5×5 table via
+/// `invert_batch` (threads 1 and N) against sequential per-cell
+/// inversion, (b) `violation_report` trials at threads 1 vs N. Returns
+/// the JSON fragment.
+fn parallel_section(threads: usize, quick: bool, runs: usize) -> String {
+    // Measure at the requested width when one was given (so multicore
+    // hosts can demonstrate their full fan-out); otherwise at the
+    // acceptance-criterion default of 4.
+    let n_pool = Pool::new(if threads >= 2 { threads } else { 4 });
+    // (a) Batched table inversion. Median-of-runs; every measurement
+    // re-inverts from scratch (no BoundsCache on this path).
+    let seq_ns = time_ns(runs, || {
+        let mut grid = Vec::with_capacity(TABLE_EPSILONS.len());
+        for &eps in &TABLE_EPSILONS {
+            let mut row = Vec::with_capacity(TABLE_DELTAS.len());
+            for &delta in &TABLE_DELTAS {
+                row.push(exact_binomial_sample_size(eps, delta, Tail::TwoSided).unwrap());
+            }
+            grid.push(row);
+        }
+        grid
+    });
+    let batch_t1_ns = time_ns(runs, || {
+        exact_binomial_sample_size_batch_with_pool(
+            &TABLE_EPSILONS,
+            &TABLE_DELTAS,
+            Tail::TwoSided,
+            &Pool::new(1),
+        )
+        .unwrap()
+    });
+    let batch_tn_ns = time_ns(runs, || {
+        exact_binomial_sample_size_batch_with_pool(
+            &TABLE_EPSILONS,
+            &TABLE_DELTAS,
+            Tail::TwoSided,
+            &n_pool,
+        )
+        .unwrap()
+    });
+    // Bit-identity across widths and against the per-cell inversion.
+    let per_cell: Vec<Vec<u64>> = TABLE_EPSILONS
+        .iter()
+        .map(|&eps| {
+            TABLE_DELTAS
+                .iter()
+                .map(|&delta| exact_binomial_sample_size(eps, delta, Tail::TwoSided).unwrap())
+                .collect()
+        })
+        .collect();
+    let batch_t1 = exact_binomial_sample_size_batch_with_pool(
+        &TABLE_EPSILONS,
+        &TABLE_DELTAS,
+        Tail::TwoSided,
+        &Pool::new(1),
+    )
+    .unwrap();
+    let batch_tn = exact_binomial_sample_size_batch_with_pool(
+        &TABLE_EPSILONS,
+        &TABLE_DELTAS,
+        Tail::TwoSided,
+        &n_pool,
+    )
+    .unwrap();
+    assert_eq!(batch_t1, batch_tn, "batch must be thread-count invariant");
+    assert_eq!(batch_t1, per_cell, "batch must match per-cell inversion");
+
+    // (b) Pooled Monte-Carlo soundness trials against the real engine.
+    let trials: u32 = if quick { 200 } else { 1_000 };
+    let script = CiScript::builder()
+        .condition_str("n - o > 0.02 +/- 0.02")
+        .unwrap()
+        .reliability(0.95)
+        .mode(Mode::FpFree)
+        .adaptivity(easeml_bounds::Adaptivity::Full)
+        .steps(6)
+        .build()
+        .unwrap();
+    let config = ProcessConfig {
+        script,
+        estimator: EstimatorConfig::default(),
+        commits: 6,
+        initial_accuracy: 0.75,
+        num_classes: 4,
+        churn: 0.5,
+    };
+    let adversary = |seed: u64| -> Box<dyn Developer + Send> {
+        Box::new(OverfitterDeveloper::new(0.75, 0.003, 0.05, seed))
+    };
+    let (report_t1, mc_t1_ns) = time_once(|| {
+        violation_report_with_pool(&config, adversary, trials, 7, &Pool::new(1)).unwrap()
+    });
+    let (report_tn, mc_tn_ns) =
+        time_once(|| violation_report_with_pool(&config, adversary, trials, 7, &n_pool).unwrap());
+    assert_eq!(
+        report_t1, report_tn,
+        "violation_report must be thread-count invariant"
+    );
+
+    // Serving path: the estimator's grid entry point consults the
+    // sharded BoundsCache first, so a warm table is pure lookups.
+    let estimator = SampleSizeEstimator::new();
+    let (_, grid_cold_ns) = time_once(|| {
+        estimator
+            .exact_sample_size_grid(&TABLE_EPSILONS, &TABLE_DELTAS, Tail::TwoSided)
+            .unwrap()
+    });
+    let grid_warm_ns = time_ns(runs.max(5), || {
+        estimator
+            .exact_sample_size_grid(&TABLE_EPSILONS, &TABLE_DELTAS, Tail::TwoSided)
+            .unwrap()
+    });
+
+    println!(
+        "\n== parallel execution layer (pool: {} threads available, measured at {}) ==",
+        threads,
+        n_pool.threads()
+    );
+    println!(
+        "grid entry    : cold {:.1} ms, warm (sharded cache) {:.1} us per 25-cell table",
+        grid_cold_ns / 1e6,
+        grid_warm_ns / 1e3,
+    );
+    println!(
+        "5x5 table     : per-cell {:.1} ms | batch t1 {:.1} ms ({:.2}x) | batch t{} {:.1} ms ({:.2}x)",
+        seq_ns / 1e6,
+        batch_t1_ns / 1e6,
+        seq_ns / batch_t1_ns,
+        n_pool.threads(),
+        batch_tn_ns / 1e6,
+        seq_ns / batch_tn_ns,
+    );
+    println!(
+        "{} MC trials : t1 {:.0} ms | t{} {:.0} ms ({:.2}x), outputs bit-identical",
+        trials,
+        mc_t1_ns / 1e6,
+        n_pool.threads(),
+        mc_tn_ns / 1e6,
+        mc_t1_ns / mc_tn_ns,
+    );
+
+    format!(
+        "{{\n    \"threads_available\": {}, \"threads_measured\": {},\n    \
+         \"table\": {{\"epsilons\": {}, \"deltas\": {}, \"tail\": \"two-sided\", \
+         \"sequential_per_cell_ns\": {:.0}, \"batch_t1_ns\": {:.0}, \"batch_tn_ns\": {:.0}, \
+         \"batch_speedup_t1\": {:.2}, \"batch_speedup_tn\": {:.2}, \"bit_identical\": true}},\n    \
+         \"violation_report\": {{\"trials\": {}, \"t1_ns\": {:.0}, \"tn_ns\": {:.0}, \
+         \"speedup\": {:.2}, \"bit_identical\": true}},\n    \
+         \"grid_entry\": {{\"cells\": {}, \"cold_ns\": {:.0}, \"warm_cached_ns\": {:.0}}}\n  }}",
+        threads,
+        n_pool.threads(),
+        TABLE_EPSILONS.len(),
+        TABLE_DELTAS.len(),
+        seq_ns,
+        batch_t1_ns,
+        batch_tn_ns,
+        seq_ns / batch_t1_ns,
+        seq_ns / batch_tn_ns,
+        trials,
+        mc_t1_ns,
+        mc_tn_ns,
+        mc_t1_ns / mc_tn_ns,
+        TABLE_EPSILONS.len() * TABLE_DELTAS.len(),
+        grid_cold_ns,
+        grid_warm_ns,
+    )
+}
+
 fn main() {
+    let threads = init_threads_from_args();
     let quick = std::env::args().any(|a| a == "--quick");
     let runs = if quick { 3 } else { 9 };
     let mut table = Table::new([
@@ -86,8 +276,15 @@ fn main() {
         let cold_ns = cold_t.elapsed().as_nanos() as f64;
         let n_ref = reference::exact_binomial_sample_size(case.eps, case.delta, case.tail).unwrap();
         let n_hoeff = hoeffding_sample_size(1.0, case.eps, case.delta, case.tail).unwrap();
+        // One-sided acceptance is now breakpoint-exact: it sees sawtooth
+        // teeth the seed's 64-point grid missed, so its answers may sit a
+        // few teeth above the seed's (never below).
+        let drift_cap = match case.tail {
+            Tail::TwoSided => (n_ref as f64 * 0.005).max(3.0),
+            Tail::OneSided => (n_ref as f64 * 0.05).max(8.0),
+        };
         assert!(
-            n_opt.abs_diff(n_ref) as f64 <= (n_ref as f64 * 0.005).max(3.0),
+            n_opt.abs_diff(n_ref) as f64 <= drift_cap,
             "{}: optimized {} vs seed {} drifted apart",
             case.name,
             n_opt,
@@ -159,10 +356,12 @@ fn main() {
         stats.entries,
     );
 
+    let parallel_json = parallel_section(threads, quick, runs);
+
     let json = format!(
         "{{\n  \"bench\": \"bounds\",\n  \"unit\": \"ns\",\n  \"cases\": [\n{json_cases}\n  ],\n  \
          \"cached_estimator\": {{\"warm_estimate_ns\": {:.0}, \"cache_hits\": {}, \
-         \"cache_misses\": {}, \"cache_entries\": {}}}\n}}\n",
+         \"cache_misses\": {}, \"cache_entries\": {}}},\n  \"parallel\": {parallel_json}\n}}\n",
         warm_ns, stats.hits, stats.misses, stats.entries,
     );
     let path = results_dir().join("BENCH_bounds.json");

@@ -2,16 +2,20 @@
 //! implementation for conditions F1/F4 (single variable) and F2/F3
 //! (accuracy difference), non-adaptive vs fully adaptive, H = 32 steps.
 //!
+//! Rows (one per reliability × tolerance) are independent, so the table
+//! is filled across the thread pool (`--threads N`, default auto).
+//!
 //! ```text
-//! cargo run --release -p easeml-bench --bin repro_fig2
+//! cargo run --release -p easeml-bench --bin repro_fig2 [--threads N]
 //! ```
 
-use easeml_bench::{write_csv, ComparisonReport, Table};
+use easeml_bench::{init_threads_from_args, write_csv, ComparisonReport, Table};
 use easeml_bounds::Adaptivity;
 use easeml_bounds::Tail;
 use easeml_ci_core::dsl::parse_clause;
 use easeml_ci_core::estimator::{clause_sample_size, Allocation, LeafBound};
 use easeml_ci_core::Practicality;
+use easeml_par::Pool;
 
 const RELIABILITIES: [f64; 4] = [0.99, 0.999, 0.9999, 0.99999];
 const EPSILONS: [f64; 4] = [0.1, 0.05, 0.025, 0.01];
@@ -43,7 +47,10 @@ fn cell(condition: &str, delta: f64, adaptivity: Adaptivity) -> u64 {
 }
 
 fn main() {
-    println!("== Figure 2: samples required by the baseline implementation (H = 32) ==\n");
+    let threads = init_threads_from_args();
+    println!(
+        "== Figure 2: samples required by the baseline implementation (H = 32, {threads} threads) ==\n"
+    );
     let mut table = Table::new([
         "1-delta",
         "eps",
@@ -53,26 +60,36 @@ fn main() {
         "F2/F3 full",
         "practicality",
     ]);
+    let mut rows: Vec<(f64, f64)> = Vec::new();
     for reliability in RELIABILITIES {
+        for eps in EPSILONS {
+            rows.push((reliability, eps));
+        }
+    }
+    // Rows are pure functions of (reliability, eps): fan them out and
+    // assemble in order.
+    let computed = Pool::global().par_map(&rows, |&(reliability, eps)| {
         // Reliabilities are given to ≤ 6 decimals; reconstruct δ exactly.
         let delta = ((1.0 - reliability) * 1e9).round() / 1e9;
-        for eps in EPSILONS {
-            let f1 = format!("n > 0.9 +/- {eps}");
-            let f2 = format!("n - o > 0.02 +/- {eps}");
-            let f1_none = cell(&f1, delta, Adaptivity::None);
-            let f1_full = cell(&f1, delta, Adaptivity::Full);
-            let f2_none = cell(&f2, delta, Adaptivity::None);
-            let f2_full = cell(&f2, delta, Adaptivity::Full);
-            table.push_row([
-                format!("{reliability}"),
-                format!("{eps}"),
-                f1_none.to_string(),
-                f1_full.to_string(),
-                f2_none.to_string(),
-                f2_full.to_string(),
-                Practicality::of(f2_full).to_string(),
-            ]);
-        }
+        let f1 = format!("n > 0.9 +/- {eps}");
+        let f2 = format!("n - o > 0.02 +/- {eps}");
+        [
+            cell(&f1, delta, Adaptivity::None),
+            cell(&f1, delta, Adaptivity::Full),
+            cell(&f2, delta, Adaptivity::None),
+            cell(&f2, delta, Adaptivity::Full),
+        ]
+    });
+    for ((reliability, eps), cells) in rows.iter().zip(&computed) {
+        table.push_row([
+            format!("{reliability}"),
+            format!("{eps}"),
+            cells[0].to_string(),
+            cells[1].to_string(),
+            cells[2].to_string(),
+            cells[3].to_string(),
+            Practicality::of(cells[3]).to_string(),
+        ]);
     }
     println!("{}", table.render());
     write_csv("fig2_sample_sizes", &table);

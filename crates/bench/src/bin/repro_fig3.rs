@@ -10,7 +10,7 @@
 //! cargo run --release -p easeml-bench --bin repro_fig3
 //! ```
 
-use easeml_bench::{write_csv, ComparisonReport, Table};
+use easeml_bench::{init_threads_from_args, write_csv, ComparisonReport, Table};
 use easeml_bounds::{active_labels_per_commit, bennett_sample_size, hoeffding_sample_size, Tail};
 
 const EPSILONS: [f64; 3] = [0.01, 0.025, 0.05];
@@ -18,6 +18,7 @@ const DELTAS: [f64; 3] = [0.01, 0.001, 0.0001];
 const P_GRID: [f64; 10] = [0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 0.75, 1.0];
 
 fn main() {
+    let _threads = init_threads_from_args();
     println!("== Figure 3: label complexity vs variance bound p ==\n");
     let mut table = Table::new([
         "eps",

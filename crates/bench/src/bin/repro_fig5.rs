@@ -13,14 +13,19 @@
 //! old model). The engine then replays the history: every query must end
 //! with the *second-to-last* model active.
 //!
+//! The three queries replay independent engine histories, so they run
+//! across the thread pool (`--threads N`, default auto) and report in
+//! order afterwards.
+//!
 //! ```text
-//! cargo run --release -p easeml-bench --bin repro_fig5
+//! cargo run --release -p easeml-bench --bin repro_fig5 [--threads N]
 //! ```
 
-use easeml_bench::{write_csv, ComparisonReport, Table};
+use easeml_bench::{init_threads_from_args, write_csv, ComparisonReport, Table};
 use easeml_bounds::{Adaptivity, Tail};
 use easeml_ci_core::estimator::{EstimatorConfig, Pattern2Options};
 use easeml_ci_core::{CiEngine, CiScript, Mode, ModelCommit, SampleSizeEstimator, Testset};
+use easeml_par::Pool;
 use easeml_sim::workload::semeval::{scripted_history, SemEvalWorkload, TEST_SIZE};
 
 struct Query {
@@ -65,11 +70,15 @@ fn estimator() -> SampleSizeEstimator {
     })
 }
 
-fn run_query(
-    query: &Query,
-    workload: &SemEvalWorkload,
-    report: &mut ComparisonReport,
-) -> Vec<String> {
+/// Everything one query produces; printing and paper checks happen back
+/// on the main thread so output stays ordered.
+struct QueryOutcome {
+    labeled_samples: u64,
+    final_active: usize,
+    strip: Vec<String>,
+}
+
+fn run_query(query: &Query, workload: &SemEvalWorkload) -> QueryOutcome {
     let script = CiScript::builder()
         .condition_str(query.condition)
         .expect("condition")
@@ -81,21 +90,6 @@ fn run_query(
         .expect("script");
     let estimator = estimator();
     let estimate = estimator.estimate(&script).expect("estimate");
-    report.check(
-        format!("{} sample size", query.name),
-        query.paper_samples as f64,
-        estimate.labeled_samples as f64,
-        0.001,
-    );
-    println!(
-        "{}: requires {} labelled samples (paper: {}) — fits the {}-item testset: {}",
-        query.name,
-        estimate.labeled_samples,
-        query.paper_samples,
-        TEST_SIZE,
-        estimate.labeled_samples as usize <= TEST_SIZE
-    );
-    assert!(estimate.labeled_samples as usize <= TEST_SIZE);
 
     // Drive the engine over the commit history. The first submission is
     // the initial accepted model.
@@ -128,24 +122,46 @@ fn run_query(
             if receipt.passed { "PASS" } else { "FAIL" },
         ));
     }
-    report.check(
-        format!("{} final active model (iteration)", query.name),
-        7.0,
-        active as f64,
-        0.0,
-    );
-    strip
+    QueryOutcome {
+        labeled_samples: estimate.labeled_samples,
+        final_active: active,
+        strip,
+    }
 }
 
 fn main() {
-    println!("== Figure 5: CI steps on the SemEval-2019 Task 3 history ==\n");
+    let threads = init_threads_from_args();
+    println!("== Figure 5: CI steps on the SemEval-2019 Task 3 history ({threads} threads) ==\n");
     let workload = scripted_history(42).expect("workload");
     let mut report = ComparisonReport::new();
     let mut table = Table::new(["query", "iteration", "decision"]);
-    for query in &QUERIES {
+    // The queries are independent engine replays: fan them out, then
+    // print and spot-check in order.
+    let outcomes = Pool::global().par_map(&QUERIES, |query| run_query(query, &workload));
+    for (query, outcome) in QUERIES.iter().zip(&outcomes) {
         println!();
-        let strip = run_query(query, &workload, &mut report);
-        for (k, line) in strip.iter().enumerate() {
+        report.check(
+            format!("{} sample size", query.name),
+            query.paper_samples as f64,
+            outcome.labeled_samples as f64,
+            0.001,
+        );
+        println!(
+            "{}: requires {} labelled samples (paper: {}) — fits the {}-item testset: {}",
+            query.name,
+            outcome.labeled_samples,
+            query.paper_samples,
+            TEST_SIZE,
+            outcome.labeled_samples as usize <= TEST_SIZE
+        );
+        assert!(outcome.labeled_samples as usize <= TEST_SIZE);
+        report.check(
+            format!("{} final active model (iteration)", query.name),
+            7.0,
+            outcome.final_active as f64,
+            0.0,
+        );
+        for (k, line) in outcome.strip.iter().enumerate() {
             println!("  {line}");
             table.push_row([query.name.to_string(), (k + 2).to_string(), line.clone()]);
         }

@@ -8,17 +8,32 @@
 //!   iteration — the qualitative cross-check that live training produces
 //!   the same "dev keeps climbing, test dips at the end" shape.
 //!
+//! The scripted replay and the eight live model trainings are
+//! independent, so the two reconstructions run on the thread pool
+//! (`--threads N`, default auto) via `scope`/`spawn`.
+//!
 //! ```text
-//! cargo run --release -p easeml-bench --bin repro_fig6
+//! cargo run --release -p easeml-bench --bin repro_fig6 [--threads N]
 //! ```
 
-use easeml_bench::{write_csv, Table};
-use easeml_sim::workload::semeval::{scripted_history, trained_history};
+use easeml_bench::{init_threads_from_args, write_csv, Table};
+use easeml_sim::workload::semeval::{scripted_history, trained_history, SemEvalWorkload};
 
 fn main() {
-    println!("== Figure 6: development vs test accuracy over 8 iterations ==\n");
+    let threads = init_threads_from_args();
+    println!(
+        "== Figure 6: development vs test accuracy over 8 iterations ({threads} threads) ==\n"
+    );
 
-    let scripted = scripted_history(42).expect("scripted workload");
+    // Build both reconstructions concurrently; results land in slots the
+    // scope's jobs borrow.
+    let mut scripted_slot: Option<SemEvalWorkload> = None;
+    let mut trained_slot: Option<SemEvalWorkload> = None;
+    easeml_par::Pool::global().scope(|scope| {
+        scope.spawn(|| scripted_slot = Some(scripted_history(42).expect("scripted workload")));
+        scope.spawn(|| trained_slot = Some(trained_history(7).expect("trained workload")));
+    });
+    let scripted = scripted_slot.expect("scope completed");
     let mut table = Table::new(["iteration", "source", "dev accuracy", "test accuracy"]);
     println!("scripted trajectory:");
     for (k, sub) in scripted.submissions.iter().enumerate() {
@@ -36,7 +51,7 @@ fn main() {
     }
 
     println!("\ntrained models (easeml-ml on the synthetic emotion corpus):");
-    let trained = trained_history(7).expect("trained workload");
+    let trained = trained_slot.expect("scope completed");
     for (k, sub) in trained.submissions.iter().enumerate() {
         let test_acc = trained.realized_accuracy(k);
         println!(

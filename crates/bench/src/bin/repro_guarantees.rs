@@ -9,11 +9,14 @@
 //! That fraction must stay at or below δ — including against an
 //! adversarial developer under full adaptivity.
 //!
+//! The per-scenario trials fan out across the thread pool
+//! (`--threads N`, default auto) inside `violation_report`.
+//!
 //! ```text
-//! cargo run --release -p easeml-bench --bin repro_guarantees
+//! cargo run --release -p easeml-bench --bin repro_guarantees [--threads N]
 //! ```
 
-use easeml_bench::{write_csv, Table};
+use easeml_bench::{init_threads_from_args, write_csv, Table};
 use easeml_bounds::Adaptivity;
 use easeml_ci_core::{CiScript, EstimatorConfig, Mode};
 use easeml_sim::developer::{
@@ -85,8 +88,9 @@ const SCENARIOS: [Scenario; 4] = [
 ];
 
 fn main() {
+    let threads = init_threads_from_args();
     println!("== Statistical soundness of the released decisions ==");
-    println!("({TRIALS} independent processes per scenario)\n");
+    println!("({TRIALS} independent processes per scenario, {threads} threads)\n");
     let mut table = Table::new([
         "scenario",
         "delta",

@@ -6,7 +6,7 @@
 //! cargo run --release -p easeml-bench --bin repro_sec3
 //! ```
 
-use easeml_bench::{write_csv, ComparisonReport, Table};
+use easeml_bench::{init_threads_from_args, write_csv, ComparisonReport, Table};
 use easeml_bounds::{
     hoeffding_sample_size, hoeffding_sample_size_from_ln_delta, trivial_strategy_total, Adaptivity,
     Tail,
@@ -15,6 +15,7 @@ use easeml_ci_core::dsl::parse_formula;
 use easeml_ci_core::estimator::{formula_sample_size, Allocation, LeafBound};
 
 fn main() {
+    let _threads = init_threads_from_args();
     println!("== Worked numbers from the paper's prose ==\n");
     let mut report = ComparisonReport::new();
     let mut table = Table::new(["quantity", "paper", "measured"]);

@@ -6,7 +6,7 @@
 //! cargo run --release -p easeml-bench --bin repro_sec41
 //! ```
 
-use easeml_bench::{write_csv, ComparisonReport, Table};
+use easeml_bench::{init_threads_from_args, write_csv, ComparisonReport, Table};
 use easeml_bounds::{Adaptivity, Tail};
 use easeml_ci_core::estimator::{
     hierarchical_plan, implicit_variance_plan, Pattern1Options, Pattern2Options,
@@ -15,6 +15,7 @@ use easeml_ci_core::CiScript;
 use easeml_ci_core::{CostModel, SampleSizeEstimator};
 
 fn main() {
+    let _threads = init_threads_from_args();
     println!("== §4.1/§4.2 optimization numbers ==\n");
     let mut report = ComparisonReport::new();
     let mut table = Table::new(["quantity", "paper", "measured"]);

@@ -1,5 +1,6 @@
 //! Shared infrastructure for the reproduction harnesses: text tables,
-//! CSV output, and paper-vs-measured comparison reporting.
+//! CSV output, paper-vs-measured comparison reporting, and thread-pool
+//! sizing from the common `--threads` flag.
 //!
 //! Each `repro_*` binary regenerates one table or figure of the paper;
 //! `repro_all` runs everything and writes machine-readable CSVs under
@@ -9,6 +10,30 @@
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+
+/// Size the process-wide [`easeml_par::Pool`] from a `--threads N` (or
+/// `--threads=N`) flag in this binary's argv, defaulting to auto
+/// (`EASEML_THREADS` or the hardware). Every `repro_*` binary calls this
+/// first; returns the effective worker count for banners.
+///
+/// # Panics
+///
+/// Exits (code 2) on a malformed or missing flag value.
+#[must_use]
+pub fn init_threads_from_args() -> usize {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match easeml_par::extract_threads_flag(args) {
+        Ok((_, Some(requested))) if requested > 0 => {
+            easeml_par::set_global_threads(requested);
+        }
+        Ok(_) => {}
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    }
+    easeml_par::Pool::global().threads()
+}
 
 /// A simple fixed-width text table.
 #[derive(Debug, Clone, Default)]

@@ -1,0 +1,251 @@
+//! Batched §4.3 inversions for Figure-2-style `(ε, δ)` tables.
+//!
+//! A sample-size table asks for the exact-binomial inversion at every
+//! cell of an `ε × δ` grid. Inverting each cell from scratch wastes the
+//! structure of the problem twice over:
+//!
+//! * the worst-case probe `worst(n)` and the reference acceptance scan
+//!   depend only on `(n, ε, tail)` — every cell in an `ε`-**column**
+//!   re-evaluates the same quantities; and
+//! * the minimal `n` is antitone in `δ`, so a column walked in
+//!   decreasing `δ` can floor each search at the previous cell's answer
+//!   instead of re-bracketing from scratch.
+//!
+//! [`exact_binomial_sample_size_batch`] exploits both by giving each
+//! column one shared [`crate::exact::InversionContext`] (value-carrying
+//! probe memo + acceptance-scan memo + warm-start hint) and walking its
+//! cells from the largest `δ` down, while independent columns are fanned
+//! out across the [`easeml_par::Pool`]. Results are bit-identical to the
+//! per-cell [`crate::exact_binomial_sample_size`] at any thread count —
+//! the shared memos cache pure functions of `(n, ε, tail)`, and the
+//! final acceptance criterion is the same reference scan either way.
+
+use crate::error::{check_positive, check_probability, BoundsError, Result};
+use crate::exact::InversionContext;
+use crate::tail::Tail;
+use easeml_par::Pool;
+
+/// Invert a full `ε × δ` grid: `result[i][j]` is the exact-binomial
+/// sample size for `(epsilons[i], deltas[j], tail)`.
+///
+/// Columns (fixed `ε`) share one search context and are evaluated in
+/// parallel on [`Pool::global`]; see the module docs.
+///
+/// # Errors
+///
+/// Returns the first invalid `ε` or `δ` (the whole grid is validated
+/// before any inversion runs), or a degenerate empty grid.
+pub fn exact_binomial_sample_size_batch(
+    epsilons: &[f64],
+    deltas: &[f64],
+    tail: Tail,
+) -> Result<Vec<Vec<u64>>> {
+    exact_binomial_sample_size_batch_with_pool(epsilons, deltas, tail, Pool::global())
+}
+
+/// [`exact_binomial_sample_size_batch`] on an explicit pool (benches and
+/// determinism tests pin the thread count with this).
+///
+/// # Errors
+///
+/// Same conditions as [`exact_binomial_sample_size_batch`].
+pub fn exact_binomial_sample_size_batch_with_pool(
+    epsilons: &[f64],
+    deltas: &[f64],
+    tail: Tail,
+    pool: &Pool,
+) -> Result<Vec<Vec<u64>>> {
+    if epsilons.is_empty() || deltas.is_empty() {
+        return Err(BoundsError::EmptyBatch);
+    }
+    for &eps in epsilons {
+        check_positive("eps", eps)?;
+        if eps >= 1.0 {
+            return Err(BoundsError::ToleranceExceedsRange {
+                epsilon: eps,
+                range: 1.0,
+            });
+        }
+    }
+    for &delta in deltas {
+        check_probability("delta", delta)?;
+    }
+
+    // Walk each column from the largest δ down so every answer floors
+    // the next (smaller-δ) search. `order` is a pure function of
+    // `deltas`, so cell→column assignment is thread-count independent.
+    let mut order: Vec<usize> = (0..deltas.len()).collect();
+    order.sort_by(|&a, &b| deltas[b].total_cmp(&deltas[a]).then(a.cmp(&b)));
+
+    let columns = pool.par_map(epsilons, |&eps| -> Result<Vec<u64>> {
+        let mut ctx = InversionContext::new(eps, tail)?;
+        let mut column = vec![0u64; deltas.len()];
+        let mut floor = 1u64;
+        let mut last: Option<(f64, u64)> = None;
+        for &j in &order {
+            let delta = deltas[j];
+            // Duplicate δ values short-circuit to the previous answer.
+            let n = match last {
+                Some((d, n)) if d == delta => n,
+                _ => ctx.invert(delta, floor)?,
+            };
+            column[j] = n;
+            floor = n;
+            last = Some((delta, n));
+        }
+        Ok(column)
+    });
+    columns.into_iter().collect()
+}
+
+/// Invert an arbitrary set of `(ε, δ)` cells (the cache layer's miss
+/// list): cells sharing an `ε` are grouped into one column and share its
+/// search context, and columns run in parallel on `pool`. Results come
+/// back in input order.
+///
+/// # Errors
+///
+/// Returns the first invalid `ε` or `δ` encountered (in input order).
+pub fn exact_binomial_sample_size_cells_with_pool(
+    cells: &[(f64, f64)],
+    tail: Tail,
+    pool: &Pool,
+) -> Result<Vec<u64>> {
+    for &(eps, delta) in cells {
+        check_positive("eps", eps)?;
+        if eps >= 1.0 {
+            return Err(BoundsError::ToleranceExceedsRange {
+                epsilon: eps,
+                range: 1.0,
+            });
+        }
+        check_probability("delta", delta)?;
+    }
+    // Group by exact ε bit pattern, preserving first-appearance order.
+    let mut column_of: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    let mut columns: Vec<(f64, Vec<usize>)> = Vec::new();
+    for (i, &(eps, _)) in cells.iter().enumerate() {
+        let col = *column_of.entry(eps.to_bits()).or_insert_with(|| {
+            columns.push((eps, Vec::new()));
+            columns.len() - 1
+        });
+        columns[col].1.push(i);
+    }
+
+    let per_column = pool.par_map(&columns, |(eps, members)| -> Result<Vec<(usize, u64)>> {
+        let mut ctx = InversionContext::new(*eps, tail)?;
+        let mut members = members.clone();
+        members.sort_by(|&a, &b| cells[b].1.total_cmp(&cells[a].1).then(a.cmp(&b)));
+        let mut out = Vec::with_capacity(members.len());
+        let mut floor = 1u64;
+        let mut last: Option<(f64, u64)> = None;
+        for i in members {
+            let delta = cells[i].1;
+            let n = match last {
+                Some((d, n)) if d == delta => n,
+                _ => ctx.invert(delta, floor)?,
+            };
+            out.push((i, n));
+            floor = n;
+            last = Some((delta, n));
+        }
+        Ok(out)
+    });
+    let mut results = vec![0u64; cells.len()];
+    for column in per_column {
+        for (i, n) in column? {
+            results[i] = n;
+        }
+    }
+    Ok(results)
+}
+
+/// [`exact_binomial_sample_size_cells_with_pool`] on [`Pool::global`].
+///
+/// # Errors
+///
+/// Same conditions as [`exact_binomial_sample_size_cells_with_pool`].
+pub fn exact_binomial_sample_size_cells(cells: &[(f64, f64)], tail: Tail) -> Result<Vec<u64>> {
+    exact_binomial_sample_size_cells_with_pool(cells, tail, Pool::global())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact_binomial_sample_size;
+
+    const EPSILONS: [f64; 3] = [0.1, 0.05, 0.08];
+    const DELTAS: [f64; 4] = [0.01, 0.001, 0.05, 0.0001];
+
+    #[test]
+    fn batch_matches_per_cell_inversions() {
+        let grid = exact_binomial_sample_size_batch(&EPSILONS, &DELTAS, Tail::TwoSided).unwrap();
+        for (i, &eps) in EPSILONS.iter().enumerate() {
+            for (j, &delta) in DELTAS.iter().enumerate() {
+                let single = exact_binomial_sample_size(eps, delta, Tail::TwoSided).unwrap();
+                assert_eq!(
+                    grid[i][j], single,
+                    "eps={eps} delta={delta}: batch {} vs single {single}",
+                    grid[i][j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_is_thread_count_invariant() {
+        for tail in [Tail::TwoSided, Tail::OneSided] {
+            let base =
+                exact_binomial_sample_size_batch_with_pool(&EPSILONS, &DELTAS, tail, &Pool::new(1))
+                    .unwrap();
+            for threads in [2, 8] {
+                let wide = exact_binomial_sample_size_batch_with_pool(
+                    &EPSILONS,
+                    &DELTAS,
+                    tail,
+                    &Pool::new(threads),
+                )
+                .unwrap();
+                assert_eq!(base, wide, "{tail} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn cells_api_matches_grid_api() {
+        let grid = exact_binomial_sample_size_batch(&EPSILONS, &DELTAS, Tail::OneSided).unwrap();
+        let mut cells = Vec::new();
+        for &eps in &EPSILONS {
+            for &delta in &DELTAS {
+                cells.push((eps, delta));
+            }
+        }
+        let flat = exact_binomial_sample_size_cells(&cells, Tail::OneSided).unwrap();
+        for (i, _) in EPSILONS.iter().enumerate() {
+            for (j, _) in DELTAS.iter().enumerate() {
+                assert_eq!(flat[i * DELTAS.len() + j], grid[i][j]);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_cells_are_consistent() {
+        let cells = [(0.1, 0.01), (0.1, 0.01), (0.1, 0.001), (0.1, 0.01)];
+        let out = exact_binomial_sample_size_cells(&cells, Tail::TwoSided).unwrap();
+        assert_eq!(out[0], out[1]);
+        assert_eq!(out[0], out[3]);
+        assert!(out[2] > out[0], "smaller delta needs more samples");
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(matches!(
+            exact_binomial_sample_size_batch(&[], &[0.01], Tail::TwoSided),
+            Err(BoundsError::EmptyBatch)
+        ));
+        assert!(exact_binomial_sample_size_batch(&[0.1], &[], Tail::TwoSided).is_err());
+        assert!(exact_binomial_sample_size_batch(&[1.5], &[0.01], Tail::TwoSided).is_err());
+        assert!(exact_binomial_sample_size_batch(&[0.1], &[0.0], Tail::TwoSided).is_err());
+        assert!(exact_binomial_sample_size_cells(&[(0.1, 2.0)], Tail::TwoSided).is_err());
+    }
+}

@@ -243,20 +243,35 @@ fn deviation_at(n: u64, p: f64, eps: f64, tail: Tail) -> f64 {
 /// Worst-case (over the unknown true mean `p`) deviation probability for
 /// a given `n` and `ε`, for either tail convention.
 ///
-/// The deviation probability is maximized near `p = 1/2`; this scans a
-/// coarse grid and refines around the best cell, which is robust to the
-/// sawtooth behaviour introduced by the integer cut-offs. This is the
-/// *reference* search shared by [`crate::exact_binomial_sample_size`]'s
-/// final acceptance, [`crate::exact_binomial_epsilon`], and the test
-/// suite; the `n`-search's bracketing probes use the cheaper
+/// Two-sided: the deviation probability is maximized near `p = 1/2`;
+/// this scans a coarse grid and refines around the best cell, which is
+/// robust to the sawtooth behaviour introduced by the integer cut-offs.
+/// One-sided: the supremum is *breakpoint-exact* — it is attained in the
+/// limit just below the cut-off jumps `p_j = j/n − ε`, so the scan
+/// enumerates jump indices via [`worst_case_deviation_one_sided_exact`]
+/// and the `grid` parameter is ignored.
+///
+/// This is the *reference* search shared by
+/// [`crate::exact_binomial_sample_size`]'s final acceptance,
+/// [`crate::exact_binomial_epsilon`], and the test suite; the
+/// `n`-search's bracketing probes use the cheaper
 /// [`worst_case_deviation_hinted`].
 pub fn worst_case_deviation_tail(n: u64, eps: f64, grid: usize, tail: Tail) -> f64 {
+    match tail {
+        Tail::TwoSided => worst_case_two_sided_grid(n, eps, grid),
+        Tail::OneSided => worst_case_deviation_one_sided_exact(n, eps),
+    }
+}
+
+/// Two-sided coarse-grid scan plus fine refinement (see
+/// [`worst_case_deviation_tail`]).
+fn worst_case_two_sided_grid(n: u64, eps: f64, grid: usize) -> f64 {
     let grid = grid.max(8);
     let mut best = 0.0f64;
     let mut best_p = 0.5;
     for i in 0..=grid {
         let p = i as f64 / grid as f64;
-        let d = deviation_at(n, p, eps, tail);
+        let d = deviation_probability(n, p, eps);
         if d > best {
             best = d;
             best_p = p;
@@ -268,12 +283,189 @@ pub fn worst_case_deviation_tail(n: u64, eps: f64, grid: usize, tail: Tail) -> f
     let fine = 64;
     for i in 0..=fine {
         let p = lo + (hi - lo) * i as f64 / fine as f64;
-        let d = deviation_at(n, p, eps, tail);
+        let d = deviation_probability(n, p, eps);
         if d > best {
             best = d;
         }
     }
     best
+}
+
+/// Pool-parallel variant of [`worst_case_deviation_tail`]: the coarse
+/// grid is evaluated across [`easeml_par::Pool::global`] and reduced in
+/// index order, so the result is bit-identical to the sequential scan at
+/// any thread count. The one-sided path is already breakpoint-exact and
+/// cheap, so it stays on the sequential jump scan.
+///
+/// Worth using only when `grid` is large or `n` pushes individual tail
+/// evaluations into the tens of microseconds — per-point work below that
+/// is cheaper than the fan-out.
+pub fn worst_case_deviation_tail_par(n: u64, eps: f64, grid: usize, tail: Tail) -> f64 {
+    worst_case_deviation_tail_with_pool(n, eps, grid, tail, easeml_par::Pool::global())
+}
+
+/// [`worst_case_deviation_tail_par`] on an explicit pool.
+pub fn worst_case_deviation_tail_with_pool(
+    n: u64,
+    eps: f64,
+    grid: usize,
+    tail: Tail,
+    pool: &easeml_par::Pool,
+) -> f64 {
+    match tail {
+        Tail::OneSided => worst_case_deviation_one_sided_exact(n, eps),
+        Tail::TwoSided => {
+            let grid = grid.max(8);
+            let coarse = pool.par_map_index(grid + 1, |i| {
+                deviation_probability(n, i as f64 / grid as f64, eps)
+            });
+            // Index-order reduction: identical tie-breaking (first max
+            // wins) to the sequential scan.
+            let mut best = 0.0f64;
+            let mut best_p = 0.5;
+            for (i, &d) in coarse.iter().enumerate() {
+                if d > best {
+                    best = d;
+                    best_p = i as f64 / grid as f64;
+                }
+            }
+            let lo = (best_p - 1.0 / grid as f64).max(0.0);
+            let hi = (best_p + 1.0 / grid as f64).min(1.0);
+            let fine = 64;
+            let refined = pool.par_map_index(fine + 1, |i| {
+                deviation_probability(n, lo + (hi - lo) * i as f64 / fine as f64, eps)
+            });
+            for &d in &refined {
+                if d > best {
+                    best = d;
+                }
+            }
+            best
+        }
+    }
+}
+
+/// Breakpoint-exact one-sided worst case: `sup_p Pr[X/n − p > ε]`.
+///
+/// For fixed cut-off `k`, `Pr_p[X ≥ k]` is increasing in `p`, and the
+/// strict cut-off `k(p) = min{k : k > n(p+ε)}` jumps exactly at
+/// `p_j = j/n − ε`. The supremum over each constant-cut interval
+/// `(p_{j−1}, p_j)` is therefore its right-end limit
+/// `Pr_{p_j}[X ≥ j]`, and the global supremum is the maximum of those
+/// finitely many candidates — no grid, no resolution error.
+///
+/// The candidate envelope `j ↦ Pr_{p_j}[X ≥ j]` inherits the
+/// unimodality of the continuous worst-case envelope, so the maximum is
+/// found by a hill-climb over the jump index (a handful of `O(√n)` tail
+/// evaluations), hardened by a ±[`JUMP_PLATEAU`] window sweep against
+/// small sawtooth ripples.
+pub fn worst_case_deviation_one_sided_exact(n: u64, eps: f64) -> f64 {
+    worst_case_one_sided_jump(n, eps, 0.5, None).0
+}
+
+/// Escape window for the jump-index hill-climb: after a local maximum,
+/// this many indices on each side are checked before accepting it.
+const JUMP_PLATEAU: u64 = 4;
+
+/// Hinted, early-exiting form of the one-sided breakpoint scan (the
+/// one-sided backend of [`worst_case_deviation_hinted`]). Returns
+/// `(sup, p_star)` where `p_star` is the maximizing breakpoint, usable
+/// as the next probe's hint.
+pub(crate) fn worst_case_one_sided_jump(
+    n: u64,
+    eps: f64,
+    hint: f64,
+    stop_above: Option<f64>,
+) -> (f64, f64) {
+    debug_assert!(n > 0);
+    debug_assert!(eps > 0.0 && eps < 1.0);
+    let nf = n as f64;
+    // Smallest jump index with p_j = j/n − ε > 0. When n·ε is (near-)
+    // integral the snap convention puts the first positive breakpoint
+    // one index higher.
+    let j_min = (strict_upper_cutoff(nf * eps).max(1) as u64).min(n);
+    let j_max = n;
+    let p_at = |j: u64| (j as f64 / nf - eps).clamp(f64::MIN_POSITIVE, 1.0);
+    let value = |j: u64| ln_upper_tail(n, p_at(j), j).exp();
+
+    let clamp_j = |j: i128| j.clamp(j_min as i128, j_max as i128) as u64;
+    let mut center = clamp_j((nf * (hint + eps)).round() as i128);
+    let mut best = value(center);
+    let mut best_j = center;
+    if let Some(limit) = stop_above {
+        if best > limit {
+            return (best, p_at(best_j));
+        }
+    }
+    // Hill-climb with carried neighbour values (each step costs one new
+    // tail evaluation), then sweep a plateau window to escape sawtooth
+    // ripples the climb can stall on.
+    let mut cur = best;
+    let mut from: Option<(u64, f64)> = None;
+    loop {
+        loop {
+            let eval = |j: u64| match from {
+                Some((f, v)) if f == j => v,
+                _ => value(j),
+            };
+            let left = if center > j_min {
+                eval(center - 1)
+            } else {
+                f64::NEG_INFINITY
+            };
+            let right = if center < j_max {
+                eval(center + 1)
+            } else {
+                f64::NEG_INFINITY
+            };
+            if left <= cur && right <= cur {
+                break;
+            }
+            from = Some((center, cur));
+            if right > left {
+                center += 1;
+                cur = right;
+            } else {
+                center -= 1;
+                cur = left;
+            }
+            if cur > best {
+                best = cur;
+                best_j = center;
+                if let Some(limit) = stop_above {
+                    if best > limit {
+                        return (best, p_at(best_j));
+                    }
+                }
+            }
+        }
+        // Plateau sweep: look a little further out on both sides; resume
+        // climbing from any strictly better index.
+        let mut improved = None;
+        for d in 2..=JUMP_PLATEAU {
+            for j in [center.saturating_sub(d).max(j_min), (center + d).min(j_max)] {
+                let v = value(j);
+                if v > best {
+                    best = v;
+                    best_j = j;
+                    improved = Some((j, v));
+                    if let Some(limit) = stop_above {
+                        if best > limit {
+                            return (best, p_at(best_j));
+                        }
+                    }
+                }
+            }
+        }
+        match improved {
+            Some((j, v)) => {
+                center = j;
+                cur = v;
+                from = None;
+            }
+            None => return (best, p_at(best_j)),
+        }
+    }
 }
 
 /// Two-sided worst-case deviation probability (the historical public
@@ -288,12 +480,15 @@ const HINT_COARSE: usize = 64;
 
 /// Unimodality-aware worst-case search with a warm-started maximizer.
 ///
-/// Exploits that the *envelope* of the worst-case deviation (ignoring the
-/// integer-cut-off sawtooth) is unimodal in `p`: starting from `hint`
-/// (the maximizer found for a nearby `n`), hill-climb on the coarse
-/// 1/64 grid, then refine around the summit at the reference scan's fine
-/// resolution. Successive `n` probes move the maximizer only slightly, so
-/// the climb typically inspects 3–5 coarse points instead of 65.
+/// Two-sided: exploits that the *envelope* of the worst-case deviation
+/// (ignoring the integer-cut-off sawtooth) is unimodal in `p`: starting
+/// from `hint` (the maximizer found for a nearby `n`), hill-climb on the
+/// coarse 1/64 grid, then refine around the summit at the reference
+/// scan's fine resolution. Successive `n` probes move the maximizer only
+/// slightly, so the climb typically inspects 3–5 coarse points instead
+/// of 65. One-sided: delegates to the breakpoint-exact jump-index climb
+/// (see [`worst_case_deviation_one_sided_exact`]), which is both cheaper
+/// and exact.
 ///
 /// Returns `(worst, p_star)`. When `stop_above` is set and any probe
 /// exceeds it, the search returns that probe immediately — the result is
@@ -306,6 +501,9 @@ pub fn worst_case_deviation_hinted(
     hint: f64,
     stop_above: Option<f64>,
 ) -> (f64, f64) {
+    if tail == Tail::OneSided {
+        return worst_case_one_sided_jump(n, eps, hint, stop_above);
+    }
     let h = 1.0 / HINT_COARSE as f64;
     let snap = |p: f64| {
         ((p.clamp(0.0, 1.0) * HINT_COARSE as f64).round() as i64).clamp(0, HINT_COARSE as i64)
@@ -602,6 +800,65 @@ mod tests {
                     );
                     assert!((0.0..=1.0).contains(&p_star));
                 }
+            }
+        }
+    }
+
+    /// The breakpoint scan dominates any grid scan (the grid samples the
+    /// same function at a subset of points) and never exceeds the dense
+    /// envelope by more than the teeth the grid provably missed.
+    #[test]
+    fn one_sided_exact_dominates_dense_grid() {
+        for &n in &[37u64, 145, 500, 1_371, 4_096] {
+            for &eps in &[0.03, 0.07, 0.1, 0.25] {
+                let exact = worst_case_deviation_one_sided_exact(n, eps);
+                // Dense reference: 8192 grid points of the actual
+                // (snapped) one-sided deviation function.
+                let grid = 8_192usize;
+                let mut dense = 0.0f64;
+                for i in 0..=grid {
+                    let p = i as f64 / grid as f64;
+                    dense = dense.max(deviation_probability_one_sided(n, p, eps));
+                }
+                assert!(
+                    exact >= dense * (1.0 - 1e-12),
+                    "n={n} eps={eps}: exact {exact} below dense grid {dense}"
+                );
+                assert!(
+                    exact <= dense * 1.05 + 1e-15,
+                    "n={n} eps={eps}: exact {exact} implausibly far above dense grid {dense}"
+                );
+            }
+        }
+    }
+
+    /// The jump scan evaluated through the public reference entry point
+    /// stays pinned to the seed's one-sided grid scan: same order of
+    /// magnitude, never below it.
+    #[test]
+    fn one_sided_exact_pins_reference_grid_resolution() {
+        for &(n, eps) in &[(143u64, 0.1), (600, 0.05), (2_000, 0.03)] {
+            let exact = worst_case_deviation_tail(n, eps, 64, Tail::OneSided);
+            let mut grid64 = 0.0f64;
+            for i in 0..=64 {
+                let p = i as f64 / 64.0;
+                grid64 = grid64.max(deviation_probability_one_sided(n, p, eps));
+            }
+            assert!(exact >= grid64 * (1.0 - 1e-12), "n={n} eps={eps}");
+            assert!(
+                exact <= grid64 * 1.10,
+                "n={n} eps={eps}: {exact} vs {grid64}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_grid_scan_matches_sequential() {
+        for &(n, eps) in &[(500u64, 0.05), (1_371, 0.03)] {
+            for tail in [Tail::TwoSided, Tail::OneSided] {
+                let seq = worst_case_deviation_tail(n, eps, 64, tail);
+                let par = worst_case_deviation_tail_par(n, eps, 64, tail);
+                assert_eq!(seq.to_bits(), par.to_bits(), "n={n} eps={eps} {tail}");
             }
         }
     }

@@ -28,6 +28,14 @@
 //!    ([`crate::binomial::worst_case_deviation_tail`]) — the same
 //!    criterion the seed used — so the fast bracketing can never loosen
 //!    the returned guarantee.
+//!
+//! All per-`n` state lives in an [`InversionContext`] keyed by `(ε,
+//! tail)`. Probe values are stored, not just compared, so one context can
+//! serve a whole *column* of `δ` values: the batch API
+//! ([`crate::exact_binomial_sample_size_batch`]) walks each column in
+//! decreasing `δ` and re-uses every probe and every acceptance scan
+//! across the cells (the minimal `n` is antitone in `δ`, so each answer
+//! also floors the next search).
 
 use crate::binomial::{
     deviation_probability, worst_case_deviation_hinted, worst_case_deviation_tail,
@@ -42,52 +50,163 @@ use std::collections::HashMap;
 /// Default grid resolution for the worst-case scan over `p`.
 const DEFAULT_GRID: usize = 64;
 
-/// Outcome of one memoized fast probe of `worst(n)` against `delta`.
+/// Outcome of one memoized fast probe of `worst(n)`.
+///
+/// Values — not booleans — are stored so a probe computed against one
+/// `δ` can be re-used to decide another.
 #[derive(Debug, Clone, Copy)]
 enum Probe {
-    /// The probe exceeded `delta` (possibly via early exit, in which case
-    /// the carried value is only a lower bound on the true worst case).
-    Above,
-    /// The full hinted search stayed at or below `delta`.
-    AtOrBelow,
+    /// The full hinted search completed; the value is its supremum.
+    Exact(f64),
+    /// The search early-exited above some `δ`; the value is only a lower
+    /// bound on the true worst case (still decisive for any `δ` below
+    /// it).
+    AtLeast(f64),
 }
 
-/// Memoized, warm-started `worst(n) > delta` decisions for one inversion.
-struct WorstProbes {
+/// Shared state of one or more minimal-`n` inversions at a fixed
+/// `(ε, tail)`: memoized worst-case probes, memoized reference
+/// acceptance scans, and the warm-start hint threaded across probes.
+pub(crate) struct InversionContext {
     eps: f64,
-    delta: f64,
     tail: Tail,
     /// Warm-start maximizer threaded across successive probes.
     hint: f64,
-    memo: HashMap<u64, Probe>,
+    probes: HashMap<u64, Probe>,
+    /// Full-grid reference scans backing the sawtooth acceptance.
+    reference: HashMap<u64, f64>,
 }
 
-impl WorstProbes {
-    fn new(eps: f64, delta: f64, tail: Tail) -> Self {
-        WorstProbes {
+impl InversionContext {
+    /// Validates `eps` and builds an empty context.
+    pub(crate) fn new(eps: f64, tail: Tail) -> Result<Self> {
+        check_positive("eps", eps)?;
+        if eps >= 1.0 {
+            return Err(BoundsError::ToleranceExceedsRange {
+                epsilon: eps,
+                range: 1.0,
+            });
+        }
+        Ok(InversionContext {
             eps,
-            delta,
             tail,
             hint: 0.5,
-            memo: HashMap::new(),
-        }
+            probes: HashMap::new(),
+            reference: HashMap::new(),
+        })
     }
 
-    /// Does the worst-case deviation at `n` exceed the budget?
-    fn exceeds(&mut self, n: u64) -> bool {
-        if let Some(probe) = self.memo.get(&n) {
-            return matches!(probe, Probe::Above);
+    /// Does the worst-case deviation at `n` exceed `delta`?
+    fn exceeds(&mut self, n: u64, delta: f64) -> bool {
+        match self.probes.get(&n) {
+            Some(Probe::Exact(v)) => return *v > delta,
+            // A lower bound decides "exceeds" for any smaller budget; a
+            // lower bound *below* delta decides nothing and falls through
+            // to a fresh (early-exiting) search.
+            Some(Probe::AtLeast(v)) if *v > delta => return true,
+            _ => {}
         }
         let (worst, p_star) =
-            worst_case_deviation_hinted(n, self.eps, self.tail, self.hint, Some(self.delta));
+            worst_case_deviation_hinted(n, self.eps, self.tail, self.hint, Some(delta));
         self.hint = p_star;
-        let probe = if worst > self.delta {
-            Probe::Above
+        let probe = if worst > delta {
+            Probe::AtLeast(worst)
         } else {
-            Probe::AtOrBelow
+            Probe::Exact(worst)
         };
-        self.memo.insert(n, probe);
-        matches!(probe, Probe::Above)
+        self.probes.insert(n, probe);
+        worst > delta
+    }
+
+    /// Memoized full-grid reference scan (the acceptance criterion).
+    ///
+    /// Always sequential: at the default 64-point grid the per-point
+    /// work is microseconds, below the pool's fan-out overhead — the
+    /// grid-parallel fallback
+    /// ([`crate::binomial::worst_case_deviation_tail_par`]) is for
+    /// callers scanning much larger grids.
+    fn reference_worst(&mut self, n: u64) -> f64 {
+        let (eps, tail) = (self.eps, self.tail);
+        *self
+            .reference
+            .entry(n)
+            .or_insert_with(|| worst_case_deviation_tail(n, eps, DEFAULT_GRID, tail))
+    }
+
+    /// Smallest `n ≥ floor` whose worst case (and that of the next few
+    /// sizes) stays within `delta`. `floor` is a known valid lower bound
+    /// on the answer — `1` for a standalone inversion, the previous
+    /// (larger-`δ`) cell's answer when walking a batch column.
+    pub(crate) fn invert(&mut self, delta: f64, floor: u64) -> Result<u64> {
+        check_probability("delta", delta)?;
+        // Upper bracket: Hoeffding is a valid (conservative) answer.
+        let hoeffding = hoeffding_sample_size(1.0, self.eps, delta, self.tail)?;
+        if self.reference_worst(hoeffding) > delta {
+            // Sawtooth pushed the boundary past Hoeffding (extremely
+            // rare); fall back to the conservative answer.
+            return Ok(hoeffding);
+        }
+        let floor = floor.max(1);
+        if floor >= hoeffding {
+            return Ok(self.accept_from(hoeffding, delta));
+        }
+
+        // Galloping bracket: start from a cheap lower bound (the exact
+        // answer sits above ~0.7x Hoeffding empirically; 0.55x leaves
+        // margin) and double the step until the constraint flips.
+        let mut lo = floor;
+        let mut hi = hoeffding;
+        let start = ((hoeffding as f64 * 0.55) as u64).clamp(floor, hoeffding);
+        if self.exceeds(start, delta) {
+            lo = start + 1;
+            let mut step = (hoeffding / 64).max(16);
+            let mut at = start;
+            loop {
+                let next = at.saturating_add(step).min(hoeffding);
+                if next >= hoeffding {
+                    break;
+                }
+                if self.exceeds(next, delta) {
+                    lo = next + 1;
+                    at = next;
+                    step = step.saturating_mul(2);
+                } else {
+                    hi = next;
+                    break;
+                }
+            }
+        } else {
+            hi = start;
+        }
+
+        // Binary search on the bracket with memoized, warm-started probes.
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.exceeds(mid, delta) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(self.accept_from(lo, delta))
+    }
+
+    /// Patch the sawtooth: step forward from `from` until a run of
+    /// consecutive sizes all satisfy the constraint (so slightly larger
+    /// testsets remain valid). Acceptance uses the full-grid reference
+    /// scan, memoized because consecutive windows — and adjacent batch
+    /// cells — overlap.
+    fn accept_from(&mut self, from: u64, delta: f64) -> u64 {
+        let mut n = from;
+        'outer: loop {
+            for offset in 0..8u64 {
+                if self.reference_worst(n + offset) > delta {
+                    n += offset + 1;
+                    continue 'outer;
+                }
+            }
+            return n;
+        }
     }
 }
 
@@ -103,6 +222,10 @@ impl WorstProbes {
 /// few* neighbours also satisfy the constraint — the patch re-checks with
 /// the full-grid reference scan, so the warm-started fast probes only
 /// ever decide *where to look*, never what to accept.
+///
+/// Inverting a whole `(ε, δ)` table? Use
+/// [`crate::exact_binomial_sample_size_batch`], which shares the search
+/// state across cells and runs columns in parallel.
 ///
 /// # Errors
 ///
@@ -122,81 +245,7 @@ impl WorstProbes {
 /// # }
 /// ```
 pub fn exact_binomial_sample_size(eps: f64, delta: f64, tail: Tail) -> Result<u64> {
-    check_positive("eps", eps)?;
-    check_probability("delta", delta)?;
-    if eps >= 1.0 {
-        return Err(BoundsError::ToleranceExceedsRange {
-            epsilon: eps,
-            range: 1.0,
-        });
-    }
-    // Upper bracket: Hoeffding is a valid (conservative) answer.
-    let hoeffding = hoeffding_sample_size(1.0, eps, delta, tail)?;
-    if worst_case_deviation_tail(hoeffding, eps, DEFAULT_GRID, tail) > delta {
-        // Sawtooth pushed the boundary past Hoeffding (extremely rare);
-        // fall back to the conservative answer.
-        return Ok(hoeffding);
-    }
-    let mut probes = WorstProbes::new(eps, delta, tail);
-
-    // Galloping bracket: start from a cheap lower bound (the exact answer
-    // sits above ~0.7x Hoeffding empirically; 0.55x leaves margin) and
-    // double the step until the constraint flips.
-    let mut lo = 1u64;
-    let mut hi = hoeffding;
-    let start = ((hoeffding as f64 * 0.55) as u64).clamp(1, hoeffding);
-    if probes.exceeds(start) {
-        lo = start + 1;
-        let mut step = (hoeffding / 64).max(16);
-        let mut at = start;
-        loop {
-            let next = at.saturating_add(step).min(hoeffding);
-            if next >= hoeffding {
-                break;
-            }
-            if probes.exceeds(next) {
-                lo = next + 1;
-                at = next;
-                step = step.saturating_mul(2);
-            } else {
-                hi = next;
-                break;
-            }
-        }
-    } else {
-        hi = start;
-    }
-
-    // Binary search on the bracket with memoized, warm-started probes.
-    while lo < hi {
-        let mid = lo + (hi - lo) / 2;
-        if probes.exceeds(mid) {
-            lo = mid + 1;
-        } else {
-            hi = mid;
-        }
-    }
-
-    // Patch the sawtooth: step forward until a run of consecutive sizes
-    // all satisfy the constraint (so slightly larger testsets remain
-    // valid). Acceptance uses the full-grid reference scan, memoized
-    // because consecutive windows overlap.
-    let mut accepted: HashMap<u64, bool> = HashMap::new();
-    let mut reference_ok = |n: u64, eps: f64, delta: f64, tail: Tail| -> bool {
-        *accepted
-            .entry(n)
-            .or_insert_with(|| worst_case_deviation_tail(n, eps, DEFAULT_GRID, tail) <= delta)
-    };
-    let mut n = lo;
-    'outer: loop {
-        for offset in 0..8u64 {
-            if !reference_ok(n + offset, eps, delta, tail) {
-                n += offset + 1;
-                continue 'outer;
-            }
-        }
-        return Ok(n);
-    }
+    InversionContext::new(eps, tail)?.invert(delta, 1)
 }
 
 /// Exact Clopper–Pearson style confidence half-width: smallest `ε` such
@@ -314,9 +363,9 @@ mod tests {
         let eps = 0.07;
         let delta = 0.005;
         let n = exact_binomial_sample_size(eps, delta, Tail::OneSided).unwrap();
-        // Validity is promised at the acceptance scan's own resolution
-        // (the worst case is a grid-refined supremum, as in the seed).
-        assert!(worst_case_deviation_tail(n, eps, 64, Tail::OneSided) <= delta * 1.0001);
+        // Validity is now breakpoint-exact for the one-sided sup (the
+        // acceptance scan enumerates cut-off jumps instead of a grid).
+        assert!(worst_case_deviation_tail(n, eps, 64, Tail::OneSided) <= delta);
         assert!(worst_case_deviation_tail(n / 2, eps, 128, Tail::OneSided) > delta);
     }
 
@@ -334,5 +383,25 @@ mod tests {
         assert!(exact_binomial_sample_size(1.0, 0.01, Tail::TwoSided).is_err());
         assert!(exact_binomial_sample_size(0.1, 0.0, Tail::TwoSided).is_err());
         assert!(exact_binomial_epsilon(0, 0.01, Tail::TwoSided).is_err());
+    }
+
+    /// One context serving a falling-δ column must agree with fresh
+    /// standalone inversions cell by cell.
+    #[test]
+    fn shared_context_matches_standalone_inversions() {
+        for tail in [Tail::TwoSided, Tail::OneSided] {
+            let eps = 0.06;
+            let mut ctx = InversionContext::new(eps, tail).unwrap();
+            let mut floor = 1;
+            for delta in [0.05, 0.01, 0.001, 0.0001] {
+                let shared = ctx.invert(delta, floor).unwrap();
+                let standalone = exact_binomial_sample_size(eps, delta, tail).unwrap();
+                assert_eq!(
+                    shared, standalone,
+                    "{tail} delta={delta}: shared {shared} vs standalone {standalone}"
+                );
+                floor = shared;
+            }
+        }
     }
 }

@@ -56,6 +56,21 @@
 //! whole inversions across commits and clauses, so steady-state serving
 //! degenerates to a sub-microsecond map lookup.
 //!
+//! Two further layers serve table-shaped traffic:
+//!
+//! 4. **Breakpoint-exact one-sided scans**
+//!    ([`binomial::worst_case_deviation_one_sided_exact`]): the one-sided
+//!    worst case over `p` is attained just below the cut-off jumps
+//!    `p_j = j/n − ε`, so a hill-climb over the *jump index* replaces the
+//!    grid scan entirely — cheaper and exact rather than grid-resolution
+//!    approximate.
+//! 5. **Batched table inversion** ([`exact_binomial_sample_size_batch`]):
+//!    a Figure-2-style `(ε, δ)` grid walks each `ε`-column in decreasing
+//!    `δ` through one shared search context (probe and acceptance memos,
+//!    floored brackets) and fans independent columns out across the
+//!    vendored `easeml_par` thread pool, bit-identical to per-cell
+//!    inversion at any thread count.
+//!
 //! # Examples
 //!
 //! The paper's §3.3 worked example — `n > 0.8 ± 0.05` at reliability
@@ -81,6 +96,7 @@
 #![allow(clippy::excessive_precision)]
 
 mod adaptivity;
+mod batch;
 mod bennett;
 mod bernstein;
 pub mod binomial;
@@ -94,6 +110,10 @@ mod tail;
 mod union;
 
 pub use adaptivity::{trivial_strategy_total, Adaptivity, ParseAdaptivityError};
+pub use batch::{
+    exact_binomial_sample_size_batch, exact_binomial_sample_size_batch_with_pool,
+    exact_binomial_sample_size_cells, exact_binomial_sample_size_cells_with_pool,
+};
 pub use bennett::{
     active_labels_per_commit, bennett_delta, bennett_epsilon, bennett_epsilon_from_ln_delta,
     bennett_h, bennett_h_inv, bennett_h_prime, bennett_sample_size,

@@ -2,9 +2,11 @@
 
 use easeml_bounds::{
     bennett_epsilon, bennett_h, bennett_h_inv, bennett_sample_size, bernstein_sample_size,
-    binomial, exact_binomial_sample_size, hoeffding_delta, hoeffding_epsilon,
-    hoeffding_sample_size, mcdiarmid_sample_size, numeric, split_delta_weighted, Adaptivity, Tail,
+    binomial, exact_binomial_sample_size, exact_binomial_sample_size_batch_with_pool,
+    hoeffding_delta, hoeffding_epsilon, hoeffding_sample_size, mcdiarmid_sample_size, numeric,
+    reference, split_delta_weighted, Adaptivity, Tail,
 };
+use easeml_par::Pool;
 use proptest::prelude::*;
 
 fn eps_strategy() -> impl Strategy<Value = f64> {
@@ -159,6 +161,51 @@ proptest! {
             (table - gamma).abs() <= 1e-10 * gamma.abs().max(1.0),
             "n={n}: table={table} gamma={gamma}"
         );
+    }
+
+    /// The breakpoint-exact one-sided acceptance stays pinned to the
+    /// seed's grid-scan inversion (`easeml_bounds::reference`): the two
+    /// can differ only by the sawtooth teeth the 64-point grid missed.
+    #[test]
+    fn one_sided_inversion_pins_reference_grid_scan(eps in 0.04f64..0.25, delta in 1e-4f64..0.1) {
+        let exact = exact_binomial_sample_size(eps, delta, Tail::OneSided).unwrap();
+        let seed = reference::exact_binomial_sample_size(eps, delta, Tail::OneSided).unwrap();
+        // The exact sup dominates the grid sup, so the exact answer can
+        // only sit at or above the seed's — and never far above.
+        prop_assert!(
+            exact >= seed,
+            "eps={eps} delta={delta}: exact {exact} below grid-accepted {seed}"
+        );
+        // Each missed tooth moves the accepted run by O(1/ε) samples;
+        // 5% (or a handful of teeth) bounds the drift across this range.
+        prop_assert!(
+            exact.abs_diff(seed) as f64 <= (seed as f64 * 0.05).max(8.0),
+            "eps={eps} delta={delta}: exact {exact} drifted from seed {seed}"
+        );
+    }
+
+    /// Batch inversion is bit-identical across thread counts and to the
+    /// per-cell inversion, for random small grids.
+    #[test]
+    fn batch_inversion_deterministic_across_threads(
+        epsilons in prop::collection::vec(0.04f64..0.3, 1..4),
+        deltas in prop::collection::vec(1e-4f64..0.1, 1..4),
+        tail in prop_oneof![Just(Tail::OneSided), Just(Tail::TwoSided)],
+    ) {
+        let one = exact_binomial_sample_size_batch_with_pool(&epsilons, &deltas, tail, &Pool::new(1)).unwrap();
+        for threads in [2usize, 8] {
+            let wide = exact_binomial_sample_size_batch_with_pool(&epsilons, &deltas, tail, &Pool::new(threads)).unwrap();
+            prop_assert_eq!(&one, &wide, "threads={}", threads);
+        }
+        for (i, &eps) in epsilons.iter().enumerate() {
+            for (j, &delta) in deltas.iter().enumerate() {
+                prop_assert_eq!(
+                    one[i][j],
+                    exact_binomial_sample_size(eps, delta, tail).unwrap(),
+                    "eps={} delta={}", eps, delta
+                );
+            }
+        }
     }
 
     /// ln_choose (table fast path) is symmetric and bounded by n·ln 2.

@@ -6,6 +6,10 @@
 //! easeml-ci table                            print the Figure 2 sample-size table
 //! easeml-ci simulate <script.yml> [options]  drive a simulated commit history
 //! ```
+//!
+//! Every command accepts a global `--threads N` option sizing the
+//! parallel execution layer (default: auto via `EASEML_THREADS` or the
+//! hardware).
 
 use easeml_bounds::{Adaptivity, Tail};
 use easeml_ci_core::dsl::parse_clause;
@@ -18,7 +22,13 @@ use easeml_sim::montecarlo::{run_process, ProcessConfig};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args = match extract_threads(std::env::args().skip(1).collect()) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
     let result = match args.first().map(String::as_str) {
         Some("validate") => cmd_validate(&args[1..]),
         Some("estimate") => cmd_estimate(&args[1..]),
@@ -39,15 +49,33 @@ fn main() -> ExitCode {
     }
 }
 
+/// Strip the global `--threads N` / `--threads=N` option from the argv
+/// (shared grammar: [`easeml_par::extract_threads_flag`]) and size the
+/// process-wide pool (`0` or absent means auto, i.e. `EASEML_THREADS`
+/// or the hardware).
+fn extract_threads(args: Vec<String>) -> Result<Vec<String>, String> {
+    let (rest, requested) = easeml_par::extract_threads_flag(args)?;
+    if let Some(requested) = requested {
+        if requested > 0 {
+            easeml_par::set_global_threads(requested);
+        }
+    }
+    Ok(rest)
+}
+
 fn print_usage() {
     println!(
         "easeml-ci — continuous integration for ML models with (epsilon, delta) guarantees\n\
          \n\
          USAGE:\n\
-         \x20 easeml-ci validate <script.yml>\n\
-         \x20 easeml-ci estimate <script.yml>\n\
-         \x20 easeml-ci table\n\
-         \x20 easeml-ci simulate <script.yml> [--commits N] [--seed S] [--accuracy A]\n\
+         \x20 easeml-ci [--threads N] validate <script.yml>\n\
+         \x20 easeml-ci [--threads N] estimate <script.yml>\n\
+         \x20 easeml-ci [--threads N] table\n\
+         \x20 easeml-ci [--threads N] simulate <script.yml> [--commits N] [--seed S] [--accuracy A]\n\
+         \n\
+         OPTIONS:\n\
+         \x20 --threads N   worker threads for the parallel execution layer\n\
+         \x20               (default: auto via EASEML_THREADS or the hardware)\n\
          \n\
          The script is a .travis.yml-style file with an `ml:` section, e.g.\n\
          \n\

@@ -47,6 +47,34 @@ fn unknown_command_fails() {
 }
 
 #[test]
+fn help_documents_threads_flag() {
+    let out = run(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("--threads"));
+    assert!(text.contains("EASEML_THREADS"));
+}
+
+#[test]
+fn threads_flag_is_accepted_anywhere_and_validated() {
+    let out = run(&["--threads", "2", "table"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = run(&["table", "--threads=1"]);
+    assert!(out.status.success());
+    // Malformed values fail loudly.
+    let out = run(&["--threads", "lots", "table"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--threads"));
+    let out = run(&["table", "--threads"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--threads"));
+}
+
+#[test]
 fn validate_accepts_good_script() {
     let path = write_script("good.yml", "n > 0.8 +/- 0.05", "full");
     let out = run(&["validate", path.to_str().unwrap()]);

@@ -5,12 +5,21 @@
 //! question constantly: every commit against a given script re-derives
 //! the same `(ε, δ, tail)` inversion, multi-clause scripts repeat leaves,
 //! and a busy server hosts many repositories with near-identical
-//! reliability settings. [`BoundsCache`] memoizes those inversions behind
-//! an `RwLock`ed map with a process-wide instance ([`BoundsCache::global`])
-//! threaded through the sample-size estimator
-//! ([`crate::SampleSizeEstimator`]), the clause/formula recursion
-//! ([`crate::estimator::formula_sample_size`]), and — via the estimator —
-//! the engine ([`crate::CiEngine`]).
+//! reliability settings. [`BoundsCache`] memoizes those inversions with
+//! a process-wide instance ([`BoundsCache::global`]) threaded through
+//! the sample-size estimator ([`crate::SampleSizeEstimator`]), the
+//! clause/formula recursion ([`crate::estimator::formula_sample_size`]),
+//! and — via the estimator — the engine ([`crate::CiEngine`]).
+//!
+//! # Sharding
+//!
+//! The map is split into [`BoundsCache::SHARDS`] independently locked
+//! shards selected by the key's hash, so the parallel batch-inversion
+//! path ([`crate::SampleSizeEstimator::exact_sample_size_grid`]) and
+//! concurrent serving threads don't serialize on one `RwLock`. The
+//! global entry budget stays [`BoundsCache::MAX_ENTRIES`], enforced
+//! per-shard (each shard clears itself at `MAX_ENTRIES / SHARDS`
+//! entries, so the total can never exceed the global cap).
 //!
 //! # Key quantization
 //!
@@ -24,6 +33,7 @@
 
 use easeml_bounds::{BoundsError, Tail};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{OnceLock, RwLock};
 
@@ -58,6 +68,26 @@ struct Key {
     ln_delta: u64,
 }
 
+impl Key {
+    fn new(kind: BoundKind, tail: Tail, eps: f64, ln_delta: f64) -> Self {
+        Key {
+            kind,
+            tail,
+            eps: quantize(eps),
+            ln_delta: quantize(ln_delta),
+        }
+    }
+
+    /// Shard index: high bits of the sip-hashed key (the low bits pick
+    /// the bucket inside the shard's map, so reusing them would skew the
+    /// shard distribution).
+    fn shard(&self) -> usize {
+        let mut hasher = std::hash::DefaultHasher::new();
+        self.hash(&mut hasher);
+        (hasher.finish() >> 32) as usize % BoundsCache::SHARDS
+    }
+}
+
 /// Point-in-time cache counters (see [`BoundsCache::stats`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
@@ -65,31 +95,47 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that had to compute.
     pub misses: u64,
-    /// Entries currently stored.
+    /// Entries currently stored (summed over shards).
     pub entries: usize,
 }
 
-/// Thread-safe memo of bound inversions keyed by quantized
+/// Thread-safe, sharded memo of bound inversions keyed by quantized
 /// `(kind, tail, ε, ln δ)`.
 ///
-/// Reads take the shared lock; a miss computes *outside* any lock (so a
-/// slow inversion never blocks readers) and then races benignly to
-/// insert — both contenders compute identical values.
-#[derive(Debug, Default)]
+/// Reads take one shard's shared lock; a miss computes *outside* any
+/// lock (so a slow inversion never blocks readers) and then races
+/// benignly to insert — both contenders compute identical values.
+#[derive(Debug)]
 pub struct BoundsCache {
-    map: RwLock<HashMap<Key, u64>>,
+    shards: Vec<RwLock<HashMap<Key, u64>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
+impl Default for BoundsCache {
+    fn default() -> Self {
+        BoundsCache {
+            shards: (0..Self::SHARDS).map(|_| RwLock::default()).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
 impl BoundsCache {
-    /// Upper bound on stored entries.
+    /// Number of independently locked shards. A power of two comfortably
+    /// above the worker counts the workspace runs, so parallel batch
+    /// inversion almost never contends on a shard lock.
+    pub const SHARDS: usize = 16;
+
+    /// Upper bound on stored entries across all shards.
     ///
     /// The key space is user-controlled on a serving path (every distinct
     /// script tolerance/reliability is a fresh `(ε, ln δ)` pair), so the
-    /// process-wide instance must not grow without bound. Reaching the cap
-    /// drops the whole map — always correct for a cache, and a full sweep
-    /// of 2¹⁶ distinct inversions re-warms in well under a minute.
+    /// process-wide instance must not grow without bound. Each shard
+    /// drops its map at `MAX_ENTRIES / SHARDS` entries — always correct
+    /// for a cache, and a full sweep of 2¹⁶ distinct inversions re-warms
+    /// in well under a minute.
     pub const MAX_ENTRIES: usize = 1 << 16;
 
     /// A fresh, empty cache (useful for isolation in tests; production
@@ -103,6 +149,39 @@ impl BoundsCache {
     pub fn global() -> &'static BoundsCache {
         static GLOBAL: OnceLock<BoundsCache> = OnceLock::new();
         GLOBAL.get_or_init(BoundsCache::new)
+    }
+
+    /// Cached inversion for `(kind, tail, eps, ln_delta)`, if present.
+    /// Counts toward the hit/miss statistics.
+    pub fn lookup(&self, kind: BoundKind, tail: Tail, eps: f64, ln_delta: f64) -> Option<u64> {
+        let key = Key::new(kind, tail, eps, ln_delta);
+        let found = self.shards[key.shard()]
+            .read()
+            .expect("bounds cache poisoned")
+            .get(&key)
+            .copied();
+        match found {
+            Some(n) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(n)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store a computed inversion (see [`BoundsCache::lookup`]).
+    pub fn store(&self, kind: BoundKind, tail: Tail, eps: f64, ln_delta: f64, n: u64) {
+        let key = Key::new(kind, tail, eps, ln_delta);
+        let mut shard = self.shards[key.shard()]
+            .write()
+            .expect("bounds cache poisoned");
+        if shard.len() >= Self::MAX_ENTRIES / Self::SHARDS {
+            shard.clear();
+        }
+        shard.insert(key, n);
     }
 
     /// Look up the `(kind, tail, eps, ln_delta)` inversion, computing and
@@ -122,23 +201,11 @@ impl BoundsCache {
         ln_delta: f64,
         compute: impl FnOnce() -> Result<u64, BoundsError>,
     ) -> Result<u64, BoundsError> {
-        let key = Key {
-            kind,
-            tail,
-            eps: quantize(eps),
-            ln_delta: quantize(ln_delta),
-        };
-        if let Some(&n) = self.map.read().expect("bounds cache poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+        if let Some(n) = self.lookup(kind, tail, eps, ln_delta) {
             return Ok(n);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
         let n = compute()?;
-        let mut map = self.map.write().expect("bounds cache poisoned");
-        if map.len() >= Self::MAX_ENTRIES {
-            map.clear();
-        }
-        map.insert(key, n);
+        self.store(kind, tail, eps, ln_delta, n);
         Ok(n)
     }
 
@@ -147,13 +214,19 @@ impl BoundsCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.map.read().expect("bounds cache poisoned").len(),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.read().expect("bounds cache poisoned").len())
+                .sum(),
         }
     }
 
     /// Drop all entries (counters are kept; mainly for tests).
     pub fn clear(&self) {
-        self.map.write().expect("bounds cache poisoned").clear();
+        for shard in &self.shards {
+            shard.write().expect("bounds cache poisoned").clear();
+        }
     }
 }
 
@@ -236,8 +309,8 @@ mod tests {
     fn entry_count_is_bounded() {
         let cache = BoundsCache::new();
         let base = 0.05f64.to_bits();
-        // One more distinct quantized key than the cap: the overflow insert
-        // must drop the map instead of growing past MAX_ENTRIES.
+        // One more distinct quantized key than the cap: overflow inserts
+        // must drop shards instead of growing past MAX_ENTRIES.
         for i in 0..=BoundsCache::MAX_ENTRIES as u64 {
             let eps = f64::from_bits(base + (i << 8));
             cache
@@ -255,6 +328,39 @@ mod tests {
             (1..=BoundsCache::MAX_ENTRIES).contains(&entries),
             "entries = {entries}"
         );
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        // Realistic Figure-2-style keys must not all hash to one shard
+        // (the whole point of sharding the lock).
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64 {
+            let eps = 0.01 + i as f64 * 0.005;
+            let key = Key::new(
+                BoundKind::ExactBinomialSampleSize,
+                Tail::TwoSided,
+                eps,
+                -6.0,
+            );
+            seen.insert(key.shard());
+        }
+        assert!(
+            seen.len() >= BoundsCache::SHARDS / 2,
+            "64 distinct keys landed in only {} shards",
+            seen.len()
+        );
+    }
+
+    #[test]
+    fn lookup_store_roundtrip() {
+        let cache = BoundsCache::new();
+        let k = BoundKind::ExactBinomialSampleSize;
+        assert_eq!(cache.lookup(k, Tail::TwoSided, 0.05, -7.0), None);
+        cache.store(k, Tail::TwoSided, 0.05, -7.0, 123);
+        assert_eq!(cache.lookup(k, Tail::TwoSided, 0.05, -7.0), Some(123));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
     }
 
     #[test]

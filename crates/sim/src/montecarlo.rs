@@ -18,22 +18,42 @@ use crate::stats::quantile;
 use easeml_ci_core::{
     CiEngine, CiScript, EstimatorConfig, ModelCommit, SampleSizeEstimator, Testset, VecOracle,
 };
+use easeml_par::{splitmix64, Pool};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Empirical half-width of the accuracy estimate: the gap between the
 /// `δ` and `1 − δ` quantiles of `trials` simulated testset accuracies,
-/// divided by two (the paper's Figure 4 methodology).
+/// divided by two (the paper's Figure 4 methodology). Trials fan out
+/// across [`Pool::global`].
 ///
 /// # Panics
 ///
 /// Panics if `trials` is zero or parameters leave their domains.
 #[must_use]
 pub fn empirical_epsilon(n: u64, true_accuracy: f64, delta: f64, trials: u32, seed: u64) -> f64 {
+    empirical_epsilon_with_pool(n, true_accuracy, delta, trials, seed, Pool::global())
+}
+
+/// [`empirical_epsilon`] on an explicit pool (determinism tests pin the
+/// thread count with this).
+///
+/// # Panics
+///
+/// Same conditions as [`empirical_epsilon`].
+#[must_use]
+pub fn empirical_epsilon_with_pool(
+    n: u64,
+    true_accuracy: f64,
+    delta: f64,
+    trials: u32,
+    seed: u64,
+    pool: &Pool,
+) -> f64 {
     assert!(trials > 0, "need at least one trial");
     assert!((0.0..=1.0).contains(&true_accuracy));
     assert!(delta > 0.0 && delta < 0.5);
-    let accuracies = parallel_map(trials, seed, move |rng| {
+    let accuracies = trial_map(pool, trials, seed, move |rng| {
         let mut correct = 0u64;
         for _ in 0..n {
             if rng.random::<f64>() < true_accuracy {
@@ -389,9 +409,106 @@ impl ViolationReport {
     }
 }
 
-/// Run `trials` independent processes (in parallel) and aggregate
-/// violations. `make_developer` builds a fresh (differently seeded)
-/// policy per trial.
+/// Run `trials` independent full CI processes across the pool,
+/// returning each outcome in trial order. Trial `i` runs on the seed
+/// [`splitmix64`]`(seed, i)` — a pure function of the root seed and the
+/// trial index — so results are bit-identical at any thread count.
+/// `make_developer` builds a fresh (per-trial-seeded) policy per trial.
+///
+/// # Errors
+///
+/// Propagates the first (in trial order) process error encountered.
+pub fn run_process_trials<F>(
+    config: &ProcessConfig,
+    make_developer: F,
+    trials: u32,
+    seed: u64,
+) -> Result<Vec<ProcessOutcome>>
+where
+    F: Fn(u64) -> Box<dyn Developer + Send> + Sync,
+{
+    run_process_trials_with_pool(config, make_developer, trials, seed, Pool::global())
+}
+
+/// [`run_process_trials`] on an explicit pool.
+///
+/// # Errors
+///
+/// Same conditions as [`run_process_trials`].
+pub fn run_process_trials_with_pool<F>(
+    config: &ProcessConfig,
+    make_developer: F,
+    trials: u32,
+    seed: u64,
+    pool: &Pool,
+) -> Result<Vec<ProcessOutcome>>
+where
+    F: Fn(u64) -> Box<dyn Developer + Send> + Sync,
+{
+    pool.par_map_index(trials as usize, |i| {
+        let trial_seed = splitmix64(seed, i as u64);
+        let mut developer = make_developer(trial_seed);
+        run_process(config, developer.as_mut(), trial_seed)
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Run `trials` independent multi-era campaigns of `total_commits`
+/// each across the pool (the [`run_multi_era`] counterpart of
+/// [`run_process_trials`], with the same per-trial seeding contract).
+///
+/// # Errors
+///
+/// Propagates the first (in trial order) campaign error encountered.
+pub fn run_multi_era_trials<F>(
+    config: &ProcessConfig,
+    make_developer: F,
+    total_commits: u32,
+    trials: u32,
+    seed: u64,
+) -> Result<Vec<MultiEraOutcome>>
+where
+    F: Fn(u64) -> Box<dyn Developer + Send> + Sync,
+{
+    run_multi_era_trials_with_pool(
+        config,
+        make_developer,
+        total_commits,
+        trials,
+        seed,
+        Pool::global(),
+    )
+}
+
+/// [`run_multi_era_trials`] on an explicit pool.
+///
+/// # Errors
+///
+/// Same conditions as [`run_multi_era_trials`].
+pub fn run_multi_era_trials_with_pool<F>(
+    config: &ProcessConfig,
+    make_developer: F,
+    total_commits: u32,
+    trials: u32,
+    seed: u64,
+    pool: &Pool,
+) -> Result<Vec<MultiEraOutcome>>
+where
+    F: Fn(u64) -> Box<dyn Developer + Send> + Sync,
+{
+    pool.par_map_index(trials as usize, |i| {
+        let trial_seed = splitmix64(seed, i as u64);
+        let mut developer = make_developer(trial_seed);
+        run_multi_era(config, developer.as_mut(), total_commits, trial_seed)
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Run `trials` independent processes (in parallel, via
+/// [`run_process_trials`]) and aggregate violations. `make_developer`
+/// builds a fresh (differently seeded) policy per trial.
 ///
 /// # Errors
 ///
@@ -405,11 +522,25 @@ pub fn violation_report<F>(
 where
     F: Fn(u64) -> Box<dyn Developer + Send> + Sync,
 {
-    let outcomes: Vec<Result<ProcessOutcome>> = parallel_map(trials, seed, move |rng| {
-        let trial_seed = rng.random::<u64>();
-        let mut developer = make_developer(trial_seed);
-        run_process(config, developer.as_mut(), trial_seed)
-    });
+    violation_report_with_pool(config, make_developer, trials, seed, Pool::global())
+}
+
+/// [`violation_report`] on an explicit pool.
+///
+/// # Errors
+///
+/// Same conditions as [`violation_report`].
+pub fn violation_report_with_pool<F>(
+    config: &ProcessConfig,
+    make_developer: F,
+    trials: u32,
+    seed: u64,
+    pool: &Pool,
+) -> Result<ViolationReport>
+where
+    F: Fn(u64) -> Box<dyn Developer + Send> + Sync,
+{
+    let outcomes = run_process_trials_with_pool(config, make_developer, trials, seed, pool)?;
     let mut report = ViolationReport {
         trials,
         trials_with_false_positive: 0,
@@ -420,7 +551,6 @@ where
     let mut passes = 0u64;
     let mut labels = 0u64;
     for outcome in outcomes {
-        let outcome = outcome?;
         if outcome.false_positives > 0 {
             report.trials_with_false_positive += 1;
         }
@@ -435,36 +565,17 @@ where
     Ok(report)
 }
 
-/// Run `count` seeded jobs across available cores, preserving order.
-fn parallel_map<T, F>(count: u32, seed: u64, job: F) -> Vec<T>
+/// Run `count` seeded jobs across the pool, preserving order: job `i`
+/// draws from a fresh `StdRng` seeded with [`splitmix64`]`(seed, i)`.
+fn trial_map<T, F>(pool: &Pool, count: u32, seed: u64, job: F) -> Vec<T>
 where
     T: Send,
     F: Fn(&mut StdRng) -> T + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map_or(4, std::num::NonZero::get)
-        .min(16);
-    let mut results: Vec<Option<T>> = (0..count).map(|_| None).collect();
-    let chunk = count.div_ceil(threads as u32).max(1);
-    std::thread::scope(|scope| {
-        for (t, slot_chunk) in results.chunks_mut(chunk as usize).enumerate() {
-            let job = &job;
-            scope.spawn(move || {
-                for (k, slot) in slot_chunk.iter_mut().enumerate() {
-                    let trial = t as u64 * u64::from(chunk) + k as u64;
-                    // Decorrelate trial streams with SplitMix-style mixing.
-                    let mut rng = StdRng::seed_from_u64(
-                        seed.wrapping_add(trial.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-                    );
-                    *slot = Some(job(&mut rng));
-                }
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|slot| slot.expect("all slots filled"))
-        .collect()
+    pool.par_map_index(count as usize, |i| {
+        let mut rng = StdRng::seed_from_u64(splitmix64(seed, i as u64));
+        job(&mut rng)
+    })
 }
 
 #[cfg(test)]
@@ -634,13 +745,66 @@ mod tests {
     }
 
     #[test]
-    fn parallel_map_is_deterministic_and_ordered() {
-        let a = parallel_map(37, 5, |rng| rng.random::<u64>());
-        let b = parallel_map(37, 5, |rng| rng.random::<u64>());
+    fn trial_map_is_deterministic_ordered_and_width_invariant() {
+        let pool = easeml_par::Pool::new(4);
+        let a = trial_map(&pool, 37, 5, |rng| rng.random::<u64>());
+        let b = trial_map(&pool, 37, 5, |rng| rng.random::<u64>());
         assert_eq!(a, b);
         assert_eq!(a.len(), 37);
         // Different seeds produce different streams.
-        let c = parallel_map(37, 6, |rng| rng.random::<u64>());
+        let c = trial_map(&pool, 37, 6, |rng| rng.random::<u64>());
         assert_ne!(a, c);
+        // Thread count never changes the results.
+        for threads in [1, 2, 8] {
+            let w = trial_map(&easeml_par::Pool::new(threads), 37, 5, |rng| {
+                rng.random::<u64>()
+            });
+            assert_eq!(a, w, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn process_trials_report_consistency() {
+        let config = ProcessConfig {
+            script: quick_script("n - o > 0.0 +/- 0.2", 0.9, Adaptivity::Full, 3),
+            estimator: EstimatorConfig::default(),
+            commits: 3,
+            initial_accuracy: 0.7,
+            num_classes: 4,
+            churn: 0.5,
+        };
+        let make = |seed| -> Box<dyn crate::developer::Developer + Send> {
+            Box::new(RandomWalkDeveloper::new(0.7, 0.02, 0.05, seed))
+        };
+        let outcomes = run_process_trials(&config, make, 12, 99).unwrap();
+        assert_eq!(outcomes.len(), 12);
+        let report = violation_report(&config, make, 12, 99).unwrap();
+        let fp = outcomes.iter().filter(|o| o.false_positives > 0).count();
+        assert_eq!(report.trials_with_false_positive, fp as u32);
+        let labels: u64 = outcomes.iter().map(|o| o.labels_requested).sum();
+        assert!((report.mean_labels - labels as f64 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_era_trials_match_single_runs() {
+        let config = ProcessConfig {
+            script: quick_script("n - o > 0.0 +/- 0.2", 0.9, Adaptivity::Full, 3),
+            estimator: EstimatorConfig::default(),
+            commits: 3,
+            initial_accuracy: 0.7,
+            num_classes: 4,
+            churn: 0.5,
+        };
+        let make = |seed| -> Box<dyn crate::developer::Developer + Send> {
+            Box::new(RandomWalkDeveloper::new(0.7, 0.01, 0.05, seed))
+        };
+        let batch = run_multi_era_trials(&config, make, 6, 4, 2024).unwrap();
+        assert_eq!(batch.len(), 4);
+        for (i, outcome) in batch.iter().enumerate() {
+            let trial_seed = easeml_par::splitmix64(2024, i as u64);
+            let mut dev = RandomWalkDeveloper::new(0.7, 0.01, 0.05, trial_seed);
+            let single = run_multi_era(&config, &mut dev, 6, trial_seed).unwrap();
+            assert_eq!(*outcome, single, "trial {i}");
+        }
     }
 }

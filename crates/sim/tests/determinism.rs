@@ -1,0 +1,90 @@
+//! Determinism contract of the parallel execution layer: every
+//! pool-fanned simulation API must produce bit-identical outputs at any
+//! thread count, for random root seeds.
+
+use easeml_bounds::Adaptivity;
+use easeml_ci_core::{CiScript, EstimatorConfig, Mode};
+use easeml_par::Pool;
+use easeml_sim::developer::{Developer, RandomWalkDeveloper};
+use easeml_sim::montecarlo::{
+    empirical_epsilon_with_pool, run_process_trials_with_pool, violation_report_with_pool,
+    ProcessConfig,
+};
+use proptest::prelude::*;
+
+fn cheap_config() -> ProcessConfig {
+    let script = CiScript::builder()
+        .condition_str("n - o > 0.0 +/- 0.2")
+        .unwrap()
+        .reliability(0.9)
+        .mode(Mode::FpFree)
+        .adaptivity(Adaptivity::Full)
+        .steps(3)
+        .build()
+        .unwrap();
+    ProcessConfig {
+        script,
+        estimator: EstimatorConfig::default(),
+        commits: 3,
+        initial_accuracy: 0.7,
+        num_classes: 4,
+        churn: 0.5,
+    }
+}
+
+fn walker(seed: u64) -> Box<dyn Developer + Send> {
+    Box::new(RandomWalkDeveloper::new(0.7, 0.02, 0.05, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// `run_process` trial batches are identical at threads ∈ {1, 2, 8}.
+    #[test]
+    fn process_trials_thread_count_invariant(seed in 0u64..u64::MAX) {
+        let config = cheap_config();
+        let base =
+            run_process_trials_with_pool(&config, walker, 9, seed, &Pool::new(1)).unwrap();
+        for threads in [2usize, 8] {
+            let wide = run_process_trials_with_pool(
+                &config, walker, 9, seed, &Pool::new(threads),
+            )
+            .unwrap();
+            prop_assert_eq!(&base, &wide, "threads={}", threads);
+        }
+    }
+
+    /// `violation_report` aggregates are identical at threads ∈ {1, 2, 8}.
+    #[test]
+    fn violation_report_thread_count_invariant(seed in 0u64..u64::MAX) {
+        let config = cheap_config();
+        let base =
+            violation_report_with_pool(&config, walker, 9, seed, &Pool::new(1)).unwrap();
+        for threads in [2usize, 8] {
+            let wide = violation_report_with_pool(
+                &config, walker, 9, seed, &Pool::new(threads),
+            )
+            .unwrap();
+            prop_assert_eq!(&base, &wide, "threads={}", threads);
+        }
+    }
+
+    /// The Figure-4 empirical-ε measurement is identical at
+    /// threads ∈ {1, 2, 8}.
+    #[test]
+    fn empirical_epsilon_thread_count_invariant(
+        seed in 0u64..u64::MAX,
+        accuracy in 0.6f64..0.99,
+    ) {
+        let base = empirical_epsilon_with_pool(400, accuracy, 0.05, 60, seed, &Pool::new(1));
+        for threads in [2usize, 8] {
+            let wide =
+                empirical_epsilon_with_pool(400, accuracy, 0.05, 60, seed, &Pool::new(threads));
+            prop_assert_eq!(
+                base.to_bits(),
+                wide.to_bits(),
+                "threads={}: {} vs {}", threads, base, wide
+            );
+        }
+    }
+}
