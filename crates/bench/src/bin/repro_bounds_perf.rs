@@ -17,6 +17,7 @@ use easeml_bounds::{
 };
 use easeml_ci_core::{BoundsCache, CiScript, EstimatorConfig, Mode, SampleSizeEstimator};
 use easeml_par::Pool;
+use easeml_serve::json::Value;
 use easeml_sim::developer::{Developer, OverfitterDeveloper};
 use easeml_sim::montecarlo::{violation_report_with_pool, ProcessConfig};
 use std::fmt::Write as _;
@@ -358,8 +359,23 @@ fn main() {
 
     let parallel_json = parallel_section(threads, quick, runs);
 
+    // Self-describing environment block (shared JSON writer with the
+    // serve bench): committed numbers from a 1-CPU container and
+    // multicore re-runs must be distinguishable at a glance.
+    let environment = Value::object([
+        ("threads", Value::from(threads)),
+        (
+            "host_available_parallelism",
+            Value::from(
+                std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get),
+            ),
+        ),
+    ])
+    .encode();
+
     let json = format!(
-        "{{\n  \"bench\": \"bounds\",\n  \"unit\": \"ns\",\n  \"cases\": [\n{json_cases}\n  ],\n  \
+        "{{\n  \"bench\": \"bounds\",\n  \"unit\": \"ns\",\n  \"environment\": {environment},\n  \
+         \"cases\": [\n{json_cases}\n  ],\n  \
          \"cached_estimator\": {{\"warm_estimate_ns\": {:.0}, \"cache_hits\": {}, \
          \"cache_misses\": {}, \"cache_entries\": {}}},\n  \"parallel\": {parallel_json}\n}}\n",
         warm_ns, stats.hits, stats.misses, stats.entries,

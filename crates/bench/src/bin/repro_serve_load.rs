@@ -1,0 +1,258 @@
+//! Load test of the `easeml-serve` HTTP CI service.
+//!
+//! Starts an in-process server on an ephemeral port with a scratch data
+//! directory, drives N concurrent clients — each registering its own
+//! project and pushing a deterministic stream of commit submissions —
+//! and reports latency percentiles, throughput, and warm-restart
+//! recovery time to `results/BENCH_serve.json`.
+//!
+//! Usage: `cargo run --release --bin repro_serve_load [--quick] [--threads N]`
+
+use easeml_bench::{format_sig, init_threads_from_args, results_dir, Table};
+use easeml_par::splitmix64;
+use easeml_serve::json::Value;
+use easeml_serve::server::{ServeConfig, Server};
+use easeml_serve::Client;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const SCRIPT: &str = "ml:\n\
+    \x20 - script     : ./test_model.py\n\
+    \x20 - condition  : n > 0.6 +/- 0.2\n\
+    \x20 - reliability: 0.999\n\
+    \x20 - mode       : fp-free\n\
+    \x20 - adaptivity : full\n\
+    \x20 - steps      : 1000\n";
+
+/// Latency percentiles over one request class.
+struct Percentiles {
+    count: usize,
+    p50_us: f64,
+    p90_us: f64,
+    p99_us: f64,
+    max_us: f64,
+}
+
+fn percentiles(mut samples_ns: Vec<f64>) -> Percentiles {
+    assert!(!samples_ns.is_empty());
+    samples_ns.sort_by(f64::total_cmp);
+    let at = |p: f64| -> f64 {
+        let idx = (p / 100.0 * (samples_ns.len() - 1) as f64).round() as usize;
+        samples_ns[idx] / 1e3
+    };
+    Percentiles {
+        count: samples_ns.len(),
+        p50_us: at(50.0),
+        p90_us: at(90.0),
+        p99_us: at(99.0),
+        max_us: samples_ns[samples_ns.len() - 1] / 1e3,
+    }
+}
+
+fn percentiles_json(p: &Percentiles) -> Value {
+    Value::object([
+        ("count", Value::from(p.count)),
+        ("p50_us", Value::from(p.p50_us)),
+        ("p90_us", Value::from(p.p90_us)),
+        ("p99_us", Value::from(p.p99_us)),
+        ("max_us", Value::from(p.max_us)),
+    ])
+}
+
+/// One client's lifecycle; returns (register_ns, commit_ns[], read_ns[]).
+fn drive_client(addr: &str, client_id: u64, commits: u64) -> (f64, Vec<f64>, Vec<f64>) {
+    let mut client = Client::new(addr);
+    let name = format!("load-{client_id}");
+    let body = Value::object([
+        ("name", Value::from(name.as_str())),
+        ("script", Value::from(SCRIPT)),
+    ]);
+    let t = Instant::now();
+    let (status, response) = client
+        .request("POST", "/projects", Some(&body))
+        .expect("register");
+    let register_ns = t.elapsed().as_nanos() as f64;
+    assert_eq!(status, 201, "{response}");
+
+    let commit_path = format!("/projects/{name}/commits");
+    let budget_path = format!("/projects/{name}/budget");
+    let mut commit_ns = Vec::with_capacity(commits as usize);
+    let mut read_ns = Vec::new();
+    for i in 0..commits {
+        let roll = splitmix64(client_id, i);
+        let body = Value::object([
+            ("commit_id", Value::from(format!("c{i}"))),
+            ("samples", Value::from(1_000u64)),
+            ("new_correct", Value::from(300 + roll % 700)),
+            ("old_correct", Value::from(500u64)),
+            ("changed", Value::from(roll % 1_000)),
+            ("labels", Value::from(1_000u64)),
+        ]);
+        let t = Instant::now();
+        let (status, response) = client
+            .request("POST", &commit_path, Some(&body))
+            .expect("commit");
+        commit_ns.push(t.elapsed().as_nanos() as f64);
+        assert_eq!(status, 200, "{response}");
+        // A sprinkling of read traffic, like a dashboard would generate.
+        if i % 16 == 15 {
+            let t = Instant::now();
+            let (status, _) = client.request("GET", &budget_path, None).expect("budget");
+            read_ns.push(t.elapsed().as_nanos() as f64);
+            assert_eq!(status, 200);
+        }
+    }
+    (register_ns, commit_ns, read_ns)
+}
+
+fn main() {
+    let threads = init_threads_from_args();
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (clients, commits_per_client): (u64, u64) = if quick { (4, 25) } else { (8, 200) };
+
+    let data_dir: PathBuf = std::env::temp_dir().join(format!(
+        "easeml-serve-load-{}-{}",
+        std::process::id(),
+        if quick { "quick" } else { "full" }
+    ));
+    let _ = std::fs::remove_dir_all(&data_dir);
+
+    let server = Server::bind(&ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        data_dir: data_dir.clone(),
+        threads: 0, // the process-wide pool, sized by --threads
+    })
+    .expect("bind server");
+    let addr = server.local_addr().to_string();
+    let handle = server.handle();
+    let server_thread = std::thread::spawn(move || server.run().expect("server run"));
+
+    println!(
+        "== serve load test: {clients} clients x {commits_per_client} commits on {} ({} pool threads) ==",
+        addr,
+        easeml_par::Pool::global().threads(),
+    );
+
+    let wall = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.clone();
+            std::thread::spawn(move || drive_client(&addr, c, commits_per_client))
+        })
+        .collect();
+    let mut register_ns = Vec::new();
+    let mut commit_ns = Vec::new();
+    let mut read_ns = Vec::new();
+    for worker in workers {
+        let (reg, commits, reads) = worker.join().expect("client thread");
+        register_ns.push(reg);
+        commit_ns.extend(commits);
+        read_ns.extend(reads);
+    }
+    let wall_ms = wall.elapsed().as_nanos() as f64 / 1e6;
+    let total_requests = register_ns.len() + commit_ns.len() + read_ns.len();
+
+    // Graceful stop flushes snapshots + the bounds cache.
+    handle.stop();
+    server_thread.join().expect("server thread");
+
+    // Warm restart: journal/snapshot recovery plus cache load.
+    let t = Instant::now();
+    let restarted = Server::bind(&ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        data_dir: data_dir.clone(),
+        threads: 0,
+    })
+    .expect("warm restart");
+    let restart_ms = t.elapsed().as_nanos() as f64 / 1e6;
+    // Recovered state must reflect every journalled commit.
+    let handle = restarted.handle();
+    let restarted_addr = restarted.local_addr().to_string();
+    let restart_thread = std::thread::spawn(move || restarted.run().expect("restarted run"));
+    let mut probe = Client::new(restarted_addr);
+    let (status, health) = probe.request("GET", "/healthz", None).expect("healthz");
+    assert_eq!(status, 200);
+    assert_eq!(
+        health.get("projects").and_then(Value::as_u64),
+        Some(clients),
+        "all projects must survive the restart"
+    );
+    for c in 0..clients {
+        let (_, budget) = probe
+            .request("GET", &format!("/projects/load-{c}/budget"), None)
+            .expect("budget");
+        assert_eq!(
+            budget
+                .get("budget")
+                .and_then(|b| b.get("used"))
+                .and_then(Value::as_u64),
+            Some(commits_per_client),
+            "project load-{c} lost commits across restart"
+        );
+    }
+    drop(probe);
+    handle.stop();
+    restart_thread.join().expect("restart thread");
+
+    let reg = percentiles(register_ns);
+    let commit = percentiles(commit_ns);
+    let reads = percentiles(read_ns);
+    let rps = total_requests as f64 / (wall_ms / 1e3);
+
+    let mut table = Table::new(["request", "count", "p50_us", "p90_us", "p99_us", "max_us"]);
+    for (name, p) in [
+        ("register", &reg),
+        ("commit", &commit),
+        ("budget_read", &reads),
+    ] {
+        table.push_row([
+            name.to_string(),
+            p.count.to_string(),
+            format_sig(p.p50_us),
+            format_sig(p.p90_us),
+            format_sig(p.p99_us),
+            format_sig(p.max_us),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "wall {:.0} ms | {:.0} req/s | warm restart (journal replay + cache load) {:.1} ms",
+        wall_ms, rps, restart_ms
+    );
+
+    let json = Value::object([
+        ("bench", Value::from("serve")),
+        ("quick", Value::from(quick)),
+        (
+            "environment",
+            Value::object([
+                ("threads", Value::from(threads)),
+                (
+                    "host_available_parallelism",
+                    Value::from(
+                        std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get),
+                    ),
+                ),
+            ]),
+        ),
+        ("clients", Value::from(clients)),
+        ("commits_per_client", Value::from(commits_per_client)),
+        ("total_requests", Value::from(total_requests)),
+        ("wall_ms", Value::from(wall_ms)),
+        ("throughput_rps", Value::from(rps)),
+        (
+            "latency",
+            Value::object([
+                ("register", percentiles_json(&reg)),
+                ("commit", percentiles_json(&commit)),
+                ("budget_read", percentiles_json(&reads)),
+            ]),
+        ),
+        ("warm_restart_ms", Value::from(restart_ms)),
+    ]);
+    let path = results_dir().join("BENCH_serve.json");
+    std::fs::write(&path, json.pretty()).expect("write BENCH_serve.json");
+    println!("[json] wrote {}", path.display());
+
+    let _ = std::fs::remove_dir_all(&data_dir);
+}

@@ -38,6 +38,28 @@ impl Tail {
             Tail::TwoSided => std::f64::consts::LN_2,
         }
     }
+
+    /// Stable single-byte wire code for on-disk formats (e.g. the
+    /// persisted `BoundsCache`). Codes are part of the serialization
+    /// contract: never renumber, only append.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            Tail::OneSided => 1,
+            Tail::TwoSided => 2,
+        }
+    }
+
+    /// Inverse of [`Tail::code`]; `None` for unknown codes (a corrupt or
+    /// future-version file).
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<Tail> {
+        match code {
+            1 => Some(Tail::OneSided),
+            2 => Some(Tail::TwoSided),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Tail {
@@ -64,6 +86,16 @@ mod tests {
     #[test]
     fn default_is_two_sided() {
         assert_eq!(Tail::default(), Tail::TwoSided);
+    }
+
+    #[test]
+    fn wire_codes_round_trip() {
+        for tail in [Tail::OneSided, Tail::TwoSided] {
+            assert_eq!(Tail::from_code(tail.code()), Some(tail));
+        }
+        assert_eq!(Tail::from_code(0), None);
+        assert_eq!(Tail::from_code(3), None);
+        assert_eq!(Tail::from_code(255), None);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! easeml-ci estimate <script.yml>            testset size + labelling effort
 //! easeml-ci table                            print the Figure 2 sample-size table
 //! easeml-ci simulate <script.yml> [options]  drive a simulated commit history
+//! easeml-ci serve [options]                  run the persistent HTTP CI service
 //! ```
 //!
 //! Every command accepts a global `--threads N` option sizing the
@@ -34,6 +35,7 @@ fn main() -> ExitCode {
         Some("estimate") => cmd_estimate(&args[1..]),
         Some("table") => cmd_table(),
         Some("simulate") => cmd_simulate(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("help" | "--help" | "-h") | None => {
             print_usage();
             Ok(())
@@ -72,10 +74,21 @@ fn print_usage() {
          \x20 easeml-ci [--threads N] estimate <script.yml>\n\
          \x20 easeml-ci [--threads N] table\n\
          \x20 easeml-ci [--threads N] simulate <script.yml> [--commits N] [--seed S] [--accuracy A]\n\
+         \x20 easeml-ci [--threads N] serve [--addr HOST:PORT] [--data-dir DIR]\n\
          \n\
          OPTIONS:\n\
          \x20 --threads N   worker threads for the parallel execution layer\n\
          \x20               (default: auto via EASEML_THREADS or the hardware)\n\
+         \n\
+         SERVE OPTIONS:\n\
+         \x20 --addr HOST:PORT   bind address (default 127.0.0.1:8642; port 0 is ephemeral)\n\
+         \x20 --data-dir DIR     durable state directory (default ./easeml-serve-data):\n\
+         \x20                    project registry, per-project journals + snapshots,\n\
+         \x20                    and the persisted bounds cache\n\
+         \n\
+         Stop the service gracefully with `POST /admin/shutdown` (flushes\n\
+         snapshots + the bounds cache). A hard kill loses only cache\n\
+         warmth: gate state is journaled before every response.\n\
          \n\
          The script is a .travis.yml-style file with an `ml:` section, e.g.\n\
          \n\
@@ -230,6 +243,31 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         Practicality::of(outcome.labels_requested)
     );
     Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut addr = "127.0.0.1:8642".to_owned();
+    let mut data_dir = "./easeml-serve-data".to_owned();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => addr = next_value(args, &mut i)?.to_owned(),
+            "--data-dir" => data_dir = next_value(args, &mut i)?.to_owned(),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+        i += 1;
+    }
+    let config = easeml_serve::ServeConfig::new(addr, data_dir.clone());
+    let server = easeml_serve::Server::bind(&config).map_err(|e| e.to_string())?;
+    // The bound address goes out first and flushed: with port 0 it is the
+    // only way for a supervisor (or test harness) to learn the port.
+    println!(
+        "listening on {} (data dir: {data_dir})",
+        server.local_addr()
+    );
+    use std::io::Write as _;
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    server.run().map_err(|e| e.to_string())
 }
 
 fn next_value<'a>(args: &'a [String], i: &mut usize) -> Result<&'a str, String> {

@@ -149,3 +149,76 @@ fn missing_file_is_a_clean_error() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 }
+
+#[test]
+fn help_documents_serve() {
+    let out = run(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("serve"));
+    assert!(text.contains("--addr"));
+    assert!(text.contains("--data-dir"));
+}
+
+#[test]
+fn serve_rejects_bad_arguments() {
+    // Missing values and unknown flags fail before binding anything.
+    let out = run(&["serve", "--addr"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--addr"));
+    let out = run(&["serve", "--data-dir"]);
+    assert!(!out.status.success());
+    let out = run(&["serve", "--bogus"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown option"));
+    // An unbindable address is a clean error, not a panic.
+    let out = run(&["serve", "--addr", "definitely-not-an-address"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn serve_binds_ephemeral_port_and_answers_http() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let data_dir = std::env::temp_dir()
+        .join("easeml-ci-cli-tests")
+        .join(format!("serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_easeml-ci"))
+        .args([
+            "serve",
+            "--threads",
+            "2",
+            "--addr",
+            "127.0.0.1:0",
+            "--data-dir",
+            data_dir.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+
+    // First stdout line announces the bound address.
+    let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("read banner");
+    let addr = line
+        .strip_prefix("listening on ")
+        .and_then(|rest| rest.split(' ').next())
+        .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+        .to_owned();
+
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nhost: x\r\nconnection: close\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    assert!(response.contains("\"status\":\"ok\""), "{response}");
+
+    child.kill().expect("kill serve");
+    let _ = child.wait();
+    // The service created its durable layout before serving.
+    assert!(data_dir.join("projects").is_dir());
+}

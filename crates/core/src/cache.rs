@@ -33,7 +33,10 @@
 
 use easeml_bounds::{BoundsError, Tail};
 use std::collections::HashMap;
+use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::io::Write as _;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{OnceLock, RwLock};
 
@@ -43,6 +46,70 @@ use std::sync::{OnceLock, RwLock};
 pub enum BoundKind {
     /// [`easeml_bounds::exact_binomial_sample_size`].
     ExactBinomialSampleSize,
+}
+
+impl BoundKind {
+    /// Stable single-byte wire code (on-disk contract: never renumber).
+    fn code(self) -> u8 {
+        match self {
+            BoundKind::ExactBinomialSampleSize => 0,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<BoundKind> {
+        match code {
+            0 => Some(BoundKind::ExactBinomialSampleSize),
+            _ => None,
+        }
+    }
+}
+
+/// Why a persisted cache file was rejected by [`BoundsCache::load_from`].
+#[derive(Debug)]
+pub enum CachePersistError {
+    /// Reading or writing the file failed.
+    Io(std::io::Error),
+    /// The file is not a well-formed cache dump: wrong magic/version,
+    /// malformed entry, count mismatch, or checksum failure. Nothing is
+    /// loaded from a corrupt file.
+    Corrupt {
+        /// 1-based line where the corruption was detected.
+        line: usize,
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CachePersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CachePersistError::Io(e) => write!(f, "bounds cache I/O error: {e}"),
+            CachePersistError::Corrupt { line, reason } => {
+                write!(f, "bounds cache file corrupt at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CachePersistError {}
+
+impl From<std::io::Error> for CachePersistError {
+    fn from(e: std::io::Error) -> Self {
+        CachePersistError::Io(e)
+    }
+}
+
+/// Magic + version line of the on-disk format (see [`BoundsCache::save_to`]).
+const PERSIST_MAGIC: &str = "easeml-bounds-cache v1";
+
+/// FNV-1a over the entry block, the integrity check of the on-disk format.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// Whether an estimator consults the shared [`BoundsCache`].
@@ -228,6 +295,164 @@ impl BoundsCache {
             shard.write().expect("bounds cache poisoned").clear();
         }
     }
+
+    /// Persist every cached inversion to `path` so a later process can
+    /// start warm ([`BoundsCache::load_from`]).
+    ///
+    /// The format is versioned, line-oriented text:
+    ///
+    /// ```text
+    /// easeml-bounds-cache v1 count=<entries>
+    /// <kind> <tail> <eps_bits:016x> <ln_delta_bits:016x> <n>
+    /// ...
+    /// checksum=<fnv1a64 over the entry block:016x>
+    /// ```
+    ///
+    /// Entries are sorted by key, so the same cache contents always
+    /// produce the same bytes. The file is written to a temporary sibling
+    /// and renamed into place, so readers never observe a half-written
+    /// dump. Returns the number of entries written.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure while writing.
+    pub fn save_to(&self, path: &Path) -> Result<usize, CachePersistError> {
+        let mut entries: Vec<(Key, u64)> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.read().expect("bounds cache poisoned");
+            entries.extend(shard.iter().map(|(k, v)| (*k, *v)));
+        }
+        entries.sort_by_key(|(k, _)| (k.kind.code(), k.tail.code(), k.eps, k.ln_delta));
+        let mut body = String::new();
+        for (key, n) in &entries {
+            use std::fmt::Write as _;
+            let _ = writeln!(
+                body,
+                "{} {} {:016x} {:016x} {}",
+                key.kind.code(),
+                key.tail.code(),
+                key.eps,
+                key.ln_delta,
+                n,
+            );
+        }
+        let text = format!(
+            "{PERSIST_MAGIC} count={}\n{body}checksum={:016x}\n",
+            entries.len(),
+            fnv1a64(body.as_bytes()),
+        );
+        let tmp = path.with_extension("tmp");
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(text.as_bytes())?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(entries.len())
+    }
+
+    /// Load a dump written by [`BoundsCache::save_to`] into this cache,
+    /// returning the number of entries loaded.
+    ///
+    /// Parsing is strict: a wrong magic/version line, a malformed entry,
+    /// an entry-count mismatch, or a checksum failure rejects the whole
+    /// file with [`CachePersistError::Corrupt`] and loads nothing — a
+    /// damaged dump must never seed wrong sample sizes. Loaded entries
+    /// are inserted through the normal capacity-enforcing path and do not
+    /// count toward hit/miss statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`CachePersistError::Io`] on read failure (including a missing
+    /// file — callers that treat absence as a cold start should check
+    /// existence first), [`CachePersistError::Corrupt`] on any format
+    /// violation.
+    pub fn load_from(&self, path: &Path) -> Result<usize, CachePersistError> {
+        let text = std::fs::read_to_string(path)?;
+        let corrupt = |line: usize, reason: &str| CachePersistError::Corrupt {
+            line,
+            reason: reason.to_owned(),
+        };
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines.next().ok_or_else(|| corrupt(1, "empty file"))?;
+        let count: usize = header
+            .strip_prefix(PERSIST_MAGIC)
+            .and_then(|rest| rest.strip_prefix(" count="))
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| corrupt(1, "bad magic/version header"))?;
+        let mut entries: Vec<(Key, u64)> = Vec::with_capacity(count);
+        let mut body = String::new();
+        let mut checksum: Option<u64> = None;
+        let mut last_line = 1;
+        for (idx, line) in lines {
+            last_line = idx + 1;
+            if let Some(sum) = line.strip_prefix("checksum=") {
+                checksum = Some(
+                    u64::from_str_radix(sum, 16)
+                        .map_err(|_| corrupt(last_line, "unparsable checksum"))?,
+                );
+                break;
+            }
+            let mut fields = line.split(' ');
+            let mut next = |what: &str| {
+                fields
+                    .next()
+                    .ok_or_else(|| corrupt(last_line, &format!("missing {what} field")))
+            };
+            let kind = next("kind")?
+                .parse::<u8>()
+                .ok()
+                .and_then(BoundKind::from_code)
+                .ok_or_else(|| corrupt(last_line, "unknown bound kind"))?;
+            let tail = next("tail")?
+                .parse::<u8>()
+                .ok()
+                .and_then(Tail::from_code)
+                .ok_or_else(|| corrupt(last_line, "unknown tail code"))?;
+            let eps = u64::from_str_radix(next("eps")?, 16)
+                .map_err(|_| corrupt(last_line, "unparsable eps bits"))?;
+            let ln_delta = u64::from_str_radix(next("ln_delta")?, 16)
+                .map_err(|_| corrupt(last_line, "unparsable ln_delta bits"))?;
+            let n = next("n")?
+                .parse::<u64>()
+                .map_err(|_| corrupt(last_line, "unparsable sample size"))?;
+            if fields.next().is_some() {
+                return Err(corrupt(last_line, "trailing fields"));
+            }
+            use std::fmt::Write as _;
+            let _ = writeln!(body, "{line}");
+            entries.push((
+                Key {
+                    kind,
+                    tail,
+                    eps,
+                    ln_delta,
+                },
+                n,
+            ));
+        }
+        let checksum = checksum.ok_or_else(|| corrupt(last_line, "missing checksum line"))?;
+        if entries.len() != count {
+            return Err(corrupt(
+                last_line,
+                &format!("header promised {count} entries, found {}", entries.len()),
+            ));
+        }
+        if fnv1a64(body.as_bytes()) != checksum {
+            return Err(corrupt(last_line, "checksum mismatch"));
+        }
+        let loaded = entries.len();
+        for (key, n) in entries {
+            let mut shard = self.shards[key.shard()]
+                .write()
+                .expect("bounds cache poisoned");
+            if shard.len() >= Self::MAX_ENTRIES / Self::SHARDS {
+                shard.clear();
+            }
+            shard.insert(key, n);
+        }
+        Ok(loaded)
+    }
 }
 
 #[cfg(test)]
@@ -361,6 +586,118 @@ mod tests {
         assert_eq!(cache.lookup(k, Tail::TwoSided, 0.05, -7.0), Some(123));
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("easeml-cache-persist-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_entries() {
+        let cache = BoundsCache::new();
+        let k = BoundKind::ExactBinomialSampleSize;
+        let cases = [
+            (Tail::TwoSided, 0.05, -5.0, 2_500),
+            (Tail::TwoSided, 0.025, -9.2, 11_093),
+            (Tail::OneSided, 0.1, -4.6, 271),
+        ];
+        for &(tail, eps, ln_delta, n) in &cases {
+            cache.store(k, tail, eps, ln_delta, n);
+        }
+        let path = temp_path("roundtrip.v1");
+        assert_eq!(cache.save_to(&path).unwrap(), cases.len());
+
+        let restored = BoundsCache::new();
+        assert_eq!(restored.load_from(&path).unwrap(), cases.len());
+        for &(tail, eps, ln_delta, n) in &cases {
+            assert_eq!(restored.lookup(k, tail, eps, ln_delta), Some(n));
+        }
+        // Same contents → byte-identical dump (entries are sorted).
+        let path2 = temp_path("roundtrip2.v1");
+        restored.save_to(&path2).unwrap();
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            std::fs::read(&path2).unwrap()
+        );
+        std::fs::remove_file(path).unwrap();
+        std::fs::remove_file(path2).unwrap();
+    }
+
+    #[test]
+    fn corrupt_files_are_rejected_and_load_nothing() {
+        let cache = BoundsCache::new();
+        cache.store(
+            BoundKind::ExactBinomialSampleSize,
+            Tail::TwoSided,
+            0.05,
+            -5.0,
+            2_500,
+        );
+        let path = temp_path("corrupt.v1");
+        cache.save_to(&path).unwrap();
+        let good = std::fs::read_to_string(&path).unwrap();
+
+        let corruptions: &[(&str, String)] = &[
+            ("bad magic", good.replacen("easeml-bounds-cache", "x", 1)),
+            ("future version", good.replacen("v1", "v9", 1)),
+            ("flipped sample size", good.replacen("2500", "9999", 1)),
+            ("unknown tail code", good.replacen("0 2 ", "0 7 ", 1)),
+            ("unknown kind code", good.replacen("0 2 ", "3 2 ", 1)),
+            ("count mismatch", good.replacen("count=1", "count=2", 1)),
+            (
+                "missing checksum",
+                good.lines().next().unwrap().to_owned() + "\n",
+            ),
+            ("truncated", good[..good.len() / 2].to_owned()),
+            ("empty", String::new()),
+        ];
+        for (what, text) in corruptions {
+            std::fs::write(&path, text).unwrap();
+            let fresh = BoundsCache::new();
+            let err = fresh.load_from(&path);
+            assert!(
+                matches!(err, Err(CachePersistError::Corrupt { .. })),
+                "{what}: expected Corrupt, got {err:?}"
+            );
+            assert_eq!(fresh.stats().entries, 0, "{what}: must load nothing");
+        }
+        // A missing file is an I/O error, not a corruption.
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(
+            BoundsCache::new().load_from(&path),
+            Err(CachePersistError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn persisted_entries_serve_sample_size_with() {
+        // The whole point: a warm dump short-circuits the expensive
+        // compute closure in a fresh process.
+        let cache = BoundsCache::new();
+        cache.store(
+            BoundKind::ExactBinomialSampleSize,
+            Tail::TwoSided,
+            0.05,
+            (0.001f64).ln(),
+            4_242,
+        );
+        let path = temp_path("warm.v1");
+        cache.save_to(&path).unwrap();
+        let restored = BoundsCache::new();
+        restored.load_from(&path).unwrap();
+        let n = restored
+            .sample_size_with(
+                BoundKind::ExactBinomialSampleSize,
+                Tail::TwoSided,
+                0.05,
+                (0.001f64).ln(),
+                || panic!("warm cache must not recompute"),
+            )
+            .unwrap();
+        assert_eq!(n, 4_242);
+        std::fs::remove_file(path).unwrap();
     }
 
     #[test]

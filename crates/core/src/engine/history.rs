@@ -44,6 +44,16 @@ impl CommitHistory {
         self.entries.push(entry);
     }
 
+    /// Drop entries beyond `len` (no-op if the history is shorter).
+    ///
+    /// Exists for callers that must *undo* a just-pushed entry when a
+    /// durability step downstream of the evaluation fails — e.g. the
+    /// serving layer rolls an evaluation back if the journal append
+    /// errors, so in-memory state never diverges from the journal.
+    pub fn truncate(&mut self, len: usize) {
+        self.entries.truncate(len);
+    }
+
     /// All entries in submission order.
     #[must_use]
     pub fn entries(&self) -> &[HistoryEntry] {

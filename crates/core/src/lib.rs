@@ -70,7 +70,7 @@ mod logic;
 mod practicality;
 pub mod script;
 
-pub use cache::{BoundKind, BoundsCache, CachePolicy, CacheStats};
+pub use cache::{BoundKind, BoundsCache, CachePersistError, CachePolicy, CacheStats};
 pub use engine::{
     AlarmReason, CiEngine, CiEvent, CollectingSink, CommitEstimates, CommitHistory, CommitReceipt,
     HistoryEntry, LabelOracle, MailboxSink, ModelCommit, NotificationSink, NullSink, Testset,

@@ -1,0 +1,378 @@
+//! Minimal HTTP/1.1 on `std::net`: request parsing, response writing,
+//! and a small blocking client.
+//!
+//! The workspace is offline and dependency-free, so this implements just
+//! the subset the CI service needs: request line + headers + an optional
+//! `Content-Length` body, keep-alive connection reuse, and JSON payloads.
+//! Transfer-encoding, multipart, and TLS are out of scope; malformed
+//! input is rejected with a parse error rather than guessed at.
+
+use crate::json::Value;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Largest accepted request body. Commit submissions are a few hundred
+/// bytes; registration carries a script file. Anything beyond a megabyte
+/// is a client error (or an attack) and is refused before allocation.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// Largest accepted header section (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 << 10;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path component, percent-decoding not applied (project names are
+    /// restricted to URL-safe characters).
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the client asked to close the connection after this
+    /// exchange (`Connection: close`).
+    pub close: bool,
+}
+
+impl Request {
+    /// Parse the body as JSON.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for non-UTF-8 or malformed JSON.
+    pub fn json_body(&self) -> Result<Value, String> {
+        let text = std::str::from_utf8(&self.body).map_err(|_| "body is not UTF-8".to_owned())?;
+        Value::parse(text).map_err(|e| e.to_string())
+    }
+}
+
+/// What `read_request` produced.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request.
+    Request(Request),
+    /// The peer closed before sending a request line — a clean end of the
+    /// connection, not an error.
+    Closed,
+    /// A read blocked past the socket timeout *mid-request*: the peer
+    /// started a request and stalled. The connection is no longer usable
+    /// (partial bytes were consumed); close it.
+    TimedOut,
+}
+
+/// Non-blocking-ish peek for request data on an idle keep-alive
+/// connection: one buffered read bounded by the socket's read timeout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataPoll {
+    /// At least one request byte is buffered; parse with `read_request`.
+    Ready,
+    /// The peer closed the connection.
+    Closed,
+    /// The poll window elapsed with no data (keep waiting or give up —
+    /// nothing was consumed).
+    Idle,
+}
+
+/// Wait (up to the stream's read timeout) for the first byte of the next
+/// request. Distinguishing "idle, nothing arrived" from "stalled
+/// mid-request" here lets callers use a short poll interval without ever
+/// corrupting a request that merely spans multiple packets.
+///
+/// # Errors
+///
+/// I/O failures other than the timeout itself.
+pub fn poll_data(reader: &mut BufReader<TcpStream>) -> io::Result<DataPoll> {
+    match reader.fill_buf() {
+        Ok([]) => Ok(DataPoll::Closed),
+        Ok(_) => Ok(DataPoll::Ready),
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            Ok(DataPoll::Idle)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Read one request from a buffered stream. Call once [`poll_data`]
+/// reported [`DataPoll::Ready`], with the socket timeout set to the
+/// full-request budget (a timeout here means a stalled peer, not an idle
+/// one).
+///
+/// # Errors
+///
+/// I/O failures and protocol violations (`InvalidData`).
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<ReadOutcome> {
+    let mut line = String::new();
+    match read_crlf_line(reader, &mut line) {
+        Ok(0) => return Ok(ReadOutcome::Closed),
+        Ok(_) => {}
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            return Ok(ReadOutcome::TimedOut)
+        }
+        Err(e) => return Err(e),
+    }
+    let (method, path) = {
+        let mut parts = line.trim_end().split(' ');
+        match (parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => {
+                if v != "HTTP/1.1" && v != "HTTP/1.0" {
+                    return Err(bad_data("unsupported HTTP version"));
+                }
+                (m.to_owned(), p.to_owned())
+            }
+            _ => return Err(bad_data("malformed request line")),
+        }
+    };
+    let mut content_length: usize = 0;
+    let mut close = false;
+    let mut head_bytes = line.len();
+    loop {
+        line.clear();
+        if read_crlf_line(reader, &mut line)? == 0 {
+            return Err(bad_data("connection closed inside headers"));
+        }
+        head_bytes += line.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(bad_data("header section too large"));
+        }
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        let Some((name, value)) = trimmed.split_once(':') else {
+            return Err(bad_data("malformed header"));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value.parse().map_err(|_| bad_data("bad content-length"))?;
+            if content_length > MAX_BODY_BYTES {
+                return Err(bad_data("body too large"));
+            }
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                close = true;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                close = false;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(ReadOutcome::Request(Request {
+        method,
+        path,
+        body,
+        close,
+    }))
+}
+
+fn bad_data(message: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+/// Read a `\n`-terminated line (tolerating a bare `\n`), bounded by
+/// [`MAX_HEAD_BYTES`]. Returns the number of bytes read (0 at EOF).
+fn read_crlf_line(reader: &mut BufReader<TcpStream>, line: &mut String) -> io::Result<usize> {
+    let mut taken = reader.by_ref().take(MAX_HEAD_BYTES as u64 + 1);
+    let n = taken.read_line(line)?;
+    if line.len() > MAX_HEAD_BYTES {
+        return Err(bad_data("line too long"));
+    }
+    Ok(n)
+}
+
+/// A response ready to serialize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body bytes.
+    pub body: Vec<u8>,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Whether the server will close the connection after this response.
+    pub close: bool,
+}
+
+impl Response {
+    /// A JSON response.
+    #[must_use]
+    pub fn json(status: u16, value: &Value) -> Response {
+        Response {
+            status,
+            body: value.encode().into_bytes(),
+            content_type: "application/json",
+            close: false,
+        }
+    }
+
+    /// A JSON error payload `{"error": message}`.
+    #[must_use]
+    pub fn error(status: u16, message: &str) -> Response {
+        Response::json(status, &Value::object([("error", Value::from(message))]))
+    }
+
+    /// Standard reason phrase for the status code.
+    #[must_use]
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            201 => "Created",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serialize onto a stream (one `write_all`; callers flush).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn write_to(&self, stream: &mut TcpStream) -> io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len(),
+            if self.close { "close" } else { "keep-alive" },
+        );
+        let mut message = head.into_bytes();
+        message.extend_from_slice(&self.body);
+        stream.write_all(&message)
+    }
+}
+
+/// A small blocking HTTP/1.1 client with keep-alive, used by the
+/// integration tests and the `repro_serve_load` load generator.
+#[derive(Debug)]
+pub struct Client {
+    addr: String,
+    stream: Option<BufReader<TcpStream>>,
+}
+
+impl Client {
+    /// A client for `addr` (`host:port`). Connects lazily.
+    #[must_use]
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client {
+            addr: addr.into(),
+            stream: None,
+        }
+    }
+
+    /// Send one request and read the response, reusing the connection
+    /// when the server keeps it open. `body` is encoded as JSON.
+    ///
+    /// A failure on a *reused* connection is retried once through a
+    /// fresh connection. This is safe for every `easeml-serve` endpoint,
+    /// including the POSTs, because the server's mutating routes are
+    /// idempotent under redelivery (duplicate commit submissions return
+    /// the recorded receipt without spending budget; identical
+    /// re-registrations converge on the existing project).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures (after the one transparent retry) and malformed
+    /// responses.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&Value>,
+    ) -> io::Result<(u16, Value)> {
+        // One retry through a fresh connection: the server may have
+        // dropped an idle keep-alive connection between requests. Every
+        // error path discards the stream — a socket that failed mid-
+        // exchange may still deliver the *previous* response later, and
+        // reusing it would desync every request/response pair after it.
+        let reused = self.stream.is_some();
+        match self.request_once(method, path, body) {
+            Ok(out) => Ok(out),
+            Err(_) if reused => {
+                self.stream = None;
+                self.request_once(method, path, body).inspect_err(|_| {
+                    self.stream = None;
+                })
+            }
+            Err(e) => {
+                self.stream = None;
+                Err(e)
+            }
+        }
+    }
+
+    fn request_once(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&Value>,
+    ) -> io::Result<(u16, Value)> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(&self.addr)?;
+            stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+            stream.set_nodelay(true)?;
+            self.stream = Some(BufReader::new(stream));
+        }
+        let reader = self.stream.as_mut().expect("connected above");
+        let payload = body.map(Value::encode).unwrap_or_default();
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+            self.addr,
+            payload.len(),
+        );
+        let mut message = head.into_bytes();
+        message.extend_from_slice(payload.as_bytes());
+        reader.get_mut().write_all(&message)?;
+
+        // Status line.
+        let mut line = String::new();
+        if read_crlf_line(reader, &mut line)? == 0 {
+            self.stream = None;
+            return Err(bad_data("server closed before responding"));
+        }
+        let status: u16 = line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad_data("malformed status line"))?;
+        // Headers.
+        let mut content_length = 0usize;
+        let mut close = false;
+        loop {
+            line.clear();
+            if read_crlf_line(reader, &mut line)? == 0 {
+                return Err(bad_data("connection closed inside response headers"));
+            }
+            let trimmed = line.trim_end();
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = trimmed.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| bad_data("bad content-length"))?;
+                } else if name.eq_ignore_ascii_case("connection")
+                    && value.trim().eq_ignore_ascii_case("close")
+                {
+                    close = true;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body)?;
+        if close {
+            self.stream = None;
+        }
+        let text = String::from_utf8(body).map_err(|_| bad_data("non-UTF-8 response body"))?;
+        let value = Value::parse(&text).map_err(|e| bad_data(&e.to_string()))?;
+        Ok((status, value))
+    }
+}

@@ -1,0 +1,623 @@
+//! Hand-rolled JSON encode/decode.
+//!
+//! The workspace builds fully offline (no serde), so this module provides
+//! the small JSON subset the serving layer and the bench writers need: a
+//! [`Value`] tree, a strict recursive-descent parser, and compact/pretty
+//! serializers. Objects preserve insertion order, so serialization is
+//! deterministic — a property the journal format and the restart tests
+//! rely on.
+//!
+//! Numbers are stored as `f64` and rendered without a fractional part
+//! when they are integral (`3`, not `3.0`), which keeps sample sizes and
+//! step counters round-trippable: every integer with magnitude below
+//! 2⁵³ survives encode → parse → encode byte-identically.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (integers render without a fractional part).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion-ordered. Duplicate keys are kept as parsed
+    /// and [`Value::get`] returns the *first* match, so the first
+    /// occurrence wins.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Build an object from `(key, value)` pairs, preserving order.
+    pub fn object<K: Into<String>, I: IntoIterator<Item = (K, Value)>>(pairs: I) -> Value {
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Build an array from values.
+    pub fn array<I: IntoIterator<Item = Value>>(items: I) -> Value {
+        Value::Array(items.into_iter().collect())
+    }
+
+    /// Member of an object by key (first match), if this is an object.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a non-negative integer, if it is one
+    /// exactly (no fractional part, within `u64` range).
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= 2f64.powi(53) => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Compact serialization (no whitespace).
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty serialization with two-space indentation and a trailing
+    /// newline — the house style of the `results/*.json` files.
+    #[must_use]
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        use std::fmt::Write as _;
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Number(n) => {
+                if n.is_finite() {
+                    if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) {
+                        let _ = write!(out, "{n:.0}");
+                    } else {
+                        let _ = write!(out, "{n}");
+                    }
+                } else {
+                    // JSON has no NaN/Infinity; degrade to null rather
+                    // than emit an unparsable token.
+                    out.push_str("null");
+                }
+            }
+            Value::String(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            Value::Object(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_escaped(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    ///
+    /// # Errors
+    ///
+    /// A [`JsonError`] with the byte offset of the first violation.
+    pub fn parse(text: &str) -> Result<Value, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(value)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+impl From<f64> for Value {
+    fn from(n: f64) -> Value {
+        Value::Number(n)
+    }
+}
+impl From<u64> for Value {
+    fn from(n: u64) -> Value {
+        Value::Number(n as f64)
+    }
+}
+impl From<u32> for Value {
+    fn from(n: u32) -> Value {
+        Value::Number(f64::from(n))
+    }
+}
+impl From<usize> for Value {
+    fn from(n: usize) -> Value {
+        Value::Number(n as f64)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.encode())
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * depth));
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    use std::fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure: what went wrong and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the violation.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Nesting depth cap: deeper documents are rejected (stack safety — the
+/// body of an HTTP request is attacker-controlled).
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.to_owned(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str, value: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.eat_literal("null", Value::Null),
+            Some(b't') => self.eat_literal("true", Value::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.eat(b'[', "expected `[`")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.eat(b'{', "expected `{`")?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "expected `:` after object key")?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"', "expected `\"`")?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0C}'),
+                        Some(b'u') => {
+                            let code = self.unicode_escape()?;
+                            out.push(code);
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    /// Position is on the `u` of `\uXXXX`; consumes through the last hex
+    /// digit (and a low-surrogate pair when present).
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let hex4 = |p: &mut Self| -> Result<u32, JsonError> {
+            p.pos += 1; // past `u`
+            let end = p.pos + 4;
+            if end > p.bytes.len() {
+                return Err(p.err("truncated \\u escape"));
+            }
+            let digits = std::str::from_utf8(&p.bytes[p.pos..end])
+                .ok()
+                .and_then(|s| u32::from_str_radix(s, 16).ok())
+                .ok_or_else(|| p.err("bad \\u escape"))?;
+            p.pos = end;
+            Ok(digits)
+        };
+        let high = hex4(self)?;
+        if (0xD800..0xDC00).contains(&high) {
+            // Expect a low surrogate `\uXXXX` to complete the pair.
+            if self.peek() != Some(b'\\') {
+                return Err(self.err("unpaired surrogate"));
+            }
+            self.pos += 1;
+            if self.peek() != Some(b'u') {
+                return Err(self.err("unpaired surrogate"));
+            }
+            let low = hex4(self)?;
+            if !(0xDC00..0xE000).contains(&low) {
+                return Err(self.err("invalid low surrogate"));
+            }
+            let code = 0x10000 + ((high - 0xD800) << 10) + (low - 0xDC00);
+            char::from_u32(code).ok_or_else(|| self.err("invalid surrogate pair"))
+        } else {
+            char::from_u32(high).ok_or_else(|| self.err("invalid \\u code point"))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        text.parse::<f64>()
+            .ok()
+            .filter(|n| n.is_finite())
+            .map(Value::Number)
+            .ok_or_else(|| self.err("malformed number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_nested_document() {
+        let doc = Value::object([
+            ("name", Value::from("vision-main")),
+            ("steps", Value::from(32u64)),
+            ("ok", Value::from(true)),
+            ("nothing", Value::Null),
+            (
+                "estimate",
+                Value::object([
+                    ("labeled", Value::from(6279u64)),
+                    ("rate", Value::from(0.125f64)),
+                ]),
+            ),
+            (
+                "history",
+                Value::array([Value::from("a"), Value::from(1u64)]),
+            ),
+        ]);
+        for text in [doc.encode(), doc.pretty()] {
+            assert_eq!(Value::parse(&text).unwrap(), doc);
+        }
+    }
+
+    #[test]
+    fn integers_render_without_fraction() {
+        assert_eq!(Value::from(687_736u64).encode(), "687736");
+        assert_eq!(Value::from(0u64).encode(), "0");
+        assert_eq!(Value::from(0.5f64).encode(), "0.5");
+        assert_eq!(Value::Number(-3.0).encode(), "-3");
+        assert_eq!(Value::Number(f64::NAN).encode(), "null");
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let tricky = "line\nbreak \"quote\" back\\slash tab\t ctrl\u{01} smile\u{1F600}";
+        let encoded = Value::from(tricky).encode();
+        assert_eq!(Value::parse(&encoded).unwrap().as_str(), Some(tricky));
+        // Standard escapes parse too.
+        let v = Value::parse(r#""a\u0041\u00e9\ud83d\ude00\/b""#).unwrap();
+        assert_eq!(v.as_str(), Some("aA\u{e9}\u{1F600}/b"));
+    }
+
+    #[test]
+    fn object_get_and_accessors() {
+        let v = Value::parse(r#"{"a": 3, "b": "x", "c": [1, 2], "d": true}"#).unwrap();
+        assert_eq!(v.get("a").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("b").and_then(Value::as_str), Some("x"));
+        assert_eq!(
+            v.get("c").and_then(Value::as_array).map(<[Value]>::len),
+            Some(2)
+        );
+        assert_eq!(v.get("d").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Value::parse("2.5").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\" 1}",
+            "{\"a\": }",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{\"a\": 1} trailing",
+            "\u{1}",
+            "nan",
+            "\"\\q\"",
+            "\"\\ud800\"",
+            "-",
+        ] {
+            assert!(Value::parse(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_capped() {
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(Value::parse(&deep).is_err());
+        let ok = "[".repeat(40) + &"]".repeat(40);
+        assert!(Value::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn pretty_output_is_stable() {
+        let v = Value::object([("k", Value::from(1u64)), ("l", Value::array([]))]);
+        assert_eq!(v.pretty(), "{\n  \"k\": 1,\n  \"l\": []\n}\n");
+    }
+}

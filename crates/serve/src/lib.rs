@@ -1,0 +1,49 @@
+//! `easeml-serve` — the persistent HTTP CI service of the ease.ml/ci
+//! reproduction.
+//!
+//! The paper presents ease.ml/ci as a *system* wired into a team's CI
+//! loop: developers push commits, the service evaluates the test
+//! condition with `(ε, δ)` guarantees, returns pass/fail, and tracks
+//! when the labelled testset is exhausted. This crate is that layer for
+//! the reproduction: a dependency-free HTTP/1.1 service on
+//! [`std::net::TcpListener`] whose connection handling fans out on the
+//! workspace's [`easeml_par`] pool, with durable state under a data
+//! directory.
+//!
+//! * [`registry`] — the project registry and the counts-based commit
+//!   gate (mirrors [`easeml_ci_core::CiEngine`]'s adaptivity semantics);
+//! * [`store`] — append-only per-project journals, atomic snapshots,
+//!   restart recovery with replay verification;
+//! * [`server`] — routing, connection handling, warm-start/shutdown of
+//!   the persisted [`easeml_ci_core::BoundsCache`];
+//! * [`http`] — minimal HTTP/1.1 parsing/writing plus a small blocking
+//!   client for tests and load generation;
+//! * [`json`] — hand-rolled JSON (the workspace is offline), shared with
+//!   the bench writers.
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use easeml_serve::server::{ServeConfig, Server};
+//!
+//! let config = ServeConfig::new("127.0.0.1:8642", "./easeml-data");
+//! let server = Server::bind(&config).expect("bind");
+//! println!("listening on {}", server.local_addr());
+//! server.run().expect("serve");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod http;
+pub mod json;
+pub mod registry;
+pub mod server;
+pub mod store;
+
+pub use error::ServeError;
+pub use http::{Client, Request, Response};
+pub use json::Value;
+pub use registry::{CommitSubmission, EvalCounts, GateReceipt, Project};
+pub use server::{ServeConfig, Server, ServerHandle};
+pub use store::Registry;

@@ -1,0 +1,624 @@
+//! The project registry and the serving-side commit gate.
+//!
+//! A *project* is one repository wired into the CI service: a validated
+//! [`CiScript`], the sample-size estimate its testset must satisfy, and
+//! the per-era gating state (step budget `H`, testset era, retirement
+//! flag, commit history). The gate mirrors the adaptivity semantics of
+//! [`easeml_ci_core::CiEngine::submit`], but takes *evaluation counts*
+//! instead of raw prediction vectors: the developer's CI job runs the
+//! test script against the current testset and posts
+//! `(samples, new_correct, old_correct, changed)`; the service turns the
+//! counts into point estimates, evaluates the condition over confidence
+//! intervals, collapses by mode, decrements the budget, and raises the
+//! new-testset alarm when the era's statistical power is spent.
+//!
+//! Every mutating operation happens under the project's lock, so
+//! concurrent submissions serialize into a well-defined step order — the
+//! foundation of the journal's determinism contract (see [`crate::store`]).
+
+use crate::error::ServeError;
+use easeml_bounds::Adaptivity;
+use easeml_ci_core::{
+    decide, AlarmReason, CiScript, CommitEstimates, CommitHistory, EstimatorConfig, HistoryEntry,
+    SampleSizeEstimate, SampleSizeEstimator, Tribool, VariableEstimates,
+};
+
+/// Evaluation counts for one commit over the current testset era.
+///
+/// All counts are over the same `samples` testset items; the service
+/// validates `new_correct`, `old_correct`, `changed` ≤ `samples`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalCounts {
+    /// Testset items evaluated.
+    pub samples: u64,
+    /// Items the *new* model classified correctly.
+    pub new_correct: u64,
+    /// Items the *old* (accepted) model classified correctly.
+    pub old_correct: u64,
+    /// Items where the two models' predictions differ.
+    pub changed: u64,
+    /// Fresh labels the evaluation consumed (cost accounting; the
+    /// labelling itself happens on the client side).
+    pub labels: u64,
+}
+
+impl EvalCounts {
+    /// Validate internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] when a count is impossible.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.samples == 0 {
+            return Err(ServeError::BadRequest("samples must be positive".into()));
+        }
+        for (name, value) in [
+            ("new_correct", self.new_correct),
+            ("old_correct", self.old_correct),
+            ("changed", self.changed),
+        ] {
+            if value > self.samples {
+                return Err(ServeError::BadRequest(format!(
+                    "{name} ({value}) exceeds samples ({})",
+                    self.samples
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Point estimates of the three condition variables.
+    #[must_use]
+    pub fn estimates(&self) -> VariableEstimates {
+        let n = self.samples as f64;
+        VariableEstimates::new(
+            self.new_correct as f64 / n,
+            self.old_correct as f64 / n,
+            self.changed as f64 / n,
+        )
+    }
+}
+
+/// One commit submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitSubmission {
+    /// Commit identifier (e.g. a VCS hash).
+    pub commit_id: String,
+    /// Evaluation counts.
+    pub counts: EvalCounts,
+}
+
+/// What the gate reports back for one submission (the serving analogue of
+/// [`easeml_ci_core::CommitReceipt`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateReceipt {
+    /// The commit that was evaluated.
+    pub commit_id: String,
+    /// 1-based step within the current testset era.
+    pub step: u32,
+    /// 0-based testset era.
+    pub era: u32,
+    /// The pass/fail bit *as visible to the developer*: `None` when the
+    /// adaptivity policy withholds it.
+    pub signal: Option<bool>,
+    /// Whether the commit lands in the repository.
+    pub accepted: bool,
+    /// Three-valued outcome (integration-team view).
+    pub outcome: Tribool,
+    /// Final pass/fail decision (integration-team view).
+    pub passed: bool,
+    /// Alarm raised by this evaluation, if any.
+    pub alarm: Option<AlarmReason>,
+    /// Steps left in the era after this submission.
+    pub steps_remaining: u32,
+}
+
+/// A point-in-time capture of the gate counters, used to roll back a
+/// mutation whose journal append failed.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GateMark {
+    steps_used: u32,
+    era: u32,
+    retired: bool,
+    history_len: usize,
+}
+
+/// One registered project and its gating state.
+#[derive(Debug, Clone)]
+pub struct Project {
+    name: String,
+    script_text: String,
+    script: CiScript,
+    estimate: SampleSizeEstimate,
+    steps_used: u32,
+    era: u32,
+    retired: bool,
+    history: CommitHistory,
+}
+
+/// Project names become directory names and URL path segments, so they
+/// are restricted to a conservative slug alphabet.
+pub fn validate_project_name(name: &str) -> Result<(), ServeError> {
+    let ok_char = |c: char| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.');
+    if name.is_empty() || name.len() > 64 {
+        return Err(ServeError::BadRequest(
+            "project name must be 1..=64 characters".into(),
+        ));
+    }
+    if !name.chars().all(ok_char) || name.starts_with('.') {
+        return Err(ServeError::BadRequest(
+            "project name may contain only [A-Za-z0-9._-] and must not start with `.`".into(),
+        ));
+    }
+    Ok(())
+}
+
+impl Project {
+    /// Register a project: validate the name, parse the CI script through
+    /// the standard YAML/DSL pipeline, and run the sample-size estimator
+    /// so the response can tell the team how large a testset to collect.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] for invalid names/scripts (the script
+    /// error message is passed through).
+    pub fn register(
+        name: &str,
+        script_text: &str,
+        estimator: &SampleSizeEstimator,
+    ) -> Result<Project, ServeError> {
+        validate_project_name(name)?;
+        let script = CiScript::parse(script_text)
+            .map_err(|e| ServeError::BadRequest(format!("invalid CI script: {e}")))?;
+        let estimate = estimator
+            .estimate(&script)
+            .map_err(|e| ServeError::BadRequest(format!("cannot estimate sample size: {e}")))?;
+        Ok(Project {
+            name: name.to_owned(),
+            script_text: script_text.to_owned(),
+            script,
+            estimate,
+            steps_used: 0,
+            era: 0,
+            retired: false,
+            history: CommitHistory::new(),
+        })
+    }
+
+    /// Evaluate one commit submission and advance the gate.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] for impossible counts,
+    /// [`ServeError::Gone`] when the current era is retired or the budget
+    /// is exhausted (the caller must install a fresh testset first).
+    pub fn submit(&mut self, submission: &CommitSubmission) -> Result<GateReceipt, ServeError> {
+        if submission.commit_id.is_empty() {
+            return Err(ServeError::BadRequest("commit_id must be non-empty".into()));
+        }
+        submission.counts.validate()?;
+        if self.retired {
+            return Err(ServeError::Gone(
+                "testset era is retired; install a fresh testset".into(),
+            ));
+        }
+        if self.steps_used >= self.script.steps() {
+            return Err(ServeError::Gone(format!(
+                "step budget H = {} exhausted; install a fresh testset",
+                self.script.steps()
+            )));
+        }
+        let est = submission.counts.estimates();
+        let (passed, outcome) = decide(self.script.condition(), &est, self.script.mode());
+        self.steps_used += 1;
+        let step = self.steps_used;
+
+        let adaptivity = self.script.adaptivity();
+        // Same contract as the engine: with `adaptivity: none` every
+        // commit lands in the repository (the developer never sees the
+        // bit); the *accepted* baseline only advances on a true pass.
+        let accepted = match adaptivity {
+            Adaptivity::None => true,
+            Adaptivity::Full | Adaptivity::FirstChange => passed,
+        };
+        let signal = adaptivity.releases_signal().then_some(passed);
+
+        let mut alarm = None;
+        if adaptivity.retires_on_pass() && passed {
+            alarm = Some(AlarmReason::PassedInHybrid);
+        } else if self.steps_used >= self.script.steps() {
+            alarm = Some(AlarmReason::BudgetExhausted);
+        }
+        if alarm.is_some() {
+            self.retired = true;
+        }
+
+        self.history.push(HistoryEntry {
+            commit_id: submission.commit_id.clone(),
+            step,
+            era: self.era,
+            estimates: CommitEstimates {
+                d: Some(est.d),
+                n: Some(est.n),
+                o: Some(est.o),
+                diff: Some(est.n - est.o),
+                labels_requested: submission.counts.labels,
+            },
+            outcome,
+            passed,
+            accepted,
+        });
+        Ok(GateReceipt {
+            commit_id: submission.commit_id.clone(),
+            step,
+            era: self.era,
+            signal,
+            accepted,
+            outcome,
+            passed,
+            alarm,
+            steps_remaining: self.script.steps() - self.steps_used,
+        })
+    }
+
+    /// If `submission` is an exact redelivery of an evaluation already
+    /// recorded in the current era — same commit id, same derived
+    /// estimates, same label count — reconstruct that evaluation's
+    /// original receipt instead of spending another budget step.
+    ///
+    /// This makes the commit gate idempotent under at-least-once
+    /// delivery: a client that lost the response (the journal append
+    /// happens before the reply) can safely resubmit, and the serving
+    /// layer consults this before [`Project::submit`]. The whole era is
+    /// searched, not just the latest entry, so the retry stays safe even
+    /// when other clients' submissions landed in between. Re-testing
+    /// identical counts could only ever reproduce the identical verdict,
+    /// so no statistical budget needs to be charged for it.
+    #[must_use]
+    pub fn duplicate_receipt(&self, submission: &CommitSubmission) -> Option<GateReceipt> {
+        submission.counts.validate().ok()?;
+        let est = submission.counts.estimates();
+        let entry = self
+            .history
+            .entries()
+            .iter()
+            .rev()
+            .take_while(|e| e.era == self.era)
+            .find(|e| {
+                e.commit_id == submission.commit_id
+                    && e.estimates.n == Some(est.n)
+                    && e.estimates.o == Some(est.o)
+                    && e.estimates.d == Some(est.d)
+                    && e.estimates.labels_requested == submission.counts.labels
+            })?;
+        let adaptivity = self.script.adaptivity();
+        // Retirement can only have been triggered by the era's final
+        // evaluation, so only that entry's receipt carried an alarm.
+        let is_final = self
+            .history
+            .last()
+            .is_some_and(|last| last.era == entry.era && last.step == entry.step);
+        let alarm = if self.retired && is_final {
+            if adaptivity.retires_on_pass() && entry.passed {
+                Some(AlarmReason::PassedInHybrid)
+            } else {
+                Some(AlarmReason::BudgetExhausted)
+            }
+        } else {
+            None
+        };
+        Some(GateReceipt {
+            commit_id: entry.commit_id.clone(),
+            step: entry.step,
+            era: entry.era,
+            signal: adaptivity.releases_signal().then_some(entry.passed),
+            accepted: entry.accepted,
+            outcome: entry.outcome,
+            passed: entry.passed,
+            alarm,
+            // As the original receipt computed it: the budget left right
+            // after this evaluation (NOT collapsed to 0 by retirement).
+            steps_remaining: self.script.steps() - entry.step,
+        })
+    }
+
+    /// Install a fresh testset: start a new era with a full step budget.
+    /// (Counts-based gating needs no pool hand-over; the client attests
+    /// it collected `required_samples()` fresh labelled examples.)
+    pub fn fresh_testset(&mut self) -> u32 {
+        self.era += 1;
+        self.steps_used = 0;
+        self.retired = false;
+        self.era
+    }
+
+    /// Project name (registry key and URL path segment).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The raw script text as registered.
+    #[must_use]
+    pub fn script_text(&self) -> &str {
+        &self.script_text
+    }
+
+    /// The validated script.
+    #[must_use]
+    pub fn script(&self) -> &CiScript {
+        &self.script
+    }
+
+    /// The estimator's answer for this script.
+    #[must_use]
+    pub fn estimate(&self) -> &SampleSizeEstimate {
+        &self.estimate
+    }
+
+    /// Steps consumed in the current era.
+    #[must_use]
+    pub fn steps_used(&self) -> u32 {
+        self.steps_used
+    }
+
+    /// Steps remaining before the budget alarm (0 when retired).
+    #[must_use]
+    pub fn steps_remaining(&self) -> u32 {
+        if self.retired {
+            0
+        } else {
+            self.script.steps() - self.steps_used
+        }
+    }
+
+    /// Current testset era.
+    #[must_use]
+    pub fn era(&self) -> u32 {
+        self.era
+    }
+
+    /// Whether the current era is retired (fresh testset required).
+    #[must_use]
+    pub fn is_retired(&self) -> bool {
+        self.retired
+    }
+
+    /// The evaluation history across all eras.
+    #[must_use]
+    pub fn history(&self) -> &CommitHistory {
+        &self.history
+    }
+
+    /// Restore gate counters from a snapshot (see [`crate::store`]).
+    pub(crate) fn restore(
+        &mut self,
+        steps_used: u32,
+        era: u32,
+        retired: bool,
+        history: CommitHistory,
+    ) {
+        self.steps_used = steps_used;
+        self.era = era;
+        self.retired = retired;
+        self.history = history;
+    }
+
+    /// The gate counters that a mutation can change, captured so a
+    /// failed durability step can roll the mutation back (see
+    /// [`crate::store::ProjectSlot`]).
+    pub(crate) fn gate_mark(&self) -> GateMark {
+        GateMark {
+            steps_used: self.steps_used,
+            era: self.era,
+            retired: self.retired,
+            history_len: self.history.len(),
+        }
+    }
+
+    /// Undo every state change made since `mark` was captured. Only
+    /// valid for rolling back the single most recent mutation (the
+    /// history is truncated, never rebuilt).
+    pub(crate) fn rollback_to(&mut self, mark: GateMark) {
+        self.steps_used = mark.steps_used;
+        self.era = mark.era;
+        self.retired = mark.retired;
+        self.history.truncate(mark.history_len);
+    }
+}
+
+/// The estimator configuration the serving layer registers projects
+/// with: exact-binomial leaves (§4.3) so estimates are tight and the
+/// expensive inversions flow through the shared, *persistable*
+/// [`easeml_ci_core::BoundsCache`].
+#[must_use]
+pub fn serving_estimator() -> SampleSizeEstimator {
+    SampleSizeEstimator::with_config(EstimatorConfig {
+        leaf_bound: easeml_ci_core::estimator::LeafBound::ExactBinomial,
+        ..EstimatorConfig::default()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCRIPT: &str = "ml:\n\
+        \x20 - condition  : n > 0.6 +/- 0.2\n\
+        \x20 - reliability: 0.99\n\
+        \x20 - mode       : fp-free\n\
+        \x20 - adaptivity : full\n\
+        \x20 - steps      : 2\n";
+
+    fn counts(new_correct: u64) -> EvalCounts {
+        EvalCounts {
+            samples: 100,
+            new_correct,
+            old_correct: 50,
+            changed: 30,
+            labels: 100,
+        }
+    }
+
+    fn submission(id: &str, new_correct: u64) -> CommitSubmission {
+        CommitSubmission {
+            commit_id: id.into(),
+            counts: counts(new_correct),
+        }
+    }
+
+    #[test]
+    fn register_validates_and_estimates() {
+        let p = Project::register("proj-a", SCRIPT, &serving_estimator()).unwrap();
+        assert_eq!(p.name(), "proj-a");
+        assert_eq!(p.script().steps(), 2);
+        assert!(p.estimate().labeled_samples > 0);
+        assert_eq!((p.era(), p.steps_used()), (0, 0));
+
+        assert!(Project::register("", SCRIPT, &serving_estimator()).is_err());
+        assert!(Project::register("../evil", SCRIPT, &serving_estimator()).is_err());
+        assert!(Project::register(".hidden", SCRIPT, &serving_estimator()).is_err());
+        assert!(Project::register("a b", SCRIPT, &serving_estimator()).is_err());
+        assert!(Project::register("ok", "not a script", &serving_estimator()).is_err());
+    }
+
+    #[test]
+    fn gate_pass_fail_and_budget_exhaustion() {
+        let mut p = Project::register("p", SCRIPT, &serving_estimator()).unwrap();
+        // Certain pass: n̂ = 0.9, interval [0.7, 1.1] strictly above 0.6.
+        let r = p.submit(&submission("c1", 90)).unwrap();
+        assert!(r.passed && r.accepted && r.signal == Some(true));
+        assert_eq!((r.step, r.era, r.steps_remaining), (1, 0, 1));
+        assert_eq!(r.outcome, Tribool::True);
+        assert!(r.alarm.is_none());
+
+        // Certain fail: n̂ = 0.3 → interval [0.1, 0.5] strictly below.
+        // Second step exhausts H = 2.
+        let r = p.submit(&submission("c2", 30)).unwrap();
+        assert!(!r.passed && !r.accepted && r.signal == Some(false));
+        assert_eq!(r.alarm, Some(AlarmReason::BudgetExhausted));
+        assert!(p.is_retired());
+        assert_eq!(p.steps_remaining(), 0);
+
+        // Retired era refuses further commits until a fresh testset.
+        assert!(matches!(
+            p.submit(&submission("c3", 90)),
+            Err(ServeError::Gone(_))
+        ));
+        assert_eq!(p.fresh_testset(), 1);
+        let r = p.submit(&submission("c3", 90)).unwrap();
+        assert_eq!((r.step, r.era), (1, 1));
+        assert_eq!(p.history().len(), 3);
+    }
+
+    #[test]
+    fn unknown_outcome_collapses_by_mode() {
+        // n̂ = 0.65 → interval [0.45, 0.85] straddles 0.6 → Unknown.
+        let mut p = Project::register("p", SCRIPT, &serving_estimator()).unwrap();
+        let r = p.submit(&submission("c", 65)).unwrap();
+        assert_eq!(r.outcome, Tribool::Unknown);
+        assert!(!r.passed, "fp-free rejects Unknown");
+    }
+
+    #[test]
+    fn counts_are_validated() {
+        let mut p = Project::register("p", SCRIPT, &serving_estimator()).unwrap();
+        let bad = CommitSubmission {
+            commit_id: "c".into(),
+            counts: EvalCounts {
+                samples: 10,
+                new_correct: 11,
+                old_correct: 0,
+                changed: 0,
+                labels: 0,
+            },
+        };
+        assert!(matches!(p.submit(&bad), Err(ServeError::BadRequest(_))));
+        let zero = CommitSubmission {
+            commit_id: "c".into(),
+            counts: EvalCounts {
+                samples: 0,
+                new_correct: 0,
+                old_correct: 0,
+                changed: 0,
+                labels: 0,
+            },
+        };
+        assert!(matches!(p.submit(&zero), Err(ServeError::BadRequest(_))));
+        let anon = CommitSubmission {
+            commit_id: String::new(),
+            counts: counts(50),
+        };
+        assert!(matches!(p.submit(&anon), Err(ServeError::BadRequest(_))));
+        // Validation failures must not consume budget.
+        assert_eq!(p.steps_used(), 0);
+    }
+
+    #[test]
+    fn first_change_retires_on_pass() {
+        let script = SCRIPT.replace("full", "firstChange");
+        let mut p = Project::register("p", &script, &serving_estimator()).unwrap();
+        let r = p.submit(&submission("c1", 30)).unwrap();
+        assert!(!r.passed && !p.is_retired());
+        let r = p.submit(&submission("c2", 90)).unwrap();
+        assert_eq!(r.alarm, Some(AlarmReason::PassedInHybrid));
+        assert!(p.is_retired());
+    }
+
+    #[test]
+    fn adaptivity_none_withholds_signal_but_accepts() {
+        let script = SCRIPT.replace("full", "none");
+        let mut p = Project::register("p", &script, &serving_estimator()).unwrap();
+        let r = p.submit(&submission("c1", 30)).unwrap();
+        assert_eq!(r.signal, None);
+        assert!(
+            !r.passed && r.accepted,
+            "none-adaptivity lands every commit"
+        );
+    }
+
+    #[test]
+    fn gate_matches_engine_decision_semantics() {
+        // The serving gate and the in-process engine must agree on the
+        // decision for identical measured statistics. Use a fully
+        // labelled testset so the engine measures exactly the counts.
+        use easeml_ci_core::{CiEngine, ModelCommit, Testset};
+        let script = CiScript::parse(SCRIPT).unwrap();
+        let estimator = serving_estimator();
+        let need = estimator.estimate(&script).unwrap().total_samples() as usize;
+        let labels = vec![1u32; need];
+        let old = vec![0u32; need]; // old model: all wrong
+        let mut engine = CiEngine::with_estimator(
+            script,
+            Testset::fully_labeled(labels),
+            old.clone(),
+            &estimator,
+        )
+        .unwrap();
+
+        // New model: correct on 90% of items, errors interleaved so any
+        // contiguous measurement range sees ≈0.9 accuracy (the engine may
+        // evaluate phase sub-ranges depending on the plan).
+        let preds: Vec<u32> = (0..need).map(|i| if i % 10 == 9 { 2 } else { 1 }).collect();
+        let correct = preds.iter().filter(|&&p| p == 1).count();
+        let receipt = engine.submit(&ModelCommit::new("c1", preds)).unwrap();
+
+        let mut gate = Project::register("p", SCRIPT, &estimator).unwrap();
+        let gr = gate
+            .submit(&CommitSubmission {
+                commit_id: "c1".into(),
+                counts: EvalCounts {
+                    samples: need as u64,
+                    new_correct: correct as u64,
+                    old_correct: 0,
+                    changed: need as u64,
+                    labels: need as u64,
+                },
+            })
+            .unwrap();
+        assert_eq!(gr.passed, receipt.passed);
+        assert_eq!(gr.outcome, receipt.outcome);
+        assert_eq!(gr.accepted, receipt.accepted);
+        assert_eq!(gr.step, receipt.step);
+    }
+}

@@ -1,0 +1,588 @@
+//! The HTTP service: routing, connection handling on the `easeml-par`
+//! pool, and lifecycle (warm-start, graceful stop, durable shutdown).
+//!
+//! # Endpoints
+//!
+//! | Method | Path                        | Purpose |
+//! |--------|-----------------------------|---------|
+//! | GET    | `/healthz`                  | liveness + project count |
+//! | GET    | `/projects`                 | sorted project listing |
+//! | POST   | `/projects`                 | register `{name, script}` → estimate + budget |
+//! | GET    | `/projects/{name}`          | status (era, budget, estimate) |
+//! | POST   | `/projects/{name}/commits`  | gate a commit's evaluation counts |
+//! | GET    | `/projects/{name}/history`  | full evaluation history |
+//! | GET    | `/projects/{name}/budget`   | adaptivity budget status |
+//! | POST   | `/projects/{name}/testset`  | install a fresh testset (new era) |
+//! | GET    | `/cache/stats`              | shared BoundsCache counters |
+//! | POST   | `/admin/persist`            | snapshot all projects + save the cache |
+//! | POST   | `/admin/shutdown`           | graceful stop (flush durable state, then exit `run`) |
+//!
+//! # Concurrency
+//!
+//! The accept loop runs inside one [`easeml_par::Pool::scope`]; each
+//! connection is a spawned job, so `--threads N` bounds concurrent
+//! connection handlers exactly like it bounds every other fan-out in the
+//! workspace. Handlers serve keep-alive requests in a loop with a short
+//! poll timeout, re-checking the stop flag so shutdown never waits on an
+//! idle peer. All gate mutations serialize on the owning project's lock
+//! (see [`crate::store`] for the resulting determinism contract).
+
+use crate::error::ServeError;
+use crate::http::{poll_data, read_request, DataPoll, ReadOutcome, Request, Response};
+use crate::json::Value;
+use crate::registry::{serving_estimator, CommitSubmission, EvalCounts, GateReceipt};
+use crate::store::{entry_json, tribool_str, Registry, BOUNDS_CACHE_FILE};
+use easeml_ci_core::{effort, AlarmReason, BoundsCache, CostModel, EstimateProvenance};
+use easeml_par::Pool;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Poll granularity of connection handlers: how quickly an idle
+/// keep-alive handler notices the stop flag.
+const POLL_TIMEOUT: Duration = Duration::from_millis(50);
+
+/// Idle keep-alive connections are closed after this long. Deliberately
+/// short: a handler is a pool job, so a lingering idle connection would
+/// otherwise starve queued connections when the pool is narrow. Clients
+/// that pause longer simply reconnect (the bundled [`crate::Client`]
+/// retries through a fresh connection transparently).
+const IDLE_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Once a request's first byte has arrived, the peer gets this long to
+/// deliver the rest (head + body). Requests may freely span packets and
+/// short stalls; only a genuinely stalled peer is cut off.
+const REQUEST_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, `host:port` (port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Durable state directory (created if missing).
+    pub data_dir: PathBuf,
+    /// Worker threads for connection handling; `0` uses the process-wide
+    /// pool ([`Pool::global`]).
+    pub threads: usize,
+}
+
+impl ServeConfig {
+    /// Config with the standard defaults for `data_dir`.
+    #[must_use]
+    pub fn new(addr: impl Into<String>, data_dir: impl Into<PathBuf>) -> ServeConfig {
+        ServeConfig {
+            addr: addr.into(),
+            data_dir: data_dir.into(),
+            threads: 0,
+        }
+    }
+}
+
+/// A bound, state-loaded server, ready to [`Server::run`].
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    registry: Arc<Registry>,
+    stop: Arc<AtomicBool>,
+    data_dir: PathBuf,
+    pool: Pool,
+}
+
+/// Remote control for a running [`Server`] (clonable, thread-safe).
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// The bound address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Ask the server to stop: sets the flag and pokes the accept loop
+    /// with a throwaway connection so it wakes immediately.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Server {
+    /// Bind the listener and load durable state: the project registry
+    /// from `data_dir` and — when a dump exists — the shared
+    /// [`BoundsCache`], so sample-size inversions start warm.
+    ///
+    /// A corrupt cache dump is reported to stderr and ignored (the cache
+    /// is a performance artifact; every entry is re-derivable), while a
+    /// corrupt *project* directory fails the boot — gate state must never
+    /// silently diverge.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures, I/O failures, and corrupt project state.
+    pub fn bind(config: &ServeConfig) -> Result<Server, ServeError> {
+        std::fs::create_dir_all(&config.data_dir)?;
+        let cache_path = config.data_dir.join(BOUNDS_CACHE_FILE);
+        if cache_path.exists() {
+            if let Err(e) = BoundsCache::global().load_from(&cache_path) {
+                eprintln!("warning: ignoring bounds cache dump: {e}");
+            }
+        }
+        let registry = Registry::open(&config.data_dir, serving_estimator())?;
+        let listener = TcpListener::bind(&config.addr)?;
+        let pool = if config.threads == 0 {
+            *Pool::global()
+        } else {
+            Pool::new(config.threads)
+        };
+        Ok(Server {
+            listener,
+            registry: Arc::new(registry),
+            stop: Arc::new(AtomicBool::new(false)),
+            data_dir: config.data_dir.clone(),
+            pool,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the socket address cannot be read back (not observed in
+    /// practice on bound listeners).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener has addr")
+    }
+
+    /// A remote-control handle (clone freely; works across threads).
+    #[must_use]
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            addr: self.local_addr(),
+            stop: Arc::clone(&self.stop),
+        }
+    }
+
+    /// Serve until [`ServerHandle::stop`] is called, then flush durable
+    /// state (snapshots + bounds cache) and return.
+    ///
+    /// # Errors
+    ///
+    /// Fatal accept-loop failures and shutdown persistence failures.
+    pub fn run(self) -> Result<(), ServeError> {
+        let ctx = Arc::new(Ctx {
+            registry: Arc::clone(&self.registry),
+            stop: Arc::clone(&self.stop),
+            addr: self.local_addr(),
+        });
+        self.pool.scope(|scope| {
+            for stream in self.listener.incoming() {
+                if ctx.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(stream) => {
+                        let ctx = Arc::clone(&ctx);
+                        scope.spawn(move || handle_connection(stream, &ctx));
+                    }
+                    // Transient accept failure (e.g. fd exhaustion while
+                    // handlers hold keep-alive sockets): back off briefly
+                    // instead of spinning, giving handlers time to
+                    // release descriptors.
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            }
+        });
+        // Durable shutdown: compact every project and persist the warm
+        // cache for the next process.
+        self.registry.snapshot_all()?;
+        save_cache(&self.data_dir)?;
+        Ok(())
+    }
+}
+
+/// Persist the shared [`BoundsCache`] under `data_dir`; returns the
+/// entry count. Serialized process-wide: concurrent saves (two
+/// `/admin/persist` requests, or persist racing shutdown) would
+/// otherwise interleave writes into the same temp file and rename
+/// garbage into place.
+fn save_cache(data_dir: &std::path::Path) -> Result<usize, ServeError> {
+    static SAVE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _guard = SAVE_LOCK.lock().expect("cache save lock poisoned");
+    let path = data_dir.join(BOUNDS_CACHE_FILE);
+    BoundsCache::global().save_to(&path).map_err(|e| match e {
+        easeml_ci_core::CachePersistError::Io(io) => ServeError::Io(io),
+        corrupt => ServeError::Corrupt {
+            path,
+            reason: corrupt.to_string(),
+        },
+    })
+}
+
+/// Everything a connection handler needs: the registry plus the stop
+/// flag and bound address (for the `/admin/shutdown` route).
+#[derive(Debug)]
+struct Ctx {
+    registry: Arc<Registry>,
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+/// Serve one connection's keep-alive request loop.
+///
+/// Between requests the socket runs a short [`POLL_TIMEOUT`] so the
+/// handler stays responsive to the stop flag; once a request's first
+/// byte arrives the timeout widens to [`REQUEST_TIMEOUT`], so requests
+/// spanning multiple packets (or slow uploads) parse correctly and only
+/// a genuinely stalled peer is dropped.
+fn handle_connection(stream: TcpStream, ctx: &Ctx) {
+    if stream.set_read_timeout(Some(POLL_TIMEOUT)).is_err() || stream.set_nodelay(true).is_err() {
+        return;
+    }
+    let mut reader = BufReader::new(stream);
+    let mut last_activity = Instant::now();
+    loop {
+        if ctx.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match poll_data(&mut reader) {
+            Ok(DataPoll::Ready) => {}
+            Ok(DataPoll::Closed) | Err(_) => return,
+            Ok(DataPoll::Idle) => {
+                if last_activity.elapsed() > IDLE_TIMEOUT {
+                    return;
+                }
+                continue;
+            }
+        }
+        if reader
+            .get_ref()
+            .set_read_timeout(Some(REQUEST_TIMEOUT))
+            .is_err()
+        {
+            return;
+        }
+        let request = match read_request(&mut reader) {
+            Ok(ReadOutcome::Request(request)) => request,
+            Ok(ReadOutcome::Closed) => return,
+            Ok(ReadOutcome::TimedOut) => {
+                // Stalled mid-request past the full-request budget.
+                let mut response = Response::error(400, "request timed out");
+                response.close = true;
+                let _ = response.write_to(reader.get_mut());
+                return;
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Same stall, surfaced from the header/body reads.
+                let mut response = Response::error(400, "request timed out");
+                response.close = true;
+                let _ = response.write_to(reader.get_mut());
+                return;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                let mut response = Response::error(400, &e.to_string());
+                response.close = true;
+                let _ = response.write_to(reader.get_mut());
+                return;
+            }
+            Err(_) => return,
+        };
+        last_activity = Instant::now();
+        let close = request.close;
+        let mut response = route(ctx, &request);
+        response.close = close;
+        if response.write_to(reader.get_mut()).is_err() {
+            return;
+        }
+        if close {
+            return;
+        }
+        if reader
+            .get_ref()
+            .set_read_timeout(Some(POLL_TIMEOUT))
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+/// Dispatch one request.
+fn route(ctx: &Ctx, request: &Request) -> Response {
+    let registry: &Registry = &ctx.registry;
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    let method = request.method.as_str();
+    let result = match (method, segments.as_slice()) {
+        ("GET", ["healthz"]) => Ok(Response::json(
+            200,
+            &Value::object([
+                ("status", Value::from("ok")),
+                ("projects", Value::from(registry.len())),
+            ]),
+        )),
+        ("GET", ["projects"]) => Ok(list_projects(registry)),
+        ("POST", ["projects"]) => register_project(registry, request),
+        ("GET", ["projects", name]) => project_status(registry, name),
+        ("POST", ["projects", name, "commits"]) => submit_commit(registry, name, request),
+        ("GET", ["projects", name, "history"]) => project_history(registry, name),
+        ("GET", ["projects", name, "budget"]) => project_budget(registry, name),
+        ("POST", ["projects", name, "testset"]) => fresh_testset(registry, name),
+        ("GET", ["cache", "stats"]) => Ok(cache_stats()),
+        ("POST", ["admin", "persist"]) => persist_all(registry),
+        ("POST", ["admin", "shutdown"]) => {
+            // The graceful-stop path reachable from plain HTTP (the CLI
+            // binary has no other signal channel): flag the stop, poke
+            // the accept loop awake, and let `Server::run` finish its
+            // durable-shutdown sequence (snapshots + cache save).
+            ctx.stop.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(ctx.addr);
+            Ok(Response::json(
+                200,
+                &Value::object([("stopping", Value::from(true))]),
+            ))
+        }
+        _ => Err(ServeError::NotFound(format!(
+            "no route for {method} {}",
+            request.path
+        ))),
+    };
+    result.unwrap_or_else(|e| Response::error(e.status(), &e.to_string()))
+}
+
+fn with_project<T>(
+    registry: &Registry,
+    name: &str,
+    f: impl FnOnce(&mut crate::store::ProjectSlot) -> Result<T, ServeError>,
+) -> Result<T, ServeError> {
+    let slot = registry
+        .get(name)
+        .ok_or_else(|| ServeError::NotFound(format!("no project `{name}`")))?;
+    let mut slot = slot.lock().expect("project poisoned");
+    f(&mut slot)
+}
+
+fn budget_json(project: &crate::registry::Project) -> Value {
+    Value::object([
+        ("steps", Value::from(project.script().steps())),
+        ("used", Value::from(project.steps_used())),
+        ("remaining", Value::from(project.steps_remaining())),
+        ("era", Value::from(project.era())),
+        ("retired", Value::from(project.is_retired())),
+        ("fresh_testset_required", Value::from(project.is_retired())),
+    ])
+}
+
+fn estimate_json(project: &crate::registry::Project) -> Value {
+    let estimate = project.estimate();
+    let strategy = match &estimate.provenance {
+        EstimateProvenance::Baseline => "baseline",
+        EstimateProvenance::Optimized(_) => "optimized",
+    };
+    let report = effort(estimate.labeled_samples, &CostModel::paper_default());
+    Value::object([
+        ("labeled", Value::from(estimate.labeled_samples)),
+        ("unlabeled", Value::from(estimate.unlabeled_samples)),
+        ("total", Value::from(estimate.total_samples())),
+        ("strategy", Value::from(strategy)),
+        ("person_days", Value::from(report.person_days)),
+    ])
+}
+
+fn list_projects(registry: &Registry) -> Response {
+    let names: Vec<Value> = registry.names().into_iter().map(Value::from).collect();
+    Response::json(200, &Value::object([("projects", Value::Array(names))]))
+}
+
+fn register_project(registry: &Registry, request: &Request) -> Result<Response, ServeError> {
+    let body = request.json_body().map_err(ServeError::BadRequest)?;
+    let name = body
+        .get("name")
+        .and_then(Value::as_str)
+        .ok_or_else(|| ServeError::BadRequest("missing string field `name`".into()))?;
+    let script = body
+        .get("script")
+        .and_then(Value::as_str)
+        .ok_or_else(|| ServeError::BadRequest("missing string field `script`".into()))?;
+    let slot = registry.register(name, script)?;
+    let slot = slot.lock().expect("project poisoned");
+    let project = &slot.project;
+    Ok(Response::json(
+        201,
+        &Value::object([
+            ("project", Value::from(name)),
+            (
+                "condition",
+                Value::from(project.script().condition().to_string()),
+            ),
+            ("reliability", Value::from(project.script().reliability())),
+            (
+                "adaptivity",
+                Value::from(project.script().adaptivity().to_string()),
+            ),
+            ("mode", Value::from(project.script().mode().to_string())),
+            ("estimate", estimate_json(project)),
+            ("budget", budget_json(project)),
+        ]),
+    ))
+}
+
+fn project_status(registry: &Registry, name: &str) -> Result<Response, ServeError> {
+    with_project(registry, name, |slot| {
+        let project = &slot.project;
+        Ok(Response::json(
+            200,
+            &Value::object([
+                ("project", Value::from(project.name())),
+                (
+                    "condition",
+                    Value::from(project.script().condition().to_string()),
+                ),
+                ("estimate", estimate_json(project)),
+                ("budget", budget_json(project)),
+                ("commits", Value::from(project.history().len())),
+                (
+                    "labels_total",
+                    Value::from(project.history().total_labels_requested()),
+                ),
+            ]),
+        ))
+    })
+}
+
+fn submit_commit(
+    registry: &Registry,
+    name: &str,
+    request: &Request,
+) -> Result<Response, ServeError> {
+    let body = request.json_body().map_err(ServeError::BadRequest)?;
+    let commit_id = body
+        .get("commit_id")
+        .and_then(Value::as_str)
+        .ok_or_else(|| ServeError::BadRequest("missing string field `commit_id`".into()))?;
+    let count = |key: &str| -> Result<u64, ServeError> {
+        body.get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ServeError::BadRequest(format!("missing integer field `{key}`")))
+    };
+    let submission = CommitSubmission {
+        commit_id: commit_id.to_owned(),
+        counts: EvalCounts {
+            samples: count("samples")?,
+            new_correct: count("new_correct")?,
+            old_correct: count("old_correct")?,
+            changed: count("changed")?,
+            labels: body.get("labels").and_then(Value::as_u64).unwrap_or(0),
+        },
+    };
+    with_project(registry, name, |slot| {
+        let receipt = slot.submit(&submission)?;
+        Ok(Response::json(
+            200,
+            &receipt_json(&receipt, &budget_json(&slot.project)),
+        ))
+    })
+}
+
+fn receipt_json(receipt: &GateReceipt, budget: &Value) -> Value {
+    let alarm = receipt.alarm.map(|reason| match reason {
+        AlarmReason::BudgetExhausted => "budget_exhausted",
+        AlarmReason::PassedInHybrid => "passed_in_hybrid",
+    });
+    Value::object([
+        ("commit_id", Value::from(receipt.commit_id.as_str())),
+        ("step", Value::from(receipt.step)),
+        ("era", Value::from(receipt.era)),
+        ("signal", Value::from(receipt.signal)),
+        ("accepted", Value::from(receipt.accepted)),
+        ("outcome", Value::from(tribool_str(receipt.outcome))),
+        ("passed", Value::from(receipt.passed)),
+        ("alarm", Value::from(alarm)),
+        ("budget", budget.clone()),
+    ])
+}
+
+fn project_history(registry: &Registry, name: &str) -> Result<Response, ServeError> {
+    with_project(registry, name, |slot| {
+        let entries: Vec<Value> = slot
+            .project
+            .history()
+            .entries()
+            .iter()
+            .map(entry_json)
+            .collect();
+        Ok(Response::json(
+            200,
+            &Value::object([
+                ("project", Value::from(name)),
+                ("entries", Value::Array(entries)),
+            ]),
+        ))
+    })
+}
+
+fn project_budget(registry: &Registry, name: &str) -> Result<Response, ServeError> {
+    with_project(registry, name, |slot| {
+        let project = &slot.project;
+        Ok(Response::json(
+            200,
+            &Value::object([
+                ("project", Value::from(project.name())),
+                ("budget", budget_json(project)),
+                (
+                    "labels_total",
+                    Value::from(project.history().total_labels_requested()),
+                ),
+            ]),
+        ))
+    })
+}
+
+fn fresh_testset(registry: &Registry, name: &str) -> Result<Response, ServeError> {
+    with_project(registry, name, |slot| {
+        let era = slot.fresh_testset()?;
+        Ok(Response::json(
+            200,
+            &Value::object([
+                ("project", Value::from(name)),
+                ("era", Value::from(era)),
+                ("budget", budget_json(&slot.project)),
+            ]),
+        ))
+    })
+}
+
+fn cache_stats() -> Response {
+    let stats = BoundsCache::global().stats();
+    Response::json(
+        200,
+        &Value::object([
+            ("hits", Value::from(stats.hits)),
+            ("misses", Value::from(stats.misses)),
+            ("entries", Value::from(stats.entries)),
+        ]),
+    )
+}
+
+fn persist_all(registry: &Registry) -> Result<Response, ServeError> {
+    registry.snapshot_all()?;
+    let cache_entries = save_cache(registry.data_dir())?;
+    Ok(Response::json(
+        200,
+        &Value::object([
+            ("persisted", Value::from(true)),
+            ("cache_entries", Value::from(cache_entries)),
+        ]),
+    ))
+}

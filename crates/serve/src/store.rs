@@ -1,0 +1,1076 @@
+//! Durable state: per-project append-only journals, periodic snapshots,
+//! and the process-wide registry that serializes access to both.
+//!
+//! # Layout
+//!
+//! ```text
+//! <data-dir>/
+//!   bounds_cache.v1            persisted BoundsCache (see easeml-ci-core)
+//!   projects/<name>/
+//!     project.json             registration record (written once)
+//!     journal.log              one JSON op per line, append-only
+//!     snapshot.json            compacted state + journal watermark
+//! ```
+//!
+//! # Durability model
+//!
+//! Every accepted mutation is appended to the owning project's journal
+//! *before* the response is sent, under the project lock. Restart
+//! recovery loads `snapshot.json` (if present), then replays the journal
+//! suffix past the snapshot's watermark through the same gate code that
+//! served the original requests; each replayed op's recorded outcome
+//! (`passed`, `step`, `era`) is cross-checked and any mismatch rejects
+//! the directory as corrupt rather than silently diverging. Snapshots
+//! are written atomically (temp file + rename) every
+//! [`SNAPSHOT_EVERY`] ops, so the journal never needs truncation and
+//! stays a complete audit log.
+//!
+//! # Determinism contract
+//!
+//! Ops from concurrent connections serialize under the project lock, and
+//! each project owns its own journal file, so the journal bytes of a
+//! project depend only on the order its *own* clients submitted — never
+//! on the server's thread count or on traffic to other projects. The
+//! integration tests assert byte-identical journals for the same client
+//! schedule at different pool widths.
+
+use crate::error::ServeError;
+use crate::json::Value;
+use crate::registry::{CommitSubmission, EvalCounts, GateReceipt, Project};
+use easeml_ci_core::{CommitEstimates, CommitHistory, HistoryEntry, SampleSizeEstimator, Tribool};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// A snapshot is written every this many journalled ops.
+pub const SNAPSHOT_EVERY: u64 = 64;
+
+/// File name of the persisted bounds cache inside the data dir.
+pub const BOUNDS_CACHE_FILE: &str = "bounds_cache.v1";
+
+fn corrupt(path: &Path, reason: impl Into<String>) -> ServeError {
+    ServeError::Corrupt {
+        path: path.to_owned(),
+        reason: reason.into(),
+    }
+}
+
+pub(crate) fn tribool_str(t: Tribool) -> &'static str {
+    match t {
+        Tribool::True => "True",
+        Tribool::False => "False",
+        Tribool::Unknown => "Unknown",
+    }
+}
+
+fn tribool_parse(s: &str) -> Option<Tribool> {
+    match s {
+        "True" => Some(Tribool::True),
+        "False" => Some(Tribool::False),
+        "Unknown" => Some(Tribool::Unknown),
+        _ => None,
+    }
+}
+
+/// Atomic file write: temp sibling + rename.
+fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// The persistence arm of one project: its directory, the open journal
+/// handle, and the op counter driving snapshot cadence.
+#[derive(Debug)]
+pub struct ProjectStore {
+    dir: PathBuf,
+    journal: File,
+    ops_written: u64,
+    /// Test seam: make the next append fail without touching the disk,
+    /// so the rollback path is exercisable.
+    #[cfg(test)]
+    fail_next_append: bool,
+}
+
+impl ProjectStore {
+    /// Create the on-disk representation of a freshly registered project.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Conflict`] if the project is already registered on
+    /// disk, I/O failures otherwise.
+    ///
+    /// Registration existence is keyed on `project.json`, not on the
+    /// directory: a crash between directory creation and the record
+    /// write leaves an empty husk that a retry simply claims (and that
+    /// [`Registry::open`] skips rather than refusing to boot over).
+    pub fn create(dir: &Path, project: &Project) -> Result<ProjectStore, ServeError> {
+        if dir.join("project.json").exists() {
+            return Err(ServeError::Conflict(format!(
+                "project `{}` already exists",
+                project.name()
+            )));
+        }
+        std::fs::create_dir_all(dir)?;
+        // Claiming a crash husk: drop any stray state files so the new
+        // project starts from a genuinely empty journal.
+        let _ = std::fs::remove_file(dir.join("journal.log"));
+        let _ = std::fs::remove_file(dir.join("snapshot.json"));
+        let record = Value::object([
+            ("version", Value::from(1u64)),
+            ("name", Value::from(project.name())),
+            ("script", Value::from(project.script_text())),
+        ]);
+        write_atomic(&dir.join("project.json"), record.pretty().as_bytes())?;
+        let journal = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join("journal.log"))?;
+        Ok(ProjectStore {
+            dir: dir.to_owned(),
+            journal,
+            ops_written: 0,
+            #[cfg(test)]
+            fail_next_append: false,
+        })
+    }
+
+    /// Load a project directory: registration record, snapshot, journal
+    /// suffix.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Corrupt`] when any file fails validation, I/O
+    /// errors otherwise.
+    pub fn open(
+        dir: &Path,
+        estimator: &SampleSizeEstimator,
+    ) -> Result<(Project, ProjectStore), ServeError> {
+        let record_path = dir.join("project.json");
+        let text = std::fs::read_to_string(&record_path)?;
+        let record = Value::parse(&text).map_err(|e| corrupt(&record_path, e.to_string()))?;
+        let name = record
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| corrupt(&record_path, "missing `name`"))?;
+        let script = record
+            .get("script")
+            .and_then(Value::as_str)
+            .ok_or_else(|| corrupt(&record_path, "missing `script`"))?;
+        let mut project = Project::register(name, script, estimator)
+            .map_err(|e| corrupt(&record_path, format!("registration replay failed: {e}")))?;
+
+        // Snapshot, if any: restore state and skip the journal prefix.
+        let snapshot_path = dir.join("snapshot.json");
+        let mut skip_ops: u64 = 0;
+        if snapshot_path.exists() {
+            let text = std::fs::read_to_string(&snapshot_path)?;
+            let snap = Value::parse(&text).map_err(|e| corrupt(&snapshot_path, e.to_string()))?;
+            skip_ops = load_snapshot(&snapshot_path, &snap, &mut project)?;
+        }
+
+        // Journal suffix: replay through the live gate.
+        let journal_path = dir.join("journal.log");
+        let mut ops: u64 = 0;
+        if journal_path.exists() {
+            let reader = BufReader::new(File::open(&journal_path)?);
+            for (index, line) in reader.lines().enumerate() {
+                let line = line?;
+                if line.is_empty() {
+                    continue;
+                }
+                ops += 1;
+                if ops <= skip_ops {
+                    continue;
+                }
+                replay_op(&journal_path, index + 1, &line, &mut project)?;
+            }
+        }
+        if ops < skip_ops {
+            return Err(corrupt(
+                &journal_path,
+                format!("snapshot covers {skip_ops} ops but journal has only {ops}"),
+            ));
+        }
+        let journal = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&journal_path)?;
+        Ok((
+            project,
+            ProjectStore {
+                dir: dir.to_owned(),
+                journal,
+                ops_written: ops,
+                #[cfg(test)]
+                fail_next_append: false,
+            },
+        ))
+    }
+
+    /// Journal one accepted commit submission. Called under the project
+    /// lock, after the gate accepted the op.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures (the response must not be sent if journalling fails).
+    pub fn append_commit(
+        &mut self,
+        submission: &CommitSubmission,
+        receipt: &GateReceipt,
+        project: &Project,
+    ) -> Result<(), ServeError> {
+        let c = submission.counts;
+        let op = Value::object([
+            ("op", Value::from("commit")),
+            ("id", Value::from(submission.commit_id.as_str())),
+            ("samples", Value::from(c.samples)),
+            ("new_correct", Value::from(c.new_correct)),
+            ("old_correct", Value::from(c.old_correct)),
+            ("changed", Value::from(c.changed)),
+            ("labels", Value::from(c.labels)),
+            ("passed", Value::from(receipt.passed)),
+            ("step", Value::from(receipt.step)),
+            ("era", Value::from(receipt.era)),
+        ]);
+        self.append(&op, project)
+    }
+
+    /// Journal a fresh-testset installation.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn append_fresh_testset(&mut self, era: u32, project: &Project) -> Result<(), ServeError> {
+        let op = Value::object([
+            ("op", Value::from("fresh_testset")),
+            ("era", Value::from(era)),
+        ]);
+        self.append(&op, project)
+    }
+
+    fn append(&mut self, op: &Value, project: &Project) -> Result<(), ServeError> {
+        let mut line = op.encode().into_bytes();
+        line.push(b'\n');
+        #[cfg(test)]
+        if self.fail_next_append {
+            self.fail_next_append = false;
+            return Err(ServeError::Io(std::io::Error::other(
+                "injected journal failure",
+            )));
+        }
+        // A failed append must leave the journal exactly as it was: a
+        // half-written line would corrupt the op that lands after it.
+        // Best-effort truncate back to the pre-write length on error;
+        // the caller rolls the in-memory mutation back either way.
+        let offset = self.journal.metadata()?.len();
+        let written = self
+            .journal
+            .write_all(&line)
+            .and_then(|()| self.journal.flush());
+        if let Err(e) = written {
+            let _ = self.journal.set_len(offset);
+            return Err(e.into());
+        }
+        self.ops_written += 1;
+        if self.ops_written.is_multiple_of(SNAPSHOT_EVERY) {
+            // The journal is the source of truth and it has the op; a
+            // failed snapshot is only lost compaction, never lost state,
+            // and must NOT fail the request (the caller would roll back
+            // an op the journal already holds).
+            if let Err(e) = self.write_snapshot(project) {
+                eprintln!(
+                    "warning: snapshot of {} failed (journal intact): {e}",
+                    self.dir.display()
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Write `snapshot.json` for the current state (atomic).
+    ///
+    /// The journal is fsynced first: the snapshot's watermark claims the
+    /// journal holds `ops_written` ops, and a power loss that persisted
+    /// the (synced) snapshot but not the journal tail would otherwise
+    /// make restart recovery reject the directory (`ops < skip_ops`).
+    /// Ordinary appends stay fsync-free — losing the unsynced tail to a
+    /// power cut loses only those trailing ops, never consistency.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn write_snapshot(&self, project: &Project) -> Result<(), ServeError> {
+        self.journal.sync_data()?;
+        let history: Vec<Value> = project.history().entries().iter().map(entry_json).collect();
+        let snap = Value::object([
+            ("version", Value::from(1u64)),
+            ("journal_ops", Value::from(self.ops_written)),
+            ("steps_used", Value::from(project.steps_used())),
+            ("era", Value::from(project.era())),
+            ("retired", Value::from(project.is_retired())),
+            ("history", Value::Array(history)),
+        ]);
+        write_atomic(&self.dir.join("snapshot.json"), snap.pretty().as_bytes())?;
+        Ok(())
+    }
+}
+
+/// Serialize one history entry — the shared shape of `snapshot.json`
+/// and the `/projects/{name}/history` endpoint.
+pub(crate) fn entry_json(e: &HistoryEntry) -> Value {
+    Value::object([
+        ("id", Value::from(e.commit_id.as_str())),
+        ("step", Value::from(e.step)),
+        ("era", Value::from(e.era)),
+        ("outcome", Value::from(tribool_str(e.outcome))),
+        ("passed", Value::from(e.passed)),
+        ("accepted", Value::from(e.accepted)),
+        ("d", Value::from(e.estimates.d)),
+        ("n", Value::from(e.estimates.n)),
+        ("o", Value::from(e.estimates.o)),
+        ("diff", Value::from(e.estimates.diff)),
+        ("labels", Value::from(e.estimates.labels_requested)),
+    ])
+}
+
+/// Restore project state from a parsed snapshot; returns the journal
+/// watermark (ops already reflected in the snapshot).
+fn load_snapshot(path: &Path, snap: &Value, project: &mut Project) -> Result<u64, ServeError> {
+    let field_u64 = |key: &str| -> Result<u64, ServeError> {
+        snap.get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| corrupt(path, format!("missing or non-integer `{key}`")))
+    };
+    if field_u64("version")? != 1 {
+        return Err(corrupt(path, "unsupported snapshot version"));
+    }
+    let journal_ops = field_u64("journal_ops")?;
+    let steps_used = u32::try_from(field_u64("steps_used")?)
+        .map_err(|_| corrupt(path, "steps_used out of range"))?;
+    let era = u32::try_from(field_u64("era")?).map_err(|_| corrupt(path, "era out of range"))?;
+    let retired = snap
+        .get("retired")
+        .and_then(Value::as_bool)
+        .ok_or_else(|| corrupt(path, "missing `retired`"))?;
+    let entries = snap
+        .get("history")
+        .and_then(Value::as_array)
+        .ok_or_else(|| corrupt(path, "missing `history`"))?;
+    let mut history = CommitHistory::new();
+    for (i, entry) in entries.iter().enumerate() {
+        let bad = |what: &str| corrupt(path, format!("history[{i}]: {what}"));
+        let commit_id = entry
+            .get("id")
+            .and_then(Value::as_str)
+            .ok_or_else(|| bad("missing `id`"))?
+            .to_owned();
+        let num_u32 = |key: &str| -> Result<u32, ServeError> {
+            entry
+                .get(key)
+                .and_then(Value::as_u64)
+                .and_then(|v| u32::try_from(v).ok())
+                .ok_or_else(|| bad(&format!("bad `{key}`")))
+        };
+        let flag = |key: &str| -> Result<bool, ServeError> {
+            entry
+                .get(key)
+                .and_then(Value::as_bool)
+                .ok_or_else(|| bad(&format!("bad `{key}`")))
+        };
+        let opt_f64 = |key: &str| -> Result<Option<f64>, ServeError> {
+            match entry.get(key) {
+                None | Some(Value::Null) => Ok(None),
+                Some(v) => v
+                    .as_f64()
+                    .map(Some)
+                    .ok_or_else(|| bad(&format!("bad `{key}`"))),
+            }
+        };
+        let outcome = entry
+            .get("outcome")
+            .and_then(Value::as_str)
+            .and_then(tribool_parse)
+            .ok_or_else(|| bad("bad `outcome`"))?;
+        history.push(HistoryEntry {
+            commit_id,
+            step: num_u32("step")?,
+            era: num_u32("era")?,
+            estimates: CommitEstimates {
+                d: opt_f64("d")?,
+                n: opt_f64("n")?,
+                o: opt_f64("o")?,
+                diff: opt_f64("diff")?,
+                labels_requested: entry
+                    .get("labels")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| bad("bad `labels`"))?,
+            },
+            outcome,
+            passed: flag("passed")?,
+            accepted: flag("accepted")?,
+        });
+    }
+    project.restore(steps_used, era, retired, history);
+    Ok(journal_ops)
+}
+
+/// Replay one journal line through the live gate, cross-checking the
+/// recorded outcome.
+fn replay_op(
+    path: &Path,
+    line_no: usize,
+    line: &str,
+    project: &mut Project,
+) -> Result<(), ServeError> {
+    let bad = |what: String| corrupt(path, format!("line {line_no}: {what}"));
+    let op = Value::parse(line).map_err(|e| bad(e.to_string()))?;
+    let field_u64 = |key: &str| -> Result<u64, ServeError> {
+        op.get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| bad(format!("missing or non-integer `{key}`")))
+    };
+    match op.get("op").and_then(Value::as_str) {
+        Some("commit") => {
+            let submission = CommitSubmission {
+                commit_id: op
+                    .get("id")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| bad("missing `id`".into()))?
+                    .to_owned(),
+                counts: EvalCounts {
+                    samples: field_u64("samples")?,
+                    new_correct: field_u64("new_correct")?,
+                    old_correct: field_u64("old_correct")?,
+                    changed: field_u64("changed")?,
+                    labels: field_u64("labels")?,
+                },
+            };
+            let receipt = project
+                .submit(&submission)
+                .map_err(|e| bad(format!("gate rejected replayed op: {e}")))?;
+            let recorded_passed = op
+                .get("passed")
+                .and_then(Value::as_bool)
+                .ok_or_else(|| bad("missing `passed`".into()))?;
+            let recorded_step = field_u64("step")?;
+            let recorded_era = field_u64("era")?;
+            if receipt.passed != recorded_passed
+                || u64::from(receipt.step) != recorded_step
+                || u64::from(receipt.era) != recorded_era
+            {
+                return Err(bad(format!(
+                    "replay diverged: recorded (passed={recorded_passed}, step={recorded_step}, \
+                     era={recorded_era}) vs recomputed (passed={}, step={}, era={})",
+                    receipt.passed, receipt.step, receipt.era
+                )));
+            }
+            Ok(())
+        }
+        Some("fresh_testset") => {
+            let new_era = project.fresh_testset();
+            let recorded = field_u64("era")?;
+            if u64::from(new_era) != recorded {
+                return Err(bad(format!(
+                    "replay diverged: recorded era {recorded} vs recomputed {new_era}"
+                )));
+            }
+            Ok(())
+        }
+        _ => Err(bad("unknown op".into())),
+    }
+}
+
+/// One project behind its lock: gate state plus its persistence arm.
+#[derive(Debug)]
+pub struct ProjectSlot {
+    /// The live gate state.
+    pub project: Project,
+    store: ProjectStore,
+}
+
+impl ProjectSlot {
+    /// Gate a submission and journal it. Journalling failure fails the
+    /// request (state and journal must not diverge silently).
+    ///
+    /// An exact redelivery of the most recent evaluation returns its
+    /// reconstructed receipt without consuming budget or journalling
+    /// anything (see [`Project::duplicate_receipt`]) — clients may
+    /// safely retry a commit whose response was lost.
+    ///
+    /// # Errors
+    ///
+    /// Gate rejections and journal I/O failures.
+    pub fn submit(&mut self, submission: &CommitSubmission) -> Result<GateReceipt, ServeError> {
+        if let Some(receipt) = self.project.duplicate_receipt(submission) {
+            return Ok(receipt);
+        }
+        // The gate mutates in memory first, the journal append second.
+        // If the append fails, the mutation must be rolled back — an op
+        // that lives in memory but not in the journal would make every
+        // *later* journaled step number diverge from what a restart
+        // recomputes, bricking recovery for the whole project.
+        let mark = self.project.gate_mark();
+        let receipt = self.project.submit(submission)?;
+        if let Err(e) = self
+            .store
+            .append_commit(submission, &receipt, &self.project)
+        {
+            self.project.rollback_to(mark);
+            return Err(e);
+        }
+        Ok(receipt)
+    }
+
+    /// Install a fresh testset and journal it (rolled back like
+    /// [`ProjectSlot::submit`] if the append fails).
+    ///
+    /// # Errors
+    ///
+    /// Journal I/O failures.
+    pub fn fresh_testset(&mut self) -> Result<u32, ServeError> {
+        let mark = self.project.gate_mark();
+        let era = self.project.fresh_testset();
+        if let Err(e) = self.store.append_fresh_testset(era, &self.project) {
+            self.project.rollback_to(mark);
+            return Err(e);
+        }
+        Ok(era)
+    }
+
+    /// Test seam: force the next journal append to fail.
+    #[cfg(test)]
+    pub(crate) fn fail_next_append(&mut self) {
+        self.store.fail_next_append = true;
+    }
+
+    /// Force a snapshot of the current state.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn snapshot(&self) -> Result<(), ServeError> {
+        self.store.write_snapshot(&self.project)
+    }
+}
+
+/// The process-wide project registry backed by a data directory.
+#[derive(Debug)]
+pub struct Registry {
+    data_dir: PathBuf,
+    projects_dir: PathBuf,
+    estimator: SampleSizeEstimator,
+    projects: RwLock<HashMap<String, Arc<Mutex<ProjectSlot>>>>,
+    /// Names with a registration in flight: reserved before the durable
+    /// store is created so the fsync happens outside the `projects` lock.
+    registering: Mutex<std::collections::HashSet<String>>,
+}
+
+/// Idempotency arm of [`Registry::register`]: same script → the existing
+/// project; different script → conflict.
+fn existing_or_conflict(
+    existing: &Arc<Mutex<ProjectSlot>>,
+    name: &str,
+    script_text: &str,
+) -> Result<Arc<Mutex<ProjectSlot>>, ServeError> {
+    if existing
+        .lock()
+        .expect("project poisoned")
+        .project
+        .script_text()
+        == script_text
+    {
+        Ok(Arc::clone(existing))
+    } else {
+        Err(ServeError::Conflict(format!(
+            "project `{name}` already exists with a different script"
+        )))
+    }
+}
+
+impl Registry {
+    /// Open (or initialize) a data directory, loading every project
+    /// found under `projects/`.
+    ///
+    /// A directory without a `project.json` (the husk of a registration
+    /// that died between `mkdir` and the record write) is skipped with a
+    /// warning rather than refusing to boot — there is no gate state to
+    /// lose in it, and the name remains claimable. A directory *with* a
+    /// record that fails validation is a hard error: gate state exists
+    /// and must not silently diverge.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and corrupt project directories.
+    pub fn open(data_dir: &Path, estimator: SampleSizeEstimator) -> Result<Registry, ServeError> {
+        let projects_dir = data_dir.join("projects");
+        std::fs::create_dir_all(&projects_dir)?;
+        let mut projects = HashMap::new();
+        for entry in std::fs::read_dir(&projects_dir)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_dir() {
+                continue;
+            }
+            if !entry.path().join("project.json").exists() {
+                eprintln!(
+                    "warning: skipping {} (no project.json — incomplete registration)",
+                    entry.path().display()
+                );
+                continue;
+            }
+            let (project, store) = ProjectStore::open(&entry.path(), &estimator)?;
+            projects.insert(
+                project.name().to_owned(),
+                Arc::new(Mutex::new(ProjectSlot { project, store })),
+            );
+        }
+        Ok(Registry {
+            data_dir: data_dir.to_owned(),
+            projects_dir,
+            estimator,
+            projects: RwLock::new(projects),
+            registering: Mutex::new(std::collections::HashSet::new()),
+        })
+    }
+
+    /// The data directory this registry persists under.
+    #[must_use]
+    pub fn data_dir(&self) -> &Path {
+        &self.data_dir
+    }
+
+    /// Register a new project and create its durable state.
+    ///
+    /// Registration is *idempotent*: re-registering an existing name
+    /// with byte-identical script text returns the existing project (so
+    /// an at-least-once client retry of a lost response converges), while
+    /// the same name with a different script is a conflict.
+    ///
+    /// The name is reserved under a short-lived lock and the durable
+    /// store (which fsyncs) is created outside every lock other requests
+    /// touch, so a registration never stalls traffic to other projects.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Conflict`] on duplicate names with differing
+    /// scripts (or a registration still in flight), validation and I/O
+    /// failures otherwise.
+    pub fn register(
+        &self,
+        name: &str,
+        script_text: &str,
+    ) -> Result<Arc<Mutex<ProjectSlot>>, ServeError> {
+        let project = Project::register(name, script_text, &self.estimator)?;
+        // Reserve the name. The `registering` set covers the window in
+        // which the store is created on disk; the map is the long-term
+        // record. Only the map lookup happens under the reservation lock
+        // — never a project slot lock, whose holder may be mid-fsync.
+        let existing = {
+            let mut registering = self.registering.lock().expect("registry poisoned");
+            let existing = self.get(name);
+            if existing.is_none() && !registering.insert(name.to_owned()) {
+                return Err(ServeError::Conflict(format!(
+                    "project `{name}` registration already in progress"
+                )));
+            }
+            existing
+        };
+        if let Some(existing) = existing {
+            return existing_or_conflict(&existing, name, script_text);
+        }
+        let result = ProjectStore::create(&self.projects_dir.join(name), &project);
+        let out = match result {
+            Ok(store) => {
+                let slot = Arc::new(Mutex::new(ProjectSlot { project, store }));
+                self.projects
+                    .write()
+                    .expect("registry poisoned")
+                    .insert(name.to_owned(), Arc::clone(&slot));
+                Ok(slot)
+            }
+            Err(e) => Err(e),
+        };
+        self.registering
+            .lock()
+            .expect("registry poisoned")
+            .remove(name);
+        out
+    }
+
+    /// The project slot for `name`, if registered.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<Arc<Mutex<ProjectSlot>>> {
+        self.projects
+            .read()
+            .expect("registry poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// Registered project names, sorted (deterministic listings).
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .projects
+            .read()
+            .expect("registry poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered projects.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.projects.read().expect("registry poisoned").len()
+    }
+
+    /// Whether no project is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot every project (graceful-shutdown hook).
+    ///
+    /// # Errors
+    ///
+    /// The first I/O failure encountered.
+    pub fn snapshot_all(&self) -> Result<(), ServeError> {
+        let slots: Vec<Arc<Mutex<ProjectSlot>>> = self
+            .projects
+            .read()
+            .expect("registry poisoned")
+            .values()
+            .cloned()
+            .collect();
+        for slot in slots {
+            slot.lock().expect("project poisoned").snapshot()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::serving_estimator;
+
+    const SCRIPT: &str = "ml:\n\
+        \x20 - condition  : n > 0.6 +/- 0.2\n\
+        \x20 - reliability: 0.99\n\
+        \x20 - mode       : fp-free\n\
+        \x20 - adaptivity : full\n\
+        \x20 - steps      : 3\n";
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("easeml-serve-store-tests")
+            .join(format!("{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn submission(id: &str, new_correct: u64) -> CommitSubmission {
+        CommitSubmission {
+            commit_id: id.into(),
+            counts: EvalCounts {
+                samples: 100,
+                new_correct,
+                old_correct: 50,
+                changed: 30,
+                labels: 100,
+            },
+        }
+    }
+
+    #[test]
+    fn fresh_testset_survives_restart() {
+        let dir = temp_dir("era");
+        {
+            let registry = Registry::open(&dir, serving_estimator()).unwrap();
+            let slot = registry.register("proj", SCRIPT).unwrap();
+            let mut slot = slot.lock().unwrap();
+            slot.submit(&submission("c1", 90)).unwrap();
+            assert_eq!(slot.fresh_testset().unwrap(), 1);
+            slot.submit(&submission("c2", 90)).unwrap();
+        }
+        let registry = Registry::open(&dir, serving_estimator()).unwrap();
+        let slot = registry.get("proj").unwrap();
+        let slot = slot.lock().unwrap();
+        assert_eq!(slot.project.era(), 1);
+        assert_eq!(slot.project.steps_used(), 1);
+        assert_eq!(slot.project.history().len(), 2);
+        assert_eq!(slot.project.history().entries()[1].era, 1);
+    }
+
+    #[test]
+    fn restart_restores_identical_state() {
+        let dir = temp_dir("restart");
+        {
+            let registry = Registry::open(&dir, serving_estimator()).unwrap();
+            let slot = registry.register("proj", SCRIPT).unwrap();
+            let mut slot = slot.lock().unwrap();
+            slot.submit(&submission("c1", 90)).unwrap();
+            slot.submit(&submission("c2", 30)).unwrap();
+            slot.submit(&submission("c3", 65)).unwrap(); // Unknown → fail, budget exhausted
+        } // drop = process death (no snapshot written: 3 < SNAPSHOT_EVERY)
+
+        let registry = Registry::open(&dir, serving_estimator()).unwrap();
+        let slot = registry.get("proj").expect("project survives restart");
+        let slot = slot.lock().unwrap();
+        assert_eq!(slot.project.steps_used(), 3);
+        assert!(slot.project.is_retired());
+        assert_eq!(slot.project.era(), 0);
+        let entries = slot.project.history().entries();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].commit_id, "c1");
+        assert!(entries[0].passed);
+        assert!(!entries[2].passed);
+        assert_eq!(entries[2].outcome, Tribool::Unknown);
+    }
+
+    #[test]
+    fn snapshot_plus_journal_suffix_restores() {
+        let dir = temp_dir("snapshot");
+        {
+            let registry = Registry::open(&dir, serving_estimator()).unwrap();
+            let slot = registry.register("proj", SCRIPT).unwrap();
+            let mut slot = slot.lock().unwrap();
+            slot.submit(&submission("c1", 90)).unwrap();
+            slot.snapshot().unwrap(); // snapshot at watermark 1
+            slot.submit(&submission("c2", 30)).unwrap(); // journal suffix
+        }
+        let registry = Registry::open(&dir, serving_estimator()).unwrap();
+        let slot = registry.get("proj").unwrap();
+        let slot = slot.lock().unwrap();
+        assert_eq!(slot.project.steps_used(), 2);
+        assert_eq!(slot.project.history().len(), 2);
+        assert_eq!(slot.project.history().entries()[1].commit_id, "c2");
+    }
+
+    #[test]
+    fn tampered_journal_is_rejected() {
+        let dir = temp_dir("tamper");
+        {
+            let registry = Registry::open(&dir, serving_estimator()).unwrap();
+            let slot = registry.register("proj", SCRIPT).unwrap();
+            slot.lock().unwrap().submit(&submission("c1", 90)).unwrap();
+        }
+        let journal = dir.join("projects/proj/journal.log");
+        let text = std::fs::read_to_string(&journal).unwrap();
+        // Flip the recorded outcome: replay recomputes `passed` and must
+        // notice the divergence.
+        std::fs::write(
+            &journal,
+            text.replace("\"passed\":true", "\"passed\":false"),
+        )
+        .unwrap();
+        let err = Registry::open(&dir, serving_estimator()).unwrap_err();
+        assert!(matches!(err, ServeError::Corrupt { .. }), "{err}");
+
+        // Garbage line: rejected too.
+        std::fs::write(&journal, "not json\n").unwrap();
+        assert!(Registry::open(&dir, serving_estimator()).is_err());
+    }
+
+    #[test]
+    fn registration_is_idempotent_but_conflicts_on_different_script() {
+        let dir = temp_dir("dup");
+        let registry = Registry::open(&dir, serving_estimator()).unwrap();
+        let first = registry.register("proj", SCRIPT).unwrap();
+        // Same name + same script: the retry of a lost response converges
+        // on the same project.
+        let again = registry.register("proj", SCRIPT).unwrap();
+        assert!(Arc::ptr_eq(&first, &again));
+        // Same name + different script: conflict.
+        let other = SCRIPT.replace("0.99", "0.95");
+        assert!(matches!(
+            registry.register("proj", &other),
+            Err(ServeError::Conflict(_))
+        ));
+        assert_eq!(registry.names(), vec!["proj".to_owned()]);
+    }
+
+    #[test]
+    fn duplicate_commit_redelivery_consumes_no_budget() {
+        let dir = temp_dir("redeliver");
+        let registry = Registry::open(&dir, serving_estimator()).unwrap();
+        let slot = registry.register("proj", SCRIPT).unwrap();
+        let mut slot = slot.lock().unwrap();
+        let first = slot.submit(&submission("c1", 90)).unwrap();
+        let journal_after_first = std::fs::read(dir.join("projects/proj/journal.log")).unwrap();
+        // Redelivery: identical receipt, no budget spent, no journal growth.
+        let again = slot.submit(&submission("c1", 90)).unwrap();
+        assert_eq!(again, first);
+        assert_eq!(slot.project.steps_used(), 1);
+        assert_eq!(slot.project.history().len(), 1);
+        assert_eq!(
+            std::fs::read(dir.join("projects/proj/journal.log")).unwrap(),
+            journal_after_first
+        );
+        // A *different* submission under the same id is evaluated afresh.
+        let third = slot.submit(&submission("c1", 30)).unwrap();
+        assert_eq!(third.step, 2);
+        assert_eq!(slot.project.steps_used(), 2);
+    }
+
+    #[test]
+    fn duplicate_redelivery_of_final_step_reconstructs_alarm() {
+        let dir = temp_dir("redeliver-final");
+        let registry = Registry::open(&dir, serving_estimator()).unwrap();
+        let slot = registry.register("proj", SCRIPT).unwrap();
+        let mut slot = slot.lock().unwrap();
+        for i in 0..3 {
+            slot.submit(&submission(&format!("c{i}"), 90)).unwrap();
+        }
+        assert!(slot.project.is_retired());
+        // The final step's redelivery returns its receipt (with the
+        // budget-exhausted alarm) instead of the Gone error a *new*
+        // commit would get.
+        let again = slot.submit(&submission("c2", 90)).unwrap();
+        assert_eq!(again.step, 3);
+        assert_eq!(
+            again.alarm,
+            Some(easeml_ci_core::AlarmReason::BudgetExhausted)
+        );
+        assert!(matches!(
+            slot.submit(&submission("c3", 90)),
+            Err(ServeError::Gone(_))
+        ));
+    }
+
+    #[test]
+    fn redelivery_matches_original_receipt_even_with_interleaved_commits() {
+        let dir = temp_dir("interleave");
+        let script = SCRIPT.replace("steps      : 3", "steps      : 10");
+        let registry = Registry::open(&dir, serving_estimator()).unwrap();
+        let slot = registry.register("proj", &script).unwrap();
+        let mut slot = slot.lock().unwrap();
+        // Client A's commit lands, the response is lost, client B's
+        // commit lands in between — A's retry must still converge on the
+        // original receipt, not burn a fresh step.
+        let original = slot.submit(&submission("from-a", 90)).unwrap();
+        slot.submit(&submission("from-b", 30)).unwrap();
+        let retried = slot.submit(&submission("from-a", 90)).unwrap();
+        assert_eq!(retried, original);
+        assert_eq!(slot.project.steps_used(), 2);
+    }
+
+    #[test]
+    fn redelivery_of_hybrid_retiring_pass_matches_original() {
+        let dir = temp_dir("hybrid-redeliver");
+        let script = SCRIPT.replace("full", "firstChange");
+        let registry = Registry::open(&dir, serving_estimator()).unwrap();
+        let slot = registry.register("proj", &script).unwrap();
+        let mut slot = slot.lock().unwrap();
+        slot.submit(&submission("c1", 30)).unwrap();
+        // A pass mid-budget retires the era (firstChange): the receipt
+        // reported steps_remaining = 1 at the moment it was issued, and
+        // its redelivery must reproduce exactly that, alarm included.
+        let original = slot.submit(&submission("c2", 90)).unwrap();
+        assert_eq!(
+            original.alarm,
+            Some(easeml_ci_core::AlarmReason::PassedInHybrid)
+        );
+        assert_eq!(original.steps_remaining, 1);
+        let retried = slot.submit(&submission("c2", 90)).unwrap();
+        assert_eq!(retried, original);
+    }
+
+    #[test]
+    fn failed_journal_append_rolls_the_gate_back() {
+        let dir = temp_dir("rollback");
+        let registry = Registry::open(&dir, serving_estimator()).unwrap();
+        let slot = registry.register("proj", SCRIPT).unwrap();
+        let mut slot = slot.lock().unwrap();
+        slot.submit(&submission("c1", 90)).unwrap();
+
+        // Journal failure: the request errors AND the in-memory gate is
+        // unchanged — otherwise every later journaled step would diverge
+        // from what restart recovery recomputes.
+        slot.fail_next_append();
+        assert!(matches!(
+            slot.submit(&submission("c2", 30)),
+            Err(ServeError::Io(_))
+        ));
+        assert_eq!(slot.project.steps_used(), 1);
+        assert_eq!(slot.project.history().len(), 1);
+
+        slot.fail_next_append();
+        assert!(matches!(slot.fresh_testset(), Err(ServeError::Io(_))));
+        assert_eq!(slot.project.era(), 0);
+
+        // The next successful submission gets the step the failed one
+        // would have had, and a restart replays to the identical state.
+        let receipt = slot.submit(&submission("c2", 30)).unwrap();
+        assert_eq!(receipt.step, 2);
+        drop(slot);
+        let registry = Registry::open(&dir, serving_estimator()).unwrap();
+        let slot = registry.get("proj").unwrap();
+        let slot = slot.lock().unwrap();
+        assert_eq!(slot.project.steps_used(), 2);
+        assert_eq!(slot.project.history().len(), 2);
+    }
+
+    #[test]
+    fn orphan_project_dir_is_skipped_and_reclaimable() {
+        let dir = temp_dir("orphan");
+        // A registration that died between mkdir and the project.json
+        // write leaves a husk; boot must skip it, not refuse to start.
+        std::fs::create_dir_all(dir.join("projects/husk")).unwrap();
+        std::fs::write(dir.join("projects/husk/journal.log"), "stale\n").unwrap();
+        let registry = Registry::open(&dir, serving_estimator()).unwrap();
+        assert!(registry.is_empty());
+        // And the name is claimable: the retry wins and starts clean.
+        let slot = registry.register("husk", SCRIPT).unwrap();
+        slot.lock().unwrap().submit(&submission("c1", 90)).unwrap();
+        let registry = Registry::open(&dir, serving_estimator()).unwrap();
+        assert_eq!(
+            registry
+                .get("husk")
+                .unwrap()
+                .lock()
+                .unwrap()
+                .project
+                .history()
+                .len(),
+            1,
+            "stale journal must not leak into the reclaimed project"
+        );
+    }
+
+    #[test]
+    fn automatic_snapshot_cadence() {
+        let dir = temp_dir("cadence");
+        let script = SCRIPT.replace("steps      : 3", "steps      : 200");
+        let registry = Registry::open(&dir, serving_estimator()).unwrap();
+        let slot = registry.register("proj", &script).unwrap();
+        {
+            let mut slot = slot.lock().unwrap();
+            for i in 0..SNAPSHOT_EVERY {
+                slot.submit(&submission(&format!("c{i}"), 90)).unwrap();
+            }
+        }
+        assert!(
+            dir.join("projects/proj/snapshot.json").exists(),
+            "snapshot must be written every {SNAPSHOT_EVERY} ops"
+        );
+        // And the snapshot+journal combination still restores.
+        let registry = Registry::open(&dir, serving_estimator()).unwrap();
+        let slot = registry.get("proj").unwrap();
+        assert_eq!(
+            slot.lock().unwrap().project.steps_used() as u64,
+            SNAPSHOT_EVERY
+        );
+    }
+}

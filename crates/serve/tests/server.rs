@@ -1,0 +1,526 @@
+//! Integration tests that drive a live `easeml-serve` server over real
+//! TCP: registration, commit gating, durability across restarts, and the
+//! thread-count-invariance of the journal.
+
+use easeml_ci_core::BoundsCache;
+use easeml_par::splitmix64;
+use easeml_serve::json::Value;
+use easeml_serve::server::{ServeConfig, Server, ServerHandle};
+use easeml_serve::Client;
+use std::path::PathBuf;
+
+const SCRIPT: &str = "ml:\n\
+    \x20 - script     : ./test_model.py\n\
+    \x20 - condition  : n > 0.6 +/- 0.2\n\
+    \x20 - reliability: 0.99\n\
+    \x20 - mode       : fp-free\n\
+    \x20 - adaptivity : full\n\
+    \x20 - steps      : 3\n";
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("easeml-serve-integration")
+        .join(format!("{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Bind + run a server on an ephemeral port; returns (addr, handle,
+/// join handle).
+fn start(
+    data_dir: &std::path::Path,
+    threads: usize,
+) -> (String, ServerHandle, std::thread::JoinHandle<()>) {
+    let server = Server::bind(&ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        data_dir: data_dir.to_owned(),
+        threads,
+    })
+    .expect("bind");
+    let addr = server.local_addr().to_string();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle, join)
+}
+
+fn register_body(name: &str, script: &str) -> Value {
+    Value::object([("name", Value::from(name)), ("script", Value::from(script))])
+}
+
+fn commit_body(id: &str, new_correct: u64) -> Value {
+    Value::object([
+        ("commit_id", Value::from(id)),
+        ("samples", Value::from(100u64)),
+        ("new_correct", Value::from(new_correct)),
+        ("old_correct", Value::from(50u64)),
+        ("changed", Value::from(30u64)),
+        ("labels", Value::from(100u64)),
+    ])
+}
+
+#[test]
+fn end_to_end_gate_then_restart_preserves_state() {
+    let dir = temp_dir("e2e");
+    let (addr, handle, join) = start(&dir, 2);
+    let mut client = Client::new(addr);
+
+    let (status, health) = client.request("GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(health.get("status").and_then(Value::as_str), Some("ok"));
+
+    // Register: the estimator answers testset size + label budget.
+    let (status, reg) = client
+        .request("POST", "/projects", Some(&register_body("vision", SCRIPT)))
+        .unwrap();
+    assert_eq!(status, 201, "{reg}");
+    let estimate = reg.get("estimate").expect("estimate");
+    assert!(estimate.get("labeled").and_then(Value::as_u64).unwrap() > 0);
+    assert_eq!(
+        reg.get("budget")
+            .and_then(|b| b.get("steps"))
+            .and_then(Value::as_u64),
+        Some(3)
+    );
+
+    // The same name with a *different* script conflicts (identical
+    // script re-registration is idempotent — covered elsewhere).
+    let different = SCRIPT.replace("steps      : 3", "steps      : 5");
+    let (status, _) = client
+        .request(
+            "POST",
+            "/projects",
+            Some(&register_body("vision", &different)),
+        )
+        .unwrap();
+    assert_eq!(status, 409);
+
+    // Pass → fail → budget-exhausted.
+    let (status, r1) = client
+        .request(
+            "POST",
+            "/projects/vision/commits",
+            Some(&commit_body("c1", 90)),
+        )
+        .unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(r1.get("passed").and_then(Value::as_bool), Some(true));
+    assert_eq!(r1.get("signal").and_then(Value::as_bool), Some(true));
+    assert_eq!(r1.get("outcome").and_then(Value::as_str), Some("True"));
+    assert_eq!(r1.get("alarm"), Some(&Value::Null));
+
+    let (_, r2) = client
+        .request(
+            "POST",
+            "/projects/vision/commits",
+            Some(&commit_body("c2", 30)),
+        )
+        .unwrap();
+    assert_eq!(r2.get("passed").and_then(Value::as_bool), Some(false));
+
+    let (_, r3) = client
+        .request(
+            "POST",
+            "/projects/vision/commits",
+            Some(&commit_body("c3", 65)),
+        )
+        .unwrap();
+    assert_eq!(
+        r3.get("outcome").and_then(Value::as_str),
+        Some("Unknown"),
+        "straddling interval"
+    );
+    assert_eq!(
+        r3.get("alarm").and_then(Value::as_str),
+        Some("budget_exhausted")
+    );
+
+    // The era is spent: further commits are refused until a fresh testset.
+    let (status, refused) = client
+        .request(
+            "POST",
+            "/projects/vision/commits",
+            Some(&commit_body("c4", 90)),
+        )
+        .unwrap();
+    assert_eq!(status, 409, "{refused}");
+    let (_, budget) = client
+        .request("GET", "/projects/vision/budget", None)
+        .unwrap();
+    assert_eq!(
+        budget
+            .get("budget")
+            .and_then(|b| b.get("fresh_testset_required"))
+            .and_then(Value::as_bool),
+        Some(true)
+    );
+
+    // Fresh testset opens era 1 with a full budget.
+    let (status, fresh) = client
+        .request("POST", "/projects/vision/testset", None)
+        .unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(fresh.get("era").and_then(Value::as_u64), Some(1));
+    let (_, r4) = client
+        .request(
+            "POST",
+            "/projects/vision/commits",
+            Some(&commit_body("c4", 90)),
+        )
+        .unwrap();
+    assert_eq!(r4.get("step").and_then(Value::as_u64), Some(1));
+    assert_eq!(r4.get("era").and_then(Value::as_u64), Some(1));
+
+    let (_, history_before) = client
+        .request("GET", "/projects/vision/history", None)
+        .unwrap();
+    assert_eq!(
+        history_before
+            .get("entries")
+            .and_then(Value::as_array)
+            .map(<[Value]>::len),
+        Some(4)
+    );
+    let (_, status_before) = client.request("GET", "/projects/vision", None).unwrap();
+
+    // Graceful stop persists snapshots + the bounds cache.
+    drop(client);
+    handle.stop();
+    join.join().unwrap();
+    let cache_dump = dir.join("bounds_cache.v1");
+    assert!(cache_dump.exists(), "graceful stop saves the bounds cache");
+    assert!(
+        BoundsCache::new().load_from(&cache_dump).unwrap() > 0,
+        "the dump holds the registration's exact-binomial inversions"
+    );
+
+    // Restart from the same data dir: identical state.
+    let (addr, handle, join) = start(&dir, 2);
+    let mut client = Client::new(addr);
+    let (_, health) = client.request("GET", "/healthz", None).unwrap();
+    assert_eq!(health.get("projects").and_then(Value::as_u64), Some(1));
+    let (_, history_after) = client
+        .request("GET", "/projects/vision/history", None)
+        .unwrap();
+    assert_eq!(
+        history_after, history_before,
+        "restart must reconstruct the exact history"
+    );
+    let (_, status_after) = client.request("GET", "/projects/vision", None).unwrap();
+    assert_eq!(status_after, status_before);
+    // And the gate picks up exactly where it left off: era 1, step 2.
+    let (_, r5) = client
+        .request(
+            "POST",
+            "/projects/vision/commits",
+            Some(&commit_body("c5", 90)),
+        )
+        .unwrap();
+    assert_eq!(r5.get("era").and_then(Value::as_u64), Some(1));
+    assert_eq!(r5.get("step").and_then(Value::as_u64), Some(2));
+
+    drop(client);
+    handle.stop();
+    join.join().unwrap();
+}
+
+#[test]
+fn errors_are_clean_json() {
+    let dir = temp_dir("errors");
+    let (addr, handle, join) = start(&dir, 2);
+    let mut client = Client::new(addr.clone());
+
+    let (status, body) = client.request("GET", "/nope", None).unwrap();
+    assert_eq!(status, 404);
+    assert!(body.get("error").is_some());
+
+    let (status, _) = client
+        .request("GET", "/projects/ghost/history", None)
+        .unwrap();
+    assert_eq!(status, 404);
+
+    // Missing fields and malformed scripts are 400s.
+    let (status, _) = client
+        .request(
+            "POST",
+            "/projects",
+            Some(&Value::object([("name", Value::from("x"))])),
+        )
+        .unwrap();
+    assert_eq!(status, 400);
+    let (status, body) = client
+        .request(
+            "POST",
+            "/projects",
+            Some(&register_body("x", "not a ci script")),
+        )
+        .unwrap();
+    assert_eq!(status, 400);
+    assert!(body
+        .get("error")
+        .and_then(Value::as_str)
+        .unwrap()
+        .contains("script"));
+    let (status, _) = client
+        .request("POST", "/projects", Some(&register_body("../evil", SCRIPT)))
+        .unwrap();
+    assert_eq!(status, 400);
+
+    // Raw protocol garbage gets a 400 and a closed connection, and the
+    // server keeps serving afterwards.
+    {
+        use std::io::{Read, Write};
+        let mut raw = std::net::TcpStream::connect(&addr).unwrap();
+        raw.write_all(b"DELETE\r\n\r\n").unwrap();
+        let mut response = String::new();
+        raw.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+    }
+    let (status, _) = client.request("GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+
+    drop(client);
+    handle.stop();
+    join.join().unwrap();
+}
+
+#[test]
+fn concurrent_submissions_serialize_into_distinct_steps() {
+    let dir = temp_dir("concurrent");
+    let (addr, handle, join) = start(&dir, 4);
+    let script = SCRIPT.replace("steps      : 3", "steps      : 64");
+    let mut client = Client::new(addr.clone());
+    let (status, _) = client
+        .request("POST", "/projects", Some(&register_body("shared", &script)))
+        .unwrap();
+    assert_eq!(status, 201);
+
+    let workers: Vec<_> = (0..8)
+        .map(|w| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::new(addr);
+                for i in 0..8 {
+                    let (status, body) = client
+                        .request(
+                            "POST",
+                            "/projects/shared/commits",
+                            Some(&commit_body(&format!("w{w}-c{i}"), 90)),
+                        )
+                        .unwrap();
+                    assert_eq!(status, 200, "{body}");
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().unwrap();
+    }
+
+    let (_, history) = client
+        .request("GET", "/projects/shared/history", None)
+        .unwrap();
+    let entries = history.get("entries").and_then(Value::as_array).unwrap();
+    assert_eq!(entries.len(), 64);
+    // Steps must be exactly 1..=64: concurrent gate mutations serialized
+    // under the project lock, no step lost or duplicated.
+    let mut steps: Vec<u64> = entries
+        .iter()
+        .map(|e| e.get("step").and_then(Value::as_u64).unwrap())
+        .collect();
+    steps.sort_unstable();
+    assert_eq!(steps, (1..=64).collect::<Vec<u64>>());
+
+    drop(client);
+    handle.stop();
+    join.join().unwrap();
+}
+
+/// Drive the same deterministic multi-project schedule against a server
+/// of the given width; returns each project's journal bytes.
+fn run_schedule(threads: usize, tag: &str) -> Vec<(String, Vec<u8>)> {
+    let dir = temp_dir(tag);
+    let (addr, handle, join) = start(&dir, threads);
+    let script = SCRIPT.replace("steps      : 3", "steps      : 40");
+
+    let clients: Vec<_> = (0..4)
+        .map(|p| {
+            let addr = addr.clone();
+            let script = script.clone();
+            std::thread::spawn(move || {
+                let name = format!("proj-{p}");
+                let mut client = Client::new(addr);
+                let (status, _) = client
+                    .request("POST", "/projects", Some(&register_body(&name, &script)))
+                    .unwrap();
+                assert_eq!(status, 201);
+                for i in 0..32u64 {
+                    // Deterministic per-commit counts from the workspace
+                    // seed-derivation scheme.
+                    let new_correct = 20 + splitmix64(p, i) % 80;
+                    let body = Value::object([
+                        ("commit_id", Value::from(format!("c{i}"))),
+                        ("samples", Value::from(100u64)),
+                        ("new_correct", Value::from(new_correct)),
+                        ("old_correct", Value::from(50u64)),
+                        ("changed", Value::from(splitmix64(p, i) % 100)),
+                        ("labels", Value::from(100u64)),
+                    ]);
+                    let (status, _) = client
+                        .request("POST", &format!("/projects/{name}/commits"), Some(&body))
+                        .unwrap();
+                    assert_eq!(status, 200);
+                }
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().unwrap();
+    }
+    handle.stop();
+    join.join().unwrap();
+
+    (0..4)
+        .map(|p| {
+            let name = format!("proj-{p}");
+            let journal = dir.join("projects").join(&name).join("journal.log");
+            (name, std::fs::read(journal).unwrap())
+        })
+        .collect()
+}
+
+#[test]
+fn request_spanning_slow_packets_still_parses() {
+    use std::io::{Read, Write};
+    let dir = temp_dir("slow");
+    let (addr, handle, join) = start(&dir, 2);
+
+    // Write the request in three fragments with gaps well beyond the
+    // server's 50 ms stop-flag poll interval: the request must still
+    // parse (the poll interval is an idle-connection concern, never a
+    // mid-request deadline).
+    let mut raw = std::net::TcpStream::connect(&addr).unwrap();
+    raw.write_all(b"GET /heal").unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    raw.write_all(b"thz HTTP/1.1\r\nhost: x\r\n").unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    raw.write_all(b"connection: close\r\n\r\n").unwrap();
+    let mut response = String::new();
+    raw.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+
+    handle.stop();
+    join.join().unwrap();
+}
+
+#[test]
+fn commit_redelivery_is_idempotent_over_http() {
+    let dir = temp_dir("idempotent");
+    let (addr, handle, join) = start(&dir, 2);
+    let mut client = Client::new(addr);
+    let (status, _) = client
+        .request("POST", "/projects", Some(&register_body("p", SCRIPT)))
+        .unwrap();
+    assert_eq!(status, 201);
+    // Re-registering the identical script is also idempotent (a client
+    // retrying a lost 201 must converge, not 409).
+    let (status, _) = client
+        .request("POST", "/projects", Some(&register_body("p", SCRIPT)))
+        .unwrap();
+    assert_eq!(status, 201);
+
+    let body = commit_body("c1", 90);
+    let (_, first) = client
+        .request("POST", "/projects/p/commits", Some(&body))
+        .unwrap();
+    let (_, again) = client
+        .request("POST", "/projects/p/commits", Some(&body))
+        .unwrap();
+    assert_eq!(again.get("step"), first.get("step"));
+    let (_, budget) = client.request("GET", "/projects/p/budget", None).unwrap();
+    assert_eq!(
+        budget
+            .get("budget")
+            .and_then(|b| b.get("used"))
+            .and_then(Value::as_u64),
+        Some(1),
+        "redelivery must not consume budget"
+    );
+
+    drop(client);
+    handle.stop();
+    join.join().unwrap();
+}
+
+#[test]
+fn shutdown_endpoint_stops_server_and_flushes_state() {
+    let dir = temp_dir("shutdown");
+    let (addr, _handle, join) = start(&dir, 2);
+    let mut client = Client::new(addr);
+    let (status, _) = client
+        .request("POST", "/projects", Some(&register_body("p", SCRIPT)))
+        .unwrap();
+    assert_eq!(status, 201);
+    // The graceful-stop path reachable from plain HTTP (what the CLI
+    // binary relies on): run() must return and flush durable state.
+    let (status, body) = client.request("POST", "/admin/shutdown", None).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(body.get("stopping").and_then(Value::as_bool), Some(true));
+    drop(client);
+    join.join().unwrap();
+    assert!(dir.join("bounds_cache.v1").exists());
+    assert!(dir.join("projects/p/snapshot.json").exists());
+}
+
+#[test]
+fn concurrent_persists_never_corrupt_the_cache_dump() {
+    let dir = temp_dir("persist-race");
+    let (addr, handle, join) = start(&dir, 4);
+    let mut client = Client::new(addr.clone());
+    let (status, _) = client
+        .request("POST", "/projects", Some(&register_body("p", SCRIPT)))
+        .unwrap();
+    assert_eq!(status, 201);
+
+    // Hammer /admin/persist from several connections at once: the cache
+    // dump must stay loadable throughout (saves are serialized).
+    let workers: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::new(addr);
+                for _ in 0..5 {
+                    let (status, _) = client.request("POST", "/admin/persist", None).unwrap();
+                    assert_eq!(status, 200);
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().unwrap();
+    }
+    assert!(BoundsCache::new()
+        .load_from(&dir.join("bounds_cache.v1"))
+        .is_ok());
+
+    drop(client);
+    handle.stop();
+    join.join().unwrap();
+}
+
+#[test]
+fn journal_bytes_are_thread_count_invariant() {
+    // The determinism contract: for a fixed per-project client schedule,
+    // the journal a project ends up with is byte-identical whether the
+    // server multiplexes connections over 1 worker or 4.
+    let t1 = run_schedule(1, "sched-t1");
+    let t4 = run_schedule(4, "sched-t4");
+    assert_eq!(t1.len(), t4.len());
+    for ((name1, bytes1), (name4, bytes4)) in t1.iter().zip(t4.iter()) {
+        assert_eq!(name1, name4);
+        assert!(
+            bytes1 == bytes4,
+            "journal of {name1} differs between server widths"
+        );
+        assert!(!bytes1.is_empty());
+    }
+}
