@@ -8,14 +8,23 @@
 //! results to `results/BENCH_bounds.json` so future PRs can track the
 //! trajectory.
 //!
-//! Usage: `cargo run --release --bin repro_bounds_perf [--quick] [--threads N]`
+//! Usage: `cargo run --release --bin repro_bounds_perf [--quick] [--threads N]
+//! [--cache-dir DIR]`
+//!
+//! With `--cache-dir`, the shared `BoundsCache` and `PlanCache` are
+//! loaded from `DIR` at startup (when dumps exist) and saved back on
+//! exit, so running the binary twice against the same directory measures
+//! the cold trajectory first and the persisted-warm-start trajectory
+//! second — the JSON records which one it was (`cache_warm_start`).
 
 use easeml_bench::{format_sig, init_threads_from_args, results_dir, Table};
 use easeml_bounds::{
     exact_binomial_sample_size, exact_binomial_sample_size_batch_with_pool, hoeffding_sample_size,
     reference, Tail,
 };
-use easeml_ci_core::{BoundsCache, CiScript, EstimatorConfig, Mode, SampleSizeEstimator};
+use easeml_ci_core::{
+    BoundsCache, CiScript, EstimatorConfig, Mode, PlanCache, SampleSizeEstimator,
+};
 use easeml_par::Pool;
 use easeml_serve::json::Value;
 use easeml_sim::developer::{Developer, OverfitterDeveloper};
@@ -250,10 +259,64 @@ fn parallel_section(threads: usize, quick: bool, runs: usize) -> String {
     )
 }
 
+/// `--cache-dir DIR` from the command line, if given.
+fn cache_dir_from_args() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--cache-dir" {
+            return Some(std::path::PathBuf::from(
+                args.next().expect("--cache-dir needs a directory"),
+            ));
+        }
+    }
+    None
+}
+
+/// Load both shared caches from `dir` (ignoring missing files); true if
+/// anything warm was loaded. The file names are the serving layer's, so
+/// a `--cache-dir` pointed at an `easeml-serve` data dir reuses its
+/// dumps directly.
+fn load_caches(dir: &std::path::Path) -> bool {
+    let mut warm = false;
+    let bounds = dir.join(easeml_serve::store::BOUNDS_CACHE_FILE);
+    if bounds.exists() {
+        warm |= BoundsCache::global()
+            .load_from(&bounds)
+            .expect("bounds cache dump")
+            > 0;
+    }
+    let plan = dir.join(easeml_serve::store::PLAN_CACHE_FILE);
+    if plan.exists() {
+        warm |= PlanCache::global()
+            .load_from(&plan)
+            .expect("plan cache dump")
+            > 0;
+    }
+    warm
+}
+
+fn save_caches(dir: &std::path::Path) {
+    std::fs::create_dir_all(dir).expect("create cache dir");
+    BoundsCache::global()
+        .save_to(&dir.join(easeml_serve::store::BOUNDS_CACHE_FILE))
+        .expect("save bounds cache");
+    PlanCache::global()
+        .save_to(&dir.join(easeml_serve::store::PLAN_CACHE_FILE))
+        .expect("save plan cache");
+}
+
 fn main() {
     let threads = init_threads_from_args();
     let quick = std::env::args().any(|a| a == "--quick");
     let runs = if quick { 3 } else { 9 };
+    let cache_dir = cache_dir_from_args();
+    let warm_start = cache_dir.as_deref().is_some_and(load_caches);
+    if cache_dir.is_some() {
+        println!(
+            "[cache] persisted caches: {} start",
+            if warm_start { "warm" } else { "cold" }
+        );
+    }
     let mut table = Table::new([
         "case",
         "n_exact",
@@ -277,15 +340,18 @@ fn main() {
         let cold_ns = cold_t.elapsed().as_nanos() as f64;
         let n_ref = reference::exact_binomial_sample_size(case.eps, case.delta, case.tail).unwrap();
         let n_hoeff = hoeffding_sample_size(1.0, case.eps, case.delta, case.tail).unwrap();
-        // One-sided acceptance is now breakpoint-exact: it sees sawtooth
+        // Acceptance is breakpoint-exact for both tails: it sees sawtooth
         // teeth the seed's 64-point grid missed, so its answers may sit a
         // few teeth above the seed's (never below).
-        let drift_cap = match case.tail {
-            Tail::TwoSided => (n_ref as f64 * 0.005).max(3.0),
-            Tail::OneSided => (n_ref as f64 * 0.05).max(8.0),
-        };
         assert!(
-            n_opt.abs_diff(n_ref) as f64 <= drift_cap,
+            n_opt >= n_ref,
+            "{}: optimized {} below grid-accepted seed {}",
+            case.name,
+            n_opt,
+            n_ref
+        );
+        assert!(
+            n_opt.abs_diff(n_ref) as f64 <= (n_ref as f64 * 0.05).max(8.0),
             "{}: optimized {} vs seed {} drifted apart",
             case.name,
             n_opt,
@@ -328,8 +394,10 @@ fn main() {
         );
     }
 
-    // Cross-layer cache: repeated estimates of the same script must
-    // collapse to lookups.
+    // Cross-layer caches: repeated estimates of the same script must
+    // collapse to lookups. The first estimate fills both layers (the
+    // BoundsCache with the leaf inversion, the PlanCache with the whole
+    // plan-search result); replays are served entirely by the PlanCache.
     let script = CiScript::builder()
         .condition_str("n > 0.8 +/- 0.05")
         .unwrap()
@@ -345,16 +413,27 @@ fn main() {
     let cold = estimator.estimate(&script).unwrap(); // populate
     let warm_ns = time_ns(runs.max(5), || estimator.estimate(&script).unwrap());
     let stats = BoundsCache::global().stats();
-    assert!(stats.hits > 0, "warm estimates must hit the bounds cache");
+    let plan_stats = PlanCache::global().stats();
+    assert!(
+        plan_stats.hits > 0,
+        "warm estimates must hit the plan cache"
+    );
+    assert!(
+        stats.entries > 0 || warm_start,
+        "the cold estimate must fill the bounds cache"
+    );
     println!("exact-binomial inversion: seed vs optimized\n");
     println!("{}", table.render());
     println!(
-        "cached estimator replay: {:.1} us/estimate (n = {}, cache: {} hits / {} misses / {} entries)",
+        "cached estimator replay: {:.1} us/estimate (n = {}, bounds cache: {} hits / {} misses / {} entries; plan cache: {} hits / {} misses / {} entries)",
         warm_ns / 1e3,
         cold.labeled_samples,
         stats.hits,
         stats.misses,
         stats.entries,
+        plan_stats.hits,
+        plan_stats.misses,
+        plan_stats.entries,
     );
 
     let parallel_json = parallel_section(threads, quick, runs);
@@ -375,12 +454,26 @@ fn main() {
 
     let json = format!(
         "{{\n  \"bench\": \"bounds\",\n  \"unit\": \"ns\",\n  \"environment\": {environment},\n  \
+         \"cache_warm_start\": {warm_start},\n  \
          \"cases\": [\n{json_cases}\n  ],\n  \
          \"cached_estimator\": {{\"warm_estimate_ns\": {:.0}, \"cache_hits\": {}, \
-         \"cache_misses\": {}, \"cache_entries\": {}}},\n  \"parallel\": {parallel_json}\n}}\n",
-        warm_ns, stats.hits, stats.misses, stats.entries,
+         \"cache_misses\": {}, \"cache_entries\": {}, \"plan_cache_hits\": {}, \
+         \"plan_cache_misses\": {}, \"plan_cache_entries\": {}}},\n  \
+         \"parallel\": {parallel_json}\n}}\n",
+        warm_ns,
+        stats.hits,
+        stats.misses,
+        stats.entries,
+        plan_stats.hits,
+        plan_stats.misses,
+        plan_stats.entries,
     );
     let path = results_dir().join("BENCH_bounds.json");
     std::fs::write(&path, json).expect("write BENCH_bounds.json");
     println!("[json] wrote {}", path.display());
+
+    if let Some(dir) = cache_dir {
+        save_caches(&dir);
+        println!("[cache] persisted caches under {}", dir.display());
+    }
 }

@@ -6,6 +6,13 @@
 //! and reports latency percentiles, throughput, and warm-restart
 //! recovery time to `results/BENCH_serve.json`.
 //!
+//! Registration latency is reported as its own cold-vs-warm section:
+//! every client uses a script *unique to it* (a distinct step budget),
+//! so its first registration runs the full plan search with cold caches,
+//! and then registers a second project against the same script, which
+//! the plan cache serves — the ~35 ms-vs-sub-ms gap the plan cache
+//! exists to close.
+//!
 //! Usage: `cargo run --release --bin repro_serve_load [--quick] [--threads N]`
 
 use easeml_bench::{format_sig, init_threads_from_args, results_dir, Table};
@@ -16,13 +23,21 @@ use easeml_serve::Client;
 use std::path::PathBuf;
 use std::time::Instant;
 
-const SCRIPT: &str = "ml:\n\
-    \x20 - script     : ./test_model.py\n\
-    \x20 - condition  : n > 0.6 +/- 0.2\n\
-    \x20 - reliability: 0.999\n\
-    \x20 - mode       : fp-free\n\
-    \x20 - adaptivity : full\n\
-    \x20 - steps      : 1000\n";
+/// Per-client CI script. The step budget varies by client so every
+/// client's plan fingerprint (and every leaf `ln δ`) is distinct — its
+/// cold registration can never ride another client's cache fill.
+fn script_for(client_id: u64) -> String {
+    format!(
+        "ml:\n\
+         \x20 - script     : ./test_model.py\n\
+         \x20 - condition  : n > 0.6 +/- 0.2\n\
+         \x20 - reliability: 0.999\n\
+         \x20 - mode       : fp-free\n\
+         \x20 - adaptivity : full\n\
+         \x20 - steps      : {}\n",
+        1_000 + client_id
+    )
+}
 
 /// Latency percentiles over one request class.
 struct Percentiles {
@@ -59,20 +74,30 @@ fn percentiles_json(p: &Percentiles) -> Value {
     ])
 }
 
-/// One client's lifecycle; returns (register_ns, commit_ns[], read_ns[]).
-fn drive_client(addr: &str, client_id: u64, commits: u64) -> (f64, Vec<f64>, Vec<f64>) {
+/// One client's lifecycle; returns (cold_register_ns, warm_register_ns,
+/// commit_ns[], read_ns[]).
+fn drive_client(addr: &str, client_id: u64, commits: u64) -> (f64, f64, Vec<f64>, Vec<f64>) {
     let mut client = Client::new(addr);
+    let script = script_for(client_id);
     let name = format!("load-{client_id}");
-    let body = Value::object([
-        ("name", Value::from(name.as_str())),
-        ("script", Value::from(SCRIPT)),
-    ]);
-    let t = Instant::now();
-    let (status, response) = client
-        .request("POST", "/projects", Some(&body))
-        .expect("register");
-    let register_ns = t.elapsed().as_nanos() as f64;
-    assert_eq!(status, 201, "{response}");
+    let register = |client: &mut Client, name: &str| -> f64 {
+        let body = Value::object([
+            ("name", Value::from(name)),
+            ("script", Value::from(script.as_str())),
+        ]);
+        let t = Instant::now();
+        let (status, response) = client
+            .request("POST", "/projects", Some(&body))
+            .expect("register");
+        let elapsed = t.elapsed().as_nanos() as f64;
+        assert_eq!(status, 201, "{response}");
+        elapsed
+    };
+    // Cold: this script's plan fingerprint has never been estimated.
+    let register_ns = register(&mut client, &name);
+    // Warm: same script, fresh project — the plan cache serves the
+    // whole estimate.
+    let warm_register_ns = register(&mut client, &format!("load-warm-{client_id}"));
 
     let commit_path = format!("/projects/{name}/commits");
     let budget_path = format!("/projects/{name}/budget");
@@ -102,7 +127,7 @@ fn drive_client(addr: &str, client_id: u64, commits: u64) -> (f64, Vec<f64>, Vec
             assert_eq!(status, 200);
         }
     }
-    (register_ns, commit_ns, read_ns)
+    (register_ns, warm_register_ns, commit_ns, read_ns)
 }
 
 fn main() {
@@ -141,16 +166,19 @@ fn main() {
         })
         .collect();
     let mut register_ns = Vec::new();
+    let mut warm_register_ns = Vec::new();
     let mut commit_ns = Vec::new();
     let mut read_ns = Vec::new();
     for worker in workers {
-        let (reg, commits, reads) = worker.join().expect("client thread");
+        let (reg, warm_reg, commits, reads) = worker.join().expect("client thread");
         register_ns.push(reg);
+        warm_register_ns.push(warm_reg);
         commit_ns.extend(commits);
         read_ns.extend(reads);
     }
     let wall_ms = wall.elapsed().as_nanos() as f64 / 1e6;
-    let total_requests = register_ns.len() + commit_ns.len() + read_ns.len();
+    let total_requests =
+        register_ns.len() + warm_register_ns.len() + commit_ns.len() + read_ns.len();
 
     // Graceful stop flushes snapshots + the bounds cache.
     handle.stop();
@@ -174,7 +202,7 @@ fn main() {
     assert_eq!(status, 200);
     assert_eq!(
         health.get("projects").and_then(Value::as_u64),
-        Some(clients),
+        Some(2 * clients), // one cold + one plan-warm project per client
         "all projects must survive the restart"
     );
     for c in 0..clients {
@@ -195,13 +223,15 @@ fn main() {
     restart_thread.join().expect("restart thread");
 
     let reg = percentiles(register_ns);
+    let warm_reg = percentiles(warm_register_ns);
     let commit = percentiles(commit_ns);
     let reads = percentiles(read_ns);
     let rps = total_requests as f64 / (wall_ms / 1e3);
 
     let mut table = Table::new(["request", "count", "p50_us", "p90_us", "p99_us", "max_us"]);
     for (name, p) in [
-        ("register", &reg),
+        ("register_cold", &reg),
+        ("register_plan_warm", &warm_reg),
         ("commit", &commit),
         ("budget_read", &reads),
     ] {
@@ -218,6 +248,12 @@ fn main() {
     println!(
         "wall {:.0} ms | {:.0} req/s | warm restart (journal replay + cache load) {:.1} ms",
         wall_ms, rps, restart_ms
+    );
+    println!(
+        "registration p50: cold {:.0} us -> plan-cache-warm {:.1} us ({:.0}x)",
+        reg.p50_us,
+        warm_reg.p50_us,
+        reg.p50_us / warm_reg.p50_us,
     );
 
     let json = Value::object([
@@ -246,6 +282,18 @@ fn main() {
                 ("register", percentiles_json(&reg)),
                 ("commit", percentiles_json(&commit)),
                 ("budget_read", percentiles_json(&reads)),
+            ]),
+        ),
+        // Registration cold-vs-warm as its own section: `cold` runs the
+        // full plan search on a never-seen script; `plan_warm` registers
+        // a second project against the same script and is served end to
+        // end by the plan cache.
+        (
+            "registration",
+            Value::object([
+                ("cold", percentiles_json(&reg)),
+                ("plan_warm", percentiles_json(&warm_reg)),
+                ("p50_speedup", Value::from(reg.p50_us / warm_reg.p50_us)),
             ]),
         ),
         ("warm_restart_ms", Value::from(restart_ms)),

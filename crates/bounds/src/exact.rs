@@ -24,10 +24,14 @@
 //! 3. **Sawtooth patch with reference acceptance.** The worst case is not
 //!    perfectly monotone in `n` (integer cut-offs create a sawtooth), so
 //!    the final answer must have a run of consecutive valid sizes. This
-//!    acceptance uses the full-grid reference scan
-//!    ([`crate::binomial::worst_case_deviation_tail`]) — the same
-//!    criterion the seed used — so the fast bracketing can never loosen
-//!    the returned guarantee.
+//!    acceptance uses the breakpoint-exact reference scan
+//!    ([`crate::binomial::worst_case_deviation_tail`]) — the supremum
+//!    over `p` enumerated at the cut-off jumps, for both tail
+//!    conventions — so the fast bracketing can never loosen the returned
+//!    guarantee. (The seed's 64-point grid criterion is preserved in
+//!    [`crate::reference`]; the exact sup dominates every grid sampling,
+//!    so accepted sizes can sit a few sawtooth teeth above the seed's,
+//!    never below.)
 //!
 //! All per-`n` state lives in an [`InversionContext`] keyed by `(ε,
 //! tail)`. Probe values are stored, not just compared, so one context can
@@ -46,9 +50,6 @@ use crate::numeric::bisect;
 use crate::tail::Tail;
 use std::cell::Cell;
 use std::collections::HashMap;
-
-/// Default grid resolution for the worst-case scan over `p`.
-const DEFAULT_GRID: usize = 64;
 
 /// Outcome of one memoized fast probe of `worst(n)`.
 ///
@@ -118,19 +119,14 @@ impl InversionContext {
         worst > delta
     }
 
-    /// Memoized full-grid reference scan (the acceptance criterion).
-    ///
-    /// Always sequential: at the default 64-point grid the per-point
-    /// work is microseconds, below the pool's fan-out overhead — the
-    /// grid-parallel fallback
-    /// ([`crate::binomial::worst_case_deviation_tail_par`]) is for
-    /// callers scanning much larger grids.
+    /// Memoized breakpoint-exact reference scan (the acceptance
+    /// criterion).
     fn reference_worst(&mut self, n: u64) -> f64 {
         let (eps, tail) = (self.eps, self.tail);
         *self
             .reference
             .entry(n)
-            .or_insert_with(|| worst_case_deviation_tail(n, eps, DEFAULT_GRID, tail))
+            .or_insert_with(|| worst_case_deviation_tail(n, eps, tail))
     }
 
     /// Smallest `n ≥ floor` whose worst case (and that of the next few
@@ -193,9 +189,9 @@ impl InversionContext {
 
     /// Patch the sawtooth: step forward from `from` until a run of
     /// consecutive sizes all satisfy the constraint (so slightly larger
-    /// testsets remain valid). Acceptance uses the full-grid reference
-    /// scan, memoized because consecutive windows — and adjacent batch
-    /// cells — overlap.
+    /// testsets remain valid). Acceptance uses the breakpoint-exact
+    /// reference scan, memoized because consecutive windows — and
+    /// adjacent batch cells — overlap.
     fn accept_from(&mut self, from: u64, delta: f64) -> u64 {
         let mut n = from;
         'outer: loop {
@@ -220,8 +216,8 @@ impl InversionContext {
 /// cut-offs create a sawtooth), so after the bracketed binary search the
 /// result is patched by a short linear scan to the first `n` whose *next
 /// few* neighbours also satisfy the constraint — the patch re-checks with
-/// the full-grid reference scan, so the warm-started fast probes only
-/// ever decide *where to look*, never what to accept.
+/// the breakpoint-exact reference scan, so the warm-started fast probes
+/// only ever decide *where to look*, never what to accept.
 ///
 /// Inverting a whole `(ε, δ)` table? Use
 /// [`crate::exact_binomial_sample_size_batch`], which shares the search
@@ -277,13 +273,14 @@ pub fn exact_binomial_epsilon(n: u64, delta: f64, tail: Tail) -> Result<f64> {
         200,
     )?;
     // Round outward so the returned tolerance is guaranteed valid, and
-    // certify with the full-grid reference scan (the warm-started probe
-    // inside the bisection is a lower bound, so the crossing it finds can
-    // sit marginally below the true one; the doubling nudge terminates in
-    // at most ~60 scans and almost always passes on the first).
+    // certify with the breakpoint-exact reference scan (the warm-started
+    // probe inside the bisection can early-exit on a lower bound, so the
+    // crossing it finds can sit marginally below the true one; the
+    // doubling nudge terminates in at most ~60 scans and almost always
+    // passes on the first).
     let mut out = (eps + 2e-9).min(1.0);
     let mut bump = 2e-9;
-    while out < 1.0 && worst_case_deviation_tail(n, out, DEFAULT_GRID, tail) > delta {
+    while out < 1.0 && worst_case_deviation_tail(n, out, tail) > delta {
         out = (out + bump).min(1.0);
         bump *= 2.0;
     }
@@ -324,7 +321,7 @@ mod tests {
         let eps = 0.1;
         let delta = 0.01;
         let n = exact_binomial_sample_size(eps, delta, Tail::TwoSided).unwrap();
-        assert!(worst_case_deviation(n, eps, 128) <= delta * 1.0001);
+        assert!(worst_case_deviation(n, eps) <= delta * 1.0001);
     }
 
     #[test]
@@ -333,19 +330,19 @@ mod tests {
         let delta = 0.01;
         let n = exact_binomial_sample_size(eps, delta, Tail::TwoSided).unwrap();
         // A clearly smaller testset must violate the constraint.
-        assert!(worst_case_deviation(n / 2, eps, 128) > delta);
+        assert!(worst_case_deviation(n / 2, eps) > delta);
     }
 
     #[test]
     fn answers_are_tight_not_just_valid() {
         // The galloping bracket and warm-started probes must not drift
         // the result upward: a modestly smaller n must already violate
-        // the constraint (checked at high grid resolution).
+        // the constraint (checked against the exact worst case).
         for &(eps, delta) in &[(0.1, 0.01), (0.05, 0.01), (0.08, 0.001)] {
             let n = exact_binomial_sample_size(eps, delta, Tail::TwoSided).unwrap();
             let shrunk = (n as f64 * 0.97) as u64;
             assert!(
-                worst_case_deviation(shrunk, eps, 128) > delta,
+                worst_case_deviation(shrunk, eps) > delta,
                 "eps={eps} delta={delta}: n={n} is not tight (n*0.97 still valid)"
             );
         }
@@ -363,10 +360,10 @@ mod tests {
         let eps = 0.07;
         let delta = 0.005;
         let n = exact_binomial_sample_size(eps, delta, Tail::OneSided).unwrap();
-        // Validity is now breakpoint-exact for the one-sided sup (the
-        // acceptance scan enumerates cut-off jumps instead of a grid).
-        assert!(worst_case_deviation_tail(n, eps, 64, Tail::OneSided) <= delta);
-        assert!(worst_case_deviation_tail(n / 2, eps, 128, Tail::OneSided) > delta);
+        // Validity is breakpoint-exact: the acceptance scan enumerates
+        // cut-off jumps instead of a grid.
+        assert!(worst_case_deviation_tail(n, eps, Tail::OneSided) <= delta);
+        assert!(worst_case_deviation_tail(n / 2, eps, Tail::OneSided) > delta);
     }
 
     #[test]

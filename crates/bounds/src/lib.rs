@@ -43,14 +43,14 @@
 //! 3. **Warm-started worst-case search** ([`exact_binomial_sample_size`]):
 //!    the minimal-`n` search brackets with a galloping scan from a cheap
 //!    lower bound (~0.7× Hoeffding empirically), probes `worst(n)` with a
-//!    unimodality-aware hill-climb that warm-starts from the previous
-//!    probe's maximizer `p*` and exits early once `δ` is exceeded, and
-//!    memoizes every probe. Final acceptance re-checks candidates with
-//!    the full-grid reference scan, so the fast probes only decide *where
-//!    to look*, never what to accept.
+//!    hill-climb that warm-starts from the previous probe's maximizer
+//!    `p*` and exits early once `δ` is exceeded, and memoizes every
+//!    probe. Final acceptance re-checks candidates with the
+//!    breakpoint-exact reference scan, so the fast probes only decide
+//!    *where to look*, never what to accept.
 //!
 //! Measured on the paper's `(ε = 0.05, δ = 0.001)` two-sided inversion,
-//! this is ~16× faster than the preserved seed implementation
+//! this stack is ~100× faster than the preserved seed implementation
 //! ([`reference`]); see `results/BENCH_bounds.json` for the tracked
 //! trajectory. One layer up, `easeml-ci-core`'s `BoundsCache` memoizes
 //! whole inversions across commits and clauses, so steady-state serving
@@ -58,12 +58,14 @@
 //!
 //! Two further layers serve table-shaped traffic:
 //!
-//! 4. **Breakpoint-exact one-sided scans**
-//!    ([`binomial::worst_case_deviation_one_sided_exact`]): the one-sided
-//!    worst case over `p` is attained just below the cut-off jumps
-//!    `p_j = j/n − ε`, so a hill-climb over the *jump index* replaces the
-//!    grid scan entirely — cheaper and exact rather than grid-resolution
-//!    approximate.
+//! 4. **Breakpoint-exact worst-case scans**
+//!    ([`binomial::worst_case_deviation_one_sided_exact`],
+//!    [`binomial::worst_case_deviation_two_sided_exact`]): the worst case
+//!    over `p` is attained in the limit at the cut-off jumps
+//!    `p_j = j/n ∓ ε`, so a hill-climb over the *jump index* — one
+//!    breakpoint family one-sided, both tails' families two-sided —
+//!    replaces the grid scan entirely, cheaper and exact rather than
+//!    grid-resolution approximate.
 //! 5. **Batched table inversion** ([`exact_binomial_sample_size_batch`]):
 //!    a Figure-2-style `(ε, δ)` grid walks each `ε`-column in decreasing
 //!    `δ` through one shared search context (probe and acceptance memos,
@@ -107,6 +109,7 @@ mod mcdiarmid;
 pub mod numeric;
 pub mod reference;
 mod tail;
+mod twosided;
 mod union;
 
 pub use adaptivity::{trivial_strategy_total, Adaptivity, ParseAdaptivityError};

@@ -144,9 +144,9 @@ proptest! {
         let exact = exact_binomial_sample_size(eps, delta, tail).unwrap();
         let hoeff = hoeffding_sample_size(1.0, eps, delta, tail).unwrap();
         prop_assert!(exact <= hoeff, "eps={eps} delta={delta} {tail}: {exact} > {hoeff}");
-        // And the answer actually satisfies the constraint at the
-        // acceptance scan's resolution.
-        let worst = binomial::worst_case_deviation_tail(exact, eps, 64, tail);
+        // And the answer actually satisfies the constraint under the
+        // breakpoint-exact worst case.
+        let worst = binomial::worst_case_deviation_tail(exact, eps, tail);
         prop_assert!(worst <= delta * 1.0001, "eps={eps} delta={delta} {tail}: worst={worst}");
     }
 
@@ -163,24 +163,45 @@ proptest! {
         );
     }
 
-    /// The breakpoint-exact one-sided acceptance stays pinned to the
-    /// seed's grid-scan inversion (`easeml_bounds::reference`): the two
-    /// can differ only by the sawtooth teeth the 64-point grid missed.
+    /// The breakpoint-exact acceptance (both tail conventions) stays
+    /// pinned to the seed's grid-scan inversion
+    /// (`easeml_bounds::reference`): the two can differ only by the
+    /// sawtooth teeth the 64-point grid missed.
     #[test]
-    fn one_sided_inversion_pins_reference_grid_scan(eps in 0.04f64..0.25, delta in 1e-4f64..0.1) {
-        let exact = exact_binomial_sample_size(eps, delta, Tail::OneSided).unwrap();
-        let seed = reference::exact_binomial_sample_size(eps, delta, Tail::OneSided).unwrap();
+    fn breakpoint_exact_inversion_pins_reference_grid_scan(
+        eps in 0.04f64..0.25, delta in 1e-4f64..0.1,
+        tail in prop_oneof![Just(Tail::OneSided), Just(Tail::TwoSided)],
+    ) {
+        let exact = exact_binomial_sample_size(eps, delta, tail).unwrap();
+        let seed = reference::exact_binomial_sample_size(eps, delta, tail).unwrap();
         // The exact sup dominates the grid sup, so the exact answer can
         // only sit at or above the seed's — and never far above.
         prop_assert!(
             exact >= seed,
-            "eps={eps} delta={delta}: exact {exact} below grid-accepted {seed}"
+            "eps={eps} delta={delta} {tail}: exact {exact} below grid-accepted {seed}"
         );
         // Each missed tooth moves the accepted run by O(1/ε) samples;
         // 5% (or a handful of teeth) bounds the drift across this range.
         prop_assert!(
             exact.abs_diff(seed) as f64 <= (seed as f64 * 0.05).max(8.0),
-            "eps={eps} delta={delta}: exact {exact} drifted from seed {seed}"
+            "eps={eps} delta={delta} {tail}: exact {exact} drifted from seed {seed}"
+        );
+    }
+
+    /// The two-sided breakpoint scan dominates every grid sampling of
+    /// the actual deviation function over random (n, ε) — the exact sup
+    /// is a limit value a grid can only approach from below.
+    #[test]
+    fn two_sided_exact_dominates_grids(n in 20u64..3_000, eps in 0.02f64..0.3) {
+        let exact = binomial::worst_case_deviation_two_sided_exact(n, eps);
+        let mut grid_max = 0.0f64;
+        for i in 0..=512 {
+            let p = i as f64 / 512.0;
+            grid_max = grid_max.max(binomial::deviation_probability(n, p, eps));
+        }
+        prop_assert!(
+            exact >= grid_max * (1.0 - 1e-12),
+            "n={n} eps={eps}: exact {exact} below grid {grid_max}"
         );
     }
 

@@ -30,7 +30,22 @@
 //! meaningful, and the quantization makes hit rates robust to benign
 //! last-ulp differences in how callers derive `ln δ` (e.g.
 //! `ln(δ/k)` vs `ln δ − ln k`).
+//!
+//! # The plan-level cache
+//!
+//! `BoundsCache` memoizes *leaf* inversions, but a full estimator query
+//! also runs the §4 pattern plan search (Bennett inversions, the Pattern
+//! 3 coarse-tolerance scan, budget accounting) that the leaf cache does
+//! not cover — measured at ~35 ms per fresh `easeml-serve` registration.
+//! [`PlanCache`] memoizes the *entire* [`crate::SampleSizeEstimate`],
+//! keyed by a canonicalized script fingerprint
+//! ([`crate::estimator::plan_fingerprint`]: formula structure, δ, steps,
+//! adaptivity, mode, and every estimator knob), with the same 16-way
+//! sharding, global entry cap, and versioned/checksummed persistence
+//! format as `BoundsCache` — so re-registering a known script costs a
+//! map lookup, the same as a warm commit.
 
+use crate::estimator::SampleSizeEstimate;
 use easeml_bounds::{BoundsError, Tail};
 use std::collections::HashMap;
 use std::fmt;
@@ -112,13 +127,16 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Whether an estimator consults the shared [`BoundsCache`].
+/// Whether an estimator consults the shared caches — both the
+/// leaf-level [`BoundsCache`] and the whole-result [`PlanCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum CachePolicy {
-    /// Use [`BoundsCache::global`] (the default).
+    /// Use [`BoundsCache::global`] and [`PlanCache::global`] (the
+    /// default).
     #[default]
     Shared,
-    /// Recompute everything; used by tests and ablation benches.
+    /// Recompute everything at every layer; used by tests and ablation
+    /// benches.
     Bypass,
 }
 
@@ -323,32 +341,20 @@ impl BoundsCache {
             entries.extend(shard.iter().map(|(k, v)| (*k, *v)));
         }
         entries.sort_by_key(|(k, _)| (k.kind.code(), k.tail.code(), k.eps, k.ln_delta));
-        let mut body = String::new();
-        for (key, n) in &entries {
-            use std::fmt::Write as _;
-            let _ = writeln!(
-                body,
-                "{} {} {:016x} {:016x} {}",
-                key.kind.code(),
-                key.tail.code(),
-                key.eps,
-                key.ln_delta,
-                n,
-            );
-        }
-        let text = format!(
-            "{PERSIST_MAGIC} count={}\n{body}checksum={:016x}\n",
-            entries.len(),
-            fnv1a64(body.as_bytes()),
-        );
-        let tmp = path.with_extension("tmp");
-        {
-            let mut file = std::fs::File::create(&tmp)?;
-            file.write_all(text.as_bytes())?;
-            file.sync_all()?;
-        }
-        std::fs::rename(&tmp, path)?;
-        Ok(entries.len())
+        let lines: Vec<String> = entries
+            .iter()
+            .map(|(key, n)| {
+                format!(
+                    "{} {} {:016x} {:016x} {}",
+                    key.kind.code(),
+                    key.tail.code(),
+                    key.eps,
+                    key.ln_delta,
+                    n,
+                )
+            })
+            .collect();
+        save_dump(path, PERSIST_MAGIC, &lines)
     }
 
     /// Load a dump written by [`BoundsCache::save_to`] into this cache,
@@ -368,60 +374,31 @@ impl BoundsCache {
     /// existence first), [`CachePersistError::Corrupt`] on any format
     /// violation.
     pub fn load_from(&self, path: &Path) -> Result<usize, CachePersistError> {
-        let text = std::fs::read_to_string(path)?;
-        let corrupt = |line: usize, reason: &str| CachePersistError::Corrupt {
-            line,
-            reason: reason.to_owned(),
-        };
-        let mut lines = text.lines().enumerate();
-        let (_, header) = lines.next().ok_or_else(|| corrupt(1, "empty file"))?;
-        let count: usize = header
-            .strip_prefix(PERSIST_MAGIC)
-            .and_then(|rest| rest.strip_prefix(" count="))
-            .and_then(|n| n.parse().ok())
-            .ok_or_else(|| corrupt(1, "bad magic/version header"))?;
-        let mut entries: Vec<(Key, u64)> = Vec::with_capacity(count);
-        let mut body = String::new();
-        let mut checksum: Option<u64> = None;
-        let mut last_line = 1;
-        for (idx, line) in lines {
-            last_line = idx + 1;
-            if let Some(sum) = line.strip_prefix("checksum=") {
-                checksum = Some(
-                    u64::from_str_radix(sum, 16)
-                        .map_err(|_| corrupt(last_line, "unparsable checksum"))?,
-                );
-                break;
-            }
+        let entries = load_dump(path, PERSIST_MAGIC, |line| {
             let mut fields = line.split(' ');
-            let mut next = |what: &str| {
-                fields
-                    .next()
-                    .ok_or_else(|| corrupt(last_line, &format!("missing {what} field")))
-            };
+            let mut next =
+                |what: &str| fields.next().ok_or_else(|| format!("missing {what} field"));
             let kind = next("kind")?
                 .parse::<u8>()
                 .ok()
                 .and_then(BoundKind::from_code)
-                .ok_or_else(|| corrupt(last_line, "unknown bound kind"))?;
+                .ok_or_else(|| "unknown bound kind".to_owned())?;
             let tail = next("tail")?
                 .parse::<u8>()
                 .ok()
                 .and_then(Tail::from_code)
-                .ok_or_else(|| corrupt(last_line, "unknown tail code"))?;
+                .ok_or_else(|| "unknown tail code".to_owned())?;
             let eps = u64::from_str_radix(next("eps")?, 16)
-                .map_err(|_| corrupt(last_line, "unparsable eps bits"))?;
+                .map_err(|_| "unparsable eps bits".to_owned())?;
             let ln_delta = u64::from_str_radix(next("ln_delta")?, 16)
-                .map_err(|_| corrupt(last_line, "unparsable ln_delta bits"))?;
+                .map_err(|_| "unparsable ln_delta bits".to_owned())?;
             let n = next("n")?
                 .parse::<u64>()
-                .map_err(|_| corrupt(last_line, "unparsable sample size"))?;
+                .map_err(|_| "unparsable sample size".to_owned())?;
             if fields.next().is_some() {
-                return Err(corrupt(last_line, "trailing fields"));
+                return Err("trailing fields".to_owned());
             }
-            use std::fmt::Write as _;
-            let _ = writeln!(body, "{line}");
-            entries.push((
+            Ok((
                 Key {
                     kind,
                     tail,
@@ -429,18 +406,8 @@ impl BoundsCache {
                     ln_delta,
                 },
                 n,
-            ));
-        }
-        let checksum = checksum.ok_or_else(|| corrupt(last_line, "missing checksum line"))?;
-        if entries.len() != count {
-            return Err(corrupt(
-                last_line,
-                &format!("header promised {count} entries, found {}", entries.len()),
-            ));
-        }
-        if fnv1a64(body.as_bytes()) != checksum {
-            return Err(corrupt(last_line, "checksum mismatch"));
-        }
+            ))
+        })?;
         let loaded = entries.len();
         for (key, n) in entries {
             let mut shard = self.shards[key.shard()]
@@ -450,6 +417,301 @@ impl BoundsCache {
                 shard.clear();
             }
             shard.insert(key, n);
+        }
+        Ok(loaded)
+    }
+}
+
+/// Write one versioned, checksummed cache dump — the shared persistence
+/// engine behind [`BoundsCache::save_to`] and [`PlanCache::save_to`]:
+///
+/// ```text
+/// <magic> count=<entries>
+/// <one pre-encoded entry per line>
+/// checksum=<fnv1a64 over the entry block:016x>
+/// ```
+///
+/// The file is written to a temporary sibling and renamed into place, so
+/// readers never observe a half-written dump. Returns the entry count.
+fn save_dump(path: &Path, magic: &str, lines: &[String]) -> Result<usize, CachePersistError> {
+    let mut body = String::new();
+    for line in lines {
+        use std::fmt::Write as _;
+        let _ = writeln!(body, "{line}");
+    }
+    let text = format!(
+        "{magic} count={}\n{body}checksum={:016x}\n",
+        lines.len(),
+        fnv1a64(body.as_bytes()),
+    );
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(text.as_bytes())?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(lines.len())
+}
+
+/// Strictly parse a dump written by [`save_dump`]: a wrong magic/version
+/// line, a malformed entry (`decode` returns the reason), an entry-count
+/// mismatch, or a checksum failure rejects the whole file with
+/// [`CachePersistError::Corrupt`] — nothing is returned from a corrupt
+/// dump. The header's count is validated against the parsed entries, so
+/// it is never trusted for an allocation.
+fn load_dump<E>(
+    path: &Path,
+    magic: &str,
+    mut decode: impl FnMut(&str) -> Result<E, String>,
+) -> Result<Vec<E>, CachePersistError> {
+    let text = std::fs::read_to_string(path)?;
+    let corrupt = |line: usize, reason: &str| CachePersistError::Corrupt {
+        line,
+        reason: reason.to_owned(),
+    };
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or_else(|| corrupt(1, "empty file"))?;
+    let count: usize = header
+        .strip_prefix(magic)
+        .and_then(|rest| rest.strip_prefix(" count="))
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| corrupt(1, "bad magic/version header"))?;
+    let mut entries: Vec<E> = Vec::new();
+    let mut body = String::new();
+    let mut checksum: Option<u64> = None;
+    let mut last_line = 1;
+    for (idx, line) in lines {
+        last_line = idx + 1;
+        if let Some(sum) = line.strip_prefix("checksum=") {
+            checksum = Some(
+                u64::from_str_radix(sum, 16)
+                    .map_err(|_| corrupt(last_line, "unparsable checksum"))?,
+            );
+            break;
+        }
+        entries.push(decode(line).map_err(|reason| corrupt(last_line, &reason))?);
+        use std::fmt::Write as _;
+        let _ = writeln!(body, "{line}");
+    }
+    let checksum = checksum.ok_or_else(|| corrupt(last_line, "missing checksum line"))?;
+    if entries.len() != count {
+        return Err(corrupt(
+            last_line,
+            &format!("header promised {count} entries, found {}", entries.len()),
+        ));
+    }
+    if fnv1a64(body.as_bytes()) != checksum {
+        return Err(corrupt(last_line, "checksum mismatch"));
+    }
+    Ok(entries)
+}
+
+/// 128-bit FNV-1a, the fingerprint hash of the plan cache. 64 bits would
+/// make accidental collisions plausible over a long-lived server's key
+/// stream; at 128 bits a collision (which would silently serve a wrong
+/// plan) is out of reach.
+fn fnv1a128(bytes: &[u8]) -> u128 {
+    let mut h: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    for &b in bytes {
+        h ^= u128::from(b);
+        h = h.wrapping_mul(0x0000_0000_0100_0000_0000_0000_0000_013b);
+    }
+    h
+}
+
+/// Canonicalized identity of one plan-search query: the 128-bit FNV-1a
+/// fingerprint of the canonical description string built by
+/// [`crate::estimator::plan_fingerprint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlanFingerprint(u128);
+
+impl PlanFingerprint {
+    /// Fingerprint of a canonical description string.
+    #[must_use]
+    pub fn of(canonical: &str) -> PlanFingerprint {
+        PlanFingerprint(fnv1a128(canonical.as_bytes()))
+    }
+
+    /// Shard index (high bits; independent of the map's bucket choice).
+    fn shard(self) -> usize {
+        (self.0 >> 96) as usize % PlanCache::SHARDS
+    }
+}
+
+/// Magic + version line of the plan cache's on-disk format.
+const PLAN_PERSIST_MAGIC: &str = "easeml-plan-cache v1";
+
+/// Thread-safe, sharded memo of whole plan-search results
+/// ([`SampleSizeEstimate`]) keyed by [`PlanFingerprint`].
+///
+/// Structurally a sibling of [`BoundsCache`]: 16 hash-picked `RwLock`
+/// shards, a global entry cap enforced per-shard (each shard clears
+/// itself at `MAX_ENTRIES / SHARDS`), hit/miss counters, and the same
+/// versioned, checksummed, sorted, atomically-written persistence format
+/// ([`PlanCache::save_to`] / [`PlanCache::load_from`]). Values are full
+/// estimates — provenance and per-clause breakdown included — so a
+/// cache hit is indistinguishable from a recomputation.
+#[derive(Debug)]
+pub struct PlanCache {
+    shards: Vec<RwLock<HashMap<PlanFingerprint, SampleSizeEstimate>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache {
+            shards: (0..Self::SHARDS).map(|_| RwLock::default()).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+impl PlanCache {
+    /// Number of independently locked shards (same geometry as
+    /// [`BoundsCache::SHARDS`]).
+    pub const SHARDS: usize = 16;
+
+    /// Upper bound on stored entries across all shards. Plans are a few
+    /// hundred bytes each (an order of magnitude heavier than a bounds
+    /// entry), and distinct *scripts* arrive far more slowly than
+    /// distinct `(ε, δ)` leaves, so the cap is correspondingly smaller:
+    /// 2¹² plans ≈ a few MB worst case.
+    pub const MAX_ENTRIES: usize = 1 << 12;
+
+    /// A fresh, empty cache (tests; production shares
+    /// [`PlanCache::global`]).
+    #[must_use]
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// The process-wide shared instance.
+    pub fn global() -> &'static PlanCache {
+        static GLOBAL: OnceLock<PlanCache> = OnceLock::new();
+        GLOBAL.get_or_init(PlanCache::new)
+    }
+
+    /// Cached estimate for `fingerprint`, if present. Counts toward the
+    /// hit/miss statistics.
+    pub fn lookup(&self, fingerprint: PlanFingerprint) -> Option<SampleSizeEstimate> {
+        let found = self.shards[fingerprint.shard()]
+            .read()
+            .expect("plan cache poisoned")
+            .get(&fingerprint)
+            .cloned();
+        match found {
+            Some(est) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(est)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store a computed estimate (see [`PlanCache::lookup`]).
+    pub fn store(&self, fingerprint: PlanFingerprint, estimate: SampleSizeEstimate) {
+        let mut shard = self.shards[fingerprint.shard()]
+            .write()
+            .expect("plan cache poisoned");
+        if shard.len() >= Self::MAX_ENTRIES / Self::SHARDS {
+            shard.clear();
+        }
+        shard.insert(fingerprint, estimate);
+    }
+
+    /// Current hit/miss/size counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.read().expect("plan cache poisoned").len())
+                .sum(),
+        }
+    }
+
+    /// Drop all entries (counters are kept; mainly for tests).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().expect("plan cache poisoned").clear();
+        }
+    }
+
+    /// Persist every cached plan to `path` so a later process can start
+    /// warm ([`PlanCache::load_from`]).
+    ///
+    /// Same structure as [`BoundsCache::save_to`] — versioned header,
+    /// one entry per line, FNV-checksummed body, sorted keys (equal
+    /// contents give byte-identical dumps), atomic temp-file + rename:
+    ///
+    /// ```text
+    /// easeml-plan-cache v1 count=<entries>
+    /// <fingerprint:032x> <wire-encoded estimate>
+    /// ...
+    /// checksum=<fnv1a64 over the entry block:016x>
+    /// ```
+    ///
+    /// Returns the number of entries written.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure while writing.
+    pub fn save_to(&self, path: &Path) -> Result<usize, CachePersistError> {
+        let mut entries: Vec<(PlanFingerprint, SampleSizeEstimate)> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.read().expect("plan cache poisoned");
+            entries.extend(shard.iter().map(|(k, v)| (*k, v.clone())));
+        }
+        entries.sort_by_key(|(k, _)| *k);
+        let lines: Vec<String> = entries
+            .iter()
+            .map(|(key, estimate)| format!("{:032x} {}", key.0, estimate.encode_wire()))
+            .collect();
+        save_dump(path, PLAN_PERSIST_MAGIC, &lines)
+    }
+
+    /// Load a dump written by [`PlanCache::save_to`], returning the
+    /// number of entries loaded.
+    ///
+    /// Parsing is strict, like [`BoundsCache::load_from`]: wrong
+    /// magic/version, a malformed fingerprint or estimate encoding, an
+    /// entry-count mismatch, or a checksum failure rejects the whole
+    /// file and loads nothing — a damaged dump must never seed wrong
+    /// plans. Loaded entries go through the capacity-enforcing path and
+    /// do not count toward hit/miss statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`CachePersistError::Io`] on read failure,
+    /// [`CachePersistError::Corrupt`] on any format violation.
+    pub fn load_from(&self, path: &Path) -> Result<usize, CachePersistError> {
+        let entries = load_dump(path, PLAN_PERSIST_MAGIC, |line| {
+            let (fp, blob) = line
+                .split_once(' ')
+                .ok_or_else(|| "missing estimate field".to_owned())?;
+            let fp =
+                u128::from_str_radix(fp, 16).map_err(|_| "unparsable fingerprint".to_owned())?;
+            let estimate = SampleSizeEstimate::decode_wire(blob)
+                .ok_or_else(|| "unparsable estimate encoding".to_owned())?;
+            Ok((PlanFingerprint(fp), estimate))
+        })?;
+        let loaded = entries.len();
+        for (key, estimate) in entries {
+            let mut shard = self.shards[key.shard()]
+                .write()
+                .expect("plan cache poisoned");
+            if shard.len() >= Self::MAX_ENTRIES / Self::SHARDS {
+                shard.clear();
+            }
+            shard.insert(key, estimate);
         }
         Ok(loaded)
     }
@@ -698,6 +960,144 @@ mod tests {
             .unwrap();
         assert_eq!(n, 4_242);
         std::fs::remove_file(path).unwrap();
+    }
+
+    use crate::estimator::{
+        ActiveLabelingSchedule, EstimateProvenance, HierarchicalPlan, OptimizedPlan, PhaseEstimate,
+    };
+
+    fn baseline_estimate(labeled: u64) -> SampleSizeEstimate {
+        SampleSizeEstimate {
+            labeled_samples: labeled,
+            unlabeled_samples: 0,
+            ln_delta_per_test: -9.21,
+            provenance: EstimateProvenance::Baseline,
+            per_clause: Vec::new(),
+        }
+    }
+
+    fn optimized_estimate() -> SampleSizeEstimate {
+        let phase = |samples: u64, eps: f64| PhaseEstimate {
+            samples,
+            needs_labels: samples.is_multiple_of(2),
+            epsilon: eps,
+            ln_delta: -12.5,
+        };
+        SampleSizeEstimate {
+            labeled_samples: 29_048,
+            unlabeled_samples: 2_302,
+            ln_delta_per_test: -13.8,
+            provenance: EstimateProvenance::Optimized(OptimizedPlan::Hierarchical(
+                HierarchicalPlan {
+                    filter: phase(2_302, 0.01),
+                    test: phase(29_048, 0.01),
+                    variance_bound: 0.1,
+                    active: ActiveLabelingSchedule {
+                        pool_size: 29_048,
+                        labels_per_commit: 2_188,
+                        worst_case_total_labels: 92_960,
+                    },
+                },
+            )),
+            per_clause: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn plan_cache_miss_then_hit_returns_identical_estimate() {
+        let cache = PlanCache::new();
+        let fp = PlanFingerprint::of("formula=n > 0.8 +/- 0.05;delta=…");
+        assert_eq!(cache.lookup(fp), None);
+        let est = optimized_estimate();
+        cache.store(fp, est.clone());
+        assert_eq!(cache.lookup(fp), Some(est));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        // A different canonical string is a different key.
+        assert_eq!(cache.lookup(PlanFingerprint::of("other")), None);
+    }
+
+    #[test]
+    fn plan_cache_save_load_round_trip() {
+        let cache = PlanCache::new();
+        cache.store(PlanFingerprint::of("a"), baseline_estimate(6_279));
+        cache.store(PlanFingerprint::of("b"), optimized_estimate());
+        let path = temp_path("plan-roundtrip.v1");
+        assert_eq!(cache.save_to(&path).unwrap(), 2);
+
+        let restored = PlanCache::new();
+        assert_eq!(restored.load_from(&path).unwrap(), 2);
+        assert_eq!(
+            restored.lookup(PlanFingerprint::of("a")),
+            Some(baseline_estimate(6_279))
+        );
+        assert_eq!(
+            restored.lookup(PlanFingerprint::of("b")),
+            Some(optimized_estimate())
+        );
+        // Same contents → byte-identical dump (entries are sorted).
+        let path2 = temp_path("plan-roundtrip2.v1");
+        restored.save_to(&path2).unwrap();
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            std::fs::read(&path2).unwrap()
+        );
+        std::fs::remove_file(path).unwrap();
+        std::fs::remove_file(path2).unwrap();
+    }
+
+    #[test]
+    fn plan_cache_rejects_corrupt_dumps() {
+        let cache = PlanCache::new();
+        cache.store(PlanFingerprint::of("a"), baseline_estimate(6_279));
+        let path = temp_path("plan-corrupt.v1");
+        cache.save_to(&path).unwrap();
+        let good = std::fs::read_to_string(&path).unwrap();
+
+        let corruptions: &[(&str, String)] = &[
+            ("bad magic", good.replacen("easeml-plan-cache", "x", 1)),
+            ("future version", good.replacen("v1", "v9", 1)),
+            ("flipped sample count", good.replacen("6279", "9999", 1)),
+            ("count mismatch", good.replacen("count=1", "count=2", 1)),
+            ("mangled provenance", good.replacen(";B;", ";Q;", 1)),
+            (
+                "missing checksum",
+                good.lines().next().unwrap().to_owned() + "\n",
+            ),
+            ("truncated", good[..good.len() / 2].to_owned()),
+            ("empty", String::new()),
+        ];
+        for (what, text) in corruptions {
+            std::fs::write(&path, text).unwrap();
+            let fresh = PlanCache::new();
+            let err = fresh.load_from(&path);
+            assert!(
+                matches!(err, Err(CachePersistError::Corrupt { .. })),
+                "{what}: expected Corrupt, got {err:?}"
+            );
+            assert_eq!(fresh.stats().entries, 0, "{what}: must load nothing");
+        }
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(
+            PlanCache::new().load_from(&path),
+            Err(CachePersistError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn plan_cache_entry_count_is_bounded() {
+        let cache = PlanCache::new();
+        for i in 0..=PlanCache::MAX_ENTRIES as u64 {
+            cache.store(
+                PlanFingerprint::of(&format!("key-{i}")),
+                baseline_estimate(i),
+            );
+        }
+        let entries = cache.stats().entries;
+        assert!(
+            (1..=PlanCache::MAX_ENTRIES).contains(&entries),
+            "entries = {entries}"
+        );
     }
 
     #[test]

@@ -251,6 +251,113 @@ fn leaf_samples(
     }
 }
 
+// ---------------------------------------------------------------------
+// Wire encoding of the per-clause breakdown for the plan cache
+// (`crate::PlanCache`).
+//
+// A clause estimate is one `,`-separated token (no spaces, no `;`, no
+// `:`): the clause's rendered text as hex bytes, its sample count, then
+// its leaves as `.`-separated sub-tokens. Exact and strict, like the
+// plan encoding in `pattern.rs`.
+// ---------------------------------------------------------------------
+
+use super::{hex_f64, parse_hex_f64};
+
+fn hex_bytes(text: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(text.len() * 2);
+    for b in text.bytes() {
+        let _ = write!(out, "{b:02x}");
+    }
+    out
+}
+
+fn unhex_bytes(hex: &str) -> Option<String> {
+    if !hex.len().is_multiple_of(2) {
+        return None;
+    }
+    let mut bytes = Vec::with_capacity(hex.len() / 2);
+    for i in (0..hex.len()).step_by(2) {
+        bytes.push(u8::from_str_radix(hex.get(i..i + 2)?, 16).ok()?);
+    }
+    String::from_utf8(bytes).ok()
+}
+
+/// `<var>.<coefficient_bits>.<epsilon_bits>.<ln_delta_bits>.<samples>`.
+fn encode_leaf(leaf: &LeafEstimate) -> String {
+    format!(
+        "{}.{}.{}.{}.{}",
+        leaf.var.letter(),
+        hex_f64(leaf.coefficient),
+        hex_f64(leaf.epsilon),
+        hex_f64(leaf.ln_delta),
+        leaf.samples,
+    )
+}
+
+fn decode_leaf(s: &str) -> Option<LeafEstimate> {
+    let mut fields = s.split('.');
+    let var = match fields.next()? {
+        "n" => Var::N,
+        "o" => Var::O,
+        "d" => Var::D,
+        _ => return None,
+    };
+    let coefficient = parse_hex_f64(fields.next()?)?;
+    let epsilon = parse_hex_f64(fields.next()?)?;
+    let ln_delta = parse_hex_f64(fields.next()?)?;
+    let samples = fields.next()?.parse().ok()?;
+    if fields.next().is_some() {
+        return None;
+    }
+    Some(LeafEstimate {
+        var,
+        coefficient,
+        epsilon,
+        ln_delta,
+        samples,
+    })
+}
+
+/// `<clause_text_hex>,<samples>,<leaf_count>(,<leaf>)*`.
+pub(crate) fn encode_clause_estimate(est: &ClauseEstimate) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!(
+        "{},{},{}",
+        hex_bytes(&est.clause),
+        est.samples,
+        est.leaves.len()
+    );
+    for leaf in &est.leaves {
+        let _ = write!(out, ",{}", encode_leaf(leaf));
+    }
+    out
+}
+
+pub(crate) fn decode_clause_estimate(s: &str) -> Option<ClauseEstimate> {
+    let mut fields = s.split(',');
+    let clause = unhex_bytes(fields.next()?)?;
+    let samples = fields.next()?.parse().ok()?;
+    let count: usize = fields.next()?.parse().ok()?;
+    // A clause has at most a handful of leaves; reject absurd counts
+    // before trusting them for an allocation.
+    if count > 4_096 {
+        return None;
+    }
+    let mut leaves = Vec::with_capacity(count);
+    for _ in 0..count {
+        leaves.push(decode_leaf(fields.next()?)?);
+    }
+    if fields.next().is_some() {
+        return None;
+    }
+    Some(ClauseEstimate {
+        clause,
+        samples,
+        leaves,
+    })
+}
+
 type Leaf = (Var, f64, f64, f64); // var, |coef|, epsilon, ln_delta
 
 /// Literal tree recursion: each `+`/`-` halves ε and δ; each scale node

@@ -34,11 +34,25 @@ pub use pattern::{
     ImplicitVariancePlan, OptimizedPlan, Pattern1Options, Pattern2Options, PhaseEstimate,
 };
 
-use crate::cache::{BoundKind, BoundsCache, CachePolicy};
+use crate::cache::{BoundKind, BoundsCache, CachePolicy, PlanCache, PlanFingerprint};
 use crate::error::Result;
+use crate::logic::Mode;
 use crate::script::CiScript;
-use easeml_bounds::Tail;
+use easeml_bounds::{Adaptivity, Tail};
 use easeml_par::Pool;
+
+/// Exact `f64` transport for the plan-cache wire format: 16 lowercase
+/// hex digits of the bit pattern (round-trips NaN/∞ and every payload).
+pub(crate) fn hex_f64(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+pub(crate) fn parse_hex_f64(s: &str) -> Option<f64> {
+    if s.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
 
 /// Strategy the estimator is allowed to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -65,9 +79,10 @@ pub struct EstimatorConfig {
     pub pattern1: Pattern1Options,
     /// Pattern 2 knobs.
     pub pattern2: Pattern2Options,
-    /// Whether expensive leaf inversions consult the shared
-    /// [`crate::BoundsCache`] (on by default; [`CachePolicy::Bypass`]
-    /// recomputes everything).
+    /// Whether estimation consults the shared caches: leaf inversions
+    /// go through [`crate::BoundsCache`] and whole plan-search results
+    /// through [`crate::PlanCache`] (both on by default;
+    /// [`CachePolicy::Bypass`] recomputes everything at every layer).
     pub cache: CachePolicy,
 }
 
@@ -107,6 +122,136 @@ impl SampleSizeEstimate {
     pub fn total_samples(&self) -> u64 {
         self.labeled_samples.saturating_add(self.unlabeled_samples)
     }
+
+    /// One-token wire encoding for [`PlanCache`] persistence:
+    /// `labeled;unlabeled;ln_delta_bits;provenance;clause_count(;clause)*`
+    /// with the provenance either `B` (baseline) or `O=<plan>`
+    /// (optimized; see `pattern::encode_plan`). No spaces, every `f64`
+    /// as exact bits, so `decode_wire` reproduces a `==` estimate.
+    pub(crate) fn encode_wire(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "{};{};{};",
+            self.labeled_samples,
+            self.unlabeled_samples,
+            hex_f64(self.ln_delta_per_test),
+        );
+        match &self.provenance {
+            EstimateProvenance::Baseline => out.push('B'),
+            EstimateProvenance::Optimized(plan) => {
+                out.push_str("O=");
+                out.push_str(&pattern::encode_plan(plan));
+            }
+        }
+        let _ = write!(out, ";{}", self.per_clause.len());
+        for clause in &self.per_clause {
+            out.push(';');
+            out.push_str(&baseline::encode_clause_estimate(clause));
+        }
+        out
+    }
+
+    /// Strict inverse of [`Self::encode_wire`]; `None` on any malformed
+    /// field (the plan cache rejects the whole dump in that case).
+    pub(crate) fn decode_wire(s: &str) -> Option<SampleSizeEstimate> {
+        let mut fields = s.split(';');
+        let labeled_samples = fields.next()?.parse().ok()?;
+        let unlabeled_samples = fields.next()?.parse().ok()?;
+        let ln_delta_per_test = parse_hex_f64(fields.next()?)?;
+        let prov = fields.next()?;
+        let provenance = if prov == "B" {
+            EstimateProvenance::Baseline
+        } else {
+            EstimateProvenance::Optimized(pattern::decode_plan(prov.strip_prefix("O=")?)?)
+        };
+        let count: usize = fields.next()?.parse().ok()?;
+        // Formulas have a handful of clauses; reject absurd counts
+        // before trusting them for an allocation.
+        if count > 4_096 {
+            return None;
+        }
+        let mut per_clause = Vec::with_capacity(count);
+        for _ in 0..count {
+            per_clause.push(baseline::decode_clause_estimate(fields.next()?)?);
+        }
+        if fields.next().is_some() {
+            return None;
+        }
+        Some(SampleSizeEstimate {
+            labeled_samples,
+            unlabeled_samples,
+            ln_delta_per_test,
+            provenance,
+            per_clause,
+        })
+    }
+}
+
+/// Canonicalized fingerprint of one plan-search query — the key of the
+/// cross-layer [`PlanCache`].
+///
+/// Covers everything the estimate depends on: the formula's canonical
+/// rendering (structure, thresholds, tolerances, coefficients — the
+/// `Display` form is shortest-round-trip, hence injective on values, and
+/// identical for differently-formatted source scripts that parse to the
+/// same condition), `δ`, the step budget, adaptivity, decision mode, and
+/// every estimator knob (strategy, allocation, leaf bound, tail, pattern
+/// options). Two queries with equal fingerprints would run the exact
+/// same plan search.
+///
+/// Mode does not influence today's sample-size arithmetic, but it is
+/// part of the script's semantic identity and keying on it keeps the
+/// cache trivially correct if a future mode-aware estimate lands.
+#[must_use]
+pub fn plan_fingerprint(script: &CiScript, config: &EstimatorConfig) -> PlanFingerprint {
+    use std::fmt::Write as _;
+    let mut s = String::with_capacity(192);
+    let _ = write!(
+        s,
+        "formula={};delta={};steps={};adaptivity={};mode={};",
+        script.condition(),
+        hex_f64(script.delta()),
+        script.steps(),
+        match script.adaptivity() {
+            Adaptivity::None => 0,
+            Adaptivity::Full => 1,
+            Adaptivity::FirstChange => 2,
+        },
+        match script.mode() {
+            Mode::FpFree => 0,
+            Mode::FnFree => 1,
+        },
+    );
+    let _ = write!(
+        s,
+        "strategy={};allocation={};leaf={};tail={};",
+        match config.strategy {
+            EstimatorStrategy::Auto => 0,
+            EstimatorStrategy::BaselineOnly => 1,
+        },
+        match config.allocation {
+            Allocation::EqualSplit => 0,
+            Allocation::Proportional => 1,
+        },
+        match config.leaf_bound {
+            LeafBound::Hoeffding => 0,
+            LeafBound::ExactBinomial => 1,
+        },
+        config.tail.code(),
+    );
+    let _ = write!(
+        s,
+        "p1={},{};p2={},{},{}",
+        u8::from(config.pattern1.conservative_variance),
+        config.pattern1.tail.code(),
+        hex_f64(config.pattern2.expected_difference),
+        config
+            .pattern2
+            .known_variance_bound
+            .map_or_else(|| "-".to_owned(), hex_f64),
+        config.pattern2.tail.code(),
+    );
+    PlanFingerprint::of(&s)
 }
 
 /// Which estimation path produced the final numbers.
@@ -150,11 +295,38 @@ impl SampleSizeEstimator {
 
     /// Estimate the testset size a script requires.
     ///
+    /// Under [`CachePolicy::Shared`] (the default) the full plan-search
+    /// result is memoized in the cross-layer [`PlanCache`], keyed by
+    /// [`plan_fingerprint`]: repeated estimates of a known script —
+    /// every `easeml-serve` re-registration, every engine construction
+    /// against a popular script shape — collapse to a map lookup instead
+    /// of re-running pattern matching and the bound inversions. A hit
+    /// returns a clone of the stored estimate, so cached and freshly
+    /// computed answers are identical down to the bit patterns.
+    ///
     /// # Errors
     ///
     /// Returns an error when the condition is semantically invalid or a
-    /// bound computation rejects its parameters.
+    /// bound computation rejects its parameters. Errors are never
+    /// cached.
     pub fn estimate(&self, script: &CiScript) -> Result<SampleSizeEstimate> {
+        match self.config.cache {
+            CachePolicy::Shared => {
+                let fingerprint = plan_fingerprint(script, &self.config);
+                if let Some(estimate) = PlanCache::global().lookup(fingerprint) {
+                    return Ok(estimate);
+                }
+                let estimate = self.estimate_uncached(script)?;
+                PlanCache::global().store(fingerprint, estimate.clone());
+                Ok(estimate)
+            }
+            CachePolicy::Bypass => self.estimate_uncached(script),
+        }
+    }
+
+    /// The actual plan search behind [`Self::estimate`] (pattern
+    /// matching, then the baseline recursion).
+    fn estimate_uncached(&self, script: &CiScript) -> Result<SampleSizeEstimate> {
         let delta = script.delta();
         let adaptivity = script.adaptivity();
         let steps = script.steps();
@@ -423,6 +595,146 @@ mod tests {
         assert!(estimator
             .exact_sample_size_grid(&[1.2], &[0.01], Tail::TwoSided)
             .is_err());
+    }
+
+    /// The wire encoding reproduces every estimate shape the estimator
+    /// can emit — all three optimized plans and a multi-clause baseline
+    /// with per-leaf breakdowns — bit for bit.
+    #[test]
+    fn wire_encoding_round_trips_every_plan_shape() {
+        let estimator = SampleSizeEstimator::new();
+        let scripts = [
+            // Pattern 1 (hierarchical), Pattern 2 (implicit variance),
+            // Pattern 3 (coarse-to-fine), baseline with clauses.
+            script(
+                "d < 0.1 +/- 0.01 /\\ n - o > 0.02 +/- 0.01",
+                0.9999,
+                Adaptivity::None,
+                32,
+            ),
+            script("n - o > 0.02 +/- 0.01", 0.999, Adaptivity::Full, 16),
+            script("n > 0.9 +/- 0.02", 0.999, Adaptivity::None, 8),
+            script(
+                "n - 1.1 * o > 0.01 +/- 0.01 /\\ d < 0.1 +/- 0.01 /\\ n > 0.5 +/- 0.05",
+                0.99,
+                Adaptivity::FirstChange,
+                4,
+            ),
+        ];
+        for s in &scripts {
+            for est in [
+                estimator.estimate(s).unwrap(),
+                estimator.estimate_baseline(s).unwrap(),
+            ] {
+                let wire = est.encode_wire();
+                assert!(
+                    !wire.contains(' ') && !wire.contains('\n'),
+                    "wire token must fit one space-separated field: {wire}"
+                );
+                let back = SampleSizeEstimate::decode_wire(&wire).unwrap();
+                assert_eq!(back, est, "round trip changed the estimate: {wire}");
+            }
+        }
+        assert!(SampleSizeEstimate::decode_wire("garbage").is_none());
+        assert!(SampleSizeEstimate::decode_wire("").is_none());
+    }
+
+    /// Plan-cache-served estimates are indistinguishable from fresh
+    /// computation, and `estimate()` populates the shared cache under
+    /// the fingerprint key.
+    #[test]
+    fn estimate_is_identical_with_and_without_plan_cache() {
+        use crate::cache::{CachePolicy, PlanCache};
+        for condition in [
+            "n > 0.8 +/- 0.05",
+            "d < 0.1 +/- 0.01 /\\ n - o > 0.02 +/- 0.01",
+            "n - o > 0.02 +/- 0.01",
+            "n > 0.9 +/- 0.02",
+        ] {
+            // A reliability digit unique to this test keeps the
+            // fingerprints disjoint from other tests sharing the global
+            // cache.
+            let s = script(condition, 0.99931, Adaptivity::Full, 12);
+            let shared = SampleSizeEstimator::new();
+            let bypass = SampleSizeEstimator::with_config(EstimatorConfig {
+                cache: CachePolicy::Bypass,
+                ..EstimatorConfig::default()
+            });
+            let cold = shared.estimate(&s).unwrap(); // miss: compute + store
+            let warm = shared.estimate(&s).unwrap(); // hit: served from cache
+            let fresh = bypass.estimate(&s).unwrap();
+            assert_eq!(cold, warm, "{condition}");
+            assert_eq!(warm, fresh, "{condition}");
+            let fp = plan_fingerprint(&s, shared.config());
+            assert_eq!(
+                PlanCache::global().lookup(fp),
+                Some(fresh),
+                "{condition}: estimate() must have stored the plan"
+            );
+        }
+    }
+
+    /// The fingerprint canonicalizes formatting but separates semantics:
+    /// the same condition written differently shares a key; any knob
+    /// change gets its own.
+    #[test]
+    fn plan_fingerprint_canonicalizes_and_separates() {
+        let a = script("n - o > 0.02 +/- 0.01", 0.999, Adaptivity::Full, 32);
+        let b = CiScript::builder()
+            .condition_str("n-o>0.02+/-0.01")
+            .unwrap()
+            .reliability(0.999)
+            .mode(Mode::FpFree)
+            .adaptivity(Adaptivity::Full)
+            .steps(32)
+            .build()
+            .unwrap();
+        let config = EstimatorConfig::default();
+        assert_eq!(plan_fingerprint(&a, &config), plan_fingerprint(&b, &config));
+
+        let mut variants = vec![
+            plan_fingerprint(
+                &script("n - o > 0.02 +/- 0.011", 0.999, Adaptivity::Full, 32),
+                &config,
+            ),
+            plan_fingerprint(
+                &script("n - o > 0.02 +/- 0.01", 0.9991, Adaptivity::Full, 32),
+                &config,
+            ),
+            plan_fingerprint(
+                &script("n - o > 0.02 +/- 0.01", 0.999, Adaptivity::None, 32),
+                &config,
+            ),
+            plan_fingerprint(
+                &script("n - o > 0.02 +/- 0.01", 0.999, Adaptivity::Full, 33),
+                &config,
+            ),
+            plan_fingerprint(
+                &a,
+                &EstimatorConfig {
+                    tail: Tail::TwoSided,
+                    ..config
+                },
+            ),
+            plan_fingerprint(
+                &a,
+                &EstimatorConfig {
+                    leaf_bound: LeafBound::ExactBinomial,
+                    ..config
+                },
+            ),
+            plan_fingerprint(
+                &a,
+                &EstimatorConfig {
+                    strategy: EstimatorStrategy::BaselineOnly,
+                    ..config
+                },
+            ),
+        ];
+        variants.push(plan_fingerprint(&a, &config));
+        variants.sort();
+        variants.dedup();
+        assert_eq!(variants.len(), 8, "every knob must change the key");
     }
 
     #[test]

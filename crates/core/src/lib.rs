@@ -70,7 +70,9 @@ mod logic;
 mod practicality;
 pub mod script;
 
-pub use cache::{BoundKind, BoundsCache, CachePersistError, CachePolicy, CacheStats};
+pub use cache::{
+    BoundKind, BoundsCache, CachePersistError, CachePolicy, CacheStats, PlanCache, PlanFingerprint,
+};
 pub use engine::{
     AlarmReason, CiEngine, CiEvent, CollectingSink, CommitEstimates, CommitHistory, CommitReceipt,
     HistoryEntry, LabelOracle, MailboxSink, ModelCommit, NotificationSink, NullSink, Testset,
@@ -78,7 +80,8 @@ pub use engine::{
 };
 pub use error::{CiError, EngineError, ParseError, Result, ScriptError};
 pub use estimator::{
-    EstimateProvenance, EstimatorConfig, EstimatorStrategy, SampleSizeEstimate, SampleSizeEstimator,
+    plan_fingerprint, EstimateProvenance, EstimatorConfig, EstimatorStrategy, SampleSizeEstimate,
+    SampleSizeEstimator,
 };
 pub use eval::{
     clause_interval, decide, evaluate_clause, evaluate_clause_at, evaluate_formula,

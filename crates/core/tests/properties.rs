@@ -221,3 +221,85 @@ proptest! {
         prop_assert!(prop_alloc <= equal, "prop={prop_alloc} equal={equal} c={c}");
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The `BoundsCache` global entry budget holds across the 16 shards
+    /// under arbitrary overflowing insertion streams — per-shard
+    /// enforcement must never let the *total* exceed
+    /// `BoundsCache::MAX_ENTRIES` — and a lookup of an evicted key falls
+    /// back to recomputation (and re-stores the fresh value) instead of
+    /// serving anything stale.
+    #[test]
+    fn bounds_cache_eviction_respects_global_cap(
+        seed in 0u64..1_000_000,
+        excess in 1usize..5_000,
+    ) {
+        use easeml_ci_core::{BoundKind, BoundsCache};
+        let kind = BoundKind::ExactBinomialSampleSize;
+        let cache = BoundsCache::new();
+        let base = 0.05f64.to_bits();
+        // Distinct quantized keys: bits differ above the bottom-8
+        // quantization grain, spread by the random seed.
+        let eps_at = |i: usize| f64::from_bits(base + (((i as u64) << 8) ^ (seed << 28)));
+        let ln_delta = -5.0 - (seed % 7) as f64;
+        let total = BoundsCache::MAX_ENTRIES + excess;
+        for i in 0..total {
+            cache.store(kind, Tail::TwoSided, eps_at(i), ln_delta, i as u64);
+            if i % 4_096 == 0 {
+                let entries = cache.stats().entries;
+                prop_assert!(
+                    entries <= BoundsCache::MAX_ENTRIES,
+                    "cap exceeded mid-stream: {} entries after {} inserts", entries, i + 1
+                );
+            }
+        }
+        let entries = cache.stats().entries;
+        prop_assert!(
+            (1..=BoundsCache::MAX_ENTRIES).contains(&entries),
+            "cap exceeded after overflow: {} entries", entries
+        );
+        // More keys were inserted than survive, so some key was evicted;
+        // it must recompute (not resurrect) and be cached again after.
+        let evicted = (0..total)
+            .map(eps_at)
+            .find(|&eps| cache.lookup(kind, Tail::TwoSided, eps, ln_delta).is_none());
+        let Some(eps) = evicted else {
+            return Err(TestCaseError::fail("overflowing stream left no evicted key"));
+        };
+        let n = cache
+            .sample_size_with(kind, Tail::TwoSided, eps, ln_delta, || Ok(777_777))
+            .unwrap();
+        prop_assert_eq!(n, 777_777, "evicted key must recompute");
+        prop_assert_eq!(
+            cache.lookup(kind, Tail::TwoSided, eps, ln_delta),
+            Some(777_777),
+            "recomputed value must be re-stored"
+        );
+    }
+
+    /// Grid inversions with the shared caches enabled are bit-identical
+    /// to cache-bypassing sequential runs at threads ∈ {1, 2, 8}.
+    #[test]
+    fn shared_cache_grid_matches_bypass_at_any_width(
+        epsilons in prop::collection::vec(0.05f64..0.3, 1..3),
+        deltas in prop::collection::vec(1e-3f64..0.1, 1..3),
+    ) {
+        use easeml_par::Pool;
+        let shared = SampleSizeEstimator::new();
+        let bypass = SampleSizeEstimator::with_config(EstimatorConfig {
+            cache: CachePolicy::Bypass,
+            ..EstimatorConfig::default()
+        });
+        let reference = bypass
+            .exact_sample_size_grid_with_pool(&epsilons, &deltas, Tail::TwoSided, &Pool::new(1))
+            .unwrap();
+        for threads in [1usize, 2, 8] {
+            let got = shared
+                .exact_sample_size_grid_with_pool(&epsilons, &deltas, Tail::TwoSided, &Pool::new(threads))
+                .unwrap();
+            prop_assert_eq!(&reference, &got, "threads={}", threads);
+        }
+    }
+}

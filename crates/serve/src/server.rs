@@ -13,8 +13,8 @@
 //! | GET    | `/projects/{name}/history`  | full evaluation history |
 //! | GET    | `/projects/{name}/budget`   | adaptivity budget status |
 //! | POST   | `/projects/{name}/testset`  | install a fresh testset (new era) |
-//! | GET    | `/cache/stats`              | shared BoundsCache counters |
-//! | POST   | `/admin/persist`            | snapshot all projects + save the cache |
+//! | GET    | `/cache/stats`              | per-cache (bounds vs. plan) hit/miss/entry counters |
+//! | POST   | `/admin/persist`            | snapshot all projects + save both caches |
 //! | POST   | `/admin/shutdown`           | graceful stop (flush durable state, then exit `run`) |
 //!
 //! # Concurrency
@@ -31,8 +31,8 @@ use crate::error::ServeError;
 use crate::http::{poll_data, read_request, DataPoll, ReadOutcome, Request, Response};
 use crate::json::Value;
 use crate::registry::{serving_estimator, CommitSubmission, EvalCounts, GateReceipt};
-use crate::store::{entry_json, tribool_str, Registry, BOUNDS_CACHE_FILE};
-use easeml_ci_core::{effort, AlarmReason, BoundsCache, CostModel, EstimateProvenance};
+use crate::store::{entry_json, tribool_str, Registry, BOUNDS_CACHE_FILE, PLAN_CACHE_FILE};
+use easeml_ci_core::{effort, AlarmReason, BoundsCache, CostModel, EstimateProvenance, PlanCache};
 use easeml_par::Pool;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -115,13 +115,14 @@ impl ServerHandle {
 
 impl Server {
     /// Bind the listener and load durable state: the project registry
-    /// from `data_dir` and — when a dump exists — the shared
-    /// [`BoundsCache`], so sample-size inversions start warm.
+    /// from `data_dir` and — when dumps exist — the shared
+    /// [`BoundsCache`] and [`PlanCache`], so sample-size inversions and
+    /// plan searches (registrations) start warm.
     ///
-    /// A corrupt cache dump is reported to stderr and ignored (the cache
-    /// is a performance artifact; every entry is re-derivable), while a
-    /// corrupt *project* directory fails the boot — gate state must never
-    /// silently diverge.
+    /// A corrupt cache dump is reported to stderr and ignored (the
+    /// caches are performance artifacts; every entry is re-derivable),
+    /// while a corrupt *project* directory fails the boot — gate state
+    /// must never silently diverge.
     ///
     /// # Errors
     ///
@@ -132,6 +133,12 @@ impl Server {
         if cache_path.exists() {
             if let Err(e) = BoundsCache::global().load_from(&cache_path) {
                 eprintln!("warning: ignoring bounds cache dump: {e}");
+            }
+        }
+        let plan_path = config.data_dir.join(PLAN_CACHE_FILE);
+        if plan_path.exists() {
+            if let Err(e) = PlanCache::global().load_from(&plan_path) {
+                eprintln!("warning: ignoring plan cache dump: {e}");
             }
         }
         let registry = Registry::open(&config.data_dir, serving_estimator())?;
@@ -201,29 +208,39 @@ impl Server {
             }
         });
         // Durable shutdown: compact every project and persist the warm
-        // cache for the next process.
+        // caches for the next process.
         self.registry.snapshot_all()?;
-        save_cache(&self.data_dir)?;
+        save_caches(&self.data_dir)?;
         Ok(())
     }
 }
 
-/// Persist the shared [`BoundsCache`] under `data_dir`; returns the
-/// entry count. Serialized process-wide: concurrent saves (two
-/// `/admin/persist` requests, or persist racing shutdown) would
-/// otherwise interleave writes into the same temp file and rename
-/// garbage into place.
-fn save_cache(data_dir: &std::path::Path) -> Result<usize, ServeError> {
+/// Persist the shared [`BoundsCache`] and [`PlanCache`] under
+/// `data_dir`; returns their entry counts as `(bounds, plan)`.
+/// Serialized process-wide: concurrent saves (two `/admin/persist`
+/// requests, or persist racing shutdown) would otherwise interleave
+/// writes into the same temp files and rename garbage into place.
+fn save_caches(data_dir: &std::path::Path) -> Result<(usize, usize), ServeError> {
     static SAVE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
     let _guard = SAVE_LOCK.lock().expect("cache save lock poisoned");
-    let path = data_dir.join(BOUNDS_CACHE_FILE);
-    BoundsCache::global().save_to(&path).map_err(|e| match e {
-        easeml_ci_core::CachePersistError::Io(io) => ServeError::Io(io),
-        corrupt => ServeError::Corrupt {
-            path,
-            reason: corrupt.to_string(),
-        },
-    })
+    let persist_err = |path: PathBuf| {
+        move |e: easeml_ci_core::CachePersistError| match e {
+            easeml_ci_core::CachePersistError::Io(io) => ServeError::Io(io),
+            corrupt => ServeError::Corrupt {
+                path,
+                reason: corrupt.to_string(),
+            },
+        }
+    };
+    let bounds_path = data_dir.join(BOUNDS_CACHE_FILE);
+    let bounds = BoundsCache::global()
+        .save_to(&bounds_path)
+        .map_err(persist_err(bounds_path.clone()))?;
+    let plan_path = data_dir.join(PLAN_CACHE_FILE);
+    let plan = PlanCache::global()
+        .save_to(&plan_path)
+        .map_err(persist_err(plan_path.clone()))?;
+    Ok((bounds, plan))
 }
 
 /// Everything a connection handler needs: the registry plus the stop
@@ -564,25 +581,31 @@ fn fresh_testset(registry: &Registry, name: &str) -> Result<Response, ServeError
 }
 
 fn cache_stats() -> Response {
-    let stats = BoundsCache::global().stats();
-    Response::json(
-        200,
-        &Value::object([
+    let counters = |stats: easeml_ci_core::CacheStats| {
+        Value::object([
             ("hits", Value::from(stats.hits)),
             ("misses", Value::from(stats.misses)),
             ("entries", Value::from(stats.entries)),
+        ])
+    };
+    Response::json(
+        200,
+        &Value::object([
+            ("bounds", counters(BoundsCache::global().stats())),
+            ("plan", counters(PlanCache::global().stats())),
         ]),
     )
 }
 
 fn persist_all(registry: &Registry) -> Result<Response, ServeError> {
     registry.snapshot_all()?;
-    let cache_entries = save_cache(registry.data_dir())?;
+    let (bounds_entries, plan_entries) = save_caches(registry.data_dir())?;
     Ok(Response::json(
         200,
         &Value::object([
             ("persisted", Value::from(true)),
-            ("cache_entries", Value::from(cache_entries)),
+            ("bounds_cache_entries", Value::from(bounds_entries)),
+            ("plan_cache_entries", Value::from(plan_entries)),
         ]),
     ))
 }

@@ -6,6 +6,7 @@
 //! ```text
 //! <data-dir>/
 //!   bounds_cache.v1            persisted BoundsCache (see easeml-ci-core)
+//!   plan_cache.v1              persisted PlanCache (whole plan-search results)
 //!   projects/<name>/
 //!     project.json             registration record (written once)
 //!     journal.log              one JSON op per line, append-only
@@ -49,6 +50,9 @@ pub const SNAPSHOT_EVERY: u64 = 64;
 
 /// File name of the persisted bounds cache inside the data dir.
 pub const BOUNDS_CACHE_FILE: &str = "bounds_cache.v1";
+
+/// File name of the persisted plan cache inside the data dir.
+pub const PLAN_CACHE_FILE: &str = "plan_cache.v1";
 
 fn corrupt(path: &Path, reason: impl Into<String>) -> ServeError {
     ServeError::Corrupt {

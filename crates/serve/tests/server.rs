@@ -508,6 +508,119 @@ fn concurrent_persists_never_corrupt_the_cache_dump() {
 }
 
 #[test]
+fn cache_stats_reports_per_cache_counters_and_plan_cache_persists() {
+    // A script no other test registers, so its plan fingerprint is
+    // guaranteed cold in the process-wide PlanCache when this test runs.
+    const UNIQUE_SCRIPT: &str = "ml:\n\
+        \x20 - condition  : n > 0.61 +/- 0.21\n\
+        \x20 - reliability: 0.991\n\
+        \x20 - mode       : fp-free\n\
+        \x20 - adaptivity : full\n\
+        \x20 - steps      : 5\n";
+    let dir = temp_dir("cache-stats");
+    let (addr, handle, join) = start(&dir, 2);
+    let mut client = Client::new(addr);
+
+    let stats_of = |client: &mut Client, which: &str| -> (u64, u64, u64) {
+        let (status, stats) = client.request("GET", "/cache/stats", None).unwrap();
+        assert_eq!(status, 200);
+        let cache = stats
+            .get(which)
+            .unwrap_or_else(|| panic!("/cache/stats must report a `{which}` section: {stats}"));
+        let field = |name: &str| cache.get(name).and_then(Value::as_u64).unwrap();
+        (field("hits"), field("misses"), field("entries"))
+    };
+
+    let (_, plan_misses_0, _) = stats_of(&mut client, "plan");
+    let (status, reg_a) = client
+        .request(
+            "POST",
+            "/projects",
+            Some(&register_body("pc-a", UNIQUE_SCRIPT)),
+        )
+        .unwrap();
+    assert_eq!(status, 201, "{reg_a}");
+    let (plan_hits_1, plan_misses_1, plan_entries_1) = stats_of(&mut client, "plan");
+    assert!(
+        plan_misses_1 > plan_misses_0,
+        "first registration of a fresh script must miss the plan cache"
+    );
+    assert!(plan_entries_1 >= 1);
+
+    // Same script, different project: the whole plan search is served
+    // from the cache, and the estimate is identical.
+    let (status, reg_b) = client
+        .request(
+            "POST",
+            "/projects",
+            Some(&register_body("pc-b", UNIQUE_SCRIPT)),
+        )
+        .unwrap();
+    assert_eq!(status, 201, "{reg_b}");
+    let (plan_hits_2, _, _) = stats_of(&mut client, "plan");
+    assert!(
+        plan_hits_2 > plan_hits_1,
+        "re-registering a known script must hit the plan cache"
+    );
+    assert_eq!(
+        reg_a.get("estimate").map(Value::encode),
+        reg_b.get("estimate").map(Value::encode),
+        "cached and fresh plans must produce identical estimates"
+    );
+
+    // The bounds section tracks the leaf inversions independently.
+    let (_, _, bounds_entries) = stats_of(&mut client, "bounds");
+    assert!(bounds_entries >= 1, "registration fills the bounds cache");
+
+    // /admin/persist reports and writes both caches.
+    let (status, persisted) = client.request("POST", "/admin/persist", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        persisted
+            .get("bounds_cache_entries")
+            .and_then(Value::as_u64)
+            .unwrap()
+            >= 1
+    );
+    assert!(
+        persisted
+            .get("plan_cache_entries")
+            .and_then(Value::as_u64)
+            .unwrap()
+            >= 1
+    );
+    drop(client);
+    handle.stop();
+    join.join().unwrap();
+    let plan_dump = dir.join("plan_cache.v1");
+    assert!(plan_dump.exists(), "graceful stop saves the plan cache");
+    assert!(
+        easeml_ci_core::PlanCache::new()
+            .load_from(&plan_dump)
+            .unwrap()
+            >= 1,
+        "the dump holds the registrations' plan-search results"
+    );
+
+    // A warm restart must accept the persisted dumps (a corrupt dump
+    // would print a warning and boot cold; this asserts the happy path
+    // still registers instantly against the same script).
+    let (addr, handle, join) = start(&dir, 2);
+    let mut client = Client::new(addr);
+    let (status, _) = client
+        .request(
+            "POST",
+            "/projects",
+            Some(&register_body("pc-c", UNIQUE_SCRIPT)),
+        )
+        .unwrap();
+    assert_eq!(status, 201);
+    drop(client);
+    handle.stop();
+    join.join().unwrap();
+}
+
+#[test]
 fn journal_bytes_are_thread_count_invariant() {
     // The determinism contract: for a fixed per-project client schedule,
     // the journal a project ends up with is byte-identical whether the
