@@ -13,6 +13,14 @@
 //! the plan cache serves — the ~35 ms-vs-sub-ms gap the plan cache
 //! exists to close.
 //!
+//! A `predictions` section drives the server-measured gate: each client
+//! registers a project with a 1000-item lazily-labelled testset and
+//! uploads raw old/new prediction vectors to `/commits/predictions`, so
+//! every commit pays JSON vector decoding + server-side measurement +
+//! vector journalling on top of the gate itself. The section reports the
+//! latency ratio against the counts-gate p50 (same 1 k-sample scale) and
+//! the total label spend of the lazy oracle.
+//!
 //! Usage: `cargo run --release --bin repro_serve_load [--quick] [--threads N]`
 
 use easeml_bench::{format_sig, init_threads_from_args, results_dir, Table};
@@ -130,6 +138,71 @@ fn drive_client(addr: &str, client_id: u64, commits: u64) -> (f64, f64, Vec<f64>
     (register_ns, warm_register_ns, commit_ns, read_ns)
 }
 
+/// Size of the predictions-mode testset (the ISSUE's 1 k-sample scale).
+const PRED_TESTSET: usize = 1_000;
+
+/// Prediction vector over an all-zeros truth: correct (0) on the first
+/// `correct` items, wrong (1) after.
+fn pred_vector(correct: u64) -> String {
+    let preds: Vec<u32> = (0..PRED_TESTSET as u64)
+        .map(|i| u32::from(i >= correct))
+        .collect();
+    easeml_serve::json::encode_u32_vec(&preds)
+}
+
+/// One predictions-mode client: registers a project with a 1 k-item lazy
+/// testset and uploads `commits` old/new vector pairs. Returns
+/// (commit_ns[], labels_spent_total).
+fn drive_predictions_client(addr: &str, client_id: u64, commits: u64) -> (Vec<f64>, u64) {
+    let mut client = Client::new(addr);
+    let name = format!("pred-{client_id}");
+    let script = script_for(client_id);
+    let truth = vec![0u32; PRED_TESTSET];
+    let body = Value::object([
+        ("name", Value::from(name.as_str())),
+        ("script", Value::from(script.as_str())),
+        (
+            "testset",
+            Value::object([
+                (
+                    "labels",
+                    Value::from(easeml_serve::json::encode_u32_vec(&truth)),
+                ),
+                ("labeling", Value::from("lazy")),
+                ("classes", Value::from(2u64)),
+            ]),
+        ),
+    ]);
+    let (status, response) = client
+        .request("POST", "/projects", Some(&body))
+        .expect("register predictions project");
+    assert_eq!(status, 201, "{response}");
+
+    let commit_path = format!("/projects/{name}/commits/predictions");
+    let old = pred_vector(500);
+    let mut commit_ns = Vec::with_capacity(commits as usize);
+    let mut labels_total = 0u64;
+    for i in 0..commits {
+        let roll = splitmix64(client_id + 1_000, i);
+        let body = Value::object([
+            ("commit_id", Value::from(format!("c{i}"))),
+            ("old", Value::from(old.as_str())),
+            ("new", Value::from(pred_vector(300 + roll % 700))),
+        ]);
+        let t = Instant::now();
+        let (status, response) = client
+            .request("POST", &commit_path, Some(&body))
+            .expect("predictions commit");
+        commit_ns.push(t.elapsed().as_nanos() as f64);
+        assert_eq!(status, 200, "{response}");
+        labels_total += response
+            .get("labels")
+            .and_then(Value::as_u64)
+            .expect("labels in receipt");
+    }
+    (commit_ns, labels_total)
+}
+
 fn main() {
     let threads = init_threads_from_args();
     let quick = std::env::args().any(|a| a == "--quick");
@@ -176,9 +249,29 @@ fn main() {
         commit_ns.extend(commits);
         read_ns.extend(reads);
     }
+
+    // Predictions phase: the server does the measuring on a 1 k-sample
+    // lazily-labelled testset per client.
+    let pred_workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.clone();
+            std::thread::spawn(move || drive_predictions_client(&addr, c, commits_per_client))
+        })
+        .collect();
+    let mut pred_commit_ns = Vec::new();
+    let mut pred_labels_total = 0u64;
+    for worker in pred_workers {
+        let (commits, labels) = worker.join().expect("predictions client thread");
+        pred_commit_ns.extend(commits);
+        pred_labels_total += labels;
+    }
     let wall_ms = wall.elapsed().as_nanos() as f64 / 1e6;
-    let total_requests =
-        register_ns.len() + warm_register_ns.len() + commit_ns.len() + read_ns.len();
+    let total_requests = register_ns.len()
+        + warm_register_ns.len()
+        + commit_ns.len()
+        + read_ns.len()
+        + clients as usize // predictions registrations
+        + pred_commit_ns.len();
 
     // Graceful stop flushes snapshots + the bounds cache.
     handle.stop();
@@ -202,9 +295,24 @@ fn main() {
     assert_eq!(status, 200);
     assert_eq!(
         health.get("projects").and_then(Value::as_u64),
-        Some(2 * clients), // one cold + one plan-warm project per client
+        // One cold + one plan-warm + one predictions project per client.
+        Some(3 * clients),
         "all projects must survive the restart"
     );
+    for c in 0..clients {
+        let (_, status) = probe
+            .request("GET", &format!("/projects/pred-{c}"), None)
+            .expect("predictions project status");
+        assert_eq!(
+            status
+                .get("budget")
+                .and_then(|b| b.get("used"))
+                .and_then(Value::as_u64),
+            Some(commits_per_client),
+            "predictions project pred-{c} lost commits across restart \
+             (replay re-measures the journalled vectors)"
+        );
+    }
     for c in 0..clients {
         let (_, budget) = probe
             .request("GET", &format!("/projects/load-{c}/budget"), None)
@@ -226,6 +334,7 @@ fn main() {
     let warm_reg = percentiles(warm_register_ns);
     let commit = percentiles(commit_ns);
     let reads = percentiles(read_ns);
+    let pred_commit = percentiles(pred_commit_ns);
     let rps = total_requests as f64 / (wall_ms / 1e3);
 
     let mut table = Table::new(["request", "count", "p50_us", "p90_us", "p99_us", "max_us"]);
@@ -233,6 +342,7 @@ fn main() {
         ("register_cold", &reg),
         ("register_plan_warm", &warm_reg),
         ("commit", &commit),
+        ("commit_predictions", &pred_commit),
         ("budget_read", &reads),
     ] {
         table.push_row([
@@ -255,6 +365,18 @@ fn main() {
         warm_reg.p50_us,
         reg.p50_us / warm_reg.p50_us,
     );
+    let pred_ratio = pred_commit.p50_us / commit.p50_us;
+    println!(
+        "predictions gate p50 {:.0} us vs counts gate p50 {:.0} us ({:.1}x, target <5x on a \
+         {PRED_TESTSET}-sample testset) | {} labels spent by the lazy oracle",
+        pred_commit.p50_us, commit.p50_us, pred_ratio, pred_labels_total,
+    );
+    if pred_ratio >= 5.0 {
+        eprintln!(
+            "WARNING: predictions-gate p50 is {pred_ratio:.1}x the counts-gate p50 \
+             (acceptance target <5x)"
+        );
+    }
 
     let json = Value::object([
         ("bench", Value::from("serve")),
@@ -282,6 +404,20 @@ fn main() {
                 ("register", percentiles_json(&reg)),
                 ("commit", percentiles_json(&commit)),
                 ("budget_read", percentiles_json(&reads)),
+            ]),
+        ),
+        // Server-measured gate: raw 1 k-item prediction vectors through
+        // /commits/predictions (JSON vector decode + measurement + vector
+        // journalling per request), vs the counts gate's p50.
+        (
+            "predictions",
+            Value::object([
+                ("testset_size", Value::from(PRED_TESTSET)),
+                ("labeling", Value::from("lazy")),
+                ("commit", percentiles_json(&pred_commit)),
+                ("counts_gate_p50_us", Value::from(commit.p50_us)),
+                ("p50_ratio_vs_counts", Value::from(pred_ratio)),
+                ("labels_spent_total", Value::from(pred_labels_total)),
             ]),
         ),
         // Registration cold-vs-warm as its own section: `cold` runs the

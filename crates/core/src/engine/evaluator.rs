@@ -10,9 +10,80 @@
 //! evaluation consumed.
 
 use super::testset::{LabelOracle, Testset};
-use crate::dsl::{Clause, LinearForm, Var};
+use crate::dsl::{Clause, Formula, LinearForm, Var};
 use crate::error::{EngineError, Result};
 use std::ops::Range;
+
+/// How much ground-truth labelling a condition demands per testset item
+/// (§4.1.2). Ordered by cost: [`LabelDemand::Free`] <
+/// [`LabelDemand::Disagreements`] < [`LabelDemand::Full`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LabelDemand {
+    /// No labels needed: the condition only reads `d`.
+    Free,
+    /// Only items where the two models disagree need labels: every
+    /// `n`/`o` occurrence cancels into a pure difference (`αₙ = −αₒ`).
+    Disagreements,
+    /// Every item in the measured range needs a label (a clause reads
+    /// `n` or `o` individually).
+    Full,
+}
+
+/// The labelling demand of a clause: the cheapest strategy sufficient to
+/// measure its left-hand side exactly.
+#[must_use]
+pub fn clause_label_demand(clause: &Clause) -> LabelDemand {
+    let form = LinearForm::from_expr(&clause.expr);
+    let a_n = form.coefficient(Var::N);
+    let a_o = form.coefficient(Var::O);
+    if a_n == 0.0 && a_o == 0.0 {
+        LabelDemand::Free
+    } else if a_n == -a_o {
+        LabelDemand::Disagreements
+    } else {
+        LabelDemand::Full
+    }
+}
+
+/// The labelling demand of a whole formula: the maximum over its clauses.
+#[must_use]
+pub fn formula_label_demand(formula: &Formula) -> LabelDemand {
+    formula
+        .clauses()
+        .iter()
+        .map(clause_label_demand)
+        .max()
+        .unwrap_or(LabelDemand::Free)
+}
+
+/// Evaluation counts derived by measuring prediction vectors against a
+/// (possibly partially labelled) testset — the wire currency of the
+/// serving layer's counts gate, produced server-side by
+/// [`Measurement::derive_counts`].
+///
+/// `new_correct` and `old_correct` credit *both* models on items whose
+/// label stayed unknown, so the pair is exact exactly where the formula's
+/// [`LabelDemand`] needs it: `changed` is always exact,
+/// `new_correct − old_correct` is exact whenever every disagreement in
+/// the range is labelled, and the individual counts are exact under
+/// [`LabelDemand::Full`]. Feeding these counts to a gate that evaluates
+/// the *same* formula therefore reproduces the fully-labelled decision
+/// at a fraction of the labelling cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeasuredCounts {
+    /// Items measured.
+    pub samples: u64,
+    /// Items credited to the new model (see type docs for the
+    /// unknown-label convention).
+    pub new_correct: u64,
+    /// Items credited to the old model.
+    pub old_correct: u64,
+    /// Items where the two models' predictions differ (always exact,
+    /// label-free).
+    pub changed: u64,
+    /// Fresh labels pulled from the oracle by this derivation.
+    pub labels_spent: u64,
+}
 
 /// Per-commit measurement summary, as recorded in receipts and history.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -160,6 +231,72 @@ impl<'a> Measurement<'a> {
         Ok(delta as f64 / len as f64)
     }
 
+    /// Derive [`MeasuredCounts`] for a formula over a range, spending
+    /// only the labels the formula's [`LabelDemand`] requires:
+    ///
+    /// * [`LabelDemand::Free`]: no oracle calls;
+    /// * [`LabelDemand::Disagreements`]: labels only where the two
+    ///   models disagree (§4.1.2 difference trick);
+    /// * [`LabelDemand::Full`]: labels every item in the range.
+    ///
+    /// Items whose label is already cached in the testset are scored
+    /// exactly regardless of demand; items that stay unlabelled credit
+    /// both models (see [`MeasuredCounts`] for why this convention keeps
+    /// every decision-relevant statistic exact).
+    ///
+    /// # Errors
+    ///
+    /// Propagates label-acquisition failures.
+    pub fn derive_counts(
+        &mut self,
+        formula: &Formula,
+        range: Range<usize>,
+    ) -> Result<MeasuredCounts> {
+        let demand = formula_label_demand(formula);
+        let spent_before = self.labels_requested;
+        let mut changed = 0u64;
+        let mut new_correct = 0u64;
+        let mut old_correct = 0u64;
+        for i in range.clone() {
+            let disagree = self.new[i] != self.old[i];
+            changed += u64::from(disagree);
+            let need = match demand {
+                LabelDemand::Free => false,
+                LabelDemand::Disagreements => disagree,
+                LabelDemand::Full => true,
+            };
+            let label = if need {
+                let (label, fresh) = self.testset.require_label(i, self.oracle.as_deref_mut())?;
+                if fresh {
+                    self.labels_requested += 1;
+                }
+                Some(label)
+            } else {
+                self.testset.label(i)
+            };
+            match label {
+                Some(label) => {
+                    new_correct += u64::from(self.new[i] == label);
+                    old_correct += u64::from(self.old[i] == label);
+                }
+                // Unknown label: identical credit to both models. The
+                // formula never reads the statistics this distorts (or
+                // the item would have been labelled above).
+                None => {
+                    new_correct += 1;
+                    old_correct += 1;
+                }
+            }
+        }
+        Ok(MeasuredCounts {
+            samples: range.len() as u64,
+            new_correct,
+            old_correct,
+            changed,
+            labels_spent: self.labels_requested - spent_before,
+        })
+    }
+
     /// Measure the left-hand side of a clause over a range, choosing the
     /// cheapest sufficient strategy:
     ///
@@ -304,6 +441,128 @@ mod tests {
         // 0.1 + 0.1 = 0.2; still only one label (difference trick + free d).
         assert!((m.clause_lhs(&clause, 0..10).unwrap() - 0.2).abs() < 1e-12);
         assert_eq!(m.labels_requested(), 1);
+    }
+
+    #[test]
+    fn label_demand_classification() {
+        use crate::dsl::parse_formula;
+        let demand = |text: &str| formula_label_demand(&parse_formula(text).unwrap());
+        assert_eq!(demand("d < 0.2 +/- 0.05"), LabelDemand::Free);
+        assert_eq!(demand("n - o > 0.0 +/- 0.05"), LabelDemand::Disagreements);
+        assert_eq!(
+            demand("2 * (n - o) > 0.0 +/- 0.05"),
+            LabelDemand::Disagreements
+        );
+        assert_eq!(
+            demand("n - o > 0.0 +/- 0.05 /\\ d < 0.2 +/- 0.05"),
+            LabelDemand::Disagreements
+        );
+        assert_eq!(demand("n > 0.5 +/- 0.1"), LabelDemand::Full);
+        assert_eq!(demand("n - 1.1 * o > 0.0 +/- 0.1"), LabelDemand::Full);
+        assert_eq!(
+            demand("n - o > 0.0 +/- 0.05 /\\ o > 0.5 +/- 0.1"),
+            LabelDemand::Full
+        );
+    }
+
+    #[test]
+    fn derive_counts_spends_only_what_the_formula_demands() {
+        use crate::dsl::parse_formula;
+        let (labels, old, new) = fixture();
+        // d-only: zero labels, exact `changed`; unknown items credit both.
+        {
+            let mut testset = Testset::unlabeled(10);
+            let mut m = Measurement::new(&mut testset, None, &old, &new).unwrap();
+            let c = m
+                .derive_counts(&parse_formula("d < 0.2 +/- 0.05").unwrap(), 0..10)
+                .unwrap();
+            assert_eq!((c.samples, c.changed, c.labels_spent), (10, 1, 0));
+            assert_eq!((c.new_correct, c.old_correct), (10, 10));
+        }
+        // n - o: only the single disagreement is labelled, and the
+        // difference of the counts is the exact accuracy difference.
+        {
+            let mut testset = Testset::unlabeled(10);
+            let mut oracle = VecOracle::new(labels.clone());
+            let mut m = Measurement::new(&mut testset, Some(&mut oracle), &old, &new).unwrap();
+            let c = m
+                .derive_counts(&parse_formula("n - o > 0.0 +/- 0.05").unwrap(), 0..10)
+                .unwrap();
+            assert_eq!(c.labels_spent, 1, "only item 8 disagrees");
+            assert_eq!(c.new_correct as i64 - c.old_correct as i64, 1);
+            assert_eq!(c.changed, 1);
+            assert_eq!(testset.labeled_count(), 1);
+        }
+        // Bare n: full labelling, exact confusion counts.
+        {
+            let mut testset = Testset::unlabeled(10);
+            let mut oracle = VecOracle::new(labels.clone());
+            let mut m = Measurement::new(&mut testset, Some(&mut oracle), &old, &new).unwrap();
+            let c = m
+                .derive_counts(&parse_formula("n > 0.5 +/- 0.1").unwrap(), 0..10)
+                .unwrap();
+            assert_eq!(c.labels_spent, 10);
+            assert_eq!((c.new_correct, c.old_correct, c.changed), (9, 8, 1));
+        }
+        // Fully labelled pool: counts are the true confusion counts and
+        // nothing is spent, whatever the demand.
+        {
+            let mut testset = Testset::fully_labeled(labels);
+            let mut m = Measurement::new(&mut testset, None, &old, &new).unwrap();
+            let c = m
+                .derive_counts(&parse_formula("d < 0.2 +/- 0.05").unwrap(), 0..10)
+                .unwrap();
+            assert_eq!((c.new_correct, c.old_correct, c.labels_spent), (9, 8, 0));
+        }
+    }
+
+    #[test]
+    fn derived_counts_reproduce_clause_lhs() {
+        // The equivalence the serving gate rests on: evaluating a clause
+        // at the derived counts' point estimates gives exactly the value
+        // the measurement layer would have measured for it.
+        use crate::dsl::parse_formula;
+        let (labels, old, new) = fixture();
+        for text in [
+            "d < 0.2 +/- 0.05",
+            "n - o > 0.0 +/- 0.05",
+            "n - o + d > 0.0 +/- 0.05",
+            "n > 0.5 +/- 0.1 /\\ d < 0.2 +/- 0.05",
+        ] {
+            let formula = parse_formula(text).unwrap();
+            let mut testset = Testset::unlabeled(10);
+            let mut oracle = VecOracle::new(labels.clone());
+            let mut m = Measurement::new(&mut testset, Some(&mut oracle), &old, &new).unwrap();
+            let c = m.derive_counts(&formula, 0..10).unwrap();
+            let s = c.samples as f64;
+            let est = crate::eval::VariableEstimates::new(
+                c.new_correct as f64 / s,
+                c.old_correct as f64 / s,
+                c.changed as f64 / s,
+            );
+            // A fresh measurement context over the same (now labelled)
+            // pool measures each clause directly.
+            let mut m2 = Measurement::new(&mut testset, None, &old, &new).unwrap();
+            for clause in formula.clauses() {
+                let lhs = m2.clause_lhs(clause, 0..10).unwrap();
+                let from_counts = est.evaluate_expr(&clause.expr);
+                assert!(
+                    (lhs - from_counts).abs() < 1e-12,
+                    "{text}: clause `{clause}` measured {lhs} vs counts {from_counts}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn derive_counts_without_needed_oracle_fails() {
+        use crate::dsl::parse_formula;
+        let (_, old, new) = fixture();
+        let mut testset = Testset::unlabeled(10);
+        let mut m = Measurement::new(&mut testset, None, &old, &new).unwrap();
+        assert!(m
+            .derive_counts(&parse_formula("n > 0.5 +/- 0.1").unwrap(), 0..10)
+            .is_err());
     }
 
     #[test]

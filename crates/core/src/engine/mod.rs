@@ -17,7 +17,10 @@ mod history;
 mod sink;
 mod testset;
 
-pub use evaluator::{CommitEstimates, Measurement};
+pub use evaluator::{
+    clause_label_demand, formula_label_demand, CommitEstimates, LabelDemand, MeasuredCounts,
+    Measurement,
+};
 pub use history::{CommitHistory, HistoryEntry};
 pub use sink::{AlarmReason, CiEvent, CollectingSink, MailboxSink, NotificationSink, NullSink};
 pub use testset::{LabelOracle, Testset, VecOracle};

@@ -145,6 +145,14 @@ impl VecOracle {
     pub fn new(truth: Vec<u32>) -> Self {
         VecOracle { truth, served: 0 }
     }
+
+    /// The full ground-truth vector backing this oracle (used by holders
+    /// that must persist or re-verify the truth, e.g. the serving
+    /// layer's durable testset blobs).
+    #[must_use]
+    pub fn truth(&self) -> &[u32] {
+        &self.truth
+    }
 }
 
 impl LabelOracle for VecOracle {

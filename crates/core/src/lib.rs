@@ -74,8 +74,9 @@ pub use cache::{
     BoundKind, BoundsCache, CachePersistError, CachePolicy, CacheStats, PlanCache, PlanFingerprint,
 };
 pub use engine::{
-    AlarmReason, CiEngine, CiEvent, CollectingSink, CommitEstimates, CommitHistory, CommitReceipt,
-    HistoryEntry, LabelOracle, MailboxSink, ModelCommit, NotificationSink, NullSink, Testset,
+    clause_label_demand, formula_label_demand, AlarmReason, CiEngine, CiEvent, CollectingSink,
+    CommitEstimates, CommitHistory, CommitReceipt, HistoryEntry, LabelDemand, LabelOracle,
+    MailboxSink, MeasuredCounts, Measurement, ModelCommit, NotificationSink, NullSink, Testset,
     VecOracle,
 };
 pub use error::{CiError, EngineError, ParseError, Result, ScriptError};

@@ -275,6 +275,103 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Alphabet of the packed `u32`-vector encoding: URL- and JSON-safe,
+/// one character per item for values below 64.
+const PACK_ALPHABET: &[u8; 64] =
+    b"0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz-_";
+
+/// Inverse of [`PACK_ALPHABET`]: byte → value, 255 for invalid bytes.
+/// One array index per decoded character (decoding runs twice per
+/// request on the predictions gate's hot path and once per journalled
+/// op at restart replay).
+const PACK_DECODE: [u8; 256] = {
+    let mut table = [255u8; 256];
+    let mut i = 0;
+    while i < PACK_ALPHABET.len() {
+        table[PACK_ALPHABET[i] as usize] = i as u8;
+        i += 1;
+    }
+    table
+};
+
+/// Encode a `u32` vector into the serving layer's canonical compact wire
+/// string. Class-label and prediction vectors are almost always small
+/// integers, so vectors whose every item is `< 64` pack to one
+/// [`PACK_ALPHABET`] character per item behind a `#` sentinel; anything
+/// else falls back to comma-separated decimal. The encoding is
+/// canonical: equal vectors encode to identical bytes (the journal's
+/// byte-determinism contract extends through it).
+#[must_use]
+pub fn encode_u32_vec(items: &[u32]) -> String {
+    if items.iter().all(|&v| v < 64) {
+        let mut out = String::with_capacity(items.len() + 1);
+        out.push('#');
+        out.extend(items.iter().map(|&v| PACK_ALPHABET[v as usize] as char));
+        out
+    } else {
+        let mut out = String::new();
+        for (i, v) in items.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            use std::fmt::Write as _;
+            let _ = write!(out, "{v}");
+        }
+        out
+    }
+}
+
+/// Decode a string produced by [`encode_u32_vec`].
+///
+/// # Errors
+///
+/// A human-readable message for unknown characters or malformed decimal
+/// items.
+pub fn decode_u32_vec(text: &str) -> Result<Vec<u32>, String> {
+    if let Some(packed) = text.strip_prefix('#') {
+        packed
+            .bytes()
+            .map(|b| match PACK_DECODE[b as usize] {
+                255 => Err(format!("invalid packed-vector character `{}`", b as char)),
+                v => Ok(u32::from(v)),
+            })
+            .collect()
+    } else if text.is_empty() {
+        Ok(Vec::new())
+    } else {
+        text.split(',')
+            .map(|item| {
+                item.parse::<u32>()
+                    .map_err(|_| format!("invalid vector item `{item}`"))
+            })
+            .collect()
+    }
+}
+
+/// Read a `u32` vector from a JSON value: either a packed wire string
+/// (see [`encode_u32_vec`]) or a plain array of non-negative integers.
+///
+/// # Errors
+///
+/// A message naming `what` for missing/malformed input.
+pub fn u32_vec_from_value(value: &Value, what: &str) -> Result<Vec<u32>, String> {
+    match value {
+        Value::String(text) => decode_u32_vec(text).map_err(|e| format!("{what}: {e}")),
+        Value::Array(items) => items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                item.as_u64()
+                    .and_then(|v| u32::try_from(v).ok())
+                    .ok_or_else(|| format!("{what}[{i}] is not a u32"))
+            })
+            .collect(),
+        _ => Err(format!(
+            "{what} must be an array of integers or a packed vector string"
+        )),
+    }
+}
+
 /// A parse failure: what went wrong and where.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonError {
@@ -613,6 +710,45 @@ mod tests {
         assert!(Value::parse(&deep).is_err());
         let ok = "[".repeat(40) + &"]".repeat(40);
         assert!(Value::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn u32_vectors_round_trip_through_both_encodings() {
+        // Small-alphabet vectors pack to one char per item.
+        let small = vec![0u32, 1, 9, 35, 63, 10, 36, 62];
+        let packed = encode_u32_vec(&small);
+        assert_eq!(packed, "#019Z_Aa-");
+        assert_eq!(decode_u32_vec(&packed).unwrap(), small);
+        // Any item ≥ 64 falls back to decimal CSV.
+        let big = vec![3u32, 64, 100_000];
+        let csv = encode_u32_vec(&big);
+        assert_eq!(csv, "3,64,100000");
+        assert_eq!(decode_u32_vec(&csv).unwrap(), big);
+        // Empty vector.
+        assert_eq!(
+            decode_u32_vec(&encode_u32_vec(&[])).unwrap(),
+            Vec::<u32>::new()
+        );
+        // Both wire forms arrive through `u32_vec_from_value`.
+        assert_eq!(
+            u32_vec_from_value(&Value::from(packed.as_str()), "v").unwrap(),
+            small
+        );
+        assert_eq!(
+            u32_vec_from_value(&Value::array([Value::from(3u64), Value::from(64u64)]), "v")
+                .unwrap(),
+            vec![3, 64]
+        );
+    }
+
+    #[test]
+    fn malformed_u32_vectors_are_rejected() {
+        assert!(decode_u32_vec("#!").is_err());
+        assert!(decode_u32_vec("1,x").is_err());
+        assert!(decode_u32_vec("1,,2").is_err());
+        assert!(u32_vec_from_value(&Value::from(true), "v").is_err());
+        assert!(u32_vec_from_value(&Value::array([Value::from(0.5f64)]), "v").is_err());
+        assert!(u32_vec_from_value(&Value::array([Value::Number(-1.0)]), "v").is_err());
     }
 
     #[test]

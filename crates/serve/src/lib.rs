@@ -10,10 +10,15 @@
 //! workspace's [`easeml_par`] pool, with durable state under a data
 //! directory.
 //!
-//! * [`registry`] — the project registry and the counts-based commit
-//!   gate (mirrors [`easeml_ci_core::CiEngine`]'s adaptivity semantics);
+//! * [`registry`] — the project registry and the commit gate, fed
+//!   either by client-measured evaluation counts or by raw prediction
+//!   vectors the *server* measures against its own (possibly lazily
+//!   labelled) testset (mirrors [`easeml_ci_core::CiEngine`]'s
+//!   adaptivity semantics; both feeds share one gate code path);
 //! * [`store`] — append-only per-project journals, atomic snapshots,
-//!   restart recovery with replay verification;
+//!   digest-anchored per-era testset blobs, restart recovery with
+//!   replay verification (predictions ops are re-*measured* from their
+//!   stored vectors);
 //! * [`server`] — routing, connection handling, warm-start/shutdown of
 //!   the persisted [`easeml_ci_core::BoundsCache`];
 //! * [`http`] — minimal HTTP/1.1 parsing/writing plus a small blocking
@@ -44,6 +49,9 @@ pub mod store;
 pub use error::ServeError;
 pub use http::{Client, Request, Response};
 pub use json::Value;
-pub use registry::{CommitSubmission, EvalCounts, GateReceipt, Project};
+pub use registry::{
+    CommitSubmission, EvalCounts, GateReceipt, MeasuredTestset, PredictionsSubmission, Project,
+    TestsetSpec,
+};
 pub use server::{ServeConfig, Server, ServerHandle};
 pub use store::Registry;

@@ -4,24 +4,278 @@
 //! [`CiScript`], the sample-size estimate its testset must satisfy, and
 //! the per-era gating state (step budget `H`, testset era, retirement
 //! flag, commit history). The gate mirrors the adaptivity semantics of
-//! [`easeml_ci_core::CiEngine::submit`], but takes *evaluation counts*
-//! instead of raw prediction vectors: the developer's CI job runs the
-//! test script against the current testset and posts
-//! `(samples, new_correct, old_correct, changed)`; the service turns the
-//! counts into point estimates, evaluates the condition over confidence
-//! intervals, collapses by mode, decrements the budget, and raises the
-//! new-testset alarm when the era's statistical power is spent.
+//! [`easeml_ci_core::CiEngine::submit`] and is fed one of two ways:
+//!
+//! * **counts** — the developer's CI job measured its own predictions
+//!   and posts `(samples, new_correct, old_correct, changed)`;
+//! * **predictions** — the registration attached a server-side testset
+//!   ([`TestsetSpec`]; ground truth fully labelled, or held back behind
+//!   the serving-side [`VecOracle`] in partial-labeling mode) and the
+//!   commit posts raw old/new prediction vectors, which the *server*
+//!   measures through [`easeml_ci_core::Measurement::derive_counts`],
+//!   spending labels only where the condition's
+//!   [`easeml_ci_core::LabelDemand`] requires them.
+//!
+//! Both feeds converge on the same [`EvalCounts`] and the same gate code
+//! path: point estimates, condition over confidence intervals, mode
+//! collapse, budget decrement, and the new-testset alarm when the era's
+//! statistical power is spent — so counts↔predictions equivalence is
+//! structural, not a contract to maintain.
 //!
 //! Every mutating operation happens under the project's lock, so
 //! concurrent submissions serialize into a well-defined step order — the
 //! foundation of the journal's determinism contract (see [`crate::store`]).
 
 use crate::error::ServeError;
+use crate::json::encode_u32_vec;
 use easeml_bounds::Adaptivity;
+use easeml_ci_core::dsl::Formula;
 use easeml_ci_core::{
     decide, AlarmReason, CiScript, CommitEstimates, CommitHistory, EstimatorConfig, HistoryEntry,
-    SampleSizeEstimate, SampleSizeEstimator, Tribool, VariableEstimates,
+    MeasuredCounts, Measurement, SampleSizeEstimate, SampleSizeEstimator, Testset, Tribool,
+    VariableEstimates, VecOracle,
 };
+
+/// FNV-1a 64 over a sequence of byte slices — the digest primitive of
+/// the serving layer's testset blobs and prediction-redelivery keys.
+#[must_use]
+pub(crate) fn fnv1a64(parts: &[&[u8]]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        for &byte in *part {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+/// A server-side testset as uploaded at registration (or with a fresh
+/// era): the full ground truth, the class count, and whether the labels
+/// are *held back* behind the serving-side label oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestsetSpec {
+    /// Ground-truth class labels, one per testset item.
+    pub truth: Vec<u32>,
+    /// Number of classes; every label and every submitted prediction
+    /// must be `< classes`.
+    pub classes: u32,
+    /// Partial-labeling mode: the pool starts unlabelled and the truth
+    /// sits behind the server's [`VecOracle`], so labels are *spent*
+    /// lazily, exactly as the §4.1.2 measurement strategies demand them.
+    pub lazy: bool,
+}
+
+impl TestsetSpec {
+    /// Validate internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] for empty pools, zero classes, or
+    /// labels outside the class range.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.truth.is_empty() {
+            return Err(ServeError::BadRequest("testset must be non-empty".into()));
+        }
+        if self.classes == 0 {
+            return Err(ServeError::BadRequest("classes must be positive".into()));
+        }
+        if let Some(bad) = self.truth.iter().find(|&&l| l >= self.classes) {
+            return Err(ServeError::BadRequest(format!(
+                "testset label {bad} out of class range 0..{}",
+                self.classes
+            )));
+        }
+        Ok(())
+    }
+
+    /// Content digest (labels + classes + labeling mode), used for blob
+    /// integrity checks and registration idempotency.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        fnv1a64(&[
+            encode_u32_vec(&self.truth).as_bytes(),
+            b"|",
+            &self.classes.to_le_bytes(),
+            &[u8::from(self.lazy)],
+        ])
+    }
+}
+
+/// The serving side of a measured testset era: the ground truth behind
+/// a [`VecOracle`], the lazily-filling label pool, and the class count
+/// predictions are validated against.
+#[derive(Debug, Clone)]
+pub struct MeasuredTestset {
+    oracle: VecOracle,
+    pool: Testset,
+    classes: u32,
+    lazy: bool,
+}
+
+impl MeasuredTestset {
+    /// Build the serving state for an uploaded testset.
+    ///
+    /// # Errors
+    ///
+    /// Validation failures from [`TestsetSpec::validate`].
+    pub fn from_spec(spec: TestsetSpec) -> Result<MeasuredTestset, ServeError> {
+        spec.validate()?;
+        let pool = if spec.lazy {
+            Testset::unlabeled(spec.truth.len())
+        } else {
+            Testset::fully_labeled(spec.truth.clone())
+        };
+        Ok(MeasuredTestset {
+            oracle: VecOracle::new(spec.truth),
+            pool,
+            classes: spec.classes,
+            lazy: spec.lazy,
+        })
+    }
+
+    /// The spec this state was built from (labels, classes, mode) — what
+    /// the durable testset blob records.
+    #[must_use]
+    pub fn spec(&self) -> TestsetSpec {
+        TestsetSpec {
+            truth: self.oracle.truth().to_vec(),
+            classes: self.classes,
+            lazy: self.lazy,
+        }
+    }
+
+    /// Content digest of the era's testset (see [`TestsetSpec::digest`]).
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.spec().digest()
+    }
+
+    /// Pool size.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Whether the pool is empty (never true for a validated spec).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pool.is_empty()
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn classes(&self) -> u32 {
+        self.classes
+    }
+
+    /// Whether labels are held back behind the oracle (partial-labeling
+    /// mode).
+    #[must_use]
+    pub fn lazy(&self) -> bool {
+        self.lazy
+    }
+
+    /// Items whose label has been spent (or was known up front).
+    #[must_use]
+    pub fn labeled_count(&self) -> usize {
+        self.pool.labeled_count()
+    }
+
+    /// Sorted indices of the labelled items — the snapshot's record of
+    /// the lazily-filled label state.
+    #[must_use]
+    pub fn labeled_indices(&self) -> Vec<usize> {
+        (0..self.pool.len())
+            .filter(|&i| self.pool.label(i).is_some())
+            .collect()
+    }
+
+    /// Capture the label pool for a possible rollback. `None` for
+    /// fully-labelled pools — measurement never mutates those, so there
+    /// is nothing to restore and the hot path skips the O(n) clone.
+    pub(crate) fn label_mark(&self) -> Option<Testset> {
+        self.lazy.then(|| self.pool.clone())
+    }
+
+    /// Restore a pool captured by [`MeasuredTestset::label_mark`].
+    pub(crate) fn restore_label_mark(&mut self, mark: Option<Testset>) {
+        if let Some(pool) = mark {
+            self.pool = pool;
+        }
+    }
+
+    /// Restore the label-known state recorded by a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] for out-of-range indices (the caller
+    /// maps this to a corrupt-snapshot error).
+    pub fn restore_labels(&mut self, indices: &[usize]) -> Result<(), ServeError> {
+        for &i in indices {
+            let Some(&label) = self.oracle.truth().get(i) else {
+                return Err(ServeError::BadRequest(format!(
+                    "labeled index {i} out of range for testset of {}",
+                    self.pool.len()
+                )));
+            };
+            self.pool.set_label(i, label);
+        }
+        Ok(())
+    }
+
+    /// Validate one prediction vector against this testset.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] for length or class-range violations.
+    pub fn validate_predictions(&self, what: &str, preds: &[u32]) -> Result<(), ServeError> {
+        if preds.len() != self.pool.len() {
+            return Err(ServeError::BadRequest(format!(
+                "{what} prediction vector has {} items but the testset has {}",
+                preds.len(),
+                self.pool.len()
+            )));
+        }
+        if let Some(bad) = preds.iter().find(|&&p| p >= self.classes) {
+            return Err(ServeError::BadRequest(format!(
+                "{what} prediction {bad} out of class range 0..{}",
+                self.classes
+            )));
+        }
+        Ok(())
+    }
+
+    /// Measure one commit: run the prediction vectors through the core
+    /// measurement layer, spending only the labels the condition's
+    /// [`easeml_ci_core::LabelDemand`] requires, and derive the
+    /// evaluation counts the gate consumes.
+    ///
+    /// # Errors
+    ///
+    /// Validation failures and label-acquisition failures (the latter
+    /// indicate a corrupted truth vector and map to 500).
+    pub fn measure(
+        &mut self,
+        condition: &Formula,
+        old: &[u32],
+        new: &[u32],
+    ) -> Result<MeasuredCounts, ServeError> {
+        self.validate_predictions("old", old)?;
+        self.validate_predictions("new", new)?;
+        let oracle: Option<&mut (dyn easeml_ci_core::LabelOracle + 'static)> = if self.lazy {
+            Some(&mut self.oracle)
+        } else {
+            None
+        };
+        let mut measurement = Measurement::new(&mut self.pool, oracle, old, new)
+            .map_err(|e| ServeError::BadRequest(e.to_string()))?;
+        let len = old.len();
+        measurement
+            .derive_counts(condition, 0..len)
+            .map_err(|e| ServeError::BadRequest(format!("measurement failed: {e}")))
+    }
+}
 
 /// Evaluation counts for one commit over the current testset era.
 ///
@@ -79,6 +333,18 @@ impl EvalCounts {
     }
 }
 
+impl From<MeasuredCounts> for EvalCounts {
+    fn from(c: MeasuredCounts) -> EvalCounts {
+        EvalCounts {
+            samples: c.samples,
+            new_correct: c.new_correct,
+            old_correct: c.old_correct,
+            changed: c.changed,
+            labels: c.labels_spent,
+        }
+    }
+}
+
 /// One commit submission.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CommitSubmission {
@@ -86,6 +352,33 @@ pub struct CommitSubmission {
     pub commit_id: String,
     /// Evaluation counts.
     pub counts: EvalCounts,
+}
+
+/// One commit submitted as raw prediction vectors — the server-measured
+/// path: the service scores both vectors against its testset and derives
+/// the [`EvalCounts`] itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredictionsSubmission {
+    /// Commit identifier (e.g. a VCS hash).
+    pub commit_id: String,
+    /// The accepted (old) model's predictions over the current testset.
+    pub old: Vec<u32>,
+    /// The candidate (new) model's predictions over the current testset.
+    pub new: Vec<u32>,
+}
+
+impl PredictionsSubmission {
+    /// Content digest of the prediction pair — the redelivery-dedup key
+    /// (the *vectors* identify a resubmission; derived counts may drift
+    /// as the label pool fills between delivery attempts).
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        fnv1a64(&[
+            encode_u32_vec(&self.old).as_bytes(),
+            b"|",
+            encode_u32_vec(&self.new).as_bytes(),
+        ])
+    }
 }
 
 /// What the gate reports back for one submission (the serving analogue of
@@ -111,6 +404,12 @@ pub struct GateReceipt {
     pub alarm: Option<AlarmReason>,
     /// Steps left in the era after this submission.
     pub steps_remaining: u32,
+    /// Fresh ground-truth labels this evaluation consumed. Counts-based
+    /// submissions pass the client's own accounting through; for
+    /// server-measured predictions submissions this is the oracle spend
+    /// of [`MeasuredTestset::measure`] (0 when the testset is fully
+    /// labelled up front).
+    pub labels: u64,
 }
 
 /// A point-in-time capture of the gate counters, used to roll back a
@@ -134,6 +433,13 @@ pub struct Project {
     era: u32,
     retired: bool,
     history: CommitHistory,
+    /// Server-side testset state — present iff the registration uploaded
+    /// a testset (the project then accepts predictions submissions).
+    measured: Option<MeasuredTestset>,
+    /// Per-history-entry predictions digest (`None` for counts-based
+    /// entries) — the redelivery-dedup key of the predictions gate.
+    /// Always exactly as long as `history`.
+    pred_digests: Vec<Option<u64>>,
 }
 
 /// Project names become directory names and URL path segments, so they
@@ -167,12 +473,30 @@ impl Project {
         script_text: &str,
         estimator: &SampleSizeEstimator,
     ) -> Result<Project, ServeError> {
+        Self::register_with_testset(name, script_text, estimator, None)
+    }
+
+    /// [`Project::register`] with an optional server-side testset: the
+    /// project then holds the ground truth (fully labelled, or held back
+    /// behind the label oracle in partial-labeling mode) and accepts
+    /// prediction-vector submissions that the *server* measures.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] for invalid names/scripts/testsets.
+    pub fn register_with_testset(
+        name: &str,
+        script_text: &str,
+        estimator: &SampleSizeEstimator,
+        testset: Option<TestsetSpec>,
+    ) -> Result<Project, ServeError> {
         validate_project_name(name)?;
         let script = CiScript::parse(script_text)
             .map_err(|e| ServeError::BadRequest(format!("invalid CI script: {e}")))?;
         let estimate = estimator
             .estimate(&script)
             .map_err(|e| ServeError::BadRequest(format!("cannot estimate sample size: {e}")))?;
+        let measured = testset.map(MeasuredTestset::from_spec).transpose()?;
         Ok(Project {
             name: name.to_owned(),
             script_text: script_text.to_owned(),
@@ -182,21 +506,97 @@ impl Project {
             era: 0,
             retired: false,
             history: CommitHistory::new(),
+            measured,
+            pred_digests: Vec::new(),
         })
     }
 
     /// Evaluate one commit submission and advance the gate.
     ///
+    /// Projects holding a server-side testset refuse client counts:
+    /// the whole point of predictions mode is that clients *cannot*
+    /// self-score (the labels may even be held back behind the oracle),
+    /// so accepting fabricated counts here would bypass the trust model.
+    ///
     /// # Errors
     ///
+    /// [`ServeError::Conflict`] for predictions-mode projects,
     /// [`ServeError::BadRequest`] for impossible counts,
     /// [`ServeError::Gone`] when the current era is retired or the budget
     /// is exhausted (the caller must install a fresh testset first).
     pub fn submit(&mut self, submission: &CommitSubmission) -> Result<GateReceipt, ServeError> {
+        if self.measured.is_some() {
+            return Err(ServeError::Conflict(
+                "project holds a server-side testset; submit prediction vectors to \
+                 /commits/predictions"
+                    .into(),
+            ));
+        }
+        self.submit_with_digest(submission, None)
+    }
+
+    /// Evaluate one commit submitted as prediction vectors: the server
+    /// measures both vectors against its testset (spending only the
+    /// labels the condition demands), derives the [`EvalCounts`], and
+    /// feeds them through the *same* gate as [`Project::submit`] — the
+    /// counts↔predictions equivalence is one code path, not a contract.
+    ///
+    /// Returns the receipt together with the derived counts (the
+    /// response surfaces them so a client can audit the measurement).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Conflict`] when the project has no server-side
+    /// testset, [`ServeError::BadRequest`] for malformed vectors,
+    /// [`ServeError::Gone`] for retired/exhausted eras.
+    pub fn submit_predictions(
+        &mut self,
+        submission: &PredictionsSubmission,
+    ) -> Result<(GateReceipt, EvalCounts), ServeError> {
+        self.submit_predictions_keyed(submission, submission.digest())
+    }
+
+    /// [`Project::submit_predictions`] with the vector digest already
+    /// computed (the serving layer computes it once for the dedup probe
+    /// and reuses it here — encoding two 1 k-item vectors per call is
+    /// measurable on the gate's hot path).
+    pub(crate) fn submit_predictions_keyed(
+        &mut self,
+        submission: &PredictionsSubmission,
+        digest: u64,
+    ) -> Result<(GateReceipt, EvalCounts), ServeError> {
         if submission.commit_id.is_empty() {
             return Err(ServeError::BadRequest("commit_id must be non-empty".into()));
         }
-        submission.counts.validate()?;
+        if self.measured.is_none() {
+            return Err(ServeError::Conflict(
+                "project holds no server-side testset; submit evaluation counts to \
+                 /commits or re-register with a testset"
+                    .into(),
+            ));
+        }
+        // Gate preconditions first; vector validation happens inside
+        // `measure` (before any oracle pull), so a refused or malformed
+        // submission never spends labels.
+        self.ensure_gate_open()?;
+        let condition = self.script.condition();
+        let counts: EvalCounts = self
+            .measured
+            .as_mut()
+            .expect("checked above")
+            .measure(condition, &submission.old, &submission.new)?
+            .into();
+        let receipt = self.submit_with_digest(
+            &CommitSubmission {
+                commit_id: submission.commit_id.clone(),
+                counts,
+            },
+            Some(digest),
+        )?;
+        Ok((receipt, counts))
+    }
+
+    fn ensure_gate_open(&self) -> Result<(), ServeError> {
         if self.retired {
             return Err(ServeError::Gone(
                 "testset era is retired; install a fresh testset".into(),
@@ -208,6 +608,19 @@ impl Project {
                 self.script.steps()
             )));
         }
+        Ok(())
+    }
+
+    fn submit_with_digest(
+        &mut self,
+        submission: &CommitSubmission,
+        digest: Option<u64>,
+    ) -> Result<GateReceipt, ServeError> {
+        if submission.commit_id.is_empty() {
+            return Err(ServeError::BadRequest("commit_id must be non-empty".into()));
+        }
+        submission.counts.validate()?;
+        self.ensure_gate_open()?;
         let est = submission.counts.estimates();
         let (passed, outcome) = decide(self.script.condition(), &est, self.script.mode());
         self.steps_used += 1;
@@ -248,6 +661,7 @@ impl Project {
             passed,
             accepted,
         });
+        self.pred_digests.push(digest);
         Ok(GateReceipt {
             commit_id: submission.commit_id.clone(),
             step,
@@ -258,6 +672,7 @@ impl Project {
             passed,
             alarm,
             steps_remaining: self.script.steps() - self.steps_used,
+            labels: submission.counts.labels,
         })
     }
 
@@ -291,6 +706,50 @@ impl Project {
                     && e.estimates.d == Some(est.d)
                     && e.estimates.labels_requested == submission.counts.labels
             })?;
+        Some(self.receipt_for_entry(entry))
+    }
+
+    /// If `submission` redelivers prediction vectors already evaluated in
+    /// the current era — same commit id, same *vectors* (by digest) —
+    /// reconstruct the original receipt and derived counts.
+    ///
+    /// The key is the vectors, not the derived counts: the label pool
+    /// fills monotonically, so re-measuring the same vectors later could
+    /// legitimately attribute more exact per-model credit — a dedup on
+    /// counts would miss, re-spend a budget step, and (worse) double-
+    /// charge labels. Dedup therefore happens *before* any measurement.
+    #[must_use]
+    pub fn duplicate_predictions_receipt(
+        &self,
+        submission: &PredictionsSubmission,
+    ) -> Option<(GateReceipt, EvalCounts)> {
+        self.duplicate_predictions_keyed(submission, submission.digest())
+    }
+
+    /// [`Project::duplicate_predictions_receipt`] with the digest
+    /// precomputed by the caller.
+    pub(crate) fn duplicate_predictions_keyed(
+        &self,
+        submission: &PredictionsSubmission,
+        digest: u64,
+    ) -> Option<(GateReceipt, EvalCounts)> {
+        let entries = self.history.entries();
+        let index = entries
+            .iter()
+            .enumerate()
+            .rev()
+            .take_while(|(_, e)| e.era == self.era)
+            .find(|(i, e)| {
+                e.commit_id == submission.commit_id
+                    && self.pred_digests.get(*i).copied().flatten() == Some(digest)
+            })
+            .map(|(i, _)| i)?;
+        let entry = &entries[index];
+        Some((self.receipt_for_entry(entry), self.counts_from_entry(entry)))
+    }
+
+    /// Reconstruct the receipt a recorded evaluation originally produced.
+    fn receipt_for_entry(&self, entry: &HistoryEntry) -> GateReceipt {
         let adaptivity = self.script.adaptivity();
         // Retirement can only have been triggered by the era's final
         // evaluation, so only that entry's receipt carried an alarm.
@@ -307,7 +766,7 @@ impl Project {
         } else {
             None
         };
-        Some(GateReceipt {
+        GateReceipt {
             commit_id: entry.commit_id.clone(),
             step: entry.step,
             era: entry.era,
@@ -319,17 +778,56 @@ impl Project {
             // As the original receipt computed it: the budget left right
             // after this evaluation (NOT collapsed to 0 by retirement).
             steps_remaining: self.script.steps() - entry.step,
-        })
+            labels: entry.estimates.labels_requested,
+        }
+    }
+
+    /// Reconstruct the derived counts a predictions-mode history entry
+    /// recorded. Point estimates are exact multiples of `1/samples`, so
+    /// rounding `estimate × samples` recovers the integer counts.
+    fn counts_from_entry(&self, entry: &HistoryEntry) -> EvalCounts {
+        let samples = self.measured.as_ref().map_or(0, |m| m.len() as u64);
+        let s = samples as f64;
+        let count = |est: Option<f64>| (est.unwrap_or(0.0) * s).round() as u64;
+        EvalCounts {
+            samples,
+            new_correct: count(entry.estimates.n),
+            old_correct: count(entry.estimates.o),
+            changed: count(entry.estimates.d),
+            labels: entry.estimates.labels_requested,
+        }
     }
 
     /// Install a fresh testset: start a new era with a full step budget.
     /// (Counts-based gating needs no pool hand-over; the client attests
     /// it collected `required_samples()` fresh labelled examples.)
+    ///
+    /// Projects with a server-side testset must instead hand the new
+    /// era's data over through [`Project::install_testset`].
     pub fn fresh_testset(&mut self) -> u32 {
         self.era += 1;
         self.steps_used = 0;
         self.retired = false;
         self.era
+    }
+
+    /// Install a fresh *server-side* testset: replace the measured pool
+    /// (ground truth, oracle state, class count) and start a new era
+    /// with a full step budget.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Conflict`] when the project gates on client counts
+    /// (there is no server-side pool to replace), validation failures
+    /// from [`TestsetSpec::validate`].
+    pub fn install_testset(&mut self, spec: TestsetSpec) -> Result<u32, ServeError> {
+        if self.measured.is_none() {
+            return Err(ServeError::Conflict(
+                "project gates on client counts; POST an empty body to start a fresh era".into(),
+            ));
+        }
+        self.measured = Some(MeasuredTestset::from_spec(spec)?);
+        Ok(self.fresh_testset())
     }
 
     /// Project name (registry key and URL path segment).
@@ -390,18 +888,73 @@ impl Project {
         &self.history
     }
 
+    /// The server-side testset state, when this project measures
+    /// predictions itself.
+    #[must_use]
+    pub fn measured(&self) -> Option<&MeasuredTestset> {
+        self.measured.as_ref()
+    }
+
+    /// Content digest of the current era's server-side testset, if any.
+    #[must_use]
+    pub fn testset_digest(&self) -> Option<u64> {
+        self.measured.as_ref().map(MeasuredTestset::digest)
+    }
+
+    /// The predictions digest recorded for history entry `index`
+    /// (`None` for counts-based entries).
+    #[must_use]
+    pub(crate) fn pred_digest(&self, index: usize) -> Option<u64> {
+        self.pred_digests.get(index).copied().flatten()
+    }
+
     /// Restore gate counters from a snapshot (see [`crate::store`]).
+    /// `pred_digests` must be aligned with `history`.
     pub(crate) fn restore(
         &mut self,
         steps_used: u32,
         era: u32,
         retired: bool,
         history: CommitHistory,
+        pred_digests: Vec<Option<u64>>,
     ) {
+        debug_assert_eq!(history.len(), pred_digests.len());
         self.steps_used = steps_used;
         self.era = era;
         self.retired = retired;
         self.history = history;
+        self.pred_digests = pred_digests;
+    }
+
+    /// Replace the measured-testset state wholesale (snapshot restore
+    /// and install-rollback paths).
+    pub(crate) fn set_measured(&mut self, measured: Option<MeasuredTestset>) {
+        self.measured = measured;
+    }
+
+    /// Clone of the measured-testset state (captured before mutations
+    /// that may need rolling back — the rare install path only; the
+    /// per-commit path uses the cheaper [`Project::label_mark`]).
+    pub(crate) fn measured_clone(&self) -> Option<MeasuredTestset> {
+        self.measured.clone()
+    }
+
+    /// Capture the label pool ahead of a measurement that may need
+    /// rolling back ([`MeasuredTestset::label_mark`] semantics).
+    pub(crate) fn label_mark(&self) -> Option<Testset> {
+        self.measured.as_ref().and_then(MeasuredTestset::label_mark)
+    }
+
+    /// Restore a pool captured by [`Project::label_mark`].
+    pub(crate) fn restore_label_mark(&mut self, mark: Option<Testset>) {
+        if let Some(measured) = self.measured.as_mut() {
+            measured.restore_label_mark(mark);
+        }
+    }
+
+    /// Mutable access to the measured-testset state (snapshot restore).
+    pub(crate) fn measured_mut(&mut self) -> Option<&mut MeasuredTestset> {
+        self.measured.as_mut()
     }
 
     /// The gate counters that a mutation can change, captured so a
@@ -418,12 +971,14 @@ impl Project {
 
     /// Undo every state change made since `mark` was captured. Only
     /// valid for rolling back the single most recent mutation (the
-    /// history is truncated, never rebuilt).
+    /// history is truncated, never rebuilt). Label-pool and testset
+    /// state are restored separately (see [`crate::store::ProjectSlot`]).
     pub(crate) fn rollback_to(&mut self, mark: GateMark) {
         self.steps_used = mark.steps_used;
         self.era = mark.era;
         self.retired = mark.retired;
         self.history.truncate(mark.history_len);
+        self.pred_digests.truncate(mark.history_len);
     }
 }
 
@@ -575,6 +1130,255 @@ mod tests {
             !r.passed && r.accepted,
             "none-adaptivity lands every commit"
         );
+    }
+
+    /// A deterministic testset + prediction pair: truth is all-zeros,
+    /// the old model gets `old_correct` right, the new one `new_correct`
+    /// (wrong predictions use class 1), errors interleaved so the two
+    /// models disagree wherever exactly one of them is wrong.
+    fn pred_fixture(
+        size: usize,
+        old_correct: usize,
+        new_correct: usize,
+    ) -> (TestsetSpec, Vec<u32>, Vec<u32>) {
+        let truth = vec![0u32; size];
+        let old: Vec<u32> = (0..size)
+            .map(|i| u32::from(i < size - old_correct))
+            .collect();
+        let new: Vec<u32> = (0..size).map(|i| u32::from(i >= new_correct)).collect();
+        (
+            TestsetSpec {
+                truth,
+                classes: 2,
+                lazy: false,
+            },
+            old,
+            new,
+        )
+    }
+
+    #[test]
+    fn predictions_gate_derives_counts_and_matches_counts_gate() {
+        let estimator = serving_estimator();
+        let (spec, old, new) = pred_fixture(100, 50, 90);
+        let mut pred_project =
+            Project::register_with_testset("pred", SCRIPT, &estimator, Some(spec)).unwrap();
+        let (receipt, counts) = pred_project
+            .submit_predictions(&PredictionsSubmission {
+                commit_id: "c1".into(),
+                old: old.clone(),
+                new: new.clone(),
+            })
+            .unwrap();
+        // Exact confusion counts on a fully labelled testset.
+        assert_eq!(counts.samples, 100);
+        assert_eq!(counts.new_correct, 90);
+        assert_eq!(counts.old_correct, 50);
+        assert_eq!(counts.labels, 0, "full-mode testset spends no fresh labels");
+        assert!(receipt.passed && receipt.accepted);
+
+        // The same derived counts through the counts gate of a twin
+        // project produce a byte-identical receipt.
+        let mut counts_project = Project::register("counts", SCRIPT, &estimator).unwrap();
+        let twin = counts_project
+            .submit(&CommitSubmission {
+                commit_id: "c1".into(),
+                counts,
+            })
+            .unwrap();
+        assert_eq!(twin, receipt);
+    }
+
+    #[test]
+    fn lazy_testset_spends_only_disagreement_labels() {
+        // n − o condition: the §4.1.2 trick labels only disagreements.
+        let script = SCRIPT.replace("n > 0.6 +/- 0.2", "n - o > 0.0 +/- 0.2");
+        let estimator = serving_estimator();
+        let (mut spec, old, new) = pred_fixture(100, 50, 90);
+        spec.lazy = true;
+        let mut p =
+            Project::register_with_testset("lazy", &script, &estimator, Some(spec)).unwrap();
+        let (receipt, counts) = p
+            .submit_predictions(&PredictionsSubmission {
+                commit_id: "c1".into(),
+                old: old.clone(),
+                new,
+            })
+            .unwrap();
+        // old wrong on items 0..50, new wrong on 90..100: disagreement on
+        // 0..50 ∪ 90..100 = 60 items.
+        assert_eq!(counts.changed, 60);
+        assert_eq!(counts.labels, 60, "only disagreements are labelled");
+        assert_eq!(receipt.labels, 60, "label spend is surfaced in the receipt");
+        assert_eq!(p.measured().unwrap().labeled_count(), 60);
+        // A second commit re-using labelled items spends nothing new.
+        let (_, counts2) = p
+            .submit_predictions(&PredictionsSubmission {
+                commit_id: "c2".into(),
+                old: old.clone(),
+                new: old,
+            })
+            .unwrap();
+        assert_eq!(counts2.labels, 0, "identical vectors disagree nowhere");
+    }
+
+    #[test]
+    fn predictions_validation_rejects_bad_vectors_without_spending() {
+        let estimator = serving_estimator();
+        let (spec, old, _) = pred_fixture(100, 50, 90);
+        let mut p = Project::register_with_testset("p", SCRIPT, &estimator, Some(spec)).unwrap();
+        // Wrong length.
+        let err = p
+            .submit_predictions(&PredictionsSubmission {
+                commit_id: "c".into(),
+                old: old.clone(),
+                new: vec![0; 99],
+            })
+            .unwrap_err();
+        assert!(matches!(err, ServeError::BadRequest(_)), "{err}");
+        // Class out of range.
+        let mut bad = old.clone();
+        bad[3] = 2;
+        assert!(p
+            .submit_predictions(&PredictionsSubmission {
+                commit_id: "c".into(),
+                old: old.clone(),
+                new: bad,
+            })
+            .is_err());
+        // Empty commit id.
+        assert!(p
+            .submit_predictions(&PredictionsSubmission {
+                commit_id: String::new(),
+                old: old.clone(),
+                new: old.clone(),
+            })
+            .is_err());
+        assert_eq!(p.steps_used(), 0, "rejected submissions spend nothing");
+        // Trust model, converse direction: client-measured counts are
+        // refused on a server-measured project (fabricated counts must
+        // not bypass the server's own scoring).
+        assert!(matches!(
+            p.submit(&CommitSubmission {
+                commit_id: "c".into(),
+                counts: EvalCounts {
+                    samples: 100,
+                    new_correct: 100,
+                    old_correct: 0,
+                    changed: 100,
+                    labels: 0,
+                },
+            }),
+            Err(ServeError::Conflict(_))
+        ));
+        assert_eq!(p.steps_used(), 0);
+        // Counts-mode project refuses predictions outright.
+        let mut counts_only = Project::register("c", SCRIPT, &estimator).unwrap();
+        assert!(matches!(
+            counts_only.submit_predictions(&PredictionsSubmission {
+                commit_id: "c".into(),
+                old: old.clone(),
+                new: old,
+            }),
+            Err(ServeError::Conflict(_))
+        ));
+    }
+
+    #[test]
+    fn testset_spec_validation() {
+        assert!(TestsetSpec {
+            truth: vec![],
+            classes: 2,
+            lazy: false
+        }
+        .validate()
+        .is_err());
+        assert!(TestsetSpec {
+            truth: vec![0],
+            classes: 0,
+            lazy: false
+        }
+        .validate()
+        .is_err());
+        assert!(TestsetSpec {
+            truth: vec![0, 3],
+            classes: 3,
+            lazy: false
+        }
+        .validate()
+        .is_err());
+        let ok = TestsetSpec {
+            truth: vec![0, 2],
+            classes: 3,
+            lazy: true,
+        };
+        assert!(ok.validate().is_ok());
+        // The digest separates labels, classes, and labeling mode.
+        let mut full = ok.clone();
+        full.lazy = false;
+        let mut wide = ok.clone();
+        wide.classes = 4;
+        assert_ne!(ok.digest(), full.digest());
+        assert_ne!(ok.digest(), wide.digest());
+        assert_eq!(ok.digest(), ok.clone().digest());
+    }
+
+    #[test]
+    fn duplicate_predictions_redelivery_reconstructs_receipt() {
+        let script = SCRIPT.replace("n > 0.6 +/- 0.2", "n - o > 0.0 +/- 0.2");
+        let estimator = serving_estimator();
+        let (mut spec, old, new) = pred_fixture(100, 50, 90);
+        spec.lazy = true;
+        let mut p = Project::register_with_testset("p", &script, &estimator, Some(spec)).unwrap();
+        let sub = PredictionsSubmission {
+            commit_id: "c1".into(),
+            old,
+            new,
+        };
+        let (receipt, counts) = p.submit_predictions(&sub).unwrap();
+        let (again, counts_again) = p.duplicate_predictions_receipt(&sub).unwrap();
+        assert_eq!(again, receipt);
+        assert_eq!(counts_again, counts);
+        // A different pair under the same commit id is NOT a duplicate.
+        let mut other = sub.clone();
+        other.new = other.old.clone();
+        assert!(p.duplicate_predictions_receipt(&other).is_none());
+    }
+
+    #[test]
+    fn install_testset_starts_a_fresh_era() {
+        let estimator = serving_estimator();
+        let (spec, old, new) = pred_fixture(100, 50, 30);
+        let mut p =
+            Project::register_with_testset("p", SCRIPT, &estimator, Some(spec.clone())).unwrap();
+        // Exhaust the 2-step budget.
+        for (i, preds) in [&new, &old].into_iter().enumerate() {
+            p.submit_predictions(&PredictionsSubmission {
+                commit_id: format!("c{i}"),
+                old: old.clone(),
+                new: preds.clone(),
+            })
+            .unwrap();
+        }
+        assert!(p.is_retired());
+        let (bigger, old2, new2) = pred_fixture(200, 100, 180);
+        assert_eq!(p.install_testset(bigger).unwrap(), 1);
+        assert_eq!(p.measured().unwrap().len(), 200);
+        let (receipt, counts) = p
+            .submit_predictions(&PredictionsSubmission {
+                commit_id: "c3".into(),
+                old: old2,
+                new: new2,
+            })
+            .unwrap();
+        assert_eq!((receipt.step, receipt.era), (1, 1));
+        assert_eq!(counts.samples, 200);
+        // Counts-mode projects cannot install a server-side testset.
+        let mut counts_only = Project::register("c", SCRIPT, &estimator).unwrap();
+        assert!(matches!(
+            counts_only.install_testset(spec),
+            Err(ServeError::Conflict(_))
+        ));
     }
 
     #[test]

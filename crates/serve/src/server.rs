@@ -3,19 +3,35 @@
 //!
 //! # Endpoints
 //!
-//! | Method | Path                        | Purpose |
-//! |--------|-----------------------------|---------|
-//! | GET    | `/healthz`                  | liveness + project count |
-//! | GET    | `/projects`                 | sorted project listing |
-//! | POST   | `/projects`                 | register `{name, script}` → estimate + budget |
-//! | GET    | `/projects/{name}`          | status (era, budget, estimate) |
-//! | POST   | `/projects/{name}/commits`  | gate a commit's evaluation counts |
-//! | GET    | `/projects/{name}/history`  | full evaluation history |
-//! | GET    | `/projects/{name}/budget`   | adaptivity budget status |
-//! | POST   | `/projects/{name}/testset`  | install a fresh testset (new era) |
-//! | GET    | `/cache/stats`              | per-cache (bounds vs. plan) hit/miss/entry counters |
-//! | POST   | `/admin/persist`            | snapshot all projects + save both caches |
-//! | POST   | `/admin/shutdown`           | graceful stop (flush durable state, then exit `run`) |
+//! | Method | Path                                    | Purpose |
+//! |--------|-----------------------------------------|---------|
+//! | GET    | `/healthz`                              | liveness + project count |
+//! | GET    | `/projects`                             | sorted project listing |
+//! | POST   | `/projects`                             | register `{name, script[, testset]}` → estimate + budget |
+//! | GET    | `/projects/{name}`                      | status (era, budget, estimate, testset) |
+//! | POST   | `/projects/{name}/commits`              | gate a commit's evaluation counts |
+//! | POST   | `/projects/{name}/commits/predictions`  | gate raw prediction vectors (server measures) |
+//! | GET    | `/projects/{name}/history`              | full evaluation history |
+//! | GET    | `/projects/{name}/budget`               | adaptivity budget status |
+//! | POST   | `/projects/{name}/testset`              | fresh era (`{testset}` body for server-measured projects) |
+//! | GET    | `/cache/stats`                          | per-cache (bounds vs. plan) hit/miss/entry counters |
+//! | POST   | `/admin/persist`                        | snapshot all projects + save both caches |
+//! | POST   | `/admin/shutdown`                       | graceful stop (flush durable state, then exit `run`) |
+//!
+//! # Trust model
+//!
+//! `/commits` trusts the client's evaluation counts (the developer's CI
+//! job measured its own predictions). `/commits/predictions` inverts
+//! that: the *server* holds the testset — uploaded at registration,
+//! optionally with the ground truth held back behind the serving-side
+//! label oracle — scores both prediction vectors itself through the core
+//! measurement layer, spends labels only where the condition's
+//! [`easeml_ci_core::LabelDemand`] requires them, and derives the same
+//! `EvalCounts` the counts gate consumes. Both paths share one gate code
+//! path, making counts↔predictions equivalence a structural invariant.
+//! The two modes are mutually exclusive per project: a server-measured
+//! project refuses client counts (fabricated counts must not bypass the
+//! held-back testset), and a counts project refuses vector uploads.
 //!
 //! # Concurrency
 //!
@@ -29,8 +45,11 @@
 
 use crate::error::ServeError;
 use crate::http::{poll_data, read_request, DataPoll, ReadOutcome, Request, Response};
-use crate::json::Value;
-use crate::registry::{serving_estimator, CommitSubmission, EvalCounts, GateReceipt};
+use crate::json::{u32_vec_from_value, Value};
+use crate::registry::{
+    serving_estimator, CommitSubmission, EvalCounts, GateReceipt, MeasuredTestset,
+    PredictionsSubmission, TestsetSpec,
+};
 use crate::store::{entry_json, tribool_str, Registry, BOUNDS_CACHE_FILE, PLAN_CACHE_FILE};
 use easeml_ci_core::{effort, AlarmReason, BoundsCache, CostModel, EstimateProvenance, PlanCache};
 use easeml_par::Pool;
@@ -353,9 +372,12 @@ fn route(ctx: &Ctx, request: &Request) -> Response {
         ("POST", ["projects"]) => register_project(registry, request),
         ("GET", ["projects", name]) => project_status(registry, name),
         ("POST", ["projects", name, "commits"]) => submit_commit(registry, name, request),
+        ("POST", ["projects", name, "commits", "predictions"]) => {
+            submit_predictions(registry, name, request)
+        }
         ("GET", ["projects", name, "history"]) => project_history(registry, name),
         ("GET", ["projects", name, "budget"]) => project_budget(registry, name),
-        ("POST", ["projects", name, "testset"]) => fresh_testset(registry, name),
+        ("POST", ["projects", name, "testset"]) => fresh_testset(registry, name, request),
         ("GET", ["cache", "stats"]) => Ok(cache_stats()),
         ("POST", ["admin", "persist"]) => persist_all(registry),
         ("POST", ["admin", "shutdown"]) => {
@@ -422,6 +444,53 @@ fn list_projects(registry: &Registry) -> Response {
     Response::json(200, &Value::object([("projects", Value::Array(names))]))
 }
 
+/// Parse an uploaded testset object: `{"labels": <array|packed string>,
+/// "labeling": "full"|"lazy", "classes": <u32>}`. `labeling` defaults to
+/// `full`; `classes` defaults to `max(label) + 1`.
+fn parse_testset_spec(value: &Value) -> Result<TestsetSpec, ServeError> {
+    let truth = value
+        .get("labels")
+        .ok_or_else(|| ServeError::BadRequest("testset is missing field `labels`".into()))
+        .and_then(|v| u32_vec_from_value(v, "testset.labels").map_err(ServeError::BadRequest))?;
+    let lazy = match value.get("labeling").and_then(Value::as_str) {
+        None | Some("full") => false,
+        Some("lazy") => true,
+        Some(other) => {
+            return Err(ServeError::BadRequest(format!(
+                "unknown labeling mode `{other}` (expected `full` or `lazy`)"
+            )))
+        }
+    };
+    let classes = match value.get("classes") {
+        None | Some(Value::Null) => truth.iter().max().map_or(1, |&m| m.saturating_add(1)),
+        Some(v) => v
+            .as_u64()
+            .and_then(|c| u32::try_from(c).ok())
+            .ok_or_else(|| ServeError::BadRequest("testset `classes` must be a u32".into()))?,
+    };
+    let spec = TestsetSpec {
+        truth,
+        classes,
+        lazy,
+    };
+    spec.validate()?;
+    Ok(spec)
+}
+
+/// The testset section of registration/status responses.
+fn testset_json(measured: &MeasuredTestset, meets_estimate: bool) -> Value {
+    Value::object([
+        ("size", Value::from(measured.len())),
+        (
+            "labeling",
+            Value::from(if measured.lazy() { "lazy" } else { "full" }),
+        ),
+        ("classes", Value::from(measured.classes())),
+        ("labeled", Value::from(measured.labeled_count())),
+        ("meets_estimate", Value::from(meets_estimate)),
+    ])
+}
+
 fn register_project(registry: &Registry, request: &Request) -> Result<Response, ServeError> {
     let body = request.json_body().map_err(ServeError::BadRequest)?;
     let name = body
@@ -432,49 +501,57 @@ fn register_project(registry: &Registry, request: &Request) -> Result<Response, 
         .get("script")
         .and_then(Value::as_str)
         .ok_or_else(|| ServeError::BadRequest("missing string field `script`".into()))?;
-    let slot = registry.register(name, script)?;
+    let testset = match body.get("testset") {
+        None | Some(Value::Null) => None,
+        Some(value) => Some(parse_testset_spec(value)?),
+    };
+    let slot = registry.register(name, script, testset)?;
     let slot = slot.lock().expect("project poisoned");
     let project = &slot.project;
-    Ok(Response::json(
-        201,
-        &Value::object([
-            ("project", Value::from(name)),
-            (
-                "condition",
-                Value::from(project.script().condition().to_string()),
-            ),
-            ("reliability", Value::from(project.script().reliability())),
-            (
-                "adaptivity",
-                Value::from(project.script().adaptivity().to_string()),
-            ),
-            ("mode", Value::from(project.script().mode().to_string())),
-            ("estimate", estimate_json(project)),
-            ("budget", budget_json(project)),
-        ]),
-    ))
+    let mut fields = vec![
+        ("project", Value::from(name)),
+        (
+            "condition",
+            Value::from(project.script().condition().to_string()),
+        ),
+        ("reliability", Value::from(project.script().reliability())),
+        (
+            "adaptivity",
+            Value::from(project.script().adaptivity().to_string()),
+        ),
+        ("mode", Value::from(project.script().mode().to_string())),
+        ("estimate", estimate_json(project)),
+        ("budget", budget_json(project)),
+    ];
+    if let Some(measured) = project.measured() {
+        let meets = measured.len() as u64 >= project.estimate().total_samples();
+        fields.push(("testset", testset_json(measured, meets)));
+    }
+    Ok(Response::json(201, &Value::object(fields)))
 }
 
 fn project_status(registry: &Registry, name: &str) -> Result<Response, ServeError> {
     with_project(registry, name, |slot| {
         let project = &slot.project;
-        Ok(Response::json(
-            200,
-            &Value::object([
-                ("project", Value::from(project.name())),
-                (
-                    "condition",
-                    Value::from(project.script().condition().to_string()),
-                ),
-                ("estimate", estimate_json(project)),
-                ("budget", budget_json(project)),
-                ("commits", Value::from(project.history().len())),
-                (
-                    "labels_total",
-                    Value::from(project.history().total_labels_requested()),
-                ),
-            ]),
-        ))
+        let mut fields = vec![
+            ("project", Value::from(project.name())),
+            (
+                "condition",
+                Value::from(project.script().condition().to_string()),
+            ),
+            ("estimate", estimate_json(project)),
+            ("budget", budget_json(project)),
+            ("commits", Value::from(project.history().len())),
+            (
+                "labels_total",
+                Value::from(project.history().total_labels_requested()),
+            ),
+        ];
+        if let Some(measured) = project.measured() {
+            let meets = measured.len() as u64 >= project.estimate().total_samples();
+            fields.push(("testset", testset_json(measured, meets)));
+        }
+        Ok(Response::json(200, &Value::object(fields)))
     })
 }
 
@@ -512,6 +589,53 @@ fn submit_commit(
     })
 }
 
+fn submit_predictions(
+    registry: &Registry,
+    name: &str,
+    request: &Request,
+) -> Result<Response, ServeError> {
+    let body = request.json_body().map_err(ServeError::BadRequest)?;
+    let commit_id = body
+        .get("commit_id")
+        .and_then(Value::as_str)
+        .ok_or_else(|| ServeError::BadRequest("missing string field `commit_id`".into()))?;
+    let vector = |key: &str| -> Result<Vec<u32>, ServeError> {
+        body.get(key)
+            .ok_or_else(|| ServeError::BadRequest(format!("missing field `{key}`")))
+            .and_then(|v| u32_vec_from_value(v, key).map_err(ServeError::BadRequest))
+    };
+    let submission = PredictionsSubmission {
+        commit_id: commit_id.to_owned(),
+        old: vector("old")?,
+        new: vector("new")?,
+    };
+    with_project(registry, name, |slot| {
+        let (receipt, counts) = slot.submit_predictions(&submission)?;
+        let Value::Object(mut fields) = receipt_json(&receipt, &budget_json(&slot.project)) else {
+            unreachable!("receipt_json builds an object")
+        };
+        // The derived counts are appended *after* the receipt fields:
+        // the receipt part stays byte-comparable to the counts route's
+        // response for the equivalence tests (and for auditing clients).
+        let labeled_total = slot
+            .project
+            .measured()
+            .map_or(0, crate::registry::MeasuredTestset::labeled_count);
+        fields.push((
+            "measurement".into(),
+            Value::object([
+                ("samples", Value::from(counts.samples)),
+                ("new_correct", Value::from(counts.new_correct)),
+                ("old_correct", Value::from(counts.old_correct)),
+                ("changed", Value::from(counts.changed)),
+                ("labels_spent", Value::from(counts.labels)),
+                ("labeled_total", Value::from(labeled_total)),
+            ]),
+        ));
+        Ok(Response::json(200, &Value::Object(fields)))
+    })
+}
+
 fn receipt_json(receipt: &GateReceipt, budget: &Value) -> Value {
     let alarm = receipt.alarm.map(|reason| match reason {
         AlarmReason::BudgetExhausted => "budget_exhausted",
@@ -526,6 +650,7 @@ fn receipt_json(receipt: &GateReceipt, budget: &Value) -> Value {
         ("outcome", Value::from(tribool_str(receipt.outcome))),
         ("passed", Value::from(receipt.passed)),
         ("alarm", Value::from(alarm)),
+        ("labels", Value::from(receipt.labels)),
         ("budget", budget.clone()),
     ])
 }
@@ -566,17 +691,38 @@ fn project_budget(registry: &Registry, name: &str) -> Result<Response, ServeErro
     })
 }
 
-fn fresh_testset(registry: &Registry, name: &str) -> Result<Response, ServeError> {
+fn fresh_testset(
+    registry: &Registry,
+    name: &str,
+    request: &Request,
+) -> Result<Response, ServeError> {
+    // Counts-mode projects POST an empty body (the client attests it
+    // collected a fresh testset); server-measured projects must hand the
+    // new era's testset data over in a `testset` object.
+    let testset = if request.body.is_empty() {
+        None
+    } else {
+        let body = request.json_body().map_err(ServeError::BadRequest)?;
+        match body.get("testset") {
+            None | Some(Value::Null) => None,
+            Some(value) => Some(parse_testset_spec(value)?),
+        }
+    };
     with_project(registry, name, |slot| {
-        let era = slot.fresh_testset()?;
-        Ok(Response::json(
-            200,
-            &Value::object([
-                ("project", Value::from(name)),
-                ("era", Value::from(era)),
-                ("budget", budget_json(&slot.project)),
-            ]),
-        ))
+        let era = match testset {
+            Some(spec) => slot.install_testset(spec)?,
+            None => slot.fresh_testset()?,
+        };
+        let mut fields = vec![
+            ("project", Value::from(name)),
+            ("era", Value::from(era)),
+            ("budget", budget_json(&slot.project)),
+        ];
+        if let Some(measured) = slot.project.measured() {
+            let meets = measured.len() as u64 >= slot.project.estimate().total_samples();
+            fields.push(("testset", testset_json(measured, meets)));
+        }
+        Ok(Response::json(200, &Value::object(fields)))
     })
 }
 

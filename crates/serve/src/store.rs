@@ -9,6 +9,7 @@
 //!   plan_cache.v1              persisted PlanCache (whole plan-search results)
 //!   projects/<name>/
 //!     project.json             registration record (written once)
+//!     testset.<era>.json       per-era server-side testset blob (predictions mode)
 //!     journal.log              one JSON op per line, append-only
 //!     snapshot.json            compacted state + journal watermark
 //! ```
@@ -21,7 +22,13 @@
 //! suffix past the snapshot's watermark through the same gate code that
 //! served the original requests; each replayed op's recorded outcome
 //! (`passed`, `step`, `era`) is cross-checked and any mismatch rejects
-//! the directory as corrupt rather than silently diverging. Snapshots
+//! the directory as corrupt rather than silently diverging.
+//! Predictions-mode ops additionally store the submitted vectors and the
+//! counts the server derived from them: replay re-*measures* the vectors
+//! against the era's testset blob (whose digest is anchored in
+//! `project.json`, the `fresh_testset` journal op, or the snapshot) and
+//! cross-checks the derived counts, so tampering with a prediction blob,
+//! a testset blob, or a recorded outcome all fail the boot. Snapshots
 //! are written atomically (temp file + rename) every
 //! [`SNAPSHOT_EVERY`] ops, so the journal never needs truncation and
 //! stays a complete audit log.
@@ -36,8 +43,11 @@
 //! schedule at different pool widths.
 
 use crate::error::ServeError;
-use crate::json::Value;
-use crate::registry::{CommitSubmission, EvalCounts, GateReceipt, Project};
+use crate::json::{decode_u32_vec, encode_u32_vec, Value};
+use crate::registry::{
+    CommitSubmission, EvalCounts, GateReceipt, MeasuredTestset, PredictionsSubmission, Project,
+    TestsetSpec,
+};
 use easeml_ci_core::{CommitEstimates, CommitHistory, HistoryEntry, SampleSizeEstimator, Tribool};
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
@@ -89,6 +99,74 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     std::fs::rename(&tmp, path)
 }
 
+/// File name of the durable testset blob for one era.
+fn testset_blob_name(era: u32) -> String {
+    format!("testset.{era}.json")
+}
+
+/// Render a testset digest as its canonical wire form.
+fn digest_hex(digest: u64) -> String {
+    format!("{digest:016x}")
+}
+
+/// Parse a canonical digest string.
+fn parse_digest_hex(text: &str) -> Option<u64> {
+    (text.len() == 16)
+        .then(|| u64::from_str_radix(text, 16).ok())
+        .flatten()
+}
+
+/// Serialize a testset spec into its durable blob form.
+fn testset_blob_json(era: u32, spec: &TestsetSpec) -> Value {
+    Value::object([
+        ("version", Value::from(1u64)),
+        ("era", Value::from(era)),
+        (
+            "labeling",
+            Value::from(if spec.lazy { "lazy" } else { "full" }),
+        ),
+        ("classes", Value::from(spec.classes)),
+        ("labels", Value::from(encode_u32_vec(&spec.truth))),
+    ])
+}
+
+/// Load and validate the testset blob of one era.
+fn read_testset_blob(dir: &Path, era: u32) -> Result<TestsetSpec, ServeError> {
+    let path = dir.join(testset_blob_name(era));
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| corrupt(&path, format!("missing testset blob: {e}")))?;
+    let blob = Value::parse(&text).map_err(|e| corrupt(&path, e.to_string()))?;
+    if blob.get("version").and_then(Value::as_u64) != Some(1) {
+        return Err(corrupt(&path, "unsupported testset blob version"));
+    }
+    if blob.get("era").and_then(Value::as_u64) != Some(u64::from(era)) {
+        return Err(corrupt(&path, "blob era does not match file name"));
+    }
+    let lazy = match blob.get("labeling").and_then(Value::as_str) {
+        Some("lazy") => true,
+        Some("full") => false,
+        _ => return Err(corrupt(&path, "missing or unknown `labeling`")),
+    };
+    let classes = blob
+        .get("classes")
+        .and_then(Value::as_u64)
+        .and_then(|v| u32::try_from(v).ok())
+        .ok_or_else(|| corrupt(&path, "missing or bad `classes`"))?;
+    let truth = blob
+        .get("labels")
+        .and_then(Value::as_str)
+        .ok_or_else(|| corrupt(&path, "missing `labels`"))
+        .and_then(|text| decode_u32_vec(text).map_err(|e| corrupt(&path, e)))?;
+    let spec = TestsetSpec {
+        truth,
+        classes,
+        lazy,
+    };
+    spec.validate()
+        .map_err(|e| corrupt(&path, format!("invalid testset: {e}")))?;
+    Ok(spec)
+}
+
 /// The persistence arm of one project: its directory, the open journal
 /// handle, and the op counter driving snapshot cadence.
 #[derive(Debug)]
@@ -126,11 +204,40 @@ impl ProjectStore {
         // project starts from a genuinely empty journal.
         let _ = std::fs::remove_file(dir.join("journal.log"));
         let _ = std::fs::remove_file(dir.join("snapshot.json"));
-        let record = Value::object([
+        if let Ok(entries) = std::fs::read_dir(dir) {
+            for entry in entries.flatten() {
+                if entry.file_name().to_string_lossy().starts_with("testset.") {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
+        let mut fields = vec![
             ("version", Value::from(1u64)),
             ("name", Value::from(project.name())),
             ("script", Value::from(project.script_text())),
-        ]);
+        ];
+        // A server-side testset is persisted as the era-0 blob *before*
+        // the registration record, whose digest field then anchors the
+        // blob's integrity (a tampered blob fails the next boot).
+        if let Some(measured) = project.measured() {
+            let spec = measured.spec();
+            write_atomic(
+                &dir.join(testset_blob_name(0)),
+                testset_blob_json(0, &spec).pretty().as_bytes(),
+            )?;
+            fields.push((
+                "testset",
+                Value::object([
+                    (
+                        "labeling",
+                        Value::from(if spec.lazy { "lazy" } else { "full" }),
+                    ),
+                    ("classes", Value::from(spec.classes)),
+                    ("digest", Value::from(digest_hex(spec.digest()))),
+                ]),
+            ));
+        }
+        let record = Value::object(fields);
         write_atomic(&dir.join("project.json"), record.pretty().as_bytes())?;
         let journal = OpenOptions::new()
             .create(true)
@@ -167,7 +274,27 @@ impl ProjectStore {
             .get("script")
             .and_then(Value::as_str)
             .ok_or_else(|| corrupt(&record_path, "missing `script`"))?;
-        let mut project = Project::register(name, script, estimator)
+        // A testset record means the era-0 blob must exist and match the
+        // digest the (fsynced) registration record anchored.
+        let testset = match record.get("testset") {
+            None | Some(Value::Null) => None,
+            Some(ts) => {
+                let recorded = ts
+                    .get("digest")
+                    .and_then(Value::as_str)
+                    .and_then(parse_digest_hex)
+                    .ok_or_else(|| corrupt(&record_path, "missing or bad testset `digest`"))?;
+                let spec = read_testset_blob(dir, 0)?;
+                if spec.digest() != recorded {
+                    return Err(corrupt(
+                        &dir.join(testset_blob_name(0)),
+                        "testset blob does not match the registration record's digest",
+                    ));
+                }
+                Some(spec)
+            }
+        };
+        let mut project = Project::register_with_testset(name, script, estimator, testset)
             .map_err(|e| corrupt(&record_path, format!("registration replay failed: {e}")))?;
 
         // Snapshot, if any: restore state and skip the journal prefix.
@@ -176,7 +303,7 @@ impl ProjectStore {
         if snapshot_path.exists() {
             let text = std::fs::read_to_string(&snapshot_path)?;
             let snap = Value::parse(&text).map_err(|e| corrupt(&snapshot_path, e.to_string()))?;
-            skip_ops = load_snapshot(&snapshot_path, &snap, &mut project)?;
+            skip_ops = load_snapshot(dir, &snapshot_path, &snap, &mut project)?;
         }
 
         // Journal suffix: replay through the live gate.
@@ -193,7 +320,7 @@ impl ProjectStore {
                 if ops <= skip_ops {
                     continue;
                 }
-                replay_op(&journal_path, index + 1, &line, &mut project)?;
+                replay_op(dir, &journal_path, index + 1, &line, &mut project)?;
             }
         }
         if ops < skip_ops {
@@ -246,17 +373,74 @@ impl ProjectStore {
         self.append(&op, project)
     }
 
-    /// Journal a fresh-testset installation.
+    /// Journal one accepted predictions submission: the vectors (replay
+    /// re-measures them), the derived counts, and the outcome (both are
+    /// cross-checked at replay — a tampered prediction blob or testset
+    /// blob diverges and fails the boot).
     ///
     /// # Errors
     ///
     /// I/O failures.
-    pub fn append_fresh_testset(&mut self, era: u32, project: &Project) -> Result<(), ServeError> {
+    pub fn append_commit_predictions(
+        &mut self,
+        submission: &PredictionsSubmission,
+        counts: EvalCounts,
+        receipt: &GateReceipt,
+        project: &Project,
+    ) -> Result<(), ServeError> {
         let op = Value::object([
-            ("op", Value::from("fresh_testset")),
-            ("era", Value::from(era)),
+            ("op", Value::from("commit_predictions")),
+            ("id", Value::from(submission.commit_id.as_str())),
+            ("old", Value::from(encode_u32_vec(&submission.old))),
+            ("new", Value::from(encode_u32_vec(&submission.new))),
+            ("samples", Value::from(counts.samples)),
+            ("new_correct", Value::from(counts.new_correct)),
+            ("old_correct", Value::from(counts.old_correct)),
+            ("changed", Value::from(counts.changed)),
+            ("labels", Value::from(counts.labels)),
+            ("passed", Value::from(receipt.passed)),
+            ("step", Value::from(receipt.step)),
+            ("era", Value::from(receipt.era)),
         ]);
         self.append(&op, project)
+    }
+
+    /// Journal a fresh-testset installation. `testset_digest` is present
+    /// exactly when the new era handed over a server-side testset; it
+    /// anchors the era's blob integrity at replay.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn append_fresh_testset(
+        &mut self,
+        era: u32,
+        testset_digest: Option<u64>,
+        project: &Project,
+    ) -> Result<(), ServeError> {
+        let mut fields = vec![
+            ("op", Value::from("fresh_testset")),
+            ("era", Value::from(era)),
+        ];
+        if let Some(digest) = testset_digest {
+            fields.push(("testset_digest", Value::from(digest_hex(digest))));
+        }
+        let op = Value::object(fields);
+        self.append(&op, project)
+    }
+
+    /// Persist the blob for a new era's server-side testset (atomic;
+    /// called *before* the journal op that activates the era).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn write_testset_blob(&self, era: u32, spec: &TestsetSpec) -> Result<(), ServeError> {
+        write_atomic(
+            &self.dir.join(testset_blob_name(era)),
+            testset_blob_json(era, spec).pretty().as_bytes(),
+        )?;
+        Ok(())
     }
 
     fn append(&mut self, op: &Value, project: &Project) -> Result<(), ServeError> {
@@ -312,15 +496,54 @@ impl ProjectStore {
     /// I/O failures.
     pub fn write_snapshot(&self, project: &Project) -> Result<(), ServeError> {
         self.journal.sync_data()?;
-        let history: Vec<Value> = project.history().entries().iter().map(entry_json).collect();
-        let snap = Value::object([
+        let history: Vec<Value> = project
+            .history()
+            .entries()
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let Value::Object(mut fields) = entry_json(e) else {
+                    unreachable!("entry_json builds an object")
+                };
+                // The predictions-redelivery dedup key must survive the
+                // snapshot (entries it covers are never replayed).
+                fields.push((
+                    "pred_digest".into(),
+                    Value::from(project.pred_digest(i).map(digest_hex)),
+                ));
+                Value::Object(fields)
+            })
+            .collect();
+        let mut fields = vec![
             ("version", Value::from(1u64)),
             ("journal_ops", Value::from(self.ops_written)),
             ("steps_used", Value::from(project.steps_used())),
             ("era", Value::from(project.era())),
             ("retired", Value::from(project.is_retired())),
-            ("history", Value::Array(history)),
-        ]);
+        ];
+        if let Some(measured) = project.measured() {
+            fields.push(("testset_digest", Value::from(digest_hex(measured.digest()))));
+            // Which labels the era has spent so far: restart recovery
+            // rebuilds the pool to exactly this state before replaying
+            // the journal suffix, so replayed measurements spend the
+            // same labels the originals did. Only lazy pools need this —
+            // a fully-labelled pool never changes, and serializing its
+            // complete 0..n index list would bloat every snapshot.
+            if measured.lazy() {
+                fields.push((
+                    "labeled",
+                    Value::Array(
+                        measured
+                            .labeled_indices()
+                            .into_iter()
+                            .map(Value::from)
+                            .collect(),
+                    ),
+                ));
+            }
+        }
+        fields.push(("history", Value::Array(history)));
+        let snap = Value::object(fields);
         write_atomic(&self.dir.join("snapshot.json"), snap.pretty().as_bytes())?;
         Ok(())
     }
@@ -346,7 +569,12 @@ pub(crate) fn entry_json(e: &HistoryEntry) -> Value {
 
 /// Restore project state from a parsed snapshot; returns the journal
 /// watermark (ops already reflected in the snapshot).
-fn load_snapshot(path: &Path, snap: &Value, project: &mut Project) -> Result<u64, ServeError> {
+fn load_snapshot(
+    dir: &Path,
+    path: &Path,
+    snap: &Value,
+    project: &mut Project,
+) -> Result<u64, ServeError> {
     let field_u64 = |key: &str| -> Result<u64, ServeError> {
         snap.get(key)
             .and_then(Value::as_u64)
@@ -363,11 +591,56 @@ fn load_snapshot(path: &Path, snap: &Value, project: &mut Project) -> Result<u64
         .get("retired")
         .and_then(Value::as_bool)
         .ok_or_else(|| corrupt(path, "missing `retired`"))?;
+    // Predictions-mode projects: swap in the blob of the snapshot's era
+    // (digest-anchored by the snapshot) and rebuild the spent-label
+    // state, so post-snapshot journal replay measures against exactly
+    // the pool the original requests saw.
+    if project.measured().is_some() {
+        let recorded = snap
+            .get("testset_digest")
+            .and_then(Value::as_str)
+            .and_then(parse_digest_hex)
+            .ok_or_else(|| corrupt(path, "missing or bad `testset_digest`"))?;
+        let spec = read_testset_blob(dir, era)?;
+        if spec.digest() != recorded {
+            return Err(corrupt(
+                &dir.join(testset_blob_name(era)),
+                "testset blob does not match the snapshot's digest",
+            ));
+        }
+        let lazy = spec.lazy;
+        project.set_measured(Some(
+            MeasuredTestset::from_spec(spec)
+                .map_err(|e| corrupt(path, format!("invalid testset: {e}")))?,
+        ));
+        // Fully-labelled pools are complete from construction; only lazy
+        // pools carry (and require) the spent-label record.
+        if lazy {
+            let labeled = snap
+                .get("labeled")
+                .and_then(Value::as_array)
+                .ok_or_else(|| corrupt(path, "missing `labeled`"))?;
+            let indices: Vec<usize> = labeled
+                .iter()
+                .map(|v| {
+                    v.as_u64()
+                        .and_then(|i| usize::try_from(i).ok())
+                        .ok_or_else(|| corrupt(path, "bad `labeled` index"))
+                })
+                .collect::<Result<_, _>>()?;
+            project
+                .measured_mut()
+                .expect("set above")
+                .restore_labels(&indices)
+                .map_err(|e| corrupt(path, format!("bad `labeled` state: {e}")))?;
+        }
+    }
     let entries = snap
         .get("history")
         .and_then(Value::as_array)
         .ok_or_else(|| corrupt(path, "missing `history`"))?;
     let mut history = CommitHistory::new();
+    let mut pred_digests: Vec<Option<u64>> = Vec::with_capacity(entries.len());
     for (i, entry) in entries.iter().enumerate() {
         let bad = |what: &str| corrupt(path, format!("history[{i}]: {what}"));
         let commit_id = entry
@@ -402,6 +675,14 @@ fn load_snapshot(path: &Path, snap: &Value, project: &mut Project) -> Result<u64
             .and_then(Value::as_str)
             .and_then(tribool_parse)
             .ok_or_else(|| bad("bad `outcome`"))?;
+        pred_digests.push(match entry.get("pred_digest") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(
+                v.as_str()
+                    .and_then(parse_digest_hex)
+                    .ok_or_else(|| bad("bad `pred_digest`"))?,
+            ),
+        });
         history.push(HistoryEntry {
             commit_id,
             step: num_u32("step")?,
@@ -421,13 +702,17 @@ fn load_snapshot(path: &Path, snap: &Value, project: &mut Project) -> Result<u64
             accepted: flag("accepted")?,
         });
     }
-    project.restore(steps_used, era, retired, history);
+    project.restore(steps_used, era, retired, history, pred_digests);
     Ok(journal_ops)
 }
 
 /// Replay one journal line through the live gate, cross-checking the
-/// recorded outcome.
+/// recorded outcome. `commit_predictions` ops are re-*measured* from the
+/// stored vectors against the era's testset blob, so tampering with
+/// either (vectors, derived counts, outcome, or the blob itself)
+/// diverges and rejects the directory.
 fn replay_op(
+    dir: &Path,
     path: &Path,
     line_no: usize,
     line: &str,
@@ -440,46 +725,98 @@ fn replay_op(
             .and_then(Value::as_u64)
             .ok_or_else(|| bad(format!("missing or non-integer `{key}`")))
     };
+    let commit_id = || -> Result<String, ServeError> {
+        op.get("id")
+            .and_then(Value::as_str)
+            .ok_or_else(|| bad("missing `id`".into()))
+            .map(str::to_owned)
+    };
+    let recorded_counts = || -> Result<EvalCounts, ServeError> {
+        Ok(EvalCounts {
+            samples: field_u64("samples")?,
+            new_correct: field_u64("new_correct")?,
+            old_correct: field_u64("old_correct")?,
+            changed: field_u64("changed")?,
+            labels: field_u64("labels")?,
+        })
+    };
+    let check_outcome = |receipt: &GateReceipt| -> Result<(), ServeError> {
+        let recorded_passed = op
+            .get("passed")
+            .and_then(Value::as_bool)
+            .ok_or_else(|| bad("missing `passed`".into()))?;
+        let recorded_step = field_u64("step")?;
+        let recorded_era = field_u64("era")?;
+        if receipt.passed != recorded_passed
+            || u64::from(receipt.step) != recorded_step
+            || u64::from(receipt.era) != recorded_era
+        {
+            return Err(bad(format!(
+                "replay diverged: recorded (passed={recorded_passed}, step={recorded_step}, \
+                 era={recorded_era}) vs recomputed (passed={}, step={}, era={})",
+                receipt.passed, receipt.step, receipt.era
+            )));
+        }
+        Ok(())
+    };
     match op.get("op").and_then(Value::as_str) {
         Some("commit") => {
             let submission = CommitSubmission {
-                commit_id: op
-                    .get("id")
-                    .and_then(Value::as_str)
-                    .ok_or_else(|| bad("missing `id`".into()))?
-                    .to_owned(),
-                counts: EvalCounts {
-                    samples: field_u64("samples")?,
-                    new_correct: field_u64("new_correct")?,
-                    old_correct: field_u64("old_correct")?,
-                    changed: field_u64("changed")?,
-                    labels: field_u64("labels")?,
-                },
+                commit_id: commit_id()?,
+                counts: recorded_counts()?,
             };
             let receipt = project
                 .submit(&submission)
                 .map_err(|e| bad(format!("gate rejected replayed op: {e}")))?;
-            let recorded_passed = op
-                .get("passed")
-                .and_then(Value::as_bool)
-                .ok_or_else(|| bad("missing `passed`".into()))?;
-            let recorded_step = field_u64("step")?;
-            let recorded_era = field_u64("era")?;
-            if receipt.passed != recorded_passed
-                || u64::from(receipt.step) != recorded_step
-                || u64::from(receipt.era) != recorded_era
-            {
+            check_outcome(&receipt)
+        }
+        Some("commit_predictions") => {
+            let vector = |key: &str| -> Result<Vec<u32>, ServeError> {
+                op.get(key)
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| bad(format!("missing `{key}`")))
+                    .and_then(|text| decode_u32_vec(text).map_err(bad))
+            };
+            let submission = PredictionsSubmission {
+                commit_id: commit_id()?,
+                old: vector("old")?,
+                new: vector("new")?,
+            };
+            let recorded = recorded_counts()?;
+            let (receipt, counts) = project
+                .submit_predictions(&submission)
+                .map_err(|e| bad(format!("gate rejected replayed op: {e}")))?;
+            if counts != recorded {
                 return Err(bad(format!(
-                    "replay diverged: recorded (passed={recorded_passed}, step={recorded_step}, \
-                     era={recorded_era}) vs recomputed (passed={}, step={}, era={})",
-                    receipt.passed, receipt.step, receipt.era
+                    "measurement replay diverged: recorded {recorded:?} vs remeasured {counts:?} \
+                     (prediction or testset blob tampered?)"
                 )));
             }
-            Ok(())
+            check_outcome(&receipt)
         }
         Some("fresh_testset") => {
-            let new_era = project.fresh_testset();
             let recorded = field_u64("era")?;
+            let new_era = match op.get("testset_digest") {
+                None | Some(Value::Null) => project.fresh_testset(),
+                Some(digest) => {
+                    let recorded_digest = digest
+                        .as_str()
+                        .and_then(parse_digest_hex)
+                        .ok_or_else(|| bad("bad `testset_digest`".into()))?;
+                    let era =
+                        u32::try_from(recorded).map_err(|_| bad("era out of range".into()))?;
+                    let spec = read_testset_blob(dir, era)?;
+                    if spec.digest() != recorded_digest {
+                        return Err(corrupt(
+                            &dir.join(testset_blob_name(era)),
+                            "testset blob does not match the journalled digest",
+                        ));
+                    }
+                    project
+                        .install_testset(spec)
+                        .map_err(|e| bad(format!("testset replay failed: {e}")))?
+                }
+            };
             if u64::from(new_era) != recorded {
                 return Err(bad(format!(
                     "replay diverged: recorded era {recorded} vs recomputed {new_era}"
@@ -512,6 +849,16 @@ impl ProjectSlot {
     ///
     /// Gate rejections and journal I/O failures.
     pub fn submit(&mut self, submission: &CommitSubmission) -> Result<GateReceipt, ServeError> {
+        // Trust model: a server-measured project refuses client counts
+        // outright (checked before dedup, so a counts body can never
+        // match a predictions entry's estimates either).
+        if self.project.measured().is_some() {
+            return Err(ServeError::Conflict(
+                "project holds a server-side testset; submit prediction vectors to \
+                 /commits/predictions"
+                    .into(),
+            ));
+        }
         if let Some(receipt) = self.project.duplicate_receipt(submission) {
             return Ok(receipt);
         }
@@ -532,17 +879,115 @@ impl ProjectSlot {
         Ok(receipt)
     }
 
-    /// Install a fresh testset and journal it (rolled back like
-    /// [`ProjectSlot::submit`] if the append fails).
+    /// Gate a predictions submission: measure the vectors server-side,
+    /// run the derived counts through the shared gate, and journal the
+    /// vectors + counts + outcome. Redelivery of identical vectors for
+    /// the same commit returns the recorded receipt without spending a
+    /// budget step, labels, or journal bytes — the dedup key is the
+    /// vector digest, checked *before* any measurement.
+    ///
+    /// A failed journal append rolls back the gate counters *and* the
+    /// label pool (labels the failed measurement pulled would otherwise
+    /// desynchronise replay).
     ///
     /// # Errors
     ///
-    /// Journal I/O failures.
+    /// Gate rejections, validation failures, and journal I/O failures.
+    pub fn submit_predictions(
+        &mut self,
+        submission: &PredictionsSubmission,
+    ) -> Result<(GateReceipt, EvalCounts), ServeError> {
+        let digest = submission.digest();
+        if let Some(hit) = self.project.duplicate_predictions_keyed(submission, digest) {
+            return Ok(hit);
+        }
+        let mark = self.project.gate_mark();
+        // Lazy pools clone their label state (the only thing a
+        // measurement mutates); fully-labelled pools skip the copy.
+        let label_mark = self.project.label_mark();
+        let roll_back = |project: &mut Project| {
+            project.rollback_to(mark);
+            project.restore_label_mark(label_mark);
+        };
+        let (receipt, counts) = match self.project.submit_predictions_keyed(submission, digest) {
+            Ok(out) => out,
+            Err(e) => {
+                // Defensive: the gate rejects before measuring, but a
+                // partial label spend must never outlive a failed op.
+                roll_back(&mut self.project);
+                return Err(e);
+            }
+        };
+        if let Err(e) =
+            self.store
+                .append_commit_predictions(submission, counts, &receipt, &self.project)
+        {
+            roll_back(&mut self.project);
+            return Err(e);
+        }
+        Ok((receipt, counts))
+    }
+
+    /// Install a fresh testset and journal it (rolled back like
+    /// [`ProjectSlot::submit`] if the append fails).
+    ///
+    /// Projects holding a server-side testset must hand the new era's
+    /// data over through [`ProjectSlot::install_testset`] instead.
+    ///
+    /// # Errors
+    ///
+    /// Journal I/O failures; [`ServeError::Conflict`] for
+    /// predictions-mode projects.
     pub fn fresh_testset(&mut self) -> Result<u32, ServeError> {
+        if self.project.measured().is_some() {
+            return Err(ServeError::Conflict(
+                "project holds a server-side testset; POST the fresh testset data to start \
+                 a new era"
+                    .into(),
+            ));
+        }
         let mark = self.project.gate_mark();
         let era = self.project.fresh_testset();
-        if let Err(e) = self.store.append_fresh_testset(era, &self.project) {
+        if let Err(e) = self.store.append_fresh_testset(era, None, &self.project) {
             self.project.rollback_to(mark);
+            return Err(e);
+        }
+        Ok(era)
+    }
+
+    /// Install a fresh *server-side* testset: persist the new era's blob
+    /// (atomic, before the journal op that activates it), swap the
+    /// measured state, and journal the era bump with the blob digest.
+    ///
+    /// # Errors
+    ///
+    /// Validation failures, [`ServeError::Conflict`] for counts-mode
+    /// projects, I/O failures (state rolled back on append failure).
+    pub fn install_testset(&mut self, spec: TestsetSpec) -> Result<u32, ServeError> {
+        spec.validate()?;
+        if self.project.measured().is_none() {
+            return Err(ServeError::Conflict(
+                "project gates on client counts; POST an empty body to start a fresh era".into(),
+            ));
+        }
+        let digest = spec.digest();
+        let next_era = self
+            .project
+            .era()
+            .checked_add(1)
+            .ok_or_else(|| ServeError::BadRequest("era counter overflow".into()))?;
+        // An orphaned blob from a crash here is harmless: the journal
+        // never references it, and a retry simply overwrites it.
+        self.store.write_testset_blob(next_era, &spec)?;
+        let mark = self.project.gate_mark();
+        let prev = self.project.measured_clone();
+        let era = self.project.install_testset(spec)?;
+        if let Err(e) = self
+            .store
+            .append_fresh_testset(era, Some(digest), &self.project)
+        {
+            self.project.rollback_to(mark);
+            self.project.set_measured(prev);
             return Err(e);
         }
         Ok(era)
@@ -576,26 +1021,27 @@ pub struct Registry {
     registering: Mutex<std::collections::HashSet<String>>,
 }
 
-/// Idempotency arm of [`Registry::register`]: same script → the existing
-/// project; different script → conflict.
+/// Idempotency arm of [`Registry::register`]: same script *and* same
+/// testset (by digest) → the existing project; anything else → conflict.
 fn existing_or_conflict(
     existing: &Arc<Mutex<ProjectSlot>>,
     name: &str,
     script_text: &str,
+    testset_digest: Option<u64>,
 ) -> Result<Arc<Mutex<ProjectSlot>>, ServeError> {
-    if existing
-        .lock()
-        .expect("project poisoned")
-        .project
-        .script_text()
-        == script_text
-    {
-        Ok(Arc::clone(existing))
-    } else {
-        Err(ServeError::Conflict(format!(
+    let slot = existing.lock().expect("project poisoned");
+    if slot.project.script_text() != script_text {
+        return Err(ServeError::Conflict(format!(
             "project `{name}` already exists with a different script"
-        )))
+        )));
     }
+    if slot.project.testset_digest() != testset_digest {
+        return Err(ServeError::Conflict(format!(
+            "project `{name}` already exists with a different testset"
+        )));
+    }
+    drop(slot);
+    Ok(Arc::clone(existing))
 }
 
 impl Registry {
@@ -652,9 +1098,10 @@ impl Registry {
     /// Register a new project and create its durable state.
     ///
     /// Registration is *idempotent*: re-registering an existing name
-    /// with byte-identical script text returns the existing project (so
-    /// an at-least-once client retry of a lost response converges), while
-    /// the same name with a different script is a conflict.
+    /// with byte-identical script text (and the same testset, when one
+    /// is attached) returns the existing project (so an at-least-once
+    /// client retry of a lost response converges), while the same name
+    /// with a different script or testset is a conflict.
     ///
     /// The name is reserved under a short-lived lock and the durable
     /// store (which fsyncs) is created outside every lock other requests
@@ -669,8 +1116,10 @@ impl Registry {
         &self,
         name: &str,
         script_text: &str,
+        testset: Option<TestsetSpec>,
     ) -> Result<Arc<Mutex<ProjectSlot>>, ServeError> {
-        let project = Project::register(name, script_text, &self.estimator)?;
+        let testset_digest = testset.as_ref().map(TestsetSpec::digest);
+        let project = Project::register_with_testset(name, script_text, &self.estimator, testset)?;
         // Reserve the name. The `registering` set covers the window in
         // which the store is created on disk; the map is the long-term
         // record. Only the map lookup happens under the reservation lock
@@ -686,7 +1135,7 @@ impl Registry {
             existing
         };
         if let Some(existing) = existing {
-            return existing_or_conflict(&existing, name, script_text);
+            return existing_or_conflict(&existing, name, script_text, testset_digest);
         }
         let result = ProjectStore::create(&self.projects_dir.join(name), &project);
         let out = match result {
@@ -802,7 +1251,7 @@ mod tests {
         let dir = temp_dir("era");
         {
             let registry = Registry::open(&dir, serving_estimator()).unwrap();
-            let slot = registry.register("proj", SCRIPT).unwrap();
+            let slot = registry.register("proj", SCRIPT, None).unwrap();
             let mut slot = slot.lock().unwrap();
             slot.submit(&submission("c1", 90)).unwrap();
             assert_eq!(slot.fresh_testset().unwrap(), 1);
@@ -822,7 +1271,7 @@ mod tests {
         let dir = temp_dir("restart");
         {
             let registry = Registry::open(&dir, serving_estimator()).unwrap();
-            let slot = registry.register("proj", SCRIPT).unwrap();
+            let slot = registry.register("proj", SCRIPT, None).unwrap();
             let mut slot = slot.lock().unwrap();
             slot.submit(&submission("c1", 90)).unwrap();
             slot.submit(&submission("c2", 30)).unwrap();
@@ -848,7 +1297,7 @@ mod tests {
         let dir = temp_dir("snapshot");
         {
             let registry = Registry::open(&dir, serving_estimator()).unwrap();
-            let slot = registry.register("proj", SCRIPT).unwrap();
+            let slot = registry.register("proj", SCRIPT, None).unwrap();
             let mut slot = slot.lock().unwrap();
             slot.submit(&submission("c1", 90)).unwrap();
             slot.snapshot().unwrap(); // snapshot at watermark 1
@@ -867,7 +1316,7 @@ mod tests {
         let dir = temp_dir("tamper");
         {
             let registry = Registry::open(&dir, serving_estimator()).unwrap();
-            let slot = registry.register("proj", SCRIPT).unwrap();
+            let slot = registry.register("proj", SCRIPT, None).unwrap();
             slot.lock().unwrap().submit(&submission("c1", 90)).unwrap();
         }
         let journal = dir.join("projects/proj/journal.log");
@@ -891,15 +1340,15 @@ mod tests {
     fn registration_is_idempotent_but_conflicts_on_different_script() {
         let dir = temp_dir("dup");
         let registry = Registry::open(&dir, serving_estimator()).unwrap();
-        let first = registry.register("proj", SCRIPT).unwrap();
+        let first = registry.register("proj", SCRIPT, None).unwrap();
         // Same name + same script: the retry of a lost response converges
         // on the same project.
-        let again = registry.register("proj", SCRIPT).unwrap();
+        let again = registry.register("proj", SCRIPT, None).unwrap();
         assert!(Arc::ptr_eq(&first, &again));
         // Same name + different script: conflict.
         let other = SCRIPT.replace("0.99", "0.95");
         assert!(matches!(
-            registry.register("proj", &other),
+            registry.register("proj", &other, None),
             Err(ServeError::Conflict(_))
         ));
         assert_eq!(registry.names(), vec!["proj".to_owned()]);
@@ -909,7 +1358,7 @@ mod tests {
     fn duplicate_commit_redelivery_consumes_no_budget() {
         let dir = temp_dir("redeliver");
         let registry = Registry::open(&dir, serving_estimator()).unwrap();
-        let slot = registry.register("proj", SCRIPT).unwrap();
+        let slot = registry.register("proj", SCRIPT, None).unwrap();
         let mut slot = slot.lock().unwrap();
         let first = slot.submit(&submission("c1", 90)).unwrap();
         let journal_after_first = std::fs::read(dir.join("projects/proj/journal.log")).unwrap();
@@ -932,7 +1381,7 @@ mod tests {
     fn duplicate_redelivery_of_final_step_reconstructs_alarm() {
         let dir = temp_dir("redeliver-final");
         let registry = Registry::open(&dir, serving_estimator()).unwrap();
-        let slot = registry.register("proj", SCRIPT).unwrap();
+        let slot = registry.register("proj", SCRIPT, None).unwrap();
         let mut slot = slot.lock().unwrap();
         for i in 0..3 {
             slot.submit(&submission(&format!("c{i}"), 90)).unwrap();
@@ -958,7 +1407,7 @@ mod tests {
         let dir = temp_dir("interleave");
         let script = SCRIPT.replace("steps      : 3", "steps      : 10");
         let registry = Registry::open(&dir, serving_estimator()).unwrap();
-        let slot = registry.register("proj", &script).unwrap();
+        let slot = registry.register("proj", &script, None).unwrap();
         let mut slot = slot.lock().unwrap();
         // Client A's commit lands, the response is lost, client B's
         // commit lands in between — A's retry must still converge on the
@@ -975,7 +1424,7 @@ mod tests {
         let dir = temp_dir("hybrid-redeliver");
         let script = SCRIPT.replace("full", "firstChange");
         let registry = Registry::open(&dir, serving_estimator()).unwrap();
-        let slot = registry.register("proj", &script).unwrap();
+        let slot = registry.register("proj", &script, None).unwrap();
         let mut slot = slot.lock().unwrap();
         slot.submit(&submission("c1", 30)).unwrap();
         // A pass mid-budget retires the era (firstChange): the receipt
@@ -995,7 +1444,7 @@ mod tests {
     fn failed_journal_append_rolls_the_gate_back() {
         let dir = temp_dir("rollback");
         let registry = Registry::open(&dir, serving_estimator()).unwrap();
-        let slot = registry.register("proj", SCRIPT).unwrap();
+        let slot = registry.register("proj", SCRIPT, None).unwrap();
         let mut slot = slot.lock().unwrap();
         slot.submit(&submission("c1", 90)).unwrap();
 
@@ -1036,7 +1485,7 @@ mod tests {
         let registry = Registry::open(&dir, serving_estimator()).unwrap();
         assert!(registry.is_empty());
         // And the name is claimable: the retry wins and starts clean.
-        let slot = registry.register("husk", SCRIPT).unwrap();
+        let slot = registry.register("husk", SCRIPT, None).unwrap();
         slot.lock().unwrap().submit(&submission("c1", 90)).unwrap();
         let registry = Registry::open(&dir, serving_estimator()).unwrap();
         assert_eq!(
@@ -1053,12 +1502,231 @@ mod tests {
         );
     }
 
+    /// Deterministic prediction vectors over an all-zeros truth: `new`
+    /// is correct on the first `correct` items, wrong (class 1) after.
+    fn preds(size: usize, correct: usize) -> Vec<u32> {
+        (0..size).map(|i| u32::from(i >= correct)).collect()
+    }
+
+    fn lazy_spec(size: usize) -> TestsetSpec {
+        TestsetSpec {
+            truth: vec![0u32; size],
+            classes: 2,
+            lazy: true,
+        }
+    }
+
+    fn pred_submission(id: &str, size: usize, old_c: usize, new_c: usize) -> PredictionsSubmission {
+        PredictionsSubmission {
+            commit_id: id.into(),
+            old: preds(size, old_c),
+            new: preds(size, new_c),
+        }
+    }
+
+    #[test]
+    fn predictions_restart_replays_stored_vectors_to_identical_state() {
+        let dir = temp_dir("pred-restart");
+        let script = SCRIPT.replace("n > 0.6 +/- 0.2", "n - o > 0.0 +/- 0.2");
+        let (receipt, counts) = {
+            let registry = Registry::open(&dir, serving_estimator()).unwrap();
+            let slot = registry
+                .register("proj", &script, Some(lazy_spec(100)))
+                .unwrap();
+            let mut slot = slot.lock().unwrap();
+            let out = slot
+                .submit_predictions(&pred_submission("c1", 100, 50, 90))
+                .unwrap();
+            slot.submit_predictions(&pred_submission("c2", 100, 50, 40))
+                .unwrap();
+            out
+        }; // process death; 2 ops < SNAPSHOT_EVERY, no snapshot
+        let registry = Registry::open(&dir, serving_estimator()).unwrap();
+        let slot = registry.get("proj").unwrap();
+        let mut slot = slot.lock().unwrap();
+        assert_eq!(slot.project.steps_used(), 2);
+        assert_eq!(slot.project.history().len(), 2);
+        // Replay rebuilt the lazily-spent label state: c1 disagrees on
+        // 50..90 (40 labels), c2 adds 40..50 (10 more).
+        assert_eq!(slot.project.measured().unwrap().labeled_count(), 50);
+        // …and redelivery dedup still works across the restart (the
+        // digests were rebuilt from the journal's stored vectors).
+        let (again, counts_again) = slot
+            .submit_predictions(&pred_submission("c1", 100, 50, 90))
+            .unwrap();
+        assert_eq!(again, receipt);
+        assert_eq!(counts_again, counts);
+        assert_eq!(slot.project.steps_used(), 2, "redelivery spends nothing");
+    }
+
+    #[test]
+    fn tampered_prediction_blobs_fail_boot() {
+        let dir = temp_dir("pred-tamper");
+        let script = SCRIPT.replace("n > 0.6 +/- 0.2", "n - o > 0.0 +/- 0.2");
+        {
+            let registry = Registry::open(&dir, serving_estimator()).unwrap();
+            let slot = registry
+                .register("proj", &script, Some(lazy_spec(100)))
+                .unwrap();
+            slot.lock()
+                .unwrap()
+                .submit_predictions(&pred_submission("c1", 100, 50, 90))
+                .unwrap();
+        }
+        let journal = dir.join("projects/proj/journal.log");
+        let pristine = std::fs::read_to_string(&journal).unwrap();
+        // Tamper with the stored `new` vector: item 0 flips 0 → 1 (the
+        // packed form of `preds(100, 90)` starts with 90 zeros). The
+        // re-measured counts diverge from the recorded ones.
+        let tampered = pristine.replace("\"new\":\"#0", "\"new\":\"#1");
+        assert_ne!(tampered, pristine, "tamper must hit");
+        std::fs::write(&journal, &tampered).unwrap();
+        let err = Registry::open(&dir, serving_estimator()).unwrap_err();
+        assert!(matches!(err, ServeError::Corrupt { .. }), "{err}");
+        std::fs::write(&journal, &pristine).unwrap();
+
+        // Tampering with the *testset blob* (a label flip) also diverges.
+        let blob_path = dir.join("projects/proj/testset.0.json");
+        let blob = std::fs::read_to_string(&blob_path).unwrap();
+        let evil = blob.replace("\"labels\": \"#0", "\"labels\": \"#1");
+        assert_ne!(evil, blob);
+        std::fs::write(&blob_path, evil).unwrap();
+        let err = Registry::open(&dir, serving_estimator()).unwrap_err();
+        assert!(matches!(err, ServeError::Corrupt { .. }), "{err}");
+        std::fs::write(&blob_path, blob).unwrap();
+        assert!(Registry::open(&dir, serving_estimator()).is_ok());
+    }
+
+    #[test]
+    fn predictions_snapshot_restores_label_state_and_dedup_keys() {
+        let dir = temp_dir("pred-snapshot");
+        let script = SCRIPT
+            .replace("n > 0.6 +/- 0.2", "n - o > 0.0 +/- 0.2")
+            .replace("steps      : 3", "steps      : 10");
+        let first;
+        {
+            let registry = Registry::open(&dir, serving_estimator()).unwrap();
+            let slot = registry
+                .register("proj", &script, Some(lazy_spec(100)))
+                .unwrap();
+            let mut slot = slot.lock().unwrap();
+            first = slot
+                .submit_predictions(&pred_submission("c1", 100, 50, 90))
+                .unwrap();
+            slot.snapshot().unwrap(); // watermark 1, labeled state + digest
+            slot.submit_predictions(&pred_submission("c2", 100, 50, 70))
+                .unwrap(); // journal suffix, measured against restored labels
+        }
+        let registry = Registry::open(&dir, serving_estimator()).unwrap();
+        let slot = registry.get("proj").unwrap();
+        let mut slot = slot.lock().unwrap();
+        assert_eq!(slot.project.history().len(), 2);
+        // c1 disagrees on 50..90; c2's disagreements (50..70) were
+        // already labelled — 40 labels total, rebuilt across snapshot
+        // restore + suffix replay.
+        assert_eq!(slot.project.measured().unwrap().labeled_count(), 40);
+        // Dedup key for the snapshot-covered entry survived.
+        let (again, _) = slot
+            .submit_predictions(&pred_submission("c1", 100, 50, 90))
+            .unwrap();
+        assert_eq!(again, first.0);
+        assert_eq!(slot.project.steps_used(), 2);
+    }
+
+    #[test]
+    fn predictions_install_testset_persists_blob_per_era() {
+        let dir = temp_dir("pred-era");
+        {
+            let registry = Registry::open(&dir, serving_estimator()).unwrap();
+            let slot = registry
+                .register("proj", SCRIPT, Some(lazy_spec(100)))
+                .unwrap();
+            let mut slot = slot.lock().unwrap();
+            slot.submit_predictions(&pred_submission("c1", 100, 50, 90))
+                .unwrap();
+            // A predictions project cannot start an era without data…
+            assert!(matches!(slot.fresh_testset(), Err(ServeError::Conflict(_))));
+            // …and installs a differently-sized pool with one.
+            assert_eq!(slot.install_testset(lazy_spec(150)).unwrap(), 1);
+            slot.submit_predictions(&pred_submission("c2", 150, 80, 140))
+                .unwrap();
+        }
+        assert!(dir.join("projects/proj/testset.0.json").exists());
+        assert!(dir.join("projects/proj/testset.1.json").exists());
+        let registry = Registry::open(&dir, serving_estimator()).unwrap();
+        let slot = registry.get("proj").unwrap();
+        let slot = slot.lock().unwrap();
+        assert_eq!(slot.project.era(), 1);
+        assert_eq!(slot.project.measured().unwrap().len(), 150);
+        assert_eq!(slot.project.history().len(), 2);
+
+        // A counts project refuses a testset hand-over.
+        let counts_slot = registry.register("plain", SCRIPT, None).unwrap();
+        assert!(matches!(
+            counts_slot.lock().unwrap().install_testset(lazy_spec(10)),
+            Err(ServeError::Conflict(_))
+        ));
+    }
+
+    #[test]
+    fn failed_predictions_append_rolls_back_labels_too() {
+        let dir = temp_dir("pred-rollback");
+        let script = SCRIPT.replace("n > 0.6 +/- 0.2", "n - o > 0.0 +/- 0.2");
+        let registry = Registry::open(&dir, serving_estimator()).unwrap();
+        let slot = registry
+            .register("proj", &script, Some(lazy_spec(100)))
+            .unwrap();
+        let mut slot = slot.lock().unwrap();
+        slot.fail_next_append();
+        assert!(matches!(
+            slot.submit_predictions(&pred_submission("c1", 100, 50, 90)),
+            Err(ServeError::Io(_))
+        ));
+        assert_eq!(slot.project.steps_used(), 0);
+        assert_eq!(
+            slot.project.measured().unwrap().labeled_count(),
+            0,
+            "labels spent by the failed op must be rolled back — replay \
+             would otherwise spend a different amount than the journal records"
+        );
+        // The next successful submission replays cleanly after restart.
+        slot.submit_predictions(&pred_submission("c1", 100, 50, 90))
+            .unwrap();
+        drop(slot);
+        let registry = Registry::open(&dir, serving_estimator()).unwrap();
+        let slot = registry.get("proj").unwrap();
+        assert_eq!(slot.lock().unwrap().project.steps_used(), 1);
+    }
+
+    #[test]
+    fn registration_testset_idempotency() {
+        let dir = temp_dir("pred-idem");
+        let registry = Registry::open(&dir, serving_estimator()).unwrap();
+        let first = registry
+            .register("proj", SCRIPT, Some(lazy_spec(100)))
+            .unwrap();
+        // Identical script + identical testset converges.
+        let again = registry
+            .register("proj", SCRIPT, Some(lazy_spec(100)))
+            .unwrap();
+        assert!(Arc::ptr_eq(&first, &again));
+        // Same script, different testset (or none at all): conflict.
+        assert!(matches!(
+            registry.register("proj", SCRIPT, Some(lazy_spec(101))),
+            Err(ServeError::Conflict(_))
+        ));
+        assert!(matches!(
+            registry.register("proj", SCRIPT, None),
+            Err(ServeError::Conflict(_))
+        ));
+    }
+
     #[test]
     fn automatic_snapshot_cadence() {
         let dir = temp_dir("cadence");
         let script = SCRIPT.replace("steps      : 3", "steps      : 200");
         let registry = Registry::open(&dir, serving_estimator()).unwrap();
-        let slot = registry.register("proj", &script).unwrap();
+        let slot = registry.register("proj", &script, None).unwrap();
         {
             let mut slot = slot.lock().unwrap();
             for i in 0..SNAPSHOT_EVERY {

@@ -1,0 +1,284 @@
+//! The centerpiece invariant of the predictions gate: submitting
+//! prediction vectors to `/commits/predictions` and submitting the
+//! server-derived `EvalCounts` to `/commits` yield byte-identical
+//! receipts and identical budget/history state — for random testsets,
+//! random prediction vectors, either labeling mode, and every condition
+//! shape the measurement layer distinguishes (`d`-only, cancelling
+//! `n − o`, bare `n`). One server instance (on the process-wide pool, so
+//! the CI `EASEML_THREADS` matrix exercises widths 1 and 4) serves every
+//! case; each case registers a fresh pair of projects.
+
+use easeml_serve::json::{encode_u32_vec, Value};
+use easeml_serve::server::{ServeConfig, Server, ServerHandle};
+use easeml_serve::Client;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+static SERVER: OnceLock<(String, ServerHandle)> = OnceLock::new();
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn server_addr() -> String {
+    let (addr, _) = SERVER.get_or_init(|| {
+        let dir = std::env::temp_dir()
+            .join("easeml-serve-equivalence")
+            .join(std::process::id().to_string());
+        let _ = std::fs::remove_dir_all(&dir);
+        let server = Server::bind(&ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            data_dir: dir,
+            threads: 0,
+        })
+        .expect("bind");
+        let addr = server.local_addr().to_string();
+        let handle = server.handle();
+        std::thread::spawn(move || server.run().expect("server run"));
+        (addr, handle)
+    });
+    addr.clone()
+}
+
+fn script_for(condition: &str, steps: u32) -> String {
+    format!(
+        "ml:\n\
+         \x20 - script     : ./test_model.py\n\
+         \x20 - condition  : {condition}\n\
+         \x20 - reliability: 0.99\n\
+         \x20 - mode       : fp-free\n\
+         \x20 - adaptivity : full\n\
+         \x20 - steps      : {steps}\n",
+    )
+}
+
+/// The condition shapes with distinct `LabelDemand`s.
+const CONDITIONS: [&str; 4] = [
+    "d < 0.5 +/- 0.1",
+    "n - o > 0.0 +/- 0.2",
+    "n > 0.5 +/- 0.2",
+    "n - o > 0.0 +/- 0.2 /\\ d < 0.5 +/- 0.1",
+];
+
+/// Drop the predictions route's extra `measurement` section so the
+/// receipt part compares byte-for-byte against the counts route.
+fn strip_measurement(v: &Value) -> Value {
+    let Value::Object(fields) = v.clone() else {
+        panic!("response is not an object: {v}")
+    };
+    Value::Object(
+        fields
+            .into_iter()
+            .filter(|(k, _)| k != "measurement")
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn predictions_and_derived_counts_are_equivalent(
+        condition_idx in 0usize..CONDITIONS.len(),
+        lazy_bit in 0u32..2,
+        truth in prop::collection::vec(0u32..4, 12..60),
+        commit_seeds in prop::collection::vec((0u32..4, 0u32..4, 0u32..8), 1..4),
+    ) {
+        let case = CASE.fetch_add(1, Ordering::Relaxed);
+        let lazy = lazy_bit == 1;
+        let condition = CONDITIONS[condition_idx];
+        let script = script_for(condition, 8);
+        let size = truth.len();
+        let mut client = Client::new(server_addr());
+
+        // Twin registrations: one measures server-side, one trusts counts.
+        let pred_name = format!("eq-pred-{case}");
+        let counts_name = format!("eq-counts-{case}");
+        let register = |client: &mut Client, name: &str, with_testset: bool| {
+            let mut fields = vec![
+                ("name", Value::from(name)),
+                ("script", Value::from(script.as_str())),
+            ];
+            if with_testset {
+                fields.push((
+                    "testset",
+                    Value::object([
+                        ("labels", Value::from(encode_u32_vec(&truth))),
+                        ("labeling", Value::from(if lazy { "lazy" } else { "full" })),
+                        ("classes", Value::from(4u64)),
+                    ]),
+                ));
+            }
+            let (status, body) = client
+                .request("POST", "/projects", Some(&Value::object(fields)))
+                .expect("register");
+            assert_eq!(status, 201, "{body}");
+        };
+        register(&mut client, &pred_name, true);
+        register(&mut client, &counts_name, false);
+
+        // Deterministic pseudo-random prediction vectors per commit.
+        for (i, (old_salt, new_salt, flip)) in commit_seeds.iter().enumerate() {
+            let vector = |salt: u32| -> Vec<u32> {
+                (0..size)
+                    .map(|j| {
+                        let roll = easeml_par::splitmix64(u64::from(salt) + case, j as u64);
+                        if roll % 8 < u64::from(*flip) {
+                            (roll % 4) as u32
+                        } else {
+                            truth[j]
+                        }
+                    })
+                    .collect()
+            };
+            let old = vector(*old_salt);
+            let new = vector(*new_salt + 16);
+            let commit_id = format!("c{i}");
+            let (status, pred_response) = client
+                .request(
+                    "POST",
+                    &format!("/projects/{pred_name}/commits/predictions"),
+                    Some(&Value::object([
+                        ("commit_id", Value::from(commit_id.as_str())),
+                        ("old", Value::from(encode_u32_vec(&old))),
+                        ("new", Value::from(encode_u32_vec(&new))),
+                    ])),
+                )
+                .expect("predictions submit");
+            prop_assert_eq!(status, 200, "{}", pred_response);
+            let m = pred_response.get("measurement").expect("measurement");
+            let field = |key: &str| m.get(key).and_then(Value::as_u64).expect("count field");
+
+            let (status, counts_response) = client
+                .request(
+                    "POST",
+                    &format!("/projects/{counts_name}/commits"),
+                    Some(&Value::object([
+                        ("commit_id", Value::from(commit_id.as_str())),
+                        ("samples", Value::from(field("samples"))),
+                        ("new_correct", Value::from(field("new_correct"))),
+                        ("old_correct", Value::from(field("old_correct"))),
+                        ("changed", Value::from(field("changed"))),
+                        ("labels", Value::from(field("labels_spent"))),
+                    ])),
+                )
+                .expect("counts submit");
+            prop_assert_eq!(status, 200, "{}", counts_response);
+            prop_assert_eq!(
+                counts_response.encode(),
+                strip_measurement(&pred_response).encode(),
+                "receipts diverged for condition `{}` commit {}",
+                condition,
+                i
+            );
+        }
+
+        // Identical end state: budget and full history.
+        let state = |client: &mut Client, name: &str, path: &str| -> Value {
+            let (status, body) = client
+                .request("GET", &format!("/projects/{name}/{path}"), None)
+                .expect("read");
+            assert_eq!(status, 200);
+            // The project name appears in the payload; normalize it out.
+            let Value::Object(fields) = body else {
+                panic!("not an object")
+            };
+            Value::Object(fields.into_iter().filter(|(k, _)| k != "project").collect())
+        };
+        let budget_pred = state(&mut client, &pred_name, "budget");
+        let budget_counts = state(&mut client, &counts_name, "budget");
+        prop_assert_eq!(budget_pred.encode(), budget_counts.encode());
+        let history_pred = state(&mut client, &pred_name, "history");
+        let history_counts = state(&mut client, &counts_name, "history");
+        prop_assert_eq!(history_pred.encode(), history_counts.encode());
+    }
+}
+
+/// Satellite pin: on a schedule containing both passes and fails, the
+/// partial-labeling (lazy) mode spends strictly fewer labels than a
+/// fully-labelled testset of the same size holds — §4.1.2's entire point
+/// — and the per-receipt `labels` fields sum to exactly the pool's
+/// final labelled count.
+#[test]
+fn partial_labeling_spends_strictly_fewer_labels_than_full() {
+    let mut client = Client::new(server_addr());
+    const SIZE: usize = 400;
+    let truth = vec![0u32; SIZE];
+    let script = script_for("n - o > 0.0 +/- 0.1", 8);
+    let (status, _) = client
+        .request(
+            "POST",
+            "/projects",
+            Some(&Value::object([
+                ("name", Value::from("label-spend")),
+                ("script", Value::from(script.as_str())),
+                (
+                    "testset",
+                    Value::object([
+                        ("labels", Value::from(encode_u32_vec(&truth))),
+                        ("labeling", Value::from("lazy")),
+                        ("classes", Value::from(2u64)),
+                    ]),
+                ),
+            ])),
+        )
+        .expect("register");
+    assert_eq!(status, 201);
+
+    // Full pass/fail schedule: clear pass, clear fail, marginal unknown.
+    let preds =
+        |correct: usize| -> Vec<u32> { (0..SIZE).map(|i| u32::from(i >= correct)).collect() };
+    let schedule = [
+        ("pass", preds(SIZE / 2), preds(SIZE)), // n − o = 0.5: pass
+        ("fail", preds(SIZE / 2), preds(SIZE / 4)), // n − o = −0.25: fail
+        ("edge", preds(SIZE / 2), preds(SIZE / 2 + SIZE / 50)), // straddles
+    ];
+    let mut labels_total = 0u64;
+    let mut passes = 0u32;
+    let mut fails = 0u32;
+    for (id, old, new) in &schedule {
+        let (status, response) = client
+            .request(
+                "POST",
+                "/projects/label-spend/commits/predictions",
+                Some(&Value::object([
+                    ("commit_id", Value::from(*id)),
+                    ("old", Value::from(encode_u32_vec(old))),
+                    ("new", Value::from(encode_u32_vec(new))),
+                ])),
+            )
+            .expect("submit");
+        assert_eq!(status, 200, "{response}");
+        labels_total += response.get("labels").and_then(Value::as_u64).unwrap();
+        if response.get("passed").and_then(Value::as_bool) == Some(true) {
+            passes += 1;
+        } else {
+            fails += 1;
+        }
+    }
+    assert!(passes >= 1 && fails >= 1, "schedule must pass AND fail");
+
+    let (_, status_body) = client
+        .request("GET", "/projects/label-spend", None)
+        .expect("status");
+    let labeled = status_body
+        .get("testset")
+        .and_then(|t| t.get("labeled"))
+        .and_then(Value::as_u64)
+        .expect("labeled count");
+    assert_eq!(
+        labels_total, labeled,
+        "per-receipt label spend must sum to the pool's labelled count"
+    );
+    assert!(
+        labeled < SIZE as u64,
+        "partial labeling must spend strictly fewer labels ({labeled}) than the \
+         full-labeling cost ({SIZE})"
+    );
+    assert_eq!(
+        status_body
+            .get("labels_total")
+            .and_then(Value::as_u64)
+            .unwrap(),
+        labels_total,
+        "history accounting agrees with the receipts"
+    );
+}

@@ -620,6 +620,432 @@ fn cache_stats_reports_per_cache_counters_and_plan_cache_persists() {
     join.join().unwrap();
 }
 
+/// Deterministic prediction vectors over an all-zeros truth: correct on
+/// the first `correct` items, wrong (class 1) after.
+fn preds(size: usize, correct: usize) -> Vec<u32> {
+    (0..size).map(|i| u32::from(i >= correct)).collect()
+}
+
+fn predictions_register_body(name: &str, script: &str, size: usize, labeling: &str) -> Value {
+    Value::object([
+        ("name", Value::from(name)),
+        ("script", Value::from(script)),
+        (
+            "testset",
+            Value::object([
+                (
+                    "labels",
+                    Value::from(easeml_serve::json::encode_u32_vec(&vec![0u32; size])),
+                ),
+                ("labeling", Value::from(labeling)),
+                ("classes", Value::from(2u64)),
+            ]),
+        ),
+    ])
+}
+
+fn predictions_body(id: &str, size: usize, old_correct: usize, new_correct: usize) -> Value {
+    Value::object([
+        ("commit_id", Value::from(id)),
+        (
+            "old",
+            Value::from(easeml_serve::json::encode_u32_vec(&preds(
+                size,
+                old_correct,
+            ))),
+        ),
+        (
+            "new",
+            Value::from(easeml_serve::json::encode_u32_vec(&preds(
+                size,
+                new_correct,
+            ))),
+        ),
+    ])
+}
+
+const DIFF_SCRIPT: &str = "ml:\n\
+    \x20 - script     : ./test_model.py\n\
+    \x20 - condition  : n - o > 0.0 +/- 0.2\n\
+    \x20 - reliability: 0.99\n\
+    \x20 - mode       : fp-free\n\
+    \x20 - adaptivity : full\n\
+    \x20 - steps      : 3\n";
+
+#[test]
+fn predictions_gate_end_to_end_with_restart() {
+    let dir = temp_dir("pred-e2e");
+    let (addr, handle, join) = start(&dir, 2);
+    let mut client = Client::new(addr);
+
+    // Register with a lazily-labelled server-side testset.
+    let (status, reg) = client
+        .request(
+            "POST",
+            "/projects",
+            Some(&predictions_register_body(
+                "vision",
+                DIFF_SCRIPT,
+                100,
+                "lazy",
+            )),
+        )
+        .unwrap();
+    assert_eq!(status, 201, "{reg}");
+    let testset = reg.get("testset").expect("registration reports testset");
+    assert_eq!(testset.get("size").and_then(Value::as_u64), Some(100));
+    assert_eq!(testset.get("labeled").and_then(Value::as_u64), Some(0));
+    assert_eq!(
+        testset.get("labeling").and_then(Value::as_str),
+        Some("lazy")
+    );
+
+    // Pass: n̂ − ô = 0.4; the server measured it, spending only the 40
+    // disagreement labels.
+    let (status, r1) = client
+        .request(
+            "POST",
+            "/projects/vision/commits/predictions",
+            Some(&predictions_body("c1", 100, 50, 90)),
+        )
+        .unwrap();
+    assert_eq!(status, 200, "{r1}");
+    assert_eq!(r1.get("passed").and_then(Value::as_bool), Some(true));
+    assert_eq!(r1.get("labels").and_then(Value::as_u64), Some(40));
+    let m = r1.get("measurement").expect("measurement section");
+    assert_eq!(m.get("samples").and_then(Value::as_u64), Some(100));
+    // Unlabelled (agreeing) items credit both models, so the per-model
+    // counts sit 60 above their labelled parts — their *difference*
+    // (40/100 = the exact n̂ − ô) is what the condition reads.
+    assert_eq!(m.get("new_correct").and_then(Value::as_u64), Some(100));
+    assert_eq!(m.get("old_correct").and_then(Value::as_u64), Some(60));
+    assert_eq!(m.get("changed").and_then(Value::as_u64), Some(40));
+    assert_eq!(m.get("labels_spent").and_then(Value::as_u64), Some(40));
+    assert_eq!(m.get("labeled_total").and_then(Value::as_u64), Some(40));
+
+    // Redelivery (same vectors) returns the recorded receipt: no budget
+    // step, no fresh labels.
+    let (status, again) = client
+        .request(
+            "POST",
+            "/projects/vision/commits/predictions",
+            Some(&predictions_body("c1", 100, 50, 90)),
+        )
+        .unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(again.get("step"), r1.get("step"));
+    let (_, budget) = client
+        .request("GET", "/projects/vision/budget", None)
+        .unwrap();
+    assert_eq!(
+        budget
+            .get("budget")
+            .and_then(|b| b.get("used"))
+            .and_then(Value::as_u64),
+        Some(1)
+    );
+
+    // Counts↔predictions equivalence over HTTP: a twin project gating
+    // the server-derived counts produces a byte-identical receipt.
+    let (status, _) = client
+        .request(
+            "POST",
+            "/projects",
+            Some(&register_body("vision-counts", DIFF_SCRIPT)),
+        )
+        .unwrap();
+    assert_eq!(status, 201);
+    let counts_body = Value::object([
+        ("commit_id", Value::from("c1")),
+        ("samples", Value::from(100u64)),
+        ("new_correct", m.get("new_correct").unwrap().clone()),
+        ("old_correct", m.get("old_correct").unwrap().clone()),
+        ("changed", m.get("changed").unwrap().clone()),
+        ("labels", m.get("labels_spent").unwrap().clone()),
+    ]);
+    let (status, twin) = client
+        .request(
+            "POST",
+            "/projects/vision-counts/commits",
+            Some(&counts_body),
+        )
+        .unwrap();
+    assert_eq!(status, 200);
+    let strip_measurement = |v: &Value| -> Value {
+        let Value::Object(fields) = v.clone() else {
+            panic!("not an object")
+        };
+        Value::Object(
+            fields
+                .into_iter()
+                .filter(|(k, _)| k != "measurement")
+                .collect(),
+        )
+    };
+    assert_eq!(
+        twin.encode(),
+        strip_measurement(&r1).encode(),
+        "counts and predictions routes must produce identical receipts"
+    );
+
+    // Unknown → fail, then exhaust the budget; a fresh era needs new
+    // testset *data* for a server-measured project.
+    let (_, r2) = client
+        .request(
+            "POST",
+            "/projects/vision/commits/predictions",
+            Some(&predictions_body("c2", 100, 50, 55)),
+        )
+        .unwrap();
+    assert_eq!(r2.get("outcome").and_then(Value::as_str), Some("Unknown"));
+    let (_, r3) = client
+        .request(
+            "POST",
+            "/projects/vision/commits/predictions",
+            Some(&predictions_body("c3", 100, 50, 40)),
+        )
+        .unwrap();
+    assert_eq!(
+        r3.get("alarm").and_then(Value::as_str),
+        Some("budget_exhausted")
+    );
+    let (status, refused) = client
+        .request("POST", "/projects/vision/testset", None)
+        .unwrap();
+    assert_eq!(status, 409, "{refused}");
+    let fresh_body = Value::object([(
+        "testset",
+        Value::object([
+            (
+                "labels",
+                Value::from(easeml_serve::json::encode_u32_vec(&vec![0u32; 120])),
+            ),
+            ("labeling", Value::from("lazy")),
+            ("classes", Value::from(2u64)),
+        ]),
+    )]);
+    let (status, fresh) = client
+        .request("POST", "/projects/vision/testset", Some(&fresh_body))
+        .unwrap();
+    assert_eq!(status, 200, "{fresh}");
+    assert_eq!(fresh.get("era").and_then(Value::as_u64), Some(1));
+    assert_eq!(
+        fresh
+            .get("testset")
+            .and_then(|t| t.get("size"))
+            .and_then(Value::as_u64),
+        Some(120)
+    );
+    let (_, r4) = client
+        .request(
+            "POST",
+            "/projects/vision/commits/predictions",
+            Some(&predictions_body("c4", 120, 60, 110)),
+        )
+        .unwrap();
+    assert_eq!(r4.get("era").and_then(Value::as_u64), Some(1));
+
+    let (_, history_before) = client
+        .request("GET", "/projects/vision/history", None)
+        .unwrap();
+    let (_, status_before) = client.request("GET", "/projects/vision", None).unwrap();
+
+    // Restart: replay re-measures the stored vectors to identical state.
+    drop(client);
+    handle.stop();
+    join.join().unwrap();
+    let (addr, handle, join) = start(&dir, 2);
+    let mut client = Client::new(addr);
+    let (_, history_after) = client
+        .request("GET", "/projects/vision/history", None)
+        .unwrap();
+    assert_eq!(history_after, history_before);
+    let (_, status_after) = client.request("GET", "/projects/vision", None).unwrap();
+    assert_eq!(status_after, status_before);
+
+    drop(client);
+    handle.stop();
+    join.join().unwrap();
+}
+
+#[test]
+fn predictions_upload_validation_over_http() {
+    let dir = temp_dir("pred-validation");
+    let (addr, handle, join) = start(&dir, 2);
+    let mut client = Client::new(addr);
+    let (status, _) = client
+        .request(
+            "POST",
+            "/projects",
+            Some(&predictions_register_body("p", DIFF_SCRIPT, 50, "lazy")),
+        )
+        .unwrap();
+    assert_eq!(status, 201);
+
+    // Wrong vector length vs the registered testset size.
+    let (status, err) = client
+        .request(
+            "POST",
+            "/projects/p/commits/predictions",
+            Some(&predictions_body("c", 49, 20, 30)),
+        )
+        .unwrap();
+    assert_eq!(status, 400);
+    assert!(
+        err.get("error")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("49"),
+        "{err}"
+    );
+    // Prediction label out of the registered class range.
+    let mut bad = preds(50, 25);
+    bad[7] = 5;
+    let body = Value::object([
+        ("commit_id", Value::from("c")),
+        (
+            "old",
+            Value::from(easeml_serve::json::encode_u32_vec(&preds(50, 25))),
+        ),
+        ("new", Value::from(easeml_serve::json::encode_u32_vec(&bad))),
+    ]);
+    let (status, err) = client
+        .request("POST", "/projects/p/commits/predictions", Some(&body))
+        .unwrap();
+    assert_eq!(status, 400);
+    assert!(
+        err.get("error")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("class range"),
+        "{err}"
+    );
+    // Registering a testset with labels out of class range is refused.
+    let mut reg = predictions_register_body("q", DIFF_SCRIPT, 10, "full");
+    if let Value::Object(fields) = &mut reg {
+        for (k, v) in fields.iter_mut() {
+            if k == "testset" {
+                *v = Value::object([
+                    ("labels", Value::from("#055")),
+                    ("classes", Value::from(2u64)),
+                ]);
+            }
+        }
+    }
+    let (status, _) = client.request("POST", "/projects", Some(&reg)).unwrap();
+    assert_eq!(status, 400);
+    // Predictions against a counts-only project: conflict.
+    let (status, _) = client
+        .request("POST", "/projects", Some(&register_body("plain", SCRIPT)))
+        .unwrap();
+    assert_eq!(status, 201);
+    let (status, err) = client
+        .request(
+            "POST",
+            "/projects/plain/commits/predictions",
+            Some(&predictions_body("c", 10, 5, 5)),
+        )
+        .unwrap();
+    assert_eq!(status, 409, "{err}");
+    // Converse trust guard: client counts against a server-measured
+    // project are refused (fabricated counts must not bypass the
+    // server's own scoring of the held-back testset).
+    let (status, err) = client
+        .request("POST", "/projects/p/commits", Some(&commit_body("c", 90)))
+        .unwrap();
+    assert_eq!(status, 409, "{err}");
+    // Nothing was spent anywhere.
+    let (_, budget) = client.request("GET", "/projects/p/budget", None).unwrap();
+    assert_eq!(
+        budget
+            .get("budget")
+            .and_then(|b| b.get("used"))
+            .and_then(Value::as_u64),
+        Some(0)
+    );
+
+    drop(client);
+    handle.stop();
+    join.join().unwrap();
+}
+
+/// Drive a deterministic predictions-mode schedule against a server of
+/// the given width; returns each project's journal bytes.
+fn run_predictions_schedule(threads: usize, tag: &str) -> Vec<(String, Vec<u8>)> {
+    let dir = temp_dir(tag);
+    let (addr, handle, join) = start(&dir, threads);
+    let script = DIFF_SCRIPT.replace("steps      : 3", "steps      : 40");
+    const SIZE: usize = 100;
+
+    let clients: Vec<_> = (0..3)
+        .map(|p| {
+            let addr = addr.clone();
+            let script = script.clone();
+            std::thread::spawn(move || {
+                let name = format!("pred-{p}");
+                let mut client = Client::new(addr);
+                let (status, _) = client
+                    .request(
+                        "POST",
+                        "/projects",
+                        Some(&predictions_register_body(&name, &script, SIZE, "lazy")),
+                    )
+                    .unwrap();
+                assert_eq!(status, 201);
+                for i in 0..24u64 {
+                    let old_correct = (splitmix64(p, i) % SIZE as u64) as usize;
+                    let new_correct = (splitmix64(p + 100, i) % SIZE as u64) as usize;
+                    let (status, body) = client
+                        .request(
+                            "POST",
+                            &format!("/projects/{name}/commits/predictions"),
+                            Some(&predictions_body(
+                                &format!("c{i}"),
+                                SIZE,
+                                old_correct,
+                                new_correct,
+                            )),
+                        )
+                        .unwrap();
+                    assert_eq!(status, 200, "{body}");
+                }
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().unwrap();
+    }
+    handle.stop();
+    join.join().unwrap();
+
+    (0..3)
+        .map(|p| {
+            let name = format!("pred-{p}");
+            let journal = dir.join("projects").join(&name).join("journal.log");
+            (name, std::fs::read(journal).unwrap())
+        })
+        .collect()
+}
+
+#[test]
+fn predictions_journal_bytes_are_thread_count_invariant() {
+    // The determinism contract extends to server-side measurement: for a
+    // fixed per-project schedule of prediction uploads, the journal
+    // (vectors + derived counts + outcomes) is byte-identical whether
+    // the server runs 1 worker or 4.
+    let t1 = run_predictions_schedule(1, "pred-sched-t1");
+    let t4 = run_predictions_schedule(4, "pred-sched-t4");
+    assert_eq!(t1.len(), t4.len());
+    for ((name1, bytes1), (name4, bytes4)) in t1.iter().zip(t4.iter()) {
+        assert_eq!(name1, name4);
+        assert!(
+            bytes1 == bytes4,
+            "journal of {name1} differs between server widths"
+        );
+        assert!(!bytes1.is_empty());
+    }
+}
+
 #[test]
 fn journal_bytes_are_thread_count_invariant() {
     // The determinism contract: for a fixed per-project client schedule,
