@@ -203,6 +203,82 @@ fn drive_predictions_client(addr: &str, client_id: u64, commits: u64) -> (Vec<f6
     (commit_ns, labels_total)
 }
 
+/// One concurrency level of the keep-alive sweep: `clients` connections
+/// stay open simultaneously while every client pushes `commits`
+/// submissions against its own project. Driver threads each own a slice
+/// of the clients and round-robin over them, so concurrency comes from
+/// open *connections* (what the event loop multiplexes), not from
+/// thousands of OS threads. The driver width is pinned across levels so
+/// every level offers the same in-flight load and the sweep isolates
+/// the cost of *open connections* — the thing the event loop scales —
+/// from request queueing, which on a small host would otherwise drown
+/// the signal. Returns (commit latencies ns, measured wall time of the
+/// slowest driver).
+fn sweep_level(addr: &str, clients: usize, commits: u64) -> (Vec<f64>, f64) {
+    let threads = clients.min(8);
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(threads));
+    let script = std::sync::Arc::new(script_for(0)); // plan-cache-warm for all
+    let workers: Vec<_> = (0..threads)
+        .map(|t| {
+            let addr = addr.to_owned();
+            let barrier = std::sync::Arc::clone(&barrier);
+            let script = std::sync::Arc::clone(&script);
+            std::thread::spawn(move || {
+                let lo = clients * t / threads;
+                let hi = clients * (t + 1) / threads;
+                // Setup: one keep-alive connection + one project per
+                // client; the connection stays open through the barrier.
+                let mut owned: Vec<(u64, Client, String)> = (lo..hi)
+                    .map(|id| {
+                        let mut client = Client::new(addr.clone());
+                        let name = format!("sweep{clients}-{id}");
+                        let body = Value::object([
+                            ("name", Value::from(name.as_str())),
+                            ("script", Value::from(script.as_str())),
+                        ]);
+                        let (status, response) = client
+                            .request("POST", "/projects", Some(&body))
+                            .expect("sweep register");
+                        assert_eq!(status, 201, "{response}");
+                        (id as u64, client, format!("/projects/{name}/commits"))
+                    })
+                    .collect();
+                barrier.wait();
+                let t0 = Instant::now();
+                let mut latencies = Vec::with_capacity(owned.len() * commits as usize);
+                for i in 0..commits {
+                    for (id, client, path) in &mut owned {
+                        let roll = splitmix64(*id, i);
+                        let body = Value::object([
+                            ("commit_id", Value::from(format!("c{i}"))),
+                            ("samples", Value::from(1_000u64)),
+                            ("new_correct", Value::from(300 + roll % 700)),
+                            ("old_correct", Value::from(500u64)),
+                            ("changed", Value::from(roll % 1_000)),
+                            ("labels", Value::from(1_000u64)),
+                        ]);
+                        let t = Instant::now();
+                        let (status, response) = client
+                            .request("POST", path.as_str(), Some(&body))
+                            .expect("sweep commit");
+                        latencies.push(t.elapsed().as_nanos() as f64);
+                        assert_eq!(status, 200, "{response}");
+                    }
+                }
+                (latencies, t0.elapsed().as_nanos() as f64 / 1e6)
+            })
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    let mut wall_ms = 0f64;
+    for worker in workers {
+        let (lat, wall) = worker.join().expect("sweep driver thread");
+        latencies.extend(lat);
+        wall_ms = wall_ms.max(wall);
+    }
+    (latencies, wall_ms)
+}
+
 fn main() {
     let threads = init_threads_from_args();
     let quick = std::env::args().any(|a| a == "--quick");
@@ -215,12 +291,8 @@ fn main() {
     ));
     let _ = std::fs::remove_dir_all(&data_dir);
 
-    let server = Server::bind(&ServeConfig {
-        addr: "127.0.0.1:0".into(),
-        data_dir: data_dir.clone(),
-        threads: 0, // the process-wide pool, sized by --threads
-    })
-    .expect("bind server");
+    let server =
+        Server::bind(&ServeConfig::new("127.0.0.1:0", data_dir.clone())).expect("bind server");
     let addr = server.local_addr().to_string();
     let handle = server.handle();
     let server_thread = std::thread::spawn(move || server.run().expect("server run"));
@@ -279,12 +351,8 @@ fn main() {
 
     // Warm restart: journal/snapshot recovery plus cache load.
     let t = Instant::now();
-    let restarted = Server::bind(&ServeConfig {
-        addr: "127.0.0.1:0".into(),
-        data_dir: data_dir.clone(),
-        threads: 0,
-    })
-    .expect("warm restart");
+    let restarted =
+        Server::bind(&ServeConfig::new("127.0.0.1:0", data_dir.clone())).expect("warm restart");
     let restart_ms = t.elapsed().as_nanos() as f64 / 1e6;
     // Recovered state must reflect every journalled commit.
     let handle = restarted.handle();
@@ -329,6 +397,63 @@ fn main() {
     drop(probe);
     handle.stop();
     restart_thread.join().expect("restart thread");
+
+    // Keep-alive concurrency sweep on a fresh server instance (its own
+    // data dir, so the restart-recovery checks above stay untouched):
+    // the same commit workload at 8 / 256 / 1000 simultaneously open
+    // connections. The event loop must hold the commit gate's latency
+    // flat as mostly-idle keep-alive connections pile up.
+    let sweep_levels: &[usize] = if quick { &[8, 256] } else { &[8, 256, 1_000] };
+    let sweep_dir: PathBuf = std::env::temp_dir().join(format!(
+        "easeml-serve-sweep-{}-{}",
+        std::process::id(),
+        if quick { "quick" } else { "full" }
+    ));
+    let _ = std::fs::remove_dir_all(&sweep_dir);
+    let sweep_server = Server::bind(&ServeConfig::new("127.0.0.1:0", sweep_dir.clone()))
+        .expect("bind sweep server");
+    let sweep_addr = sweep_server.local_addr().to_string();
+    let sweep_handle = sweep_server.handle();
+    let sweep_thread = std::thread::spawn(move || sweep_server.run().expect("sweep server run"));
+    let mut sweep_rows = Vec::new();
+    for &level in sweep_levels {
+        // Similar sample counts per level: fewer commits per client as
+        // the client count grows.
+        let commits = (4_000 / level as u64).max(4);
+        let (latencies, level_wall_ms) = sweep_level(&sweep_addr, level, commits);
+        let requests = latencies.len();
+        let p = percentiles(latencies);
+        let level_rps = requests as f64 / (level_wall_ms / 1e3);
+        println!(
+            "sweep {level:>5} clients: {requests} commits, p50 {:.0} us, p99 {:.0} us, {:.0} req/s",
+            p.p50_us, p.p99_us, level_rps
+        );
+        sweep_rows.push((level, commits, requests, level_wall_ms, level_rps, p));
+    }
+    sweep_handle.stop();
+    sweep_thread.join().expect("sweep server thread");
+    let _ = std::fs::remove_dir_all(&sweep_dir);
+
+    let sweep_baseline_p50 = sweep_rows[0].5.p50_us;
+    let sweep_top = sweep_rows.last().expect("at least one sweep level");
+    let sweep_ratio = sweep_top.5.p50_us / sweep_baseline_p50;
+    println!(
+        "commit gate p50 at {} keep-alive clients: {:.0} us ({:.2}x the {}-client baseline, \
+         target <2x) | p99 {:.0} us (target <10 ms)",
+        sweep_top.0, sweep_top.5.p50_us, sweep_ratio, sweep_rows[0].0, sweep_top.5.p99_us
+    );
+    if sweep_ratio >= 2.0 {
+        eprintln!(
+            "WARNING: commit p50 at {} clients is {sweep_ratio:.2}x the baseline (target <2x)",
+            sweep_top.0
+        );
+    }
+    if sweep_top.5.p99_us >= 10_000.0 {
+        eprintln!(
+            "WARNING: commit p99 at {} clients is {:.0} us (target <10 ms)",
+            sweep_top.0, sweep_top.5.p99_us
+        );
+    }
 
     let reg = percentiles(register_ns);
     let warm_reg = percentiles(warm_register_ns);
@@ -433,6 +558,37 @@ fn main() {
             ]),
         ),
         ("warm_restart_ms", Value::from(restart_ms)),
+        // Keep-alive concurrency sweep: per-level throughput + commit
+        // latency with N connections simultaneously open.
+        (
+            "concurrency",
+            Value::object([
+                (
+                    "levels",
+                    Value::Array(
+                        sweep_rows
+                            .iter()
+                            .map(|(level, commits, requests, wall_ms, rps, p)| {
+                                Value::object([
+                                    ("clients", Value::from(*level)),
+                                    ("commits_per_client", Value::from(*commits)),
+                                    ("requests", Value::from(*requests)),
+                                    ("wall_ms", Value::from(*wall_ms)),
+                                    ("throughput_rps", Value::from(*rps)),
+                                    ("commit", percentiles_json(p)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("baseline_clients", Value::from(sweep_rows[0].0)),
+                ("baseline_p50_us", Value::from(sweep_baseline_p50)),
+                ("top_clients", Value::from(sweep_top.0)),
+                ("top_p50_us", Value::from(sweep_top.5.p50_us)),
+                ("top_p99_us", Value::from(sweep_top.5.p99_us)),
+                ("p50_ratio_top_vs_baseline", Value::from(sweep_ratio)),
+            ]),
+        ),
     ]);
     let path = results_dir().join("BENCH_serve.json");
     std::fs::write(&path, json.pretty()).expect("write BENCH_serve.json");

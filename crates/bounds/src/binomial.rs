@@ -277,23 +277,65 @@ pub fn worst_case_deviation_tail(n: u64, eps: f64, tail: Tail) -> f64 {
 /// evaluations), hardened by a ±[`JUMP_PLATEAU`] window sweep against
 /// small sawtooth ripples.
 pub fn worst_case_deviation_one_sided_exact(n: u64, eps: f64) -> f64 {
-    worst_case_one_sided_jump(n, eps, 0.5, None).0
+    worst_case_one_sided_jump(n, eps, JumpHint::cold(), None).0
 }
 
 /// Escape window for the jump-index hill-climb: after a local maximum,
 /// this many indices on each side are checked before accepting it.
 pub(crate) const JUMP_PLATEAU: u64 = 4;
 
+/// Per-family warm start for the breakpoint hill-climbs, carried across
+/// bracketing probes of the minimal-`n` search.
+///
+/// Each field is the maximizing jump index of one breakpoint family,
+/// stored as the fraction `j*/n` so a hint learned at one `n` seeds the
+/// climb at a nearby `n'` (the maximizer fraction drifts only slightly
+/// between neighbouring sizes). A single scalar `p*` hint cannot do
+/// this for the two-sided scan: whichever family *lost* at the previous
+/// probe would be re-seeded from the winner's breakpoint, a start that
+/// can sit many teeth off its own argmax. With per-family carry each
+/// climb resumes from its own previous argmax and typically settles
+/// after a couple of tail evaluations.
+///
+/// `None` means cold: the climb seeds from the centre `p ≈ 0.5`
+/// heuristic.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct JumpHint {
+    /// Maximizing fraction `j*/n` of the upper-tail family
+    /// (`p_j = j/n − ε`) — the only family of the one-sided scan.
+    pub upper: Option<f64>,
+    /// Maximizing fraction `i*/n` of the lower-tail family
+    /// (`p_i = i/n + ε`); two-sided scans only.
+    pub lower: Option<f64>,
+}
+
+impl JumpHint {
+    /// Cold start: both climbs seed from the centre `p ≈ 0.5` heuristic.
+    pub fn cold() -> JumpHint {
+        JumpHint::default()
+    }
+
+    /// Start index for a family's climb: the carried argmax fraction
+    /// rescaled to this `n`, or the cold-start fallback `frac0`.
+    pub(crate) fn start_index(carried: Option<f64>, nf: f64, frac0: f64) -> i128 {
+        match carried {
+            Some(frac) => (frac * nf).round() as i128,
+            None => (nf * frac0).round() as i128,
+        }
+    }
+}
+
 /// Hinted, early-exiting form of the one-sided breakpoint scan (the
-/// one-sided backend of [`worst_case_deviation_hinted`]). Returns
-/// `(sup, p_star)` where `p_star` is the maximizing breakpoint, usable
-/// as the next probe's hint.
+/// one-sided backend of [`worst_case_deviation_jump`]). Returns
+/// `(sup, p_star, next_hint)` where `p_star` is the maximizing
+/// breakpoint and `next_hint` carries the maximizing jump index for the
+/// next probe's climb.
 pub(crate) fn worst_case_one_sided_jump(
     n: u64,
     eps: f64,
-    hint: f64,
+    hint: JumpHint,
     stop_above: Option<f64>,
-) -> (f64, f64) {
+) -> (f64, f64, JumpHint) {
     debug_assert!(n > 0);
     debug_assert!(eps > 0.0 && eps < 1.0);
     let nf = n as f64;
@@ -302,11 +344,15 @@ pub(crate) fn worst_case_one_sided_jump(
     // one index higher.
     let j_min = (strict_upper_cutoff(nf * eps).max(1) as u64).min(n);
     let p_at = |j: u64| (j as f64 / nf - eps).clamp(f64::MIN_POSITIVE, 1.0);
-    let start = (nf * (hint + eps)).round() as i128;
+    let start = JumpHint::start_index(hint.upper, nf, 0.5 + eps);
     let (best, best_j) = climb_envelope(j_min, n, start, JUMP_PLATEAU, stop_above, |j| {
         ln_upper_tail(n, p_at(j), j).exp()
     });
-    (best, p_at(best_j))
+    let next = JumpHint {
+        upper: Some(best_j as f64 / nf),
+        lower: hint.lower,
+    };
+    (best, p_at(best_j), next)
 }
 
 /// Hill-climb over a sawtooth candidate envelope `value(j)` on the
@@ -414,20 +460,49 @@ pub fn worst_case_deviation(n: u64, eps: f64) -> f64 {
     worst_case_deviation_tail(n, eps, Tail::TwoSided)
 }
 
-/// Breakpoint-exact worst-case search with a warm-started maximizer.
+/// Breakpoint-exact worst-case search with per-family warm-started
+/// jump indices.
 ///
 /// Delegates to the jump-index hill-climbs — the one-sided single-family
 /// scan ([`worst_case_deviation_one_sided_exact`]) or the two-sided
-/// two-family scan ([`worst_case_deviation_two_sided_exact`]) — seeded
-/// from `hint`, the maximizer found for a nearby `n`. Successive `n`
-/// probes move the maximizer only slightly, so the climb typically
-/// inspects a handful of breakpoints instead of the whole family.
+/// two-family scan ([`worst_case_deviation_two_sided_exact`]) — each
+/// family seeded from its own maximizing jump index found at a nearby
+/// `n` (see [`JumpHint`]). Successive `n` probes move each argmax only
+/// slightly, so a warm climb typically settles after ~2–3 tail
+/// evaluations instead of walking in from a cold start.
 ///
-/// Returns `(worst, p_star)`. When `stop_above` is set and any probe
-/// exceeds it, the search returns that probe immediately — the result is
-/// then only a *lower bound* on the worst case, which is exactly what a
-/// `worst(n) > delta` bracketing decision needs. Without `stop_above`
-/// the result equals [`worst_case_deviation_tail`] exactly.
+/// Returns `(worst, p_star, next_hint)`. When `stop_above` is set and
+/// any probe exceeds it, the search returns that probe immediately —
+/// the result is then only a *lower bound* on the worst case, which is
+/// exactly what a `worst(n) > delta` bracketing decision needs. Without
+/// `stop_above`, a cold hint reproduces [`worst_case_deviation_tail`]
+/// bit for bit; a warm hint evaluates only genuine breakpoint
+/// candidates, so the result is always a valid *lower bound* on the sup
+/// that matches it in practice but can settle short of it from a
+/// far-off start — which is why the minimal-`n` search treats warm
+/// probes as steering only and *accepts* candidates exclusively via the
+/// reference scan.
+pub fn worst_case_deviation_jump(
+    n: u64,
+    eps: f64,
+    tail: Tail,
+    hint: JumpHint,
+    stop_above: Option<f64>,
+) -> (f64, f64, JumpHint) {
+    match tail {
+        Tail::OneSided => worst_case_one_sided_jump(n, eps, hint, stop_above),
+        Tail::TwoSided => crate::twosided::worst_case_two_sided_jump(n, eps, hint, stop_above),
+    }
+}
+
+/// Breakpoint-exact worst-case search warm-started from a scalar
+/// maximizer `p*` (the historical hint form; [`worst_case_deviation_jump`]
+/// carries per-family jump indices instead and is what the minimal-`n`
+/// search uses). The scalar hint seeds the upper family at
+/// `j ≈ n(p* + ε)` and the lower family at `i ≈ n(p* − ε)`.
+///
+/// Returns `(worst, p_star)`; the `stop_above` contract is that of
+/// [`worst_case_deviation_jump`].
 pub fn worst_case_deviation_hinted(
     n: u64,
     eps: f64,
@@ -435,10 +510,12 @@ pub fn worst_case_deviation_hinted(
     hint: f64,
     stop_above: Option<f64>,
 ) -> (f64, f64) {
-    match tail {
-        Tail::OneSided => worst_case_one_sided_jump(n, eps, hint, stop_above),
-        Tail::TwoSided => crate::twosided::worst_case_two_sided_jump(n, eps, hint, stop_above),
-    }
+    let jump = JumpHint {
+        upper: Some(hint + eps),
+        lower: Some(hint - eps),
+    };
+    let (worst, p_star, _) = worst_case_deviation_jump(n, eps, tail, jump, stop_above);
+    (worst, p_star)
 }
 
 #[cfg(test)]

@@ -42,7 +42,7 @@
 //! also floors the next search).
 
 use crate::binomial::{
-    deviation_probability, worst_case_deviation_hinted, worst_case_deviation_tail,
+    deviation_probability, worst_case_deviation_jump, worst_case_deviation_tail, JumpHint,
 };
 use crate::error::{check_positive, check_probability, BoundsError, Result};
 use crate::hoeffding::hoeffding_sample_size;
@@ -67,12 +67,16 @@ enum Probe {
 
 /// Shared state of one or more minimal-`n` inversions at a fixed
 /// `(ε, tail)`: memoized worst-case probes, memoized reference
-/// acceptance scans, and the warm-start hint threaded across probes.
+/// acceptance scans, and the per-family maximizing jump indices
+/// threaded across probes.
 pub(crate) struct InversionContext {
     eps: f64,
     tail: Tail,
-    /// Warm-start maximizer threaded across successive probes.
-    hint: f64,
+    /// Per-family maximizing jump indices carried across successive
+    /// probes, so each breakpoint climb starts from the previous
+    /// probe's argmax of *its own* family (~2–3 tail evaluations)
+    /// instead of a fresh walk-in.
+    jump: JumpHint,
     probes: HashMap<u64, Probe>,
     /// Full-grid reference scans backing the sawtooth acceptance.
     reference: HashMap<u64, f64>,
@@ -91,7 +95,7 @@ impl InversionContext {
         Ok(InversionContext {
             eps,
             tail,
-            hint: 0.5,
+            jump: JumpHint::cold(),
             probes: HashMap::new(),
             reference: HashMap::new(),
         })
@@ -107,9 +111,9 @@ impl InversionContext {
             Some(Probe::AtLeast(v)) if *v > delta => return true,
             _ => {}
         }
-        let (worst, p_star) =
-            worst_case_deviation_hinted(n, self.eps, self.tail, self.hint, Some(delta));
-        self.hint = p_star;
+        let (worst, _, next) =
+            worst_case_deviation_jump(n, self.eps, self.tail, self.jump, Some(delta));
+        self.jump = next;
         let probe = if worst > delta {
             Probe::AtLeast(worst)
         } else {
@@ -258,13 +262,14 @@ pub fn exact_binomial_epsilon(n: u64, delta: f64, tail: Tail) -> Result<f64> {
         return Err(BoundsError::ZeroSampleSize);
     }
     // worst(eps) decreases in eps; find the crossing with delta. The
-    // maximizer p* moves continuously with eps, so each bisection
-    // iteration warm-starts from the previous one's maximizer.
-    let hint = Cell::new(0.5);
+    // maximizing jump indices move slowly with eps (n is fixed), so
+    // each bisection iteration warm-starts each family's climb from the
+    // previous iteration's argmax.
+    let hint = Cell::new(JumpHint::cold());
     let eps = bisect(
         |e| {
-            let (worst, p_star) = worst_case_deviation_hinted(n, e, tail, hint.get(), None);
-            hint.set(p_star);
+            let (worst, _, next) = worst_case_deviation_jump(n, e, tail, hint.get(), None);
+            hint.set(next);
             worst - delta
         },
         1e-9,

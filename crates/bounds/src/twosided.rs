@@ -36,13 +36,13 @@
 
 use crate::binomial::{
     climb_envelope, ln_lower_tail, ln_upper_tail, strict_lower_cutoff, strict_upper_cutoff,
-    JUMP_PLATEAU,
+    JumpHint, JUMP_PLATEAU,
 };
 use crate::numeric::log_add_exp;
 
 /// Breakpoint-exact two-sided worst case: `sup_p Pr[|X/n − p| > ε]`.
 pub fn worst_case_deviation_two_sided_exact(n: u64, eps: f64) -> f64 {
-    worst_case_two_sided_jump(n, eps, 0.5, None).0
+    worst_case_two_sided_jump(n, eps, JumpHint::cold(), None).0
 }
 
 /// Candidate at the upper-family breakpoint `p_j = j/n − ε`: the limit of
@@ -79,32 +79,37 @@ fn lower_family_candidate(n: u64, eps: f64, i: u64, p: f64) -> f64 {
 
 /// Hinted, early-exiting breakpoint scan over both candidate families
 /// (the two-sided backend of
-/// [`crate::binomial::worst_case_deviation_hinted`]). Returns
-/// `(sup, p_star)` where `p_star` is the maximizing breakpoint, usable as
-/// the next probe's hint. When `stop_above` is set, returns as soon as
-/// any candidate exceeds it (the result is then only a lower bound —
-/// exactly what a `worst(n) > δ` bracketing decision needs).
+/// [`crate::binomial::worst_case_deviation_jump`]). Returns
+/// `(sup, p_star, next_hint)` where `p_star` is the maximizing
+/// breakpoint and `next_hint` carries each family's own maximizing jump
+/// index for the next probe — the losing family's argmax too, so its
+/// next climb does not have to walk over from the winner's breakpoint.
+/// When `stop_above` is set, returns as soon as any candidate exceeds
+/// it (the result is then only a lower bound — exactly what a
+/// `worst(n) > δ` bracketing decision needs).
 pub(crate) fn worst_case_two_sided_jump(
     n: u64,
     eps: f64,
-    hint: f64,
+    hint: JumpHint,
     stop_above: Option<f64>,
-) -> (f64, f64) {
+) -> (f64, f64, JumpHint) {
     debug_assert!(n > 0);
     debug_assert!(eps > 0.0 && eps < 1.0);
     let nf = n as f64;
+    let mut next = hint;
 
     // Upper family: j with 0 < p_j = j/n − ε (p_j ≤ 1 − ε < 1 always).
     let j_min = (strict_upper_cutoff(nf * eps).max(1) as u64).min(n);
     let p_upper = |j: u64| (j as f64 / nf - eps).clamp(f64::MIN_POSITIVE, 1.0);
-    let j_start = (nf * (hint + eps)).round() as i128;
+    let j_start = JumpHint::start_index(hint.upper, nf, 0.5 + eps);
     let (mut best, best_j) = climb_envelope(j_min, n, j_start, JUMP_PLATEAU, stop_above, |j| {
         upper_family_candidate(n, eps, j, p_upper(j))
     });
     let mut best_p = p_upper(best_j);
+    next.upper = Some(best_j as f64 / nf);
     if let Some(limit) = stop_above {
         if best > limit {
-            return (best, best_p);
+            return (best, best_p, next);
         }
     }
 
@@ -112,17 +117,18 @@ pub(crate) fn worst_case_two_sided_jump(
     let i_max = strict_lower_cutoff(nf * (1.0 - eps));
     if i_max >= 0 {
         let p_lower = |i: u64| (i as f64 / nf + eps).clamp(f64::MIN_POSITIVE, 1.0);
-        let i_start = (nf * (hint - eps)).round() as i128;
+        let i_start = JumpHint::start_index(hint.lower, nf, 0.5 - eps);
         let (lo_best, lo_i) =
             climb_envelope(0, i_max as u64, i_start, JUMP_PLATEAU, stop_above, |i| {
                 lower_family_candidate(n, eps, i, p_lower(i))
             });
+        next.lower = Some(lo_i as f64 / nf);
         if lo_best > best {
             best = lo_best;
             best_p = p_lower(lo_i);
         }
     }
-    (best, best_p)
+    (best, best_p, next)
 }
 
 #[cfg(test)]
@@ -189,22 +195,28 @@ mod tests {
     /// off-centre hint must still recover the global sup.
     #[test]
     fn recovers_from_bad_hints() {
-        for &hint in &[0.02, 0.5, 0.98] {
-            let (v, p_star) = worst_case_two_sided_jump(700, 0.05, hint, None);
+        for &frac in &[0.02, 0.5, 0.98] {
+            let hint = JumpHint {
+                upper: Some(frac),
+                lower: Some(frac),
+            };
+            let (v, p_star, next) = worst_case_two_sided_jump(700, 0.05, hint, None);
             let want = worst_case_deviation_two_sided_exact(700, 0.05);
             assert!(
                 (v - want).abs() <= want * 1e-12,
-                "hint={hint}: {v} vs {want}"
+                "hint={frac}: {v} vs {want}"
             );
             assert!((0.0..=1.0).contains(&p_star));
+            assert!(next.upper.is_some() && next.lower.is_some());
         }
     }
 
     /// Early exit certifies the threshold crossing with a lower bound.
     #[test]
     fn early_exit_is_a_lower_bound() {
-        let (full, _) = worst_case_two_sided_jump(300, 0.05, 0.5, None);
-        let (bounded, _) = worst_case_two_sided_jump(300, 0.05, 0.5, Some(full / 10.0));
+        let (full, _, _) = worst_case_two_sided_jump(300, 0.05, JumpHint::cold(), None);
+        let (bounded, _, _) =
+            worst_case_two_sided_jump(300, 0.05, JumpHint::cold(), Some(full / 10.0));
         assert!(bounded > full / 10.0);
         assert!(bounded <= full * (1.0 + 1e-12));
     }

@@ -229,6 +229,46 @@ proptest! {
         }
     }
 
+    /// The per-family jump-index carry is pinned against the reference
+    /// scan: a cold [`binomial::JumpHint`] reproduces the
+    /// breakpoint-exact scan bit for bit (the carry changes only where
+    /// climbs *start*, never the cold answer); an arbitrary warm start —
+    /// wildly wrong carried fractions included — evaluates only genuine
+    /// breakpoint candidates, so its result never exceeds the reference
+    /// sup (it may undershoot from an adversarial start, which is why
+    /// the minimal-`n` search only ever *accepts* candidates via the
+    /// reference scan); and re-running from the returned hint (the warm
+    /// path the search takes probe after probe) reproduces its own bits
+    /// exactly.
+    #[test]
+    fn jump_hint_carry_is_pinned(
+        n in 10u64..4_000, eps in 0.02f64..0.3,
+        tail in prop_oneof![Just(Tail::OneSided), Just(Tail::TwoSided)],
+        upper_frac in 0.0f64..=1.0, lower_frac in 0.0f64..=1.0, mask in 0u32..4,
+    ) {
+        let reference = binomial::worst_case_deviation_tail(n, eps, tail);
+        let (cold, cold_p, _) =
+            binomial::worst_case_deviation_jump(n, eps, tail, binomial::JumpHint::cold(), None);
+        prop_assert_eq!(
+            cold.to_bits(), reference.to_bits(),
+            "n={} eps={} {}: cold {} vs reference {}", n, eps, tail, cold, reference
+        );
+        prop_assert!((0.0..=1.0).contains(&cold_p));
+
+        let hint = binomial::JumpHint {
+            upper: (mask & 1 != 0).then_some(upper_frac),
+            lower: (mask & 2 != 0).then_some(lower_frac),
+        };
+        let (warm, p_star, next) = binomial::worst_case_deviation_jump(n, eps, tail, hint, None);
+        prop_assert!(
+            warm >= 0.0 && warm <= reference * (1.0 + 1e-12),
+            "n={} eps={} {}: warm {} above reference {}", n, eps, tail, warm, reference
+        );
+        prop_assert!((0.0..=1.0).contains(&p_star));
+        let (again, _, _) = binomial::worst_case_deviation_jump(n, eps, tail, next, None);
+        prop_assert_eq!(again.to_bits(), warm.to_bits(), "n={} eps={} {}", n, eps, tail);
+    }
+
     /// ln_choose (table fast path) is symmetric and bounded by n·ln 2.
     #[test]
     fn ln_choose_symmetry(n in 1u64..100_000, t in 0.0f64..=1.0) {

@@ -75,16 +75,24 @@ fn print_usage() {
          \x20 easeml-ci [--threads N] table\n\
          \x20 easeml-ci [--threads N] simulate <script.yml> [--commits N] [--seed S] [--accuracy A]\n\
          \x20 easeml-ci [--threads N] serve [--addr HOST:PORT] [--data-dir DIR]\n\
+         \x20                                [--event-threads N] [--idle-timeout-ms MS]\n\
+         \x20                                [--request-timeout-ms MS]\n\
          \n\
          OPTIONS:\n\
          \x20 --threads N   worker threads for the parallel execution layer\n\
          \x20               (default: auto via EASEML_THREADS or the hardware)\n\
          \n\
          SERVE OPTIONS:\n\
-         \x20 --addr HOST:PORT   bind address (default 127.0.0.1:8642; port 0 is ephemeral)\n\
-         \x20 --data-dir DIR     durable state directory (default ./easeml-serve-data):\n\
-         \x20                    project registry, per-project journals + snapshots,\n\
-         \x20                    and the persisted bounds cache\n\
+         \x20 --addr HOST:PORT        bind address (default 127.0.0.1:8642; port 0 is ephemeral)\n\
+         \x20 --data-dir DIR          durable state directory (default ./easeml-serve-data):\n\
+         \x20                         project registry, per-project journals + snapshots,\n\
+         \x20                         and the persisted bounds cache\n\
+         \x20 --event-threads N       event loops multiplexing connections (default 1;\n\
+         \x20                         one loop handles thousands of keep-alive clients)\n\
+         \x20 --idle-timeout-ms MS    close a keep-alive connection after this long\n\
+         \x20                         without a request (default 30000)\n\
+         \x20 --request-timeout-ms MS budget for reading one request and for write\n\
+         \x20                         progress on one response (default 2000)\n\
          \n\
          Stop the service gracefully with `POST /admin/shutdown` (flushes\n\
          snapshots + the bounds cache). A hard kill loses only cache\n\
@@ -248,16 +256,30 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut addr = "127.0.0.1:8642".to_owned();
     let mut data_dir = "./easeml-serve-data".to_owned();
+    let mut config = easeml_serve::ServeConfig::new("", "");
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--addr" => addr = next_value(args, &mut i)?.to_owned(),
             "--data-dir" => data_dir = next_value(args, &mut i)?.to_owned(),
+            "--event-threads" => {
+                config.event_threads =
+                    parse_positive(next_value(args, &mut i)?, "--event-threads")?;
+            }
+            "--idle-timeout-ms" => {
+                config.idle_timeout_ms =
+                    parse_positive(next_value(args, &mut i)?, "--idle-timeout-ms")? as u64;
+            }
+            "--request-timeout-ms" => {
+                config.request_timeout_ms =
+                    parse_positive(next_value(args, &mut i)?, "--request-timeout-ms")? as u64;
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
         i += 1;
     }
-    let config = easeml_serve::ServeConfig::new(addr, data_dir.clone());
+    config.addr = addr;
+    config.data_dir = data_dir.clone().into();
     let server = easeml_serve::Server::bind(&config).map_err(|e| e.to_string())?;
     // The bound address goes out first and flushed: with port 0 it is the
     // only way for a supervisor (or test harness) to learn the port.
@@ -275,4 +297,11 @@ fn next_value<'a>(args: &'a [String], i: &mut usize) -> Result<&'a str, String> 
     args.get(*i)
         .map(String::as_str)
         .ok_or_else(|| format!("missing value for {}", args[*i - 1]))
+}
+
+fn parse_positive(value: &str, flag: &str) -> Result<usize, String> {
+    match value.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(format!("{flag} expects a positive integer, got `{value}`")),
+    }
 }

@@ -1,11 +1,17 @@
-//! Minimal HTTP/1.1 on `std::net`: request parsing, response writing,
-//! and a small blocking client.
+//! Minimal HTTP/1.1 on `std::net`: an incremental request parser for the
+//! event-driven server, response serialization, and a small blocking
+//! client for tests and load generation.
 //!
 //! The workspace is offline and dependency-free, so this implements just
 //! the subset the CI service needs: request line + headers + an optional
 //! `Content-Length` body, keep-alive connection reuse, and JSON payloads.
 //! Transfer-encoding, multipart, and TLS are out of scope; malformed
 //! input is rejected with a parse error rather than guessed at.
+//!
+//! Server-side parsing is *resumable*: [`RequestParser`] consumes from a
+//! growing byte buffer fed by nonblocking reads, so a request trickling
+//! in one byte per readiness event costs no rescans and never blocks the
+//! event thread.
 
 use crate::json::Value;
 use std::io::{self, BufRead, BufReader, Read, Write};
@@ -47,72 +53,142 @@ impl Request {
     }
 }
 
-/// What `read_request` produced.
+/// Fully parsed head of the request currently being received, waiting
+/// for its `Content-Length` body bytes.
 #[derive(Debug)]
-pub enum ReadOutcome {
-    /// A complete request.
-    Request(Request),
-    /// The peer closed before sending a request line — a clean end of the
-    /// connection, not an error.
-    Closed,
-    /// A read blocked past the socket timeout *mid-request*: the peer
-    /// started a request and stalled. The connection is no longer usable
-    /// (partial bytes were consumed); close it.
-    TimedOut,
+struct PendingBody {
+    method: String,
+    path: String,
+    close: bool,
+    content_length: usize,
 }
 
-/// Non-blocking-ish peek for request data on an idle keep-alive
-/// connection: one buffered read bounded by the socket's read timeout.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum DataPoll {
-    /// At least one request byte is buffered; parse with `read_request`.
-    Ready,
-    /// The peer closed the connection.
-    Closed,
-    /// The poll window elapsed with no data (keep waiting or give up —
-    /// nothing was consumed).
-    Idle,
+/// Resumable, incremental HTTP/1.1 request parser.
+///
+/// The event-driven server feeds whatever bytes the socket had into
+/// [`RequestParser::push`] and asks [`RequestParser::next_request`]
+/// whether a complete request has accumulated — no blocking reads, no
+/// assumption about how requests align with packets. Feeding one byte at
+/// a time is `O(1)` amortized per byte: the head scan remembers how far
+/// it has looked for the blank-line terminator and never rescans.
+///
+/// Bytes left over after a completed request (pipelined requests) stay
+/// buffered; keep calling [`RequestParser::next_request`] until it
+/// returns `Ok(None)`.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already scanned for the head terminator.
+    scanned: usize,
+    /// `Some` once the head is parsed and body bytes are awaited.
+    pending: Option<PendingBody>,
 }
 
-/// Wait (up to the stream's read timeout) for the first byte of the next
-/// request. Distinguishing "idle, nothing arrived" from "stalled
-/// mid-request" here lets callers use a short poll interval without ever
-/// corrupting a request that merely spans multiple packets.
-///
-/// # Errors
-///
-/// I/O failures other than the timeout itself.
-pub fn poll_data(reader: &mut BufReader<TcpStream>) -> io::Result<DataPoll> {
-    match reader.fill_buf() {
-        Ok([]) => Ok(DataPoll::Closed),
-        Ok(_) => Ok(DataPoll::Ready),
-        Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
-            Ok(DataPoll::Idle)
+impl RequestParser {
+    /// An empty parser.
+    #[must_use]
+    pub fn new() -> RequestParser {
+        RequestParser::default()
+    }
+
+    /// Append bytes received from the socket.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Whether a request is partially received — buffered head bytes or
+    /// an awaited body. Distinguishes a peer that closed (or stalled)
+    /// *between* requests from one that abandoned a request midway.
+    #[must_use]
+    pub fn in_request(&self) -> bool {
+        !self.buf.is_empty() || self.pending.is_some()
+    }
+
+    /// Whether the head is fully parsed and body bytes are awaited.
+    #[must_use]
+    pub fn awaiting_body(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Try to complete one request from the buffered bytes.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// Protocol violations (`InvalidData`); the connection should send a
+    /// 400 and close — buffer offsets are undefined after an error.
+    pub fn next_request(&mut self) -> io::Result<Option<Request>> {
+        if self.pending.is_none() {
+            let Some(head_end) = self.find_head_end() else {
+                if self.buf.len() > MAX_HEAD_BYTES {
+                    return Err(bad_data("header section too large"));
+                }
+                return Ok(None);
+            };
+            if head_end > MAX_HEAD_BYTES {
+                return Err(bad_data("header section too large"));
+            }
+            let pending = parse_head(&self.buf[..head_end])?;
+            self.buf.drain(..head_end);
+            self.scanned = 0;
+            self.pending = Some(pending);
         }
-        Err(e) => Err(e),
+        let content_length = self.pending.as_ref().expect("set above").content_length;
+        if self.buf.len() < content_length {
+            return Ok(None);
+        }
+        let PendingBody {
+            method,
+            path,
+            close,
+            content_length,
+        } = self.pending.take().expect("checked above");
+        let rest = self.buf.split_off(content_length);
+        let body = std::mem::replace(&mut self.buf, rest);
+        Ok(Some(Request {
+            method,
+            path,
+            body,
+            close,
+        }))
+    }
+
+    /// Find the end of the head section (the byte after the blank line),
+    /// resuming from where the previous scan stopped.
+    fn find_head_end(&mut self) -> Option<usize> {
+        // A terminator can straddle the previously scanned boundary, so
+        // back up by the longest pattern minus one.
+        let mut i = self.scanned.saturating_sub(2);
+        while i < self.buf.len() {
+            if self.buf[i] == b'\n' {
+                match self.buf.get(i + 1) {
+                    Some(b'\n') => return Some(i + 2),
+                    Some(b'\r') if self.buf.get(i + 2) == Some(&b'\n') => return Some(i + 3),
+                    // An empty head (request starts with the blank line)
+                    // still terminates — and then fails request-line
+                    // validation with a clean 400.
+                    _ if i == 0 || (i == 1 && self.buf[0] == b'\r') => return Some(i + 1),
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        self.scanned = self.buf.len();
+        None
     }
 }
 
-/// Read one request from a buffered stream. Call once [`poll_data`]
-/// reported [`DataPoll::Ready`], with the socket timeout set to the
-/// full-request budget (a timeout here means a stalled peer, not an idle
-/// one).
-///
-/// # Errors
-///
-/// I/O failures and protocol violations (`InvalidData`).
-pub fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<ReadOutcome> {
-    let mut line = String::new();
-    match read_crlf_line(reader, &mut line) {
-        Ok(0) => return Ok(ReadOutcome::Closed),
-        Ok(_) => {}
-        Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
-            return Ok(ReadOutcome::TimedOut)
-        }
-        Err(e) => return Err(e),
-    }
+/// Validate and parse a complete head section (request line, headers,
+/// terminating blank line), exactly as strictly as the old blocking
+/// parser: three-part request line, known HTTP version, `name: value`
+/// headers with case-insensitive `content-length` / `connection`.
+fn parse_head(head: &[u8]) -> io::Result<PendingBody> {
+    let text = std::str::from_utf8(head).map_err(|_| bad_data("header section is not UTF-8"))?;
+    let mut lines = text.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+    let request_line = lines.next().unwrap_or("");
     let (method, path) = {
-        let mut parts = line.trim_end().split(' ');
+        let mut parts = request_line.split(' ');
         match (parts.next(), parts.next(), parts.next(), parts.next()) {
             (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => {
                 if v != "HTTP/1.1" && v != "HTTP/1.0" {
@@ -125,21 +201,11 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<ReadOutcome
     };
     let mut content_length: usize = 0;
     let mut close = false;
-    let mut head_bytes = line.len();
-    loop {
-        line.clear();
-        if read_crlf_line(reader, &mut line)? == 0 {
-            return Err(bad_data("connection closed inside headers"));
+    for line in lines {
+        if line.is_empty() {
+            continue; // the terminating blank line
         }
-        head_bytes += line.len();
-        if head_bytes > MAX_HEAD_BYTES {
-            return Err(bad_data("header section too large"));
-        }
-        let trimmed = line.trim_end();
-        if trimmed.is_empty() {
-            break;
-        }
-        let Some((name, value)) = trimmed.split_once(':') else {
+        let Some((name, value)) = line.split_once(':') else {
             return Err(bad_data("malformed header"));
         };
         let value = value.trim();
@@ -156,14 +222,12 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<ReadOutcome
             }
         }
     }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
-    Ok(ReadOutcome::Request(Request {
+    Ok(PendingBody {
         method,
         path,
-        body,
         close,
-    }))
+        content_length,
+    })
 }
 
 fn bad_data(message: &str) -> io::Error {
@@ -228,12 +292,11 @@ impl Response {
         }
     }
 
-    /// Serialize onto a stream (one `write_all`; callers flush).
-    ///
-    /// # Errors
-    ///
-    /// I/O failures.
-    pub fn write_to(&self, stream: &mut TcpStream) -> io::Result<()> {
+    /// Serialize the full wire form (status line, headers, body) into
+    /// one buffer. The event loop writes it out as socket writability
+    /// allows; it is never required to land in one `write`.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
         let head = format!(
             "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
             self.status,
@@ -244,7 +307,7 @@ impl Response {
         );
         let mut message = head.into_bytes();
         message.extend_from_slice(&self.body);
-        stream.write_all(&message)
+        message
     }
 }
 
@@ -374,5 +437,123 @@ impl Client {
         let text = String::from_utf8(body).map_err(|_| bad_data("non-UTF-8 response body"))?;
         let value = Value::parse(&text).map_err(|e| bad_data(&e.to_string()))?;
         Ok((status, value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(parser: &mut RequestParser, bytes: &[u8]) -> Option<Request> {
+        parser.push(bytes);
+        parser.next_request().expect("valid request")
+    }
+
+    #[test]
+    fn parses_a_whole_request_at_once() {
+        let mut parser = RequestParser::new();
+        let req = feed(
+            &mut parser,
+            b"POST /projects HTTP/1.1\r\ncontent-length: 4\r\n\r\nbody",
+        )
+        .expect("complete");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/projects");
+        assert_eq!(req.body, b"body");
+        assert!(!req.close);
+        assert!(!parser.in_request());
+    }
+
+    #[test]
+    fn resumes_across_single_byte_pushes() {
+        let raw = b"GET /status HTTP/1.1\r\nconnection: close\r\n\r\n";
+        let mut parser = RequestParser::new();
+        for (i, byte) in raw.iter().enumerate() {
+            let got = feed(&mut parser, std::slice::from_ref(byte));
+            if i + 1 < raw.len() {
+                assert!(got.is_none(), "complete after {} bytes", i + 1);
+                assert!(parser.in_request());
+            } else {
+                let req = got.expect("complete at final byte");
+                assert_eq!(req.path, "/status");
+                assert!(req.close);
+            }
+        }
+    }
+
+    #[test]
+    fn body_split_across_pushes() {
+        let mut parser = RequestParser::new();
+        assert!(feed(
+            &mut parser,
+            b"POST /x HTTP/1.1\r\ncontent-length: 10\r\n\r\n12345"
+        )
+        .is_none());
+        assert!(parser.in_request());
+        let req = feed(&mut parser, b"67890").expect("complete");
+        assert_eq!(req.body, b"1234567890");
+    }
+
+    #[test]
+    fn pipelined_requests_come_out_in_order() {
+        let mut parser = RequestParser::new();
+        parser.push(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n");
+        let a = parser.next_request().unwrap().expect("first");
+        let b = parser.next_request().unwrap().expect("second");
+        assert_eq!((a.path.as_str(), b.path.as_str()), ("/a", "/b"));
+        assert!(parser.next_request().unwrap().is_none());
+        assert!(!parser.in_request());
+    }
+
+    #[test]
+    fn tolerates_bare_lf_line_endings() {
+        let mut parser = RequestParser::new();
+        let req = feed(&mut parser, b"GET /x HTTP/1.0\ncontent-length: 2\n\nhi").expect("complete");
+        assert_eq!(req.body, b"hi");
+    }
+
+    #[test]
+    fn rejects_malformed_input_cleanly() {
+        for raw in [
+            b"DELETE\r\n\r\n".as_slice(),
+            b"GET /x HTTP/2\r\n\r\n",
+            b"GET x HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"GET /x HTTP/1.1\r\ncontent-length: nope\r\n\r\n",
+            b"\r\n",
+        ] {
+            let mut parser = RequestParser::new();
+            parser.push(raw);
+            let err = parser.next_request().expect_err("must reject");
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_head_and_body() {
+        let mut parser = RequestParser::new();
+        parser.push(b"GET /x HTTP/1.1\r\n");
+        parser.push(&vec![b'a'; 17 << 10]);
+        assert!(parser.next_request().is_err());
+
+        let mut parser = RequestParser::new();
+        parser.push(
+            format!(
+                "POST /x HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+                MAX_BODY_BYTES + 1
+            )
+            .as_bytes(),
+        );
+        assert!(parser.next_request().is_err());
+    }
+
+    #[test]
+    fn response_round_trips_through_its_bytes() {
+        let resp = Response::json(200, &Value::object([("ok", Value::from(true))]));
+        let bytes = resp.to_bytes();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
     }
 }

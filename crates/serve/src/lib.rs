@@ -42,6 +42,7 @@
 pub mod error;
 pub mod http;
 pub mod json;
+mod net;
 pub mod registry;
 pub mod server;
 pub mod store;

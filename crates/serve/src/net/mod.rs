@@ -1,0 +1,918 @@
+//! Event-driven serving core: readiness loops that multiplex thousands
+//! of keep-alive connections onto one or two threads.
+//!
+//! # Architecture
+//!
+//! ```text
+//!                   ┌────────────────────────────────────────────┐
+//!  clients ──TCP──▶ │ event loop 0: epoll/poll + timer wheel     │
+//!                   │  listener ──▶ round-robin to loops         │
+//!                   │  conns: read → RequestParser → dispatch ─┐ │
+//!                   │  ▲ completions (wake pipe) ◀─────────────┼─┼── easeml-par
+//!                   │  └─ write responses as sockets allow     │ │   pool workers
+//!                   ├──────────────────────────────────────────┼─┤   (route/gate
+//!                   │ event loop 1..N (--event-threads)        └─┼──▶ work)
+//!                   └────────────────────────────────────────────┘
+//! ```
+//!
+//! Event threads own the sockets and never block: nonblocking reads feed
+//! the incremental parser, and complete requests go one of two ways,
+//! chosen by [`Handler::inline`]. µs-scale requests (the overwhelming
+//! majority: gate commits against a registered plan, status reads) run
+//! *inline on the event thread* — zero cross-thread hops, the same
+//! latency shape as a dedicated blocking thread. Expensive requests
+//! (registration's plan search) are spawned onto the [`easeml_par`]
+//! pool, and each worker hands its response back through a per-loop
+//! completion queue plus a wake pipe (a nonblocking [`UnixStream`] pair
+//! — the self-pipe trick without declaring any extra syscalls).
+//! Responses are written opportunistically; what does not fit
+//! the socket buffer finishes via writability events, so a slow reader
+//! costs its own connection nothing but patience and other connections
+//! nothing at all.
+//!
+//! Idle and in-request deadlines live on a per-loop timer wheel; the
+//! loop sleeps in the poller exactly until the next deadline instead of
+//! polling on a 50 ms clock.
+//!
+//! Durability ordering is unchanged from the blocking server: the
+//! journal append inside a handler flushes before the handler returns,
+//! and the response bytes are only queued once the completion is handed
+//! back — a client never sees an acknowledgement for state that could be
+//! lost.
+//!
+//! # Stale-event discipline
+//!
+//! Poller events carry plain slab tokens, so a token observed in the
+//! current batch could outlive its connection (closed by an earlier
+//! event in the same batch). Two rules make this safe: freed slots hold
+//! `None` until after the batch (newly accepted sockets are adopted only
+//! in the post-batch inbox sweep), and both timers and completions carry
+//! the slot generation, bumped on every close.
+
+mod conn;
+mod sys;
+mod timer;
+
+use crate::http::{Request, Response};
+use conn::{Conn, ConnState};
+use easeml_par::PoolScope;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use sys::Poller;
+use timer::TimerWheel;
+
+/// The serving layer's face to the event core: computes responses and
+/// classifies requests for the inline fast path.
+pub(crate) trait Handler: Sync {
+    /// Compute the response for one fully parsed request.
+    fn handle(&self, request: &Request) -> Response;
+
+    /// Whether `request` may run directly on the event thread instead of
+    /// a pool worker. Inline execution skips the pool hand-off, the
+    /// completion wake, and the scheduler hops in between — but it
+    /// stalls every connection this loop owns for the handler's full
+    /// duration, so only µs-scale requests should say yes.
+    fn inline(&self, request: &Request) -> bool;
+}
+
+/// Reserved poller token: the wake pipe's read end.
+const WAKE: usize = 0;
+/// Reserved poller token: the listening socket (loop 0 only).
+const LISTENER: usize = 1;
+/// First token usable for connections (`slab index + TOKEN_BASE`).
+const TOKEN_BASE: usize = 2;
+
+/// Back-off before re-arming the listener after an accept failure
+/// (typically fd exhaustion). The listener is deregistered meanwhile so
+/// level-triggered readiness does not busy-loop.
+const ACCEPT_BACKOFF: Duration = Duration::from_millis(20);
+
+/// How long a stopping loop waits for dispatched/writing connections to
+/// finish before abandoning them. Idle connections close immediately, so
+/// shutdown latency is normally far below this.
+const DRAIN_GRACE: Duration = Duration::from_secs(5);
+
+/// Tunables handed down from [`crate::ServeConfig`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NetConfig {
+    /// Number of event loops (≥ 1). Loop 0 owns the listener and deals
+    /// accepted connections round-robin.
+    pub event_threads: usize,
+    /// Close a keep-alive connection after this long without a request.
+    pub idle_timeout: Duration,
+    /// Budget from a request's first byte to its fully parsed form; also
+    /// reused as the no-write-progress window for queued responses.
+    pub request_timeout: Duration,
+}
+
+/// Wakes every event loop: used by [`crate::ServerHandle::stop`] and the
+/// `/admin/shutdown` route. Writers are registered by [`serve`] as loops
+/// start; waking before then is a no-op (covered by the connect poke).
+#[derive(Debug, Default)]
+pub(crate) struct WakeHub {
+    writers: Mutex<Vec<UnixStream>>,
+}
+
+impl WakeHub {
+    pub(crate) fn new() -> WakeHub {
+        WakeHub::default()
+    }
+
+    fn register(&self, writer: UnixStream) {
+        self.writers.lock().expect("wake hub poisoned").push(writer);
+    }
+
+    /// Write one byte to every loop's wake pipe. Errors (full pipe =
+    /// wake already pending; closed pipe = loop already exited) are
+    /// exactly the cases where no wake is needed.
+    pub(crate) fn wake_all(&self) {
+        for writer in self.writers.lock().expect("wake hub poisoned").iter() {
+            let _ = (&*writer).write(&[1]);
+        }
+    }
+}
+
+/// A finished request: the worker's response, addressed back to the
+/// connection that dispatched it. Generations make late completions for
+/// a recycled slot or an abandoned dispatch harmless.
+#[derive(Debug)]
+struct Completion {
+    token: usize,
+    generation: u64,
+    dispatch_gen: u64,
+    response: Response,
+}
+
+/// The cross-thread face of one event loop: the completion queue workers
+/// push onto, the inbox loop 0 deals accepted sockets into, and the
+/// write end of the loop's wake pipe.
+#[derive(Debug)]
+struct LoopShared {
+    completions: Mutex<Vec<Completion>>,
+    inbox: Mutex<Vec<TcpStream>>,
+    waker: UnixStream,
+}
+
+impl LoopShared {
+    fn wake(&self) {
+        // Nonblocking; a full pipe already guarantees a pending wake.
+        let _ = (&self.waker).write(&[1]);
+    }
+}
+
+/// One slab slot. `generation` increments when the slot is freed, so
+/// timers and completions addressed to a previous occupant are ignored.
+#[derive(Debug)]
+struct Slot {
+    generation: u64,
+    conn: Option<Conn>,
+}
+
+/// Run the event-driven serving core until `stop` is set and the drain
+/// completes. Called inside an [`easeml_par::Pool::scope`]; request
+/// handling is spawned onto `scope` and `handler` computes the response.
+///
+/// # Errors
+///
+/// Fatal setup failures (poller or wake-pipe creation, listener
+/// registration). Per-connection failures close that connection only.
+pub(crate) fn serve<'env>(
+    listener: TcpListener,
+    cfg: &NetConfig,
+    scope: &PoolScope<'_, 'env>,
+    stop: &'env AtomicBool,
+    hub: &WakeHub,
+    handler: &'env dyn Handler,
+) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let loops = cfg.event_threads.max(1);
+    let mut shared = Vec::with_capacity(loops);
+    let mut readers = Vec::with_capacity(loops);
+    for _ in 0..loops {
+        let (reader, writer) = UnixStream::pair()?;
+        reader.set_nonblocking(true)?;
+        writer.set_nonblocking(true)?;
+        hub.register(writer.try_clone()?);
+        shared.push(Arc::new(LoopShared {
+            completions: Mutex::new(Vec::new()),
+            inbox: Mutex::new(Vec::new()),
+            waker: writer,
+        }));
+        readers.push(reader);
+    }
+    let peers: Arc<[Arc<LoopShared>]> = shared.into();
+
+    // Build every loop up front so all fallible setup (poller creation,
+    // listener registration) happens before any thread exists — a setup
+    // error can simply propagate without stranding running loops.
+    let mut event_loops = Vec::with_capacity(loops);
+    let mut listener = Some(listener);
+    for (index, reader) in readers.into_iter().enumerate() {
+        let own_listener = if index == 0 { listener.take() } else { None };
+        event_loops.push(EventLoop::new(index, reader, own_listener, cfg, &peers)?);
+    }
+
+    std::thread::scope(|ts| {
+        let secondary: Vec<_> = event_loops
+            .split_off(1)
+            .into_iter()
+            .map(|event_loop| ts.spawn(move || event_loop.run(scope, stop, handler)))
+            .collect();
+        let primary = event_loops.pop().expect("loop 0").run(scope, stop, handler);
+        // However loop 0 exited, make sure the others stop too so the
+        // thread scope's implicit join cannot hang.
+        stop.store(true, Ordering::SeqCst);
+        for peer in peers.iter() {
+            peer.wake();
+        }
+        for join in secondary {
+            if let Err(e) = join.join().expect("event loop panicked") {
+                eprintln!("warning: event loop exited with error: {e}");
+            }
+        }
+        primary
+    })
+}
+
+/// One readiness loop: poller + timer wheel + connection slab.
+struct EventLoop<'p> {
+    index: usize,
+    poller: Poller,
+    wheel: TimerWheel,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    live: usize,
+    wake: UnixStream,
+    listener: Option<TcpListener>,
+    listener_paused: bool,
+    cfg: NetConfig,
+    peers: &'p [Arc<LoopShared>],
+    /// Round-robin cursor for dealing accepted connections (loop 0).
+    next_peer: usize,
+    scratch: Vec<u8>,
+    draining: bool,
+    drain_deadline: Instant,
+}
+
+/// What a fired connection deadline calls for, decided under the slab
+/// borrow and acted on after it.
+enum TimeoutAction {
+    Nothing,
+    Rearm,
+    CloseQuietly,
+    FailTimedOut,
+    ProbeWrite,
+}
+
+impl<'p> EventLoop<'p> {
+    fn new(
+        index: usize,
+        wake: UnixStream,
+        listener: Option<TcpListener>,
+        cfg: &NetConfig,
+        peers: &'p [Arc<LoopShared>],
+    ) -> io::Result<EventLoop<'p>> {
+        let mut poller = Poller::new()?;
+        poller.register(wake.as_raw_fd(), WAKE, true, false)?;
+        if let Some(listener) = &listener {
+            poller.register(listener.as_raw_fd(), LISTENER, true, false)?;
+        }
+        let now = Instant::now();
+        Ok(EventLoop {
+            index,
+            poller,
+            wheel: TimerWheel::new(now),
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            wake,
+            listener,
+            listener_paused: false,
+            cfg: *cfg,
+            peers,
+            next_peer: 0,
+            scratch: vec![0u8; 16 << 10],
+            draining: false,
+            drain_deadline: now,
+        })
+    }
+
+    fn run<'env>(
+        mut self,
+        scope: &PoolScope<'_, 'env>,
+        stop: &'env AtomicBool,
+        handler: &'env dyn Handler,
+    ) -> io::Result<()> {
+        let mut events = Vec::with_capacity(1024);
+        let mut fired = Vec::new();
+        loop {
+            let now = Instant::now();
+            if stop.load(Ordering::SeqCst) && !self.draining {
+                self.begin_drain(now);
+            }
+            if self.draining && (self.live == 0 || now >= self.drain_deadline) {
+                return Ok(());
+            }
+            let mut timeout = self.wheel.next_deadline(now);
+            if self.draining {
+                let left = self.drain_deadline.saturating_duration_since(now);
+                timeout = Some(timeout.map_or(left, |t| t.min(left)));
+            }
+            events.clear();
+            self.poller.wait(&mut events, timeout)?;
+            let now = Instant::now();
+            for event in &events {
+                match event.token {
+                    WAKE => self.drain_wake_pipe(),
+                    LISTENER => self.accept_ready(stop),
+                    token => self.conn_event(
+                        token - TOKEN_BASE,
+                        event.readable,
+                        event.writable,
+                        event.hangup,
+                        now,
+                        scope,
+                        handler,
+                    ),
+                }
+            }
+            fired.clear();
+            self.wheel.expire(now, &mut fired);
+            for f in fired.drain(..) {
+                self.timer_fired(f, now, scope, handler);
+            }
+            self.apply_completions(now, scope, handler);
+            self.adopt_inbox(now);
+        }
+    }
+
+    /// Stop accepting, close idle connections, let in-flight requests
+    /// and pending writes finish (bounded by [`DRAIN_GRACE`]).
+    fn begin_drain(&mut self, now: Instant) {
+        self.draining = true;
+        self.drain_deadline = now + DRAIN_GRACE;
+        if let Some(listener) = self.listener.take() {
+            if !self.listener_paused {
+                let _ = self.poller.deregister(listener.as_raw_fd());
+            }
+        }
+        for index in 0..self.slots.len() {
+            let close_now = match self.slots[index].conn.as_mut() {
+                None => false,
+                Some(conn) => match conn.state {
+                    ConnState::KeepAliveIdle | ConnState::ReadingHead | ConnState::ReadingBody => {
+                        true
+                    }
+                    ConnState::Dispatched | ConnState::Writing => {
+                        conn.close_after_write = true;
+                        false
+                    }
+                },
+            };
+            if close_now {
+                self.close(index);
+            }
+        }
+    }
+
+    fn drain_wake_pipe(&mut self) {
+        loop {
+            match self.wake.read(&mut self.scratch) {
+                // EOF cannot occur while the hub holds writer clones;
+                // treat it like "drained" if it ever does.
+                Ok(0) => return,
+                Ok(_) => {}
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Accept everything pending. Sockets go through the per-loop
+    /// inboxes — including this loop's own — so slab slots freed during
+    /// the current event batch are never refilled mid-batch (see the
+    /// module docs on stale events).
+    fn accept_ready(&mut self, stop: &AtomicBool) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stop.load(Ordering::SeqCst) {
+                        continue; // accepted mid-shutdown: drop closes it
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let target = self.next_peer % self.peers.len();
+                    self.next_peer = self.next_peer.wrapping_add(1);
+                    self.peers[target]
+                        .inbox
+                        .lock()
+                        .expect("inbox poisoned")
+                        .push(stream);
+                    if target != self.index {
+                        self.peers[target].wake();
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    // Likely fd exhaustion. Unhook the listener so
+                    // level-triggered readiness stops firing, and let
+                    // the timer wheel re-arm it once connections have
+                    // freed descriptors.
+                    if !self.listener_paused {
+                        let fd = self.listener.as_ref().expect("checked above").as_raw_fd();
+                        let _ = self.poller.deregister(fd);
+                        self.listener_paused = true;
+                    }
+                    self.wheel
+                        .insert(Instant::now() + ACCEPT_BACKOFF, LISTENER, 0);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Take ownership of an accepted connection: slab slot, poller
+    /// registration, idle deadline.
+    fn adopt(&mut self, stream: TcpStream, now: Instant) {
+        if self.draining {
+            return; // dropping the stream closes it
+        }
+        let index = self.free.pop().unwrap_or_else(|| {
+            self.slots.push(Slot {
+                generation: 0,
+                conn: None,
+            });
+            self.slots.len() - 1
+        });
+        let fd = stream.as_raw_fd();
+        if self
+            .poller
+            .register(fd, index + TOKEN_BASE, true, false)
+            .is_err()
+        {
+            self.free.push(index);
+            return;
+        }
+        self.slots[index].conn = Some(Conn::new(stream, now, self.cfg.idle_timeout));
+        self.live += 1;
+        self.arm_timer(index);
+    }
+
+    fn adopt_inbox(&mut self, now: Instant) {
+        let streams = std::mem::take(&mut *self.shared().inbox.lock().expect("inbox poisoned"));
+        for stream in streams {
+            self.adopt(stream, now);
+        }
+    }
+
+    fn shared(&self) -> &LoopShared {
+        &self.peers[self.index]
+    }
+
+    /// Insert a wheel entry if the connection's deadline moved earlier
+    /// than whatever is already armed. Stale entries cancel lazily.
+    fn arm_timer(&mut self, index: usize) {
+        let generation = self.slots[index].generation;
+        let Some(conn) = self.slots[index].conn.as_mut() else {
+            return;
+        };
+        let Some(deadline) = conn.deadline else {
+            return;
+        };
+        if conn.armed.is_none_or(|armed| armed > deadline) {
+            conn.armed = Some(deadline);
+            self.wheel.insert(deadline, index + TOKEN_BASE, generation);
+        }
+    }
+
+    fn timer_fired<'env>(
+        &mut self,
+        fired: timer::Fired,
+        now: Instant,
+        scope: &PoolScope<'_, 'env>,
+        handler: &'env dyn Handler,
+    ) {
+        if fired.token == LISTENER {
+            self.resume_listener(now);
+            return;
+        }
+        let index = fired.token - TOKEN_BASE;
+        let action = {
+            let Some(slot) = self.slots.get_mut(index) else {
+                return;
+            };
+            if slot.generation != fired.generation {
+                return;
+            }
+            let Some(conn) = slot.conn.as_mut() else {
+                return;
+            };
+            conn.armed = None;
+            match conn.deadline {
+                None => TimeoutAction::Nothing,
+                Some(deadline) if now < deadline => TimeoutAction::Rearm,
+                Some(_) => match conn.state {
+                    // Idle past the keep-alive window: close.
+                    ConnState::KeepAliveIdle => TimeoutAction::CloseQuietly,
+                    // A queued response with no *observed* progress for a
+                    // whole window: probe before giving up on the peer.
+                    ConnState::Writing => TimeoutAction::ProbeWrite,
+                    ConnState::ReadingHead | ConnState::ReadingBody => TimeoutAction::FailTimedOut,
+                    ConnState::Dispatched => TimeoutAction::Nothing,
+                },
+            }
+        };
+        match action {
+            TimeoutAction::Nothing => {}
+            TimeoutAction::Rearm => self.arm_timer(index),
+            TimeoutAction::CloseQuietly => self.close(index),
+            // Stalled mid-request past the full-request budget — the
+            // same 400 the blocking server sent.
+            TimeoutAction::FailTimedOut => self.fail_request(index, now, "request timed out"),
+            TimeoutAction::ProbeWrite => self.probe_write(index, now, scope, handler),
+        }
+    }
+
+    /// A `Writing` connection's progress window expired without a
+    /// writable event. That alone does not condemn the peer: the poller
+    /// reports writability only once a sizeable fraction of the kernel
+    /// send buffer is free, so a slowly-but-steadily draining reader can
+    /// go unseen for many seconds. Probe with an actual write — it
+    /// succeeds with *any* free buffer space — and close only if nothing
+    /// whatsoever drained over the whole window.
+    fn probe_write<'env>(
+        &mut self,
+        index: usize,
+        now: Instant,
+        scope: &PoolScope<'_, 'env>,
+        handler: &'env dyn Handler,
+    ) {
+        let request_timeout = self.cfg.request_timeout;
+        let before = self.conn_mut(index).written();
+        match self.conn_mut(index).flush_write() {
+            Err(_) => self.close(index),
+            Ok(true) => self.finish_response(index, now, scope, handler),
+            Ok(false) => {
+                if self.conn_mut(index).written() > before {
+                    let conn = self.conn_mut(index);
+                    conn.deadline = Some(now + request_timeout);
+                    self.arm_timer(index);
+                } else {
+                    self.close(index);
+                }
+            }
+        }
+    }
+
+    fn resume_listener(&mut self, now: Instant) {
+        if !self.listener_paused || self.draining {
+            return;
+        }
+        let Some(listener) = &self.listener else {
+            return;
+        };
+        if self
+            .poller
+            .register(listener.as_raw_fd(), LISTENER, true, false)
+            .is_ok()
+        {
+            self.listener_paused = false;
+        } else {
+            self.wheel.insert(now + ACCEPT_BACKOFF, LISTENER, 0);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn conn_event<'env>(
+        &mut self,
+        index: usize,
+        readable: bool,
+        writable: bool,
+        hangup: bool,
+        now: Instant,
+        scope: &PoolScope<'_, 'env>,
+        handler: &'env dyn Handler,
+    ) {
+        if self.state_of(index).is_none() {
+            return; // closed earlier in this batch
+        }
+        if hangup && !readable && !writable {
+            self.close(index);
+            return;
+        }
+        if writable && self.state_of(index) == Some(ConnState::Writing) {
+            match self.conn_mut(index).flush_write() {
+                Err(_) => {
+                    self.close(index);
+                    return;
+                }
+                Ok(true) => self.finish_response(index, now, scope, handler),
+                Ok(false) => {
+                    // Progress was made; extend the write window.
+                    self.conn_mut(index).deadline = Some(now + self.cfg.request_timeout);
+                    self.arm_timer(index);
+                }
+            }
+        }
+        let Some(state) = self.state_of(index) else {
+            return; // finish_response closed it
+        };
+        if readable && state != ConnState::Dispatched {
+            let conn = self.slots[index].conn.as_mut().expect("state checked");
+            let was_between_requests = !conn.parser.in_request();
+            let fill = match conn.fill(&mut self.scratch) {
+                Ok(fill) => fill,
+                Err(_) => {
+                    self.close(index);
+                    return;
+                }
+            };
+            if fill.bytes > 0 || fill.eof {
+                self.advance(index, now, fill.eof, was_between_requests, scope, handler);
+            }
+            if fill.eof {
+                if let Some(conn) = self.slots[index].conn.as_mut() {
+                    // EOF is permanently readable under level-triggered
+                    // polling: drop read interest or spin. The response
+                    // in flight (if any) can still be written.
+                    conn.close_after_write = true;
+                    let write = conn.has_pending_write();
+                    self.set_interest(index, false, write);
+                }
+            }
+        }
+    }
+
+    fn state_of(&self, index: usize) -> Option<ConnState> {
+        self.slots.get(index)?.conn.as_ref().map(|c| c.state)
+    }
+
+    fn conn_mut(&mut self, index: usize) -> &mut Conn {
+        self.slots[index].conn.as_mut().expect("live connection")
+    }
+
+    /// Drive the parser after new bytes (or EOF): dispatch a completed
+    /// request, update the reading state and deadlines, or fail the
+    /// connection on protocol errors / mid-request abandonment.
+    fn advance<'env>(
+        &mut self,
+        index: usize,
+        now: Instant,
+        eof: bool,
+        was_between_requests: bool,
+        scope: &PoolScope<'_, 'env>,
+        handler: &'env dyn Handler,
+    ) {
+        let conn = self.conn_mut(index);
+        if matches!(conn.state, ConnState::Dispatched | ConnState::Writing) {
+            // Strictly serial per connection: bytes for the next request
+            // wait in the parser until the current response completes.
+            return;
+        }
+        match conn.parser.next_request() {
+            Err(e) => {
+                let message = e.to_string();
+                self.fail_request(index, now, &message);
+            }
+            Ok(Some(request)) => {
+                self.dispatch(index, request, scope, handler);
+            }
+            Ok(None) => {
+                if eof {
+                    // Clean close between requests, or an abandoned
+                    // partial request: either way the connection is done.
+                    self.close(index);
+                    return;
+                }
+                let request_timeout = self.cfg.request_timeout;
+                let conn = self.conn_mut(index);
+                conn.note_read_progress();
+                if was_between_requests && conn.state != ConnState::KeepAliveIdle {
+                    // First byte of a new request starts the request
+                    // clock (idle clock was running until now).
+                    conn.deadline = Some(now + request_timeout);
+                    self.arm_timer(index);
+                }
+            }
+        }
+    }
+
+    /// Hand a parsed request to the worker pool — or, when the handler
+    /// classifies it as cheap, run it inline right here on the event
+    /// thread. Read interest goes off until the response is done — the
+    /// kernel socket buffer provides the backpressure, not an unbounded
+    /// user-space queue.
+    fn dispatch<'env>(
+        &mut self,
+        index: usize,
+        request: Request,
+        scope: &PoolScope<'_, 'env>,
+        handler: &'env dyn Handler,
+    ) {
+        let generation = self.slots[index].generation;
+        let token = index + TOKEN_BASE;
+        let conn = self.conn_mut(index);
+        conn.state = ConnState::Dispatched;
+        conn.deadline = None;
+        conn.dispatch_gen += 1;
+        let dispatch_gen = conn.dispatch_gen;
+        let close = request.close;
+        self.set_interest(index, false, false);
+        if handler.inline(&request) {
+            // Inline fast path: a µs-scale request pays no pool
+            // hand-off, no wake pipe, no scheduler hops. The completion
+            // still goes through the queue — the run loop drains it
+            // unconditionally after every event batch, and
+            // `apply_completions` re-takes the batch after each apply,
+            // so completions produced mid-sweep (the pipelining path)
+            // drain in the same call. No wake byte is needed: we *are*
+            // the thread that drains.
+            let mut response = handler.handle(&request);
+            response.close = close;
+            self.shared()
+                .completions
+                .lock()
+                .expect("completions poisoned")
+                .push(Completion {
+                    token,
+                    generation,
+                    dispatch_gen,
+                    response,
+                });
+            return;
+        }
+        let shared = Arc::clone(&self.peers[self.index]);
+        // With a single-thread pool this runs inline, right here on the
+        // event thread; the completion is applied in this same loop
+        // iteration's `apply_completions` sweep.
+        scope.spawn(move || {
+            let mut response = handler.handle(&request);
+            response.close = close;
+            shared
+                .completions
+                .lock()
+                .expect("completions poisoned")
+                .push(Completion {
+                    token,
+                    generation,
+                    dispatch_gen,
+                    response,
+                });
+            shared.wake();
+        });
+    }
+
+    /// Apply responses handed back by workers. Loops because applying a
+    /// completion can (on the inline single-thread pool) synchronously
+    /// produce another one via the pipelining path.
+    fn apply_completions<'env>(
+        &mut self,
+        now: Instant,
+        scope: &PoolScope<'_, 'env>,
+        handler: &'env dyn Handler,
+    ) {
+        loop {
+            let batch = std::mem::take(
+                &mut *self
+                    .shared()
+                    .completions
+                    .lock()
+                    .expect("completions poisoned"),
+            );
+            if batch.is_empty() {
+                return;
+            }
+            for completion in batch {
+                let index = completion.token - TOKEN_BASE;
+                let ready = {
+                    let Some(slot) = self.slots.get_mut(index) else {
+                        continue;
+                    };
+                    slot.generation == completion.generation
+                        && slot.conn.as_ref().is_some_and(|conn| {
+                            conn.state == ConnState::Dispatched
+                                && conn.dispatch_gen == completion.dispatch_gen
+                        })
+                };
+                if !ready {
+                    continue; // connection died while the worker ran
+                }
+                let request_timeout = self.cfg.request_timeout;
+                let conn = self.conn_mut(index);
+                conn.queue_response(&completion.response);
+                conn.deadline = Some(now + request_timeout);
+                self.settle_response(index, now, scope, handler);
+            }
+        }
+    }
+
+    /// Push a freshly queued response out as far as the socket allows.
+    fn settle_response<'env>(
+        &mut self,
+        index: usize,
+        now: Instant,
+        scope: &PoolScope<'_, 'env>,
+        handler: &'env dyn Handler,
+    ) {
+        match self.conn_mut(index).flush_write() {
+            Err(_) => self.close(index),
+            Ok(true) => self.finish_response(index, now, scope, handler),
+            Ok(false) => {
+                // Finish via writability events. Keep reading: a
+                // pipelining peer may already be sending the next
+                // request, and ignoring readable would busy-loop.
+                let read = !self.conn_mut(index).close_after_write;
+                if self.set_interest(index, read, true) {
+                    self.arm_timer(index);
+                }
+            }
+        }
+    }
+
+    /// A response finished writing: close, or return to keep-alive and
+    /// immediately serve any pipelined request already buffered.
+    fn finish_response<'env>(
+        &mut self,
+        index: usize,
+        now: Instant,
+        scope: &PoolScope<'_, 'env>,
+        handler: &'env dyn Handler,
+    ) {
+        if self.conn_mut(index).close_after_write || self.draining {
+            self.close(index);
+            return;
+        }
+        let idle_timeout = self.cfg.idle_timeout;
+        let conn = self.conn_mut(index);
+        conn.state = ConnState::KeepAliveIdle;
+        conn.deadline = Some(now + idle_timeout);
+        if !self.set_interest(index, true, false) {
+            return;
+        }
+        self.arm_timer(index);
+        // Pipelined bytes already in the parser generate no further
+        // readiness events; parse them now.
+        self.advance(index, now, false, true, scope, handler);
+    }
+
+    /// Protocol failure: queue the 400, close once it is written.
+    fn fail_request(&mut self, index: usize, now: Instant, message: &str) {
+        let mut response = Response::error(400, message);
+        response.close = true;
+        let request_timeout = self.cfg.request_timeout;
+        let conn = self.conn_mut(index);
+        conn.queue_response(&response);
+        conn.deadline = Some(now + request_timeout);
+        match self.conn_mut(index).flush_write() {
+            Err(_) | Ok(true) => self.close(index),
+            Ok(false) => {
+                if self.set_interest(index, false, true) {
+                    self.arm_timer(index);
+                }
+            }
+        }
+    }
+
+    /// Reconcile poller interest with what the connection needs now.
+    /// Returns `false` if the connection had to be closed.
+    fn set_interest(&mut self, index: usize, read: bool, write: bool) -> bool {
+        let token = index + TOKEN_BASE;
+        let Some(conn) = self.slots[index].conn.as_mut() else {
+            return false;
+        };
+        if conn.want_read == read && conn.want_write == write {
+            return true;
+        }
+        conn.want_read = read;
+        conn.want_write = write;
+        let fd = conn.stream.as_raw_fd();
+        if self.poller.modify(fd, token, read, write).is_ok() {
+            true
+        } else {
+            self.close(index);
+            false
+        }
+    }
+
+    fn close(&mut self, index: usize) {
+        let Some(conn) = self.slots[index].conn.take() else {
+            return;
+        };
+        let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        self.slots[index].generation += 1;
+        self.free.push(index);
+        self.live -= 1;
+    }
+}

@@ -1,0 +1,276 @@
+//! Hashed timer wheel for connection deadlines.
+//!
+//! The old server enforced idle/request timeouts by waking every 50 ms
+//! per connection and checking the clock — fine for eight connections,
+//! pure overhead for a thousand. The event loop instead keeps one armed
+//! wheel entry per connection and sleeps in `epoll_wait` exactly until
+//! the earliest deadline.
+//!
+//! Design choices, all in service of cheap arming:
+//!
+//! * **Coarse ticks** (16 ms). Timeouts here are hundreds of
+//!   milliseconds to tens of seconds; firing one tick late is harmless,
+//!   and a coarse tick keeps the wheel small (256 slots ≈ 4 s horizon).
+//! * **Lazy cancellation.** Entries carry the connection's slab
+//!   generation; a stale entry (connection closed or its deadline
+//!   re-armed) is dropped when its slot comes up instead of being
+//!   searched for at cancel time. The caller re-checks the *actual*
+//!   deadline on fire, so a premature fire (entry armed before the
+//!   deadline was pushed out by new activity) just re-inserts.
+//! * **Far deadlines park in the overflow list** and are re-hashed into
+//!   the wheel as their slot horizon arrives.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+/// Width of one wheel slot. Deadlines fire at most one tick late.
+pub(crate) const TICK: Duration = Duration::from_millis(16);
+
+const SLOTS: usize = 256;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    tick: u64,
+    token: usize,
+    generation: u64,
+}
+
+/// A fired deadline: the caller compares `generation` against the live
+/// slab slot and ignores the fire if they disagree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Fired {
+    /// Token the deadline was armed under.
+    pub token: usize,
+    /// Slab generation at arming time.
+    pub generation: u64,
+}
+
+/// Hashed wheel: 256 slots of [`TICK`] width plus an overflow list.
+#[derive(Debug)]
+pub(crate) struct TimerWheel {
+    origin: Instant,
+    /// Tick currently being swept; every earlier tick is fully swept.
+    /// Kept *on* (not past) the latest swept tick so a deadline armed
+    /// mid-tick still lands in a sweepable slot.
+    cursor: u64,
+    slots: Vec<Vec<Entry>>,
+    overflow: Vec<Entry>,
+    /// Min-heap of the tick of every armed entry, so the next-deadline
+    /// query is O(1) instead of a scan of every slot — the scan is what
+    /// an event loop with thousands of parked idle connections would
+    /// otherwise pay on *every* iteration. Ticks already swept are
+    /// popped lazily at the end of [`TimerWheel::expire`].
+    candidates: BinaryHeap<Reverse<u64>>,
+    len: usize,
+}
+
+impl TimerWheel {
+    pub(crate) fn new(origin: Instant) -> TimerWheel {
+        TimerWheel {
+            origin,
+            cursor: 0,
+            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+            overflow: Vec::new(),
+            candidates: BinaryHeap::new(),
+            len: 0,
+        }
+    }
+
+    fn tick_of(&self, at: Instant) -> u64 {
+        (at.saturating_duration_since(self.origin).as_nanos() / TICK.as_nanos()) as u64
+    }
+
+    /// Arm a deadline. Deadlines already in the past land in the current
+    /// tick and fire on the next [`TimerWheel::expire`] call.
+    pub(crate) fn insert(&mut self, deadline: Instant, token: usize, generation: u64) {
+        let tick = self.tick_of(deadline).max(self.cursor);
+        let entry = Entry {
+            tick,
+            token,
+            generation,
+        };
+        if tick >= self.cursor + SLOTS as u64 {
+            self.overflow.push(entry);
+        } else {
+            self.slots[(tick % SLOTS as u64) as usize].push(entry);
+        }
+        self.candidates.push(Reverse(tick));
+        self.len += 1;
+    }
+
+    /// Sweep every slot up to `now`, pushing fired entries into `out`.
+    pub(crate) fn expire(&mut self, now: Instant, out: &mut Vec<Fired>) {
+        let now_tick = self.tick_of(now);
+        while self.cursor <= now_tick {
+            let slot = (self.cursor % SLOTS as u64) as usize;
+            let mut kept = 0;
+            for i in 0..self.slots[slot].len() {
+                let entry = self.slots[slot][i];
+                if entry.tick <= now_tick {
+                    out.push(Fired {
+                        token: entry.token,
+                        generation: entry.generation,
+                    });
+                    self.len -= 1;
+                } else {
+                    // A future lap of the wheel; keep in place.
+                    self.slots[slot][kept] = entry;
+                    kept += 1;
+                }
+            }
+            self.slots[slot].truncate(kept);
+            if self.cursor == now_tick {
+                break; // stay on the current tick for late arms
+            }
+            self.cursor += 1;
+            if self.cursor.is_multiple_of(SLOTS as u64) {
+                self.rehash_overflow();
+            }
+        }
+        // Every entry with a tick at or before `now_tick` just fired;
+        // their next-deadline candidates are dead weight.
+        while self
+            .candidates
+            .peek()
+            .is_some_and(|&Reverse(t)| t <= now_tick)
+        {
+            self.candidates.pop();
+        }
+    }
+
+    /// Pull overflow entries whose tick now fits inside the wheel
+    /// horizon back into their slots.
+    fn rehash_overflow(&mut self) {
+        let horizon = self.cursor + SLOTS as u64;
+        let mut kept = 0;
+        for i in 0..self.overflow.len() {
+            let entry = self.overflow[i];
+            if entry.tick < horizon {
+                self.slots[(entry.tick % SLOTS as u64) as usize].push(entry);
+            } else {
+                self.overflow[kept] = entry;
+                kept += 1;
+            }
+        }
+        self.overflow.truncate(kept);
+    }
+
+    /// How long the event loop may sleep before the next entry is due.
+    /// `None` when the wheel is empty (sleep until I/O). The bound is
+    /// conservative (slot-granular): sleeping exactly to it and calling
+    /// [`TimerWheel::expire`] fires everything due.
+    pub(crate) fn next_deadline(&self, now: Instant) -> Option<Duration> {
+        if self.len == 0 {
+            return None;
+        }
+        // The heap top is the earliest tick that may still hold a live
+        // entry (swept ticks were popped by `expire`); a stale top only
+        // costs one early wakeup, never a missed deadline.
+        let Reverse(tick) = *self.candidates.peek()?;
+        // End of the due tick, relative to `now`.
+        let due = self.origin + TICK * (tick as u32 + 1);
+        Some(due.saturating_duration_since(now))
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_order_and_only_once() {
+        let origin = Instant::now();
+        let mut wheel = TimerWheel::new(origin);
+        wheel.insert(origin + Duration::from_millis(40), 1, 10);
+        wheel.insert(origin + Duration::from_millis(200), 2, 20);
+
+        let mut fired = Vec::new();
+        wheel.expire(origin + Duration::from_millis(100), &mut fired);
+        assert_eq!(
+            fired,
+            vec![Fired {
+                token: 1,
+                generation: 10
+            }]
+        );
+        assert_eq!(wheel.len(), 1);
+
+        fired.clear();
+        wheel.expire(origin + Duration::from_millis(300), &mut fired);
+        assert_eq!(
+            fired,
+            vec![Fired {
+                token: 2,
+                generation: 20
+            }]
+        );
+        assert_eq!(wheel.len(), 0);
+
+        fired.clear();
+        wheel.expire(origin + Duration::from_secs(60), &mut fired);
+        assert!(fired.is_empty());
+    }
+
+    #[test]
+    fn far_deadlines_survive_the_overflow_list() {
+        let origin = Instant::now();
+        let mut wheel = TimerWheel::new(origin);
+        // Far beyond the 256-slot horizon (~4 s at 16 ms ticks).
+        wheel.insert(origin + Duration::from_secs(30), 9, 1);
+        let mut fired = Vec::new();
+        wheel.expire(origin + Duration::from_secs(29), &mut fired);
+        assert!(fired.is_empty());
+        wheel.expire(origin + Duration::from_secs(31), &mut fired);
+        assert_eq!(
+            fired,
+            vec![Fired {
+                token: 9,
+                generation: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn next_deadline_bounds_the_sleep() {
+        let origin = Instant::now();
+        let mut wheel = TimerWheel::new(origin);
+        assert_eq!(wheel.next_deadline(origin), None);
+        wheel.insert(origin + Duration::from_millis(500), 4, 2);
+        let sleep = wheel.next_deadline(origin).unwrap();
+        // Sleeping the advertised bound must reach the deadline.
+        assert!(sleep >= Duration::from_millis(500), "sleep {sleep:?}");
+        // And not oversleep by more than a tick's slack.
+        assert!(
+            sleep <= Duration::from_millis(500) + 2 * TICK,
+            "sleep {sleep:?}"
+        );
+        let mut fired = Vec::new();
+        wheel.expire(origin + sleep, &mut fired);
+        assert_eq!(fired.len(), 1);
+    }
+
+    #[test]
+    fn past_deadlines_fire_immediately() {
+        let origin = Instant::now();
+        let mut wheel = TimerWheel::new(origin);
+        let now = origin + Duration::from_secs(1);
+        let mut fired = Vec::new();
+        wheel.expire(now, &mut fired); // advance cursor past origin
+        wheel.insert(origin, 5, 3); // deadline already behind the cursor
+        fired.clear();
+        wheel.expire(now, &mut fired);
+        assert_eq!(
+            fired,
+            vec![Fired {
+                token: 5,
+                generation: 3
+            }]
+        );
+    }
+}

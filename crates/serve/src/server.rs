@@ -35,17 +35,25 @@
 //!
 //! # Concurrency
 //!
-//! The accept loop runs inside one [`easeml_par::Pool::scope`]; each
-//! connection is a spawned job, so `--threads N` bounds concurrent
-//! connection handlers exactly like it bounds every other fan-out in the
-//! workspace. Handlers serve keep-alive requests in a loop with a short
-//! poll timeout, re-checking the stop flag so shutdown never waits on an
-//! idle peer. All gate mutations serialize on the owning project's lock
-//! (see [`crate::store`] for the resulting determinism contract).
+//! Connections are owned by the event-driven core in [`crate::net`]:
+//! one or more readiness loops (`--event-threads`) multiplex every
+//! keep-alive socket and parse requests incrementally. µs-scale
+//! requests (gate commits, status reads — see
+//! [`RouteHandler::inline`]) execute directly on the event thread;
+//! only expensive ones (registration's plan search, cache persistence)
+//! are spawned as jobs on one [`easeml_par::Pool::scope`] — so
+//! `--threads N` bounds concurrent *expensive* handlers exactly like it
+//! bounds every other fan-out in the workspace, while idle connections
+//! cost no worker at all. Pool responses return to the event loop
+//! through a completion queue and wake pipe. All gate mutations
+//! serialize on the owning project's lock (see [`crate::store`] for the
+//! resulting determinism contract), which keeps journal bytes identical
+//! across worker widths *and* event-thread counts.
 
 use crate::error::ServeError;
-use crate::http::{poll_data, read_request, DataPoll, ReadOutcome, Request, Response};
+use crate::http::{Request, Response};
 use crate::json::{u32_vec_from_value, Value};
+use crate::net::{NetConfig, WakeHub};
 use crate::registry::{
     serving_estimator, CommitSubmission, EvalCounts, GateReceipt, MeasuredTestset,
     PredictionsSubmission, TestsetSpec,
@@ -53,28 +61,22 @@ use crate::registry::{
 use crate::store::{entry_json, tribool_str, Registry, BOUNDS_CACHE_FILE, PLAN_CACHE_FILE};
 use easeml_ci_core::{effort, AlarmReason, BoundsCache, CostModel, EstimateProvenance, PlanCache};
 use easeml_par::Pool;
-use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-/// Poll granularity of connection handlers: how quickly an idle
-/// keep-alive handler notices the stop flag.
-const POLL_TIMEOUT: Duration = Duration::from_millis(50);
+/// Default for [`ServeConfig::idle_timeout_ms`]. Idle keep-alive
+/// connections no longer occupy a pool worker, so this is generous where
+/// the blocking server's 500 ms was a pool-starvation workaround.
+pub const DEFAULT_IDLE_TIMEOUT_MS: u64 = 30_000;
 
-/// Idle keep-alive connections are closed after this long. Deliberately
-/// short: a handler is a pool job, so a lingering idle connection would
-/// otherwise starve queued connections when the pool is narrow. Clients
-/// that pause longer simply reconnect (the bundled [`crate::Client`]
-/// retries through a fresh connection transparently).
-const IDLE_TIMEOUT: Duration = Duration::from_millis(500);
-
-/// Once a request's first byte has arrived, the peer gets this long to
-/// deliver the rest (head + body). Requests may freely span packets and
-/// short stalls; only a genuinely stalled peer is cut off.
-const REQUEST_TIMEOUT: Duration = Duration::from_secs(2);
+/// Default for [`ServeConfig::request_timeout_ms`]: once a request's
+/// first byte has arrived, the peer gets this long to deliver the rest
+/// (head + body). Requests may freely span packets and short stalls;
+/// only a genuinely stalled peer is cut off.
+pub const DEFAULT_REQUEST_TIMEOUT_MS: u64 = 2_000;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -83,9 +85,20 @@ pub struct ServeConfig {
     pub addr: String,
     /// Durable state directory (created if missing).
     pub data_dir: PathBuf,
-    /// Worker threads for connection handling; `0` uses the process-wide
+    /// Worker threads for request handling; `0` uses the process-wide
     /// pool ([`Pool::global`]).
     pub threads: usize,
+    /// Event (readiness) loops; loop 0 owns the listener. One is right
+    /// for almost every deployment — parsing and buffer shuffling for
+    /// thousands of connections fits one core; a second loop mainly buys
+    /// isolation from accept bursts.
+    pub event_threads: usize,
+    /// Close a keep-alive connection after this many milliseconds
+    /// without a request.
+    pub idle_timeout_ms: u64,
+    /// Budget in milliseconds from a request's first byte to its fully
+    /// parsed form; a peer stalling longer mid-request gets a 400.
+    pub request_timeout_ms: u64,
 }
 
 impl ServeConfig {
@@ -96,6 +109,9 @@ impl ServeConfig {
             addr: addr.into(),
             data_dir: data_dir.into(),
             threads: 0,
+            event_threads: 1,
+            idle_timeout_ms: DEFAULT_IDLE_TIMEOUT_MS,
+            request_timeout_ms: DEFAULT_REQUEST_TIMEOUT_MS,
         }
     }
 }
@@ -106,8 +122,10 @@ pub struct Server {
     listener: TcpListener,
     registry: Arc<Registry>,
     stop: Arc<AtomicBool>,
+    hub: Arc<WakeHub>,
     data_dir: PathBuf,
     pool: Pool,
+    net_cfg: NetConfig,
 }
 
 /// Remote control for a running [`Server`] (clonable, thread-safe).
@@ -115,6 +133,7 @@ pub struct Server {
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    hub: Arc<WakeHub>,
 }
 
 impl ServerHandle {
@@ -124,10 +143,13 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Ask the server to stop: sets the flag and pokes the accept loop
-    /// with a throwaway connection so it wakes immediately.
+    /// Ask the server to stop: sets the flag, wakes every event loop,
+    /// and (belt and braces, for the window before the loops have
+    /// registered their wake pipes) pokes the listener with a throwaway
+    /// connection.
     pub fn stop(&self) {
         self.stop.store(true, Ordering::SeqCst);
+        self.hub.wake_all();
         let _ = TcpStream::connect(self.addr);
     }
 }
@@ -171,8 +193,14 @@ impl Server {
             listener,
             registry: Arc::new(registry),
             stop: Arc::new(AtomicBool::new(false)),
+            hub: Arc::new(WakeHub::new()),
             data_dir: config.data_dir.clone(),
             pool,
+            net_cfg: NetConfig {
+                event_threads: config.event_threads.max(1),
+                idle_timeout: Duration::from_millis(config.idle_timeout_ms.max(1)),
+                request_timeout: Duration::from_millis(config.request_timeout_ms.max(1)),
+            },
         })
     }
 
@@ -193,6 +221,7 @@ impl Server {
         ServerHandle {
             addr: self.local_addr(),
             stop: Arc::clone(&self.stop),
+            hub: Arc::clone(&self.hub),
         }
     }
 
@@ -201,35 +230,30 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Fatal accept-loop failures and shutdown persistence failures.
+    /// Fatal event-loop setup failures and shutdown persistence
+    /// failures.
     pub fn run(self) -> Result<(), ServeError> {
-        let ctx = Arc::new(Ctx {
-            registry: Arc::clone(&self.registry),
-            stop: Arc::clone(&self.stop),
-            addr: self.local_addr(),
-        });
-        self.pool.scope(|scope| {
-            for stream in self.listener.incoming() {
-                if ctx.stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                match stream {
-                    Ok(stream) => {
-                        let ctx = Arc::clone(&ctx);
-                        scope.spawn(move || handle_connection(stream, &ctx));
-                    }
-                    // Transient accept failure (e.g. fd exhaustion while
-                    // handlers hold keep-alive sockets): back off briefly
-                    // instead of spinning, giving handlers time to
-                    // release descriptors.
-                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
-                }
-            }
-        });
+        let Server {
+            listener,
+            registry,
+            stop,
+            hub,
+            data_dir,
+            pool,
+            net_cfg,
+        } = self;
+        let ctx = Ctx {
+            registry: Arc::clone(&registry),
+            stop: Arc::clone(&stop),
+            hub: Arc::clone(&hub),
+            addr: listener.local_addr().expect("bound listener has addr"),
+        };
+        let handler = RouteHandler { ctx };
+        pool.scope(|scope| crate::net::serve(listener, &net_cfg, scope, &stop, &hub, &handler))?;
         // Durable shutdown: compact every project and persist the warm
         // caches for the next process.
-        self.registry.snapshot_all()?;
-        save_caches(&self.data_dir)?;
+        registry.snapshot_all()?;
+        save_caches(&data_dir)?;
         Ok(())
     }
 }
@@ -262,96 +286,44 @@ fn save_caches(data_dir: &std::path::Path) -> Result<(usize, usize), ServeError>
     Ok((bounds, plan))
 }
 
-/// Everything a connection handler needs: the registry plus the stop
-/// flag and bound address (for the `/admin/shutdown` route).
+/// Everything a request handler needs: the registry plus the stop flag,
+/// wake hub, and bound address (for the `/admin/shutdown` route).
 #[derive(Debug)]
 struct Ctx {
     registry: Arc<Registry>,
     stop: Arc<AtomicBool>,
+    hub: Arc<WakeHub>,
     addr: SocketAddr,
 }
 
-/// Serve one connection's keep-alive request loop.
-///
-/// Between requests the socket runs a short [`POLL_TIMEOUT`] so the
-/// handler stays responsive to the stop flag; once a request's first
-/// byte arrives the timeout widens to [`REQUEST_TIMEOUT`], so requests
-/// spanning multiple packets (or slow uploads) parse correctly and only
-/// a genuinely stalled peer is dropped.
-fn handle_connection(stream: TcpStream, ctx: &Ctx) {
-    if stream.set_read_timeout(Some(POLL_TIMEOUT)).is_err() || stream.set_nodelay(true).is_err() {
-        return;
+/// Routes requests for the event core and classifies them for its
+/// inline fast path (see [`crate::net::Handler`]).
+#[derive(Debug)]
+struct RouteHandler {
+    ctx: Ctx,
+}
+
+impl crate::net::Handler for RouteHandler {
+    fn handle(&self, request: &Request) -> Response {
+        route(&self.ctx, request)
     }
-    let mut reader = BufReader::new(stream);
-    let mut last_activity = Instant::now();
-    loop {
-        if ctx.stop.load(Ordering::SeqCst) {
-            return;
+
+    /// Registration (`POST /projects`) runs the sample-size plan search
+    /// — tens of milliseconds cold — and `POST /admin/persist` rewrites
+    /// the cache dumps with an fsync; both belong on a pool worker.
+    /// Every other route is µs-scale work against precomputed plan
+    /// state (gate arithmetic, buffered journal appends, status reads)
+    /// and gains far more from skipping the pool round-trip than the
+    /// event loop loses hosting it.
+    fn inline(&self, request: &Request) -> bool {
+        if request.method != "POST" {
+            return true;
         }
-        match poll_data(&mut reader) {
-            Ok(DataPoll::Ready) => {}
-            Ok(DataPoll::Closed) | Err(_) => return,
-            Ok(DataPoll::Idle) => {
-                if last_activity.elapsed() > IDLE_TIMEOUT {
-                    return;
-                }
-                continue;
-            }
-        }
-        if reader
-            .get_ref()
-            .set_read_timeout(Some(REQUEST_TIMEOUT))
-            .is_err()
-        {
-            return;
-        }
-        let request = match read_request(&mut reader) {
-            Ok(ReadOutcome::Request(request)) => request,
-            Ok(ReadOutcome::Closed) => return,
-            Ok(ReadOutcome::TimedOut) => {
-                // Stalled mid-request past the full-request budget.
-                let mut response = Response::error(400, "request timed out");
-                response.close = true;
-                let _ = response.write_to(reader.get_mut());
-                return;
-            }
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                // Same stall, surfaced from the header/body reads.
-                let mut response = Response::error(400, "request timed out");
-                response.close = true;
-                let _ = response.write_to(reader.get_mut());
-                return;
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
-                let mut response = Response::error(400, &e.to_string());
-                response.close = true;
-                let _ = response.write_to(reader.get_mut());
-                return;
-            }
-            Err(_) => return,
-        };
-        last_activity = Instant::now();
-        let close = request.close;
-        let mut response = route(ctx, &request);
-        response.close = close;
-        if response.write_to(reader.get_mut()).is_err() {
-            return;
-        }
-        if close {
-            return;
-        }
-        if reader
-            .get_ref()
-            .set_read_timeout(Some(POLL_TIMEOUT))
-            .is_err()
-        {
-            return;
-        }
+        let mut segments = request.path.split('/').filter(|s| !s.is_empty());
+        !matches!(
+            (segments.next(), segments.next(), segments.next()),
+            (Some("projects"), None, None) | (Some("admin"), Some("persist"), None)
+        )
     }
 }
 
@@ -382,10 +354,13 @@ fn route(ctx: &Ctx, request: &Request) -> Response {
         ("POST", ["admin", "persist"]) => persist_all(registry),
         ("POST", ["admin", "shutdown"]) => {
             // The graceful-stop path reachable from plain HTTP (the CLI
-            // binary has no other signal channel): flag the stop, poke
-            // the accept loop awake, and let `Server::run` finish its
-            // durable-shutdown sequence (snapshots + cache save).
+            // binary has no other signal channel): flag the stop, wake
+            // every event loop, and let `Server::run` finish its
+            // durable-shutdown sequence (snapshots + cache save). The
+            // response itself is delivered by the drain: in-flight
+            // dispatches finish writing before their connections close.
             ctx.stop.store(true, Ordering::SeqCst);
+            ctx.hub.wake_all();
             let _ = TcpStream::connect(ctx.addr);
             Ok(Response::json(
                 200,

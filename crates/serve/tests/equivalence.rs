@@ -24,12 +24,7 @@ fn server_addr() -> String {
             .join("easeml-serve-equivalence")
             .join(std::process::id().to_string());
         let _ = std::fs::remove_dir_all(&dir);
-        let server = Server::bind(&ServeConfig {
-            addr: "127.0.0.1:0".into(),
-            data_dir: dir,
-            threads: 0,
-        })
-        .expect("bind");
+        let server = Server::bind(&ServeConfig::new("127.0.0.1:0", dir)).expect("bind");
         let addr = server.local_addr().to_string();
         let handle = server.handle();
         std::thread::spawn(move || server.run().expect("server run"));
