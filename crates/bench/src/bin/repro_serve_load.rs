@@ -455,6 +455,41 @@ fn main() {
         );
     }
 
+    // Overload phase: sustained offered load far past the admission
+    // limit. Floods of heavy pool-bound registrations must be shed with
+    // 503 + Retry-After while inline commit traffic keeps its latency;
+    // afterwards, backoff clients must converge without manual pacing.
+    let overload = run_overload_phase(quick);
+    println!(
+        "overload: {} offered into {} slots -> {} accepted, {} shed ({:.0}% shed rate) | \
+         victim commit p99 {:.0} us during overload (target <10 ms)",
+        overload.offered,
+        overload.max_inflight,
+        overload.accepted,
+        overload.shed,
+        overload.shed_rate * 100.0,
+        overload.victim.p99_us,
+    );
+    println!(
+        "overload convergence: {} backoff clients all registered in {:.0} ms with {} retries",
+        overload.converge_clients, overload.converge_wall_ms, overload.converge_retries,
+    );
+    if overload.shed == 0 {
+        eprintln!("WARNING: overload phase shed nothing (offered load did not saturate)");
+    }
+    if !overload.retry_after_on_all_sheds {
+        eprintln!("WARNING: some shed responses lacked a Retry-After header");
+    }
+    if overload.victim.p99_us >= 10_000.0 {
+        eprintln!(
+            "WARNING: victim commit p99 under overload is {:.0} us (target <10 ms)",
+            overload.victim.p99_us
+        );
+    }
+    if !overload.converged {
+        eprintln!("WARNING: a backoff client exhausted its retry budget without registering");
+    }
+
     let reg = percentiles(register_ns);
     let warm_reg = percentiles(warm_register_ns);
     let commit = percentiles(commit_ns);
@@ -589,10 +624,264 @@ fn main() {
                 ("p50_ratio_top_vs_baseline", Value::from(sweep_ratio)),
             ]),
         ),
+        // Overload shedding: offered > capacity through the admission
+        // gate, inline commit latency of a victim during the storm, and
+        // the retry/backoff convergence of the shed clients.
+        (
+            "overload",
+            Value::object([
+                ("max_inflight", Value::from(overload.max_inflight)),
+                ("flood_threads", Value::from(overload.flood_threads)),
+                ("offered", Value::from(overload.offered)),
+                ("accepted", Value::from(overload.accepted)),
+                ("shed", Value::from(overload.shed)),
+                ("shed_rate", Value::from(overload.shed_rate)),
+                (
+                    "retry_after_on_all_sheds",
+                    Value::from(overload.retry_after_on_all_sheds),
+                ),
+                ("victim_commit", percentiles_json(&overload.victim)),
+                (
+                    "convergence",
+                    Value::object([
+                        ("clients", Value::from(overload.converge_clients)),
+                        ("converged", Value::from(overload.converged)),
+                        ("retries", Value::from(overload.converge_retries)),
+                        ("wall_ms", Value::from(overload.converge_wall_ms)),
+                    ]),
+                ),
+            ]),
+        ),
     ]);
     let path = results_dir().join("BENCH_serve.json");
     std::fs::write(&path, json.pretty()).expect("write BENCH_serve.json");
     println!("[json] wrote {}", path.display());
 
     let _ = std::fs::remove_dir_all(&data_dir);
+}
+
+// ---------------------------------------------------------------------
+// Overload phase
+// ---------------------------------------------------------------------
+
+/// Outcome of the overload phase.
+struct OverloadOutcome {
+    max_inflight: usize,
+    flood_threads: usize,
+    offered: usize,
+    accepted: usize,
+    shed: usize,
+    shed_rate: f64,
+    retry_after_on_all_sheds: bool,
+    victim: Percentiles,
+    converge_clients: usize,
+    converged: bool,
+    converge_retries: u64,
+    converge_wall_ms: f64,
+}
+
+/// One raw HTTP round trip with `connection: close`; returns the status
+/// and whether the response carried a `retry-after` header (the
+/// [`Client`] hides headers, and the shed contract is about the header).
+fn raw_round_trip(addr: &str, method: &str, path: &str, body: &str) -> (u16, bool) {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(60)))
+        .expect("timeout");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nhost: bench\r\nconnection: close\r\n\
+         content-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("write");
+    let mut text = String::new();
+    stream.read_to_string(&mut text).expect("read");
+    let status = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    (status, text.contains("retry-after:"))
+}
+
+/// Drive the admission gate past saturation: `flood_threads` concurrent
+/// streams of heavy pool-bound registrations (a predictions-mode
+/// project with a large server-side testset each — decode + digest +
+/// blob write per request) against `max_inflight = 2` slots, while a
+/// victim client measures inline commit latency through the storm.
+/// Afterwards, shed-and-retry clients must all converge.
+fn run_overload_phase(quick: bool) -> OverloadOutcome {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Barrier};
+
+    let (flood_threads, rounds, testset_size, converge_clients) = if quick {
+        (8usize, 4u64, 80_000usize, 4usize)
+    } else {
+        (12, 8, 150_000, 6)
+    };
+    let max_inflight = 2usize;
+
+    let dir: PathBuf = std::env::temp_dir().join(format!(
+        "easeml-serve-overload-{}-{}",
+        std::process::id(),
+        if quick { "quick" } else { "full" }
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    // threads: 4 so pool spawns are genuinely asynchronous and the
+    // admission slots are actually held while handlers run (a width-1
+    // pool executes spawns inline and could never contend).
+    let server = Server::bind(&ServeConfig {
+        threads: 4,
+        max_inflight,
+        ..ServeConfig::new("127.0.0.1:0", dir.clone())
+    })
+    .expect("bind overload server");
+    let addr = server.local_addr().to_string();
+    let handle = server.handle();
+    let server_thread = std::thread::spawn(move || server.run().expect("overload server run"));
+
+    // The victim project: inline counts-gate commits with a budget deep
+    // enough to outlast the storm.
+    let mut victim_client = Client::new(addr.clone());
+    let victim_script = script_for(50_000);
+    let (status, response) = victim_client
+        .request(
+            "POST",
+            "/projects",
+            Some(&Value::object([
+                ("name", Value::from("overload-victim")),
+                ("script", Value::from(victim_script)),
+            ])),
+        )
+        .expect("victim register");
+    assert_eq!(status, 201, "{response}");
+
+    // The heavy registration body, minus the unique name: built once,
+    // spliced per request.
+    let labels = easeml_serve::json::encode_u32_vec(&vec![0u32; testset_size]);
+    let body_tail: Arc<String> = Arc::new(format!(
+        "\"script\":{},\"testset\":{{\"labels\":\"{labels}\",\"labeling\":\"lazy\",\"classes\":2}}}}",
+        Value::from(script_for(60_000)).encode(),
+    ));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let victim_stop = Arc::clone(&stop);
+    let victim_addr = addr.clone();
+    let victim = std::thread::spawn(move || {
+        let mut client = Client::with_policy(victim_addr, easeml_serve::RetryPolicy::none());
+        let mut latencies_ns = Vec::new();
+        let mut i = 0u64;
+        while !victim_stop.load(Ordering::Relaxed) {
+            let roll = splitmix64(0xdead_10ad, i);
+            let body = Value::object([
+                ("commit_id", Value::from(format!("v{i}"))),
+                ("samples", Value::from(1_000u64)),
+                ("new_correct", Value::from(300 + roll % 700)),
+                ("old_correct", Value::from(500u64)),
+                ("changed", Value::from(roll % 1_000)),
+                ("labels", Value::from(1_000u64)),
+            ]);
+            let t = Instant::now();
+            let (status, response) = client
+                .request("POST", "/projects/overload-victim/commits", Some(&body))
+                .expect("victim commit");
+            latencies_ns.push(t.elapsed().as_nanos() as f64);
+            assert_eq!(status, 200, "victim commit shed or failed: {response}");
+            i += 1;
+        }
+        latencies_ns
+    });
+
+    // The flood: every thread fires rounds of heavy registrations
+    // back-to-back — sustained offered concurrency of `flood_threads`
+    // against `max_inflight` slots.
+    let barrier = Arc::new(Barrier::new(flood_threads));
+    let flood: Vec<(usize, usize, bool)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..flood_threads)
+            .map(|i| {
+                let addr = addr.clone();
+                let barrier = Arc::clone(&barrier);
+                let tail = Arc::clone(&body_tail);
+                s.spawn(move || {
+                    barrier.wait();
+                    let (mut accepted, mut shed, mut retry_after_ok) = (0usize, 0usize, true);
+                    for r in 0..rounds {
+                        let body = format!("{{\"name\":\"flood-{i}-{r}\",{tail}");
+                        let (status, has_retry_after) =
+                            raw_round_trip(&addr, "POST", "/projects", &body);
+                        match status {
+                            201 => accepted += 1,
+                            503 => {
+                                shed += 1;
+                                retry_after_ok &= has_retry_after;
+                            }
+                            other => panic!("unexpected flood status {other}"),
+                        }
+                    }
+                    (accepted, shed, retry_after_ok)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    stop.store(true, Ordering::Relaxed);
+    let victim_ns = victim.join().expect("victim thread");
+
+    let accepted: usize = flood.iter().map(|(a, _, _)| a).sum();
+    let shed: usize = flood.iter().map(|(_, s, _)| s).sum();
+    let retry_after_on_all_sheds = flood.iter().all(|(_, _, ok)| *ok);
+    let offered = accepted + shed;
+
+    // Convergence: the burst again, but through retrying clients that
+    // honor Retry-After plus jitter — every one must land a 201.
+    let barrier = Arc::new(Barrier::new(converge_clients));
+    let converge_start = Instant::now();
+    let converge: Vec<(u16, u64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..converge_clients)
+            .map(|i| {
+                let addr = addr.clone();
+                let barrier = Arc::clone(&barrier);
+                let tail = Arc::clone(&body_tail);
+                s.spawn(move || {
+                    let policy = easeml_serve::RetryPolicy {
+                        attempts: 10,
+                        seed: 0x0e11_a000 + i as u64,
+                        ..easeml_serve::RetryPolicy::default()
+                    };
+                    let mut client = Client::with_policy(addr, policy);
+                    let body =
+                        Value::parse(&format!("{{\"name\":\"converge-{i}\",{tail}")).expect("body");
+                    barrier.wait();
+                    let (status, _) = client
+                        .request("POST", "/projects", Some(&body))
+                        .expect("converge register");
+                    (status, client.retries())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let converge_wall_ms = converge_start.elapsed().as_nanos() as f64 / 1e6;
+    let converged = converge.iter().all(|(status, _)| *status == 201);
+    let converge_retries: u64 = converge.iter().map(|(_, r)| r).sum();
+
+    handle.stop();
+    server_thread.join().expect("overload server thread");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    OverloadOutcome {
+        max_inflight,
+        flood_threads,
+        offered,
+        accepted,
+        shed,
+        shed_rate: shed as f64 / offered.max(1) as f64,
+        retry_after_on_all_sheds,
+        victim: percentiles(victim_ns),
+        converge_clients,
+        converged,
+        converge_retries,
+        converge_wall_ms,
+    }
 }

@@ -76,7 +76,8 @@ fn print_usage() {
          \x20 easeml-ci [--threads N] simulate <script.yml> [--commits N] [--seed S] [--accuracy A]\n\
          \x20 easeml-ci [--threads N] serve [--addr HOST:PORT] [--data-dir DIR]\n\
          \x20                                [--event-threads N] [--idle-timeout-ms MS]\n\
-         \x20                                [--request-timeout-ms MS]\n\
+         \x20                                [--request-timeout-ms MS] [--max-inflight N]\n\
+         \x20                                [--degraded-after N]\n\
          \n\
          OPTIONS:\n\
          \x20 --threads N   worker threads for the parallel execution layer\n\
@@ -93,6 +94,12 @@ fn print_usage() {
          \x20                         without a request (default 30000)\n\
          \x20 --request-timeout-ms MS budget for reading one request and for write\n\
          \x20                         progress on one response (default 2000)\n\
+         \x20 --max-inflight N        pool-bound requests (registrations, persists)\n\
+         \x20                         admitted concurrently before shedding with\n\
+         \x20                         503 + Retry-After (default: 2x worker threads)\n\
+         \x20 --degraded-after N      consecutive durable-write failures before the\n\
+         \x20                         server degrades to read-only; 0 disables\n\
+         \x20                         (default 3)\n\
          \n\
          Stop the service gracefully with `POST /admin/shutdown` (flushes\n\
          snapshots + the bounds cache). A hard kill loses only cache\n\
@@ -273,6 +280,15 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--request-timeout-ms" => {
                 config.request_timeout_ms =
                     parse_positive(next_value(args, &mut i)?, "--request-timeout-ms")? as u64;
+            }
+            "--max-inflight" => {
+                config.max_inflight = parse_positive(next_value(args, &mut i)?, "--max-inflight")?;
+            }
+            "--degraded-after" => {
+                let value = next_value(args, &mut i)?;
+                config.degraded_after = value
+                    .parse::<u32>()
+                    .map_err(|_| format!("--degraded-after expects a number, got `{value}`"))?;
             }
             other => return Err(format!("unknown option `{other}`")),
         }

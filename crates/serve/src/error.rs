@@ -25,6 +25,10 @@ pub enum ServeError {
         /// What was wrong.
         reason: String,
     },
+    /// The server is temporarily unable to take the request — admission
+    /// control shed it, or the service is in read-only degraded mode.
+    /// Maps to 503 (the client should back off and retry).
+    Unavailable(String),
     /// An underlying I/O failure. Maps to 500.
     Io(std::io::Error),
 }
@@ -37,6 +41,7 @@ impl ServeError {
             ServeError::BadRequest(_) => 400,
             ServeError::NotFound(_) => 404,
             ServeError::Conflict(_) | ServeError::Gone(_) => 409,
+            ServeError::Unavailable(_) => 503,
             ServeError::Corrupt { .. } | ServeError::Io(_) => 500,
         }
     }
@@ -48,7 +53,8 @@ impl fmt::Display for ServeError {
             ServeError::BadRequest(m)
             | ServeError::NotFound(m)
             | ServeError::Conflict(m)
-            | ServeError::Gone(m) => write!(f, "{m}"),
+            | ServeError::Gone(m)
+            | ServeError::Unavailable(m) => write!(f, "{m}"),
             ServeError::Corrupt { path, reason } => {
                 write!(f, "corrupt state file {}: {reason}", path.display())
             }

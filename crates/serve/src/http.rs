@@ -256,6 +256,8 @@ pub struct Response {
     pub content_type: &'static str,
     /// Whether the server will close the connection after this response.
     pub close: bool,
+    /// `Retry-After` header value in seconds (overload shedding).
+    pub retry_after: Option<u32>,
 }
 
 impl Response {
@@ -267,6 +269,7 @@ impl Response {
             body: value.encode().into_bytes(),
             content_type: "application/json",
             close: false,
+            retry_after: None,
         }
     }
 
@@ -274,6 +277,13 @@ impl Response {
     #[must_use]
     pub fn error(status: u16, message: &str) -> Response {
         Response::json(status, &Value::object([("error", Value::from(message))]))
+    }
+
+    /// Attach a `Retry-After` hint (seconds).
+    #[must_use]
+    pub fn with_retry_after(mut self, seconds: u32) -> Response {
+        self.retry_after = Some(seconds);
+        self
     }
 
     /// Standard reason phrase for the status code.
@@ -288,6 +298,7 @@ impl Response {
             409 => "Conflict",
             413 => "Payload Too Large",
             500 => "Internal Server Error",
+            503 => "Service Unavailable",
             _ => "Unknown",
         }
     }
@@ -297,17 +308,87 @@ impl Response {
     /// allows; it is never required to land in one `write`.
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
-        let head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        use std::fmt::Write as _;
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
             self.status,
             self.reason(),
             self.content_type,
             self.body.len(),
             if self.close { "close" } else { "keep-alive" },
         );
+        if let Some(seconds) = self.retry_after {
+            let _ = write!(head, "retry-after: {seconds}\r\n");
+        }
+        head.push_str("\r\n");
         let mut message = head.into_bytes();
         message.extend_from_slice(&self.body);
         message
+    }
+}
+
+/// Retry behavior of [`Client`]: a bounded budget of jittered
+/// exponential-backoff retries.
+///
+/// A retry is spent on a transport failure or on a `503 Service
+/// Unavailable` (the server shedding load). The sleep before attempt
+/// `k` (0-based) is drawn deterministically (seeded, so load tests stay
+/// reproducible) from `[backoff/2, backoff]` with
+/// `backoff = min(cap, base << k)` — full-jitter halves, so a thousand
+/// clients shed at the same instant do not return as one synchronized
+/// thundering herd. When the server sent `Retry-After: n`, the sleep is
+/// at least `n` seconds (the server knows better than the curve).
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Maximum retries after the initial attempt (0 = fail fast).
+    pub attempts: u32,
+    /// First backoff step.
+    pub base: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub cap: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 4,
+            base: Duration::from_millis(25),
+            cap: Duration::from_secs(2),
+            seed: 0x00ea_5e31,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    #[must_use]
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 0,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The sleep before retry `attempt` (0-based), given the server's
+    /// `Retry-After` hint if any. `draw` indexes the jitter stream.
+    fn delay(&self, attempt: u32, retry_after: Option<u32>, draw: u64) -> Duration {
+        let backoff = self
+            .base
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.cap);
+        // Uniform in [backoff/2, backoff] from a splitmix64 stream.
+        let unit = (easeml_par::splitmix64(self.seed, draw) >> 11) as f64 / (1u64 << 53) as f64;
+        let jittered = backoff.mul_f64(0.5 + unit / 2.0);
+        match retry_after {
+            // The hint is a *floor*, not a schedule: adding the jittered
+            // curve on top keeps a fleet of clients shed at the same
+            // instant from re-arriving in one synchronized wave exactly
+            // `seconds` later.
+            Some(seconds) => Duration::from_secs(u64::from(seconds)) + jittered,
+            None => jittered,
+        }
     }
 }
 
@@ -317,55 +398,96 @@ impl Response {
 pub struct Client {
     addr: String,
     stream: Option<BufReader<TcpStream>>,
+    policy: RetryPolicy,
+    /// Total retries slept for (jitter stream index + telemetry).
+    retries: u64,
 }
 
 impl Client {
-    /// A client for `addr` (`host:port`). Connects lazily.
+    /// A client for `addr` (`host:port`) with the default
+    /// [`RetryPolicy`]. Connects lazily.
     #[must_use]
     pub fn new(addr: impl Into<String>) -> Client {
+        Client::with_policy(addr, RetryPolicy::default())
+    }
+
+    /// A client with an explicit retry policy.
+    #[must_use]
+    pub fn with_policy(addr: impl Into<String>, policy: RetryPolicy) -> Client {
         Client {
             addr: addr.into(),
             stream: None,
+            policy,
+            retries: 0,
         }
+    }
+
+    /// Total retries this client has performed (load-test telemetry).
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.retries
     }
 
     /// Send one request and read the response, reusing the connection
     /// when the server keeps it open. `body` is encoded as JSON.
     ///
-    /// A failure on a *reused* connection is retried once through a
-    /// fresh connection. This is safe for every `easeml-serve` endpoint,
-    /// including the POSTs, because the server's mutating routes are
-    /// idempotent under redelivery (duplicate commit submissions return
-    /// the recorded receipt without spending budget; identical
-    /// re-registrations converge on the existing project).
+    /// Failures retry under the client's [`RetryPolicy`]: transport
+    /// errors and `503` responses consume budget and back off with
+    /// jitter (honoring `Retry-After`); the first failure on a *reused*
+    /// connection retries immediately for free (the server may simply
+    /// have dropped an idle keep-alive connection). Retrying is safe for
+    /// every `easeml-serve` endpoint, including the POSTs, because the
+    /// server's mutating routes are idempotent under redelivery
+    /// (duplicate commit submissions return the recorded receipt without
+    /// spending budget; identical re-registrations converge on the
+    /// existing project).
+    ///
+    /// A `503` that survives the budget is returned as a normal
+    /// response, not an error.
     ///
     /// # Errors
     ///
-    /// I/O failures (after the one transparent retry) and malformed
-    /// responses.
+    /// I/O failures (after the retry budget) and malformed responses.
     pub fn request(
         &mut self,
         method: &str,
         path: &str,
         body: Option<&Value>,
     ) -> io::Result<(u16, Value)> {
-        // One retry through a fresh connection: the server may have
-        // dropped an idle keep-alive connection between requests. Every
-        // error path discards the stream — a socket that failed mid-
-        // exchange may still deliver the *previous* response later, and
-        // reusing it would desync every request/response pair after it.
-        let reused = self.stream.is_some();
-        match self.request_once(method, path, body) {
-            Ok(out) => Ok(out),
-            Err(_) if reused => {
-                self.stream = None;
-                self.request_once(method, path, body).inspect_err(|_| {
+        // Every error path discards the stream — a socket that failed
+        // mid-exchange may still deliver the *previous* response later,
+        // and reusing it would desync every request/response pair after
+        // it.
+        let mut attempt: u32 = 0;
+        let mut free_reuse_retry = self.stream.is_some();
+        loop {
+            match self.request_once(method, path, body) {
+                Ok((status, retry_after, value)) => {
+                    if status == 503 && attempt < self.policy.attempts {
+                        let delay = self.policy.delay(attempt, retry_after, self.retries);
+                        self.retries += 1;
+                        attempt += 1;
+                        std::thread::sleep(delay);
+                        continue;
+                    }
+                    return Ok((status, value));
+                }
+                Err(_) if free_reuse_retry => {
+                    // The keep-alive race: the server closed the idle
+                    // connection between requests. Not a real failure.
+                    free_reuse_retry = false;
                     self.stream = None;
-                })
-            }
-            Err(e) => {
-                self.stream = None;
-                Err(e)
+                }
+                Err(e) => {
+                    self.stream = None;
+                    if attempt >= self.policy.attempts {
+                        return Err(e);
+                    }
+                    let delay = self.policy.delay(attempt, None, self.retries);
+                    self.retries += 1;
+                    attempt += 1;
+                    std::thread::sleep(delay);
+                }
             }
         }
     }
@@ -375,7 +497,7 @@ impl Client {
         method: &str,
         path: &str,
         body: Option<&Value>,
-    ) -> io::Result<(u16, Value)> {
+    ) -> io::Result<(u16, Option<u32>, Value)> {
         if self.stream.is_none() {
             let stream = TcpStream::connect(&self.addr)?;
             stream.set_read_timeout(Some(Duration::from_secs(10)))?;
@@ -407,6 +529,7 @@ impl Client {
         // Headers.
         let mut content_length = 0usize;
         let mut close = false;
+        let mut retry_after: Option<u32> = None;
         loop {
             line.clear();
             if read_crlf_line(reader, &mut line)? == 0 {
@@ -426,6 +549,9 @@ impl Client {
                     && value.trim().eq_ignore_ascii_case("close")
                 {
                     close = true;
+                } else if name.eq_ignore_ascii_case("retry-after") {
+                    // Only the delta-seconds form; an HTTP-date is ignored.
+                    retry_after = value.trim().parse().ok();
                 }
             }
         }
@@ -436,7 +562,7 @@ impl Client {
         }
         let text = String::from_utf8(body).map_err(|_| bad_data("non-UTF-8 response body"))?;
         let value = Value::parse(&text).map_err(|e| bad_data(&e.to_string()))?;
-        Ok((status, value))
+        Ok((status, retry_after, value))
     }
 }
 
@@ -554,6 +680,41 @@ mod tests {
         let text = String::from_utf8(bytes).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(!text.contains("retry-after"));
         assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn shed_response_carries_retry_after() {
+        let resp = Response::error(503, "overloaded").with_retry_after(1);
+        let text = String::from_utf8(resp.to_bytes()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        // The header block still terminates properly.
+        assert!(text.contains("\r\n\r\n{"));
+    }
+
+    #[test]
+    fn retry_policy_backs_off_with_bounded_jitter() {
+        let policy = RetryPolicy::default();
+        for attempt in 0..6 {
+            let backoff = policy.base.saturating_mul(1u32 << attempt).min(policy.cap);
+            for draw in 0..32 {
+                let d = policy.delay(attempt, None, draw);
+                assert!(
+                    d >= backoff.mul_f64(0.5) && d <= backoff,
+                    "{attempt}/{draw}: {d:?}"
+                );
+            }
+        }
+        // Deterministic for a given (seed, draw).
+        assert_eq!(policy.delay(2, None, 7), policy.delay(2, None, 7));
+        assert_ne!(policy.delay(2, None, 7), policy.delay(2, None, 8));
+        // Retry-After floors the delay, with the jittered curve added on
+        // top so simultaneous shed victims spread out on re-arrival.
+        let hinted = policy.delay(0, Some(3), 0);
+        assert!(hinted >= Duration::from_secs(3));
+        assert!(hinted <= Duration::from_secs(3) + policy.base);
+        assert_ne!(policy.delay(0, Some(3), 0), policy.delay(0, Some(3), 1));
     }
 }

@@ -40,15 +40,17 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod fault;
 pub mod http;
 pub mod json;
 mod net;
 pub mod registry;
 pub mod server;
 pub mod store;
+pub mod vfs;
 
 pub use error::ServeError;
-pub use http::{Client, Request, Response};
+pub use http::{Client, Request, Response, RetryPolicy};
 pub use json::Value;
 pub use registry::{
     CommitSubmission, EvalCounts, GateReceipt, MeasuredTestset, PredictionsSubmission, Project,

@@ -250,6 +250,7 @@ mod tests {
             body: vec![b'x'; 64 << 20],
             content_type: "text/plain",
             close: false,
+            retry_after: None,
         };
         conn.queue_response(&big);
         let done = conn.flush_write().unwrap();

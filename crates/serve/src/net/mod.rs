@@ -54,6 +54,7 @@ mod sys;
 mod timer;
 
 use crate::http::{Request, Response};
+use crate::server::{ServeStats, SHED_RETRY_AFTER_SECS};
 use conn::{Conn, ConnState};
 use easeml_par::PoolScope;
 use std::io::{self, Read, Write};
@@ -87,10 +88,16 @@ const LISTENER: usize = 1;
 /// First token usable for connections (`slab index + TOKEN_BASE`).
 const TOKEN_BASE: usize = 2;
 
-/// Back-off before re-arming the listener after an accept failure
-/// (typically fd exhaustion). The listener is deregistered meanwhile so
-/// level-triggered readiness does not busy-loop.
+/// Initial back-off before re-arming the listener after an accept
+/// failure (typically fd exhaustion, EMFILE/ENFILE). The listener is
+/// deregistered meanwhile so level-triggered readiness does not
+/// busy-loop; the back-off doubles on consecutive failures up to
+/// [`ACCEPT_BACKOFF_MAX`] and resets on the next successful accept.
 const ACCEPT_BACKOFF: Duration = Duration::from_millis(20);
+
+/// Cap on the accept back-off: under sustained fd exhaustion the loop
+/// retries once a second instead of spinning hotter and hotter.
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_secs(1);
 
 /// How long a stopping loop waits for dispatched/writing connections to
 /// finish before abandoning them. Idle connections close immediately, so
@@ -188,6 +195,7 @@ pub(crate) fn serve<'env>(
     stop: &'env AtomicBool,
     hub: &WakeHub,
     handler: &'env dyn Handler,
+    stats: &Arc<ServeStats>,
 ) -> io::Result<()> {
     listener.set_nonblocking(true)?;
     let loops = cfg.event_threads.max(1);
@@ -214,7 +222,14 @@ pub(crate) fn serve<'env>(
     let mut listener = Some(listener);
     for (index, reader) in readers.into_iter().enumerate() {
         let own_listener = if index == 0 { listener.take() } else { None };
-        event_loops.push(EventLoop::new(index, reader, own_listener, cfg, &peers)?);
+        event_loops.push(EventLoop::new(
+            index,
+            reader,
+            own_listener,
+            cfg,
+            &peers,
+            stats,
+        )?);
     }
 
     std::thread::scope(|ts| {
@@ -257,6 +272,10 @@ struct EventLoop<'p> {
     scratch: Vec<u8>,
     draining: bool,
     drain_deadline: Instant,
+    stats: Arc<ServeStats>,
+    /// Current accept back-off (exponential between [`ACCEPT_BACKOFF`]
+    /// and [`ACCEPT_BACKOFF_MAX`]; reset by a successful accept).
+    accept_backoff: Duration,
 }
 
 /// What a fired connection deadline calls for, decided under the slab
@@ -276,6 +295,7 @@ impl<'p> EventLoop<'p> {
         listener: Option<TcpListener>,
         cfg: &NetConfig,
         peers: &'p [Arc<LoopShared>],
+        stats: &Arc<ServeStats>,
     ) -> io::Result<EventLoop<'p>> {
         let mut poller = Poller::new()?;
         poller.register(wake.as_raw_fd(), WAKE, true, false)?;
@@ -299,6 +319,8 @@ impl<'p> EventLoop<'p> {
             scratch: vec![0u8; 16 << 10],
             draining: false,
             drain_deadline: now,
+            stats: Arc::clone(stats),
+            accept_backoff: ACCEPT_BACKOFF,
         })
     }
 
@@ -405,6 +427,7 @@ impl<'p> EventLoop<'p> {
             };
             match listener.accept() {
                 Ok((stream, _)) => {
+                    self.accept_backoff = ACCEPT_BACKOFF;
                     if stop.load(Ordering::SeqCst) {
                         continue; // accepted mid-shutdown: drop closes it
                     }
@@ -425,18 +448,29 @@ impl<'p> EventLoop<'p> {
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                // A connection that died in the backlog (ECONNABORTED /
+                // reset-before-accept) says nothing about *our* health;
+                // keep draining the queue.
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::ConnectionAborted | io::ErrorKind::ConnectionReset
+                    ) => {}
                 Err(_) => {
-                    // Likely fd exhaustion. Unhook the listener so
-                    // level-triggered readiness stops firing, and let
-                    // the timer wheel re-arm it once connections have
-                    // freed descriptors.
+                    // Likely fd exhaustion (EMFILE/ENFILE). Unhook the
+                    // listener so level-triggered readiness stops firing
+                    // — the alternative is a busy-spin at 100% CPU — and
+                    // let the timer wheel re-arm it once connections
+                    // have freed descriptors. Consecutive failures back
+                    // off exponentially up to [`ACCEPT_BACKOFF_MAX`].
                     if !self.listener_paused {
                         let fd = self.listener.as_ref().expect("checked above").as_raw_fd();
                         let _ = self.poller.deregister(fd);
                         self.listener_paused = true;
                     }
                     self.wheel
-                        .insert(Instant::now() + ACCEPT_BACKOFF, LISTENER, 0);
+                        .insert(Instant::now() + self.accept_backoff, LISTENER, 0);
+                    self.accept_backoff = (self.accept_backoff * 2).min(ACCEPT_BACKOFF_MAX);
                     return;
                 }
             }
@@ -590,7 +624,8 @@ impl<'p> EventLoop<'p> {
         {
             self.listener_paused = false;
         } else {
-            self.wheel.insert(now + ACCEPT_BACKOFF, LISTENER, 0);
+            self.wheel.insert(now + self.accept_backoff, LISTENER, 0);
+            self.accept_backoff = (self.accept_backoff * 2).min(ACCEPT_BACKOFF_MAX);
         }
     }
 
@@ -753,12 +788,38 @@ impl<'p> EventLoop<'p> {
                 });
             return;
         }
+        // Bounded admission for pool-bound work: past `max_inflight`
+        // concurrently admitted requests, shed with 503 + Retry-After
+        // instead of queueing without bound. The connection stays open
+        // (keep-alive) — the *request* is refused, not the client; a
+        // well-behaved client backs off and lands in the next window.
+        if !self.stats.try_admit() {
+            let mut response = Response::error(
+                503,
+                "server is at capacity (registration queue full); retry shortly",
+            )
+            .with_retry_after(SHED_RETRY_AFTER_SECS);
+            response.close = close;
+            self.shared()
+                .completions
+                .lock()
+                .expect("completions poisoned")
+                .push(Completion {
+                    token,
+                    generation,
+                    dispatch_gen,
+                    response,
+                });
+            return;
+        }
         let shared = Arc::clone(&self.peers[self.index]);
+        let stats = Arc::clone(&self.stats);
         // With a single-thread pool this runs inline, right here on the
         // event thread; the completion is applied in this same loop
         // iteration's `apply_completions` sweep.
         scope.spawn(move || {
             let mut response = handler.handle(&request);
+            stats.release();
             response.close = close;
             shared
                 .completions

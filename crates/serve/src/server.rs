@@ -5,7 +5,7 @@
 //!
 //! | Method | Path                                    | Purpose |
 //! |--------|-----------------------------------------|---------|
-//! | GET    | `/healthz`                              | liveness + project count |
+//! | GET    | `/healthz`                              | liveness + readiness (degraded state, in-flight depth, shed counts) |
 //! | GET    | `/projects`                             | sorted project listing |
 //! | POST   | `/projects`                             | register `{name, script[, testset]}` → estimate + budget |
 //! | GET    | `/projects/{name}`                      | status (era, budget, estimate, testset) |
@@ -59,11 +59,12 @@ use crate::registry::{
     PredictionsSubmission, TestsetSpec,
 };
 use crate::store::{entry_json, tribool_str, Registry, BOUNDS_CACHE_FILE, PLAN_CACHE_FILE};
+use crate::vfs::Vfs;
 use easeml_ci_core::{effort, AlarmReason, BoundsCache, CostModel, EstimateProvenance, PlanCache};
 use easeml_par::Pool;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -77,6 +78,17 @@ pub const DEFAULT_IDLE_TIMEOUT_MS: u64 = 30_000;
 /// (head + body). Requests may freely span packets and short stalls;
 /// only a genuinely stalled peer is cut off.
 pub const DEFAULT_REQUEST_TIMEOUT_MS: u64 = 2_000;
+
+/// Default for [`ServeConfig::degraded_after`]: consecutive durable-write
+/// failures on mutating routes before the server drops into read-only
+/// degraded mode. One failure can be a blip worth retrying against; a
+/// streak means the disk (or quota) is genuinely gone.
+pub const DEFAULT_DEGRADED_AFTER: u32 = 3;
+
+/// The `Retry-After` value (seconds) attached to admission-shed 503s.
+/// Pool-bound work is tens of milliseconds, so one second from now the
+/// queue that shed this request has almost certainly drained.
+pub const SHED_RETRY_AFTER_SECS: u32 = 1;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -99,6 +111,21 @@ pub struct ServeConfig {
     /// Budget in milliseconds from a request's first byte to its fully
     /// parsed form; a peer stalling longer mid-request gets a 400.
     pub request_timeout_ms: u64,
+    /// Cap on pool-bound requests admitted concurrently (registration,
+    /// cache persistence); one more is shed with `503` + `Retry-After`.
+    /// `0` sizes it automatically to twice the worker-pool width —
+    /// enough queue to keep every worker busy, shallow enough that
+    /// admitted requests never wait behind a long backlog.
+    pub max_inflight: usize,
+    /// Consecutive durable-write failures on mutating routes before the
+    /// server degrades to read-only (`0` disables degradation; failures
+    /// then surface only as per-request 500s).
+    pub degraded_after: u32,
+    /// Injected filesystem for the durability layer (`None` = the real
+    /// filesystem). With an injected VFS the [`BoundsCache`]/[`PlanCache`]
+    /// dumps are neither loaded nor saved — the core caches do their own
+    /// real-filesystem I/O, which an in-memory fault disk cannot host.
+    pub vfs: Option<Arc<dyn Vfs>>,
 }
 
 impl ServeConfig {
@@ -112,7 +139,80 @@ impl ServeConfig {
             event_threads: 1,
             idle_timeout_ms: DEFAULT_IDLE_TIMEOUT_MS,
             request_timeout_ms: DEFAULT_REQUEST_TIMEOUT_MS,
+            max_inflight: 0,
+            degraded_after: DEFAULT_DEGRADED_AFTER,
+            vfs: None,
         }
+    }
+}
+
+/// Liveness counters shared between the event core (admission control)
+/// and the routing layer (degraded-mode gating, `/healthz` reporting).
+#[derive(Debug)]
+pub(crate) struct ServeStats {
+    max_inflight: usize,
+    inflight: AtomicUsize,
+    shed_total: AtomicU64,
+    journal_failures_total: AtomicU64,
+    journal_failure_streak: AtomicU32,
+    degraded_after: u32,
+    read_only: AtomicBool,
+}
+
+impl ServeStats {
+    fn new(max_inflight: usize, degraded_after: u32) -> ServeStats {
+        ServeStats {
+            max_inflight,
+            inflight: AtomicUsize::new(0),
+            shed_total: AtomicU64::new(0),
+            journal_failures_total: AtomicU64::new(0),
+            journal_failure_streak: AtomicU32::new(0),
+            degraded_after,
+            read_only: AtomicBool::new(false),
+        }
+    }
+
+    /// Try to take an in-flight slot for a pool-bound request. `false`
+    /// means the request must be shed (the shed counter is bumped here).
+    pub(crate) fn try_admit(&self) -> bool {
+        let admitted = self
+            .inflight
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < self.max_inflight).then_some(n + 1)
+            })
+            .is_ok();
+        if !admitted {
+            self.shed_total.fetch_add(1, Ordering::SeqCst);
+        }
+        admitted
+    }
+
+    /// Return an admitted request's in-flight slot.
+    pub(crate) fn release(&self) {
+        self.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// A mutating route failed on durable I/O. A streak of
+    /// `degraded_after` trips read-only mode (sticky until restart: the
+    /// state that *caused* the streak — a full disk — does not heal by
+    /// itself, and flapping in and out of read-only would turn client
+    /// retries into a coin toss).
+    fn note_durable_failure(&self) {
+        self.journal_failures_total.fetch_add(1, Ordering::SeqCst);
+        let streak = self.journal_failure_streak.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.degraded_after > 0 && streak >= self.degraded_after {
+            self.read_only.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// A mutating route succeeded: the disk is writable, reset the streak.
+    fn note_durable_success(&self) {
+        self.journal_failure_streak.store(0, Ordering::SeqCst);
+    }
+
+    /// Whether the server has degraded to read-only.
+    pub(crate) fn read_only(&self) -> bool {
+        self.read_only.load(Ordering::SeqCst)
     }
 }
 
@@ -126,6 +226,10 @@ pub struct Server {
     data_dir: PathBuf,
     pool: Pool,
     net_cfg: NetConfig,
+    stats: Arc<ServeStats>,
+    /// Whether the core caches persist to the real filesystem (false
+    /// under an injected VFS — see [`ServeConfig::vfs`]).
+    persist_caches: bool,
 }
 
 /// Remote control for a running [`Server`] (clonable, thread-safe).
@@ -169,25 +273,41 @@ impl Server {
     ///
     /// Bind failures, I/O failures, and corrupt project state.
     pub fn bind(config: &ServeConfig) -> Result<Server, ServeError> {
-        std::fs::create_dir_all(&config.data_dir)?;
-        let cache_path = config.data_dir.join(BOUNDS_CACHE_FILE);
-        if cache_path.exists() {
-            if let Err(e) = BoundsCache::global().load_from(&cache_path) {
-                eprintln!("warning: ignoring bounds cache dump: {e}");
+        let registry = match &config.vfs {
+            None => {
+                std::fs::create_dir_all(&config.data_dir)?;
+                let cache_path = config.data_dir.join(BOUNDS_CACHE_FILE);
+                if cache_path.exists() {
+                    if let Err(e) = BoundsCache::global().load_from(&cache_path) {
+                        eprintln!("warning: ignoring bounds cache dump: {e}");
+                    }
+                }
+                let plan_path = config.data_dir.join(PLAN_CACHE_FILE);
+                if plan_path.exists() {
+                    if let Err(e) = PlanCache::global().load_from(&plan_path) {
+                        eprintln!("warning: ignoring plan cache dump: {e}");
+                    }
+                }
+                Registry::open(&config.data_dir, serving_estimator())?
             }
-        }
-        let plan_path = config.data_dir.join(PLAN_CACHE_FILE);
-        if plan_path.exists() {
-            if let Err(e) = PlanCache::global().load_from(&plan_path) {
-                eprintln!("warning: ignoring plan cache dump: {e}");
+            // An injected filesystem skips the cache dumps entirely: the
+            // core caches read and write the real filesystem themselves,
+            // which an in-memory fault disk cannot host, and they are
+            // pure performance artifacts anyway.
+            Some(vfs) => {
+                Registry::open_with(&config.data_dir, serving_estimator(), Arc::clone(vfs))?
             }
-        }
-        let registry = Registry::open(&config.data_dir, serving_estimator())?;
+        };
         let listener = TcpListener::bind(&config.addr)?;
         let pool = if config.threads == 0 {
             *Pool::global()
         } else {
             Pool::new(config.threads)
+        };
+        let max_inflight = if config.max_inflight == 0 {
+            pool.threads().max(1) * 2
+        } else {
+            config.max_inflight
         };
         Ok(Server {
             listener,
@@ -201,6 +321,8 @@ impl Server {
                 idle_timeout: Duration::from_millis(config.idle_timeout_ms.max(1)),
                 request_timeout: Duration::from_millis(config.request_timeout_ms.max(1)),
             },
+            stats: Arc::new(ServeStats::new(max_inflight, config.degraded_after)),
+            persist_caches: config.vfs.is_none(),
         })
     }
 
@@ -241,19 +363,27 @@ impl Server {
             data_dir,
             pool,
             net_cfg,
+            stats,
+            persist_caches,
         } = self;
         let ctx = Ctx {
             registry: Arc::clone(&registry),
             stop: Arc::clone(&stop),
             hub: Arc::clone(&hub),
             addr: listener.local_addr().expect("bound listener has addr"),
+            stats: Arc::clone(&stats),
+            persist_caches,
         };
         let handler = RouteHandler { ctx };
-        pool.scope(|scope| crate::net::serve(listener, &net_cfg, scope, &stop, &hub, &handler))?;
+        pool.scope(|scope| {
+            crate::net::serve(listener, &net_cfg, scope, &stop, &hub, &handler, &stats)
+        })?;
         // Durable shutdown: compact every project and persist the warm
         // caches for the next process.
         registry.snapshot_all()?;
-        save_caches(&data_dir)?;
+        if persist_caches {
+            save_caches(&data_dir)?;
+        }
         Ok(())
     }
 }
@@ -294,6 +424,8 @@ struct Ctx {
     stop: Arc<AtomicBool>,
     hub: Arc<WakeHub>,
     addr: SocketAddr,
+    stats: Arc<ServeStats>,
+    persist_caches: bool,
 }
 
 /// Routes requests for the event core and classifies them for its
@@ -327,19 +459,41 @@ impl crate::net::Handler for RouteHandler {
     }
 }
 
+/// Whether a route writes durable project state. These are the routes
+/// degraded mode refuses, and whose I/O failures feed the degradation
+/// streak. Admin routes stay reachable in read-only mode — shutdown must
+/// always work, and a persist attempt is how an operator probes whether
+/// the disk recovered.
+fn mutates_durable_state(method: &str, segments: &[&str]) -> bool {
+    method == "POST"
+        && matches!(
+            segments,
+            ["projects"]
+                | ["projects", _, "commits"]
+                | ["projects", _, "commits", "predictions"]
+                | ["projects", _, "testset"]
+        )
+}
+
 /// Dispatch one request.
 fn route(ctx: &Ctx, request: &Request) -> Response {
     let registry: &Registry = &ctx.registry;
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     let method = request.method.as_str();
+    let mutating = mutates_durable_state(method, &segments);
+    if mutating && ctx.stats.read_only() {
+        // Degraded: durable writes are persistently failing. Reads
+        // (history, budget, status) keep working below; writes would
+        // either fail anyway or — worse — ack state the disk cannot
+        // hold. No Retry-After: this is not a transient queue.
+        return Response::error(
+            503,
+            "service is read-only (degraded): durable writes are failing; \
+             reads remain available",
+        );
+    }
     let result = match (method, segments.as_slice()) {
-        ("GET", ["healthz"]) => Ok(Response::json(
-            200,
-            &Value::object([
-                ("status", Value::from("ok")),
-                ("projects", Value::from(registry.len())),
-            ]),
-        )),
+        ("GET", ["healthz"]) => Ok(healthz(ctx)),
         ("GET", ["projects"]) => Ok(list_projects(registry)),
         ("POST", ["projects"]) => register_project(registry, request),
         ("GET", ["projects", name]) => project_status(registry, name),
@@ -351,7 +505,7 @@ fn route(ctx: &Ctx, request: &Request) -> Response {
         ("GET", ["projects", name, "budget"]) => project_budget(registry, name),
         ("POST", ["projects", name, "testset"]) => fresh_testset(registry, name, request),
         ("GET", ["cache", "stats"]) => Ok(cache_stats()),
-        ("POST", ["admin", "persist"]) => persist_all(registry),
+        ("POST", ["admin", "persist"]) => persist_all(ctx),
         ("POST", ["admin", "shutdown"]) => {
             // The graceful-stop path reachable from plain HTTP (the CLI
             // binary has no other signal channel): flag the stop, wake
@@ -372,7 +526,49 @@ fn route(ctx: &Ctx, request: &Request) -> Response {
             request.path
         ))),
     };
+    if mutating {
+        // Degradation tracking: any I/O failure on a durable-write route
+        // is a journal/snapshot append that could not reach the disk.
+        // Gate rejections (4xx) say nothing about the disk either way.
+        match &result {
+            Ok(_) => ctx.stats.note_durable_success(),
+            Err(ServeError::Io(_)) => ctx.stats.note_durable_failure(),
+            Err(_) => {}
+        }
+    }
     result.unwrap_or_else(|e| Response::error(e.status(), &e.to_string()))
+}
+
+/// `/healthz`: liveness (the process answers) plus readiness (whether
+/// writes are being accepted) and the overload/degradation counters.
+fn healthz(ctx: &Ctx) -> Response {
+    let stats = &ctx.stats;
+    let read_only = stats.read_only();
+    Response::json(
+        200,
+        &Value::object([
+            (
+                "status",
+                Value::from(if read_only { "degraded" } else { "ok" }),
+            ),
+            ("ready", Value::from(!read_only)),
+            ("read_only", Value::from(read_only)),
+            ("projects", Value::from(ctx.registry.len())),
+            (
+                "inflight",
+                Value::from(stats.inflight.load(Ordering::SeqCst)),
+            ),
+            ("max_inflight", Value::from(stats.max_inflight)),
+            (
+                "shed_total",
+                Value::from(stats.shed_total.load(Ordering::SeqCst)),
+            ),
+            (
+                "journal_append_failures",
+                Value::from(stats.journal_failures_total.load(Ordering::SeqCst)),
+            ),
+        ]),
+    )
 }
 
 fn with_project<T>(
@@ -718,9 +914,15 @@ fn cache_stats() -> Response {
     )
 }
 
-fn persist_all(registry: &Registry) -> Result<Response, ServeError> {
-    registry.snapshot_all()?;
-    let (bounds_entries, plan_entries) = save_caches(registry.data_dir())?;
+fn persist_all(ctx: &Ctx) -> Result<Response, ServeError> {
+    ctx.registry.snapshot_all()?;
+    // Under an injected VFS the cache dumps are skipped (see
+    // `ServeConfig::vfs`); entry counts report 0 rather than lying.
+    let (bounds_entries, plan_entries) = if ctx.persist_caches {
+        save_caches(ctx.registry.data_dir())?
+    } else {
+        (0, 0)
+    };
     Ok(Response::json(
         200,
         &Value::object([

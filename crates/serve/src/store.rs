@@ -48,10 +48,9 @@ use crate::registry::{
     CommitSubmission, EvalCounts, GateReceipt, MeasuredTestset, PredictionsSubmission, Project,
     TestsetSpec,
 };
+use crate::vfs::{write_atomic, RealVfs, Vfs, VfsFile};
 use easeml_ci_core::{CommitEstimates, CommitHistory, HistoryEntry, SampleSizeEstimator, Tribool};
 use std::collections::HashMap;
-use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, RwLock};
 
@@ -88,17 +87,6 @@ fn tribool_parse(s: &str) -> Option<Tribool> {
     }
 }
 
-/// Atomic file write: temp sibling + rename.
-fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
-    let tmp = path.with_extension("tmp");
-    {
-        let mut file = File::create(&tmp)?;
-        file.write_all(bytes)?;
-        file.sync_all()?;
-    }
-    std::fs::rename(&tmp, path)
-}
-
 /// File name of the durable testset blob for one era.
 fn testset_blob_name(era: u32) -> String {
     format!("testset.{era}.json")
@@ -131,9 +119,10 @@ fn testset_blob_json(era: u32, spec: &TestsetSpec) -> Value {
 }
 
 /// Load and validate the testset blob of one era.
-fn read_testset_blob(dir: &Path, era: u32) -> Result<TestsetSpec, ServeError> {
+fn read_testset_blob(vfs: &dyn Vfs, dir: &Path, era: u32) -> Result<TestsetSpec, ServeError> {
     let path = dir.join(testset_blob_name(era));
-    let text = std::fs::read_to_string(&path)
+    let text = vfs
+        .read_to_string(&path)
         .map_err(|e| corrupt(&path, format!("missing testset blob: {e}")))?;
     let blob = Value::parse(&text).map_err(|e| corrupt(&path, e.to_string()))?;
     if blob.get("version").and_then(Value::as_u64) != Some(1) {
@@ -168,11 +157,15 @@ fn read_testset_blob(dir: &Path, era: u32) -> Result<TestsetSpec, ServeError> {
 }
 
 /// The persistence arm of one project: its directory, the open journal
-/// handle, and the op counter driving snapshot cadence.
+/// handle, and the op counter driving snapshot cadence. All file I/O
+/// goes through the injected [`Vfs`] (see [`crate::vfs`]), which is how
+/// the crash-consistency matrix drives scripted faults through the same
+/// code paths production runs.
 #[derive(Debug)]
 pub struct ProjectStore {
+    vfs: Arc<dyn Vfs>,
     dir: PathBuf,
-    journal: File,
+    journal: Box<dyn VfsFile>,
     ops_written: u64,
     /// Test seam: make the next append fail without touching the disk,
     /// so the rollback path is exercisable.
@@ -192,22 +185,31 @@ impl ProjectStore {
     /// directory: a crash between directory creation and the record
     /// write leaves an empty husk that a retry simply claims (and that
     /// [`Registry::open`] skips rather than refusing to boot over).
-    pub fn create(dir: &Path, project: &Project) -> Result<ProjectStore, ServeError> {
-        if dir.join("project.json").exists() {
+    pub fn create(
+        vfs: &Arc<dyn Vfs>,
+        dir: &Path,
+        project: &Project,
+    ) -> Result<ProjectStore, ServeError> {
+        if vfs.exists(&dir.join("project.json")) {
             return Err(ServeError::Conflict(format!(
                 "project `{}` already exists",
                 project.name()
             )));
         }
-        std::fs::create_dir_all(dir)?;
+        vfs.create_dir_all(dir)?;
         // Claiming a crash husk: drop any stray state files so the new
         // project starts from a genuinely empty journal.
-        let _ = std::fs::remove_file(dir.join("journal.log"));
-        let _ = std::fs::remove_file(dir.join("snapshot.json"));
-        if let Ok(entries) = std::fs::read_dir(dir) {
-            for entry in entries.flatten() {
-                if entry.file_name().to_string_lossy().starts_with("testset.") {
-                    let _ = std::fs::remove_file(entry.path());
+        if vfs.exists(&dir.join("journal.log")) {
+            let _ = vfs.remove_file(&dir.join("journal.log"));
+        }
+        if vfs.exists(&dir.join("snapshot.json")) {
+            let _ = vfs.remove_file(&dir.join("snapshot.json"));
+        }
+        if let Ok(entries) = vfs.list_dir(dir) {
+            for path in entries {
+                let name = path.file_name().map(|n| n.to_string_lossy().into_owned());
+                if name.is_some_and(|n| n.starts_with("testset.")) {
+                    let _ = vfs.remove_file(&path);
                 }
             }
         }
@@ -222,6 +224,7 @@ impl ProjectStore {
         if let Some(measured) = project.measured() {
             let spec = measured.spec();
             write_atomic(
+                vfs.as_ref(),
                 &dir.join(testset_blob_name(0)),
                 testset_blob_json(0, &spec).pretty().as_bytes(),
             )?;
@@ -238,12 +241,14 @@ impl ProjectStore {
             ));
         }
         let record = Value::object(fields);
-        write_atomic(&dir.join("project.json"), record.pretty().as_bytes())?;
-        let journal = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(dir.join("journal.log"))?;
+        write_atomic(
+            vfs.as_ref(),
+            &dir.join("project.json"),
+            record.pretty().as_bytes(),
+        )?;
+        let journal = vfs.open_append(&dir.join("journal.log"))?;
         Ok(ProjectStore {
+            vfs: Arc::clone(vfs),
             dir: dir.to_owned(),
             journal,
             ops_written: 0,
@@ -255,16 +260,25 @@ impl ProjectStore {
     /// Load a project directory: registration record, snapshot, journal
     /// suffix.
     ///
+    /// A *torn* final journal line — one missing its terminating newline
+    /// that also fails to parse/replay — is the signature of a power cut
+    /// mid-append. The op never completed, so it was never acked:
+    /// recovery truncates it away with a warning instead of bricking.
+    /// A newline-*terminated* line that fails validation is genuine
+    /// tamper (a complete append was acked) and stays a hard
+    /// [`ServeError::Corrupt`].
+    ///
     /// # Errors
     ///
     /// [`ServeError::Corrupt`] when any file fails validation, I/O
     /// errors otherwise.
     pub fn open(
+        vfs: &Arc<dyn Vfs>,
         dir: &Path,
         estimator: &SampleSizeEstimator,
     ) -> Result<(Project, ProjectStore), ServeError> {
         let record_path = dir.join("project.json");
-        let text = std::fs::read_to_string(&record_path)?;
+        let text = vfs.read_to_string(&record_path)?;
         let record = Value::parse(&text).map_err(|e| corrupt(&record_path, e.to_string()))?;
         let name = record
             .get("name")
@@ -284,7 +298,7 @@ impl ProjectStore {
                     .and_then(Value::as_str)
                     .and_then(parse_digest_hex)
                     .ok_or_else(|| corrupt(&record_path, "missing or bad testset `digest`"))?;
-                let spec = read_testset_blob(dir, 0)?;
+                let spec = read_testset_blob(vfs.as_ref(), dir, 0)?;
                 if spec.digest() != recorded {
                     return Err(corrupt(
                         &dir.join(testset_blob_name(0)),
@@ -300,19 +314,38 @@ impl ProjectStore {
         // Snapshot, if any: restore state and skip the journal prefix.
         let snapshot_path = dir.join("snapshot.json");
         let mut skip_ops: u64 = 0;
-        if snapshot_path.exists() {
-            let text = std::fs::read_to_string(&snapshot_path)?;
+        if vfs.exists(&snapshot_path) {
+            let text = vfs.read_to_string(&snapshot_path)?;
             let snap = Value::parse(&text).map_err(|e| corrupt(&snapshot_path, e.to_string()))?;
-            skip_ops = load_snapshot(dir, &snapshot_path, &snap, &mut project)?;
+            skip_ops = load_snapshot(vfs.as_ref(), dir, &snapshot_path, &snap, &mut project)?;
         }
 
         // Journal suffix: replay through the live gate.
         let journal_path = dir.join("journal.log");
         let mut ops: u64 = 0;
-        if journal_path.exists() {
-            let reader = BufReader::new(File::open(&journal_path)?);
-            for (index, line) in reader.lines().enumerate() {
-                let line = line?;
+        let mut truncate_to: Option<u64> = None;
+        if vfs.exists(&journal_path) {
+            let text = vfs.read_to_string(&journal_path)?;
+            let mut offset: u64 = 0;
+            for (index, piece) in text.split_inclusive('\n').enumerate() {
+                let start = offset;
+                offset += piece.len() as u64;
+                let line = match piece.strip_suffix('\n') {
+                    Some(line) => line,
+                    None => {
+                        // Unterminated final line: the append never
+                        // finished, so its response was never sent —
+                        // dropping it loses nothing a client was told.
+                        eprintln!(
+                            "warning: dropping torn final journal line of {} \
+                             ({} bytes past offset {start})",
+                            journal_path.display(),
+                            piece.len(),
+                        );
+                        truncate_to = Some(start);
+                        break;
+                    }
+                };
                 if line.is_empty() {
                     continue;
                 }
@@ -320,7 +353,14 @@ impl ProjectStore {
                 if ops <= skip_ops {
                     continue;
                 }
-                replay_op(dir, &journal_path, index + 1, &line, &mut project)?;
+                replay_op(
+                    vfs.as_ref(),
+                    dir,
+                    &journal_path,
+                    index + 1,
+                    line,
+                    &mut project,
+                )?;
             }
         }
         if ops < skip_ops {
@@ -329,13 +369,14 @@ impl ProjectStore {
                 format!("snapshot covers {skip_ops} ops but journal has only {ops}"),
             ));
         }
-        let journal = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&journal_path)?;
+        let journal = vfs.open_append(&journal_path)?;
+        if let Some(len) = truncate_to {
+            journal.set_len(len)?;
+        }
         Ok((
             project,
             ProjectStore {
+                vfs: Arc::clone(vfs),
                 dir: dir.to_owned(),
                 journal,
                 ops_written: ops,
@@ -437,6 +478,7 @@ impl ProjectStore {
     /// I/O failures.
     pub fn write_testset_blob(&self, era: u32, spec: &TestsetSpec) -> Result<(), ServeError> {
         write_atomic(
+            self.vfs.as_ref(),
             &self.dir.join(testset_blob_name(era)),
             testset_blob_json(era, spec).pretty().as_bytes(),
         )?;
@@ -457,12 +499,8 @@ impl ProjectStore {
         // half-written line would corrupt the op that lands after it.
         // Best-effort truncate back to the pre-write length on error;
         // the caller rolls the in-memory mutation back either way.
-        let offset = self.journal.metadata()?.len();
-        let written = self
-            .journal
-            .write_all(&line)
-            .and_then(|()| self.journal.flush());
-        if let Err(e) = written {
+        let offset = self.journal.len()?;
+        if let Err(e) = self.journal.write_all(&line) {
             let _ = self.journal.set_len(offset);
             return Err(e.into());
         }
@@ -544,7 +582,11 @@ impl ProjectStore {
         }
         fields.push(("history", Value::Array(history)));
         let snap = Value::object(fields);
-        write_atomic(&self.dir.join("snapshot.json"), snap.pretty().as_bytes())?;
+        write_atomic(
+            self.vfs.as_ref(),
+            &self.dir.join("snapshot.json"),
+            snap.pretty().as_bytes(),
+        )?;
         Ok(())
     }
 }
@@ -570,6 +612,7 @@ pub(crate) fn entry_json(e: &HistoryEntry) -> Value {
 /// Restore project state from a parsed snapshot; returns the journal
 /// watermark (ops already reflected in the snapshot).
 fn load_snapshot(
+    vfs: &dyn Vfs,
     dir: &Path,
     path: &Path,
     snap: &Value,
@@ -601,7 +644,7 @@ fn load_snapshot(
             .and_then(Value::as_str)
             .and_then(parse_digest_hex)
             .ok_or_else(|| corrupt(path, "missing or bad `testset_digest`"))?;
-        let spec = read_testset_blob(dir, era)?;
+        let spec = read_testset_blob(vfs, dir, era)?;
         if spec.digest() != recorded {
             return Err(corrupt(
                 &dir.join(testset_blob_name(era)),
@@ -712,6 +755,7 @@ fn load_snapshot(
 /// either (vectors, derived counts, outcome, or the blob itself)
 /// diverges and rejects the directory.
 fn replay_op(
+    vfs: &dyn Vfs,
     dir: &Path,
     path: &Path,
     line_no: usize,
@@ -805,7 +849,7 @@ fn replay_op(
                         .ok_or_else(|| bad("bad `testset_digest`".into()))?;
                     let era =
                         u32::try_from(recorded).map_err(|_| bad("era out of range".into()))?;
-                    let spec = read_testset_blob(dir, era)?;
+                    let spec = read_testset_blob(vfs, dir, era)?;
                     if spec.digest() != recorded_digest {
                         return Err(corrupt(
                             &dir.join(testset_blob_name(era)),
@@ -1012,6 +1056,7 @@ impl ProjectSlot {
 /// The process-wide project registry backed by a data directory.
 #[derive(Debug)]
 pub struct Registry {
+    vfs: Arc<dyn Vfs>,
     data_dir: PathBuf,
     projects_dir: PathBuf,
     estimator: SampleSizeEstimator,
@@ -1059,28 +1104,42 @@ impl Registry {
     ///
     /// I/O failures and corrupt project directories.
     pub fn open(data_dir: &Path, estimator: SampleSizeEstimator) -> Result<Registry, ServeError> {
+        Registry::open_with(data_dir, estimator, Arc::new(RealVfs))
+    }
+
+    /// [`Registry::open`] with an injected filesystem — the seam the
+    /// fault-injection harness and degraded-mode tests drive.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and corrupt project directories.
+    pub fn open_with(
+        data_dir: &Path,
+        estimator: SampleSizeEstimator,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<Registry, ServeError> {
         let projects_dir = data_dir.join("projects");
-        std::fs::create_dir_all(&projects_dir)?;
+        vfs.create_dir_all(&projects_dir)?;
         let mut projects = HashMap::new();
-        for entry in std::fs::read_dir(&projects_dir)? {
-            let entry = entry?;
-            if !entry.file_type()?.is_dir() {
+        for path in vfs.list_dir(&projects_dir)? {
+            if !vfs.is_dir(&path) {
                 continue;
             }
-            if !entry.path().join("project.json").exists() {
+            if !vfs.exists(&path.join("project.json")) {
                 eprintln!(
                     "warning: skipping {} (no project.json — incomplete registration)",
-                    entry.path().display()
+                    path.display()
                 );
                 continue;
             }
-            let (project, store) = ProjectStore::open(&entry.path(), &estimator)?;
+            let (project, store) = ProjectStore::open(&vfs, &path, &estimator)?;
             projects.insert(
                 project.name().to_owned(),
                 Arc::new(Mutex::new(ProjectSlot { project, store })),
             );
         }
         Ok(Registry {
+            vfs,
             data_dir: data_dir.to_owned(),
             projects_dir,
             estimator,
@@ -1093,6 +1152,12 @@ impl Registry {
     #[must_use]
     pub fn data_dir(&self) -> &Path {
         &self.data_dir
+    }
+
+    /// The filesystem facade this registry persists through.
+    #[must_use]
+    pub fn vfs(&self) -> &Arc<dyn Vfs> {
+        &self.vfs
     }
 
     /// Register a new project and create its durable state.
@@ -1137,7 +1202,7 @@ impl Registry {
         if let Some(existing) = existing {
             return existing_or_conflict(&existing, name, script_text, testset_digest);
         }
-        let result = ProjectStore::create(&self.projects_dir.join(name), &project);
+        let result = ProjectStore::create(&self.vfs, &self.projects_dir.join(name), &project);
         let out = match result {
             Ok(store) => {
                 let slot = Arc::new(Mutex::new(ProjectSlot { project, store }));

@@ -1,0 +1,101 @@
+//! Accept-path hardening under fd exhaustion.
+//!
+//! This test lives in its own binary on purpose: it exhausts the
+//! *process* file-descriptor table (the server runs in-process, so its
+//! `accept` then fails with `EMFILE`), which would break any test
+//! sharing the process. The contract under test: an accept failure
+//! must not spin or kill the event loop — the listener is deregistered
+//! and re-armed on an exponential backoff, already-accepted connections
+//! keep being served, and once descriptors free up the queued
+//! connection is accepted and answered.
+
+use easeml_serve::json::Value;
+use easeml_serve::server::{ServeConfig, Server};
+use easeml_serve::Client;
+use std::fs::File;
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+#[test]
+fn fd_exhaustion_backs_off_and_recovers() {
+    let dir = std::env::temp_dir()
+        .join("easeml-serve-accept-faults")
+        .join(std::process::id().to_string());
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ServeConfig {
+        threads: 2,
+        ..ServeConfig::new("127.0.0.1:0", &dir)
+    };
+    let server = Server::bind(&config).expect("bind");
+    let addr = server.local_addr().to_string();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("server run"));
+
+    // An established keep-alive connection from before the famine: it
+    // must keep working throughout (accept failures are the listener's
+    // problem, not the event loop's).
+    let mut veteran = Client::new(addr.clone());
+    let (status, _) = veteran.request("GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+
+    // Exhaust the process fd table, then hand exactly one descriptor
+    // back — enough for a client socket, not enough for the server to
+    // accept it.
+    let mut hoard = Vec::new();
+    loop {
+        match File::open("/dev/null") {
+            Ok(f) => hoard.push(f),
+            Err(_) => break,
+        }
+        assert!(hoard.len() < 2_000_000, "fd limit too high to exhaust");
+    }
+    hoard.pop();
+
+    let mut starved = TcpStream::connect(&addr).expect("connect (kernel backlog)");
+    starved
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .expect("timeout");
+    starved
+        .write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n")
+        .expect("write");
+
+    // While starved: the server must stay alive and keep serving the
+    // veteran connection (several round trips, spanning multiple accept
+    // backoff periods), and must NOT have answered the unaccepted one.
+    for _ in 0..5 {
+        std::thread::sleep(Duration::from_millis(60));
+        let (status, health) = veteran.request("GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(health.get("status").and_then(Value::as_str), Some("ok"));
+    }
+
+    // Relief: descriptors return; the re-armed listener must accept the
+    // queued connection and answer the request it already carries.
+    drop(hoard);
+    let start = Instant::now();
+    let mut text = String::new();
+    starved.read_to_string(&mut text).expect("starved response");
+    assert!(
+        text.starts_with("HTTP/1.1 200"),
+        "queued connection should be served after recovery: {text:?}"
+    );
+    // Re-arm is backoff-paced (20ms doubling, capped at 1s): recovery
+    // must arrive within a couple of backoff periods, not minutes.
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "recovery took {:?}",
+        start.elapsed()
+    );
+
+    // Fresh connections work again.
+    let mut fresh = Client::new(addr);
+    let (status, _) = fresh.request("GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+
+    drop(veteran);
+    drop(fresh);
+    handle.stop();
+    join.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

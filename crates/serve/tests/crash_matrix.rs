@@ -1,0 +1,91 @@
+//! Crash-consistency matrix: the full kill-point enumeration, plus the
+//! pool-width determinism property of the fault-plan address space.
+
+use easeml_par::Pool;
+use easeml_serve::fault::{journal_bytes_after_run, run_matrix, MatrixOptions};
+use easeml_serve::vfs::{Fault, FaultKind, FaultPlan};
+
+/// Every (operation, fault) cell of the full matrix holds the
+/// durability contract: reboot never bricks, no acked commit is lost
+/// past its durability class, no un-acked commit appears, survivor
+/// journals stay byte-faithful to the baseline. Runs on the global
+/// pool, so `EASEML_THREADS` (the CI matrix axis) varies the schedule's
+/// thread interleaving.
+#[test]
+fn full_matrix_holds_durability_contract() {
+    let report = run_matrix(&MatrixOptions {
+        quick: false,
+        seed: 7,
+    });
+    assert!(
+        report.ops_enumerated > 40,
+        "baseline oplog suspiciously small: {} ops",
+        report.ops_enumerated
+    );
+    assert!(
+        report.cases.len() > 100,
+        "matrix suspiciously small: {} cases",
+        report.cases.len()
+    );
+    let failures = report.failures();
+    assert!(
+        failures.is_empty(),
+        "{} of {} matrix cells failed; first: {}/{} {} {} — {}",
+        failures.len(),
+        report.cases.len(),
+        failures[0].scope,
+        failures[0].index,
+        failures[0].op,
+        failures[0].fault,
+        failures[0].failure.as_deref().unwrap_or_default()
+    );
+    // The schedule must actually exercise commits: both the acked count
+    // and at least one surviving history should be non-trivial.
+    assert!(report.cases.iter().any(|c| c.acked_commits >= 8));
+    assert!(report.cases.iter().any(|c| c.surviving_commits >= 8));
+}
+
+/// Fault-plan determinism: the same seed and plan produce byte-identical
+/// per-project journals at pool widths 1 and 4. Per-project action
+/// streams are single pool tasks, so per-scope operation order — and
+/// with it every fault address and journal byte — cannot depend on
+/// cross-project interleaving. Non-halting faults only: a halt freezes
+/// the *other* project at a thread-timing-dependent point by design.
+#[test]
+fn journal_bytes_identical_across_pool_widths() {
+    for seed in [0u64, 7, 0xDEAD_BEEF] {
+        let plan = FaultPlan::new()
+            .at("alpha", 9, Fault::Fail(FaultKind::Enospc))
+            .at("alpha", 17, Fault::Fail(FaultKind::Eio))
+            .at("beta", 12, Fault::Fail(FaultKind::Enospc))
+            .at("beta", 21, Fault::Fail(FaultKind::Eio))
+            .at("", 2, Fault::Fail(FaultKind::Eio));
+        let narrow = journal_bytes_after_run(&Pool::new(1), seed, plan.clone());
+        let wide = journal_bytes_after_run(&Pool::new(4), seed, plan);
+        assert_eq!(
+            narrow.keys().collect::<Vec<_>>(),
+            wide.keys().collect::<Vec<_>>(),
+            "seed {seed}: project sets differ across pool widths"
+        );
+        for (project, bytes) in &narrow {
+            assert!(
+                !bytes.is_empty(),
+                "seed {seed}: project {project} wrote no journal (schedule did not run?)"
+            );
+            assert_eq!(
+                Some(bytes),
+                wide.get(project),
+                "seed {seed}: journal bytes for {project} differ between 1 and 4 threads"
+            );
+        }
+    }
+}
+
+/// A fault-free run at two widths is also byte-identical (the plan
+/// machinery itself must not perturb the schedule).
+#[test]
+fn fault_free_run_identical_across_pool_widths() {
+    let narrow = journal_bytes_after_run(&Pool::new(1), 42, FaultPlan::new());
+    let wide = journal_bytes_after_run(&Pool::new(4), 42, FaultPlan::new());
+    assert_eq!(narrow, wide);
+}

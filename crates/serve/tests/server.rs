@@ -1484,3 +1484,275 @@ fn slow_reader_stalls_only_itself_and_loses_no_bytes() {
     handle.stop();
     join.join().unwrap();
 }
+
+// ---------------------------------------------------------------------
+// Robustness: liveness/readiness, degraded mode, overload shedding
+// ---------------------------------------------------------------------
+
+/// A registration request that is genuinely *heavy* on the pool thread:
+/// a predictions-mode project with a large server-side testset, so the
+/// handler decodes, validates, digests, and journals ~a megabyte per
+/// request. The admission gate exists to protect exactly this class of
+/// work.
+const HEAVY_TESTSET: usize = 400_000;
+
+fn heavy_register_body(name: &str) -> Value {
+    predictions_register_body(name, DIFF_SCRIPT, HEAVY_TESTSET, "lazy")
+}
+
+/// One raw HTTP round trip with `connection: close`, returning the
+/// status and the full response text (the `Client` hides headers; the
+/// shed test must see `retry-after`).
+fn raw_round_trip(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .expect("timeout");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nhost: test\r\nconnection: close\r\n\
+         content-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("write");
+    let mut text = String::new();
+    stream.read_to_string(&mut text).expect("read");
+    let status = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    (status, text)
+}
+
+/// `/healthz` readiness plus the degraded-mode contract, driven over
+/// real HTTP against a server running on an injected fault filesystem:
+/// persistent journal-append failure trips sticky read-only mode that
+/// sheds writes with 503 (no `Retry-After` — the condition is not
+/// transient) while reads and `/healthz` keep answering.
+#[test]
+fn persistent_journal_failure_degrades_to_read_only_over_http() {
+    use easeml_serve::vfs::{FaultPlan, FaultVfs, Vfs};
+    use std::sync::Arc;
+
+    let fvfs = FaultVfs::new(std::path::Path::new("/degraded-http"), FaultPlan::new());
+    let vfs: Arc<dyn Vfs> = Arc::new(fvfs.clone());
+    let (addr, _handle, join) = start_with(ServeConfig {
+        threads: 2,
+        vfs: Some(vfs),
+        ..ServeConfig::new("127.0.0.1:0", "/degraded-http")
+    });
+    let mut client = Client::with_policy(addr.clone(), easeml_serve::RetryPolicy::none());
+
+    // Healthy liveness+readiness report.
+    let (status, health) = client.request("GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(health.get("status").and_then(Value::as_str), Some("ok"));
+    assert_eq!(health.get("ready").and_then(Value::as_bool), Some(true));
+    assert_eq!(
+        health.get("read_only").and_then(Value::as_bool),
+        Some(false)
+    );
+    assert_eq!(health.get("shed_total").and_then(Value::as_u64), Some(0));
+    assert!(health.get("max_inflight").and_then(Value::as_u64).unwrap() >= 1);
+
+    let (status, _) = client
+        .request("POST", "/projects", Some(&register_body("delta", SCRIPT)))
+        .unwrap();
+    assert_eq!(status, 201);
+    let (status, _) = client
+        .request(
+            "POST",
+            "/projects/delta/commits",
+            Some(&commit_body("c1", 90)),
+        )
+        .unwrap();
+    assert_eq!(status, 200);
+
+    // The disk turns hostile: every write now fails (EIO).
+    fvfs.set_deny_writes(true);
+    for id in ["c2", "c3", "c4"] {
+        let (status, body) = client
+            .request(
+                "POST",
+                "/projects/delta/commits",
+                Some(&commit_body(id, 80)),
+            )
+            .unwrap();
+        assert_eq!(status, 500, "journal failure must fail the request: {body}");
+    }
+
+    // Three consecutive durable failures: the write path is now shed...
+    let (status, body) = client
+        .request(
+            "POST",
+            "/projects/delta/commits",
+            Some(&commit_body("c5", 80)),
+        )
+        .unwrap();
+    assert_eq!(status, 503, "{body}");
+    assert!(
+        body.get("error")
+            .and_then(Value::as_str)
+            .unwrap_or_default()
+            .contains("read-only"),
+        "degraded 503 should say read-only: {body}"
+    );
+    // ...with no Retry-After: a dying disk is not a transient queue.
+    let (status, text) = raw_round_trip(
+        &addr,
+        "POST",
+        "/projects/delta/commits",
+        &commit_body("c6", 80).encode(),
+    );
+    assert_eq!(status, 503);
+    assert!(
+        !text.to_ascii_lowercase().contains("retry-after"),
+        "degraded shed must not advertise a retry window: {text}"
+    );
+
+    // Reads keep working: history still serves the one durable commit.
+    let (status, history) = client
+        .request("GET", "/projects/delta/history", None)
+        .unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        history
+            .get("entries")
+            .and_then(Value::as_array)
+            .map(<[Value]>::len),
+        Some(1),
+        "{history}"
+    );
+
+    // /healthz reports the degradation (liveness stays 200 so probes
+    // can distinguish sick from dead).
+    let (status, health) = client.request("GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        health.get("status").and_then(Value::as_str),
+        Some("degraded")
+    );
+    assert_eq!(health.get("ready").and_then(Value::as_bool), Some(false));
+    assert!(
+        health
+            .get("journal_append_failures")
+            .and_then(Value::as_u64)
+            .unwrap()
+            >= 3
+    );
+
+    // Sticky: the disk recovering does not silently resume writes (an
+    // operator restarts after investigating).
+    fvfs.set_deny_writes(false);
+    let (status, _) = client
+        .request(
+            "POST",
+            "/projects/delta/commits",
+            Some(&commit_body("c7", 80)),
+        )
+        .unwrap();
+    assert_eq!(status, 503, "read-only mode must be sticky");
+
+    let (status, _) = client.request("POST", "/admin/shutdown", None).unwrap();
+    assert_eq!(status, 200);
+    drop(client);
+    join.join().unwrap();
+}
+
+/// Overload shedding and client backoff: with one admission slot, a
+/// burst of cold registrations gets 503 + `retry-after: 1` for the
+/// overflow, and retrying clients all converge to success.
+#[test]
+fn overload_sheds_with_retry_after_and_backoff_clients_converge() {
+    use std::sync::{Arc, Barrier};
+
+    let dir = temp_dir("shed");
+    // threads: 2 so pool spawns are genuinely asynchronous (a width-1
+    // pool runs spawns inline on the event thread, releasing the
+    // admission slot before the next dispatch could ever contend).
+    let (addr, _handle, join) = start_with(ServeConfig {
+        threads: 2,
+        max_inflight: 1,
+        ..ServeConfig::new("127.0.0.1:0", &dir)
+    });
+
+    // Phase 1: six simultaneous cold registrations into one slot.
+    let barrier = Arc::new(Barrier::new(6));
+    let outcomes: Vec<(u16, String)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..6u64)
+            .map(|i| {
+                let addr = addr.clone();
+                let barrier = Arc::clone(&barrier);
+                s.spawn(move || {
+                    let body = heavy_register_body(&format!("flood-{i}"));
+                    barrier.wait();
+                    raw_round_trip(&addr, "POST", "/projects", &body.encode())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let created = outcomes.iter().filter(|(s, _)| *s == 201).count();
+    let shed = outcomes.iter().filter(|(s, _)| *s == 503).count();
+    assert!(created >= 1, "someone must win the slot: {outcomes:?}");
+    assert!(
+        shed >= 1,
+        "a six-deep burst into one slot must shed: {outcomes:?}"
+    );
+    for (status, text) in &outcomes {
+        if *status == 503 {
+            assert!(
+                text.contains("retry-after: 1\r\n"),
+                "shed response must carry Retry-After: {text}"
+            );
+        }
+    }
+
+    // Phase 2: the same burst shape, but through retrying clients —
+    // every one must converge to 201 without manual pacing.
+    let barrier = Arc::new(Barrier::new(4));
+    let results: Vec<(u16, u64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4u64)
+            .map(|i| {
+                let addr = addr.clone();
+                let barrier = Arc::clone(&barrier);
+                s.spawn(move || {
+                    let policy = easeml_serve::RetryPolicy {
+                        attempts: 8,
+                        seed: 0x5eed_0000 + i,
+                        ..easeml_serve::RetryPolicy::default()
+                    };
+                    let mut client = Client::with_policy(addr, policy);
+                    let body = heavy_register_body(&format!("conv-{i}"));
+                    barrier.wait();
+                    let (status, _) = client.request("POST", "/projects", Some(&body)).unwrap();
+                    (status, client.retries())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (status, _) in &results {
+        assert_eq!(
+            *status, 201,
+            "backoff client failed to converge: {results:?}"
+        );
+    }
+    let total_retries: u64 = results.iter().map(|(_, r)| r).sum();
+    assert!(
+        total_retries >= 1,
+        "four simultaneous cold registrations into one slot should retry at least once"
+    );
+
+    // The shed counter made it into /healthz.
+    let mut client = Client::new(addr);
+    let (status, health) = client.request("GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(health.get("shed_total").and_then(Value::as_u64).unwrap() >= shed as u64);
+
+    let (status, _) = client.request("POST", "/admin/shutdown", None).unwrap();
+    assert_eq!(status, 200);
+    drop(client);
+    join.join().unwrap();
+}
