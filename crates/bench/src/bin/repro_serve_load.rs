@@ -21,14 +21,25 @@
 //! latency ratio against the counts-gate p50 (same 1 k-sample scale) and
 //! the total label spend of the lazy oracle.
 //!
+//! Before the main server stops, the harness scrapes `GET /metrics`,
+//! dumps the raw exposition to `results/METRICS_serve.txt` (the CI
+//! bench-smoke artifact), and reconstructs the per-stage latency
+//! histograms from their cumulative buckets into a `stage_breakdown`
+//! section — p50/p99 per pipeline stage (parse, queue, gate, measure,
+//! journal_append, …) as the server itself measured them.
+//!
 //! Usage: `cargo run --release --bin repro_serve_load [--quick] [--threads N]`
 
 use easeml_bench::{format_sig, init_threads_from_args, results_dir, Table};
 use easeml_par::splitmix64;
 use easeml_serve::json::Value;
+use easeml_serve::obs::expo::Exposition;
+use easeml_serve::obs::hist::{fmt_seconds, Edges, HistogramSnapshot, Unit};
+use easeml_serve::obs::trace::STAGES;
 use easeml_serve::server::{ServeConfig, Server};
 use easeml_serve::Client;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Per-client CI script. The step budget varies by client so every
@@ -81,6 +92,110 @@ fn percentiles_json(p: &Percentiles) -> Value {
         ("max_us", Value::from(p.max_us)),
     ])
 }
+
+/// Fetch the raw text body of `GET /metrics` over one throwaway
+/// connection (the JSON [`Client`] can't carry a text exposition).
+fn scrape_metrics(addr: &str) -> String {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect for scrape");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(60)))
+        .expect("timeout");
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nhost: bench\r\nconnection: close\r\n\r\n")
+        .expect("write scrape");
+    let mut text = String::new();
+    stream.read_to_string(&mut text).expect("read scrape");
+    let status: u16 = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("scrape status line");
+    assert_eq!(status, 200, "GET /metrics must succeed");
+    let body_at = text.find("\r\n\r\n").expect("header/body split") + 4;
+    text[body_at..].to_string()
+}
+
+/// Per-stage latency reconstructed from the scrape.
+struct StageQuantiles {
+    stage: &'static str,
+    count: u64,
+    p50_us: f64,
+    p99_us: f64,
+    total_ms: f64,
+}
+
+/// Rebuild each stage's [`HistogramSnapshot`] from the cumulative
+/// `easeml_request_stage_seconds_bucket` ladder in a parsed scrape and
+/// read p50/p99 off it. Stages that never recorded are skipped.
+fn stage_breakdown(expo: &Exposition) -> Vec<StageQuantiles> {
+    let edges = Edges::time();
+    let bounds = edges.bounds();
+    let mut out = Vec::new();
+    for stage in STAGES {
+        let name = stage.name();
+        let Some(count) = expo.value("easeml_request_stage_seconds_count", &[("stage", name)])
+        else {
+            continue;
+        };
+        if count == 0.0 {
+            continue;
+        }
+        let sum_s = expo
+            .value("easeml_request_stage_seconds_sum", &[("stage", name)])
+            .expect("stage _sum next to _count");
+        // Un-accumulate the le ladder back into per-bucket counts.
+        let mut counts = Vec::with_capacity(bounds.len() + 1);
+        let mut prev = 0.0;
+        for &edge in bounds {
+            let le = fmt_seconds(edge);
+            let cum = expo
+                .value(
+                    "easeml_request_stage_seconds_bucket",
+                    &[("stage", name), ("le", le.as_str())],
+                )
+                .unwrap_or_else(|| panic!("bucket le={le} for stage {name}"));
+            counts.push((cum - prev).round() as u64);
+            prev = cum;
+        }
+        let inf = expo
+            .value(
+                "easeml_request_stage_seconds_bucket",
+                &[("stage", name), ("le", "+Inf")],
+            )
+            .unwrap_or_else(|| panic!("+Inf bucket for stage {name}"));
+        counts.push((inf - prev).round() as u64);
+        let snap = HistogramSnapshot {
+            edges: Arc::from(bounds),
+            unit: Unit::Nanos,
+            counts,
+            sum: (sum_s * 1e9).round() as u64,
+            count: count as u64,
+        };
+        out.push(StageQuantiles {
+            stage: name,
+            count: snap.count,
+            p50_us: snap.quantile(0.50).expect("non-empty stage") / 1e3,
+            p99_us: snap.quantile(0.99).expect("non-empty stage") / 1e3,
+            total_ms: sum_s * 1e3,
+        });
+    }
+    out
+}
+
+/// Counters the scrape must show as non-zero after the load phases —
+/// the CI bench-smoke contract (it greps the dumped artifact for the
+/// same names).
+const CURATED_NONZERO: [(&str, &[(&str, &str)]); 8] = [
+    ("easeml_requests_total", &[("route", "commit")]),
+    ("easeml_requests_total", &[("route", "commit_predictions")]),
+    ("easeml_requests_total", &[("route", "register")]),
+    ("easeml_responses_total", &[("class", "2xx")]),
+    ("easeml_journal_appends_total", &[]),
+    ("easeml_journal_bytes_total", &[]),
+    ("easeml_connections_accepted_total", &[]),
+    ("easeml_loop_polls_total", &[]),
+];
 
 /// One client's lifecycle; returns (cold_register_ns, warm_register_ns,
 /// commit_ns[], read_ns[]).
@@ -345,6 +460,38 @@ fn main() {
         + clients as usize // predictions registrations
         + pred_commit_ns.len();
 
+    // Scrape the live server's /metrics before it stops: the raw text
+    // is the CI artifact, the parsed stage histograms become the
+    // stage_breakdown section.
+    let scrape = scrape_metrics(&addr);
+    let metrics_path = results_dir().join("METRICS_serve.txt");
+    std::fs::write(&metrics_path, &scrape).expect("write METRICS_serve.txt");
+    println!(
+        "[metrics] wrote {} ({} bytes)",
+        metrics_path.display(),
+        scrape.len()
+    );
+    let expo = easeml_serve::obs::expo::parse(&scrape).expect("parse /metrics scrape");
+    assert!(
+        expo.series_count() >= 25,
+        "scrape must carry the full catalog (got {} series)",
+        expo.series_count()
+    );
+    for (name, labels) in CURATED_NONZERO {
+        let value = expo.value(name, labels);
+        assert!(
+            value.is_some_and(|v| v > 0.0),
+            "curated counter {name}{labels:?} must be non-zero after load (got {value:?})"
+        );
+    }
+    let stages = stage_breakdown(&expo);
+    assert!(
+        ["gate", "journal_append", "handler", "response_write"]
+            .iter()
+            .all(|s| stages.iter().any(|q| q.stage == *s)),
+        "core pipeline stages must have recorded samples"
+    );
+
     // Graceful stop flushes snapshots + the bounds cache.
     handle.stop();
     server_thread.join().expect("server thread");
@@ -515,6 +662,21 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
+
+    // Server-side view of the same load: where request time actually
+    // went, stage by stage, from the scrape's histograms.
+    let mut stage_table = Table::new(["stage", "count", "p50_us", "p99_us", "total_ms"]);
+    for q in &stages {
+        stage_table.push_row([
+            q.stage.to_string(),
+            q.count.to_string(),
+            format_sig(q.p50_us),
+            format_sig(q.p99_us),
+            format_sig(q.total_ms),
+        ]);
+    }
+    println!("{}", stage_table.render());
+
     println!(
         "wall {:.0} ms | {:.0} req/s | warm restart (journal replay + cache load) {:.1} ms",
         wall_ms, rps, restart_ms
@@ -578,6 +740,33 @@ fn main() {
                 ("counts_gate_p50_us", Value::from(commit.p50_us)),
                 ("p50_ratio_vs_counts", Value::from(pred_ratio)),
                 ("labels_spent_total", Value::from(pred_labels_total)),
+            ]),
+        ),
+        // Server-measured per-stage latency, reconstructed from the
+        // /metrics scrape's cumulative stage histograms. The raw scrape
+        // itself is dumped to results/METRICS_serve.txt.
+        (
+            "stage_breakdown",
+            Value::object([
+                ("source", Value::from("/metrics scrape before shutdown")),
+                ("series_count", Value::from(expo.series_count())),
+                (
+                    "stages",
+                    Value::Array(
+                        stages
+                            .iter()
+                            .map(|q| {
+                                Value::object([
+                                    ("stage", Value::from(q.stage)),
+                                    ("count", Value::from(q.count)),
+                                    ("p50_us", Value::from(q.p50_us)),
+                                    ("p99_us", Value::from(q.p99_us)),
+                                    ("total_ms", Value::from(q.total_ms)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
             ]),
         ),
         // Registration cold-vs-warm as its own section: `cold` runs the

@@ -77,7 +77,7 @@ fn print_usage() {
          \x20 easeml-ci [--threads N] serve [--addr HOST:PORT] [--data-dir DIR]\n\
          \x20                                [--event-threads N] [--idle-timeout-ms MS]\n\
          \x20                                [--request-timeout-ms MS] [--max-inflight N]\n\
-         \x20                                [--degraded-after N]\n\
+         \x20                                [--degraded-after N] [--slow-request-ms MS]\n\
          \n\
          OPTIONS:\n\
          \x20 --threads N   worker threads for the parallel execution layer\n\
@@ -100,6 +100,9 @@ fn print_usage() {
          \x20 --degraded-after N      consecutive durable-write failures before the\n\
          \x20                         server degrades to read-only; 0 disables\n\
          \x20                         (default 3)\n\
+         \x20 --slow-request-ms MS    slow-log a request (stderr line + GET /admin/trace\n\
+         \x20                         ring entry) when its traced end-to-end time\n\
+         \x20                         exceeds MS; 0 traces everything (default 250)\n\
          \n\
          Stop the service gracefully with `POST /admin/shutdown` (flushes\n\
          snapshots + the bounds cache). A hard kill loses only cache\n\
@@ -289,6 +292,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 config.degraded_after = value
                     .parse::<u32>()
                     .map_err(|_| format!("--degraded-after expects a number, got `{value}`"))?;
+            }
+            "--slow-request-ms" => {
+                let value = next_value(args, &mut i)?;
+                config.slow_request_ms = value
+                    .parse::<u64>()
+                    .map_err(|_| format!("--slow-request-ms expects a number, got `{value}`"))?;
             }
             other => return Err(format!("unknown option `{other}`")),
         }

@@ -258,6 +258,10 @@ pub struct Response {
     pub close: bool,
     /// `Retry-After` header value in seconds (overload shedding).
     pub retry_after: Option<u32>,
+    /// Per-request stage trace, attached by the route handler and
+    /// consumed by the event loop when the response finishes writing
+    /// (slow-log + trace ring). Never serialized to the wire.
+    pub trace: Option<Box<crate::obs::trace::TraceRec>>,
 }
 
 impl Response {
@@ -270,6 +274,20 @@ impl Response {
             content_type: "application/json",
             close: false,
             retry_after: None,
+            trace: None,
+        }
+    }
+
+    /// A plain-text response (the `/metrics` exposition).
+    #[must_use]
+    pub fn text(status: u16, body: String) -> Response {
+        Response {
+            status,
+            body: body.into_bytes(),
+            content_type: "text/plain; charset=utf-8",
+            close: false,
+            retry_after: None,
+            trace: None,
         }
     }
 
@@ -277,6 +295,21 @@ impl Response {
     #[must_use]
     pub fn error(status: u16, message: &str) -> Response {
         Response::json(status, &Value::object([("error", Value::from(message))]))
+    }
+
+    /// A JSON error payload with a stable machine-readable reason code:
+    /// `{"error": message, "reason": reason}`. Used by the 503s
+    /// (overload shed, degraded read-only mode) so clients can branch
+    /// on `reason` instead of parsing prose.
+    #[must_use]
+    pub fn error_with_reason(status: u16, reason: &str, message: &str) -> Response {
+        Response::json(
+            status,
+            &Value::object([
+                ("error", Value::from(message)),
+                ("reason", Value::from(reason)),
+            ]),
+        )
     }
 
     /// Attach a `Retry-After` hint (seconds).

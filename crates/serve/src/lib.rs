@@ -21,6 +21,9 @@
 //!   stored vectors);
 //! * [`server`] — routing, connection handling, warm-start/shutdown of
 //!   the persisted [`easeml_ci_core::BoundsCache`];
+//! * [`obs`] — always-on observability: sharded metrics registry with
+//!   `GET /metrics` text exposition, and per-request stage tracing with
+//!   a slow-request ring at `GET /admin/trace`;
 //! * [`http`] — minimal HTTP/1.1 parsing/writing plus a small blocking
 //!   client for tests and load generation;
 //! * [`json`] — hand-rolled JSON (the workspace is offline), shared with
@@ -44,6 +47,7 @@ pub mod fault;
 pub mod http;
 pub mod json;
 mod net;
+pub mod obs;
 pub mod registry;
 pub mod server;
 pub mod store;

@@ -81,6 +81,15 @@ pub(crate) struct Conn {
     /// Cached poller interest, to skip redundant `epoll_ctl`s.
     pub want_read: bool,
     pub want_write: bool,
+    /// When the first byte of the in-progress request arrived (feeds the
+    /// parse stage); taken at dispatch.
+    pub request_recv: Option<Instant>,
+    /// When the in-flight response was queued (feeds the response-write
+    /// stage); taken when the last byte is written.
+    pub write_start: Option<Instant>,
+    /// Stage trace of the in-flight response, finalized when the write
+    /// completes (slow-log + trace ring).
+    pub trace: Option<Box<crate::obs::trace::TraceRec>>,
 }
 
 impl Conn {
@@ -97,6 +106,9 @@ impl Conn {
             armed: None,
             want_read: true,
             want_write: false,
+            request_recv: None,
+            write_start: None,
+            trace: None,
         }
     }
 
@@ -251,6 +263,7 @@ mod tests {
             content_type: "text/plain",
             close: false,
             retry_after: None,
+            trace: None,
         };
         conn.queue_response(&big);
         let done = conn.flush_write().unwrap();

@@ -54,6 +54,8 @@ mod sys;
 mod timer;
 
 use crate::http::{Request, Response};
+use crate::obs::trace::{self, Stage};
+use crate::obs::ServeObs;
 use crate::server::{ServeStats, SHED_RETRY_AFTER_SECS};
 use conn::{Conn, ConnState};
 use easeml_par::PoolScope;
@@ -67,11 +69,23 @@ use std::time::{Duration, Instant};
 use sys::Poller;
 use timer::TimerWheel;
 
+/// Wire-level timing the event core hands to the handler alongside each
+/// request, feeding the parse and queue stages of the request trace.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ReqMeta {
+    /// When the request's first byte arrived on the socket (`None` when
+    /// the arrival was not observed, e.g. bytes that were already
+    /// buffered behind the previous response of a pipelining peer).
+    pub received: Option<Instant>,
+    /// When the request was fully parsed and dispatched.
+    pub parsed: Instant,
+}
+
 /// The serving layer's face to the event core: computes responses and
 /// classifies requests for the inline fast path.
 pub(crate) trait Handler: Sync {
     /// Compute the response for one fully parsed request.
-    fn handle(&self, request: &Request) -> Response;
+    fn handle(&self, request: &Request, meta: &ReqMeta) -> Response;
 
     /// Whether `request` may run directly on the event thread instead of
     /// a pool worker. Inline execution skips the pool hand-off, the
@@ -188,6 +202,7 @@ struct Slot {
 ///
 /// Fatal setup failures (poller or wake-pipe creation, listener
 /// registration). Per-connection failures close that connection only.
+#[allow(clippy::too_many_arguments)] // the event core's full wiring, called once
 pub(crate) fn serve<'env>(
     listener: TcpListener,
     cfg: &NetConfig,
@@ -196,6 +211,7 @@ pub(crate) fn serve<'env>(
     hub: &WakeHub,
     handler: &'env dyn Handler,
     stats: &Arc<ServeStats>,
+    obs: &Arc<ServeObs>,
 ) -> io::Result<()> {
     listener.set_nonblocking(true)?;
     let loops = cfg.event_threads.max(1);
@@ -229,6 +245,7 @@ pub(crate) fn serve<'env>(
             cfg,
             &peers,
             stats,
+            obs,
         )?);
     }
 
@@ -273,6 +290,7 @@ struct EventLoop<'p> {
     draining: bool,
     drain_deadline: Instant,
     stats: Arc<ServeStats>,
+    obs: Arc<ServeObs>,
     /// Current accept back-off (exponential between [`ACCEPT_BACKOFF`]
     /// and [`ACCEPT_BACKOFF_MAX`]; reset by a successful accept).
     accept_backoff: Duration,
@@ -296,6 +314,7 @@ impl<'p> EventLoop<'p> {
         cfg: &NetConfig,
         peers: &'p [Arc<LoopShared>],
         stats: &Arc<ServeStats>,
+        obs: &Arc<ServeObs>,
     ) -> io::Result<EventLoop<'p>> {
         let mut poller = Poller::new()?;
         poller.register(wake.as_raw_fd(), WAKE, true, false)?;
@@ -320,6 +339,7 @@ impl<'p> EventLoop<'p> {
             draining: false,
             drain_deadline: now,
             stats: Arc::clone(stats),
+            obs: Arc::clone(obs),
             accept_backoff: ACCEPT_BACKOFF,
         })
     }
@@ -347,10 +367,24 @@ impl<'p> EventLoop<'p> {
             }
             events.clear();
             self.poller.wait(&mut events, timeout)?;
+            self.obs.metrics.loop_polls_total.inc();
+            if !events.is_empty() {
+                self.obs
+                    .metrics
+                    .loop_ready_events_total
+                    .add(events.len() as u64);
+                self.obs
+                    .metrics
+                    .loop_ready_batch
+                    .record(events.len() as u64);
+            }
             let now = Instant::now();
             for event in &events {
                 match event.token {
-                    WAKE => self.drain_wake_pipe(),
+                    WAKE => {
+                        self.obs.metrics.loop_wakeups_total.inc();
+                        self.drain_wake_pipe();
+                    }
                     LISTENER => self.accept_ready(stop),
                     token => self.conn_event(
                         token - TOKEN_BASE,
@@ -435,6 +469,7 @@ impl<'p> EventLoop<'p> {
                         continue;
                     }
                     let _ = stream.set_nodelay(true);
+                    self.obs.metrics.connections_accepted_total.inc();
                     let target = self.next_peer % self.peers.len();
                     self.next_peer = self.next_peer.wrapping_add(1);
                     self.peers[target]
@@ -442,6 +477,7 @@ impl<'p> EventLoop<'p> {
                         .lock()
                         .expect("inbox poisoned")
                         .push(stream);
+                    self.obs.metrics.loop_inbox_depth.add(1);
                     if target != self.index {
                         self.peers[target].wake();
                     }
@@ -457,6 +493,7 @@ impl<'p> EventLoop<'p> {
                         io::ErrorKind::ConnectionAborted | io::ErrorKind::ConnectionReset
                     ) => {}
                 Err(_) => {
+                    self.obs.metrics.accept_errors_total.inc();
                     // Likely fd exhaustion (EMFILE/ENFILE). Unhook the
                     // listener so level-triggered readiness stops firing
                     // — the alternative is a busy-spin at 100% CPU — and
@@ -501,11 +538,20 @@ impl<'p> EventLoop<'p> {
         }
         self.slots[index].conn = Some(Conn::new(stream, now, self.cfg.idle_timeout));
         self.live += 1;
+        self.obs.metrics.connections_open.add(1);
         self.arm_timer(index);
     }
 
     fn adopt_inbox(&mut self, now: Instant) {
         let streams = std::mem::take(&mut *self.shared().inbox.lock().expect("inbox poisoned"));
+        if !streams.is_empty() {
+            let n = streams.len() as u64;
+            self.obs.metrics.loop_inbox_adopted_total.add(n);
+            self.obs
+                .metrics
+                .loop_inbox_depth
+                .add(-(streams.len() as i64));
+        }
         for stream in streams {
             self.adopt(stream, now);
         }
@@ -538,6 +584,7 @@ impl<'p> EventLoop<'p> {
         scope: &PoolScope<'_, 'env>,
         handler: &'env dyn Handler,
     ) {
+        self.obs.metrics.loop_timer_fires_total.inc();
         if fired.token == LISTENER {
             self.resume_listener(now);
             return;
@@ -574,7 +621,10 @@ impl<'p> EventLoop<'p> {
             TimeoutAction::CloseQuietly => self.close(index),
             // Stalled mid-request past the full-request budget — the
             // same 400 the blocking server sent.
-            TimeoutAction::FailTimedOut => self.fail_request(index, now, "request timed out"),
+            TimeoutAction::FailTimedOut => {
+                self.obs.metrics.request_timeouts_total.inc();
+                self.fail_request(index, now, "request timed out");
+            }
             TimeoutAction::ProbeWrite => self.probe_write(index, now, scope, handler),
         }
     }
@@ -674,6 +724,11 @@ impl<'p> EventLoop<'p> {
                     return;
                 }
             };
+            if fill.bytes > 0 && was_between_requests {
+                // First observed bytes of a new request start the parse
+                // clock (taken by dispatch, feeds the parse stage).
+                conn.request_recv = Some(now);
+            }
             if fill.bytes > 0 || fill.eof {
                 self.advance(index, now, fill.eof, was_between_requests, scope, handler);
             }
@@ -764,8 +819,13 @@ impl<'p> EventLoop<'p> {
         conn.dispatch_gen += 1;
         let dispatch_gen = conn.dispatch_gen;
         let close = request.close;
+        let meta = ReqMeta {
+            received: conn.request_recv.take(),
+            parsed: Instant::now(),
+        };
         self.set_interest(index, false, false);
         if handler.inline(&request) {
+            self.obs.metrics.dispatch_inline_total.inc();
             // Inline fast path: a µs-scale request pays no pool
             // hand-off, no wake pipe, no scheduler hops. The completion
             // still goes through the queue — the run loop drains it
@@ -774,7 +834,7 @@ impl<'p> EventLoop<'p> {
             // so completions produced mid-sweep (the pipelining path)
             // drain in the same call. No wake byte is needed: we *are*
             // the thread that drains.
-            let mut response = handler.handle(&request);
+            let mut response = handler.handle(&request, &meta);
             response.close = close;
             self.shared()
                 .completions
@@ -793,9 +853,11 @@ impl<'p> EventLoop<'p> {
         // instead of queueing without bound. The connection stays open
         // (keep-alive) — the *request* is refused, not the client; a
         // well-behaved client backs off and lands in the next window.
+        self.obs.metrics.dispatch_pool_total.inc();
         if !self.stats.try_admit() {
-            let mut response = Response::error(
+            let mut response = Response::error_with_reason(
                 503,
+                "shed",
                 "server is at capacity (registration queue full); retry shortly",
             )
             .with_retry_after(SHED_RETRY_AFTER_SECS);
@@ -818,7 +880,7 @@ impl<'p> EventLoop<'p> {
         // event thread; the completion is applied in this same loop
         // iteration's `apply_completions` sweep.
         scope.spawn(move || {
-            let mut response = handler.handle(&request);
+            let mut response = handler.handle(&request, &meta);
             stats.release();
             response.close = close;
             shared
@@ -871,8 +933,12 @@ impl<'p> EventLoop<'p> {
                     continue; // connection died while the worker ran
                 }
                 let request_timeout = self.cfg.request_timeout;
+                let mut response = completion.response;
+                let trace_rec = response.trace.take();
                 let conn = self.conn_mut(index);
-                conn.queue_response(&completion.response);
+                conn.queue_response(&response);
+                conn.trace = trace_rec;
+                conn.write_start = Some(Instant::now());
                 conn.deadline = Some(now + request_timeout);
                 self.settle_response(index, now, scope, handler);
             }
@@ -911,6 +977,7 @@ impl<'p> EventLoop<'p> {
         scope: &PoolScope<'_, 'env>,
         handler: &'env dyn Handler,
     ) {
+        self.note_response_written(index);
         if self.conn_mut(index).close_after_write || self.draining {
             self.close(index);
             return;
@@ -926,6 +993,34 @@ impl<'p> EventLoop<'p> {
         // Pipelined bytes already in the parser generate no further
         // readiness events; parse them now.
         self.advance(index, now, false, true, scope, handler);
+    }
+
+    /// The queued response's last byte hit the socket: record the
+    /// response-write stage and finalize the request's trace — feed the
+    /// stage histogram, and when the traced total crosses the
+    /// `--slow-request-ms` threshold, emit one structured slow-log line
+    /// and push the trace onto the in-memory ring (`GET /admin/trace`).
+    fn note_response_written(&mut self, index: usize) {
+        let conn = self.conn_mut(index);
+        let write_ns = conn
+            .write_start
+            .take()
+            .map_or(0, |start| trace::ns(start.elapsed()));
+        let Some(mut rec) = conn.trace.take() else {
+            return;
+        };
+        rec.stages_ns[Stage::ResponseWrite.index()] = write_ns;
+        if write_ns > 0 {
+            self.obs
+                .metrics
+                .stage(Stage::ResponseWrite)
+                .record(write_ns);
+        }
+        if rec.total_ns() >= self.obs.slow_ns() {
+            self.obs.metrics.slow_requests_total.inc();
+            eprintln!("{}", rec.slow_log_line());
+            self.obs.ring.push(*rec);
+        }
     }
 
     /// Protocol failure: queue the 400, close once it is written.
@@ -975,5 +1070,7 @@ impl<'p> EventLoop<'p> {
         self.slots[index].generation += 1;
         self.free.push(index);
         self.live -= 1;
+        self.obs.metrics.connections_closed_total.inc();
+        self.obs.metrics.connections_open.add(-1);
     }
 }

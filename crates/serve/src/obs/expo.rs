@@ -1,0 +1,286 @@
+//! Parser for the Prometheus-style text exposition served at
+//! `GET /metrics`.
+//!
+//! This is the consumer side of [`super::Metrics::render`]: the
+//! exposition golden test parses every line through it to assert
+//! well-formedness, and `repro_serve_load` uses it to pull stage
+//! histograms out of a live scrape for the `stage_breakdown` bench
+//! section. It accepts the subset of the Prometheus text format the
+//! renderer emits (`# HELP` / `# TYPE` comments and
+//! `name{labels} value` samples) and rejects malformed names, labels,
+//! and values with a line-numbered error.
+
+use std::collections::HashMap;
+
+/// One sample line: `name{labels} value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name (for histograms, includes the `_bucket` / `_sum` /
+    /// `_count` suffix).
+    pub name: String,
+    /// Label pairs in exposition order.
+    pub labels: Vec<(String, String)>,
+    /// Parsed sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// Look up a label value by name.
+    #[must_use]
+    pub fn label(&self, name: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A parsed exposition: declared metadata plus every sample.
+#[derive(Debug, Clone, Default)]
+pub struct Exposition {
+    /// `# TYPE` declarations, by metric family name.
+    pub types: HashMap<String, String>,
+    /// `# HELP` declarations, by metric family name.
+    pub help: HashMap<String, String>,
+    /// All samples, in exposition order.
+    pub samples: Vec<Sample>,
+}
+
+impl Exposition {
+    /// All samples with the given name.
+    pub fn named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Sample> {
+        self.samples.iter().filter(move |s| s.name == name)
+    }
+
+    /// The value of the sample matching `name` and every label in
+    /// `labels` (the sample may carry more labels than listed).
+    #[must_use]
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && labels.iter().all(|(k, v)| s.label(k) == Some(v)))
+            .map(|s| s.value)
+    }
+
+    /// Number of distinct series: unique (name, label-set) pairs, with
+    /// histogram `_bucket`/`_sum`/`_count` samples folded into one
+    /// series per label-set (the `le` label excluded).
+    #[must_use]
+    pub fn series_count(&self) -> usize {
+        let mut seen: Vec<String> = Vec::new();
+        for sample in &self.samples {
+            let base = sample
+                .name
+                .strip_suffix("_bucket")
+                .or_else(|| sample.name.strip_suffix("_sum"))
+                .or_else(|| sample.name.strip_suffix("_count"))
+                .filter(|b| self.types.get(*b).is_some_and(|t| t == "histogram"))
+                .unwrap_or(&sample.name);
+            let mut key = base.to_string();
+            for (k, v) in &sample.labels {
+                if k != "le" {
+                    key.push_str(&format!("|{k}={v}"));
+                }
+            }
+            if !seen.contains(&key) {
+                seen.push(key);
+            }
+        }
+        seen.len()
+    }
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_value(text: &str) -> Option<f64> {
+    match text {
+        "+Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        other => other.parse().ok(),
+    }
+}
+
+/// Parse label pairs from the text between `{` and `}`.
+fn parse_labels(body: &str, lineno: usize) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("line {lineno}: label without '='"))?;
+        let key = &rest[..eq];
+        if !valid_label_name(key) {
+            return Err(format!("line {lineno}: bad label name {key:?}"));
+        }
+        rest = rest[eq + 1..]
+            .strip_prefix('"')
+            .ok_or_else(|| format!("line {lineno}: label value must be quoted"))?;
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let after_quote = loop {
+            let (i, c) = chars
+                .next()
+                .ok_or_else(|| format!("line {lineno}: unterminated label value"))?;
+            match c {
+                '"' => break i + 1,
+                '\\' => {
+                    let (_, esc) = chars
+                        .next()
+                        .ok_or_else(|| format!("line {lineno}: dangling escape"))?;
+                    value.push(match esc {
+                        'n' => '\n',
+                        other => other,
+                    });
+                }
+                other => value.push(other),
+            }
+        };
+        labels.push((key.to_string(), value));
+        rest = &rest[after_quote..];
+        if let Some(tail) = rest.strip_prefix(',') {
+            rest = tail;
+        } else if !rest.is_empty() {
+            return Err(format!("line {lineno}: expected ',' between labels"));
+        }
+    }
+    Ok(labels)
+}
+
+/// Parse a full text exposition. Every line must be empty, a
+/// `# HELP` / `# TYPE` comment, or a well-formed sample; anything else
+/// is an error naming the offending line.
+pub fn parse(text: &str) -> Result<Exposition, String> {
+    let mut out = Exposition::default();
+    for (index, line) in text.lines().enumerate() {
+        let lineno = index + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix("# ") {
+            let mut parts = comment.splitn(3, ' ');
+            let keyword = parts.next().unwrap_or_default();
+            let name = parts
+                .next()
+                .ok_or_else(|| format!("line {lineno}: comment missing metric name"))?;
+            if !valid_metric_name(name) {
+                return Err(format!("line {lineno}: bad metric name {name:?}"));
+            }
+            let tail = parts.next().unwrap_or_default().to_string();
+            match keyword {
+                "HELP" => {
+                    out.help.insert(name.to_string(), tail);
+                }
+                "TYPE" => {
+                    if !["counter", "gauge", "histogram"].contains(&tail.as_str()) {
+                        return Err(format!("line {lineno}: unknown type {tail:?}"));
+                    }
+                    out.types.insert(name.to_string(), tail);
+                }
+                other => return Err(format!("line {lineno}: unknown comment {other:?}")),
+            }
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let (name_part, rest) = match line.find('{') {
+            Some(brace) => {
+                let close = line
+                    .rfind('}')
+                    .ok_or_else(|| format!("line {lineno}: unterminated label set"))?;
+                (
+                    &line[..brace],
+                    (&line[brace + 1..close], &line[close + 1..]),
+                )
+            }
+            None => {
+                let space = line
+                    .find(' ')
+                    .ok_or_else(|| format!("line {lineno}: sample missing value"))?;
+                (&line[..space], ("", &line[space..]))
+            }
+        };
+        if !valid_metric_name(name_part) {
+            return Err(format!("line {lineno}: bad metric name {name_part:?}"));
+        }
+        let (label_body, value_part) = rest;
+        let labels = parse_labels(label_body, lineno)?;
+        let value = parse_value(value_part.trim())
+            .ok_or_else(|| format!("line {lineno}: bad value {:?}", value_part.trim()))?;
+        out.samples.push(Sample {
+            name: name_part.to_string(),
+            labels,
+            value,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_labels_and_values() {
+        let text = "# HELP easeml_requests_total Requests by route.\n\
+                    # TYPE easeml_requests_total counter\n\
+                    easeml_requests_total{route=\"commit\"} 12\n\
+                    easeml_requests_total{route=\"healthz\"} 3\n\
+                    # TYPE easeml_inflight gauge\n\
+                    easeml_inflight 0\n";
+        let expo = parse(text).unwrap();
+        assert_eq!(expo.types["easeml_requests_total"], "counter");
+        assert_eq!(
+            expo.value("easeml_requests_total", &[("route", "commit")]),
+            Some(12.0)
+        );
+        assert_eq!(expo.value("easeml_inflight", &[]), Some(0.0));
+        assert_eq!(expo.series_count(), 3);
+    }
+
+    #[test]
+    fn histogram_samples_fold_into_one_series() {
+        let text = "# TYPE easeml_stage_seconds histogram\n\
+                    easeml_stage_seconds_bucket{stage=\"gate\",le=\"0.000001\"} 1\n\
+                    easeml_stage_seconds_bucket{stage=\"gate\",le=\"+Inf\"} 2\n\
+                    easeml_stage_seconds_sum{stage=\"gate\"} 0.5\n\
+                    easeml_stage_seconds_count{stage=\"gate\"} 2\n";
+        let expo = parse(text).unwrap();
+        assert_eq!(expo.series_count(), 1);
+        assert_eq!(
+            expo.value(
+                "easeml_stage_seconds_bucket",
+                &[("stage", "gate"), ("le", "+Inf")]
+            ),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse("1bad_name 3\n").is_err());
+        assert!(parse("name{le=0.1} 3\n").is_err(), "unquoted label value");
+        assert!(parse("name{le=\"0.1\"} nope\n").is_err(), "bad value");
+        assert!(parse("# TYPE name summary\n").is_err(), "unknown type");
+        assert!(parse("name{le=\"0.1\" 3\n").is_err(), "unterminated labels");
+    }
+
+    #[test]
+    fn unescapes_label_values() {
+        let expo = parse("m{k=\"a\\\"b\\\\c\\nd\"} 1\n").unwrap();
+        assert_eq!(expo.samples[0].label("k"), Some("a\"b\\c\nd"));
+    }
+}

@@ -28,6 +28,7 @@
 
 use crate::error::ServeError;
 use crate::json::encode_u32_vec;
+use crate::obs::trace::{self, Stage};
 use easeml_bounds::Adaptivity;
 use easeml_ci_core::dsl::Formula;
 use easeml_ci_core::{
@@ -580,12 +581,11 @@ impl Project {
         // submission never spends labels.
         self.ensure_gate_open()?;
         let condition = self.script.condition();
-        let counts: EvalCounts = self
-            .measured
-            .as_mut()
-            .expect("checked above")
-            .measure(condition, &submission.old, &submission.new)?
-            .into();
+        let measured = self.measured.as_mut().expect("checked above");
+        let counts: EvalCounts = trace::time(Stage::Measure, || {
+            measured.measure(condition, &submission.old, &submission.new)
+        })?
+        .into();
         let receipt = self.submit_with_digest(
             &CommitSubmission {
                 commit_id: submission.commit_id.clone(),
@@ -612,6 +612,17 @@ impl Project {
     }
 
     fn submit_with_digest(
+        &mut self,
+        submission: &CommitSubmission,
+        digest: Option<u64>,
+    ) -> Result<GateReceipt, ServeError> {
+        trace::time(Stage::Gate, || self.gate_with_digest(submission, digest))
+    }
+
+    /// The gate body of [`Project::submit_with_digest`], split out so
+    /// the whole decision (validation, statistics, budget accounting,
+    /// history append) lands in the `gate` trace stage.
+    fn gate_with_digest(
         &mut self,
         submission: &CommitSubmission,
         digest: Option<u64>,

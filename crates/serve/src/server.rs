@@ -15,6 +15,8 @@
 //! | GET    | `/projects/{name}/budget`               | adaptivity budget status |
 //! | POST   | `/projects/{name}/testset`              | fresh era (`{testset}` body for server-measured projects) |
 //! | GET    | `/cache/stats`                          | per-cache (bounds vs. plan) hit/miss/entry counters |
+//! | GET    | `/metrics`                              | Prometheus-style text exposition of every serving metric |
+//! | GET    | `/admin/trace`                          | recent slow-request stage traces (see `--slow-request-ms`) |
 //! | POST   | `/admin/persist`                        | snapshot all projects + save both caches |
 //! | POST   | `/admin/shutdown`                       | graceful stop (flush durable state, then exit `run`) |
 //!
@@ -53,20 +55,22 @@
 use crate::error::ServeError;
 use crate::http::{Request, Response};
 use crate::json::{u32_vec_from_value, Value};
-use crate::net::{NetConfig, WakeHub};
+use crate::net::{NetConfig, ReqMeta, WakeHub};
+use crate::obs::trace::{self, Stage, TraceRec};
+use crate::obs::{Counter, ServeObs};
 use crate::registry::{
     serving_estimator, CommitSubmission, EvalCounts, GateReceipt, MeasuredTestset,
     PredictionsSubmission, TestsetSpec,
 };
 use crate::store::{entry_json, tribool_str, Registry, BOUNDS_CACHE_FILE, PLAN_CACHE_FILE};
-use crate::vfs::Vfs;
+use crate::vfs::{MeteredVfs, RealVfs, Vfs};
 use easeml_ci_core::{effort, AlarmReason, BoundsCache, CostModel, EstimateProvenance, PlanCache};
 use easeml_par::Pool;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Default for [`ServeConfig::idle_timeout_ms`]. Idle keep-alive
 /// connections no longer occupy a pool worker, so this is generous where
@@ -89,6 +93,54 @@ pub const DEFAULT_DEGRADED_AFTER: u32 = 3;
 /// Pool-bound work is tens of milliseconds, so one second from now the
 /// queue that shed this request has almost certainly drained.
 pub const SHED_RETRY_AFTER_SECS: u32 = 1;
+
+/// Default for [`ServeConfig::slow_request_ms`]. Inline routes finish in
+/// microseconds and registrations in tens of milliseconds, so a quarter
+/// second of end-to-end latency is pathological on every route.
+pub const DEFAULT_SLOW_REQUEST_MS: u64 = 250;
+
+/// Every normalized route name, for pre-creating the per-route metric
+/// series (so `/metrics` exposes the full catalog from the first
+/// scrape, and hot paths never take the registry write lock).
+const ROUTE_NAMES: [&str; 14] = [
+    "healthz",
+    "metrics",
+    "projects_list",
+    "register",
+    "status",
+    "commit",
+    "commit_predictions",
+    "history",
+    "budget",
+    "testset",
+    "cache_stats",
+    "admin_persist",
+    "admin_trace",
+    "admin_shutdown",
+];
+
+/// Normalize a request to its route name for metric labels. Unknown
+/// paths (404s) collapse into `"other"` so cardinality stays bounded no
+/// matter what clients probe.
+fn route_name(method: &str, segments: &[&str]) -> &'static str {
+    match (method, segments) {
+        ("GET", ["healthz"]) => "healthz",
+        ("GET", ["metrics"]) => "metrics",
+        ("GET", ["projects"]) => "projects_list",
+        ("POST", ["projects"]) => "register",
+        ("GET", ["projects", _]) => "status",
+        ("POST", ["projects", _, "commits"]) => "commit",
+        ("POST", ["projects", _, "commits", "predictions"]) => "commit_predictions",
+        ("GET", ["projects", _, "history"]) => "history",
+        ("GET", ["projects", _, "budget"]) => "budget",
+        ("POST", ["projects", _, "testset"]) => "testset",
+        ("GET", ["cache", "stats"]) => "cache_stats",
+        ("POST", ["admin", "persist"]) => "admin_persist",
+        ("GET", ["admin", "trace"]) => "admin_trace",
+        ("POST", ["admin", "shutdown"]) => "admin_shutdown",
+        _ => "other",
+    }
+}
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -121,6 +173,11 @@ pub struct ServeConfig {
     /// server degrades to read-only (`0` disables degradation; failures
     /// then surface only as per-request 500s).
     pub degraded_after: u32,
+    /// A request whose traced end-to-end time exceeds this many
+    /// milliseconds emits one structured slow-log line on stderr and an
+    /// entry in the `GET /admin/trace` ring (`0` traces every request —
+    /// useful in tests, ruinous in production).
+    pub slow_request_ms: u64,
     /// Injected filesystem for the durability layer (`None` = the real
     /// filesystem). With an injected VFS the [`BoundsCache`]/[`PlanCache`]
     /// dumps are neither loaded nor saved — the core caches do their own
@@ -141,6 +198,7 @@ impl ServeConfig {
             request_timeout_ms: DEFAULT_REQUEST_TIMEOUT_MS,
             max_inflight: 0,
             degraded_after: DEFAULT_DEGRADED_AFTER,
+            slow_request_ms: DEFAULT_SLOW_REQUEST_MS,
             vfs: None,
         }
     }
@@ -148,24 +206,26 @@ impl ServeConfig {
 
 /// Liveness counters shared between the event core (admission control)
 /// and the routing layer (degraded-mode gating, `/healthz` reporting).
+/// The monotone counters are handles into the metrics registry, so
+/// `/healthz` and `/metrics` report the same numbers by construction.
 #[derive(Debug)]
 pub(crate) struct ServeStats {
     max_inflight: usize,
     inflight: AtomicUsize,
-    shed_total: AtomicU64,
-    journal_failures_total: AtomicU64,
+    shed_total: Arc<Counter>,
+    journal_failures_total: Arc<Counter>,
     journal_failure_streak: AtomicU32,
     degraded_after: u32,
     read_only: AtomicBool,
 }
 
 impl ServeStats {
-    fn new(max_inflight: usize, degraded_after: u32) -> ServeStats {
+    fn new(max_inflight: usize, degraded_after: u32, obs: &ServeObs) -> ServeStats {
         ServeStats {
             max_inflight,
             inflight: AtomicUsize::new(0),
-            shed_total: AtomicU64::new(0),
-            journal_failures_total: AtomicU64::new(0),
+            shed_total: Arc::clone(&obs.metrics.shed_total),
+            journal_failures_total: Arc::clone(&obs.metrics.journal_append_failures_total),
             journal_failure_streak: AtomicU32::new(0),
             degraded_after,
             read_only: AtomicBool::new(false),
@@ -182,7 +242,7 @@ impl ServeStats {
             })
             .is_ok();
         if !admitted {
-            self.shed_total.fetch_add(1, Ordering::SeqCst);
+            self.shed_total.inc();
         }
         admitted
     }
@@ -198,7 +258,7 @@ impl ServeStats {
     /// itself, and flapping in and out of read-only would turn client
     /// retries into a coin toss).
     fn note_durable_failure(&self) {
-        self.journal_failures_total.fetch_add(1, Ordering::SeqCst);
+        self.journal_failures_total.inc();
         let streak = self.journal_failure_streak.fetch_add(1, Ordering::SeqCst) + 1;
         if self.degraded_after > 0 && streak >= self.degraded_after {
             self.read_only.store(true, Ordering::SeqCst);
@@ -227,6 +287,7 @@ pub struct Server {
     pool: Pool,
     net_cfg: NetConfig,
     stats: Arc<ServeStats>,
+    obs: Arc<ServeObs>,
     /// Whether the core caches persist to the real filesystem (false
     /// under an injected VFS — see [`ServeConfig::vfs`]).
     persist_caches: bool,
@@ -273,6 +334,13 @@ impl Server {
     ///
     /// Bind failures, I/O failures, and corrupt project state.
     pub fn bind(config: &ServeConfig) -> Result<Server, ServeError> {
+        let obs = Arc::new(ServeObs::new(&ROUTE_NAMES, config.slow_request_ms));
+        // Every byte of durable I/O flows through the metered facade —
+        // counting wraps the configured filesystem without changing its
+        // semantics (fault injection sees the same op indices).
+        let meter = |base: Arc<dyn Vfs>| -> Arc<dyn Vfs> {
+            Arc::new(MeteredVfs::new(base, obs.metrics.vfs.clone()))
+        };
         let registry = match &config.vfs {
             None => {
                 std::fs::create_dir_all(&config.data_dir)?;
@@ -288,15 +356,21 @@ impl Server {
                         eprintln!("warning: ignoring plan cache dump: {e}");
                     }
                 }
-                Registry::open(&config.data_dir, serving_estimator())?
+                Registry::open_with(
+                    &config.data_dir,
+                    serving_estimator(),
+                    meter(Arc::new(RealVfs)),
+                )?
             }
             // An injected filesystem skips the cache dumps entirely: the
             // core caches read and write the real filesystem themselves,
             // which an in-memory fault disk cannot host, and they are
             // pure performance artifacts anyway.
-            Some(vfs) => {
-                Registry::open_with(&config.data_dir, serving_estimator(), Arc::clone(vfs))?
-            }
+            Some(vfs) => Registry::open_with(
+                &config.data_dir,
+                serving_estimator(),
+                meter(Arc::clone(vfs)),
+            )?,
         };
         let listener = TcpListener::bind(&config.addr)?;
         let pool = if config.threads == 0 {
@@ -309,9 +383,12 @@ impl Server {
         } else {
             config.max_inflight
         };
+        let registry = Arc::new(registry);
+        let stats = Arc::new(ServeStats::new(max_inflight, config.degraded_after, &obs));
+        register_derived_metrics(&obs, &registry, &stats);
         Ok(Server {
             listener,
-            registry: Arc::new(registry),
+            registry,
             stop: Arc::new(AtomicBool::new(false)),
             hub: Arc::new(WakeHub::new()),
             data_dir: config.data_dir.clone(),
@@ -321,7 +398,8 @@ impl Server {
                 idle_timeout: Duration::from_millis(config.idle_timeout_ms.max(1)),
                 request_timeout: Duration::from_millis(config.request_timeout_ms.max(1)),
             },
-            stats: Arc::new(ServeStats::new(max_inflight, config.degraded_after)),
+            stats,
+            obs,
             persist_caches: config.vfs.is_none(),
         })
     }
@@ -364,6 +442,7 @@ impl Server {
             pool,
             net_cfg,
             stats,
+            obs,
             persist_caches,
         } = self;
         let ctx = Ctx {
@@ -372,11 +451,14 @@ impl Server {
             hub: Arc::clone(&hub),
             addr: listener.local_addr().expect("bound listener has addr"),
             stats: Arc::clone(&stats),
+            obs: Arc::clone(&obs),
             persist_caches,
         };
         let handler = RouteHandler { ctx };
         pool.scope(|scope| {
-            crate::net::serve(listener, &net_cfg, scope, &stop, &hub, &handler, &stats)
+            crate::net::serve(
+                listener, &net_cfg, scope, &stop, &hub, &handler, &stats, &obs,
+            )
         })?;
         // Durable shutdown: compact every project and persist the warm
         // caches for the next process.
@@ -385,6 +467,72 @@ impl Server {
             save_caches(&data_dir)?;
         }
         Ok(())
+    }
+}
+
+/// Register the closure-backed series whose source of truth lives
+/// outside the registry: admission state, project count, degraded flag,
+/// and the core cache counters. `/healthz`, `/cache/stats`, and
+/// `/metrics` thereby report identical numbers by construction.
+fn register_derived_metrics(obs: &ServeObs, registry: &Arc<Registry>, stats: &Arc<ServeStats>) {
+    let metrics = &obs.metrics.registry;
+    {
+        let stats = Arc::clone(stats);
+        metrics.func_gauge(
+            "easeml_inflight",
+            "Pool-bound requests currently admitted.",
+            &[],
+            move || stats.inflight.load(Ordering::SeqCst) as f64,
+        );
+    }
+    {
+        let stats = Arc::clone(stats);
+        metrics.func_gauge(
+            "easeml_max_inflight",
+            "Admission cap on concurrent pool-bound requests.",
+            &[],
+            move || stats.max_inflight as f64,
+        );
+    }
+    {
+        let stats = Arc::clone(stats);
+        metrics.func_gauge(
+            "easeml_degraded",
+            "1 when the server is in read-only degraded mode.",
+            &[],
+            move || f64::from(stats.read_only()),
+        );
+    }
+    {
+        let registry = Arc::clone(registry);
+        metrics.func_gauge("easeml_projects", "Registered projects.", &[], move || {
+            registry.len() as f64
+        });
+    }
+    type CacheStatsFn = fn() -> easeml_ci_core::CacheStats;
+    let caches: [(&str, CacheStatsFn); 2] = [
+        ("bounds", || BoundsCache::global().stats()),
+        ("plan", || PlanCache::global().stats()),
+    ];
+    for (label, stats_fn) in caches {
+        metrics.func_counter(
+            "easeml_cache_hits_total",
+            "Core cache hits (same counters as /cache/stats).",
+            &[("cache", label)],
+            move || stats_fn().hits as f64,
+        );
+        metrics.func_counter(
+            "easeml_cache_misses_total",
+            "Core cache misses (same counters as /cache/stats).",
+            &[("cache", label)],
+            move || stats_fn().misses as f64,
+        );
+        metrics.func_gauge(
+            "easeml_cache_entries",
+            "Core cache resident entries.",
+            &[("cache", label)],
+            move || stats_fn().entries as f64,
+        );
     }
 }
 
@@ -425,6 +573,7 @@ struct Ctx {
     hub: Arc<WakeHub>,
     addr: SocketAddr,
     stats: Arc<ServeStats>,
+    obs: Arc<ServeObs>,
     persist_caches: bool,
 }
 
@@ -436,8 +585,42 @@ struct RouteHandler {
 }
 
 impl crate::net::Handler for RouteHandler {
-    fn handle(&self, request: &Request) -> Response {
-        route(&self.ctx, request)
+    /// Route the request inside a stage trace: arm the thread-local
+    /// slot, credit the wire stages the event core measured (parse,
+    /// queue), let the deep layers (gate, measurement, journal, fsync,
+    /// snapshot) report into the slot as they run, then fold the
+    /// completed vector into the per-stage histograms and hand the
+    /// [`TraceRec`] back on the response so the event loop can finish
+    /// the response-write stage and apply the slow threshold.
+    fn handle(&self, request: &Request, meta: &ReqMeta) -> Response {
+        let metrics = &self.ctx.obs.metrics;
+        let started = Instant::now();
+        trace::begin();
+        if let Some(received) = meta.received {
+            trace::add(
+                Stage::Parse,
+                meta.parsed.saturating_duration_since(received),
+            );
+        }
+        trace::add(Stage::Queue, started.saturating_duration_since(meta.parsed));
+        let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+        let name = route_name(request.method.as_str(), &segments);
+        let mut response = route(&self.ctx, request);
+        let handler_ns = trace::ns(started.elapsed());
+        let mut stages_ns = trace::finish();
+        stages_ns[Stage::Handler.index()] = handler_ns;
+        let slot = metrics.route(name);
+        slot.requests_total.inc();
+        slot.duration.record(handler_ns);
+        metrics.count_status(response.status);
+        metrics.observe_stages(&stages_ns);
+        response.trace = Some(Box::new(TraceRec {
+            id: metrics.next_request_id(),
+            route: name,
+            status: response.status,
+            stages_ns,
+        }));
+        response
     }
 
     /// Registration (`POST /projects`) runs the sample-size plan search
@@ -486,25 +669,30 @@ fn route(ctx: &Ctx, request: &Request) -> Response {
         // (history, budget, status) keep working below; writes would
         // either fail anyway or — worse — ack state the disk cannot
         // hold. No Retry-After: this is not a transient queue.
-        return Response::error(
+        return Response::error_with_reason(
             503,
+            "degraded_read_only",
             "service is read-only (degraded): durable writes are failing; \
              reads remain available",
         );
     }
     let result = match (method, segments.as_slice()) {
         ("GET", ["healthz"]) => Ok(healthz(ctx)),
+        ("GET", ["metrics"]) => Ok(Response::text(200, ctx.obs.metrics.registry.render())),
         ("GET", ["projects"]) => Ok(list_projects(registry)),
         ("POST", ["projects"]) => register_project(registry, request),
         ("GET", ["projects", name]) => project_status(registry, name),
-        ("POST", ["projects", name, "commits"]) => submit_commit(registry, name, request),
+        ("POST", ["projects", name, "commits"]) => {
+            note_rejection(ctx, submit_commit(ctx, name, request))
+        }
         ("POST", ["projects", name, "commits", "predictions"]) => {
-            submit_predictions(registry, name, request)
+            note_rejection(ctx, submit_predictions(ctx, name, request))
         }
         ("GET", ["projects", name, "history"]) => project_history(registry, name),
         ("GET", ["projects", name, "budget"]) => project_budget(registry, name),
         ("POST", ["projects", name, "testset"]) => fresh_testset(registry, name, request),
         ("GET", ["cache", "stats"]) => Ok(cache_stats()),
+        ("GET", ["admin", "trace"]) => Ok(admin_trace(ctx)),
         ("POST", ["admin", "persist"]) => persist_all(ctx),
         ("POST", ["admin", "shutdown"]) => {
             // The graceful-stop path reachable from plain HTTP (the CLI
@@ -559,14 +747,30 @@ fn healthz(ctx: &Ctx) -> Response {
                 Value::from(stats.inflight.load(Ordering::SeqCst)),
             ),
             ("max_inflight", Value::from(stats.max_inflight)),
-            (
-                "shed_total",
-                Value::from(stats.shed_total.load(Ordering::SeqCst)),
-            ),
+            ("shed_total", Value::from(stats.shed_total.get())),
             (
                 "journal_append_failures",
-                Value::from(stats.journal_failures_total.load(Ordering::SeqCst)),
+                Value::from(stats.journal_failures_total.get()),
             ),
+        ]),
+    )
+}
+
+/// `/admin/trace`: the slow threshold plus the ring of recent
+/// slow-request traces, oldest first.
+fn admin_trace(ctx: &Ctx) -> Response {
+    let entries: Vec<Value> = ctx
+        .obs
+        .ring
+        .entries()
+        .iter()
+        .map(TraceRec::to_json)
+        .collect();
+    Response::json(
+        200,
+        &Value::object([
+            ("slow_request_ms", Value::from(ctx.obs.slow_request_ms)),
+            ("entries", Value::Array(entries)),
         ]),
     )
 }
@@ -726,11 +930,42 @@ fn project_status(registry: &Registry, name: &str) -> Result<Response, ServeErro
     })
 }
 
-fn submit_commit(
-    registry: &Registry,
-    name: &str,
-    request: &Request,
-) -> Result<Response, ServeError> {
+/// The `easeml_gate_outcomes_total{outcome=...}` label for a decision.
+fn gate_outcome_str(receipt: &GateReceipt) -> &'static str {
+    if receipt.alarm == Some(AlarmReason::BudgetExhausted) {
+        "budget_exhausted"
+    } else if receipt.passed {
+        "pass"
+    } else {
+        "fail"
+    }
+}
+
+/// The `easeml_gate_rejections_total{kind=...}` label for a submission
+/// that never reached a gate decision.
+fn rejection_kind(error: &ServeError) -> &'static str {
+    match error {
+        ServeError::BadRequest(_) => "bad_request",
+        ServeError::NotFound(_) => "not_found",
+        ServeError::Conflict(_) => "conflict",
+        ServeError::Gone(_) => "retired",
+        ServeError::Unavailable(_) => "unavailable",
+        ServeError::Corrupt { .. } => "corrupt",
+        ServeError::Io(_) => "io",
+    }
+}
+
+/// Count a gate-route error under `easeml_gate_rejections_total` —
+/// these submissions never reached a gate decision.
+fn note_rejection(ctx: &Ctx, result: Result<Response, ServeError>) -> Result<Response, ServeError> {
+    if let Err(e) = &result {
+        ctx.obs.metrics.gate_rejection(rejection_kind(e));
+    }
+    result
+}
+
+fn submit_commit(ctx: &Ctx, name: &str, request: &Request) -> Result<Response, ServeError> {
+    let registry: &Registry = &ctx.registry;
     let body = request.json_body().map_err(ServeError::BadRequest)?;
     let commit_id = body
         .get("commit_id")
@@ -753,6 +988,9 @@ fn submit_commit(
     };
     with_project(registry, name, |slot| {
         let receipt = slot.submit(&submission)?;
+        ctx.obs
+            .metrics
+            .gate_outcome(name, gate_outcome_str(&receipt));
         Ok(Response::json(
             200,
             &receipt_json(&receipt, &budget_json(&slot.project)),
@@ -760,11 +998,8 @@ fn submit_commit(
     })
 }
 
-fn submit_predictions(
-    registry: &Registry,
-    name: &str,
-    request: &Request,
-) -> Result<Response, ServeError> {
+fn submit_predictions(ctx: &Ctx, name: &str, request: &Request) -> Result<Response, ServeError> {
+    let registry: &Registry = &ctx.registry;
     let body = request.json_body().map_err(ServeError::BadRequest)?;
     let commit_id = body
         .get("commit_id")
@@ -782,6 +1017,9 @@ fn submit_predictions(
     };
     with_project(registry, name, |slot| {
         let (receipt, counts) = slot.submit_predictions(&submission)?;
+        ctx.obs
+            .metrics
+            .gate_outcome(name, gate_outcome_str(&receipt));
         let Value::Object(mut fields) = receipt_json(&receipt, &budget_json(&slot.project)) else {
             unreachable!("receipt_json builds an object")
         };

@@ -44,6 +44,7 @@
 
 use crate::error::ServeError;
 use crate::json::{decode_u32_vec, encode_u32_vec, Value};
+use crate::obs::trace::{self, Stage};
 use crate::registry::{
     CommitSubmission, EvalCounts, GateReceipt, MeasuredTestset, PredictionsSubmission, Project,
     TestsetSpec,
@@ -499,18 +500,21 @@ impl ProjectStore {
         // half-written line would corrupt the op that lands after it.
         // Best-effort truncate back to the pre-write length on error;
         // the caller rolls the in-memory mutation back either way.
-        let offset = self.journal.len()?;
-        if let Err(e) = self.journal.write_all(&line) {
-            let _ = self.journal.set_len(offset);
-            return Err(e.into());
-        }
+        trace::time(Stage::JournalAppend, || -> Result<(), ServeError> {
+            let offset = self.journal.len()?;
+            if let Err(e) = self.journal.write_all(&line) {
+                let _ = self.journal.set_len(offset);
+                return Err(e.into());
+            }
+            Ok(())
+        })?;
         self.ops_written += 1;
         if self.ops_written.is_multiple_of(SNAPSHOT_EVERY) {
             // The journal is the source of truth and it has the op; a
             // failed snapshot is only lost compaction, never lost state,
             // and must NOT fail the request (the caller would roll back
             // an op the journal already holds).
-            if let Err(e) = self.write_snapshot(project) {
+            if let Err(e) = trace::time(Stage::Snapshot, || self.write_snapshot(project)) {
                 eprintln!(
                     "warning: snapshot of {} failed (journal intact): {e}",
                     self.dir.display()

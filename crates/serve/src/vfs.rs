@@ -814,6 +814,161 @@ impl Vfs for FaultVfs {
     }
 }
 
+// ---------------------------------------------------------------------------
+// MeteredVfs
+// ---------------------------------------------------------------------------
+
+/// A counting wrapper over any [`Vfs`]: every operation is delegated
+/// unchanged (zero semantic change to the wrapped implementation —
+/// [`FaultVfs`] op indices, [`MemVfs`] durability modelling, and
+/// [`RealVfs`] behavior are all preserved) while per-op counts, byte
+/// totals, latency histograms, and journal/snapshot rollups feed the
+/// observability registry. `sync_data` calls additionally report into
+/// the active request trace's fsync stage.
+///
+/// [`crate::server::Server::bind`] wraps whatever `Vfs` the config
+/// supplies in one of these, so the durability layer is metered both in
+/// production (`RealVfs`) and under injected faults.
+#[derive(Debug, Clone)]
+pub struct MeteredVfs {
+    inner: Arc<dyn Vfs>,
+    metrics: crate::obs::VfsMetrics,
+}
+
+/// What a metered file handle is writing to, decided once at open time
+/// so the append hot path never re-inspects paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MeteredKind {
+    Journal,
+    Other,
+}
+
+fn metered_kind(path: &Path) -> MeteredKind {
+    if path.file_name().is_some_and(|n| n == "journal.log") {
+        MeteredKind::Journal
+    } else {
+        MeteredKind::Other
+    }
+}
+
+#[derive(Debug)]
+struct MeteredFile {
+    inner: Box<dyn VfsFile>,
+    metrics: crate::obs::VfsMetrics,
+    kind: MeteredKind,
+}
+
+impl MeteredVfs {
+    /// Wrap `inner`, reporting into `metrics`.
+    #[must_use]
+    pub fn new(inner: Arc<dyn Vfs>, metrics: crate::obs::VfsMetrics) -> MeteredVfs {
+        MeteredVfs { inner, metrics }
+    }
+
+    fn wrap(&self, inner: Box<dyn VfsFile>, path: &Path) -> Box<dyn VfsFile> {
+        Box::new(MeteredFile {
+            inner,
+            metrics: self.metrics.clone(),
+            kind: metered_kind(path),
+        })
+    }
+}
+
+impl VfsFile for MeteredFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        use crate::obs::VfsOp;
+        self.metrics.op(VfsOp::Write);
+        let start = std::time::Instant::now();
+        let result = self.inner.write_all(buf);
+        self.metrics
+            .write_latency(crate::obs::trace::ns(start.elapsed()));
+        if result.is_ok() {
+            self.metrics.write_bytes_total.add(buf.len() as u64);
+            if self.kind == MeteredKind::Journal {
+                self.metrics.journal_appends_total.inc();
+                self.metrics.journal_bytes_total.add(buf.len() as u64);
+            }
+        }
+        result
+    }
+
+    fn sync_data(&self) -> io::Result<()> {
+        use crate::obs::trace::{self, Stage};
+        use crate::obs::VfsOp;
+        self.metrics.op(VfsOp::Sync);
+        let start = std::time::Instant::now();
+        let result = self.inner.sync_data();
+        let elapsed = start.elapsed();
+        self.metrics.sync_latency(trace::ns(elapsed));
+        trace::add(Stage::Fsync, elapsed);
+        if result.is_ok() && self.kind == MeteredKind::Journal {
+            self.metrics.journal_fsyncs_total.inc();
+        }
+        result
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        self.metrics.op(crate::obs::VfsOp::Stat);
+        self.inner.len()
+    }
+
+    fn set_len(&self, len: u64) -> io::Result<()> {
+        self.metrics.op(crate::obs::VfsOp::SetLen);
+        self.inner.set_len(len)
+    }
+}
+
+impl Vfs for MeteredVfs {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.metrics.op(crate::obs::VfsOp::Mkdir);
+        self.inner.create_dir_all(path)
+    }
+
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        self.metrics.op(crate::obs::VfsOp::Read);
+        self.inner.read_to_string(path)
+    }
+
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        self.metrics.op(crate::obs::VfsOp::Stat);
+        self.inner.list_dir(path)
+    }
+
+    fn is_dir(&self, path: &Path) -> bool {
+        self.metrics.op(crate::obs::VfsOp::Stat);
+        self.inner.is_dir(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.metrics.op(crate::obs::VfsOp::Stat);
+        self.inner.exists(path)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.metrics.op(crate::obs::VfsOp::Remove);
+        self.inner.remove_file(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.metrics.op(crate::obs::VfsOp::Rename);
+        let result = self.inner.rename(from, to);
+        if result.is_ok() && to.file_name().is_some_and(|n| n == "snapshot.json") {
+            self.metrics.snapshot_writes_total.inc();
+        }
+        result
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        self.metrics.op(crate::obs::VfsOp::Create);
+        Ok(self.wrap(self.inner.create(path)?, path))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        self.metrics.op(crate::obs::VfsOp::OpenAppend);
+        Ok(self.wrap(self.inner.open_append(path)?, path))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -981,5 +1136,67 @@ mod tests {
         assert_eq!(vfs.file_bytes(path).unwrap(), b"{}");
         assert_eq!(vfs.synced_len(path).unwrap(), 2, "synced before rename");
         assert!(!vfs.exists(Path::new("/d/record.tmp")));
+    }
+
+    #[test]
+    fn metered_vfs_counts_without_changing_behavior() {
+        let metrics = crate::obs::ServeMetrics::new(&[]);
+        let mem = MemVfs::new();
+        let vfs = MeteredVfs::new(Arc::new(mem), metrics.vfs.clone());
+        let dir = Path::new("/p/projects/demo");
+        vfs.create_dir_all(dir).unwrap();
+        let journal = dir.join("journal.log");
+        let mut f = vfs.open_append(&journal).unwrap();
+        f.write_all(b"op-1\n").unwrap();
+        f.write_all(b"op-2\n").unwrap();
+        f.sync_data().unwrap();
+        write_atomic(&vfs, &dir.join("snapshot.json"), b"{}").unwrap();
+        assert_eq!(vfs.read_to_string(&journal).unwrap(), "op-1\nop-2\n");
+
+        assert_eq!(metrics.vfs.journal_appends_total.get(), 2);
+        assert_eq!(metrics.vfs.journal_bytes_total.get(), 10);
+        assert_eq!(metrics.vfs.journal_fsyncs_total.get(), 1);
+        assert_eq!(metrics.vfs.snapshot_writes_total.get(), 1);
+        assert_eq!(
+            metrics.vfs.write_bytes_total.get(),
+            12,
+            "journal + snapshot"
+        );
+        // The underlying disk is untouched semantically: the snapshot
+        // temp file is gone and the journal bytes are exact.
+        assert!(!vfs.exists(&dir.join("snapshot.tmp")));
+    }
+
+    #[test]
+    fn metered_fault_vfs_preserves_op_indices() {
+        // Wrapping a FaultVfs must not shift its per-scope op counting:
+        // the same workload counts the same ops and the same scripted
+        // fault fires at the same index, metered or not.
+        let root = Path::new("/m");
+        let run = |metered: bool| -> (u64, Vec<bool>) {
+            let fvfs = FaultVfs::new(
+                root,
+                FaultPlan::new().at("demo", 3, Fault::Fail(FaultKind::Enospc)),
+            );
+            let vfs: Arc<dyn Vfs> = if metered {
+                let metrics = crate::obs::ServeMetrics::new(&[]);
+                Arc::new(MeteredVfs::new(Arc::new(fvfs.clone()), metrics.vfs.clone()))
+            } else {
+                Arc::new(fvfs.clone())
+            };
+            vfs.create_dir_all(Path::new("/m/projects/demo")).unwrap();
+            let path = Path::new("/m/projects/demo/journal.log");
+            let mut f = vfs.open_append(path).unwrap();
+            let outcomes = vec![
+                f.write_all(b"a\n").is_ok(),
+                f.write_all(b"b\n").is_ok(),
+                f.sync_data().is_ok(),
+            ];
+            (fvfs.op_count("demo"), outcomes)
+        };
+        let bare = run(false);
+        let metered = run(true);
+        assert_eq!(bare, metered, "metering shifted fault-plan op indices");
+        assert!(bare.1.contains(&false), "the scripted fault fired");
     }
 }

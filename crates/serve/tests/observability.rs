@@ -1,0 +1,430 @@
+//! Integration tests for the observability subsystem over live HTTP:
+//! the `/metrics` exposition (parseability, catalog coverage, golden
+//! bucket edges, monotone counters), the one-source-of-truth contract
+//! between `/healthz`, `/cache/stats`, and `/metrics`, the
+//! `/admin/trace` slow-request ring, and the histogram's exactness
+//! under proptest and pool-parallel recording.
+
+use easeml_serve::json::Value;
+use easeml_serve::obs::expo::{self, Exposition};
+use easeml_serve::obs::hist::{fmt_seconds, Edges, Histogram};
+use easeml_serve::server::{ServeConfig, Server, ServerHandle};
+use easeml_serve::Client;
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+const SCRIPT: &str = "ml:\n\
+    \x20 - script     : ./test_model.py\n\
+    \x20 - condition  : n > 0.6 +/- 0.2\n\
+    \x20 - reliability: 0.99\n\
+    \x20 - mode       : fp-free\n\
+    \x20 - adaptivity : full\n\
+    \x20 - steps      : 3\n";
+
+/// The shared `BoundsCache`/`PlanCache` are process globals, so tests
+/// that compare cache counters across two HTTP reads must not interleave
+/// with another test's registrations.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("easeml-serve-observability")
+        .join(format!("{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start_with(config: ServeConfig) -> (String, ServerHandle, std::thread::JoinHandle<()>) {
+    let server = Server::bind(&config).expect("bind");
+    let addr = server.local_addr().to_string();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle, join)
+}
+
+fn register_body(name: &str, script: &str) -> Value {
+    Value::object([("name", Value::from(name)), ("script", Value::from(script))])
+}
+
+fn commit_body(id: &str, new_correct: u64) -> Value {
+    Value::object([
+        ("commit_id", Value::from(id)),
+        ("samples", Value::from(100u64)),
+        ("new_correct", Value::from(new_correct)),
+        ("old_correct", Value::from(50u64)),
+        ("changed", Value::from(30u64)),
+        ("labels", Value::from(100u64)),
+    ])
+}
+
+/// One raw HTTP GET with `connection: close`, returning the status and
+/// the response *body* (`/metrics` is text, which [`Client`] cannot
+/// JSON-parse).
+fn raw_get(addr: &str, path: &str) -> (u16, String) {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .expect("timeout");
+    let request = format!("GET {path} HTTP/1.1\r\nhost: test\r\nconnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes()).expect("write");
+    let mut text = String::new();
+    stream.read_to_string(&mut text).expect("read");
+    let status = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn scrape(addr: &str) -> Exposition {
+    let (status, body) = raw_get(addr, "/metrics");
+    assert_eq!(status, 200);
+    expo::parse(&body).expect("exposition parses")
+}
+
+#[test]
+fn metrics_exposition_is_parseable_and_covers_the_catalog() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = temp_dir("catalog");
+    let (addr, _handle, join) = start_with(ServeConfig {
+        threads: 2,
+        ..ServeConfig::new("127.0.0.1:0", &dir)
+    });
+    let mut client = Client::new(addr.clone());
+
+    let (status, _) = client
+        .request("POST", "/projects", Some(&register_body("obs", SCRIPT)))
+        .unwrap();
+    assert_eq!(status, 201);
+    let (status, r1) = client
+        .request(
+            "POST",
+            "/projects/obs/commits",
+            Some(&commit_body("c1", 90)),
+        )
+        .unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(r1.get("passed").and_then(Value::as_bool), Some(true));
+    let (status, r2) = client
+        .request(
+            "POST",
+            "/projects/obs/commits",
+            Some(&commit_body("c2", 30)),
+        )
+        .unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(r2.get("passed").and_then(Value::as_bool), Some(false));
+    let (status, _) = client.request("GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    let (status, _) = client.request("GET", "/projects/nope", None).unwrap();
+    assert_eq!(status, 404);
+
+    let first = scrape(&addr);
+    assert!(
+        first.series_count() >= 25,
+        "catalog too small: {} series",
+        first.series_count()
+    );
+
+    // Curated always-on counters, all non-zero after the workload above.
+    let nonzero = [
+        ("easeml_requests_total", vec![("route", "commit")]),
+        ("easeml_requests_total", vec![("route", "register")]),
+        ("easeml_requests_total", vec![("route", "healthz")]),
+        ("easeml_requests_total", vec![("route", "status")]),
+        ("easeml_responses_total", vec![("class", "2xx")]),
+        ("easeml_responses_total", vec![("class", "4xx")]),
+        ("easeml_dispatch_inline_total", vec![]),
+        ("easeml_dispatch_pool_total", vec![]),
+        ("easeml_connections_accepted_total", vec![]),
+        ("easeml_loop_polls_total", vec![]),
+        ("easeml_loop_ready_events_total", vec![]),
+        ("easeml_journal_appends_total", vec![]),
+        ("easeml_journal_bytes_total", vec![]),
+        ("easeml_vfs_ops_total", vec![("op", "write")]),
+        (
+            "easeml_gate_outcomes_total",
+            vec![("project", "obs"), ("outcome", "pass")],
+        ),
+        (
+            "easeml_gate_outcomes_total",
+            vec![("project", "obs"), ("outcome", "fail")],
+        ),
+    ];
+    for (name, labels) in &nonzero {
+        let value = first.value(name, labels);
+        assert!(
+            value.is_some_and(|v| v > 0.0),
+            "{name}{labels:?} should be non-zero, got {value:?}"
+        );
+    }
+
+    // Stage histograms carry the full golden edge ladder: every fixed
+    // edge appears as an exact `le` label, plus `+Inf`.
+    for bound in Edges::time().bounds() {
+        let le = fmt_seconds(*bound);
+        assert!(
+            first
+                .value(
+                    "easeml_request_stage_seconds_bucket",
+                    &[("stage", "gate"), ("le", le.as_str())]
+                )
+                .is_some(),
+            "missing bucket le={le}"
+        );
+    }
+    assert!(first
+        .value(
+            "easeml_request_stage_seconds_bucket",
+            &[("stage", "gate"), ("le", "+Inf")]
+        )
+        .is_some_and(|v| v >= 2.0));
+
+    // Counters are monotone across scrapes (the scrape itself adds
+    // requests, so strictly greater for the request counter).
+    let second = scrape(&addr);
+    for (name, labels) in &nonzero {
+        assert!(
+            second.value(name, labels) >= first.value(name, labels),
+            "{name}{labels:?} went backwards"
+        );
+    }
+    assert!(
+        second.value("easeml_requests_total", &[("route", "metrics")])
+            > first.value("easeml_requests_total", &[("route", "metrics")]),
+        "scraping /metrics must count itself"
+    );
+
+    let (status, _) = client.request("POST", "/admin/shutdown", None).unwrap();
+    assert_eq!(status, 200);
+    drop(client);
+    join.join().unwrap();
+}
+
+#[test]
+fn healthz_and_cache_stats_read_the_metrics_registry() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = temp_dir("unified");
+    let (addr, _handle, join) = start_with(ServeConfig {
+        threads: 2,
+        ..ServeConfig::new("127.0.0.1:0", &dir)
+    });
+    let mut client = Client::new(addr.clone());
+
+    let (status, _) = client
+        .request("POST", "/projects", Some(&register_body("uni", SCRIPT)))
+        .unwrap();
+    assert_eq!(status, 201);
+    let (status, _) = client
+        .request(
+            "POST",
+            "/projects/uni/commits",
+            Some(&commit_body("c1", 90)),
+        )
+        .unwrap();
+    assert_eq!(status, 200);
+
+    let (status, health) = client.request("GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    let (status, caches) = client.request("GET", "/cache/stats", None).unwrap();
+    assert_eq!(status, 200);
+    let expo = scrape(&addr);
+
+    // /healthz fields and their registry series agree (no registration
+    // or gate traffic runs between the two reads).
+    let health_u64 = |key: &str| health.get(key).and_then(Value::as_u64).unwrap() as f64;
+    assert_eq!(
+        expo.value("easeml_projects", &[]),
+        Some(health_u64("projects"))
+    );
+    assert_eq!(
+        expo.value("easeml_inflight", &[]),
+        Some(health_u64("inflight"))
+    );
+    assert_eq!(
+        expo.value("easeml_max_inflight", &[]),
+        Some(health_u64("max_inflight"))
+    );
+    assert_eq!(
+        expo.value("easeml_shed_total", &[]),
+        Some(health_u64("shed_total"))
+    );
+    assert_eq!(
+        expo.value("easeml_journal_append_failures_total", &[]),
+        Some(health_u64("journal_append_failures"))
+    );
+    assert_eq!(expo.value("easeml_degraded", &[]), Some(0.0));
+
+    // /cache/stats is the same closure-backed series, per cache.
+    for cache in ["bounds", "plan"] {
+        let section = caches.get(cache).expect(cache);
+        let field = |key: &str| section.get(key).and_then(Value::as_u64).unwrap() as f64;
+        assert_eq!(
+            expo.value("easeml_cache_hits_total", &[("cache", cache)]),
+            Some(field("hits")),
+            "{cache} hits"
+        );
+        assert_eq!(
+            expo.value("easeml_cache_misses_total", &[("cache", cache)]),
+            Some(field("misses")),
+            "{cache} misses"
+        );
+        assert_eq!(
+            expo.value("easeml_cache_entries", &[("cache", cache)]),
+            Some(field("entries")),
+            "{cache} entries"
+        );
+    }
+
+    let (status, _) = client.request("POST", "/admin/shutdown", None).unwrap();
+    assert_eq!(status, 200);
+    drop(client);
+    join.join().unwrap();
+}
+
+#[test]
+fn admin_trace_records_slow_requests_at_zero_threshold() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = temp_dir("trace");
+    // Threshold 0: every request is "slow", so the ring fills without
+    // needing an artificially stalled handler.
+    let (addr, _handle, join) = start_with(ServeConfig {
+        threads: 2,
+        slow_request_ms: 0,
+        ..ServeConfig::new("127.0.0.1:0", &dir)
+    });
+    let mut client = Client::new(addr.clone());
+
+    let (status, _) = client
+        .request("POST", "/projects", Some(&register_body("tr", SCRIPT)))
+        .unwrap();
+    assert_eq!(status, 201);
+    let (status, _) = client
+        .request("POST", "/projects/tr/commits", Some(&commit_body("c1", 90)))
+        .unwrap();
+    assert_eq!(status, 200);
+
+    let (status, trace) = client.request("GET", "/admin/trace", None).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        trace.get("slow_request_ms").and_then(Value::as_u64),
+        Some(0)
+    );
+    let entries = trace.get("entries").and_then(Value::as_array).unwrap();
+    assert!(!entries.is_empty(), "threshold 0 must trace every request");
+    let commit = entries
+        .iter()
+        .find(|e| e.get("route").and_then(Value::as_str) == Some("commit"))
+        .expect("commit request traced");
+    assert_eq!(commit.get("status").and_then(Value::as_u64), Some(200));
+    assert!(commit.get("id").and_then(Value::as_u64).unwrap() >= 1);
+    assert!(commit.get("total_us").and_then(Value::as_u64).is_some());
+    assert!(
+        commit.get("handler_us").and_then(Value::as_u64).is_some(),
+        "handler stage always runs: {commit}"
+    );
+
+    // Request ids are unique across the ring.
+    let mut ids: Vec<u64> = entries
+        .iter()
+        .map(|e| e.get("id").and_then(Value::as_u64).unwrap())
+        .collect();
+    ids.sort_unstable();
+    let before = ids.len();
+    ids.dedup();
+    assert_eq!(ids.len(), before, "request ids must be unique");
+
+    // The slow counter agrees with the ring's growth.
+    let expo = scrape(&addr);
+    assert!(expo
+        .value("easeml_slow_requests_total", &[])
+        .is_some_and(|v| v >= entries.len() as f64));
+
+    let (status, _) = client.request("POST", "/admin/shutdown", None).unwrap();
+    assert_eq!(status, 200);
+    drop(client);
+    join.join().unwrap();
+}
+
+/// The bucket a value must land in: first edge `>= value`, or the
+/// overflow bucket. (Independent mirror of the histogram's
+/// `partition_point` placement.)
+fn expected_bucket(edges: &[u64], value: u64) -> usize {
+    edges
+        .iter()
+        .position(|&e| value <= e)
+        .unwrap_or(edges.len())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Histogram correctness: every recorded sample lands in exactly the
+    /// bucket its value demands, and count/sum are exact.
+    #[test]
+    fn histogram_places_every_sample_in_its_bucket(
+        samples in proptest::collection::vec(0u64..1 << 40, 0..200)
+    ) {
+        let hist = Histogram::new(Edges::time());
+        for &s in &samples {
+            hist.record(s);
+        }
+        let snap = hist.snapshot();
+        let edges = Edges::time();
+        let mut expected = vec![0u64; edges.bounds().len() + 1];
+        for &s in &samples {
+            expected[expected_bucket(edges.bounds(), s)] += 1;
+        }
+        prop_assert_eq!(&snap.counts[..], &expected[..]);
+        prop_assert_eq!(snap.count, samples.len() as u64);
+        prop_assert_eq!(snap.sum, samples.iter().sum::<u64>());
+    }
+}
+
+/// Sharded recording is exact, not approximate: hammering one histogram
+/// and one counter from the full `EASEML_THREADS` pool produces the
+/// same snapshot as recording the same samples sequentially.
+#[test]
+fn pool_parallel_recording_merges_exactly() {
+    use easeml_par::{splitmix64, Pool};
+
+    let pool = *Pool::global();
+    let threads = pool.threads().max(1);
+    const PER_THREAD: usize = 50_000;
+    let sample = |t: usize, i: usize| splitmix64(0x0b5e_5eed, (t * PER_THREAD + i) as u64) >> 24;
+
+    let sequential = Histogram::new(Edges::time());
+    for t in 0..threads {
+        for i in 0..PER_THREAD {
+            sequential.record(sample(t, i));
+        }
+    }
+
+    let parallel = Histogram::new(Edges::time());
+    let counter = easeml_serve::obs::Counter::default();
+    pool.scope(|scope| {
+        for t in 0..threads {
+            let parallel = &parallel;
+            let counter = &counter;
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    parallel.record(sample(t, i));
+                    counter.inc();
+                }
+            });
+        }
+    });
+
+    let seq = sequential.snapshot();
+    let par = parallel.snapshot();
+    assert_eq!(par.counts, seq.counts, "shard merge must be exact");
+    assert_eq!(par.sum, seq.sum);
+    assert_eq!(par.count, (threads * PER_THREAD) as u64);
+    assert_eq!(counter.get(), (threads * PER_THREAD) as u64);
+}

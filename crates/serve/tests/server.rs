@@ -1591,6 +1591,11 @@ fn persistent_journal_failure_degrades_to_read_only_over_http() {
         )
         .unwrap();
     assert_eq!(status, 503, "{body}");
+    assert_eq!(
+        body.get("reason").and_then(Value::as_str),
+        Some("degraded_read_only"),
+        "degraded 503 must carry a machine-readable reason: {body}"
+    );
     assert!(
         body.get("error")
             .and_then(Value::as_str)
@@ -1634,12 +1639,23 @@ fn persistent_journal_failure_degrades_to_read_only_over_http() {
         Some("degraded")
     );
     assert_eq!(health.get("ready").and_then(Value::as_bool), Some(false));
-    assert!(
-        health
-            .get("journal_append_failures")
-            .and_then(Value::as_u64)
-            .unwrap()
-            >= 3
+    let failures = health
+        .get("journal_append_failures")
+        .and_then(Value::as_u64)
+        .unwrap();
+    assert!(failures >= 3);
+
+    // /metrics reports the same degradation from the same counters:
+    // the degraded gauge flips and the failure count matches /healthz.
+    let (status, text) = raw_round_trip(&addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let exposition = text.split("\r\n\r\n").nth(1).expect("metrics body");
+    let expo = easeml_serve::obs::expo::parse(exposition).expect("parseable exposition");
+    assert_eq!(expo.value("easeml_degraded", &[]), Some(1.0));
+    assert_eq!(
+        expo.value("easeml_journal_append_failures_total", &[]),
+        Some(failures as f64),
+        "healthz and /metrics must report one failure counter"
     );
 
     // Sticky: the disk recovering does not silently resume writes (an
@@ -1706,6 +1722,10 @@ fn overload_sheds_with_retry_after_and_backoff_clients_converge() {
                 text.contains("retry-after: 1\r\n"),
                 "shed response must carry Retry-After: {text}"
             );
+            assert!(
+                text.contains("\"reason\":\"shed\""),
+                "shed 503 must carry a machine-readable reason: {text}"
+            );
         }
     }
 
@@ -1745,11 +1765,22 @@ fn overload_sheds_with_retry_after_and_backoff_clients_converge() {
         "four simultaneous cold registrations into one slot should retry at least once"
     );
 
-    // The shed counter made it into /healthz.
-    let mut client = Client::new(addr);
+    // The shed counter made it into /healthz, and /metrics reports the
+    // same number (one registry counter feeds both).
+    let mut client = Client::new(addr.clone());
     let (status, health) = client.request("GET", "/healthz", None).unwrap();
     assert_eq!(status, 200);
-    assert!(health.get("shed_total").and_then(Value::as_u64).unwrap() >= shed as u64);
+    let shed_total = health.get("shed_total").and_then(Value::as_u64).unwrap();
+    assert!(shed_total >= shed as u64);
+    let (status, text) = raw_round_trip(&addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let exposition = text.split("\r\n\r\n").nth(1).expect("metrics body");
+    let expo = easeml_serve::obs::expo::parse(exposition).expect("parseable exposition");
+    assert_eq!(
+        expo.value("easeml_shed_total", &[]),
+        Some(shed_total as f64),
+        "healthz and /metrics must report one shed counter"
+    );
 
     let (status, _) = client.request("POST", "/admin/shutdown", None).unwrap();
     assert_eq!(status, 200);
