@@ -13,23 +13,40 @@
 //! exits non-zero if any matrix cell fails — CI runs this in `--quick`
 //! (strided) mode across an `EASEML_THREADS` matrix.
 //!
-//! Usage: `cargo run --release --bin repro_faults [--quick] [--threads N]`
+//! Usage: `cargo run --release --bin repro_faults [--quick] [--threads N]
+//! [--durability strict|group|relaxed]`
 
 use easeml_bench::{init_threads_from_args, results_dir, write_text, Table};
 use easeml_serve::fault::{run_matrix, MatrixOptions};
 use easeml_serve::json::Value;
+use easeml_serve::Durability;
 use std::collections::BTreeMap;
 use std::time::Instant;
 
 fn main() {
     let threads = init_threads_from_args();
     let quick = std::env::args().any(|a| a == "--quick");
+    let mut durability = Durability::Strict;
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--durability" {
+            let value = args.next().unwrap_or_default();
+            durability = Durability::parse(&value).unwrap_or_else(|| {
+                eprintln!("error: --durability expects strict|group|relaxed, got `{value}`");
+                std::process::exit(2);
+            });
+        }
+    }
     println!(
-        "== crash-consistency matrix ({} mode, {threads} threads) ==",
+        "== crash-consistency matrix ({} mode, {durability} durability, {threads} threads) ==",
         if quick { "quick" } else { "full" }
     );
 
-    let options = MatrixOptions { quick, seed: 7 };
+    let options = MatrixOptions {
+        quick,
+        seed: 7,
+        durability,
+    };
     let start = Instant::now();
     let report = run_matrix(&options);
     let elapsed = start.elapsed();
@@ -56,6 +73,7 @@ fn main() {
 
     let json = Value::object([
         ("bench", Value::from("crash_matrix")),
+        ("durability", Value::from(durability.as_str())),
         ("elapsed_ms", Value::from(elapsed.as_secs_f64() * 1e3)),
         ("matrix", report.to_json()),
     ]);

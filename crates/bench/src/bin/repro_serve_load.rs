@@ -394,9 +394,350 @@ fn sweep_level(addr: &str, clients: usize, commits: u64) -> (Vec<f64>, f64) {
     (latencies, wall_ms)
 }
 
+// ---------------------------------------------------------------------
+// Durability phase (strict vs group)
+// ---------------------------------------------------------------------
+
+/// Counts projects shared per durability level: clients are spread over
+/// this many journals, so one group-commit flusher round retires many
+/// commits with at most this many fsyncs — the batching the mode exists
+/// for. (Strict pays one fsync per commit regardless of sharing.)
+const DUR_PROJECTS: usize = 4;
+
+/// Server-side latency of one route, reconstructed from the scrape's
+/// cumulative `easeml_request_duration_seconds` ladder.
+fn route_duration_quantiles(expo: &Exposition, route: &str) -> Option<(u64, f64, f64)> {
+    let edges = Edges::time();
+    let bounds = edges.bounds();
+    let count = expo.value("easeml_request_duration_seconds_count", &[("route", route)])?;
+    if count == 0.0 {
+        return None;
+    }
+    let sum_s = expo.value("easeml_request_duration_seconds_sum", &[("route", route)])?;
+    let mut counts = Vec::with_capacity(bounds.len() + 1);
+    let mut prev = 0.0;
+    for &edge in bounds {
+        let le = fmt_seconds(edge);
+        let cum = expo.value(
+            "easeml_request_duration_seconds_bucket",
+            &[("route", route), ("le", le.as_str())],
+        )?;
+        counts.push((cum - prev).round() as u64);
+        prev = cum;
+    }
+    let inf = expo.value(
+        "easeml_request_duration_seconds_bucket",
+        &[("route", route), ("le", "+Inf")],
+    )?;
+    counts.push((inf - prev).round() as u64);
+    let snap = HistogramSnapshot {
+        edges: Arc::from(bounds),
+        unit: Unit::Nanos,
+        counts,
+        sum: (sum_s * 1e9).round() as u64,
+        count: count as u64,
+    };
+    Some((
+        snap.count,
+        snap.quantile(0.50)? / 1e3,
+        snap.quantile(0.99)? / 1e3,
+    ))
+}
+
+/// One concurrency level of the durability sweep.
+struct DurabilityLevel {
+    clients: usize,
+    counts_commits: u64,
+    preds_commits: u64,
+    counts: Percentiles,
+    predictions: Percentiles,
+    /// (count, p50_us, p99_us) of the `commit` route as the server
+    /// itself measured it.
+    counts_server: (u64, f64, f64),
+    predictions_server: (u64, f64, f64),
+    /// Pipeline-stage quantiles (gate / measure / journal_append /
+    /// fsync) from the cell's own scrape.
+    stages: Vec<StageQuantiles>,
+    commits: u64,
+    fsyncs: u64,
+    fsyncs_per_commit: f64,
+    wall_ms: f64,
+    rps: f64,
+}
+
+impl DurabilityLevel {
+    /// p50 of one pipeline stage in this cell (0 when the stage never
+    /// ran — e.g. `fsync` in a cell whose flusher had nothing to sync).
+    fn stage_p50(&self, name: &str) -> f64 {
+        self.stages
+            .iter()
+            .find(|q| q.stage == name)
+            .map_or(0.0, |q| q.p50_us)
+    }
+}
+
+/// Outcome of one durability mode's level sweep.
+struct DurabilityMode {
+    mode: &'static str,
+    plan_warm_register: Percentiles,
+    levels: Vec<DurabilityLevel>,
+}
+
+/// Drive one (mode, clients) cell: a fresh server in `durability` mode,
+/// `clients` keep-alive connections spread over [`DUR_PROJECTS`] counts
+/// projects and as many predictions projects, pushing the familiar
+/// commit workloads. Registration latencies (all plan-warm: the scripts
+/// were estimated in the main phase) feed the per-mode registration
+/// percentile; the two scrapes bracket the commit storm so the
+/// fsyncs-per-commit ratio excludes registration I/O.
+fn run_durability_level(
+    durability: easeml_serve::Durability,
+    quick: bool,
+    clients: usize,
+    register_ns: &mut Vec<f64>,
+) -> DurabilityLevel {
+    let counts_commits = (2_000 / clients as u64).max(4);
+    let preds_commits = (800 / clients as u64).max(2);
+    let dir: PathBuf = std::env::temp_dir().join(format!(
+        "easeml-serve-dur-{}-{}-{clients}-{}",
+        std::process::id(),
+        durability,
+        if quick { "quick" } else { "full" }
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = Server::bind(&ServeConfig {
+        durability,
+        ..ServeConfig::new("127.0.0.1:0", dir.clone())
+    })
+    .expect("bind durability server");
+    let addr = server.local_addr().to_string();
+    let handle = server.handle();
+    let server_thread = std::thread::spawn(move || server.run().expect("durability server run"));
+
+    // Shared projects, registered up front (their journals are what the
+    // flusher batches across).
+    let mut setup = Client::new(addr.clone());
+    let counts_script = script_for(0);
+    for p in 0..DUR_PROJECTS {
+        let body = Value::object([
+            ("name", Value::from(format!("dur-{p}"))),
+            ("script", Value::from(counts_script.as_str())),
+        ]);
+        let t = Instant::now();
+        let (status, response) = setup
+            .request("POST", "/projects", Some(&body))
+            .expect("durability register");
+        register_ns.push(t.elapsed().as_nanos() as f64);
+        assert_eq!(status, 201, "{response}");
+    }
+    let preds_script = script_for(1);
+    let truth = easeml_serve::json::encode_u32_vec(&vec![0u32; PRED_TESTSET]);
+    for p in 0..DUR_PROJECTS {
+        let body = Value::object([
+            ("name", Value::from(format!("durp-{p}"))),
+            ("script", Value::from(preds_script.as_str())),
+            (
+                "testset",
+                Value::object([
+                    ("labels", Value::from(truth.as_str())),
+                    ("labeling", Value::from("lazy")),
+                    ("classes", Value::from(2u64)),
+                ]),
+            ),
+        ]);
+        let t = Instant::now();
+        let (status, response) = setup
+            .request("POST", "/projects", Some(&body))
+            .expect("durability predictions register");
+        register_ns.push(t.elapsed().as_nanos() as f64);
+        assert_eq!(status, 201, "{response}");
+    }
+    drop(setup);
+
+    let baseline = easeml_serve::obs::expo::parse(&scrape_metrics(&addr)).expect("baseline scrape");
+    let fsyncs_before = baseline
+        .value("easeml_journal_fsyncs_total", &[])
+        .unwrap_or(0.0);
+
+    // One driver thread per client: group-commit batching depth is set
+    // by how many commits are genuinely in flight at once (each blocks
+    // until its flush round retires), so unlike the keep-alive sweep
+    // the drivers must not multiplex clients onto a fixed thread pool.
+    let threads = clients;
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(threads));
+    let wall = Instant::now();
+    let workers: Vec<_> = (0..threads)
+        .map(|t| {
+            let addr = addr.clone();
+            let barrier = std::sync::Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let lo = clients * t / threads;
+                let hi = clients * (t + 1) / threads;
+                let mut owned: Vec<(u64, Client)> = (lo..hi)
+                    .map(|id| (id as u64, Client::new(addr.clone())))
+                    .collect();
+                barrier.wait();
+                let mut counts_ns = Vec::new();
+                let mut preds_ns = Vec::new();
+                for i in 0..counts_commits {
+                    for (id, client) in &mut owned {
+                        let roll = splitmix64(*id, i);
+                        let path = format!("/projects/dur-{}/commits", *id as usize % DUR_PROJECTS);
+                        let body = Value::object([
+                            ("commit_id", Value::from(format!("c{id}-{i}"))),
+                            ("samples", Value::from(1_000u64)),
+                            ("new_correct", Value::from(300 + roll % 700)),
+                            ("old_correct", Value::from(500u64)),
+                            ("changed", Value::from(roll % 1_000)),
+                            ("labels", Value::from(1_000u64)),
+                        ]);
+                        let t = Instant::now();
+                        let (status, response) = client
+                            .request("POST", &path, Some(&body))
+                            .expect("durability commit");
+                        counts_ns.push(t.elapsed().as_nanos() as f64);
+                        assert_eq!(status, 200, "{response}");
+                    }
+                }
+                let old = pred_vector(500);
+                for i in 0..preds_commits {
+                    for (id, client) in &mut owned {
+                        let roll = splitmix64(*id + 9_000, i);
+                        let path = format!(
+                            "/projects/durp-{}/commits/predictions",
+                            *id as usize % DUR_PROJECTS
+                        );
+                        let body = Value::object([
+                            ("commit_id", Value::from(format!("p{id}-{i}"))),
+                            ("old", Value::from(old.as_str())),
+                            ("new", Value::from(pred_vector(300 + roll % 700))),
+                        ]);
+                        let t = Instant::now();
+                        let (status, response) = client
+                            .request("POST", &path, Some(&body))
+                            .expect("durability predictions commit");
+                        preds_ns.push(t.elapsed().as_nanos() as f64);
+                        assert_eq!(status, 200, "{response}");
+                    }
+                }
+                (counts_ns, preds_ns)
+            })
+        })
+        .collect();
+    let mut counts_ns = Vec::new();
+    let mut preds_ns = Vec::new();
+    for worker in workers {
+        let (c, p) = worker.join().expect("durability driver");
+        counts_ns.extend(c);
+        preds_ns.extend(p);
+    }
+    let wall_ms = wall.elapsed().as_nanos() as f64 / 1e6;
+
+    let end = easeml_serve::obs::expo::parse(&scrape_metrics(&addr)).expect("end scrape");
+    let fsyncs_after = end.value("easeml_journal_fsyncs_total", &[]).unwrap_or(0.0);
+    let commits_total = end
+        .value("easeml_requests_total", &[("route", "commit")])
+        .unwrap_or(0.0)
+        + end
+            .value("easeml_requests_total", &[("route", "commit_predictions")])
+            .unwrap_or(0.0);
+    // The pipeline-stage view of the same cell: what the durable-commit
+    // stages themselves cost, net of the per-request wrapper (HTTP/JSON
+    // parse, response build, tracing) that is identical in every mode.
+    // The ISSUE's latency acceptance is stated against these stage
+    // histograms; the route-duration quantiles below are the stricter
+    // whole-handler numbers, reported alongside.
+    let stages = stage_breakdown(&end)
+        .into_iter()
+        .filter(|q| matches!(q.stage, "gate" | "measure" | "journal_append" | "fsync"))
+        .collect();
+    let counts_server = route_duration_quantiles(&end, "commit").expect("commit route histogram");
+    let predictions_server = route_duration_quantiles(&end, "commit_predictions")
+        .expect("commit_predictions route histogram");
+
+    handle.stop();
+    server_thread.join().expect("durability server thread");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let commits = commits_total as u64;
+    let fsyncs = (fsyncs_after - fsyncs_before).max(0.0) as u64;
+    let requests = counts_ns.len() + preds_ns.len();
+    DurabilityLevel {
+        clients,
+        counts_commits,
+        preds_commits,
+        counts: percentiles(counts_ns),
+        predictions: percentiles(preds_ns),
+        counts_server,
+        predictions_server,
+        stages,
+        commits,
+        fsyncs,
+        fsyncs_per_commit: fsyncs as f64 / commits.max(1) as f64,
+        wall_ms,
+        rps: requests as f64 / (wall_ms / 1e3),
+    }
+}
+
+/// The strict-vs-group durability sweep: both modes over the same
+/// client levels, reporting client- and server-side gate latency plus
+/// the fsyncs-per-commit ratio that group commit exists to shrink.
+fn run_durability_phase(quick: bool) -> Vec<DurabilityMode> {
+    use easeml_serve::Durability;
+    let levels: &[usize] = if quick { &[8, 64] } else { &[8, 64, 256] };
+    [Durability::Strict, Durability::Group]
+        .into_iter()
+        .map(|durability| {
+            let mut register_ns = Vec::new();
+            let levels: Vec<DurabilityLevel> = levels
+                .iter()
+                .map(|&clients| {
+                    let level = run_durability_level(durability, quick, clients, &mut register_ns);
+                    let pipeline = level.stage_p50("gate") + level.stage_p50("journal_append");
+                    println!(
+                        "durability {durability} @ {clients:>3} clients: counts p50 {:.0} us \
+                         (handler {:.1} us, pipeline {pipeline:.1} us), preds p50 {:.0} us \
+                         (handler {:.1} us), fsync p50 {:.0} us, {:.3} fsyncs/commit, \
+                         {:.0} req/s",
+                        level.counts.p50_us,
+                        level.counts_server.1,
+                        level.predictions.p50_us,
+                        level.predictions_server.1,
+                        level.stage_p50("fsync"),
+                        level.fsyncs_per_commit,
+                        level.rps,
+                    );
+                    level
+                })
+                .collect();
+            DurabilityMode {
+                mode: durability.as_str(),
+                plan_warm_register: percentiles(register_ns),
+                levels,
+            }
+        })
+        .collect()
+}
+
 fn main() {
     let threads = init_threads_from_args();
     let quick = std::env::args().any(|a| a == "--quick");
+    // `--durability` sets the *main-phase* server's mode (default:
+    // group, the server default) — CI runs the smoke under strict AND
+    // group so every phase (gate modes, restart recovery, sweep,
+    // metrics-artifact check) is exercised in both ack disciplines.
+    // The strict-vs-group comparison phase below always measures both.
+    let mut durability = easeml_serve::Durability::default();
+    let mut flags = std::env::args();
+    while let Some(arg) = flags.next() {
+        if arg == "--durability" {
+            let value = flags.next().unwrap_or_default();
+            durability = easeml_serve::Durability::parse(&value).unwrap_or_else(|| {
+                eprintln!("error: --durability expects strict|group|relaxed, got `{value}`");
+                std::process::exit(2);
+            });
+        }
+    }
     let (clients, commits_per_client): (u64, u64) = if quick { (4, 25) } else { (8, 200) };
 
     let data_dir: PathBuf = std::env::temp_dir().join(format!(
@@ -406,14 +747,17 @@ fn main() {
     ));
     let _ = std::fs::remove_dir_all(&data_dir);
 
-    let server =
-        Server::bind(&ServeConfig::new("127.0.0.1:0", data_dir.clone())).expect("bind server");
+    let server = Server::bind(&ServeConfig {
+        durability,
+        ..ServeConfig::new("127.0.0.1:0", data_dir.clone())
+    })
+    .expect("bind server");
     let addr = server.local_addr().to_string();
     let handle = server.handle();
     let server_thread = std::thread::spawn(move || server.run().expect("server run"));
 
     println!(
-        "== serve load test: {clients} clients x {commits_per_client} commits on {} ({} pool threads) ==",
+        "== serve load test ({durability} durability): {clients} clients x {commits_per_client} commits on {} ({} pool threads) ==",
         addr,
         easeml_par::Pool::global().threads(),
     );
@@ -498,8 +842,11 @@ fn main() {
 
     // Warm restart: journal/snapshot recovery plus cache load.
     let t = Instant::now();
-    let restarted =
-        Server::bind(&ServeConfig::new("127.0.0.1:0", data_dir.clone())).expect("warm restart");
+    let restarted = Server::bind(&ServeConfig {
+        durability,
+        ..ServeConfig::new("127.0.0.1:0", data_dir.clone())
+    })
+    .expect("warm restart");
     let restart_ms = t.elapsed().as_nanos() as f64 / 1e6;
     // Recovered state must reflect every journalled commit.
     let handle = restarted.handle();
@@ -635,6 +982,46 @@ fn main() {
     }
     if !overload.converged {
         eprintln!("WARNING: a backoff client exhausted its retry budget without registering");
+    }
+
+    // Durability phase: the same commit workloads against fresh servers
+    // in `strict` (fsync per commit) and `group` (batched fsync,
+    // ack-after-durable) modes, across client levels. Group must hold
+    // the gate's µs-scale server-side latency while collapsing the
+    // fsync-per-commit ratio.
+    let durability_modes = run_durability_phase(quick);
+    for mode in &durability_modes {
+        if mode.mode != "group" {
+            continue;
+        }
+        for level in &mode.levels {
+            if level.clients != 64 {
+                continue;
+            }
+            // Acceptance is stated against the server's stage
+            // histograms: the durable-commit pipeline stages the PR
+            // owns, net of the mode-independent request wrapper.
+            let counts_path = level.stage_p50("gate") + level.stage_p50("journal_append");
+            let preds_path = counts_path + level.stage_p50("measure");
+            if counts_path > 10.0 {
+                eprintln!(
+                    "WARNING: group@64 counts-gate pipeline p50 is {counts_path:.1} us \
+                     (gate + journal_append, target <=10 us)"
+                );
+            }
+            if preds_path > 20.0 {
+                eprintln!(
+                    "WARNING: group@64 predictions pipeline p50 is {preds_path:.1} us \
+                     (gate + measure + journal_append, target <=20 us)"
+                );
+            }
+            if level.fsyncs_per_commit >= 0.25 {
+                eprintln!(
+                    "WARNING: group@64 fsyncs-per-commit is {:.3} (target <0.25)",
+                    level.fsyncs_per_commit
+                );
+            }
+        }
     }
 
     let reg = percentiles(register_ns);
@@ -840,6 +1227,70 @@ fn main() {
                     ]),
                 ),
             ]),
+        ),
+        // Strict-vs-group durability sweep: client- and server-side
+        // commit latency plus the fsync-per-commit ratio at each client
+        // level, and the plan-warm registration percentile per mode.
+        (
+            "durability",
+            Value::array(durability_modes.iter().map(|mode| {
+                Value::object([
+                    ("mode", Value::from(mode.mode)),
+                    (
+                        "plan_warm_register",
+                        percentiles_json(&mode.plan_warm_register),
+                    ),
+                    (
+                        "levels",
+                        Value::array(mode.levels.iter().map(|level| {
+                            Value::object([
+                                ("clients", Value::from(level.clients)),
+                                (
+                                    "counts_commits_per_client",
+                                    Value::from(level.counts_commits),
+                                ),
+                                ("preds_commits_per_client", Value::from(level.preds_commits)),
+                                ("counts", percentiles_json(&level.counts)),
+                                ("predictions", percentiles_json(&level.predictions)),
+                                (
+                                    "counts_server",
+                                    Value::object([
+                                        ("count", Value::from(level.counts_server.0)),
+                                        ("p50_us", Value::from(level.counts_server.1)),
+                                        ("p99_us", Value::from(level.counts_server.2)),
+                                    ]),
+                                ),
+                                (
+                                    "predictions_server",
+                                    Value::object([
+                                        ("count", Value::from(level.predictions_server.0)),
+                                        ("p50_us", Value::from(level.predictions_server.1)),
+                                        ("p99_us", Value::from(level.predictions_server.2)),
+                                    ]),
+                                ),
+                                (
+                                    "stages",
+                                    Value::object(level.stages.iter().map(|q| {
+                                        (
+                                            q.stage,
+                                            Value::object([
+                                                ("count", Value::from(q.count)),
+                                                ("p50_us", Value::from(q.p50_us)),
+                                                ("p99_us", Value::from(q.p99_us)),
+                                            ]),
+                                        )
+                                    })),
+                                ),
+                                ("commits", Value::from(level.commits)),
+                                ("fsyncs", Value::from(level.fsyncs)),
+                                ("fsyncs_per_commit", Value::from(level.fsyncs_per_commit)),
+                                ("wall_ms", Value::from(level.wall_ms)),
+                                ("throughput_rps", Value::from(level.rps)),
+                            ])
+                        })),
+                    ),
+                ])
+            })),
         ),
     ]);
     let path = results_dir().join("BENCH_serve.json");

@@ -14,6 +14,79 @@ use crate::dsl::{Clause, Formula, LinearForm, Var};
 use crate::error::{EngineError, Result};
 use std::ops::Range;
 
+/// A label (or prediction) vector bit-packed as per-class bitmaps: bit
+/// `i % 64` of word `i / 64` in class `c`'s bitmap is set iff item `i`
+/// carries class `c`. Equality tests between two vectors then become
+/// word-level AND + popcount instead of per-item compares — the
+/// measurement fast lane for `d`-only and disagreements-only conditions,
+/// where no (or few) oracle calls interrupt the scan.
+///
+/// Capped at [`ClassBitmaps::MAX_CLASSES`] classes to bound the packed
+/// size at 64 bits per item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassBitmaps {
+    len: usize,
+    words: usize,
+    classes: u32,
+    /// Class-major: class `c` occupies `bits[c*words .. (c+1)*words]`.
+    bits: Vec<u64>,
+}
+
+impl ClassBitmaps {
+    /// Maximum class count the packed representation accepts.
+    pub const MAX_CLASSES: u32 = 64;
+
+    /// Pack a vector of class labels. Returns `None` when the class
+    /// count is 0, exceeds [`ClassBitmaps::MAX_CLASSES`], or any label
+    /// falls outside `0..classes` (callers fall back to the per-item
+    /// path).
+    #[must_use]
+    pub fn from_labels(labels: &[u32], classes: u32) -> Option<ClassBitmaps> {
+        if classes == 0 || classes > Self::MAX_CLASSES {
+            return None;
+        }
+        let len = labels.len();
+        let words = len.div_ceil(64);
+        let mut bits = vec![0u64; classes as usize * words];
+        for (i, &label) in labels.iter().enumerate() {
+            if label >= classes {
+                return None;
+            }
+            bits[label as usize * words + i / 64] |= 1u64 << (i % 64);
+        }
+        Some(ClassBitmaps {
+            len,
+            words,
+            classes,
+            bits,
+        })
+    }
+
+    /// Items packed.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the packed vector is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Class count.
+    #[must_use]
+    pub fn classes(&self) -> u32 {
+        self.classes
+    }
+
+    /// The bitmap of class `c`.
+    fn class(&self, c: u32) -> &[u64] {
+        let c = c as usize;
+        &self.bits[c * self.words..(c + 1) * self.words]
+    }
+}
+
 /// How much ground-truth labelling a condition demands per testset item
 /// (§4.1.2). Ordered by cost: [`LabelDemand::Free`] <
 /// [`LabelDemand::Disagreements`] < [`LabelDemand::Full`].
@@ -297,6 +370,110 @@ impl<'a> Measurement<'a> {
         })
     }
 
+    /// [`Measurement::derive_counts`] over the whole pool through the
+    /// bit-packed fast lane: predictions are packed into per-class
+    /// bitmaps and compared against a pre-packed `truth` word-level, so
+    /// `changed` and the correctness credits are popcounts instead of
+    /// per-item loops. Oracle traffic is identical to the per-item path:
+    /// fresh labels are pulled in ascending item order, exactly for the
+    /// items the formula's [`LabelDemand`] requires — the two paths are
+    /// bit-identical in counts, pool state, and oracle spend.
+    ///
+    /// `truth` must pack the same ground truth the testset's cached
+    /// labels come from (label `i` known ⇒ it equals `truth[i]`), cover
+    /// exactly the pool, and span every class the prediction vectors
+    /// use; when any of that fails to hold structurally (length or class
+    /// range mismatch) this falls back to the per-item path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates label-acquisition failures.
+    pub fn derive_counts_packed(
+        &mut self,
+        formula: &Formula,
+        truth: &ClassBitmaps,
+    ) -> Result<MeasuredCounts> {
+        let len = self.testset.len();
+        let (Some(old), Some(new)) = (
+            ClassBitmaps::from_labels(self.old, truth.classes()),
+            ClassBitmaps::from_labels(self.new, truth.classes()),
+        ) else {
+            return self.derive_counts(formula, 0..len);
+        };
+        if truth.len() != len {
+            return self.derive_counts(formula, 0..len);
+        }
+        let demand = formula_label_demand(formula);
+        let spent_before = self.labels_requested;
+        let words = len.div_ceil(64);
+        let tail_mask = |w: usize| -> u64 {
+            if w + 1 == words && !len.is_multiple_of(64) {
+                (1u64 << (len % 64)) - 1
+            } else {
+                !0
+            }
+        };
+
+        // Agreement: per class, both models predict it; union over
+        // classes. Tail bits beyond `len` stay zero in every bitmap.
+        let mut disagree = vec![0u64; words];
+        for c in 0..truth.classes() {
+            let (o, n) = (old.class(c), new.class(c));
+            for w in 0..words {
+                disagree[w] |= o[w] & n[w];
+            }
+        }
+        let mut changed = 0u64;
+        for (w, word) in disagree.iter_mut().enumerate() {
+            *word = !*word & tail_mask(w);
+            changed += u64::from(word.count_ones());
+        }
+
+        // Pull the labels the demand requires, ascending — the same
+        // oracle call sequence the per-item path makes.
+        let mut known = self.testset.known_words();
+        for w in 0..words {
+            let need = match demand {
+                LabelDemand::Free => 0,
+                LabelDemand::Disagreements => disagree[w],
+                LabelDemand::Full => tail_mask(w),
+            };
+            let mut fresh = need & !known[w];
+            while fresh != 0 {
+                let bit = fresh.trailing_zeros() as usize;
+                let i = w * 64 + bit;
+                self.testset.require_label(i, self.oracle.as_deref_mut())?;
+                self.labels_requested += 1;
+                known[w] |= 1u64 << bit;
+                fresh &= fresh - 1;
+            }
+        }
+
+        // Correctness credit: exact where the label is known, both
+        // models credited where it is not (see `derive_counts`).
+        let mut unknown = 0u64;
+        let mut new_correct = 0u64;
+        let mut old_correct = 0u64;
+        for (w, word) in known.iter().enumerate() {
+            unknown += u64::from((!word & tail_mask(w)).count_ones());
+        }
+        for c in 0..truth.classes() {
+            let (t, o, n) = (truth.class(c), old.class(c), new.class(c));
+            for w in 0..words {
+                let scored = t[w] & known[w];
+                new_correct += u64::from((n[w] & scored).count_ones());
+                old_correct += u64::from((o[w] & scored).count_ones());
+            }
+        }
+        Ok(MeasuredCounts {
+            samples: len as u64,
+            new_correct: new_correct + unknown,
+            old_correct: old_correct + unknown,
+            changed,
+            labels_spent: self.labels_requested - spent_before,
+        })
+    }
+
     /// Measure the left-hand side of a clause over a range, choosing the
     /// cheapest sufficient strategy:
     ///
@@ -563,6 +740,110 @@ mod tests {
         assert!(m
             .derive_counts(&parse_formula("n > 0.5 +/- 0.1").unwrap(), 0..10)
             .is_err());
+    }
+
+    /// Deterministic xorshift generator for the packed-vs-scalar
+    /// property sweep.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+        fn below(&mut self, bound: u64) -> u64 {
+            self.next() % bound
+        }
+    }
+
+    #[test]
+    fn packed_derive_counts_is_bit_identical_to_per_item_path() {
+        use crate::dsl::parse_formula;
+        // Every LabelDemand shape, as the serving layer classifies them:
+        // d-only (Free), pure difference (Disagreements, alone and in a
+        // conjunction with d), and individual accuracy (Full).
+        let formulas = [
+            "d < 0.5 +/- 0.1",
+            "n - o > 0.0 +/- 0.1",
+            "n - o > 0.0 +/- 0.1 /\\ d < 0.5 +/- 0.1",
+            "n > 0.5 +/- 0.1",
+        ];
+        let mut rng = Rng(0x2447_1339_ace1_d00d);
+        for trial in 0..40 {
+            let len = 1 + rng.below(130) as usize; // crosses word boundaries
+            let classes = 1 + rng.below(7) as u32;
+            let truth: Vec<u32> = (0..len)
+                .map(|_| rng.below(u64::from(classes)) as u32)
+                .collect();
+            let old: Vec<u32> = (0..len)
+                .map(|_| rng.below(u64::from(classes)) as u32)
+                .collect();
+            let new: Vec<u32> = (0..len)
+                .map(|_| rng.below(u64::from(classes)) as u32)
+                .collect();
+            // Random partial pre-labelling (always consistent with truth).
+            let prelabeled: Vec<usize> = (0..len).filter(|_| rng.below(4) == 0).collect();
+            let truth_bits = ClassBitmaps::from_labels(&truth, classes).unwrap();
+            for text in formulas {
+                let formula = parse_formula(text).unwrap();
+                let mut scalar_pool = Testset::unlabeled(len);
+                let mut packed_pool = Testset::unlabeled(len);
+                for &i in &prelabeled {
+                    scalar_pool.set_label(i, truth[i]);
+                    packed_pool.set_label(i, truth[i]);
+                }
+                let mut scalar_oracle = VecOracle::new(truth.clone());
+                let mut packed_oracle = VecOracle::new(truth.clone());
+                let scalar =
+                    Measurement::new(&mut scalar_pool, Some(&mut scalar_oracle), &old, &new)
+                        .unwrap()
+                        .derive_counts(&formula, 0..len)
+                        .unwrap();
+                let packed =
+                    Measurement::new(&mut packed_pool, Some(&mut packed_oracle), &old, &new)
+                        .unwrap()
+                        .derive_counts_packed(&formula, &truth_bits)
+                        .unwrap();
+                assert_eq!(packed, scalar, "trial {trial} formula {text}");
+                assert_eq!(
+                    packed_pool, scalar_pool,
+                    "label pools diverged: trial {trial} formula {text}"
+                );
+                assert_eq!(
+                    packed_oracle.labels_served(),
+                    scalar_oracle.labels_served(),
+                    "oracle spend diverged: trial {trial} formula {text}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_derive_counts_falls_back_and_errors_like_scalar() {
+        use crate::dsl::parse_formula;
+        let (_, old, new) = fixture();
+        let formula = parse_formula("n > 0.5 +/- 0.1").unwrap();
+        // Missing oracle under Full demand errors exactly like the
+        // per-item path (ascending order ⇒ same first failing item).
+        let truth_bits = ClassBitmaps::from_labels(&[0u32; 10], 2).unwrap();
+        let mut pool = Testset::unlabeled(10);
+        let mut m = Measurement::new(&mut pool, None, &old, &new).unwrap();
+        assert!(m.derive_counts_packed(&formula, &truth_bits).is_err());
+        // A truth packing that does not cover the pool falls back to the
+        // per-item path rather than mis-counting.
+        let short = ClassBitmaps::from_labels(&[0u32; 4], 2).unwrap();
+        let mut pool = Testset::fully_labeled(vec![0u32; 10]);
+        let mut m = Measurement::new(&mut pool, None, &old, &new).unwrap();
+        let c = m.derive_counts_packed(&formula, &short).unwrap();
+        assert_eq!((c.new_correct, c.old_correct), (9, 8));
+        // Class counts outside the packable range refuse to pack.
+        assert!(ClassBitmaps::from_labels(&[0], 0).is_none());
+        assert!(ClassBitmaps::from_labels(&[0], 65).is_none());
+        assert!(ClassBitmaps::from_labels(&[7], 4).is_none());
+        assert!(ClassBitmaps::from_labels(&[63], 64).is_some());
     }
 
     #[test]

@@ -86,6 +86,20 @@ impl Testset {
         fresh
     }
 
+    /// Bit-packed known-label mask: bit `i` of word `i / 64` is set iff
+    /// item `i`'s label is cached. Feeds the word-level measurement fast
+    /// lane (see [`super::ClassBitmaps`]).
+    #[must_use]
+    pub fn known_words(&self) -> Vec<u64> {
+        let mut words = vec![0u64; self.labels.len().div_ceil(64)];
+        for (i, label) in self.labels.iter().enumerate() {
+            if label.is_some() {
+                words[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        words
+    }
+
     /// Ensure item `index` is labelled, pulling from `oracle` when
     /// missing. Returns the label and whether a fresh oracle call was
     /// made.

@@ -15,13 +15,17 @@
 //!
 //! * **reboot never bricks** — [`Registry::open_with`] succeeds on
 //!   every survivor (only genuine tamper may refuse);
-//! * **no phantom** — no commit the client was never acked appears in
-//!   the rebooted history, and surviving commits keep ack order;
-//! * **no acked loss** — after a process kill (or a non-halting
-//!   `ENOSPC`) the history holds *exactly* the acked commits; after a
-//!   power cut or torn write it holds at least every commit acked
-//!   before the last successful snapshot (the journal is flushed, not
-//!   fsynced, before ack — the fsync happens at snapshot time);
+//! * **no phantom** — the rebooted history is consistent with the ack
+//!   order, and any *unacked* survivor is an operation the client
+//!   actually attempted (an errored request may legitimately land —
+//!   at-least-once semantics — but an id the client never sent, or a
+//!   reorder, is corruption);
+//! * **no acked loss** — a process kill or `ENOSPC` never loses an
+//!   acked commit; a power cut or torn write never loses one acked
+//!   after its covering fsync (in `strict`/`group` durability every
+//!   ack is fsync-covered, so *no* acked commit may be lost — in
+//!   `strict` the fsync is inline, in `group` it is the flusher's
+//!   batched sync the response waited on);
 //! * **byte-faithful history** — for halting faults the survivor's
 //!   journal, after torn-tail repair, is byte-for-byte a prefix of the
 //!   fault-free baseline journal (journal lines carry no timestamps);
@@ -46,7 +50,7 @@ use crate::json::Value;
 use crate::registry::{
     serving_estimator, CommitSubmission, EvalCounts, PredictionsSubmission, TestsetSpec,
 };
-use crate::store::Registry;
+use crate::store::{group, Durability, Registry};
 use crate::vfs::{Fault, FaultKind, FaultPlan, FaultVfs, MemVfs, OpRecord, Vfs};
 
 /// Virtual data-directory root the matrix schedule runs under (a
@@ -66,6 +70,8 @@ pub struct MatrixOptions {
     pub quick: bool,
     /// Seed for the schedule's evaluation counts and vectors.
     pub seed: u64,
+    /// Durability mode the schedule (and every reboot) runs under.
+    pub durability: Durability,
 }
 
 impl Default for MatrixOptions {
@@ -73,6 +79,7 @@ impl Default for MatrixOptions {
         MatrixOptions {
             quick: false,
             seed: 7,
+            durability: Durability::Strict,
         }
     }
 }
@@ -182,7 +189,7 @@ pub fn run_matrix_on(pool: &Pool, options: &MatrixOptions) -> MatrixReport {
     let baseline_vfs = FaultVfs::new(root, FaultPlan::new());
     baseline_vfs.start_recording();
     let vfs: Arc<dyn Vfs> = Arc::new(baseline_vfs.clone());
-    let baseline = match run_schedule(&vfs, pool, options.seed) {
+    let baseline = match run_schedule(&vfs, pool, options.seed, options.durability) {
         Ok(logs) => logs,
         Err(e) => {
             return MatrixReport {
@@ -235,6 +242,7 @@ pub fn run_matrix_on(pool: &Pool, options: &MatrixOptions) -> MatrixReport {
                 fault,
                 name,
                 &baseline_journals,
+                options.durability,
             ));
         }
     }
@@ -262,10 +270,11 @@ pub fn journal_bytes_after_run(
     pool: &Pool,
     seed: u64,
     plan: FaultPlan,
+    durability: Durability,
 ) -> BTreeMap<String, Vec<u8>> {
     let fvfs = FaultVfs::new(Path::new(FAULT_ROOT), plan);
     let vfs: Arc<dyn Vfs> = Arc::new(fvfs.clone());
-    let _ = run_schedule(&vfs, pool, seed);
+    let _ = run_schedule(&vfs, pool, seed, durability);
     let disk = fvfs.disk();
     schedule(seed)
         .into_iter()
@@ -281,6 +290,13 @@ fn journal_path(project: &str) -> PathBuf {
         .join("projects")
         .join(project)
         .join("journal.log")
+}
+
+/// Whether `needle` appears in `haystack` in order (not necessarily
+/// contiguously).
+fn is_ordered_subsequence(needle: &[&str], haystack: &[String]) -> bool {
+    let mut it = haystack.iter();
+    needle.iter().all(|n| it.any(|h| h == n))
 }
 
 fn is_mutating(kind: &str) -> bool {
@@ -408,11 +424,15 @@ fn schedule(seed: u64) -> Vec<(String, Vec<Action>)> {
 // Running a schedule and recording acks
 // ---------------------------------------------------------------------
 
-/// What one project's driver observed: labels for every *acked*
-/// (successfully returned) action, and the number of commits acked at
-/// the last successful snapshot — the power-cut durability watermark.
+/// What one project's driver observed: every commit id *attempted* (in
+/// schedule order), labels for every *acked* (successfully returned)
+/// action, and the number of commits known fsync-covered at ack time —
+/// the power-cut durability watermark. Under `strict`/`group` every
+/// ack is fsync-covered; under other modes only a completed snapshot
+/// raises the watermark.
 #[derive(Debug, Default, Clone)]
 struct ProjectLog {
+    attempted: Vec<String>,
     acked: Vec<String>,
     synced_commits: usize,
 }
@@ -430,7 +450,21 @@ impl ProjectLog {
     }
 }
 
+/// Drive one action and — under group durability — wait for its
+/// deferred durable ack, exactly as the route layer holds the HTTP
+/// response until the waiter resolves. The waiter is drained
+/// unconditionally so no thread-local state leaks across actions.
 fn apply(registry: &Registry, name: &str, action: &Action) -> Result<String, ServeError> {
+    let result = apply_inner(registry, name, action);
+    match group::take_pending() {
+        Some(waiter) if result.is_ok() => {
+            waiter.wait().map_err(ServeError::Unavailable).and(result)
+        }
+        _ => result,
+    }
+}
+
+fn apply_inner(registry: &Registry, name: &str, action: &Action) -> Result<String, ServeError> {
     if let Action::Register { script, testset } = action {
         return registry
             .register(name, script, testset.clone())
@@ -464,9 +498,19 @@ fn run_schedule(
     vfs: &Arc<dyn Vfs>,
     pool: &Pool,
     seed: u64,
+    durability: Durability,
 ) -> Result<BTreeMap<String, ProjectLog>, ServeError> {
-    let registry =
-        Registry::open_with(Path::new(FAULT_ROOT), serving_estimator(), Arc::clone(vfs))?;
+    let registry = Registry::open_with_durability(
+        Path::new(FAULT_ROOT),
+        serving_estimator(),
+        Arc::clone(vfs),
+        durability,
+        None,
+    )?;
+    // Every ack in strict/group mode is fsync-covered, so the power-cut
+    // watermark advances per acked commit; otherwise only a completed
+    // snapshot (which fsyncs the journal first) advances it.
+    let ack_is_synced = matches!(durability, Durability::Strict | Durability::Group);
     let streams = schedule(seed);
     let logs: Mutex<BTreeMap<String, ProjectLog>> = Mutex::new(BTreeMap::new());
     pool.scope(|scope| {
@@ -476,10 +520,16 @@ fn run_schedule(
             scope.spawn(move || {
                 let mut log = ProjectLog::default();
                 for action in actions {
+                    match action {
+                        Action::Commit(sub) => log.attempted.push(sub.commit_id.clone()),
+                        Action::Predictions(sub) => log.attempted.push(sub.commit_id.clone()),
+                        _ => {}
+                    }
                     if let Ok(label) = apply(registry, name, action) {
                         let snapshot = label == "snapshot";
+                        let commit = label.starts_with("commit:");
                         log.acked.push(label);
-                        if snapshot {
+                        if snapshot || (commit && ack_is_synced) {
                             log.synced_commits = log.commits().len();
                         }
                     }
@@ -497,6 +547,7 @@ fn run_schedule(
 // One matrix cell
 // ---------------------------------------------------------------------
 
+#[allow(clippy::too_many_lines)]
 fn run_case(
     pool: &Pool,
     seed: u64,
@@ -504,6 +555,7 @@ fn run_case(
     fault: Fault,
     fault_name: &'static str,
     baseline_journals: &BTreeMap<String, Vec<u8>>,
+    durability: Durability,
 ) -> CaseResult {
     let root = Path::new(FAULT_ROOT);
     let plan = FaultPlan::new().at(&rec.scope, rec.index, fault);
@@ -511,7 +563,7 @@ fn run_case(
     let vfs: Arc<dyn Vfs> = Arc::new(fvfs.clone());
     // An open()-time fault legitimately fails the whole run: nothing
     // acked, so the invariants below hold vacuously on the survivor.
-    let acked = run_schedule(&vfs, pool, seed).unwrap_or_default();
+    let acked = run_schedule(&vfs, pool, seed, durability).unwrap_or_default();
     let halting = fvfs.halted();
     let survivor: MemVfs = if halting {
         fvfs.captured_disk()
@@ -531,13 +583,14 @@ fn run_case(
     };
 
     let reboot: Arc<dyn Vfs> = Arc::new(survivor.clone());
-    let registry = match Registry::open_with(root, serving_estimator(), reboot) {
-        Ok(r) => r,
-        Err(e) => {
-            result.failure = Some(format!("reboot bricked: {e}"));
-            return result;
-        }
-    };
+    let registry =
+        match Registry::open_with_durability(root, serving_estimator(), reboot, durability, None) {
+            Ok(r) => r,
+            Err(e) => {
+                result.failure = Some(format!("reboot bricked: {e}"));
+                return result;
+            }
+        };
 
     for (name, log) in &acked {
         let slot = registry.get(name);
@@ -559,22 +612,55 @@ fn run_case(
         result.surviving_commits += surviving.len();
         let acked_ids = log.commits();
 
-        // No phantom, no reorder: the surviving history must be a
-        // prefix of the acked sequence.
-        if surviving.len() > acked_ids.len()
-            || surviving.iter().zip(&acked_ids).any(|(s, a)| s != a)
+        // Ack-order consistency: where the survivor and the ack log
+        // overlap, they must agree exactly — a reorder or a swapped-in
+        // foreign id is corruption regardless of fault timing.
+        let overlap = surviving.len().min(acked_ids.len());
+        if surviving
+            .iter()
+            .take(overlap)
+            .zip(&acked_ids)
+            .any(|(s, a)| s != a)
         {
             result.failure = Some(format!(
-                "{name}: surviving history {surviving:?} is not a prefix of acked {acked_ids:?}"
+                "{name}: surviving history {surviving:?} diverges from ack order {acked_ids:?}"
             ));
             return result;
         }
+        // Unacked survivors: an op whose request *errored* may still
+        // have landed (its record was written before the fault stopped
+        // the ack) — legitimate at-least-once ambiguity — but every
+        // such record must be an actually attempted id, in attempt
+        // order. A one-shot injected failure in strict mode must leave
+        // no trace at all: the inline rollback truncates the record.
+        if surviving.len() > acked_ids.len() {
+            let extras: Vec<&str> = surviving[acked_ids.len()..]
+                .iter()
+                .map(String::as_str)
+                .collect();
+            if !is_ordered_subsequence(&extras, &log.attempted) {
+                result.failure = Some(format!(
+                    "{name}: phantom commits {extras:?} survived that were never attempted \
+                     (attempted {:?})",
+                    log.attempted
+                ));
+                return result;
+            }
+            if durability == Durability::Strict && matches!(fault, Fault::Fail(_)) {
+                result.failure = Some(format!(
+                    "{name}: rolled-back op left a journal record under strict durability \
+                     ({} acked, {} survived)",
+                    acked_ids.len(),
+                    surviving.len()
+                ));
+                return result;
+            }
+        }
         match fault {
-            // The full process image survives a kill, and a non-halting
-            // ENOSPC rolls back exactly the failed (un-acked) op: the
-            // history must match the acks one-for-one.
+            // The full process image survives a kill or a plain I/O
+            // failure: no acked commit may be missing.
             Fault::Kill | Fault::Fail(_) | Fault::FailFrom(_) => {
-                if surviving.len() != acked_ids.len() {
+                if surviving.len() < acked_ids.len() {
                     result.failure = Some(format!(
                         "{name}: acked commit lost without a power cut \
                          ({} acked, {} survived)",
@@ -585,13 +671,13 @@ fn run_case(
                 }
             }
             // A power cut (and a torn write, which halts with the
-            // durable image) may drop flushed-but-unsynced acks, but
-            // never past the last snapshot's fsync.
+            // durable image) may drop unsynced acks, but never one the
+            // durability mode had fsync-covered at ack time.
             Fault::PowerCut | Fault::Torn { .. } => {
                 if surviving.len() < log.synced_commits {
                     result.failure = Some(format!(
-                        "{name}: commit acked before a completed snapshot lost \
-                         ({} survived < {} synced)",
+                        "{name}: fsync-covered acked commit lost \
+                         ({} survived < {} covered)",
                         surviving.len(),
                         log.synced_commits
                     ));
@@ -639,7 +725,26 @@ fn probe(registry: &Registry, name: &str) -> Result<(), String> {
         return Ok(());
     };
     let mut slot = slot.lock().expect("slot poisoned");
-    let outcome = if slot.project.measured().is_some() {
+    let outcome = probe_submit(&mut slot);
+    // Drain (and honour) the group-mode waiter: a probe on a healthy
+    // survivor must also reach durability.
+    let outcome = match group::take_pending() {
+        Some(waiter) if outcome.is_ok() => {
+            waiter.wait().map_err(ServeError::Unavailable).and(outcome)
+        }
+        _ => outcome,
+    };
+    match outcome {
+        Err(e @ (ServeError::Corrupt { .. } | ServeError::Io(_))) => {
+            Err(format!("{name}: post-reboot probe failed hard: {e}"))
+        }
+        // Gone / Conflict / a pass-fail verdict are all live answers.
+        _ => Ok(()),
+    }
+}
+
+fn probe_submit(slot: &mut crate::store::ProjectSlot) -> Result<(), ServeError> {
+    if slot.project.measured().is_some() {
         slot.submit_predictions(&PredictionsSubmission {
             commit_id: "probe".to_owned(),
             old: vector(30),
@@ -658,13 +763,6 @@ fn probe(registry: &Registry, name: &str) -> Result<(), String> {
             },
         })
         .map(|_| ())
-    };
-    match outcome {
-        Err(e @ (ServeError::Corrupt { .. } | ServeError::Io(_))) => {
-            Err(format!("{name}: post-reboot probe failed hard: {e}"))
-        }
-        // Gone / Conflict / a pass-fail verdict are all live answers.
-        _ => Ok(()),
     }
 }
 
@@ -681,6 +779,7 @@ mod tests {
             &MatrixOptions {
                 quick: true,
                 seed: 3,
+                durability: Durability::Strict,
             },
         );
         assert!(
@@ -701,6 +800,39 @@ mod tests {
         }
     }
 
+    /// The same cell sweep under group-commit durability: every fault
+    /// address now also lands at the flusher's deferred sync and at the
+    /// staged-registration install, and the invariants must still hold
+    /// — in particular no acked (fsync-covered) commit may be lost even
+    /// to a power cut.
+    #[test]
+    fn group_mode_matrix_holds_invariants() {
+        let report = run_matrix_on(
+            &Pool::new(2),
+            &MatrixOptions {
+                quick: true,
+                seed: 3,
+                durability: Durability::Group,
+            },
+        );
+        assert!(
+            report.ops_enumerated > 20,
+            "oplog too small: {}",
+            report.ops_enumerated
+        );
+        assert!(!report.cases.is_empty());
+        if let Some(case) = report.failures().first() {
+            panic!(
+                "group matrix cell failed: {}/{} {} {} — {}",
+                case.scope,
+                case.index,
+                case.op,
+                case.fault,
+                case.failure.as_deref().unwrap_or_default()
+            );
+        }
+    }
+
     /// Tamper (flipping a byte inside a *complete* journal line) must
     /// still brick the boot — torn-tail repair must not have widened
     /// into accepting corruption.
@@ -709,7 +841,7 @@ mod tests {
         let fvfs = FaultVfs::new(Path::new(FAULT_ROOT), FaultPlan::new());
         let vfs: Arc<dyn Vfs> = Arc::new(fvfs.clone());
         let pool = Pool::new(1);
-        run_schedule(&vfs, &pool, 7).expect("baseline");
+        run_schedule(&vfs, &pool, 7, Durability::Strict).expect("baseline");
         let disk = fvfs.disk().kill_view();
         // The schedule ends in a snapshot, whose covered journal prefix
         // is skipped (not re-parsed) at boot; drop it so the journal

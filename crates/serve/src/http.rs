@@ -262,6 +262,12 @@ pub struct Response {
     /// consumed by the event loop when the response finishes writing
     /// (slow-log + trace ring). Never serialized to the wire.
     pub trace: Option<Box<crate::obs::trace::TraceRec>>,
+    /// Group-commit durability gate: when set, the event core must not
+    /// queue this response onto the socket until the waiter resolves
+    /// (the journal bytes behind the acknowledgement are on disk). A
+    /// failed flush converts the response into a 500 instead. Never
+    /// serialized to the wire.
+    pub pending: Option<crate::store::Waiter>,
 }
 
 impl Response {
@@ -275,6 +281,7 @@ impl Response {
             close: false,
             retry_after: None,
             trace: None,
+            pending: None,
         }
     }
 
@@ -288,6 +295,7 @@ impl Response {
             close: false,
             retry_after: None,
             trace: None,
+            pending: None,
         }
     }
 

@@ -61,4 +61,4 @@ pub use registry::{
     TestsetSpec,
 };
 pub use server::{ServeConfig, Server, ServerHandle};
-pub use store::Registry;
+pub use store::{Durability, Registry};

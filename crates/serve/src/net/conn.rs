@@ -264,6 +264,7 @@ mod tests {
             close: false,
             retry_after: None,
             trace: None,
+            pending: None,
         };
         conn.queue_response(&big);
         let done = conn.flush_write().unwrap();

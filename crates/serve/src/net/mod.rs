@@ -34,11 +34,18 @@
 //! loop sleeps in the poller exactly until the next deadline instead of
 //! polling on a 50 ms clock.
 //!
-//! Durability ordering is unchanged from the blocking server: the
-//! journal append inside a handler flushes before the handler returns,
-//! and the response bytes are only queued once the completion is handed
-//! back — a client never sees an acknowledgement for state that could be
-//! lost.
+//! Durability ordering depends on the configured
+//! [`crate::store::Durability`] mode, but the invariant the event core
+//! enforces is the same in all of them: response bytes are only queued
+//! once the completion is handed back. Under `strict` the journal
+//! append inside the handler fsyncs before the handler returns. Under
+//! `group` the handler returns immediately with a
+//! [`crate::store::Waiter`] attached to the response
+//! ([`Response::pending`]); the completion is deferred until the
+//! group-commit flusher reports the batched fsync durable, and a failed
+//! flush turns the acknowledgement into a 500 — a client never sees
+//! success for state that could be lost. Under `relaxed` no waiter is
+//! attached and the acknowledgement intentionally races the fsync.
 //!
 //! # Stale-event discipline
 //!
@@ -184,6 +191,72 @@ impl LoopShared {
         // Nonblocking; a full pipe already guarantees a pending wake.
         let _ = (&self.waker).write(&[1]);
     }
+
+    fn push_completion(&self, completion: Completion) {
+        self.completions
+            .lock()
+            .expect("completions poisoned")
+            .push(completion);
+    }
+}
+
+/// Queue `response` for its connection once it is safe to release.
+///
+/// With nothing pending (strict/relaxed durability, reads, errors) the
+/// completion is pushed immediately — `wake` says whether the caller is
+/// off the event thread and must poke the wake pipe. With a group-commit
+/// [`crate::store::Waiter`] attached, the push is deferred into the
+/// waiter's completion callback: the flusher thread runs it once the
+/// batched fsync covering this request's journal bytes has returned, and
+/// a failed flush converts the acknowledgement into a 500 (feeding the
+/// durable-failure streak) — the client must never see success for state
+/// the disk did not accept.
+fn release_when_durable(
+    shared: Arc<LoopShared>,
+    stats: Arc<ServeStats>,
+    token: usize,
+    generation: u64,
+    dispatch_gen: u64,
+    mut response: Response,
+    wake: bool,
+) {
+    let Some(waiter) = response.pending.take() else {
+        shared.push_completion(Completion {
+            token,
+            generation,
+            dispatch_gen,
+            response,
+        });
+        if wake {
+            shared.wake();
+        }
+        return;
+    };
+    waiter.on_complete(move |result| {
+        let response = match result {
+            Ok(()) => response,
+            Err(message) => {
+                stats.note_durable_failure();
+                let mut failed = Response::error_with_reason(500, "durable_write_failed", &message);
+                failed.close = response.close;
+                failed.trace = response.trace;
+                if let Some(trace) = failed.trace.as_mut() {
+                    trace.status = failed.status;
+                }
+                failed
+            }
+        };
+        shared.push_completion(Completion {
+            token,
+            generation,
+            dispatch_gen,
+            response,
+        });
+        // Usually delivered from the flusher thread; when the waiter had
+        // already resolved the callback ran inline on the caller and the
+        // wake byte is merely redundant.
+        shared.wake();
+    });
 }
 
 /// One slab slot. `generation` increments when the slot is freed, so
@@ -561,6 +634,10 @@ impl<'p> EventLoop<'p> {
         &self.peers[self.index]
     }
 
+    fn shared_arc(&self) -> &Arc<LoopShared> {
+        &self.peers[self.index]
+    }
+
     /// Insert a wheel entry if the connection's deadline moved earlier
     /// than whatever is already armed. Stale entries cancel lazily.
     fn arm_timer(&mut self, index: usize) {
@@ -832,20 +909,21 @@ impl<'p> EventLoop<'p> {
             // unconditionally after every event batch, and
             // `apply_completions` re-takes the batch after each apply,
             // so completions produced mid-sweep (the pipelining path)
-            // drain in the same call. No wake byte is needed: we *are*
-            // the thread that drains.
+            // drain in the same call. No wake byte is needed here: we
+            // *are* the thread that drains — unless group-commit
+            // durability defers the release to the flusher thread, in
+            // which case the waiter callback wakes us.
             let mut response = handler.handle(&request, &meta);
             response.close = close;
-            self.shared()
-                .completions
-                .lock()
-                .expect("completions poisoned")
-                .push(Completion {
-                    token,
-                    generation,
-                    dispatch_gen,
-                    response,
-                });
+            release_when_durable(
+                Arc::clone(self.shared_arc()),
+                Arc::clone(&self.stats),
+                token,
+                generation,
+                dispatch_gen,
+                response,
+                false,
+            );
             return;
         }
         // Bounded admission for pool-bound work: past `max_inflight`
@@ -883,17 +961,15 @@ impl<'p> EventLoop<'p> {
             let mut response = handler.handle(&request, &meta);
             stats.release();
             response.close = close;
-            shared
-                .completions
-                .lock()
-                .expect("completions poisoned")
-                .push(Completion {
-                    token,
-                    generation,
-                    dispatch_gen,
-                    response,
-                });
-            shared.wake();
+            release_when_durable(
+                shared,
+                stats,
+                token,
+                generation,
+                dispatch_gen,
+                response,
+                true,
+            );
         });
     }
 

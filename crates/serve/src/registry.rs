@@ -32,9 +32,9 @@ use crate::obs::trace::{self, Stage};
 use easeml_bounds::Adaptivity;
 use easeml_ci_core::dsl::Formula;
 use easeml_ci_core::{
-    decide, AlarmReason, CiScript, CommitEstimates, CommitHistory, EstimatorConfig, HistoryEntry,
-    MeasuredCounts, Measurement, SampleSizeEstimate, SampleSizeEstimator, Testset, Tribool,
-    VariableEstimates, VecOracle,
+    decide, formula_label_demand, AlarmReason, CiScript, ClassBitmaps, CommitEstimates,
+    CommitHistory, EstimatorConfig, HistoryEntry, LabelDemand, MeasuredCounts, Measurement,
+    SampleSizeEstimate, SampleSizeEstimator, Testset, Tribool, VariableEstimates, VecOracle,
 };
 
 /// FNV-1a 64 over a sequence of byte slices — the digest primitive of
@@ -112,6 +112,11 @@ pub struct MeasuredTestset {
     pool: Testset,
     classes: u32,
     lazy: bool,
+    /// Ground truth bit-packed per class, cached per era — the
+    /// measurement fast lane's half of the comparison. `None` when the
+    /// class count exceeds [`ClassBitmaps::MAX_CLASSES`] (the per-item
+    /// path then serves every measurement).
+    truth_bits: Option<ClassBitmaps>,
 }
 
 impl MeasuredTestset {
@@ -127,11 +132,13 @@ impl MeasuredTestset {
         } else {
             Testset::fully_labeled(spec.truth.clone())
         };
+        let truth_bits = ClassBitmaps::from_labels(&spec.truth, spec.classes);
         Ok(MeasuredTestset {
             oracle: VecOracle::new(spec.truth),
             pool,
             classes: spec.classes,
             lazy: spec.lazy,
+            truth_bits,
         })
     }
 
@@ -252,11 +259,34 @@ impl MeasuredTestset {
     /// [`easeml_ci_core::LabelDemand`] requires, and derive the
     /// evaluation counts the gate consumes.
     ///
+    /// Dispatches to the bit-packed fast lane (word-level popcount over
+    /// per-class bitmaps, see [`ClassBitmaps`]) whenever the cached
+    /// truth packing exists and the condition is not Full-demand over a
+    /// lazy pool — the one shape where per-item oracle traffic dominates
+    /// and packing buys nothing. Both lanes are bit-identical in counts,
+    /// pool state, and oracle spend (property-tested).
+    ///
     /// # Errors
     ///
     /// Validation failures and label-acquisition failures (the latter
     /// indicate a corrupted truth vector and map to 500).
     pub fn measure(
+        &mut self,
+        condition: &Formula,
+        old: &[u32],
+        new: &[u32],
+    ) -> Result<MeasuredCounts, ServeError> {
+        let demand = formula_label_demand(condition);
+        if self.truth_bits.is_some() && (demand != LabelDemand::Full || !self.lazy) {
+            self.measure_packed(condition, old, new)
+        } else {
+            self.measure_scalar(condition, old, new)
+        }
+    }
+
+    /// The per-item measurement lane (always correct; the fast lane's
+    /// reference behavior).
+    pub(crate) fn measure_scalar(
         &mut self,
         condition: &Formula,
         old: &[u32],
@@ -274,6 +304,32 @@ impl MeasuredTestset {
         let len = old.len();
         measurement
             .derive_counts(condition, 0..len)
+            .map_err(|e| ServeError::BadRequest(format!("measurement failed: {e}")))
+    }
+
+    /// The bit-packed measurement lane. Requires `self.truth_bits`.
+    pub(crate) fn measure_packed(
+        &mut self,
+        condition: &Formula,
+        old: &[u32],
+        new: &[u32],
+    ) -> Result<MeasuredCounts, ServeError> {
+        self.validate_predictions("old", old)?;
+        self.validate_predictions("new", new)?;
+        let MeasuredTestset {
+            oracle,
+            pool,
+            lazy,
+            truth_bits,
+            ..
+        } = self;
+        let truth_bits = truth_bits.as_ref().expect("fast lane requires truth_bits");
+        let oracle: Option<&mut (dyn easeml_ci_core::LabelOracle + 'static)> =
+            if *lazy { Some(oracle) } else { None };
+        let mut measurement = Measurement::new(pool, oracle, old, new)
+            .map_err(|e| ServeError::BadRequest(e.to_string()))?;
+        measurement
+            .derive_counts_packed(condition, truth_bits)
             .map_err(|e| ServeError::BadRequest(format!("measurement failed: {e}")))
     }
 }
@@ -1008,6 +1064,7 @@ pub fn serving_estimator() -> SampleSizeEstimator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use easeml_ci_core::LabelOracle;
 
     const SCRIPT: &str = "ml:\n\
         \x20 - condition  : n > 0.6 +/- 0.2\n\
@@ -1231,6 +1288,41 @@ mod tests {
             })
             .unwrap();
         assert_eq!(counts2.labels, 0, "identical vectors disagree nowhere");
+    }
+
+    #[test]
+    fn measurement_lanes_agree_through_serving_state() {
+        // The dispatch in `measure` picks the packed lane for the
+        // serving-relevant shapes; force both lanes over identical
+        // cloned state and require identical counts AND identical
+        // label-pool/oracle state afterwards.
+        let conditions = ["d < 0.7 +/- 0.1", "n - o > 0.0 +/- 0.2", "n > 0.6 +/- 0.2"];
+        for lazy in [false, true] {
+            let (mut spec, old, new) = pred_fixture(100, 50, 90);
+            spec.lazy = lazy;
+            for text in conditions {
+                let script = SCRIPT.replace("n > 0.6 +/- 0.2", text);
+                let script = CiScript::parse(&script).unwrap();
+                let condition = script.condition();
+                let mut packed = MeasuredTestset::from_spec(spec.clone()).unwrap();
+                assert!(packed.truth_bits.is_some(), "2 classes pack");
+                let mut scalar = packed.clone();
+                let a = packed.measure_packed(condition, &old, &new).unwrap();
+                let b = scalar.measure_scalar(condition, &old, &new).unwrap();
+                assert_eq!(a, b, "lazy={lazy} condition={text}");
+                assert_eq!(packed.labeled_count(), scalar.labeled_count());
+                assert_eq!(packed.labeled_indices(), scalar.labeled_indices());
+                assert_eq!(packed.oracle.labels_served(), scalar.oracle.labels_served());
+            }
+        }
+        // Wide class counts refuse to pack and fall back cleanly.
+        let wide = TestsetSpec {
+            truth: (0..100u32).collect(),
+            classes: 100,
+            lazy: false,
+        };
+        let m = MeasuredTestset::from_spec(wide).unwrap();
+        assert!(m.truth_bits.is_none());
     }
 
     #[test]

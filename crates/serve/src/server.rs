@@ -62,7 +62,10 @@ use crate::registry::{
     serving_estimator, CommitSubmission, EvalCounts, GateReceipt, MeasuredTestset,
     PredictionsSubmission, TestsetSpec,
 };
-use crate::store::{entry_json, tribool_str, Registry, BOUNDS_CACHE_FILE, PLAN_CACHE_FILE};
+use crate::store::{
+    entry_json, group, tribool_str, Durability, GroupMetrics, Registry, BOUNDS_CACHE_FILE,
+    PLAN_CACHE_FILE,
+};
 use crate::vfs::{MeteredVfs, RealVfs, Vfs};
 use easeml_ci_core::{effort, AlarmReason, BoundsCache, CostModel, EstimateProvenance, PlanCache};
 use easeml_par::Pool;
@@ -183,6 +186,12 @@ pub struct ServeConfig {
     /// dumps are neither loaded nor saved — the core caches do their own
     /// real-filesystem I/O, which an in-memory fault disk cannot host.
     pub vfs: Option<Arc<dyn Vfs>>,
+    /// When acknowledgements become durable: `strict` fsyncs inside
+    /// every mutating handler, `group` (the default) batches fsyncs on a
+    /// dedicated flusher and releases responses once their round lands,
+    /// `relaxed` acknowledges before the fsync. See
+    /// [`crate::store::Durability`].
+    pub durability: Durability,
 }
 
 impl ServeConfig {
@@ -200,6 +209,7 @@ impl ServeConfig {
             degraded_after: DEFAULT_DEGRADED_AFTER,
             slow_request_ms: DEFAULT_SLOW_REQUEST_MS,
             vfs: None,
+            durability: Durability::default(),
         }
     }
 }
@@ -257,7 +267,7 @@ impl ServeStats {
     /// state that *caused* the streak — a full disk — does not heal by
     /// itself, and flapping in and out of read-only would turn client
     /// retries into a coin toss).
-    fn note_durable_failure(&self) {
+    pub(crate) fn note_durable_failure(&self) {
         self.journal_failures_total.inc();
         let streak = self.journal_failure_streak.fetch_add(1, Ordering::SeqCst) + 1;
         if self.degraded_after > 0 && streak >= self.degraded_after {
@@ -341,6 +351,15 @@ impl Server {
         let meter = |base: Arc<dyn Vfs>| -> Arc<dyn Vfs> {
             Arc::new(MeteredVfs::new(base, obs.metrics.vfs.clone()))
         };
+        // The group-commit flusher's metric series only exist when a
+        // flusher will run; a strict server's scrape shows none, rather
+        // than a misleading all-zeros batch histogram.
+        let group_metrics = match config.durability {
+            Durability::Strict => None,
+            Durability::Group | Durability::Relaxed => {
+                Some(GroupMetrics::register(&obs.metrics.registry))
+            }
+        };
         let registry = match &config.vfs {
             None => {
                 std::fs::create_dir_all(&config.data_dir)?;
@@ -356,20 +375,24 @@ impl Server {
                         eprintln!("warning: ignoring plan cache dump: {e}");
                     }
                 }
-                Registry::open_with(
+                Registry::open_with_durability(
                     &config.data_dir,
                     serving_estimator(),
                     meter(Arc::new(RealVfs)),
+                    config.durability,
+                    group_metrics,
                 )?
             }
             // An injected filesystem skips the cache dumps entirely: the
             // core caches read and write the real filesystem themselves,
             // which an in-memory fault disk cannot host, and they are
             // pure performance artifacts anyway.
-            Some(vfs) => Registry::open_with(
+            Some(vfs) => Registry::open_with_durability(
                 &config.data_dir,
                 serving_estimator(),
                 meter(Arc::clone(vfs)),
+                config.durability,
+                group_metrics,
             )?,
         };
         let listener = TcpListener::bind(&config.addr)?;
@@ -606,6 +629,15 @@ impl crate::net::Handler for RouteHandler {
         let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
         let name = route_name(request.method.as_str(), &segments);
         let mut response = route(&self.ctx, request);
+        // Group-commit durability: a mutating route deposits a waiter
+        // for its journal bytes in a thread-local during the append.
+        // Take it unconditionally — it must never leak into the next
+        // request this thread handles — and hand it to the event core,
+        // which defers queueing the response until the batched fsync
+        // lands. The handler-duration histogram below intentionally
+        // excludes that wait: it measures compute, the flush-latency
+        // histogram measures durability.
+        response.pending = group::take_pending();
         let handler_ns = trace::ns(started.elapsed());
         let mut stages_ns = trace::finish();
         stages_ns[Stage::Handler.index()] = handler_ns;

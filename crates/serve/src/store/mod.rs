@@ -17,7 +17,14 @@
 //! # Durability model
 //!
 //! Every accepted mutation is appended to the owning project's journal
-//! *before* the response is sent, under the project lock. Restart
+//! *before* the response is sent, under the project lock. *When* the
+//! appended bytes are forced to stable storage — and when the client is
+//! told — is governed by [`Durability`]: `strict` fsyncs inline per op,
+//! `group` (the default) batches many ops into one fsync per journal
+//! per flusher round and defers the ack until the fsync covers the op,
+//! and `relaxed` acks immediately (see [`group`]). Journal *bytes* are
+//! written inline in every mode, so the byte stream is identical across
+//! modes. Restart
 //! recovery loads `snapshot.json` (if present), then replays the journal
 //! suffix past the snapshot's watermark through the same gate code that
 //! served the original requests; each replayed op's recorded outcome
@@ -42,6 +49,8 @@
 //! integration tests assert byte-identical journals for the same client
 //! schedule at different pool widths.
 
+pub mod group;
+
 use crate::error::ServeError;
 use crate::json::{decode_u32_vec, encode_u32_vec, Value};
 use crate::obs::trace::{self, Stage};
@@ -49,11 +58,14 @@ use crate::registry::{
     CommitSubmission, EvalCounts, GateReceipt, MeasuredTestset, PredictionsSubmission, Project,
     TestsetSpec,
 };
-use crate::vfs::{write_atomic, RealVfs, Vfs, VfsFile};
+use crate::vfs::{write_atomic, RealVfs, Vfs};
 use easeml_ci_core::{CommitEstimates, CommitHistory, HistoryEntry, SampleSizeEstimator, Tribool};
+use group::{SharedJournal, StagedOp};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, RwLock};
+
+pub use group::{Durability, GroupCommit, GroupMetrics, Waiter};
 
 /// A snapshot is written every this many journalled ops.
 pub const SNAPSHOT_EVERY: u64 = 64;
@@ -166,7 +178,10 @@ fn read_testset_blob(vfs: &dyn Vfs, dir: &Path, era: u32) -> Result<TestsetSpec,
 pub struct ProjectStore {
     vfs: Arc<dyn Vfs>,
     dir: PathBuf,
-    journal: Box<dyn VfsFile>,
+    journal: Arc<SharedJournal>,
+    durability: Durability,
+    /// Shared flusher; `Some` in `group`/`relaxed` modes.
+    group: Option<Arc<GroupCommit>>,
     ops_written: u64,
     /// Test seam: make the next append fail without touching the disk,
     /// so the rollback path is exercisable.
@@ -186,11 +201,19 @@ impl ProjectStore {
     /// directory: a crash between directory creation and the record
     /// write leaves an empty husk that a retry simply claims (and that
     /// [`Registry::open`] skips rather than refusing to boot over).
+    ///
+    /// Under `group`/`relaxed` durability the registration record is
+    /// written to its temp sibling inline but the fsync + rename into
+    /// place ride the group-commit queue; the returned [`Waiter`]
+    /// resolves when the record is durable (`None` in strict mode,
+    /// where `write_atomic` already fsynced inline).
     pub fn create(
         vfs: &Arc<dyn Vfs>,
         dir: &Path,
         project: &Project,
-    ) -> Result<ProjectStore, ServeError> {
+        durability: Durability,
+        group: Option<&Arc<GroupCommit>>,
+    ) -> Result<(ProjectStore, Option<Waiter>), ServeError> {
         if vfs.exists(&dir.join("project.json")) {
             return Err(ServeError::Conflict(format!(
                 "project `{}` already exists",
@@ -242,20 +265,43 @@ impl ProjectStore {
             ));
         }
         let record = Value::object(fields);
-        write_atomic(
-            vfs.as_ref(),
-            &dir.join("project.json"),
-            record.pretty().as_bytes(),
-        )?;
-        let journal = vfs.open_append(&dir.join("journal.log"))?;
-        Ok(ProjectStore {
-            vfs: Arc::clone(vfs),
-            dir: dir.to_owned(),
-            journal,
-            ops_written: 0,
-            #[cfg(test)]
-            fail_next_append: false,
-        })
+        let record_path = dir.join("project.json");
+        // The testset blob above was fsynced inline in every mode, so
+        // the digest the record anchors always points at durable bytes
+        // by the time the record's rename lands.
+        let registration = match (durability, group) {
+            (Durability::Strict, _) | (_, None) => {
+                write_atomic(vfs.as_ref(), &record_path, record.pretty().as_bytes())?;
+                None
+            }
+            (_, Some(group)) => {
+                let tmp = record_path.with_extension("tmp");
+                let mut file = vfs.create(&tmp)?;
+                file.write_all(record.pretty().as_bytes())?;
+                Some(group.stage(StagedOp::Install {
+                    vfs: Arc::clone(vfs),
+                    file,
+                    from: tmp,
+                    to: record_path,
+                }))
+            }
+        };
+        let journal = Arc::new(SharedJournal::new(
+            vfs.open_append(&dir.join("journal.log"))?,
+        )?);
+        Ok((
+            ProjectStore {
+                vfs: Arc::clone(vfs),
+                dir: dir.to_owned(),
+                journal,
+                durability,
+                group: group.map(Arc::clone),
+                ops_written: 0,
+                #[cfg(test)]
+                fail_next_append: false,
+            },
+            registration,
+        ))
     }
 
     /// Load a project directory: registration record, snapshot, journal
@@ -277,6 +323,8 @@ impl ProjectStore {
         vfs: &Arc<dyn Vfs>,
         dir: &Path,
         estimator: &SampleSizeEstimator,
+        durability: Durability,
+        group: Option<&Arc<GroupCommit>>,
     ) -> Result<(Project, ProjectStore), ServeError> {
         let record_path = dir.join("project.json");
         let text = vfs.read_to_string(&record_path)?;
@@ -370,7 +418,7 @@ impl ProjectStore {
                 format!("snapshot covers {skip_ops} ops but journal has only {ops}"),
             ));
         }
-        let journal = vfs.open_append(&journal_path)?;
+        let journal = Arc::new(SharedJournal::new(vfs.open_append(&journal_path)?)?);
         if let Some(len) = truncate_to {
             journal.set_len(len)?;
         }
@@ -380,6 +428,8 @@ impl ProjectStore {
                 vfs: Arc::clone(vfs),
                 dir: dir.to_owned(),
                 journal,
+                durability,
+                group: group.map(Arc::clone),
                 ops_written: ops,
                 #[cfg(test)]
                 fail_next_append: false,
@@ -497,17 +547,22 @@ impl ProjectStore {
             )));
         }
         // A failed append must leave the journal exactly as it was: a
-        // half-written line would corrupt the op that lands after it.
-        // Best-effort truncate back to the pre-write length on error;
-        // the caller rolls the in-memory mutation back either way.
-        trace::time(Stage::JournalAppend, || -> Result<(), ServeError> {
-            let offset = self.journal.len()?;
-            if let Err(e) = self.journal.write_all(&line) {
-                let _ = self.journal.set_len(offset);
-                return Err(e.into());
-            }
-            Ok(())
+        // half-written line would corrupt the op that lands after it
+        // (the shared journal truncates back on error; the caller rolls
+        // the in-memory mutation back either way). Strict mode also
+        // fsyncs inline — its sync failure truncates the record away so
+        // the refused op leaves no trace. Group mode stages a deferred
+        // sync and parks the waiter for the route layer to pick up;
+        // relaxed mode acks with the bytes still unsynced.
+        trace::time(Stage::JournalAppend, || match self.durability {
+            Durability::Strict => self.journal.append_synced(&line),
+            Durability::Group | Durability::Relaxed => self.journal.append(&line),
         })?;
+        if self.durability == Durability::Group {
+            if let Some(group) = &self.group {
+                group::set_pending(group.stage(StagedOp::Sync(Arc::clone(&self.journal))));
+            }
+        }
         self.ops_written += 1;
         if self.ops_written.is_multiple_of(SNAPSHOT_EVERY) {
             // The journal is the source of truth and it has the op; a
@@ -530,14 +585,14 @@ impl ProjectStore {
     /// journal holds `ops_written` ops, and a power loss that persisted
     /// the (synced) snapshot but not the journal tail would otherwise
     /// make restart recovery reject the directory (`ops < skip_ops`).
-    /// Ordinary appends stay fsync-free — losing the unsynced tail to a
-    /// power cut loses only those trailing ops, never consistency.
+    /// This inline sync runs in every durability mode — under `group` it
+    /// simply makes the flusher's next covering sync a no-op.
     ///
     /// # Errors
     ///
     /// I/O failures.
     pub fn write_snapshot(&self, project: &Project) -> Result<(), ServeError> {
-        self.journal.sync_data()?;
+        self.journal.sync_inline()?;
         let history: Vec<Value> = project
             .history()
             .entries()
@@ -1064,6 +1119,10 @@ pub struct Registry {
     data_dir: PathBuf,
     projects_dir: PathBuf,
     estimator: SampleSizeEstimator,
+    durability: Durability,
+    /// The shared group-commit flusher; `Some` in `group`/`relaxed`
+    /// modes. Dropped (drained + joined) with the registry.
+    group: Option<Arc<GroupCommit>>,
     projects: RwLock<HashMap<String, Arc<Mutex<ProjectSlot>>>>,
     /// Names with a registration in flight: reserved before the durable
     /// store is created so the fsync happens outside the `projects` lock.
@@ -1112,7 +1171,8 @@ impl Registry {
     }
 
     /// [`Registry::open`] with an injected filesystem — the seam the
-    /// fault-injection harness and degraded-mode tests drive.
+    /// fault-injection harness and degraded-mode tests drive. Opens in
+    /// [`Durability::Strict`].
     ///
     /// # Errors
     ///
@@ -1122,6 +1182,27 @@ impl Registry {
         estimator: SampleSizeEstimator,
         vfs: Arc<dyn Vfs>,
     ) -> Result<Registry, ServeError> {
+        Registry::open_with_durability(data_dir, estimator, vfs, Durability::Strict, None)
+    }
+
+    /// [`Registry::open_with`] with an explicit durability mode. For
+    /// `group`/`relaxed` this spawns the shared group-commit flusher
+    /// (recording into `metrics` when given).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and corrupt project directories.
+    pub fn open_with_durability(
+        data_dir: &Path,
+        estimator: SampleSizeEstimator,
+        vfs: Arc<dyn Vfs>,
+        durability: Durability,
+        metrics: Option<GroupMetrics>,
+    ) -> Result<Registry, ServeError> {
+        let group = match durability {
+            Durability::Strict => None,
+            Durability::Group | Durability::Relaxed => Some(Arc::new(GroupCommit::new(metrics))),
+        };
         let projects_dir = data_dir.join("projects");
         vfs.create_dir_all(&projects_dir)?;
         let mut projects = HashMap::new();
@@ -1136,7 +1217,8 @@ impl Registry {
                 );
                 continue;
             }
-            let (project, store) = ProjectStore::open(&vfs, &path, &estimator)?;
+            let (project, store) =
+                ProjectStore::open(&vfs, &path, &estimator, durability, group.as_ref())?;
             projects.insert(
                 project.name().to_owned(),
                 Arc::new(Mutex::new(ProjectSlot { project, store })),
@@ -1147,9 +1229,17 @@ impl Registry {
             data_dir: data_dir.to_owned(),
             projects_dir,
             estimator,
+            durability,
+            group,
             projects: RwLock::new(projects),
             registering: Mutex::new(std::collections::HashSet::new()),
         })
+    }
+
+    /// The durability mode this registry was opened with.
+    #[must_use]
+    pub fn durability(&self) -> Durability {
+        self.durability
     }
 
     /// The data directory this registry persists under.
@@ -1206,15 +1296,39 @@ impl Registry {
         if let Some(existing) = existing {
             return existing_or_conflict(&existing, name, script_text, testset_digest);
         }
-        let result = ProjectStore::create(&self.vfs, &self.projects_dir.join(name), &project);
+        let result = ProjectStore::create(
+            &self.vfs,
+            &self.projects_dir.join(name),
+            &project,
+            self.durability,
+            self.group.as_ref(),
+        );
         let out = match result {
-            Ok(store) => {
-                let slot = Arc::new(Mutex::new(ProjectSlot { project, store }));
-                self.projects
-                    .write()
-                    .expect("registry poisoned")
-                    .insert(name.to_owned(), Arc::clone(&slot));
-                Ok(slot)
+            Ok((store, registration)) => {
+                // Group mode: the record's fsync + rename ride the
+                // flusher — wait for durability *before* the project
+                // becomes visible, so no commit can ever be journalled
+                // against a registration that might not survive a crash.
+                // Relaxed mode skips the wait (its whole point); a crash
+                // can then lose the acked registration, leaving only a
+                // reclaimable husk.
+                let durable = match (self.durability, registration) {
+                    (Durability::Group, Some(waiter)) => {
+                        waiter.wait().map_err(ServeError::Unavailable)
+                    }
+                    _ => Ok(()),
+                };
+                match durable {
+                    Ok(()) => {
+                        let slot = Arc::new(Mutex::new(ProjectSlot { project, store }));
+                        self.projects
+                            .write()
+                            .expect("registry poisoned")
+                            .insert(name.to_owned(), Arc::clone(&slot));
+                        Ok(slot)
+                    }
+                    Err(e) => Err(e),
+                }
             }
             Err(e) => Err(e),
         };

@@ -1,48 +1,57 @@
-//! Crash-consistency matrix: the full kill-point enumeration, plus the
-//! pool-width determinism property of the fault-plan address space.
+//! Crash-consistency matrix: the full kill-point enumeration in every
+//! durability mode, plus the pool-width and cross-mode determinism
+//! properties of the fault-plan address space.
 
 use easeml_par::Pool;
 use easeml_serve::fault::{journal_bytes_after_run, run_matrix, MatrixOptions};
 use easeml_serve::vfs::{Fault, FaultKind, FaultPlan};
+use easeml_serve::Durability;
 
 /// Every (operation, fault) cell of the full matrix holds the
 /// durability contract: reboot never bricks, no acked commit is lost
 /// past its durability class, no un-acked commit appears, survivor
 /// journals stay byte-faithful to the baseline. Runs on the global
 /// pool, so `EASEML_THREADS` (the CI matrix axis) varies the schedule's
-/// thread interleaving.
+/// thread interleaving. Swept in `strict` and `group` — the group
+/// sweep kills the process at every flusher stage (record staged,
+/// batched, fsync issued, ack delivered) because each of those is an
+/// enumerated I/O operation of the baseline oplog.
 #[test]
 fn full_matrix_holds_durability_contract() {
-    let report = run_matrix(&MatrixOptions {
-        quick: false,
-        seed: 7,
-    });
-    assert!(
-        report.ops_enumerated > 40,
-        "baseline oplog suspiciously small: {} ops",
-        report.ops_enumerated
-    );
-    assert!(
-        report.cases.len() > 100,
-        "matrix suspiciously small: {} cases",
-        report.cases.len()
-    );
-    let failures = report.failures();
-    assert!(
-        failures.is_empty(),
-        "{} of {} matrix cells failed; first: {}/{} {} {} — {}",
-        failures.len(),
-        report.cases.len(),
-        failures[0].scope,
-        failures[0].index,
-        failures[0].op,
-        failures[0].fault,
-        failures[0].failure.as_deref().unwrap_or_default()
-    );
-    // The schedule must actually exercise commits: both the acked count
-    // and at least one surviving history should be non-trivial.
-    assert!(report.cases.iter().any(|c| c.acked_commits >= 8));
-    assert!(report.cases.iter().any(|c| c.surviving_commits >= 8));
+    for durability in [Durability::Strict, Durability::Group] {
+        let report = run_matrix(&MatrixOptions {
+            quick: false,
+            seed: 7,
+            durability,
+        });
+        assert!(
+            report.ops_enumerated > 40,
+            "{durability}: baseline oplog suspiciously small: {} ops",
+            report.ops_enumerated
+        );
+        assert!(
+            report.cases.len() > 100,
+            "{durability}: matrix suspiciously small: {} cases",
+            report.cases.len()
+        );
+        let failures = report.failures();
+        assert!(
+            failures.is_empty(),
+            "{durability}: {} of {} matrix cells failed; first: {}/{} {} {} — {}",
+            failures.len(),
+            report.cases.len(),
+            failures[0].scope,
+            failures[0].index,
+            failures[0].op,
+            failures[0].fault,
+            failures[0].failure.as_deref().unwrap_or_default()
+        );
+        // The schedule must actually exercise commits: both the acked
+        // count and at least one surviving history should be
+        // non-trivial.
+        assert!(report.cases.iter().any(|c| c.acked_commits >= 8));
+        assert!(report.cases.iter().any(|c| c.surviving_commits >= 8));
+    }
 }
 
 /// Fault-plan determinism: the same seed and plan produce byte-identical
@@ -60,8 +69,8 @@ fn journal_bytes_identical_across_pool_widths() {
             .at("beta", 12, Fault::Fail(FaultKind::Enospc))
             .at("beta", 21, Fault::Fail(FaultKind::Eio))
             .at("", 2, Fault::Fail(FaultKind::Eio));
-        let narrow = journal_bytes_after_run(&Pool::new(1), seed, plan.clone());
-        let wide = journal_bytes_after_run(&Pool::new(4), seed, plan);
+        let narrow = journal_bytes_after_run(&Pool::new(1), seed, plan.clone(), Durability::Strict);
+        let wide = journal_bytes_after_run(&Pool::new(4), seed, plan, Durability::Strict);
         assert_eq!(
             narrow.keys().collect::<Vec<_>>(),
             wide.keys().collect::<Vec<_>>(),
@@ -85,7 +94,38 @@ fn journal_bytes_identical_across_pool_widths() {
 /// machinery itself must not perturb the schedule).
 #[test]
 fn fault_free_run_identical_across_pool_widths() {
-    let narrow = journal_bytes_after_run(&Pool::new(1), 42, FaultPlan::new());
-    let wide = journal_bytes_after_run(&Pool::new(4), 42, FaultPlan::new());
+    let narrow = journal_bytes_after_run(&Pool::new(1), 42, FaultPlan::new(), Durability::Strict);
+    let wide = journal_bytes_after_run(&Pool::new(4), 42, FaultPlan::new(), Durability::Strict);
     assert_eq!(narrow, wide);
+}
+
+/// Group-commit changes *when* journal bytes become durable, never
+/// *which* bytes are written: records are serialized under the project
+/// lock in every mode, so the same schedule yields byte-identical
+/// journals in `strict` and `group` — at pool widths 1 and 4 alike.
+/// This is the invariance that lets one fault-plan address space (and
+/// one baseline oplog) cover both modes.
+#[test]
+fn journal_bytes_identical_across_durability_modes() {
+    for threads in [1usize, 4] {
+        let pool = Pool::new(threads);
+        let strict = journal_bytes_after_run(&pool, 7, FaultPlan::new(), Durability::Strict);
+        let group = journal_bytes_after_run(&pool, 7, FaultPlan::new(), Durability::Group);
+        assert_eq!(
+            strict.keys().collect::<Vec<_>>(),
+            group.keys().collect::<Vec<_>>(),
+            "{threads} threads: project sets differ across durability modes"
+        );
+        for (project, bytes) in &strict {
+            assert!(
+                !bytes.is_empty(),
+                "{threads} threads: {project} journal empty"
+            );
+            assert_eq!(
+                Some(bytes),
+                group.get(project),
+                "{threads} threads: journal bytes for {project} differ between strict and group"
+            );
+        }
+    }
 }
