@@ -186,7 +186,7 @@ fn stage_breakdown(expo: &Exposition) -> Vec<StageQuantiles> {
 /// Counters the scrape must show as non-zero after the load phases —
 /// the CI bench-smoke contract (it greps the dumped artifact for the
 /// same names).
-const CURATED_NONZERO: [(&str, &[(&str, &str)]); 8] = [
+const CURATED_NONZERO: [(&str, &[(&str, &str)]); 9] = [
     ("easeml_requests_total", &[("route", "commit")]),
     ("easeml_requests_total", &[("route", "commit_predictions")]),
     ("easeml_requests_total", &[("route", "register")]),
@@ -195,6 +195,9 @@ const CURATED_NONZERO: [(&str, &[(&str, &str)]); 8] = [
     ("easeml_journal_bytes_total", &[]),
     ("easeml_connections_accepted_total", &[]),
     ("easeml_loop_polls_total", &[]),
+    // Every gate decision lands here — the F1 leg included — so the
+    // artifact proves submissions reached actual verdicts.
+    ("easeml_gate_outcomes_total", &[]),
 ];
 
 /// One client's lifecycle; returns (cold_register_ns, warm_register_ns,
@@ -318,6 +321,77 @@ fn drive_predictions_client(addr: &str, client_id: u64, commits: u64) -> (Vec<f6
     (commit_ns, labels_total)
 }
 
+/// F1-gating leg: each client registers a metric-conditioned project
+/// (`f1(n) - f1(o)` over a fully-labelled two-class testset) and pushes
+/// prediction-vector commits through the McDiarmid-backed estimator —
+/// the non-binomial gate path end-to-end, and the traffic that feeds
+/// `easeml_gate_outcomes_total` into the CI metrics artifact. Returns
+/// (commit_ns[], gate passes).
+fn drive_f1_client(addr: &str, client_id: u64, commits: u64) -> (Vec<f64>, u64) {
+    let mut client = Client::new(addr);
+    let name = format!("f1-{client_id}");
+    let script = format!(
+        "ml:\n\
+         \x20 - script     : ./test_model.py\n\
+         \x20 - condition  : f1(n) - f1(o) > -0.5 +/- 0.2\n\
+         \x20 - reliability: 0.999\n\
+         \x20 - mode       : fp-free\n\
+         \x20 - adaptivity : full\n\
+         \x20 - steps      : {}\n",
+        1_000 + client_id
+    );
+    let truth: Vec<u32> = (0..PRED_TESTSET as u32).map(|i| i % 2).collect();
+    let body = Value::object([
+        ("name", Value::from(name.as_str())),
+        ("script", Value::from(script.as_str())),
+        (
+            "testset",
+            Value::object([
+                (
+                    "labels",
+                    Value::from(easeml_serve::json::encode_u32_vec(&truth)),
+                ),
+                ("labeling", Value::from("full")),
+                ("classes", Value::from(2u64)),
+            ]),
+        ),
+    ]);
+    let (status, response) = client
+        .request("POST", "/projects", Some(&body))
+        .expect("register f1 project");
+    assert_eq!(status, 201, "{response}");
+
+    let commit_path = format!("/projects/{name}/commits/predictions");
+    let old = pred_vector(500);
+    let mut commit_ns = Vec::with_capacity(commits as usize);
+    let mut passes = 0u64;
+    for i in 0..commits {
+        let roll = splitmix64(client_id + 2_000, i);
+        let body = Value::object([
+            ("commit_id", Value::from(format!("c{i}"))),
+            ("old", Value::from(old.as_str())),
+            ("new", Value::from(pred_vector(300 + roll % 700))),
+        ]);
+        let t = Instant::now();
+        let (status, response) = client
+            .request("POST", &commit_path, Some(&body))
+            .expect("f1 commit");
+        commit_ns.push(t.elapsed().as_nanos() as f64);
+        assert_eq!(status, 200, "{response}");
+        // The receipt must expose the per-class confusion shape the F1
+        // estimate was computed from.
+        assert!(
+            response
+                .get("measurement")
+                .and_then(|m| m.get("per_class"))
+                .is_some(),
+            "f1 receipt lacks measurement.per_class: {response}"
+        );
+        passes += u64::from(response.get("passed").and_then(Value::as_bool) == Some(true));
+    }
+    (commit_ns, passes)
+}
+
 /// One concurrency level of the keep-alive sweep: `clients` connections
 /// stay open simultaneously while every client pushes `commits`
 /// submissions against its own project. Driver threads each own a slice
@@ -395,7 +469,7 @@ fn sweep_level(addr: &str, clients: usize, commits: u64) -> (Vec<f64>, f64) {
 }
 
 // ---------------------------------------------------------------------
-// Durability phase (strict vs group)
+// Durability phase (strict vs group vs relaxed)
 // ---------------------------------------------------------------------
 
 /// Counts projects shared per durability level: clients are spread over
@@ -679,13 +753,14 @@ fn run_durability_level(
     }
 }
 
-/// The strict-vs-group durability sweep: both modes over the same
-/// client levels, reporting client- and server-side gate latency plus
-/// the fsyncs-per-commit ratio that group commit exists to shrink.
+/// The durability sweep — strict, group, and relaxed over the same
+/// client levels — reporting client- and server-side gate latency plus
+/// the fsyncs-per-commit ratio that group commit exists to shrink
+/// (relaxed anchors the floor: acks that never wait on an fsync).
 fn run_durability_phase(quick: bool) -> Vec<DurabilityMode> {
     use easeml_serve::Durability;
     let levels: &[usize] = if quick { &[8, 64] } else { &[8, 64, 256] };
-    [Durability::Strict, Durability::Group]
+    [Durability::Strict, Durability::Group, Durability::Relaxed]
         .into_iter()
         .map(|durability| {
             let mut register_ns = Vec::new();
@@ -726,7 +801,7 @@ fn main() {
     // group, the server default) — CI runs the smoke under strict AND
     // group so every phase (gate modes, restart recovery, sweep,
     // metrics-artifact check) is exercised in both ack disciplines.
-    // The strict-vs-group comparison phase below always measures both.
+    // The durability comparison phase below always measures all modes.
     let mut durability = easeml_serve::Durability::default();
     let mut flags = std::env::args();
     while let Some(arg) = flags.next() {
@@ -796,13 +871,32 @@ fn main() {
         pred_commit_ns.extend(commits);
         pred_labels_total += labels;
     }
+
+    // F1 phase: non-binomial (McDiarmid-backed) gates over the same
+    // prediction-vector transport, on the main server so the gate
+    // decisions land in the /metrics scrape below.
+    let f1_workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.clone();
+            std::thread::spawn(move || drive_f1_client(&addr, c, commits_per_client))
+        })
+        .collect();
+    let mut f1_commit_ns = Vec::new();
+    let mut f1_passes = 0u64;
+    for worker in f1_workers {
+        let (commits, passes) = worker.join().expect("f1 client thread");
+        f1_commit_ns.extend(commits);
+        f1_passes += passes;
+    }
     let wall_ms = wall.elapsed().as_nanos() as f64 / 1e6;
     let total_requests = register_ns.len()
         + warm_register_ns.len()
         + commit_ns.len()
         + read_ns.len()
         + clients as usize // predictions registrations
-        + pred_commit_ns.len();
+        + pred_commit_ns.len()
+        + clients as usize // f1 registrations
+        + f1_commit_ns.len();
 
     // Scrape the live server's /metrics before it stops: the raw text
     // is the CI artifact, the parsed stage histograms become the
@@ -857,10 +951,27 @@ fn main() {
     assert_eq!(status, 200);
     assert_eq!(
         health.get("projects").and_then(Value::as_u64),
-        // One cold + one plan-warm + one predictions project per client.
-        Some(3 * clients),
+        // One cold + one plan-warm + one predictions + one F1 project
+        // per client.
+        Some(4 * clients),
         "all projects must survive the restart"
     );
+    for c in 0..clients {
+        // F1 replay re-measures the journalled vectors through the
+        // per-class confusion path; losing a commit here means the
+        // metric shape did not survive the restart.
+        let (_, status) = probe
+            .request("GET", &format!("/projects/f1-{c}"), None)
+            .expect("f1 project status");
+        assert_eq!(
+            status
+                .get("budget")
+                .and_then(|b| b.get("used"))
+                .and_then(Value::as_u64),
+            Some(commits_per_client),
+            "f1 project f1-{c} lost commits across restart"
+        );
+    }
     for c in 0..clients {
         let (_, status) = probe
             .request("GET", &format!("/projects/pred-{c}"), None)
@@ -1029,6 +1140,7 @@ fn main() {
     let commit = percentiles(commit_ns);
     let reads = percentiles(read_ns);
     let pred_commit = percentiles(pred_commit_ns);
+    let f1_commit = percentiles(f1_commit_ns);
     let rps = total_requests as f64 / (wall_ms / 1e3);
 
     let mut table = Table::new(["request", "count", "p50_us", "p90_us", "p99_us", "max_us"]);
@@ -1037,6 +1149,7 @@ fn main() {
         ("register_plan_warm", &warm_reg),
         ("commit", &commit),
         ("commit_predictions", &pred_commit),
+        ("commit_f1", &f1_commit),
         ("budget_read", &reads),
     ] {
         table.push_row([
@@ -1086,6 +1199,11 @@ fn main() {
              (acceptance target <5x)"
         );
     }
+    println!(
+        "f1 gate p50 {:.0} us over a fully-labelled {PRED_TESTSET}-sample testset | \
+         {f1_passes} of {} metric-gated commits passed",
+        f1_commit.p50_us, f1_commit.count,
+    );
 
     let json = Value::object([
         ("bench", Value::from("serve")),
@@ -1127,6 +1245,18 @@ fn main() {
                 ("counts_gate_p50_us", Value::from(commit.p50_us)),
                 ("p50_ratio_vs_counts", Value::from(pred_ratio)),
                 ("labels_spent_total", Value::from(pred_labels_total)),
+            ]),
+        ),
+        // Non-binomial gate: F1 conditions routed through the McDiarmid
+        // estimator over per-class confusion counts the server derives
+        // from the same prediction-vector transport.
+        (
+            "f1",
+            Value::object([
+                ("testset_size", Value::from(PRED_TESTSET)),
+                ("labeling", Value::from("full")),
+                ("commit", percentiles_json(&f1_commit)),
+                ("passes", Value::from(f1_passes)),
             ]),
         ),
         // Server-measured per-stage latency, reconstructed from the

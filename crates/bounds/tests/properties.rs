@@ -269,6 +269,33 @@ proptest! {
         prop_assert_eq!(again.to_bits(), warm.to_bits(), "n={} eps={} {}", n, eps, tail);
     }
 
+    /// The acceptance reference scan carries its maximizing jump
+    /// indices between probes at most 8 sizes apart (the
+    /// `InversionContext::reference_worst` gate). Within that window
+    /// the maximizer fraction drifts less than the climb's plateau
+    /// sweep, so a warm-resumed scan must reproduce the cold
+    /// breakpoint-exact scan **bit for bit** — the acceptance
+    /// criterion is allowed to change cost, never bits.
+    #[test]
+    fn reference_scan_warm_carry_is_bit_identical(
+        n0 in 16u64..4_000, eps in 0.02f64..0.3,
+        tail in prop_oneof![Just(Tail::OneSided), Just(Tail::TwoSided)],
+        steps in prop::collection::vec((0u64..=8, 0u32..2), 1..24),
+    ) {
+        let mut hint = binomial::JumpHint::cold();
+        let mut n = n0;
+        for &(step, up) in &steps {
+            n = if up == 1 { n + step } else { n.saturating_sub(step).max(10) };
+            let cold = binomial::worst_case_deviation_tail(n, eps, tail);
+            let (warm, _, next) = binomial::worst_case_deviation_jump(n, eps, tail, hint, None);
+            prop_assert_eq!(
+                warm.to_bits(), cold.to_bits(),
+                "n={} eps={} {}: warm {} vs cold {}", n, eps, tail, warm, cold
+            );
+            hint = next;
+        }
+    }
+
     /// ln_choose (table fast path) is symmetric and bounded by n·ln 2.
     #[test]
     fn ln_choose_symmetry(n in 1u64..100_000, t in 0.0f64..=1.0) {

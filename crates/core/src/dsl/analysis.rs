@@ -4,11 +4,15 @@
 use super::ast::{Clause, CmpOp, Expr, Formula, Var};
 use crate::error::CiError;
 
-/// The canonical linear form `αₙ·n + αₒ·o + α_d·d` of an expression.
+/// The canonical linear form `Σ αᵥ·v` of an expression, over both the
+/// plain variables (`n`, `o`, `d`) and any metric-qualified variables
+/// (`f1(...)`, `topk(...)`).
 ///
 /// Every grammatical expression lowers to this form; it drives range
-/// computation (for Hoeffding), per-variable tolerance allocation, and
-/// pattern detection.
+/// computation (for Hoeffding/McDiarmid), per-variable tolerance
+/// allocation, and pattern detection. Terms are kept sorted in the
+/// canonical [`Var`] order with exact-zero coefficients pruned, so two
+/// expressions that cancel to the same combination compare equal.
 ///
 /// # Examples
 ///
@@ -23,74 +27,72 @@ use crate::error::CiError;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinearForm {
-    coef: [f64; 3], // indexed by Var order: n, o, d
+    /// `(variable, coefficient)` pairs, sorted by canonical variable
+    /// order, with zero coefficients removed.
+    terms: Vec<(Var, f64)>,
 }
 
 impl LinearForm {
     /// Lower an expression into its linear form.
     #[must_use]
     pub fn from_expr(expr: &Expr) -> Self {
-        let mut form = LinearForm { coef: [0.0; 3] };
-        form.accumulate(expr, 1.0);
-        form
-    }
-
-    fn accumulate(&mut self, expr: &Expr, scale: f64) {
-        match expr {
-            Expr::Var(v) => self.coef[Self::index(*v)] += scale,
-            Expr::Scale(c, e) => self.accumulate(e, scale * c),
-            Expr::Add(a, b) => {
-                self.accumulate(a, scale);
-                self.accumulate(b, scale);
-            }
-            Expr::Sub(a, b) => {
-                self.accumulate(a, scale);
-                self.accumulate(b, -scale);
+        let mut raw: Vec<(Var, f64)> = Vec::new();
+        accumulate(expr, 1.0, &mut raw);
+        raw.sort_by_key(|a| a.0);
+        let mut terms: Vec<(Var, f64)> = Vec::with_capacity(raw.len());
+        for (v, c) in raw {
+            match terms.last_mut() {
+                Some((last, acc)) if *last == v => *acc += c,
+                _ => terms.push((v, c)),
             }
         }
+        terms.retain(|&(_, c)| c != 0.0);
+        LinearForm { terms }
     }
 
-    fn index(v: Var) -> usize {
-        match v {
-            Var::N => 0,
-            Var::O => 1,
-            Var::D => 2,
-        }
+    /// The `(variable, coefficient)` terms, sorted in canonical order with
+    /// zero coefficients pruned.
+    #[must_use]
+    pub fn terms(&self) -> &[(Var, f64)] {
+        &self.terms
     }
 
-    /// Coefficient of the given variable.
+    /// Coefficient of the given variable (`0.0` when absent).
     #[must_use]
     pub fn coefficient(&self, v: Var) -> f64 {
-        self.coef[Self::index(v)]
+        self.terms
+            .iter()
+            .find(|&&(t, _)| t == v)
+            .map_or(0.0, |&(_, c)| c)
     }
 
     /// Variables with non-zero coefficient, in canonical order.
     #[must_use]
     pub fn active_variables(&self) -> Vec<Var> {
-        Var::ALL
-            .iter()
-            .copied()
-            .filter(|&v| self.coefficient(v) != 0.0)
-            .collect()
+        self.terms.iter().map(|&(v, _)| v).collect()
+    }
+
+    /// Whether any active term is a metric-qualified variable.
+    #[must_use]
+    pub fn has_metric(&self) -> bool {
+        self.terms.iter().any(|&(v, _)| v.is_metric())
     }
 
     /// Dynamic range of the linear combination: each variable spans
     /// `[0, 1]`, so the total range is `Σ |αᵢ|`.
     #[must_use]
     pub fn range(&self) -> f64 {
-        self.coef.iter().map(|c| c.abs()).sum()
+        self.terms.iter().map(|&(_, c)| c.abs()).sum()
     }
 
     /// Whether the form is a single bare variable (coefficient exactly 1).
     #[must_use]
     pub fn as_single_variable(&self) -> Option<Var> {
-        let active = self.active_variables();
-        if active.len() == 1 && self.coefficient(active[0]) == 1.0 {
-            Some(active[0])
-        } else {
-            None
+        match self.terms.as_slice() {
+            [(v, c)] if *c == 1.0 => Some(*v),
+            _ => None,
         }
     }
 
@@ -98,15 +100,48 @@ impl LinearForm {
     /// pattern of §4.1/§4.2).
     #[must_use]
     pub fn is_accuracy_difference(&self) -> bool {
-        self.coefficient(Var::N) == 1.0
-            && self.coefficient(Var::O) == -1.0
-            && self.coefficient(Var::D) == 0.0
+        self.terms.as_slice() == [(Var::N, 1.0), (Var::O, -1.0)]
     }
 
-    /// Evaluate the form at concrete variable values.
+    /// Evaluate the form at concrete values of the three *plain*
+    /// variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the form references a metric-qualified variable — those
+    /// have no slot here; evaluate metric formulas through
+    /// [`crate::eval::VariableEstimates`] instead.
     #[must_use]
     pub fn evaluate(&self, n: f64, o: f64, d: f64) -> f64 {
-        self.coef[0] * n + self.coef[1] * o + self.coef[2] * d
+        self.terms
+            .iter()
+            .map(|&(v, c)| {
+                c * match v {
+                    Var::N => n,
+                    Var::O => o,
+                    Var::D => d,
+                    metric => panic!(
+                        "LinearForm::evaluate cannot evaluate metric variable `{metric}`; \
+                         use VariableEstimates"
+                    ),
+                }
+            })
+            .sum()
+    }
+}
+
+fn accumulate(expr: &Expr, scale: f64, out: &mut Vec<(Var, f64)>) {
+    match expr {
+        Expr::Var(v) => out.push((*v, scale)),
+        Expr::Scale(c, e) => accumulate(e, scale * c, out),
+        Expr::Add(a, b) => {
+            accumulate(a, scale, out);
+            accumulate(b, scale, out);
+        }
+        Expr::Sub(a, b) => {
+            accumulate(a, scale, out);
+            accumulate(b, -scale, out);
+        }
     }
 }
 
@@ -170,13 +205,12 @@ pub fn validate_formula(formula: &Formula) -> Result<(), CiError> {
     Ok(())
 }
 
-/// Attainable `[min, max]` of a linear form when every variable ranges
-/// over `[0, 1]`.
+/// Attainable `[min, max]` of a linear form when every variable (plain or
+/// metric — all statistics here live in `[0, 1]`) ranges over `[0, 1]`.
 fn attainable_bounds(form: &LinearForm) -> (f64, f64) {
     let mut lo = 0.0;
     let mut hi = 0.0;
-    for v in Var::ALL {
-        let c = form.coefficient(v);
+    for &(_, c) in form.terms() {
         if c >= 0.0 {
             hi += c;
         } else {
@@ -216,9 +250,16 @@ pub enum ClauseShape {
 }
 
 /// Classify a clause into one of the recognised shapes.
+///
+/// Metric-qualified clauses are always [`ClauseShape::General`]: the
+/// optimizer's patterns (§4.1/§4.2) are derived for binomial accuracy
+/// statistics, so metric clauses go to the baseline McDiarmid path.
 #[must_use]
 pub fn classify_clause(clause: &Clause) -> ClauseShape {
     let form = LinearForm::from_expr(&clause.expr);
+    if form.has_metric() {
+        return ClauseShape::General;
+    }
     match (form.as_single_variable(), clause.cmp) {
         (Some(Var::D), CmpOp::Lt) => ClauseShape::DifferenceBound {
             limit: clause.threshold,
@@ -350,6 +391,58 @@ mod tests {
             classify_clause(&parse_clause("o - n > 0.1 +/- 0.01").unwrap()),
             ClauseShape::General
         ));
+    }
+
+    #[test]
+    fn metric_linear_forms() {
+        let f = LinearForm::from_expr(&parse_expr("f1(n) - f1(o)").unwrap());
+        assert_eq!(f.coefficient(Var::F1N), 1.0);
+        assert_eq!(f.coefficient(Var::F1O), -1.0);
+        assert_eq!(f.range(), 2.0);
+        assert!(f.has_metric());
+        assert!(!f.is_accuracy_difference());
+        assert_eq!(f.active_variables(), vec![Var::F1N, Var::F1O]);
+        assert_eq!(f.as_single_variable(), None);
+
+        let f = LinearForm::from_expr(&parse_expr("topk(n, 5)").unwrap());
+        assert_eq!(f.as_single_variable(), Some(Var::TopKN(5)));
+
+        // Cancellation prunes metric terms too.
+        let f = LinearForm::from_expr(&parse_expr("f1(n) - f1(n) + o").unwrap());
+        assert!(!f.has_metric());
+        assert_eq!(f.active_variables(), vec![Var::O]);
+    }
+
+    #[test]
+    #[should_panic(expected = "metric variable")]
+    fn evaluate_panics_on_metric_terms() {
+        let f = LinearForm::from_expr(&parse_expr("f1(n)").unwrap());
+        let _ = f.evaluate(0.5, 0.5, 0.5);
+    }
+
+    #[test]
+    fn metric_clauses_classify_general_and_validate() {
+        // Every metric shape bypasses the binomial pattern matcher.
+        for src in [
+            "f1(n) - f1(o) > -0.02 +/- 0.01",
+            "f1(n) > 0.8 +/- 0.05",
+            "topk(n, 5) - topk(o, 5) > -0.02 +/- 0.01",
+            "topk(n, 3) > 0.9 +/- 0.02",
+        ] {
+            assert!(
+                matches!(
+                    classify_clause(&parse_clause(src).unwrap()),
+                    ClauseShape::General
+                ),
+                "{src} should classify General"
+            );
+            validate_formula(&parse_formula(src).unwrap()).unwrap();
+        }
+        // Validation still applies: vacuous tolerance, unattainable
+        // threshold, zero expression.
+        assert!(validate_formula(&parse_formula("f1(n) > 0.5 +/- 1.0").unwrap()).is_err());
+        assert!(validate_formula(&parse_formula("f1(n) > 5 +/- 0.1").unwrap()).is_err());
+        assert!(validate_formula(&parse_formula("f1(n) - f1(n) > 0 +/- 0.1").unwrap()).is_err());
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! c    :- floating point constant
-//! v    :- n | o | d
+//! k    :- positive integer constant
+//! v    :- n | o | d | f1(n) | f1(o) | topk(n, k) | topk(o, k)
 //! op1  :- + | -
 //! op2  :- *
 //! EXP  :- v | v op1 EXP | EXP op2 c
@@ -10,11 +11,27 @@
 //! C    :- EXP cmp c +/- c
 //! F    :- C | C /\ F
 //! ```
+//!
+//! The metric-qualified variables (`f1(...)`, `topk(...)`) are the §2.2
+//! extension point: they denote bounded-difference statistics of the
+//! named model (new or old) rather than plain 0/1-loss accuracies, and
+//! the estimator routes them to McDiarmid leaves instead of
+//! Hoeffding/exact-binomial ones.
 
 use std::fmt;
 
-/// One of the three random variables a condition may reference.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// A random variable a condition may reference.
+///
+/// The three plain variables (`n`, `o`, `d`) are the paper's §3 grammar;
+/// each is a mean of i.i.d. `[0, 1]` (in fact Bernoulli) per-sample
+/// scores. The metric-qualified variables are non-binomial statistics of
+/// the same prediction vectors: they still live in `[0, 1]` but are not
+/// sample means, so tail bounds come from McDiarmid's bounded-difference
+/// inequality rather than Hoeffding / exact binomial inversion.
+///
+/// The derived `Ord` (declaration order) is the canonical variable order
+/// used by [`Expr::variables`] and the estimator's wire codecs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Var {
     /// `n` — accuracy of the newly committed model.
     N,
@@ -22,13 +39,26 @@ pub enum Var {
     O,
     /// `d` — fraction of test points whose prediction changed.
     D,
+    /// `f1(n)` — binary F1 score of the new model (positive class 1).
+    F1N,
+    /// `f1(o)` — binary F1 score of the old model (positive class 1).
+    F1O,
+    /// `topk(n, k)` — accuracy of the new model restricted to test points
+    /// whose true label is among the `k` most frequent testset classes.
+    TopKN(u32),
+    /// `topk(o, k)` — the same restriction for the old model.
+    TopKO(u32),
 }
 
 impl Var {
-    /// All variables, in canonical order.
+    /// The three *plain* (binomial) variables, in canonical order.
+    ///
+    /// Metric-qualified variables are parameterized (`topk` carries its
+    /// `k`) and therefore not enumerable; code that must handle every
+    /// variable kind should match exhaustively instead of iterating this.
     pub const ALL: [Var; 3] = [Var::N, Var::O, Var::D];
 
-    /// Dynamic range of the variable: all three live in `[0, 1]`.
+    /// Dynamic range of the variable: every statistic lives in `[0, 1]`.
     #[must_use]
     pub fn range(self) -> f64 {
         1.0
@@ -36,27 +66,65 @@ impl Var {
 
     /// Whether measuring this variable requires ground-truth labels.
     ///
-    /// Accuracies (`n`, `o`) need labels; the prediction difference `d`
-    /// can be measured on unlabeled data (Technical Observation 2, §4).
+    /// Accuracies (`n`, `o`) and all metric statistics need labels; only
+    /// the prediction difference `d` can be measured on unlabeled data
+    /// (Technical Observation 2, §4).
     #[must_use]
     pub fn needs_labels(self) -> bool {
         !matches!(self, Var::D)
     }
 
-    /// The source-syntax letter.
+    /// Whether this is a metric-qualified (non-binomial) variable.
+    ///
+    /// Metric variables are not sample means, so the estimator must use
+    /// McDiarmid leaves for them and measurement must derive per-class
+    /// confusion counts rather than scalar correct-counts.
     #[must_use]
-    pub fn letter(self) -> char {
+    pub fn is_metric(self) -> bool {
+        matches!(self, Var::F1N | Var::F1O | Var::TopKN(_) | Var::TopKO(_))
+    }
+
+    /// The `k` of a `topk` variable, if this is one.
+    #[must_use]
+    pub fn topk_k(self) -> Option<u32> {
         match self {
-            Var::N => 'n',
-            Var::O => 'o',
-            Var::D => 'd',
+            Var::TopKN(k) | Var::TopKO(k) => Some(k),
+            _ => None,
+        }
+    }
+
+    /// The compact wire token used by the estimator's leaf codec.
+    ///
+    /// Plain variables keep their single source letter; metric variables
+    /// get short alphanumeric tokens (`f1n`, `f1o`, `tkn<k>`, `tko<k>`)
+    /// that never collide with the plain letters.
+    #[must_use]
+    pub fn token(self) -> String {
+        match self {
+            Var::N => "n".to_string(),
+            Var::O => "o".to_string(),
+            Var::D => "d".to_string(),
+            Var::F1N => "f1n".to_string(),
+            Var::F1O => "f1o".to_string(),
+            Var::TopKN(k) => format!("tkn{k}"),
+            Var::TopKO(k) => format!("tko{k}"),
         }
     }
 }
 
 impl fmt::Display for Var {
+    /// Source syntax, so expression `Display` round-trips through the
+    /// parser: `n`, `o`, `d`, `f1(n)`, `f1(o)`, `topk(n, 5)`, ...
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.letter())
+        match self {
+            Var::N => write!(f, "n"),
+            Var::O => write!(f, "o"),
+            Var::D => write!(f, "d"),
+            Var::F1N => write!(f, "f1(n)"),
+            Var::F1O => write!(f, "f1(o)"),
+            Var::TopKN(k) => write!(f, "topk(n, {k})"),
+            Var::TopKO(k) => write!(f, "topk(o, {k})"),
+        }
     }
 }
 
@@ -124,26 +192,30 @@ impl Expr {
     /// order.
     #[must_use]
     pub fn variables(&self) -> Vec<Var> {
-        let mut present = [false; 3];
-        self.mark_vars(&mut present);
-        Var::ALL
-            .iter()
-            .copied()
-            .zip(present)
-            .filter(|&(_, p)| p)
-            .map(|(v, _)| v)
-            .collect()
+        let mut vars = Vec::new();
+        self.collect_vars(&mut vars);
+        vars.sort_unstable();
+        vars.dedup();
+        vars
     }
 
-    fn mark_vars(&self, present: &mut [bool; 3]) {
+    /// Whether the expression references any metric-qualified variable.
+    #[must_use]
+    pub fn has_metric(&self) -> bool {
         match self {
-            Expr::Var(Var::N) => present[0] = true,
-            Expr::Var(Var::O) => present[1] = true,
-            Expr::Var(Var::D) => present[2] = true,
-            Expr::Scale(_, e) => e.mark_vars(present),
+            Expr::Var(v) => v.is_metric(),
+            Expr::Scale(_, e) => e.has_metric(),
+            Expr::Add(a, b) | Expr::Sub(a, b) => a.has_metric() || b.has_metric(),
+        }
+    }
+
+    fn collect_vars(&self, vars: &mut Vec<Var>) {
+        match self {
+            Expr::Var(v) => vars.push(*v),
+            Expr::Scale(_, e) => e.collect_vars(vars),
             Expr::Add(a, b) | Expr::Sub(a, b) => {
-                a.mark_vars(present);
-                b.mark_vars(present);
+                a.collect_vars(vars);
+                b.collect_vars(vars);
             }
         }
     }
@@ -287,29 +359,38 @@ impl Formula {
     /// canonical order.
     #[must_use]
     pub fn variables(&self) -> Vec<Var> {
-        let mut present = [false; 3];
+        let mut vars = Vec::new();
         for clause in &self.clauses {
-            for v in clause.expr.variables() {
-                present[match v {
-                    Var::N => 0,
-                    Var::O => 1,
-                    Var::D => 2,
-                }] = true;
-            }
+            clause.expr.collect_vars(&mut vars);
         }
-        Var::ALL
-            .iter()
-            .copied()
-            .zip(present)
-            .filter(|&(_, p)| p)
-            .map(|(v, _)| v)
-            .collect()
+        vars.sort_unstable();
+        vars.dedup();
+        vars
     }
 
     /// Whether any referenced variable requires ground-truth labels.
     #[must_use]
     pub fn needs_labels(&self) -> bool {
         self.variables().iter().any(|v| v.needs_labels())
+    }
+
+    /// Whether any clause references a metric-qualified variable.
+    #[must_use]
+    pub fn has_metric(&self) -> bool {
+        self.clauses.iter().any(|c| c.expr.has_metric())
+    }
+
+    /// The distinct `k` values of all `topk` variables, ascending.
+    #[must_use]
+    pub fn topk_ks(&self) -> Vec<u32> {
+        let mut ks: Vec<u32> = self
+            .variables()
+            .into_iter()
+            .filter_map(Var::topk_k)
+            .collect();
+        ks.sort_unstable();
+        ks.dedup();
+        ks
     }
 }
 
@@ -390,6 +471,49 @@ mod tests {
         let f = Formula::new(vec![Clause::new(Expr::var(Var::D), CmpOp::Lt, 0.1, 0.01)]);
         assert!(!f.needs_labels());
         let f = Formula::new(vec![Clause::new(diff(), CmpOp::Gt, 0.0, 0.01)]);
+        assert!(f.needs_labels());
+    }
+
+    #[test]
+    fn metric_var_display_and_tokens() {
+        assert_eq!(Var::F1N.to_string(), "f1(n)");
+        assert_eq!(Var::TopKO(5).to_string(), "topk(o, 5)");
+        assert_eq!(Var::F1O.token(), "f1o");
+        assert_eq!(Var::TopKN(12).token(), "tkn12");
+        let e = Expr::sub(Expr::var(Var::F1N), Expr::var(Var::F1O));
+        assert_eq!(e.to_string(), "f1(n) - f1(o)");
+        assert!(e.has_metric());
+        assert!(!diff().has_metric());
+    }
+
+    #[test]
+    fn metric_vars_sort_after_plain_and_need_labels() {
+        let e = Expr::add(
+            Expr::sub(Expr::var(Var::TopKN(3)), Expr::var(Var::F1N)),
+            Expr::var(Var::D),
+        );
+        assert_eq!(e.variables(), vec![Var::D, Var::F1N, Var::TopKN(3)]);
+        assert!(Var::F1N.needs_labels());
+        assert!(Var::TopKO(2).needs_labels());
+        assert!(Var::F1N.is_metric());
+        assert!(!Var::D.is_metric());
+        assert_eq!(Var::TopKN(7).topk_k(), Some(7));
+        assert_eq!(Var::N.topk_k(), None);
+    }
+
+    #[test]
+    fn formula_topk_ks_deduplicated_ascending() {
+        let f = Formula::new(vec![
+            Clause::new(
+                Expr::sub(Expr::var(Var::TopKN(5)), Expr::var(Var::TopKO(5))),
+                CmpOp::Gt,
+                -0.02,
+                0.01,
+            ),
+            Clause::new(Expr::var(Var::TopKN(2)), CmpOp::Gt, 0.8, 0.05),
+        ]);
+        assert_eq!(f.topk_ks(), vec![2, 5]);
+        assert!(f.has_metric());
         assert!(f.needs_labels());
     }
 

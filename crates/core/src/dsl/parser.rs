@@ -214,6 +214,48 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn expect_lparen(&mut self, metric: &str) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(Token::LParen) => Ok(()),
+            other => Err(ParseError::new(
+                self.here().saturating_sub(1),
+                format!(
+                    "expected `(` after `{metric}`, got {}",
+                    other.map_or("end of input".to_owned(), |t| format!("`{t}`"))
+                ),
+            )),
+        }
+    }
+
+    fn expect_rparen(&mut self, metric: &str) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(Token::RParen) => Ok(()),
+            other => Err(ParseError::new(
+                self.here().saturating_sub(1),
+                format!(
+                    "expected `)` closing `{metric}(...)`, got {}",
+                    other.map_or("end of input".to_owned(), |t| format!("`{t}`"))
+                ),
+            )),
+        }
+    }
+
+    /// Parse the model argument of a metric: `n` (true) or `o` (false).
+    fn metric_model(&mut self, metric: &str) -> Result<bool, ParseError> {
+        let at = self.here();
+        match self.bump() {
+            Some(Token::Var('n')) => Ok(true),
+            Some(Token::Var('o')) => Ok(false),
+            other => Err(ParseError::new(
+                at,
+                format!(
+                    "`{metric}(...)` takes a model argument `n` or `o`, got {}",
+                    other.map_or("end of input".to_owned(), |t| format!("`{t}`"))
+                ),
+            )),
+        }
+    }
+
     /// expr := term (('+' | '-') term)*
     fn expr(&mut self) -> Result<Node, ParseError> {
         let mut acc = self.term()?;
@@ -241,7 +283,10 @@ impl<'a> Parser<'a> {
         Ok(acc)
     }
 
-    /// factor := var | number | '-' factor | '(' expr ')'
+    /// factor := var | metric | number | '-' factor | '(' expr ')'
+    ///
+    /// metric := 'f1' '(' model ')' | 'topk' '(' model ',' k ')'
+    /// model  := 'n' | 'o'
     fn factor(&mut self) -> Result<Node, ParseError> {
         let at = self.here();
         match self.bump() {
@@ -250,6 +295,66 @@ impl<'a> Parser<'a> {
                     'n' => super::ast::Var::N,
                     'o' => super::ast::Var::O,
                     _ => super::ast::Var::D,
+                };
+                Ok(Node::Linear(Expr::Var(v), at))
+            }
+            Some(Token::F1) => {
+                self.expect_lparen("f1")?;
+                let new_model = self.metric_model("f1")?;
+                self.expect_rparen("f1")?;
+                let v = if new_model {
+                    super::ast::Var::F1N
+                } else {
+                    super::ast::Var::F1O
+                };
+                Ok(Node::Linear(Expr::Var(v), at))
+            }
+            Some(Token::TopK) => {
+                self.expect_lparen("topk")?;
+                let new_model = self.metric_model("topk")?;
+                match self.bump() {
+                    Some(Token::Comma) => {}
+                    other => {
+                        return Err(ParseError::new(
+                            self.here().saturating_sub(1),
+                            format!(
+                                "expected `,` between the model and k in `topk(...)`, got {}",
+                                other.map_or("end of input".to_owned(), |t| format!("`{t}`"))
+                            ),
+                        ))
+                    }
+                }
+                let k_at = self.here();
+                let k = match self.bump() {
+                    Some(Token::Number(x)) => {
+                        if x.fract() != 0.0 || *x < 1.0 || *x > f64::from(u32::MAX) {
+                            return Err(ParseError::new(
+                                k_at,
+                                format!("topk class count must be a positive integer, got `{x}`"),
+                            ));
+                        }
+                        {
+                            // Exactness checked above: fract() == 0 and in range.
+                            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                            let k = *x as u32;
+                            k
+                        }
+                    }
+                    other => {
+                        return Err(ParseError::new(
+                            k_at,
+                            format!(
+                                "expected topk class count, got {}",
+                                other.map_or("end of input".to_owned(), |t| format!("`{t}`"))
+                            ),
+                        ))
+                    }
+                };
+                self.expect_rparen("topk")?;
+                let v = if new_model {
+                    super::ast::Var::TopKN(k)
+                } else {
+                    super::ast::Var::TopKO(k)
                 };
                 Ok(Node::Linear(Expr::Var(v), at))
             }
@@ -411,6 +516,44 @@ mod tests {
     }
 
     #[test]
+    fn parses_metric_variables() {
+        let c = parse_clause("f1(n) - f1(o) > -0.02 +/- 0.01").unwrap();
+        assert_eq!(c.expr, Expr::sub(Expr::var(Var::F1N), Expr::var(Var::F1O)));
+        assert_eq!(c.threshold, -0.02);
+        let c = parse_clause("topk(n, 5) - topk(o, 5) > -0.02 +/- 0.01").unwrap();
+        assert_eq!(
+            c.expr,
+            Expr::sub(Expr::var(Var::TopKN(5)), Expr::var(Var::TopKO(5)))
+        );
+        // Metrics scale and mix with plain variables like any other term.
+        let e = parse_expr("0.5 * f1(n) + d").unwrap();
+        assert_eq!(e.to_string(), "0.5 * f1(n) + d");
+    }
+
+    #[test]
+    fn rejects_malformed_metric_syntax() {
+        let err = parse_clause("f1(d) > 0.5 +/- 0.1").unwrap_err();
+        assert!(err.to_string().contains("model argument"), "{err}");
+        let err = parse_clause("f1 n > 0.5 +/- 0.1").unwrap_err();
+        assert!(err.to_string().contains("expected `(`"), "{err}");
+        let err = parse_clause("topk(n) > 0.5 +/- 0.1").unwrap_err();
+        assert!(err.to_string().contains("expected `,`"), "{err}");
+        let err = parse_clause("topk(n, 2.5) > 0.5 +/- 0.1").unwrap_err();
+        assert!(err.to_string().contains("positive integer"), "{err}");
+        let err = parse_clause("topk(n, 0) > 0.5 +/- 0.1").unwrap_err();
+        assert!(err.to_string().contains("positive integer"), "{err}");
+        let err = parse_clause("topk(n, o) > 0.5 +/- 0.1").unwrap_err();
+        assert!(err.to_string().contains("class count"), "{err}");
+        assert!(parse_clause("f1(n > 0.5 +/- 0.1").is_err());
+    }
+
+    #[test]
+    fn rejects_metric_by_metric_products() {
+        let err = parse_expr("f1(n) * f1(o)").unwrap_err();
+        assert!(err.to_string().contains("not linear"));
+    }
+
+    #[test]
     fn display_parse_round_trip() {
         let sources = [
             "n > 0.8 +/- 0.05",
@@ -418,6 +561,9 @@ mod tests {
             "d < 0.1 +/- 0.01",
             "n - 1.1 * o > 0.01 +/- 0.01 /\\ d < 0.1 +/- 0.01",
             "n - o > 0.02 +/- 0.01 /\\ d < 0.1 +/- 0.01 /\\ n > 0.9 +/- 0.02",
+            "f1(n) - f1(o) > -0.02 +/- 0.01",
+            "topk(n, 5) - topk(o, 5) > -0.02 +/- 0.01 /\\ d < 0.1 +/- 0.01",
+            "f1(n) > 0.8 +/- 0.05 /\\ topk(n, 3) - topk(o, 3) > 0 +/- 0.02",
         ];
         for src in sources {
             let f = parse_formula(src).unwrap();

@@ -8,6 +8,12 @@ use std::fmt;
 pub enum Token {
     /// A variable: `n`, `o`, or `d`.
     Var(char),
+    /// The `f1` metric keyword, as in `f1(n)`.
+    F1,
+    /// The `topk` metric keyword, as in `topk(n, 5)`.
+    TopK,
+    /// `,` — separates the arguments of `topk(...)`.
+    Comma,
     /// A floating-point constant.
     Number(f64),
     /// `+`
@@ -34,6 +40,9 @@ impl fmt::Display for Token {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Token::Var(c) => write!(f, "{c}"),
+            Token::F1 => write!(f, "f1"),
+            Token::TopK => write!(f, "topk"),
+            Token::Comma => write!(f, ","),
             Token::Number(x) => write!(f, "{x}"),
             Token::Plus => write!(f, "+"),
             Token::Minus => write!(f, "-"),
@@ -73,16 +82,35 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, ParseError> {
             ' ' | '\t' | '\r' | '\n' => {
                 i += 1;
             }
-            'n' | 'o' | 'd' => {
-                // Must be a standalone identifier, not a prefix of a word.
-                if i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_alphanumeric() {
-                    return Err(ParseError::new(
-                        i,
-                        format!("unknown identifier starting with `{c}` (variables are n, o, d)"),
-                    ));
+            'a'..='z' | 'A'..='Z' => {
+                // Read the whole identifier word, then classify it.
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_alphanumeric() {
+                    i += 1;
                 }
+                let word = &src[start..i];
+                let token = match word {
+                    "n" | "o" | "d" => Token::Var(word.as_bytes()[0] as char),
+                    "f1" => Token::F1,
+                    "topk" => Token::TopK,
+                    _ => {
+                        return Err(ParseError::new(
+                            start,
+                            format!(
+                                "unknown identifier starting with `{c}` \
+                                 (variables are n, o, d, f1(...), topk(...))"
+                            ),
+                        ));
+                    }
+                };
                 out.push(Spanned {
-                    token: Token::Var(c),
+                    token,
+                    offset: start,
+                });
+            }
+            ',' => {
+                out.push(Spanned {
+                    token: Token::Comma,
                     offset: i,
                 });
                 i += 1;
@@ -275,6 +303,37 @@ mod tests {
     fn rejects_unknown_identifier() {
         let err = tokenize("new > 0.5 +/- 0.1").unwrap_err();
         assert!(err.to_string().contains("unknown identifier"));
+        let err = tokenize("f2(n) > 0.5 +/- 0.1").unwrap_err();
+        assert!(err.to_string().contains("unknown identifier"));
+    }
+
+    #[test]
+    fn tokenizes_metric_keywords() {
+        assert_eq!(
+            toks("f1(n) - f1(o)"),
+            vec![
+                Token::F1,
+                Token::LParen,
+                Token::Var('n'),
+                Token::RParen,
+                Token::Minus,
+                Token::F1,
+                Token::LParen,
+                Token::Var('o'),
+                Token::RParen,
+            ]
+        );
+        assert_eq!(
+            toks("topk(n, 5)"),
+            vec![
+                Token::TopK,
+                Token::LParen,
+                Token::Var('n'),
+                Token::Comma,
+                Token::Number(5.0),
+                Token::RParen,
+            ]
+        );
     }
 
     #[test]

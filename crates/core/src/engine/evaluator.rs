@@ -11,7 +11,8 @@
 
 use super::testset::{LabelOracle, Testset};
 use crate::dsl::{Clause, Formula, LinearForm, Var};
-use crate::error::{EngineError, Result};
+use crate::error::{CiError, EngineError, Result};
+use crate::eval::{VariableEstimates, MAX_TOPK_ESTIMATES};
 use std::ops::Range;
 
 /// A label (or prediction) vector bit-packed as per-class bitmaps: bit
@@ -104,9 +105,18 @@ pub enum LabelDemand {
 
 /// The labelling demand of a clause: the cheapest strategy sufficient to
 /// measure its left-hand side exactly.
+///
+/// Metric variables (`f1(...)`, `topk(...)`) always demand
+/// [`LabelDemand::Full`]: per-class confusion counts need the true class
+/// of every item, and their coefficients are invisible to the `n`/`o`
+/// cancellation analysis below — without this branch a pure-metric
+/// clause would silently classify as [`LabelDemand::Free`].
 #[must_use]
 pub fn clause_label_demand(clause: &Clause) -> LabelDemand {
     let form = LinearForm::from_expr(&clause.expr);
+    if form.has_metric() {
+        return LabelDemand::Full;
+    }
     let a_n = form.coefficient(Var::N);
     let a_o = form.coefficient(Var::O);
     if a_n == 0.0 && a_o == 0.0 {
@@ -156,6 +166,163 @@ pub struct MeasuredCounts {
     pub changed: u64,
     /// Fresh labels pulled from the oracle by this derivation.
     pub labels_spent: u64,
+}
+
+/// Per-class confusion counts over the *labelled* portion of a measured
+/// range — the extra statistics non-binomial metrics (`f1(...)`,
+/// `topk(...)`) need beyond [`MeasuredCounts`]. Metric formulas demand
+/// [`LabelDemand::Full`], so when these counts back a metric gate every
+/// item in the range is labelled and `support` sums to `samples`.
+///
+/// All vectors are indexed by class id and have length `classes`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PerClassCounts {
+    /// Declared class count (vector length).
+    pub classes: u32,
+    /// Labelled items whose true class is `c`.
+    pub support: Vec<u64>,
+    /// Labelled items where the new model predicts `c` correctly.
+    pub new_tp: Vec<u64>,
+    /// Labelled items where the old model predicts `c` correctly.
+    pub old_tp: Vec<u64>,
+    /// Labelled items where the new model predicts `c` (right or wrong).
+    pub new_pred: Vec<u64>,
+    /// Labelled items where the old model predicts `c`.
+    pub old_pred: Vec<u64>,
+}
+
+impl PerClassCounts {
+    /// All-zero counts for `classes` classes.
+    #[must_use]
+    pub fn zeroed(classes: u32) -> PerClassCounts {
+        let n = classes as usize;
+        PerClassCounts {
+            classes,
+            support: vec![0; n],
+            new_tp: vec![0; n],
+            old_tp: vec![0; n],
+            new_pred: vec![0; n],
+            old_pred: vec![0; n],
+        }
+    }
+
+    /// Total labelled items the counts cover.
+    #[must_use]
+    pub fn labeled(&self) -> u64 {
+        self.support.iter().sum()
+    }
+
+    /// Binary F1 with class 1 as positive — the statistic `f1(n)` /
+    /// `f1(o)` measures. Follows the convention of
+    /// [`crate::extensions::f1_score`]: zero true positives give 0.0.
+    #[must_use]
+    pub fn f1(&self, new_model: bool) -> f64 {
+        let positive = 1usize;
+        let (tp, pred) = if new_model {
+            (self.new_tp[positive], self.new_pred[positive])
+        } else {
+            (self.old_tp[positive], self.old_pred[positive])
+        };
+        if tp == 0 {
+            return 0.0;
+        }
+        let fp = pred - tp;
+        let fn_ = self.support[positive] - tp;
+        2.0 * tp as f64 / (2 * tp + fp + fn_) as f64
+    }
+
+    /// The `k` most frequent classes by support, ties broken towards the
+    /// lower class id — the class set `topk(m, k)` restricts to.
+    #[must_use]
+    pub fn top_classes(&self, k: u32) -> Vec<u32> {
+        let mut ids: Vec<u32> = (0..self.classes).collect();
+        ids.sort_by(|&a, &b| {
+            self.support[b as usize]
+                .cmp(&self.support[a as usize])
+                .then(a.cmp(&b))
+        });
+        ids.truncate(k as usize);
+        ids
+    }
+
+    /// Accuracy restricted to items whose true class is among the `k`
+    /// most frequent classes ([`PerClassCounts::top_classes`]) — the
+    /// statistic `topk(n, k)` / `topk(o, k)` measures. An empty
+    /// restriction (no support in the top classes) gives 0.0.
+    #[must_use]
+    pub fn topk(&self, new_model: bool, k: u32) -> f64 {
+        let tp = if new_model {
+            &self.new_tp
+        } else {
+            &self.old_tp
+        };
+        let mut num = 0u64;
+        let mut den = 0u64;
+        for c in self.top_classes(k) {
+            num += tp[c as usize];
+            den += self.support[c as usize];
+        }
+        if den == 0 {
+            0.0
+        } else {
+            num as f64 / den as f64
+        }
+    }
+
+    /// Fill in the metric estimates a formula reads
+    /// ([`VariableEstimates::f1_n`] and friends) from these counts.
+    ///
+    /// # Errors
+    ///
+    /// Rejects formulas these counts cannot back
+    /// (see [`validate_metric_formula`]).
+    pub fn populate_estimates(
+        &self,
+        formula: &Formula,
+        estimates: &mut VariableEstimates,
+    ) -> Result<()> {
+        validate_metric_formula(formula, self.classes)?;
+        for var in formula.variables() {
+            match var {
+                Var::F1N => estimates.f1_n = Some(self.f1(true)),
+                Var::F1O => estimates.f1_o = Some(self.f1(false)),
+                Var::TopKN(k) => estimates.set_topk(true, k, self.topk(true, k)),
+                Var::TopKO(k) => estimates.set_topk(false, k, self.topk(false, k)),
+                Var::N | Var::O | Var::D => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Check that a testset with `classes` classes can measure every metric
+/// variable a formula reads. Plain (`n`/`o`/`d`) formulas always pass.
+///
+/// # Errors
+///
+/// * `f1(...)` over fewer than 2 classes (F1 is binary, positive = 1);
+/// * `topk(m, k)` with `k` exceeding the class count;
+/// * more than [`MAX_TOPK_ESTIMATES`] distinct `k`s in one formula.
+pub fn validate_metric_formula(formula: &Formula, classes: u32) -> Result<()> {
+    let vars = formula.variables();
+    if vars.iter().any(|v| matches!(v, Var::F1N | Var::F1O)) && classes < 2 {
+        return Err(CiError::Semantic(format!(
+            "f1(...) needs at least 2 classes (positive class is 1), testset declares {classes}"
+        )));
+    }
+    let ks = formula.topk_ks();
+    if ks.len() > MAX_TOPK_ESTIMATES {
+        return Err(CiError::Semantic(format!(
+            "formula uses {} distinct topk class counts, at most {MAX_TOPK_ESTIMATES} supported",
+            ks.len()
+        )));
+    }
+    if let Some(&k) = ks.iter().find(|&&k| k > classes) {
+        return Err(CiError::Semantic(format!(
+            "topk({k}) exceeds the testset's {classes} class(es)"
+        )));
+    }
+    Ok(())
 }
 
 /// Per-commit measurement summary, as recorded in receipts and history.
@@ -319,12 +486,23 @@ impl<'a> Measurement<'a> {
     ///
     /// # Errors
     ///
-    /// Propagates label-acquisition failures.
+    /// Propagates label-acquisition failures. Rejects metric formulas
+    /// loudly: scalar counts cannot carry `f1(...)`/`topk(...)`
+    /// statistics, and measuring them here would silently produce counts
+    /// the gate cannot evaluate — use
+    /// [`Measurement::derive_counts_with_classes`].
     pub fn derive_counts(
         &mut self,
         formula: &Formula,
         range: Range<usize>,
     ) -> Result<MeasuredCounts> {
+        if formula.has_metric() {
+            return Err(CiError::Semantic(
+                "formula reads metric variables (f1/topk) that scalar counts cannot carry; \
+                 derive per-class confusion counts with derive_counts_with_classes"
+                    .into(),
+            ));
+        }
         let demand = formula_label_demand(formula);
         let spent_before = self.labels_requested;
         let mut changed = 0u64;
@@ -370,6 +548,71 @@ impl<'a> Measurement<'a> {
         })
     }
 
+    /// [`Measurement::derive_counts`] extended with the per-class
+    /// confusion counts metric formulas need. Plain formulas delegate to
+    /// the demand-driven path and return `None` for the per-class half;
+    /// metric formulas label every item in the range ([`LabelDemand::Full`])
+    /// and tally [`PerClassCounts`] alongside the scalar counts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates label-acquisition failures; rejects formulas the
+    /// declared class count cannot back ([`validate_metric_formula`]) and
+    /// labels or predictions outside `0..classes`.
+    pub fn derive_counts_with_classes(
+        &mut self,
+        formula: &Formula,
+        range: Range<usize>,
+        classes: u32,
+    ) -> Result<(MeasuredCounts, Option<PerClassCounts>)> {
+        if !formula.has_metric() {
+            return Ok((self.derive_counts(formula, range)?, None));
+        }
+        validate_metric_formula(formula, classes)?;
+        let spent_before = self.labels_requested;
+        let mut per_class = PerClassCounts::zeroed(classes);
+        let mut changed = 0u64;
+        let mut new_correct = 0u64;
+        let mut old_correct = 0u64;
+        for i in range.clone() {
+            changed += u64::from(self.new[i] != self.old[i]);
+            let (label, fresh) = self.testset.require_label(i, self.oracle.as_deref_mut())?;
+            if fresh {
+                self.labels_requested += 1;
+            }
+            for (what, value) in [
+                ("label", label),
+                ("old prediction", self.old[i]),
+                ("new prediction", self.new[i]),
+            ] {
+                if value >= classes {
+                    return Err(CiError::Semantic(format!(
+                        "{what} {value} for item {i} is outside the declared class range 0..{classes}"
+                    )));
+                }
+            }
+            new_correct += u64::from(self.new[i] == label);
+            old_correct += u64::from(self.old[i] == label);
+            per_class.support[label as usize] += 1;
+            per_class.new_pred[self.new[i] as usize] += 1;
+            per_class.old_pred[self.old[i] as usize] += 1;
+            if self.new[i] == label {
+                per_class.new_tp[label as usize] += 1;
+            }
+            if self.old[i] == label {
+                per_class.old_tp[label as usize] += 1;
+            }
+        }
+        let counts = MeasuredCounts {
+            samples: range.len() as u64,
+            new_correct,
+            old_correct,
+            changed,
+            labels_spent: self.labels_requested - spent_before,
+        };
+        Ok((counts, Some(per_class)))
+    }
+
     /// [`Measurement::derive_counts`] over the whole pool through the
     /// bit-packed fast lane: predictions are packed into per-class
     /// bitmaps and compared against a pre-packed `truth` word-level, so
@@ -387,12 +630,21 @@ impl<'a> Measurement<'a> {
     ///
     /// # Errors
     ///
-    /// Propagates label-acquisition failures.
+    /// Propagates label-acquisition failures. Rejects metric formulas
+    /// loudly, like [`Measurement::derive_counts`] — use
+    /// [`Measurement::derive_counts_packed_with_classes`].
     pub fn derive_counts_packed(
         &mut self,
         formula: &Formula,
         truth: &ClassBitmaps,
     ) -> Result<MeasuredCounts> {
+        if formula.has_metric() {
+            return Err(CiError::Semantic(
+                "formula reads metric variables (f1/topk) that scalar counts cannot carry; \
+                 derive per-class confusion counts with derive_counts_packed_with_classes"
+                    .into(),
+            ));
+        }
         let len = self.testset.len();
         let (Some(old), Some(new)) = (
             ClassBitmaps::from_labels(self.old, truth.classes()),
@@ -474,6 +726,99 @@ impl<'a> Measurement<'a> {
         })
     }
 
+    /// [`Measurement::derive_counts_with_classes`] through the bit-packed
+    /// fast lane. Plain formulas delegate to
+    /// [`Measurement::derive_counts_packed`]; metric formulas pull every
+    /// label (ascending, same oracle sequence as the per-item path) and
+    /// read the per-class confusion counts off word-level popcounts —
+    /// bit-identical to the scalar lane in counts, pool state, and oracle
+    /// spend. Falls back to the per-item path when the predictions fail
+    /// to pack or `truth` does not cover the pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates label-acquisition failures; rejects formulas the class
+    /// count cannot back ([`validate_metric_formula`]).
+    pub fn derive_counts_packed_with_classes(
+        &mut self,
+        formula: &Formula,
+        truth: &ClassBitmaps,
+    ) -> Result<(MeasuredCounts, Option<PerClassCounts>)> {
+        if !formula.has_metric() {
+            return Ok((self.derive_counts_packed(formula, truth)?, None));
+        }
+        let len = self.testset.len();
+        let (Some(old), Some(new)) = (
+            ClassBitmaps::from_labels(self.old, truth.classes()),
+            ClassBitmaps::from_labels(self.new, truth.classes()),
+        ) else {
+            return self.derive_counts_with_classes(formula, 0..len, truth.classes());
+        };
+        if truth.len() != len {
+            return self.derive_counts_with_classes(formula, 0..len, truth.classes());
+        }
+        validate_metric_formula(formula, truth.classes())?;
+        let spent_before = self.labels_requested;
+        let words = len.div_ceil(64);
+        let tail_mask = |w: usize| -> u64 {
+            if w + 1 == words && !len.is_multiple_of(64) {
+                (1u64 << (len % 64)) - 1
+            } else {
+                !0
+            }
+        };
+
+        let mut changed = 0u64;
+        for w in 0..words {
+            let mut agree = 0u64;
+            for c in 0..truth.classes() {
+                agree |= old.class(c)[w] & new.class(c)[w];
+            }
+            changed += u64::from((!agree & tail_mask(w)).count_ones());
+        }
+
+        // Metric demand is Full: pull every missing label, ascending —
+        // the same oracle call sequence the per-item path makes.
+        let known = self.testset.known_words();
+        for (w, word) in known.iter().enumerate() {
+            let mut fresh = tail_mask(w) & !word;
+            while fresh != 0 {
+                let bit = fresh.trailing_zeros() as usize;
+                self.testset
+                    .require_label(w * 64 + bit, self.oracle.as_deref_mut())?;
+                self.labels_requested += 1;
+                fresh &= fresh - 1;
+            }
+        }
+
+        // Every item is labelled now, so the confusion counts are plain
+        // popcounts against the truth bitmaps (zero beyond `len`).
+        let mut per_class = PerClassCounts::zeroed(truth.classes());
+        let mut new_correct = 0u64;
+        let mut old_correct = 0u64;
+        for c in 0..truth.classes() {
+            let (t, o, n) = (truth.class(c), old.class(c), new.class(c));
+            let ci = c as usize;
+            for w in 0..words {
+                per_class.support[ci] += u64::from(t[w].count_ones());
+                per_class.new_pred[ci] += u64::from(n[w].count_ones());
+                per_class.old_pred[ci] += u64::from(o[w].count_ones());
+                per_class.new_tp[ci] += u64::from((n[w] & t[w]).count_ones());
+                per_class.old_tp[ci] += u64::from((o[w] & t[w]).count_ones());
+            }
+            new_correct += per_class.new_tp[ci];
+            old_correct += per_class.old_tp[ci];
+        }
+        let counts = MeasuredCounts {
+            samples: len as u64,
+            new_correct,
+            old_correct,
+            changed,
+            labels_spent: self.labels_requested - spent_before,
+        };
+        Ok((counts, Some(per_class)))
+    }
+
     /// Measure the left-hand side of a clause over a range, choosing the
     /// cheapest sufficient strategy:
     ///
@@ -484,9 +829,18 @@ impl<'a> Measurement<'a> {
     ///
     /// # Errors
     ///
-    /// Propagates label-acquisition failures.
+    /// Propagates label-acquisition failures. Rejects metric clauses
+    /// loudly: `f1(...)`/`topk(...)` are not linear in the per-item
+    /// accuracy statistics this measures, so silently evaluating the
+    /// plain terms would report a wrong left-hand side.
     pub fn clause_lhs(&mut self, clause: &Clause, range: Range<usize>) -> Result<f64> {
         let form = LinearForm::from_expr(&clause.expr);
+        if form.has_metric() {
+            return Err(CiError::Semantic(format!(
+                "clause `{clause}` reads metric variables (f1/topk); evaluate it from \
+                 per-class counts (derive_counts_with_classes), not clause_lhs"
+            )));
+        }
         let a_n = form.coefficient(Var::N);
         let a_o = form.coefficient(Var::O);
         let a_d = form.coefficient(Var::D);
@@ -844,6 +1198,216 @@ mod tests {
         assert!(ClassBitmaps::from_labels(&[0], 65).is_none());
         assert!(ClassBitmaps::from_labels(&[7], 4).is_none());
         assert!(ClassBitmaps::from_labels(&[63], 64).is_some());
+    }
+
+    #[test]
+    fn metric_clauses_demand_full_labelling() {
+        use crate::dsl::parse_formula;
+        let demand = |text: &str| formula_label_demand(&parse_formula(text).unwrap());
+        // Pure metric clauses have zero n/o coefficients; without the
+        // metric branch they would misclassify as Free.
+        assert_eq!(demand("f1(n) > 0.8 +/- 0.05"), LabelDemand::Full);
+        assert_eq!(demand("f1(n) - f1(o) > -0.02 +/- 0.01"), LabelDemand::Full);
+        assert_eq!(
+            demand("topk(n, 3) - topk(o, 3) > 0.0 +/- 0.1"),
+            LabelDemand::Full
+        );
+        assert_eq!(
+            demand("f1(n) - f1(o) > -0.02 +/- 0.01 /\\ d < 0.1 +/- 0.05"),
+            LabelDemand::Full
+        );
+    }
+
+    #[test]
+    fn scalar_count_paths_reject_metric_formulas_loudly() {
+        use crate::dsl::{parse_clause, parse_formula};
+        let (labels, old, new) = fixture();
+        let formula = parse_formula("f1(n) - f1(o) > -0.02 +/- 0.01").unwrap();
+        let truth_bits = ClassBitmaps::from_labels(&labels, 2).unwrap();
+        let mut testset = Testset::fully_labeled(labels);
+        let mut m = Measurement::new(&mut testset, None, &old, &new).unwrap();
+        for err in [
+            m.derive_counts(&formula, 0..10).unwrap_err(),
+            m.derive_counts_packed(&formula, &truth_bits).unwrap_err(),
+            m.clause_lhs(&parse_clause("f1(n) > 0.8 +/- 0.05").unwrap(), 0..10)
+                .unwrap_err(),
+        ] {
+            let msg = err.to_string();
+            assert!(
+                msg.contains("metric"),
+                "error not loud about metrics: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_metric_formula_rejects_impossible_testsets() {
+        use crate::dsl::parse_formula;
+        let f = |text: &str| parse_formula(text).unwrap();
+        // Plain formulas pass at any class count.
+        validate_metric_formula(&f("n - o > 0.0 +/- 0.05"), 1).unwrap();
+        // F1 needs a positive class.
+        let err = validate_metric_formula(&f("f1(n) > 0.8 +/- 0.05"), 1).unwrap_err();
+        assert!(err.to_string().contains("at least 2 classes"));
+        validate_metric_formula(&f("f1(n) > 0.8 +/- 0.05"), 2).unwrap();
+        // topk cannot outrun the class count.
+        let err = validate_metric_formula(&f("topk(n, 5) > 0.8 +/- 0.05"), 3).unwrap_err();
+        assert!(err.to_string().contains("topk(5)"));
+        validate_metric_formula(&f("topk(n, 5) > 0.8 +/- 0.05"), 5).unwrap();
+        // More distinct ks than estimate slots.
+        let wide =
+            f("topk(n, 1) + topk(n, 2) + topk(n, 3) + topk(n, 4) + topk(n, 5) > 0.0 +/- 0.1");
+        let err = validate_metric_formula(&wide, 8).unwrap_err();
+        assert!(err.to_string().contains("distinct topk"));
+    }
+
+    #[test]
+    fn per_class_counts_match_reference_statistics() {
+        use crate::dsl::parse_formula;
+        use crate::extensions::f1_score;
+        // 8 items, 3 classes. Truth: [0,0,0,1,1,2,2,2].
+        let truth = vec![0u32, 0, 0, 1, 1, 2, 2, 2];
+        let old = vec![0u32, 1, 0, 1, 0, 2, 0, 2];
+        let new = vec![0u32, 0, 1, 1, 1, 2, 2, 1];
+        let formula =
+            parse_formula("f1(n) - f1(o) > -0.5 +/- 0.1 /\\ topk(n, 2) > 0.0 +/- 0.1").unwrap();
+        let mut testset = Testset::unlabeled(8);
+        let mut oracle = VecOracle::new(truth.clone());
+        let mut m = Measurement::new(&mut testset, Some(&mut oracle), &old, &new).unwrap();
+        let (counts, per_class) = m.derive_counts_with_classes(&formula, 0..8, 3).unwrap();
+        let pc = per_class.expect("metric formula tallies per-class counts");
+        assert_eq!(counts.labels_spent, 8, "metric demand labels everything");
+        assert_eq!(pc.labeled(), counts.samples);
+        assert_eq!(pc.support, vec![3, 2, 3]);
+        // F1 agrees with the reference implementation on both models.
+        assert_eq!(pc.f1(true), f1_score(&new, &truth, 1));
+        assert_eq!(pc.f1(false), f1_score(&old, &truth, 1));
+        // Top-2 classes by support: 0 and 2 (tie at 3 beats class 1's 2).
+        assert_eq!(pc.top_classes(2), vec![0, 2]);
+        // topk(n, 2): items with true class in {0, 2}: indices 0..3 and
+        // 5..8; new is right on 0, 1, 5, 6 → 4/6.
+        assert!((pc.topk(true, 2) - 4.0 / 6.0).abs() < 1e-12);
+        // Estimates populate and evaluate.
+        let mut est = VariableEstimates::new(0.0, 0.0, 0.0);
+        pc.populate_estimates(&formula, &mut est).unwrap();
+        let lhs = est.evaluate_expr(&formula.clauses()[0].expr);
+        assert!((lhs - (f1_score(&new, &truth, 1) - f1_score(&old, &truth, 1))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_class_counts_edge_conventions() {
+        // Zero true positives → F1 = 0 (reference convention), and an
+        // unsupported top-k restriction → 0 rather than NaN.
+        let mut pc = PerClassCounts::zeroed(3);
+        assert_eq!(pc.f1(true), 0.0);
+        assert_eq!(pc.topk(true, 2), 0.0);
+        // Ties in support break towards the lower class id.
+        pc.support = vec![2, 2, 2];
+        assert_eq!(pc.top_classes(2), vec![0, 1]);
+    }
+
+    #[test]
+    fn derive_counts_with_classes_rejects_out_of_range_values() {
+        use crate::dsl::parse_formula;
+        let formula = parse_formula("f1(n) > 0.5 +/- 0.1").unwrap();
+        // Label 2 exceeds the declared 2 classes.
+        let truth = vec![0u32, 1, 2];
+        let old = vec![0u32, 1, 1];
+        let new = vec![0u32, 1, 1];
+        let mut testset = Testset::unlabeled(3);
+        let mut oracle = VecOracle::new(truth);
+        let mut m = Measurement::new(&mut testset, Some(&mut oracle), &old, &new).unwrap();
+        let err = m.derive_counts_with_classes(&formula, 0..3, 2).unwrap_err();
+        assert!(err.to_string().contains("class range"), "{err}");
+        // Prediction out of range is equally loud.
+        let truth = vec![0u32, 1, 1];
+        let bad_new = vec![0u32, 1, 7];
+        let old = vec![0u32, 1, 1];
+        let mut testset = Testset::unlabeled(3);
+        let mut oracle = VecOracle::new(truth);
+        let mut m = Measurement::new(&mut testset, Some(&mut oracle), &old, &bad_new).unwrap();
+        let err = m.derive_counts_with_classes(&formula, 0..3, 2).unwrap_err();
+        assert!(err.to_string().contains("class range"), "{err}");
+    }
+
+    #[test]
+    fn packed_metric_derivation_is_bit_identical_to_per_item_path() {
+        use crate::dsl::parse_formula;
+        let formulas = [
+            "f1(n) - f1(o) > -0.02 +/- 0.01",
+            "topk(n, 3) - topk(o, 3) > 0.0 +/- 0.1",
+            "f1(n) > 0.5 +/- 0.1 /\\ d < 0.5 +/- 0.1",
+            "f1(n) - f1(o) + topk(n, 2) - topk(o, 2) > -0.1 +/- 0.05",
+        ];
+        let mut rng = Rng(0x5eed_f00d_2468_ace2);
+        for trial in 0..40 {
+            let len = 1 + rng.below(130) as usize;
+            let classes = 3 + rng.below(5) as u32; // ≥ 3 so every k fits
+            let truth: Vec<u32> = (0..len)
+                .map(|_| rng.below(u64::from(classes)) as u32)
+                .collect();
+            let old: Vec<u32> = (0..len)
+                .map(|_| rng.below(u64::from(classes)) as u32)
+                .collect();
+            let new: Vec<u32> = (0..len)
+                .map(|_| rng.below(u64::from(classes)) as u32)
+                .collect();
+            let prelabeled: Vec<usize> = (0..len).filter(|_| rng.below(4) == 0).collect();
+            let truth_bits = ClassBitmaps::from_labels(&truth, classes).unwrap();
+            for text in formulas {
+                let formula = parse_formula(text).unwrap();
+                let mut scalar_pool = Testset::unlabeled(len);
+                let mut packed_pool = Testset::unlabeled(len);
+                for &i in &prelabeled {
+                    scalar_pool.set_label(i, truth[i]);
+                    packed_pool.set_label(i, truth[i]);
+                }
+                let mut scalar_oracle = VecOracle::new(truth.clone());
+                let mut packed_oracle = VecOracle::new(truth.clone());
+                let scalar =
+                    Measurement::new(&mut scalar_pool, Some(&mut scalar_oracle), &old, &new)
+                        .unwrap()
+                        .derive_counts_with_classes(&formula, 0..len, classes)
+                        .unwrap();
+                let packed =
+                    Measurement::new(&mut packed_pool, Some(&mut packed_oracle), &old, &new)
+                        .unwrap()
+                        .derive_counts_packed_with_classes(&formula, &truth_bits)
+                        .unwrap();
+                assert_eq!(packed, scalar, "trial {trial} formula {text}");
+                assert_eq!(
+                    packed_pool, scalar_pool,
+                    "label pools diverged: trial {trial} formula {text}"
+                );
+                assert_eq!(
+                    packed_oracle.labels_served(),
+                    scalar_oracle.labels_served(),
+                    "oracle spend diverged: trial {trial} formula {text}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn with_classes_paths_delegate_for_plain_formulas() {
+        use crate::dsl::parse_formula;
+        let (labels, old, new) = fixture();
+        let formula = parse_formula("n - o > 0.0 +/- 0.05").unwrap();
+        let truth_bits = ClassBitmaps::from_labels(&labels, 2).unwrap();
+        let mut testset = Testset::unlabeled(10);
+        let mut oracle = VecOracle::new(labels.clone());
+        let mut m = Measurement::new(&mut testset, Some(&mut oracle), &old, &new).unwrap();
+        let (counts, pc) = m.derive_counts_with_classes(&formula, 0..10, 2).unwrap();
+        assert!(pc.is_none(), "plain formulas carry no per-class counts");
+        assert_eq!(counts.labels_spent, 1);
+        let mut testset = Testset::unlabeled(10);
+        let mut oracle = VecOracle::new(labels);
+        let mut m = Measurement::new(&mut testset, Some(&mut oracle), &old, &new).unwrap();
+        let (packed, pc) = m
+            .derive_counts_packed_with_classes(&formula, &truth_bits)
+            .unwrap();
+        assert!(pc.is_none());
+        assert_eq!(packed, counts);
     }
 
     #[test]

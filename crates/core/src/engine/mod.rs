@@ -18,8 +18,8 @@ mod sink;
 mod testset;
 
 pub use evaluator::{
-    clause_label_demand, formula_label_demand, ClassBitmaps, CommitEstimates, LabelDemand,
-    MeasuredCounts, Measurement,
+    clause_label_demand, formula_label_demand, validate_metric_formula, ClassBitmaps,
+    CommitEstimates, LabelDemand, MeasuredCounts, Measurement, PerClassCounts,
 };
 pub use history::{CommitHistory, HistoryEntry};
 pub use sink::{AlarmReason, CiEvent, CollectingSink, MailboxSink, NotificationSink, NullSink};

@@ -17,7 +17,10 @@
 use crate::cache::{BoundKind, BoundsCache, CachePolicy};
 use crate::dsl::{Clause, Expr, Formula, LinearForm, Var};
 use crate::error::{CiError, Result};
-use easeml_bounds::{exact_binomial_sample_size, hoeffding_sample_size_from_ln_delta, Tail};
+use easeml_bounds::{
+    exact_binomial_sample_size, hoeffding_sample_size_from_ln_delta,
+    mcdiarmid_sample_size_from_ln_delta, Tail,
+};
 
 /// How the per-clause `ε` budget is divided among the variables of a
 /// compound expression.
@@ -43,6 +46,67 @@ pub enum LeafBound {
     /// are plain Bernoulli means (single unscaled variables); compound
     /// leaves silently fall back to Hoeffding.
     ExactBinomial,
+}
+
+/// Bounded-difference sensitivities for the metric-qualified variables,
+/// used to size their McDiarmid leaves (§2.2 extensions).
+///
+/// Metric statistics are not sample means: changing one test point can
+/// move them by more than `1/n`. McDiarmid's inequality needs the
+/// per-point sensitivity bound `β/n`:
+///
+/// * binary F1 — `β = 2 / π₊` where `π₊` is the positive-class rate of
+///   the testset (see [`crate::extensions::f1::F1Sensitivity`]);
+/// * top-k restricted accuracy — `β = 1 / ρ_k` where `ρ_k` is the
+///   testset mass of the k most frequent classes (the statistic is a
+///   mean over that `ρ_k` fraction of the points).
+///
+/// The defaults (`0.5` each) are the conservative knobs used when a
+/// deployment registers a script before its testset composition is
+/// known; the serve layer can tighten them from the actual testset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricSensitivity {
+    /// Positive-class rate `π₊ ∈ (0, 1]` backing the F1 sensitivity.
+    pub f1_positive_rate: f64,
+    /// Top-k testset mass `ρ_k ∈ (0, 1]` backing the top-k sensitivity.
+    pub topk_mass: f64,
+}
+
+impl Default for MetricSensitivity {
+    fn default() -> Self {
+        MetricSensitivity {
+            f1_positive_rate: 0.5,
+            topk_mass: 0.5,
+        }
+    }
+}
+
+impl MetricSensitivity {
+    /// The McDiarmid `β` for a metric variable; `None` for plain ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the relevant rate is outside `(0, 1]`.
+    pub fn beta(&self, var: Var) -> Result<Option<f64>> {
+        let rate_check = |rate: f64, what: &str| {
+            if rate > 0.0 && rate <= 1.0 {
+                Ok(rate)
+            } else {
+                Err(CiError::Semantic(format!(
+                    "{what} must be in (0, 1], got {rate}"
+                )))
+            }
+        };
+        match var {
+            Var::N | Var::O | Var::D => Ok(None),
+            Var::F1N | Var::F1O => Ok(Some(
+                2.0 / rate_check(self.f1_positive_rate, "F1 positive-class rate")?,
+            )),
+            Var::TopKN(_) | Var::TopKO(_) => Ok(Some(
+                1.0 / rate_check(self.topk_mass, "top-k testset mass")?,
+            )),
+        }
+    }
 }
 
 /// Sample-size requirement for one variable inside one clause.
@@ -110,6 +174,33 @@ pub fn clause_sample_size_with_cache(
     tail: Tail,
     cache: CachePolicy,
 ) -> Result<ClauseEstimate> {
+    clause_sample_size_with_options(
+        clause,
+        ln_delta,
+        allocation,
+        leaf_bound,
+        tail,
+        cache,
+        MetricSensitivity::default(),
+    )
+}
+
+/// [`clause_sample_size_with_cache`] with explicit metric sensitivities
+/// for McDiarmid leaves (metric-free clauses ignore them).
+///
+/// # Errors
+///
+/// Same conditions as [`clause_sample_size`], plus invalid sensitivities
+/// on metric clauses.
+pub fn clause_sample_size_with_options(
+    clause: &Clause,
+    ln_delta: f64,
+    allocation: Allocation,
+    leaf_bound: LeafBound,
+    tail: Tail,
+    cache: CachePolicy,
+    metric: MetricSensitivity,
+) -> Result<ClauseEstimate> {
     let leaves = match allocation {
         Allocation::EqualSplit => equal_split_leaves(&clause.expr, clause.tolerance, ln_delta)?,
         Allocation::Proportional => proportional_leaves(clause, ln_delta)?,
@@ -125,6 +216,7 @@ pub fn clause_sample_size_with_cache(
             leaf_bound,
             tail,
             cache,
+            metric,
         )?;
         max_samples = max_samples.max(samples);
         out.push(LeafEstimate {
@@ -179,6 +271,32 @@ pub fn formula_sample_size_with_cache(
     tail: Tail,
     cache: CachePolicy,
 ) -> Result<(u64, Vec<ClauseEstimate>)> {
+    formula_sample_size_with_options(
+        formula,
+        ln_delta,
+        allocation,
+        leaf_bound,
+        tail,
+        cache,
+        MetricSensitivity::default(),
+    )
+}
+
+/// [`formula_sample_size_with_cache`] with explicit metric sensitivities
+/// for McDiarmid leaves (metric-free formulas ignore them).
+///
+/// # Errors
+///
+/// Propagates the per-clause error conditions.
+pub fn formula_sample_size_with_options(
+    formula: &Formula,
+    ln_delta: f64,
+    allocation: Allocation,
+    leaf_bound: LeafBound,
+    tail: Tail,
+    cache: CachePolicy,
+    metric: MetricSensitivity,
+) -> Result<(u64, Vec<ClauseEstimate>)> {
     if formula.is_empty() {
         return Err(CiError::Semantic("formula has no clauses".into()));
     }
@@ -187,13 +305,14 @@ pub fn formula_sample_size_with_cache(
     let mut estimates = Vec::with_capacity(formula.len());
     let mut max_samples = 0u64;
     for clause in formula.clauses() {
-        let est = clause_sample_size_with_cache(
+        let est = clause_sample_size_with_options(
             clause,
             per_clause_ln_delta,
             allocation,
             leaf_bound,
             tail,
             cache,
+            metric,
         )?;
         max_samples = max_samples.max(est.samples);
         estimates.push(est);
@@ -203,6 +322,12 @@ pub fn formula_sample_size_with_cache(
 
 /// Samples to estimate one variable with coefficient `c` to tolerance
 /// `eps` — the paper's rule 1: scale the tolerance down by `|c|`.
+///
+/// Metric-qualified variables always use McDiarmid with the
+/// [`MetricSensitivity`] `β`, regardless of `leaf_bound`: both Hoeffding
+/// (as written for range-1 means) and exact binomial inversion assume a
+/// Bernoulli sample mean, which metric statistics are not.
+#[allow(clippy::too_many_arguments)]
 fn leaf_samples(
     var: Var,
     coefficient: f64,
@@ -211,8 +336,17 @@ fn leaf_samples(
     leaf_bound: LeafBound,
     tail: Tail,
     cache: CachePolicy,
+    metric: MetricSensitivity,
 ) -> Result<u64> {
     let effective_eps = epsilon / coefficient.abs();
+    if let Some(beta) = metric.beta(var)? {
+        return Ok(mcdiarmid_sample_size_from_ln_delta(
+            beta,
+            effective_eps,
+            ln_delta,
+            tail,
+        )?);
+    }
     match leaf_bound {
         LeafBound::Hoeffding => {
             // Closed-form and nanosecond-scale: cheaper than a cache probe.
@@ -283,11 +417,15 @@ fn unhex_bytes(hex: &str) -> Option<String> {
     String::from_utf8(bytes).ok()
 }
 
-/// `<var>.<coefficient_bits>.<epsilon_bits>.<ln_delta_bits>.<samples>`.
+/// `<var_token>.<coefficient_bits>.<epsilon_bits>.<ln_delta_bits>.<samples>`.
+///
+/// Variable tokens are [`Var::token`]: the plain letters plus `f1n`,
+/// `f1o`, `tkn<k>`, `tko<k>` for metric leaves — all alphanumeric, so
+/// the `.`-separated field structure is unambiguous.
 fn encode_leaf(leaf: &LeafEstimate) -> String {
     format!(
         "{}.{}.{}.{}.{}",
-        leaf.var.letter(),
+        leaf.var.token(),
         hex_f64(leaf.coefficient),
         hex_f64(leaf.epsilon),
         hex_f64(leaf.ln_delta),
@@ -295,14 +433,31 @@ fn encode_leaf(leaf: &LeafEstimate) -> String {
     )
 }
 
+fn decode_var_token(token: &str) -> Option<Var> {
+    match token {
+        "n" => Some(Var::N),
+        "o" => Some(Var::O),
+        "d" => Some(Var::D),
+        "f1n" => Some(Var::F1N),
+        "f1o" => Some(Var::F1O),
+        _ => {
+            let (prefix, k) = token.split_at_checked(3)?;
+            let k: u32 = k.parse().ok()?;
+            if k == 0 {
+                return None;
+            }
+            match prefix {
+                "tkn" => Some(Var::TopKN(k)),
+                "tko" => Some(Var::TopKO(k)),
+                _ => None,
+            }
+        }
+    }
+}
+
 fn decode_leaf(s: &str) -> Option<LeafEstimate> {
     let mut fields = s.split('.');
-    let var = match fields.next()? {
-        "n" => Var::N,
-        "o" => Var::O,
-        "d" => Var::D,
-        _ => return None,
-    };
+    let var = decode_var_token(fields.next()?)?;
     let coefficient = parse_hex_f64(fields.next()?)?;
     let epsilon = parse_hex_f64(fields.next()?)?;
     let ln_delta = parse_hex_f64(fields.next()?)?;
@@ -619,6 +774,142 @@ mod tests {
         )
         .unwrap();
         assert!(exact.samples < hoeff.samples);
+    }
+
+    #[test]
+    fn f1_leaf_matches_extensions_reference_bound() {
+        // A bare `f1(n)` clause must reproduce `extensions::f1`'s
+        // McDiarmid sizing exactly, at every sensitivity we expose.
+        use crate::extensions::{f1_sample_size, F1Sensitivity};
+        for (rate, eps, delta) in [
+            (0.5f64, 0.05f64, 0.001f64),
+            (0.1, 0.02, 0.0001),
+            (0.25, 0.01, 0.01),
+        ] {
+            let clause = parse_clause(&format!("f1(n) > 0.5 +/- {eps}")).unwrap();
+            let ln_delta = delta.ln();
+            let metric = MetricSensitivity {
+                f1_positive_rate: rate,
+                ..MetricSensitivity::default()
+            };
+            for tail in [Tail::OneSided, Tail::TwoSided] {
+                let est = clause_sample_size_with_options(
+                    &clause,
+                    ln_delta,
+                    Allocation::Proportional,
+                    LeafBound::Hoeffding,
+                    tail,
+                    CachePolicy::Shared,
+                    metric,
+                )
+                .unwrap();
+                let want = f1_sample_size(&F1Sensitivity::new(rate).unwrap(), eps, ln_delta, tail)
+                    .unwrap();
+                assert_eq!(est.samples, want, "rate={rate} eps={eps} {tail:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn metric_leaves_ignore_exact_binomial_bound() {
+        // Exact binomial inversion is unsound for non-Bernoulli
+        // statistics; metric leaves must size identically either way.
+        let clause = parse_clause("f1(n) - f1(o) > -0.02 +/- 0.01").unwrap();
+        let ln_delta = (0.001f64).ln();
+        let run = |leaf_bound| {
+            clause_sample_size_with_options(
+                &clause,
+                ln_delta,
+                Allocation::Proportional,
+                leaf_bound,
+                Tail::OneSided,
+                CachePolicy::Shared,
+                MetricSensitivity::default(),
+            )
+            .unwrap()
+        };
+        assert_eq!(
+            run(LeafBound::Hoeffding).samples,
+            run(LeafBound::ExactBinomial).samples
+        );
+    }
+
+    #[test]
+    fn topk_leaf_scales_with_mass_and_beats_f1() {
+        // β(topk) = 1/ρ vs β(f1) = 2/π: at equal rates the top-k leaf
+        // needs 4× fewer samples (n ∝ β²).
+        let ln_delta = (0.001f64).ln();
+        let size = |src: &str, metric| {
+            clause_sample_size_with_options(
+                &parse_clause(src).unwrap(),
+                ln_delta,
+                Allocation::Proportional,
+                LeafBound::Hoeffding,
+                Tail::OneSided,
+                CachePolicy::Shared,
+                metric,
+            )
+            .unwrap()
+            .samples
+        };
+        let m = MetricSensitivity::default();
+        let f1 = size("f1(n) > 0.5 +/- 0.05", m);
+        let topk = size("topk(n, 5) > 0.5 +/- 0.05", m);
+        // β ratio 2 ⇒ sample ratio 4, up to the per-size ceil.
+        assert!(f1.abs_diff(4 * topk) <= 4, "{f1} vs 4×{topk}");
+        // Halving the mass doubles β; β = 4 then matches the F1 leaf.
+        let thin = MetricSensitivity {
+            topk_mass: 0.25,
+            ..m
+        };
+        assert_eq!(size("topk(n, 5) > 0.5 +/- 0.05", thin), f1);
+        // Degenerate sensitivities are loud errors.
+        let bad = MetricSensitivity {
+            f1_positive_rate: 0.0,
+            ..m
+        };
+        assert!(clause_sample_size_with_options(
+            &parse_clause("f1(n) > 0.5 +/- 0.05").unwrap(),
+            ln_delta,
+            Allocation::Proportional,
+            LeafBound::Hoeffding,
+            Tail::OneSided,
+            CachePolicy::Shared,
+            bad,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn metric_leaf_round_trips_through_wire_codec() {
+        let clause = parse_clause("f1(n) - f1(o) > -0.02 +/- 0.01").unwrap();
+        let est = clause_sample_size_with_options(
+            &clause,
+            (0.001f64).ln(),
+            Allocation::Proportional,
+            LeafBound::Hoeffding,
+            Tail::OneSided,
+            CachePolicy::Shared,
+            MetricSensitivity::default(),
+        )
+        .unwrap();
+        let wire = encode_clause_estimate(&est);
+        assert_eq!(decode_clause_estimate(&wire).unwrap(), est);
+
+        let topk = parse_clause("topk(n, 12) - topk(o, 12) > 0 +/- 0.02").unwrap();
+        let est = clause_sample_size_with_options(
+            &topk,
+            (0.001f64).ln(),
+            Allocation::EqualSplit,
+            LeafBound::Hoeffding,
+            Tail::OneSided,
+            CachePolicy::Shared,
+            MetricSensitivity::default(),
+        )
+        .unwrap();
+        let wire = encode_clause_estimate(&est);
+        assert_eq!(decode_clause_estimate(&wire).unwrap(), est);
+        assert!(wire.contains("tkn12") && wire.contains("tko12"));
     }
 
     #[test]

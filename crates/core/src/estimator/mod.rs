@@ -25,8 +25,9 @@ mod baseline;
 mod pattern;
 
 pub use baseline::{
-    clause_sample_size, clause_sample_size_with_cache, formula_sample_size,
-    formula_sample_size_with_cache, Allocation, ClauseEstimate, LeafBound, LeafEstimate,
+    clause_sample_size, clause_sample_size_with_cache, clause_sample_size_with_options,
+    formula_sample_size, formula_sample_size_with_cache, formula_sample_size_with_options,
+    Allocation, ClauseEstimate, LeafBound, LeafEstimate, MetricSensitivity,
 };
 pub use pattern::{
     coarse_to_fine_plan, hierarchical_plan, implicit_variance_plan, implicit_variance_test_phase,
@@ -84,6 +85,10 @@ pub struct EstimatorConfig {
     /// through [`crate::PlanCache`] (both on by default;
     /// [`CachePolicy::Bypass`] recomputes everything at every layer).
     pub cache: CachePolicy,
+    /// Bounded-difference sensitivities backing McDiarmid leaves for
+    /// metric-qualified variables (`f1(...)`, `topk(...)`); ignored by
+    /// metric-free formulas.
+    pub metric: MetricSensitivity,
 }
 
 impl Default for EstimatorConfig {
@@ -96,6 +101,7 @@ impl Default for EstimatorConfig {
             pattern1: Pattern1Options::default(),
             pattern2: Pattern2Options::default(),
             cache: CachePolicy::Shared,
+            metric: MetricSensitivity::default(),
         }
     }
 }
@@ -241,7 +247,7 @@ pub fn plan_fingerprint(script: &CiScript, config: &EstimatorConfig) -> PlanFing
     );
     let _ = write!(
         s,
-        "p1={},{};p2={},{},{}",
+        "p1={},{};p2={},{},{};metric={},{}",
         u8::from(config.pattern1.conservative_variance),
         config.pattern1.tail.code(),
         hex_f64(config.pattern2.expected_difference),
@@ -250,6 +256,8 @@ pub fn plan_fingerprint(script: &CiScript, config: &EstimatorConfig) -> PlanFing
             .known_variance_bound
             .map_or_else(|| "-".to_owned(), hex_f64),
         config.pattern2.tail.code(),
+        hex_f64(config.metric.f1_positive_rate),
+        hex_f64(config.metric.topk_mass),
     );
     PlanFingerprint::of(&s)
 }
@@ -351,13 +359,14 @@ impl SampleSizeEstimator {
             }
         }
 
-        let (samples, per_clause) = baseline::formula_sample_size_with_cache(
+        let (samples, per_clause) = baseline::formula_sample_size_with_options(
             script.condition(),
             ln_delta,
             self.config.allocation,
             self.config.leaf_bound,
             self.config.tail,
             self.config.cache,
+            self.config.metric,
         )?;
         let needs_labels = script.condition().needs_labels();
         Ok(SampleSizeEstimate {
@@ -730,11 +739,80 @@ mod tests {
                     ..config
                 },
             ),
+            plan_fingerprint(
+                &a,
+                &EstimatorConfig {
+                    metric: MetricSensitivity {
+                        f1_positive_rate: 0.25,
+                        topk_mass: 0.5,
+                    },
+                    ..config
+                },
+            ),
         ];
         variants.push(plan_fingerprint(&a, &config));
         variants.sort();
         variants.dedup();
-        assert_eq!(variants.len(), 8, "every knob must change the key");
+        assert_eq!(variants.len(), 9, "every knob must change the key");
+    }
+
+    #[test]
+    fn metric_scripts_route_to_mcdiarmid_baseline_and_round_trip() {
+        // Metric conditions never match a §4 pattern: they go through the
+        // baseline recursion with McDiarmid leaves, cache cleanly, and
+        // wire-encode losslessly.
+        for condition in [
+            "f1(n) - f1(o) > -0.02 +/- 0.01",
+            "topk(n, 5) - topk(o, 5) > -0.02 +/- 0.01",
+            "f1(n) > 0.8 +/- 0.05 /\\ d < 0.1 +/- 0.01",
+        ] {
+            let s = script(condition, 0.9999, Adaptivity::Full, 32);
+            let estimator = SampleSizeEstimator::new();
+            let est = estimator.estimate(&s).unwrap();
+            assert!(
+                matches!(est.provenance, EstimateProvenance::Baseline),
+                "{condition}"
+            );
+            assert!(est.labeled_samples > 0, "{condition}");
+            let wire = est.encode_wire();
+            assert_eq!(
+                SampleSizeEstimate::decode_wire(&wire).unwrap(),
+                est,
+                "{condition}"
+            );
+            // Cache round trip is bit-exact.
+            let warm = estimator.estimate(&s).unwrap();
+            assert_eq!(est, warm, "{condition}");
+            // Tightening the sensitivity changes the answer (β = 2/π₊
+            // shrinks as π₊ grows) — and the fingerprint keeps the two
+            // cached plans separate.
+            let tight = SampleSizeEstimator::with_config(EstimatorConfig {
+                metric: MetricSensitivity {
+                    f1_positive_rate: 1.0,
+                    topk_mass: 1.0,
+                },
+                ..EstimatorConfig::default()
+            })
+            .estimate(&s)
+            .unwrap();
+            // (When a plain clause dominates the conjunction max, the
+            // metric knob cannot shrink the total — only never grow it.)
+            if condition.contains('d') {
+                assert!(
+                    tight.labeled_samples <= est.labeled_samples,
+                    "{condition}: {} > {}",
+                    tight.labeled_samples,
+                    est.labeled_samples
+                );
+            } else {
+                assert!(
+                    tight.labeled_samples < est.labeled_samples,
+                    "{condition}: {} !< {}",
+                    tight.labeled_samples,
+                    est.labeled_samples
+                );
+            }
+        }
     }
 
     #[test]

@@ -15,7 +15,14 @@ use crate::dsl::{Clause, CmpOp, Expr, Formula};
 use crate::interval::Interval;
 use crate::logic::{Mode, Tribool};
 
-/// Point estimates of the three condition variables for one commit.
+/// Point estimates of the condition variables for one commit.
+///
+/// The three plain variables are always present; the metric statistics
+/// (`f1(...)`, `topk(...)`) are `Option`s because only prediction-vector
+/// measurement over a per-class testset can produce them. Evaluating a
+/// metric expression without the matching estimate is a caller bug and
+/// panics loudly — the serve layer validates the measurement shape
+/// against the formula before calling [`decide`].
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct VariableEstimates {
     /// Estimated accuracy of the new model (`n̂`).
@@ -24,22 +31,99 @@ pub struct VariableEstimates {
     pub o: f64,
     /// Estimated fraction of changed predictions (`d̂`).
     pub d: f64,
+    /// Estimated binary F1 of the new model, when measured.
+    pub f1_n: Option<f64>,
+    /// Estimated binary F1 of the old model, when measured.
+    pub f1_o: Option<f64>,
+    /// Estimated top-k accuracies of the new model as `(k, value)` pairs,
+    /// when measured. At most [`MAX_TOPK_ESTIMATES`] distinct `k`s.
+    pub topk_n: TopKEstimates,
+    /// Estimated top-k accuracies of the old model, same shape.
+    pub topk_o: TopKEstimates,
 }
 
+/// Maximum number of distinct `topk` class counts a formula may use.
+///
+/// Keeps [`VariableEstimates`] `Copy` (fixed-size storage); real formulas
+/// use one or two `k`s.
+pub const MAX_TOPK_ESTIMATES: usize = 4;
+
+/// Fixed-capacity `(k, value)` map for top-k estimates.
+pub type TopKEstimates = [Option<(u32, f64)>; MAX_TOPK_ESTIMATES];
+
 impl VariableEstimates {
-    /// Create a new set of estimates.
+    /// Create a new set of estimates for the plain variables only.
     #[must_use]
     pub fn new(n: f64, o: f64, d: f64) -> Self {
-        VariableEstimates { n, o, d }
+        VariableEstimates {
+            n,
+            o,
+            d,
+            ..Default::default()
+        }
+    }
+
+    /// Record a top-k estimate for the new (`is_new = true`) or old model.
+    ///
+    /// # Panics
+    ///
+    /// Panics when more than [`MAX_TOPK_ESTIMATES`] distinct `k`s are
+    /// recorded for one model.
+    pub fn set_topk(&mut self, is_new: bool, k: u32, value: f64) {
+        let slots = if is_new {
+            &mut self.topk_n
+        } else {
+            &mut self.topk_o
+        };
+        for slot in slots.iter_mut() {
+            match slot {
+                Some((existing, v)) if *existing == k => {
+                    *v = value;
+                    return;
+                }
+                None => {
+                    *slot = Some((k, value));
+                    return;
+                }
+                Some(_) => {}
+            }
+        }
+        panic!("more than {MAX_TOPK_ESTIMATES} distinct topk class counts in one formula");
+    }
+
+    fn topk(&self, is_new: bool, k: u32) -> Option<f64> {
+        let slots = if is_new { &self.topk_n } else { &self.topk_o };
+        slots
+            .iter()
+            .flatten()
+            .find(|&&(existing, _)| existing == k)
+            .map(|&(_, v)| v)
     }
 
     /// Evaluate an expression at these point estimates.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the expression references a metric variable whose
+    /// estimate was not measured (see the type-level docs).
     #[must_use]
     pub fn evaluate_expr(&self, expr: &Expr) -> f64 {
         match expr {
             Expr::Var(crate::dsl::Var::N) => self.n,
             Expr::Var(crate::dsl::Var::O) => self.o,
             Expr::Var(crate::dsl::Var::D) => self.d,
+            Expr::Var(crate::dsl::Var::F1N) => self
+                .f1_n
+                .expect("formula references f1(n) but no F1 estimate was measured"),
+            Expr::Var(crate::dsl::Var::F1O) => self
+                .f1_o
+                .expect("formula references f1(o) but no F1 estimate was measured"),
+            Expr::Var(crate::dsl::Var::TopKN(k)) => self.topk(true, *k).unwrap_or_else(|| {
+                panic!("formula references topk(n, {k}) but no such estimate was measured")
+            }),
+            Expr::Var(crate::dsl::Var::TopKO(k)) => self.topk(false, *k).unwrap_or_else(|| {
+                panic!("formula references topk(o, {k}) but no such estimate was measured")
+            }),
             Expr::Scale(c, e) => c * self.evaluate_expr(e),
             Expr::Add(a, b) => self.evaluate_expr(a) + self.evaluate_expr(b),
             Expr::Sub(a, b) => self.evaluate_expr(a) - self.evaluate_expr(b),
@@ -195,6 +279,33 @@ mod tests {
         assert_eq!(evaluate_clause(&c, &est(0.9, 0.8, 0.0)), Tribool::Unknown);
         // n - 1.1o = 0.95 - 0.77 = 0.18 -> certainly true.
         assert_eq!(evaluate_clause(&c, &est(0.95, 0.7, 0.0)), Tribool::True);
+    }
+
+    #[test]
+    fn metric_expressions_evaluate_from_measured_estimates() {
+        let c = parse_clause("f1(n) - f1(o) > -0.02 +/- 0.01").unwrap();
+        let mut e = est(0.0, 0.0, 0.0);
+        e.f1_n = Some(0.91);
+        e.f1_o = Some(0.90);
+        // f1(n) - f1(o) = 0.01 > -0.01: certainly true.
+        assert_eq!(evaluate_clause(&c, &e), Tribool::True);
+        e.f1_n = Some(0.85);
+        // 0.85 - 0.90 = -0.05 < -0.03: certainly false.
+        assert_eq!(evaluate_clause(&c, &e), Tribool::False);
+
+        let c = parse_clause("topk(n, 5) > 0.9 +/- 0.02").unwrap();
+        let mut e = est(0.0, 0.0, 0.0);
+        e.set_topk(true, 5, 0.95);
+        assert_eq!(evaluate_clause(&c, &e), Tribool::True);
+        e.set_topk(true, 5, 0.91);
+        assert_eq!(evaluate_clause(&c, &e), Tribool::Unknown);
+    }
+
+    #[test]
+    #[should_panic(expected = "no F1 estimate")]
+    fn metric_expression_without_estimate_panics() {
+        let c = parse_clause("f1(n) > 0.8 +/- 0.05").unwrap();
+        let _ = evaluate_clause(&c, &est(0.9, 0.9, 0.1));
     }
 
     #[test]

@@ -74,10 +74,10 @@ pub use cache::{
     BoundKind, BoundsCache, CachePersistError, CachePolicy, CacheStats, PlanCache, PlanFingerprint,
 };
 pub use engine::{
-    clause_label_demand, formula_label_demand, AlarmReason, CiEngine, CiEvent, ClassBitmaps,
-    CollectingSink, CommitEstimates, CommitHistory, CommitReceipt, HistoryEntry, LabelDemand,
-    LabelOracle, MailboxSink, MeasuredCounts, Measurement, ModelCommit, NotificationSink, NullSink,
-    Testset, VecOracle,
+    clause_label_demand, formula_label_demand, validate_metric_formula, AlarmReason, CiEngine,
+    CiEvent, ClassBitmaps, CollectingSink, CommitEstimates, CommitHistory, CommitReceipt,
+    HistoryEntry, LabelDemand, LabelOracle, MailboxSink, MeasuredCounts, Measurement, ModelCommit,
+    NotificationSink, NullSink, PerClassCounts, Testset, VecOracle,
 };
 pub use error::{CiError, EngineError, ParseError, Result, ScriptError};
 pub use estimator::{

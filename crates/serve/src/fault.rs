@@ -62,6 +62,7 @@ const TESTSET_SIZE: usize = 60;
 
 const COUNTS_SCRIPT: &str = "ml:\n  - condition  : n > 0.6 +/- 0.2\n  - reliability: 0.99\n  - mode       : fp-free\n  - adaptivity : full\n  - steps      : 3\n";
 const PREDICTIONS_SCRIPT: &str = "ml:\n  - condition  : n - o > 0.0 +/- 0.2\n  - reliability: 0.99\n  - mode       : fp-free\n  - adaptivity : full\n  - steps      : 3\n";
+const F1_SCRIPT: &str = "ml:\n  - condition  : f1(n) - f1(o) > -0.1 +/- 0.2\n  - reliability: 0.99\n  - mode       : fp-free\n  - adaptivity : full\n  - steps      : 3\n";
 
 /// Options for [`run_matrix`].
 #[derive(Debug, Clone, Copy)]
@@ -339,6 +340,7 @@ fn commit(id: &str, new_correct: u64) -> Action {
             old_correct: 50,
             changed: 30,
             labels: 100,
+            per_class: None,
         },
     })
 }
@@ -370,6 +372,14 @@ fn lazy_alternating() -> TestsetSpec {
         truth: (0..TESTSET_SIZE as u32).map(|i| i % 2).collect(),
         classes: 2,
         lazy: true,
+    }
+}
+
+fn full_alternating() -> TestsetSpec {
+    TestsetSpec {
+        truth: (0..TESTSET_SIZE as u32).map(|i| i % 2).collect(),
+        classes: 2,
+        lazy: false,
     }
 }
 
@@ -417,7 +427,28 @@ fn schedule(seed: u64) -> Vec<(String, Vec<Action>)> {
         Action::Snapshot,
     ];
 
-    vec![("alpha".to_owned(), alpha), ("beta".to_owned(), beta)]
+    // F1 gating over a fully-labelled alternating testset: journal ops
+    // and snapshots carry per-class confusion counts, and every reboot
+    // re-measures them through the packed per-class lane.
+    let gamma = vec![
+        Action::Register {
+            script: F1_SCRIPT,
+            testset: Some(full_alternating()),
+        },
+        predictions("g1", draw(201, size + 1) as usize),
+        predictions("g2", draw(202, size + 1) as usize),
+        Action::Snapshot,
+        predictions("g3", draw(203, size + 1) as usize),
+        Action::InstallTestset(full_alternating()),
+        predictions("g4", draw(204, size + 1) as usize),
+        Action::Snapshot,
+    ];
+
+    vec![
+        ("alpha".to_owned(), alpha),
+        ("beta".to_owned(), beta),
+        ("gamma".to_owned(), gamma),
+    ]
 }
 
 // ---------------------------------------------------------------------
@@ -760,6 +791,7 @@ fn probe_submit(slot: &mut crate::store::ProjectSlot) -> Result<(), ServeError> 
                 old_correct: 50,
                 changed: 30,
                 labels: 100,
+                per_class: None,
             },
         })
         .map(|_| ())

@@ -32,9 +32,10 @@ use crate::obs::trace::{self, Stage};
 use easeml_bounds::Adaptivity;
 use easeml_ci_core::dsl::Formula;
 use easeml_ci_core::{
-    decide, formula_label_demand, AlarmReason, CiScript, ClassBitmaps, CommitEstimates,
-    CommitHistory, EstimatorConfig, HistoryEntry, LabelDemand, MeasuredCounts, Measurement,
-    SampleSizeEstimate, SampleSizeEstimator, Testset, Tribool, VariableEstimates, VecOracle,
+    decide, formula_label_demand, validate_metric_formula, AlarmReason, CiScript, ClassBitmaps,
+    CommitEstimates, CommitHistory, EstimatorConfig, HistoryEntry, LabelDemand, MeasuredCounts,
+    Measurement, PerClassCounts, SampleSizeEstimate, SampleSizeEstimator, Testset, Tribool,
+    VariableEstimates, VecOracle,
 };
 
 /// FNV-1a 64 over a sequence of byte slices — the digest primitive of
@@ -275,7 +276,7 @@ impl MeasuredTestset {
         condition: &Formula,
         old: &[u32],
         new: &[u32],
-    ) -> Result<MeasuredCounts, ServeError> {
+    ) -> Result<(MeasuredCounts, Option<PerClassCounts>), ServeError> {
         let demand = formula_label_demand(condition);
         if self.truth_bits.is_some() && (demand != LabelDemand::Full || !self.lazy) {
             self.measure_packed(condition, old, new)
@@ -291,9 +292,10 @@ impl MeasuredTestset {
         condition: &Formula,
         old: &[u32],
         new: &[u32],
-    ) -> Result<MeasuredCounts, ServeError> {
+    ) -> Result<(MeasuredCounts, Option<PerClassCounts>), ServeError> {
         self.validate_predictions("old", old)?;
         self.validate_predictions("new", new)?;
+        let classes = self.classes;
         let oracle: Option<&mut (dyn easeml_ci_core::LabelOracle + 'static)> = if self.lazy {
             Some(&mut self.oracle)
         } else {
@@ -303,7 +305,7 @@ impl MeasuredTestset {
             .map_err(|e| ServeError::BadRequest(e.to_string()))?;
         let len = old.len();
         measurement
-            .derive_counts(condition, 0..len)
+            .derive_counts_with_classes(condition, 0..len, classes)
             .map_err(|e| ServeError::BadRequest(format!("measurement failed: {e}")))
     }
 
@@ -313,7 +315,7 @@ impl MeasuredTestset {
         condition: &Formula,
         old: &[u32],
         new: &[u32],
-    ) -> Result<MeasuredCounts, ServeError> {
+    ) -> Result<(MeasuredCounts, Option<PerClassCounts>), ServeError> {
         self.validate_predictions("old", old)?;
         self.validate_predictions("new", new)?;
         let MeasuredTestset {
@@ -329,7 +331,7 @@ impl MeasuredTestset {
         let mut measurement = Measurement::new(pool, oracle, old, new)
             .map_err(|e| ServeError::BadRequest(e.to_string()))?;
         measurement
-            .derive_counts_packed(condition, truth_bits)
+            .derive_counts_packed_with_classes(condition, truth_bits)
             .map_err(|e| ServeError::BadRequest(format!("measurement failed: {e}")))
     }
 }
@@ -338,7 +340,9 @@ impl MeasuredTestset {
 ///
 /// All counts are over the same `samples` testset items; the service
 /// validates `new_correct`, `old_correct`, `changed` ≤ `samples`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Conditions over metric variables (`f1`, `topk`) additionally carry
+/// the per-class confusion counts the scalar triple cannot express.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EvalCounts {
     /// Testset items evaluated.
     pub samples: u64,
@@ -351,6 +355,11 @@ pub struct EvalCounts {
     /// Fresh labels the evaluation consumed (cost accounting; the
     /// labelling itself happens on the client side).
     pub labels: u64,
+    /// Per-class confusion counts (support, true positives, prediction
+    /// mass per model) over the labelled items — present iff the
+    /// condition reads `f1`/`topk` variables. `None` for plain
+    /// accuracy/difference conditions.
+    pub per_class: Option<PerClassCounts>,
 }
 
 impl EvalCounts {
@@ -375,6 +384,63 @@ impl EvalCounts {
                 )));
             }
         }
+        if let Some(pc) = &self.per_class {
+            self.validate_per_class(pc)?;
+        }
+        Ok(())
+    }
+
+    /// Structural consistency of the per-class confusion counts against
+    /// the scalar triple.
+    fn validate_per_class(&self, pc: &PerClassCounts) -> Result<(), ServeError> {
+        let classes = pc.classes as usize;
+        if classes == 0 {
+            return Err(ServeError::BadRequest(
+                "per_class classes must be positive".into(),
+            ));
+        }
+        for (name, vec) in [
+            ("support", &pc.support),
+            ("new_tp", &pc.new_tp),
+            ("old_tp", &pc.old_tp),
+            ("new_pred", &pc.new_pred),
+            ("old_pred", &pc.old_pred),
+        ] {
+            if vec.len() != classes {
+                return Err(ServeError::BadRequest(format!(
+                    "per_class {name} has {} entries but classes is {classes}",
+                    vec.len()
+                )));
+            }
+        }
+        for c in 0..classes {
+            if pc.new_tp[c] > pc.new_pred[c]
+                || pc.old_tp[c] > pc.old_pred[c]
+                || pc.new_tp[c] > pc.support[c]
+                || pc.old_tp[c] > pc.support[c]
+            {
+                return Err(ServeError::BadRequest(format!(
+                    "per_class true positives for class {c} exceed its prediction \
+                     mass or support"
+                )));
+            }
+        }
+        let labeled = pc.labeled();
+        if labeled > self.samples {
+            return Err(ServeError::BadRequest(format!(
+                "per_class support sums to {labeled} labelled items but only {} \
+                 samples were evaluated",
+                self.samples
+            )));
+        }
+        let new_mass: u64 = pc.new_pred.iter().sum();
+        let old_mass: u64 = pc.old_pred.iter().sum();
+        if new_mass != labeled || old_mass != labeled {
+            return Err(ServeError::BadRequest(format!(
+                "per_class prediction mass (new {new_mass}, old {old_mass}) must \
+                 equal the labelled support sum ({labeled})"
+            )));
+        }
         Ok(())
     }
 
@@ -388,6 +454,32 @@ impl EvalCounts {
             self.changed as f64 / n,
         )
     }
+
+    /// Point estimates for *this condition*: the plain `n`/`o`/`d`
+    /// triple, plus the F1/top-k statistics derived from the per-class
+    /// counts when the condition reads metric variables.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] when the condition reads `f1`/`topk`
+    /// but the submission carries no per-class counts (a counts-mode
+    /// client that posted only the scalar triple), or when the per-class
+    /// shape cannot satisfy the formula (class count too small).
+    pub fn estimates_for(&self, condition: &Formula) -> Result<VariableEstimates, ServeError> {
+        let mut est = self.estimates();
+        if condition.has_metric() {
+            let Some(pc) = &self.per_class else {
+                return Err(ServeError::BadRequest(
+                    "condition reads f1/topk metric variables but the submission \
+                     carries no per-class confusion counts"
+                        .into(),
+                ));
+            };
+            pc.populate_estimates(condition, &mut est)
+                .map_err(|e| ServeError::BadRequest(e.to_string()))?;
+        }
+        Ok(est)
+    }
 }
 
 impl From<MeasuredCounts> for EvalCounts {
@@ -398,6 +490,7 @@ impl From<MeasuredCounts> for EvalCounts {
             old_correct: c.old_correct,
             changed: c.changed,
             labels: c.labels_spent,
+            per_class: None,
         }
     }
 }
@@ -497,6 +590,11 @@ pub struct Project {
     /// entries) — the redelivery-dedup key of the predictions gate.
     /// Always exactly as long as `history`.
     pred_digests: Vec<Option<u64>>,
+    /// Per-history-entry per-class confusion counts (`None` for plain
+    /// accuracy/difference conditions) — what restart-replay and
+    /// redelivery dedup re-check F1/top-k verdicts against. Always
+    /// exactly as long as `history`.
+    per_class_history: Vec<Option<PerClassCounts>>,
 }
 
 /// Project names become directory names and URL path segments, so they
@@ -553,7 +651,18 @@ impl Project {
         let estimate = estimator
             .estimate(&script)
             .map_err(|e| ServeError::BadRequest(format!("cannot estimate sample size: {e}")))?;
-        let measured = testset.map(MeasuredTestset::from_spec).transpose()?;
+        let measured = match testset {
+            Some(spec) => {
+                // A metric condition that the uploaded testset can never
+                // satisfy (f1 over one class, topk(k) past the class
+                // count) must fail at registration, not on the first
+                // submission.
+                validate_metric_formula(script.condition(), spec.classes)
+                    .map_err(|e| ServeError::BadRequest(e.to_string()))?;
+                Some(MeasuredTestset::from_spec(spec)?)
+            }
+            None => None,
+        };
         Ok(Project {
             name: name.to_owned(),
             script_text: script_text.to_owned(),
@@ -565,6 +674,7 @@ impl Project {
             history: CommitHistory::new(),
             measured,
             pred_digests: Vec::new(),
+            per_class_history: Vec::new(),
         })
     }
 
@@ -638,14 +748,15 @@ impl Project {
         self.ensure_gate_open()?;
         let condition = self.script.condition();
         let measured = self.measured.as_mut().expect("checked above");
-        let counts: EvalCounts = trace::time(Stage::Measure, || {
+        let (measured_counts, per_class) = trace::time(Stage::Measure, || {
             measured.measure(condition, &submission.old, &submission.new)
-        })?
-        .into();
+        })?;
+        let mut counts: EvalCounts = measured_counts.into();
+        counts.per_class = per_class;
         let receipt = self.submit_with_digest(
             &CommitSubmission {
                 commit_id: submission.commit_id.clone(),
-                counts,
+                counts: counts.clone(),
             },
             Some(digest),
         )?;
@@ -688,7 +799,7 @@ impl Project {
         }
         submission.counts.validate()?;
         self.ensure_gate_open()?;
-        let est = submission.counts.estimates();
+        let est = submission.counts.estimates_for(self.script.condition())?;
         let (passed, outcome) = decide(self.script.condition(), &est, self.script.mode());
         self.steps_used += 1;
         let step = self.steps_used;
@@ -729,6 +840,8 @@ impl Project {
             accepted,
         });
         self.pred_digests.push(digest);
+        self.per_class_history
+            .push(submission.counts.per_class.clone());
         Ok(GateReceipt {
             commit_id: submission.commit_id.clone(),
             step,
@@ -760,20 +873,26 @@ impl Project {
     pub fn duplicate_receipt(&self, submission: &CommitSubmission) -> Option<GateReceipt> {
         submission.counts.validate().ok()?;
         let est = submission.counts.estimates();
-        let entry = self
+        let index = self
             .history
             .entries()
             .iter()
+            .enumerate()
             .rev()
-            .take_while(|e| e.era == self.era)
-            .find(|e| {
+            .take_while(|(_, e)| e.era == self.era)
+            .find(|(i, e)| {
                 e.commit_id == submission.commit_id
                     && e.estimates.n == Some(est.n)
                     && e.estimates.o == Some(est.o)
                     && e.estimates.d == Some(est.d)
                     && e.estimates.labels_requested == submission.counts.labels
-            })?;
-        Some(self.receipt_for_entry(entry))
+                    // Identical scalar triples can still carry different
+                    // per-class confusion shapes — and thus different
+                    // F1/top-k verdicts — so the dedup key includes them.
+                    && self.per_class_history.get(*i) == Some(&submission.counts.per_class)
+            })
+            .map(|(i, _)| i)?;
+        Some(self.receipt_for_entry(&self.history.entries()[index]))
     }
 
     /// If `submission` redelivers prediction vectors already evaluated in
@@ -812,7 +931,10 @@ impl Project {
             })
             .map(|(i, _)| i)?;
         let entry = &entries[index];
-        Some((self.receipt_for_entry(entry), self.counts_from_entry(entry)))
+        Some((
+            self.receipt_for_entry(entry),
+            self.counts_from_entry(index, entry),
+        ))
     }
 
     /// Reconstruct the receipt a recorded evaluation originally produced.
@@ -851,8 +973,10 @@ impl Project {
 
     /// Reconstruct the derived counts a predictions-mode history entry
     /// recorded. Point estimates are exact multiples of `1/samples`, so
-    /// rounding `estimate × samples` recovers the integer counts.
-    fn counts_from_entry(&self, entry: &HistoryEntry) -> EvalCounts {
+    /// rounding `estimate × samples` recovers the integer counts; the
+    /// per-class confusion counts are carried verbatim in
+    /// `per_class_history`.
+    fn counts_from_entry(&self, index: usize, entry: &HistoryEntry) -> EvalCounts {
         let samples = self.measured.as_ref().map_or(0, |m| m.len() as u64);
         let s = samples as f64;
         let count = |est: Option<f64>| (est.unwrap_or(0.0) * s).round() as u64;
@@ -862,6 +986,7 @@ impl Project {
             old_correct: count(entry.estimates.o),
             changed: count(entry.estimates.d),
             labels: entry.estimates.labels_requested,
+            per_class: self.per_class_history.get(index).cloned().flatten(),
         }
     }
 
@@ -975,8 +1100,16 @@ impl Project {
         self.pred_digests.get(index).copied().flatten()
     }
 
+    /// The per-class confusion counts recorded for history entry `index`
+    /// (`None` for plain scalar conditions).
+    #[must_use]
+    pub(crate) fn per_class_at(&self, index: usize) -> Option<&PerClassCounts> {
+        self.per_class_history.get(index).and_then(Option::as_ref)
+    }
+
     /// Restore gate counters from a snapshot (see [`crate::store`]).
-    /// `pred_digests` must be aligned with `history`.
+    /// `pred_digests` and `per_class_history` must be aligned with
+    /// `history`.
     pub(crate) fn restore(
         &mut self,
         steps_used: u32,
@@ -984,13 +1117,16 @@ impl Project {
         retired: bool,
         history: CommitHistory,
         pred_digests: Vec<Option<u64>>,
+        per_class_history: Vec<Option<PerClassCounts>>,
     ) {
         debug_assert_eq!(history.len(), pred_digests.len());
+        debug_assert_eq!(history.len(), per_class_history.len());
         self.steps_used = steps_used;
         self.era = era;
         self.retired = retired;
         self.history = history;
         self.pred_digests = pred_digests;
+        self.per_class_history = per_class_history;
     }
 
     /// Replace the measured-testset state wholesale (snapshot restore
@@ -1046,6 +1182,7 @@ impl Project {
         self.retired = mark.retired;
         self.history.truncate(mark.history_len);
         self.pred_digests.truncate(mark.history_len);
+        self.per_class_history.truncate(mark.history_len);
     }
 }
 
@@ -1080,6 +1217,7 @@ mod tests {
             old_correct: 50,
             changed: 30,
             labels: 100,
+            per_class: None,
         }
     }
 
@@ -1154,6 +1292,7 @@ mod tests {
                 old_correct: 0,
                 changed: 0,
                 labels: 0,
+                per_class: None,
             },
         };
         assert!(matches!(p.submit(&bad), Err(ServeError::BadRequest(_))));
@@ -1165,6 +1304,7 @@ mod tests {
                 old_correct: 0,
                 changed: 0,
                 labels: 0,
+                per_class: None,
             },
         };
         assert!(matches!(p.submit(&zero), Err(ServeError::BadRequest(_))));
@@ -1370,6 +1510,7 @@ mod tests {
                     old_correct: 0,
                     changed: 100,
                     labels: 0,
+                    per_class: None,
                 },
             }),
             Err(ServeError::Conflict(_))
@@ -1484,6 +1625,165 @@ mod tests {
         ));
     }
 
+    /// An F1 gate over a server-side testset: the measurement derives
+    /// per-class confusion counts, the gate decides from the F1
+    /// statistic, and a counts-mode twin fed the same counts (scalar
+    /// triple + per_class) produces a byte-identical receipt.
+    #[test]
+    fn f1_gate_end_to_end_matches_counts_twin() {
+        let script = SCRIPT.replace("n > 0.6 +/- 0.2", "f1(n) - f1(o) > -0.1 +/- 0.2");
+        let estimator = serving_estimator();
+        // Alternating truth: both classes present, F1 well-defined.
+        let truth: Vec<u32> = (0..100).map(|i| i % 2).collect();
+        let spec = TestsetSpec {
+            truth: truth.clone(),
+            classes: 2,
+            lazy: false,
+        };
+        let mut pred_project =
+            Project::register_with_testset("f1p", &script, &estimator, Some(spec)).unwrap();
+        // New model perfect, old model always answers class 0.
+        let (receipt, counts) = pred_project
+            .submit_predictions(&PredictionsSubmission {
+                commit_id: "c1".into(),
+                old: vec![0; 100],
+                new: truth.clone(),
+            })
+            .unwrap();
+        let pc = counts
+            .per_class
+            .as_ref()
+            .expect("F1 condition derives per-class counts");
+        assert_eq!(pc.classes, 2);
+        assert_eq!(pc.support, vec![50, 50]);
+        assert_eq!(pc.new_tp, vec![50, 50]);
+        assert_eq!(pc.old_tp, vec![50, 0]);
+        assert!((pc.f1(true) - 1.0).abs() < 1e-12);
+        assert!(
+            (pc.f1(false) - 0.0).abs() < 1e-12,
+            "old never predicts class 1"
+        );
+        assert!(receipt.passed, "F1 improved from 0 to 1");
+
+        // Twin counts project: same counts (per_class included) through
+        // the counts gate → byte-identical receipt.
+        let mut counts_project = Project::register("f1c", &script, &estimator).unwrap();
+        let twin = counts_project
+            .submit(&CommitSubmission {
+                commit_id: "c1".into(),
+                counts: counts.clone(),
+            })
+            .unwrap();
+        assert_eq!(twin, receipt);
+
+        // Redelivery of the identical vectors reconstructs receipt AND
+        // per-class counts without spending a step.
+        let (again, counts_again) = pred_project
+            .duplicate_predictions_receipt(&PredictionsSubmission {
+                commit_id: "c1".into(),
+                old: vec![0; 100],
+                new: truth,
+            })
+            .unwrap();
+        assert_eq!(again, receipt);
+        assert_eq!(counts_again, counts);
+    }
+
+    /// Metric conditions without per-class counts are refused loudly on
+    /// the counts gate, and a testset that can never satisfy the metric
+    /// shape is refused at registration.
+    #[test]
+    fn metric_gate_validation_is_loud() {
+        let f1_script = SCRIPT.replace("n > 0.6 +/- 0.2", "f1(n) - f1(o) > -0.1 +/- 0.2");
+        let estimator = serving_estimator();
+        // Counts gate without per_class: loud 400, no budget spent.
+        let mut p = Project::register("p", &f1_script, &estimator).unwrap();
+        let err = p.submit(&submission("c1", 90)).unwrap_err();
+        assert!(
+            matches!(&err, ServeError::BadRequest(m) if m.contains("per-class")),
+            "{err}"
+        );
+        assert_eq!(p.steps_used(), 0);
+
+        // f1 needs 2 classes; topk(k) must fit the class count.
+        let one_class = TestsetSpec {
+            truth: vec![0; 10],
+            classes: 1,
+            lazy: false,
+        };
+        let err = Project::register_with_testset("q", &f1_script, &estimator, Some(one_class))
+            .unwrap_err();
+        assert!(
+            matches!(&err, ServeError::BadRequest(m) if m.contains("2 classes")),
+            "{err}"
+        );
+        let topk_script = SCRIPT.replace("n > 0.6 +/- 0.2", "topk(n, 5) > 0.5 +/- 0.2");
+        let narrow = TestsetSpec {
+            truth: vec![0, 1, 2],
+            classes: 3,
+            lazy: false,
+        };
+        let err = Project::register_with_testset("r", &topk_script, &estimator, Some(narrow))
+            .unwrap_err();
+        assert!(
+            matches!(&err, ServeError::BadRequest(m) if m.contains("topk(5)")),
+            "{err}"
+        );
+        // Structurally impossible per_class shapes are rejected.
+        let mut bad = counts(90);
+        bad.per_class = Some(PerClassCounts {
+            classes: 2,
+            support: vec![60, 50], // sums past samples = 100
+            new_tp: vec![0, 0],
+            old_tp: vec![0, 0],
+            new_pred: vec![55, 55],
+            old_pred: vec![55, 55],
+        });
+        assert!(matches!(bad.validate(), Err(ServeError::BadRequest(_))));
+    }
+
+    /// A top-k gate measured over a lazy pool: Full label demand pulls
+    /// every label, and the derived per-class counts back the topk
+    /// statistic the gate decides on.
+    #[test]
+    fn topk_gate_measures_over_lazy_pool() {
+        let script = SCRIPT.replace("n > 0.6 +/- 0.2", "topk(n, 2) > 0.5 +/- 0.2");
+        let estimator = serving_estimator();
+        // Class frequencies: 0 × 50, 1 × 30, 2 × 20 → top-2 = {0, 1}.
+        let truth: Vec<u32> = (0..100u32)
+            .map(|i| {
+                if i < 50 {
+                    0
+                } else if i < 80 {
+                    1
+                } else {
+                    2
+                }
+            })
+            .collect();
+        let spec = TestsetSpec {
+            truth: truth.clone(),
+            classes: 3,
+            lazy: true,
+        };
+        let mut p = Project::register_with_testset("tk", &script, &estimator, Some(spec)).unwrap();
+        // New model: right on the top-2 classes, wrong on class 2.
+        let new: Vec<u32> = truth.iter().map(|&t| if t == 2 { 0 } else { t }).collect();
+        let (receipt, counts) = p
+            .submit_predictions(&PredictionsSubmission {
+                commit_id: "c1".into(),
+                old: vec![1; 100],
+                new,
+            })
+            .unwrap();
+        assert_eq!(counts.labels, 100, "metric demand labels the whole pool");
+        let pc = counts.per_class.as_ref().unwrap();
+        assert_eq!(pc.top_classes(2), vec![0, 1]);
+        // topk(new, 2) = (tp₀ + tp₁) / (support₀ + support₁) = 80/80.
+        assert!((pc.topk(true, 2) - 1.0).abs() < 1e-12);
+        assert!(receipt.passed, "1.0 - 0.2 > 0.5 is certain");
+    }
+
     #[test]
     fn gate_matches_engine_decision_semantics() {
         // The serving gate and the in-process engine must agree on the
@@ -1520,6 +1820,7 @@ mod tests {
                     old_correct: 0,
                     changed: need as u64,
                     labels: need as u64,
+                    per_class: None,
                 },
             })
             .unwrap();

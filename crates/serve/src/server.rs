@@ -67,7 +67,9 @@ use crate::store::{
     PLAN_CACHE_FILE,
 };
 use crate::vfs::{MeteredVfs, RealVfs, Vfs};
-use easeml_ci_core::{effort, AlarmReason, BoundsCache, CostModel, EstimateProvenance, PlanCache};
+use easeml_ci_core::{
+    effort, AlarmReason, BoundsCache, CostModel, EstimateProvenance, PerClassCounts, PlanCache,
+};
 use easeml_par::Pool;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -996,6 +998,59 @@ fn note_rejection(ctx: &Ctx, result: Result<Response, ServeError>) -> Result<Res
     result
 }
 
+/// Parse the optional `per_class` object of a counts submission:
+/// `{"classes": C, "support": [...], "new_tp": [...], "old_tp": [...],
+/// "new_pred": [...], "old_pred": [...]}` — required when the project's
+/// condition reads `f1`/`topk` variables (scalar counts cannot carry a
+/// confusion matrix), absent otherwise.
+fn parse_per_class(body: &Value) -> Result<Option<PerClassCounts>, ServeError> {
+    let value = match body.get("per_class") {
+        None | Some(Value::Null) => return Ok(None),
+        Some(v) => v,
+    };
+    let classes = value
+        .get("classes")
+        .and_then(Value::as_u64)
+        .and_then(|c| u32::try_from(c).ok())
+        .ok_or_else(|| ServeError::BadRequest("per_class is missing integer `classes`".into()))?;
+    let vec = |key: &str| -> Result<Vec<u64>, ServeError> {
+        value
+            .get(key)
+            .and_then(Value::as_array)
+            .ok_or_else(|| ServeError::BadRequest(format!("per_class is missing array `{key}`")))?
+            .iter()
+            .map(|v| {
+                v.as_u64().ok_or_else(|| {
+                    ServeError::BadRequest(format!("per_class `{key}` holds a non-integer"))
+                })
+            })
+            .collect()
+    };
+    Ok(Some(PerClassCounts {
+        classes,
+        support: vec("support")?,
+        new_tp: vec("new_tp")?,
+        old_tp: vec("old_tp")?,
+        new_pred: vec("new_pred")?,
+        old_pred: vec("old_pred")?,
+    }))
+}
+
+/// The `per_class` section of a predictions response's measurement
+/// block — mirrors the request shape [`parse_per_class`] accepts, so a
+/// counts-mode twin can round-trip it byte-exactly.
+fn per_class_response_json(pc: &PerClassCounts) -> Value {
+    let vec = |v: &[u64]| Value::Array(v.iter().map(|&x| Value::from(x)).collect());
+    Value::object([
+        ("classes", Value::from(pc.classes)),
+        ("support", vec(&pc.support)),
+        ("new_tp", vec(&pc.new_tp)),
+        ("old_tp", vec(&pc.old_tp)),
+        ("new_pred", vec(&pc.new_pred)),
+        ("old_pred", vec(&pc.old_pred)),
+    ])
+}
+
 fn submit_commit(ctx: &Ctx, name: &str, request: &Request) -> Result<Response, ServeError> {
     let registry: &Registry = &ctx.registry;
     let body = request.json_body().map_err(ServeError::BadRequest)?;
@@ -1016,6 +1071,7 @@ fn submit_commit(ctx: &Ctx, name: &str, request: &Request) -> Result<Response, S
             old_correct: count("old_correct")?,
             changed: count("changed")?,
             labels: body.get("labels").and_then(Value::as_u64).unwrap_or(0),
+            per_class: parse_per_class(&body)?,
         },
     };
     with_project(registry, name, |slot| {
@@ -1062,17 +1118,18 @@ fn submit_predictions(ctx: &Ctx, name: &str, request: &Request) -> Result<Respon
             .project
             .measured()
             .map_or(0, crate::registry::MeasuredTestset::labeled_count);
-        fields.push((
-            "measurement".into(),
-            Value::object([
-                ("samples", Value::from(counts.samples)),
-                ("new_correct", Value::from(counts.new_correct)),
-                ("old_correct", Value::from(counts.old_correct)),
-                ("changed", Value::from(counts.changed)),
-                ("labels_spent", Value::from(counts.labels)),
-                ("labeled_total", Value::from(labeled_total)),
-            ]),
-        ));
+        let mut measurement = vec![
+            ("samples", Value::from(counts.samples)),
+            ("new_correct", Value::from(counts.new_correct)),
+            ("old_correct", Value::from(counts.old_correct)),
+            ("changed", Value::from(counts.changed)),
+            ("labels_spent", Value::from(counts.labels)),
+            ("labeled_total", Value::from(labeled_total)),
+        ];
+        if let Some(pc) = &counts.per_class {
+            measurement.push(("per_class", per_class_response_json(pc)));
+        }
+        fields.push(("measurement".into(), Value::object(measurement)));
         Ok(Response::json(200, &Value::Object(fields)))
     })
 }

@@ -59,7 +59,9 @@ use crate::registry::{
     TestsetSpec,
 };
 use crate::vfs::{write_atomic, RealVfs, Vfs};
-use easeml_ci_core::{CommitEstimates, CommitHistory, HistoryEntry, SampleSizeEstimator, Tribool};
+use easeml_ci_core::{
+    CommitEstimates, CommitHistory, HistoryEntry, PerClassCounts, SampleSizeEstimator, Tribool,
+};
 use group::{SharedJournal, StagedOp};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -449,8 +451,8 @@ impl ProjectStore {
         receipt: &GateReceipt,
         project: &Project,
     ) -> Result<(), ServeError> {
-        let c = submission.counts;
-        let op = Value::object([
+        let c = &submission.counts;
+        let mut fields = vec![
             ("op", Value::from("commit")),
             ("id", Value::from(submission.commit_id.as_str())),
             ("samples", Value::from(c.samples)),
@@ -461,7 +463,11 @@ impl ProjectStore {
             ("passed", Value::from(receipt.passed)),
             ("step", Value::from(receipt.step)),
             ("era", Value::from(receipt.era)),
-        ]);
+        ];
+        if let Some(pc) = &c.per_class {
+            fields.push(("per_class", per_class_json(pc)));
+        }
+        let op = Value::object(fields);
         self.append(&op, project)
     }
 
@@ -476,11 +482,11 @@ impl ProjectStore {
     pub fn append_commit_predictions(
         &mut self,
         submission: &PredictionsSubmission,
-        counts: EvalCounts,
+        counts: &EvalCounts,
         receipt: &GateReceipt,
         project: &Project,
     ) -> Result<(), ServeError> {
-        let op = Value::object([
+        let mut fields = vec![
             ("op", Value::from("commit_predictions")),
             ("id", Value::from(submission.commit_id.as_str())),
             ("old", Value::from(encode_u32_vec(&submission.old))),
@@ -493,7 +499,11 @@ impl ProjectStore {
             ("passed", Value::from(receipt.passed)),
             ("step", Value::from(receipt.step)),
             ("era", Value::from(receipt.era)),
-        ]);
+        ];
+        if let Some(pc) = &counts.per_class {
+            fields.push(("per_class", per_class_json(pc)));
+        }
+        let op = Value::object(fields);
         self.append(&op, project)
     }
 
@@ -608,6 +618,11 @@ impl ProjectStore {
                     "pred_digest".into(),
                     Value::from(project.pred_digest(i).map(digest_hex)),
                 ));
+                // Same for the per-class confusion counts behind an
+                // F1/top-k verdict.
+                if let Some(pc) = project.per_class_at(i) {
+                    fields.push(("per_class".into(), per_class_json(pc)));
+                }
                 Value::Object(fields)
             })
             .collect();
@@ -666,6 +681,56 @@ pub(crate) fn entry_json(e: &HistoryEntry) -> Value {
         ("diff", Value::from(e.estimates.diff)),
         ("labels", Value::from(e.estimates.labels_requested)),
     ])
+}
+
+/// Serialize per-class confusion counts — the shared shape of the
+/// journal's `commit`/`commit_predictions` ops and the snapshot's
+/// history entries for F1/top-k conditions.
+pub(crate) fn per_class_json(pc: &PerClassCounts) -> Value {
+    let vec = |v: &[u64]| Value::Array(v.iter().map(|&x| Value::from(x)).collect());
+    Value::object([
+        ("classes", Value::from(pc.classes)),
+        ("support", vec(&pc.support)),
+        ("new_tp", vec(&pc.new_tp)),
+        ("old_tp", vec(&pc.old_tp)),
+        ("new_pred", vec(&pc.new_pred)),
+        ("old_pred", vec(&pc.old_pred)),
+    ])
+}
+
+/// Parse the optional `per_class` field of a journal op or snapshot
+/// history entry. Absent/null (every record written before F1/top-k
+/// support, and every plain-condition record since) parses to `None`.
+fn per_class_from_value(value: Option<&Value>) -> Result<Option<PerClassCounts>, String> {
+    let value = match value {
+        None | Some(Value::Null) => return Ok(None),
+        Some(v) => v,
+    };
+    let classes = value
+        .get("classes")
+        .and_then(Value::as_u64)
+        .and_then(|c| u32::try_from(c).ok())
+        .ok_or_else(|| "per_class: missing or bad `classes`".to_owned())?;
+    let vec = |key: &str| -> Result<Vec<u64>, String> {
+        value
+            .get(key)
+            .and_then(Value::as_array)
+            .ok_or_else(|| format!("per_class: missing `{key}`"))?
+            .iter()
+            .map(|v| {
+                v.as_u64()
+                    .ok_or_else(|| format!("per_class: non-integer entry in `{key}`"))
+            })
+            .collect()
+    };
+    Ok(Some(PerClassCounts {
+        classes,
+        support: vec("support")?,
+        new_tp: vec("new_tp")?,
+        old_tp: vec("old_tp")?,
+        new_pred: vec("new_pred")?,
+        old_pred: vec("old_pred")?,
+    }))
 }
 
 /// Restore project state from a parsed snapshot; returns the journal
@@ -743,6 +808,7 @@ fn load_snapshot(
         .ok_or_else(|| corrupt(path, "missing `history`"))?;
     let mut history = CommitHistory::new();
     let mut pred_digests: Vec<Option<u64>> = Vec::with_capacity(entries.len());
+    let mut per_class_history: Vec<Option<PerClassCounts>> = Vec::with_capacity(entries.len());
     for (i, entry) in entries.iter().enumerate() {
         let bad = |what: &str| corrupt(path, format!("history[{i}]: {what}"));
         let commit_id = entry
@@ -785,6 +851,7 @@ fn load_snapshot(
                     .ok_or_else(|| bad("bad `pred_digest`"))?,
             ),
         });
+        per_class_history.push(per_class_from_value(entry.get("per_class")).map_err(|e| bad(&e))?);
         history.push(HistoryEntry {
             commit_id,
             step: num_u32("step")?,
@@ -804,7 +871,14 @@ fn load_snapshot(
             accepted: flag("accepted")?,
         });
     }
-    project.restore(steps_used, era, retired, history, pred_digests);
+    project.restore(
+        steps_used,
+        era,
+        retired,
+        history,
+        pred_digests,
+        per_class_history,
+    );
     Ok(journal_ops)
 }
 
@@ -841,6 +915,7 @@ fn replay_op(
             old_correct: field_u64("old_correct")?,
             changed: field_u64("changed")?,
             labels: field_u64("labels")?,
+            per_class: per_class_from_value(op.get("per_class")).map_err(bad)?,
         })
     };
     let check_outcome = |receipt: &GateReceipt| -> Result<(), ServeError> {
@@ -1023,7 +1098,7 @@ impl ProjectSlot {
         };
         if let Err(e) =
             self.store
-                .append_commit_predictions(submission, counts, &receipt, &self.project)
+                .append_commit_predictions(submission, &counts, &receipt, &self.project)
         {
             roll_back(&mut self.project);
             return Err(e);
@@ -1425,6 +1500,7 @@ mod tests {
                 old_correct: 50,
                 changed: 30,
                 labels: 100,
+                per_class: None,
             },
         }
     }
@@ -1814,6 +1890,72 @@ mod tests {
             .unwrap();
         assert_eq!(again, first.0);
         assert_eq!(slot.project.steps_used(), 2);
+    }
+
+    #[test]
+    fn f1_predictions_restart_rebuilds_per_class_byte_identically() {
+        let dir = temp_dir("f1-restart");
+        let script = SCRIPT
+            .replace("n > 0.6 +/- 0.2", "f1(n) - f1(o) > -0.5 +/- 0.2")
+            .replace("steps      : 3", "steps      : 10");
+        let spec = TestsetSpec {
+            truth: (0..100).map(|i| i % 2).collect(),
+            classes: 2,
+            lazy: false,
+        };
+        let (first, first_counts, pc0, pc1);
+        {
+            let registry = Registry::open(&dir, serving_estimator()).unwrap();
+            let slot = registry
+                .register("proj", &script, Some(spec.clone()))
+                .unwrap();
+            let mut slot = slot.lock().unwrap();
+            (first, first_counts) = slot
+                .submit_predictions(&pred_submission("c1", 100, 50, 90))
+                .unwrap();
+            slot.submit_predictions(&pred_submission("c2", 100, 50, 40))
+                .unwrap();
+            pc0 = slot.project.per_class_at(0).cloned();
+            pc1 = slot.project.per_class_at(1).cloned();
+        } // process death; journal only
+        assert!(first_counts.per_class.is_some());
+        assert_eq!(first_counts.per_class, pc0);
+        assert!(pc1.is_some());
+        {
+            // Journal replay re-measures from the stored vectors; the
+            // replay cross-check compares against the recorded
+            // per-class shape, so reopening at all proves re-measured
+            // == journaled. The dedup path must then hand back the
+            // same confusion counts.
+            let registry = Registry::open(&dir, serving_estimator()).unwrap();
+            let slot = registry.get("proj").unwrap();
+            let mut slot = slot.lock().unwrap();
+            assert_eq!(slot.project.per_class_at(0), pc0.as_ref());
+            assert_eq!(slot.project.per_class_at(1), pc1.as_ref());
+            let (again, counts_again) = slot
+                .submit_predictions(&pred_submission("c1", 100, 50, 90))
+                .unwrap();
+            assert_eq!(again, first);
+            assert_eq!(counts_again, first_counts);
+            assert_eq!(slot.project.steps_used(), 2, "redelivery is free");
+            // Snapshot, then a journal-suffix commit: the snapshot's
+            // per-entry per_class objects must round-trip too.
+            slot.snapshot().unwrap();
+            slot.submit_predictions(&pred_submission("c3", 100, 50, 80))
+                .unwrap();
+        }
+        let registry = Registry::open(&dir, serving_estimator()).unwrap();
+        let slot = registry.get("proj").unwrap();
+        let mut slot = slot.lock().unwrap();
+        assert_eq!(slot.project.history().len(), 3);
+        assert_eq!(slot.project.per_class_at(0), pc0.as_ref());
+        assert_eq!(slot.project.per_class_at(1), pc1.as_ref());
+        assert!(slot.project.per_class_at(2).is_some());
+        let (again, counts_again) = slot
+            .submit_predictions(&pred_submission("c1", 100, 50, 90))
+            .unwrap();
+        assert_eq!(again, first);
+        assert_eq!(counts_again, first_counts);
     }
 
     #[test]

@@ -496,6 +496,23 @@ pub enum Fault {
     Kill,
 }
 
+/// How a halted machine's surviving disk is derived. Recorded at halt
+/// time; the view itself is computed lazily in
+/// [`FaultVfs::captured_disk`] so that operations *in flight* at the
+/// halt — ones that already passed their fault check and will report
+/// success to the caller — land in the survivor. An eager snapshot
+/// here would race them: a concurrent scope could ack a commit whose
+/// covering fsync completed a microsecond after the capture, making a
+/// genuinely durable commit look lost.
+#[derive(Debug, Clone, Copy)]
+enum HaltView {
+    /// Power cut: only durable (synced) prefixes survive.
+    PowerCut,
+    /// Process kill: everything written survives (page cache outlives
+    /// the process).
+    Kill,
+}
+
 /// A deterministic fault schedule: scope → operation index → fault.
 #[derive(Debug, Default, Clone)]
 pub struct FaultPlan {
@@ -558,7 +575,8 @@ struct FaultState {
     counters: Mutex<HashMap<String, u64>>,
     /// Once the simulated machine halts, every later op fails.
     dead: AtomicBool,
-    captured: Mutex<Option<MemVfs>>,
+    /// Set (once) when a halting fault fires; see [`HaltView`].
+    halted_as: Mutex<Option<HaltView>>,
     /// Runtime toggle: fail every mutating op with ENOSPC (a disk that
     /// filled up mid-flight), without halting the machine.
     deny_writes: AtomicBool,
@@ -591,7 +609,7 @@ impl FaultVfs {
                 plan: Mutex::new(plan),
                 counters: Mutex::new(HashMap::new()),
                 dead: AtomicBool::new(false),
-                captured: Mutex::new(None),
+                halted_as: Mutex::new(None),
                 deny_writes: AtomicBool::new(false),
                 record: AtomicBool::new(false),
                 oplog: Mutex::new(Vec::new()),
@@ -605,14 +623,18 @@ impl FaultVfs {
         self.state.disk.clone()
     }
 
-    /// The disk image captured when the machine halted, if it has.
+    /// The disk image that survives the halt, if the machine has
+    /// halted. Computed from the live disk at call time — call only
+    /// after all client threads have joined, so operations that were
+    /// in flight at the halt (already past their fault check, about to
+    /// report success) are reflected; see [`HaltView`].
     #[must_use]
     pub fn captured_disk(&self) -> Option<MemVfs> {
-        self.state
-            .captured
-            .lock()
-            .expect("capture poisoned")
-            .clone()
+        let view = *self.state.halted_as.lock().expect("halt poisoned");
+        view.map(|view| match view {
+            HaltView::PowerCut => self.state.disk.power_cut_view(),
+            HaltView::Kill => self.state.disk.kill_view(),
+        })
     }
 
     /// Whether a `Kill`/`PowerCut`/`Torn` fault has halted the machine.
@@ -706,25 +728,25 @@ impl FaultVfs {
                 if let Some(buf) = write {
                     state.disk.torn_append(path, &buf[..keep.min(buf.len())]);
                 }
-                self.halt(state.disk.power_cut_view());
+                self.halt(HaltView::PowerCut);
                 Err(io::Error::other("simulated power cut (torn write)"))
             }
             Some(Fault::PowerCut) => {
-                self.halt(state.disk.power_cut_view());
+                self.halt(HaltView::PowerCut);
                 Err(io::Error::other("simulated power cut"))
             }
             Some(Fault::Kill) => {
-                self.halt(state.disk.kill_view());
+                self.halt(HaltView::Kill);
                 Err(io::Error::other("simulated process kill"))
             }
         }
     }
 
-    fn halt(&self, view: MemVfs) {
+    fn halt(&self, view: HaltView) {
         let state = &*self.state;
-        let mut captured = state.captured.lock().expect("capture poisoned");
-        if captured.is_none() {
-            *captured = Some(view);
+        let mut halted = state.halted_as.lock().expect("halt poisoned");
+        if halted.is_none() {
+            *halted = Some(view);
         }
         state.dead.store(true, Ordering::SeqCst);
     }

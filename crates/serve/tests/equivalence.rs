@@ -4,8 +4,10 @@
 //! receipts and identical budget/history state — for random testsets,
 //! random prediction vectors, either labeling mode, and every condition
 //! shape the measurement layer distinguishes (`d`-only, cancelling
-//! `n − o`, bare `n`). One server instance (on the process-wide pool, so
-//! the CI `EASEML_THREADS` matrix exercises widths 1 and 4) serves every
+//! `n − o`, bare `n`, and the non-binomial `f1`/`topk` metrics, whose
+//! counts twin must carry the server-derived per-class confusion
+//! shape). One server instance (on the process-wide pool, so the CI
+//! `EASEML_THREADS` matrix exercises widths 1 and 4) serves every
 //! case; each case registers a fresh pair of projects.
 
 use easeml_serve::json::{encode_u32_vec, Value};
@@ -45,12 +47,16 @@ fn script_for(condition: &str, steps: u32) -> String {
     )
 }
 
-/// The condition shapes with distinct `LabelDemand`s.
-const CONDITIONS: [&str; 4] = [
+/// The condition shapes with distinct `LabelDemand`s, plus the
+/// non-binomial metric conditions (McDiarmid-backed, full label
+/// demand, per-class confusion counts on the wire).
+const CONDITIONS: [&str; 6] = [
     "d < 0.5 +/- 0.1",
     "n - o > 0.0 +/- 0.2",
     "n > 0.5 +/- 0.2",
     "n - o > 0.0 +/- 0.2 /\\ d < 0.5 +/- 0.1",
+    "f1(n) - f1(o) > -0.5 +/- 0.2",
+    "topk(n, 2) > 0.2 +/- 0.2",
 ];
 
 /// Drop the predictions route's extra `measurement` section so the
@@ -142,18 +148,25 @@ proptest! {
             let m = pred_response.get("measurement").expect("measurement");
             let field = |key: &str| m.get(key).and_then(Value::as_u64).expect("count field");
 
+            let mut counts_fields = vec![
+                ("commit_id", Value::from(commit_id.as_str())),
+                ("samples", Value::from(field("samples"))),
+                ("new_correct", Value::from(field("new_correct"))),
+                ("old_correct", Value::from(field("old_correct"))),
+                ("changed", Value::from(field("changed"))),
+                ("labels", Value::from(field("labels_spent"))),
+            ];
+            // Metric conditions publish the per-class confusion shape in
+            // the measurement; the counts twin echoes it back verbatim
+            // (the request schema mirrors the response schema exactly).
+            if let Some(pc) = m.get("per_class") {
+                counts_fields.push(("per_class", pc.clone()));
+            }
             let (status, counts_response) = client
                 .request(
                     "POST",
                     &format!("/projects/{counts_name}/commits"),
-                    Some(&Value::object([
-                        ("commit_id", Value::from(commit_id.as_str())),
-                        ("samples", Value::from(field("samples"))),
-                        ("new_correct", Value::from(field("new_correct"))),
-                        ("old_correct", Value::from(field("old_correct"))),
-                        ("changed", Value::from(field("changed"))),
-                        ("labels", Value::from(field("labels_spent"))),
-                    ])),
+                    Some(&Value::object(counts_fields)),
                 )
                 .expect("counts submit");
             prop_assert_eq!(status, 200, "{}", counts_response);
